@@ -1,0 +1,87 @@
+//! Shared machinery for the behavioral baseline models.
+//!
+//! Each baseline reproduces the *documented characteristics* of its method
+//! (reuse vs. discovery, design-space size, validity rate, labeled-sample
+//! requirement) rather than re-running the original codebase; see
+//! DESIGN.md's substitution table.
+
+use eva_circuit::Topology;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Inject a structural defect: drop one wire, preferring an edge whose
+/// removal strands a device pin (guaranteeing the validity oracle rejects
+/// the result). This models the generation errors that give each method its
+/// sub-100% validity (LLM code bugs for AnalogCoder/Artisan, decoding
+/// glitches for CktGNN/LaMAGIC) *without* accidentally minting "novel"
+/// valid circuits — the paper reports 0% novelty for the reuse-based
+/// methods.
+///
+/// Returns `None` if the topology degenerates entirely.
+pub fn drop_random_wire<R: Rng + ?Sized>(topology: &Topology, rng: &mut R) -> Option<Topology> {
+    let edges = topology.edges();
+    if edges.len() <= 1 {
+        return None;
+    }
+    // Wire-degree of every node.
+    let mut degree: std::collections::BTreeMap<eva_circuit::Node, usize> =
+        std::collections::BTreeMap::new();
+    for &(a, b) in edges {
+        *degree.entry(a).or_insert(0) += 1;
+        *degree.entry(b).or_insert(0) += 1;
+    }
+    // Prefer edges with a degree-1 device-pin endpoint: removing one leaves
+    // a floating pin.
+    let stranding: Vec<usize> = edges
+        .iter()
+        .enumerate()
+        .filter(|(_, &(a, b))| {
+            (a.device().is_some() && degree[&a] == 1)
+                || (b.device().is_some() && degree[&b] == 1)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let skip = if stranding.is_empty() {
+        rng.gen_range(0..edges.len())
+    } else {
+        stranding[rng.gen_range(0..stranding.len())]
+    };
+    Topology::from_edges(
+        edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, &e)| e),
+    )
+    .ok()
+}
+
+/// Sample one element of a slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn pick<'a, T, R: Rng + ?Sized>(items: &'a [T], rng: &mut R) -> &'a T {
+    items.choose(rng).expect("non-empty library")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::{CircuitPin, TopologyBuilder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dropping_a_wire_changes_structure() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let broken = drop_random_wire(&t, &mut rng).unwrap();
+        assert_eq!(broken.edge_count(), t.edge_count() - 1);
+        assert_ne!(broken.canonical_hash(), t.canonical_hash());
+    }
+}

@@ -1,0 +1,16 @@
+//! # eva-baselines
+//!
+//! Behavioral reimplementations of the four methods EVA is compared
+//! against in Table II — AnalogCoder \[11\], Artisan \[12\], CktGNN \[1\] and
+//! LaMAGIC \[13\] — each exposing the shared
+//! [`eva_eval::TopologyGenerator`] interface so the evaluation protocol
+//! runs identically over every method.
+//!
+//! These are *models of the documented behaviour* (reuse vs. discovery,
+//! design-space size, validity rate, labeled-data requirement), not ports
+//! of the original codebases; see DESIGN.md for the substitution argument.
+
+pub mod common;
+pub mod methods;
+
+pub use methods::{AnalogCoder, Artisan, CktGnn, LaMagic};

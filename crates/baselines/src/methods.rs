@@ -1,0 +1,362 @@
+//! Behavioral reimplementations of the four Table II baselines.
+//!
+//! Each struct models the documented behaviour of the original method:
+//!
+//! | Method | Behaviour modeled |
+//! |---|---|
+//! | [`AnalogCoder`] | Training-free retrieval synthesis over a fixed ~20-topology library spanning 7 circuit types; LLM code errors cap validity around 66% and nothing novel is ever produced. |
+//! | [`Artisan`] | An Op-Amp-only domain LLM trained on 14 000 labeled designs; reuses the best known Op-Amp templates (high FoM, zero novelty, one type). |
+//! | [`CktGnn`] | A two-level DAG VAE over Op-Amp sub-blocks trained on 10 000 synthetic designs; composes sub-blocks freely, giving high novelty but synthetic-looking graphs (worse MMD) and no performance targeting. |
+//! | [`LaMagic`] | A masked language model over ≤ 4-device power-converter node connections trained on 132 000 labeled designs; its tiny design space yields almost no novelty. |
+
+use eva_circuit::{DeviceKind, Node, PinRole, Topology};
+use eva_dataset::{CircuitType, DatasetEntry};
+use eva_eval::TopologyGenerator;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::common::{drop_random_wire, pick};
+
+/// AnalogCoder-style retrieval synthesis (training-free LLM prompting).
+#[derive(Debug, Clone)]
+pub struct AnalogCoder {
+    library: Vec<Topology>,
+    defect_rate: f64,
+}
+
+impl AnalogCoder {
+    /// The 7 circuit types AnalogCoder's library covers.
+    pub const TYPES: [CircuitType; 7] = [
+        CircuitType::OpAmp,
+        CircuitType::Comparator,
+        CircuitType::Ldo,
+        CircuitType::Bandgap,
+        CircuitType::Mixer,
+        CircuitType::Vco,
+        CircuitType::ScSampler,
+    ];
+
+    /// Build the ~20-entry library by retrieving the *simplest* (fewest
+    /// devices) corpus member of each covered type, ~3 per type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus lacks one of the covered types.
+    pub fn new(corpus: &[DatasetEntry]) -> AnalogCoder {
+        let mut library = Vec::new();
+        for ty in Self::TYPES {
+            let mut members: Vec<&DatasetEntry> =
+                corpus.iter().filter(|e| e.circuit_type == ty).collect();
+            assert!(!members.is_empty(), "corpus lacks {ty}");
+            members.sort_by_key(|e| e.topology.device_count());
+            for e in members.iter().take(3) {
+                library.push(e.topology.clone());
+            }
+        }
+        AnalogCoder { library, defect_rate: 0.34 }
+    }
+
+    /// The library size (≈ 20, per the paper's "synthesis library of just
+    /// 20 topologies").
+    pub fn library_len(&self) -> usize {
+        self.library.len()
+    }
+}
+
+impl TopologyGenerator for AnalogCoder {
+    fn name(&self) -> &str {
+        "AnalogCoder"
+    }
+
+    fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<Topology> {
+        let base = pick(&self.library, rng).clone();
+        if rng.gen_bool(self.defect_rate) {
+            drop_random_wire(&base, rng)
+        } else {
+            Some(base)
+        }
+    }
+
+    fn labeled_samples(&self) -> usize {
+        11 // the paper's Table II entry for AnalogCoder
+    }
+}
+
+/// Artisan-style dedicated Op-Amp synthesizer.
+#[derive(Debug, Clone)]
+pub struct Artisan {
+    /// Top-FoM Op-Amp templates (the "knowledge" its 14k-sample training
+    /// distills).
+    templates: Vec<Topology>,
+    defect_rate: f64,
+}
+
+impl Artisan {
+    /// Select the top-FoM decile of corpus Op-Amps as templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus has no measurable Op-Amps.
+    pub fn new(corpus: &[DatasetEntry]) -> Artisan {
+        let mut measured: Vec<(&DatasetEntry, f64)> = corpus
+            .iter()
+            .filter(|e| e.circuit_type == CircuitType::OpAmp)
+            .filter_map(|e| {
+                eva_dataset::measure_fom(&e.topology, CircuitType::OpAmp).map(|f| (e, f))
+            })
+            .collect();
+        assert!(!measured.is_empty(), "corpus has no measurable Op-Amps");
+        measured.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let keep = (measured.len() / 10).max(3).min(measured.len());
+        Artisan {
+            templates: measured[..keep].iter().map(|(e, _)| e.topology.clone()).collect(),
+            defect_rate: 0.18,
+        }
+    }
+}
+
+impl TopologyGenerator for Artisan {
+    fn name(&self) -> &str {
+        "Artisan"
+    }
+
+    fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<Topology> {
+        let base = pick(&self.templates, rng).clone();
+        if rng.gen_bool(self.defect_rate) {
+            drop_random_wire(&base, rng)
+        } else {
+            Some(base)
+        }
+    }
+
+    fn labeled_samples(&self) -> usize {
+        14_000
+    }
+}
+
+/// CktGNN-style sub-block DAG generator for Op-Amps.
+#[derive(Debug, Clone)]
+pub struct CktGnn {
+    defect_rate: f64,
+}
+
+impl CktGnn {
+    /// Create the generator (trained on synthetic data in the original; no
+    /// corpus access here, which is exactly its weakness).
+    pub fn new() -> CktGnn {
+        CktGnn { defect_rate: 0.12 }
+    }
+
+    /// Compose a random Op-Amp-like DAG from sub-blocks, then apply random
+    /// structural perturbations (the VAE's latent sampling): extra
+    /// passives between random nets, occasionally a dangling stage.
+    fn compose(rng: &mut ChaCha8Rng) -> Option<Topology> {
+        use eva_dataset::families::opamp::{self, OpampConfig};
+        let configs = opamp::configs();
+        let config: &OpampConfig = configs.choose(rng)?;
+        let base = opamp::build(config).ok()?;
+        // Synthetic-data flavor: random decorations that real designs
+        // would not carry.
+        let mut edges: Vec<(Node, Node)> = base.edges().to_vec();
+        let nodes: Vec<Node> = base.nodes().into_iter().collect();
+        let n_extra = rng.gen_range(1..=3);
+        let mut next_r = base
+            .devices()
+            .into_iter()
+            .filter(|d| d.kind == DeviceKind::Resistor)
+            .map(|d| d.ordinal)
+            .max()
+            .unwrap_or(0);
+        let mut next_c = base
+            .devices()
+            .into_iter()
+            .filter(|d| d.kind == DeviceKind::Capacitor)
+            .map(|d| d.ordinal)
+            .max()
+            .unwrap_or(0);
+        for _ in 0..n_extra {
+            let a = *nodes.choose(rng)?;
+            let b = *nodes.choose(rng)?;
+            if a == b {
+                continue;
+            }
+            let dev = if rng.gen_bool(0.5) {
+                next_r += 1;
+                eva_circuit::Device::new(DeviceKind::Resistor, next_r)
+            } else {
+                next_c += 1;
+                eva_circuit::Device::new(DeviceKind::Capacitor, next_c)
+            };
+            edges.push((Node::pin(dev, PinRole::Plus), a));
+            edges.push((Node::pin(dev, PinRole::Minus), b));
+        }
+        Topology::from_edges(edges).ok()
+    }
+}
+
+impl Default for CktGnn {
+    fn default() -> CktGnn {
+        CktGnn::new()
+    }
+}
+
+impl TopologyGenerator for CktGnn {
+    fn name(&self) -> &str {
+        "CktGNN"
+    }
+
+    fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<Topology> {
+        let base = Self::compose(rng)?;
+        if rng.gen_bool(self.defect_rate) {
+            drop_random_wire(&base, rng)
+        } else {
+            Some(base)
+        }
+    }
+
+    fn labeled_samples(&self) -> usize {
+        10_000
+    }
+}
+
+/// LaMAGIC-style ≤4-device power-converter generator.
+#[derive(Debug, Clone)]
+pub struct LaMagic {
+    /// The tiny cell library its masked-LM effectively memorizes.
+    cells: Vec<Topology>,
+    defect_rate: f64,
+    perturb_rate: f64,
+}
+
+impl LaMagic {
+    /// Collect every corpus power converter with ≤ 4 devices as the cell
+    /// set (LaMAGIC's whole design space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus has no small converters.
+    pub fn new(corpus: &[DatasetEntry]) -> LaMagic {
+        let cells: Vec<Topology> = corpus
+            .iter()
+            .filter(|e| {
+                e.circuit_type == CircuitType::PowerConverter
+                    && e.topology.device_count() <= 4
+            })
+            .map(|e| e.topology.clone())
+            .collect();
+        assert!(!cells.is_empty(), "corpus has no small power converters");
+        LaMagic { cells, defect_rate: 0.25, perturb_rate: 0.04 }
+    }
+}
+
+impl TopologyGenerator for LaMagic {
+    fn name(&self) -> &str {
+        "LaMAGIC"
+    }
+
+    fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<Topology> {
+        let base = pick(&self.cells, rng).clone();
+        if rng.gen_bool(self.defect_rate) {
+            return drop_random_wire(&base, rng);
+        }
+        if rng.gen_bool(self.perturb_rate) {
+            // Rare novel output: re-route one wire to another net.
+            let edges = base.edges();
+            let nodes: Vec<Node> = base.nodes().into_iter().collect();
+            let i = rng.gen_range(0..edges.len());
+            let (a, _) = edges[i];
+            let c = *nodes.choose(rng)?;
+            let mut new_edges: Vec<(Node, Node)> = edges.to_vec();
+            new_edges[i] = (a, c);
+            return Topology::from_edges(new_edges).ok();
+        }
+        Some(base)
+    }
+
+    fn labeled_samples(&self) -> usize {
+        132_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_dataset::{Corpus, CorpusOptions};
+    use rand::SeedableRng;
+
+    fn corpus() -> Vec<DatasetEntry> {
+        Corpus::build(&CorpusOptions {
+            target_size: 400,
+            decorate: false,
+            validate: false,
+            families: None,
+        })
+        .entries()
+        .to_vec()
+    }
+
+    #[test]
+    fn analogcoder_covers_seven_types_and_reuses() {
+        let c = corpus();
+        let mut ac = AnalogCoder::new(&c);
+        assert!((18..=21).contains(&ac.library_len()), "{}", ac.library_len());
+        let known: std::collections::BTreeSet<u64> =
+            c.iter().map(|e| e.topology.canonical_hash()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut reused = 0;
+        for _ in 0..30 {
+            if let Some(t) = ac.generate(&mut rng) {
+                if known.contains(&t.canonical_hash()) {
+                    reused += 1;
+                }
+            }
+        }
+        assert!(reused >= 15, "mostly reuse: {reused}/30");
+        assert_eq!(ac.labeled_samples(), 11);
+    }
+
+    #[test]
+    fn artisan_generates_only_opamps_with_high_fom_templates() {
+        let c = corpus();
+        let mut artisan = Artisan::new(&c);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = artisan.generate(&mut rng).unwrap();
+        assert!(t.device_count() >= 4, "op-amp scale");
+        assert_eq!(artisan.labeled_samples(), 14_000);
+    }
+
+    #[test]
+    fn cktgnn_produces_novel_structures() {
+        let c = corpus();
+        let known: std::collections::BTreeSet<u64> =
+            c.iter().map(|e| e.topology.canonical_hash()).collect();
+        let mut g = CktGnn::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut novel = 0;
+        let mut total = 0;
+        for _ in 0..30 {
+            if let Some(t) = g.generate(&mut rng) {
+                total += 1;
+                if !known.contains(&t.canonical_hash()) {
+                    novel += 1;
+                }
+            }
+        }
+        assert!(total > 20);
+        assert!(novel * 10 >= total * 8, "mostly novel: {novel}/{total}");
+    }
+
+    #[test]
+    fn lamagic_stays_in_its_tiny_space() {
+        let c = corpus();
+        let mut g = LaMagic::new(&c);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            if let Some(t) = g.generate(&mut rng) {
+                assert!(t.device_count() <= 5, "≤4 devices plus rare perturbation");
+            }
+        }
+        assert_eq!(g.labeled_samples(), 132_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the engineering substrates: simulator
+//! solves, serialization, hashing, token generation, and training steps.
+//! These are throughput benchmarks (not paper artifacts) that size the
+//! experiment harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eva_circuit::{CircuitPin, EulerianSequence, PinRole, TopologyBuilder};
+use eva_model::{Generator, ModelConfig, Transformer};
+use eva_nn::Tape;
+use eva_spice::{ac_sweep, dc_operating_point, elaborate, log_sweep, Sizing, Stimulus, Tech};
+use eva_tokenizer::TokenId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Five-transistor OTA used across the simulator benchmarks.
+fn ota() -> eva_circuit::Topology {
+    let mut b = TopologyBuilder::new();
+    let m1 = b.add(eva_circuit::DeviceKind::Nmos);
+    let m2 = b.add(eva_circuit::DeviceKind::Nmos);
+    let mt = b.add(eva_circuit::DeviceKind::Nmos);
+    let m3 = b.add(eva_circuit::DeviceKind::Pmos);
+    let m4 = b.add(eva_circuit::DeviceKind::Pmos);
+    use PinRole::*;
+    b.wire(b.pin(m1, Gate), CircuitPin::Vin(1)).unwrap();
+    b.wire(b.pin(m2, Gate), CircuitPin::Vin(2)).unwrap();
+    b.wire(b.pin(m1, Source), b.pin(mt, Drain)).unwrap();
+    b.wire(b.pin(m2, Source), b.pin(mt, Drain)).unwrap();
+    b.wire(b.pin(mt, Gate), CircuitPin::Vbias(1)).unwrap();
+    b.wire(b.pin(mt, Source), CircuitPin::Vss).unwrap();
+    for m in [m1, m2, mt] {
+        b.wire(b.pin(m, Bulk), CircuitPin::Vss).unwrap();
+    }
+    b.wire(b.pin(m3, Drain), b.pin(m1, Drain)).unwrap();
+    b.wire(b.pin(m3, Gate), b.pin(m1, Drain)).unwrap();
+    b.wire(b.pin(m4, Gate), b.pin(m1, Drain)).unwrap();
+    b.wire(b.pin(m3, Source), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m4, Source), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m3, Bulk), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m4, Bulk), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m4, Drain), b.pin(m2, Drain)).unwrap();
+    b.wire(b.pin(m4, Drain), CircuitPin::Vout(1)).unwrap();
+    b.build().unwrap()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let topology = ota();
+    let sizing = Sizing::default_for(&topology);
+    let netlist = elaborate(&topology, &sizing, &Stimulus::default()).unwrap();
+    let tech = Tech::default();
+    c.bench_function("spice/dc_operating_point_5t_ota", |b| {
+        b.iter(|| dc_operating_point(&netlist, &tech).unwrap())
+    });
+    let op = dc_operating_point(&netlist, &tech).unwrap();
+    let freqs = log_sweep(1.0, 1e9, 31);
+    c.bench_function("spice/ac_sweep_31pts", |b| {
+        b.iter(|| ac_sweep(&netlist, &tech, &op, &freqs).unwrap())
+    });
+    c.bench_function("spice/validity_check", |b| {
+        b.iter(|| eva_spice::check_validity(&topology))
+    });
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    let topology = ota();
+    c.bench_function("circuit/euler_serialize", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        b.iter(|| EulerianSequence::from_topology(&topology, &mut rng).unwrap())
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let seq = EulerianSequence::from_topology(&topology, &mut rng).unwrap();
+    c.bench_function("circuit/euler_decode", |b| b.iter(|| seq.to_topology().unwrap()));
+    c.bench_function("circuit/canonical_hash", |b| b.iter(|| topology.canonical_hash()));
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = Transformer::new(ModelConfig::repro(512, 128), &mut rng);
+    c.bench_function("model/generate_32_tokens", |b| {
+        b.iter(|| {
+            let mut g = Generator::new(&model);
+            let mut logits = g.step(TokenId(2));
+            for _ in 0..31 {
+                // Greedy next token to keep the benchmark deterministic.
+                let next = logits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                logits = g.step(TokenId(next as u32));
+            }
+        })
+    });
+    let ids: Vec<TokenId> = (0..64).map(|i| TokenId(2 + (i % 100))).collect();
+    let mask = vec![true; ids.len()];
+    c.bench_function("model/lm_train_step_b1_t64", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let (loss, bound) = model.lm_loss(&mut tape, &ids, 1, 64, &mask);
+            let grads = tape.backward(loss);
+            bound.gradients(&grads).len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator, bench_circuit, bench_model
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation of the repo's one non-paper decoding addition: the grammar
+//! constraint that only admits the terminator right after `VSS`.
+//!
+//! Compares constrained vs. unconstrained sampling from the same weights
+//! on decode rate (token stream parses into a circuit) and validity rate,
+//! across temperatures. Writes `results/ablation_decoding.csv`.
+//!
+//! Usage: `cargo run -p eva-bench --release --bin ablation [-- --quick --seed N --samples N]`
+
+use eva_bench::{pretrained_eva, write_results, RunArgs};
+use eva_eval::TopologyGenerator;
+use eva_tokenizer::Tokenizer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let eva = pretrained_eva(&args, &mut rng);
+    let n = args.samples.unwrap_or(60);
+    let model = eva.model().clone();
+
+    let mut csv = String::from("mode,temperature,decode_pct,valid_pct\n");
+    println!("{:>13} {:>6} {:>9} {:>8}", "mode", "temp", "decode%", "valid%");
+    for temp in [1.0f32, 0.85, 0.7] {
+        // Constrained: the EvaGenerator path.
+        let mut constrained = eva.generator("ablate", &model, 0);
+        constrained.temperature = temp;
+        let mut grng = ChaCha8Rng::seed_from_u64(args.seed + 1);
+        let mut decode = 0;
+        let mut valid = 0;
+        for _ in 0..n {
+            if let Some(t) = constrained.generate(&mut grng) {
+                decode += 1;
+                if eva_spice::check_validity(&t).is_valid() {
+                    valid += 1;
+                }
+            }
+        }
+        let (dc, vc) = (100.0 * decode as f64 / n as f64, 100.0 * valid as f64 / n as f64);
+        println!("{:>13} {:>6.2} {:>8.1}% {:>7.1}%", "constrained", temp, dc, vc);
+        csv.push_str(&format!("constrained,{temp},{dc:.2},{vc:.2}\n"));
+
+        // Unconstrained: plain sampling, END admissible anywhere.
+        let mut grng = ChaCha8Rng::seed_from_u64(args.seed + 1);
+        let mut decode = 0;
+        let mut valid = 0;
+        for _ in 0..n {
+            let tokens = eva_model::generate(
+                &model,
+                eva.tokenizer().vss(),
+                Tokenizer::END,
+                model.config().max_seq_len,
+                temp,
+                Some(25),
+                &mut grng,
+            );
+            if let Ok(seq) = eva.tokenizer().to_sequence(&tokens) {
+                if let Ok(t) = seq.to_topology() {
+                    decode += 1;
+                    if eva_spice::check_validity(&t).is_valid() {
+                        valid += 1;
+                    }
+                }
+            }
+        }
+        let (du, vu) = (100.0 * decode as f64 / n as f64, 100.0 * valid as f64 / n as f64);
+        println!("{:>13} {:>6.2} {:>8.1}% {:>7.1}%", "unconstrained", temp, du, vu);
+        csv.push_str(&format!("unconstrained,{temp},{du:.2},{vu:.2}\n"));
+    }
+    write_results("ablation_decoding.csv", &csv);
+}

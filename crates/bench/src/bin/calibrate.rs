@@ -1,0 +1,61 @@
+//! Calibration probe: how much pretraining does generation validity need?
+//!
+//! Pretrains in chunks and reports, per chunk, the LM loss, the decode
+//! failure rate (token stream is not a closed walk), and the validity rate
+//! at a few sampling temperatures. Used to size the experiment configs;
+//! not a paper artifact.
+
+use eva_bench::{experiment_options, RunArgs};
+use eva_core::{Eva, PretrainConfig};
+use eva_eval::TopologyGenerator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let options = experiment_options(args.quick);
+    let mut eva = Eva::prepare(&options, &mut rng);
+    eprintln!(
+        "corpus {} topologies, {} sequences, vocab {}, ctx {}",
+        eva.corpus().len(),
+        eva.train_sequence_count(),
+        eva.tokenizer().vocab_size(),
+        eva.model().config().max_seq_len
+    );
+
+    let chunk = PretrainConfig { steps: 200, ..options.pretrain };
+    let probes = args.samples.unwrap_or(50);
+    println!("{:>6} {:>8} {:>8} | temp: decode-ok% valid%", "steps", "loss", "val");
+    for round in 1..=10 {
+        let t0 = std::time::Instant::now();
+        let losses = eva.pretrain(&chunk, &mut rng);
+        let train_loss = losses[losses.len().saturating_sub(20)..].iter().sum::<f32>()
+            / losses.len().min(20) as f32;
+        let val_loss = eva.validation_loss();
+        print!("{:>6} {:>8.3} {:>8.3} |", round * chunk.steps, train_loss, val_loss);
+        for (temp, top_k) in [(1.0, Some(40)), (0.8, Some(20)), (0.7, Some(10))] {
+            let model = eva.model().clone();
+            let mut generator = eva.generator("probe", &model, 0);
+            generator.temperature = temp;
+            generator.top_k = top_k;
+            let mut grng = ChaCha8Rng::seed_from_u64(args.seed + round as u64);
+            let mut decoded = 0;
+            let mut valid = 0;
+            for _ in 0..probes {
+                if let Some(t) = generator.generate(&mut grng) {
+                    decoded += 1;
+                    if eva_spice::check_validity(&t).is_valid() {
+                        valid += 1;
+                    }
+                }
+            }
+            print!(
+                "  {temp:.1}: {:>3.0}% {:>3.0}%",
+                100.0 * decoded as f64 / probes as f64,
+                100.0 * valid as f64 / probes as f64
+            );
+        }
+        println!("  ({:?}/chunk)", t0.elapsed());
+    }
+}

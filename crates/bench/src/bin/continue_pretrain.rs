@@ -1,0 +1,61 @@
+//! Continue pretraining from the cached experiment weights and probe
+//! generation validity after each extension round — for pushing the
+//! CPU-scale model along the loss-vs-validity trajectory without redoing
+//! earlier steps.
+//!
+//! Usage: `cargo run -p eva-bench --release --bin continue_pretrain [-- --quick --seed N --samples ROUNDS]`
+
+use eva_bench::{experiment_options, pretrained_eva, RunArgs};
+use eva_core::PretrainConfig;
+use eva_eval::TopologyGenerator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    // Loads the cache if present; trains from scratch otherwise.
+    let mut eva = pretrained_eva(&args, &mut rng);
+    let options = experiment_options(args.quick);
+    let rounds = args.samples.unwrap_or(2);
+    let cache = format!(
+        "results/pretrained_{}_seed{}.params",
+        if args.quick { "quick" } else { "full" },
+        args.seed
+    );
+
+    for round in 1..=rounds {
+        let cfg = PretrainConfig { warmup: 0, ..options.pretrain };
+        let t0 = std::time::Instant::now();
+        let losses = eva.pretrain(&cfg, &mut rng);
+        let tail = &losses[losses.len().saturating_sub(20)..];
+        let loss = tail.iter().sum::<f32>() / tail.len() as f32;
+        eva.save_model(&cache).expect("save checkpoint");
+
+        // Validity probe.
+        let model = eva.model().clone();
+        let mut generator = eva.generator("probe", &model, 0);
+        generator.temperature = 0.8;
+        generator.top_k = Some(20);
+        let mut grng = ChaCha8Rng::seed_from_u64(args.seed + round as u64);
+        let n = 80;
+        let mut decoded = 0;
+        let mut valid = 0;
+        for _ in 0..n {
+            if let Some(t) = generator.generate(&mut grng) {
+                decoded += 1;
+                if eva_spice::check_validity(&t).is_valid() {
+                    valid += 1;
+                }
+            }
+        }
+        println!(
+            "round {round}: +{} steps, train loss {loss:.3}, val loss {:.3}, decode {}/{n}, valid {}/{n} ({:?})",
+            cfg.steps,
+            eva.validation_loss(),
+            decoded,
+            valid,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Diagnostic: histogram of validity-failure reasons for generated
+//! circuits, to guide model/representation tuning. Not a paper artifact.
+
+use eva_bench::{pretrained_eva, RunArgs};
+use eva_eval::TopologyGenerator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let eva = pretrained_eva(&args, &mut rng);
+    let model = eva.model().clone();
+    let mut generator = eva.generator("diagnose", &model, 0);
+    generator.temperature = 0.8;
+    generator.top_k = Some(20);
+
+    let n = args.samples.unwrap_or(60);
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    let mut device_counts = Vec::new();
+    let mut valid = 0;
+    for _ in 0..n {
+        match generator.generate(&mut rng) {
+            None => {
+                *reasons.entry("<decode failure>".into()).or_insert(0) += 1;
+            }
+            Some(t) => {
+                device_counts.push(t.device_count());
+                let report = eva_spice::check_validity(&t);
+                if report.is_valid() {
+                    valid += 1;
+                } else {
+                    // Bucket by the first reason, normalizing specifics.
+                    let r = &report.reasons()[0];
+                    let key = if r.contains("floating pin") {
+                        format!("floating pin (x{})", report.reasons().len())
+                    } else if r.contains("share a net") {
+                        "port conflict".to_owned()
+                    } else {
+                        r.clone()
+                    };
+                    *reasons.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    println!("valid: {valid}/{n}");
+    println!(
+        "decoded device counts: min {:?} median {:?} max {:?}",
+        device_counts.iter().min(),
+        device_counts.get(device_counts.len() / 2),
+        device_counts.iter().max()
+    );
+    let mut sorted: Vec<_> = reasons.into_iter().collect();
+    sorted.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (reason, count) in sorted {
+        println!("{count:>4}  {reason}");
+    }
+}

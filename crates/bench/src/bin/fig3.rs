@@ -1,0 +1,118 @@
+//! Regenerate **Figure 3**: the pretraining/fine-tuning ablation while
+//! targeting Op-Amp design.
+//!
+//! Left panel: PPO mean score (Table-I scale) per epoch for three regimes —
+//! Pretrain+Finetune, Pretrain only (no PPO updates, score of the frozen
+//! pretrained model), and Finetune only (PPO from random initialization).
+//!
+//! Right panel: DPO validation reward accuracy per step for the same
+//! regimes (Pretrain-only is the frozen model, whose margins are all zero).
+//!
+//! Usage: `cargo run -p eva-bench --release --bin fig3 [-- --quick --seed N]`
+
+use eva_bench::{experiment_options, label_budget, pretrained_eva, write_results, RunArgs};
+use eva_core::Eva;
+use eva_dataset::CircuitType;
+use eva_rl::{pairs_from_ranks, DpoConfig, DpoTrainer, PpoConfig, PpoTrainer, RewardModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let target = CircuitType::OpAmp;
+
+    // --- Setup: pretrained and fresh models over the same corpus.
+    let eva = pretrained_eva(&args, &mut rng);
+    let fresh = Eva::prepare(&experiment_options(args.quick), &mut ChaCha8Rng::seed_from_u64(args.seed + 100));
+
+    let budget = label_budget(target);
+    let data = eva.finetune_data(target, budget, &mut rng);
+    eprintln!("[fig3] labeled data: {:?} (threshold {:.3})", data.class_counts(), data.fom_threshold);
+    let reward_model = eva.train_reward_model(&data, if args.quick { 2 } else { 4 }, &mut rng);
+
+    let epochs = if args.quick { 4 } else { 10 };
+    let ppo_cfg = PpoConfig {
+        epochs,
+        batch_size: if args.quick { 6 } else { 16 },
+        minibatch_size: 3,
+        max_len: if args.quick { 64 } else { 96 },
+        ..PpoConfig::default()
+    };
+
+    // --- PPO score curves.
+    eprintln!("[fig3] PPO: pretrain+finetune");
+    let mut t1 = PpoTrainer::new(eva.model().clone(), &reward_model, eva.tokenizer(), ppo_cfg, &mut rng);
+    let s1 = t1.run(&mut rng);
+
+    eprintln!("[fig3] PPO: finetune only (random init)");
+    let rm_fresh = {
+        let mut rm = RewardModel::new(fresh.model().clone(), &mut rng);
+        rm.train(&data.samples, if args.quick { 2 } else { 4 }, 1e-4, &mut rng);
+        rm
+    };
+    let mut t2 = PpoTrainer::new(fresh.model().clone(), &rm_fresh, fresh.tokenizer(), ppo_cfg, &mut rng);
+    let s2 = t2.run(&mut rng);
+
+    eprintln!("[fig3] PPO: pretrain only (frozen, scored per epoch)");
+    let frozen = PpoTrainer::new(eva.model().clone(), &reward_model, eva.tokenizer(), ppo_cfg, &mut rng);
+    let s3: Vec<f64> = (0..epochs)
+        .map(|_| {
+            let rollouts = frozen.rollout_batch(&mut rng);
+            rollouts.iter().map(|r| r.seq_reward).sum::<f64>() / rollouts.len() as f64
+        })
+        .collect();
+
+    let mut ppo_csv = String::from("epoch,pretrain_finetune,pretrain_only,finetune_only\n");
+    println!("\nFigure 3 (left) — PPO mean score per epoch:");
+    println!("{:>5} {:>18} {:>14} {:>14}", "epoch", "pretrain+finetune", "pretrain-only", "finetune-only");
+    for e in 0..epochs {
+        println!(
+            "{:>5} {:>18.3} {:>14.3} {:>14.3}",
+            e, s1[e].mean_score, s3[e], s2[e].mean_score
+        );
+        ppo_csv.push_str(&format!("{e},{:.4},{:.4},{:.4}\n", s1[e].mean_score, s3[e], s2[e].mean_score));
+    }
+    write_results("fig3_ppo_score.csv", &ppo_csv);
+
+    // --- DPO validation reward accuracy curves.
+    let draws = if args.quick { 24 } else { 120 };
+    let mut pair_rng = ChaCha8Rng::seed_from_u64(args.seed + 7);
+    let train_pairs = pairs_from_ranks(&data.samples, draws, &mut pair_rng);
+    let val_pairs = pairs_from_ranks(&data.samples, draws / 4, &mut pair_rng);
+    let dpo_cfg = DpoConfig {
+        epochs: 1,
+        minibatch_size: 4,
+        ..DpoConfig::default()
+    };
+    let evals = if args.quick { 4 } else { 8 };
+    let chunk = train_pairs.len() / evals;
+
+    let run_dpo = |label: &str, policy: eva_model::Transformer, train: bool, rng: &mut ChaCha8Rng| -> Vec<f64> {
+        let mut trainer = DpoTrainer::new(policy, dpo_cfg);
+        let mut curve = vec![trainer.reward_accuracy(&val_pairs)];
+        for step in 0..evals {
+            if train {
+                let lo = step * chunk;
+                let hi = ((step + 1) * chunk).min(train_pairs.len());
+                trainer.run(&train_pairs[lo..hi], rng);
+            }
+            curve.push(trainer.reward_accuracy(&val_pairs));
+        }
+        eprintln!("[fig3] DPO {label}: {curve:?}");
+        curve
+    };
+
+    let c1 = run_dpo("pretrain+finetune", eva.model().clone(), true, &mut rng);
+    let c2 = run_dpo("pretrain only (frozen)", eva.model().clone(), false, &mut rng);
+    let c3 = run_dpo("finetune only", fresh.model().clone(), true, &mut rng);
+
+    let mut dpo_csv = String::from("eval,pretrain_finetune,pretrain_only,finetune_only\n");
+    println!("\nFigure 3 (right) — DPO validation reward accuracy:");
+    println!("{:>5} {:>18} {:>14} {:>14}", "eval", "pretrain+finetune", "pretrain-only", "finetune-only");
+    for e in 0..c1.len() {
+        println!("{:>5} {:>18.3} {:>14.3} {:>14.3}", e, c1[e], c2[e], c3[e]);
+        dpo_csv.push_str(&format!("{e},{:.4},{:.4},{:.4}\n", c1[e], c2[e], c3[e]));
+    }
+    write_results("fig3_dpo_accuracy.csv", &dpo_csv);
+}

@@ -1,0 +1,100 @@
+//! Regenerate **Figure 4**: EVA's PPO and DPO losses after pretraining
+//! while targeting Op-Amp design.
+//!
+//! Left panel: PPO combined loss (−L_policy + vc·L_value) per epoch.
+//! Right panel: DPO loss per step, plus the winning/losing sequence
+//! log-likelihood traces that exhibit the paper's degeneration effect
+//! (both decline, the losing one faster, at low learning rates).
+//!
+//! Usage: `cargo run -p eva-bench --release --bin fig4 [-- --quick --seed N]`
+
+use eva_bench::{label_budget, pretrained_eva, write_results, RunArgs};
+use eva_dataset::CircuitType;
+use eva_rl::{pairs_from_ranks, DpoConfig, DpoTrainer, PpoConfig, PpoTrainer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = RunArgs::parse();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let target = CircuitType::OpAmp;
+
+    let eva = pretrained_eva(&args, &mut rng);
+    let data = eva.finetune_data(target, label_budget(target), &mut rng);
+    eprintln!("[fig4] labeled data: {:?}", data.class_counts());
+    let reward_model = eva.train_reward_model(&data, if args.quick { 2 } else { 4 }, &mut rng);
+
+    // --- PPO loss trace.
+    let epochs = if args.quick { 4 } else { 10 };
+    let ppo_cfg = PpoConfig {
+        epochs,
+        batch_size: if args.quick { 6 } else { 16 },
+        minibatch_size: 3,
+        max_len: if args.quick { 64 } else { 96 },
+        ..PpoConfig::default()
+    };
+    eprintln!("[fig4] PPO fine-tuning");
+    let mut trainer =
+        PpoTrainer::new(eva.model().clone(), &reward_model, eva.tokenizer(), ppo_cfg, &mut rng);
+    let stats = trainer.run(&mut rng);
+
+    let mut ppo_csv = String::from("epoch,total_loss,policy_loss,value_loss,mean_kl,mean_score\n");
+    println!("\nFigure 4 (left) — PPO loss per epoch:");
+    println!("{:>5} {:>12} {:>12} {:>12} {:>10} {:>10}", "epoch", "total", "policy", "value", "kl", "score");
+    for (e, s) in stats.iter().enumerate() {
+        println!(
+            "{:>5} {:>12.4} {:>12.4} {:>12.4} {:>10.4} {:>10.3}",
+            e, s.total_loss, s.policy_loss, s.value_loss, s.mean_kl, s.mean_score
+        );
+        ppo_csv.push_str(&format!(
+            "{e},{:.6},{:.6},{:.6},{:.6},{:.4}\n",
+            s.total_loss, s.policy_loss, s.value_loss, s.mean_kl, s.mean_score
+        ));
+    }
+    write_results("fig4_ppo_loss.csv", &ppo_csv);
+
+    // --- DPO loss + win/lose log-likelihood traces (low learning rate, as
+    // the paper's plotted setting).
+    let draws = if args.quick { 30 } else { 150 };
+    let mut pair_rng = ChaCha8Rng::seed_from_u64(args.seed + 7);
+    let pairs = pairs_from_ranks(&data.samples, draws, &mut pair_rng);
+    let dpo_cfg = DpoConfig {
+        epochs: if args.quick { 1 } else { 2 },
+        minibatch_size: 4,
+        lr: 1e-5,
+        ..DpoConfig::default()
+    };
+    eprintln!("[fig4] DPO fine-tuning over {} pairs", pairs.len());
+    let mut dpo = DpoTrainer::new(eva.model().clone(), dpo_cfg);
+    let steps = dpo.run(&pairs, &mut rng);
+
+    let mut dpo_csv = String::from("step,loss,win_logp,lose_logp,accuracy\n");
+    println!("\nFigure 4 (right) — DPO loss per step (win/lose log-likelihoods):");
+    println!("{:>5} {:>10} {:>12} {:>12} {:>9}", "step", "loss", "win logp", "lose logp", "acc");
+    for (i, s) in steps.iter().enumerate() {
+        if i % (steps.len() / 20).max(1) == 0 || i + 1 == steps.len() {
+            println!(
+                "{:>5} {:>10.4} {:>12.2} {:>12.2} {:>9.2}",
+                i, s.loss, s.win_logp, s.lose_logp, s.accuracy
+            );
+        }
+        dpo_csv.push_str(&format!(
+            "{i},{:.6},{:.4},{:.4},{:.4}\n",
+            s.loss, s.win_logp, s.lose_logp, s.accuracy
+        ));
+    }
+    write_results("fig4_dpo_loss.csv", &dpo_csv);
+
+    // Degeneration check (paper Section IV-C): both likelihood traces
+    // should drift down, the losing one faster.
+    if steps.len() >= 4 {
+        let head = &steps[..steps.len() / 4];
+        let tail = &steps[3 * steps.len() / 4..];
+        let mean = |xs: &[eva_rl::DpoStepStats], f: fn(&eva_rl::DpoStepStats) -> f32| {
+            xs.iter().map(f).sum::<f32>() / xs.len() as f32
+        };
+        let d_win = mean(tail, |s| s.win_logp) - mean(head, |s| s.win_logp);
+        let d_lose = mean(tail, |s| s.lose_logp) - mean(head, |s| s.lose_logp);
+        println!("\nDegeneration summary: Δwin_logp = {d_win:.2}, Δlose_logp = {d_lose:.2} (paper: both fall, lose faster)");
+    }
+}

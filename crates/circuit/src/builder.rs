@@ -1,0 +1,416 @@
+//! Ergonomic construction of [`Topology`] values.
+
+use std::collections::BTreeMap;
+
+use crate::device::{Device, DeviceId, DeviceKind, PinRole};
+use crate::error::CircuitError;
+use crate::node::Node;
+use crate::topology::Topology;
+
+/// Incremental builder for circuit topologies.
+///
+/// Devices are added first ([`TopologyBuilder::add`] or the one-shot helpers
+/// like [`TopologyBuilder::nmos`]) and receive ordinals per kind (`NM1`,
+/// `NM2`, `R1`, …) in insertion order. Wires are then added between pin
+/// nodes. [`TopologyBuilder::build`] performs edge-level validation only;
+/// electrical validity (floating pins, missing supplies, …) is the job of
+/// the `eva-spice` validity checker.
+///
+/// # Example
+///
+/// ```
+/// use eva_circuit::{TopologyBuilder, CircuitPin};
+///
+/// # fn main() -> Result<(), eva_circuit::CircuitError> {
+/// let mut b = TopologyBuilder::new();
+/// // Diode-connected NMOS from VDD to VSS through a resistor.
+/// let m = b.nmos(CircuitPin::Vout(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)?;
+/// let _ = m;
+/// b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1))?;
+/// let topo = b.build()?;
+/// assert_eq!(topo.device_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    devices: Vec<Device>,
+    kind_counts: BTreeMap<DeviceKind, u32>,
+    edges: Vec<(Node, Node)>,
+}
+
+impl TopologyBuilder {
+    /// Create an empty builder.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Add a device of the given kind; returns its id. The instance name is
+    /// the kind prefix plus a 1-based per-kind ordinal (`NM1`, `NM2`, `R1`).
+    pub fn add(&mut self, kind: DeviceKind) -> DeviceId {
+        let ordinal = self.kind_counts.entry(kind).or_insert(0);
+        *ordinal += 1;
+        let id = DeviceId::from_index(self.devices.len());
+        self.devices.push(Device::new(kind, *ordinal));
+        id
+    }
+
+    /// The device instance behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this builder's [`add`].
+    ///
+    /// [`add`]: TopologyBuilder::add
+    pub fn device(&self, id: DeviceId) -> Device {
+        self.devices[id.index()]
+    }
+
+    /// The pin node for `role` on the device behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the device kind has no such role
+    /// (a programming error in generator code).
+    pub fn pin(&self, id: DeviceId, role: PinRole) -> Node {
+        let device = self.device(id);
+        assert!(
+            device.kind.has_role(role),
+            "{} has no {} pin",
+            device.kind,
+            role
+        );
+        Node::pin(device, role)
+    }
+
+    /// Number of devices added so far.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Add a wire between two pin nodes.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::SelfLoop`] if both endpoints are the same node.
+    /// - [`CircuitError::UnknownDevice`] if an endpoint references a device
+    ///   instance this builder never created.
+    /// - [`CircuitError::InvalidPinRole`] if an endpoint pairs a role with a
+    ///   kind that lacks it.
+    pub fn wire<A, B>(&mut self, a: A, b: B) -> Result<(), CircuitError>
+    where
+        A: Into<Node>,
+        B: Into<Node>,
+    {
+        let a = a.into();
+        let b = b.into();
+        if a == b {
+            return Err(CircuitError::SelfLoop { node: a });
+        }
+        if let (Some(da), Some(db)) = (a.device(), b.device()) {
+            if da == db {
+                return Err(CircuitError::SameDeviceWire { device: da.name() });
+            }
+        }
+        self.check_node(a)?;
+        self.check_node(b)?;
+        self.edges.push((a, b));
+        Ok(())
+    }
+
+    fn check_node(&self, node: Node) -> Result<(), CircuitError> {
+        if let Node::DevicePin { device, role } = node {
+            if !device.kind.has_role(role) {
+                return Err(CircuitError::InvalidPinRole {
+                    kind: device.kind.prefix(),
+                    role: role.name(),
+                });
+            }
+            let known = self.kind_counts.get(&device.kind).copied().unwrap_or(0);
+            if device.ordinal > known {
+                return Err(CircuitError::UnknownDevice { device: device.name() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Add an NMOS and wire all four pins. Returns the device id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn nmos<G, D, S, B>(&mut self, g: G, d: D, s: S, b: B) -> Result<DeviceId, CircuitError>
+    where
+        G: Into<Node>,
+        D: Into<Node>,
+        S: Into<Node>,
+        B: Into<Node>,
+    {
+        self.mos(DeviceKind::Nmos, g, d, s, b)
+    }
+
+    /// Add a PMOS and wire all four pins. Returns the device id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn pmos<G, D, S, B>(&mut self, g: G, d: D, s: S, b: B) -> Result<DeviceId, CircuitError>
+    where
+        G: Into<Node>,
+        D: Into<Node>,
+        S: Into<Node>,
+        B: Into<Node>,
+    {
+        self.mos(DeviceKind::Pmos, g, d, s, b)
+    }
+
+    fn mos<G, D, S, B>(
+        &mut self,
+        kind: DeviceKind,
+        g: G,
+        d: D,
+        s: S,
+        b: B,
+    ) -> Result<DeviceId, CircuitError>
+    where
+        G: Into<Node>,
+        D: Into<Node>,
+        S: Into<Node>,
+        B: Into<Node>,
+    {
+        let id = self.add(kind);
+        self.wire(self.pin(id, PinRole::Gate), g)?;
+        self.wire(self.pin(id, PinRole::Drain), d)?;
+        self.wire(self.pin(id, PinRole::Source), s)?;
+        self.wire(self.pin(id, PinRole::Bulk), b)?;
+        Ok(id)
+    }
+
+    /// Add an NPN BJT and wire base/collector/emitter. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn npn<B, C, E>(&mut self, base: B, collector: C, emitter: E) -> Result<DeviceId, CircuitError>
+    where
+        B: Into<Node>,
+        C: Into<Node>,
+        E: Into<Node>,
+    {
+        self.bjt(DeviceKind::Npn, base, collector, emitter)
+    }
+
+    /// Add a PNP BJT and wire base/collector/emitter. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn pnp<B, C, E>(&mut self, base: B, collector: C, emitter: E) -> Result<DeviceId, CircuitError>
+    where
+        B: Into<Node>,
+        C: Into<Node>,
+        E: Into<Node>,
+    {
+        self.bjt(DeviceKind::Pnp, base, collector, emitter)
+    }
+
+    fn bjt<B, C, E>(
+        &mut self,
+        kind: DeviceKind,
+        base: B,
+        collector: C,
+        emitter: E,
+    ) -> Result<DeviceId, CircuitError>
+    where
+        B: Into<Node>,
+        C: Into<Node>,
+        E: Into<Node>,
+    {
+        let id = self.add(kind);
+        self.wire(self.pin(id, PinRole::Base), base)?;
+        self.wire(self.pin(id, PinRole::Collector), collector)?;
+        self.wire(self.pin(id, PinRole::Emitter), emitter)?;
+        Ok(id)
+    }
+
+    fn two_terminal<P, N>(
+        &mut self,
+        kind: DeviceKind,
+        p: P,
+        n: N,
+    ) -> Result<DeviceId, CircuitError>
+    where
+        P: Into<Node>,
+        N: Into<Node>,
+    {
+        let id = self.add(kind);
+        let (rp, rn) = match kind {
+            DeviceKind::Diode => (PinRole::Anode, PinRole::Cathode),
+            _ => (PinRole::Plus, PinRole::Minus),
+        };
+        self.wire(self.pin(id, rp), p)?;
+        self.wire(self.pin(id, rn), n)?;
+        Ok(id)
+    }
+
+    /// Add a resistor wired between `p` and `n`. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn resistor<P, N>(&mut self, p: P, n: N) -> Result<DeviceId, CircuitError>
+    where
+        P: Into<Node>,
+        N: Into<Node>,
+    {
+        self.two_terminal(DeviceKind::Resistor, p, n)
+    }
+
+    /// Add a capacitor wired between `p` and `n`. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn capacitor<P, N>(&mut self, p: P, n: N) -> Result<DeviceId, CircuitError>
+    where
+        P: Into<Node>,
+        N: Into<Node>,
+    {
+        self.two_terminal(DeviceKind::Capacitor, p, n)
+    }
+
+    /// Add an inductor wired between `p` and `n`. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn inductor<P, N>(&mut self, p: P, n: N) -> Result<DeviceId, CircuitError>
+    where
+        P: Into<Node>,
+        N: Into<Node>,
+    {
+        self.two_terminal(DeviceKind::Inductor, p, n)
+    }
+
+    /// Add a diode wired anode→`a`, cathode→`k`. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn diode<A, K>(&mut self, a: A, k: K) -> Result<DeviceId, CircuitError>
+    where
+        A: Into<Node>,
+        K: Into<Node>,
+    {
+        self.two_terminal(DeviceKind::Diode, a, k)
+    }
+
+    /// Add a DC current source wired between `p` and `n`. Returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyBuilder::wire`] errors.
+    pub fn current_source<P, N>(&mut self, p: P, n: N) -> Result<DeviceId, CircuitError>
+    where
+        P: Into<Node>,
+        N: Into<Node>,
+    {
+        self.two_terminal(DeviceKind::CurrentSource, p, n)
+    }
+
+    /// Finish building.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Empty`] if no wires were added.
+    pub fn build(self) -> Result<Topology, CircuitError> {
+        Topology::from_edges(self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::CircuitPin;
+
+    #[test]
+    fn ordinals_count_per_kind() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add(DeviceKind::Nmos);
+        let c = b.add(DeviceKind::Resistor);
+        let d = b.add(DeviceKind::Nmos);
+        assert_eq!(b.device(a).name(), "NM1");
+        assert_eq!(b.device(c).name(), "R1");
+        assert_eq!(b.device(d).name(), "NM2");
+        assert_eq!(b.device_count(), 3);
+    }
+
+    #[test]
+    fn wire_rejects_unknown_device() {
+        let mut b = TopologyBuilder::new();
+        let ghost = Node::pin(Device::new(DeviceKind::Nmos, 5), PinRole::Gate);
+        let err = b.wire(ghost, CircuitPin::Vdd).unwrap_err();
+        assert_eq!(err, CircuitError::UnknownDevice { device: "NM5".into() });
+    }
+
+    #[test]
+    fn wire_rejects_bad_role() {
+        let mut b = TopologyBuilder::new();
+        let r = b.add(DeviceKind::Resistor);
+        let bogus = Node::DevicePin { device: b.device(r), role: PinRole::Gate };
+        assert!(matches!(
+            b.wire(bogus, CircuitPin::Vdd),
+            Err(CircuitError::InvalidPinRole { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_rejects_self_loop() {
+        let mut b = TopologyBuilder::new();
+        assert!(matches!(
+            b.wire(CircuitPin::Vdd, CircuitPin::Vdd),
+            Err(CircuitError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no")]
+    fn pin_panics_on_bad_role() {
+        let mut b = TopologyBuilder::new();
+        let r = b.add(DeviceKind::Resistor);
+        let _ = b.pin(r, PinRole::Gate);
+    }
+
+    #[test]
+    fn one_shot_helpers_wire_all_pins() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.pmos(CircuitPin::Vbias(1), CircuitPin::Vout(1), CircuitPin::Vdd, CircuitPin::Vdd)
+            .unwrap();
+        b.npn(CircuitPin::Vin(2), CircuitPin::Vdd, CircuitPin::Vss).unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.capacitor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        b.inductor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.diode(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        b.current_source(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.device_count(), 8);
+        // NMOS contributed 4 edges, PMOS 4, NPN 3, five two-terminals 2 each.
+        assert_eq!(t.edge_count(), 4 + 4 + 3 + 5 * 2);
+    }
+
+    #[test]
+    fn build_empty_fails() {
+        assert_eq!(TopologyBuilder::new().build(), Err(CircuitError::Empty));
+    }
+
+    #[test]
+    fn pnp_and_npn_get_distinct_namespaces() {
+        let mut b = TopologyBuilder::new();
+        let q1 = b.npn(CircuitPin::Vin(1), CircuitPin::Vdd, CircuitPin::Vss).unwrap();
+        let q2 = b.pnp(CircuitPin::Vin(1), CircuitPin::Vss, CircuitPin::Vdd).unwrap();
+        assert_eq!(b.device(q1).name(), "QN1");
+        assert_eq!(b.device(q2).name(), "QP1");
+    }
+}

@@ -1,0 +1,297 @@
+//! Renumbering-invariant canonical hashing of topologies.
+//!
+//! Two topologies that differ only in device *ordinals* (which NMOS is named
+//! `NM1` vs `NM2`) or in how a multi-pin net's wires were drawn describe the
+//! same circuit; deduplication and the novelty metric must treat them as
+//! equal. We compute a canonical hash with 1-dimensional Weisfeiler–Leman
+//! (color refinement) over the **pin–net bipartite graph**:
+//!
+//! - One vertex per pin, colored by its *role identity* — device kind + pin
+//!   role for device pins (ordinal deliberately excluded), or the concrete
+//!   circuit pin for ports (`VIN1` ≠ `VIN2`: port identity is electrically
+//!   meaningful).
+//! - One vertex per net, all sharing a fixed "net" color, adjacent to the
+//!   pins it contains. Using nets instead of wire edges makes the hash
+//!   independent of how each net's spanning wires were drawn.
+//! - Pins of the same device refine together through a per-device sibling
+//!   color, so the hash distinguishes "two pins of one transistor" from
+//!   "pins of two transistors".
+//!
+//! 1-WL cannot distinguish certain regular graphs, but attributed circuit
+//! graphs with device-sibling refinement are far from the adversarial cases;
+//! the dataset crate verifies all its structurally distinct topologies
+//! receive distinct hashes.
+
+use std::collections::BTreeMap;
+
+use crate::node::Node;
+use crate::topology::Topology;
+
+/// 64-bit FNV-1a, used throughout so hashes are stable across Rust versions
+/// and executions (unlike `DefaultHasher`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    pub(crate) fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(s.as_bytes());
+    h.finish()
+}
+
+/// The ordinal-free initial color of a pin node.
+fn initial_color(node: Node) -> u64 {
+    match node {
+        Node::DevicePin { device, role } => {
+            let mut h = Fnv64::new();
+            h.write_bytes(b"devpin");
+            h.write_bytes(device.kind.prefix().as_bytes());
+            h.write_bytes(role.suffix().as_bytes());
+            h.finish()
+        }
+        Node::Circuit(p) => {
+            let mut h = Fnv64::new();
+            h.write_bytes(b"port");
+            h.write_u64(hash_str(&p.to_string()));
+            h.finish()
+        }
+    }
+}
+
+/// Compute the canonical hash of a topology (see module docs).
+pub fn canonical_hash(topology: &Topology) -> u64 {
+    let pins: Vec<Node> = topology.nodes().into_iter().collect();
+    let pin_index: BTreeMap<Node, usize> =
+        pins.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let nets = topology.nets();
+    // Vertex layout: [pins..., nets...].
+    let n_pins = pins.len();
+    let n = n_pins + nets.len();
+
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (net_i, net) in nets.iter().enumerate() {
+        let v = n_pins + net_i;
+        for pin in net {
+            let p = pin_index[pin];
+            adj[p].push(v);
+            adj[v].push(p);
+        }
+    }
+
+    // Device-sibling groups: pins of one device instance refine together.
+    let mut siblings: BTreeMap<(crate::device::DeviceKind, u32), Vec<usize>> = BTreeMap::new();
+    for (i, node) in pins.iter().enumerate() {
+        if let Node::DevicePin { device, .. } = node {
+            siblings.entry((device.kind, device.ordinal)).or_default().push(i);
+        }
+    }
+
+    let net_color = hash_str("net-vertex");
+    let mut colors: Vec<u64> = pins
+        .iter()
+        .map(|&nd| initial_color(nd))
+        .chain(std::iter::repeat(net_color).take(nets.len()))
+        .collect();
+
+    let rounds = n.min(24).max(2);
+    let mut scratch = vec![0u64; n];
+    for _ in 0..rounds {
+        // Per-device sibling color = hash of sorted pin colors of the device.
+        let mut sib_color: Vec<u64> = vec![0; n];
+        for pin_ids in siblings.values() {
+            let mut cs: Vec<u64> = pin_ids.iter().map(|&i| colors[i]).collect();
+            cs.sort_unstable();
+            let mut h = Fnv64::new();
+            h.write_bytes(b"sib");
+            for c in cs {
+                h.write_u64(c);
+            }
+            let c = h.finish();
+            for &i in pin_ids {
+                sib_color[i] = c;
+            }
+        }
+        for i in 0..n {
+            let mut neigh: Vec<u64> = adj[i].iter().map(|&j| colors[j]).collect();
+            neigh.sort_unstable();
+            let mut h = Fnv64::new();
+            h.write_bytes(b"wl");
+            h.write_u64(colors[i]);
+            h.write_u64(sib_color[i]);
+            for c in neigh {
+                h.write_u64(c);
+            }
+            scratch[i] = h.finish();
+        }
+        std::mem::swap(&mut colors, &mut scratch);
+    }
+
+    colors.sort_unstable();
+    let mut h = Fnv64::new();
+    h.write_bytes(b"topo");
+    h.write_u64(n_pins as u64);
+    h.write_u64(nets.len() as u64);
+    for c in colors {
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::device::DeviceKind;
+    use crate::node::CircuitPin;
+
+    /// Two-NMOS current mirror, with a parameter choosing which NMOS is
+    /// added first (i.e. which gets ordinal 1). The diode connection is
+    /// expressed through the `VB1` port.
+    fn mirror(swapped: bool) -> Topology {
+        let mut b = TopologyBuilder::new();
+        let order = if swapped { [1, 0] } else { [0, 1] };
+        let mut ids = [None, None];
+        for &slot in &order {
+            ids[slot] = Some(b.add(DeviceKind::Nmos));
+        }
+        let (diode, out) = (ids[0].unwrap(), ids[1].unwrap());
+        use crate::device::PinRole::*;
+        b.wire(b.pin(diode, Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(out, Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(diode, Drain), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(out, Drain), CircuitPin::Vout(1)).unwrap();
+        b.wire(b.pin(diode, Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(out, Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(diode, Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(out, Bulk), CircuitPin::Vss).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renumbering_invariant() {
+        assert_eq!(mirror(false).canonical_hash(), mirror(true).canonical_hash());
+    }
+
+    #[test]
+    fn realization_invariant() {
+        // Same 3-pin net drawn as star vs path.
+        use crate::device::{Device, PinRole};
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        let m2 = Device::new(DeviceKind::Nmos, 2);
+        let g1 = Node::pin(m1, PinRole::Gate);
+        let g2 = Node::pin(m2, PinRole::Gate);
+        let vin: Node = CircuitPin::Vin(1).into();
+        let star = Topology::from_edges([(vin, g1), (vin, g2)]).unwrap();
+        let path = Topology::from_edges([(g1, vin), (g1, g2)]).unwrap();
+        assert_eq!(canonical_hash(&star), canonical_hash(&path));
+    }
+
+    #[test]
+    fn structural_changes_change_hash() {
+        let base = mirror(false);
+        // Same mirror plus one capacitor: different circuit.
+        let mut b = TopologyBuilder::new();
+        let d = b.add(DeviceKind::Nmos);
+        let o = b.add(DeviceKind::Nmos);
+        use crate::device::PinRole::*;
+        b.wire(b.pin(d, Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(o, Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(d, Drain), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(o, Drain), CircuitPin::Vout(1)).unwrap();
+        b.wire(b.pin(d, Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(o, Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(d, Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(o, Bulk), CircuitPin::Vss).unwrap();
+        b.capacitor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        let with_cap = b.build().unwrap();
+        assert_ne!(base.canonical_hash(), with_cap.canonical_hash());
+    }
+
+    #[test]
+    fn device_kind_matters() {
+        let mk = |kind: DeviceKind| {
+            let mut b = TopologyBuilder::new();
+            let id = b.add(kind);
+            use crate::device::PinRole::*;
+            b.wire(b.pin(id, Plus), CircuitPin::Vdd).unwrap();
+            b.wire(b.pin(id, Minus), CircuitPin::Vss).unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(
+            mk(DeviceKind::Resistor).canonical_hash(),
+            mk(DeviceKind::Capacitor).canonical_hash()
+        );
+    }
+
+    #[test]
+    fn port_identity_matters() {
+        let mk = |pin: CircuitPin| {
+            let mut b = TopologyBuilder::new();
+            b.resistor(pin, CircuitPin::Vss).unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(
+            mk(CircuitPin::Vin(1)).canonical_hash(),
+            mk(CircuitPin::Vin(2)).canonical_hash()
+        );
+    }
+
+    #[test]
+    fn sibling_structure_matters() {
+        // Two resistors in parallel vs in series have identical pin-role
+        // multisets; only the sibling refinement separates same-device
+        // pin pairings.
+        let mut b1 = TopologyBuilder::new();
+        b1.resistor(CircuitPin::Vdd, CircuitPin::Vss).unwrap();
+        b1.resistor(CircuitPin::Vdd, CircuitPin::Vss).unwrap();
+        let two_parallel = b1.build().unwrap();
+
+        let mut b2 = TopologyBuilder::new();
+        b2.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b2.resistor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        let two_series = b2.build().unwrap();
+
+        assert_ne!(two_parallel.canonical_hash(), two_series.canonical_hash());
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let t = mirror(false);
+        assert_eq!(canonical_hash(&t), canonical_hash(&t));
+        assert_eq!(canonical_hash(&t), canonical_hash(&mirror(true)));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+}

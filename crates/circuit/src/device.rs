@@ -1,0 +1,377 @@
+//! Device kinds, pin roles, and device identities.
+//!
+//! EVA's pin-level representation needs a fixed, enumerable set of device
+//! kinds, each with a fixed ordered pin list. The kinds below cover all 11
+//! circuit families of the EVA dataset (amplifiers, references, RF blocks,
+//! power converters and switched-capacitor circuits).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CircuitError;
+
+/// The kind of a primitive analog device.
+///
+/// Every kind has a fixed set of [`PinRole`]s (see [`DeviceKind::pin_roles`])
+/// and a short uppercase prefix used in pin token names
+/// (see [`DeviceKind::prefix`]); e.g. NMOS devices are named `NM1`, `NM2`, …
+/// and contribute tokens `NM1_G`, `NM1_D`, `NM1_S`, `NM1_B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// N-channel MOSFET (pins G, D, S, B).
+    Nmos,
+    /// P-channel MOSFET (pins G, D, S, B).
+    Pmos,
+    /// NPN bipolar transistor (pins B, C, E).
+    Npn,
+    /// PNP bipolar transistor (pins B, C, E).
+    Pnp,
+    /// Two-terminal resistor (pins P, N).
+    Resistor,
+    /// Two-terminal capacitor (pins P, N).
+    Capacitor,
+    /// Two-terminal inductor (pins P, N).
+    Inductor,
+    /// Junction diode (pins A, K).
+    Diode,
+    /// Independent DC current source (pins P, N; current flows P→N inside).
+    CurrentSource,
+}
+
+impl DeviceKind {
+    /// All device kinds, in canonical order.
+    pub const ALL: [DeviceKind; 9] = [
+        DeviceKind::Nmos,
+        DeviceKind::Pmos,
+        DeviceKind::Npn,
+        DeviceKind::Pnp,
+        DeviceKind::Resistor,
+        DeviceKind::Capacitor,
+        DeviceKind::Inductor,
+        DeviceKind::Diode,
+        DeviceKind::CurrentSource,
+    ];
+
+    /// The ordered pin roles of this device kind.
+    ///
+    /// The order is the canonical SPICE terminal order and also the order in
+    /// which tokenizer vocabularies enumerate pins.
+    pub fn pin_roles(self) -> &'static [PinRole] {
+        match self {
+            DeviceKind::Nmos | DeviceKind::Pmos => {
+                &[PinRole::Gate, PinRole::Drain, PinRole::Source, PinRole::Bulk]
+            }
+            DeviceKind::Npn | DeviceKind::Pnp => {
+                &[PinRole::Base, PinRole::Collector, PinRole::Emitter]
+            }
+            DeviceKind::Resistor
+            | DeviceKind::Capacitor
+            | DeviceKind::Inductor
+            | DeviceKind::CurrentSource => &[PinRole::Plus, PinRole::Minus],
+            DeviceKind::Diode => &[PinRole::Anode, PinRole::Cathode],
+        }
+    }
+
+    /// Number of pins on this device kind.
+    pub fn pin_count(self) -> usize {
+        self.pin_roles().len()
+    }
+
+    /// The uppercase instance-name prefix (`"NM"` for NMOS, `"R"` for
+    /// resistors, …).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            DeviceKind::Nmos => "NM",
+            DeviceKind::Pmos => "PM",
+            DeviceKind::Npn => "QN",
+            DeviceKind::Pnp => "QP",
+            DeviceKind::Resistor => "R",
+            DeviceKind::Capacitor => "C",
+            DeviceKind::Inductor => "L",
+            DeviceKind::Diode => "D",
+            DeviceKind::CurrentSource => "I",
+        }
+    }
+
+    /// Inverse of [`DeviceKind::prefix`].
+    pub fn from_prefix(prefix: &str) -> Option<DeviceKind> {
+        DeviceKind::ALL.into_iter().find(|k| k.prefix() == prefix)
+    }
+
+    /// Whether this kind has a `role` pin.
+    pub fn has_role(self, role: PinRole) -> bool {
+        self.pin_roles().contains(&role)
+    }
+
+    /// Whether the kind is a transistor (MOS or bipolar).
+    pub fn is_transistor(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Nmos | DeviceKind::Pmos | DeviceKind::Npn | DeviceKind::Pnp
+        )
+    }
+
+    /// Whether the kind is a two-terminal passive (R, C or L).
+    pub fn is_passive(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Resistor | DeviceKind::Capacitor | DeviceKind::Inductor
+        )
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeviceKind::Nmos => "NMOS",
+            DeviceKind::Pmos => "PMOS",
+            DeviceKind::Npn => "NPN",
+            DeviceKind::Pnp => "PNP",
+            DeviceKind::Resistor => "Resistor",
+            DeviceKind::Capacitor => "Capacitor",
+            DeviceKind::Inductor => "Inductor",
+            DeviceKind::Diode => "Diode",
+            DeviceKind::CurrentSource => "CurrentSource",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A named terminal of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PinRole {
+    /// MOSFET gate.
+    Gate,
+    /// MOSFET drain.
+    Drain,
+    /// MOSFET source.
+    Source,
+    /// MOSFET bulk / body.
+    Bulk,
+    /// BJT base.
+    Base,
+    /// BJT collector.
+    Collector,
+    /// BJT emitter.
+    Emitter,
+    /// Positive terminal of a two-terminal element.
+    Plus,
+    /// Negative terminal of a two-terminal element.
+    Minus,
+    /// Diode anode.
+    Anode,
+    /// Diode cathode.
+    Cathode,
+}
+
+impl PinRole {
+    /// One- or two-letter suffix used in pin token names (`G`, `D`, `S`, `B`,
+    /// `BA`, `C`, `E`, `P`, `N`, `A`, `K`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            PinRole::Gate => "G",
+            PinRole::Drain => "D",
+            PinRole::Source => "S",
+            PinRole::Bulk => "B",
+            PinRole::Base => "BA",
+            PinRole::Collector => "C",
+            PinRole::Emitter => "E",
+            PinRole::Plus => "P",
+            PinRole::Minus => "N",
+            PinRole::Anode => "A",
+            PinRole::Cathode => "K",
+        }
+    }
+
+    /// Inverse of [`PinRole::suffix`], given the kind to disambiguate.
+    pub fn from_suffix(kind: DeviceKind, suffix: &str) -> Option<PinRole> {
+        kind.pin_roles().iter().copied().find(|r| r.suffix() == suffix)
+    }
+
+    /// Stable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            PinRole::Gate => "Gate",
+            PinRole::Drain => "Drain",
+            PinRole::Source => "Source",
+            PinRole::Bulk => "Bulk",
+            PinRole::Base => "Base",
+            PinRole::Collector => "Collector",
+            PinRole::Emitter => "Emitter",
+            PinRole::Plus => "Plus",
+            PinRole::Minus => "Minus",
+            PinRole::Anode => "Anode",
+            PinRole::Cathode => "Cathode",
+        }
+    }
+}
+
+impl fmt::Display for PinRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Index of a device within a [`crate::Topology`].
+///
+/// `DeviceId` is an opaque index; the *displayed* instance name (`NM3`) is
+/// derived from the device's kind and its 1-based ordinal among devices of
+/// the same kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// The raw index into the topology's device list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for (de)serialization paths;
+    /// prefer obtaining ids from [`crate::TopologyBuilder::add`].
+    pub fn from_index(index: usize) -> DeviceId {
+        DeviceId(index as u32)
+    }
+}
+
+/// A device instance: a kind plus the 1-based ordinal among devices of the
+/// same kind (so `Device { kind: Nmos, ordinal: 3 }` prints as `NM3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Device {
+    /// What kind of device this is.
+    pub kind: DeviceKind,
+    /// 1-based ordinal among devices of the same kind in the topology.
+    pub ordinal: u32,
+}
+
+impl Device {
+    /// Create a device instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordinal` is zero; ordinals are 1-based by convention
+    /// (`NM1` is the first NMOS).
+    pub fn new(kind: DeviceKind, ordinal: u32) -> Device {
+        assert!(ordinal > 0, "device ordinals are 1-based");
+        Device { kind, ordinal }
+    }
+
+    /// The SPICE-style instance name, e.g. `NM3`.
+    pub fn name(&self) -> String {
+        format!("{}{}", self.kind.prefix(), self.ordinal)
+    }
+
+    /// Parse an instance name like `NM3` or `R12`.
+    pub fn parse_name(text: &str) -> Result<Device, CircuitError> {
+        let split = text.find(|c: char| c.is_ascii_digit()).ok_or_else(|| {
+            CircuitError::ParseNode { text: text.to_owned() }
+        })?;
+        let (prefix, digits) = text.split_at(split);
+        let kind = DeviceKind::from_prefix(prefix)
+            .ok_or_else(|| CircuitError::ParseNode { text: text.to_owned() })?;
+        let ordinal: u32 = digits
+            .parse()
+            .map_err(|_| CircuitError::ParseNode { text: text.to_owned() })?;
+        if ordinal == 0 {
+            return Err(CircuitError::ParseNode { text: text.to_owned() });
+        }
+        Ok(Device { kind, ordinal })
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind.prefix(), self.ordinal)
+    }
+}
+
+impl FromStr for Device {
+    type Err = CircuitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Device::parse_name(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_counts_match_roles() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(kind.pin_count(), kind.pin_roles().len());
+            assert!(kind.pin_count() >= 2, "{kind} has at least two pins");
+        }
+    }
+
+    #[test]
+    fn mos_has_four_pins_bjt_three() {
+        assert_eq!(DeviceKind::Nmos.pin_count(), 4);
+        assert_eq!(DeviceKind::Pmos.pin_count(), 4);
+        assert_eq!(DeviceKind::Npn.pin_count(), 3);
+        assert_eq!(DeviceKind::Pnp.pin_count(), 3);
+    }
+
+    #[test]
+    fn prefixes_are_unique_and_invertible() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(DeviceKind::from_prefix(kind.prefix()), Some(kind));
+        }
+        let mut prefixes: Vec<_> = DeviceKind::ALL.iter().map(|k| k.prefix()).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), DeviceKind::ALL.len());
+    }
+
+    #[test]
+    fn pin_suffixes_unique_within_kind() {
+        for kind in DeviceKind::ALL {
+            let mut suffixes: Vec<_> = kind.pin_roles().iter().map(|r| r.suffix()).collect();
+            suffixes.sort_unstable();
+            suffixes.dedup();
+            assert_eq!(suffixes.len(), kind.pin_count(), "duplicate suffix on {kind}");
+        }
+    }
+
+    #[test]
+    fn suffix_round_trip() {
+        for kind in DeviceKind::ALL {
+            for role in kind.pin_roles() {
+                assert_eq!(PinRole::from_suffix(kind, role.suffix()), Some(*role));
+            }
+        }
+    }
+
+    #[test]
+    fn device_name_round_trip() {
+        for kind in DeviceKind::ALL {
+            for ordinal in [1u32, 2, 9, 10, 42] {
+                let d = Device::new(kind, ordinal);
+                assert_eq!(Device::parse_name(&d.name()).unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "NM", "NM0", "ZZ3", "3NM", "NMx"] {
+            assert!(Device::parse_name(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_ordinal_panics() {
+        let _ = Device::new(DeviceKind::Nmos, 0);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(DeviceKind::Nmos.is_transistor());
+        assert!(DeviceKind::Pnp.is_transistor());
+        assert!(!DeviceKind::Resistor.is_transistor());
+        assert!(DeviceKind::Inductor.is_passive());
+        assert!(!DeviceKind::Diode.is_passive());
+    }
+}

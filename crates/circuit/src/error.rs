@@ -1,0 +1,132 @@
+//! Error type shared by all topology operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::Node;
+
+/// Errors produced while constructing, serializing, or deserializing a
+/// circuit topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A wire references a device that was never added to the builder.
+    UnknownDevice {
+        /// Stringified device reference that failed to resolve.
+        device: String,
+    },
+    /// A pin role does not exist on the referenced device kind
+    /// (e.g. `Gate` on a resistor).
+    InvalidPinRole {
+        /// The device kind the role was requested on.
+        kind: &'static str,
+        /// The offending role.
+        role: &'static str,
+    },
+    /// A wire connects a node to itself.
+    SelfLoop {
+        /// The node wired to itself.
+        node: Node,
+    },
+    /// A wire directly connects two pins of the same device instance.
+    ///
+    /// EVA's Eulerian serialization reserves same-device steps for
+    /// *through-device* traversal, so direct same-device wires are not
+    /// representable; connect such pins through their shared net instead
+    /// (e.g. a diode-connected gate–drain pair is expressed by wiring both
+    /// pins to the same third node).
+    SameDeviceWire {
+        /// Name of the device whose pins were wired together.
+        device: String,
+    },
+    /// The topology has no edges at all.
+    Empty,
+    /// The pin-level graph is not connected, so no Eulerian circuit exists.
+    Disconnected {
+        /// Number of connected components found (always ≥ 2).
+        components: usize,
+    },
+    /// The walk does not start (or end) at `VSS` as required by EVA's
+    /// serialization convention.
+    BadStart {
+        /// The node the walk actually starts at.
+        found: Node,
+    },
+    /// An Eulerian walk shorter than two nodes cannot encode any edge.
+    WalkTooShort {
+        /// Length of the offending walk.
+        len: usize,
+    },
+    /// A token string could not be parsed back into a [`Node`].
+    ParseNode {
+        /// The unparseable text.
+        text: String,
+    },
+    /// The topology is missing its `VSS` node, which every EVA sequence
+    /// starts from.
+    MissingVss,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownDevice { device } => {
+                write!(f, "unknown device reference {device}")
+            }
+            CircuitError::InvalidPinRole { kind, role } => {
+                write!(f, "pin role {role} does not exist on device kind {kind}")
+            }
+            CircuitError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            CircuitError::SameDeviceWire { device } => {
+                write!(f, "direct wire between two pins of device {device}")
+            }
+            CircuitError::Empty => write!(f, "topology has no connections"),
+            CircuitError::Disconnected { components } => {
+                write!(f, "pin graph is disconnected ({components} components)")
+            }
+            CircuitError::BadStart { found } => {
+                write!(f, "eulerian walk must start and end at VSS, found {found}")
+            }
+            CircuitError::WalkTooShort { len } => {
+                write!(f, "eulerian walk of length {len} is too short")
+            }
+            CircuitError::ParseNode { text } => write!(f, "cannot parse node from {text:?}"),
+            CircuitError::MissingVss => write!(f, "topology has no VSS node"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::CircuitPin;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let cases: Vec<CircuitError> = vec![
+            CircuitError::UnknownDevice { device: "NM9".into() },
+            CircuitError::InvalidPinRole { kind: "Resistor", role: "Gate" },
+            CircuitError::SelfLoop { node: Node::Circuit(CircuitPin::Vdd) },
+            CircuitError::Empty,
+            CircuitError::Disconnected { components: 3 },
+            CircuitError::BadStart { found: Node::Circuit(CircuitPin::Vdd) },
+            CircuitError::WalkTooShort { len: 1 },
+            CircuitError::ParseNode { text: "XX_?".into() },
+            CircuitError::MissingVss,
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("VSS"));
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CircuitError>();
+    }
+}

@@ -1,0 +1,369 @@
+//! Eulerian-circuit serialization of topologies (EVA's sequence format).
+//!
+//! EVA sequentializes a pin-level graph as an Eulerian circuit — a closed
+//! walk that traverses every edge exactly once, starting and ending at
+//! `VSS`. Because analog circuit graphs do not always have all-even degrees,
+//! the graph is first *Eulerized* (a minimal set of existing edges is
+//! duplicated; see [`crate::PinGraph::eulerize`]). Randomizing the traversal
+//! order yields many distinct sequences per topology, which EVA uses for
+//! data augmentation (3,470 topologies → 234,393 sequences in the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::device::Device;
+use crate::error::CircuitError;
+use crate::graph::PinGraph;
+use crate::node::Node;
+use crate::topology::{same_device, Topology};
+
+/// The *through-device* edges of a device instance: a single edge for
+/// two-terminal devices, and a closed cycle over the pins (in canonical role
+/// order) for transistors. These edges let the Eulerian walk move between
+/// nets by passing through a device, exactly like current does.
+pub fn device_internal_edges(device: Device) -> Vec<(Node, Node)> {
+    let roles = device.kind.pin_roles();
+    let pins: Vec<Node> = roles.iter().map(|&r| Node::pin(device, r)).collect();
+    match pins.len() {
+        0 | 1 => Vec::new(),
+        2 => vec![(pins[0], pins[1])],
+        n => (0..n).map(|i| (pins[i], pins[(i + 1) % n])).collect(),
+    }
+}
+
+/// A closed walk over pin nodes that starts and ends at `VSS` and encodes a
+/// complete circuit topology.
+///
+/// The walk's consecutive pairs are the (possibly duplicated) edges of the
+/// Eulerized pin graph; deduplicating them recovers the original topology
+/// exactly (see [`EulerianSequence::to_topology`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EulerianSequence {
+    walk: Vec<Node>,
+}
+
+impl EulerianSequence {
+    /// Serialize a topology into one Eulerian circuit, randomizing traversal
+    /// order with `rng` (different seeds give different, equally valid
+    /// sequences for the same topology).
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::MissingVss`] if the topology has no `VSS` node.
+    /// - [`CircuitError::Disconnected`] if the pin graph is not connected.
+    pub fn from_topology<R: Rng + ?Sized>(
+        topology: &Topology,
+        rng: &mut R,
+    ) -> Result<EulerianSequence, CircuitError> {
+        if !topology.has_vss() {
+            return Err(CircuitError::MissingVss);
+        }
+        // The traversal graph = wire edges + through-device edges.
+        let mut graph = PinGraph::from_edges(topology.edges().iter().copied());
+        for device in topology.devices() {
+            for (a, b) in device_internal_edges(device) {
+                graph.add_edge(a, b);
+            }
+        }
+        let components = graph.components().len();
+        if components > 1 {
+            return Err(CircuitError::Disconnected { components });
+        }
+        graph.eulerize();
+
+        // Materialize the multigraph as an indexed edge list so each edge
+        // can be marked used exactly once.
+        let mut edges: Vec<(Node, Node)> = Vec::new();
+        let mut incidence: BTreeMap<Node, Vec<usize>> = BTreeMap::new();
+        for a in graph.nodes().collect::<Vec<_>>() {
+            for &b in graph.neighbors(a) {
+                if a < b {
+                    let idx = edges.len();
+                    edges.push((a, b));
+                    incidence.entry(a).or_default().push(idx);
+                    incidence.entry(b).or_default().push(idx);
+                }
+            }
+        }
+        // Randomize the incidence order at every vertex: this is the
+        // "permuted DFS traversal" augmentation of the paper.
+        for list in incidence.values_mut() {
+            list.shuffle(rng);
+        }
+
+        // Iterative Hierholzer starting from VSS.
+        let mut used = vec![false; edges.len()];
+        let mut next_slot: BTreeMap<Node, usize> = BTreeMap::new();
+        let mut stack = vec![Node::VSS];
+        let mut walk = Vec::with_capacity(edges.len() + 1);
+        while let Some(&v) = stack.last() {
+            let slot = next_slot.entry(v).or_insert(0);
+            let list = incidence.get(&v).map_or(&[][..], Vec::as_slice);
+            // Advance past used edges.
+            while *slot < list.len() && used[list[*slot]] {
+                *slot += 1;
+            }
+            if *slot == list.len() {
+                walk.push(v);
+                stack.pop();
+            } else {
+                let e = list[*slot];
+                used[e] = true;
+                let (a, b) = edges[e];
+                let w = if a == v { b } else { a };
+                stack.push(w);
+            }
+        }
+        walk.reverse();
+        debug_assert_eq!(walk.len(), edges.len() + 1);
+        debug_assert_eq!(walk.first(), Some(&Node::VSS));
+        debug_assert_eq!(walk.last(), Some(&Node::VSS));
+        Ok(EulerianSequence { walk })
+    }
+
+    /// Construct from an explicit walk.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::WalkTooShort`] if fewer than 3 nodes (a closed walk
+    ///   needs at least one edge out of and back into `VSS`).
+    /// - [`CircuitError::BadStart`] if the walk does not start *and* end at
+    ///   `VSS`.
+    pub fn from_walk(walk: Vec<Node>) -> Result<EulerianSequence, CircuitError> {
+        if walk.len() < 3 {
+            return Err(CircuitError::WalkTooShort { len: walk.len() });
+        }
+        if walk[0] != Node::VSS {
+            return Err(CircuitError::BadStart { found: walk[0] });
+        }
+        let last = *walk.last().expect("non-empty");
+        if last != Node::VSS {
+            return Err(CircuitError::BadStart { found: last });
+        }
+        Ok(EulerianSequence { walk })
+    }
+
+    /// The walk, starting and ending at `VSS`.
+    pub fn walk(&self) -> &[Node] {
+        &self.walk
+    }
+
+    /// Number of nodes in the walk (edges + 1).
+    pub fn len(&self) -> usize {
+        self.walk.len()
+    }
+
+    /// Whether the walk is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.walk.is_empty()
+    }
+
+    /// Decode back into a topology.
+    ///
+    /// Consecutive pairs that cross a device boundary are wires; pairs
+    /// within one device are through-device traversal steps and are
+    /// skipped. Duplicate wires (from Eulerization) are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CircuitError`] if the walk encodes a
+    /// self-loop (two identical consecutive nodes) or no wires at all.
+    pub fn to_topology(&self) -> Result<Topology, CircuitError> {
+        for w in self.walk.windows(2) {
+            if w[0] == w[1] {
+                return Err(CircuitError::SelfLoop { node: w[0] });
+            }
+        }
+        Topology::from_edges(
+            self.walk
+                .windows(2)
+                .filter(|w| !same_device(w[0], w[1]))
+                .map(|w| (w[0], w[1])),
+        )
+    }
+
+    /// The token strings of the walk, in order (the tokenizer's input).
+    pub fn tokens(&self) -> Vec<String> {
+        self.walk.iter().map(Node::token).collect()
+    }
+
+    /// Parse a walk from token strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParseNode`] on an unknown token, plus the
+    /// same structural errors as [`EulerianSequence::from_walk`].
+    pub fn from_tokens<S: AsRef<str>>(tokens: &[S]) -> Result<EulerianSequence, CircuitError> {
+        let walk = tokens
+            .iter()
+            .map(|t| t.as_ref().parse::<Node>())
+            .collect::<Result<Vec<_>, _>>()?;
+        EulerianSequence::from_walk(walk)
+    }
+}
+
+impl fmt::Display for EulerianSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for node in &self.walk {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{node}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::device::{Device, DeviceKind, PinRole};
+    use crate::node::CircuitPin;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn diff_pair() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let m1 = b.add(DeviceKind::Nmos);
+        let m2 = b.add(DeviceKind::Nmos);
+        let mt = b.add(DeviceKind::Nmos);
+        let r1 = b.add(DeviceKind::Resistor);
+        let r2 = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(m1, PinRole::Gate), CircuitPin::Vin(1)).unwrap();
+        b.wire(b.pin(m2, PinRole::Gate), CircuitPin::Vin(2)).unwrap();
+        b.wire(b.pin(m1, PinRole::Source), b.pin(mt, PinRole::Drain)).unwrap();
+        b.wire(b.pin(m2, PinRole::Source), b.pin(mt, PinRole::Drain)).unwrap();
+        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(mt, PinRole::Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(mt, PinRole::Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(m1, PinRole::Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(m2, PinRole::Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(r1, PinRole::Plus), CircuitPin::Vdd).unwrap();
+        b.wire(b.pin(r2, PinRole::Plus), CircuitPin::Vdd).unwrap();
+        b.wire(b.pin(r1, PinRole::Minus), b.pin(m1, PinRole::Drain)).unwrap();
+        b.wire(b.pin(r2, PinRole::Minus), b.pin(m2, PinRole::Drain)).unwrap();
+        b.wire(b.pin(m2, PinRole::Drain), CircuitPin::Vout(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn walk_starts_and_ends_at_vss() {
+        let t = diff_pair();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+        assert_eq!(s.walk().first(), Some(&Node::VSS));
+        assert_eq!(s.walk().last(), Some(&Node::VSS));
+    }
+
+    #[test]
+    fn round_trip_recovers_topology_exactly() {
+        let t = diff_pair();
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let s = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+            let back = s.to_topology().unwrap();
+            assert_eq!(back, t, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_walks() {
+        let t = diff_pair();
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..30 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let s = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+            distinct.insert(s.walk().to_vec());
+        }
+        assert!(
+            distinct.len() > 10,
+            "expected many distinct augmented walks, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn walk_covers_every_edge() {
+        let t = diff_pair();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+        let walked: std::collections::BTreeSet<(Node, Node)> = s
+            .walk()
+            .windows(2)
+            .map(|w| if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) })
+            .collect();
+        for &e in t.edges() {
+            assert!(walked.contains(&e), "edge {e:?} missing from walk");
+        }
+    }
+
+    #[test]
+    fn missing_vss_rejected() {
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        let t = Topology::from_edges([(
+            Node::pin(m1, PinRole::Gate),
+            Node::Circuit(CircuitPin::Vin(1)),
+        )])
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            EulerianSequence::from_topology(&t, &mut rng),
+            Err(CircuitError::MissingVss)
+        );
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        let m2 = Device::new(DeviceKind::Nmos, 2);
+        let t = Topology::from_edges([
+            (Node::pin(m1, PinRole::Source), Node::VSS),
+            (Node::pin(m2, PinRole::Gate), Node::Circuit(CircuitPin::Vin(1))),
+        ])
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            EulerianSequence::from_topology(&t, &mut rng),
+            Err(CircuitError::Disconnected { components: 2 })
+        );
+    }
+
+    #[test]
+    fn from_walk_validates_endpoints() {
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        let g = Node::pin(m1, PinRole::Gate);
+        assert!(matches!(
+            EulerianSequence::from_walk(vec![g, Node::VSS, g]),
+            Err(CircuitError::BadStart { .. })
+        ));
+        assert!(matches!(
+            EulerianSequence::from_walk(vec![Node::VSS, g]),
+            Err(CircuitError::WalkTooShort { len: 2 })
+        ));
+        assert!(EulerianSequence::from_walk(vec![Node::VSS, g, Node::VSS]).is_ok());
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let t = diff_pair();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+        let tokens = s.tokens();
+        let back = EulerianSequence::from_tokens(&tokens).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        let g = Node::pin(m1, PinRole::Gate);
+        let s = EulerianSequence::from_walk(vec![Node::VSS, g, Node::VSS]).unwrap();
+        assert_eq!(s.to_string(), "VSS NM1_G VSS");
+    }
+}

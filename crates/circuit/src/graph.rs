@@ -1,0 +1,286 @@
+//! Undirected multigraph over pin [`Node`]s, with the algorithms EVA's
+//! serialization needs: connectivity, degrees, and Eulerization.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::node::Node;
+
+/// An undirected multigraph whose vertices are pin [`Node`]s.
+///
+/// Unlike [`crate::Topology`] (a *simple* graph), `PinGraph` may hold
+/// parallel edges. Parallel edges arise from *Eulerization*: a connected
+/// graph admits an Eulerian circuit iff every vertex has even degree, so
+/// before traversal we duplicate a minimal set of existing edges to fix up
+/// odd-degree vertices. A duplicated edge is electrically meaningless (the
+/// wire already exists), so reconstruction simply deduplicates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PinGraph {
+    adjacency: BTreeMap<Node, Vec<Node>>,
+}
+
+impl PinGraph {
+    /// Create an empty graph.
+    pub fn new() -> PinGraph {
+        PinGraph::default()
+    }
+
+    /// Build from undirected edges (parallel edges preserved).
+    pub fn from_edges<I>(edges: I) -> PinGraph
+    where
+        I: IntoIterator<Item = (Node, Node)>,
+    {
+        let mut g = PinGraph::new();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Add one undirected edge (both endpoint adjacency lists are updated).
+    pub fn add_edge(&mut self, a: Node, b: Node) {
+        self.adjacency.entry(a).or_default().push(b);
+        self.adjacency.entry(b).or_default().push(a);
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges (parallel edges counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree of a vertex (0 if absent). Parallel edges each count once.
+    pub fn degree(&self, node: Node) -> usize {
+        self.adjacency.get(&node).map_or(0, Vec::len)
+    }
+
+    /// Iterate over vertices in sorted order.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// The (multiset) neighbors of a vertex; empty slice if absent.
+    pub fn neighbors(&self, node: Node) -> &[Node] {
+        self.adjacency.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the graph contains the vertex.
+    pub fn contains(&self, node: Node) -> bool {
+        self.adjacency.contains_key(&node)
+    }
+
+    /// Connected components as sorted vertex sets, ordered by smallest
+    /// member.
+    pub fn components(&self) -> Vec<BTreeSet<Node>> {
+        let mut seen: BTreeSet<Node> = BTreeSet::new();
+        let mut out = Vec::new();
+        for start in self.adjacency.keys().copied() {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut comp = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            seen.insert(start);
+            while let Some(n) = queue.pop_front() {
+                comp.insert(n);
+                for &m in self.neighbors(n) {
+                    if seen.insert(m) {
+                        queue.push_back(m);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Whether every vertex is reachable from every other (vacuously true
+    /// for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Vertices of odd degree, sorted. Always an even count
+    /// (handshake lemma).
+    pub fn odd_degree_nodes(&self) -> Vec<Node> {
+        self.adjacency
+            .iter()
+            .filter(|(_, adj)| adj.len() % 2 == 1)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Shortest path (fewest edges) between two vertices, inclusive of both
+    /// endpoints, or `None` if unreachable.
+    pub fn shortest_path(&self, from: Node, to: Node) -> Option<Vec<Node>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<Node, Node> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for &m in self.neighbors(n) {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Make every vertex degree even by duplicating existing edges along
+    /// shortest paths between greedily-paired odd-degree vertices.
+    ///
+    /// After `eulerize`, a connected graph admits an Eulerian circuit. The
+    /// duplicated edges are parallel to existing wires, so the electrical
+    /// meaning of the graph is unchanged.
+    ///
+    /// Returns the number of edges added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (odd vertices in different
+    /// components cannot be paired); check [`PinGraph::is_connected`] first.
+    pub fn eulerize(&mut self) -> usize {
+        let mut added = 0;
+        let odd = self.odd_degree_nodes();
+        debug_assert_eq!(odd.len() % 2, 0, "handshake lemma");
+        // Greedy nearest-neighbor pairing: repeatedly take the smallest odd
+        // vertex and pair it with the closest other odd vertex. Optimal
+        // T-joins are overkill here; a short augmentation suffices, and
+        // greedy keeps the algorithm deterministic.
+        let mut remaining: Vec<Node> = odd;
+        while let Some(a) = remaining.first().copied() {
+            remaining.remove(0);
+            let (best_idx, path) = remaining
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| self.shortest_path(a, b).map(|p| (i, p)))
+                .min_by_key(|(_, p)| p.len())
+                .expect("eulerize requires a connected graph");
+            remaining.remove(best_idx);
+            for w in path.windows(2) {
+                self.add_edge(w[0], w[1]);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Whether all vertex degrees are even.
+    pub fn all_even_degrees(&self) -> bool {
+        self.adjacency.values().all(|adj| adj.len() % 2 == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceKind, PinRole};
+    use crate::node::CircuitPin;
+
+    fn n(i: u32, role: PinRole) -> Node {
+        Node::pin(Device::new(DeviceKind::Nmos, i), role)
+    }
+
+    #[test]
+    fn degree_and_counts() {
+        let a = n(1, PinRole::Gate);
+        let b = n(1, PinRole::Drain);
+        let c: Node = CircuitPin::Vss.into();
+        let g = PinGraph::from_edges([(a, b), (b, c)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.degree(c), 1);
+        assert_eq!(g.degree(n(9, PinRole::Gate)), 0);
+    }
+
+    #[test]
+    fn parallel_edges_count() {
+        let a = n(1, PinRole::Gate);
+        let b = n(1, PinRole::Drain);
+        let g = PinGraph::from_edges([(a, b), (a, b)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 2);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let a = n(1, PinRole::Gate);
+        let b = n(1, PinRole::Drain);
+        let c = n(2, PinRole::Gate);
+        let d = n(2, PinRole::Drain);
+        let g = PinGraph::from_edges([(a, b), (c, d)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.components().len(), 2);
+
+        let g2 = PinGraph::from_edges([(a, b), (c, d), (b, c)]);
+        assert!(g2.is_connected());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(PinGraph::new().is_connected());
+    }
+
+    #[test]
+    fn shortest_path_on_chain() {
+        let v: Vec<Node> = (1..=4).map(|i| n(i, PinRole::Gate)).collect();
+        let g = PinGraph::from_edges([(v[0], v[1]), (v[1], v[2]), (v[2], v[3])]);
+        let p = g.shortest_path(v[0], v[3]).unwrap();
+        assert_eq!(p, vec![v[0], v[1], v[2], v[3]]);
+        assert_eq!(g.shortest_path(v[0], v[0]).unwrap(), vec![v[0]]);
+        assert!(g.shortest_path(v[0], n(9, PinRole::Gate)).is_none());
+    }
+
+    #[test]
+    fn eulerize_fixes_odd_degrees() {
+        // Path graph a-b-c: a and c are odd.
+        let a = n(1, PinRole::Gate);
+        let b = n(1, PinRole::Drain);
+        let c = n(1, PinRole::Source);
+        let mut g = PinGraph::from_edges([(a, b), (b, c)]);
+        assert_eq!(g.odd_degree_nodes(), vec![a, c]);
+        let added = g.eulerize();
+        assert!(added >= 2, "path a-b-c needs 2 duplicated edges");
+        assert!(g.all_even_degrees());
+    }
+
+    #[test]
+    fn eulerize_noop_on_even_graph() {
+        // Triangle: all degrees already even.
+        let a = n(1, PinRole::Gate);
+        let b = n(1, PinRole::Drain);
+        let c = n(1, PinRole::Source);
+        let mut g = PinGraph::from_edges([(a, b), (b, c), (c, a)]);
+        assert_eq!(g.eulerize(), 0);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn eulerize_star_graph() {
+        // Star with 4 leaves: center degree 4 (even), leaves degree 1 (odd).
+        let center: Node = CircuitPin::Vss.into();
+        let leaves: Vec<Node> = (1..=4).map(|i| n(i, PinRole::Source)).collect();
+        let mut g = PinGraph::from_edges(leaves.iter().map(|&l| (center, l)));
+        g.eulerize();
+        assert!(g.all_even_degrees());
+    }
+}

@@ -1,0 +1,73 @@
+//! # eva-circuit
+//!
+//! Analog circuit **topology** model for the EVA generative engine.
+//!
+//! EVA represents an analog circuit as a *device pin-level graph*: every
+//! device pin (`NM1_G`, `NM1_D`, …) and every circuit-level pin (`VDD`,
+//! `VSS`, `VIN1`, `VOUT1`, …) is a vertex, and an edge between two vertices
+//! means the pins are electrically connected by a wire. The graph is
+//! serialized as an **Eulerian circuit** starting and ending at `VSS`, which
+//! is the sequence a decoder-only transformer learns to predict token by
+//! token.
+//!
+//! This crate provides:
+//!
+//! - The topology data model: [`DeviceKind`], [`Device`], [`PinRole`],
+//!   [`CircuitPin`], [`Node`], [`Topology`].
+//! - An ergonomic [`TopologyBuilder`] used by the dataset generators.
+//! - Pin-level graph algorithms: connectivity, degrees, Eulerization and
+//!   randomized Hierholzer traversal ([`graph`], [`euler`]).
+//! - A renumbering-invariant canonical hash for deduplication and novelty
+//!   measurement ([`canon`]).
+//! - Graph descriptors (degree histograms, clustering coefficients, triangle
+//!   counts) consumed by the MMD metric ([`stats`]).
+//!
+//! ## Example
+//!
+//! Build a two-transistor common-source amplifier with an active load,
+//! serialize it to an Eulerian sequence, and reconstruct it:
+//!
+//! ```
+//! use eva_circuit::{TopologyBuilder, DeviceKind, CircuitPin, PinRole};
+//! use eva_circuit::euler::EulerianSequence;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), eva_circuit::CircuitError> {
+//! let mut b = TopologyBuilder::new();
+//! let m1 = b.add(DeviceKind::Nmos);
+//! let m2 = b.add(DeviceKind::Pmos);
+//! b.wire(b.pin(m1, PinRole::Gate), CircuitPin::Vin(1))?;
+//! b.wire(b.pin(m1, PinRole::Drain), CircuitPin::Vout(1))?;
+//! b.wire(b.pin(m2, PinRole::Drain), CircuitPin::Vout(1))?;
+//! b.wire(b.pin(m1, PinRole::Source), CircuitPin::Vss)?;
+//! b.wire(b.pin(m1, PinRole::Bulk), CircuitPin::Vss)?;
+//! b.wire(b.pin(m2, PinRole::Gate), CircuitPin::Vbias(1))?;
+//! b.wire(b.pin(m2, PinRole::Source), CircuitPin::Vdd)?;
+//! b.wire(b.pin(m2, PinRole::Bulk), CircuitPin::Vdd)?;
+//! let topo = b.build()?;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let seq = EulerianSequence::from_topology(&topo, &mut rng)?;
+//! let round_trip = seq.to_topology()?;
+//! assert_eq!(topo.canonical_hash(), round_trip.canonical_hash());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod canon;
+pub mod device;
+pub mod error;
+pub mod euler;
+pub mod graph;
+pub mod node;
+pub mod stats;
+pub mod topology;
+
+pub use builder::TopologyBuilder;
+pub use device::{Device, DeviceId, DeviceKind, PinRole};
+pub use error::CircuitError;
+pub use euler::EulerianSequence;
+pub use graph::PinGraph;
+pub use node::{CircuitPin, Node};
+pub use topology::Topology;

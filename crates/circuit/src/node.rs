@@ -1,0 +1,281 @@
+//! Vertices of the pin-level graph: device pins and circuit-level pins.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::device::{Device, PinRole};
+use crate::error::CircuitError;
+
+/// A circuit-level pin — an external port of the whole topology.
+///
+/// The numeric payload is a 1-based index (`VIN1`, `VIN2`, …). `VDD` and
+/// `VSS` are unique. `VSS` doubles as ground and is the start/end node of
+/// every EVA Eulerian sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CircuitPin {
+    /// Positive supply.
+    Vdd,
+    /// Negative supply / ground. The Eulerian walk starts and ends here.
+    Vss,
+    /// Signal input `VIN{n}`.
+    Vin(u8),
+    /// Signal output `VOUT{n}`.
+    Vout(u8),
+    /// Bias voltage input `VB{n}`.
+    Vbias(u8),
+    /// Reference voltage input `VREF{n}`.
+    Vref(u8),
+    /// Clock input `CLK{n}`.
+    Clk(u8),
+    /// Control input `CTRL{n}` (e.g. a VCO tuning node).
+    Ctrl(u8),
+}
+
+impl CircuitPin {
+    /// Token text for this pin (`"VDD"`, `"VIN2"`, …).
+    pub fn token(&self) -> String {
+        self.to_string()
+    }
+
+    /// Whether the pin is a supply rail (`VDD` or `VSS`).
+    pub fn is_supply(&self) -> bool {
+        matches!(self, CircuitPin::Vdd | CircuitPin::Vss)
+    }
+
+    /// Whether the pin is an input-like port (signal, bias, reference, clock
+    /// or control).
+    pub fn is_input(&self) -> bool {
+        matches!(
+            self,
+            CircuitPin::Vin(_)
+                | CircuitPin::Vbias(_)
+                | CircuitPin::Vref(_)
+                | CircuitPin::Clk(_)
+                | CircuitPin::Ctrl(_)
+        )
+    }
+
+    /// Whether the pin is an output port.
+    pub fn is_output(&self) -> bool {
+        matches!(self, CircuitPin::Vout(_))
+    }
+}
+
+impl fmt::Display for CircuitPin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitPin::Vdd => write!(f, "VDD"),
+            CircuitPin::Vss => write!(f, "VSS"),
+            CircuitPin::Vin(n) => write!(f, "VIN{n}"),
+            CircuitPin::Vout(n) => write!(f, "VOUT{n}"),
+            CircuitPin::Vbias(n) => write!(f, "VB{n}"),
+            CircuitPin::Vref(n) => write!(f, "VREF{n}"),
+            CircuitPin::Clk(n) => write!(f, "CLK{n}"),
+            CircuitPin::Ctrl(n) => write!(f, "CTRL{n}"),
+        }
+    }
+}
+
+impl FromStr for CircuitPin {
+    type Err = CircuitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || CircuitError::ParseNode { text: s.to_owned() };
+        if s == "VDD" {
+            return Ok(CircuitPin::Vdd);
+        }
+        if s == "VSS" {
+            return Ok(CircuitPin::Vss);
+        }
+        // Longest prefix first so "VREF" is not parsed as "VR"+"EF…".
+        for (prefix, ctor) in [
+            ("VOUT", CircuitPin::Vout as fn(u8) -> CircuitPin),
+            ("VREF", CircuitPin::Vref),
+            ("CTRL", CircuitPin::Ctrl),
+            ("VIN", CircuitPin::Vin),
+            ("CLK", CircuitPin::Clk),
+            ("VB", CircuitPin::Vbias),
+        ] {
+            if let Some(digits) = s.strip_prefix(prefix) {
+                if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(err());
+                }
+                let n: u8 = digits.parse().map_err(|_| err())?;
+                if n == 0 {
+                    return Err(err());
+                }
+                return Ok(ctor(n));
+            }
+        }
+        Err(err())
+    }
+}
+
+/// A vertex of the pin-level graph: either a specific pin of a device
+/// instance, or a circuit-level pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// A device pin such as `NM1_G`.
+    DevicePin {
+        /// The owning device instance.
+        device: Device,
+        /// Which terminal of the device.
+        role: PinRole,
+    },
+    /// A circuit-level pin such as `VDD` or `VOUT1`.
+    Circuit(CircuitPin),
+}
+
+impl Node {
+    /// The starting node of every EVA Eulerian sequence.
+    pub const VSS: Node = Node::Circuit(CircuitPin::Vss);
+
+    /// Convenience constructor for a device pin node.
+    pub fn pin(device: Device, role: PinRole) -> Node {
+        Node::DevicePin { device, role }
+    }
+
+    /// Token text for this node (`"NM1_G"`, `"VDD"`, …). This is exactly the
+    /// string the tokenizer maps to one token id.
+    pub fn token(&self) -> String {
+        self.to_string()
+    }
+
+    /// The device instance, if this is a device pin.
+    pub fn device(&self) -> Option<Device> {
+        match self {
+            Node::DevicePin { device, .. } => Some(*device),
+            Node::Circuit(_) => None,
+        }
+    }
+
+    /// The circuit-level pin, if this is one.
+    pub fn circuit_pin(&self) -> Option<CircuitPin> {
+        match self {
+            Node::Circuit(p) => Some(*p),
+            Node::DevicePin { .. } => None,
+        }
+    }
+
+    /// Whether this node is the `VSS` start node.
+    pub fn is_vss(&self) -> bool {
+        *self == Node::VSS
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::DevicePin { device, role } => write!(f, "{}_{}", device, role.suffix()),
+            Node::Circuit(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<CircuitPin> for Node {
+    fn from(p: CircuitPin) -> Node {
+        Node::Circuit(p)
+    }
+}
+
+impl FromStr for Node {
+    type Err = CircuitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((dev, suffix)) = s.rsplit_once('_') {
+            let device = Device::parse_name(dev)?;
+            let role = PinRole::from_suffix(device.kind, suffix)
+                .ok_or_else(|| CircuitError::ParseNode { text: s.to_owned() })?;
+            return Ok(Node::DevicePin { device, role });
+        }
+        CircuitPin::from_str(s).map(Node::Circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    #[test]
+    fn circuit_pin_round_trip() {
+        let pins = [
+            CircuitPin::Vdd,
+            CircuitPin::Vss,
+            CircuitPin::Vin(1),
+            CircuitPin::Vin(12),
+            CircuitPin::Vout(2),
+            CircuitPin::Vbias(3),
+            CircuitPin::Vref(1),
+            CircuitPin::Clk(2),
+            CircuitPin::Ctrl(1),
+        ];
+        for p in pins {
+            let text = p.to_string();
+            assert_eq!(text.parse::<CircuitPin>().unwrap(), p, "round trip {text}");
+        }
+    }
+
+    #[test]
+    fn circuit_pin_rejects_garbage() {
+        for bad in ["", "VD", "VIN", "VIN0", "VINx", "VOUT-1", "vdd", "VB", "CLK01x"] {
+            assert!(bad.parse::<CircuitPin>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn node_round_trip_all_kinds() {
+        for kind in DeviceKind::ALL {
+            for role in kind.pin_roles() {
+                let n = Node::pin(Device::new(kind, 7), *role);
+                let text = n.to_string();
+                assert_eq!(text.parse::<Node>().unwrap(), n, "round trip {text}");
+            }
+        }
+        let n = Node::Circuit(CircuitPin::Vout(1));
+        assert_eq!("VOUT1".parse::<Node>().unwrap(), n);
+    }
+
+    #[test]
+    fn node_display_examples_match_paper() {
+        // The paper's Figure 1 uses names like NM1_G, NM1_D, NM1_S, NM1_B.
+        let d = Device::new(DeviceKind::Nmos, 1);
+        assert_eq!(Node::pin(d, PinRole::Gate).to_string(), "NM1_G");
+        assert_eq!(Node::pin(d, PinRole::Drain).to_string(), "NM1_D");
+        assert_eq!(Node::pin(d, PinRole::Source).to_string(), "NM1_S");
+        assert_eq!(Node::pin(d, PinRole::Bulk).to_string(), "NM1_B");
+    }
+
+    #[test]
+    fn bjt_base_suffix_distinct_from_bulk() {
+        // MOS bulk prints `_B`; BJT base prints `_BA` so parsing is
+        // unambiguous across kinds.
+        let q = Device::new(DeviceKind::Npn, 1);
+        assert_eq!(Node::pin(q, PinRole::Base).to_string(), "QN1_BA");
+        assert_eq!("QN1_BA".parse::<Node>().unwrap(), Node::pin(q, PinRole::Base));
+    }
+
+    #[test]
+    fn node_rejects_wrong_role_for_kind() {
+        // R1_G: resistors have no gate.
+        assert!("R1_G".parse::<Node>().is_err());
+    }
+
+    #[test]
+    fn vss_constant() {
+        assert!(Node::VSS.is_vss());
+        assert_eq!(Node::VSS.to_string(), "VSS");
+        assert!(!Node::Circuit(CircuitPin::Vdd).is_vss());
+    }
+
+    #[test]
+    fn pin_classifiers() {
+        assert!(CircuitPin::Vdd.is_supply());
+        assert!(CircuitPin::Vss.is_supply());
+        assert!(CircuitPin::Vin(1).is_input());
+        assert!(CircuitPin::Clk(1).is_input());
+        assert!(CircuitPin::Vout(1).is_output());
+        assert!(!CircuitPin::Vout(1).is_input());
+    }
+}

@@ -1,0 +1,390 @@
+//! The [`Topology`] type: an unsized analog circuit as a pin-level graph.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::canon;
+use crate::device::{Device, DeviceKind};
+use crate::error::CircuitError;
+use crate::graph::PinGraph;
+use crate::node::{CircuitPin, Node};
+
+/// An unsized analog circuit topology, represented as an undirected simple
+/// graph over pin [`Node`]s whose edges are *wires*.
+///
+/// A wire edge `(a, b)` means pins `a` and `b` are electrically connected.
+/// A *net* is a connected component of the wire graph; all pins in a net are
+/// at the same potential. Wires never join two pins of the *same* device —
+/// EVA's Eulerian serialization reserves same-device steps for traversal
+/// *through* a device, so such nets are expressed by routing both pins to a
+/// shared third node (which is how real schematics draw them anyway).
+///
+/// Two topologies whose wire edges differ but whose *nets* agree are
+/// electrically identical; [`Topology::canonicalize`] re-realizes every net
+/// as a deterministic cross-device spanning tree so that electrically equal
+/// circuits compare equal, and [`Topology::canonical_hash`] additionally
+/// erases device renumbering.
+///
+/// `Topology` values are immutable once constructed; use
+/// [`crate::TopologyBuilder`] to create them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Normalized (`a < b`), sorted, deduplicated undirected wire edges.
+    edges: Vec<(Node, Node)>,
+}
+
+/// Identity of a "part" for net realization: pins of one device instance
+/// form a part; every circuit-level pin is its own part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PartKey {
+    Device(Device),
+    Port(CircuitPin),
+}
+
+fn part_key(node: Node) -> PartKey {
+    match node {
+        Node::DevicePin { device, .. } => PartKey::Device(device),
+        Node::Circuit(p) => PartKey::Port(p),
+    }
+}
+
+/// Whether two nodes belong to the same device instance.
+pub(crate) fn same_device(a: Node, b: Node) -> bool {
+    match (a.device(), b.device()) {
+        (Some(da), Some(db)) => da == db,
+        _ => false,
+    }
+}
+
+impl Topology {
+    /// Build a topology from an iterator of undirected wire edges.
+    ///
+    /// Edges are normalized (endpoint order is irrelevant) and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::SelfLoop`] if an edge connects a node to itself.
+    /// - [`CircuitError::SameDeviceWire`] if an edge connects two pins of
+    ///   the same device instance.
+    /// - [`CircuitError::Empty`] if no edges remain.
+    pub fn from_edges<I>(edges: I) -> Result<Topology, CircuitError>
+    where
+        I: IntoIterator<Item = (Node, Node)>,
+    {
+        let mut set = BTreeSet::new();
+        for (a, b) in edges {
+            if a == b {
+                return Err(CircuitError::SelfLoop { node: a });
+            }
+            if same_device(a, b) {
+                return Err(CircuitError::SameDeviceWire {
+                    device: a.device().expect("device pin").name(),
+                });
+            }
+            let e = if a < b { (a, b) } else { (b, a) };
+            set.insert(e);
+        }
+        if set.is_empty() {
+            return Err(CircuitError::Empty);
+        }
+        Ok(Topology { edges: set.into_iter().collect() })
+    }
+
+    /// The normalized, sorted wire edge list.
+    pub fn edges(&self) -> &[(Node, Node)] {
+        &self.edges
+    }
+
+    /// Number of wire edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All vertices appearing in at least one wire, sorted.
+    pub fn nodes(&self) -> BTreeSet<Node> {
+        let mut s = BTreeSet::new();
+        for &(a, b) in &self.edges {
+            s.insert(a);
+            s.insert(b);
+        }
+        s
+    }
+
+    /// All distinct device instances mentioned by the wires, sorted.
+    pub fn devices(&self) -> BTreeSet<Device> {
+        self.nodes().into_iter().filter_map(|n| n.device()).collect()
+    }
+
+    /// Number of distinct devices.
+    pub fn device_count(&self) -> usize {
+        self.devices().len()
+    }
+
+    /// Count of devices per kind.
+    pub fn device_histogram(&self) -> BTreeMap<DeviceKind, usize> {
+        let mut h = BTreeMap::new();
+        for d in self.devices() {
+            *h.entry(d.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// All circuit-level pins (external ports) mentioned by the wires.
+    pub fn ports(&self) -> BTreeSet<CircuitPin> {
+        self.nodes().into_iter().filter_map(|n| n.circuit_pin()).collect()
+    }
+
+    /// Whether the topology mentions the given node.
+    pub fn contains_node(&self, node: Node) -> bool {
+        self.edges.iter().any(|&(a, b)| a == node || b == node)
+    }
+
+    /// Whether the (order-insensitive) wire exists.
+    pub fn contains_edge(&self, a: Node, b: Node) -> bool {
+        let e = if a < b { (a, b) } else { (b, a) };
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// The wire graph (no device-internal edges).
+    pub fn wire_graph(&self) -> PinGraph {
+        PinGraph::from_edges(self.edges.iter().copied())
+    }
+
+    /// The electrical nets: connected components of the wire graph, each a
+    /// sorted set of pins at the same potential. Ordered by smallest member.
+    pub fn nets(&self) -> Vec<BTreeSet<Node>> {
+        self.wire_graph().components()
+    }
+
+    /// Re-realize every net as a deterministic spanning tree whose edges all
+    /// cross device boundaries.
+    ///
+    /// Electrically-equal topologies (same nets, same device names)
+    /// canonicalize to the same value regardless of how their wires were
+    /// drawn. Note the chosen tree *shape* depends on device names; for a
+    /// renumbering-invariant identity use [`Topology::canonical_hash`].
+    /// Because wires never join same-device pins, every multi-pin net spans
+    /// ≥ 2 parts, so the cross-device realization always exists.
+    pub fn canonicalize(&self) -> Topology {
+        let mut edges: Vec<(Node, Node)> = Vec::with_capacity(self.edges.len());
+        for net in self.nets() {
+            debug_assert!(net.len() >= 2, "nets come from edges");
+            let mut parts: BTreeMap<PartKey, Vec<Node>> = BTreeMap::new();
+            for &node in &net {
+                parts.entry(part_key(node)).or_default().push(node);
+            }
+            debug_assert!(parts.len() >= 2, "cross-device wires imply >=2 parts");
+            // Largest part (ties: smallest key).
+            let largest_key = *parts
+                .iter()
+                .max_by(|(ka, va), (kb, vb)| va.len().cmp(&vb.len()).then(kb.cmp(ka)))
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            // Center: smallest node outside the largest part.
+            let center = *net
+                .iter()
+                .find(|n| part_key(**n) != largest_key)
+                .expect(">=2 parts");
+            let center_part = part_key(center);
+            // Anchor: smallest node of the largest part.
+            let anchor = *parts[&largest_key].iter().min().expect("non-empty part");
+            for &node in &net {
+                if node == center {
+                    continue;
+                }
+                if part_key(node) == center_part {
+                    edges.push((node, anchor));
+                } else {
+                    edges.push((center, node));
+                }
+            }
+        }
+        Topology::from_edges(edges).expect("canonical realization of a valid topology")
+    }
+
+    /// Whether `other` is electrically identical to `self` (same nets),
+    /// ignoring how the wires were drawn but *not* ignoring device
+    /// renumbering (use [`Topology::canonical_hash`] for that).
+    pub fn same_nets(&self, other: &Topology) -> bool {
+        self.nets() == other.nets()
+    }
+
+    /// A renumbering- and realization-invariant canonical hash: topologies
+    /// that differ only by device ordinal renumbering or by how nets were
+    /// drawn hash identically. Used for deduplication and the novelty
+    /// metric. Computed by color refinement over the pin–net bipartite
+    /// graph; see [`crate::canon`].
+    pub fn canonical_hash(&self) -> u64 {
+        canon::canonical_hash(self)
+    }
+
+    /// Whether `VSS` appears in the topology (required for Eulerian
+    /// serialization).
+    pub fn has_vss(&self) -> bool {
+        self.contains_node(Node::VSS)
+    }
+}
+
+impl fmt::Display for Topology {
+    /// Render as one `a -- b` wire per line, sorted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (a, b) in &self.edges {
+            writeln!(f, "{a} -- {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PinRole;
+
+    fn nmos(n: u32) -> Device {
+        Device::new(DeviceKind::Nmos, n)
+    }
+
+    fn simple_topology() -> Topology {
+        // NM1 common-source stage with resistor load.
+        let m1 = nmos(1);
+        let r1 = Device::new(DeviceKind::Resistor, 1);
+        Topology::from_edges([
+            (Node::pin(m1, PinRole::Gate), CircuitPin::Vin(1).into()),
+            (Node::pin(m1, PinRole::Drain), CircuitPin::Vout(1).into()),
+            (Node::pin(r1, PinRole::Plus), CircuitPin::Vdd.into()),
+            (Node::pin(r1, PinRole::Minus), CircuitPin::Vout(1).into()),
+            (Node::pin(m1, PinRole::Source), Node::VSS),
+            (Node::pin(m1, PinRole::Bulk), Node::VSS),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_edges_normalizes_and_dedups() {
+        let a = Node::pin(nmos(1), PinRole::Gate);
+        let b: Node = CircuitPin::Vin(1).into();
+        let t = Topology::from_edges([(a, b), (b, a), (a, b)]).unwrap();
+        assert_eq!(t.edge_count(), 1);
+        assert!(t.contains_edge(b, a));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let a = Node::pin(nmos(1), PinRole::Gate);
+        assert_eq!(
+            Topology::from_edges([(a, a)]),
+            Err(CircuitError::SelfLoop { node: a })
+        );
+    }
+
+    #[test]
+    fn same_device_wire_rejected() {
+        let g = Node::pin(nmos(1), PinRole::Gate);
+        let d = Node::pin(nmos(1), PinRole::Drain);
+        assert_eq!(
+            Topology::from_edges([(g, d)]),
+            Err(CircuitError::SameDeviceWire { device: "NM1".into() })
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Topology::from_edges([]), Err(CircuitError::Empty));
+    }
+
+    #[test]
+    fn derived_views() {
+        let t = simple_topology();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.device_histogram()[&DeviceKind::Nmos], 1);
+        assert_eq!(t.device_histogram()[&DeviceKind::Resistor], 1);
+        let ports = t.ports();
+        assert!(ports.contains(&CircuitPin::Vdd));
+        assert!(ports.contains(&CircuitPin::Vss));
+        assert!(ports.contains(&CircuitPin::Vin(1)));
+        assert!(ports.contains(&CircuitPin::Vout(1)));
+        assert!(t.has_vss());
+    }
+
+    #[test]
+    fn nets_group_connected_pins() {
+        let t = simple_topology();
+        let nets = t.nets();
+        // VOUT1 net: NM1_D, R1_N, VOUT1.
+        let vout_net = nets
+            .iter()
+            .find(|net| net.contains(&Node::Circuit(CircuitPin::Vout(1))))
+            .expect("vout net exists");
+        assert_eq!(vout_net.len(), 3);
+        // VSS net: NM1_S, NM1_B, VSS.
+        let vss_net = nets.iter().find(|net| net.contains(&Node::VSS)).unwrap();
+        assert_eq!(vss_net.len(), 3);
+    }
+
+    #[test]
+    fn canonicalize_is_realization_invariant() {
+        // The same 3-pin net drawn as a star vs a path.
+        let m1 = nmos(1);
+        let m2 = nmos(2);
+        let g1 = Node::pin(m1, PinRole::Gate);
+        let g2 = Node::pin(m2, PinRole::Gate);
+        let vin: Node = CircuitPin::Vin(1).into();
+        let star = Topology::from_edges([(vin, g1), (vin, g2)]).unwrap();
+        let path = Topology::from_edges([(g1, vin), (g1, g2)]).unwrap();
+        assert_ne!(star, path);
+        assert!(star.same_nets(&path));
+        assert_eq!(star.canonicalize(), path.canonicalize());
+        assert_eq!(star.canonical_hash(), path.canonical_hash());
+    }
+
+    #[test]
+    fn canonicalize_preserves_nets() {
+        let t = simple_topology();
+        let c = t.canonicalize();
+        assert_eq!(t.nets(), c.nets());
+        // Spanning tree: edge count equals sum over nets of (size - 1).
+        let expect: usize = t.nets().iter().map(|n| n.len() - 1).sum();
+        assert_eq!(c.edge_count(), expect);
+    }
+
+    #[test]
+    fn canonicalize_avoids_same_device_edges() {
+        // Net with two pins each from two devices: {NM1_G, NM1_D, NM2_G, NM2_D}
+        // joined through cross wires.
+        let m1 = nmos(1);
+        let m2 = nmos(2);
+        let (g1, d1) = (Node::pin(m1, PinRole::Gate), Node::pin(m1, PinRole::Drain));
+        let (g2, d2) = (Node::pin(m2, PinRole::Gate), Node::pin(m2, PinRole::Drain));
+        let t = Topology::from_edges([(g1, g2), (g2, d1), (d1, d2)]).unwrap();
+        let c = t.canonicalize();
+        for &(a, b) in c.edges() {
+            assert!(!same_device(a, b), "canonical edge {a}--{b} is same-device");
+        }
+        assert!(t.same_nets(&c));
+    }
+
+    #[test]
+    fn different_nets_not_same() {
+        let t1 = simple_topology();
+        let m1 = nmos(1);
+        let t2 = Topology::from_edges([(Node::pin(m1, PinRole::Gate), Node::VSS)]).unwrap();
+        assert!(!t1.same_nets(&t2));
+    }
+
+    #[test]
+    fn display_lists_every_edge() {
+        let t = simple_topology();
+        let text = t.to_string();
+        assert_eq!(text.lines().count(), t.edge_count());
+        assert!(text.contains("NM1_G -- VIN1") || text.contains("VIN1 -- NM1_G"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = simple_topology();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

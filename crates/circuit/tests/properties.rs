@@ -1,0 +1,116 @@
+//! Property-based tests for the circuit topology representation.
+//!
+//! These pin down the invariants EVA's whole pipeline rests on: Eulerian
+//! serialization is lossless, canonical hashing is invariant under
+//! renumbering/realization, and every walk the serializer emits is decodable.
+
+use eva_circuit::euler::EulerianSequence;
+use eva_circuit::{CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a random connected topology containing VSS.
+///
+/// Every device's first pin is wired to VSS (guaranteeing connectivity via
+/// through-device edges); remaining pins wire to a randomly chosen earlier
+/// node (a port or another device's pin), skipping choices that would create
+/// a same-device wire.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    let kinds = prop::collection::vec(0usize..DeviceKind::ALL.len(), 1..8);
+    (kinds, prop::collection::vec(0usize..64, 0..40)).prop_map(|(kind_idx, choices)| {
+        let mut b = TopologyBuilder::new();
+        let ports: Vec<Node> = vec![
+            Node::VSS,
+            CircuitPin::Vdd.into(),
+            CircuitPin::Vin(1).into(),
+            CircuitPin::Vout(1).into(),
+            CircuitPin::Vbias(1).into(),
+        ];
+        let mut device_pins: Vec<Node> = Vec::new();
+        for idx in kind_idx {
+            let kind = DeviceKind::ALL[idx];
+            let id = b.add(kind);
+            let roles: Vec<PinRole> = kind.pin_roles().to_vec();
+            // First pin to VSS for connectivity (through-device edges link
+            // the rest of the device).
+            b.wire(b.pin(id, roles[0]), Node::VSS).expect("vss wire");
+            for &r in &roles {
+                device_pins.push(b.pin(id, r));
+            }
+        }
+        // Extra random wires. The first endpoint is always a device pin so
+        // every edge stays attached to the VSS component (an edge between
+        // two otherwise-unused ports would be disconnected).
+        let mut all_pins = ports.clone();
+        all_pins.extend(device_pins.iter().copied());
+        for chunk in choices.chunks(2).take(20) {
+            if chunk.len() < 2 {
+                break;
+            }
+            let a = device_pins[chunk[0] % device_pins.len()];
+            let c = all_pins[chunk[1] % all_pins.len()];
+            // Ignore failures (self-loops / same-device picks).
+            let _ = b.wire(a, c);
+        }
+        b.build().expect("at least the VSS wires exist")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn euler_round_trip_is_lossless(t in arb_topology(), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let seq = EulerianSequence::from_topology(&t, &mut rng).expect("connected by construction");
+        let back = seq.to_topology().expect("decodable");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn walk_is_closed_at_vss(t in arb_topology(), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let seq = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+        prop_assert_eq!(seq.walk().first(), Some(&Node::VSS));
+        prop_assert_eq!(seq.walk().last(), Some(&Node::VSS));
+    }
+
+    #[test]
+    fn walk_has_no_repeated_consecutive_nodes(t in arb_topology(), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let seq = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+        for w in seq.walk().windows(2) {
+            prop_assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn canonical_hash_stable_across_serializations(t in arb_topology(), s1 in 0u64..500, s2 in 500u64..1000) {
+        let mut r1 = ChaCha8Rng::seed_from_u64(s1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(s2);
+        let a = EulerianSequence::from_topology(&t, &mut r1).unwrap().to_topology().unwrap();
+        let b = EulerianSequence::from_topology(&t, &mut r2).unwrap().to_topology().unwrap();
+        prop_assert_eq!(a.canonical_hash(), b.canonical_hash());
+        prop_assert_eq!(a.canonical_hash(), t.canonical_hash());
+    }
+
+    #[test]
+    fn canonicalize_preserves_electrical_structure(t in arb_topology()) {
+        let c = t.canonicalize();
+        prop_assert!(t.same_nets(&c));
+        prop_assert_eq!(t.canonical_hash(), c.canonical_hash());
+        // Spanning-tree realization: one fewer edge than pins, per net.
+        let expected: usize = t.nets().iter().map(|n| n.len() - 1).sum();
+        prop_assert_eq!(c.edge_count(), expected);
+    }
+
+    #[test]
+    fn token_round_trip(t in arb_topology(), seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let seq = EulerianSequence::from_topology(&t, &mut rng).unwrap();
+        let tokens = seq.tokens();
+        let back = EulerianSequence::from_tokens(&tokens).unwrap();
+        prop_assert_eq!(back, seq);
+    }
+}

@@ -1,0 +1,33 @@
+//! # eva-core
+//!
+//! The top-level EVA engine: *an efficient and versatile generative engine
+//! for targeted discovery of novel analog circuits* (DAC 2025), assembled
+//! from the workspace substrates:
+//!
+//! 1. [`Eva::prepare`] builds the 11-family topology corpus
+//!    (`eva-dataset`), serializes it as permuted Eulerian sequences
+//!    (`eva-circuit`), fits the domain tokenizer (`eva-tokenizer`) and
+//!    initializes the decoder-only transformer (`eva-model` on `eva-nn`).
+//! 2. [`Eva::pretrain`] runs the Eq. 1 language-modeling objective.
+//! 3. [`Eva::finetune_ppo`] / [`Eva::finetune_dpo`] run Section III-C's
+//!    targeted fine-tuning (`eva-rl`), with the reward oracle backed by the
+//!    from-scratch circuit simulator (`eva-spice`).
+//! 4. [`Eva::generator`] adapts any policy to the Table II evaluation
+//!    protocol (`eva-eval`, baselines in `eva-baselines`).
+//!
+//! ```no_run
+//! use eva_core::{Eva, EvaOptions};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut eva = Eva::prepare(&EvaOptions::default(), &mut rng);
+//! eva.pretrain(&eva_core::PretrainConfig::default(), &mut rng);
+//! let model = eva.model().clone();
+//! let _generator = eva.generator("EVA (Pretrain)", &model, 0);
+//! ```
+
+pub mod engine;
+pub mod pretrain;
+
+pub use engine::{Eva, EvaGenerator, EvaOptions};
+pub use pretrain::{pretrain, validation_loss, PretrainConfig};

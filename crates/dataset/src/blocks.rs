@@ -1,0 +1,364 @@
+//! Reusable analog sub-structures ("blocks") used by the family generators.
+//!
+//! Each block adds devices to a [`TopologyBuilder`] and wires them between
+//! caller-supplied nodes. Internal nodes are simply pins of the created
+//! devices, so blocks compose without any global node bookkeeping. All
+//! blocks follow EVA's representation rule that a diode connection is
+//! expressed by wiring both pins to the shared net rather than to each
+//! other.
+
+use eva_circuit::{CircuitError, DeviceId, DeviceKind, Node, PinRole, TopologyBuilder};
+
+/// Add a MOS current mirror on `rail`.
+///
+/// The diode transistor's gate and drain join the `input` net; one output
+/// transistor per entry in `outputs` mirrors the current to that node.
+/// Returns `(diode, outputs)` device ids.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn mos_mirror(
+    b: &mut TopologyBuilder,
+    kind: DeviceKind,
+    rail: Node,
+    input: Node,
+    outputs: &[Node],
+) -> Result<(DeviceId, Vec<DeviceId>), CircuitError> {
+    let diode = b.add(kind);
+    b.wire(b.pin(diode, PinRole::Gate), input)?;
+    b.wire(b.pin(diode, PinRole::Drain), input)?;
+    b.wire(b.pin(diode, PinRole::Source), rail)?;
+    b.wire(b.pin(diode, PinRole::Bulk), rail)?;
+    let mut outs = Vec::with_capacity(outputs.len());
+    for &out in outputs {
+        let m = b.add(kind);
+        b.wire(b.pin(m, PinRole::Gate), input)?;
+        b.wire(b.pin(m, PinRole::Drain), out)?;
+        b.wire(b.pin(m, PinRole::Source), rail)?;
+        b.wire(b.pin(m, PinRole::Bulk), rail)?;
+        outs.push(m);
+    }
+    Ok((diode, outs))
+}
+
+/// Add a differential pair of `kind` with gates on `in_p`/`in_n`, sources
+/// joined on `tail`, bulks on `bulk_rail`. Returns the two drain pins
+/// `(d_p, d_n)` (drain of the `in_p` device first).
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn diff_pair(
+    b: &mut TopologyBuilder,
+    kind: DeviceKind,
+    in_p: Node,
+    in_n: Node,
+    tail: Node,
+    bulk_rail: Node,
+) -> Result<(Node, Node), CircuitError> {
+    let m1 = b.add(kind);
+    let m2 = b.add(kind);
+    b.wire(b.pin(m1, PinRole::Gate), in_p)?;
+    b.wire(b.pin(m2, PinRole::Gate), in_n)?;
+    b.wire(b.pin(m1, PinRole::Source), tail)?;
+    b.wire(b.pin(m2, PinRole::Source), tail)?;
+    b.wire(b.pin(m1, PinRole::Bulk), bulk_rail)?;
+    b.wire(b.pin(m2, PinRole::Bulk), bulk_rail)?;
+    Ok((b.pin(m1, PinRole::Drain), b.pin(m2, PinRole::Drain)))
+}
+
+/// Add a cascode transistor: source on `input`, gate on `bias`, bulk on
+/// `bulk_rail`. Returns its drain pin.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn cascode(
+    b: &mut TopologyBuilder,
+    kind: DeviceKind,
+    input: Node,
+    bias: Node,
+    bulk_rail: Node,
+) -> Result<Node, CircuitError> {
+    let m = b.add(kind);
+    b.wire(b.pin(m, PinRole::Source), input)?;
+    b.wire(b.pin(m, PinRole::Gate), bias)?;
+    b.wire(b.pin(m, PinRole::Bulk), bulk_rail)?;
+    Ok(b.pin(m, PinRole::Drain))
+}
+
+/// Add a common-source gain transistor: gate on `input`, drain on `output`,
+/// source and bulk on `rail`.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn common_source(
+    b: &mut TopologyBuilder,
+    kind: DeviceKind,
+    input: Node,
+    output: Node,
+    rail: Node,
+) -> Result<DeviceId, CircuitError> {
+    let m = b.add(kind);
+    b.wire(b.pin(m, PinRole::Gate), input)?;
+    b.wire(b.pin(m, PinRole::Drain), output)?;
+    b.wire(b.pin(m, PinRole::Source), rail)?;
+    b.wire(b.pin(m, PinRole::Bulk), rail)?;
+    Ok(m)
+}
+
+/// Add a source follower: gate on `input`, source on `output` (the
+/// follower's output), drain and bulk on `rail`.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn source_follower(
+    b: &mut TopologyBuilder,
+    kind: DeviceKind,
+    input: Node,
+    output: Node,
+    rail: Node,
+) -> Result<DeviceId, CircuitError> {
+    let m = b.add(kind);
+    b.wire(b.pin(m, PinRole::Gate), input)?;
+    b.wire(b.pin(m, PinRole::Source), output)?;
+    b.wire(b.pin(m, PinRole::Drain), rail)?;
+    b.wire(b.pin(m, PinRole::Bulk), rail)?;
+    Ok(m)
+}
+
+/// Add a CMOS inverter between `vdd`/`vss` with the given input and output
+/// nets.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn inverter(
+    b: &mut TopologyBuilder,
+    input: Node,
+    output: Node,
+    vdd: Node,
+    vss: Node,
+) -> Result<(), CircuitError> {
+    common_source(b, DeviceKind::Pmos, input, output, vdd)?;
+    common_source(b, DeviceKind::Nmos, input, output, vss)?;
+    Ok(())
+}
+
+/// Add a CMOS transmission gate between `a` and `b_node`, gated by `clk`
+/// (NMOS gate) and `clk_bar` (PMOS gate).
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn transmission_gate(
+    b: &mut TopologyBuilder,
+    a: Node,
+    b_node: Node,
+    clk: Node,
+    clk_bar: Node,
+    vdd: Node,
+    vss: Node,
+) -> Result<(), CircuitError> {
+    let mn = b.add(DeviceKind::Nmos);
+    b.wire(b.pin(mn, PinRole::Gate), clk)?;
+    b.wire(b.pin(mn, PinRole::Drain), a)?;
+    b.wire(b.pin(mn, PinRole::Source), b_node)?;
+    b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+    let mp = b.add(DeviceKind::Pmos);
+    b.wire(b.pin(mp, PinRole::Gate), clk_bar)?;
+    b.wire(b.pin(mp, PinRole::Drain), a)?;
+    b.wire(b.pin(mp, PinRole::Source), b_node)?;
+    b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+    Ok(())
+}
+
+/// Add a series resistor between two nodes, returning its id.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn series_r(b: &mut TopologyBuilder, a: Node, c: Node) -> Result<DeviceId, CircuitError> {
+    b.resistor(a, c)
+}
+
+/// Add a first-order RC low-pass between `input` and `output` with the
+/// capacitor to `gnd`.
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn rc_lowpass(
+    b: &mut TopologyBuilder,
+    input: Node,
+    output: Node,
+    gnd: Node,
+) -> Result<(), CircuitError> {
+    b.resistor(input, output)?;
+    b.capacitor(output, gnd)?;
+    Ok(())
+}
+
+/// Add an LC tank from `node` to `rail` (parallel L and C).
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn lc_tank(b: &mut TopologyBuilder, node: Node, rail: Node) -> Result<(), CircuitError> {
+    b.inductor(node, rail)?;
+    b.capacitor(node, rail)?;
+    Ok(())
+}
+
+/// Add a resistor-programmed bias generator: a resistor from `vdd` into a
+/// diode-connected transistor on `rail`, producing a bias net. Returns the
+/// bias net's anchor node (the resistor's low pin).
+///
+/// # Errors
+///
+/// Propagates wiring errors from the builder.
+pub fn resistor_bias(
+    b: &mut TopologyBuilder,
+    kind: DeviceKind,
+    vdd: Node,
+    rail: Node,
+) -> Result<Node, CircuitError> {
+    let r = b.add(DeviceKind::Resistor);
+    b.wire(b.pin(r, PinRole::Plus), vdd)?;
+    let bias_net = b.pin(r, PinRole::Minus);
+    let m = b.add(kind);
+    b.wire(b.pin(m, PinRole::Gate), bias_net)?;
+    b.wire(b.pin(m, PinRole::Drain), bias_net)?;
+    b.wire(b.pin(m, PinRole::Source), rail)?;
+    b.wire(b.pin(m, PinRole::Bulk), rail)?;
+    Ok(bias_net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::CircuitPin;
+    use eva_spice::check_validity;
+
+    fn n(p: CircuitPin) -> Node {
+        Node::Circuit(p)
+    }
+
+    #[test]
+    fn mirror_shares_gate_net() {
+        let mut b = TopologyBuilder::new();
+        let input = n(CircuitPin::Vbias(1));
+        let (diode, outs) =
+            mos_mirror(&mut b, DeviceKind::Nmos, Node::VSS, input, &[n(CircuitPin::Vout(1))])
+                .unwrap();
+        let t = b.build().unwrap();
+        // Diode gate, diode drain, output gate and VB1 in one net.
+        let net = t
+            .nets()
+            .into_iter()
+            .find(|net| net.contains(&input))
+            .unwrap();
+        assert_eq!(net.len(), 4, "{net:?}");
+        let _ = (diode, outs);
+    }
+
+    #[test]
+    fn five_transistor_ota_from_blocks_is_valid() {
+        let mut b = TopologyBuilder::new();
+        // Tail current source transistor.
+        let tail_dev = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(tail_dev, PinRole::Gate), n(CircuitPin::Vbias(1))).unwrap();
+        b.wire(b.pin(tail_dev, PinRole::Source), Node::VSS).unwrap();
+        b.wire(b.pin(tail_dev, PinRole::Bulk), Node::VSS).unwrap();
+        let tail = b.pin(tail_dev, PinRole::Drain);
+        let (dp, dn) = diff_pair(
+            &mut b,
+            DeviceKind::Nmos,
+            n(CircuitPin::Vin(1)),
+            n(CircuitPin::Vin(2)),
+            tail,
+            Node::VSS,
+        )
+        .unwrap();
+        // PMOS mirror load: diode side on dp, output side on dn.
+        mos_mirror(&mut b, DeviceKind::Pmos, n(CircuitPin::Vdd), dp, &[dn]).unwrap();
+        b.wire(dn, n(CircuitPin::Vout(1))).unwrap();
+        let t = b.build().unwrap();
+        let report = check_validity(&t);
+        assert!(report.is_valid(), "{:?}", report.reasons());
+        assert_eq!(t.device_count(), 5);
+    }
+
+    #[test]
+    fn inverter_is_valid_circuit() {
+        let mut b = TopologyBuilder::new();
+        inverter(
+            &mut b,
+            n(CircuitPin::Vin(1)),
+            n(CircuitPin::Vout(1)),
+            n(CircuitPin::Vdd),
+            Node::VSS,
+        )
+        .unwrap();
+        let t = b.build().unwrap();
+        assert!(check_validity(&t).is_valid());
+    }
+
+    #[test]
+    fn transmission_gate_wires_both_devices() {
+        let mut b = TopologyBuilder::new();
+        transmission_gate(
+            &mut b,
+            n(CircuitPin::Vin(1)),
+            n(CircuitPin::Vout(1)),
+            n(CircuitPin::Clk(1)),
+            n(CircuitPin::Clk(2)),
+            n(CircuitPin::Vdd),
+            Node::VSS,
+        )
+        .unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.device_count(), 2);
+    }
+
+    #[test]
+    fn resistor_bias_creates_diode_net() {
+        let mut b = TopologyBuilder::new();
+        let bias = resistor_bias(&mut b, DeviceKind::Nmos, n(CircuitPin::Vdd), Node::VSS).unwrap();
+        // Use the bias to gate another device so the circuit is closed.
+        common_source(&mut b, DeviceKind::Nmos, bias, n(CircuitPin::Vout(1)), Node::VSS).unwrap();
+        b.resistor(n(CircuitPin::Vdd), n(CircuitPin::Vout(1))).unwrap();
+        let t = b.build().unwrap();
+        assert!(check_validity(&t).is_valid(), "{:?}", check_validity(&t).reasons());
+    }
+
+    #[test]
+    fn cascode_stacks() {
+        let mut b = TopologyBuilder::new();
+        let cs = common_source(
+            &mut b,
+            DeviceKind::Nmos,
+            n(CircuitPin::Vin(1)),
+            // Drain goes to the cascode source; use the cascode's own pin.
+            n(CircuitPin::Ctrl(1)),
+            Node::VSS,
+        )
+        .unwrap();
+        let _ = cs;
+        let out = cascode(
+            &mut b,
+            DeviceKind::Nmos,
+            n(CircuitPin::Ctrl(1)),
+            n(CircuitPin::Vbias(1)),
+            Node::VSS,
+        )
+        .unwrap();
+        b.wire(out, n(CircuitPin::Vout(1))).unwrap();
+        b.resistor(n(CircuitPin::Vdd), n(CircuitPin::Vout(1))).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.device_count(), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Corpus assembly: generation, decoration, deduplication, validity
+//! filtering, and the train/validation split.
+
+use std::collections::BTreeMap;
+
+use eva_circuit::{CircuitPin, Node, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::families::generate_family;
+use crate::types::{CircuitType, DatasetEntry};
+
+/// Options controlling corpus assembly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusOptions {
+    /// Maximum number of entries to keep (the paper's corpus has 3,470).
+    pub target_size: usize,
+    /// Also emit a decorated twin of each variant with a supply decoupling
+    /// capacitor — a realistic, electrically meaningful structural axis
+    /// that roughly doubles the raw pool.
+    pub decorate: bool,
+    /// Drop entries that fail the `eva-spice` validity oracle.
+    pub validate: bool,
+    /// Restrict generation to these families (all 11 when `None`).
+    pub families: Option<Vec<CircuitType>>,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> CorpusOptions {
+        CorpusOptions { target_size: 3470, decorate: true, validate: true, families: None }
+    }
+}
+
+impl CorpusOptions {
+    /// A reduced corpus for fast tests and CPU-scale experiments.
+    pub fn small(target_size: usize) -> CorpusOptions {
+        CorpusOptions { target_size, ..CorpusOptions::default() }
+    }
+}
+
+/// The assembled topology corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    entries: Vec<DatasetEntry>,
+}
+
+impl Corpus {
+    /// Assemble a corpus per the options. Deterministic for fixed options.
+    pub fn build(options: &CorpusOptions) -> Corpus {
+        let families: Vec<CircuitType> = options
+            .families
+            .clone()
+            .unwrap_or_else(|| CircuitType::ALL.to_vec());
+
+        let mut raw: Vec<DatasetEntry> = Vec::new();
+        for ty in families {
+            for (topology, variant) in generate_family(ty) {
+                if options.decorate {
+                    if let Some(decorated) = with_decap(&topology) {
+                        raw.push(DatasetEntry {
+                            topology: decorated,
+                            circuit_type: ty,
+                            variant: format!("{variant}+decap"),
+                        });
+                    }
+                }
+                raw.push(DatasetEntry { topology, circuit_type: ty, variant });
+            }
+        }
+
+        // Deduplicate by canonical hash (renumbering/realization invariant).
+        let mut seen: BTreeMap<u64, ()> = BTreeMap::new();
+        raw.retain(|e| seen.insert(e.topology.canonical_hash(), ()).is_none());
+
+        if options.validate {
+            raw.retain(|e| eva_spice::check_validity(&e.topology).is_valid());
+        }
+
+        // Deterministic pseudo-shuffle (sort by hash) and truncate, but keep
+        // at least the paper's minimum of 30 per type where available.
+        raw.sort_by_key(|e| e.topology.canonical_hash());
+        if raw.len() > options.target_size {
+            let mut kept: Vec<DatasetEntry> = Vec::with_capacity(options.target_size);
+            let mut per_type: BTreeMap<CircuitType, usize> = BTreeMap::new();
+            // First pass: ensure up to 30 of each type.
+            let mut rest: Vec<DatasetEntry> = Vec::new();
+            for e in raw {
+                let c = per_type.entry(e.circuit_type).or_insert(0);
+                if *c < 30 {
+                    *c += 1;
+                    kept.push(e);
+                } else {
+                    rest.push(e);
+                }
+            }
+            for e in rest {
+                if kept.len() >= options.target_size {
+                    break;
+                }
+                kept.push(e);
+            }
+            kept.truncate(options.target_size);
+            Corpus { entries: kept }
+        } else {
+            Corpus { entries: raw }
+        }
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[DatasetEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one family.
+    pub fn of_type(&self, ty: CircuitType) -> Vec<&DatasetEntry> {
+        self.entries.iter().filter(|e| e.circuit_type == ty).collect()
+    }
+
+    /// Count per family.
+    pub fn type_histogram(&self) -> BTreeMap<CircuitType, usize> {
+        let mut h = BTreeMap::new();
+        for e in &self.entries {
+            *h.entry(e.circuit_type).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// The canonical hashes of all entries (for novelty checks).
+    pub fn hashes(&self) -> std::collections::BTreeSet<u64> {
+        self.entries.iter().map(|e| e.topology.canonical_hash()).collect()
+    }
+
+    /// Random train/validation split: validation gets `1/ratio` of the
+    /// entries (the paper uses 9:1, i.e. `ratio = 10`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 2`.
+    pub fn split<R: Rng + ?Sized>(&self, ratio: usize, rng: &mut R) -> (Vec<DatasetEntry>, Vec<DatasetEntry>) {
+        assert!(ratio >= 2, "ratio must leave something in both halves");
+        let mut shuffled: Vec<DatasetEntry> = self.entries.clone();
+        shuffled.shuffle(rng);
+        let n_val = (shuffled.len() / ratio).max(1).min(shuffled.len().saturating_sub(1));
+        let train = shuffled.split_off(n_val);
+        (train, shuffled)
+    }
+}
+
+/// A decorated twin with a supply decoupling capacitor, if the original has
+/// both rails.
+fn with_decap(topology: &Topology) -> Option<Topology> {
+    let vdd = Node::Circuit(CircuitPin::Vdd);
+    if !topology.contains_node(vdd) || !topology.contains_node(Node::VSS) {
+        return None;
+    }
+    // Append the cap as a fresh capacitor instance numbered after existing.
+    let existing = topology
+        .devices()
+        .into_iter()
+        .filter(|d| d.kind == eva_circuit::DeviceKind::Capacitor)
+        .map(|d| d.ordinal)
+        .max()
+        .unwrap_or(0);
+    let cap = eva_circuit::Device::new(eva_circuit::DeviceKind::Capacitor, existing + 1);
+    let mut edges: Vec<(Node, Node)> = topology.edges().to_vec();
+    edges.push((Node::pin(cap, eva_circuit::PinRole::Plus), vdd));
+    edges.push((Node::pin(cap, eva_circuit::PinRole::Minus), Node::VSS));
+    Topology::from_edges(edges).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_corpus() -> Corpus {
+        Corpus::build(&CorpusOptions {
+            target_size: 300,
+            decorate: false,
+            validate: false,
+            families: Some(vec![CircuitType::Ldo, CircuitType::Bandgap]),
+        })
+    }
+
+    #[test]
+    fn builds_and_dedups() {
+        let c = small_corpus();
+        assert!(!c.is_empty());
+        let hashes = c.hashes();
+        assert_eq!(hashes.len(), c.len(), "no duplicate structures");
+    }
+
+    #[test]
+    fn decoration_roughly_doubles() {
+        let plain = Corpus::build(&CorpusOptions {
+            target_size: 10_000,
+            decorate: false,
+            validate: false,
+            families: Some(vec![CircuitType::Bandgap]),
+        });
+        let dec = Corpus::build(&CorpusOptions {
+            target_size: 10_000,
+            decorate: true,
+            validate: false,
+            families: Some(vec![CircuitType::Bandgap]),
+        });
+        assert!(dec.len() > plain.len() * 3 / 2, "{} vs {}", dec.len(), plain.len());
+    }
+
+    #[test]
+    fn validation_only_keeps_valid() {
+        let c = Corpus::build(&CorpusOptions {
+            target_size: 100,
+            decorate: false,
+            validate: true,
+            families: Some(vec![CircuitType::Ldo]),
+        });
+        for e in c.entries() {
+            assert!(eva_spice::check_validity(&e.topology).is_valid(), "{}", e.variant);
+        }
+    }
+
+    #[test]
+    fn split_is_nine_to_one() {
+        let c = small_corpus();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (train, val) = c.split(10, &mut rng);
+        assert_eq!(train.len() + val.len(), c.len());
+        let expect_val = (c.len() / 10).max(1);
+        assert_eq!(val.len(), expect_val);
+    }
+
+    #[test]
+    fn type_histogram_counts() {
+        let c = small_corpus();
+        let h = c.type_histogram();
+        assert!(h[&CircuitType::Ldo] > 0);
+        assert!(h[&CircuitType::Bandgap] > 0);
+        assert_eq!(h.values().sum::<usize>(), c.len());
+    }
+
+    #[test]
+    #[ignore = "builds and validates the full 4,200-variant pool (~10 s)"]
+    fn full_corpus_reaches_paper_size() {
+        let c = Corpus::build(&CorpusOptions::default());
+        assert_eq!(c.len(), 3470, "paper-sized corpus");
+        let h = c.type_histogram();
+        assert_eq!(h.len(), 11, "all families present");
+        for (ty, n) in h {
+            assert!(n >= 30, "{ty} has {n} < 30 members");
+        }
+        for e in c.entries() {
+            assert!(eva_spice::check_validity(&e.topology).is_valid(), "{}", e.variant);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_target() {
+        let c = Corpus::build(&CorpusOptions {
+            target_size: 17,
+            decorate: false,
+            validate: false,
+            families: Some(vec![CircuitType::Bandgap, CircuitType::Ldo]),
+        });
+        assert_eq!(c.len(), 17);
+    }
+}

@@ -1,0 +1,220 @@
+//! Bandgap voltage-reference family generator.
+//!
+//! Classic PTAT/CTAT-summing cores: two BJT branches at different current
+//! densities under a top current mirror, a PTAT resistor, and an output
+//! branch, with optional cascoding, startup aids, and emitter stacking.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// One point in the bandgap design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandgapConfig {
+    /// BJT polarity (NPN with emitters down, or PNP with emitters up —
+    /// mirrored core).
+    pub npn: bool,
+    /// Cascode the top current mirror.
+    pub cascode_mirror: bool,
+    /// Stack two diode BJTs in the first branch (higher PTAT slope).
+    pub stacked_diode: bool,
+    /// Output branch includes a series BJT under the resistor (CTAT
+    /// addition) or just a resistor.
+    pub output_bjt: bool,
+    /// Add a startup resistor from the supply to the mirror gate net.
+    pub startup: bool,
+    /// Parallel trim resistor across the PTAT resistor.
+    pub trim: bool,
+}
+
+impl BandgapConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "bandgap/{}{}{}{}{}",
+            if self.npn { "npn" } else { "pnp" },
+            if self.cascode_mirror { "+casc" } else { "" },
+            if self.stacked_diode { "+stack" } else { "" },
+            if self.output_bjt { "+outbjt" } else { "" },
+            if self.startup { "+startup" } else { "" },
+        ) + if self.trim { "+trim" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<BandgapConfig> {
+    let mut out = Vec::new();
+    for npn in [true, false] {
+        for cascode_mirror in [false, true] {
+            for stacked_diode in [false, true] {
+                for output_bjt in [false, true] {
+                    for startup in [false, true] {
+                        for trim in [false, true] {
+                            out.push(BandgapConfig {
+                                npn,
+                                cascode_mirror,
+                                stacked_diode,
+                                output_bjt,
+                                startup,
+                                trim,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &BandgapConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    // NPN core sits on VSS with a PMOS mirror on VDD; the PNP core mirrors.
+    let (bjt_kind, bjt_rail, mirror_kind, mirror_rail) = if config.npn {
+        (DeviceKind::Npn, vss, DeviceKind::Pmos, vdd)
+    } else {
+        (DeviceKind::Pnp, vdd, DeviceKind::Nmos, vss)
+    };
+
+    // Diode-connected BJT helper: base and collector join `node`, emitter
+    // goes to `emitter`.
+    let diode_bjt = |b: &mut TopologyBuilder, node: Node, emitter: Node| -> Result<(), CircuitError> {
+        let q = b.add(bjt_kind);
+        b.wire(b.pin(q, PinRole::Base), node)?;
+        b.wire(b.pin(q, PinRole::Collector), node)?;
+        b.wire(b.pin(q, PinRole::Emitter), emitter)?;
+        Ok(())
+    };
+
+    // Branch 1: diode BJT(s) directly to the rail.
+    // Anchor branch nets on the mirror transistors' drains.
+    let m1 = b.add(mirror_kind);
+    let m2 = b.add(mirror_kind);
+    let m3 = b.add(mirror_kind);
+    for m in [m1, m2, m3] {
+        b.wire(b.pin(m, PinRole::Source), mirror_rail)?;
+        b.wire(b.pin(m, PinRole::Bulk), mirror_rail)?;
+    }
+    let br1 = b.pin(m1, PinRole::Drain);
+    let br2 = b.pin(m2, PinRole::Drain);
+    let br3 = b.pin(m3, PinRole::Drain);
+    // Mirror gates all tied to branch 1 (diode connection of m1 expressed
+    // through m2's gate, which joins the same net — direct same-device
+    // wires are not representable).
+    b.wire(b.pin(m2, PinRole::Gate), br1)?;
+    b.wire(b.pin(m3, PinRole::Gate), br1)?;
+    b.wire(b.pin(m1, PinRole::Gate), b.pin(m2, PinRole::Gate))?;
+
+    let out_node = if config.cascode_mirror {
+        // Insert cascodes between mirror drains and the branch nets: the
+        // mirror drains become internal, branches hang off cascode drains.
+        // (Simplified: cascode only the output branch.)
+        let c = b.add(mirror_kind);
+        b.wire(b.pin(c, PinRole::Source), br3)?;
+        b.wire(b.pin(c, PinRole::Gate), CircuitPin::Vbias(1))?;
+        b.wire(b.pin(c, PinRole::Bulk), mirror_rail)?;
+        b.pin(c, PinRole::Drain)
+    } else {
+        br3
+    };
+
+    // Branch 1 BJT stack.
+    if config.stacked_diode {
+        let q = b.add(bjt_kind);
+        b.wire(b.pin(q, PinRole::Base), br1)?;
+        b.wire(b.pin(q, PinRole::Collector), br1)?;
+        let mid = b.pin(q, PinRole::Emitter);
+        diode_bjt(&mut b, mid, bjt_rail)?;
+    } else {
+        diode_bjt(&mut b, br1, bjt_rail)?;
+    }
+
+    // Branch 2: PTAT resistor in series with a (larger) diode BJT.
+    let rp = b.add(DeviceKind::Resistor);
+    b.wire(b.pin(rp, PinRole::Plus), br2)?;
+    let mid2 = b.pin(rp, PinRole::Minus);
+    diode_bjt(&mut b, mid2, bjt_rail)?;
+    if config.trim {
+        // Parallel trim resistor across the PTAT resistor.
+        let rt = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(rt, PinRole::Plus), br2)?;
+        b.wire(b.pin(rt, PinRole::Minus), mid2)?;
+    }
+
+    // Output branch: resistor (plus optional CTAT BJT) to the rail; the
+    // branch node is the reference output.
+    b.wire(out_node, CircuitPin::Vout(1))?;
+    let ro = b.add(DeviceKind::Resistor);
+    b.wire(b.pin(ro, PinRole::Plus), out_node)?;
+    if config.output_bjt {
+        let tap = b.pin(ro, PinRole::Minus);
+        diode_bjt(&mut b, tap, bjt_rail)?;
+    } else {
+        b.wire(b.pin(ro, PinRole::Minus), bjt_rail)?;
+    }
+
+    if config.startup {
+        b.resistor(mirror_rail, br1)?;
+    }
+
+    b.build()
+}
+
+/// Generate all bandgap variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 64);
+    }
+
+    #[test]
+    fn npn_core_valid_and_produces_reference() {
+        let c = BandgapConfig {
+            npn: true,
+            cascode_mirror: false,
+            stacked_diode: false,
+            output_bjt: false,
+            startup: true,
+            trim: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+        // The reference output should sit somewhere inside the rails.
+        let sizing = eva_spice::Sizing::default_for(&t);
+        let netlist =
+            eva_spice::elaborate(&t, &sizing, &eva_spice::Stimulus::default()).unwrap();
+        let op = eva_spice::dc_operating_point(&netlist, &eva_spice::Tech::default()).unwrap();
+        let out = netlist.port_node(CircuitPin::Vout(1)).unwrap();
+        let v = op.voltage(out);
+        assert!((0.0..=1.8).contains(&v), "reference {v}");
+    }
+
+    #[test]
+    fn all_variants_build() {
+        assert_eq!(generate().len(), configs().len());
+    }
+
+    #[test]
+    fn variants_distinct() {
+        let hashes: std::collections::BTreeSet<u64> =
+            generate().iter().map(|(t, _)| t.canonical_hash()).collect();
+        assert_eq!(hashes.len(), configs().len(), "all 32 structurally unique");
+    }
+}

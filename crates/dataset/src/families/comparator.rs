@@ -1,0 +1,276 @@
+//! Voltage-comparator family generator.
+//!
+//! Differential front-end with optional regenerative (cross-coupled) load
+//! or hysteresis pair, followed by a chain of restoring inverters — the
+//! standard open-loop comparator idioms.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+use crate::blocks::{diff_pair, mos_mirror};
+
+/// First-stage load style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompLoad {
+    /// Current-mirror load.
+    Mirror,
+    /// Cross-coupled (regenerative latch) load.
+    Latch,
+    /// Resistor loads.
+    Resistor,
+}
+
+/// One point in the comparator design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComparatorConfig {
+    /// Input pair polarity.
+    pub input_kind: DeviceKind,
+    /// Load style.
+    pub load: CompLoad,
+    /// Add a weak cross-coupled pair for hysteresis (ignored when the load
+    /// is already a latch).
+    pub hysteresis: bool,
+    /// Number of output inverters (0–2).
+    pub inverters: usize,
+    /// Tail: MOS current source (`true`) or ideal source (`false`).
+    pub mos_tail: bool,
+    /// Cascode the input branches.
+    pub input_cascode: bool,
+    /// Buffer the decision output with a source follower.
+    pub sf_output: bool,
+}
+
+impl ComparatorConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "comparator/{}-in/{:?}{}{}/inv{}/{}",
+            if self.input_kind == DeviceKind::Nmos { "n" } else { "p" },
+            self.load,
+            if self.hysteresis { "+hyst" } else { "" },
+            if self.input_cascode { "+casc" } else { "" },
+            self.inverters,
+            if self.mos_tail { "mos-tail" } else { "ideal-tail" },
+        ) + if self.sf_output { "+sf" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<ComparatorConfig> {
+    let mut out = Vec::new();
+    for input_kind in [DeviceKind::Nmos, DeviceKind::Pmos] {
+        for load in [CompLoad::Mirror, CompLoad::Latch, CompLoad::Resistor] {
+            for hysteresis in [false, true] {
+                if hysteresis && load == CompLoad::Latch {
+                    continue;
+                }
+                for inverters in 0..=2 {
+                    for mos_tail in [false, true] {
+                        for input_cascode in [false, true] {
+                            for sf_output in [false, true] {
+                                out.push(ComparatorConfig {
+                                    input_kind,
+                                    load,
+                                    hysteresis,
+                                    inverters,
+                                    mos_tail,
+                                    input_cascode,
+                                    sf_output,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &ComparatorConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let (pair_kind, low, high) = match config.input_kind {
+        DeviceKind::Nmos => (DeviceKind::Nmos, vss, vdd),
+        _ => (DeviceKind::Pmos, vdd, vss),
+    };
+    let load_kind = if pair_kind == DeviceKind::Nmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+
+    // Tail.
+    let tail_node = if config.mos_tail {
+        let mt = b.add(pair_kind);
+        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1))?;
+        b.wire(b.pin(mt, PinRole::Source), low)?;
+        b.wire(b.pin(mt, PinRole::Bulk), low)?;
+        b.pin(mt, PinRole::Drain)
+    } else {
+        // Orient the ideal source so current flows through the pair: sink
+        // to VSS for NMOS pairs, feed from VDD for PMOS pairs.
+        let i = b.add(DeviceKind::CurrentSource);
+        if pair_kind == DeviceKind::Nmos {
+            b.wire(b.pin(i, PinRole::Minus), low)?;
+            b.pin(i, PinRole::Plus)
+        } else {
+            b.wire(b.pin(i, PinRole::Plus), low)?;
+            b.pin(i, PinRole::Minus)
+        }
+    };
+
+    let (mut dp, mut dn) = diff_pair(
+        &mut b,
+        pair_kind,
+        CircuitPin::Vin(1).into(),
+        CircuitPin::Vin(2).into(),
+        tail_node,
+        low,
+    )?;
+
+    if config.input_cascode {
+        let bias: Node = CircuitPin::Vbias(2).into();
+        for d in [&mut dp, &mut dn] {
+            let c = b.add(pair_kind);
+            b.wire(b.pin(c, PinRole::Source), *d)?;
+            b.wire(b.pin(c, PinRole::Gate), bias)?;
+            b.wire(b.pin(c, PinRole::Bulk), low)?;
+            *d = b.pin(c, PinRole::Drain);
+        }
+    }
+
+    match config.load {
+        CompLoad::Mirror => {
+            mos_mirror(&mut b, load_kind, high, dp, &[dn])?;
+        }
+        CompLoad::Latch => {
+            let m1 = b.add(load_kind);
+            let m2 = b.add(load_kind);
+            b.wire(b.pin(m1, PinRole::Gate), dn)?;
+            b.wire(b.pin(m1, PinRole::Drain), dp)?;
+            b.wire(b.pin(m1, PinRole::Source), high)?;
+            b.wire(b.pin(m1, PinRole::Bulk), high)?;
+            b.wire(b.pin(m2, PinRole::Gate), dp)?;
+            b.wire(b.pin(m2, PinRole::Drain), dn)?;
+            b.wire(b.pin(m2, PinRole::Source), high)?;
+            b.wire(b.pin(m2, PinRole::Bulk), high)?;
+        }
+        CompLoad::Resistor => {
+            b.resistor(high, dp)?;
+            b.resistor(high, dn)?;
+        }
+    }
+
+    if config.hysteresis {
+        // Weak cross-coupled pair in parallel with the load.
+        let h1 = b.add(load_kind);
+        let h2 = b.add(load_kind);
+        b.wire(b.pin(h1, PinRole::Gate), dn)?;
+        b.wire(b.pin(h1, PinRole::Drain), dp)?;
+        b.wire(b.pin(h1, PinRole::Source), high)?;
+        b.wire(b.pin(h1, PinRole::Bulk), high)?;
+        b.wire(b.pin(h2, PinRole::Gate), dp)?;
+        b.wire(b.pin(h2, PinRole::Drain), dn)?;
+        b.wire(b.pin(h2, PinRole::Source), high)?;
+        b.wire(b.pin(h2, PinRole::Bulk), high)?;
+    }
+
+    // Output inverter chain.
+    let mut out_net = dn;
+    for _ in 0..config.inverters {
+        // Anchor the new net at the inverter's NMOS drain.
+        let mp = b.add(DeviceKind::Pmos);
+        let mn = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(mp, PinRole::Gate), out_net)?;
+        b.wire(b.pin(mn, PinRole::Gate), out_net)?;
+        b.wire(b.pin(mp, PinRole::Source), vdd)?;
+        b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+        b.wire(b.pin(mn, PinRole::Source), vss)?;
+        b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+        b.wire(b.pin(mp, PinRole::Drain), b.pin(mn, PinRole::Drain))?;
+        out_net = b.pin(mn, PinRole::Drain);
+    }
+    if config.sf_output {
+        let sf = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(sf, PinRole::Gate), out_net)?;
+        b.wire(b.pin(sf, PinRole::Drain), vdd)?;
+        b.wire(b.pin(sf, PinRole::Bulk), vss)?;
+        b.wire(b.pin(sf, PinRole::Source), CircuitPin::Vout(1))?;
+        b.resistor(CircuitPin::Vout(1), vss)?;
+    } else {
+        b.wire(out_net, CircuitPin::Vout(1))?;
+    }
+    b.build()
+}
+
+/// Generate all comparator variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        // 2 * (3 loads, minus latch+hyst) * 3 * 2 * 2 = see configs().
+        assert!(configs().len() >= 100, "got {}", configs().len());
+    }
+
+    #[test]
+    fn canonical_variant_valid() {
+        let c = ComparatorConfig {
+            input_kind: DeviceKind::Nmos,
+            load: CompLoad::Mirror,
+            hysteresis: false,
+            inverters: 1,
+            mos_tail: true,
+            input_cascode: false,
+            sf_output: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn latch_load_valid() {
+        let c = ComparatorConfig {
+            input_kind: DeviceKind::Pmos,
+            load: CompLoad::Latch,
+            hysteresis: false,
+            inverters: 2,
+            mos_tail: false,
+            input_cascode: true,
+            sf_output: true,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn inverter_count_grows_devices() {
+        let base = ComparatorConfig {
+            input_kind: DeviceKind::Nmos,
+            load: CompLoad::Mirror,
+            hysteresis: false,
+            inverters: 0,
+            mos_tail: true,
+            input_cascode: false,
+            sf_output: false,
+        };
+        let more = ComparatorConfig { inverters: 2, ..base };
+        assert_eq!(
+            build(&more).unwrap().device_count(),
+            build(&base).unwrap().device_count() + 4
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Switching power-converter family generator.
+//!
+//! Inductive converters (buck / boost / buck-boost / inverting) with diode
+//! or synchronous rectification and optional gate-drive buffering, plus
+//! capacitive charge pumps (Dickson ladders and cross-coupled doublers).
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// Inductive converter kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InductiveKind {
+    /// Step-down.
+    Buck,
+    /// Step-up.
+    Boost,
+    /// Non-inverting buck-boost.
+    BuckBoost,
+}
+
+/// One point in the power-converter design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConverterConfig {
+    /// Inductor-based switching converter.
+    Inductive {
+        /// Converter kind.
+        kind: InductiveKind,
+        /// Synchronous rectifier switch instead of a diode.
+        sync_rect: bool,
+        /// PMOS main switch (`true`) or NMOS (`false`).
+        pmos_switch: bool,
+        /// Second-order output filter (extra LC).
+        lc2: bool,
+        /// Buffer the clock through an inverter before the gate.
+        buffered_gate: bool,
+        /// RC snubber across the rectifier (switch-node to ground).
+        snubber: bool,
+    },
+    /// Dickson charge pump.
+    Dickson {
+        /// Number of pump stages (1–3).
+        stages: usize,
+        /// MOS-diode pass devices instead of junction diodes.
+        mos_diode: bool,
+    },
+    /// Cross-coupled voltage doubler.
+    CrossCoupled {
+        /// Add output filter capacitor.
+        filtered: bool,
+    },
+}
+
+impl ConverterConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        match self {
+            ConverterConfig::Inductive { kind, sync_rect, pmos_switch, lc2, buffered_gate, snubber } => {
+                format!(
+                    "converter/{:?}/{}{}{}{}{}",
+                    kind,
+                    if *sync_rect { "sync" } else { "diode" },
+                    if *pmos_switch { "+psw" } else { "+nsw" },
+                    if *lc2 { "+lc2" } else { "" },
+                    if *buffered_gate { "+buf" } else { "" },
+                    if *snubber { "+snub" } else { "" },
+                )
+            }
+            ConverterConfig::Dickson { stages, mos_diode } => format!(
+                "converter/dickson{stages}{}",
+                if *mos_diode { "+mosdiode" } else { "+diode" }
+            ),
+            ConverterConfig::CrossCoupled { filtered } => format!(
+                "converter/xcoupled{}",
+                if *filtered { "+filt" } else { "" }
+            ),
+        }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<ConverterConfig> {
+    let mut out = Vec::new();
+    for kind in [InductiveKind::Buck, InductiveKind::Boost, InductiveKind::BuckBoost] {
+        for sync_rect in [false, true] {
+            for pmos_switch in [false, true] {
+                for lc2 in [false, true] {
+                    for buffered_gate in [false, true] {
+                        for snubber in [false, true] {
+                            out.push(ConverterConfig::Inductive {
+                                kind,
+                                sync_rect,
+                                pmos_switch,
+                                lc2,
+                                buffered_gate,
+                                snubber,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for stages in 1..=3 {
+        for mos_diode in [false, true] {
+            out.push(ConverterConfig::Dickson { stages, mos_diode });
+        }
+    }
+    for filtered in [false, true] {
+        out.push(ConverterConfig::CrossCoupled { filtered });
+    }
+    out
+}
+
+/// Add the main switch between `a` and `c`, gated by `gate`.
+fn switch(
+    b: &mut TopologyBuilder,
+    pmos: bool,
+    a: Node,
+    c: Node,
+    gate: Node,
+) -> Result<(), CircuitError> {
+    let kind = if pmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+    let bulk: Node = if pmos { CircuitPin::Vdd.into() } else { Node::VSS };
+    let m = b.add(kind);
+    b.wire(b.pin(m, PinRole::Gate), gate)?;
+    b.wire(b.pin(m, PinRole::Source), a)?;
+    b.wire(b.pin(m, PinRole::Drain), c)?;
+    b.wire(b.pin(m, PinRole::Bulk), bulk)?;
+    Ok(())
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &ConverterConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let vout: Node = CircuitPin::Vout(1).into();
+    let clk: Node = CircuitPin::Clk(1).into();
+    let clk2: Node = CircuitPin::Clk(2).into();
+
+    match config {
+        ConverterConfig::Inductive { kind, sync_rect, pmos_switch, lc2, buffered_gate, snubber } => {
+            // Gate drive.
+            let gate: Node = if *buffered_gate {
+                let mp = b.add(DeviceKind::Pmos);
+                let mn = b.add(DeviceKind::Nmos);
+                b.wire(b.pin(mp, PinRole::Gate), clk)?;
+                b.wire(b.pin(mn, PinRole::Gate), clk)?;
+                b.wire(b.pin(mp, PinRole::Source), vdd)?;
+                b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+                b.wire(b.pin(mn, PinRole::Source), vss)?;
+                b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+                b.wire(b.pin(mp, PinRole::Drain), b.pin(mn, PinRole::Drain))?;
+                b.pin(mn, PinRole::Drain)
+            } else {
+                clk
+            };
+
+            // Switch node anchored at the inductor terminal.
+            let l = b.add(DeviceKind::Inductor);
+            let (lx, lo) = (b.pin(l, PinRole::Plus), b.pin(l, PinRole::Minus));
+            match kind {
+                InductiveKind::Buck => {
+                    // VDD -[switch]- lx -L- out; rectifier from VSS to lx.
+                    switch(&mut b, *pmos_switch, vdd, lx, gate)?;
+                    b.wire(lo, vout)?;
+                    if *sync_rect {
+                        switch(&mut b, false, vss, lx, clk2)?;
+                    } else {
+                        b.diode(vss, lx)?;
+                    }
+                }
+                InductiveKind::Boost => {
+                    // VDD -L- lx; switch lx to VSS; rectifier lx to out.
+                    b.wire(lx, vdd)?;
+                    switch(&mut b, *pmos_switch, vss, lo, gate)?;
+                    if *sync_rect {
+                        switch(&mut b, true, lo, vout, clk2)?;
+                    } else {
+                        b.diode(lo, vout)?;
+                    }
+                }
+                InductiveKind::BuckBoost => {
+                    // VDD -[switch]- lx -L- VSS; rectifier lx to out.
+                    switch(&mut b, *pmos_switch, vdd, lx, gate)?;
+                    b.wire(lo, vss)?;
+                    if *sync_rect {
+                        switch(&mut b, true, lx, vout, clk2)?;
+                    } else {
+                        b.diode(lx, vout)?;
+                    }
+                }
+            }
+            if *snubber {
+                let rs = b.add(DeviceKind::Resistor);
+                b.wire(b.pin(rs, PinRole::Plus), lx)?;
+                let mid = b.pin(rs, PinRole::Minus);
+                b.capacitor(mid, vss)?;
+            }
+            // Output filter.
+            b.capacitor(vout, vss)?;
+            if *lc2 {
+                // Second LC between a new mid node and the output:
+                // re-anchor: add series L from vout to a tap plus cap.
+                let l2 = b.add(DeviceKind::Inductor);
+                b.wire(b.pin(l2, PinRole::Plus), vout)?;
+                let tap = b.pin(l2, PinRole::Minus);
+                b.capacitor(tap, vss)?;
+            }
+        }
+        ConverterConfig::Dickson { stages, mos_diode } => {
+            // Classic Dickson ladder: diode chain from VDD to VOUT with
+            // flying caps pumped by alternating clock phases.
+            let mut prev: Node = vdd;
+            for s in 0..*stages {
+                // Stage node anchored at the flying cap's top plate.
+                let cf = b.add(DeviceKind::Capacitor);
+                let top = b.pin(cf, PinRole::Plus);
+                let phase = if s % 2 == 0 { clk } else { clk2 };
+                b.wire(b.pin(cf, PinRole::Minus), phase)?;
+                if *mos_diode {
+                    let m = b.add(DeviceKind::Nmos);
+                    b.wire(b.pin(m, PinRole::Gate), prev)?;
+                    b.wire(b.pin(m, PinRole::Drain), prev)?;
+                    b.wire(b.pin(m, PinRole::Source), top)?;
+                    b.wire(b.pin(m, PinRole::Bulk), vss)?;
+                } else {
+                    b.diode(prev, top)?;
+                }
+                prev = top;
+            }
+            // Output diode and reservoir cap.
+            if *mos_diode {
+                let m = b.add(DeviceKind::Nmos);
+                b.wire(b.pin(m, PinRole::Gate), prev)?;
+                b.wire(b.pin(m, PinRole::Drain), prev)?;
+                b.wire(b.pin(m, PinRole::Source), vout)?;
+                b.wire(b.pin(m, PinRole::Bulk), vss)?;
+            } else {
+                b.diode(prev, vout)?;
+            }
+            b.capacitor(vout, vss)?;
+        }
+        ConverterConfig::CrossCoupled { filtered } => {
+            // Cross-coupled NMOS doubler: two pump caps driven by opposite
+            // phases, NMOS pair steering charge into the output through
+            // PMOS pass devices.
+            let c1 = b.add(DeviceKind::Capacitor);
+            let n1 = b.pin(c1, PinRole::Plus);
+            b.wire(b.pin(c1, PinRole::Minus), clk)?;
+            let c2 = b.add(DeviceKind::Capacitor);
+            let n2 = b.pin(c2, PinRole::Plus);
+            b.wire(b.pin(c2, PinRole::Minus), clk2)?;
+            // NMOS cross pair charges the caps from VDD.
+            let m1 = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m1, PinRole::Gate), n2)?;
+            b.wire(b.pin(m1, PinRole::Drain), vdd)?;
+            b.wire(b.pin(m1, PinRole::Source), n1)?;
+            b.wire(b.pin(m1, PinRole::Bulk), vss)?;
+            let m2 = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m2, PinRole::Gate), n1)?;
+            b.wire(b.pin(m2, PinRole::Drain), vdd)?;
+            b.wire(b.pin(m2, PinRole::Source), n2)?;
+            b.wire(b.pin(m2, PinRole::Bulk), vss)?;
+            // PMOS cross pair delivers to the output.
+            let p1 = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(p1, PinRole::Gate), n2)?;
+            b.wire(b.pin(p1, PinRole::Source), n1)?;
+            b.wire(b.pin(p1, PinRole::Drain), vout)?;
+            b.wire(b.pin(p1, PinRole::Bulk), vdd)?;
+            let p2 = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(p2, PinRole::Gate), n1)?;
+            b.wire(b.pin(p2, PinRole::Source), n2)?;
+            b.wire(b.pin(p2, PinRole::Drain), vout)?;
+            b.wire(b.pin(p2, PinRole::Bulk), vdd)?;
+            if *filtered {
+                b.capacitor(vout, vss)?;
+            } else {
+                b.resistor(vout, vss)?;
+            }
+        }
+    }
+
+    b.build()
+}
+
+/// Generate all power-converter variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 3 * 2 * 2 * 2 * 2 * 2 + 6 + 2);
+    }
+
+    #[test]
+    fn diode_buck_valid() {
+        let c = ConverterConfig::Inductive {
+            kind: InductiveKind::Buck,
+            sync_rect: false,
+            pmos_switch: true,
+            lc2: false,
+            buffered_gate: false,
+            snubber: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn dickson_valid() {
+        let c = ConverterConfig::Dickson { stages: 2, mos_diode: false };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
+    }
+}

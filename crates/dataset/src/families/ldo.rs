@@ -1,0 +1,277 @@
+//! Low-dropout regulator family generator.
+//!
+//! Error amplifier (differential pair referenced to `VREF1`) driving a pass
+//! device, with a feedback network from the regulated output and optional
+//! compensation — the canonical LDO loop.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+use crate::blocks::{diff_pair, mos_mirror};
+
+/// Pass-device style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassDevice {
+    /// PMOS common-source pass transistor (classic low-dropout).
+    PmosCs,
+    /// NMOS source-follower pass transistor.
+    NmosSf,
+}
+
+/// Compensation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdoComp {
+    /// No explicit compensation.
+    None,
+    /// Output capacitor to ground.
+    OutputCap,
+    /// Miller capacitor across the pass device.
+    Miller,
+}
+
+/// One point in the LDO design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdoConfig {
+    /// Error-amp input pair polarity.
+    pub amp_input: DeviceKind,
+    /// Error-amp load: current mirror (`true`) or resistors (`false`).
+    pub mirror_load: bool,
+    /// Pass device.
+    pub pass: PassDevice,
+    /// Feedback through a resistive divider (`true`) or direct (`false`).
+    pub divider: bool,
+    /// Compensation.
+    pub comp: LdoComp,
+    /// MOS tail current source (`true`) or ideal source (`false`).
+    pub mos_tail: bool,
+    /// Buffer the error-amp output with a source follower before the pass
+    /// gate (improves drive of a large pass device).
+    pub buffered: bool,
+}
+
+impl LdoConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "ldo/{}-amp-{}/{:?}/{}/{:?}/{}",
+            if self.amp_input == DeviceKind::Nmos { "n" } else { "p" },
+            if self.mirror_load { "mirror" } else { "res" },
+            self.pass,
+            if self.divider { "divider" } else { "direct" },
+            self.comp,
+            if self.mos_tail { "mos-tail" } else { "ideal-tail" },
+        ) + if self.buffered { "+buf" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<LdoConfig> {
+    let mut out = Vec::new();
+    for amp_input in [DeviceKind::Nmos, DeviceKind::Pmos] {
+        for mirror_load in [true, false] {
+            for pass in [PassDevice::PmosCs, PassDevice::NmosSf] {
+                for divider in [true, false] {
+                    for comp in [LdoComp::None, LdoComp::OutputCap, LdoComp::Miller] {
+                        for mos_tail in [true, false] {
+                            for buffered in [false, true] {
+                                out.push(LdoConfig {
+                                    amp_input,
+                                    mirror_load,
+                                    pass,
+                                    divider,
+                                    comp,
+                                    mos_tail,
+                                    buffered,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &LdoConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let out: Node = CircuitPin::Vout(1).into();
+    let (pair_kind, low, high) = match config.amp_input {
+        DeviceKind::Nmos => (DeviceKind::Nmos, vss, vdd),
+        _ => (DeviceKind::Pmos, vdd, vss),
+    };
+    let load_kind = if pair_kind == DeviceKind::Nmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+
+    // Feedback node.
+    let fb: Node = if config.divider {
+        let r1 = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r1, PinRole::Plus), out)?;
+        let fb = b.pin(r1, PinRole::Minus);
+        let r2 = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r2, PinRole::Plus), fb)?;
+        b.wire(b.pin(r2, PinRole::Minus), vss)?;
+        fb
+    } else {
+        out
+    };
+
+    // Error amplifier.
+    let tail_node = if config.mos_tail {
+        let mt = b.add(pair_kind);
+        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1))?;
+        b.wire(b.pin(mt, PinRole::Source), low)?;
+        b.wire(b.pin(mt, PinRole::Bulk), low)?;
+        b.pin(mt, PinRole::Drain)
+    } else {
+        // Orient the ideal source so current flows through the pair.
+        let i = b.add(DeviceKind::CurrentSource);
+        if pair_kind == DeviceKind::Nmos {
+            b.wire(b.pin(i, PinRole::Minus), low)?;
+            b.pin(i, PinRole::Plus)
+        } else {
+            b.wire(b.pin(i, PinRole::Plus), low)?;
+            b.pin(i, PinRole::Minus)
+        }
+    };
+    let (dp, dn) = diff_pair(
+        &mut b,
+        pair_kind,
+        CircuitPin::Vref(1).into(),
+        fb,
+        tail_node,
+        low,
+    )?;
+    if config.mirror_load {
+        mos_mirror(&mut b, load_kind, high, dp, &[dn])?;
+    } else {
+        b.resistor(high, dp)?;
+        b.resistor(high, dn)?;
+    }
+    let amp_out = if config.buffered {
+        let sf = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(sf, PinRole::Gate), dn)?;
+        b.wire(b.pin(sf, PinRole::Drain), vdd)?;
+        b.wire(b.pin(sf, PinRole::Bulk), vss)?;
+        let r = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r, PinRole::Plus), b.pin(sf, PinRole::Source))?;
+        b.wire(b.pin(r, PinRole::Minus), vss)?;
+        b.pin(sf, PinRole::Source)
+    } else {
+        dn
+    };
+
+    // Pass device from VDD to the regulated output.
+    match config.pass {
+        PassDevice::PmosCs => {
+            let mp = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(mp, PinRole::Gate), amp_out)?;
+            b.wire(b.pin(mp, PinRole::Source), vdd)?;
+            b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+            b.wire(b.pin(mp, PinRole::Drain), out)?;
+        }
+        PassDevice::NmosSf => {
+            let mn = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(mn, PinRole::Gate), amp_out)?;
+            b.wire(b.pin(mn, PinRole::Drain), vdd)?;
+            b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+            b.wire(b.pin(mn, PinRole::Source), out)?;
+        }
+    }
+
+    // Load current so the loop has something to regulate.
+    b.resistor(out, vss)?;
+
+    match config.comp {
+        LdoComp::None => {}
+        LdoComp::OutputCap => {
+            b.capacitor(out, vss)?;
+        }
+        LdoComp::Miller => {
+            b.capacitor(amp_out, out)?;
+        }
+    }
+
+    b.build()
+}
+
+/// Generate all LDO variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 2 * 2 * 2 * 2 * 3 * 2 * 2);
+    }
+
+    #[test]
+    fn classic_pmos_ldo_valid() {
+        let c = LdoConfig {
+            amp_input: DeviceKind::Nmos,
+            mirror_load: true,
+            pass: PassDevice::PmosCs,
+            divider: true,
+            comp: LdoComp::OutputCap,
+            mos_tail: true,
+            buffered: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn regulates_near_reference() {
+        // With a direct-feedback NMOS follower the output should sit in the
+        // neighbourhood of VREF (within the crude default sizing's error).
+        let c = LdoConfig {
+            amp_input: DeviceKind::Nmos,
+            mirror_load: true,
+            pass: PassDevice::NmosSf,
+            divider: false,
+            comp: LdoComp::OutputCap,
+            mos_tail: true,
+            buffered: false,
+        };
+        let t = build(&c).unwrap();
+        let sizing = eva_spice::Sizing::default_for(&t);
+        let netlist =
+            eva_spice::elaborate(&t, &sizing, &eva_spice::Stimulus::default()).unwrap();
+        let op = eva_spice::dc_operating_point(&netlist, &eva_spice::Tech::default()).unwrap();
+        let out = netlist.port_node(CircuitPin::Vout(1)).unwrap();
+        let v = op.voltage(out);
+        assert!((0.3..1.6).contains(&v), "regulated output {v}");
+    }
+
+    #[test]
+    fn divider_adds_two_resistors() {
+        let base = LdoConfig {
+            amp_input: DeviceKind::Nmos,
+            mirror_load: true,
+            pass: PassDevice::PmosCs,
+            divider: false,
+            comp: LdoComp::None,
+            mos_tail: true,
+            buffered: false,
+        };
+        let div = LdoConfig { divider: true, ..base };
+        assert_eq!(
+            build(&div).unwrap().device_count(),
+            build(&base).unwrap().device_count() + 2
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Low-noise amplifier family generator.
+//!
+//! Narrow-band CMOS LNA idioms: inductively-degenerated common-source,
+//! common-gate, and cascode topologies with LC-tank/resistive/inductive
+//! loads and simple input matching networks.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// Core amplifier topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LnaCore {
+    /// Common-source with inductive source degeneration.
+    CsInductiveDegen,
+    /// Common-gate input stage.
+    CommonGate,
+    /// Cascode common-source.
+    CascodeCs,
+}
+
+/// Drain load style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LnaLoad {
+    /// Parallel LC tank.
+    Tank,
+    /// Plain resistor.
+    Resistor,
+    /// Inductor only (shunt-peaked).
+    Inductor,
+}
+
+/// Input matching network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputMatch {
+    /// Direct connection.
+    None,
+    /// Series gate inductor.
+    SeriesL,
+    /// L-section (series L, shunt C).
+    LSection,
+}
+
+/// One point in the LNA design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LnaConfig {
+    /// Core topology.
+    pub core: LnaCore,
+    /// Load style.
+    pub load: LnaLoad,
+    /// Input match.
+    pub input_match: InputMatch,
+    /// AC-couple the output through a capacitor.
+    pub output_coupled: bool,
+    /// Gate bias from a resistor ladder (`true`) or direct `VB` port.
+    pub resistor_bias: bool,
+    /// Resistive shunt feedback from drain to gate (wideband trick).
+    pub shunt_feedback: bool,
+}
+
+impl LnaConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "lna/{:?}/{:?}/{:?}{}{}",
+            self.core,
+            self.load,
+            self.input_match,
+            if self.output_coupled { "+accouple" } else { "" },
+            if self.resistor_bias { "+rbias" } else { "" },
+        ) + if self.shunt_feedback { "+sfb" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<LnaConfig> {
+    let mut out = Vec::new();
+    for core in [LnaCore::CsInductiveDegen, LnaCore::CommonGate, LnaCore::CascodeCs] {
+        for load in [LnaLoad::Tank, LnaLoad::Resistor, LnaLoad::Inductor] {
+            for input_match in [InputMatch::None, InputMatch::SeriesL, InputMatch::LSection] {
+                for output_coupled in [false, true] {
+                    for resistor_bias in [false, true] {
+                        for shunt_feedback in [false, true] {
+                            out.push(LnaConfig {
+                                core,
+                                load,
+                                input_match,
+                                output_coupled,
+                                resistor_bias,
+                                shunt_feedback,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &LnaConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let vin: Node = CircuitPin::Vin(1).into();
+    let vout: Node = CircuitPin::Vout(1).into();
+
+    // Input matching chain ends at `gate_in`.
+    let gate_in: Node = match config.input_match {
+        InputMatch::None => vin,
+        InputMatch::SeriesL => {
+            let l = b.add(DeviceKind::Inductor);
+            b.wire(b.pin(l, PinRole::Plus), vin)?;
+            b.pin(l, PinRole::Minus)
+        }
+        InputMatch::LSection => {
+            let l = b.add(DeviceKind::Inductor);
+            b.wire(b.pin(l, PinRole::Plus), vin)?;
+            let mid = b.pin(l, PinRole::Minus);
+            b.capacitor(mid, vss)?;
+            mid
+        }
+    };
+
+    // Gate bias network keeps the input stage conducting.
+    let bias_node: Node = if config.resistor_bias {
+        // VDD -R- bias -R- VSS ladder, tapped onto the gate through R.
+        let r1 = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r1, PinRole::Plus), vdd)?;
+        let tap = b.pin(r1, PinRole::Minus);
+        b.resistor(tap, vss)?;
+        tap
+    } else {
+        CircuitPin::Vbias(1).into()
+    };
+
+    // Core transistor(s); `drain_net` is the load node.
+    let drain_net: Node = match config.core {
+        LnaCore::CsInductiveDegen => {
+            let m = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m, PinRole::Gate), gate_in)?;
+            b.wire(b.pin(m, PinRole::Bulk), vss)?;
+            // Source degeneration inductor to ground.
+            let ls = b.add(DeviceKind::Inductor);
+            b.wire(b.pin(ls, PinRole::Plus), b.pin(m, PinRole::Source))?;
+            b.wire(b.pin(ls, PinRole::Minus), vss)?;
+            // Bias the gate through a resistor.
+            b.resistor(gate_in, bias_node)?;
+            b.pin(m, PinRole::Drain)
+        }
+        LnaCore::CommonGate => {
+            let m = b.add(DeviceKind::Nmos);
+            // Signal enters the source; gate sits at the bias.
+            b.wire(b.pin(m, PinRole::Source), gate_in)?;
+            b.wire(b.pin(m, PinRole::Gate), bias_node)?;
+            b.wire(b.pin(m, PinRole::Bulk), vss)?;
+            // Source bias current path to ground.
+            let lb = b.add(DeviceKind::Inductor);
+            b.wire(b.pin(lb, PinRole::Plus), gate_in)?;
+            b.wire(b.pin(lb, PinRole::Minus), vss)?;
+            b.pin(m, PinRole::Drain)
+        }
+        LnaCore::CascodeCs => {
+            let m = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m, PinRole::Gate), gate_in)?;
+            b.wire(b.pin(m, PinRole::Source), vss)?;
+            b.wire(b.pin(m, PinRole::Bulk), vss)?;
+            b.resistor(gate_in, bias_node)?;
+            let c = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(c, PinRole::Source), b.pin(m, PinRole::Drain))?;
+            b.wire(b.pin(c, PinRole::Gate), CircuitPin::Vbias(2))?;
+            b.wire(b.pin(c, PinRole::Bulk), vss)?;
+            b.pin(c, PinRole::Drain)
+        }
+    };
+
+    // Load.
+    match config.load {
+        LnaLoad::Tank => {
+            b.inductor(vdd, drain_net)?;
+            b.capacitor(vdd, drain_net)?;
+        }
+        LnaLoad::Resistor => {
+            b.resistor(vdd, drain_net)?;
+        }
+        LnaLoad::Inductor => {
+            b.inductor(vdd, drain_net)?;
+        }
+    }
+
+    if config.shunt_feedback {
+        b.resistor(drain_net, gate_in)?;
+    }
+
+    // Output.
+    if config.output_coupled {
+        b.capacitor(drain_net, vout)?;
+        // Give the coupled output a DC path so it is not floating.
+        b.resistor(vout, vss)?;
+    } else {
+        b.wire(drain_net, vout)?;
+    }
+
+    b.build()
+}
+
+/// Generate all LNA variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 3 * 3 * 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn cascode_tank_lna_valid() {
+        let c = LnaConfig {
+            core: LnaCore::CascodeCs,
+            load: LnaLoad::Tank,
+            input_match: InputMatch::LSection,
+            output_coupled: true,
+            resistor_bias: false,
+            shunt_feedback: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
+    }
+
+    #[test]
+    fn uses_inductors() {
+        let c = LnaConfig {
+            core: LnaCore::CsInductiveDegen,
+            load: LnaLoad::Tank,
+            input_match: InputMatch::SeriesL,
+            output_coupled: false,
+            resistor_bias: true,
+            shunt_feedback: false,
+        };
+        let t = build(&c).unwrap();
+        let h = t.device_histogram();
+        assert!(h[&DeviceKind::Inductor] >= 3, "{h:?}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Mixer family generator.
+//!
+//! Single-balanced and double-balanced (Gilbert-cell) active mixers: a
+//! transconductance stage driven by the RF input, a switching quad/pair
+//! driven by the LO, and resistive / mirror / tank loads.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+use crate::blocks::diff_pair;
+
+/// Mixer load style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixerLoad {
+    /// Resistor loads.
+    Resistor,
+    /// PMOS mirror loads.
+    Mirror,
+    /// LC tank loads.
+    Tank,
+}
+
+/// One point in the mixer design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixerConfig {
+    /// Double-balanced Gilbert cell (`true`) or single-balanced (`false`).
+    pub double_balanced: bool,
+    /// Load style.
+    pub load: MixerLoad,
+    /// MOS tail current source (`true`) or ideal (`false`).
+    pub mos_tail: bool,
+    /// Resistively degenerate the transconductance stage.
+    pub degen: bool,
+    /// Buffer the IF output with a source follower.
+    pub buffer: bool,
+    /// First-order RC low-pass at the IF output.
+    pub output_filter: bool,
+}
+
+impl MixerConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "mixer/{}/{:?}{}{}{}",
+            if self.double_balanced { "gilbert" } else { "single" },
+            self.load,
+            if self.mos_tail { "/mos-tail" } else { "/ideal-tail" },
+            if self.degen { "+degen" } else { "" },
+            if self.buffer { "+buf" } else { "" },
+        ) + if self.output_filter { "+lpf" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<MixerConfig> {
+    let mut out = Vec::new();
+    for double_balanced in [false, true] {
+        for load in [MixerLoad::Resistor, MixerLoad::Mirror, MixerLoad::Tank] {
+            for mos_tail in [true, false] {
+                for degen in [false, true] {
+                    for buffer in [false, true] {
+                        for output_filter in [false, true] {
+                            out.push(MixerConfig {
+                                double_balanced,
+                                load,
+                                mos_tail,
+                                degen,
+                                buffer,
+                                output_filter,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// Ports: `VIN1`/`VIN2` are the RF pair, `CLK1`/`CLK2` drive the LO
+/// switches (clock ports model the LO drive), `VOUT1` is the IF output.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &MixerConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let lo_p: Node = CircuitPin::Clk(1).into();
+    let lo_n: Node = CircuitPin::Clk(2).into();
+
+    // Tail.
+    let tail: Node = if config.mos_tail {
+        let mt = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1))?;
+        b.wire(b.pin(mt, PinRole::Source), vss)?;
+        b.wire(b.pin(mt, PinRole::Bulk), vss)?;
+        b.pin(mt, PinRole::Drain)
+    } else {
+        let i = b.add(DeviceKind::CurrentSource);
+        b.wire(b.pin(i, PinRole::Minus), vss)?;
+        b.pin(i, PinRole::Plus)
+    };
+
+    // Transconductance stage.
+    let (gm_p, gm_n): (Node, Node) = if config.double_balanced {
+        let (a, c) = if config.degen {
+            // Degenerated pair: two transistors with source resistors to
+            // the shared tail.
+            let m1 = b.add(DeviceKind::Nmos);
+            let m2 = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m1, PinRole::Gate), CircuitPin::Vin(1))?;
+            b.wire(b.pin(m2, PinRole::Gate), CircuitPin::Vin(2))?;
+            b.wire(b.pin(m1, PinRole::Bulk), vss)?;
+            b.wire(b.pin(m2, PinRole::Bulk), vss)?;
+            let r1 = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r1, PinRole::Plus), b.pin(m1, PinRole::Source))?;
+            b.wire(b.pin(r1, PinRole::Minus), tail)?;
+            let r2 = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r2, PinRole::Plus), b.pin(m2, PinRole::Source))?;
+            b.wire(b.pin(r2, PinRole::Minus), tail)?;
+            (b.pin(m1, PinRole::Drain), b.pin(m2, PinRole::Drain))
+        } else {
+            diff_pair(
+                &mut b,
+                DeviceKind::Nmos,
+                CircuitPin::Vin(1).into(),
+                CircuitPin::Vin(2).into(),
+                tail,
+                vss,
+            )?
+        };
+        (a, c)
+    } else {
+        // Single transconductor.
+        let m = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(m, PinRole::Gate), CircuitPin::Vin(1))?;
+        b.wire(b.pin(m, PinRole::Bulk), vss)?;
+        if config.degen {
+            let r = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r, PinRole::Plus), b.pin(m, PinRole::Source))?;
+            b.wire(b.pin(r, PinRole::Minus), tail)?;
+        } else {
+            b.wire(b.pin(m, PinRole::Source), tail)?;
+        }
+        let d = b.pin(m, PinRole::Drain);
+        (d, d)
+    };
+
+    // LO switching stage: for the single-balanced mixer, one pair on top of
+    // the transconductor; for the Gilbert cell, a quad.
+    let (mut if_p, mut if_n): (Node, Node) = {
+        let (s1p, s1n) = diff_pair(&mut b, DeviceKind::Nmos, lo_p, lo_n, gm_p, vss)?;
+        if config.double_balanced {
+            let (s2p, s2n) = diff_pair(&mut b, DeviceKind::Nmos, lo_n, lo_p, gm_n, vss)?;
+            // Cross-connect the quad outputs.
+            b.wire(s1p, s2p)?;
+            b.wire(s1n, s2n)?;
+        }
+        (s1p, s1n)
+    };
+
+    // Loads on both IF branches.
+    match config.load {
+        MixerLoad::Resistor => {
+            b.resistor(vdd, if_p)?;
+            b.resistor(vdd, if_n)?;
+        }
+        MixerLoad::Mirror => {
+            crate::blocks::mos_mirror(&mut b, DeviceKind::Pmos, vdd, if_p, &[if_n])?;
+        }
+        MixerLoad::Tank => {
+            b.inductor(vdd, if_p)?;
+            b.capacitor(vdd, if_p)?;
+            b.inductor(vdd, if_n)?;
+            b.capacitor(vdd, if_n)?;
+        }
+    }
+
+    // IF output (single-ended from the negative branch).
+    if config.buffer {
+        let sf = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(sf, PinRole::Gate), if_n)?;
+        b.wire(b.pin(sf, PinRole::Drain), vdd)?;
+        b.wire(b.pin(sf, PinRole::Bulk), vss)?;
+        b.wire(b.pin(sf, PinRole::Source), CircuitPin::Vout(1))?;
+        b.resistor(CircuitPin::Vout(1), vss)?;
+        if_n = b.pin(sf, PinRole::Gate);
+    } else {
+        b.wire(if_n, CircuitPin::Vout(1))?;
+    }
+    let _ = (&mut if_p, if_n);
+
+    if config.output_filter {
+        b.capacitor(CircuitPin::Vout(1), vss)?;
+        b.resistor(CircuitPin::Vout(1), vss)?;
+    }
+
+    b.build()
+}
+
+/// Generate all mixer variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 2 * 3 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn gilbert_cell_valid() {
+        let c = MixerConfig {
+            double_balanced: true,
+            load: MixerLoad::Resistor,
+            mos_tail: true,
+            degen: false,
+            buffer: false,
+            output_filter: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+        // Quad + pair + tail = 7 transistors.
+        assert!(t.device_count() >= 7);
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
+    }
+}

@@ -1,0 +1,383 @@
+//! Operational-amplifier family generator.
+//!
+//! Enumerates classic Op-Amp construction axes — input polarity, input
+//! cascoding, load style, tail style, optional second stage with Miller
+//! compensation, optional output buffer, and bias style — covering the
+//! single-stage OTA through two-stage buffered amplifier idioms found in
+//! Razavi / Gray & Meyer / Allen & Holberg.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+use crate::blocks::{common_source, mos_mirror, resistor_bias, source_follower};
+
+/// Load of the first stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Load {
+    /// Current-mirror load (single-ended output).
+    Mirror,
+    /// Cascoded current-mirror load.
+    CascodeMirror,
+    /// Resistor loads on both branches.
+    Resistor,
+    /// Diode-connected MOS loads on both branches.
+    Diode,
+}
+
+/// Tail current element of the differential pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tail {
+    /// MOS current source gated by a bias net.
+    Mos,
+    /// Plain resistor degeneration to the rail.
+    Resistor,
+    /// Ideal DC current source device.
+    Ideal,
+}
+
+/// Optional second gain stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondStage {
+    /// No second stage.
+    None,
+    /// Common-source stage without compensation.
+    Cs,
+    /// Common-source stage with a Miller capacitor.
+    CsMiller,
+}
+
+/// Optional output buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buffer {
+    /// No buffer.
+    None,
+    /// Source follower matching the input polarity.
+    SourceFollower,
+}
+
+/// One point in the Op-Amp design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpampConfig {
+    /// Input pair polarity (`Nmos` or `Pmos`).
+    pub input_kind: DeviceKind,
+    /// Cascode the input branch outputs.
+    pub input_cascode: bool,
+    /// First-stage load.
+    pub load: Load,
+    /// Tail style.
+    pub tail: Tail,
+    /// Second stage.
+    pub second_stage: SecondStage,
+    /// Output buffer.
+    pub buffer: Buffer,
+    /// Generate the tail bias on-chip from a resistor-programmed mirror
+    /// instead of an external `VB1` port.
+    pub internal_bias: bool,
+    /// Resistively degenerate the input pair (sources reach the tail
+    /// through resistors).
+    pub degenerated: bool,
+}
+
+impl OpampConfig {
+    /// A compact human-readable tag for the variant.
+    pub fn tag(&self) -> String {
+        format!(
+            "opamp/{}-in{}{}/{:?}-load/{:?}-tail/{:?}/{:?}{}",
+            if self.input_kind == DeviceKind::Nmos { "n" } else { "p" },
+            if self.input_cascode { "+casc" } else { "" },
+            if self.internal_bias { "+selfbias" } else { "" },
+            self.load,
+            self.tail,
+            self.second_stage,
+            self.buffer,
+            if self.degenerated { "+degen" } else { "" },
+        )
+    }
+}
+
+/// Enumerate the whole config space.
+pub fn configs() -> Vec<OpampConfig> {
+    let mut out = Vec::new();
+    for input_kind in [DeviceKind::Nmos, DeviceKind::Pmos] {
+        for input_cascode in [false, true] {
+            for load in [Load::Mirror, Load::CascodeMirror, Load::Resistor, Load::Diode] {
+                for tail in [Tail::Mos, Tail::Resistor, Tail::Ideal] {
+                    for second_stage in [SecondStage::None, SecondStage::Cs, SecondStage::CsMiller]
+                    {
+                        for buffer in [Buffer::None, Buffer::SourceFollower] {
+                            for internal_bias in [false, true] {
+                                // Internal bias only matters with a MOS tail.
+                                if internal_bias && tail != Tail::Mos {
+                                    continue;
+                                }
+                                for degenerated in [false, true] {
+                                    out.push(OpampConfig {
+                                        input_kind,
+                                        input_cascode,
+                                        load,
+                                        tail,
+                                        second_stage,
+                                        buffer,
+                                        internal_bias,
+                                        degenerated,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring (should not occur for the
+/// enumerated space; surfaced for robustness).
+pub fn build(config: &OpampConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    // "low" rail hosts the tail, "high" rail hosts the load.
+    let (pair_kind, low, high) = match config.input_kind {
+        DeviceKind::Nmos => (DeviceKind::Nmos, vss, vdd),
+        _ => (DeviceKind::Pmos, vdd, vss),
+    };
+    let load_kind = if pair_kind == DeviceKind::Nmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+
+    // Tail.
+    let tail_node = match config.tail {
+        Tail::Mos => {
+            let bias: Node = if config.internal_bias {
+                resistor_bias(&mut b, pair_kind, if pair_kind == DeviceKind::Nmos { vdd } else { vss }, low)?
+            } else {
+                CircuitPin::Vbias(1).into()
+            };
+            let mt = b.add(pair_kind);
+            b.wire(b.pin(mt, PinRole::Gate), bias)?;
+            b.wire(b.pin(mt, PinRole::Source), low)?;
+            b.wire(b.pin(mt, PinRole::Bulk), low)?;
+            b.pin(mt, PinRole::Drain)
+        }
+        Tail::Resistor => {
+            let r = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r, PinRole::Plus), low)?;
+            b.pin(r, PinRole::Minus)
+        }
+        Tail::Ideal => {
+            // Current flows plus → minus through the source: an NMOS pair's
+            // tail sinks into VSS (plus = tail), a PMOS pair's tail is fed
+            // from VDD (minus = tail).
+            let i = b.add(DeviceKind::CurrentSource);
+            if pair_kind == DeviceKind::Nmos {
+                b.wire(b.pin(i, PinRole::Minus), low)?;
+                b.pin(i, PinRole::Plus)
+            } else {
+                b.wire(b.pin(i, PinRole::Plus), low)?;
+                b.pin(i, PinRole::Minus)
+            }
+        }
+    };
+
+    // Input pair, optionally degenerated through source resistors.
+    let pair_tail = if config.degenerated {
+        // Two resistors join at the tail; the pair sources hang off their
+        // far ends. Anchor a shared node at the first resistor's far pin.
+        let r1 = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r1, PinRole::Minus), tail_node)?;
+        let r2 = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r2, PinRole::Minus), tail_node)?;
+        (b.pin(r1, PinRole::Plus), b.pin(r2, PinRole::Plus))
+    } else {
+        (tail_node, tail_node)
+    };
+    let m1 = b.add(pair_kind);
+    let m2 = b.add(pair_kind);
+    b.wire(b.pin(m1, PinRole::Gate), CircuitPin::Vin(1))?;
+    b.wire(b.pin(m2, PinRole::Gate), CircuitPin::Vin(2))?;
+    b.wire(b.pin(m1, PinRole::Source), pair_tail.0)?;
+    b.wire(b.pin(m2, PinRole::Source), pair_tail.1)?;
+    b.wire(b.pin(m1, PinRole::Bulk), low)?;
+    b.wire(b.pin(m2, PinRole::Bulk), low)?;
+    let (mut dp, mut dn) = (b.pin(m1, PinRole::Drain), b.pin(m2, PinRole::Drain));
+
+    // Optional input cascodes.
+    if config.input_cascode {
+        let bias: Node = CircuitPin::Vbias(2).into();
+        let c1 = b.add(pair_kind);
+        b.wire(b.pin(c1, PinRole::Source), dp)?;
+        b.wire(b.pin(c1, PinRole::Gate), bias)?;
+        b.wire(b.pin(c1, PinRole::Bulk), low)?;
+        dp = b.pin(c1, PinRole::Drain);
+        let c2 = b.add(pair_kind);
+        b.wire(b.pin(c2, PinRole::Source), dn)?;
+        b.wire(b.pin(c2, PinRole::Gate), bias)?;
+        b.wire(b.pin(c2, PinRole::Bulk), low)?;
+        dn = b.pin(c2, PinRole::Drain);
+    }
+
+    // Load.
+    match config.load {
+        Load::Mirror => {
+            mos_mirror(&mut b, load_kind, high, dp, &[dn])?;
+        }
+        Load::CascodeMirror => {
+            // Bottom mirror devices on the high rail; cascodes between
+            // their drains and the branch outputs, gated by VB3.
+            let cb: Node = CircuitPin::Vbias(3).into();
+            let mb1 = b.add(load_kind);
+            let mb2 = b.add(load_kind);
+            b.wire(b.pin(mb1, PinRole::Source), high)?;
+            b.wire(b.pin(mb2, PinRole::Source), high)?;
+            b.wire(b.pin(mb1, PinRole::Bulk), high)?;
+            b.wire(b.pin(mb2, PinRole::Bulk), high)?;
+            // Gates tied to the diode branch output (dp).
+            b.wire(b.pin(mb1, PinRole::Gate), dp)?;
+            b.wire(b.pin(mb2, PinRole::Gate), dp)?;
+            let mc1 = b.add(load_kind);
+            b.wire(b.pin(mc1, PinRole::Source), b.pin(mb1, PinRole::Drain))?;
+            b.wire(b.pin(mc1, PinRole::Gate), cb)?;
+            b.wire(b.pin(mc1, PinRole::Bulk), high)?;
+            b.wire(b.pin(mc1, PinRole::Drain), dp)?;
+            let mc2 = b.add(load_kind);
+            b.wire(b.pin(mc2, PinRole::Source), b.pin(mb2, PinRole::Drain))?;
+            b.wire(b.pin(mc2, PinRole::Gate), cb)?;
+            b.wire(b.pin(mc2, PinRole::Bulk), high)?;
+            b.wire(b.pin(mc2, PinRole::Drain), dn)?;
+        }
+        Load::Resistor => {
+            b.resistor(high, dp)?;
+            b.resistor(high, dn)?;
+        }
+        Load::Diode => {
+            for d in [dp, dn] {
+                let m = b.add(load_kind);
+                b.wire(b.pin(m, PinRole::Gate), d)?;
+                b.wire(b.pin(m, PinRole::Drain), d)?;
+                b.wire(b.pin(m, PinRole::Source), high)?;
+                b.wire(b.pin(m, PinRole::Bulk), high)?;
+            }
+        }
+    }
+
+    // Output chain.
+    let mut out_net = dn;
+    match config.second_stage {
+        SecondStage::None => {}
+        SecondStage::Cs | SecondStage::CsMiller => {
+            // Second stage polarity: complementary to the first-stage load
+            // so its input common-mode fits. Its drain net is anchored at a
+            // load resistor returning to the low rail.
+            let r = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r, PinRole::Plus), low)?;
+            let stage_out_anchor = b.pin(r, PinRole::Minus);
+            let cs = common_source(&mut b, load_kind, out_net, stage_out_anchor, high)?;
+            let stage_out = b.pin(cs, PinRole::Drain);
+            if config.second_stage == SecondStage::CsMiller {
+                b.capacitor(out_net, stage_out)?;
+            }
+            out_net = stage_out;
+        }
+    }
+    match config.buffer {
+        Buffer::None => {}
+        Buffer::SourceFollower => {
+            let r = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r, PinRole::Plus), low)?;
+            let follower_out_anchor = b.pin(r, PinRole::Minus);
+            let sf = source_follower(&mut b, pair_kind, out_net, follower_out_anchor, high)?;
+            out_net = b.pin(sf, PinRole::Source);
+        }
+    }
+    b.wire(out_net, CircuitPin::Vout(1))?;
+    b.build()
+}
+
+/// Generate all Op-Amp variants as `(topology, tag)` pairs, skipping any
+/// configuration that fails to build.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn config_space_is_large() {
+        assert!(configs().len() >= 300, "got {}", configs().len());
+    }
+
+    #[test]
+    fn all_configs_build() {
+        assert_eq!(generate().len(), configs().len());
+    }
+
+    #[test]
+    fn basic_ota_variant_is_valid() {
+        let c = OpampConfig {
+            input_kind: DeviceKind::Nmos,
+            input_cascode: false,
+            load: Load::Mirror,
+            tail: Tail::Mos,
+            second_stage: SecondStage::None,
+            buffer: Buffer::None,
+            internal_bias: false,
+            degenerated: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+        assert_eq!(t.device_count(), 5, "five-transistor OTA");
+    }
+
+    #[test]
+    fn most_variants_are_valid() {
+        // A large majority of the enumerated space must pass the validity
+        // oracle (a few exotic corners may bias badly).
+        let all = generate();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
+        let rate = valid as f64 / all.len() as f64;
+        assert!(rate > 0.7, "validity rate {rate} ({valid}/{})", all.len());
+    }
+
+    #[test]
+    fn variants_are_mostly_structurally_distinct() {
+        let all = generate();
+        let hashes: std::collections::BTreeSet<u64> =
+            all.iter().map(|(t, _)| t.canonical_hash()).collect();
+        // Tags differ but a few configs may collapse to the same structure.
+        assert!(
+            hashes.len() * 10 >= all.len() * 8,
+            "at least 80% unique: {} of {}",
+            hashes.len(),
+            all.len()
+        );
+    }
+
+    #[test]
+    fn two_stage_has_more_devices() {
+        let base = OpampConfig {
+            input_kind: DeviceKind::Nmos,
+            input_cascode: false,
+            load: Load::Mirror,
+            tail: Tail::Mos,
+            second_stage: SecondStage::None,
+            buffer: Buffer::None,
+            internal_bias: false,
+            degenerated: false,
+        };
+        let two = OpampConfig { second_stage: SecondStage::CsMiller, ..base };
+        assert!(build(&two).unwrap().device_count() > build(&base).unwrap().device_count());
+    }
+}

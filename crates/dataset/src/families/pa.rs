@@ -1,0 +1,240 @@
+//! Power-amplifier family generator.
+//!
+//! One- and two-stage class-A/AB CMOS PA idioms: common-source output
+//! devices under RF chokes or tanks, optional cascoding, input matching and
+//! source degeneration.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// Output-stage load style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaLoad {
+    /// Parallel LC tank to VDD.
+    Tank,
+    /// RF choke (inductor) to VDD with an AC-coupling cap to the output.
+    Choke,
+}
+
+/// Input coupling network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaMatch {
+    /// Direct drive.
+    None,
+    /// Series coupling capacitor with a bias resistor.
+    SeriesC,
+    /// LC L-section.
+    Lc,
+}
+
+/// Source degeneration of the output device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaDegen {
+    /// Source grounded directly.
+    None,
+    /// Inductive degeneration.
+    Inductor,
+    /// Resistive degeneration.
+    Resistor,
+}
+
+/// One point in the PA design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaConfig {
+    /// Two-stage (driver + output) when `true`.
+    pub two_stage: bool,
+    /// Cascode the output device.
+    pub cascode: bool,
+    /// Output load.
+    pub load: PaLoad,
+    /// Input match.
+    pub input_match: PaMatch,
+    /// Degeneration.
+    pub degen: PaDegen,
+    /// Series LC harmonic trap from the output node to ground.
+    pub harmonic_trap: bool,
+}
+
+impl PaConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "pa/{}stage{}/{:?}/{:?}/{:?}",
+            if self.two_stage { 2 } else { 1 },
+            if self.cascode { "+casc" } else { "" },
+            self.load,
+            self.input_match,
+            self.degen,
+        ) + if self.harmonic_trap { "+trap" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<PaConfig> {
+    let mut out = Vec::new();
+    for two_stage in [false, true] {
+        for cascode in [false, true] {
+            for load in [PaLoad::Tank, PaLoad::Choke] {
+                for input_match in [PaMatch::None, PaMatch::SeriesC, PaMatch::Lc] {
+                    for degen in [PaDegen::None, PaDegen::Inductor, PaDegen::Resistor] {
+                        for harmonic_trap in [false, true] {
+                            out.push(PaConfig {
+                                two_stage,
+                                cascode,
+                                load,
+                                input_match,
+                                degen,
+                                harmonic_trap,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build one common-source gain stage; returns its drain node.
+fn gain_stage(
+    b: &mut TopologyBuilder,
+    input: Node,
+    bias: Node,
+    degen: PaDegen,
+    vss: Node,
+) -> Result<Node, CircuitError> {
+    let m = b.add(DeviceKind::Nmos);
+    b.wire(b.pin(m, PinRole::Gate), input)?;
+    b.wire(b.pin(m, PinRole::Bulk), vss)?;
+    b.resistor(input, bias)?;
+    match degen {
+        PaDegen::None => {
+            b.wire(b.pin(m, PinRole::Source), vss)?;
+        }
+        PaDegen::Inductor => {
+            let l = b.add(DeviceKind::Inductor);
+            b.wire(b.pin(l, PinRole::Plus), b.pin(m, PinRole::Source))?;
+            b.wire(b.pin(l, PinRole::Minus), vss)?;
+        }
+        PaDegen::Resistor => {
+            let r = b.add(DeviceKind::Resistor);
+            b.wire(b.pin(r, PinRole::Plus), b.pin(m, PinRole::Source))?;
+            b.wire(b.pin(r, PinRole::Minus), vss)?;
+        }
+    }
+    Ok(b.pin(m, PinRole::Drain))
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &PaConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let vin: Node = CircuitPin::Vin(1).into();
+    let vout: Node = CircuitPin::Vout(1).into();
+
+    // Input network feeding the first gate.
+    let first_gate: Node = match config.input_match {
+        PaMatch::None => vin,
+        PaMatch::SeriesC => {
+            let c = b.add(DeviceKind::Capacitor);
+            b.wire(b.pin(c, PinRole::Plus), vin)?;
+            b.pin(c, PinRole::Minus)
+        }
+        PaMatch::Lc => {
+            let l = b.add(DeviceKind::Inductor);
+            b.wire(b.pin(l, PinRole::Plus), vin)?;
+            let mid = b.pin(l, PinRole::Minus);
+            b.capacitor(mid, vss)?;
+            mid
+        }
+    };
+
+    // Optional driver stage with a choke load and coupling cap.
+    let stage_input = if config.two_stage {
+        let d_out = gain_stage(&mut b, first_gate, CircuitPin::Vbias(2).into(), PaDegen::None, vss)?;
+        b.inductor(vdd, d_out)?;
+        let c = b.add(DeviceKind::Capacitor);
+        b.wire(b.pin(c, PinRole::Plus), d_out)?;
+        b.pin(c, PinRole::Minus)
+    } else {
+        first_gate
+    };
+
+    // Output stage.
+    let mut drain = gain_stage(&mut b, stage_input, CircuitPin::Vbias(1).into(), config.degen, vss)?;
+    if config.cascode {
+        let c = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(c, PinRole::Source), drain)?;
+        b.wire(b.pin(c, PinRole::Gate), CircuitPin::Vbias(3))?;
+        b.wire(b.pin(c, PinRole::Bulk), vss)?;
+        drain = b.pin(c, PinRole::Drain);
+    }
+
+    match config.load {
+        PaLoad::Tank => {
+            b.inductor(vdd, drain)?;
+            b.capacitor(vdd, drain)?;
+            b.wire(drain, vout)?;
+        }
+        PaLoad::Choke => {
+            b.inductor(vdd, drain)?;
+            b.capacitor(drain, vout)?;
+            // DC return for the AC-coupled output.
+            b.resistor(vout, vss)?;
+        }
+    }
+
+    if config.harmonic_trap {
+        let lt = b.add(DeviceKind::Inductor);
+        b.wire(b.pin(lt, PinRole::Plus), vout)?;
+        let mid = b.pin(lt, PinRole::Minus);
+        b.capacitor(mid, vss)?;
+    }
+
+    b.build()
+}
+
+/// Generate all PA variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 2 * 2 * 2 * 3 * 3 * 2);
+    }
+
+    #[test]
+    fn two_stage_cascode_pa_valid() {
+        let c = PaConfig {
+            two_stage: true,
+            cascode: true,
+            load: PaLoad::Choke,
+            input_match: PaMatch::SeriesC,
+            degen: PaDegen::Inductor,
+            harmonic_trap: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
+    }
+}

@@ -1,0 +1,272 @@
+//! Phase-locked loop family generator (transistor-level blocks).
+//!
+//! A compact PLL: phase detector (pass-transistor or latch style) comparing
+//! the `CLK1` reference against the VCO output, a charge-pump / filter
+//! driving the control node, and a current-starved ring VCO. Enumeration
+//! covers ring length, detector and pump styles, and loop-filter order.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// Phase-detector style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdStyle {
+    /// Single pass transistor sampling the reference with the VCO phase.
+    PassGate,
+    /// Cross-coupled latch comparing the two phases.
+    Latch,
+}
+
+/// Charge-pump style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpStyle {
+    /// Complementary switch pair into the filter.
+    SwitchPair,
+    /// Mirror-loaded single-ended pump.
+    Mirror,
+}
+
+/// One point in the PLL design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PllConfig {
+    /// Ring VCO stages (odd).
+    pub stages: usize,
+    /// Phase detector style.
+    pub pd: PdStyle,
+    /// Charge pump style.
+    pub pump: PumpStyle,
+    /// Second-order loop filter (extra ripple cap).
+    pub second_order: bool,
+    /// Buffer the VCO output before it is fed back / exported.
+    pub buffer: bool,
+    /// Extra ripple capacitor from the control node to the supply.
+    pub ctrl_decap: bool,
+}
+
+impl PllConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "pll/ring{}/{:?}/{:?}/{}{}",
+            self.stages,
+            self.pd,
+            self.pump,
+            if self.second_order { "lf2" } else { "lf1" },
+            if self.buffer { "+buf" } else { "" },
+        ) + if self.ctrl_decap { "+decap" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<PllConfig> {
+    let mut out = Vec::new();
+    for stages in [3usize, 5, 7] {
+        for pd in [PdStyle::PassGate, PdStyle::Latch] {
+            for pump in [PumpStyle::SwitchPair, PumpStyle::Mirror] {
+                for second_order in [false, true] {
+                    for buffer in [false, true] {
+                        for ctrl_decap in [false, true] {
+                            out.push(PllConfig { stages, pd, pump, second_order, buffer, ctrl_decap });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &PllConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let refclk: Node = CircuitPin::Clk(1).into();
+
+    // --- Current-starved ring VCO, control node anchored at the first
+    // starving NMOS gate.
+    let mut ctrl_anchor: Option<Node> = None;
+    let mut first_input: Option<Node> = None;
+    let mut prev_out: Option<Node> = None;
+    let mut vco_out: Node = vss; // replaced below
+    for k in 0..config.stages {
+        let mp = b.add(DeviceKind::Pmos);
+        let mn = b.add(DeviceKind::Nmos);
+        let input = b.pin(mn, PinRole::Gate);
+        b.wire(b.pin(mp, PinRole::Gate), input)?;
+        b.wire(b.pin(mp, PinRole::Drain), b.pin(mn, PinRole::Drain))?;
+        b.wire(b.pin(mp, PinRole::Source), vdd)?;
+        b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+        b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+        // Starving NMOS under each inverter, gated by the control net.
+        let sn = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(sn, PinRole::Drain), b.pin(mn, PinRole::Source))?;
+        b.wire(b.pin(sn, PinRole::Source), vss)?;
+        b.wire(b.pin(sn, PinRole::Bulk), vss)?;
+        match ctrl_anchor {
+            None => ctrl_anchor = Some(b.pin(sn, PinRole::Gate)),
+            Some(ctrl) => b.wire(b.pin(sn, PinRole::Gate), ctrl)?,
+        }
+        let out = b.pin(mn, PinRole::Drain);
+        if let Some(prev) = prev_out {
+            b.wire(prev, input)?;
+        } else {
+            first_input = Some(input);
+        }
+        prev_out = Some(out);
+        if k == config.stages - 1 {
+            vco_out = out;
+        }
+    }
+    b.wire(prev_out.expect("stages >= 1"), first_input.expect("stages >= 1"))?;
+    let ctrl = ctrl_anchor.expect("at least one stage");
+
+    // Optional buffer on the VCO output.
+    let fb: Node = if config.buffer {
+        let mp = b.add(DeviceKind::Pmos);
+        let mn = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(mp, PinRole::Gate), vco_out)?;
+        b.wire(b.pin(mn, PinRole::Gate), vco_out)?;
+        b.wire(b.pin(mp, PinRole::Source), vdd)?;
+        b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+        b.wire(b.pin(mn, PinRole::Source), vss)?;
+        b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+        b.wire(b.pin(mp, PinRole::Drain), b.pin(mn, PinRole::Drain))?;
+        b.pin(mn, PinRole::Drain)
+    } else {
+        vco_out
+    };
+    b.wire(fb, CircuitPin::Vout(1))?;
+
+    // --- Phase detector producing an error net `pd_out`.
+    let pd_out: Node = match config.pd {
+        PdStyle::PassGate => {
+            // Reference sampled through an NMOS gated by the feedback.
+            let m = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m, PinRole::Drain), refclk)?;
+            b.wire(b.pin(m, PinRole::Gate), fb)?;
+            b.wire(b.pin(m, PinRole::Bulk), vss)?;
+            b.pin(m, PinRole::Source)
+        }
+        PdStyle::Latch => {
+            let m1 = b.add(DeviceKind::Nmos);
+            let m2 = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m1, PinRole::Gate), refclk)?;
+            b.wire(b.pin(m2, PinRole::Gate), fb)?;
+            b.wire(b.pin(m1, PinRole::Source), vss)?;
+            b.wire(b.pin(m2, PinRole::Source), vss)?;
+            b.wire(b.pin(m1, PinRole::Bulk), vss)?;
+            b.wire(b.pin(m2, PinRole::Bulk), vss)?;
+            // Cross-coupled PMOS loads form the latch.
+            let p1 = b.add(DeviceKind::Pmos);
+            let p2 = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(p1, PinRole::Source), vdd)?;
+            b.wire(b.pin(p2, PinRole::Source), vdd)?;
+            b.wire(b.pin(p1, PinRole::Bulk), vdd)?;
+            b.wire(b.pin(p2, PinRole::Bulk), vdd)?;
+            b.wire(b.pin(p1, PinRole::Drain), b.pin(m1, PinRole::Drain))?;
+            b.wire(b.pin(p2, PinRole::Drain), b.pin(m2, PinRole::Drain))?;
+            b.wire(b.pin(p1, PinRole::Gate), b.pin(m2, PinRole::Drain))?;
+            b.wire(b.pin(p2, PinRole::Gate), b.pin(m1, PinRole::Drain))?;
+            b.pin(m2, PinRole::Drain)
+        }
+    };
+
+    // --- Charge pump from the detector into the control node.
+    match config.pump {
+        PumpStyle::SwitchPair => {
+            let up = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(up, PinRole::Source), vdd)?;
+            b.wire(b.pin(up, PinRole::Gate), pd_out)?;
+            b.wire(b.pin(up, PinRole::Bulk), vdd)?;
+            b.wire(b.pin(up, PinRole::Drain), ctrl)?;
+            let dn = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(dn, PinRole::Source), vss)?;
+            b.wire(b.pin(dn, PinRole::Gate), pd_out)?;
+            b.wire(b.pin(dn, PinRole::Bulk), vss)?;
+            b.wire(b.pin(dn, PinRole::Drain), ctrl)?;
+        }
+        PumpStyle::Mirror => {
+            // pd_out drives an NMOS whose current is mirrored up into the
+            // control node through a PMOS mirror.
+            let mn = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(mn, PinRole::Gate), pd_out)?;
+            b.wire(b.pin(mn, PinRole::Source), vss)?;
+            b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+            let sense = b.pin(mn, PinRole::Drain);
+            crate::blocks::mos_mirror(&mut b, DeviceKind::Pmos, vdd, sense, &[ctrl])?;
+        }
+    }
+
+    // --- Loop filter on the control node.
+    let rf = b.add(DeviceKind::Resistor);
+    b.wire(b.pin(rf, PinRole::Plus), ctrl)?;
+    let mid = b.pin(rf, PinRole::Minus);
+    b.capacitor(mid, vss)?;
+    if config.second_order {
+        b.capacitor(ctrl, vss)?;
+    }
+    if config.ctrl_decap {
+        b.capacitor(ctrl, vdd)?;
+    }
+
+    b.build()
+}
+
+/// Generate all PLL variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 3 * 2 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn basic_pll_valid() {
+        let c = PllConfig {
+            stages: 3,
+            pd: PdStyle::PassGate,
+            pump: PumpStyle::SwitchPair,
+            second_order: false,
+            buffer: false,
+            ctrl_decap: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn pll_is_transistor_heavy() {
+        let c = PllConfig {
+            stages: 7,
+            pd: PdStyle::Latch,
+            pump: PumpStyle::Mirror,
+            second_order: true,
+            buffer: true,
+            ctrl_decap: true,
+        };
+        let t = build(&c).unwrap();
+        assert!(t.device_count() >= 25, "{}", t.device_count());
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 6, "{valid}/{}", all.len());
+    }
+}

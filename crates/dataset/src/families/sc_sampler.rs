@@ -1,0 +1,258 @@
+//! Switched-capacitor sampler family generator.
+//!
+//! Track-and-hold front-ends: NMOS / PMOS / transmission-gate sampling
+//! switches onto a hold capacitor, with optional bottom-plate sampling,
+//! double sampling, dummy switch charge-injection cancellation, and an
+//! output buffer.
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// Sampling-switch style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchStyle {
+    /// Single NMOS switch.
+    Nmos,
+    /// Single PMOS switch.
+    Pmos,
+    /// Complementary transmission gate.
+    TGate,
+}
+
+/// One point in the SC-sampler design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScSamplerConfig {
+    /// Switch style.
+    pub switch: SwitchStyle,
+    /// Bottom-plate sampling (extra switch on the cap's bottom plate).
+    pub bottom_plate: bool,
+    /// Double sampling (two interleaved branches on opposite phases).
+    pub double: bool,
+    /// Source-follower output buffer.
+    pub buffer: bool,
+    /// Dummy (half-size) switch for charge-injection cancellation.
+    pub dummy: bool,
+    /// Series resistor at the signal input (anti-alias / isolation).
+    pub input_r: bool,
+}
+
+impl ScSamplerConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        format!(
+            "sc/{:?}{}{}{}{}",
+            self.switch,
+            if self.bottom_plate { "+bp" } else { "" },
+            if self.double { "+2x" } else { "" },
+            if self.buffer { "+buf" } else { "" },
+            if self.dummy { "+dummy" } else { "" },
+        ) + if self.input_r { "+rin" } else { "" }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<ScSamplerConfig> {
+    let mut out = Vec::new();
+    for switch in [SwitchStyle::Nmos, SwitchStyle::Pmos, SwitchStyle::TGate] {
+        for bottom_plate in [false, true] {
+            for double in [false, true] {
+                for buffer in [false, true] {
+                    for dummy in [false, true] {
+                        for input_r in [false, true] {
+                            out.push(ScSamplerConfig {
+                                switch,
+                                bottom_plate,
+                                double,
+                                buffer,
+                                dummy,
+                                input_r,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Add one sampling branch from `vin` to a hold node; returns the hold
+/// node. `phase`/`phase_bar` gate the switches.
+fn branch(
+    b: &mut TopologyBuilder,
+    config: &ScSamplerConfig,
+    vin: Node,
+    phase: Node,
+    phase_bar: Node,
+) -> Result<Node, CircuitError> {
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+
+    // Hold cap anchors the hold node.
+    let ch = b.add(DeviceKind::Capacitor);
+    let hold = b.pin(ch, PinRole::Plus);
+    let bottom = b.pin(ch, PinRole::Minus);
+
+    // Main switch.
+    match config.switch {
+        SwitchStyle::Nmos => {
+            let m = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(m, PinRole::Gate), phase)?;
+            b.wire(b.pin(m, PinRole::Drain), vin)?;
+            b.wire(b.pin(m, PinRole::Source), hold)?;
+            b.wire(b.pin(m, PinRole::Bulk), vss)?;
+        }
+        SwitchStyle::Pmos => {
+            let m = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(m, PinRole::Gate), phase_bar)?;
+            b.wire(b.pin(m, PinRole::Drain), vin)?;
+            b.wire(b.pin(m, PinRole::Source), hold)?;
+            b.wire(b.pin(m, PinRole::Bulk), vdd)?;
+        }
+        SwitchStyle::TGate => {
+            let mn = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(mn, PinRole::Gate), phase)?;
+            b.wire(b.pin(mn, PinRole::Drain), vin)?;
+            b.wire(b.pin(mn, PinRole::Source), hold)?;
+            b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+            let mp = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(mp, PinRole::Gate), phase_bar)?;
+            b.wire(b.pin(mp, PinRole::Drain), vin)?;
+            b.wire(b.pin(mp, PinRole::Source), hold)?;
+            b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+        }
+    }
+
+    // Dummy switch (drain and source both on the hold node is a same-device
+    // net, so wire it as a separate half-switch to the input instead).
+    if config.dummy {
+        let m = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(m, PinRole::Gate), phase_bar)?;
+        b.wire(b.pin(m, PinRole::Drain), hold)?;
+        b.wire(b.pin(m, PinRole::Source), vin)?;
+        b.wire(b.pin(m, PinRole::Bulk), vss)?;
+    }
+
+    // Bottom plate: switched to ground on the sampling phase; otherwise
+    // grounded directly.
+    if config.bottom_plate {
+        let m = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(m, PinRole::Gate), phase)?;
+        b.wire(b.pin(m, PinRole::Drain), bottom)?;
+        b.wire(b.pin(m, PinRole::Source), vss)?;
+        b.wire(b.pin(m, PinRole::Bulk), vss)?;
+    } else {
+        b.wire(bottom, vss)?;
+    }
+
+    Ok(hold)
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &ScSamplerConfig) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let vin: Node = CircuitPin::Vin(1).into();
+    let clk: Node = CircuitPin::Clk(1).into();
+    let clk_bar: Node = CircuitPin::Clk(2).into();
+
+    let vin: Node = if config.input_r {
+        let r = b.add(DeviceKind::Resistor);
+        b.wire(b.pin(r, PinRole::Plus), vin)?;
+        b.pin(r, PinRole::Minus)
+    } else {
+        vin
+    };
+    let hold1 = branch(&mut b, config, vin, clk, clk_bar)?;
+    let out_net: Node = if config.double {
+        // Second branch on the opposite phase; outputs joined through
+        // select switches onto a common output node.
+        let hold2 = branch(&mut b, config, vin, clk_bar, clk)?;
+        let s1 = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(s1, PinRole::Gate), clk_bar)?;
+        b.wire(b.pin(s1, PinRole::Drain), hold1)?;
+        b.wire(b.pin(s1, PinRole::Bulk), vss)?;
+        let joined = b.pin(s1, PinRole::Source);
+        let s2 = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(s2, PinRole::Gate), clk)?;
+        b.wire(b.pin(s2, PinRole::Drain), hold2)?;
+        b.wire(b.pin(s2, PinRole::Source), joined)?;
+        b.wire(b.pin(s2, PinRole::Bulk), vss)?;
+        joined
+    } else {
+        hold1
+    };
+
+    if config.buffer {
+        let sf = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(sf, PinRole::Gate), out_net)?;
+        b.wire(b.pin(sf, PinRole::Drain), vdd)?;
+        b.wire(b.pin(sf, PinRole::Bulk), vss)?;
+        b.wire(b.pin(sf, PinRole::Source), CircuitPin::Vout(1))?;
+        b.resistor(CircuitPin::Vout(1), vss)?;
+    } else {
+        b.wire(out_net, CircuitPin::Vout(1))?;
+    }
+
+    b.build()
+}
+
+/// Generate all SC-sampler variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 3 * 2 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn nmos_track_and_hold_valid() {
+        let c = ScSamplerConfig {
+            switch: SwitchStyle::Nmos,
+            bottom_plate: false,
+            double: false,
+            buffer: true,
+            dummy: false,
+            input_r: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn tgate_double_sampler_valid() {
+        let c = ScSamplerConfig {
+            switch: SwitchStyle::TGate,
+            bottom_plate: true,
+            double: true,
+            buffer: true,
+            dummy: true,
+            input_r: true,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
+    }
+}

@@ -1,0 +1,345 @@
+//! Voltage-controlled oscillator family generator.
+//!
+//! Ring oscillators (3–9 stages, optionally current-starved, with varactor
+//! tuning) and LC cross-coupled cores (NMOS / PMOS / complementary pairs
+//! with varactor or fixed tanks).
+
+use eva_circuit::{CircuitError, CircuitPin, DeviceKind, Node, PinRole, Topology, TopologyBuilder};
+
+/// LC-core cross-coupled pair style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LcPair {
+    /// NMOS-only pair with tail below.
+    Nmos,
+    /// PMOS-only pair with tail above.
+    Pmos,
+    /// Complementary (both) pairs.
+    Cmos,
+}
+
+/// One point in the VCO design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcoConfig {
+    /// Ring oscillator.
+    Ring {
+        /// Odd number of inverter stages (3, 5, 7, 9).
+        stages: usize,
+        /// Current-starved inverters, tuned by `CTRL1`.
+        starved: bool,
+        /// Per-stage capacitive loading for frequency control.
+        cap_loaded: bool,
+        /// Output buffer inverter.
+        buffer: bool,
+        /// Resistive load on the oscillator output port.
+        out_load: bool,
+    },
+    /// LC cross-coupled oscillator.
+    Lc {
+        /// Pair style.
+        pair: LcPair,
+        /// MOS tail current source (`true`) or ideal (`false`).
+        mos_tail: bool,
+        /// Varactor tuning: MOS-capacitor style tuning caps to `CTRL1`.
+        varactor: bool,
+        /// Output buffer (source follower).
+        buffer: bool,
+        /// Resistive load on the oscillator output port.
+        out_load: bool,
+    },
+}
+
+impl VcoConfig {
+    /// Human-readable variant tag.
+    pub fn tag(&self) -> String {
+        match self {
+            VcoConfig::Ring { stages, starved, cap_loaded, buffer, out_load } => format!(
+                "vco/ring{stages}{}{}{}{}",
+                if *starved { "+starved" } else { "" },
+                if *cap_loaded { "+caps" } else { "" },
+                if *buffer { "+buf" } else { "" },
+                if *out_load { "+load" } else { "" },
+            ),
+            VcoConfig::Lc { pair, mos_tail, varactor, buffer, out_load } => format!(
+                "vco/lc-{:?}{}{}{}{}",
+                pair,
+                if *mos_tail { "+mostail" } else { "" },
+                if *varactor { "+var" } else { "" },
+                if *buffer { "+buf" } else { "" },
+                if *out_load { "+load" } else { "" },
+            ),
+        }
+    }
+}
+
+/// Enumerate the config space.
+pub fn configs() -> Vec<VcoConfig> {
+    let mut out = Vec::new();
+    for stages in [3usize, 5, 7, 9] {
+        for starved in [false, true] {
+            for cap_loaded in [false, true] {
+                for buffer in [false, true] {
+                    for out_load in [false, true] {
+                        out.push(VcoConfig::Ring { stages, starved, cap_loaded, buffer, out_load });
+                    }
+                }
+            }
+        }
+    }
+    for pair in [LcPair::Nmos, LcPair::Pmos, LcPair::Cmos] {
+        for mos_tail in [true, false] {
+            for varactor in [false, true] {
+                for buffer in [false, true] {
+                    for out_load in [false, true] {
+                        out.push(VcoConfig::Lc { pair, mos_tail, varactor, buffer, out_load });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build a ring-oscillator topology.
+fn build_ring(
+    stages: usize,
+    starved: bool,
+    cap_loaded: bool,
+    buffer: bool,
+    out_load: bool,
+) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let ctrl: Node = CircuitPin::Ctrl(1).into();
+
+    // Stage k output anchors at its NMOS drain pin; the ring closes back
+    // onto stage 0's input which we anchor at the first NMOS gate.
+    let mut stage_outputs: Vec<Node> = Vec::with_capacity(stages);
+    let mut first_input: Option<Node> = None;
+    let mut prev_out: Option<Node> = None;
+    for _ in 0..stages {
+        let mp = b.add(DeviceKind::Pmos);
+        let mn = b.add(DeviceKind::Nmos);
+        let input = b.pin(mn, PinRole::Gate);
+        b.wire(b.pin(mp, PinRole::Gate), input)?;
+        b.wire(b.pin(mp, PinRole::Drain), b.pin(mn, PinRole::Drain))?;
+        b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+        b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+        if starved {
+            // Starving transistors between the inverter and the rails,
+            // gated by the control voltage.
+            let sp = b.add(DeviceKind::Pmos);
+            b.wire(b.pin(sp, PinRole::Source), vdd)?;
+            b.wire(b.pin(sp, PinRole::Gate), ctrl)?;
+            b.wire(b.pin(sp, PinRole::Bulk), vdd)?;
+            b.wire(b.pin(sp, PinRole::Drain), b.pin(mp, PinRole::Source))?;
+            let sn = b.add(DeviceKind::Nmos);
+            b.wire(b.pin(sn, PinRole::Source), vss)?;
+            b.wire(b.pin(sn, PinRole::Gate), ctrl)?;
+            b.wire(b.pin(sn, PinRole::Bulk), vss)?;
+            b.wire(b.pin(sn, PinRole::Drain), b.pin(mn, PinRole::Source))?;
+        } else {
+            b.wire(b.pin(mp, PinRole::Source), vdd)?;
+            b.wire(b.pin(mn, PinRole::Source), vss)?;
+        }
+        let out = b.pin(mn, PinRole::Drain);
+        if cap_loaded {
+            b.capacitor(out, vss)?;
+        }
+        if let Some(prev) = prev_out {
+            b.wire(prev, input)?;
+        } else {
+            first_input = Some(input);
+        }
+        prev_out = Some(out);
+        stage_outputs.push(out);
+    }
+    // Close the ring.
+    b.wire(prev_out.expect("stages >= 1"), first_input.expect("stages >= 1"))?;
+
+    // Output tap (buffered or direct).
+    let tap = stage_outputs[stages / 2];
+    if buffer {
+        let mp = b.add(DeviceKind::Pmos);
+        let mn = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(mp, PinRole::Gate), tap)?;
+        b.wire(b.pin(mn, PinRole::Gate), tap)?;
+        b.wire(b.pin(mp, PinRole::Source), vdd)?;
+        b.wire(b.pin(mp, PinRole::Bulk), vdd)?;
+        b.wire(b.pin(mn, PinRole::Source), vss)?;
+        b.wire(b.pin(mn, PinRole::Bulk), vss)?;
+        b.wire(b.pin(mp, PinRole::Drain), CircuitPin::Vout(1))?;
+        b.wire(b.pin(mn, PinRole::Drain), CircuitPin::Vout(1))?;
+    } else {
+        b.wire(tap, CircuitPin::Vout(1))?;
+    }
+    // Keep the control port present even for non-starved rings (tuning via
+    // a varactor-style cap).
+    if !starved {
+        b.capacitor(ctrl, stage_outputs[0])?;
+    }
+    if out_load {
+        b.resistor(CircuitPin::Vout(1), vss)?;
+    }
+    b.build()
+}
+
+/// Build an LC cross-coupled oscillator topology.
+fn build_lc(
+    pair: LcPair,
+    mos_tail: bool,
+    varactor: bool,
+    buffer: bool,
+    out_load: bool,
+) -> Result<Topology, CircuitError> {
+    let mut b = TopologyBuilder::new();
+    let vdd: Node = CircuitPin::Vdd.into();
+    let vss: Node = Node::VSS;
+    let ctrl: Node = CircuitPin::Ctrl(1).into();
+
+    // The two tank nodes anchor at the inductors' low pins; both inductors
+    // return to VDD (center-tapped tank).
+    let l1 = b.add(DeviceKind::Inductor);
+    b.wire(b.pin(l1, PinRole::Plus), vdd)?;
+    let t1 = b.pin(l1, PinRole::Minus);
+    let l2 = b.add(DeviceKind::Inductor);
+    b.wire(b.pin(l2, PinRole::Plus), vdd)?;
+    let t2 = b.pin(l2, PinRole::Minus);
+    // Tank capacitance across the nodes.
+    b.capacitor(t1, t2)?;
+    if varactor {
+        // Varactor-style tuning: caps from each tank node to the control.
+        b.capacitor(t1, ctrl)?;
+        b.capacitor(t2, ctrl)?;
+        b.resistor(ctrl, vss)?;
+    }
+
+    // Cross-coupled pairs.
+    let cross = |b: &mut TopologyBuilder, kind: DeviceKind, rail: Node, common: Node| -> Result<(), CircuitError> {
+        let m1 = b.add(kind);
+        let m2 = b.add(kind);
+        b.wire(b.pin(m1, PinRole::Gate), t2)?;
+        b.wire(b.pin(m1, PinRole::Drain), t1)?;
+        b.wire(b.pin(m2, PinRole::Gate), t1)?;
+        b.wire(b.pin(m2, PinRole::Drain), t2)?;
+        b.wire(b.pin(m1, PinRole::Source), common)?;
+        b.wire(b.pin(m2, PinRole::Source), common)?;
+        b.wire(b.pin(m1, PinRole::Bulk), rail)?;
+        b.wire(b.pin(m2, PinRole::Bulk), rail)?;
+        Ok(())
+    };
+
+    let tail_common: Node = if mos_tail {
+        let mt = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1))?;
+        b.wire(b.pin(mt, PinRole::Source), vss)?;
+        b.wire(b.pin(mt, PinRole::Bulk), vss)?;
+        b.pin(mt, PinRole::Drain)
+    } else {
+        let i = b.add(DeviceKind::CurrentSource);
+        b.wire(b.pin(i, PinRole::Minus), vss)?;
+        b.pin(i, PinRole::Plus)
+    };
+
+    match pair {
+        LcPair::Nmos => cross(&mut b, DeviceKind::Nmos, vss, tail_common)?,
+        LcPair::Pmos => {
+            // PMOS pair sources to VDD; the tail hangs below the tank via a
+            // resistor so the tail element still sees current.
+            cross(&mut b, DeviceKind::Pmos, vdd, vdd)?;
+            b.resistor(t1, tail_common)?;
+        }
+        LcPair::Cmos => {
+            cross(&mut b, DeviceKind::Nmos, vss, tail_common)?;
+            cross(&mut b, DeviceKind::Pmos, vdd, vdd)?;
+        }
+    }
+
+    if buffer {
+        let sf = b.add(DeviceKind::Nmos);
+        b.wire(b.pin(sf, PinRole::Gate), t1)?;
+        b.wire(b.pin(sf, PinRole::Drain), vdd)?;
+        b.wire(b.pin(sf, PinRole::Bulk), vss)?;
+        b.wire(b.pin(sf, PinRole::Source), CircuitPin::Vout(1))?;
+        b.resistor(CircuitPin::Vout(1), vss)?;
+    } else {
+        b.wire(t1, CircuitPin::Vout(1))?;
+    }
+    if out_load {
+        b.resistor(CircuitPin::Vout(1), vss)?;
+    }
+
+    b.build()
+}
+
+/// Build the topology for one configuration.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] from wiring.
+pub fn build(config: &VcoConfig) -> Result<Topology, CircuitError> {
+    match *config {
+        VcoConfig::Ring { stages, starved, cap_loaded, buffer, out_load } => {
+            build_ring(stages, starved, cap_loaded, buffer, out_load)
+        }
+        VcoConfig::Lc { pair, mos_tail, varactor, buffer, out_load } => {
+            build_lc(pair, mos_tail, varactor, buffer, out_load)
+        }
+    }
+}
+
+/// Generate all VCO variants as `(topology, tag)` pairs.
+pub fn generate() -> Vec<(Topology, String)> {
+    configs()
+        .into_iter()
+        .filter_map(|c| build(&c).ok().map(|t| (t, c.tag())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_spice::check_validity;
+
+    #[test]
+    fn space_size() {
+        assert_eq!(configs().len(), 4 * 2 * 2 * 2 * 2 + 3 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn three_stage_ring_valid() {
+        let c = VcoConfig::Ring {
+            stages: 3,
+            starved: false,
+            cap_loaded: true,
+            buffer: true,
+            out_load: false,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+        // 3 inverters + buffer = 8 MOS + caps.
+        assert!(t.device_count() >= 8);
+    }
+
+    #[test]
+    fn lc_nmos_core_valid() {
+        let c = VcoConfig::Lc {
+            pair: LcPair::Nmos,
+            mos_tail: true,
+            varactor: true,
+            buffer: false,
+            out_load: true,
+        };
+        let t = build(&c).unwrap();
+        let r = check_validity(&t);
+        assert!(r.is_valid(), "{:?}", r.reasons());
+    }
+
+    #[test]
+    fn majority_valid() {
+        let all = generate();
+        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
+    }
+}

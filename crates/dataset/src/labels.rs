@@ -1,0 +1,106 @@
+//! Performance labeling: attaching simulator FoM values to topologies.
+//!
+//! Section IV-A: "Each circuit's performance was assessed through circuit
+//! simulation, and a corresponding label was assigned." Fine-tuning uses
+//! these labels for the target family only.
+
+use eva_circuit::Topology;
+use eva_spice::{
+    measure_converter, measure_opamp, measure_oscillator, Sizing, Stimulus, Tech,
+};
+
+use crate::types::CircuitType;
+
+/// Measure the figure of merit of a topology interpreted as a member of
+/// `ty`, using default sizing (fast, deterministic). Returns `None` when
+/// the circuit cannot be measured (invalid, no output port, solver
+/// failure) — such circuits rank below every measurable one.
+pub fn measure_fom(topology: &Topology, ty: CircuitType) -> Option<f64> {
+    measure_fom_sized(topology, ty, &Sizing::default_for(topology))
+}
+
+/// Like [`measure_fom`] but with an explicit sizing — the GA's fitness
+/// function.
+pub fn measure_fom_sized(topology: &Topology, ty: CircuitType, sizing: &Sizing) -> Option<f64> {
+    let sizing = sizing.clone();
+    let tech = Tech::default();
+    let fom = match ty {
+        CircuitType::PowerConverter => {
+            measure_converter(topology, &sizing, &Stimulus::converter(), &tech, 0.5)
+                .ok()?
+                .fom
+        }
+        CircuitType::ScSampler => {
+            // Samplers are measured like converters (tracking accuracy):
+            // settled ratio against a 0.5 target with the converter rig.
+            measure_converter(topology, &sizing, &Stimulus::converter(), &tech, 0.5)
+                .ok()?
+                .fom
+        }
+        CircuitType::Vco | CircuitType::Pll => {
+            // Oscillators: FoM = output frequency in MHz (0 when the
+            // circuit never swings).
+            measure_oscillator(topology, &sizing, &Stimulus::default(), &tech, 50e6).ok()?
+                / 1e6
+        }
+        _ => {
+            // Amplifier-style measurement for all small-signal families.
+            measure_opamp(topology, &sizing, &Stimulus::default(), &tech).ok()?.fom
+        }
+    };
+    fom.is_finite().then_some(fom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::opamp;
+
+    #[test]
+    fn opamp_variants_get_positive_fom() {
+        // The plain five-transistor OTA must be measurable and positive.
+        let c = opamp::OpampConfig {
+            input_kind: eva_circuit::DeviceKind::Nmos,
+            input_cascode: false,
+            load: opamp::Load::Mirror,
+            tail: opamp::Tail::Mos,
+            second_stage: opamp::SecondStage::None,
+            buffer: opamp::Buffer::None,
+            internal_bias: false,
+            degenerated: false,
+        };
+        let t = opamp::build(&c).unwrap();
+        let fom = measure_fom(&t, CircuitType::OpAmp);
+        assert!(fom.is_some());
+        assert!(fom.unwrap() > 0.0, "{fom:?}");
+    }
+
+    #[test]
+    fn unmeasurable_returns_none() {
+        // A circuit without VOUT1 cannot be measured.
+        let mut b = eva_circuit::TopologyBuilder::new();
+        b.resistor(eva_circuit::CircuitPin::Vdd, eva_circuit::CircuitPin::Vss).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(measure_fom(&t, CircuitType::OpAmp), None);
+    }
+
+    #[test]
+    fn fom_differentiates_designs() {
+        // A two-stage amplifier should not measure identically to the
+        // single-stage OTA (ordering is what the rank labels need).
+        let base = opamp::OpampConfig {
+            input_kind: eva_circuit::DeviceKind::Nmos,
+            input_cascode: false,
+            load: opamp::Load::Mirror,
+            tail: opamp::Tail::Mos,
+            second_stage: opamp::SecondStage::None,
+            buffer: opamp::Buffer::None,
+            internal_bias: false,
+            degenerated: false,
+        };
+        let two = opamp::OpampConfig { second_stage: opamp::SecondStage::CsMiller, ..base };
+        let f1 = measure_fom(&opamp::build(&base).unwrap(), CircuitType::OpAmp).unwrap();
+        let f2 = measure_fom(&opamp::build(&two).unwrap(), CircuitType::OpAmp).unwrap();
+        assert_ne!(f1, f2);
+    }
+}

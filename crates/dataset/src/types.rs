@@ -1,0 +1,133 @@
+//! Circuit-type taxonomy and labeled topology records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use eva_circuit::Topology;
+
+/// The 11 analog circuit families of the EVA dataset (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CircuitType {
+    /// Operational amplifiers / OTAs.
+    OpAmp,
+    /// Low-dropout regulators.
+    Ldo,
+    /// Bandgap voltage references.
+    Bandgap,
+    /// Voltage comparators.
+    Comparator,
+    /// Phase-locked loops (transistor-level blocks).
+    Pll,
+    /// Low-noise amplifiers.
+    Lna,
+    /// Power amplifiers.
+    Pa,
+    /// Mixers.
+    Mixer,
+    /// Voltage-controlled oscillators.
+    Vco,
+    /// Switching power converters.
+    PowerConverter,
+    /// Switched-capacitor samplers.
+    ScSampler,
+}
+
+impl CircuitType {
+    /// All 11 types, in canonical order.
+    pub const ALL: [CircuitType; 11] = [
+        CircuitType::OpAmp,
+        CircuitType::Ldo,
+        CircuitType::Bandgap,
+        CircuitType::Comparator,
+        CircuitType::Pll,
+        CircuitType::Lna,
+        CircuitType::Pa,
+        CircuitType::Mixer,
+        CircuitType::Vco,
+        CircuitType::PowerConverter,
+        CircuitType::ScSampler,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CircuitType::OpAmp => "Op-Amp",
+            CircuitType::Ldo => "LDO",
+            CircuitType::Bandgap => "Bandgap",
+            CircuitType::Comparator => "Comparator",
+            CircuitType::Pll => "PLL",
+            CircuitType::Lna => "LNA",
+            CircuitType::Pa => "PA",
+            CircuitType::Mixer => "Mixer",
+            CircuitType::Vco => "VCO",
+            CircuitType::PowerConverter => "Power converter",
+            CircuitType::ScSampler => "SC sampler",
+        }
+    }
+
+    /// Index into [`CircuitType::ALL`].
+    pub fn index(self) -> usize {
+        CircuitType::ALL.iter().position(|&t| t == self).expect("member of ALL")
+    }
+}
+
+impl fmt::Display for CircuitType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CircuitType {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CircuitType::ALL
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown circuit type {s:?}"))
+    }
+}
+
+/// A dataset entry: a topology, its family, and a structural variant tag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetEntry {
+    /// The topology.
+    pub topology: Topology,
+    /// Which of the 11 families it belongs to (generator ground truth; this
+    /// stands in for the paper's human expert type labels).
+    pub circuit_type: CircuitType,
+    /// Human-readable variant description, e.g.
+    /// `"nmos-diffpair/cascode-load/2stage"`.
+    pub variant: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_types() {
+        assert_eq!(CircuitType::ALL.len(), 11);
+    }
+
+    #[test]
+    fn names_unique_and_parseable() {
+        let mut names: Vec<_> = CircuitType::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+        for t in CircuitType::ALL {
+            assert_eq!(t.name().parse::<CircuitType>().unwrap(), t);
+        }
+        assert!("warp drive".parse::<CircuitType>().is_err());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, t) in CircuitType::ALL.into_iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(CircuitType::ALL[t.index()], t);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Circuit-type classification for the versatility metric.
+//!
+//! Generated topologies (especially novel ones) need a type judgment to
+//! count "distinct analog circuit types generated". We use a 1-nearest-
+//! neighbor classifier over graph descriptors plus port/device fingerprints
+//! against the labeled corpus — the re-implementer's stand-in for the
+//! paper's human judgment.
+
+use std::collections::BTreeMap;
+
+use eva_circuit::stats::GraphDescriptor;
+use eva_circuit::{CircuitPin, DeviceKind, Topology};
+use eva_dataset::{CircuitType, DatasetEntry};
+
+/// Fingerprint features beyond the plain graph descriptor: which port
+/// classes and device kinds the circuit uses. These strongly separate the
+/// 11 families (e.g. only converters/samplers see clocks; only bandgaps
+/// see BJTs).
+fn fingerprint(topology: &Topology) -> Vec<f64> {
+    let ports = topology.ports();
+    let hist = topology.device_histogram();
+    let has = |f: &dyn Fn(&CircuitPin) -> bool| -> f64 {
+        if ports.iter().any(|p| f(p)) {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    let count = |k: DeviceKind| -> f64 { *hist.get(&k).unwrap_or(&0) as f64 };
+    let devs = topology.device_count().max(1) as f64;
+    vec![
+        has(&|p| matches!(p, CircuitPin::Vin(_))) ,
+        has(&|p| matches!(p, CircuitPin::Clk(_))),
+        has(&|p| matches!(p, CircuitPin::Vref(_))),
+        has(&|p| matches!(p, CircuitPin::Ctrl(_))),
+        has(&|p| matches!(p, CircuitPin::Vbias(_))),
+        count(DeviceKind::Nmos) / devs,
+        count(DeviceKind::Pmos) / devs,
+        count(DeviceKind::Npn) + count(DeviceKind::Pnp),
+        count(DeviceKind::Resistor) / devs,
+        count(DeviceKind::Capacitor) / devs,
+        count(DeviceKind::Inductor),
+        count(DeviceKind::Diode),
+        count(DeviceKind::CurrentSource),
+        devs.ln(),
+    ]
+}
+
+fn features(topology: &Topology) -> Vec<f64> {
+    let mut f = GraphDescriptor::from_topology(topology).feature_vector();
+    // Fingerprints dominate: weight them up against the 24 descriptor dims.
+    for v in fingerprint(topology) {
+        f.push(v * 3.0);
+    }
+    f
+}
+
+/// 1-NN circuit-type classifier over corpus fingerprints.
+#[derive(Debug, Clone)]
+pub struct TypeClassifier {
+    feats: Vec<Vec<f64>>,
+    labels: Vec<CircuitType>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl TypeClassifier {
+    /// Fit from labeled dataset entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn fit(entries: &[DatasetEntry]) -> TypeClassifier {
+        assert!(!entries.is_empty(), "classifier needs training data");
+        let feats: Vec<Vec<f64>> = entries.iter().map(|e| features(&e.topology)).collect();
+        let labels: Vec<CircuitType> = entries.iter().map(|e| e.circuit_type).collect();
+        let dim = feats[0].len();
+        let n = feats.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for f in &feats {
+            for (m, v) in mean.iter_mut().zip(f) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; dim];
+        for f in &feats {
+            for j in 0..dim {
+                std[j] += (f[j] - mean[j]).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        let feats = feats
+            .into_iter()
+            .map(|f| f.iter().zip(&mean).zip(&std).map(|((v, m), s)| (v - m) / s).collect())
+            .collect();
+        TypeClassifier { feats, labels, mean, std }
+    }
+
+    fn normalize(&self, f: &[f64]) -> Vec<f64> {
+        f.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Predict the circuit type of a topology.
+    pub fn classify(&self, topology: &Topology) -> CircuitType {
+        let f = self.normalize(&features(topology));
+        let mut best = (f64::INFINITY, self.labels[0]);
+        for (train, &label) in self.feats.iter().zip(&self.labels) {
+            let d: f64 = train.iter().zip(&f).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best.0 {
+                best = (d, label);
+            }
+        }
+        best.1
+    }
+
+    /// Count the distinct types among a set of topologies — the Table II
+    /// versatility number.
+    pub fn versatility(&self, topologies: &[Topology]) -> usize {
+        let mut seen: BTreeMap<CircuitType, usize> = BTreeMap::new();
+        for t in topologies {
+            *seen.entry(self.classify(t)).or_insert(0) += 1;
+        }
+        seen.len()
+    }
+
+    /// Leave-nothing-out training accuracy (upper bound sanity check).
+    pub fn self_accuracy(&self, entries: &[DatasetEntry]) -> f64 {
+        if entries.is_empty() {
+            return 0.0;
+        }
+        let ok = entries
+            .iter()
+            .filter(|e| self.classify(&e.topology) == e.circuit_type)
+            .count();
+        ok as f64 / entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_dataset::{Corpus, CorpusOptions};
+
+    fn corpus() -> Corpus {
+        Corpus::build(&CorpusOptions {
+            target_size: 240,
+            decorate: false,
+            validate: false,
+            families: Some(vec![
+                CircuitType::OpAmp,
+                CircuitType::Bandgap,
+                CircuitType::PowerConverter,
+                CircuitType::ScSampler,
+            ]),
+        })
+    }
+
+    #[test]
+    fn classifier_recovers_training_labels() {
+        let c = corpus();
+        let clf = TypeClassifier::fit(c.entries());
+        let acc = clf.self_accuracy(c.entries());
+        assert!(acc > 0.98, "1-NN self-accuracy should be ~1: {acc}");
+    }
+
+    #[test]
+    fn holdout_generalization() {
+        // Fit on even entries, test on odd ones.
+        let c = corpus();
+        let train: Vec<DatasetEntry> =
+            c.entries().iter().step_by(2).cloned().collect();
+        let test: Vec<DatasetEntry> =
+            c.entries().iter().skip(1).step_by(2).cloned().collect();
+        let clf = TypeClassifier::fit(&train);
+        let ok = test
+            .iter()
+            .filter(|e| clf.classify(&e.topology) == e.circuit_type)
+            .count();
+        let acc = ok as f64 / test.len() as f64;
+        assert!(acc > 0.8, "holdout accuracy {acc}");
+    }
+
+    #[test]
+    fn versatility_counts_distinct_types() {
+        let c = corpus();
+        let clf = TypeClassifier::fit(c.entries());
+        let all: Vec<Topology> =
+            c.entries().iter().map(|e| e.topology.clone()).collect();
+        let v = clf.versatility(&all);
+        assert_eq!(v, 4, "four families in this corpus");
+        let one: Vec<Topology> = c
+            .entries()
+            .iter()
+            .filter(|e| e.circuit_type == CircuitType::Bandgap)
+            .map(|e| e.topology.clone())
+            .collect();
+        assert_eq!(clf.versatility(&one), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Genetic-algorithm device sizing.
+//!
+//! Table II's FoM@10 metric sizes each candidate topology "with a genetic
+//! algorithm and SPICE evaluation" before measuring. Genes are the device
+//! parameters on a log scale; fitness is the family FoM from `eva-spice`.
+//! Fitness evaluations fan out over threads with `crossbeam`.
+
+use eva_circuit::{Device, DeviceKind, Topology};
+use eva_dataset::CircuitType;
+use eva_spice::{DeviceParams, Sizing};
+use parking_lot::Mutex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+/// GA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Log-space mutation step (decades).
+    pub mutation_step: f64,
+    /// Elite individuals copied unchanged.
+    pub elitism: usize,
+    /// Worker threads for fitness evaluation.
+    pub threads: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> GaConfig {
+        GaConfig {
+            population: 24,
+            generations: 12,
+            tournament: 3,
+            mutation_rate: 0.3,
+            mutation_step: 0.5,
+            elitism: 2,
+            threads: 4,
+        }
+    }
+}
+
+/// Per-kind log10 bounds for each tunable gene.
+fn gene_bounds(kind: DeviceKind) -> Vec<(f64, f64)> {
+    match kind {
+        // (W, L) in meters.
+        DeviceKind::Nmos | DeviceKind::Pmos => vec![(-6.6, -3.5), (-6.9, -5.5)],
+        // (Is, beta).
+        DeviceKind::Npn | DeviceKind::Pnp => vec![(-17.0, -13.0), (1.0, 2.5)],
+        DeviceKind::Resistor => vec![(1.0, 7.0)],
+        DeviceKind::Capacitor => vec![(-14.0, -7.0)],
+        DeviceKind::Inductor => vec![(-9.0, -4.0)],
+        DeviceKind::Diode => vec![(-16.0, -12.0)],
+        DeviceKind::CurrentSource => vec![(-7.0, -2.0)],
+    }
+}
+
+/// The gene layout for one topology: ordered devices and per-device gene
+/// bounds.
+#[derive(Debug, Clone)]
+pub struct GeneMap {
+    devices: Vec<Device>,
+    bounds: Vec<(f64, f64)>,
+    offsets: Vec<usize>,
+}
+
+impl GeneMap {
+    /// Build the layout for a topology.
+    pub fn new(topology: &Topology) -> GeneMap {
+        let devices: Vec<Device> = topology.devices().into_iter().collect();
+        let mut bounds = Vec::new();
+        let mut offsets = Vec::with_capacity(devices.len());
+        for d in &devices {
+            offsets.push(bounds.len());
+            bounds.extend(gene_bounds(d.kind));
+        }
+        GeneMap { devices, bounds, offsets }
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether there are no genes.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Random genes within bounds.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect()
+    }
+
+    /// Genes for the default sizing (center of sensible ranges).
+    pub fn defaults(&self) -> Vec<f64> {
+        let mut genes = Vec::with_capacity(self.len());
+        for d in &self.devices {
+            match DeviceParams::default_for(d.kind) {
+                DeviceParams::Mos { w, l } => {
+                    genes.push(w.log10());
+                    genes.push(l.log10());
+                }
+                DeviceParams::Bjt { is, beta } => {
+                    genes.push(is.log10());
+                    genes.push(beta.log10());
+                }
+                DeviceParams::Resistor { ohms } => genes.push(ohms.log10()),
+                DeviceParams::Capacitor { farads } => genes.push(farads.log10()),
+                DeviceParams::Inductor { henries } => genes.push(henries.log10()),
+                DeviceParams::Diode { is } => genes.push(is.log10()),
+                DeviceParams::CurrentSource { amps } => genes.push(amps.log10()),
+            }
+        }
+        genes
+    }
+
+    /// Decode genes into a [`Sizing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len() != self.len()`.
+    pub fn decode(&self, genes: &[f64]) -> Sizing {
+        assert_eq!(genes.len(), self.len(), "gene count");
+        let mut sizing = Sizing::new();
+        for (di, d) in self.devices.iter().enumerate() {
+            let o = self.offsets[di];
+            let p = |k: usize| 10f64.powf(genes[o + k]);
+            let params = match d.kind {
+                DeviceKind::Nmos | DeviceKind::Pmos => DeviceParams::Mos { w: p(0), l: p(1) },
+                DeviceKind::Npn | DeviceKind::Pnp => DeviceParams::Bjt { is: p(0), beta: p(1) },
+                DeviceKind::Resistor => DeviceParams::Resistor { ohms: p(0) },
+                DeviceKind::Capacitor => DeviceParams::Capacitor { farads: p(0) },
+                DeviceKind::Inductor => DeviceParams::Inductor { henries: p(0) },
+                DeviceKind::Diode => DeviceParams::Diode { is: p(0) },
+                DeviceKind::CurrentSource => DeviceParams::CurrentSource { amps: p(0) },
+            };
+            sizing.set(*d, params);
+        }
+        sizing
+    }
+
+    /// Clamp genes into bounds (after mutation).
+    pub fn clamp(&self, genes: &mut [f64]) {
+        for (g, &(lo, hi)) in genes.iter_mut().zip(&self.bounds) {
+            *g = g.clamp(lo, hi);
+        }
+    }
+}
+
+/// Result of a GA sizing run.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// Best sizing found.
+    pub sizing: Sizing,
+    /// Its FoM.
+    pub fom: f64,
+    /// Best FoM per generation (monotone non-decreasing).
+    pub history: Vec<f64>,
+}
+
+/// Size a topology for a circuit family with a genetic algorithm.
+///
+/// Returns `None` when no individual (including the default sizing) could
+/// be measured at all.
+pub fn ga_size(
+    topology: &Topology,
+    family: CircuitType,
+    config: &GaConfig,
+    seed: u64,
+) -> Option<GaResult> {
+    let map = GeneMap::new(topology);
+    if map.is_empty() {
+        return None;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Initial population: default sizing plus randoms.
+    let mut pop: Vec<Vec<f64>> = vec![map.defaults()];
+    while pop.len() < config.population {
+        pop.push(map.random(&mut rng));
+    }
+
+    let evaluate = |individuals: &[Vec<f64>]| -> Vec<f64> {
+        let results = Mutex::new(vec![f64::NEG_INFINITY; individuals.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..config.threads.max(1) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= individuals.len() {
+                        break;
+                    }
+                    let sizing = map.decode(&individuals[i]);
+                    let fom = eva_dataset::labels::measure_fom_sized(topology, family, &sizing)
+                        .unwrap_or(f64::NEG_INFINITY);
+                    results.lock()[i] = fom;
+                });
+            }
+        })
+        .expect("ga worker panicked");
+        results.into_inner()
+    };
+
+    let mut fitness = evaluate(&pop);
+    let mut history = Vec::with_capacity(config.generations);
+    for gen in 0..config.generations {
+        // Sort by fitness descending.
+        let mut order: Vec<usize> = (0..pop.len()).collect();
+        order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).expect("no NaN"));
+        let best = fitness[order[0]];
+        history.push(best);
+        if gen + 1 == config.generations {
+            break;
+        }
+
+        let mut next_pop: Vec<Vec<f64>> = Vec::with_capacity(config.population);
+        for &i in order.iter().take(config.elitism) {
+            next_pop.push(pop[i].clone());
+        }
+        let tournament = |rng: &mut ChaCha8Rng| -> usize {
+            (0..config.tournament)
+                .map(|_| rng.gen_range(0..pop.len()))
+                .max_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("no NaN"))
+                .expect("tournament non-empty")
+        };
+        while next_pop.len() < config.population {
+            let pa = tournament(&mut rng);
+            let pb = tournament(&mut rng);
+            // Uniform crossover.
+            let mut child: Vec<f64> = pop[pa]
+                .iter()
+                .zip(&pop[pb])
+                .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+                .collect();
+            // Gaussian-ish log-space mutation.
+            for g in child.iter_mut() {
+                if rng.gen_bool(config.mutation_rate) {
+                    *g += rng.gen_range(-config.mutation_step..config.mutation_step);
+                }
+            }
+            map.clamp(&mut child);
+            next_pop.push(child);
+        }
+        pop = next_pop;
+        fitness = evaluate(&pop);
+    }
+
+    // Final best.
+    let (best_i, best_f) = fitness
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("population non-empty");
+    if !best_f.is_finite() {
+        return None;
+    }
+    Some(GaResult { sizing: map.decode(&pop[best_i]), fom: *best_f, history })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::{CircuitPin, TopologyBuilder};
+
+    fn cs_amp() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gene_map_layout() {
+        let t = cs_amp();
+        let map = GeneMap::new(&t);
+        // NMOS (2 genes) + resistor (1 gene).
+        assert_eq!(map.len(), 3);
+        let defaults = map.defaults();
+        let sizing = map.decode(&defaults);
+        // Default decode round-trips the default sizing.
+        let d = t.devices().into_iter().next().unwrap();
+        match sizing.get(d) {
+            DeviceParams::Mos { w, l } => {
+                assert!((w - 10e-6).abs() / 10e-6 < 1e-6);
+                assert!((l - 1e-6).abs() / 1e-6 < 1e-6);
+            }
+            other => panic!("expected MOS params, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let map = GeneMap::new(&cs_amp());
+        let mut genes = vec![100.0, -100.0, 0.0];
+        map.clamp(&mut genes);
+        let s = map.decode(&genes);
+        for (_, p) in s.iter() {
+            assert!(p.is_plausible(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn ga_improves_over_default() {
+        let t = cs_amp();
+        let default_fom =
+            eva_dataset::measure_fom(&t, CircuitType::OpAmp).expect("measurable");
+        let cfg = GaConfig { population: 12, generations: 6, threads: 2, ..GaConfig::default() };
+        let result = ga_size(&t, CircuitType::OpAmp, &cfg, 42).expect("ga succeeds");
+        assert!(
+            result.fom >= default_fom,
+            "GA ({}) at least matches default ({})",
+            result.fom,
+            default_fom
+        );
+        // History is monotone non-decreasing thanks to elitism.
+        for w in result.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "elitism keeps the best: {:?}", result.history);
+        }
+    }
+}

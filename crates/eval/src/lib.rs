@@ -1,0 +1,22 @@
+//! # eva-eval
+//!
+//! The Table II evaluation machinery: a method-agnostic
+//! [`TopologyGenerator`] trait, validity/novelty/MMD/versatility metrics,
+//! a 1-NN circuit-type classifier, genetic-algorithm device sizing, and the
+//! FoM@k discovery-efficiency protocol.
+//!
+//! The protocol follows Section IV-A exactly: 1000 proposals for
+//! validity/novelty/versatility; 10 proposals, GA-sized and simulator-
+//! measured, for FoM@10.
+
+pub mod classify;
+pub mod ga;
+pub mod generator;
+pub mod metrics;
+pub mod mmd;
+
+pub use classify::TypeClassifier;
+pub use ga::{ga_size, GaConfig, GaResult, GeneMap};
+pub use generator::TopologyGenerator;
+pub use metrics::{evaluate_generation, fom_at_k, GenerationReport};
+pub use mmd::{mmd2, topology_mmd};

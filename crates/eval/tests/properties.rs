@@ -1,0 +1,81 @@
+//! Property-based tests for the evaluation machinery: MMD metric axioms
+//! and GA gene-space invariants.
+
+use eva_circuit::{CircuitPin, DeviceKind, TopologyBuilder};
+use eva_eval::{mmd2, GeneMap};
+use proptest::prelude::*;
+
+fn arb_cloud(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-3.0f64..3.0, dim..=dim), 3..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// MMD² is non-negative, symmetric, and zero against itself.
+    #[test]
+    fn mmd_axioms(a in arb_cloud(3), b in arb_cloud(3)) {
+        let ab = mmd2(&a, &b);
+        let ba = mmd2(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry: {ab} vs {ba}");
+        prop_assert!(mmd2(&a, &a) < 1e-9, "self-MMD zero");
+    }
+
+    /// Shifting one population strictly away increases MMD².
+    #[test]
+    fn mmd_grows_with_separation(a in arb_cloud(2), shift in 5.0f64..20.0) {
+        let near: Vec<Vec<f64>> = a.iter().map(|v| v.iter().map(|x| x + 0.01).collect()).collect();
+        let far: Vec<Vec<f64>> = a.iter().map(|v| v.iter().map(|x| x + shift).collect()).collect();
+        prop_assert!(mmd2(&a, &near) <= mmd2(&a, &far) + 1e-9);
+    }
+
+    /// GA gene maps: random genes always decode into plausible sizings,
+    /// and clamping is idempotent.
+    #[test]
+    fn ga_genes_decode_plausibly(seed in 0u64..1000, n_extra in 0usize..4) {
+        use rand::SeedableRng;
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        for _ in 0..n_extra {
+            b.capacitor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        }
+        let t = b.build().unwrap();
+        let map = GeneMap::new(&t);
+        // One NMOS (2 genes) + one resistor (1) + extras (1 each).
+        prop_assert_eq!(map.len(), 3 + n_extra);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut genes = map.random(&mut rng);
+        let sizing = map.decode(&genes);
+        for (_, params) in sizing.iter() {
+            prop_assert!(params.is_plausible(), "{params:?}");
+        }
+        // Clamp is idempotent on in-bounds genes.
+        let before = genes.clone();
+        map.clamp(&mut genes);
+        prop_assert_eq!(genes, before);
+    }
+
+    /// Out-of-range genes clamp into a decodable region.
+    #[test]
+    fn ga_clamp_repairs(overshoot in prop::collection::vec(-1e3f64..1e3, 3..=3)) {
+        let mut b = TopologyBuilder::new();
+        let m = b.add(DeviceKind::Nmos);
+        use eva_circuit::PinRole::*;
+        b.wire(b.pin(m, Gate), CircuitPin::Vin(1)).unwrap();
+        b.wire(b.pin(m, Drain), CircuitPin::Vout(1)).unwrap();
+        b.wire(b.pin(m, Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(m, Bulk), CircuitPin::Vss).unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let map = GeneMap::new(&t);
+        let mut genes = overshoot;
+        map.clamp(&mut genes);
+        let sizing = map.decode(&genes);
+        for (_, params) in sizing.iter() {
+            prop_assert!(params.is_plausible(), "{params:?}");
+        }
+    }
+}

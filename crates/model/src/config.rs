@@ -1,0 +1,97 @@
+//! Transformer hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture of the decoder-only transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size (paper: 1029).
+    pub vocab_size: usize,
+    /// Maximum sequence length (paper: 1024).
+    pub max_seq_len: usize,
+    /// Number of transformer blocks (paper: 6).
+    pub n_layers: usize,
+    /// Attention heads per block (paper: 6).
+    pub n_heads: usize,
+    /// Residual width (paper scale: 384, giving ≈ 11.8 M parameters).
+    pub d_model: usize,
+    /// Feed-forward inner width (4 × d_model by convention).
+    pub d_ff: usize,
+}
+
+impl ModelConfig {
+    /// The paper's architecture: 6 layers / 6 heads / 11.825 M parameters,
+    /// vocabulary 1029, sequences up to 1024.
+    pub fn paper() -> ModelConfig {
+        ModelConfig {
+            vocab_size: 1029,
+            max_seq_len: 1024,
+            n_layers: 6,
+            n_heads: 6,
+            d_model: 384,
+            d_ff: 1536,
+        }
+    }
+
+    /// A CPU-scale configuration for the reproduced experiments.
+    pub fn repro(vocab_size: usize, max_seq_len: usize) -> ModelConfig {
+        ModelConfig { vocab_size, max_seq_len, n_layers: 4, n_heads: 4, d_model: 128, d_ff: 512 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(vocab_size: usize, max_seq_len: usize) -> ModelConfig {
+        ModelConfig { vocab_size, max_seq_len, n_layers: 2, n_heads: 2, d_model: 32, d_ff: 64 }
+    }
+
+    /// Head width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d_model` divides by `n_heads`.
+    pub fn d_head(&self) -> usize {
+        assert_eq!(self.d_model % self.n_heads, 0, "d_model divisible by heads");
+        self.d_model / self.n_heads
+    }
+
+    /// Approximate trainable parameter count (embeddings + blocks + heads).
+    pub fn param_count(&self) -> usize {
+        let d = self.d_model;
+        let per_layer = 4 * d * d + 4 * d // attention (wq wk wv wo + biases folded)
+            + 2 * d * self.d_ff + self.d_ff + d // mlp
+            + 4 * d; // two layer norms
+        self.vocab_size * d // token embedding
+            + self.max_seq_len * d // positions
+            + self.n_layers * per_layer
+            + 2 * d // final norm
+            + d * self.vocab_size // untied output head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_abstract() {
+        let c = ModelConfig::paper();
+        let m = c.param_count() as f64 / 1e6;
+        assert!(
+            (10.0..14.0).contains(&m),
+            "paper config ≈ 11.8M params, got {m:.2}M"
+        );
+        assert_eq!(c.d_head(), 64);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let c = ModelConfig::tiny(50, 32);
+        assert!(c.param_count() < 200_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_heads_panics() {
+        let c = ModelConfig { n_heads: 3, ..ModelConfig::tiny(10, 8) };
+        let _ = c.d_head();
+    }
+}

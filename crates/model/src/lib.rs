@@ -1,0 +1,35 @@
+//! # eva-model
+//!
+//! EVA's decoder-only transformer (Section III-B): a GPT-2-style pre-norm
+//! stack over the circuit-pin vocabulary, with a training-time tape forward
+//! ([`Transformer`]) and a KV-cached incremental generation path
+//! ([`infer::Generator`]) that tests hold to agreement.
+//!
+//! The paper-scale architecture (6 layers / 6 heads / 11.825 M params /
+//! vocab 1029 / context 1024) is [`ModelConfig::paper`]; experiments run at
+//! [`ModelConfig::repro`] scale on CPU.
+//!
+//! ## Example: score a token sequence
+//!
+//! ```
+//! use eva_model::{ModelConfig, Transformer};
+//! use eva_nn::Tape;
+//! use eva_tokenizer::TokenId;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let model = Transformer::new(ModelConfig::tiny(16, 8), &mut rng);
+//! let mut tape = Tape::new();
+//! let ids: Vec<TokenId> = vec![TokenId(2), TokenId(3), TokenId(4)];
+//! let mask = vec![true; 3];
+//! let (loss, _bound) = model.lm_loss(&mut tape, &ids, 1, 3, &mask);
+//! assert!(tape.value(loss).item() > 0.0);
+//! ```
+
+pub mod config;
+pub mod infer;
+pub mod transformer;
+
+pub use config::ModelConfig;
+pub use infer::{generate, sample_logits, Generator};
+pub use transformer::{Bound, Transformer};

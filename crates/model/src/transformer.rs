@@ -1,0 +1,319 @@
+//! The decoder-only transformer (GPT-2 style, pre-norm).
+//!
+//! Training-time forward passes run on an [`eva_nn::Tape`]; fast
+//! generation uses the KV-cached inference path in [`crate::infer`], which
+//! is asserted equivalent in tests.
+
+use eva_nn::{Gradients, ParamSet, Tape, Tensor, Value};
+use eva_tokenizer::TokenId;
+use rand::Rng;
+
+use crate::config::ModelConfig;
+
+/// Tape bindings of every parameter for one forward pass; index-aligned
+/// with the model's [`ParamSet`].
+#[derive(Debug)]
+pub struct Bound {
+    values: Vec<Value>,
+}
+
+impl Bound {
+    /// Tape value of parameter `index`.
+    pub fn value(&self, index: usize) -> Value {
+        self.values[index]
+    }
+
+    /// Collect per-parameter gradients in `ParamSet` order (for the
+    /// optimizer).
+    pub fn gradients<'g>(&self, grads: &'g Gradients) -> Vec<Option<&'g Tensor>> {
+        self.values.iter().map(|&v| grads.of(v)).collect()
+    }
+}
+
+/// A decoder-only transformer language model over circuit-pin tokens.
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    config: ModelConfig,
+    params: ParamSet,
+}
+
+impl Transformer {
+    /// Initialize with GPT-2-style random weights.
+    pub fn new<R: Rng + ?Sized>(config: ModelConfig, rng: &mut R) -> Transformer {
+        let d = config.d_model;
+        let std = 0.02f32;
+        // Residual-output projections scaled down by depth.
+        let out_std = std / (2.0 * config.n_layers as f32).sqrt();
+        let mut p = ParamSet::new();
+        p.register("tok_emb", Tensor::randn(vec![config.vocab_size, d], std, rng));
+        p.register("pos_emb", Tensor::randn(vec![config.max_seq_len, d], std, rng));
+        for l in 0..config.n_layers {
+            p.register(format!("l{l}.ln1.g"), Tensor::full(vec![d], 1.0));
+            p.register(format!("l{l}.ln1.b"), Tensor::zeros(vec![d]));
+            p.register(format!("l{l}.attn.wq"), Tensor::randn(vec![d, d], std, rng));
+            p.register(format!("l{l}.attn.wk"), Tensor::randn(vec![d, d], std, rng));
+            p.register(format!("l{l}.attn.wv"), Tensor::randn(vec![d, d], std, rng));
+            p.register(format!("l{l}.attn.wo"), Tensor::randn(vec![d, d], out_std, rng));
+            p.register(format!("l{l}.ln2.g"), Tensor::full(vec![d], 1.0));
+            p.register(format!("l{l}.ln2.b"), Tensor::zeros(vec![d]));
+            p.register(format!("l{l}.ff.w1"), Tensor::randn(vec![d, config.d_ff], std, rng));
+            p.register(format!("l{l}.ff.b1"), Tensor::zeros(vec![config.d_ff]));
+            p.register(format!("l{l}.ff.w2"), Tensor::randn(vec![config.d_ff, d], out_std, rng));
+            p.register(format!("l{l}.ff.b2"), Tensor::zeros(vec![d]));
+        }
+        p.register("lnf.g", Tensor::full(vec![d], 1.0));
+        p.register("lnf.b", Tensor::zeros(vec![d]));
+        p.register("head.w", Tensor::randn(vec![d, config.vocab_size], std, rng));
+        Transformer { config, params: p }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable parameters (optimizer updates, checkpoint loads).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Register every parameter on a tape (cheap, `Arc`-shared).
+    pub fn bind(&self, tape: &mut Tape) -> Bound {
+        let values = (0..self.params.len())
+            .map(|i| tape.leaf(self.params.tensor(i).clone(), true))
+            .collect();
+        Bound { values }
+    }
+
+    fn pv(&self, bound: &Bound, name: &str) -> Value {
+        bound.value(self.params.index_of(name).unwrap_or_else(|| panic!("param {name}")))
+    }
+
+    /// Forward to the final hidden states.
+    ///
+    /// `ids` is a flattened `[batch, time]` token grid (right-padded).
+    /// Returns hidden states `[batch, time, d_model]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != batch * time`, `time` exceeds the
+    /// configured maximum, or any id is outside the vocabulary.
+    pub fn hidden(
+        &self,
+        tape: &mut Tape,
+        bound: &Bound,
+        ids: &[TokenId],
+        batch: usize,
+        time: usize,
+    ) -> Value {
+        assert_eq!(ids.len(), batch * time, "ids length");
+        assert!(time <= self.config.max_seq_len, "sequence too long");
+        let flat: Vec<usize> = ids.iter().map(|t| t.index()).collect();
+        let positions: Vec<usize> = (0..batch).flat_map(|_| 0..time).collect();
+
+        let tok_w = self.pv(bound, "tok_emb");
+        let pos_w = self.pv(bound, "pos_emb");
+        let te = tape.embedding(tok_w, &flat); // [b*t, d]
+        let pe = tape.embedding(pos_w, &positions);
+        let sum = tape.add(te, pe);
+        let mut x = tape.reshape(sum, vec![batch, time, self.config.d_model]);
+
+        let heads = self.config.n_heads;
+        let scale = 1.0 / (self.config.d_head() as f32).sqrt();
+        for l in 0..self.config.n_layers {
+            // Attention sub-block (pre-norm).
+            let g1 = self.pv(bound, &format!("l{l}.ln1.g"));
+            let b1 = self.pv(bound, &format!("l{l}.ln1.b"));
+            let normed = tape.layer_norm(x, g1, b1);
+            let wq = self.pv(bound, &format!("l{l}.attn.wq"));
+            let wk = self.pv(bound, &format!("l{l}.attn.wk"));
+            let wv = self.pv(bound, &format!("l{l}.attn.wv"));
+            let wo = self.pv(bound, &format!("l{l}.attn.wo"));
+            let q = tape.linear(normed, wq, None);
+            let k = tape.linear(normed, wk, None);
+            let v = tape.linear(normed, wv, None);
+            let qh = tape.split_heads(q, heads);
+            let kh = tape.split_heads(k, heads);
+            let vh = tape.split_heads(v, heads);
+            let kt = tape.transpose12(kh);
+            let scores = tape.bmm(qh, kt);
+            let probs = tape.causal_softmax(scores, scale);
+            let ctx = tape.bmm(probs, vh);
+            let merged = tape.merge_heads(ctx, heads);
+            let attn_out = tape.linear(merged, wo, None);
+            x = tape.add(x, attn_out);
+
+            // MLP sub-block.
+            let g2 = self.pv(bound, &format!("l{l}.ln2.g"));
+            let b2 = self.pv(bound, &format!("l{l}.ln2.b"));
+            let normed2 = tape.layer_norm(x, g2, b2);
+            let w1 = self.pv(bound, &format!("l{l}.ff.w1"));
+            let bb1 = self.pv(bound, &format!("l{l}.ff.b1"));
+            let w2 = self.pv(bound, &format!("l{l}.ff.w2"));
+            let bb2 = self.pv(bound, &format!("l{l}.ff.b2"));
+            let h = tape.linear(normed2, w1, Some(bb1));
+            let a = tape.gelu(h);
+            let ff_out = tape.linear(a, w2, Some(bb2));
+            x = tape.add(x, ff_out);
+        }
+        let gf = self.pv(bound, "lnf.g");
+        let bf = self.pv(bound, "lnf.b");
+        tape.layer_norm(x, gf, bf)
+    }
+
+    /// Project hidden states to vocabulary logits, flattened `[b*t, v]`.
+    pub fn lm_logits(&self, tape: &mut Tape, bound: &Bound, hidden: Value) -> Value {
+        let w = self.pv(bound, "head.w");
+        let logits = tape.linear(hidden, w, None); // [b, t, v]
+        let shape = tape.value(logits).shape().to_vec();
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        tape.reshape(logits, vec![rows, self.config.vocab_size])
+    }
+
+    /// Standard next-token language-modeling loss (Eq. 1): position `j`
+    /// predicts token `j+1`; targets equal to `pad_mask == false` positions
+    /// and the final position are ignored.
+    ///
+    /// Returns `(loss, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or if nothing is unmasked.
+    pub fn lm_loss(
+        &self,
+        tape: &mut Tape,
+        ids: &[TokenId],
+        batch: usize,
+        time: usize,
+        target_mask: &[bool],
+    ) -> (Value, Bound) {
+        assert_eq!(target_mask.len(), ids.len(), "mask length");
+        let bound = self.bind(tape);
+        let hidden = self.hidden(tape, &bound, ids, batch, time);
+        let logits = self.lm_logits(tape, &bound, hidden);
+        // Shifted targets: at [i, j] predict ids[i, j+1].
+        let mut targets = vec![0usize; batch * time];
+        let mut mask = vec![false; batch * time];
+        for i in 0..batch {
+            for j in 0..time.saturating_sub(1) {
+                let src = i * time + j;
+                let nxt = i * time + j + 1;
+                targets[src] = ids[nxt].index();
+                mask[src] = target_mask[nxt];
+            }
+        }
+        let loss = tape.cross_entropy(logits, &targets, &mask);
+        (loss, bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_nn::AdamW;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny() -> (Transformer, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let t = Transformer::new(ModelConfig::tiny(11, 16), &mut rng);
+        (t, rng)
+    }
+
+    fn ids(v: &[u32]) -> Vec<TokenId> {
+        v.iter().map(|&i| TokenId(i)).collect()
+    }
+
+    #[test]
+    fn hidden_shape() {
+        let (model, _) = tiny();
+        let mut tape = Tape::new();
+        let bound = model.bind(&mut tape);
+        let h = model.hidden(&mut tape, &bound, &ids(&[2, 3, 4, 5, 2, 3, 4, 5]), 2, 4);
+        assert_eq!(tape.value(h).shape(), &[2, 4, 32]);
+    }
+
+    #[test]
+    fn logits_shape_and_finite() {
+        let (model, _) = tiny();
+        let mut tape = Tape::new();
+        let bound = model.bind(&mut tape);
+        let h = model.hidden(&mut tape, &bound, &ids(&[2, 3, 4, 5]), 1, 4);
+        let l = model.lm_logits(&mut tape, &bound, h);
+        assert_eq!(tape.value(l).shape(), &[4, 11]);
+        assert!(tape.value(l).is_finite());
+    }
+
+    #[test]
+    fn causality_future_tokens_do_not_affect_past_logits() {
+        let (model, _) = tiny();
+        let run = |toks: &[u32]| -> Vec<f32> {
+            let mut tape = Tape::new();
+            let bound = model.bind(&mut tape);
+            let h = model.hidden(&mut tape, &bound, &ids(toks), 1, toks.len());
+            let l = model.lm_logits(&mut tape, &bound, h);
+            // Logits at position 1.
+            tape.value(l).data()[11..22].to_vec()
+        };
+        let a = run(&[2, 3, 4, 5]);
+        let b = run(&[2, 3, 9, 9]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "future change leaked into past");
+        }
+    }
+
+    #[test]
+    fn overfits_single_sequence() {
+        let (mut model, _) = tiny();
+        let seq = ids(&[2, 5, 7, 5, 7, 5, 7, 1]);
+        let mask = vec![true; seq.len()];
+        let mut opt = AdamW::new(3e-3, model.params().tensors());
+        opt.weight_decay = 0.0;
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..120 {
+            let mut tape = Tape::new();
+            let (loss, bound) = model.lm_loss(&mut tape, &seq, 1, seq.len(), &mask);
+            let l = tape.value(loss).item();
+            if step == 0 {
+                first = l;
+            }
+            last = l;
+            let grads = tape.backward(loss);
+            let gvec = bound.gradients(&grads);
+            opt.step(model.params_mut().tensors_mut(), &gvec);
+        }
+        assert!(last < first * 0.2, "loss {first} -> {last} should collapse");
+        assert!(last < 0.5, "memorized: {last}");
+    }
+
+    #[test]
+    fn lm_loss_ignores_padding() {
+        let (model, _) = tiny();
+        let seq = ids(&[2, 5, 7, 0, 0, 0]);
+        let mask = vec![true, true, true, false, false, false];
+        let mut tape = Tape::new();
+        let (loss, _) = model.lm_loss(&mut tape, &seq, 1, 6, &mask);
+        let l1 = tape.value(loss).item();
+        // Changing pad content must not change the loss.
+        let seq2 = ids(&[2, 5, 7, 9, 9, 9]);
+        let mut tape2 = Tape::new();
+        let (loss2, _) = model.lm_loss(&mut tape2, &seq2, 1, 6, &mask);
+        let l2 = tape2.value(loss2).item();
+        assert!((l1 - l2).abs() < 1e-5, "{l1} vs {l2}");
+    }
+
+    #[test]
+    fn param_count_matches_config_estimate() {
+        let (model, _) = tiny();
+        let actual = model.params().scalar_count();
+        let estimate = model.config().param_count();
+        let diff = (actual as f64 - estimate as f64).abs() / estimate as f64;
+        assert!(diff < 0.1, "actual {actual} vs estimate {estimate}");
+    }
+}

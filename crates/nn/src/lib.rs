@@ -1,0 +1,49 @@
+//! # eva-nn
+//!
+//! A compact CPU tensor / reverse-mode autodiff library — the substrate for
+//! EVA's decoder-only transformer, reward model, and PPO/DPO fine-tuning.
+//! Built from scratch so the whole reproduction stays within the sanctioned
+//! dependency set (no candle/burn/torch).
+//!
+//! - [`tensor::Tensor`] — dense row-major `f32` values, `Arc`-backed.
+//! - [`tape::Tape`] — define-by-run graph with exactly the op set a GPT-
+//!   style model plus RLHF losses need (linear, embedding, batched matmul,
+//!   head splitting, causal softmax, layer norm, GELU, cross entropy,
+//!   per-token log-probs, segment sums, clipping, …). Every backward is
+//!   finite-difference checked in `tests/gradcheck.rs`.
+//! - [`optim::AdamW`] — with global-norm clipping and a cosine schedule.
+//! - [`params::ParamSet`] — named parameters with binary checkpoints.
+//!
+//! ## Example: fit a tiny regression
+//!
+//! ```
+//! use eva_nn::{Tape, Tensor, AdamW};
+//!
+//! // Learn w ≈ 3 for y = w·x from a single example (x=2, y=6).
+//! let mut w = vec![Tensor::from_vec(vec![1, 1], vec![0.0])];
+//! let mut opt = AdamW::new(0.1, &w);
+//! opt.weight_decay = 0.0;
+//! for _ in 0..300 {
+//!     let mut tape = Tape::new();
+//!     let wv = tape.leaf(w[0].clone(), true);
+//!     let x = tape.leaf(Tensor::from_vec(vec![1, 1], vec![2.0]), false);
+//!     let y = tape.linear(x, wv, None);
+//!     let target = tape.leaf(Tensor::from_vec(vec![1, 1], vec![6.0]), false);
+//!     let err = tape.sub(y, target);
+//!     let sq = tape.mul(err, err);
+//!     let loss = tape.mean_all(sq);
+//!     let grads = tape.backward(loss);
+//!     opt.step(&mut w, &[grads.of(wv)]);
+//! }
+//! assert!((w[0].data()[0] - 3.0).abs() < 1e-2);
+//! ```
+
+pub mod optim;
+pub mod params;
+pub mod tape;
+pub mod tensor;
+
+pub use optim::{AdamW, CosineSchedule};
+pub use params::ParamSet;
+pub use tape::{Gradients, Tape, Value};
+pub use tensor::Tensor;

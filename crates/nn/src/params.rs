@@ -1,0 +1,235 @@
+//! Named parameter collections with binary save/load.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+use crate::tensor::Tensor;
+
+/// A named, ordered collection of trainable tensors.
+///
+/// Models own a `ParamSet`; each training step they register the tensors on
+/// a tape (cheap: tensors are `Arc`-backed), run backward, and hand the
+/// gradients to the optimizer which updates the set in place.
+#[derive(Debug, Clone, Default)]
+pub struct ParamSet {
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> ParamSet {
+        ParamSet::default()
+    }
+
+    /// Register a parameter; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn register(&mut self, name: impl Into<String>, tensor: Tensor) -> usize {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "duplicate parameter name {name:?}"
+        );
+        self.names.push(name);
+        self.tensors.push(tensor);
+        self.tensors.len() - 1
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar count.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Tensor::numel).sum()
+    }
+
+    /// The tensor at an index.
+    pub fn tensor(&self, index: usize) -> &Tensor {
+        &self.tensors[index]
+    }
+
+    /// Name at an index.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// All tensors (for optimizer construction).
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// Mutable tensors (for optimizer updates).
+    pub fn tensors_mut(&mut self) -> &mut [Tensor] {
+        &mut self.tensors
+    }
+
+    /// Look up a parameter index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Replace a tensor (shape must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set(&mut self, index: usize, tensor: Tensor) {
+        assert_eq!(self.tensors[index].shape(), tensor.shape(), "shape mismatch");
+        self.tensors[index] = tensor;
+    }
+
+    /// Serialize to a compact little-endian binary stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer (a `&mut` reference works).
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"EVAPARM1")?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        for (name, tensor) in self.names.iter().zip(&self.tensors) {
+            let nb = name.as_bytes();
+            w.write_all(&(nb.len() as u64).to_le_bytes())?;
+            w.write_all(nb)?;
+            w.write_all(&(tensor.shape().len() as u64).to_le_bytes())?;
+            for &d in tensor.shape() {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &v in tensor.data() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize from [`ParamSet::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on magic/format mismatch and propagates reader
+    /// errors.
+    pub fn load<R: Read>(mut r: R) -> io::Result<ParamSet> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"EVAPARM1" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut read_u64 = |r: &mut R| -> io::Result<u64> {
+            r.read_exact(&mut u64buf)?;
+            Ok(u64::from_le_bytes(u64buf))
+        };
+        let count = read_u64(&mut r)? as usize;
+        let mut set = ParamSet::new();
+        for _ in 0..count {
+            let name_len = read_u64(&mut r)? as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let rank = read_u64(&mut r)? as usize;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(&mut r)? as usize);
+            }
+            let numel: usize = shape.iter().product();
+            let mut data = vec![0.0f32; numel];
+            let mut fbuf = [0u8; 4];
+            for slot in &mut data {
+                r.read_exact(&mut fbuf)?;
+                *slot = f32::from_le_bytes(fbuf);
+            }
+            set.register(name, Tensor::from_vec(shape, data));
+        }
+        Ok(set)
+    }
+
+    /// Copy values from another set, matching by name (shapes must agree on
+    /// matched names). Returns how many tensors were copied.
+    pub fn copy_matching(&mut self, other: &ParamSet) -> usize {
+        let by_name: BTreeMap<&str, usize> = other
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut copied = 0;
+        for i in 0..self.len() {
+            if let Some(&j) = by_name.get(self.names[i].as_str()) {
+                if other.tensors[j].shape() == self.tensors[i].shape() {
+                    self.tensors[i] = other.tensors[j].clone();
+                    copied += 1;
+                }
+            }
+        }
+        copied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut p = ParamSet::new();
+        let i = p.register("w", Tensor::zeros(vec![2, 3]));
+        let j = p.register("b", Tensor::zeros(vec![3]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.scalar_count(), 9);
+        assert_eq!(p.index_of("w"), Some(i));
+        assert_eq!(p.index_of("b"), Some(j));
+        assert_eq!(p.name(i), "w");
+        assert!(p.index_of("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_name_panics() {
+        let mut p = ParamSet::new();
+        p.register("w", Tensor::zeros(vec![1]));
+        p.register("w", Tensor::zeros(vec![1]));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut p = ParamSet::new();
+        p.register("alpha", Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.5, 0.25]));
+        p.register("beta", Tensor::from_vec(vec![3], vec![9.0, 8.0, 7.0]));
+        let mut buf = Vec::new();
+        p.save(&mut buf).unwrap();
+        let q = ParamSet::load(buf.as_slice()).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.name(0), "alpha");
+        assert_eq!(q.tensor(0).data(), p.tensor(0).data());
+        assert_eq!(q.tensor(1).shape(), &[3]);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(ParamSet::load(&b"NOTPARMS"[..]).is_err());
+        assert!(ParamSet::load(&b"short"[..]).is_err());
+    }
+
+    #[test]
+    fn copy_matching_by_name() {
+        let mut a = ParamSet::new();
+        a.register("w", Tensor::zeros(vec![2]));
+        a.register("extra", Tensor::zeros(vec![1]));
+        let mut b = ParamSet::new();
+        b.register("w", Tensor::from_vec(vec![2], vec![5.0, 6.0]));
+        b.register("other", Tensor::from_vec(vec![1], vec![1.0]));
+        let copied = a.copy_matching(&b);
+        assert_eq!(copied, 1);
+        assert_eq!(a.tensor(0).data(), &[5.0, 6.0]);
+    }
+}

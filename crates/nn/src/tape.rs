@@ -1,0 +1,1118 @@
+//! Reverse-mode automatic differentiation on a linear tape.
+//!
+//! A [`Tape`] is a define-by-run computation graph: every operation appends
+//! a node holding its output [`Tensor`] and enough context to compute
+//! vector–Jacobian products. [`Tape::backward`] walks the tape in reverse
+//! and accumulates gradients for every node, which the optimizer then reads
+//! for the parameter leaves.
+//!
+//! The op set is exactly what a decoder-only transformer plus PPO/DPO
+//! losses need; each op's backward is verified against finite differences
+//! in `tests/gradcheck.rs`.
+
+use crate::tensor::{matmul_at_into, matmul_bt_into, matmul_into, Tensor};
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Value(usize);
+
+impl Value {
+    /// Raw node index (for debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Leaf { requires_grad: bool },
+    Linear { x: Value, w: Value, b: Option<Value> },
+    Embedding { w: Value, ids: Vec<usize> },
+    Bmm { a: Value, b: Value },
+    Transpose12 { x: Value },
+    SplitHeads { x: Value, heads: usize },
+    MergeHeads { x: Value, heads: usize },
+    CausalSoftmax { x: Value, scale: f32 },
+    LayerNorm { x: Value, gamma: Value, beta: Value },
+    Gelu { x: Value },
+    Add { a: Value, b: Value },
+    Sub { a: Value, b: Value },
+    Mul { a: Value, b: Value },
+    Scale { x: Value, c: f32 },
+    AddScalar { x: Value },
+    Exp { x: Value },
+    LogSigmoid { x: Value },
+    Clamp { x: Value, lo: f32, hi: f32 },
+    Minimum { a: Value, b: Value },
+    MulConst { x: Value, c: Tensor },
+    CrossEntropy { logits: Value, targets: Vec<usize>, mask: Vec<bool> },
+    LogProb { logits: Value, targets: Vec<usize> },
+    SegmentSum { x: Value, segments: Vec<usize> },
+    SelectRows { x: Value, idx: Vec<usize> },
+    MeanAll { x: Value },
+    SumAll { x: Value },
+    Reshape { x: Value },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    /// Op-specific forward cache used by backward (e.g. layer-norm means /
+    /// inverse stds, softmax probabilities).
+    aux: Vec<f32>,
+}
+
+/// Gradients produced by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to a node, if it was reached.
+    pub fn of(&self, v: Value) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(Option::as_ref)
+    }
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Value) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Value {
+        self.push_aux(value, op, Vec::new())
+    }
+
+    fn push_aux(&mut self, value: Tensor, op: Op, aux: Vec<f32>) -> Value {
+        self.nodes.push(Node { value, op, aux });
+        Value(self.nodes.len() - 1)
+    }
+
+    /// Add a leaf (input or parameter). Gradients are only accumulated into
+    /// leaves with `requires_grad`.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Value {
+        self.push(value, Op::Leaf { requires_grad })
+    }
+
+    /// `y = x @ w (+ b)`. `x` is `[..., din]` (leading dims flattened), `w`
+    /// is `[din, dout]`, `b` is `[dout]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn linear(&mut self, x: Value, w: Value, b: Option<Value>) -> Value {
+        let xt = self.value(x);
+        let wt = self.value(w);
+        let din = *xt.shape().last().expect("x has a last dim");
+        assert_eq!(wt.shape().len(), 2, "w is 2-D");
+        assert_eq!(wt.shape()[0], din, "inner dims");
+        let dout = wt.shape()[1];
+        let rows = xt.numel() / din;
+        let mut out = vec![0.0f32; rows * dout];
+        matmul_into(xt.data(), wt.data(), &mut out, rows, din, dout);
+        if let Some(bv) = b {
+            let bt = self.value(bv);
+            assert_eq!(bt.shape(), &[dout], "bias shape");
+            let bd = bt.data();
+            for r in 0..rows {
+                for j in 0..dout {
+                    out[r * dout + j] += bd[j];
+                }
+            }
+        }
+        let mut shape = xt.shape().to_vec();
+        *shape.last_mut().expect("non-empty") = dout;
+        self.push(Tensor::from_vec(shape, out), Op::Linear { x, w, b })
+    }
+
+    /// Row gather: `out[i] = w[ids[i]]` with `w` `[v, d]`, output `[n, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn embedding(&mut self, w: Value, ids: &[usize]) -> Value {
+        let wt = self.value(w);
+        assert_eq!(wt.shape().len(), 2, "embedding matrix is 2-D");
+        let (v, d) = (wt.shape()[0], wt.shape()[1]);
+        let wd = wt.data();
+        let mut out = Vec::with_capacity(ids.len() * d);
+        for &id in ids {
+            assert!(id < v, "embedding id {id} out of range {v}");
+            out.extend_from_slice(&wd[id * d..id * d + d]);
+        }
+        self.push(
+            Tensor::from_vec(vec![ids.len(), d], out),
+            Op::Embedding { w, ids: ids.to_vec() },
+        )
+    }
+
+    /// Batched matmul: `[n,p,q] x [n,q,r] -> [n,p,r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn bmm(&mut self, a: Value, b: Value) -> Value {
+        let at = self.value(a);
+        let bt = self.value(b);
+        assert_eq!(at.shape().len(), 3, "a is 3-D");
+        assert_eq!(bt.shape().len(), 3, "b is 3-D");
+        let (n, p, q) = (at.shape()[0], at.shape()[1], at.shape()[2]);
+        assert_eq!(bt.shape()[0], n, "batch dims");
+        assert_eq!(bt.shape()[1], q, "inner dims");
+        let r = bt.shape()[2];
+        let mut out = vec![0.0f32; n * p * r];
+        for i in 0..n {
+            matmul_into(
+                &at.data()[i * p * q..(i + 1) * p * q],
+                &bt.data()[i * q * r..(i + 1) * q * r],
+                &mut out[i * p * r..(i + 1) * p * r],
+                p,
+                q,
+                r,
+            );
+        }
+        self.push(Tensor::from_vec(vec![n, p, r], out), Op::Bmm { a, b })
+    }
+
+    /// Swap the last two axes of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is 3-D.
+    pub fn transpose12(&mut self, x: Value) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.shape().len(), 3, "transpose12 wants 3-D");
+        let (n, p, q) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+        let out = transpose12_raw(xt.data(), n, p, q);
+        self.push(Tensor::from_vec(vec![n, q, p], out), Op::Transpose12 { x })
+    }
+
+    /// `[b,t,d] -> [b*h, t, d/h]`, grouping channels per head.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d` divides by `heads`.
+    pub fn split_heads(&mut self, x: Value, heads: usize) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.shape().len(), 3, "split_heads wants 3-D");
+        let (b, t, d) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+        assert_eq!(d % heads, 0, "d divisible by heads");
+        let dh = d / heads;
+        let xd = xt.data();
+        let mut out = vec![0.0f32; b * t * d];
+        for bi in 0..b {
+            for ti in 0..t {
+                for hi in 0..heads {
+                    let src = bi * t * d + ti * d + hi * dh;
+                    let dst = (bi * heads + hi) * t * dh + ti * dh;
+                    out[dst..dst + dh].copy_from_slice(&xd[src..src + dh]);
+                }
+            }
+        }
+        self.push(Tensor::from_vec(vec![b * heads, t, dh], out), Op::SplitHeads { x, heads })
+    }
+
+    /// `[b*h, t, dh] -> [b, t, h*dh]`, inverse of [`Tape::split_heads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the leading dim divides by `heads`.
+    pub fn merge_heads(&mut self, x: Value, heads: usize) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.shape().len(), 3, "merge_heads wants 3-D");
+        let (bh, t, dh) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+        assert_eq!(bh % heads, 0, "batch divisible by heads");
+        let b = bh / heads;
+        let d = heads * dh;
+        let xd = xt.data();
+        let mut out = vec![0.0f32; b * t * d];
+        for bi in 0..b {
+            for ti in 0..t {
+                for hi in 0..heads {
+                    let src = (bi * heads + hi) * t * dh + ti * dh;
+                    let dst = bi * t * d + ti * d + hi * dh;
+                    out[dst..dst + dh].copy_from_slice(&xd[src..src + dh]);
+                }
+            }
+        }
+        self.push(Tensor::from_vec(vec![b, t, d], out), Op::MergeHeads { x, heads })
+    }
+
+    /// Causal row softmax of attention scores `[n, t, t]`: position `i`
+    /// attends to `j <= i`; scores are multiplied by `scale` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is 3-D with square trailing dims.
+    pub fn causal_softmax(&mut self, x: Value, scale: f32) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.shape().len(), 3, "causal_softmax wants 3-D");
+        let (n, t, t2) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+        assert_eq!(t, t2, "square attention");
+        let xd = xt.data();
+        let mut out = vec![0.0f32; n * t * t];
+        for b in 0..n {
+            for i in 0..t {
+                let row = &xd[b * t * t + i * t..b * t * t + i * t + t];
+                let lim = i + 1;
+                let mut maxv = f32::NEG_INFINITY;
+                for &v in &row[..lim] {
+                    maxv = maxv.max(v * scale);
+                }
+                let mut denom = 0.0f32;
+                let orow = &mut out[b * t * t + i * t..b * t * t + i * t + t];
+                for j in 0..lim {
+                    let e = (row[j] * scale - maxv).exp();
+                    orow[j] = e;
+                    denom += e;
+                }
+                for o in &mut orow[..lim] {
+                    *o /= denom;
+                }
+            }
+        }
+        self.push(Tensor::from_vec(vec![n, t, t], out), Op::CausalSoftmax { x, scale })
+    }
+
+    /// Layer normalization over the last axis with affine parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter shape mismatch.
+    pub fn layer_norm(&mut self, x: Value, gamma: Value, beta: Value) -> Value {
+        const EPS: f32 = 1e-5;
+        let xt = self.value(x);
+        let d = *xt.shape().last().expect("x has last dim");
+        assert_eq!(self.value(gamma).shape(), &[d], "gamma shape");
+        assert_eq!(self.value(beta).shape(), &[d], "beta shape");
+        let rows = xt.numel() / d;
+        let xd = xt.data();
+        let gd = self.value(gamma).data().to_vec();
+        let bd = self.value(beta).data().to_vec();
+        let mut out = vec![0.0f32; xt.numel()];
+        let mut aux = vec![0.0f32; rows * 2]; // mean, inv_std per row
+        for r in 0..rows {
+            let row = &xd[r * d..r * d + d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            aux[r * 2] = mean;
+            aux[r * 2 + 1] = inv_std;
+            for j in 0..d {
+                out[r * d + j] = (row[j] - mean) * inv_std * gd[j] + bd[j];
+            }
+        }
+        let shape = xt.shape().to_vec();
+        self.push_aux(Tensor::from_vec(shape, out), Op::LayerNorm { x, gamma, beta }, aux)
+    }
+
+    /// GELU activation (tanh approximation), elementwise.
+    pub fn gelu(&mut self, x: Value) -> Value {
+        let xt = self.value(x);
+        let out: Vec<f32> = xt.data().iter().map(|&v| gelu_fwd(v)).collect();
+        let shape = xt.shape().to_vec();
+        self.push(Tensor::from_vec(shape, out), Op::Gelu { x })
+    }
+
+    fn binary(&mut self, a: Value, b: Value, f: impl Fn(f32, f32) -> f32, op: Op) -> Value {
+        let at = self.value(a);
+        let bt = self.value(b);
+        assert_eq!(at.shape(), bt.shape(), "elementwise shapes must match");
+        let out: Vec<f32> =
+            at.data().iter().zip(bt.data()).map(|(&x, &y)| f(x, y)).collect();
+        let shape = at.shape().to_vec();
+        self.push(Tensor::from_vec(shape, out), op)
+    }
+
+    /// Elementwise sum of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: Value, b: Value) -> Value {
+        self.binary(a, b, |x, y| x + y, Op::Add { a, b })
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: Value, b: Value) -> Value {
+        self.binary(a, b, |x, y| x - y, Op::Sub { a, b })
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: Value, b: Value) -> Value {
+        self.binary(a, b, |x, y| x * y, Op::Mul { a, b })
+    }
+
+    /// Elementwise minimum (gradient flows to the smaller operand).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn minimum(&mut self, a: Value, b: Value) -> Value {
+        self.binary(a, b, f32::min, Op::Minimum { a, b })
+    }
+
+    fn unary(&mut self, x: Value, f: impl Fn(f32) -> f32, op: Op) -> Value {
+        let xt = self.value(x);
+        let out: Vec<f32> = xt.data().iter().map(|&v| f(v)).collect();
+        let shape = xt.shape().to_vec();
+        self.push(Tensor::from_vec(shape, out), op)
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&mut self, x: Value, c: f32) -> Value {
+        self.unary(x, |v| v * c, Op::Scale { x, c })
+    }
+
+    /// Add a constant.
+    pub fn add_scalar(&mut self, x: Value, c: f32) -> Value {
+        self.unary(x, |v| v + c, Op::AddScalar { x })
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, x: Value) -> Value {
+        self.unary(x, f32::exp, Op::Exp { x })
+    }
+
+    /// Elementwise `log σ(x)`, computed stably.
+    pub fn log_sigmoid(&mut self, x: Value) -> Value {
+        self.unary(x, |v| -softplus(-v), Op::LogSigmoid { x })
+    }
+
+    /// Clamp to `[lo, hi]` (zero gradient outside).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&mut self, x: Value, lo: f32, hi: f32) -> Value {
+        assert!(lo <= hi, "clamp bounds");
+        self.unary(x, |v| v.clamp(lo, hi), Op::Clamp { x, lo, hi })
+    }
+
+    /// Elementwise product with a constant tensor (e.g. a mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_const(&mut self, x: Value, c: &Tensor) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.shape(), c.shape(), "mul_const shape");
+        let out: Vec<f32> =
+            xt.data().iter().zip(c.data()).map(|(&a, &b)| a * b).collect();
+        let shape = xt.shape().to_vec();
+        self.push(Tensor::from_vec(shape, out), Op::MulConst { x, c: c.clone() })
+    }
+
+    /// Mean token-level cross entropy over unmasked positions: `logits` is
+    /// `[n, v]`, `targets[i] < v`, positions with `mask[i] == false` are
+    /// ignored. Returns a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or if every position is masked out.
+    pub fn cross_entropy(&mut self, logits: Value, targets: &[usize], mask: &[bool]) -> Value {
+        let lt = self.value(logits);
+        assert_eq!(lt.shape().len(), 2, "logits are 2-D");
+        let (n, v) = (lt.shape()[0], lt.shape()[1]);
+        assert_eq!(targets.len(), n, "targets length");
+        assert_eq!(mask.len(), n, "mask length");
+        let count = mask.iter().filter(|&&m| m).count();
+        assert!(count > 0, "cross entropy needs at least one active position");
+        let ld = lt.data();
+        let mut aux = vec![0.0f32; n * v]; // softmax probabilities
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            let row = &ld[i * v..i * v + v];
+            let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut denom = 0.0f32;
+            for j in 0..v {
+                let e = (row[j] - maxv).exp();
+                aux[i * v + j] = e;
+                denom += e;
+            }
+            for j in 0..v {
+                aux[i * v + j] /= denom;
+            }
+            if mask[i] {
+                loss -= f64::from(aux[i * v + targets[i]].max(1e-30).ln());
+            }
+        }
+        let value = Tensor::scalar((loss / count as f64) as f32);
+        self.push_aux(
+            value,
+            Op::CrossEntropy { logits, targets: targets.to_vec(), mask: mask.to_vec() },
+            aux,
+        )
+    }
+
+    /// Per-row log probability of the target class: `logits` `[n, v]` →
+    /// output `[n]` with `out[i] = log softmax(logits[i])[targets[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn log_prob(&mut self, logits: Value, targets: &[usize]) -> Value {
+        let lt = self.value(logits);
+        assert_eq!(lt.shape().len(), 2, "logits are 2-D");
+        let (n, v) = (lt.shape()[0], lt.shape()[1]);
+        assert_eq!(targets.len(), n, "targets length");
+        let ld = lt.data();
+        let mut aux = vec![0.0f32; n * v];
+        let mut out = vec![0.0f32; n];
+        for i in 0..n {
+            let row = &ld[i * v..i * v + v];
+            let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut denom = 0.0f32;
+            for j in 0..v {
+                let e = (row[j] - maxv).exp();
+                aux[i * v + j] = e;
+                denom += e;
+            }
+            for j in 0..v {
+                aux[i * v + j] /= denom;
+            }
+            out[i] = aux[i * v + targets[i]].max(1e-30).ln();
+        }
+        self.push_aux(
+            Tensor::from_vec(vec![n], out),
+            Op::LogProb { logits, targets: targets.to_vec() },
+            aux,
+        )
+    }
+
+    /// Sum elements into segments: `out[k] = Σ x[i] for segments[i] == k`.
+    /// `x` is flat `[n]`; the number of segments is `max(segments)+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn segment_sum(&mut self, x: Value, segments: &[usize]) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.numel(), segments.len(), "segments length");
+        let k = segments.iter().copied().max().map_or(0, |m| m + 1);
+        let mut out = vec![0.0f32; k.max(1)];
+        for (i, &s) in segments.iter().enumerate() {
+            out[s] += xt.data()[i];
+        }
+        self.push(
+            Tensor::from_vec(vec![k.max(1)], out),
+            Op::SegmentSum { x, segments: segments.to_vec() },
+        )
+    }
+
+    /// Select rows of a 2-D tensor: `out[i] = x[idx[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn select_rows(&mut self, x: Value, idx: &[usize]) -> Value {
+        let xt = self.value(x);
+        assert_eq!(xt.shape().len(), 2, "select_rows wants 2-D");
+        let (n, d) = (xt.shape()[0], xt.shape()[1]);
+        let xd = xt.data();
+        let mut out = Vec::with_capacity(idx.len() * d);
+        for &i in idx {
+            assert!(i < n, "row {i} out of range {n}");
+            out.extend_from_slice(&xd[i * d..i * d + d]);
+        }
+        self.push(
+            Tensor::from_vec(vec![idx.len(), d], out),
+            Op::SelectRows { x, idx: idx.to_vec() },
+        )
+    }
+
+    /// View with a new shape of equal element count (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on element-count mismatch.
+    pub fn reshape(&mut self, x: Value, shape: Vec<usize>) -> Value {
+        let xt = self.value(x).reshaped(shape);
+        self.push(xt, Op::Reshape { x })
+    }
+
+    /// Mean of all elements (scalar).
+    pub fn mean_all(&mut self, x: Value) -> Value {
+        let xt = self.value(x);
+        let m = xt.sum() / xt.numel() as f32;
+        self.push(Tensor::scalar(m), Op::MeanAll { x })
+    }
+
+    /// Sum of all elements (scalar).
+    pub fn sum_all(&mut self, x: Value) -> Value {
+        let xt = self.value(x);
+        self.push(Tensor::scalar(xt.sum()), Op::SumAll { x })
+    }
+
+    /// Run backward from a scalar loss, returning gradients for every
+    /// reachable node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss` holds exactly one element.
+    pub fn backward(&self, loss: Value) -> Gradients {
+        assert_eq!(self.value(loss).numel(), 1, "backward needs a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(gy) = grads[idx].take() else { continue };
+            let node = &self.nodes[idx];
+            // Re-stash (callers may read any node's grad afterwards).
+            let gy_ref = gy.clone();
+            grads[idx] = Some(gy);
+            let gy = gy_ref;
+            match &node.op {
+                Op::Leaf { .. } => {}
+                Op::Linear { x, w, b } => {
+                    let xt = self.value(*x);
+                    let wt = self.value(*w);
+                    let din = wt.shape()[0];
+                    let dout = wt.shape()[1];
+                    let rows = xt.numel() / din;
+                    // dx = gy @ w^T
+                    let mut dx = vec![0.0f32; rows * din];
+                    matmul_bt_into(gy.data(), wt.data(), &mut dx, rows, dout, din);
+                    accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
+                    // dw = x^T @ gy
+                    let mut dw = vec![0.0f32; din * dout];
+                    matmul_at_into(xt.data(), gy.data(), &mut dw, rows, din, dout);
+                    accumulate(&mut grads, *w, Tensor::from_vec(vec![din, dout], dw));
+                    if let Some(bv) = b {
+                        let mut db = vec![0.0f32; dout];
+                        for r in 0..rows {
+                            for j in 0..dout {
+                                db[j] += gy.data()[r * dout + j];
+                            }
+                        }
+                        accumulate(&mut grads, *bv, Tensor::from_vec(vec![dout], db));
+                    }
+                }
+                Op::Embedding { w, ids } => {
+                    let wt = self.value(*w);
+                    let (v, d) = (wt.shape()[0], wt.shape()[1]);
+                    let mut dw = vec![0.0f32; v * d];
+                    for (i, &id) in ids.iter().enumerate() {
+                        for j in 0..d {
+                            dw[id * d + j] += gy.data()[i * d + j];
+                        }
+                    }
+                    accumulate(&mut grads, *w, Tensor::from_vec(vec![v, d], dw));
+                }
+                Op::Bmm { a, b } => {
+                    let at = self.value(*a);
+                    let bt = self.value(*b);
+                    let (n, p, q) = (at.shape()[0], at.shape()[1], at.shape()[2]);
+                    let r = bt.shape()[2];
+                    let mut da = vec![0.0f32; n * p * q];
+                    let mut db = vec![0.0f32; n * q * r];
+                    for i in 0..n {
+                        let gyb = &gy.data()[i * p * r..(i + 1) * p * r];
+                        // da = gy @ b^T
+                        matmul_bt_into(
+                            gyb,
+                            &bt.data()[i * q * r..(i + 1) * q * r],
+                            &mut da[i * p * q..(i + 1) * p * q],
+                            p,
+                            r,
+                            q,
+                        );
+                        // db = a^T @ gy
+                        matmul_at_into(
+                            &at.data()[i * p * q..(i + 1) * p * q],
+                            gyb,
+                            &mut db[i * q * r..(i + 1) * q * r],
+                            p,
+                            q,
+                            r,
+                        );
+                    }
+                    accumulate(&mut grads, *a, Tensor::from_vec(vec![n, p, q], da));
+                    accumulate(&mut grads, *b, Tensor::from_vec(vec![n, q, r], db));
+                }
+                Op::Transpose12 { x } => {
+                    let xt = self.value(*x);
+                    let (n, p, q) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+                    // gy is [n, q, p]; transpose back.
+                    let dx = transpose12_raw(gy.data(), n, q, p);
+                    accumulate(&mut grads, *x, Tensor::from_vec(vec![n, p, q], dx));
+                }
+                Op::SplitHeads { x, heads } => {
+                    let xt = self.value(*x);
+                    let (b, t, d) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+                    let dh = d / heads;
+                    let mut dx = vec![0.0f32; b * t * d];
+                    for bi in 0..b {
+                        for ti in 0..t {
+                            for hi in 0..*heads {
+                                let src = (bi * heads + hi) * t * dh + ti * dh;
+                                let dst = bi * t * d + ti * d + hi * dh;
+                                dx[dst..dst + dh].copy_from_slice(&gy.data()[src..src + dh]);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *x, Tensor::from_vec(vec![b, t, d], dx));
+                }
+                Op::MergeHeads { x, heads } => {
+                    let xt = self.value(*x);
+                    let (bh, t, dh) = (xt.shape()[0], xt.shape()[1], xt.shape()[2]);
+                    let b = bh / heads;
+                    let d = heads * dh;
+                    let mut dx = vec![0.0f32; bh * t * dh];
+                    for bi in 0..b {
+                        for ti in 0..t {
+                            for hi in 0..*heads {
+                                let src = bi * t * d + ti * d + hi * dh;
+                                let dst = (bi * heads + hi) * t * dh + ti * dh;
+                                dx[dst..dst + dh].copy_from_slice(&gy.data()[src..src + dh]);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *x, Tensor::from_vec(vec![bh, t, dh], dx));
+                }
+                Op::CausalSoftmax { x, scale } => {
+                    let y = &node.value;
+                    let (n, t, _) = (y.shape()[0], y.shape()[1], y.shape()[2]);
+                    let yd = y.data();
+                    let gd = gy.data();
+                    let mut dx = vec![0.0f32; n * t * t];
+                    for b in 0..n {
+                        for i in 0..t {
+                            let base = b * t * t + i * t;
+                            let lim = i + 1;
+                            let mut dot = 0.0f32;
+                            for j in 0..lim {
+                                dot += gd[base + j] * yd[base + j];
+                            }
+                            for j in 0..lim {
+                                dx[base + j] = scale * yd[base + j] * (gd[base + j] - dot);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *x, Tensor::from_vec(vec![n, t, t], dx));
+                }
+                Op::LayerNorm { x, gamma, beta } => {
+                    let xt = self.value(*x);
+                    let d = *xt.shape().last().expect("last dim");
+                    let rows = xt.numel() / d;
+                    let gd = self.value(*gamma).data().to_vec();
+                    let xd = xt.data();
+                    let gyd = gy.data();
+                    let mut dx = vec![0.0f32; xt.numel()];
+                    let mut dgamma = vec![0.0f32; d];
+                    let mut dbeta = vec![0.0f32; d];
+                    for r in 0..rows {
+                        let mean = node.aux[r * 2];
+                        let inv_std = node.aux[r * 2 + 1];
+                        let row = &xd[r * d..r * d + d];
+                        let gyr = &gyd[r * d..r * d + d];
+                        // xhat and the two reduction terms.
+                        let mut sum_g = 0.0f32;
+                        let mut sum_gx = 0.0f32;
+                        for j in 0..d {
+                            let xhat = (row[j] - mean) * inv_std;
+                            let gj = gyr[j] * gd[j];
+                            sum_g += gj;
+                            sum_gx += gj * xhat;
+                            dgamma[j] += gyr[j] * xhat;
+                            dbeta[j] += gyr[j];
+                        }
+                        let inv_d = 1.0 / d as f32;
+                        for j in 0..d {
+                            let xhat = (row[j] - mean) * inv_std;
+                            let gj = gyr[j] * gd[j];
+                            dx[r * d + j] =
+                                inv_std * (gj - inv_d * sum_g - xhat * inv_d * sum_gx);
+                        }
+                    }
+                    accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
+                    accumulate(&mut grads, *gamma, Tensor::from_vec(vec![d], dgamma));
+                    accumulate(&mut grads, *beta, Tensor::from_vec(vec![d], dbeta));
+                }
+                Op::Gelu { x } => {
+                    let xt = self.value(*x);
+                    let dx: Vec<f32> = xt
+                        .data()
+                        .iter()
+                        .zip(gy.data())
+                        .map(|(&v, &g)| g * gelu_bwd(v))
+                        .collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
+                }
+                Op::Add { a, b } => {
+                    accumulate(&mut grads, *a, gy.clone());
+                    accumulate(&mut grads, *b, gy);
+                }
+                Op::Sub { a, b } => {
+                    accumulate(&mut grads, *a, gy.clone());
+                    let neg: Vec<f32> = gy.data().iter().map(|v| -v).collect();
+                    accumulate(&mut grads, *b, Tensor::from_vec(gy.shape().to_vec(), neg));
+                }
+                Op::Mul { a, b } => {
+                    let at = self.value(*a);
+                    let bt = self.value(*b);
+                    let da: Vec<f32> =
+                        gy.data().iter().zip(bt.data()).map(|(&g, &v)| g * v).collect();
+                    let db: Vec<f32> =
+                        gy.data().iter().zip(at.data()).map(|(&g, &v)| g * v).collect();
+                    accumulate(&mut grads, *a, Tensor::from_vec(at.shape().to_vec(), da));
+                    accumulate(&mut grads, *b, Tensor::from_vec(bt.shape().to_vec(), db));
+                }
+                Op::Minimum { a, b } => {
+                    let at = self.value(*a);
+                    let bt = self.value(*b);
+                    let mut da = vec![0.0f32; at.numel()];
+                    let mut db = vec![0.0f32; bt.numel()];
+                    for i in 0..at.numel() {
+                        if at.data()[i] <= bt.data()[i] {
+                            da[i] = gy.data()[i];
+                        } else {
+                            db[i] = gy.data()[i];
+                        }
+                    }
+                    accumulate(&mut grads, *a, Tensor::from_vec(at.shape().to_vec(), da));
+                    accumulate(&mut grads, *b, Tensor::from_vec(bt.shape().to_vec(), db));
+                }
+                Op::Scale { x, c } => {
+                    let dx: Vec<f32> = gy.data().iter().map(|v| v * c).collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(gy.shape().to_vec(), dx));
+                }
+                Op::AddScalar { x } => {
+                    accumulate(&mut grads, *x, gy);
+                }
+                Op::Exp { x } => {
+                    let y = &node.value;
+                    let dx: Vec<f32> =
+                        gy.data().iter().zip(y.data()).map(|(&g, &v)| g * v).collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(y.shape().to_vec(), dx));
+                }
+                Op::LogSigmoid { x } => {
+                    let xt = self.value(*x);
+                    // d/dx log σ(x) = σ(-x).
+                    let dx: Vec<f32> = xt
+                        .data()
+                        .iter()
+                        .zip(gy.data())
+                        .map(|(&v, &g)| g * sigmoid(-v))
+                        .collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
+                }
+                Op::Clamp { x, lo, hi } => {
+                    let xt = self.value(*x);
+                    let dx: Vec<f32> = xt
+                        .data()
+                        .iter()
+                        .zip(gy.data())
+                        .map(|(&v, &g)| if v >= *lo && v <= *hi { g } else { 0.0 })
+                        .collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
+                }
+                Op::MulConst { x, c } => {
+                    let dx: Vec<f32> =
+                        gy.data().iter().zip(c.data()).map(|(&g, &v)| g * v).collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(c.shape().to_vec(), dx));
+                }
+                Op::CrossEntropy { logits, targets, mask } => {
+                    let lt = self.value(*logits);
+                    let (n, v) = (lt.shape()[0], lt.shape()[1]);
+                    let count = mask.iter().filter(|&&m| m).count() as f32;
+                    let g = gy.item() / count;
+                    let mut dl = vec![0.0f32; n * v];
+                    for i in 0..n {
+                        if !mask[i] {
+                            continue;
+                        }
+                        for j in 0..v {
+                            let p = node.aux[i * v + j];
+                            let onehot = if j == targets[i] { 1.0 } else { 0.0 };
+                            dl[i * v + j] = g * (p - onehot);
+                        }
+                    }
+                    accumulate(&mut grads, *logits, Tensor::from_vec(vec![n, v], dl));
+                }
+                Op::LogProb { logits, targets } => {
+                    let lt = self.value(*logits);
+                    let (n, v) = (lt.shape()[0], lt.shape()[1]);
+                    let mut dl = vec![0.0f32; n * v];
+                    for i in 0..n {
+                        let gi = gy.data()[i];
+                        if gi == 0.0 {
+                            continue;
+                        }
+                        for j in 0..v {
+                            let p = node.aux[i * v + j];
+                            let onehot = if j == targets[i] { 1.0 } else { 0.0 };
+                            dl[i * v + j] = gi * (onehot - p);
+                        }
+                    }
+                    accumulate(&mut grads, *logits, Tensor::from_vec(vec![n, v], dl));
+                }
+                Op::SegmentSum { x, segments } => {
+                    let xt = self.value(*x);
+                    let dx: Vec<f32> = segments.iter().map(|&s| gy.data()[s]).collect();
+                    accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
+                }
+                Op::SelectRows { x, idx } => {
+                    let xt = self.value(*x);
+                    let (n, d) = (xt.shape()[0], xt.shape()[1]);
+                    let mut dx = vec![0.0f32; n * d];
+                    for (i, &row) in idx.iter().enumerate() {
+                        for j in 0..d {
+                            dx[row * d + j] += gy.data()[i * d + j];
+                        }
+                    }
+                    accumulate(&mut grads, *x, Tensor::from_vec(vec![n, d], dx));
+                }
+                Op::MeanAll { x } => {
+                    let xt = self.value(*x);
+                    let g = gy.item() / xt.numel() as f32;
+                    accumulate(&mut grads, *x, Tensor::full(xt.shape().to_vec(), g));
+                }
+                Op::SumAll { x } => {
+                    let xt = self.value(*x);
+                    accumulate(&mut grads, *x, Tensor::full(xt.shape().to_vec(), gy.item()));
+                }
+                Op::Reshape { x } => {
+                    let xt = self.value(*x);
+                    accumulate(&mut grads, *x, gy.reshaped(xt.shape().to_vec()));
+                }
+            }
+        }
+        // Honor `requires_grad`: constants report no gradient.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf { requires_grad: false } = node.op {
+                grads[idx] = None;
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Value, g: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => {
+            let e = existing.make_mut();
+            for (ev, gv) in e.iter_mut().zip(g.data()) {
+                *ev += gv;
+            }
+        }
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn transpose12_raw(x: &[f32], n: usize, p: usize, q: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * p * q];
+    for b in 0..n {
+        for i in 0..p {
+            for j in 0..q {
+                out[b * p * q + j * p + i] = x[b * p * q + i * q + j];
+            }
+        }
+    }
+    out
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        0.0
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_linear() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]), false);
+        let w = tape.leaf(Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![2], vec![0.5, -0.5]), true);
+        let y = tape.linear(x, w, Some(b));
+        assert_eq!(tape.value(y).data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn backward_through_linear_chain() {
+        // loss = mean(x @ w); dw should be x repeated / numel.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1, 2], vec![3.0, 4.0]), false);
+        let w = tape.leaf(Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]), true);
+        let y = tape.linear(x, w, None);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        let dw = grads.of(w).unwrap();
+        assert_eq!(dw.data(), &[1.5, 1.5, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn causal_softmax_rows_sum_to_one_in_visible_range() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1, 3, 3], (0..9).map(|i| i as f32).collect()), false);
+        let y = tape.causal_softmax(x, 1.0);
+        let yd = tape.value(y).data().to_vec();
+        // Row 0: only position 0 visible.
+        assert!((yd[0] - 1.0).abs() < 1e-6);
+        assert_eq!(yd[1], 0.0);
+        // Row 2: all three visible, sums to 1.
+        let s: f32 = yd[6..9].iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_merge_heads_inverse() {
+        let mut tape = Tape::new();
+        let data: Vec<f32> = (0..2 * 3 * 4).map(|i| i as f32).collect();
+        let x = tape.leaf(Tensor::from_vec(vec![2, 3, 4], data.clone()), false);
+        let s = tape.split_heads(x, 2);
+        let m = tape.merge_heads(s, 2);
+        assert_eq!(tape.value(m).data(), data.as_slice());
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut tape = Tape::new();
+        let w = tape.leaf(
+            Tensor::from_vec(vec![3, 2], vec![0., 1., 10., 11., 20., 21.]),
+            true,
+        );
+        let e = tape.embedding(w, &[2, 0]);
+        assert_eq!(tape.value(e).data(), &[20., 21., 0., 1.]);
+        let loss = tape.sum_all(e);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(w).unwrap().data(), &[1., 1., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_hand_calc() {
+        let mut tape = Tape::new();
+        // Uniform logits over 4 classes -> loss = ln(4).
+        let l = tape.leaf(Tensor::zeros(vec![2, 4]), true);
+        let loss = tape.cross_entropy(l, &[1, 2], &[true, true]);
+        assert!((tape.value(loss).item() - 4.0f32.ln()).abs() < 1e-6);
+        let g = tape.backward(loss);
+        let dl = g.of(l).unwrap();
+        // Gradient: (p - onehot)/2 with p = 0.25.
+        assert!((dl.data()[0] - 0.125).abs() < 1e-6);
+        assert!((dl.data()[1] + 0.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_respects_mask() {
+        let mut tape = Tape::new();
+        let l = tape.leaf(Tensor::zeros(vec![2, 4]), true);
+        let loss = tape.cross_entropy(l, &[1, 2], &[true, false]);
+        let g = tape.backward(loss);
+        let dl = g.of(l).unwrap();
+        assert!(dl.data()[4..].iter().all(|&v| v == 0.0), "masked row has no grad");
+    }
+
+    #[test]
+    fn log_prob_is_log_softmax_at_target() {
+        let mut tape = Tape::new();
+        let l = tape.leaf(Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]), true);
+        let lp = tape.log_prob(l, &[2]);
+        let denom: f32 = (1f32).exp() + (2f32).exp() + (3f32).exp();
+        let expect = (3f32).exp().ln() - denom.ln();
+        assert!((tape.value(lp).data()[0] - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn segment_sum_groups() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![5], vec![1., 2., 3., 4., 5.]), true);
+        let s = tape.segment_sum(x, &[0, 0, 1, 1, 1]);
+        assert_eq!(tape.value(s).data(), &[3., 12.]);
+        let loss = tape.sum_all(s);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(x).unwrap().data(), &[1., 1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn minimum_routes_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2], vec![1.0, 5.0]), true);
+        let b = tape.leaf(Tensor::from_vec(vec![2], vec![2.0, 4.0]), true);
+        let m = tape.minimum(a, b);
+        let loss = tape.sum_all(m);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(a).unwrap().data(), &[1.0, 0.0]);
+        assert_eq!(g.of(b).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_on_reuse() {
+        // y = x + x: dy/dx = 2.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2], vec![1.0, 2.0]), true);
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.of(x).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(vec![3]), true);
+        let _ = tape.backward(x);
+    }
+}

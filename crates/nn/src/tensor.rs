@@ -1,0 +1,284 @@
+//! Dense row-major `f32` tensors.
+//!
+//! Values are immutable and cheaply clonable (`Arc`-backed); the optimizer
+//! mutates parameters through [`Tensor::make_mut`].
+
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense row-major tensor of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// Create from a flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(data.len(), numel, "shape {shape:?} wants {numel} elements");
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// All zeros.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let numel: usize = shape.iter().product();
+        Tensor { shape, data: Arc::new(vec![0.0; numel]) }
+    }
+
+    /// All equal to `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Tensor {
+        let numel: usize = shape.iter().product();
+        Tensor { shape, data: Arc::new(vec![value; numel]) }
+    }
+
+    /// A single scalar.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor::from_vec(vec![1], vec![value])
+    }
+
+    /// Normal(0, `std`) initialization.
+    pub fn randn<R: Rng + ?Sized>(shape: Vec<usize>, std: f32, rng: &mut R) -> Tensor {
+        let numel: usize = shape.iter().product();
+        // Box–Muller; rand's StandardNormal lives in rand_distr which we
+        // avoid depending on.
+        let mut data = Vec::with_capacity(numel);
+        while data.len() < numel {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < numel {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access (copy-on-write if shared).
+    pub fn make_mut(&mut self) -> &mut [f32] {
+        let vec: &mut Vec<f32> = Arc::make_mut(&mut self.data);
+        vec.as_mut_slice()
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not hold exactly one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires a scalar");
+        self.data[0]
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on element-count mismatch.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.numel(), "reshape element count");
+        Tensor { shape, data: Arc::clone(&self.data) }
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Sum of all elements (plain helper, not autograd).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// `C = A @ B` for 2-D shapes `[m,k] x [k,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "inner dimensions");
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(a, b, &mut out, m, k, n);
+        Tensor::from_vec(vec![m, n], out)
+    }
+}
+
+/// `out[m,n] += a[m,k] @ b[k,n]` (out assumed zeroed by caller). ikj loop
+/// order keeps the inner loop contiguous for both `b` and `out`.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            let orow = &mut out[i * n..i * n + n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] @ b^T` where `b` is `[n,k]`.
+pub(crate) fn matmul_bt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        for j in 0..n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out[k,n] += a^T @ c` where `a` is `[m,k]`, `c` is `[m,n]`.
+pub(crate) fn matmul_at_into(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &c[i * n..i * n + n];
+            let orow = &mut out[kk * n..kk * n + n];
+            for j in 0..n {
+                orow[j] += av * crow[j];
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", self.data())
+        } else {
+            write!(f, " [{:.4}, {:.4}, …]", self.data[0], self.data[1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.sum(), 21.0);
+        assert_eq!(t.max_abs(), 6.0);
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "elements")]
+    fn shape_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_cow_works() {
+        let t = Tensor::zeros(vec![4]);
+        let mut u = t.clone();
+        u.make_mut()[0] = 7.0;
+        assert_eq!(t.data()[0], 0.0, "original untouched");
+        assert_eq!(u.data()[0], 7.0);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        // b [2,3], we compute a @ b^T.
+        let b = Tensor::from_vec(vec![2, 3], vec![1., 0., 1., 0., 1., 0.]);
+        let mut out = vec![0.0; 4];
+        matmul_bt_into(a.data(), b.data(), &mut out, 2, 3, 2);
+        assert_eq!(out, vec![4., 2., 10., 5.]);
+    }
+
+    #[test]
+    fn matmul_at_matches() {
+        // a [2,3], c [2,2]; out = a^T @ c is [3,2].
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let c = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]);
+        let mut out = vec![0.0; 6];
+        matmul_at_into(a.data(), c.data(), &mut out, 2, 3, 2);
+        assert_eq!(out, vec![1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = Tensor::randn(vec![10_000], 1.0, &mut rng);
+        let mean = t.sum() / 10_000.0;
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn reshape_shares_data() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.reshaped(vec![3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+}

@@ -1,0 +1,322 @@
+//! Finite-difference verification of every tape op's backward pass.
+//!
+//! For each op we build a scalar loss through it, perturb each input
+//! element by ±h, and compare the numeric derivative against the analytic
+//! gradient. f32 limits accuracy to ~1e-2 relative on composed ops; each
+//! check uses tolerances appropriate to its conditioning.
+
+use eva_nn::{Tape, Tensor, Value};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Numerically check d(loss)/d(input) for the input tensor `x0`, where
+/// `build` constructs the loss from a leaf holding the (possibly perturbed)
+/// input.
+fn grad_check(x0: &Tensor, build: impl Fn(&mut Tape, Value) -> Value, tol: f32) {
+    // Analytic gradient.
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone(), true);
+    let loss = build(&mut tape, x);
+    let grads = tape.backward(loss);
+    let analytic = grads.of(x).expect("input reached").clone();
+
+    let h = 1e-2f32;
+    for i in 0..x0.numel() {
+        let mut plus = x0.clone();
+        plus.make_mut()[i] += h;
+        let mut minus = x0.clone();
+        minus.make_mut()[i] -= h;
+        let f = |t: Tensor| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(t, true);
+            let loss = build(&mut tape, x);
+            tape.value(loss).item()
+        };
+        let numeric = (f(plus) - f(minus)) / (2.0 * h);
+        let a = analytic.data()[i];
+        let denom = numeric.abs().max(a.abs()).max(1.0);
+        assert!(
+            (numeric - a).abs() / denom < tol,
+            "element {i}: numeric {numeric} vs analytic {a}"
+        );
+    }
+}
+
+fn randt(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let numel: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..numel).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+#[test]
+fn linear_wrt_input() {
+    let w = randt(vec![3, 2], 1);
+    let b = randt(vec![2], 2);
+    grad_check(
+        &randt(vec![4, 3], 0),
+        |tape, x| {
+            let wv = tape.leaf(w.clone(), false);
+            let bv = tape.leaf(b.clone(), false);
+            let y = tape.linear(x, wv, Some(bv));
+            tape.mean_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn linear_wrt_weight() {
+    let x = randt(vec![4, 3], 0);
+    grad_check(
+        &randt(vec![3, 2], 1),
+        |tape, w| {
+            let xv = tape.leaf(x.clone(), false);
+            let y = tape.linear(xv, w, None);
+            let sq = tape.mul(y, y);
+            tape.mean_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn bmm_both_sides() {
+    let b = randt(vec![2, 3, 2], 5);
+    grad_check(
+        &randt(vec![2, 4, 3], 4),
+        |tape, a| {
+            let bv = tape.leaf(b.clone(), false);
+            let c = tape.bmm(a, bv);
+            tape.mean_all(c)
+        },
+        1e-2,
+    );
+    let a = randt(vec![2, 4, 3], 4);
+    grad_check(
+        &randt(vec![2, 3, 2], 5),
+        |tape, b| {
+            let av = tape.leaf(a.clone(), false);
+            let c = tape.bmm(av, b);
+            let sq = tape.mul(c, c);
+            tape.mean_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn transpose_and_heads() {
+    grad_check(
+        &randt(vec![2, 3, 4], 7),
+        |tape, x| {
+            let t = tape.transpose12(x);
+            let sq = tape.mul(t, t);
+            tape.mean_all(sq)
+        },
+        1e-2,
+    );
+    grad_check(
+        &randt(vec![2, 3, 4], 8),
+        |tape, x| {
+            let s = tape.split_heads(x, 2);
+            let m = tape.merge_heads(s, 2);
+            let sq = tape.mul(m, m);
+            tape.mean_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn causal_softmax_grad() {
+    grad_check(
+        &randt(vec![2, 3, 3], 9),
+        |tape, x| {
+            let y = tape.causal_softmax(x, 0.7);
+            let sq = tape.mul(y, y);
+            tape.mean_all(sq)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn layer_norm_grads() {
+    let gamma = randt(vec![4], 11);
+    let beta = randt(vec![4], 12);
+    grad_check(
+        &randt(vec![3, 4], 10),
+        |tape, x| {
+            let g = tape.leaf(gamma.clone(), false);
+            let bt = tape.leaf(beta.clone(), false);
+            let y = tape.layer_norm(x, g, bt);
+            let sq = tape.mul(y, y);
+            tape.mean_all(sq)
+        },
+        3e-2,
+    );
+    // w.r.t. gamma.
+    let x = randt(vec![3, 4], 10);
+    grad_check(
+        &randt(vec![4], 11),
+        |tape, g| {
+            let xv = tape.leaf(x.clone(), false);
+            let bt = tape.leaf(beta.clone(), false);
+            let y = tape.layer_norm(xv, g, bt);
+            let sq = tape.mul(y, y);
+            tape.mean_all(sq)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn gelu_grad() {
+    grad_check(
+        &randt(vec![10], 13),
+        |tape, x| {
+            let y = tape.gelu(x);
+            tape.sum_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn elementwise_and_scalar_ops() {
+    let other = randt(vec![6], 15);
+    grad_check(
+        &randt(vec![6], 14),
+        |tape, x| {
+            let o = tape.leaf(other.clone(), false);
+            let a = tape.add(x, o);
+            let s = tape.sub(a, o);
+            let m = tape.mul(s, o);
+            let sc = tape.scale(m, 1.3);
+            let ash = tape.add_scalar(sc, 0.2);
+            tape.mean_all(ash)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn exp_logsigmoid_clamp_minimum() {
+    let other = randt(vec![6], 17);
+    grad_check(
+        &randt(vec![6], 16),
+        |tape, x| {
+            let e = tape.exp(x);
+            let l = tape.log_sigmoid(e);
+            let o = tape.leaf(other.clone(), false);
+            let m = tape.minimum(l, o);
+            // Clamp bounds chosen off the sample values to avoid kinks at
+            // the finite-difference points.
+            let c = tape.clamp(m, -5.0, 5.0);
+            tape.sum_all(c)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn cross_entropy_grad() {
+    grad_check(
+        &randt(vec![4, 5], 18),
+        |tape, x| tape.cross_entropy(x, &[0, 2, 4, 1], &[true, true, false, true]),
+        1e-2,
+    );
+}
+
+#[test]
+fn log_prob_grad() {
+    grad_check(
+        &randt(vec![4, 5], 19),
+        |tape, x| {
+            let lp = tape.log_prob(x, &[1, 1, 3, 0]);
+            tape.mean_all(lp)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn segment_sum_and_select_rows() {
+    grad_check(
+        &randt(vec![6], 20),
+        |tape, x| {
+            let s = tape.segment_sum(x, &[0, 1, 0, 1, 2, 2]);
+            let sq = tape.mul(s, s);
+            tape.mean_all(sq)
+        },
+        1e-2,
+    );
+    grad_check(
+        &randt(vec![4, 3], 21),
+        |tape, x| {
+            let s = tape.select_rows(x, &[2, 0, 2]);
+            let sq = tape.mul(s, s);
+            tape.sum_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn embedding_grad() {
+    grad_check(
+        &randt(vec![5, 3], 22),
+        |tape, w| {
+            let e = tape.embedding(w, &[4, 1, 1, 0]);
+            let sq = tape.mul(e, e);
+            tape.mean_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn mul_const_grad() {
+    let mask = Tensor::from_vec(vec![5], vec![1.0, 0.0, 1.0, 0.5, 2.0]);
+    grad_check(
+        &randt(vec![5], 23),
+        |tape, x| {
+            let m = tape.mul_const(x, &mask);
+            tape.sum_all(m)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn full_attention_block_composition() {
+    // End-to-end mini attention: x -> qkv -> attention -> projection.
+    let d = 4;
+    let heads = 2;
+    let wq = randt(vec![d, d], 31);
+    let wk = randt(vec![d, d], 32);
+    let wv = randt(vec![d, d], 33);
+    grad_check(
+        &randt(vec![1, 3, d], 30),
+        |tape, x| {
+            let q_w = tape.leaf(wq.clone(), false);
+            let k_w = tape.leaf(wk.clone(), false);
+            let v_w = tape.leaf(wv.clone(), false);
+            let q = tape.linear(x, q_w, None);
+            let k = tape.linear(x, k_w, None);
+            let v = tape.linear(x, v_w, None);
+            let qh = tape.split_heads(q, heads);
+            let kh = tape.split_heads(k, heads);
+            let vh = tape.split_heads(v, heads);
+            let kt = tape.transpose12(kh);
+            let scores = tape.bmm(qh, kt);
+            let probs = tape.causal_softmax(scores, 1.0 / (d as f32 / heads as f32).sqrt());
+            let ctx = tape.bmm(probs, vh);
+            let merged = tape.merge_heads(ctx, heads);
+            let sq = tape.mul(merged, merged);
+            tape.mean_all(sq)
+        },
+        3e-2,
+    );
+}

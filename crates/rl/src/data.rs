@@ -1,0 +1,212 @@
+//! Fine-tuning data preparation: Table-I labeling of corpus entries for a
+//! target circuit type, plus synthetic invalid samples.
+//!
+//! Relevant entries are measured with the simulator and split high/low by
+//! Otsu's threshold on FoM; entries of other families are "irrelevant
+//! valid"; invalid examples are synthesized by corrupting valid walks
+//! (random token substitutions) and verifying the result really fails the
+//! validity oracle.
+
+use eva_dataset::{CircuitType, DatasetEntry};
+use eva_tokenizer::{TokenId, Tokenizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::reward::{otsu_threshold, LabeledSequence, RankClass};
+
+/// A Table-I-labeled fine-tuning dataset for one target circuit type.
+#[derive(Debug, Clone)]
+pub struct FinetuneData {
+    /// The labeled sequences.
+    pub samples: Vec<LabeledSequence>,
+    /// The Otsu FoM threshold used for the high/low split.
+    pub fom_threshold: f64,
+    /// The target family.
+    pub target: CircuitType,
+}
+
+impl FinetuneData {
+    /// Samples of one class.
+    pub fn of_class(&self, class: RankClass) -> Vec<&LabeledSequence> {
+        self.samples.iter().filter(|s| s.class == class).collect()
+    }
+
+    /// Count per class, Table-I order.
+    pub fn class_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for s in &self.samples {
+            let i = RankClass::ALL.iter().position(|&c| c == s.class).expect("member");
+            counts[i] += 1;
+        }
+        counts
+    }
+}
+
+/// Label `entries` for `target`, producing at most `budget` samples
+/// (mirroring the paper's small labeled sets: 850 for Op-Amps, 362 for
+/// power converters). Roughly `budget/4` invalid samples are synthesized.
+///
+/// # Panics
+///
+/// Panics if `budget == 0`.
+pub fn build_finetune_data<R: Rng + ?Sized>(
+    entries: &[DatasetEntry],
+    target: CircuitType,
+    tokenizer: &Tokenizer,
+    budget: usize,
+    rng: &mut R,
+) -> FinetuneData {
+    assert!(budget > 0, "budget must be positive");
+    // Measure relevant entries.
+    let mut relevant: Vec<(&DatasetEntry, f64)> = Vec::new();
+    let mut irrelevant: Vec<&DatasetEntry> = Vec::new();
+    for e in entries {
+        if e.circuit_type == target {
+            if let Some(fom) = eva_dataset::measure_fom(&e.topology, target) {
+                relevant.push((e, fom));
+            }
+        } else {
+            irrelevant.push(e);
+        }
+    }
+    let foms: Vec<f64> = relevant.iter().map(|(_, f)| *f).collect();
+    let fom_threshold = if foms.is_empty() { 0.0 } else { otsu_threshold(&foms) };
+
+    // Budget split: half relevant, quarter irrelevant, quarter invalid.
+    let n_rel = (budget / 2).min(relevant.len());
+    let n_irr = (budget / 4).min(irrelevant.len());
+    let n_inv = budget.saturating_sub(n_rel + n_irr).min(n_rel.max(1) * 2);
+
+    relevant.shuffle(rng);
+    irrelevant.shuffle(rng);
+
+    fn encode<R: Rng + ?Sized>(
+        e: &DatasetEntry,
+        tokenizer: &Tokenizer,
+        rng: &mut R,
+    ) -> Option<Vec<TokenId>> {
+        let seq = eva_circuit::EulerianSequence::from_topology(&e.topology, rng).ok()?;
+        tokenizer.encode_sequence(&seq).ok()
+    }
+
+    let mut samples = Vec::new();
+    for (e, fom) in relevant.iter().take(n_rel) {
+        if let Some(tokens) = encode(e, tokenizer, rng) {
+            let class = if *fom >= fom_threshold {
+                RankClass::HighPerformance
+            } else {
+                RankClass::LowPerformance
+            };
+            samples.push(LabeledSequence { tokens, class });
+        }
+    }
+    for e in irrelevant.iter().take(n_irr) {
+        if let Some(tokens) = encode(e, tokenizer, rng) {
+            samples.push(LabeledSequence { tokens, class: RankClass::Irrelevant });
+        }
+    }
+    // Synthetic invalid samples: corrupt valid token streams until the
+    // oracle rejects them.
+    let pool: Vec<&DatasetEntry> = entries.iter().collect();
+    let mut made = 0;
+    let mut attempts = 0;
+    while made < n_inv && attempts < n_inv * 10 && !pool.is_empty() {
+        attempts += 1;
+        let e = pool[rng.gen_range(0..pool.len())];
+        let Some(tokens) = encode(e, tokenizer, rng) else { continue };
+        if let Some(bad) = corrupt(&tokens, tokenizer, rng) {
+            samples.push(LabeledSequence { tokens: bad, class: RankClass::Invalid });
+            made += 1;
+        }
+    }
+    samples.shuffle(rng);
+    FinetuneData { samples, fom_threshold, target }
+}
+
+/// Randomly substitute tokens until the sequence decodes to an invalid
+/// circuit (or fails to decode at all). Returns `None` if corruption
+/// accidentally kept the circuit valid.
+fn corrupt<R: Rng + ?Sized>(
+    tokens: &[TokenId],
+    tokenizer: &Tokenizer,
+    rng: &mut R,
+) -> Option<Vec<TokenId>> {
+    let mut bad = tokens.to_vec();
+    let vocab = tokenizer.vocab_size() as u32;
+    let n_swaps = 1 + bad.len() / 8;
+    for _ in 0..n_swaps {
+        // Never touch position 0 (VSS) so failures are structural, not
+        // trivially detectable.
+        let pos = rng.gen_range(1..bad.len());
+        bad[pos] = TokenId(rng.gen_range(2..vocab));
+    }
+    let still_valid = tokenizer
+        .to_sequence(&bad)
+        .ok()
+        .and_then(|s| s.to_topology().ok())
+        .map(|t| eva_spice::check_validity(&t).is_valid())
+        .unwrap_or(false);
+    (!still_valid).then_some(bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_dataset::{Corpus, CorpusOptions};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_setup() -> (Vec<DatasetEntry>, Tokenizer) {
+        let corpus = Corpus::build(&CorpusOptions {
+            target_size: 60,
+            decorate: false,
+            validate: true,
+            families: Some(vec![CircuitType::Bandgap, CircuitType::Ldo]),
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let seqs = eva_dataset::expand(corpus.entries(), 2, &mut rng);
+        let tokens: Vec<Vec<String>> = seqs.iter().map(|r| r.sequence.tokens()).collect();
+        let tok = Tokenizer::fit(tokens.iter().map(|v| v.as_slice()));
+        (corpus.entries().to_vec(), tok)
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let (entries, tok) = tiny_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = build_finetune_data(&entries, CircuitType::Ldo, &tok, 40, &mut rng);
+        let counts = data.class_counts();
+        assert!(counts[0] + counts[1] > 0, "some relevant: {counts:?}");
+        assert!(counts[2] > 0, "some irrelevant: {counts:?}");
+        assert!(counts[3] > 0, "some invalid: {counts:?}");
+        assert!(data.samples.len() <= 40 + 4);
+        assert_eq!(data.target, CircuitType::Ldo);
+    }
+
+    #[test]
+    fn high_and_low_split_by_threshold() {
+        let (entries, tok) = tiny_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let data = build_finetune_data(&entries, CircuitType::Ldo, &tok, 40, &mut rng);
+        assert!(data.fom_threshold.is_finite());
+        let highs = data.of_class(RankClass::HighPerformance).len();
+        let lows = data.of_class(RankClass::LowPerformance).len();
+        assert!(highs + lows > 0);
+    }
+
+    #[test]
+    fn corrupted_sequences_are_really_invalid() {
+        let (entries, tok) = tiny_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let data = build_finetune_data(&entries, CircuitType::Bandgap, &tok, 24, &mut rng);
+        for s in data.of_class(RankClass::Invalid) {
+            let ok = tok
+                .to_sequence(&s.tokens)
+                .ok()
+                .and_then(|q| q.to_topology().ok())
+                .map(|t| eva_spice::check_validity(&t).is_valid())
+                .unwrap_or(false);
+            assert!(!ok, "sample marked invalid must fail the oracle");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Small linear heads attached on top of the transformer's final hidden
+//! states: the PPO value head and the reward model's 3-way classifier.
+
+use eva_nn::{Gradients, ParamSet, Tape, Tensor, Value};
+use rand::Rng;
+
+/// A bias-equipped linear head with its own parameters.
+#[derive(Debug, Clone)]
+pub struct LinearHead {
+    params: ParamSet,
+    d_in: usize,
+    d_out: usize,
+}
+
+/// Tape bindings for one forward pass of a head.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadBound {
+    w: Value,
+    b: Value,
+}
+
+impl LinearHead {
+    /// Create with small random weights.
+    pub fn new<R: Rng + ?Sized>(name: &str, d_in: usize, d_out: usize, rng: &mut R) -> LinearHead {
+        let mut params = ParamSet::new();
+        params.register(format!("{name}.w"), Tensor::randn(vec![d_in, d_out], 0.02, rng));
+        params.register(format!("{name}.b"), Tensor::zeros(vec![d_out]));
+        LinearHead { params, d_in, d_out }
+    }
+
+    /// Input width.
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output width.
+    pub fn d_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable parameters (for optimizer updates).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Register the head's parameters on a tape.
+    pub fn bind(&self, tape: &mut Tape) -> HeadBound {
+        HeadBound {
+            w: tape.leaf(self.params.tensor(0).clone(), true),
+            b: tape.leaf(self.params.tensor(1).clone(), true),
+        }
+    }
+
+    /// Apply to hidden states `[..., d_in] -> [..., d_out]`.
+    pub fn apply(&self, tape: &mut Tape, bound: HeadBound, hidden: Value) -> Value {
+        tape.linear(hidden, bound.w, Some(bound.b))
+    }
+
+    /// Collect the head's gradients in parameter order.
+    pub fn gradients<'g>(&self, bound: HeadBound, grads: &'g Gradients) -> Vec<Option<&'g Tensor>> {
+        vec![grads.of(bound.w), grads.of(bound.b)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_nn::AdamW;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let head = LinearHead::new("v", 8, 1, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(vec![3, 8]), false);
+        let b = head.bind(&mut tape);
+        let y = head.apply(&mut tape, b, x);
+        assert_eq!(tape.value(y).shape(), &[3, 1]);
+        assert_eq!(head.d_in(), 8);
+        assert_eq!(head.d_out(), 1);
+    }
+
+    #[test]
+    fn head_trains_to_fit_targets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut head = LinearHead::new("v", 4, 1, &mut rng);
+        let x_data = Tensor::from_vec(vec![2, 4], vec![1., 0., 0., 0., 0., 1., 0., 0.]);
+        let target = Tensor::from_vec(vec![2, 1], vec![2.0, -1.0]);
+        let mut opt = AdamW::new(0.05, head.params().tensors());
+        opt.weight_decay = 0.0;
+        for _ in 0..300 {
+            let mut tape = Tape::new();
+            let x = tape.leaf(x_data.clone(), false);
+            let b = head.bind(&mut tape);
+            let y = head.apply(&mut tape, b, x);
+            let t = tape.leaf(target.clone(), false);
+            let e = tape.sub(y, t);
+            let sq = tape.mul(e, e);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            let g = head.gradients(b, &grads);
+            opt.step(head.params_mut().tensors_mut(), &g);
+        }
+        // Check fit.
+        let mut tape = Tape::new();
+        let x = tape.leaf(x_data, false);
+        let b = head.bind(&mut tape);
+        let y = head.apply(&mut tape, b, x);
+        let out = tape.value(y).data().to_vec();
+        assert!((out[0] - 2.0).abs() < 0.05, "{out:?}");
+        assert!((out[1] + 1.0).abs() < 0.05, "{out:?}");
+    }
+}

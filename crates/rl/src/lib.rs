@@ -1,0 +1,27 @@
+//! # eva-rl
+//!
+//! Targeted fine-tuning of the pretrained EVA model (Section III-C):
+//!
+//! - [`reward`] — Table I rank classes, Otsu's FoM threshold, and the
+//!   reward model (rule-based validity checker + 3-way classifier).
+//! - [`data`] — building the small performance-labeled fine-tuning sets
+//!   (850 labeled Op-Amps / 362 labeled converters in the paper).
+//! - [`ppo`] — Algorithm 1: rollouts, Eq. 2 KL-shaped rewards, GAE, the
+//!   clipped surrogate (Eq. 3) and value loss (Eq. 4).
+//! - [`dpo`] — Eq. 5: Bradley–Terry pairwise preference fine-tuning over
+//!   win/lose pairs derived from the rank classes.
+//!
+//! See `tests/` for end-to-end fine-tuning on toy tasks; the full-scale
+//! experiments live in `eva-bench`.
+
+pub mod data;
+pub mod dpo;
+pub mod heads;
+pub mod ppo;
+pub mod reward;
+
+pub use data::{build_finetune_data, FinetuneData};
+pub use dpo::{pairs_from_ranks, DpoConfig, DpoStepStats, DpoTrainer, PreferencePair};
+pub use heads::LinearHead;
+pub use ppo::{PpoConfig, PpoEpochStats, PpoTrainer, Rollout};
+pub use reward::{otsu_threshold, LabeledSequence, RankClass, RewardModel};

@@ -1,0 +1,331 @@
+//! The rank classes of Table I, Otsu's threshold, and the PPO reward model.
+//!
+//! The reward model combines a **rule-based checker** (the `eva-spice`
+//! validity oracle) with a **multiclass classifier** over the three valid
+//! classes; the sequence reward is the rank score of Table I. The paper
+//! trains the classifier with a Plackett–Luce ranking objective over the
+//! class ordering, which for a single judgment per sequence reduces to the
+//! softmax/cross-entropy likelihood used here.
+
+use eva_nn::{AdamW, Tape};
+use eva_model::Transformer;
+use eva_tokenizer::{TokenId, Tokenizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::heads::LinearHead;
+
+/// Rank classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RankClass {
+    /// High-performance relevant valid circuit → reward 1.0.
+    HighPerformance,
+    /// Low-performance relevant valid circuit → reward 0.5.
+    LowPerformance,
+    /// Irrelevant valid circuit → reward −0.5.
+    Irrelevant,
+    /// Invalid circuit → reward −1.0.
+    Invalid,
+}
+
+impl RankClass {
+    /// All classes, best first (the Plackett–Luce / Bradley–Terry order).
+    pub const ALL: [RankClass; 4] = [
+        RankClass::HighPerformance,
+        RankClass::LowPerformance,
+        RankClass::Irrelevant,
+        RankClass::Invalid,
+    ];
+
+    /// The reward score of Table I.
+    pub fn score(self) -> f64 {
+        match self {
+            RankClass::HighPerformance => 1.0,
+            RankClass::LowPerformance => 0.5,
+            RankClass::Irrelevant => -0.5,
+            RankClass::Invalid => -1.0,
+        }
+    }
+
+    /// Classifier output index for the three *valid* classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`RankClass::Invalid`], which is decided by the
+    /// rule-based checker, not the classifier.
+    pub fn class_index(self) -> usize {
+        match self {
+            RankClass::HighPerformance => 0,
+            RankClass::LowPerformance => 1,
+            RankClass::Irrelevant => 2,
+            RankClass::Invalid => panic!("invalid is decided by the rule-based checker"),
+        }
+    }
+
+    /// Inverse of [`RankClass::class_index`].
+    pub fn from_class_index(index: usize) -> RankClass {
+        match index {
+            0 => RankClass::HighPerformance,
+            1 => RankClass::LowPerformance,
+            _ => RankClass::Irrelevant,
+        }
+    }
+}
+
+/// Otsu's method (paper ref \[20\]): the FoM threshold maximizing
+/// between-class variance, used to split relevant circuits into high / low
+/// performance.
+///
+/// Returns the threshold; values `>= threshold` are "high".
+///
+/// # Panics
+///
+/// Panics if `foms` is empty.
+pub fn otsu_threshold(foms: &[f64]) -> f64 {
+    assert!(!foms.is_empty(), "otsu needs data");
+    let mut sorted: Vec<f64> = foms.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let total: f64 = sorted.iter().sum();
+    let mut best_thr = sorted[n / 2];
+    let mut best_var = f64::NEG_INFINITY;
+    let mut acc = 0.0;
+    for k in 0..n.saturating_sub(1) {
+        acc += sorted[k];
+        let w0 = (k + 1) as f64;
+        let w1 = (n - k - 1) as f64;
+        let m0 = acc / w0;
+        let m1 = (total - acc) / w1;
+        let var = w0 * w1 * (m0 - m1) * (m0 - m1);
+        if var > best_var {
+            best_var = var;
+            best_thr = 0.5 * (sorted[k] + sorted[k + 1]);
+        }
+    }
+    best_thr
+}
+
+/// A performance-labeled token sequence for reward-model / DPO training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSequence {
+    /// Token ids including the trailing `END`.
+    pub tokens: Vec<TokenId>,
+    /// The rank class.
+    pub class: RankClass,
+}
+
+/// The PPO environment: rule-based validity check + learned 3-way
+/// classifier on the transformer backbone.
+#[derive(Debug, Clone)]
+pub struct RewardModel {
+    backbone: Transformer,
+    head: LinearHead,
+}
+
+impl RewardModel {
+    /// Wrap a (typically pretrained) backbone with a fresh classifier head.
+    pub fn new<R: Rng + ?Sized>(backbone: Transformer, rng: &mut R) -> RewardModel {
+        let d = backbone.config().d_model;
+        let head = LinearHead::new("rank", d, 3, rng);
+        RewardModel { backbone, head }
+    }
+
+    /// The backbone.
+    pub fn backbone(&self) -> &Transformer {
+        &self.backbone
+    }
+
+    /// Classifier logits `[3]` for one sequence (read at the last token).
+    pub fn class_logits(&self, tokens: &[TokenId]) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let bound = self.backbone.bind(&mut tape);
+        let t = tokens.len();
+        let hidden = self.backbone.hidden(&mut tape, &bound, tokens, 1, t);
+        let flat = tape.reshape(hidden, vec![t, self.backbone.config().d_model]);
+        let last = tape.select_rows(flat, &[t - 1]);
+        let hb = self.head.bind(&mut tape);
+        let logits = self.head.apply(&mut tape, hb, last);
+        tape.value(logits).data().to_vec()
+    }
+
+    /// Predicted valid-class for a sequence.
+    pub fn classify(&self, tokens: &[TokenId]) -> RankClass {
+        let logits = self.class_logits(tokens);
+        let argmax = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(2);
+        RankClass::from_class_index(argmax)
+    }
+
+    /// The sequence reward `R_φ(x, y)`: −1 if the rule-based checker
+    /// rejects the decoded circuit, otherwise the classifier's expected
+    /// rank score (probability-weighted over the three valid classes).
+    pub fn reward(&self, tokens: &[TokenId], tokenizer: &Tokenizer) -> f64 {
+        let valid = tokenizer
+            .to_sequence(tokens)
+            .ok()
+            .and_then(|s| s.to_topology().ok())
+            .map(|t| eva_spice::check_validity(&t).is_valid())
+            .unwrap_or(false);
+        if !valid {
+            return RankClass::Invalid.score();
+        }
+        let logits = self.class_logits(tokens);
+        let maxv = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f64> = logits.iter().map(|&v| f64::from((v - maxv).exp())).collect();
+        let denom: f64 = exps.iter().sum();
+        let mut score = 0.0;
+        for (i, e) in exps.iter().enumerate() {
+            score += (e / denom) * RankClass::from_class_index(i).score();
+        }
+        score
+    }
+
+    /// Train the classifier (and backbone) on labeled sequences. Invalid
+    /// samples are skipped — the checker owns them. Returns per-epoch mean
+    /// losses.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        samples: &[LabeledSequence],
+        epochs: usize,
+        lr: f32,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let usable: Vec<&LabeledSequence> =
+            samples.iter().filter(|s| s.class != RankClass::Invalid).collect();
+        let mut all_params: Vec<eva_nn::Tensor> = self.backbone.params().tensors().to_vec();
+        all_params.extend_from_slice(self.head.params().tensors());
+        let mut opt = AdamW::new(lr, &all_params);
+        let n_backbone = self.backbone.params().len();
+        let mut losses = Vec::with_capacity(epochs);
+        let mut order: Vec<usize> = (0..usable.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0f32;
+            for &si in &order {
+                let s = usable[si];
+                let mut tape = Tape::new();
+                let bound = self.backbone.bind(&mut tape);
+                let t = s.tokens.len();
+                let hidden = self.backbone.hidden(&mut tape, &bound, &s.tokens, 1, t);
+                let flat =
+                    tape.reshape(hidden, vec![t, self.backbone.config().d_model]);
+                let last = tape.select_rows(flat, &[t - 1]);
+                let hb = self.head.bind(&mut tape);
+                let logits = self.head.apply(&mut tape, hb, last);
+                let loss =
+                    tape.cross_entropy(logits, &[s.class.class_index()], &[true]);
+                epoch_loss += tape.value(loss).item();
+                let grads = tape.backward(loss);
+                let mut g = bound.gradients(&grads);
+                g.extend(self.head.gradients(hb, &grads));
+                // Update backbone + head jointly.
+                let mut params: Vec<eva_nn::Tensor> =
+                    self.backbone.params().tensors().to_vec();
+                params.extend_from_slice(self.head.params().tensors());
+                opt.step(&mut params, &g);
+                for (i, p) in params.into_iter().enumerate() {
+                    if i < n_backbone {
+                        self.backbone.params_mut().set(i, p);
+                    } else {
+                        self.head.params_mut().set(i - n_backbone, p);
+                    }
+                }
+            }
+            losses.push(epoch_loss / usable.len().max(1) as f32);
+        }
+        losses
+    }
+
+    /// Classification accuracy on labeled sequences (invalid skipped).
+    pub fn accuracy(&self, samples: &[LabeledSequence]) -> f64 {
+        let usable: Vec<&LabeledSequence> =
+            samples.iter().filter(|s| s.class != RankClass::Invalid).collect();
+        if usable.is_empty() {
+            return 0.0;
+        }
+        let correct = usable
+            .iter()
+            .filter(|s| self.classify(&s.tokens) == s.class)
+            .count();
+        correct as f64 / usable.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_model::ModelConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table_one_scores() {
+        assert_eq!(RankClass::HighPerformance.score(), 1.0);
+        assert_eq!(RankClass::LowPerformance.score(), 0.5);
+        assert_eq!(RankClass::Irrelevant.score(), -0.5);
+        assert_eq!(RankClass::Invalid.score(), -1.0);
+    }
+
+    #[test]
+    fn class_order_matches_scores() {
+        for w in RankClass::ALL.windows(2) {
+            assert!(w[0].score() > w[1].score(), "{:?} > {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn class_index_round_trip() {
+        for c in [RankClass::HighPerformance, RankClass::LowPerformance, RankClass::Irrelevant] {
+            assert_eq!(RankClass::from_class_index(c.class_index()), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rule-based")]
+    fn invalid_has_no_class_index() {
+        let _ = RankClass::Invalid.class_index();
+    }
+
+    #[test]
+    fn otsu_separates_bimodal() {
+        let mut data = vec![1.0, 1.1, 0.9, 1.05, 0.95];
+        data.extend([10.0, 10.2, 9.8, 10.1]);
+        let thr = otsu_threshold(&data);
+        assert!(thr > 1.2 && thr < 9.7, "threshold {thr}");
+    }
+
+    #[test]
+    fn otsu_single_value() {
+        let thr = otsu_threshold(&[5.0]);
+        assert!(thr.is_finite());
+    }
+
+    #[test]
+    fn classifier_learns_toy_rule() {
+        // Sequences starting with token 3 are "high", token 4 "irrelevant".
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let backbone = Transformer::new(ModelConfig::tiny(8, 8), &mut rng);
+        let mut rm = RewardModel::new(backbone, &mut rng);
+        let mk = |first: u32, class: RankClass| LabeledSequence {
+            tokens: vec![TokenId(2), TokenId(first), TokenId(2), TokenId(1)],
+            class,
+        };
+        let samples = vec![
+            mk(3, RankClass::HighPerformance),
+            mk(4, RankClass::Irrelevant),
+            mk(3, RankClass::HighPerformance),
+            mk(4, RankClass::Irrelevant),
+        ];
+        rm.train(&samples, 30, 3e-3, &mut rng);
+        assert!(rm.accuracy(&samples) >= 0.99, "acc {}", rm.accuracy(&samples));
+        assert_eq!(rm.classify(&samples[0].tokens), RankClass::HighPerformance);
+    }
+}

@@ -1,0 +1,306 @@
+//! Small-signal AC analysis: linearize at the DC operating point, then
+//! solve the complex MNA system across a frequency sweep.
+
+use crate::complex::Complex;
+use crate::dc::DcSolution;
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::models::{junction_eval, junction_vmax, mos_eval, Tech};
+use crate::netlist::{BjtPolarity, Element, MosPolarity, Netlist};
+use crate::stamp::Assembler;
+
+/// Result of an AC sweep: node phasors per frequency point.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    freqs: Vec<f64>,
+    /// `phasors[f][node]`, ground included at index 0.
+    phasors: Vec<Vec<Complex>>,
+}
+
+impl AcSolution {
+    /// The swept frequencies (Hz).
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Phasor of `node` at sweep point `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn phasor(&self, k: usize, node: usize) -> Complex {
+        self.phasors[k][node]
+    }
+
+    /// The transfer magnitude `|v(node)|` across the sweep.
+    pub fn magnitude(&self, node: usize) -> Vec<f64> {
+        self.phasors.iter().map(|p| p[node].abs()).collect()
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+}
+
+/// Logarithmically spaced frequency points from `f_start` to `f_stop`
+/// (inclusive).
+///
+/// # Panics
+///
+/// Panics if frequencies are not positive or `points < 2`.
+pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start, "positive increasing range");
+    assert!(points >= 2, "at least two points");
+    let l0 = f_start.log10();
+    let l1 = f_stop.log10();
+    (0..points)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (points - 1) as f64))
+        .collect()
+}
+
+/// Run an AC sweep of the netlist linearized at `op`.
+///
+/// # Errors
+///
+/// [`SpiceError::SingularMatrix`] if the small-signal system is singular at
+/// some frequency.
+pub fn ac_sweep(
+    netlist: &Netlist,
+    tech: &Tech,
+    op: &DcSolution,
+    freqs: &[f64],
+) -> Result<AcSolution, SpiceError> {
+    let asm = Assembler::new(netlist, tech);
+    let n = asm.nvars();
+    let nv = netlist.node_count() - 1;
+    let v = |node: usize| op.voltage(node);
+
+    let mut phasors = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let w = 2.0 * std::f64::consts::PI * f;
+        let mut m = Matrix::<Complex>::zeros(n);
+        let mut rhs = vec![Complex::ZERO; n];
+
+        let stamp_g = |m: &mut Matrix<Complex>, a: usize, b: usize, g: Complex| {
+            if a != 0 {
+                m.add(a - 1, a - 1, g);
+            }
+            if b != 0 {
+                m.add(b - 1, b - 1, g);
+            }
+            if a != 0 && b != 0 {
+                m.add(a - 1, b - 1, -g);
+                m.add(b - 1, a - 1, -g);
+            }
+        };
+        let stamp_gm = |m: &mut Matrix<Complex>,
+                        out_p: usize,
+                        out_n: usize,
+                        in_p: usize,
+                        in_n: usize,
+                        g: f64| {
+            for (row, sr) in [(out_p, 1.0), (out_n, -1.0)] {
+                if row == 0 {
+                    continue;
+                }
+                for (col, sc) in [(in_p, 1.0), (in_n, -1.0)] {
+                    if col == 0 {
+                        continue;
+                    }
+                    m.add(row - 1, col - 1, Complex::real(g * sr * sc));
+                }
+            }
+        };
+
+        for node in 1..netlist.node_count() {
+            m.add(node - 1, node - 1, Complex::real(tech.gmin));
+        }
+
+        for (ei, inst) in netlist.elements().iter().enumerate() {
+            let nd = &inst.nodes;
+            match inst.element {
+                Element::Resistor { ohms } => {
+                    stamp_g(&mut m, nd[0], nd[1], Complex::real(1.0 / ohms));
+                }
+                Element::Capacitor { farads } => {
+                    stamp_g(&mut m, nd[0], nd[1], Complex::new(0.0, w * farads));
+                }
+                Element::Inductor { henries } => {
+                    // Admittance 1/(jwL); at w=0 the DC near-short is used.
+                    let y = if w > 0.0 {
+                        Complex::new(0.0, -1.0 / (w * henries))
+                    } else {
+                        Complex::real(Assembler::DC_INDUCTOR_G)
+                    };
+                    stamp_g(&mut m, nd[0], nd[1], y);
+                }
+                Element::Mos { polarity, w: mw, l } => {
+                    let (d0, g0, s0) = (nd[0], nd[1], nd[2]);
+                    let sign = match polarity {
+                        MosPolarity::Nmos => 1.0,
+                        MosPolarity::Pmos => -1.0,
+                    };
+                    let (d, s) = if sign * (v(d0) - v(s0)) >= 0.0 { (d0, s0) } else { (s0, d0) };
+                    let vgs = sign * (v(g0) - v(s));
+                    let vds = sign * (v(d) - v(s));
+                    let (kp, vt) = match polarity {
+                        MosPolarity::Nmos => (tech.kp_n, tech.vt_n),
+                        MosPolarity::Pmos => (tech.kp_p, tech.vt_p),
+                    };
+                    let (_, gm, gds) = mos_eval(vgs, vds, kp, mw / l, vt, tech.lambda);
+                    stamp_gm(&mut m, d, s, g0, s, gm);
+                    stamp_g(&mut m, d, s, Complex::real(gds));
+                }
+                Element::Bjt { polarity, is, beta } => {
+                    let (c, b, e) = (nd[0], nd[1], nd[2]);
+                    let sign = match polarity {
+                        BjtPolarity::Npn => 1.0,
+                        BjtPolarity::Pnp => -1.0,
+                    };
+                    let nvt = tech.vt_thermal;
+                    let vbe = sign * (v(b) - v(e));
+                    let (ic_raw, g_ic) = junction_eval(vbe, is, nvt, junction_vmax(is, nvt));
+                    let gm = if ic_raw > 0.0 { g_ic } else { 0.0 };
+                    let gpi = gm / beta;
+                    let go = ic_raw.max(0.0) * tech.inv_early + tech.gmin;
+                    stamp_g(&mut m, b, e, Complex::real(gpi));
+                    stamp_gm(&mut m, c, e, b, e, gm);
+                    stamp_g(&mut m, c, e, Complex::real(go));
+                }
+                Element::Diode { is } => {
+                    let nvt = tech.diode_n * tech.vt_thermal;
+                    let vd = v(nd[0]) - v(nd[1]);
+                    let (_, g) = junction_eval(vd, is, nvt, junction_vmax(is, nvt));
+                    stamp_g(&mut m, nd[0], nd[1], Complex::real(g + tech.gmin));
+                }
+                Element::Vsource { ac_mag, .. } => {
+                    let br = asm.branch_var(ei).expect("vsource branch");
+                    let (p, q) = (nd[0], nd[1]);
+                    if p != 0 {
+                        m.add(p - 1, br, Complex::ONE);
+                        m.add(br, p - 1, Complex::ONE);
+                    }
+                    if q != 0 {
+                        m.add(q - 1, br, -Complex::ONE);
+                        m.add(br, q - 1, -Complex::ONE);
+                    }
+                    rhs[br] = Complex::real(ac_mag);
+                }
+                Element::Isource { .. } => {
+                    // DC sources are AC opens.
+                }
+            }
+        }
+
+        m.solve_into(&mut rhs)?;
+        let mut row = Vec::with_capacity(netlist.node_count());
+        row.push(Complex::ZERO);
+        row.extend_from_slice(&rhs[..nv]);
+        phasors.push(row);
+    }
+    Ok(AcSolution { freqs: freqs.to_vec(), phasors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn log_sweep_endpoints() {
+        let f = log_sweep(1.0, 1e6, 7);
+        assert_eq!(f.len(), 7);
+        assert!((f[0] - 1.0).abs() < 1e-9);
+        assert!((f[6] - 1e6).abs() < 1e-3);
+        assert!((f[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rc_lowpass_cutoff() {
+        // R=1k, C=1uF: f_3db = 1/(2π RC) ≈ 159.15 Hz.
+        let mut n = Netlist::new();
+        let a = n.add_node("in");
+        let b = n.add_node("out");
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource { dc: 0.0, ac_mag: 1.0, waveform: Waveform::Dc },
+        );
+        n.add_element("R1", vec![a, b], Element::Resistor { ohms: 1e3 });
+        n.add_element("C1", vec![b, 0], Element::Capacitor { farads: 1e-6 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
+        let sol = ac_sweep(&n, &tech, &op, &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        let mags = sol.magnitude(b);
+        assert!((mags[0] - 1.0).abs() < 1e-3, "passband ~1: {}", mags[0]);
+        assert!((mags[1] - 1.0 / 2f64.sqrt()).abs() < 1e-3, "-3dB point: {}", mags[1]);
+        assert!(mags[2] < 0.02, "stopband: {}", mags[2]);
+    }
+
+    #[test]
+    fn rl_highpass() {
+        // Series L into R to ground: |v(R)| small at low f, ~1 at high f.
+        let mut n = Netlist::new();
+        let a = n.add_node("in");
+        let b = n.add_node("out");
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource { dc: 0.0, ac_mag: 1.0, waveform: Waveform::Dc },
+        );
+        n.add_element("L1", vec![a, b], Element::Inductor { henries: 1e-3 });
+        n.add_element("R1", vec![b, 0], Element::Resistor { ohms: 1e3 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let sol = ac_sweep(&n, &tech, &op, &[10.0, 1e9]).unwrap();
+        let mags = sol.magnitude(b);
+        assert!(mags[0] > 0.99, "inductor passes low f: {}", mags[0]);
+        assert!(mags[1] < 0.01, "inductor blocks high f: {}", mags[1]);
+    }
+
+    #[test]
+    fn common_source_gain_matches_hand_calc() {
+        // NMOS common-source with resistor load and ideal gate drive.
+        // Bias the gate so the device saturates; |gain| = gm * (RD || ro).
+        let mut n = Netlist::new();
+        let vdd = n.add_node("vdd");
+        let g = n.add_node("g");
+        let d = n.add_node("d");
+        n.add_element(
+            "VD",
+            vec![vdd, 0],
+            Element::Vsource { dc: 1.8, ac_mag: 0.0, waveform: Waveform::Dc },
+        );
+        n.add_element(
+            "VG",
+            vec![g, 0],
+            Element::Vsource { dc: 0.7, ac_mag: 1.0, waveform: Waveform::Dc },
+        );
+        n.add_element("RD", vec![vdd, d], Element::Resistor { ohms: 5e3 });
+        n.add_element(
+            "M1",
+            vec![d, g, 0],
+            Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+        );
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let vds = op.voltage(d);
+        assert!(vds > 0.3, "device saturated, vds={vds}");
+        let (_, gm, gds) = mos_eval(0.7, vds, tech.kp_n, 10.0, tech.vt_n, tech.lambda);
+        let expect = gm * 1.0 / (1.0 / 5e3 + gds);
+        let sol = ac_sweep(&n, &tech, &op, &[1.0]).unwrap();
+        let gain = sol.magnitude(d)[0];
+        assert!(
+            (gain - expect).abs() / expect < 1e-2,
+            "gain {gain} vs hand calc {expect}"
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! Newton–Raphson DC operating point with gmin- and source-stepping
+//! homotopy.
+
+use crate::error::SpiceError;
+use crate::models::Tech;
+use crate::netlist::Netlist;
+use crate::stamp::{Assembler, StampMode};
+
+/// Maximum Newton iterations per homotopy stage.
+const MAX_ITER: usize = 250;
+/// Per-iteration update clamp (V or A) — crude but effective damping. The
+/// clamp tightens late in a stage to break limit cycles (e.g. bistable
+/// latches bouncing between basins).
+const DAMP: f64 = 0.4;
+const DAMP_LATE: f64 = 0.05;
+const LATE_ITER: usize = 120;
+
+/// A converged DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+    branch_currents: Vec<f64>,
+    iterations: usize,
+}
+
+impl DcSolution {
+    /// Node voltage (ground returns 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the solved netlist.
+    pub fn voltage(&self, node: usize) -> f64 {
+        self.voltages[node]
+    }
+
+    /// All node voltages, ground included at index 0.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Branch current of the `k`-th voltage source (in element order),
+    /// flowing from its `+` node through the source to its `-` node.
+    pub fn branch_current(&self, k: usize) -> f64 {
+        self.branch_currents[k]
+    }
+
+    /// Branch current of the voltage source with the given element name, or
+    /// `None` if no such source exists. Use this to measure supply current:
+    /// a source delivering power has a *negative* branch current under the
+    /// SPICE convention.
+    pub fn source_current(&self, netlist: &Netlist, name: &str) -> Option<f64> {
+        let mut k = 0;
+        for inst in netlist.elements() {
+            if inst.element.has_branch() {
+                if inst.name == name {
+                    return Some(self.branch_currents[k]);
+                }
+                k += 1;
+            }
+        }
+        None
+    }
+
+    /// Total Newton iterations spent (all homotopy stages).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// A copy with small deterministic voltage perturbations (alternating
+    /// ±`epsilon` per node). Transient analysis started from an *exact*
+    /// unstable equilibrium (e.g. a ring oscillator's metastable point)
+    /// never departs it in a noiseless integrator; this models the thermal
+    /// kick that starts real oscillators.
+    pub fn perturbed(&self, epsilon: f64) -> DcSolution {
+        let mut voltages = self.voltages.clone();
+        for (i, v) in voltages.iter_mut().enumerate().skip(1) {
+            *v += if i % 2 == 0 { epsilon } else { -epsilon };
+        }
+        DcSolution {
+            voltages,
+            branch_currents: self.branch_currents.clone(),
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// Run one Newton loop at fixed homotopy parameters. Returns the iterate
+/// and iterations used, or `None` if it failed to converge (singular
+/// matrices and NaNs also count as failure).
+fn newton_stage(
+    asm: &Assembler<'_>,
+    x0: &[f64],
+    source_scale: f64,
+    gshunt: f64,
+) -> Option<(Vec<f64>, usize)> {
+    let mut x = x0.to_vec();
+    for iter in 1..=MAX_ITER {
+        let (m, mut rhs) = asm.assemble(&x, StampMode::Dc { source_scale, gshunt });
+        if m.solve_into(&mut rhs).is_err() {
+            return None;
+        }
+        let damp = if iter > LATE_ITER { DAMP_LATE } else { DAMP };
+        let mut worst = 0.0f64;
+        for i in 0..x.len() {
+            if !rhs[i].is_finite() {
+                return None;
+            }
+            let delta = (rhs[i] - x[i]).clamp(-damp, damp);
+            let scaled = (delta).abs() / (1.0 + x[i].abs());
+            worst = worst.max(scaled);
+            x[i] += delta;
+        }
+        if worst < 1e-9 {
+            return Some((x, iter));
+        }
+    }
+    None
+}
+
+/// Solve the DC operating point of a netlist.
+///
+/// Tries plain Newton first, then gmin stepping, then source stepping — the
+/// standard SPICE convergence aids.
+///
+/// # Errors
+///
+/// [`SpiceError::NoConvergence`] when every homotopy fails, which the
+/// validity checker treats as "not simulatable".
+pub fn dc_operating_point(netlist: &Netlist, tech: &Tech) -> Result<DcSolution, SpiceError> {
+    let asm = Assembler::new(netlist, tech);
+    let nv = netlist.node_count() - 1;
+    let zeros = vec![0.0; asm.nvars()];
+    let mut total_iters = 0usize;
+
+    // Stage 1: plain Newton from zero.
+    if let Some((x, it)) = newton_stage(&asm, &zeros, 1.0, 0.0) {
+        return Ok(split(netlist, x, total_iters + it, nv));
+    }
+    total_iters += MAX_ITER;
+
+    // Stage 2: gmin stepping.
+    let mut x = zeros.clone();
+    let mut ok = true;
+    for &gshunt in &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 0.0] {
+        match newton_stage(&asm, &x, 1.0, gshunt) {
+            Some((next, it)) => {
+                x = next;
+                total_iters += it;
+            }
+            None => {
+                ok = false;
+                total_iters += MAX_ITER;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(split(netlist, x, total_iters, nv));
+    }
+
+    // Stage 3: source stepping with a mild shunt, then relax the shunt.
+    let mut x = zeros;
+    let mut stage_ok = true;
+    for step in 1..=10 {
+        let scale = step as f64 / 10.0;
+        match newton_stage(&asm, &x, scale, 1e-9) {
+            Some((next, it)) => {
+                x = next;
+                total_iters += it;
+            }
+            None => {
+                stage_ok = false;
+                break;
+            }
+        }
+    }
+    if stage_ok {
+        if let Some((x, it)) = newton_stage(&asm, &x, 1.0, 0.0) {
+            return Ok(split(netlist, x, total_iters + it, nv));
+        }
+    }
+
+    Err(SpiceError::NoConvergence { analysis: "dc", iterations: total_iters })
+}
+
+fn split(netlist: &Netlist, x: Vec<f64>, iterations: usize, nv: usize) -> DcSolution {
+    let mut voltages = Vec::with_capacity(netlist.node_count());
+    voltages.push(0.0);
+    voltages.extend_from_slice(&x[..nv]);
+    let branch_currents = x[nv..].to_vec();
+    DcSolution { voltages, branch_currents, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Element, MosPolarity, Waveform};
+
+    fn vsrc(dc: f64) -> Element {
+        Element::Vsource { dc, ac_mag: 0.0, waveform: Waveform::Dc }
+    }
+
+    #[test]
+    fn voltage_divider() {
+        // 10V across 1k + 3k: middle node at 7.5V.
+        let mut n = Netlist::new();
+        let top = n.add_node("top");
+        let mid = n.add_node("mid");
+        n.add_element("V1", vec![top, 0], vsrc(10.0));
+        n.add_element("R1", vec![top, mid], Element::Resistor { ohms: 1e3 });
+        n.add_element("R2", vec![mid, 0], Element::Resistor { ohms: 3e3 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        assert!((sol.voltage(mid) - 7.5).abs() < 1e-6);
+        // Supply delivers 2.5 mA; branch current is negative (into +).
+        assert!((sol.source_current(&n, "V1").unwrap() + 2.5e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        // 1 mA pulled from node through 1k to ground: V = -1 V at the node
+        // the source pulls from; wired so current flows node -> ground.
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        n.add_element("I1", vec![a, 0], Element::Isource { amps: 1e-3 });
+        n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 1e3 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        // Current leaves node a through the source: v(a) = -1 V.
+        assert!((sol.voltage(a) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        // 5V through 1k into a diode: drop ~0.7-1.0V, current ~4 mA.
+        let mut n = Netlist::new();
+        let top = n.add_node("top");
+        let d = n.add_node("d");
+        n.add_element("V1", vec![top, 0], vsrc(5.0));
+        n.add_element("R1", vec![top, d], Element::Resistor { ohms: 1e3 });
+        n.add_element("D1", vec![d, 0], Element::Diode { is: 1e-14 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        let vd = sol.voltage(d);
+        assert!((0.5..1.3).contains(&vd), "diode drop {vd}");
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        n.add_element("V1", vec![a, 0], vsrc(1.0));
+        n.add_element("L1", vec![a, b], Element::Inductor { henries: 1e-6 });
+        n.add_element("R1", vec![b, 0], Element::Resistor { ohms: 1e3 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        assert!((sol.voltage(b) - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        n.add_element("V1", vec![a, 0], vsrc(1.0));
+        n.add_element("C1", vec![a, b], Element::Capacitor { farads: 1e-9 });
+        n.add_element("R1", vec![b, 0], Element::Resistor { ohms: 1e3 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        assert!(sol.voltage(b).abs() < 1e-3, "no DC current through cap");
+    }
+
+    #[test]
+    fn nmos_diode_connected_bias() {
+        // VDD=1.8 through 10k into diode-connected NMOS (gate=drain):
+        // expect vgs a bit above vt (0.4) and a sane current.
+        let mut n = Netlist::new();
+        let vdd = n.add_node("vdd");
+        let d = n.add_node("d");
+        n.add_element("V1", vec![vdd, 0], vsrc(1.8));
+        n.add_element("R1", vec![vdd, d], Element::Resistor { ohms: 10e3 });
+        n.add_element(
+            "M1",
+            vec![d, d, 0],
+            Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+        );
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        let vgs = sol.voltage(d);
+        assert!((0.4..1.0).contains(&vgs), "vgs = {vgs}");
+        // KCL: resistor current equals transistor current.
+        let ir = (1.8 - vgs) / 10e3;
+        let tech = Tech::default();
+        let (id, _, _) = crate::models::mos_eval(vgs, vgs, tech.kp_n, 10.0, tech.vt_n, tech.lambda);
+        assert!((ir - id).abs() / ir < 1e-3, "ir={ir} id={id}");
+    }
+
+    #[test]
+    fn pmos_source_follower_pulls_up() {
+        // PMOS with gate at 0, source at vdd through the device to output
+        // load: common-source PMOS: out node pulled toward VDD.
+        let mut n = Netlist::new();
+        let vdd = n.add_node("vdd");
+        let out = n.add_node("out");
+        n.add_element("V1", vec![vdd, 0], vsrc(1.8));
+        // PMOS: drain=out, gate=0 (on), source=vdd.
+        n.add_element(
+            "M1",
+            vec![out, 0, vdd],
+            Element::Mos { polarity: MosPolarity::Pmos, w: 10e-6, l: 1e-6 },
+        );
+        n.add_element("R1", vec![out, 0], Element::Resistor { ohms: 100e3 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        assert!(sol.voltage(out) > 1.5, "pmos pulls output high: {}", sol.voltage(out));
+    }
+
+    #[test]
+    fn npn_emitter_follower() {
+        // 1.2V at base, emitter through 10k to ground: v(e) ≈ vb - 0.7.
+        let mut n = Netlist::new();
+        let b = n.add_node("b");
+        let e = n.add_node("e");
+        let vdd = n.add_node("vdd");
+        n.add_element("V1", vec![vdd, 0], vsrc(3.0));
+        n.add_element("V2", vec![b, 0], vsrc(1.2));
+        n.add_element(
+            "Q1",
+            vec![vdd, b, e],
+            Element::Bjt { polarity: crate::netlist::BjtPolarity::Npn, is: 1e-16, beta: 100.0 },
+        );
+        n.add_element("R1", vec![e, 0], Element::Resistor { ohms: 10e3 });
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        let ve = sol.voltage(e);
+        assert!((0.2..0.8).contains(&ve), "emitter follows base: {ve}");
+    }
+
+    #[test]
+    fn cmos_inverter_transfer() {
+        // Input low -> output high; input high -> output low.
+        let run = |vin: f64| {
+            let mut n = Netlist::new();
+            let vdd = n.add_node("vdd");
+            let inp = n.add_node("in");
+            let out = n.add_node("out");
+            n.add_element("VD", vec![vdd, 0], vsrc(1.8));
+            n.add_element("VI", vec![inp, 0], vsrc(vin));
+            n.add_element(
+                "MP",
+                vec![out, inp, vdd],
+                Element::Mos { polarity: MosPolarity::Pmos, w: 20e-6, l: 1e-6 },
+            );
+            n.add_element(
+                "MN",
+                vec![out, inp, 0],
+                Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+            );
+            let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+            sol.voltage(out)
+        };
+        assert!(run(0.0) > 1.7, "low in, high out: {}", run(0.0));
+        assert!(run(1.8) < 0.1, "high in, low out: {}", run(1.8));
+        let mid = run(0.9);
+        assert!((0.2..1.6).contains(&mid), "transition region: {mid}");
+    }
+
+    #[test]
+    fn floating_node_fails_cleanly() {
+        // A node connected only through a capacitor has no DC path; with
+        // gmin it still solves (to ~0V) rather than crashing.
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        n.add_element("V1", vec![a, 0], vsrc(1.0));
+        n.add_element("C1", vec![a, b], Element::Capacitor { farads: 1e-12 });
+        let sol = dc_operating_point(&n, &Tech::default());
+        assert!(sol.is_ok(), "gmin regularizes the floating node");
+    }
+}

@@ -1,0 +1,424 @@
+//! Elaboration: turning an unsized EVA topology into a stimulated,
+//! simulatable netlist.
+//!
+//! The paper treats the simulator as a black-box oracle, which means every
+//! topology must be embedded in a fixed test harness: supplies, input
+//! drives, a bias ladder, clock phases and output loads. [`Stimulus`]
+//! captures that harness; [`elaborate`] applies it.
+
+use std::collections::BTreeMap;
+
+use eva_circuit::{CircuitPin, DeviceKind, Node, PinRole, Topology};
+
+use crate::error::SpiceError;
+use crate::netlist::{BjtPolarity, Element, MosPolarity, Netlist, Waveform};
+use crate::sizing::{DeviceParams, Sizing};
+
+/// The test harness wrapped around a topology during simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stimulus {
+    /// Supply voltage on `VDD` (V).
+    pub vdd: f64,
+    /// DC common-mode voltage on signal inputs (V).
+    pub input_dc: f64,
+    /// If the topology has exactly two signal inputs, drive them
+    /// differentially (`+0.5` / `−0.5` AC); otherwise `VIN1` gets 1.0 AC.
+    pub differential_inputs: bool,
+    /// Bias ladder applied to `VB1`, `VB2`, … in order (wraps around).
+    pub bias_levels: Vec<f64>,
+    /// DC level of `VREF*` ports (V).
+    pub vref: f64,
+    /// DC level of `CTRL*` ports (V).
+    pub ctrl: f64,
+    /// Clock frequency for `CLK*` ports (Hz); odd clocks pulse high-first,
+    /// even clocks are the complementary phase.
+    pub clk_freq: f64,
+    /// Capacitive load at every `VOUT*` port (F).
+    pub load_cap: f64,
+    /// Optional resistive load at every `VOUT*` port (Ω) — used when
+    /// measuring power converters.
+    pub load_res: Option<f64>,
+}
+
+impl Default for Stimulus {
+    fn default() -> Stimulus {
+        Stimulus {
+            vdd: 1.8,
+            input_dc: 0.9,
+            differential_inputs: true,
+            bias_levels: vec![0.6, 1.2, 0.9, 0.75, 1.05],
+            vref: 0.9,
+            ctrl: 0.9,
+            clk_freq: 1e6,
+            load_cap: 1e-12,
+            load_res: None,
+        }
+    }
+}
+
+impl Stimulus {
+    /// Harness tuned for switching power-converter measurements: a real
+    /// resistive load and a faster clock.
+    pub fn converter() -> Stimulus {
+        Stimulus { load_res: Some(100.0), clk_freq: 5e6, ..Stimulus::default() }
+    }
+}
+
+/// Elaborate a topology with a sizing and stimulus into a netlist.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidCircuit`] when the topology cannot be embedded:
+/// missing `VSS`, a device pin left floating, `VDD` shorted to `VSS`, or two
+/// source-driven ports sharing a net.
+pub fn elaborate(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+) -> Result<Netlist, SpiceError> {
+    let invalid = |reason: String| SpiceError::InvalidCircuit { reason };
+
+    let nets = topology.nets();
+    let vss_net = nets
+        .iter()
+        .position(|net| net.contains(&Node::VSS))
+        .ok_or_else(|| invalid("no VSS node".to_owned()))?;
+
+    let mut netlist = Netlist::new();
+    // Map each net to a node index; the VSS net is ground.
+    let mut node_of_net: Vec<usize> = Vec::with_capacity(nets.len());
+    for (i, net) in nets.iter().enumerate() {
+        if i == vss_net {
+            node_of_net.push(Netlist::GROUND);
+        } else {
+            // Name the node after a representative member (a port if any).
+            let name = net
+                .iter()
+                .find_map(|n| n.circuit_pin().map(|p| p.to_string()))
+                .unwrap_or_else(|| net.iter().next().expect("non-empty").to_string());
+            node_of_net.push(netlist.add_node(name));
+        }
+    }
+    let mut node_of_pin: BTreeMap<Node, usize> = BTreeMap::new();
+    for (i, net) in nets.iter().enumerate() {
+        for &pin in net {
+            node_of_pin.insert(pin, node_of_net[i]);
+        }
+    }
+
+    // Instantiate devices.
+    for device in topology.devices() {
+        let pin = |role: PinRole| -> Result<usize, SpiceError> {
+            node_of_pin
+                .get(&Node::pin(device, role))
+                .copied()
+                .ok_or_else(|| invalid(format!("floating pin {}_{}", device, role.suffix())))
+        };
+        let params = sizing.get(device);
+        match (device.kind, params) {
+            (DeviceKind::Nmos, DeviceParams::Mos { w, l })
+            | (DeviceKind::Pmos, DeviceParams::Mos { w, l }) => {
+                let polarity = if device.kind == DeviceKind::Nmos {
+                    MosPolarity::Nmos
+                } else {
+                    MosPolarity::Pmos
+                };
+                // Bulk must be wired (validity), though the model ignores it.
+                let _ = pin(PinRole::Bulk)?;
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Drain)?, pin(PinRole::Gate)?, pin(PinRole::Source)?],
+                    Element::Mos { polarity, w, l },
+                );
+            }
+            (DeviceKind::Npn, DeviceParams::Bjt { is, beta })
+            | (DeviceKind::Pnp, DeviceParams::Bjt { is, beta }) => {
+                let polarity = if device.kind == DeviceKind::Npn {
+                    BjtPolarity::Npn
+                } else {
+                    BjtPolarity::Pnp
+                };
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Collector)?, pin(PinRole::Base)?, pin(PinRole::Emitter)?],
+                    Element::Bjt { polarity, is, beta },
+                );
+            }
+            (DeviceKind::Resistor, DeviceParams::Resistor { ohms }) => {
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Plus)?, pin(PinRole::Minus)?],
+                    Element::Resistor { ohms },
+                );
+            }
+            (DeviceKind::Capacitor, DeviceParams::Capacitor { farads }) => {
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Plus)?, pin(PinRole::Minus)?],
+                    Element::Capacitor { farads },
+                );
+            }
+            (DeviceKind::Inductor, DeviceParams::Inductor { henries }) => {
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Plus)?, pin(PinRole::Minus)?],
+                    Element::Inductor { henries },
+                );
+            }
+            (DeviceKind::Diode, DeviceParams::Diode { is }) => {
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Anode)?, pin(PinRole::Cathode)?],
+                    Element::Diode { is },
+                );
+            }
+            (DeviceKind::CurrentSource, DeviceParams::CurrentSource { amps }) => {
+                netlist.add_element(
+                    device.name(),
+                    vec![pin(PinRole::Plus)?, pin(PinRole::Minus)?],
+                    Element::Isource { amps },
+                );
+            }
+            (kind, params) => {
+                return Err(invalid(format!(
+                    "sizing {params:?} does not match device kind {kind}"
+                )));
+            }
+        }
+    }
+
+    // Attach port stimulus.
+    let ports: Vec<CircuitPin> = topology.ports().into_iter().collect();
+    let n_vin = ports.iter().filter(|p| matches!(p, CircuitPin::Vin(_))).count();
+    let mut driven_nodes: BTreeMap<usize, CircuitPin> = BTreeMap::new();
+    let mut check_driveable = |port: CircuitPin, node: usize| -> Result<(), SpiceError> {
+        if node == Netlist::GROUND {
+            return Err(invalid(format!("port {port} shorted to VSS")));
+        }
+        if let Some(prev) = driven_nodes.insert(node, port) {
+            return Err(invalid(format!("ports {prev} and {port} share a net")));
+        }
+        Ok(())
+    };
+
+    for &port in &ports {
+        let node = node_of_pin[&Node::Circuit(port)];
+        netlist.bind_port(port, node);
+        match port {
+            CircuitPin::Vss => {}
+            CircuitPin::Vdd => {
+                check_driveable(port, node)?;
+                netlist.add_element(
+                    "VDD",
+                    vec![node, Netlist::GROUND],
+                    Element::Vsource { dc: stimulus.vdd, ac_mag: 0.0, waveform: Waveform::Dc },
+                );
+            }
+            CircuitPin::Vin(k) => {
+                check_driveable(port, node)?;
+                let ac_mag = if stimulus.differential_inputs && n_vin == 2 {
+                    if k == 1 {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+                } else if k == 1 {
+                    1.0
+                } else {
+                    0.0
+                };
+                netlist.add_element(
+                    port.to_string(),
+                    vec![node, Netlist::GROUND],
+                    Element::Vsource { dc: stimulus.input_dc, ac_mag, waveform: Waveform::Dc },
+                );
+            }
+            CircuitPin::Vbias(k) => {
+                check_driveable(port, node)?;
+                let dc = stimulus.bias_levels[(k as usize - 1) % stimulus.bias_levels.len()];
+                netlist.add_element(
+                    port.to_string(),
+                    vec![node, Netlist::GROUND],
+                    Element::Vsource { dc, ac_mag: 0.0, waveform: Waveform::Dc },
+                );
+            }
+            CircuitPin::Vref(_) => {
+                check_driveable(port, node)?;
+                netlist.add_element(
+                    port.to_string(),
+                    vec![node, Netlist::GROUND],
+                    Element::Vsource { dc: stimulus.vref, ac_mag: 0.0, waveform: Waveform::Dc },
+                );
+            }
+            CircuitPin::Ctrl(_) => {
+                check_driveable(port, node)?;
+                netlist.add_element(
+                    port.to_string(),
+                    vec![node, Netlist::GROUND],
+                    Element::Vsource { dc: stimulus.ctrl, ac_mag: 0.0, waveform: Waveform::Dc },
+                );
+            }
+            CircuitPin::Clk(k) => {
+                check_driveable(port, node)?;
+                // Odd clocks: high-first phase; even clocks: complement.
+                let (low, high) = if k % 2 == 1 { (0.0, stimulus.vdd) } else { (stimulus.vdd, 0.0) };
+                netlist.add_element(
+                    port.to_string(),
+                    vec![node, Netlist::GROUND],
+                    Element::Vsource {
+                        dc: 0.0,
+                        ac_mag: 0.0,
+                        waveform: Waveform::Pulse {
+                            low,
+                            high,
+                            period: 1.0 / stimulus.clk_freq,
+                            duty: 0.5,
+                        },
+                    },
+                );
+            }
+            CircuitPin::Vout(_) => {
+                if node != Netlist::GROUND {
+                    netlist.add_element(
+                        format!("CL_{port}"),
+                        vec![node, Netlist::GROUND],
+                        Element::Capacitor { farads: stimulus.load_cap },
+                    );
+                    if let Some(r) = stimulus.load_res {
+                        netlist.add_element(
+                            format!("RL_{port}"),
+                            vec![node, Netlist::GROUND],
+                            Element::Resistor { ohms: r },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::TopologyBuilder;
+
+    /// NMOS common-source amplifier with resistor load.
+    fn cs_amp() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn elaborates_cs_amp() {
+        let t = cs_amp();
+        let n = elaborate(&t, &Sizing::default_for(&t), &Stimulus::default()).unwrap();
+        // Elements: M1, R1, VDD source, VIN1 source, CL at VOUT1.
+        assert_eq!(n.elements().len(), 5);
+        assert!(n.port_node(CircuitPin::Vout(1)).is_some());
+        // VSS net is ground.
+        assert_eq!(n.port_node(CircuitPin::Vss), Some(Netlist::GROUND));
+    }
+
+    #[test]
+    fn floating_pin_rejected() {
+        // NMOS with unwired bulk: builder helper requires all pins, so
+        // construct the topology manually.
+        use eva_circuit::{Device, DeviceKind};
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        let t = Topology::from_edges([
+            (Node::pin(m1, PinRole::Gate), Node::Circuit(CircuitPin::Vin(1))),
+            (Node::pin(m1, PinRole::Drain), Node::Circuit(CircuitPin::Vout(1))),
+            (Node::pin(m1, PinRole::Source), Node::VSS),
+        ])
+        .unwrap();
+        let err = elaborate(&t, &Sizing::new(), &Stimulus::default()).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidCircuit { .. }));
+        assert!(err.to_string().contains("floating pin"));
+    }
+
+    #[test]
+    fn vdd_short_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vin(1), CircuitPin::Vout(1)).unwrap();
+        b.wire(CircuitPin::Vdd, CircuitPin::Vss).unwrap();
+        b.wire(CircuitPin::Vin(1), CircuitPin::Vdd).unwrap();
+        let t = b.build().unwrap();
+        let err = elaborate(&t, &Sizing::new(), &Stimulus::default()).unwrap_err();
+        assert!(err.to_string().contains("shorted to VSS"), "{err}");
+    }
+
+    #[test]
+    fn shared_port_net_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vin(1), CircuitPin::Vss).unwrap();
+        b.wire(CircuitPin::Vin(1), CircuitPin::Vbias(1)).unwrap();
+        let t = b.build().unwrap();
+        let err = elaborate(&t, &Sizing::new(), &Stimulus::default()).unwrap_err();
+        assert!(err.to_string().contains("share a net"), "{err}");
+    }
+
+    #[test]
+    fn missing_vss_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let err = elaborate(&t, &Sizing::new(), &Stimulus::default()).unwrap_err();
+        assert!(err.to_string().contains("no VSS"), "{err}");
+    }
+
+    #[test]
+    fn differential_drive_when_two_inputs() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.nmos(CircuitPin::Vin(2), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let n = elaborate(&t, &Sizing::default_for(&t), &Stimulus::default()).unwrap();
+        let acs: Vec<f64> = n
+            .elements()
+            .iter()
+            .filter_map(|e| match e.element {
+                Element::Vsource { ac_mag, .. } if e.name.starts_with("VIN") => Some(ac_mag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acs.len(), 2);
+        assert!((acs[0] - 0.5).abs() < 1e-12 && (acs[1] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converter_stimulus_adds_load_resistor() {
+        let t = cs_amp();
+        let n = elaborate(&t, &Sizing::default_for(&t), &Stimulus::converter()).unwrap();
+        assert!(n.elements().iter().any(|e| e.name.starts_with("RL_")));
+    }
+
+    #[test]
+    fn clock_phases_complementary() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Clk(1), CircuitPin::Vout(1), CircuitPin::Vin(1), CircuitPin::Vss)
+            .unwrap();
+        b.nmos(CircuitPin::Clk(2), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let n = elaborate(&t, &Sizing::default_for(&t), &Stimulus::default()).unwrap();
+        let mut highs = Vec::new();
+        for e in n.elements() {
+            if let Element::Vsource { waveform: Waveform::Pulse { low, high, .. }, .. } = e.element {
+                if e.name.starts_with("CLK") {
+                    highs.push((low, high));
+                }
+            }
+        }
+        assert_eq!(highs.len(), 2);
+        assert_ne!(highs[0], highs[1], "opposite phases");
+    }
+}

@@ -1,0 +1,91 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The system matrix is singular — typically a floating node or an
+    /// over-constrained loop of voltage sources.
+    SingularMatrix {
+        /// The elimination step at which a zero pivot appeared.
+        row: usize,
+    },
+    /// Newton–Raphson failed to converge within the iteration budget, even
+    /// after source-stepping homotopy.
+    NoConvergence {
+        /// Analysis that failed (`"dc"`, `"tran"`).
+        analysis: &'static str,
+        /// Iterations consumed.
+        iterations: usize,
+    },
+    /// The topology cannot be turned into a simulatable netlist. The reason
+    /// mirrors the rule-based validity checks of the paper (floating pins,
+    /// missing supplies, supply shorts, …).
+    InvalidCircuit {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A measurement referenced a circuit port the netlist does not have.
+    MissingPort {
+        /// The port name, e.g. `"VOUT1"`.
+        port: String,
+    },
+    /// A numeric result became non-finite during analysis.
+    NumericalBlowup {
+        /// Analysis that failed.
+        analysis: &'static str,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { row } => {
+                write!(f, "singular system matrix at elimination step {row}")
+            }
+            SpiceError::NoConvergence { analysis, iterations } => {
+                write!(f, "{analysis} analysis did not converge after {iterations} iterations")
+            }
+            SpiceError::InvalidCircuit { reason } => {
+                write!(f, "circuit is not simulatable: {reason}")
+            }
+            SpiceError::MissingPort { port } => {
+                write!(f, "circuit has no port named {port}")
+            }
+            SpiceError::NumericalBlowup { analysis } => {
+                write!(f, "{analysis} analysis produced a non-finite result")
+            }
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases = [
+            SpiceError::SingularMatrix { row: 3 }.to_string(),
+            SpiceError::NoConvergence { analysis: "dc", iterations: 200 }.to_string(),
+            SpiceError::InvalidCircuit { reason: "no VDD".into() }.to_string(),
+            SpiceError::MissingPort { port: "VOUT1".into() }.to_string(),
+            SpiceError::NumericalBlowup { analysis: "tran" }.to_string(),
+        ];
+        for msg in cases {
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SpiceError>();
+    }
+}

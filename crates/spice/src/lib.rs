@@ -1,0 +1,77 @@
+//! # eva-spice
+//!
+//! A SPICE-class analog circuit simulator: the substrate EVA uses as its
+//! validity and performance oracle.
+//!
+//! The paper evaluates every generated topology "in SPICE" — first as a
+//! pass/fail validity check with default sizing, then (after GA sizing) as a
+//! figure-of-merit measurement. This crate provides that oracle from
+//! scratch:
+//!
+//! - [`netlist`] — flat simulation netlists (nodes, elements, sources) with
+//!   SPICE-text emission.
+//! - [`mod@elaborate`] — turning an EVA [`eva_circuit::Topology`] plus a
+//!   [`Sizing`] into a stimulated netlist (supplies, input drives, bias
+//!   ladder, output loads).
+//! - [`models`] — square-law MOSFETs, exponential diodes/BJTs, passives.
+//! - [`dc`] — Newton–Raphson operating point with gmin/source stepping.
+//! - [`ac`] — complex small-signal sweeps linearized at the OP.
+//! - [`tran`] — trapezoidal transient for switching circuits/oscillators.
+//! - [`measure`] — gain/bandwidth/power and converter metrics → FoM.
+//! - [`validity`] — the paper's rule-based checker ("simulatable with
+//!   default sizing").
+//!
+//! ## Example: RC low-pass response
+//!
+//! ```
+//! use eva_spice::netlist::{Element, Netlist, Waveform};
+//! use eva_spice::models::Tech;
+//!
+//! # fn main() -> Result<(), eva_spice::SpiceError> {
+//! let mut n = Netlist::new();
+//! let input = n.add_node("in");
+//! let out = n.add_node("out");
+//! n.add_element("V1", vec![input, 0],
+//!     Element::Vsource { dc: 0.0, ac_mag: 1.0, waveform: Waveform::Dc });
+//! n.add_element("R1", vec![input, out], Element::Resistor { ohms: 1e3 });
+//! n.add_element("C1", vec![out, 0], Element::Capacitor { farads: 1e-9 });
+//!
+//! let tech = Tech::default();
+//! let op = eva_spice::dc::dc_operating_point(&n, &tech)?;
+//! let ac = eva_spice::ac::ac_sweep(&n, &tech, &op, &[1e3, 1e9])?;
+//! assert!(ac.magnitude(out)[0] > 0.99); // passband
+//! assert!(ac.magnitude(out)[1] < 0.01); // stopband
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod complex;
+pub mod dc;
+pub mod elaborate;
+pub mod error;
+pub mod linalg;
+pub mod measure;
+pub mod models;
+pub mod netlist;
+pub mod parse;
+pub mod sizing;
+pub mod stamp;
+pub mod tran;
+pub mod validity;
+
+pub use ac::{ac_sweep, log_sweep, AcSolution};
+pub use complex::Complex;
+pub use dc::{dc_operating_point, DcSolution};
+pub use elaborate::{elaborate, Stimulus};
+pub use error::SpiceError;
+pub use measure::{
+    measure_converter, measure_opamp, measure_oscillator, measure_psrr, ConverterMetrics,
+    OpampMetrics,
+};
+pub use models::Tech;
+pub use netlist::{Element, Netlist, Waveform};
+pub use parse::{from_spice, parse_value};
+pub use sizing::{DeviceParams, Sizing};
+pub use tran::{transient, TranSolution};
+pub use validity::{check_validity, ValidityReport};

@@ -1,0 +1,270 @@
+//! Dense LU factorization with partial pivoting, generic over real and
+//! complex scalars.
+//!
+//! Circuit matrices here are small (tens of nodes), so a dense solver is
+//! simpler and faster than sparse machinery would be at this scale.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::complex::Complex;
+use crate::error::SpiceError;
+
+/// Scalar types the LU solver accepts (`f64` for DC/transient, [`Complex`]
+/// for AC).
+pub trait Scalar:
+    Copy
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Pivoting magnitude.
+    fn magnitude(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    fn zero() -> Complex {
+        Complex::ZERO
+    }
+    fn one() -> Complex {
+        Complex::ONE
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<S> {
+    n: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Matrix<S> {
+        Matrix { n, data: vec![S::zero(); n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Read entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> S {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Overwrite entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: S) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Add `value` into entry `(row, col)` — the MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: S) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        let idx = row * self.n + col;
+        self.data[idx] = self.data[idx] + value;
+    }
+
+    /// Solve `A x = b` in place by LU with partial pivoting, consuming the
+    /// matrix. `b` is overwritten with the solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a pivot is (numerically)
+    /// zero — for circuits this means a floating subcircuit or an
+    /// ill-defined node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_into(mut self, b: &mut [S]) -> Result<(), SpiceError> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+        const PIVOT_EPS: f64 = 1e-30;
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below the
+            // diagonal.
+            let mut pivot_row = col;
+            let mut pivot_mag = self.get(col, col).magnitude();
+            for row in (col + 1)..n {
+                let mag = self.get(row, col).magnitude();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = row;
+                }
+            }
+            if !pivot_mag.is_finite() || pivot_mag < PIVOT_EPS {
+                return Err(SpiceError::SingularMatrix { row: col });
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    let tmp = self.get(col, k);
+                    self.set(col, k, self.get(pivot_row, k));
+                    self.set(pivot_row, k, tmp);
+                }
+                b.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = self.get(col, col);
+            for row in (col + 1)..n {
+                let factor = self.get(row, col) / pivot;
+                if factor.magnitude() == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    let v = self.get(row, k) - factor * self.get(col, k);
+                    self.set(row, k, v);
+                }
+                b[row] = b[row] - factor * b[col];
+            }
+        }
+        // Back substitution.
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..n {
+                acc = acc - self.get(row, k) * b[k];
+            }
+            b[row] = acc / self.get(row, row);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = Matrix::<f64>::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        m.solve_into(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let mut b = vec![5.0, 10.0];
+        m.solve_into(&mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] -> x = [3; 2].
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let mut b = vec![2.0, 3.0];
+        m.solve_into(&mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut m = Matrix::<f64>::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            m.solve_into(&mut b),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn complex_solve() {
+        // (1 + j) x = 2 -> x = 1 - j.
+        let mut m = Matrix::<Complex>::zeros(1);
+        m.set(0, 0, Complex::new(1.0, 1.0));
+        let mut b = vec![Complex::real(2.0)];
+        m.solve_into(&mut b).unwrap();
+        assert!((b[0] - Complex::new(1.0, -1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // Solve A x = A * x0 and recover x0 for a deterministic "random" A.
+        let n = 8;
+        let mut m = Matrix::<f64>::zeros(n);
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, next());
+            }
+            m.add(i, i, 4.0); // diagonally dominant -> nonsingular
+        }
+        let x0: Vec<f64> = (0..n).map(|i| i as f64 - 3.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += m.get(i, j) * x0[j];
+            }
+        }
+        m.solve_into(&mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - x0[i]).abs() < 1e-9, "component {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn rhs_length_checked() {
+        let m = Matrix::<f64>::zeros(2);
+        let mut b = vec![0.0; 3];
+        let _ = m.solve_into(&mut b);
+    }
+}

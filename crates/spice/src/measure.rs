@@ -1,0 +1,458 @@
+//! Performance measurement and figures of merit.
+//!
+//! Table II of the paper reports `FoM@10` for Op-Amps and power converters.
+//! The exact FoM definitions are inherited from the baselines it compares
+//! against (Artisan-style for Op-Amps, LaMAGIC-style for converters); we use
+//! the standard formulations:
+//!
+//! - **Op-Amp**: `FoM = gain(dB) × UGB(MHz) / power(mW)` — rewards high
+//!   gain-bandwidth per unit power.
+//! - **Power converter**: `FoM = 2·(efficiency + ratio accuracy)` where
+//!   ratio accuracy is `max(0, 1 − |Vout/Vin − target|)` — the same
+//!   efficiency-plus-regulation objective LaMAGIC optimizes, scaled so
+//!   typical good converters land in the paper's 2–4 range.
+//!
+//! Absolute values differ from the authors' testbed; orderings (which the
+//! experiments depend on) are preserved.
+
+use eva_circuit::{CircuitPin, Topology};
+
+use crate::ac::{ac_sweep, log_sweep};
+use crate::dc::dc_operating_point;
+use crate::elaborate::{elaborate, Stimulus};
+use crate::error::SpiceError;
+use crate::models::Tech;
+use crate::sizing::Sizing;
+use crate::tran::transient;
+
+/// Measured small-signal metrics of an amplifier-like circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpampMetrics {
+    /// Low-frequency voltage gain (linear).
+    pub dc_gain: f64,
+    /// −3 dB bandwidth (Hz).
+    pub bw_3db: f64,
+    /// Unity-gain frequency (Hz); 0 if the gain never reaches 1.
+    pub unity_gain_freq: f64,
+    /// Static supply power (W).
+    pub power: f64,
+    /// The figure of merit (see module docs).
+    pub fom: f64,
+}
+
+/// Measured metrics of a switching power converter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConverterMetrics {
+    /// Settled mean output voltage (V).
+    pub vout: f64,
+    /// Conversion ratio `Vout / Vdd`.
+    pub ratio: f64,
+    /// Output power / input power, clamped to `[0, 1]`.
+    pub efficiency: f64,
+    /// The figure of merit (see module docs).
+    pub fom: f64,
+}
+
+/// AC sweep range used for amplifier measurements.
+const F_START: f64 = 1.0;
+const F_STOP: f64 = 10e9;
+const F_POINTS: usize = 61;
+
+/// Measure amplifier metrics of a topology.
+///
+/// Drives the inputs per `stimulus` (differential when two inputs exist),
+/// reads `VOUT1`.
+///
+/// # Errors
+///
+/// Propagates elaboration and solver failures; returns
+/// [`SpiceError::MissingPort`] when there is no `VOUT1`.
+pub fn measure_opamp(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+) -> Result<OpampMetrics, SpiceError> {
+    let netlist = elaborate(topology, sizing, stimulus)?;
+    let out = netlist
+        .port_node(CircuitPin::Vout(1))
+        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+    let op = dc_operating_point(&netlist, tech)?;
+
+    // Static power: the VDD source delivers -i_branch * vdd.
+    let ivdd = op.source_current(&netlist, "VDD").unwrap_or(0.0);
+    let power = (-ivdd * stimulus.vdd).max(1e-12);
+
+    let freqs = log_sweep(F_START, F_STOP, F_POINTS);
+    let ac = ac_sweep(&netlist, tech, &op, &freqs)?;
+    let mags = ac.magnitude(out);
+    if mags.iter().any(|m| !m.is_finite()) {
+        return Err(SpiceError::NumericalBlowup { analysis: "ac" });
+    }
+
+    let dc_gain = mags[0];
+    let bw_3db = threshold_crossing(&freqs, &mags, dc_gain / 2f64.sqrt()).unwrap_or(F_STOP);
+    let unity_gain_freq = if dc_gain <= 1.0 {
+        0.0
+    } else {
+        threshold_crossing(&freqs, &mags, 1.0).unwrap_or(F_STOP)
+    };
+
+    let gain_db = 20.0 * dc_gain.max(1e-12).log10();
+    // Two saturations keep optimizers inside the model's credible region
+    // (and the numbers on the paper's Table II scale): power is floored at
+    // 1 mW so starving the circuit below where it can drive the load does
+    // not pay, and the UGB credit is capped at 1 GHz because the
+    // first-order MOS model (no intrinsic device capacitance) is not
+    // believable beyond that.
+    let fom = if gain_db <= 0.0 || unity_gain_freq <= 0.0 {
+        0.0
+    } else {
+        gain_db * (unity_gain_freq / 1e6).min(1e3) / (power / 1e-3).max(1.0)
+    };
+    Ok(OpampMetrics { dc_gain, bw_3db, unity_gain_freq, power, fom })
+}
+
+/// First frequency at which the (decreasing) magnitude falls below
+/// `threshold`, log-interpolated; `None` if it never does.
+fn threshold_crossing(freqs: &[f64], mags: &[f64], threshold: f64) -> Option<f64> {
+    for k in 1..mags.len() {
+        if mags[k - 1] >= threshold && mags[k] < threshold {
+            // Log-linear interpolation between the bracketing points.
+            let (f0, f1) = (freqs[k - 1], freqs[k]);
+            let (m0, m1) = (mags[k - 1], mags[k]);
+            if m0 <= m1 {
+                return Some(f0);
+            }
+            let t = (m0 - threshold) / (m0 - m1);
+            return Some(10f64.powf(f0.log10() + t * (f1.log10() - f0.log10())));
+        }
+    }
+    None
+}
+
+/// Measure the power-supply rejection ratio at low frequency: the ratio of
+/// the signal-path gain to the supply-path gain, in dB (larger is better).
+///
+/// The supply-path gain is measured by moving the AC stimulus from the
+/// inputs onto the `VDD` source and reading `VOUT1`.
+///
+/// # Errors
+///
+/// Propagates elaboration/solver failures; [`SpiceError::MissingPort`] when
+/// `VOUT1` or a `VDD` source is absent.
+pub fn measure_psrr(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+) -> Result<f64, SpiceError> {
+    // Signal-path gain.
+    let signal = measure_opamp(topology, sizing, stimulus, tech)?;
+
+    // Supply-path gain: AC on VDD, inputs quiet.
+    let mut netlist = elaborate(topology, sizing, stimulus)?;
+    let out = netlist
+        .port_node(CircuitPin::Vout(1))
+        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+    let mut found = false;
+    for inst in netlist.elements_mut() {
+        if let crate::netlist::Element::Vsource { ac_mag, .. } = &mut inst.element {
+            *ac_mag = if inst.name == "VDD" {
+                found = true;
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+    if !found {
+        return Err(SpiceError::MissingPort { port: "VDD".into() });
+    }
+    let op = dc_operating_point(&netlist, tech)?;
+    let ac = ac_sweep(&netlist, tech, &op, &[F_START])?;
+    let supply_gain = ac.magnitude(out)[0].max(1e-12);
+    Ok(20.0 * (signal.dc_gain.max(1e-12) / supply_gain).log10())
+}
+
+/// Measure an oscillator's output frequency (Hz) by transient analysis:
+/// run for `cycles_hint / f_guess` seconds and count rising crossings of
+/// the output's midpoint over the settled half.
+///
+/// Returns 0 when the circuit does not oscillate.
+///
+/// # Errors
+///
+/// Propagates elaboration/solver failures; [`SpiceError::MissingPort`] when
+/// there is no `VOUT1`.
+pub fn measure_oscillator(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+    f_guess: f64,
+) -> Result<f64, SpiceError> {
+    let netlist = elaborate(topology, sizing, stimulus)?;
+    let out = netlist
+        .port_node(CircuitPin::Vout(1))
+        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+    let op = dc_operating_point(&netlist, tech)?.perturbed(1e-3);
+    let t_stop = 30.0 / f_guess;
+    let dt = 1.0 / (f_guess * 200.0);
+    let tran = transient(&netlist, tech, &op, t_stop, dt)?;
+    // Midpoint of the settled waveform as the crossing level.
+    let wave = tran.waveform(out);
+    let tail = &wave[wave.len() / 2..];
+    let (lo, hi) = tail
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if hi - lo < 1e-3 {
+        return Ok(0.0); // flat-lined: no oscillation
+    }
+    Ok(tran.oscillation_freq(out, 0.5 * (lo + hi), 0.5))
+}
+
+/// Measure switching-converter metrics by transient analysis.
+///
+/// Runs 20 clock periods, averages the second half. `target_ratio` is the
+/// desired `Vout/Vdd` (e.g. `0.5` for a halving buck).
+///
+/// # Errors
+///
+/// Propagates elaboration and solver failures; returns
+/// [`SpiceError::MissingPort`] when there is no `VOUT1`.
+pub fn measure_converter(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+    target_ratio: f64,
+) -> Result<ConverterMetrics, SpiceError> {
+    let netlist = elaborate(topology, sizing, stimulus)?;
+    let out = netlist
+        .port_node(CircuitPin::Vout(1))
+        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+    let op = dc_operating_point(&netlist, tech)?;
+
+    let period = 1.0 / stimulus.clk_freq;
+    let tran = transient(&netlist, tech, &op, 20.0 * period, period / 100.0)?;
+    let vout = tran.settled_mean(out, 0.5);
+    let ratio = vout / stimulus.vdd;
+
+    // Input power from the VDD branch; output power into the load resistor.
+    let mut vdd_branch = None;
+    let mut k = 0usize;
+    for inst in netlist.elements() {
+        if inst.element.has_branch() {
+            if inst.name == "VDD" {
+                vdd_branch = Some(k);
+            }
+            k += 1;
+        }
+    }
+    let p_in = vdd_branch
+        .map(|j| -tran.settled_mean_branch(j, 0.5) * stimulus.vdd)
+        .unwrap_or(0.0)
+        .max(1e-12);
+    let r_load = stimulus.load_res.unwrap_or(f64::INFINITY);
+    let p_out = if r_load.is_finite() {
+        // Mean of v²/R over the settled window.
+        let start = tran.len() / 2;
+        let mut acc = 0.0;
+        for i in start..tran.len() {
+            let v = tran.voltage(i, out);
+            acc += v * v / r_load;
+        }
+        acc / (tran.len() - start) as f64
+    } else {
+        0.0
+    };
+    let efficiency = (p_out / p_in).clamp(0.0, 1.0);
+    let ratio_accuracy = (1.0 - (ratio - target_ratio).abs()).max(0.0);
+    let fom = 2.0 * (efficiency + ratio_accuracy);
+    Ok(ConverterMetrics { vout, ratio, efficiency, fom })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::TopologyBuilder;
+
+    /// Five-transistor OTA (textbook differential pair with current-mirror
+    /// load and NMOS tail).
+    pub(crate) fn five_transistor_ota() -> Topology {
+        let mut b = TopologyBuilder::new();
+        // Tail bias.
+        let tail = CircuitPin::Ctrl(7); // internal node expressed via wires
+        // Use device pins as internal nodes instead of fake ports: build
+        // with explicit wires.
+        let m1 = b.add(eva_circuit::DeviceKind::Nmos); // input +
+        let m2 = b.add(eva_circuit::DeviceKind::Nmos); // input -
+        let m3 = b.add(eva_circuit::DeviceKind::Pmos); // mirror diode
+        let m4 = b.add(eva_circuit::DeviceKind::Pmos); // mirror out
+        let m5 = b.add(eva_circuit::DeviceKind::Nmos); // tail
+        use eva_circuit::PinRole::*;
+        let _ = tail;
+        // Differential pair gates.
+        b.wire(b.pin(m1, Gate), CircuitPin::Vin(1)).unwrap();
+        b.wire(b.pin(m2, Gate), CircuitPin::Vin(2)).unwrap();
+        // Sources join at the tail drain.
+        b.wire(b.pin(m1, Source), b.pin(m5, Drain)).unwrap();
+        b.wire(b.pin(m2, Source), b.pin(m5, Drain)).unwrap();
+        // Tail.
+        b.wire(b.pin(m5, Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(m5, Source), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(m5, Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(m1, Bulk), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(m2, Bulk), CircuitPin::Vss).unwrap();
+        // PMOS mirror: m3 diode-connected (through m1 drain net), m4 output.
+        b.wire(b.pin(m3, Drain), b.pin(m1, Drain)).unwrap();
+        b.wire(b.pin(m3, Gate), b.pin(m1, Drain)).unwrap();
+        b.wire(b.pin(m4, Gate), b.pin(m1, Drain)).unwrap();
+        b.wire(b.pin(m3, Source), CircuitPin::Vdd).unwrap();
+        b.wire(b.pin(m4, Source), CircuitPin::Vdd).unwrap();
+        b.wire(b.pin(m3, Bulk), CircuitPin::Vdd).unwrap();
+        b.wire(b.pin(m4, Bulk), CircuitPin::Vdd).unwrap();
+        // Output node.
+        b.wire(b.pin(m4, Drain), b.pin(m2, Drain)).unwrap();
+        b.wire(b.pin(m4, Drain), CircuitPin::Vout(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ota_has_differential_gain() {
+        let t = five_transistor_ota();
+        let m = measure_opamp(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
+            .unwrap();
+        assert!(m.dc_gain > 10.0, "OTA gain should be >> 1: {}", m.dc_gain);
+        assert!(m.unity_gain_freq > m.bw_3db, "UGB beyond the dominant pole");
+        assert!(m.power > 0.0 && m.power < 10e-3, "sane power: {}", m.power);
+        assert!(m.fom > 0.0);
+    }
+
+    #[test]
+    fn passive_divider_has_low_fom() {
+        // A resistive divider attenuates: gain < 1 → FoM 0.
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vin(1), CircuitPin::Vout(1)).unwrap();
+        b.resistor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let m = measure_opamp(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
+            .unwrap();
+        assert!(m.dc_gain < 1.0);
+        assert_eq!(m.fom, 0.0);
+    }
+
+    #[test]
+    fn missing_vout_reported() {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vin(1), CircuitPin::Vss).unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vin(1)).unwrap();
+        let t = b.build().unwrap();
+        let err =
+            measure_opamp(&t, &Sizing::new(), &Stimulus::default(), &Tech::default()).unwrap_err();
+        assert!(matches!(err, SpiceError::MissingPort { .. }), "{err}");
+    }
+
+    #[test]
+    fn ota_rejects_supply_noise() {
+        // A differential OTA should amplify its inputs far more than VDD
+        // ripple: PSRR well above 0 dB.
+        let t = five_transistor_ota();
+        let psrr = measure_psrr(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
+            .unwrap();
+        assert!(psrr > 6.0, "PSRR {psrr} dB");
+    }
+
+    #[test]
+    fn psrr_requires_vdd_source() {
+        // A circuit without VDD cannot have a supply path measured.
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vin(1), CircuitPin::Vout(1)).unwrap();
+        b.resistor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        let t = b.build().unwrap();
+        let err = measure_psrr(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::MissingPort { .. }), "{err}");
+    }
+
+    #[test]
+    fn dc_circuit_does_not_oscillate() {
+        // A resistive divider has no oscillation: frequency 0.
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.resistor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        let t = b.build().unwrap();
+        let f = measure_oscillator(
+            &t,
+            &Sizing::default_for(&t),
+            &Stimulus::default(),
+            &Tech::default(),
+            1e6,
+        )
+        .unwrap();
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn threshold_crossing_interpolates() {
+        let freqs = [1.0, 10.0, 100.0];
+        let mags = [1.0, 1.0, 0.1];
+        let f = threshold_crossing(&freqs, &mags, 0.5).unwrap();
+        assert!(f > 10.0 && f < 100.0, "crossing between 10 and 100: {f}");
+        assert!(threshold_crossing(&freqs, &mags, 0.01).is_none());
+    }
+
+    #[test]
+    fn switched_divider_converter() {
+        // PMOS high-side switch chopping VDD into an LC filter with a
+        // freewheel diode: a crude buck cell. The output cap is sized so
+        // the 20-period measurement window covers several RC time
+        // constants.
+        let mut b = TopologyBuilder::new();
+        let sw = b.add(eva_circuit::DeviceKind::Pmos);
+        use eva_circuit::PinRole::*;
+        b.wire(b.pin(sw, Gate), CircuitPin::Clk(1)).unwrap();
+        b.wire(b.pin(sw, Source), CircuitPin::Vdd).unwrap();
+        b.wire(b.pin(sw, Bulk), CircuitPin::Vdd).unwrap();
+        let l = b.add(eva_circuit::DeviceKind::Inductor);
+        b.wire(b.pin(l, Plus), b.pin(sw, Drain)).unwrap();
+        b.wire(b.pin(l, Minus), CircuitPin::Vout(1)).unwrap();
+        // Freewheel diode from ground to the switch node.
+        let d = b.add(eva_circuit::DeviceKind::Diode);
+        b.wire(b.pin(d, Anode), CircuitPin::Vss).unwrap();
+        b.wire(b.pin(d, Cathode), b.pin(sw, Drain)).unwrap();
+        let c = b.add(eva_circuit::DeviceKind::Capacitor);
+        b.wire(b.pin(c, Plus), CircuitPin::Vout(1)).unwrap();
+        b.wire(b.pin(c, Minus), CircuitPin::Vss).unwrap();
+        let t = b.build().unwrap();
+
+        let mut sizing = Sizing::default_for(&t);
+        for dev in t.devices() {
+            match dev.kind {
+                eva_circuit::DeviceKind::Pmos => {
+                    sizing.set(dev, crate::sizing::DeviceParams::Mos { w: 2e-3, l: 0.2e-6 });
+                }
+                eva_circuit::DeviceKind::Inductor => {
+                    sizing.set(dev, crate::sizing::DeviceParams::Inductor { henries: 4.7e-6 });
+                }
+                eva_circuit::DeviceKind::Capacitor => {
+                    sizing.set(dev, crate::sizing::DeviceParams::Capacitor { farads: 10e-9 });
+                }
+                _ => {}
+            }
+        }
+        let m = measure_converter(
+            &t,
+            &sizing,
+            &Stimulus::converter(),
+            &Tech::default(),
+            0.5,
+        )
+        .unwrap();
+        assert!(m.vout > 0.2, "converter produces output: {m:?}");
+        assert!(m.efficiency > 0.05, "nontrivial efficiency: {m:?}");
+        assert!(m.fom > 0.5, "fom: {m:?}");
+    }
+}

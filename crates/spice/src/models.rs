@@ -1,0 +1,217 @@
+//! Large- and small-signal device model evaluation.
+//!
+//! Models are deliberately first-order — square-law MOSFETs with channel
+//! length modulation, exponential diodes/BJTs with linear extrapolation
+//! beyond a limiting voltage (for Newton stability) — because EVA uses the
+//! simulator as a *ranking oracle* (valid/invalid, better/worse FoM), not as
+//! a sign-off tool.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology constants shared by all devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tech {
+    /// NMOS transconductance parameter `k'ₙ = µₙCox` (A/V²).
+    pub kp_n: f64,
+    /// PMOS transconductance parameter (A/V²).
+    pub kp_p: f64,
+    /// NMOS threshold voltage (V).
+    pub vt_n: f64,
+    /// PMOS threshold magnitude (V).
+    pub vt_p: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Thermal voltage kT/q (V).
+    pub vt_thermal: f64,
+    /// Diode ideality factor.
+    pub diode_n: f64,
+    /// Minimum conductance from every node to ground (S).
+    pub gmin: f64,
+    /// BJT Early-effect output conductance per ampere of collector current
+    /// (1/V, i.e. `go = ic / v_early`).
+    pub inv_early: f64,
+}
+
+impl Default for Tech {
+    fn default() -> Tech {
+        Tech {
+            kp_n: 200e-6,
+            kp_p: 100e-6,
+            vt_n: 0.4,
+            vt_p: 0.4,
+            lambda: 0.1,
+            vt_thermal: 0.02585,
+            diode_n: 1.5,
+            gmin: 1e-12,
+            inv_early: 0.01,
+        }
+    }
+}
+
+/// Operating-point evaluation of a MOSFET in its *effective* (polarity- and
+/// drain/source-normalized) domain: `vgs`, `vds ≥ 0`.
+///
+/// Returns `(id, gm, gds)` with `id ≥ 0` flowing effective-drain →
+/// effective-source.
+pub fn mos_eval(vgs: f64, vds: f64, kp: f64, w_over_l: f64, vt: f64, lambda: f64) -> (f64, f64, f64) {
+    debug_assert!(vds >= 0.0, "caller normalizes vds");
+    let vov = vgs - vt;
+    if vov <= 0.0 {
+        // Cutoff: tiny subthreshold-ish leakage keeps the Jacobian alive.
+        return (0.0, 0.0, 0.0);
+    }
+    let beta = kp * w_over_l;
+    if vds < vov {
+        // Triode.
+        let idc = beta * (vov * vds - 0.5 * vds * vds);
+        let clm = 1.0 + lambda * vds;
+        let id = idc * clm;
+        let gm = beta * vds * clm;
+        let gds = beta * (vov - vds) * clm + idc * lambda;
+        (id, gm, gds)
+    } else {
+        // Saturation.
+        let idc = 0.5 * beta * vov * vov;
+        let clm = 1.0 + lambda * vds;
+        let id = idc * clm;
+        let gm = beta * vov * clm;
+        let gds = idc * lambda;
+        (id, gm, gds)
+    }
+}
+
+/// Exponential junction evaluation with linear extrapolation above `vmax`
+/// (keeps Newton iterations finite for wild guesses).
+///
+/// Returns `(i, g)` for `i = is·(exp(v/nvt) − 1)`.
+pub fn junction_eval(v: f64, is: f64, nvt: f64, vmax: f64) -> (f64, f64) {
+    if v <= vmax {
+        // Clamp extreme reverse bias to avoid underflow noise.
+        let arg = (v / nvt).max(-80.0);
+        let e = arg.exp();
+        (is * (e - 1.0), (is / nvt) * e)
+    } else {
+        let e = (vmax / nvt).exp();
+        let i0 = is * (e - 1.0);
+        let g = (is / nvt) * e;
+        (i0 + g * (v - vmax), g)
+    }
+}
+
+/// The junction limiting voltage for a given saturation current: the bias at
+/// which the exponential reaches roughly 10 mA — far above any realistic
+/// operating current, so the extrapolation never distorts converged
+/// solutions.
+pub fn junction_vmax(is: f64, nvt: f64) -> f64 {
+    (1e-2 / is).ln() * nvt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KP: f64 = 200e-6;
+    const WL: f64 = 10.0;
+    const VT: f64 = 0.4;
+    const LAMBDA: f64 = 0.1;
+
+    #[test]
+    fn cutoff_region() {
+        let (id, gm, gds) = mos_eval(0.3, 1.0, KP, WL, VT, LAMBDA);
+        assert_eq!(id, 0.0);
+        assert_eq!(gm, 0.0);
+        assert_eq!(gds, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_matches_square_law() {
+        // vov = 0.2, sat: id = 0.5*kp*WL*vov^2*(1+λvds).
+        let (id, gm, _) = mos_eval(0.6, 1.0, KP, WL, VT, LAMBDA);
+        let expect = 0.5 * KP * WL * 0.04 * 1.1;
+        assert!((id - expect).abs() < 1e-12);
+        let gm_expect = KP * WL * 0.2 * 1.1;
+        assert!((gm - gm_expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triode_current_matches() {
+        // vov = 0.4, vds = 0.1 < vov: triode.
+        let (id, _, gds) = mos_eval(0.8, 0.1, KP, WL, VT, LAMBDA);
+        let idc = KP * WL * (0.4 * 0.1 - 0.005);
+        assert!((id - idc * 1.01).abs() < 1e-12);
+        assert!(gds > 0.0);
+    }
+
+    #[test]
+    fn continuity_at_pinchoff() {
+        // id and gm continuous across vds = vov.
+        let vov = 0.25;
+        let below = mos_eval(VT + vov, vov - 1e-9, KP, WL, VT, LAMBDA);
+        let above = mos_eval(VT + vov, vov + 1e-9, KP, WL, VT, LAMBDA);
+        assert!((below.0 - above.0).abs() < 1e-9);
+        assert!((below.1 - above.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gm_is_current_derivative() {
+        // Finite-difference check in saturation.
+        let f = |vgs: f64| mos_eval(vgs, 1.2, KP, WL, VT, LAMBDA).0;
+        let h = 1e-7;
+        let num = (f(0.7 + h) - f(0.7 - h)) / (2.0 * h);
+        let (_, gm, _) = mos_eval(0.7, 1.2, KP, WL, VT, LAMBDA);
+        assert!((num - gm).abs() / gm < 1e-5);
+    }
+
+    #[test]
+    fn gds_is_current_derivative() {
+        let f = |vds: f64| mos_eval(0.7, vds, KP, WL, VT, LAMBDA).0;
+        let h = 1e-7;
+        for vds in [0.05, 0.15, 0.8, 1.5] {
+            let num = (f(vds + h) - f(vds - h)) / (2.0 * h);
+            let (_, _, gds) = mos_eval(0.7, vds, KP, WL, VT, LAMBDA);
+            assert!((num - gds).abs() / gds.max(1e-12) < 1e-4, "vds={vds}");
+        }
+    }
+
+    #[test]
+    fn junction_forward_drop() {
+        // A 1e-14 A diode at 1 mA drops ~0.7-0.95 V for n=1.5.
+        let nvt = 1.5 * 0.02585;
+        let vmax = junction_vmax(1e-14, nvt);
+        let mut v = 0.5;
+        // Newton-solve i(v) = 1 mA.
+        for _ in 0..100 {
+            let (i, g) = junction_eval(v, 1e-14, nvt, vmax);
+            v -= (i - 1e-3) / g;
+        }
+        assert!((0.6..1.2).contains(&v), "forward drop {v}");
+    }
+
+    #[test]
+    fn junction_reverse_saturates() {
+        let nvt = 1.5 * 0.02585;
+        let (i, g) = junction_eval(-5.0, 1e-14, nvt, 1.0);
+        assert!((i + 1e-14).abs() < 1e-20);
+        assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn junction_extrapolation_is_continuous() {
+        let nvt = 0.03;
+        let vmax = 0.8;
+        let (i1, g1) = junction_eval(vmax - 1e-9, 1e-14, nvt, vmax);
+        let (i2, g2) = junction_eval(vmax + 1e-9, 1e-14, nvt, vmax);
+        assert!((i1 - i2).abs() / i1 < 1e-6);
+        assert!((g1 - g2).abs() / g1 < 1e-6);
+        // And it is linear beyond: finite g, no overflow at huge v.
+        let (i3, _) = junction_eval(100.0, 1e-14, nvt, vmax);
+        assert!(i3.is_finite());
+    }
+
+    #[test]
+    fn tech_defaults_sane() {
+        let t = Tech::default();
+        assert!(t.kp_n > t.kp_p, "electron mobility exceeds hole mobility");
+        assert!(t.gmin > 0.0 && t.gmin < 1e-9);
+    }
+}

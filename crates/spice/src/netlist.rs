@@ -1,0 +1,411 @@
+//! The flat simulation netlist: nodes, elements, sources.
+//!
+//! A [`Netlist`] is the simulator-facing form of a circuit: nets collapsed
+//! to integer node indices (ground = 0), devices instantiated with concrete
+//! parameters, and stimulus sources attached. It can be built directly (for
+//! tests and examples) or elaborated from an EVA [`eva_circuit::Topology`]
+//! via [`mod@crate::elaborate`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use eva_circuit::CircuitPin;
+
+/// Channel polarity of a MOS element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// Polarity of a BJT element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BjtPolarity {
+    /// NPN.
+    Npn,
+    /// PNP.
+    Pnp,
+}
+
+/// Time-domain shape of an independent voltage source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant at the DC value.
+    Dc,
+    /// Square pulse between `low` and `high`.
+    Pulse {
+        /// Low level (V).
+        low: f64,
+        /// High level (V).
+        high: f64,
+        /// Period (s).
+        period: f64,
+        /// Fraction of the period spent high, in `(0, 1)`.
+        duty: f64,
+    },
+    /// Sinusoid `offset + amplitude * sin(2π f t)`.
+    Sine {
+        /// DC offset (V).
+        offset: f64,
+        /// Amplitude (V).
+        amplitude: f64,
+        /// Frequency (Hz).
+        freq: f64,
+    },
+}
+
+impl Waveform {
+    /// Instantaneous value at time `t`, given the source's DC value.
+    pub fn value(&self, dc: f64, t: f64) -> f64 {
+        match *self {
+            Waveform::Dc => dc,
+            Waveform::Pulse { low, high, period, duty } => {
+                let phase = (t / period).rem_euclid(1.0);
+                if phase < duty {
+                    high
+                } else {
+                    low
+                }
+            }
+            Waveform::Sine { offset, amplitude, freq } => {
+                offset + amplitude * (2.0 * std::f64::consts::PI * freq * t).sin()
+            }
+        }
+    }
+}
+
+/// One concrete circuit element.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// Resistor between `nodes[0]` and `nodes[1]`.
+    Resistor {
+        /// Resistance (Ω), must be positive.
+        ohms: f64,
+    },
+    /// Capacitor between `nodes[0]` and `nodes[1]`.
+    Capacitor {
+        /// Capacitance (F).
+        farads: f64,
+    },
+    /// Inductor between `nodes[0]` and `nodes[1]`. Modeled as a small
+    /// resistance in DC, an admittance `1/jωL` in AC, and a trapezoidal
+    /// companion in transient.
+    Inductor {
+        /// Inductance (H).
+        henries: f64,
+    },
+    /// MOSFET with nodes `[drain, gate, source]` (bulk is electrically
+    /// ignored; the square-law model has no body effect).
+    Mos {
+        /// Channel polarity.
+        polarity: MosPolarity,
+        /// Channel width (m).
+        w: f64,
+        /// Channel length (m).
+        l: f64,
+    },
+    /// BJT with nodes `[collector, base, emitter]`, forward-active
+    /// exponential model.
+    Bjt {
+        /// Polarity.
+        polarity: BjtPolarity,
+        /// Saturation current (A).
+        is: f64,
+        /// Forward beta.
+        beta: f64,
+    },
+    /// Junction diode with nodes `[anode, cathode]`.
+    Diode {
+        /// Saturation current (A).
+        is: f64,
+    },
+    /// Independent voltage source with nodes `[plus, minus]`; contributes a
+    /// branch current unknown.
+    Vsource {
+        /// DC value (V).
+        dc: f64,
+        /// AC magnitude for small-signal analysis (V).
+        ac_mag: f64,
+        /// Transient waveform.
+        waveform: Waveform,
+    },
+    /// Independent DC current source with nodes `[plus, minus]`; current
+    /// flows from `plus` to `minus` through the source (i.e. it pushes
+    /// current *into* the `minus` node externally).
+    Isource {
+        /// Source current (A).
+        amps: f64,
+    },
+}
+
+impl Element {
+    /// Number of connection nodes this element requires.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Element::Mos { .. } | Element::Bjt { .. } => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether the element introduces a branch-current unknown in MNA.
+    pub fn has_branch(&self) -> bool {
+        matches!(self, Element::Vsource { .. })
+    }
+}
+
+/// A named, placed element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementInstance {
+    /// Instance name (e.g. `NM1`, `VDD_SRC`).
+    pub name: String,
+    /// Node indices, in the order documented on [`Element`].
+    pub nodes: Vec<usize>,
+    /// Element value.
+    pub element: Element,
+}
+
+/// A flat simulation netlist.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    elements: Vec<ElementInstance>,
+    ports: BTreeMap<CircuitPin, usize>,
+}
+
+impl Netlist {
+    /// Ground node index.
+    pub const GROUND: usize = 0;
+
+    /// A netlist containing only the ground node.
+    pub fn new() -> Netlist {
+        Netlist {
+            node_names: vec!["0".to_owned()],
+            elements: Vec::new(),
+            ports: BTreeMap::new(),
+        }
+    }
+
+    /// Add a named node and return its index.
+    pub fn add_node(&mut self, name: impl Into<String>) -> usize {
+        self.node_names.push(name.into());
+        self.node_names.len() - 1
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_name(&self, node: usize) -> &str {
+        &self.node_names[node]
+    }
+
+    /// Add an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node list length does not match the element kind or
+    /// references an unknown node.
+    pub fn add_element(
+        &mut self,
+        name: impl Into<String>,
+        nodes: Vec<usize>,
+        element: Element,
+    ) {
+        assert_eq!(nodes.len(), element.node_count(), "wrong node count");
+        for &n in &nodes {
+            assert!(n < self.node_count(), "unknown node index {n}");
+        }
+        self.elements.push(ElementInstance { name: name.into(), nodes, element });
+    }
+
+    /// The elements, in insertion order.
+    pub fn elements(&self) -> &[ElementInstance] {
+        &self.elements
+    }
+
+    /// Mutable access to the elements (e.g. to retarget AC stimulus for a
+    /// PSRR measurement). Nodes and element kinds must not be changed in
+    /// ways that alter the unknown layout; values and waveforms are fair
+    /// game.
+    pub fn elements_mut(&mut self) -> &mut [ElementInstance] {
+        &mut self.elements
+    }
+
+    /// Record that a circuit port lives on `node`.
+    pub fn bind_port(&mut self, port: CircuitPin, node: usize) {
+        self.ports.insert(port, node);
+    }
+
+    /// The node a circuit port is bound to, if any.
+    pub fn port_node(&self, port: CircuitPin) -> Option<usize> {
+        self.ports.get(&port).copied()
+    }
+
+    /// All bound ports.
+    pub fn ports(&self) -> impl Iterator<Item = (CircuitPin, usize)> + '_ {
+        self.ports.iter().map(|(&p, &n)| (p, n))
+    }
+
+    /// Number of branch-current unknowns (voltage sources).
+    pub fn branch_count(&self) -> usize {
+        self.elements.iter().filter(|e| e.element.has_branch()).count()
+    }
+
+    /// Total MNA unknowns: `node_count - 1` node voltages plus branches.
+    pub fn unknown_count(&self) -> usize {
+        self.node_count() - 1 + self.branch_count()
+    }
+
+    /// Emit SPICE-compatible netlist text (ngspice dialect).
+    ///
+    /// This is the interoperability path the paper assumes: "an unsized
+    /// circuit is valid if it can be simulated in SPICE without errors".
+    pub fn to_spice(&self) -> String {
+        let mut out = String::from("* eva-spice netlist\n");
+        out.push_str(".model NMOS0 nmos (level=1)\n.model PMOS0 pmos (level=1)\n");
+        out.push_str(".model D0 d\n.model QN0 npn\n.model QP0 pnp\n");
+        let mut idx = 0usize;
+        for inst in &self.elements {
+            idx += 1;
+            let n = |i: usize| self.node_names[inst.nodes[i]].clone();
+            let line = match inst.element {
+                Element::Resistor { ohms } => format!("R{idx} {} {} {ohms:.6e}", n(0), n(1)),
+                Element::Capacitor { farads } => {
+                    format!("C{idx} {} {} {farads:.6e}", n(0), n(1))
+                }
+                Element::Inductor { henries } => {
+                    format!("L{idx} {} {} {henries:.6e}", n(0), n(1))
+                }
+                Element::Mos { polarity, w, l } => {
+                    let model = match polarity {
+                        MosPolarity::Nmos => "NMOS0",
+                        MosPolarity::Pmos => "PMOS0",
+                    };
+                    // Bulk tied to source in the emitted card.
+                    format!(
+                        "M{idx} {} {} {} {} {model} W={w:.6e} L={l:.6e}",
+                        n(0),
+                        n(1),
+                        n(2),
+                        n(2)
+                    )
+                }
+                Element::Bjt { polarity, .. } => {
+                    let model = match polarity {
+                        BjtPolarity::Npn => "QN0",
+                        BjtPolarity::Pnp => "QP0",
+                    };
+                    format!("Q{idx} {} {} {} {model}", n(0), n(1), n(2))
+                }
+                Element::Diode { .. } => format!("D{idx} {} {} D0", n(0), n(1)),
+                Element::Vsource { dc, ac_mag, .. } => {
+                    format!("V{idx} {} {} DC {dc:.6e} AC {ac_mag:.6e}", n(0), n(1))
+                }
+                Element::Isource { amps } => {
+                    format!("I{idx} {} {} DC {amps:.6e}", n(0), n(1))
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(".end\n");
+        out
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_spice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_netlist_has_ground() {
+        let n = Netlist::new();
+        assert_eq!(n.node_count(), 1);
+        assert_eq!(n.node_name(Netlist::GROUND), "0");
+        assert_eq!(n.unknown_count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_elements() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        n.add_element("R1", vec![a, b], Element::Resistor { ohms: 1e3 });
+        n.add_element(
+            "V1",
+            vec![a, Netlist::GROUND],
+            Element::Vsource { dc: 1.0, ac_mag: 0.0, waveform: Waveform::Dc },
+        );
+        assert_eq!(n.node_count(), 3);
+        assert_eq!(n.elements().len(), 2);
+        assert_eq!(n.branch_count(), 1);
+        assert_eq!(n.unknown_count(), 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node count")]
+    fn element_node_count_checked() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        n.add_element("R1", vec![a], Element::Resistor { ohms: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn element_node_index_checked() {
+        let mut n = Netlist::new();
+        n.add_element("R1", vec![0, 7], Element::Resistor { ohms: 1.0 });
+    }
+
+    #[test]
+    fn ports_bind_and_resolve() {
+        let mut n = Netlist::new();
+        let a = n.add_node("out");
+        n.bind_port(CircuitPin::Vout(1), a);
+        assert_eq!(n.port_node(CircuitPin::Vout(1)), Some(a));
+        assert_eq!(n.port_node(CircuitPin::Vdd), None);
+        assert_eq!(n.ports().count(), 1);
+    }
+
+    #[test]
+    fn waveform_values() {
+        assert_eq!(Waveform::Dc.value(2.5, 123.0), 2.5);
+        let p = Waveform::Pulse { low: 0.0, high: 1.0, period: 1e-6, duty: 0.5 };
+        assert_eq!(p.value(0.0, 0.1e-6), 1.0);
+        assert_eq!(p.value(0.0, 0.6e-6), 0.0);
+        assert_eq!(p.value(0.0, 1.1e-6), 1.0);
+        let s = Waveform::Sine { offset: 1.0, amplitude: 2.0, freq: 1.0 };
+        assert!((s.value(0.0, 0.25) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spice_emission_mentions_every_element() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 1e3 });
+        n.add_element(
+            "M1",
+            vec![a, 0, 0],
+            Element::Mos { polarity: MosPolarity::Nmos, w: 1e-6, l: 1e-6 },
+        );
+        let text = n.to_spice();
+        assert!(text.contains("R1 a 0"));
+        assert!(text.contains("NMOS0"));
+        assert!(text.ends_with(".end\n"));
+    }
+}

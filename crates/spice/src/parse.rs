@@ -1,0 +1,378 @@
+//! SPICE netlist text parsing — the inverse of
+//! [`crate::netlist::Netlist::to_spice`].
+//!
+//! Supports the ngspice-flavoured subset the emitter produces (R/C/L cards,
+//! level-1 MOS, BJT, diode, V/I sources with `DC`/`AC` values, `.model` and
+//! `.end` lines, `*` comments) plus engineering suffixes (`1k`, `2.2u`,
+//! `10meg`). Useful for importing external netlists into the simulator and
+//! for round-trip testing the emitter.
+
+use std::collections::BTreeMap;
+
+use crate::error::SpiceError;
+use crate::netlist::{BjtPolarity, Element, MosPolarity, Netlist, Waveform};
+
+/// Parse a numeric field with optional SPICE engineering suffix.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] when the text is not a number.
+pub fn parse_value(text: &str) -> Result<f64, SpiceError> {
+    let t = text.trim().to_ascii_lowercase();
+    // Longest suffixes first ("meg" before "m").
+    const SUFFIXES: [(&str, f64); 11] = [
+        ("meg", 1e6),
+        ("mil", 25.4e-6),
+        ("t", 1e12),
+        ("g", 1e9),
+        ("k", 1e3),
+        ("m", 1e-3),
+        ("u", 1e-6),
+        ("n", 1e-9),
+        ("p", 1e-12),
+        ("f", 1e-15),
+        ("a", 1e-18),
+    ];
+    // Split the numeric prefix from any trailing unit letters.
+    let num_end = t
+        .char_indices()
+        .take_while(|(i, c)| {
+            c.is_ascii_digit()
+                || *c == '.'
+                || *c == '+'
+                || *c == '-'
+                || (*c == 'e'
+                    && t[i + 1..]
+                        .chars()
+                        .next()
+                        .is_some_and(|n| n.is_ascii_digit() || n == '+' || n == '-'))
+        })
+        .map(|(i, c)| i + c.len_utf8())
+        .last()
+        .unwrap_or(0);
+    let (num, suffix) = t.split_at(num_end);
+    let base: f64 = num
+        .parse()
+        .map_err(|_| SpiceError::InvalidCircuit { reason: format!("bad number {text:?}") })?;
+    if suffix.is_empty() {
+        return Ok(base);
+    }
+    for (s, mult) in SUFFIXES {
+        if suffix.starts_with(s) {
+            return Ok(base * mult);
+        }
+    }
+    // Unknown trailing unit (e.g. "ohm", "v") — ignore it, SPICE style.
+    Ok(base)
+}
+
+/// Parse SPICE netlist text into a [`Netlist`].
+///
+/// Node `0` (or `gnd`) maps to ground; all other node names are allocated
+/// in order of first appearance. `.model` cards decide MOS/BJT polarity by
+/// their `nmos`/`pmos`/`npn`/`pnp` type word; instance cards may also
+/// reference the built-in model names the emitter writes (`NMOS0`, …).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] on malformed cards.
+pub fn from_spice(text: &str) -> Result<Netlist, SpiceError> {
+    let bad = |why: String| SpiceError::InvalidCircuit { reason: why };
+    let mut netlist = Netlist::new();
+    let mut nodes: BTreeMap<String, usize> = BTreeMap::new();
+    nodes.insert("0".to_owned(), Netlist::GROUND);
+    nodes.insert("gnd".to_owned(), Netlist::GROUND);
+
+    // First pass: model cards.
+    let mut models: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        let l = line.trim();
+        if let Some(rest) = l.strip_prefix(".model") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().map(str::to_ascii_lowercase);
+            let kind = it
+                .next()
+                .map(|k| k.trim_matches(|c| c == '(' || c == ')').to_ascii_lowercase());
+            if let (Some(name), Some(kind)) = (name, kind) {
+                models.insert(name, kind);
+            }
+        }
+    }
+    // Built-in model names from the emitter.
+    for (name, kind) in [("nmos0", "nmos"), ("pmos0", "pmos"), ("d0", "d"), ("qn0", "npn"), ("qp0", "pnp")] {
+        models.entry(name.to_owned()).or_insert_with(|| kind.to_owned());
+    }
+
+    let mut node = |netlist: &mut Netlist, name: &str| -> usize {
+        let key = name.to_ascii_lowercase();
+        if let Some(&idx) = nodes.get(&key) {
+            idx
+        } else {
+            let idx = netlist.add_node(name.to_owned());
+            nodes.insert(key, idx);
+            idx
+        }
+    };
+    // Pull a named parameter like `W=10u` out of trailing fields.
+    let param = |fields: &[&str], key: &str| -> Option<f64> {
+        fields.iter().find_map(|f| {
+            let (k, v) = f.split_once('=')?;
+            k.eq_ignore_ascii_case(key).then(|| parse_value(v).ok())?
+        })
+    };
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with('.') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let name = fields[0];
+        let kind = name.chars().next().expect("non-empty").to_ascii_uppercase();
+        match kind {
+            'R' | 'C' | 'L' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("two-terminal card too short: {line}")));
+                }
+                let a = node(&mut netlist, fields[1]);
+                let b = node(&mut netlist, fields[2]);
+                let value = parse_value(fields[3])?;
+                let element = match kind {
+                    'R' => Element::Resistor { ohms: value },
+                    'C' => Element::Capacitor { farads: value },
+                    _ => Element::Inductor { henries: value },
+                };
+                netlist.add_element(name, vec![a, b], element);
+            }
+            'D' => {
+                if fields.len() < 3 {
+                    return Err(bad(format!("diode card too short: {line}")));
+                }
+                let a = node(&mut netlist, fields[1]);
+                let k = node(&mut netlist, fields[2]);
+                netlist.add_element(name, vec![a, k], Element::Diode { is: 1e-14 });
+            }
+            'M' => {
+                if fields.len() < 6 {
+                    return Err(bad(format!("mos card too short: {line}")));
+                }
+                let d = node(&mut netlist, fields[1]);
+                let g = node(&mut netlist, fields[2]);
+                let s = node(&mut netlist, fields[3]);
+                // fields[4] is the bulk (ignored by the model).
+                let model = fields[5].to_ascii_lowercase();
+                let polarity = match models.get(&model).map(String::as_str) {
+                    Some("nmos") => MosPolarity::Nmos,
+                    Some("pmos") => MosPolarity::Pmos,
+                    other => {
+                        return Err(bad(format!(
+                            "unknown MOS model {model:?} ({other:?}) in {line}"
+                        )))
+                    }
+                };
+                let w = param(&fields[6..], "w").unwrap_or(10e-6);
+                let l = param(&fields[6..], "l").unwrap_or(1e-6);
+                netlist.add_element(name, vec![d, g, s], Element::Mos { polarity, w, l });
+            }
+            'Q' => {
+                if fields.len() < 5 {
+                    return Err(bad(format!("bjt card too short: {line}")));
+                }
+                let c = node(&mut netlist, fields[1]);
+                let b = node(&mut netlist, fields[2]);
+                let e = node(&mut netlist, fields[3]);
+                let model = fields[4].to_ascii_lowercase();
+                let polarity = match models.get(&model).map(String::as_str) {
+                    Some("npn") => BjtPolarity::Npn,
+                    Some("pnp") => BjtPolarity::Pnp,
+                    other => {
+                        return Err(bad(format!(
+                            "unknown BJT model {model:?} ({other:?}) in {line}"
+                        )))
+                    }
+                };
+                netlist.add_element(
+                    name,
+                    vec![c, b, e],
+                    Element::Bjt { polarity, is: 1e-16, beta: 100.0 },
+                );
+            }
+            'V' => {
+                if fields.len() < 3 {
+                    return Err(bad(format!("vsource card too short: {line}")));
+                }
+                let p = node(&mut netlist, fields[1]);
+                let n = node(&mut netlist, fields[2]);
+                let rest = &fields[3..];
+                // Accept `DC x`, `AC y`, or a bare value.
+                let mut dc = 0.0;
+                let mut ac_mag = 0.0;
+                let mut i = 0;
+                while i < rest.len() {
+                    let f = rest[i].to_ascii_lowercase();
+                    if f == "dc" && i + 1 < rest.len() {
+                        dc = parse_value(rest[i + 1])?;
+                        i += 2;
+                    } else if f == "ac" && i + 1 < rest.len() {
+                        ac_mag = parse_value(rest[i + 1])?;
+                        i += 2;
+                    } else {
+                        dc = parse_value(rest[i])?;
+                        i += 1;
+                    }
+                }
+                netlist.add_element(
+                    name,
+                    vec![p, n],
+                    Element::Vsource { dc, ac_mag, waveform: Waveform::Dc },
+                );
+            }
+            'I' => {
+                if fields.len() < 3 {
+                    return Err(bad(format!("isource card too short: {line}")));
+                }
+                let p = node(&mut netlist, fields[1]);
+                let n = node(&mut netlist, fields[2]);
+                let mut amps = 0.0;
+                let rest = &fields[3..];
+                let mut i = 0;
+                while i < rest.len() {
+                    let f = rest[i].to_ascii_lowercase();
+                    if f == "dc" && i + 1 < rest.len() {
+                        amps = parse_value(rest[i + 1])?;
+                        i += 2;
+                    } else {
+                        amps = parse_value(rest[i])?;
+                        i += 1;
+                    }
+                }
+                netlist.add_element(name, vec![p, n], Element::Isource { amps });
+            }
+            other => {
+                return Err(bad(format!("unsupported card type {other:?}: {line}")));
+            }
+        }
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use crate::models::Tech;
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("2.2u").unwrap(), 2.2e-6);
+        assert_eq!(parse_value("10meg").unwrap(), 10e6);
+        assert_eq!(parse_value("5").unwrap(), 5.0);
+        assert_eq!(parse_value("1e-3").unwrap(), 1e-3);
+        assert!((parse_value("3n").unwrap() - 3e-9).abs() < 1e-18);
+        assert!((parse_value("100f").unwrap() - 100e-15).abs() < 1e-22);
+        // Unknown units are ignored like SPICE does.
+        assert_eq!(parse_value("50ohm").unwrap(), 50.0);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_divider_and_solves() {
+        let text = "* divider\nV1 in 0 DC 10\nR1 in out 1k\nR2 out 0 3k\n.end\n";
+        let n = from_spice(text).unwrap();
+        assert_eq!(n.elements().len(), 3);
+        let sol = dc_operating_point(&n, &Tech::default()).unwrap();
+        // Node "out" was allocated second.
+        let out = (0..n.node_count()).find(|&i| n.node_name(i) == "out").unwrap();
+        assert!((sol.voltage(out) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn emit_parse_round_trip_solves_identically() {
+        // Build a CMOS inverter, emit SPICE, re-parse, compare DC solutions.
+        let mut n = Netlist::new();
+        let vdd = n.add_node("vdd");
+        let inp = n.add_node("in");
+        let out = n.add_node("out");
+        n.add_element(
+            "VD",
+            vec![vdd, 0],
+            Element::Vsource { dc: 1.8, ac_mag: 0.0, waveform: Waveform::Dc },
+        );
+        n.add_element(
+            "VI",
+            vec![inp, 0],
+            Element::Vsource { dc: 0.4, ac_mag: 0.0, waveform: Waveform::Dc },
+        );
+        n.add_element(
+            "MP",
+            vec![out, inp, vdd],
+            Element::Mos { polarity: MosPolarity::Pmos, w: 20e-6, l: 1e-6 },
+        );
+        n.add_element(
+            "MN",
+            vec![out, inp, 0],
+            Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+        );
+        n.add_element("RL", vec![out, 0], Element::Resistor { ohms: 1e6 });
+
+        let text = n.to_spice();
+        let parsed = from_spice(&text).unwrap();
+        assert_eq!(parsed.elements().len(), n.elements().len());
+
+        let tech = Tech::default();
+        let a = dc_operating_point(&n, &tech).unwrap();
+        let b = dc_operating_point(&parsed, &tech).unwrap();
+        // Compare the output node voltage by name.
+        let out_b = (0..parsed.node_count())
+            .find(|&i| parsed.node_name(i) == "out")
+            .unwrap();
+        assert!(
+            (a.voltage(out) - b.voltage(out_b)).abs() < 1e-6,
+            "{} vs {}",
+            a.voltage(out),
+            b.voltage(out_b)
+        );
+    }
+
+    #[test]
+    fn parses_models_and_polarity() {
+        let text = "\
+.model mynmos nmos (level=1)
+.model mypnp pnp
+M1 d g 0 0 mynmos W=5u L=0.5u
+Q1 c b 0 mypnp
+V1 d 0 1
+V2 g 0 1
+V3 c 0 1
+";
+        let n = from_spice(text).unwrap();
+        let mos = &n.elements()[0];
+        match mos.element {
+            Element::Mos { polarity, w, l } => {
+                assert_eq!(polarity, MosPolarity::Nmos);
+                assert!((w - 5e-6).abs() < 1e-12);
+                assert!((l - 0.5e-6).abs() < 1e-12);
+            }
+            ref other => panic!("expected MOS, got {other:?}"),
+        }
+        match n.elements()[1].element {
+            Element::Bjt { polarity, .. } => assert_eq!(polarity, BjtPolarity::Pnp),
+            ref other => panic!("expected BJT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_cards() {
+        assert!(from_spice("R1 a\n").is_err());
+        assert!(from_spice("M1 d g s b nosuchmodel\n").is_err());
+        assert!(from_spice("Z1 a b 1k\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_directives_ignored() {
+        let text = "* hello\n.title x\nR1 a 0 1k\n.end\n";
+        let n = from_spice(text).unwrap();
+        assert_eq!(n.elements().len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Device sizing: the parameter values attached to an unsized topology
+//! before simulation.
+//!
+//! EVA generates *unsized* topologies; validity checking simulates them with
+//! a default sizing, and the discovery-efficiency experiment sizes the 10
+//! generated candidates with a genetic algorithm (`eva-eval`) before the
+//! final FoM measurement.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use eva_circuit::{Device, DeviceKind, Topology};
+
+/// Electrical parameters for one device instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceParams {
+    /// MOS width/length in meters.
+    Mos {
+        /// Channel width (m).
+        w: f64,
+        /// Channel length (m).
+        l: f64,
+    },
+    /// BJT saturation current and forward beta.
+    Bjt {
+        /// Saturation current (A).
+        is: f64,
+        /// Forward current gain.
+        beta: f64,
+    },
+    /// Resistance in ohms.
+    Resistor {
+        /// Resistance (Ω).
+        ohms: f64,
+    },
+    /// Capacitance in farads.
+    Capacitor {
+        /// Capacitance (F).
+        farads: f64,
+    },
+    /// Inductance in henries.
+    Inductor {
+        /// Inductance (H).
+        henries: f64,
+    },
+    /// Diode saturation current.
+    Diode {
+        /// Saturation current (A).
+        is: f64,
+    },
+    /// DC current source value in amperes.
+    CurrentSource {
+        /// Source current (A).
+        amps: f64,
+    },
+}
+
+impl DeviceParams {
+    /// The paper's "default sizing" for a device kind — chosen so textbook
+    /// circuits bias into sensible regions.
+    pub fn default_for(kind: DeviceKind) -> DeviceParams {
+        match kind {
+            DeviceKind::Nmos | DeviceKind::Pmos => DeviceParams::Mos { w: 10e-6, l: 1e-6 },
+            DeviceKind::Npn | DeviceKind::Pnp => DeviceParams::Bjt { is: 1e-16, beta: 100.0 },
+            DeviceKind::Resistor => DeviceParams::Resistor { ohms: 10e3 },
+            DeviceKind::Capacitor => DeviceParams::Capacitor { farads: 1e-12 },
+            DeviceKind::Inductor => DeviceParams::Inductor { henries: 1e-6 },
+            DeviceKind::Diode => DeviceParams::Diode { is: 1e-14 },
+            DeviceKind::CurrentSource => DeviceParams::CurrentSource { amps: 20e-6 },
+        }
+    }
+
+    /// Whether the parameters are physically plausible (positive, finite,
+    /// within broad technology bounds). The GA uses this to reject mutants.
+    pub fn is_plausible(&self) -> bool {
+        let pos = |v: f64, lo: f64, hi: f64| v.is_finite() && v >= lo && v <= hi;
+        match *self {
+            DeviceParams::Mos { w, l } => pos(w, 0.1e-6, 5e-3) && pos(l, 0.05e-6, 100e-6),
+            DeviceParams::Bjt { is, beta } => pos(is, 1e-18, 1e-12) && pos(beta, 5.0, 500.0),
+            DeviceParams::Resistor { ohms } => pos(ohms, 0.1, 1e9),
+            DeviceParams::Capacitor { farads } => pos(farads, 1e-16, 1e-3),
+            DeviceParams::Inductor { henries } => pos(henries, 1e-12, 1.0),
+            DeviceParams::Diode { is } => pos(is, 1e-18, 1e-10),
+            DeviceParams::CurrentSource { amps } => pos(amps, 1e-9, 1.0),
+        }
+    }
+}
+
+/// A sizing assignment for a whole topology.
+///
+/// Devices without an explicit entry fall back to
+/// [`DeviceParams::default_for`] their kind, so a freshly-generated topology
+/// is always simulatable "with default sizing" as the paper's validity check
+/// requires.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sizing {
+    params: BTreeMap<Device, DeviceParams>,
+}
+
+impl Sizing {
+    /// An empty sizing (every device defaults).
+    pub fn new() -> Sizing {
+        Sizing::default()
+    }
+
+    /// Explicit defaults for every device in the topology.
+    pub fn default_for(topology: &Topology) -> Sizing {
+        let params = topology
+            .devices()
+            .into_iter()
+            .map(|d| (d, DeviceParams::default_for(d.kind)))
+            .collect();
+        Sizing { params }
+    }
+
+    /// Parameters for a device (explicit entry or the kind default).
+    pub fn get(&self, device: Device) -> DeviceParams {
+        self.params
+            .get(&device)
+            .copied()
+            .unwrap_or_else(|| DeviceParams::default_for(device.kind))
+    }
+
+    /// Set parameters for a device. Returns the previous explicit entry.
+    pub fn set(&mut self, device: Device, params: DeviceParams) -> Option<DeviceParams> {
+        self.params.insert(device, params)
+    }
+
+    /// Iterate over explicit entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Device, &DeviceParams)> {
+        self.params.iter()
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether no explicit entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::{CircuitPin, TopologyBuilder};
+
+    #[test]
+    fn defaults_cover_all_kinds() {
+        for kind in DeviceKind::ALL {
+            let p = DeviceParams::default_for(kind);
+            assert!(p.is_plausible(), "{kind} default must be plausible");
+        }
+    }
+
+    #[test]
+    fn get_falls_back_to_default() {
+        let s = Sizing::new();
+        let d = Device::new(DeviceKind::Resistor, 1);
+        assert_eq!(s.get(d), DeviceParams::Resistor { ohms: 10e3 });
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut s = Sizing::new();
+        let d = Device::new(DeviceKind::Resistor, 1);
+        assert!(s.set(d, DeviceParams::Resistor { ohms: 1.0 }).is_none());
+        assert_eq!(s.get(d), DeviceParams::Resistor { ohms: 1.0 });
+        assert!(s.set(d, DeviceParams::Resistor { ohms: 2.0 }).is_some());
+    }
+
+    #[test]
+    fn default_for_topology_covers_devices() {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.capacitor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
+        let t = b.build().unwrap();
+        let s = Sizing::default_for(&t);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn plausibility_bounds() {
+        assert!(!DeviceParams::Resistor { ohms: -1.0 }.is_plausible());
+        assert!(!DeviceParams::Resistor { ohms: f64::NAN }.is_plausible());
+        assert!(!DeviceParams::Mos { w: 1.0, l: 1e-6 }.is_plausible());
+        assert!(DeviceParams::Capacitor { farads: 1e-12 }.is_plausible());
+    }
+}

@@ -1,0 +1,333 @@
+//! MNA assembly shared by the DC and transient solvers.
+//!
+//! Unknown layout: `x[0 .. n-1]` are node voltages for nodes `1 .. n`
+//! (ground excluded), followed by one branch current per voltage source.
+//! Nonlinear devices are stamped as Norton companions linearized at the
+//! current Newton iterate.
+
+use crate::linalg::Matrix;
+use crate::models::{junction_eval, junction_vmax, mos_eval, Tech};
+use crate::netlist::{BjtPolarity, Element, MosPolarity, Netlist, Waveform};
+
+/// History state carried between transient steps.
+#[derive(Debug, Clone)]
+pub struct TranState {
+    /// Node voltages at the previous accepted timepoint (per node, ground
+    /// included at index 0).
+    pub voltages: Vec<f64>,
+    /// Reactive element currents at the previous timepoint, indexed by
+    /// element position (zero for non-reactive elements). For capacitors
+    /// this is the capacitor current; for inductors the inductor current,
+    /// both flowing `nodes[0] → nodes[1]`.
+    pub currents: Vec<f64>,
+}
+
+/// What the assembler is building.
+#[derive(Debug, Clone, Copy)]
+pub enum StampMode<'a> {
+    /// DC operating point: capacitors open, inductors (nearly) short,
+    /// sources scaled by `source_scale` (for source-stepping homotopy), and
+    /// an extra `gshunt` from every node to ground (for gmin stepping).
+    Dc {
+        /// Homotopy scale on independent sources, `0..=1`.
+        source_scale: f64,
+        /// Extra node-to-ground conductance (S).
+        gshunt: f64,
+    },
+    /// One trapezoidal transient step of size `h` ending at time `t`.
+    Tran {
+        /// Step size (s).
+        h: f64,
+        /// Time at the end of the step (s).
+        t: f64,
+        /// History from the previous step.
+        state: &'a TranState,
+    },
+}
+
+/// Assembles MNA systems for a fixed netlist.
+#[derive(Debug)]
+pub struct Assembler<'a> {
+    netlist: &'a Netlist,
+    tech: &'a Tech,
+    /// Branch variable index per element (only voltage sources have one).
+    branch_of: Vec<Option<usize>>,
+    nvars: usize,
+}
+
+impl<'a> Assembler<'a> {
+    /// Prepare assembly for a netlist.
+    pub fn new(netlist: &'a Netlist, tech: &'a Tech) -> Assembler<'a> {
+        let nv = netlist.node_count() - 1;
+        let mut branch_of = Vec::with_capacity(netlist.elements().len());
+        let mut next = nv;
+        for inst in netlist.elements() {
+            if inst.element.has_branch() {
+                branch_of.push(Some(next));
+                next += 1;
+            } else {
+                branch_of.push(None);
+            }
+        }
+        Assembler { netlist, tech, branch_of, nvars: next }
+    }
+
+    /// Total unknowns.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Branch variable index of element `i`, if it has one.
+    pub fn branch_var(&self, element_index: usize) -> Option<usize> {
+        self.branch_of[element_index]
+    }
+
+    /// The DC inductor conductance (an inductor is a near-short at DC).
+    pub const DC_INDUCTOR_G: f64 = 1e3;
+
+    /// Assemble the linearized system `A·x_new = b` at iterate `x`.
+    pub fn assemble(&self, x: &[f64], mode: StampMode<'_>) -> (Matrix<f64>, Vec<f64>) {
+        assert_eq!(x.len(), self.nvars, "iterate length");
+        let n = self.nvars;
+        let mut m = Matrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+
+        let v = |node: usize| if node == 0 { 0.0 } else { x[node - 1] };
+        // Conductance between two nodes.
+        let stamp_g = |m: &mut Matrix<f64>, a: usize, b: usize, g: f64| {
+            if a != 0 {
+                m.add(a - 1, a - 1, g);
+            }
+            if b != 0 {
+                m.add(b - 1, b - 1, g);
+            }
+            if a != 0 && b != 0 {
+                m.add(a - 1, b - 1, -g);
+                m.add(b - 1, a - 1, -g);
+            }
+        };
+        // Constant current `i` flowing a → b through the element.
+        let stamp_i = |rhs: &mut Vec<f64>, a: usize, b: usize, i: f64| {
+            if a != 0 {
+                rhs[a - 1] -= i;
+            }
+            if b != 0 {
+                rhs[b - 1] += i;
+            }
+        };
+        // Transconductance: current leaving `out_p` (entering `out_n`)
+        // controlled by v(in_p) - v(in_n) with gain g.
+        let stamp_gm =
+            |m: &mut Matrix<f64>, out_p: usize, out_n: usize, in_p: usize, in_n: usize, g: f64| {
+                for (row, sign_row) in [(out_p, 1.0), (out_n, -1.0)] {
+                    if row == 0 {
+                        continue;
+                    }
+                    for (col, sign_col) in [(in_p, 1.0), (in_n, -1.0)] {
+                        if col == 0 {
+                            continue;
+                        }
+                        m.add(row - 1, col - 1, g * sign_row * sign_col);
+                    }
+                }
+            };
+
+        // Global gmin (and homotopy gshunt) to ground.
+        let gshunt = match mode {
+            StampMode::Dc { gshunt, .. } => gshunt,
+            StampMode::Tran { .. } => 0.0,
+        };
+        for node in 1..self.netlist.node_count() {
+            m.add(node - 1, node - 1, self.tech.gmin + gshunt);
+        }
+
+        for (ei, inst) in self.netlist.elements().iter().enumerate() {
+            let nd = &inst.nodes;
+            match inst.element {
+                Element::Resistor { ohms } => {
+                    stamp_g(&mut m, nd[0], nd[1], 1.0 / ohms);
+                }
+                Element::Capacitor { farads } => match mode {
+                    StampMode::Dc { .. } => {}
+                    StampMode::Tran { h, state, .. } => {
+                        let geq = 2.0 * farads / h;
+                        let vprev = state.voltages[nd[0]] - state.voltages[nd[1]];
+                        let ihist = -geq * vprev - state.currents[ei];
+                        stamp_g(&mut m, nd[0], nd[1], geq);
+                        stamp_i(&mut rhs, nd[0], nd[1], ihist);
+                    }
+                },
+                Element::Inductor { henries } => match mode {
+                    StampMode::Dc { .. } => {
+                        stamp_g(&mut m, nd[0], nd[1], Self::DC_INDUCTOR_G);
+                    }
+                    StampMode::Tran { h, state, .. } => {
+                        let geq = h / (2.0 * henries);
+                        let vprev = state.voltages[nd[0]] - state.voltages[nd[1]];
+                        let ihist = state.currents[ei] + geq * vprev;
+                        stamp_g(&mut m, nd[0], nd[1], geq);
+                        stamp_i(&mut rhs, nd[0], nd[1], ihist);
+                    }
+                },
+                Element::Mos { polarity, w, l } => {
+                    let (d0, g0, s0) = (nd[0], nd[1], nd[2]);
+                    let sign = match polarity {
+                        MosPolarity::Nmos => 1.0,
+                        MosPolarity::Pmos => -1.0,
+                    };
+                    // Normalize so the effective vds >= 0 (MOS is symmetric).
+                    let (d, s) = if sign * (v(d0) - v(s0)) >= 0.0 { (d0, s0) } else { (s0, d0) };
+                    let vgs = sign * (v(g0) - v(s));
+                    let vds = sign * (v(d) - v(s));
+                    let (kp, vt) = match polarity {
+                        MosPolarity::Nmos => (self.tech.kp_n, self.tech.vt_n),
+                        MosPolarity::Pmos => (self.tech.kp_p, self.tech.vt_p),
+                    };
+                    let (id_mag, gm, gds) = mos_eval(vgs, vds, kp, w / l, vt, self.tech.lambda);
+                    // Current leaving the effective drain node.
+                    let i_d = sign * id_mag;
+                    stamp_gm(&mut m, d, s, g0, s, gm);
+                    stamp_g(&mut m, d, s, gds);
+                    let ieq = i_d - gm * (v(g0) - v(s)) - gds * (v(d) - v(s));
+                    stamp_i(&mut rhs, d, s, ieq);
+                }
+                Element::Bjt { polarity, is, beta } => {
+                    let (c, b, e) = (nd[0], nd[1], nd[2]);
+                    let sign = match polarity {
+                        BjtPolarity::Npn => 1.0,
+                        BjtPolarity::Pnp => -1.0,
+                    };
+                    let nvt = self.tech.vt_thermal;
+                    let vmax = junction_vmax(is, nvt);
+                    let vbe = sign * (v(b) - v(e));
+                    let (ic_raw, g_ic) = junction_eval(vbe, is, nvt, vmax);
+                    // Forward-active exponential: ic >= 0 in the effective
+                    // domain; reverse operation degenerates to leakage.
+                    let ic_mag = ic_raw.max(0.0);
+                    let gm = if ic_raw > 0.0 { g_ic } else { 0.0 };
+                    let gpi = gm / beta;
+                    let ib_mag = ic_mag / beta;
+
+                    // Base-emitter junction.
+                    stamp_g(&mut m, b, e, gpi);
+                    let ieq_b = sign * ib_mag - gpi * (v(b) - v(e));
+                    stamp_i(&mut rhs, b, e, ieq_b);
+                    // Collector current source controlled by vbe.
+                    stamp_gm(&mut m, c, e, b, e, gm);
+                    let ieq_c = sign * ic_mag - gm * (v(b) - v(e));
+                    stamp_i(&mut rhs, c, e, ieq_c);
+                    // Early-effect output conductance.
+                    let go = ic_mag * self.tech.inv_early + self.tech.gmin;
+                    stamp_g(&mut m, c, e, go);
+                }
+                Element::Diode { is } => {
+                    let nvt = self.tech.diode_n * self.tech.vt_thermal;
+                    let vmax = junction_vmax(is, nvt);
+                    let vd = v(nd[0]) - v(nd[1]);
+                    let (i, g) = junction_eval(vd, is, nvt, vmax);
+                    let g = g + self.tech.gmin;
+                    stamp_g(&mut m, nd[0], nd[1], g);
+                    let ieq = i - g * vd;
+                    stamp_i(&mut rhs, nd[0], nd[1], ieq);
+                }
+                Element::Vsource { dc, waveform, .. } => {
+                    let value = match mode {
+                        StampMode::Dc { source_scale, .. } => dc * source_scale,
+                        StampMode::Tran { t, .. } => match waveform {
+                            Waveform::Dc => dc,
+                            w => w.value(dc, t),
+                        },
+                    };
+                    let br = self.branch_of[ei].expect("vsource branch");
+                    let (p, q) = (nd[0], nd[1]);
+                    if p != 0 {
+                        m.add(p - 1, br, 1.0);
+                        m.add(br, p - 1, 1.0);
+                    }
+                    if q != 0 {
+                        m.add(q - 1, br, -1.0);
+                        m.add(br, q - 1, -1.0);
+                    }
+                    rhs[br] = value;
+                }
+                Element::Isource { amps } => {
+                    let value = match mode {
+                        StampMode::Dc { source_scale, .. } => amps * source_scale,
+                        StampMode::Tran { .. } => amps,
+                    };
+                    // Current flows p → n through the source.
+                    stamp_i(&mut rhs, nd[0], nd[1], value);
+                }
+            }
+        }
+        (m, rhs)
+    }
+
+    /// Update reactive currents after a converged transient step.
+    pub fn update_state(&self, x: &[f64], h: f64, state: &mut TranState) {
+        let v = |node: usize| if node == 0 { 0.0 } else { x[node - 1] };
+        for (ei, inst) in self.netlist.elements().iter().enumerate() {
+            let nd = &inst.nodes;
+            match inst.element {
+                Element::Capacitor { farads } => {
+                    let geq = 2.0 * farads / h;
+                    let vprev = state.voltages[nd[0]] - state.voltages[nd[1]];
+                    let vnew = v(nd[0]) - v(nd[1]);
+                    state.currents[ei] = geq * (vnew - vprev) - state.currents[ei];
+                }
+                Element::Inductor { henries } => {
+                    let geq = h / (2.0 * henries);
+                    let vprev = state.voltages[nd[0]] - state.voltages[nd[1]];
+                    let vnew = v(nd[0]) - v(nd[1]);
+                    state.currents[ei] += geq * (vnew + vprev);
+                }
+                _ => {}
+            }
+        }
+        for node in 0..self.netlist.node_count() {
+            state.voltages[node] = v(node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn branch_indices_follow_nodes() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        let b = n.add_node("b");
+        n.add_element("R1", vec![a, b], Element::Resistor { ohms: 1.0 });
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource { dc: 1.0, ac_mag: 0.0, waveform: Waveform::Dc },
+        );
+        n.add_element(
+            "V2",
+            vec![b, 0],
+            Element::Vsource { dc: 2.0, ac_mag: 0.0, waveform: Waveform::Dc },
+        );
+        let tech = Tech::default();
+        let asm = Assembler::new(&n, &tech);
+        assert_eq!(asm.nvars(), 2 + 2);
+        assert_eq!(asm.branch_var(0), None);
+        assert_eq!(asm.branch_var(1), Some(2));
+        assert_eq!(asm.branch_var(2), Some(3));
+    }
+
+    #[test]
+    fn resistor_divider_assembles_symmetric() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 2.0 });
+        let tech = Tech::default();
+        let asm = Assembler::new(&n, &tech);
+        let (m, rhs) = asm.assemble(&[0.0], StampMode::Dc { source_scale: 1.0, gshunt: 0.0 });
+        assert!((m.get(0, 0) - (0.5 + tech.gmin)).abs() < 1e-15);
+        assert_eq!(rhs[0], 0.0);
+    }
+}

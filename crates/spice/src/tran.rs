@@ -1,0 +1,309 @@
+//! Transient analysis with trapezoidal integration.
+//!
+//! Each step solves the nonlinear companion system by Newton iteration,
+//! warm-started from the previous timepoint. Used for switching circuits
+//! (power converters, switched-capacitor samplers) and oscillators, where
+//! small-signal analysis cannot capture the behaviour of interest.
+
+use crate::dc::DcSolution;
+use crate::error::SpiceError;
+use crate::models::Tech;
+use crate::netlist::{Element, Netlist};
+use crate::stamp::{Assembler, StampMode, TranState};
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TranSolution {
+    times: Vec<f64>,
+    /// `samples[k][node]` — node voltages at `times[k]`, ground included.
+    samples: Vec<Vec<f64>>,
+    /// `branches[k][j]` — branch current of the `j`-th voltage source.
+    branches: Vec<Vec<f64>>,
+}
+
+impl TranSolution {
+    /// The simulated timepoints (s).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage of `node` at timepoint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn voltage(&self, k: usize, node: usize) -> f64 {
+        self.samples[k][node]
+    }
+
+    /// The whole waveform of one node.
+    pub fn waveform(&self, node: usize) -> Vec<f64> {
+        self.samples.iter().map(|s| s[node]).collect()
+    }
+
+    /// Branch current of the `j`-th voltage source (element order) at
+    /// timepoint `k` — SPICE convention, flowing `+` → `−` inside the
+    /// source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn branch_current(&self, k: usize, j: usize) -> f64 {
+        self.branches[k][j]
+    }
+
+    /// Mean branch current of voltage source `j` over the final `fraction`
+    /// of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn settled_mean_branch(&self, j: usize, fraction: f64) -> f64 {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+        let start = ((1.0 - fraction) * self.len() as f64) as usize;
+        let w = &self.branches[start..];
+        w.iter().map(|s| s[j]).sum::<f64>() / w.len().max(1) as f64
+    }
+
+    /// Number of timepoints.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the run produced no points.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Mean of a node's waveform over the final `fraction` of the run
+    /// (e.g. `0.5` = second half) — the standard way to read a switching
+    /// converter's settled output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn settled_mean(&self, node: usize, fraction: f64) -> f64 {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+        let start = ((1.0 - fraction) * self.len() as f64) as usize;
+        let w = &self.samples[start..];
+        w.iter().map(|s| s[node]).sum::<f64>() / w.len().max(1) as f64
+    }
+
+    /// Count rising zero crossings of `node` around `level` in the final
+    /// `fraction` of the run, divided by that window's duration — a crude
+    /// but robust oscillation-frequency estimate (Hz).
+    pub fn oscillation_freq(&self, node: usize, level: f64, fraction: f64) -> f64 {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+        let start = ((1.0 - fraction) * self.len() as f64) as usize;
+        if start + 1 >= self.len() {
+            return 0.0;
+        }
+        let mut crossings = 0usize;
+        for k in (start + 1)..self.len() {
+            if self.samples[k - 1][node] < level && self.samples[k][node] >= level {
+                crossings += 1;
+            }
+        }
+        let dt = self.times[self.len() - 1] - self.times[start];
+        if dt > 0.0 {
+            crossings as f64 / dt
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Maximum Newton iterations per step.
+const MAX_ITER: usize = 60;
+const DAMP: f64 = 0.5;
+
+/// Run transient analysis from a DC operating point.
+///
+/// # Errors
+///
+/// - [`SpiceError::NoConvergence`] if a step's Newton loop fails even after
+///   step halving.
+/// - [`SpiceError::NumericalBlowup`] on non-finite results.
+///
+/// # Panics
+///
+/// Panics if `tstop <= 0`, `dt <= 0`, or `dt > tstop`.
+pub fn transient(
+    netlist: &Netlist,
+    tech: &Tech,
+    op: &DcSolution,
+    tstop: f64,
+    dt: f64,
+) -> Result<TranSolution, SpiceError> {
+    assert!(tstop > 0.0 && dt > 0.0 && dt <= tstop, "positive tstop/dt");
+    let asm = Assembler::new(netlist, tech);
+    let nv = netlist.node_count() - 1;
+
+    // Initial state from the operating point.
+    let mut state = TranState {
+        voltages: op.voltages().to_vec(),
+        currents: vec![0.0; netlist.elements().len()],
+    };
+    // Inductor DC current = near-short conductance times its drop.
+    for (ei, inst) in netlist.elements().iter().enumerate() {
+        if let Element::Inductor { .. } = inst.element {
+            let vdrop = op.voltage(inst.nodes[0]) - op.voltage(inst.nodes[1]);
+            state.currents[ei] = Assembler::DC_INDUCTOR_G * vdrop;
+        }
+    }
+
+    let mut x = vec![0.0; asm.nvars()];
+    x[..nv].copy_from_slice(&op.voltages()[1..]);
+    for j in 0..(asm.nvars() - nv) {
+        x[nv + j] = op.branch_current(j);
+    }
+
+    let steps = (tstop / dt).ceil() as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut samples = Vec::with_capacity(steps + 1);
+    let mut branches = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    samples.push(state.voltages.clone());
+    branches.push(x[nv..].to_vec());
+
+    let mut t = 0.0;
+    for _ in 0..steps {
+        let h = dt.min(tstop - t);
+        if h <= 0.0 {
+            break;
+        }
+        t += h;
+        let mode = StampMode::Tran { h, t, state: &state };
+        let mut converged = false;
+        for _ in 0..MAX_ITER {
+            let (m, mut rhs) = asm.assemble(&x, mode);
+            m.solve_into(&mut rhs)?;
+            let mut worst = 0.0f64;
+            for i in 0..x.len() {
+                if !rhs[i].is_finite() {
+                    return Err(SpiceError::NumericalBlowup { analysis: "tran" });
+                }
+                let delta = (rhs[i] - x[i]).clamp(-DAMP, DAMP);
+                worst = worst.max(delta.abs() / (1.0 + x[i].abs()));
+                x[i] += delta;
+            }
+            if worst < 1e-8 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SpiceError::NoConvergence { analysis: "tran", iterations: MAX_ITER });
+        }
+        asm.update_state(&x, h, &mut state);
+        times.push(t);
+        samples.push(state.voltages.clone());
+        branches.push(x[nv..].to_vec());
+    }
+    Ok(TranSolution { times, samples, branches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn rc_charging_curve() {
+        // Step 1V into RC (R=1k, C=1uF): v(t) = 1 - exp(-t/RC).
+        let mut n = Netlist::new();
+        let a = n.add_node("in");
+        let b = n.add_node("out");
+        // Pulse that switches on at t=0 and stays high within the window.
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource {
+                dc: 0.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Pulse { low: 1.0, high: 1.0, period: 1.0, duty: 0.5 },
+            },
+        );
+        n.add_element("R1", vec![a, b], Element::Resistor { ohms: 1e3 });
+        n.add_element("C1", vec![b, 0], Element::Capacitor { farads: 1e-6 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        // DC solves with the source at its DC value (0), so the cap starts
+        // discharged; the pulse then drives 1V for the whole run.
+        let tau = 1e-3;
+        let sol = transient(&n, &tech, &op, 3.0 * tau, tau / 200.0).unwrap();
+        // Compare at t = tau: expect 1 - 1/e ≈ 0.632.
+        let k = sol
+            .times()
+            .iter()
+            .position(|&t| t >= tau)
+            .expect("tau inside window");
+        let v = sol.voltage(k, b);
+        assert!((v - 0.632).abs() < 0.01, "v(tau) = {v}");
+        // And nearly settled at 3 tau.
+        let end = sol.voltage(sol.len() - 1, b);
+        assert!(end > 0.94, "settled: {end}");
+    }
+
+    #[test]
+    fn lc_oscillation_frequency() {
+        // Parallel LC ringing at f = 1/(2π√(LC)), excited by a pulse
+        // through a resistor. L=1uH, C=1nF -> f ≈ 5.03 MHz.
+        let mut n = Netlist::new();
+        let drv = n.add_node("drv");
+        let tank = n.add_node("tank");
+        n.add_element(
+            "V1",
+            vec![drv, 0],
+            Element::Vsource {
+                dc: 0.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Pulse { low: 1.0, high: 1.0, period: 1.0, duty: 0.5 },
+            },
+        );
+        n.add_element("R1", vec![drv, tank], Element::Resistor { ohms: 100e3 });
+        n.add_element("L1", vec![tank, 0], Element::Inductor { henries: 1e-6 });
+        n.add_element("C1", vec![tank, 0], Element::Capacitor { farads: 1e-9 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let sol = transient(&n, &tech, &op, 10.0 / f0, 1.0 / (f0 * 200.0)).unwrap();
+        let f_est = sol.oscillation_freq(tank, 0.0, 0.8);
+        // Underdamped ringing around f0 (trapezoidal preserves it well).
+        assert!(
+            (f_est - f0).abs() / f0 < 0.1,
+            "estimated {f_est:.3e}, expected {f0:.3e}"
+        );
+    }
+
+    #[test]
+    fn settled_mean_of_square_wave() {
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource {
+                dc: 0.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Pulse { low: 0.0, high: 2.0, period: 1e-6, duty: 0.5 },
+            },
+        );
+        n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 1e3 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let sol = transient(&n, &tech, &op, 10e-6, 10e-9).unwrap();
+        let mean = sol.settled_mean(a, 0.5);
+        assert!((mean - 1.0).abs() < 0.1, "50% duty of 2V averages ~1V: {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive tstop")]
+    fn rejects_bad_dt() {
+        let n = Netlist::new();
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let _ = transient(&n, &tech, &op, 1.0, -1.0);
+    }
+}

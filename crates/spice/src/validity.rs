@@ -1,0 +1,206 @@
+//! The paper's rule-based validity checker.
+//!
+//! Section IV-A: *"An unsized circuit is valid if it can be simulated in
+//! SPICE without errors (e.g., floating or shorting nodes)."* The reward
+//! model of Section III-C1 likewise "first checks if a generated circuit is
+//! valid (i.e., simulatable with default sizing)". This module implements
+//! exactly that: structural rules first (cheap), then an actual DC solve
+//! with the default sizing.
+
+use eva_circuit::euler::device_internal_edges;
+use eva_circuit::{CircuitPin, Node, PinGraph, Topology};
+
+use crate::dc::dc_operating_point;
+use crate::elaborate::{elaborate, Stimulus};
+use crate::models::Tech;
+use crate::sizing::Sizing;
+
+/// Outcome of a validity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityReport {
+    reasons: Vec<String>,
+}
+
+impl ValidityReport {
+    /// Whether the circuit passed every check.
+    pub fn is_valid(&self) -> bool {
+        self.reasons.is_empty()
+    }
+
+    /// Human-readable failure reasons (empty when valid).
+    pub fn reasons(&self) -> &[String] {
+        &self.reasons
+    }
+}
+
+/// Check whether a topology is simulatable with default sizing.
+///
+/// Rules, in order:
+/// 1. `VSS` and `VDD` are present.
+/// 2. `VDD` is not in the same net as `VSS` (supply short).
+/// 3. Every pin of every device is wired (no floating pins).
+/// 4. The circuit is electrically connected (wires + through-device paths).
+/// 5. Elaboration succeeds (no port conflicts).
+/// 6. The DC operating point converges.
+pub fn check_validity(topology: &Topology) -> ValidityReport {
+    let mut reasons = Vec::new();
+
+    let nodes = topology.nodes();
+    if !nodes.contains(&Node::VSS) {
+        reasons.push("missing VSS".to_owned());
+    }
+    if !nodes.contains(&Node::Circuit(CircuitPin::Vdd)) {
+        reasons.push("missing VDD".to_owned());
+    }
+
+    if reasons.is_empty() {
+        // Supply short: VDD and VSS in one net.
+        if topology
+            .nets()
+            .iter()
+            .any(|net| net.contains(&Node::VSS) && net.contains(&Node::Circuit(CircuitPin::Vdd)))
+        {
+            reasons.push("VDD shorted to VSS".to_owned());
+        }
+    }
+
+    // Floating pins.
+    for device in topology.devices() {
+        for &role in device.kind.pin_roles() {
+            if !nodes.contains(&Node::pin(device, role)) {
+                reasons.push(format!("floating pin {}_{}", device, role.suffix()));
+            }
+        }
+    }
+
+    // Connectivity through wires and devices.
+    if reasons.is_empty() {
+        let mut graph = PinGraph::from_edges(topology.edges().iter().copied());
+        for device in topology.devices() {
+            for (a, b) in device_internal_edges(device) {
+                graph.add_edge(a, b);
+            }
+        }
+        let components = graph.components().len();
+        if components > 1 {
+            reasons.push(format!("disconnected circuit ({components} islands)"));
+        }
+    }
+
+    // Simulatability with default sizing.
+    if reasons.is_empty() {
+        let sizing = Sizing::default_for(topology);
+        match elaborate(topology, &sizing, &Stimulus::default()) {
+            Err(e) => reasons.push(e.to_string()),
+            Ok(netlist) => {
+                if let Err(e) = dc_operating_point(&netlist, &Tech::default()) {
+                    reasons.push(e.to_string());
+                }
+            }
+        }
+    }
+
+    ValidityReport { reasons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::{DeviceKind, PinRole, TopologyBuilder};
+
+    fn cs_amp() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn textbook_amp_is_valid() {
+        let r = check_validity(&cs_amp());
+        assert!(r.is_valid(), "reasons: {:?}", r.reasons());
+    }
+
+    #[test]
+    fn missing_vdd_invalid() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        let r = check_validity(&b.build().unwrap());
+        assert!(!r.is_valid());
+        assert!(r.reasons().iter().any(|s| s.contains("VDD")));
+    }
+
+    #[test]
+    fn missing_vss_invalid() {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let r = check_validity(&b.build().unwrap());
+        assert!(!r.is_valid());
+        assert!(r.reasons().iter().any(|s| s.contains("VSS")));
+    }
+
+    #[test]
+    fn supply_short_invalid() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.wire(CircuitPin::Vdd, CircuitPin::Vss).unwrap();
+        let r = check_validity(&b.build().unwrap());
+        assert!(!r.is_valid());
+        assert!(r.reasons().iter().any(|s| s.contains("short")));
+    }
+
+    #[test]
+    fn floating_pin_invalid() {
+        use eva_circuit::Device;
+        let m1 = Device::new(DeviceKind::Nmos, 1);
+        // Bulk left unwired.
+        let t = Topology::from_edges([
+            (Node::pin(m1, PinRole::Gate), Node::Circuit(CircuitPin::Vin(1))),
+            (Node::pin(m1, PinRole::Drain), Node::Circuit(CircuitPin::Vdd)),
+            (Node::pin(m1, PinRole::Source), Node::VSS),
+        ])
+        .unwrap();
+        let r = check_validity(&t);
+        assert!(!r.is_valid());
+        assert!(r.reasons().iter().any(|s| s.contains("floating pin NM1_B")));
+    }
+
+    #[test]
+    fn disconnected_invalid() {
+        use eva_circuit::Device;
+        let m1 = Device::new(DeviceKind::Resistor, 1);
+        let m2 = Device::new(DeviceKind::Resistor, 2);
+        let t = Topology::from_edges([
+            (Node::pin(m1, PinRole::Plus), Node::Circuit(CircuitPin::Vdd)),
+            (Node::pin(m1, PinRole::Minus), Node::VSS),
+            (
+                Node::pin(m2, PinRole::Plus),
+                Node::Circuit(CircuitPin::Vin(1)),
+            ),
+            (
+                Node::pin(m2, PinRole::Minus),
+                Node::Circuit(CircuitPin::Vout(1)),
+            ),
+        ])
+        .unwrap();
+        let r = check_validity(&t);
+        assert!(!r.is_valid());
+        assert!(r.reasons().iter().any(|s| s.contains("disconnected")));
+    }
+
+    #[test]
+    fn port_conflict_invalid() {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.wire(CircuitPin::Vin(1), CircuitPin::Vbias(1)).unwrap();
+        let r = check_validity(&b.build().unwrap());
+        assert!(!r.is_valid());
+        assert!(r.reasons().iter().any(|s| s.contains("share a net")), "{:?}", r.reasons());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the simulator: physical invariants that must
+//! hold for arbitrary (randomly generated) linear networks.
+
+use eva_spice::netlist::{Element, Netlist, Waveform};
+use eva_spice::{ac_sweep, dc_operating_point, from_spice, log_sweep, transient, Tech};
+use proptest::prelude::*;
+
+fn vsrc(dc: f64, ac: f64) -> Element {
+    Element::Vsource { dc, ac_mag: ac, waveform: Waveform::Dc }
+}
+
+/// Build a resistor ladder: V source into `n` series resistors to ground.
+fn ladder(resistors: &[f64], volts: f64, ac: f64) -> (Netlist, Vec<usize>) {
+    let mut n = Netlist::new();
+    let top = n.add_node("top");
+    n.add_element("V1", vec![top, 0], vsrc(volts, ac));
+    let mut taps = vec![top];
+    let mut prev = top;
+    for (i, &r) in resistors.iter().enumerate() {
+        let next = if i + 1 == resistors.len() {
+            Netlist::GROUND
+        } else {
+            n.add_node(format!("n{i}"))
+        };
+        n.add_element(format!("R{i}"), vec![prev, next], Element::Resistor { ohms: r });
+        if next != Netlist::GROUND {
+            taps.push(next);
+        }
+        prev = next;
+    }
+    (n, taps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every ladder tap voltage matches the analytic voltage divider.
+    #[test]
+    fn resistor_ladder_matches_divider(
+        rs in prop::collection::vec(10.0f64..1e6, 2..6),
+        volts in 0.5f64..10.0,
+    ) {
+        let (netlist, taps) = ladder(&rs, volts, 0.0);
+        let sol = dc_operating_point(&netlist, &Tech::default()).unwrap();
+        let total: f64 = rs.iter().sum();
+        let mut below: f64 = total;
+        for (i, &tap) in taps.iter().enumerate() {
+            if i > 0 {
+                below -= rs[i - 1];
+            }
+            let expect = volts * below / total;
+            let got = sol.voltage(tap);
+            // Tolerance covers the gmin (1e-12 S) regularization leakage
+            // at mega-ohm node impedances.
+            prop_assert!(
+                (got - expect).abs() < 1e-4 * volts.max(1.0),
+                "tap {i}: {got} vs {expect}"
+            );
+        }
+    }
+
+    /// DC solutions scale linearly with the source (superposition for a
+    /// linear network).
+    #[test]
+    fn linearity_in_the_source(
+        rs in prop::collection::vec(10.0f64..1e6, 2..5),
+        volts in 0.5f64..5.0,
+        scale in 1.5f64..4.0,
+    ) {
+        let (n1, taps) = ladder(&rs, volts, 0.0);
+        let (n2, _) = ladder(&rs, volts * scale, 0.0);
+        let tech = Tech::default();
+        let s1 = dc_operating_point(&n1, &tech).unwrap();
+        let s2 = dc_operating_point(&n2, &tech).unwrap();
+        for &tap in &taps {
+            prop_assert!((s2.voltage(tap) - scale * s1.voltage(tap)).abs() < 1e-6);
+        }
+    }
+
+    /// A passive RC network driven by a 1 V AC source never shows gain:
+    /// |v(node)| <= 1 at every node and frequency.
+    #[test]
+    fn passive_rc_network_has_no_gain(
+        rs in prop::collection::vec(100.0f64..1e5, 2..5),
+        caps in prop::collection::vec(1e-12f64..1e-6, 1..4),
+    ) {
+        let (mut netlist, taps) = ladder(&rs, 0.0, 1.0);
+        // Sprinkle caps from taps to ground.
+        for (i, &c) in caps.iter().enumerate() {
+            let tap = taps[i % taps.len()];
+            if tap != Netlist::GROUND {
+                netlist.add_element(format!("C{i}"), vec![tap, 0], Element::Capacitor { farads: c });
+            }
+        }
+        let tech = Tech::default();
+        let op = dc_operating_point(&netlist, &tech).unwrap();
+        let freqs = log_sweep(1.0, 1e9, 10);
+        let ac = ac_sweep(&netlist, &tech, &op, &freqs).unwrap();
+        for &tap in &taps {
+            for &m in &ac.magnitude(tap) {
+                prop_assert!(m <= 1.0 + 1e-6, "passive gain {m} at node {tap}");
+            }
+        }
+    }
+
+    /// Transient with constant drive settles to the DC solution.
+    #[test]
+    fn transient_settles_to_dc(
+        r in 100.0f64..1e5,
+        c in 1e-12f64..1e-9,
+        volts in 0.5f64..5.0,
+    ) {
+        let mut n = Netlist::new();
+        let a = n.add_node("in");
+        let b = n.add_node("out");
+        n.add_element("V1", vec![a, 0], vsrc(volts, 0.0));
+        n.add_element("R1", vec![a, b], Element::Resistor { ohms: r });
+        n.add_element("C1", vec![b, 0], Element::Capacitor { farads: c });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        // DC already charges the cap; transient must hold it there.
+        let tau = r * c;
+        let sol = transient(&n, &tech, &op, 5.0 * tau, tau / 50.0).unwrap();
+        let last = sol.voltage(sol.len() - 1, b);
+        prop_assert!((last - op.voltage(b)).abs() < 1e-6 * volts.max(1.0));
+    }
+
+    /// Emit → parse round trip preserves element count and DC solution for
+    /// arbitrary ladders.
+    #[test]
+    fn spice_text_round_trip(
+        rs in prop::collection::vec(10.0f64..1e6, 2..5),
+        volts in 0.5f64..5.0,
+    ) {
+        let (netlist, taps) = ladder(&rs, volts, 0.0);
+        let text = netlist.to_spice();
+        let parsed = from_spice(&text).unwrap();
+        prop_assert_eq!(parsed.elements().len(), netlist.elements().len());
+        let tech = Tech::default();
+        let s1 = dc_operating_point(&netlist, &tech).unwrap();
+        let s2 = dc_operating_point(&parsed, &tech).unwrap();
+        // Node order is identical between emitter and parser here; the
+        // emitter rounds values to 7 significant figures, so compare at
+        // that precision.
+        for &tap in &taps {
+            prop_assert!(
+                (s1.voltage(tap) - s2.voltage(tap)).abs() < 1e-5 * volts.max(1.0)
+            );
+        }
+    }
+}

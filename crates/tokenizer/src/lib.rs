@@ -1,0 +1,387 @@
+//! # eva-tokenizer
+//!
+//! EVA's domain-specific tokenizer (Section III-B): every token is either a
+//! device pin (`NM1_G`, `R3_P`, …), a circuit-level pin (`VDD`, `VIN1`, …),
+//! or one of two specials — `Truncate` (padding) and `End` (sequence
+//! terminator). The vocabulary is built *data-driven*: the dataset is
+//! scanned to determine per-kind device limits, and every pin of every
+//! device up to that limit gets a token, so the model can generalize across
+//! circuits with varying device counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use eva_tokenizer::Tokenizer;
+//!
+//! let sequences = vec![
+//!     vec!["VSS".to_owned(), "NM1_S".to_owned(), "VSS".to_owned()],
+//!     vec!["VSS".to_owned(), "R1_N".to_owned(), "VSS".to_owned()],
+//! ];
+//! let tok = Tokenizer::fit(sequences.iter().map(|s| s.as_slice()));
+//! let ids = tok.encode(&sequences[0]).unwrap();
+//! assert_eq!(tok.decode(&ids), sequences[0]);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use eva_circuit::{CircuitError, Device, DeviceKind, EulerianSequence, Node};
+
+/// A token id — an index into the vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Errors from encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TokenizeError {
+    /// A token string is not in the vocabulary.
+    UnknownToken {
+        /// The offending text.
+        text: String,
+    },
+    /// A token id is out of range.
+    UnknownId {
+        /// The offending id.
+        id: TokenId,
+    },
+    /// Decoded token stream does not form a valid Eulerian walk.
+    BadWalk(CircuitError),
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenizeError::UnknownToken { text } => write!(f, "unknown token {text:?}"),
+            TokenizeError::UnknownId { id } => write!(f, "unknown token id {id}"),
+            TokenizeError::BadWalk(e) => write!(f, "decoded walk is malformed: {e}"),
+        }
+    }
+}
+
+impl Error for TokenizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TokenizeError::BadWalk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for TokenizeError {
+    fn from(e: CircuitError) -> TokenizeError {
+        TokenizeError::BadWalk(e)
+    }
+}
+
+/// The padding special ("Truncate" in the paper).
+pub const PAD_TOKEN: &str = "<TRUNCATE>";
+/// The end-of-circuit special.
+pub const END_TOKEN: &str = "<END>";
+
+/// EVA's vocabulary and codec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    id_of: BTreeMap<String, TokenId>,
+    token_of: Vec<String>,
+}
+
+impl Tokenizer {
+    /// Padding id (always 0).
+    pub const PAD: TokenId = TokenId(0);
+    /// End-of-circuit id (always 1).
+    pub const END: TokenId = TokenId(1);
+
+    /// Build a vocabulary by scanning token sequences (data-driven device
+    /// limits): for every device kind the maximum ordinal seen determines
+    /// how many instances get tokens — *all* pins of each instance are
+    /// included, even if unseen, so generation can wire any pin.
+    /// Circuit-level pins are included as seen.
+    pub fn fit<'a, I>(sequences: I) -> Tokenizer
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut max_ordinal: BTreeMap<DeviceKind, u32> = BTreeMap::new();
+        let mut ports: BTreeMap<String, ()> = BTreeMap::new();
+        for seq in sequences {
+            for text in seq {
+                match text.parse::<Node>() {
+                    Ok(Node::DevicePin { device, .. }) => {
+                        let m = max_ordinal.entry(device.kind).or_insert(0);
+                        *m = (*m).max(device.ordinal);
+                    }
+                    Ok(Node::Circuit(_)) => {
+                        ports.insert(text.clone(), ());
+                    }
+                    Err(_) => {
+                        // Unknown strings (e.g. foreign specials) are
+                        // ignored during fitting.
+                    }
+                }
+            }
+        }
+
+        let mut token_of = vec![PAD_TOKEN.to_owned(), END_TOKEN.to_owned()];
+        // VSS first among content tokens: every sequence starts with it.
+        if !ports.contains_key("VSS") {
+            ports.insert("VSS".to_owned(), ());
+        }
+        for port in ports.keys() {
+            token_of.push(port.clone());
+        }
+        for (&kind, &maxo) in &max_ordinal {
+            for ordinal in 1..=maxo {
+                let device = Device::new(kind, ordinal);
+                for &role in kind.pin_roles() {
+                    token_of.push(Node::pin(device, role).to_string());
+                }
+            }
+        }
+        let id_of = token_of
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TokenId(i as u32)))
+            .collect();
+        Tokenizer { id_of, token_of }
+    }
+
+    /// Convenience: fit from Eulerian sequences.
+    pub fn fit_sequences<'a, I>(sequences: I) -> Tokenizer
+    where
+        I: IntoIterator<Item = &'a EulerianSequence>,
+    {
+        let token_lists: Vec<Vec<String>> =
+            sequences.into_iter().map(|s| s.tokens()).collect();
+        Tokenizer::fit(token_lists.iter().map(|v| v.as_slice()))
+    }
+
+    /// Vocabulary size (including specials).
+    pub fn vocab_size(&self) -> usize {
+        self.token_of.len()
+    }
+
+    /// Id of a token string.
+    pub fn id(&self, token: &str) -> Option<TokenId> {
+        self.id_of.get(token).copied()
+    }
+
+    /// Token string of an id.
+    pub fn token(&self, id: TokenId) -> Option<&str> {
+        self.token_of.get(id.index()).map(String::as_str)
+    }
+
+    /// Id of the `VSS` start token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary somehow lacks `VSS` (impossible via
+    /// [`Tokenizer::fit`]).
+    pub fn vss(&self) -> TokenId {
+        self.id("VSS").expect("fit always includes VSS")
+    }
+
+    /// Encode token strings to ids (no specials added).
+    ///
+    /// # Errors
+    ///
+    /// [`TokenizeError::UnknownToken`] on out-of-vocabulary text.
+    pub fn encode<S: AsRef<str>>(&self, tokens: &[S]) -> Result<Vec<TokenId>, TokenizeError> {
+        tokens
+            .iter()
+            .map(|t| {
+                self.id(t.as_ref()).ok_or_else(|| TokenizeError::UnknownToken {
+                    text: t.as_ref().to_owned(),
+                })
+            })
+            .collect()
+    }
+
+    /// Encode a complete circuit sequence: walk tokens followed by `END`.
+    ///
+    /// # Errors
+    ///
+    /// [`TokenizeError::UnknownToken`] if the circuit uses devices beyond
+    /// the fitted limits.
+    pub fn encode_sequence(&self, seq: &EulerianSequence) -> Result<Vec<TokenId>, TokenizeError> {
+        let mut ids = self.encode(&seq.tokens())?;
+        ids.push(Tokenizer::END);
+        Ok(ids)
+    }
+
+    /// Encode and right-pad/truncate to exactly `len` ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Tokenizer::encode_sequence`] errors.
+    pub fn encode_padded(
+        &self,
+        seq: &EulerianSequence,
+        len: usize,
+    ) -> Result<Vec<TokenId>, TokenizeError> {
+        let mut ids = self.encode_sequence(seq)?;
+        ids.truncate(len);
+        while ids.len() < len {
+            ids.push(Tokenizer::PAD);
+        }
+        Ok(ids)
+    }
+
+    /// Decode ids back to token strings (specials included verbatim;
+    /// unknown ids rendered as `<UNK:n>` — decoding never fails).
+    pub fn decode(&self, ids: &[TokenId]) -> Vec<String> {
+        ids.iter()
+            .map(|&id| {
+                self.token(id)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("<UNK:{}>", id.0))
+            })
+            .collect()
+    }
+
+    /// Interpret generated ids as a circuit: take tokens up to the first
+    /// `END`/`PAD`, parse them as a walk.
+    ///
+    /// # Errors
+    ///
+    /// - [`TokenizeError::UnknownId`] on out-of-range ids.
+    /// - [`TokenizeError::BadWalk`] if the tokens do not form a walk that
+    ///   starts and ends at `VSS`.
+    pub fn to_sequence(&self, ids: &[TokenId]) -> Result<EulerianSequence, TokenizeError> {
+        let mut texts: Vec<&str> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            if id == Tokenizer::END || id == Tokenizer::PAD {
+                break;
+            }
+            let t = self.token(id).ok_or(TokenizeError::UnknownId { id })?;
+            texts.push(t);
+        }
+        Ok(EulerianSequence::from_tokens(&texts)?)
+    }
+
+    /// Iterate over the vocabulary in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.token_of
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TokenId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_circuit::{CircuitPin, TopologyBuilder};
+    use rand::SeedableRng;
+
+    fn sample_sequence() -> EulerianSequence {
+        let mut b = TopologyBuilder::new();
+        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+            .unwrap();
+        b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        let t = b.build().unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        EulerianSequence::from_topology(&t, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let tok = Tokenizer::fit(std::iter::empty());
+        assert_eq!(tok.id(PAD_TOKEN), Some(Tokenizer::PAD));
+        assert_eq!(tok.id(END_TOKEN), Some(Tokenizer::END));
+        assert!(tok.vss().index() >= 2);
+    }
+
+    #[test]
+    fn fit_includes_all_pins_of_seen_devices() {
+        // Seeing NM2_G implies tokens for NM1 and NM2, all four pins each.
+        let seqs = vec![vec!["VSS".to_owned(), "NM2_G".to_owned(), "VSS".to_owned()]];
+        let tok = Tokenizer::fit(seqs.iter().map(|s| s.as_slice()));
+        for t in ["NM1_G", "NM1_D", "NM1_S", "NM1_B", "NM2_G", "NM2_D", "NM2_S", "NM2_B"] {
+            assert!(tok.id(t).is_some(), "missing {t}");
+        }
+        // 2 specials + VSS + 8 NMOS pins.
+        assert_eq!(tok.vocab_size(), 2 + 1 + 8);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let seq = sample_sequence();
+        let tok = Tokenizer::fit_sequences([&seq]);
+        let ids = tok.encode_sequence(&seq).unwrap();
+        assert_eq!(*ids.last().unwrap(), Tokenizer::END);
+        let back = tok.to_sequence(&ids).unwrap();
+        assert_eq!(back, seq);
+    }
+
+    #[test]
+    fn padded_encoding_fixed_length() {
+        let seq = sample_sequence();
+        let tok = Tokenizer::fit_sequences([&seq]);
+        let ids = tok.encode_padded(&seq, 64).unwrap();
+        assert_eq!(ids.len(), 64);
+        assert_eq!(*ids.last().unwrap(), Tokenizer::PAD);
+        // Round trip survives padding.
+        assert_eq!(tok.to_sequence(&ids).unwrap(), seq);
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let tok = Tokenizer::fit(std::iter::empty());
+        let err = tok.encode(&["NM1_G"]).unwrap_err();
+        assert!(matches!(err, TokenizeError::UnknownToken { .. }));
+    }
+
+    #[test]
+    fn unknown_id_rendered_in_decode() {
+        let tok = Tokenizer::fit(std::iter::empty());
+        let texts = tok.decode(&[TokenId(999)]);
+        assert_eq!(texts, vec!["<UNK:999>".to_owned()]);
+        assert!(matches!(
+            tok.to_sequence(&[TokenId(999)]),
+            Err(TokenizeError::UnknownId { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_walk_detected() {
+        let seq = sample_sequence();
+        let tok = Tokenizer::fit_sequences([&seq]);
+        // A single VDD token: does not start at VSS.
+        let ids = vec![tok.id("VDD").unwrap(), Tokenizer::END];
+        assert!(matches!(tok.to_sequence(&ids), Err(TokenizeError::BadWalk(_))));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let seq = sample_sequence();
+        let tok = Tokenizer::fit_sequences([&seq]);
+        let json = serde_json::to_string(&tok).unwrap();
+        let back: Tokenizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(tok, back);
+    }
+
+    #[test]
+    fn vocab_iteration_ordered() {
+        let seq = sample_sequence();
+        let tok = Tokenizer::fit_sequences([&seq]);
+        let items: Vec<_> = tok.iter().collect();
+        assert_eq!(items[0].1, PAD_TOKEN);
+        assert_eq!(items[1].1, END_TOKEN);
+        assert_eq!(items.len(), tok.vocab_size());
+    }
+}

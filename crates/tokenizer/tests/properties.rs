@@ -1,0 +1,103 @@
+//! Property-based tests for the tokenizer: vocabulary construction and
+//! codec invariants over arbitrary device/port mixes.
+
+use eva_circuit::{CircuitPin, Device, DeviceKind, Node};
+use eva_tokenizer::{TokenId, Tokenizer};
+use proptest::prelude::*;
+
+/// Strategy: a random "corpus" of token sequences over random devices and
+/// ports, always framed by VSS.
+fn arb_corpus() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let token = (0usize..DeviceKind::ALL.len(), 1u32..6, 0usize..8).prop_map(
+        |(k, ordinal, role_pick)| {
+            let kind = DeviceKind::ALL[k];
+            let roles = kind.pin_roles();
+            let role = roles[role_pick % roles.len()];
+            Node::pin(Device::new(kind, ordinal), role).to_string()
+        },
+    );
+    let middle = prop::collection::vec(token, 1..12);
+    prop::collection::vec(
+        middle.prop_map(|mut m| {
+            let mut seq = vec!["VSS".to_owned()];
+            seq.append(&mut m);
+            seq.push("VSS".to_owned());
+            seq
+        }),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Everything seen during fitting is encodable, and encoding inverts.
+    #[test]
+    fn fitted_corpus_round_trips(corpus in arb_corpus()) {
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_slice()));
+        for seq in &corpus {
+            let ids = tok.encode(seq).expect("fitted tokens encode");
+            let back = tok.decode(&ids);
+            prop_assert_eq!(&back, seq);
+        }
+    }
+
+    /// Vocabulary is closed over devices: seeing ordinal `n` of a kind
+    /// implies tokens for every pin of every ordinal `1..=n`.
+    #[test]
+    fn vocabulary_closure(corpus in arb_corpus()) {
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_slice()));
+        for seq in &corpus {
+            for text in seq {
+                if let Ok(Node::DevicePin { device, .. }) = text.parse::<Node>() {
+                    for ordinal in 1..=device.ordinal {
+                        let d = Device::new(device.kind, ordinal);
+                        for &role in device.kind.pin_roles() {
+                            let t = Node::pin(d, role).to_string();
+                            prop_assert!(tok.id(&t).is_some(), "missing {t}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ids and token strings are a bijection over the vocabulary.
+    #[test]
+    fn id_token_bijection(corpus in arb_corpus()) {
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_slice()));
+        for (id, text) in tok.iter() {
+            prop_assert_eq!(tok.id(text), Some(id));
+            prop_assert_eq!(tok.token(id), Some(text));
+        }
+        // No id beyond the vocabulary resolves.
+        prop_assert!(tok.token(TokenId(tok.vocab_size() as u32)).is_none());
+    }
+
+    /// Padded encodings have exactly the requested length, decode back to
+    /// the original walk, and pad with PAD only after END.
+    #[test]
+    fn padded_encoding_invariants(corpus in arb_corpus(), extra in 1usize..32) {
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_slice()));
+        let seq = eva_circuit::EulerianSequence::from_tokens(&corpus[0]).expect("framed by VSS");
+        let len = corpus[0].len() + 1 + extra;
+        let ids = tok.encode_padded(&seq, len).expect("fits");
+        prop_assert_eq!(ids.len(), len);
+        let end_pos = ids.iter().position(|&i| i == Tokenizer::END).expect("has END");
+        prop_assert!(ids[end_pos + 1..].iter().all(|&i| i == Tokenizer::PAD));
+        let back = tok.to_sequence(&ids).expect("decodable");
+        prop_assert_eq!(back, seq);
+    }
+
+    /// Specials never collide with content tokens.
+    #[test]
+    fn specials_are_reserved(corpus in arb_corpus()) {
+        let tok = Tokenizer::fit(corpus.iter().map(|s| s.as_slice()));
+        for seq in &corpus {
+            for text in seq {
+                let id = tok.id(text).expect("fitted");
+                prop_assert!(id != Tokenizer::PAD && id != Tokenizer::END);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Targeted Op-Amp discovery: pretrain, fine-tune with DPO toward
+//! high-FoM Op-Amps, then spend exactly 10 generation attempts and report
+//! the best GA-sized figure of merit — the paper's discovery-efficiency
+//! protocol in miniature.
+//!
+//! Run with: `cargo run --release -p eva-core --example opamp_discovery`
+
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_dataset::{CircuitType, CorpusOptions};
+use eva_eval::{fom_at_k, GaConfig};
+use eva_rl::DpoConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let options = EvaOptions {
+        // Memorization-leaning demo scale (see quickstart/EXPERIMENTS.md).
+        corpus: CorpusOptions {
+            target_size: 50,
+            decorate: false,
+            validate: true,
+            families: Some(vec![CircuitType::OpAmp, CircuitType::Bandgap]),
+        },
+        sequences_per_topology: 2,
+        n_layers: 2,
+        n_heads: 2,
+        d_model: 64,
+        max_seq_cap: None,
+        pretrain: PretrainConfig { steps: 1500, batch_size: 8, lr: 1e-3, warmup: 30 },
+    };
+
+    println!("Preparing + pretraining …");
+    let mut eva = Eva::prepare(&options, &mut rng);
+    let losses = eva.pretrain(&options.pretrain, &mut rng);
+    println!(
+        "  corpus {}, loss {:.2} → {:.2}",
+        eva.corpus().len(),
+        losses[0],
+        losses.last().unwrap()
+    );
+
+    println!("Labeling a small Op-Amp fine-tuning set …");
+    let data = eva.finetune_data(CircuitType::OpAmp, 120, &mut rng);
+    println!(
+        "  classes (high/low/irrelevant/invalid): {:?}, FoM threshold {:.1}",
+        data.class_counts(),
+        data.fom_threshold
+    );
+
+    println!("DPO fine-tuning …");
+    let (policy, stats) = eva.finetune_dpo(&data, 60, DpoConfig::default(), &mut rng);
+    if let (Some(first), Some(last)) = (stats.first(), stats.last()) {
+        println!("  DPO loss {:.3} → {:.3}", first.loss, last.loss);
+    }
+
+    let ga = GaConfig { population: 16, generations: 8, threads: 4, ..GaConfig::default() };
+
+    println!("\nDiscovery efficiency (10 attempts each):");
+    for (name, model, temp) in [
+        ("EVA (Pretrain)", eva.model().clone(), 0.7),
+        ("EVA (Pretrain+DPO)", policy, 0.7),
+    ] {
+        let mut generator = eva.generator(name, &model, 0);
+        generator.temperature = temp;
+        generator.top_k = Some(8);
+        let mut grng = ChaCha8Rng::seed_from_u64(99);
+        let fom = fom_at_k(&mut generator, 10, CircuitType::OpAmp, &ga, &mut grng);
+        match fom {
+            Some(f) => println!("  {name:<22} FoM@10 = {f:.1}"),
+            None => println!("  {name:<22} FoM@10 = (no valid Op-Amp in 10 attempts)"),
+        }
+    }
+}

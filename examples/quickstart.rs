@@ -1,0 +1,79 @@
+//! Quickstart: build a small corpus, pretrain EVA briefly, generate
+//! circuits, and inspect one as a SPICE netlist.
+//!
+//! Run with: `cargo run --release -p eva-core --example quickstart`
+
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_dataset::{CircuitType, CorpusOptions};
+use eva_eval::TopologyGenerator;
+use eva_spice::{check_validity, elaborate, Sizing, Stimulus};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    // 1. A small two-family corpus and a compact model. The demo leans
+    // toward the memorization end of the data/augmentation tradeoff (few
+    // permutations per topology) so a CPU-minute of training visibly
+    // produces valid circuits; see EXPERIMENTS.md for the scaling story.
+    let options = EvaOptions {
+        corpus: CorpusOptions {
+            target_size: 60,
+            decorate: false,
+            validate: true,
+            families: Some(vec![CircuitType::Ldo, CircuitType::Bandgap]),
+        },
+        sequences_per_topology: 2,
+        n_layers: 2,
+        n_heads: 2,
+        d_model: 64,
+        max_seq_cap: None,
+        pretrain: PretrainConfig { steps: 900, batch_size: 8, lr: 1e-3, warmup: 20 },
+    };
+    println!("Preparing corpus + model …");
+    let mut eva = Eva::prepare(&options, &mut rng);
+    println!(
+        "  {} topologies → {} training sequences, vocab {}",
+        eva.corpus().len(),
+        eva.train_sequence_count(),
+        eva.tokenizer().vocab_size()
+    );
+
+    // 2. Pretrain with the Eq. 1 language-modeling objective.
+    println!("Pretraining {} steps …", options.pretrain.steps);
+    let losses = eva.pretrain(&options.pretrain, &mut rng);
+    println!(
+        "  loss {:.2} → {:.2}",
+        losses.first().copied().unwrap_or(f32::NAN),
+        losses.last().copied().unwrap_or(f32::NAN)
+    );
+
+    // 3. Generate circuits from scratch, starting at the VSS token.
+    let model = eva.model().clone();
+    let mut generator = eva.generator("EVA (Pretrain)", &model, 0);
+    generator.temperature = 0.7;
+    generator.top_k = Some(8);
+    let mut valid = Vec::new();
+    for _ in 0..60 {
+        if let Some(topology) = generator.generate(&mut rng) {
+            if check_validity(&topology).is_valid() {
+                valid.push(topology);
+            }
+        }
+    }
+    println!("Generated 60 samples → {} valid circuits", valid.len());
+
+    // 4. Inspect the first valid one as a SPICE netlist.
+    if let Some(topology) = valid.first() {
+        println!("\nFirst valid circuit ({} devices):", topology.device_count());
+        println!("{topology}");
+        let sizing = Sizing::default_for(topology);
+        match elaborate(topology, &sizing, &Stimulus::default()) {
+            Ok(netlist) => println!("SPICE netlist:\n{}", netlist.to_spice()),
+            Err(e) => println!("(elaboration failed: {e})"),
+        }
+    } else {
+        println!("(no valid circuit this run — try more pretraining steps)");
+    }
+}

@@ -1,0 +1,114 @@
+//! The simulator substrate as a standalone tool: build a five-transistor
+//! OTA, print its operating point, Bode response, and the transient of a
+//! buck converter cell.
+//!
+//! Run with: `cargo run --release -p eva-core --example spice_playground`
+
+use eva_circuit::{CircuitPin, DeviceKind, PinRole, TopologyBuilder};
+use eva_spice::{
+    ac_sweep, dc_operating_point, elaborate, log_sweep, measure_converter, measure_opamp,
+    Sizing, Stimulus, Tech,
+};
+
+fn main() {
+    let tech = Tech::default();
+
+    // --- Five-transistor OTA.
+    let mut b = TopologyBuilder::new();
+    let m1 = b.add(DeviceKind::Nmos);
+    let m2 = b.add(DeviceKind::Nmos);
+    let mt = b.add(DeviceKind::Nmos);
+    let m3 = b.add(DeviceKind::Pmos);
+    let m4 = b.add(DeviceKind::Pmos);
+    use PinRole::*;
+    b.wire(b.pin(m1, Gate), CircuitPin::Vin(1)).unwrap();
+    b.wire(b.pin(m2, Gate), CircuitPin::Vin(2)).unwrap();
+    b.wire(b.pin(m1, Source), b.pin(mt, Drain)).unwrap();
+    b.wire(b.pin(m2, Source), b.pin(mt, Drain)).unwrap();
+    b.wire(b.pin(mt, Gate), CircuitPin::Vbias(1)).unwrap();
+    b.wire(b.pin(mt, Source), CircuitPin::Vss).unwrap();
+    for m in [m1, m2, mt] {
+        b.wire(b.pin(m, Bulk), CircuitPin::Vss).unwrap();
+    }
+    b.wire(b.pin(m3, Drain), b.pin(m1, Drain)).unwrap();
+    b.wire(b.pin(m3, Gate), b.pin(m1, Drain)).unwrap();
+    b.wire(b.pin(m4, Gate), b.pin(m1, Drain)).unwrap();
+    b.wire(b.pin(m3, Source), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m4, Source), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m3, Bulk), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m4, Bulk), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(m4, Drain), b.pin(m2, Drain)).unwrap();
+    b.wire(b.pin(m4, Drain), CircuitPin::Vout(1)).unwrap();
+    let ota = b.build().unwrap();
+
+    println!("=== Five-transistor OTA ===");
+    let sizing = Sizing::default_for(&ota);
+    let netlist = elaborate(&ota, &sizing, &Stimulus::default()).unwrap();
+    let op = dc_operating_point(&netlist, &tech).unwrap();
+    println!("DC operating point ({} Newton iterations):", op.iterations());
+    for node in 0..netlist.node_count() {
+        println!("  v({}) = {:+.4} V", netlist.node_name(node), op.voltage(node));
+    }
+
+    let out = netlist.port_node(CircuitPin::Vout(1)).unwrap();
+    let freqs = log_sweep(10.0, 1e9, 9);
+    let ac = ac_sweep(&netlist, &tech, &op, &freqs).unwrap();
+    println!("\nBode magnitude at VOUT1:");
+    for (f, m) in freqs.iter().zip(ac.magnitude(out)) {
+        let db = 20.0 * m.max(1e-12).log10();
+        let bars = ((db + 20.0).max(0.0) / 2.0) as usize;
+        println!("  {f:>10.0} Hz  {db:>7.2} dB  {}", "#".repeat(bars));
+    }
+    let metrics = measure_opamp(&ota, &sizing, &Stimulus::default(), &tech).unwrap();
+    println!(
+        "\ngain {:.1}x, f3dB {:.2e} Hz, UGB {:.2e} Hz, power {:.2} µW, FoM {:.1}",
+        metrics.dc_gain,
+        metrics.bw_3db,
+        metrics.unity_gain_freq,
+        metrics.power * 1e6,
+        metrics.fom
+    );
+
+    // --- Buck converter cell.
+    println!("\n=== PMOS buck cell ===");
+    let mut b = TopologyBuilder::new();
+    let sw = b.add(DeviceKind::Pmos);
+    b.wire(b.pin(sw, Gate), CircuitPin::Clk(1)).unwrap();
+    b.wire(b.pin(sw, Source), CircuitPin::Vdd).unwrap();
+    b.wire(b.pin(sw, Bulk), CircuitPin::Vdd).unwrap();
+    let l = b.add(DeviceKind::Inductor);
+    b.wire(b.pin(l, Plus), b.pin(sw, Drain)).unwrap();
+    b.wire(b.pin(l, Minus), CircuitPin::Vout(1)).unwrap();
+    let d = b.add(DeviceKind::Diode);
+    b.wire(b.pin(d, Anode), CircuitPin::Vss).unwrap();
+    b.wire(b.pin(d, Cathode), b.pin(sw, Drain)).unwrap();
+    let c = b.add(DeviceKind::Capacitor);
+    b.wire(b.pin(c, Plus), CircuitPin::Vout(1)).unwrap();
+    b.wire(b.pin(c, Minus), CircuitPin::Vss).unwrap();
+    let buck = b.build().unwrap();
+
+    let mut sizing = Sizing::default_for(&buck);
+    for dev in buck.devices() {
+        match dev.kind {
+            DeviceKind::Pmos => {
+                sizing.set(dev, eva_spice::DeviceParams::Mos { w: 2e-3, l: 0.2e-6 });
+            }
+            DeviceKind::Inductor => {
+                sizing.set(dev, eva_spice::DeviceParams::Inductor { henries: 4.7e-6 });
+            }
+            DeviceKind::Capacitor => {
+                sizing.set(dev, eva_spice::DeviceParams::Capacitor { farads: 10e-9 });
+            }
+            _ => {}
+        }
+    }
+    let metrics =
+        measure_converter(&buck, &sizing, &Stimulus::converter(), &tech, 0.5).unwrap();
+    println!(
+        "Vout {:.3} V (ratio {:.2}), efficiency {:.1}%, FoM {:.2}",
+        metrics.vout,
+        metrics.ratio,
+        metrics.efficiency * 100.0,
+        metrics.fom
+    );
+}
