@@ -78,7 +78,7 @@ fn bench_model(c: &mut Criterion) {
     c.bench_function("model/generate_32_tokens", |b| {
         b.iter(|| {
             let mut g = Generator::new(&model);
-            let mut logits = g.step(TokenId(2));
+            let mut logits = g.step(TokenId(2)).expect("within context");
             for _ in 0..31 {
                 // Greedy next token to keep the benchmark deterministic.
                 let next = logits
@@ -87,7 +87,7 @@ fn bench_model(c: &mut Criterion) {
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .map(|(i, _)| i)
                     .unwrap();
-                logits = g.step(TokenId(next as u32));
+                logits = g.step(TokenId(next as u32)).expect("within context");
             }
         })
     });

@@ -1,0 +1,145 @@
+//! Serving throughput benchmark → `BENCH_serve.json`.
+//!
+//! Pretrains a fixed tiny model (deterministic seed/scale), boots a
+//! [`GenerationService`], and hammers it from concurrent client threads —
+//! the in-process analogue of `serve` + `loadgen`, minus socket noise, so
+//! the numbers isolate the engine. The JSON artifact written at the repo
+//! root tracks requests/s, tokens/s and latency percentiles PR over PR.
+//!
+//! ```text
+//! cargo run -p eva-bench --release --bin serve_bench [-- --quick --seed N --samples N]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use eva_bench::RunArgs;
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_serve::{Completion, GenParams, GenerationService, ServeConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const CLIENTS: usize = 8;
+
+fn main() {
+    let args = RunArgs::parse();
+    let requests = args.samples.unwrap_or(200) as u64;
+    let pretrain_steps = if args.quick { 25 } else { 60 };
+
+    eprintln!(
+        "[serve_bench] pretraining fixed-scale model (seed {})",
+        args.seed
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let pretrain = PretrainConfig {
+        steps: pretrain_steps,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 3,
+    };
+    eva.pretrain(&pretrain, &mut rng);
+
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
+    let config = ServeConfig {
+        workers,
+        queue_capacity: 256,
+        max_batch: 8,
+        batch_deadline_us: 500,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(GenerationService::from_artifacts(&eva.artifacts(), config));
+    eprintln!("[serve_bench] {workers} workers, {requests} requests, {CLIENTS} clients");
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let counter = Arc::clone(&counter);
+            let base_seed = args.seed;
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::new();
+                let (mut completed, mut errors, mut tokens) = (0u64, 0u64, 0u64);
+                loop {
+                    let i = counter.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        break;
+                    }
+                    let params = GenParams {
+                        seed: base_seed.wrapping_add(i),
+                        max_len: 96,
+                        ..GenParams::default()
+                    };
+                    let sent = Instant::now();
+                    // The queue is sized for the client count, but retry on
+                    // momentary overload so the bench measures throughput,
+                    // not shed load.
+                    let completion = loop {
+                        match service.generate(params.clone()) {
+                            Ok(c) => break c,
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    };
+                    let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    match completion {
+                        Completion::Ok(g) => {
+                            completed += 1;
+                            tokens += g.sampled as u64;
+                            latencies_us.push(us);
+                        }
+                        Completion::Error { .. } => errors += 1,
+                    }
+                }
+                (latencies_us, completed, errors, tokens)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::new();
+    let (mut completed, mut errors, mut tokens) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        if let Ok((lat, c, e, t)) = handle.join() {
+            latencies_us.extend(lat);
+            completed += c;
+            errors += e;
+            tokens += t;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    latencies_us.sort_unstable();
+    let snapshot = service.metrics();
+
+    let report = serde_json::json!({
+        "bench": "eva-serve/in-process",
+        "seed": args.seed,
+        "scale": format!("test_scale+{pretrain_steps}steps"),
+        "workers": workers,
+        "clients": CLIENTS,
+        "requests": requests,
+        "completed": completed,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "requests_per_s": completed as f64 / elapsed,
+        "tokens_per_s": tokens as f64 / elapsed,
+        "p50_us": percentile(&latencies_us, 0.50),
+        "p99_us": percentile(&latencies_us, 0.99),
+        "metrics": snapshot,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{pretty}");
+    std::fs::write("BENCH_serve.json", format!("{pretty}\n")).expect("write BENCH_serve.json");
+    eprintln!("[serve_bench] wrote BENCH_serve.json");
+}
+
+/// Nearest-rank percentile over sorted latencies.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}

@@ -1,0 +1,161 @@
+//! Deployable inference artifacts: model config + tokenizer + weights.
+//!
+//! [`Eva::save_model`] stores weights alone, which is enough for the
+//! experiment harness (it rebuilds the corpus deterministically). A serving
+//! process must not rebuild a corpus to decode tokens, so an *artifact
+//! directory* bundles everything inference needs:
+//!
+//! - `manifest.json` — the [`ModelConfig`] and the fitted [`Tokenizer`];
+//! - `model.params` — the weight checkpoint (same format as
+//!   [`Eva::save_model`]).
+//!
+//! [`EvaArtifacts`] holds the loaded pieces behind [`Arc`] so a
+//! multi-worker service shares one in-memory copy of the policy.
+
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+use eva_model::{ModelConfig, Transformer};
+use eva_nn::ParamSet;
+use eva_tokenizer::Tokenizer;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Eva;
+
+/// File name of the weight checkpoint inside an artifact directory.
+pub const PARAMS_FILE: &str = "model.params";
+/// File name of the JSON manifest (config + tokenizer) inside an artifact
+/// directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    config: ModelConfig,
+    tokenizer: Tokenizer,
+}
+
+/// Shareable inference artifacts: the policy and its tokenizer behind
+/// [`Arc`] handles, so worker pools clone pointers instead of weights.
+#[derive(Debug, Clone)]
+pub struct EvaArtifacts {
+    /// The generation policy.
+    pub model: Arc<Transformer>,
+    /// The vocabulary codec the policy was trained with.
+    pub tokenizer: Arc<Tokenizer>,
+}
+
+impl EvaArtifacts {
+    /// Wrap a policy and tokenizer into shareable handles.
+    pub fn new(model: Transformer, tokenizer: Tokenizer) -> EvaArtifacts {
+        EvaArtifacts {
+            model: Arc::new(model),
+            tokenizer: Arc::new(tokenizer),
+        }
+    }
+
+    /// Load an artifact directory written by [`Eva::save_artifacts`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; returns `InvalidData` if the manifest
+    /// does not parse or the checkpoint does not cover every tensor of the
+    /// manifest's architecture (config/vocabulary mismatch).
+    pub fn load<P: AsRef<Path>>(dir: P) -> io::Result<EvaArtifacts> {
+        let dir = dir.as_ref();
+        let manifest_file = std::fs::File::open(dir.join(MANIFEST_FILE))?;
+        let manifest: Manifest = serde_json::from_reader(BufReader::new(manifest_file))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let params_file = std::fs::File::open(dir.join(PARAMS_FILE))?;
+        let saved = ParamSet::load(BufReader::new(params_file))?;
+        // The RNG only seeds an initialization that is fully overwritten.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut model = Transformer::new(manifest.config, &mut rng);
+        let copied = model.params_mut().copy_matching(&saved);
+        let expected = model.params().len();
+        if copied != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint restored {copied} of {expected} tensors (architecture or vocabulary mismatch)"),
+            ));
+        }
+        Ok(EvaArtifacts::new(model, manifest.tokenizer))
+    }
+}
+
+impl Eva {
+    /// Share the current policy and tokenizer as inference artifacts.
+    pub fn artifacts(&self) -> EvaArtifacts {
+        EvaArtifacts::new(self.model().clone(), self.tokenizer().clone())
+    }
+
+    /// Write a self-contained serving artifact directory (see the module
+    /// docs for the layout), creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save_artifacts<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let manifest = Manifest {
+            config: *self.model().config(),
+            tokenizer: self.tokenizer().clone(),
+        };
+        let mut writer = BufWriter::new(std::fs::File::create(dir.join(MANIFEST_FILE))?);
+        serde_json::to_writer(&mut writer, &manifest)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        writer.flush()?;
+        let params = BufWriter::new(std::fs::File::create(dir.join(PARAMS_FILE))?);
+        self.model().params().save(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EvaOptions;
+    use crate::pretrain::PretrainConfig;
+
+    #[test]
+    fn artifact_directory_round_trip() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+        let cfg = PretrainConfig {
+            steps: 8,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 2,
+        };
+        eva.pretrain(&cfg, &mut rng);
+
+        let dir = std::env::temp_dir().join(format!("eva_artifacts_{}", std::process::id()));
+        eva.save_artifacts(&dir).unwrap();
+        let loaded = EvaArtifacts::load(&dir).unwrap();
+        assert_eq!(loaded.model.config(), eva.model().config());
+        assert_eq!(&*loaded.tokenizer, eva.tokenizer());
+        // Weights restored bit-exactly: compare one tensor.
+        let a = eva.model().params();
+        let b = loaded.model.params();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.tensor(0).data(), b.tensor(0).data());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_directory() {
+        let dir = std::env::temp_dir().join("eva_artifacts_does_not_exist");
+        assert!(EvaArtifacts::load(&dir).is_err());
+    }
+
+    #[test]
+    fn shared_handles_are_cheap_clones() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+        let artifacts = eva.artifacts();
+        let second = artifacts.clone();
+        assert!(Arc::ptr_eq(&artifacts.model, &second.model));
+        assert!(Arc::ptr_eq(&artifacts.tokenizer, &second.tokenizer));
+    }
+}

@@ -307,7 +307,7 @@ impl EvaGenerator<'_> {
         let mut generator = eva_model::Generator::new(self.policy);
         let limit = self.max_len.min(self.policy.config().max_seq_len);
         let mut tokens = vec![vss];
-        let mut logits = generator.step(vss);
+        let mut logits = generator.step(vss).expect("VSS within vocabulary and context");
         while tokens.len() < limit {
             let last = *tokens.last().expect("non-empty");
             logits[Tokenizer::PAD.index()] = f32::NEG_INFINITY;
@@ -327,7 +327,7 @@ impl EvaGenerator<'_> {
             if tokens.len() >= limit {
                 break;
             }
-            logits = generator.step(next);
+            logits = generator.step(next).expect("sampled token within clamped context");
         }
         tokens
     }

@@ -26,8 +26,10 @@
 //! let _generator = eva.generator("EVA (Pretrain)", &model, 0);
 //! ```
 
+pub mod artifacts;
 pub mod engine;
 pub mod pretrain;
 
+pub use artifacts::EvaArtifacts;
 pub use engine::{Eva, EvaGenerator, EvaOptions};
 pub use pretrain::{pretrain, validation_loss, PretrainConfig};

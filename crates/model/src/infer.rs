@@ -5,11 +5,48 @@
 //! logit row out, with cached keys/values per layer. Tests assert bitwise-
 //! close agreement with the training-time forward pass.
 
+use std::error::Error;
+use std::fmt;
+
 use eva_nn::Tensor;
 use eva_tokenizer::TokenId;
 use rand::Rng;
 
 use crate::transformer::Transformer;
+
+/// A decode step that cannot proceed. Serving workers rely on these being
+/// ordinary values: one malformed request must never panic a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InferError {
+    /// The KV cache already holds `max_seq_len` positions.
+    SequenceTooLong {
+        /// The model's configured context length.
+        max_seq_len: usize,
+    },
+    /// The token id is outside the model's vocabulary.
+    TokenOutOfVocab {
+        /// The offending token.
+        token: TokenId,
+        /// The model's vocabulary size.
+        vocab_size: usize,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::SequenceTooLong { max_seq_len } => {
+                write!(f, "sequence exceeds max_seq_len ({max_seq_len})")
+            }
+            InferError::TokenOutOfVocab { token, vocab_size } => {
+                write!(f, "token {token} out of vocabulary (size {vocab_size})")
+            }
+        }
+    }
+}
+
+impl Error for InferError {}
 
 /// Incremental decoder state over one sequence.
 #[derive(Debug)]
@@ -46,14 +83,20 @@ impl<'m> Generator<'m> {
 
     /// Consume one token; returns the next-token logits `[vocab]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the sequence exceeds the configured maximum length or the
-    /// token is out of vocabulary.
-    pub fn step(&mut self, token: TokenId) -> Vec<f32> {
+    /// [`InferError::SequenceTooLong`] if the sequence already fills the
+    /// configured context, [`InferError::TokenOutOfVocab`] on a token id
+    /// beyond the vocabulary. A failed step leaves the cache untouched, so
+    /// the generator remains usable.
+    pub fn step(&mut self, token: TokenId) -> Result<Vec<f32>, InferError> {
         let cfg = *self.model.config();
-        assert!(self.t < cfg.max_seq_len, "sequence exceeds max_seq_len");
-        assert!(token.index() < cfg.vocab_size, "token out of vocabulary");
+        if self.t >= cfg.max_seq_len {
+            return Err(InferError::SequenceTooLong { max_seq_len: cfg.max_seq_len });
+        }
+        if token.index() >= cfg.vocab_size {
+            return Err(InferError::TokenOutOfVocab { token, vocab_size: cfg.vocab_size });
+        }
         let d = cfg.d_model;
         let p = self.model.params();
         let get = |name: &str| -> &Tensor {
@@ -138,7 +181,7 @@ impl<'m> Generator<'m> {
 
         let final_norm = layer_norm_row(&x, get("lnf.g").data(), get("lnf.b").data());
         self.t += 1;
-        vecmat(&final_norm, get("head.w").data(), d, cfg.vocab_size)
+        Ok(vecmat(&final_norm, get("head.w").data(), d, cfg.vocab_size))
     }
 }
 
@@ -208,6 +251,13 @@ pub fn sample_logits<R: Rng + ?Sized>(
 /// Autoregressively generate a token sequence starting from `start`
 /// (usually `VSS`), stopping after `end` is produced or `max_len` tokens.
 /// The returned sequence includes `start` but not `end`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of vocabulary or the model context is zero;
+/// the sampled continuation itself cannot fail (the limit is clamped to
+/// the context and sampled ids are always in-vocabulary). Callers that
+/// need fallible decoding drive [`Generator::step`] directly.
 pub fn generate<R: Rng + ?Sized>(
     model: &Transformer,
     start: TokenId,
@@ -220,7 +270,7 @@ pub fn generate<R: Rng + ?Sized>(
     let mut gen = Generator::new(model);
     let limit = max_len.min(model.config().max_seq_len);
     let mut out = vec![start];
-    let mut logits = gen.step(start);
+    let mut logits = gen.step(start).expect("start token within vocabulary and context");
     while out.len() < limit {
         let next = TokenId(sample_logits(&logits, temperature, top_k, rng) as u32);
         if next == end {
@@ -230,7 +280,7 @@ pub fn generate<R: Rng + ?Sized>(
         if out.len() >= limit {
             break;
         }
-        logits = gen.step(next);
+        logits = gen.step(next).expect("sampled token within clamped context");
     }
     out
 }
@@ -263,7 +313,7 @@ mod tests {
         // Incremental path.
         let mut gen = Generator::new(&model);
         for (i, &tok) in toks.iter().enumerate() {
-            let row = gen.step(tok);
+            let row = gen.step(tok).expect("within context");
             let want = &lt.data()[i * 13..(i + 1) * 13];
             for (a, b) in row.iter().zip(want) {
                 assert!(
@@ -273,6 +323,27 @@ mod tests {
             }
         }
         assert_eq!(gen.len(), toks.len());
+    }
+
+    #[test]
+    fn step_errors_are_typed_not_panics() {
+        // tiny_model: vocab 13, context 24.
+        let model = tiny_model();
+        let mut gen = Generator::new(&model);
+        assert_eq!(
+            gen.step(TokenId(99)),
+            Err(InferError::TokenOutOfVocab { token: TokenId(99), vocab_size: 13 })
+        );
+        // A failed step leaves the generator usable.
+        assert_eq!(gen.len(), 0);
+        for _ in 0..24 {
+            gen.step(TokenId(2)).expect("within context");
+        }
+        assert_eq!(
+            gen.step(TokenId(2)),
+            Err(InferError::SequenceTooLong { max_seq_len: 24 })
+        );
+        assert_eq!(gen.len(), 24);
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod infer;
 pub mod transformer;
 
 pub use config::ModelConfig;
-pub use infer::{generate, sample_logits, Generator};
+pub use infer::{generate, sample_logits, Generator, InferError};
 pub use transformer::{Bound, Transformer};

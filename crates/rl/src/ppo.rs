@@ -165,7 +165,7 @@ impl<'a> PpoTrainer<'a> {
         let start = self.tokenizer.vss();
         let mut tokens = vec![start];
         let limit = self.config.max_len.min(self.policy.config().max_seq_len);
-        let mut logits = gener.step(start);
+        let mut logits = gener.step(start).expect("VSS within vocabulary and context");
         while tokens.len() < limit {
             let next = TokenId(sample_logits(
                 &logits,
@@ -180,7 +180,7 @@ impl<'a> PpoTrainer<'a> {
             if tokens.len() >= limit {
                 break;
             }
-            logits = gener.step(next);
+            logits = gener.step(next).expect("sampled token within clamped context");
         }
         tokens
     }

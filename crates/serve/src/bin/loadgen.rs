@@ -1,0 +1,181 @@
+//! The `loadgen` binary: drive a running `serve` instance with N
+//! concurrent connections and print throughput and latency percentiles.
+//!
+//! ```text
+//! cargo run -p eva-serve --release --bin loadgen -- \
+//!     [--addr 127.0.0.1:7878] [--requests 200] [--connections 8] \
+//!     [--seed N] [--max-len N] [--temperature T] [--top-k K] [--validate]
+//! ```
+//!
+//! Each connection keeps one request in flight; total concurrency equals
+//! `--connections`. The summary line is JSON so runs can be diffed and
+//! archived; the final server-side metrics snapshot follows it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use eva_serve::{GenerateRequest, Request, Response};
+
+#[derive(Default)]
+struct WorkerStats {
+    completed: u64,
+    rejected: u64,
+    errors: u64,
+    tokens: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut requests = 200u64;
+    let mut connections = 8usize;
+    let mut seed = 1u64;
+    let mut max_len: Option<usize> = None;
+    let mut temperature: Option<f32> = None;
+    let mut top_k: Option<usize> = None;
+    let mut validate = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or(addr),
+            "--requests" => parse_into(&mut requests, args.next()),
+            "--connections" => parse_into(&mut connections, args.next()),
+            "--seed" => parse_into(&mut seed, args.next()),
+            "--max-len" => max_len = args.next().and_then(|v| v.parse().ok()),
+            "--temperature" => temperature = args.next().and_then(|v| v.parse().ok()),
+            "--top-k" => top_k = args.next().and_then(|v| v.parse().ok()),
+            "--validate" => validate = true,
+            other => eprintln!("[loadgen] ignoring unknown flag {other:?}"),
+        }
+    }
+    let connections = connections.max(1);
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let addr = addr.clone();
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            let mut stats = WorkerStats::default();
+            let Ok(stream) = TcpStream::connect(&addr) else {
+                eprintln!("[loadgen] failed to connect to {addr}");
+                return stats;
+            };
+            let Ok(read_half) = stream.try_clone() else {
+                return stats;
+            };
+            let mut reader = BufReader::new(read_half);
+            let mut writer = stream;
+            loop {
+                let i = counter.fetch_add(1, Ordering::SeqCst);
+                if i >= requests {
+                    break;
+                }
+                let request = Request::Generate(GenerateRequest {
+                    id: i,
+                    seed: Some(seed.wrapping_add(i)),
+                    temperature,
+                    top_k,
+                    max_len,
+                    prompt: None,
+                    validate: Some(validate),
+                });
+                let Ok(mut line) = serde_json::to_string(&request) else {
+                    break;
+                };
+                line.push('\n');
+                let sent = Instant::now();
+                if writer.write_all(line.as_bytes()).is_err() {
+                    eprintln!("[loadgen] write failed; dropping connection");
+                    break;
+                }
+                let mut reply = String::new();
+                match reader.read_line(&mut reply) {
+                    Ok(0) | Err(_) => {
+                        eprintln!("[loadgen] connection closed by server");
+                        break;
+                    }
+                    Ok(_) => {}
+                }
+                let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                match serde_json::from_str::<Response>(&reply) {
+                    Ok(Response::Ok(ok)) => {
+                        stats.completed += 1;
+                        stats.tokens += ok.sampled as u64;
+                        stats.latencies_us.push(latency);
+                    }
+                    Ok(Response::Rejected { .. }) => stats.rejected += 1,
+                    Ok(_) | Err(_) => stats.errors += 1,
+                }
+            }
+            stats
+        }));
+    }
+
+    let mut total = WorkerStats::default();
+    for handle in handles {
+        let stats = handle.join().unwrap_or_default();
+        total.completed += stats.completed;
+        total.rejected += stats.rejected;
+        total.errors += stats.errors;
+        total.tokens += stats.tokens;
+        total.latencies_us.extend(stats.latencies_us);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    total.latencies_us.sort_unstable();
+
+    let answered = total.completed + total.rejected + total.errors;
+    let summary = serde_json::json!({
+        "requests": requests,
+        "answered": answered,
+        "completed": total.completed,
+        "rejected": total.rejected,
+        "errors": total.errors,
+        "tokens": total.tokens,
+        "elapsed_s": elapsed,
+        "requests_per_s": answered as f64 / elapsed,
+        "completions_per_s": total.completed as f64 / elapsed,
+        "tokens_per_s": total.tokens as f64 / elapsed,
+        "p50_us": percentile(&total.latencies_us, 0.50),
+        "p95_us": percentile(&total.latencies_us, 0.95),
+        "p99_us": percentile(&total.latencies_us, 0.99),
+    });
+    println!("{summary}");
+
+    // Server-side accounting for the same run.
+    match fetch_metrics(&addr) {
+        Some(snapshot) => println!("{snapshot}"),
+        None => eprintln!("[loadgen] could not fetch server metrics"),
+    }
+}
+
+/// Nearest-rank percentile over sorted latencies.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn fetch_metrics(addr: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let read_half = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    writer.write_all(b"{\"op\":\"metrics\"}\n").ok()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply).ok()?;
+    Some(reply.trim().to_owned())
+}
+
+fn parse_into<T: std::str::FromStr>(slot: &mut T, value: Option<String>) {
+    if let Some(parsed) = value.and_then(|v| v.parse().ok()) {
+        *slot = parsed;
+    }
+}

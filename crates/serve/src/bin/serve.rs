@@ -1,0 +1,108 @@
+//! The `serve` binary: host a checkpoint behind the line-JSON protocol.
+//!
+//! ```text
+//! cargo run -p eva-serve --release --bin serve -- \
+//!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
+//!     [--batch N] [--deadline-us N] [--validate] [--seed N] [--demo-steps N]
+//! ```
+//!
+//! Without `--artifacts` it pretrains a small demo model in-process (a few
+//! seconds) so the service is usable out of the box; point `--artifacts`
+//! at a directory written by `Eva::save_artifacts` for real checkpoints.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eva_core::{Eva, EvaArtifacts, EvaOptions, PretrainConfig};
+use eva_serve::{GenerationService, ServeConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut artifacts_dir: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut seed = 7u64;
+    let mut demo_steps = 60usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or(addr),
+            "--artifacts" => artifacts_dir = args.next(),
+            "--workers" => parse_into(&mut config.workers, args.next()),
+            "--queue" => parse_into(&mut config.queue_capacity, args.next()),
+            "--batch" => parse_into(&mut config.max_batch, args.next()),
+            "--deadline-us" => parse_into(&mut config.batch_deadline_us, args.next()),
+            "--validate" => config.default_validate = true,
+            "--seed" => parse_into(&mut seed, args.next()),
+            "--demo-steps" => parse_into(&mut demo_steps, args.next()),
+            other => {
+                eprintln!("[serve] ignoring unknown flag {other:?}");
+            }
+        }
+    }
+    config.base_seed = seed;
+
+    let artifacts = match &artifacts_dir {
+        Some(dir) => EvaArtifacts::load(dir).unwrap_or_else(|e| {
+            eprintln!("error: failed to load artifacts from {dir}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            eprintln!(
+                "[serve] no --artifacts; pretraining a demo model ({demo_steps} steps, seed {seed})"
+            );
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+            let pretrain = PretrainConfig {
+                steps: demo_steps,
+                batch_size: 4,
+                lr: 1e-3,
+                warmup: (demo_steps / 10).max(1),
+            };
+            let losses = eva.pretrain(&pretrain, &mut rng);
+            eprintln!(
+                "[serve] demo model ready (loss {:.3} -> {:.3}, vocab {}, ctx {})",
+                losses.first().copied().unwrap_or(f32::NAN),
+                losses.last().copied().unwrap_or(f32::NAN),
+                eva.tokenizer().vocab_size(),
+                eva.model().config().max_seq_len
+            );
+            eva.artifacts()
+        }
+    };
+
+    let service = Arc::new(GenerationService::from_artifacts(
+        &artifacts,
+        config.clone(),
+    ));
+    let server = eva_serve::serve(Arc::clone(&service), addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("error: failed to bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "[serve] workers {} queue {} batch {} deadline {}us",
+        config.workers, config.queue_capacity, config.max_batch, config.batch_deadline_us
+    );
+
+    loop {
+        std::thread::sleep(Duration::from_secs(30));
+        let snapshot = service.metrics();
+        eprintln!(
+            "[metrics] accepted {} rejected {} completed {} errored {} tokens {} queue {}",
+            snapshot.accepted,
+            snapshot.rejected,
+            snapshot.completed,
+            snapshot.errored,
+            snapshot.tokens_generated,
+            snapshot.queue_depth
+        );
+    }
+}
+
+fn parse_into<T: std::str::FromStr>(slot: &mut T, value: Option<String>) {
+    if let Some(parsed) = value.and_then(|v| v.parse().ok()) {
+        *slot = parsed;
+    }
+}

@@ -1,0 +1,85 @@
+//! Service tuning knobs.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::GenerationService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Decode worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Bound of the request queue; a full queue rejects instead of blocking.
+    pub queue_capacity: usize,
+    /// Micro-batch flush threshold: a worker drains up to this many queued
+    /// requests per wakeup before decoding them back to back.
+    pub max_batch: usize,
+    /// Micro-batch flush deadline in microseconds: after the first request
+    /// of a batch arrives, the worker waits at most this long for the batch
+    /// to fill before decoding.
+    pub batch_deadline_us: u64,
+    /// Sampling temperature applied when a request does not specify one.
+    pub default_temperature: f32,
+    /// Top-k cutoff applied when a request does not specify one.
+    pub default_top_k: Option<usize>,
+    /// Generation length cap applied when a request does not specify one;
+    /// `0` means the model's full context.
+    pub default_max_len: usize,
+    /// Whether to run the `eva-spice` validity oracle on generations when a
+    /// request does not specify.
+    pub default_validate: bool,
+    /// Base seed mixed into per-request ids when a request carries no seed.
+    pub base_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_deadline_us: 2_000,
+            default_temperature: 0.85,
+            default_top_k: Some(25),
+            default_max_len: 0,
+            default_validate: false,
+            base_seed: 7,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The batch deadline as a [`Duration`].
+    pub fn batch_deadline(&self) -> Duration {
+        Duration::from_micros(self.batch_deadline_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_capacity >= 1);
+        assert!(c.max_batch >= 1);
+        assert!(c.default_temperature > 0.0);
+        assert_eq!(
+            c.batch_deadline(),
+            Duration::from_micros(c.batch_deadline_us)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ServeConfig {
+            workers: 5,
+            ..ServeConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ServeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

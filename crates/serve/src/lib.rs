@@ -1,0 +1,54 @@
+//! # eva-serve
+//!
+//! A batched, metered topology-generation service over EVA checkpoints —
+//! the request path the ROADMAP's "heavy generation traffic" north star
+//! needs. The paper's own evaluation (Table II: 1000 generations per
+//! method) is exactly the traffic shape this subsystem absorbs, but as
+//! concurrent requests instead of a blocking loop.
+//!
+//! Two surfaces over one engine:
+//!
+//! - **In-process** — [`GenerationService`]: a bounded crossbeam request
+//!   queue feeding a worker pool; each worker micro-batches queued
+//!   requests (flush at `max_batch` or a deadline tick) and runs KV-cached
+//!   incremental decoding with per-request seeds, temperature, top-k and
+//!   an optional `eva-spice` validity check. Overload yields typed
+//!   rejections ([`SubmitError::QueueFull`]), never a hang; shutdown
+//!   drains admitted work.
+//! - **Over TCP** — [`serve`]: line-delimited JSON
+//!   (see [`protocol`]) on a `std::net::TcpListener`, with the `serve`
+//!   binary to host a checkpoint and the `loadgen` binary to drive N
+//!   concurrent connections and report throughput and latency percentiles.
+//!
+//! An atomics-based [`Metrics`] registry (accepted/rejected/completed,
+//! tokens generated, queue depth, per-stage latency histograms with
+//! p50/p95/p99) snapshots as JSON for `BENCH_serve.json` trajectories.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use eva_core::{Eva, EvaOptions, PretrainConfig};
+//! use eva_serve::{GenParams, GenerationService, ServeConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+//! eva.pretrain(&PretrainConfig::default(), &mut rng);
+//! let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default());
+//! let completion = service.generate(GenParams { seed: 42, ..GenParams::default() });
+//! println!("{completion:?}");
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod net;
+pub mod protocol;
+pub mod service;
+
+pub use config::ServeConfig;
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use net::{handle_line, serve, Server};
+pub use protocol::{GenerateRequest, OkResponse, Request, Response};
+pub use service::{
+    Completion, GenParams, Generation, GenerationService, PendingGeneration, SubmitError,
+};

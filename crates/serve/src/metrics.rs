@@ -1,0 +1,282 @@
+//! Lock-free service metrics: counters, a queue-depth gauge, and log-scale
+//! latency histograms with percentile snapshots.
+//!
+//! Every hot-path update is a relaxed atomic add, so metering costs a few
+//! nanoseconds per request and never serializes workers. Snapshots read the
+//! atomics without pausing anything, which makes them *approximate under
+//! load* (counters may be mid-update) but exact once the service is idle —
+//! the property the end-to-end accounting tests rely on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency buckets; bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds, so 40 buckets span ~1 µs to ~12 days.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Histogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record one observation from a [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A consistent-enough snapshot with percentile estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: percentile(&buckets, count, 0.50),
+            p95_us: percentile(&buckets, count, 0.95),
+            p99_us: percentile(&buckets, count, 0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Estimate the `q` percentile from bucket counts: the geometric midpoint
+/// of the first bucket whose cumulative count reaches the rank.
+fn percentile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            let lo = 1u64 << i;
+            return lo + lo / 2;
+        }
+    }
+    0
+}
+
+/// Point-in-time histogram statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean in microseconds.
+    pub mean_us: f64,
+    /// Largest observation in microseconds.
+    pub max_us: u64,
+    /// Estimated 50th percentile (µs).
+    pub p50_us: u64,
+    /// Estimated 95th percentile (µs).
+    pub p95_us: u64,
+    /// Estimated 99th percentile (µs).
+    pub p99_us: u64,
+}
+
+/// The service-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub rejected: AtomicU64,
+    /// Requests decoded to completion.
+    pub completed: AtomicU64,
+    /// Requests that failed with a typed error.
+    pub errored: AtomicU64,
+    /// Tokens sampled across all completed requests.
+    pub tokens_generated: AtomicU64,
+    /// Micro-batches flushed by workers.
+    pub batches: AtomicU64,
+    /// Requests carried inside those batches.
+    pub batched_requests: AtomicU64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Histogram,
+    /// Time spent in autoregressive decoding.
+    pub decode: Histogram,
+    /// Time spent in the optional validity oracle.
+    pub validate: Histogram,
+    /// End-to-end time from submit to reply.
+    pub total: Histogram,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Snapshot every counter and histogram; `queue_depth` is sampled by
+    /// the caller (the channel owns the ground truth).
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let errored = self.errored.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            errored,
+            in_flight: accepted.saturating_sub(completed + errored),
+            queue_depth: queue_depth as u64,
+            tokens_generated: self.tokens_generated.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            queue_wait: self.queue_wait.snapshot(),
+            decode: self.decode.snapshot(),
+            validate: self.validate.snapshot(),
+            total: self.total.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time view of the whole registry, serializable as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused because the queue was full.
+    pub rejected: u64,
+    /// Requests decoded to completion.
+    pub completed: u64,
+    /// Requests that failed with a typed error.
+    pub errored: u64,
+    /// Accepted requests not yet answered.
+    pub in_flight: u64,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: u64,
+    /// Tokens sampled across all completed requests.
+    pub tokens_generated: u64,
+    /// Micro-batches flushed by workers.
+    pub batches: u64,
+    /// Mean requests per flushed micro-batch.
+    pub mean_batch_size: f64,
+    /// Queue-wait latency.
+    pub queue_wait: HistogramSnapshot,
+    /// Decode latency.
+    pub decode: HistogramSnapshot,
+    /// Validity-check latency.
+    pub validate: HistogramSnapshot,
+    /// End-to-end latency.
+    pub total: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Pretty JSON rendering (for logs and `BENCH_serve.json`).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the snapshot is plain numbers.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_order_and_bounds() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 100_000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_us, 100_000);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+        // p50 of those ten values is near 160–320 µs; the log buckets put
+        // the estimate within a factor of two.
+        assert!((64..=512).contains(&s.p50_us), "p50 {}", s.p50_us);
+        assert!(s.p99_us >= 32_768, "p99 {}", s.p99_us);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_accounting() {
+        let m = Metrics::new();
+        m.accepted.fetch_add(5, Ordering::Relaxed);
+        m.completed.fetch_add(3, Ordering::Relaxed);
+        m.errored.fetch_add(1, Ordering::Relaxed);
+        m.rejected.fetch_add(2, Ordering::Relaxed);
+        m.tokens_generated.fetch_add(77, Ordering::Relaxed);
+        m.batches.fetch_add(2, Ordering::Relaxed);
+        m.batched_requests.fetch_add(4, Ordering::Relaxed);
+        let s = m.snapshot(1);
+        assert_eq!(s.accepted, 5);
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.mean_batch_size, 2.0);
+        // The snapshot is JSON-serializable and round-trips.
+        let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+}

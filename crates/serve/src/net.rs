@@ -1,0 +1,136 @@
+//! TCP transport: line-delimited JSON over `std::net`.
+//!
+//! One thread per connection; each connection processes its requests in
+//! order (pipeline more load by opening more connections, as `loadgen`
+//! does). Overload never blocks the socket: a full service queue answers
+//! `{"status":"rejected",...}` immediately.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::protocol::{Request, Response};
+use crate::service::{GenParams, GenerationService};
+
+/// A listening server; dropping it (or calling [`Server::stop`]) stops the
+/// accept loop. In-flight connections finish their current request and die
+/// with the process.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve the
+/// generation service over it.
+///
+/// # Errors
+///
+/// Propagates bind/spawn failures.
+pub fn serve<A: ToSocketAddrs>(
+    service: Arc<GenerationService>,
+    addr: A,
+) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("eva-serve-accept".to_owned())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let service = Arc::clone(&service);
+                let _ = std::thread::Builder::new()
+                    .name("eva-serve-conn".to_owned())
+                    .spawn(move || handle_connection(&service, stream));
+            }
+        })?;
+    Ok(Server {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(service: &GenerationService, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(service, &line);
+        let mut out = serde_json::to_string(&response).unwrap_or_else(|_| {
+            r#"{"status":"error","id":0,"message":"response serialization failed"}"#.to_owned()
+        });
+        out.push('\n');
+        if writer
+            .write_all(out.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Handle one protocol line, producing exactly one response. Public so
+/// in-process tests and alternative transports reuse the dispatch.
+pub fn handle_line(service: &GenerationService, line: &str) -> Response {
+    match serde_json::from_str::<Request>(line) {
+        Ok(Request::Ping) => Response::Pong,
+        Ok(Request::Metrics) => Response::Metrics(service.metrics()),
+        Ok(Request::Generate(req)) => {
+            let params = GenParams::from_request(&req, service.config());
+            match service.submit(req.id, params) {
+                Ok(pending) => pending.wait().into_response(),
+                Err(err) => Response::Rejected {
+                    id: req.id,
+                    reason: err.to_string(),
+                },
+            }
+        }
+        Err(e) => Response::Error {
+            id: 0,
+            message: format!("malformed request: {e}"),
+        },
+    }
+}

@@ -1,0 +1,184 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object per line. Requests are
+//! tagged by `"op"`, responses by `"status"`:
+//!
+//! ```text
+//! → {"op":"generate","id":1,"seed":42,"max_len":64,"validate":true}
+//! ← {"status":"ok","id":1,"tokens":["VSS","NM1_S",...],"token_count":9,...}
+//! → {"op":"metrics"}
+//! ← {"status":"metrics","accepted":1,...}
+//! ```
+//!
+//! Unknown or malformed lines produce `{"status":"error",...}` — the
+//! connection stays open, the server never hangs up mid-protocol.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+
+/// A client request, tagged by `op`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Sample one topology sequence.
+    Generate(GenerateRequest),
+    /// Snapshot the service metrics registry.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Parameters of a generation request; absent fields fall back to the
+/// server's [`crate::ServeConfig`] defaults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Sampling seed; omitted means a deterministic mix of the server's
+    /// base seed and `id`.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Sampling temperature override.
+    #[serde(default)]
+    pub temperature: Option<f32>,
+    /// Top-k override.
+    #[serde(default)]
+    pub top_k: Option<usize>,
+    /// Length cap override (`0` or omitted: server default).
+    #[serde(default)]
+    pub max_len: Option<usize>,
+    /// Optional prefix of token strings to condition on (after the
+    /// implicit `VSS` start token).
+    #[serde(default)]
+    pub prompt: Option<Vec<String>>,
+    /// Whether to run the validity oracle on the generation.
+    #[serde(default)]
+    pub validate: Option<bool>,
+}
+
+/// A server response, tagged by `status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum Response {
+    /// A completed generation.
+    Ok(OkResponse),
+    /// The request was refused before decoding (overload/shutdown).
+    Rejected {
+        /// Echoed request id.
+        id: u64,
+        /// Why the request was not admitted.
+        reason: String,
+    },
+    /// The request was admitted but failed.
+    Error {
+        /// Echoed request id (0 when the request line did not parse).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// A metrics snapshot.
+    Metrics(MetricsSnapshot),
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+/// Payload of a successful generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OkResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// The generated walk, decoded to token strings (starts at `VSS`,
+    /// terminator excluded).
+    pub tokens: Vec<String>,
+    /// `tokens.len()`, for clients that skip the payload.
+    pub token_count: usize,
+    /// Tokens actually sampled (excludes the start token and any prompt).
+    pub sampled: usize,
+    /// Validity oracle verdict, when requested.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub valid: Option<bool>,
+    /// Time queued before decoding (µs).
+    pub queue_us: u64,
+    /// Decode time (µs).
+    pub decode_us: u64,
+    /// Validity-check time (µs, 0 when not requested).
+    pub validate_us: u64,
+    /// End-to-end service time (µs).
+    pub total_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_shape() {
+        let line = r#"{"op":"generate","id":3,"seed":9,"max_len":32}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        match req {
+            Request::Generate(g) => {
+                assert_eq!(g.id, 3);
+                assert_eq!(g.seed, Some(9));
+                assert_eq!(g.max_len, Some(32));
+                assert_eq!(g.temperature, None);
+                assert_eq!(g.prompt, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(
+            serde_json::from_str::<Request>(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            serde_json::from_str::<Request>(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert!(serde_json::from_str::<Request>(r#"{"op":"nonsense"}"#).is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let ok = Response::Ok(OkResponse {
+            id: 7,
+            tokens: vec!["VSS".to_owned(), "NM1_S".to_owned()],
+            token_count: 2,
+            sampled: 1,
+            valid: Some(true),
+            queue_us: 10,
+            decode_us: 200,
+            validate_us: 30,
+            total_us: 240,
+        });
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(json.contains(r#""status":"ok""#), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ok);
+
+        let rejected = Response::Rejected {
+            id: 1,
+            reason: "queue full".to_owned(),
+        };
+        let json = serde_json::to_string(&rejected).unwrap();
+        assert!(json.contains(r#""status":"rejected""#), "{json}");
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), rejected);
+    }
+
+    #[test]
+    fn valid_field_omitted_when_unrequested() {
+        let ok = Response::Ok(OkResponse {
+            id: 0,
+            tokens: vec![],
+            token_count: 0,
+            sampled: 0,
+            valid: None,
+            queue_us: 0,
+            decode_us: 0,
+            validate_us: 0,
+            total_us: 0,
+        });
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(!json.contains("valid"), "{json}");
+    }
+}

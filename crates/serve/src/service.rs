@@ -1,0 +1,511 @@
+//! The in-process generation service: a bounded request queue feeding a
+//! pool of decode workers.
+//!
+//! Life of a request:
+//!
+//! 1. [`GenerationService::submit`] resolves parameters and `try_send`s a
+//!    job into a bounded crossbeam channel. A full queue is an immediate
+//!    [`SubmitError::QueueFull`] — overload backpressure is a typed value,
+//!    never a blocked caller.
+//! 2. A worker wakes on the first queued job, then drains up to
+//!    `max_batch - 1` more until the batch deadline passes (micro-batching:
+//!    one wakeup amortizes queue traffic across a burst).
+//! 3. Each job runs KV-cached incremental decoding
+//!    ([`eva_model::Generator`]) with its own seed/temperature/top-k, the
+//!    same grammar constraint the evaluation harness uses, and an optional
+//!    `eva-spice` validity check. Inference errors come back as typed
+//!    [`Completion::Error`] values — a malformed request cannot kill a
+//!    worker.
+//! 4. The reply travels over a per-request channel;
+//!    [`PendingGeneration::wait`] never hangs — if a worker dies, the
+//!    dropped channel surfaces as an error completion.
+//!
+//! Dropping (or [`GenerationService::shutdown`]) closes the queue; workers
+//! drain what was already accepted, answer it, and exit — a graceful drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use eva_core::EvaArtifacts;
+use eva_model::{sample_logits, Generator, Transformer};
+use eva_tokenizer::{TokenId, Tokenizer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::ServeConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{GenerateRequest, OkResponse, Response};
+
+/// Fully-resolved sampling parameters for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Sampling seed (generation is deterministic given the seed).
+    pub seed: u64,
+    /// Sampling temperature (> 0).
+    pub temperature: f32,
+    /// Top-k cutoff (`None` = full vocabulary).
+    pub top_k: Option<usize>,
+    /// Sequence length cap; `0` means the model's full context.
+    pub max_len: usize,
+    /// Run the `eva-spice` validity oracle on the generation.
+    pub validate: bool,
+    /// Prefix token strings to condition on, after the implicit `VSS`.
+    pub prompt: Vec<String>,
+}
+
+impl Default for GenParams {
+    fn default() -> GenParams {
+        GenParams {
+            seed: 0,
+            temperature: 0.85,
+            top_k: Some(25),
+            max_len: 0,
+            validate: false,
+            prompt: Vec::new(),
+        }
+    }
+}
+
+impl GenParams {
+    /// Resolve a wire request against the server defaults.
+    pub fn from_request(req: &GenerateRequest, config: &ServeConfig) -> GenParams {
+        GenParams {
+            // Golden-ratio mix so contiguous ids do not sample correlated
+            // streams when the client leaves seeding to the server.
+            seed: req
+                .seed
+                .unwrap_or_else(|| config.base_seed ^ req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            temperature: req.temperature.unwrap_or(config.default_temperature),
+            top_k: req.top_k.or(config.default_top_k),
+            max_len: req.max_len.unwrap_or(config.default_max_len),
+            validate: req.validate.unwrap_or(config.default_validate),
+            prompt: req.prompt.clone().unwrap_or_default(),
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry later or shed load.
+    QueueFull,
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A finished generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generation {
+    /// Echoed request id.
+    pub id: u64,
+    /// Generated token ids (starts at `VSS`, terminator excluded).
+    pub tokens: Vec<TokenId>,
+    /// The same walk decoded to token strings.
+    pub token_text: Vec<String>,
+    /// Tokens actually sampled (excludes start token and prompt).
+    pub sampled: usize,
+    /// Validity verdict, when requested.
+    pub valid: Option<bool>,
+    /// Time queued before decoding (µs).
+    pub queue_us: u64,
+    /// Decode time (µs).
+    pub decode_us: u64,
+    /// Validity-check time (µs, 0 when not requested).
+    pub validate_us: u64,
+    /// End-to-end service time (µs).
+    pub total_us: u64,
+}
+
+/// Terminal outcome of an admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completion {
+    /// Decoding finished.
+    Ok(Generation),
+    /// Decoding failed with a typed, non-fatal error.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Completion {
+    /// Render as a wire response.
+    pub fn into_response(self) -> Response {
+        match self {
+            Completion::Ok(g) => Response::Ok(OkResponse {
+                id: g.id,
+                token_count: g.token_text.len(),
+                tokens: g.token_text,
+                sampled: g.sampled,
+                valid: g.valid,
+                queue_us: g.queue_us,
+                decode_us: g.decode_us,
+                validate_us: g.validate_us,
+                total_us: g.total_us,
+            }),
+            Completion::Error { id, message } => Response::Error { id, message },
+        }
+    }
+}
+
+/// Handle to an admitted request.
+#[derive(Debug)]
+pub struct PendingGeneration {
+    id: u64,
+    rx: mpsc::Receiver<Completion>,
+}
+
+impl PendingGeneration {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the worker answers. Never hangs: if the worker side is
+    /// gone (service torn down mid-request), this yields an error
+    /// completion rather than waiting forever.
+    pub fn wait(self) -> Completion {
+        let id = self.id;
+        self.rx.recv().unwrap_or_else(|_| Completion::Error {
+            id,
+            message: "service dropped the request before answering".to_owned(),
+        })
+    }
+}
+
+struct Job {
+    id: u64,
+    params: GenParams,
+    enqueued: Instant,
+    reply: mpsc::Sender<Completion>,
+}
+
+struct ServiceInner {
+    model: Arc<Transformer>,
+    tokenizer: Arc<Tokenizer>,
+    config: ServeConfig,
+    metrics: Metrics,
+}
+
+/// A multi-worker, micro-batching topology-generation service.
+///
+/// See the module docs for the request lifecycle. Cheap to share behind an
+/// [`Arc`]; all methods take `&self`.
+#[derive(Debug)]
+pub struct GenerationService {
+    inner: Arc<ServiceInner>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for ServiceInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceInner")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GenerationService {
+    /// Spawn the worker pool over shared model/tokenizer handles.
+    pub fn start(
+        model: Arc<Transformer>,
+        tokenizer: Arc<Tokenizer>,
+        config: ServeConfig,
+    ) -> GenerationService {
+        let (tx, rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
+        let workers = config.workers.max(1);
+        let inner = Arc::new(ServiceInner {
+            model,
+            tokenizer,
+            config,
+            metrics: Metrics::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("eva-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        GenerationService {
+            inner,
+            tx: Some(tx),
+            workers: handles,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Spawn the worker pool from loaded artifacts (clones the `Arc`s, not
+    /// the weights).
+    pub fn from_artifacts(artifacts: &EvaArtifacts, config: ServeConfig) -> GenerationService {
+        GenerationService::start(
+            Arc::clone(&artifacts.model),
+            Arc::clone(&artifacts.tokenizer),
+            config,
+        )
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// The tokenizer the service decodes with.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.inner.tokenizer
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.as_ref().map_or(0, Sender::len)
+    }
+
+    /// Snapshot the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(self.queue_depth())
+    }
+
+    /// Admit a request. Returns immediately: on success the caller holds a
+    /// [`PendingGeneration`]; on overload the caller gets
+    /// [`SubmitError::QueueFull`] and the request was *not* queued.
+    pub fn submit(&self, id: u64, params: GenParams) -> Result<PendingGeneration, SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            id,
+            params,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingGeneration { id, rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: submit with an auto-assigned id and block for the
+    /// completion.
+    pub fn generate(&self, params: GenParams) -> Result<Completion, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Ok(self.submit(id, params)?.wait())
+    }
+
+    /// Stop accepting work, let workers drain every admitted request, and
+    /// join them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for GenerationService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One worker: wake on a job, drain a micro-batch, decode it back to back.
+fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
+    let max_batch = inner.config.max_batch.max(1);
+    loop {
+        // Block for the first job; a closed, drained queue ends the worker.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut batch = Vec::with_capacity(max_batch);
+        batch.push(first);
+        let deadline = Instant::now() + inner.config.batch_deadline();
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        inner.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .metrics
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for job in batch {
+            run_job(inner, job);
+        }
+    }
+}
+
+fn run_job(inner: &ServiceInner, job: Job) {
+    let queue_wait = job.enqueued.elapsed();
+    inner.metrics.queue_wait.record(queue_wait);
+
+    let decode_start = Instant::now();
+    let outcome = decode_one(inner, &job.params);
+    let decode_elapsed = decode_start.elapsed();
+    inner.metrics.decode.record(decode_elapsed);
+
+    let completion = match outcome {
+        Ok((tokens, sampled)) => {
+            inner
+                .metrics
+                .tokens_generated
+                .fetch_add(sampled as u64, Ordering::Relaxed);
+            let validate_start = Instant::now();
+            let valid = if job.params.validate {
+                Some(check_validity(&inner.tokenizer, &tokens))
+            } else {
+                None
+            };
+            let validate_elapsed = validate_start.elapsed();
+            if job.params.validate {
+                inner.metrics.validate.record(validate_elapsed);
+            }
+            let total = job.enqueued.elapsed();
+            inner.metrics.total.record(total);
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            Completion::Ok(Generation {
+                id: job.id,
+                token_text: inner.tokenizer.decode(&tokens),
+                tokens,
+                sampled,
+                valid,
+                queue_us: micros(queue_wait),
+                decode_us: micros(decode_elapsed),
+                validate_us: if job.params.validate {
+                    micros(validate_elapsed)
+                } else {
+                    0
+                },
+                total_us: micros(total),
+            })
+        }
+        Err(message) => {
+            inner.metrics.total.record(job.enqueued.elapsed());
+            inner.metrics.errored.fetch_add(1, Ordering::Relaxed);
+            Completion::Error {
+                id: job.id,
+                message,
+            }
+        }
+    };
+    // A vanished client is not a worker problem.
+    let _ = job.reply.send(completion);
+}
+
+fn micros(elapsed: std::time::Duration) -> u64 {
+    elapsed.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// KV-cached incremental decoding of one request. Mirrors the evaluation
+/// harness's grammar constraint: `PAD` is never sampled and the terminator
+/// is only admissible right after a `VSS` token.
+fn decode_one(inner: &ServiceInner, params: &GenParams) -> Result<(Vec<TokenId>, usize), String> {
+    if params.temperature <= 0.0 || !params.temperature.is_finite() {
+        return Err(format!(
+            "temperature must be positive and finite, got {}",
+            params.temperature
+        ));
+    }
+    if params.top_k == Some(0) {
+        return Err("top_k must be positive".to_owned());
+    }
+    let tokenizer = &*inner.tokenizer;
+    let model = &*inner.model;
+    let ctx = model.config().max_seq_len;
+    let limit = if params.max_len == 0 {
+        ctx
+    } else {
+        params.max_len.min(ctx)
+    };
+    let vss = tokenizer.vss();
+
+    let mut tokens = Vec::with_capacity(limit.min(256));
+    tokens.push(vss);
+    for text in &params.prompt {
+        let id = tokenizer
+            .id(text)
+            .ok_or_else(|| format!("prompt token {text:?} not in vocabulary"))?;
+        tokens.push(id);
+    }
+    if tokens.len() > limit {
+        return Err(format!(
+            "prompt length {} exceeds length limit {limit}",
+            tokens.len()
+        ));
+    }
+
+    let mut generator = Generator::new(model);
+    let mut logits = Vec::new();
+    for &token in &tokens {
+        logits = generator.step(token).map_err(|e| e.to_string())?;
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut sampled = 0usize;
+    while tokens.len() < limit {
+        let last = *tokens.last().expect("sequence starts at VSS");
+        logits[Tokenizer::PAD.index()] = f32::NEG_INFINITY;
+        if last != vss {
+            logits[Tokenizer::END.index()] = f32::NEG_INFINITY;
+        }
+        let next =
+            TokenId(sample_logits(&logits, params.temperature, params.top_k, &mut rng) as u32);
+        if next == Tokenizer::END {
+            break;
+        }
+        tokens.push(next);
+        sampled += 1;
+        if tokens.len() >= limit {
+            break;
+        }
+        logits = generator.step(next).map_err(|e| e.to_string())?;
+    }
+    Ok((tokens, sampled))
+}
+
+/// Decode the walk and run the structural + DC-solve validity oracle.
+fn check_validity(tokenizer: &Tokenizer, tokens: &[TokenId]) -> bool {
+    let Ok(sequence) = tokenizer.to_sequence(tokens) else {
+        return false;
+    };
+    let Ok(topology) = sequence.to_topology() else {
+        return false;
+    };
+    eva_spice::check_validity(&topology).is_valid()
+}

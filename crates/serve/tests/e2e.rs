@@ -1,0 +1,287 @@
+//! End-to-end serving tests: checkpoint → artifact directory → service →
+//! client, over both the in-process API and the TCP line-JSON protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use eva_core::{Eva, EvaArtifacts, EvaOptions, PretrainConfig};
+use eva_serve::{
+    Completion, GenParams, GenerationService, Request, Response, ServeConfig, SubmitError,
+};
+use eva_tokenizer::Tokenizer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Pretrain a tiny engine once per test (seconds at test scale).
+fn tiny_pretrained(seed: u64) -> Eva {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let config = PretrainConfig {
+        steps: 25,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 3,
+    };
+    eva.pretrain(&config, &mut rng);
+    eva
+}
+
+#[test]
+fn checkpoint_to_service_round_trip() {
+    let eva = tiny_pretrained(21);
+    let dir = std::env::temp_dir().join(format!("eva_serve_e2e_{}", std::process::id()));
+    eva.save_artifacts(&dir).expect("save artifacts");
+    let artifacts = EvaArtifacts::load(&dir).expect("load artifacts");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let service = GenerationService::from_artifacts(
+        &artifacts,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..ServeConfig::default()
+        },
+    );
+
+    let mut firsts = Vec::new();
+    for i in 0..8u64 {
+        let params = GenParams {
+            seed: 100 + i,
+            max_len: 48,
+            ..GenParams::default()
+        };
+        match service.generate(params).expect("queue has room") {
+            Completion::Ok(generation) => {
+                // Generated sequences decode through the tokenizer
+                // round-trip: text → ids matches the ids the worker
+                // produced, and the walk starts at VSS.
+                let reencoded = artifacts
+                    .tokenizer
+                    .encode(&generation.token_text)
+                    .expect("in-vocabulary");
+                assert_eq!(reencoded, generation.tokens);
+                assert_eq!(generation.token_text[0], "VSS");
+                assert!(generation.tokens.len() <= 48);
+                assert!(!generation.tokens.contains(&Tokenizer::END));
+                assert!(!generation.tokens.contains(&Tokenizer::PAD));
+                firsts.push(generation);
+            }
+            Completion::Error { message, .. } => panic!("generation failed: {message}"),
+        }
+    }
+
+    // Same seed ⇒ same tokens (per-request determinism survives the pool).
+    let again = service
+        .generate(GenParams {
+            seed: 100,
+            max_len: 48,
+            ..GenParams::default()
+        })
+        .expect("queue has room");
+    match again {
+        Completion::Ok(generation) => assert_eq!(generation.tokens, firsts[0].tokens),
+        Completion::Error { message, .. } => panic!("repeat generation failed: {message}"),
+    }
+
+    let snapshot = service.metrics();
+    assert_eq!(snapshot.accepted, 9);
+    assert_eq!(snapshot.completed, 9);
+    assert_eq!(snapshot.rejected, 0);
+    assert!(snapshot.tokens_generated > 0);
+    service.shutdown();
+}
+
+#[test]
+fn overload_rejects_instead_of_hanging() {
+    let eva = tiny_pretrained(22);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 2,
+            batch_deadline_us: 1_000,
+            ..ServeConfig::default()
+        },
+    );
+
+    const SENT: usize = 50;
+    let mut pending = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..SENT as u64 {
+        let params = GenParams {
+            seed: i,
+            max_len: 64,
+            ..GenParams::default()
+        };
+        match service.submit(i, params) {
+            Ok(p) => pending.push(p),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(SubmitError::ShuttingDown) => panic!("service is running"),
+        }
+    }
+    // A 1-worker pool behind a 2-deep queue cannot absorb a 50-burst.
+    assert!(rejected > 0, "burst should overflow the bounded queue");
+
+    // Every admitted request completes (drain, not drop) and accounting
+    // closes: accepted + rejected == sent.
+    let accepted = pending.len() as u64;
+    for p in pending {
+        match p.wait() {
+            Completion::Ok(_) => {}
+            Completion::Error { message, .. } => panic!("admitted request failed: {message}"),
+        }
+    }
+    let snapshot = service.metrics();
+    assert_eq!(snapshot.accepted, accepted);
+    assert_eq!(snapshot.rejected, rejected);
+    assert_eq!(snapshot.accepted + snapshot.rejected, SENT as u64);
+    assert_eq!(snapshot.completed, accepted);
+    assert_eq!(snapshot.errored, 0);
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_work() {
+    let eva = tiny_pretrained(23);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+    );
+    let pending: Vec<_> = (0..5u64)
+        .map(|i| {
+            service
+                .submit(
+                    i,
+                    GenParams {
+                        seed: i,
+                        max_len: 32,
+                        ..GenParams::default()
+                    },
+                )
+                .expect("queue has room")
+        })
+        .collect();
+    service.shutdown();
+    for p in pending {
+        assert!(
+            matches!(p.wait(), Completion::Ok(_)),
+            "queued work must be answered before shutdown completes"
+        );
+    }
+}
+
+#[test]
+fn malformed_requests_return_typed_errors_not_panics() {
+    let eva = tiny_pretrained(24);
+    let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default());
+
+    // Out-of-vocabulary prompt token.
+    let bad_prompt = GenParams {
+        prompt: vec!["NOT_A_TOKEN".to_owned()],
+        max_len: 16,
+        ..GenParams::default()
+    };
+    assert!(matches!(
+        service.generate(bad_prompt).expect("admitted"),
+        Completion::Error { .. }
+    ));
+
+    // Invalid temperature.
+    let bad_temp = GenParams {
+        temperature: 0.0,
+        max_len: 16,
+        ..GenParams::default()
+    };
+    assert!(matches!(
+        service.generate(bad_temp).expect("admitted"),
+        Completion::Error { .. }
+    ));
+
+    // The pool survives and keeps serving good requests.
+    assert!(matches!(
+        service
+            .generate(GenParams {
+                max_len: 16,
+                ..GenParams::default()
+            })
+            .expect("admitted"),
+        Completion::Ok(_)
+    ));
+    let snapshot = service.metrics();
+    assert_eq!(snapshot.errored, 2);
+    assert_eq!(snapshot.completed, 1);
+    service.shutdown();
+}
+
+#[test]
+fn tcp_round_trip_on_ephemeral_port() {
+    let eva = tiny_pretrained(25);
+    let service = Arc::new(GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+    ));
+    let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut ask = |line: &str| -> Response {
+        writer.write_all(line.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write newline");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        serde_json::from_str(&reply).expect("well-formed response JSON")
+    };
+
+    assert_eq!(ask(r#"{"op":"ping"}"#), Response::Pong);
+
+    for i in 0..3u64 {
+        let request = Request::Generate(eva_serve::GenerateRequest {
+            id: i,
+            seed: Some(7 + i),
+            max_len: Some(40),
+            validate: Some(true),
+            ..eva_serve::GenerateRequest::default()
+        });
+        let line = serde_json::to_string(&request).expect("serialize request");
+        match ask(&line) {
+            Response::Ok(ok) => {
+                assert_eq!(ok.id, i);
+                assert_eq!(ok.token_count, ok.tokens.len());
+                assert!(ok.valid.is_some(), "validate=true reports a verdict");
+                assert_eq!(ok.tokens[0], "VSS");
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    // Malformed line → typed error, connection stays usable.
+    match ask("{not json}") {
+        Response::Error { id, .. } => assert_eq!(id, 0),
+        other => panic!("expected error, got {other:?}"),
+    }
+    assert_eq!(ask(r#"{"op":"ping"}"#), Response::Pong);
+
+    // Metrics accounting over the wire.
+    match ask(r#"{"op":"metrics"}"#) {
+        Response::Metrics(snapshot) => {
+            assert_eq!(snapshot.completed, 3);
+            assert_eq!(snapshot.errored, 0);
+            assert_eq!(snapshot.accepted, 3);
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    server.stop();
+}
