@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eva_circuit::{CircuitPin, EulerianSequence, PinRole, TopologyBuilder};
-use eva_model::{Generator, ModelConfig, Transformer};
+use eva_model::{BatchGenerator, Generator, ModelConfig, Transformer};
 use eva_nn::Tape;
 use eva_spice::{ac_sweep, dc_operating_point, elaborate, log_sweep, Sizing, Stimulus, Tech};
 use eva_tokenizer::TokenId;
@@ -68,8 +68,12 @@ fn bench_circuit(c: &mut Criterion) {
     });
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let seq = EulerianSequence::from_topology(&topology, &mut rng).unwrap();
-    c.bench_function("circuit/euler_decode", |b| b.iter(|| seq.to_topology().unwrap()));
-    c.bench_function("circuit/canonical_hash", |b| b.iter(|| topology.canonical_hash()));
+    c.bench_function("circuit/euler_decode", |b| {
+        b.iter(|| seq.to_topology().unwrap())
+    });
+    c.bench_function("circuit/canonical_hash", |b| {
+        b.iter(|| topology.canonical_hash())
+    });
 }
 
 fn bench_model(c: &mut Criterion) {
@@ -88,6 +92,30 @@ fn bench_model(c: &mut Criterion) {
                     .map(|(i, _)| i)
                     .unwrap();
                 logits = g.step(TokenId(next as u32)).expect("within context");
+            }
+        })
+    });
+    c.bench_function("model/batch_generate_32_tokens_x8", |b| {
+        b.iter(|| {
+            // Same greedy 32-token walk as above, but 8 lanes in lockstep
+            // through one BatchGenerator (one weight sweep per step).
+            const LANES: usize = 8;
+            let mut g = BatchGenerator::new(&model, LANES);
+            let mut feed: Vec<(usize, TokenId)> =
+                (0..LANES).map(|lane| (lane, TokenId(2))).collect();
+            for _ in 0..32 {
+                let rows = g.step(&feed);
+                feed.clear();
+                for (lane, row) in rows.into_iter().enumerate() {
+                    let logits = row.expect("within context");
+                    let next = logits
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    feed.push((lane, TokenId(next as u32)));
+                }
             }
         })
     });

@@ -1,0 +1,143 @@
+//! Decode throughput benchmark → `BENCH_decode.json`.
+//!
+//! Measures tokens/sec of the two decode paths at batch sizes 1/4/16:
+//!
+//! - **per-sequence** — the sequential [`eva_model::Generator`] loop,
+//!   decoding one lane at a time (the pre-batched-runtime hot path);
+//! - **batched** — one [`eva_model::decode_batch`] lockstep call over all
+//!   lanes (one weight sweep per step for the whole batch).
+//!
+//! Both paths decode the *same* sequences (per-lane seeded RNGs, bit-exact
+//! per-lane math — asserted every repetition), so the ratio isolates the
+//! runtime, not sampling luck. The JSON artifact at the repo root tracks
+//! the speedup PR over PR.
+//!
+//! ```text
+//! cargo run -p eva-bench --release --bin decode_bench [-- --quick --seed N --samples REPS]
+//! ```
+
+use std::time::Instant;
+
+use eva_bench::RunArgs;
+use eva_model::{
+    decode_batch, sample_logits, Generator, LaneRequest, ModelConfig, SamplingPolicy, Transformer,
+};
+use eva_tokenizer::TokenId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+
+fn main() {
+    let args = RunArgs::parse();
+    let reps = args.samples.unwrap_or(if args.quick { 3 } else { 10 });
+    let max_len = if args.quick { 32 } else { 64 };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let config = ModelConfig::repro(512, 128);
+    let model = Transformer::new(config, &mut rng);
+    // The evaluation/serving grammar shape: PAD=0, END=1, start the walk at
+    // token 2 (the tokenizer's VSS slot).
+    let policy = SamplingPolicy::constrained(TokenId(2), TokenId(1), TokenId(0));
+
+    eprintln!("[decode_bench] repro(512,128), max_len {max_len}, {reps} reps per batch size");
+    let mut results = Vec::new();
+    for &batch in &BATCH_SIZES {
+        let mut seq_tokens = 0u64;
+        let mut seq_elapsed = 0.0f64;
+        let mut batch_tokens = 0u64;
+        let mut batch_elapsed = 0.0f64;
+        for rep in 0..reps {
+            let seeds: Vec<u64> = (0..batch as u64)
+                .map(|lane| args.seed ^ (rep as u64 * 1000 + lane + 1))
+                .collect();
+
+            let start = Instant::now();
+            let sequential: Vec<Vec<TokenId>> = seeds
+                .iter()
+                .map(|&seed| decode_sequential(&model, &policy, seed, max_len))
+                .collect();
+            seq_elapsed += start.elapsed().as_secs_f64();
+            seq_tokens += sequential.iter().map(|t| t.len() as u64).sum::<u64>();
+
+            let lanes: Vec<LaneRequest<ChaCha8Rng>> = seeds
+                .iter()
+                .map(|&seed| LaneRequest {
+                    rng: ChaCha8Rng::seed_from_u64(seed),
+                    temperature: 1.0,
+                    top_k: Some(40),
+                    max_len,
+                    prompt: Vec::new(),
+                })
+                .collect();
+            let start = Instant::now();
+            let batched = decode_batch(&model, &policy, lanes);
+            batch_elapsed += start.elapsed().as_secs_f64();
+            for (lane, out) in batched.iter().enumerate() {
+                assert!(out.is_ok(), "lane {lane} errored");
+                assert_eq!(
+                    out.tokens, sequential[lane],
+                    "lane {lane} diverged between batched and sequential decode"
+                );
+                batch_tokens += out.tokens.len() as u64;
+            }
+        }
+        let per_sequence = seq_tokens as f64 / seq_elapsed.max(1e-9);
+        let batched = batch_tokens as f64 / batch_elapsed.max(1e-9);
+        eprintln!(
+            "[decode_bench] batch {batch:>2}: per-sequence {per_sequence:>10.0} tok/s, \
+             batched {batched:>10.0} tok/s ({:.2}x)",
+            batched / per_sequence
+        );
+        results.push(serde_json::json!({
+            "batch": batch,
+            "per_sequence_tokens_per_s": per_sequence,
+            "batched_tokens_per_s": batched,
+            "speedup": batched / per_sequence,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "eva-model/decode",
+        "seed": args.seed,
+        "scale": "repro(512,128)",
+        "max_len": max_len,
+        "reps": reps,
+        "results": results,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{pretty}");
+    std::fs::write("BENCH_decode.json", format!("{pretty}\n")).expect("write BENCH_decode.json");
+    eprintln!("[decode_bench] wrote BENCH_decode.json");
+}
+
+/// The pre-batched-runtime hot path: one sequential [`Generator`] driving
+/// one lane, with the same policy masking and RNG discipline as
+/// [`decode_batch`] (so outputs are comparable token-for-token).
+fn decode_sequential(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    seed: u64,
+    max_len: usize,
+) -> Vec<TokenId> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let limit = max_len.min(model.config().max_seq_len);
+    let mut generator = Generator::new(model);
+    let mut tokens = vec![policy.start];
+    let mut logits = generator.step(policy.start).expect("start within context");
+    loop {
+        if tokens.len() >= limit {
+            return tokens;
+        }
+        policy.mask_logits(*tokens.last().expect("non-empty"), &mut logits);
+        let next = TokenId(sample_logits(&logits, 1.0, Some(40), &mut rng) as u32);
+        if next == policy.end {
+            return tokens;
+        }
+        tokens.push(next);
+        if tokens.len() >= limit {
+            return tokens;
+        }
+        logits = generator.step(next).expect("within clamped context");
+    }
+}

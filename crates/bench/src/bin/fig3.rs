@@ -24,11 +24,18 @@ fn main() {
 
     // --- Setup: pretrained and fresh models over the same corpus.
     let eva = pretrained_eva(&args, &mut rng);
-    let fresh = Eva::prepare(&experiment_options(args.quick), &mut ChaCha8Rng::seed_from_u64(args.seed + 100));
+    let fresh = Eva::prepare(
+        &experiment_options(args.quick),
+        &mut ChaCha8Rng::seed_from_u64(args.seed + 100),
+    );
 
     let budget = label_budget(target);
     let data = eva.finetune_data(target, budget, &mut rng);
-    eprintln!("[fig3] labeled data: {:?} (threshold {:.3})", data.class_counts(), data.fom_threshold);
+    eprintln!(
+        "[fig3] labeled data: {:?} (threshold {:.3})",
+        data.class_counts(),
+        data.fom_threshold
+    );
     let reward_model = eva.train_reward_model(&data, if args.quick { 2 } else { 4 }, &mut rng);
 
     let epochs = if args.quick { 4 } else { 10 };
@@ -40,38 +47,76 @@ fn main() {
         ..PpoConfig::default()
     };
 
-    // --- PPO score curves.
+    // --- PPO score curves. Decode failures surface as typed errors; a
+    // regime that fails reports NaN for its remaining epochs instead of
+    // aborting the whole figure.
     eprintln!("[fig3] PPO: pretrain+finetune");
-    let mut t1 = PpoTrainer::new(eva.model().clone(), &reward_model, eva.tokenizer(), ppo_cfg, &mut rng);
-    let s1 = t1.run(&mut rng);
+    let mut t1 = PpoTrainer::new(
+        eva.model().clone(),
+        &reward_model,
+        eva.tokenizer(),
+        ppo_cfg,
+        &mut rng,
+    );
+    let s1 = t1.run(&mut rng).unwrap_or_else(|e| {
+        eprintln!("[fig3] PPO pretrain+finetune failed: {e}");
+        Vec::new()
+    });
 
     eprintln!("[fig3] PPO: finetune only (random init)");
     let rm_fresh = {
         let mut rm = RewardModel::new(fresh.model().clone(), &mut rng);
-        rm.train(&data.samples, if args.quick { 2 } else { 4 }, 1e-4, &mut rng);
+        rm.train(
+            &data.samples,
+            if args.quick { 2 } else { 4 },
+            1e-4,
+            &mut rng,
+        );
         rm
     };
-    let mut t2 = PpoTrainer::new(fresh.model().clone(), &rm_fresh, fresh.tokenizer(), ppo_cfg, &mut rng);
-    let s2 = t2.run(&mut rng);
+    let mut t2 = PpoTrainer::new(
+        fresh.model().clone(),
+        &rm_fresh,
+        fresh.tokenizer(),
+        ppo_cfg,
+        &mut rng,
+    );
+    let s2 = t2.run(&mut rng).unwrap_or_else(|e| {
+        eprintln!("[fig3] PPO finetune-only failed: {e}");
+        Vec::new()
+    });
 
     eprintln!("[fig3] PPO: pretrain only (frozen, scored per epoch)");
-    let frozen = PpoTrainer::new(eva.model().clone(), &reward_model, eva.tokenizer(), ppo_cfg, &mut rng);
+    let frozen = PpoTrainer::new(
+        eva.model().clone(),
+        &reward_model,
+        eva.tokenizer(),
+        ppo_cfg,
+        &mut rng,
+    );
     let s3: Vec<f64> = (0..epochs)
-        .map(|_| {
-            let rollouts = frozen.rollout_batch(&mut rng);
-            rollouts.iter().map(|r| r.seq_reward).sum::<f64>() / rollouts.len() as f64
+        .map(|_| match frozen.rollout_batch(&mut rng) {
+            Ok(rollouts) => {
+                rollouts.iter().map(|r| r.seq_reward).sum::<f64>() / rollouts.len() as f64
+            }
+            Err(e) => {
+                eprintln!("[fig3] frozen rollout failed: {e}");
+                f64::NAN
+            }
         })
         .collect();
 
     let mut ppo_csv = String::from("epoch,pretrain_finetune,pretrain_only,finetune_only\n");
     println!("\nFigure 3 (left) — PPO mean score per epoch:");
-    println!("{:>5} {:>18} {:>14} {:>14}", "epoch", "pretrain+finetune", "pretrain-only", "finetune-only");
+    println!(
+        "{:>5} {:>18} {:>14} {:>14}",
+        "epoch", "pretrain+finetune", "pretrain-only", "finetune-only"
+    );
     for e in 0..epochs {
-        println!(
-            "{:>5} {:>18.3} {:>14.3} {:>14.3}",
-            e, s1[e].mean_score, s3[e], s2[e].mean_score
-        );
-        ppo_csv.push_str(&format!("{e},{:.4},{:.4},{:.4}\n", s1[e].mean_score, s3[e], s2[e].mean_score));
+        let v1 = s1.get(e).map_or(f64::NAN, |s| s.mean_score);
+        let v2 = s2.get(e).map_or(f64::NAN, |s| s.mean_score);
+        println!("{:>5} {:>18.3} {:>14.3} {:>14.3}", e, v1, s3[e], v2);
+        ppo_csv.push_str(&format!("{e},{v1:.4},{:.4},{v2:.4}\n", s3[e]));
     }
     write_results("fig3_ppo_score.csv", &ppo_csv);
 
@@ -88,7 +133,11 @@ fn main() {
     let evals = if args.quick { 4 } else { 8 };
     let chunk = train_pairs.len() / evals;
 
-    let run_dpo = |label: &str, policy: eva_model::Transformer, train: bool, rng: &mut ChaCha8Rng| -> Vec<f64> {
+    let run_dpo = |label: &str,
+                   policy: eva_model::Transformer,
+                   train: bool,
+                   rng: &mut ChaCha8Rng|
+     -> Vec<f64> {
         let mut trainer = DpoTrainer::new(policy, dpo_cfg);
         let mut curve = vec![trainer.reward_accuracy(&val_pairs)];
         for step in 0..evals {
@@ -104,12 +153,20 @@ fn main() {
     };
 
     let c1 = run_dpo("pretrain+finetune", eva.model().clone(), true, &mut rng);
-    let c2 = run_dpo("pretrain only (frozen)", eva.model().clone(), false, &mut rng);
+    let c2 = run_dpo(
+        "pretrain only (frozen)",
+        eva.model().clone(),
+        false,
+        &mut rng,
+    );
     let c3 = run_dpo("finetune only", fresh.model().clone(), true, &mut rng);
 
     let mut dpo_csv = String::from("eval,pretrain_finetune,pretrain_only,finetune_only\n");
     println!("\nFigure 3 (right) — DPO validation reward accuracy:");
-    println!("{:>5} {:>18} {:>14} {:>14}", "eval", "pretrain+finetune", "pretrain-only", "finetune-only");
+    println!(
+        "{:>5} {:>18} {:>14} {:>14}",
+        "eval", "pretrain+finetune", "pretrain-only", "finetune-only"
+    );
     for e in 0..c1.len() {
         println!("{:>5} {:>18.3} {:>14.3} {:>14.3}", e, c1[e], c2[e], c3[e]);
         dpo_csv.push_str(&format!("{e},{:.4},{:.4},{:.4}\n", c1[e], c2[e], c3[e]));

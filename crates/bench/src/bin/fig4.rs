@@ -34,13 +34,25 @@ fn main() {
         ..PpoConfig::default()
     };
     eprintln!("[fig4] PPO fine-tuning");
-    let mut trainer =
-        PpoTrainer::new(eva.model().clone(), &reward_model, eva.tokenizer(), ppo_cfg, &mut rng);
-    let stats = trainer.run(&mut rng);
+    let mut trainer = PpoTrainer::new(
+        eva.model().clone(),
+        &reward_model,
+        eva.tokenizer(),
+        ppo_cfg,
+        &mut rng,
+    );
+    // A decode failure truncates the loss trace instead of aborting the run.
+    let stats = trainer.run(&mut rng).unwrap_or_else(|e| {
+        eprintln!("[fig4] PPO run failed: {e}");
+        Vec::new()
+    });
 
     let mut ppo_csv = String::from("epoch,total_loss,policy_loss,value_loss,mean_kl,mean_score\n");
     println!("\nFigure 4 (left) — PPO loss per epoch:");
-    println!("{:>5} {:>12} {:>12} {:>12} {:>10} {:>10}", "epoch", "total", "policy", "value", "kl", "score");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "epoch", "total", "policy", "value", "kl", "score"
+    );
     for (e, s) in stats.iter().enumerate() {
         println!(
             "{:>5} {:>12.4} {:>12.4} {:>12.4} {:>10.4} {:>10.3}",
@@ -70,7 +82,10 @@ fn main() {
 
     let mut dpo_csv = String::from("step,loss,win_logp,lose_logp,accuracy\n");
     println!("\nFigure 4 (right) — DPO loss per step (win/lose log-likelihoods):");
-    println!("{:>5} {:>10} {:>12} {:>12} {:>9}", "step", "loss", "win logp", "lose logp", "acc");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>9}",
+        "step", "loss", "win logp", "lose logp", "acc"
+    );
     for (i, s) in steps.iter().enumerate() {
         if i % (steps.len() / 20).max(1) == 0 || i + 1 == steps.len() {
             println!(

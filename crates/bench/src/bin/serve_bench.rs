@@ -127,6 +127,10 @@ fn main() {
         "tokens_per_s": tokens as f64 / elapsed,
         "p50_us": percentile(&latencies_us, 0.50),
         "p99_us": percentile(&latencies_us, 0.99),
+        // Batched-decode utilization: how many joint lockstep decodes the
+        // pool ran, and how many requests each one carried on average.
+        "batches": snapshot.batches,
+        "mean_batch_size": snapshot.mean_batch_size,
         "metrics": snapshot,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");

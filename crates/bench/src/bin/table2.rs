@@ -62,7 +62,12 @@ where
     } else {
         None
     };
-    Row { report, fom_opamp, fom_converter, labeled_override: None }
+    Row {
+        report,
+        fom_opamp,
+        fom_converter,
+        labeled_override: None,
+    }
 }
 
 /// Marker trait: generators passed by value to `eval_method` (kept simple —
@@ -75,7 +80,12 @@ fn main() {
     let n = args.samples.unwrap_or(if args.quick { 100 } else { 1000 });
     let k = 10;
     let ga = if args.quick {
-        GaConfig { population: 8, generations: 4, threads: 4, ..GaConfig::default() }
+        GaConfig {
+            population: 8,
+            generations: 4,
+            threads: 4,
+            ..GaConfig::default()
+        }
     } else {
         GaConfig::default()
     };
@@ -94,11 +104,26 @@ fn main() {
     let fresh = Eva::prepare(&options, &mut ChaCha8Rng::seed_from_u64(args.seed + 100));
 
     let ppo_cfg = if args.quick {
-        PpoConfig { epochs: 2, batch_size: 6, minibatch_size: 3, max_len: 64, ..PpoConfig::default() }
+        PpoConfig {
+            epochs: 2,
+            batch_size: 6,
+            minibatch_size: 3,
+            max_len: 64,
+            ..PpoConfig::default()
+        }
     } else {
-        PpoConfig { epochs: 8, batch_size: 16, minibatch_size: 4, max_len: 96, ..PpoConfig::default() }
+        PpoConfig {
+            epochs: 8,
+            batch_size: 16,
+            minibatch_size: 4,
+            max_len: 96,
+            ..PpoConfig::default()
+        }
     };
-    let dpo_cfg = DpoConfig { epochs: if args.quick { 1 } else { 2 }, ..DpoConfig::default() };
+    let dpo_cfg = DpoConfig {
+        epochs: if args.quick { 1 } else { 2 },
+        ..DpoConfig::default()
+    };
     let pair_draws = if args.quick { 40 } else { 200 };
     let rm_epochs = if args.quick { 2 } else { 4 };
 
@@ -106,13 +131,25 @@ fn main() {
     let budget = label_budget(target);
     eprintln!("[finetune] building {budget}-label dataset for {target}");
     let data = eva.finetune_data(target, budget, &mut rng);
-    eprintln!("[finetune] class counts {:?}, threshold {:.3}", data.class_counts(), data.fom_threshold);
+    eprintln!(
+        "[finetune] class counts {:?}, threshold {:.3}",
+        data.class_counts(),
+        data.fom_threshold
+    );
 
     eprintln!("[finetune] reward model ({} samples)", data.samples.len());
     let reward_model = eva.train_reward_model(&data, rm_epochs, &mut rng);
 
     eprintln!("[finetune] PPO after pretraining");
-    let (ppo_policy, _) = eva.finetune_ppo(&reward_model, ppo_cfg, &mut rng);
+    // A rollout decode failure downgrades the variant to the pretrained
+    // policy instead of aborting the whole table.
+    let ppo_policy = match eva.finetune_ppo(&reward_model, ppo_cfg, &mut rng) {
+        Ok((policy, _)) => policy,
+        Err(e) => {
+            eprintln!("[finetune] PPO failed ({e}); falling back to pretrained policy");
+            eva.model().clone()
+        }
+    };
     variants.push(("EVA (Pretrain+PPO)".into(), ppo_policy, budget));
 
     eprintln!("[finetune] DPO after pretraining");
@@ -125,7 +162,13 @@ fn main() {
         rm.train(&data.samples, rm_epochs, 1e-4, &mut rng);
         rm
     };
-    let (ppo_only, _) = fresh.finetune_ppo(&rm_fresh, ppo_cfg, &mut rng);
+    let ppo_only = match fresh.finetune_ppo(&rm_fresh, ppo_cfg, &mut rng) {
+        Ok((policy, _)) => policy,
+        Err(e) => {
+            eprintln!("[finetune] PPO-only failed ({e}); falling back to fresh policy");
+            fresh.model().clone()
+        }
+    };
     variants.push(("EVA (PPO only)".into(), ppo_only, budget));
 
     eprintln!("[finetune] DPO only (no pretraining)");
@@ -138,26 +181,58 @@ fn main() {
     eprintln!("[table2] evaluating baselines over {n} generations each");
     rows.push(eval_method(
         eva_baselines::AnalogCoder::new(eva.reference_entries()),
-        n, k, &eva, &classifier, &ga, args.seed + 10, true, false,
+        n,
+        k,
+        &eva,
+        &classifier,
+        &ga,
+        args.seed + 10,
+        true,
+        false,
     ));
     rows.push(eval_method(
         eva_baselines::Artisan::new(eva.reference_entries()),
-        n, k, &eva, &classifier, &ga, args.seed + 11, true, false,
+        n,
+        k,
+        &eva,
+        &classifier,
+        &ga,
+        args.seed + 11,
+        true,
+        false,
     ));
     rows.push(eval_method(
         eva_baselines::CktGnn::new(),
-        n, k, &eva, &classifier, &ga, args.seed + 12, true, false,
+        n,
+        k,
+        &eva,
+        &classifier,
+        &ga,
+        args.seed + 12,
+        true,
+        false,
     ));
     rows.push(eval_method(
         eva_baselines::LaMagic::new(eva.reference_entries()),
-        n, k, &eva, &classifier, &ga, args.seed + 13, false, true,
+        n,
+        k,
+        &eva,
+        &classifier,
+        &ga,
+        args.seed + 13,
+        false,
+        true,
     ));
 
     for (i, (name, policy, labels)) in variants.iter().enumerate() {
         let generator: EvaGenerator<'_> = eva.generator(name.clone(), policy, *labels);
         let mut row = eval_method(
             generator,
-            n, k, &eva, &classifier, &ga,
+            n,
+            k,
+            &eva,
+            &classifier,
+            &ga,
             args.seed + 20 + i as u64,
             true,
             true,
@@ -181,8 +256,7 @@ fn main() {
             .map(|(a, b)| format!("{a} / {b}"))
             .unwrap_or_else(|| format!("{}", r.labeled_samples));
         let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "N/A".into());
-        let fmt_mmd =
-            |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "N/A".into());
+        let fmt_mmd = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "N/A".into());
         md.push_str(&format!(
             "| {} | {:.1} | {:.1} | {} | {} | {} | {} | {} |\n",
             r.method,

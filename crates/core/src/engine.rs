@@ -2,13 +2,13 @@
 //! generate.
 
 use eva_dataset::{expand, CircuitType, Corpus, CorpusOptions, DatasetEntry};
-use eva_model::{ModelConfig, Transformer};
+use eva_model::{decode_batch, LaneRequest, ModelConfig, SamplingPolicy, Transformer};
 use eva_rl::{
     build_finetune_data, pairs_from_ranks, DpoConfig, DpoStepStats, DpoTrainer, FinetuneData,
     PpoConfig, PpoEpochStats, PpoTrainer, RewardModel,
 };
 use eva_tokenizer::{TokenId, Tokenizer};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::pretrain::{pretrain, PretrainConfig};
@@ -65,7 +65,12 @@ impl EvaOptions {
             n_heads: 2,
             d_model: 32,
             max_seq_cap: None,
-            pretrain: PretrainConfig { steps: 30, batch_size: 4, lr: 1e-3, warmup: 3 },
+            pretrain: PretrainConfig {
+                steps: 30,
+                batch_size: 4,
+                lr: 1e-3,
+                warmup: 3,
+            },
         }
     }
 }
@@ -128,7 +133,14 @@ impl Eva {
         };
         let train_sequences = encode(&train_records);
         let val_sequences = encode(&val_records);
-        Eva { corpus, tokenizer, model, train_sequences, val_sequences, pretrained: false }
+        Eva {
+            corpus,
+            tokenizer,
+            model,
+            train_sequences,
+            val_sequences,
+            pretrained: false,
+        }
     }
 
     /// The corpus.
@@ -203,16 +215,26 @@ impl Eva {
 
     /// PPO fine-tuning (Algorithm 1); returns the tuned policy and
     /// per-epoch stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed [`eva_model::InferError`] if rollout decoding
+    /// fails (e.g. a policy/tokenizer context mismatch).
     pub fn finetune_ppo(
         &self,
         reward_model: &RewardModel,
         config: PpoConfig,
         rng: &mut ChaCha8Rng,
-    ) -> (Transformer, Vec<PpoEpochStats>) {
-        let mut trainer =
-            PpoTrainer::new(self.model.clone(), reward_model, &self.tokenizer, config, rng);
-        let stats = trainer.run(rng);
-        (trainer.into_policy(), stats)
+    ) -> Result<(Transformer, Vec<PpoEpochStats>), eva_model::InferError> {
+        let mut trainer = PpoTrainer::new(
+            self.model.clone(),
+            reward_model,
+            &self.tokenizer,
+            config,
+            rng,
+        );
+        let stats = trainer.run(rng)?;
+        Ok((trainer.into_policy(), stats))
     }
 
     /// DPO fine-tuning (Eq. 5) from rank-labeled data; returns the tuned
@@ -298,38 +320,73 @@ pub struct EvaGenerator<'a> {
 }
 
 impl EvaGenerator<'_> {
-    /// Sample one token sequence with a minimal grammar constraint: the
-    /// terminator is only admissible right after a `VSS` token (every valid
-    /// Eulerian circuit closes at `VSS`), and `PAD` is never sampled. All
-    /// other structural validity is left to the model, as in the paper.
-    fn sample_tokens(&self, rng: &mut ChaCha8Rng) -> Vec<eva_tokenizer::TokenId> {
-        let vss = self.tokenizer.vss();
-        let mut generator = eva_model::Generator::new(self.policy);
-        let limit = self.max_len.min(self.policy.config().max_seq_len);
-        let mut tokens = vec![vss];
-        let mut logits = generator.step(vss).expect("VSS within vocabulary and context");
-        while tokens.len() < limit {
-            let last = *tokens.last().expect("non-empty");
-            logits[Tokenizer::PAD.index()] = f32::NEG_INFINITY;
-            if last != vss {
-                logits[Tokenizer::END.index()] = f32::NEG_INFINITY;
-            }
-            let next = eva_tokenizer::TokenId(eva_model::sample_logits(
-                &logits,
-                self.temperature,
-                self.top_k,
-                rng,
-            ) as u32);
-            if next == Tokenizer::END {
-                break;
-            }
-            tokens.push(next);
-            if tokens.len() >= limit {
-                break;
-            }
-            logits = generator.step(next).expect("sampled token within clamped context");
+    /// Lanes decoded per lockstep chunk in [`EvaGenerator::generate_batch`]
+    /// implementations — bounds the KV arena while keeping the GEMMs fat.
+    const CHUNK: usize = 16;
+
+    /// The shared decode-time grammar constraint (see
+    /// [`eva_model::SamplingPolicy`]): the terminator is only admissible
+    /// right after a `VSS` token (every valid Eulerian circuit closes at
+    /// `VSS`), and `PAD` is never sampled. All other structural validity
+    /// is left to the model, as in the paper.
+    fn sampling_policy(&self) -> SamplingPolicy {
+        SamplingPolicy::constrained(self.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD)
+    }
+
+    /// Sample one token sequence under [`EvaGenerator::sampling_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`eva_model::InferError`] if decoding fails (e.g.
+    /// a context/vocabulary mismatch between policy and tokenizer) — a
+    /// malformed state must not abort a whole evaluation run.
+    fn sample_tokens(&self, rng: &mut ChaCha8Rng) -> Result<Vec<TokenId>, eva_model::InferError> {
+        let lane = LaneRequest {
+            rng,
+            temperature: self.temperature,
+            top_k: self.top_k,
+            max_len: self.max_len,
+            prompt: Vec::new(),
+        };
+        let out = decode_batch(self.policy, &self.sampling_policy(), vec![lane])
+            .pop()
+            .expect("one lane in, one lane out");
+        match out.error {
+            Some(e) => Err(e),
+            None => Ok(out.tokens),
         }
-        tokens
+    }
+
+    /// Sample `n` token sequences jointly through the lockstep batched
+    /// decoder, one seeded RNG per lane (so each sequence is reproducible
+    /// from its lane seed alone).
+    fn sample_tokens_batch(
+        &self,
+        n: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Result<Vec<TokenId>, eva_model::InferError>> {
+        let policy = self.sampling_policy();
+        let lanes: Vec<LaneRequest<ChaCha8Rng>> = (0..n)
+            .map(|_| LaneRequest {
+                rng: ChaCha8Rng::seed_from_u64(rng.gen()),
+                temperature: self.temperature,
+                top_k: self.top_k,
+                max_len: self.max_len,
+                prompt: Vec::new(),
+            })
+            .collect();
+        decode_batch(self.policy, &policy, lanes)
+            .into_iter()
+            .map(|out| match out.error {
+                Some(e) => Err(e),
+                None => Ok(out.tokens),
+            })
+            .collect()
+    }
+
+    fn decode_topology(&self, tokens: &[TokenId]) -> Option<eva_circuit::Topology> {
+        let seq = self.tokenizer.to_sequence(tokens).ok()?;
+        seq.to_topology().ok()
     }
 }
 
@@ -339,9 +396,25 @@ impl eva_eval::TopologyGenerator for EvaGenerator<'_> {
     }
 
     fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<eva_circuit::Topology> {
-        let tokens = self.sample_tokens(rng);
-        let seq = self.tokenizer.to_sequence(&tokens).ok()?;
-        seq.to_topology().ok()
+        let tokens = self.sample_tokens(rng).ok()?;
+        self.decode_topology(&tokens)
+    }
+
+    fn generate_batch(
+        &mut self,
+        n: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Option<eva_circuit::Topology>> {
+        // Chunked lockstep decode: every chunk streams the policy weights
+        // once per step for all its lanes instead of once per lane.
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let lanes = Self::CHUNK.min(n - out.len());
+            for result in self.sample_tokens_batch(lanes, rng) {
+                out.push(result.ok().and_then(|tokens| self.decode_topology(&tokens)));
+            }
+        }
+        out
     }
 
     fn labeled_samples(&self) -> usize {
@@ -362,7 +435,10 @@ mod tests {
         assert!(!eva.is_pretrained());
         assert!(eva.train_sequence_count() > 0);
         assert!(eva.tokenizer().vocab_size() > 10);
-        assert_eq!(eva.model().config().vocab_size, eva.tokenizer().vocab_size());
+        assert_eq!(
+            eva.model().config().vocab_size,
+            eva.tokenizer().vocab_size()
+        );
     }
 
     #[test]
@@ -370,7 +446,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
         let before = eva.validation_loss();
-        let cfg = PretrainConfig { steps: 40, batch_size: 4, lr: 1e-3, warmup: 4 };
+        let cfg = PretrainConfig {
+            steps: 40,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 4,
+        };
         let losses = eva.pretrain(&cfg, &mut rng);
         assert!(eva.is_pretrained());
         assert_eq!(losses.len(), 40);
@@ -382,7 +463,12 @@ mod tests {
     fn checkpoint_round_trip() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
-        let cfg = PretrainConfig { steps: 10, batch_size: 4, lr: 1e-3, warmup: 2 };
+        let cfg = PretrainConfig {
+            steps: 10,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 2,
+        };
         eva.pretrain(&cfg, &mut rng);
         let dir = std::env::temp_dir().join("eva_ckpt_test.params");
         eva.save_model(&dir).unwrap();
@@ -401,7 +487,12 @@ mod tests {
     fn generator_emits_decodable_or_none() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
-        let cfg = PretrainConfig { steps: 25, batch_size: 4, lr: 1e-3, warmup: 3 };
+        let cfg = PretrainConfig {
+            steps: 25,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 3,
+        };
         eva.pretrain(&cfg, &mut rng);
         let model = eva.model().clone();
         let mut generator = eva.generator("EVA (Pretrain)", &model, 0);
@@ -417,5 +508,27 @@ mod tests {
         let _ = produced; // informational; validity measured elsewhere
         assert_eq!(generator.labeled_samples(), 0);
         assert_eq!(generator.name(), "EVA (Pretrain)");
+    }
+
+    #[test]
+    fn generator_batch_covers_every_slot() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+        let cfg = PretrainConfig {
+            steps: 20,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 3,
+        };
+        eva.pretrain(&cfg, &mut rng);
+        let model = eva.model().clone();
+        let mut generator = eva.generator("EVA (Pretrain)", &model, 0);
+        // Spans two lockstep chunks; every attempt gets a slot (Some/None).
+        let n = EvaGenerator::CHUNK + 5;
+        let proposals = generator.generate_batch(n, &mut rng);
+        assert_eq!(proposals.len(), n);
+        for t in proposals.into_iter().flatten() {
+            assert!(t.edge_count() > 0);
+        }
     }
 }

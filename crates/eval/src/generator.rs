@@ -16,6 +16,15 @@ pub trait TopologyGenerator {
     /// the validity metric can judge them.
     fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<Topology>;
 
+    /// Propose exactly `n` topologies (`None` per hard failure, so slots
+    /// line up with attempts). The default draws them one at a time
+    /// through [`TopologyGenerator::generate`]; methods with a batched
+    /// sampler (EVA's lockstep decoder) override this so the evaluation
+    /// protocol amortizes model compute across proposals.
+    fn generate_batch(&mut self, n: usize, rng: &mut ChaCha8Rng) -> Vec<Option<Topology>> {
+        (0..n).map(|_| self.generate(rng)).collect()
+    }
+
     /// Number of performance-labeled training topologies the method
     /// consumed (Table II's "# of labeled topology" column).
     fn labeled_samples(&self) -> usize;
@@ -28,6 +37,9 @@ impl<G: TopologyGenerator + ?Sized> TopologyGenerator for &mut G {
     }
     fn generate(&mut self, rng: &mut ChaCha8Rng) -> Option<Topology> {
         (**self).generate(rng)
+    }
+    fn generate_batch(&mut self, n: usize, rng: &mut ChaCha8Rng) -> Vec<Option<Topology>> {
+        (**self).generate_batch(n, rng)
     }
     fn labeled_samples(&self) -> usize {
         (**self).labeled_samples()
@@ -59,7 +71,8 @@ pub(crate) mod testing {
             for _ in 0..n {
                 let m = b.add(DeviceKind::Nmos);
                 b.wire(b.pin(m, PinRole::Gate), CircuitPin::Vin(1)).unwrap();
-                b.wire(b.pin(m, PinRole::Drain), CircuitPin::Vout(1)).unwrap();
+                b.wire(b.pin(m, PinRole::Drain), CircuitPin::Vout(1))
+                    .unwrap();
                 b.wire(b.pin(m, PinRole::Source), CircuitPin::Vss).unwrap();
                 if valid {
                     b.wire(b.pin(m, PinRole::Bulk), CircuitPin::Vss).unwrap();

@@ -48,12 +48,14 @@ pub fn evaluate_generation<G: TopologyGenerator>(
     classifier: &TypeClassifier,
     rng: &mut ChaCha8Rng,
 ) -> GenerationReport {
-    let known: BTreeSet<u64> =
-        reference.iter().map(|e| e.topology.canonical_hash()).collect();
+    let known: BTreeSet<u64> = reference
+        .iter()
+        .map(|e| e.topology.canonical_hash())
+        .collect();
     let mut valid: Vec<Topology> = Vec::new();
     let mut novel: Vec<Topology> = Vec::new();
-    for _ in 0..n {
-        let Some(topology) = generator.generate(rng) else { continue };
+    for proposal in generator.generate_batch(n, rng) {
+        let Some(topology) = proposal else { continue };
         if !eva_spice::check_validity(&topology).is_valid() {
             continue;
         }
@@ -67,8 +69,7 @@ pub fn evaluate_generation<G: TopologyGenerator>(
     } else if novel.is_empty() {
         Some(0.0)
     } else {
-        let ref_topos: Vec<Topology> =
-            reference.iter().map(|e| e.topology.clone()).collect();
+        let ref_topos: Vec<Topology> = reference.iter().map(|e| e.topology.clone()).collect();
         Some(topology_mmd(&novel, &ref_topos))
     };
     GenerationReport {
@@ -98,8 +99,8 @@ pub fn fom_at_k<G: TopologyGenerator>(
     rng: &mut ChaCha8Rng,
 ) -> Option<f64> {
     let mut best: Option<f64> = None;
-    for attempt in 0..k {
-        let Some(topology) = generator.generate(rng) else { continue };
+    for (attempt, proposal) in generator.generate_batch(k, rng).into_iter().enumerate() {
+        let Some(topology) = proposal else { continue };
         if !eva_spice::check_validity(&topology).is_valid() {
             continue;
         }
@@ -135,13 +136,8 @@ mod tests {
         let reference = small_reference();
         let clf = TypeClassifier::fit(&reference);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let report = evaluate_generation(
-            ToyGenerator { emitted: 0 },
-            40,
-            &reference,
-            &clf,
-            &mut rng,
-        );
+        let report =
+            evaluate_generation(ToyGenerator { emitted: 0 }, 40, &reference, &clf, &mut rng);
         assert_eq!(report.requested, 40);
         assert!(report.validity > 0.0 && report.validity < 1.0, "{report:?}");
         // Toy circuits are not in the reference corpus → all novel.
@@ -175,21 +171,33 @@ mod tests {
         }
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let report = evaluate_generation(
-            Replay { entries: reference.clone(), i: 0 },
+            Replay {
+                entries: reference.clone(),
+                i: 0,
+            },
             20,
             &reference,
             &clf,
             &mut rng,
         );
         assert_eq!(report.novelty, 0.0, "replayed circuits are known");
-        assert!(report.mmd.unwrap() < 0.05, "same distribution: {:?}", report.mmd);
+        assert!(
+            report.mmd.unwrap() < 0.05,
+            "same distribution: {:?}",
+            report.mmd
+        );
         assert_eq!(report.labeled_samples, 123);
     }
 
     #[test]
     fn fom_at_k_measures_valid_toys() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let ga = GaConfig { population: 6, generations: 3, threads: 2, ..GaConfig::default() };
+        let ga = GaConfig {
+            population: 6,
+            generations: 3,
+            threads: 2,
+            ..GaConfig::default()
+        };
         let fom = fom_at_k(
             ToyGenerator { emitted: 0 },
             6,

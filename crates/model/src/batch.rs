@@ -1,0 +1,790 @@
+//! Lockstep batched decoding — the shared runtime behind the engine's
+//! evaluation sampling, PPO rollouts, and the serving worker loop.
+//!
+//! [`crate::Generator`] decodes one sequence at a time: every token of
+//! every sequence re-streams all model weights through matrix-*vector*
+//! products, so the loop is memory-bandwidth-bound and N sequences cost N
+//! full weight sweeps per step. [`BatchGenerator`] decodes N lanes in
+//! lockstep instead: one batched GEMM per projection per layer per step
+//! (via [`eva_nn::matmul_kouter_into`], which streams each weight matrix
+//! exactly once per step regardless of lane count), a single preallocated
+//! KV-cache arena laid out `[layer][lane][pos][d_model]`, per-lane typed
+//! [`InferError`]s, and lane retirement — finished sequences simply stop
+//! being fed, so they cost nothing.
+//!
+//! **Determinism guarantee:** every per-row computation (embedding lookup,
+//! layer norm, attention, GELU, and the per-element accumulation order of
+//! the GEMMs) is bit-identical to the sequential [`crate::Generator`]
+//! path. With per-lane RNGs, a lane's output is therefore token-for-token
+//! identical to decoding that sequence alone — independent of batch
+//! composition, lane order, or when neighbors retire. The equivalence
+//! property tests in `tests/batch_equivalence.rs` pin this down.
+//!
+//! [`SamplingPolicy`] is the single source of truth for EVA's decode-time
+//! grammar constraint (walks start at `VSS`, the terminator is only
+//! admissible right after a `VSS` token, padding is never sampled),
+//! previously re-implemented by the engine, the RL rollout loop, and the
+//! serve worker; [`decode_batch`] drives any mix of prompted/unprompted
+//! lanes with per-lane seed, temperature, top-k and length caps.
+
+use eva_nn::{matmul_kouter_into, Tensor};
+use eva_tokenizer::TokenId;
+use rand::Rng;
+
+use crate::infer::{layer_norm_row_into, sample_logits, InferError};
+use crate::transformer::Transformer;
+
+/// Decode-time sampling rules shared by every EVA call site.
+///
+/// The grammar constraint is deliberately minimal (the paper leaves
+/// structural validity to the model): a constrained policy only removes
+/// token choices that could never parse — padding, and a terminator
+/// anywhere but right after `VSS`, where every valid Eulerian circuit
+/// closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPolicy {
+    /// Start-of-walk token (`VSS`); every decode begins here.
+    pub start: TokenId,
+    /// Sequence terminator.
+    pub end: TokenId,
+    /// Padding token masked out of every sampling step, when present.
+    pub pad: Option<TokenId>,
+    /// Grammar constraint: the terminator is only admissible immediately
+    /// after a `start` token.
+    pub end_only_after_start: bool,
+    /// Whether an emitted terminator is kept in the output tokens (RL
+    /// rollouts score it; evaluation and serving drop it).
+    pub keep_end: bool,
+}
+
+impl SamplingPolicy {
+    /// The evaluation/serving policy: terminator only after `start`,
+    /// padding never sampled, terminator excluded from the output.
+    pub fn constrained(start: TokenId, end: TokenId, pad: TokenId) -> SamplingPolicy {
+        SamplingPolicy {
+            start,
+            end,
+            pad: Some(pad),
+            end_only_after_start: true,
+            keep_end: false,
+        }
+    }
+
+    /// The RL rollout policy: no masking (the policy must learn the
+    /// grammar), terminator kept in the trajectory so it can be scored.
+    pub fn unconstrained(start: TokenId, end: TokenId) -> SamplingPolicy {
+        SamplingPolicy {
+            start,
+            end,
+            pad: None,
+            end_only_after_start: false,
+            keep_end: true,
+        }
+    }
+
+    /// Apply the grammar mask to one logit row, given the last token of
+    /// the sequence so far. A no-op for unconstrained policies.
+    pub fn mask_logits(&self, last: TokenId, logits: &mut [f32]) {
+        if let Some(pad) = self.pad {
+            logits[pad.index()] = f32::NEG_INFINITY;
+        }
+        if self.end_only_after_start && last != self.start {
+            logits[self.end.index()] = f32::NEG_INFINITY;
+        }
+    }
+
+    /// Resolve a requested length cap against the model context: `0`
+    /// means "use the full context", anything else is clamped to it.
+    pub fn clamp_len(requested: usize, context: usize) -> usize {
+        if requested == 0 {
+            context
+        } else {
+            requested.min(context)
+        }
+    }
+}
+
+/// Resolved parameter-index table so the hot loop never does string
+/// lookups (the sequential path re-resolves names every step; here the
+/// cost is paid once per batch).
+struct ParamIdx {
+    tok_emb: usize,
+    pos_emb: usize,
+    lnf_g: usize,
+    lnf_b: usize,
+    head_w: usize,
+    layers: Vec<LayerIdx>,
+}
+
+struct LayerIdx {
+    ln1_g: usize,
+    ln1_b: usize,
+    wq: usize,
+    wk: usize,
+    wv: usize,
+    wo: usize,
+    ln2_g: usize,
+    ln2_b: usize,
+    ff_w1: usize,
+    ff_b1: usize,
+    ff_w2: usize,
+    ff_b2: usize,
+}
+
+impl ParamIdx {
+    fn resolve(model: &Transformer) -> ParamIdx {
+        let p = model.params();
+        let idx = |name: &str| p.index_of(name).unwrap_or_else(|| panic!("param {name}"));
+        ParamIdx {
+            tok_emb: idx("tok_emb"),
+            pos_emb: idx("pos_emb"),
+            lnf_g: idx("lnf.g"),
+            lnf_b: idx("lnf.b"),
+            head_w: idx("head.w"),
+            layers: (0..model.config().n_layers)
+                .map(|l| LayerIdx {
+                    ln1_g: idx(&format!("l{l}.ln1.g")),
+                    ln1_b: idx(&format!("l{l}.ln1.b")),
+                    wq: idx(&format!("l{l}.attn.wq")),
+                    wk: idx(&format!("l{l}.attn.wk")),
+                    wv: idx(&format!("l{l}.attn.wv")),
+                    wo: idx(&format!("l{l}.attn.wo")),
+                    ln2_g: idx(&format!("l{l}.ln2.g")),
+                    ln2_b: idx(&format!("l{l}.ln2.b")),
+                    ff_w1: idx(&format!("l{l}.ff.w1")),
+                    ff_b1: idx(&format!("l{l}.ff.b1")),
+                    ff_w2: idx(&format!("l{l}.ff.w2")),
+                    ff_b2: idx(&format!("l{l}.ff.b2")),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Incremental decoder state over N lockstep lanes.
+///
+/// Feed at most one token per lane per [`BatchGenerator::step`]; lanes
+/// advance independently (different lengths are fine) and a lane that is
+/// not fed costs nothing. Per-lane failures are ordinary values: one bad
+/// lane never poisons its batch, and a failed step leaves that lane's
+/// cache untouched and usable, exactly like [`crate::Generator::step`].
+pub struct BatchGenerator<'m> {
+    model: &'m Transformer,
+    idx: ParamIdx,
+    lanes: usize,
+    ctx: usize,
+    /// Per layer: key arena, `lanes × ctx × d_model`, lane-major.
+    k_arena: Vec<Vec<f32>>,
+    /// Per layer: value arena, same layout.
+    v_arena: Vec<Vec<f32>>,
+    /// Per-lane tokens consumed so far.
+    t: Vec<usize>,
+    // Step scratch, allocated once at lane capacity and reused; every
+    // GEMM destination is zeroed over its active prefix before use.
+    x: Vec<f32>,
+    normed: Vec<f32>,
+    qb: Vec<f32>,
+    kb: Vec<f32>,
+    vb: Vec<f32>,
+    ctxb: Vec<f32>,
+    attnb: Vec<f32>,
+    h1: Vec<f32>,
+    h2: Vec<f32>,
+    logitsb: Vec<f32>,
+}
+
+impl<'m> BatchGenerator<'m> {
+    /// Allocate a decoder for up to `lanes` concurrent sequences, with the
+    /// KV arena sized for the model's full context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(model: &'m Transformer, lanes: usize) -> BatchGenerator<'m> {
+        assert!(lanes > 0, "at least one lane");
+        let cfg = *model.config();
+        let (d, ctx) = (cfg.d_model, cfg.max_seq_len);
+        let arena = || vec![vec![0.0f32; lanes * ctx * d]; cfg.n_layers];
+        BatchGenerator {
+            idx: ParamIdx::resolve(model),
+            model,
+            lanes,
+            ctx,
+            k_arena: arena(),
+            v_arena: arena(),
+            t: vec![0; lanes],
+            x: vec![0.0; lanes * d],
+            normed: vec![0.0; lanes * d],
+            qb: vec![0.0; lanes * d],
+            kb: vec![0.0; lanes * d],
+            vb: vec![0.0; lanes * d],
+            ctxb: vec![0.0; lanes * d],
+            attnb: vec![0.0; lanes * d],
+            h1: vec![0.0; lanes * cfg.d_ff],
+            h2: vec![0.0; lanes * d],
+            logitsb: vec![0.0; lanes * cfg.vocab_size],
+        }
+    }
+
+    /// Lane capacity.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Tokens consumed by `lane` so far.
+    pub fn len(&self, lane: usize) -> usize {
+        self.t[lane]
+    }
+
+    /// Whether `lane` has consumed nothing yet.
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.t[lane] == 0
+    }
+
+    /// Advance the fed lanes by one token each, in lockstep. Returns one
+    /// result per `feed` entry, in order: the lane's next-token logits
+    /// `[vocab]`, or the typed error that left its cache untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane index is out of range or appears twice in `feed` —
+    /// caller bugs, unlike the per-lane `InferError`s which model bad
+    /// *sequences*.
+    pub fn step(&mut self, feed: &[(usize, TokenId)]) -> Vec<Result<Vec<f32>, InferError>> {
+        let cfg = *self.model.config();
+        let d = cfg.d_model;
+        let p = self.model.params();
+        let tensor = |i: usize| -> &Tensor { p.tensor(i) };
+
+        // Admission: typed per-lane errors now, so the compute below only
+        // ever sees valid (lane, token) pairs.
+        let mut results: Vec<Result<Vec<f32>, InferError>> = Vec::with_capacity(feed.len());
+        let mut active: Vec<(usize, TokenId)> = Vec::with_capacity(feed.len());
+        let mut seen = vec![false; self.lanes];
+        for &(lane, token) in feed {
+            assert!(
+                lane < self.lanes,
+                "lane {lane} out of range ({})",
+                self.lanes
+            );
+            assert!(!seen[lane], "lane {lane} fed twice in one step");
+            seen[lane] = true;
+            if self.t[lane] >= cfg.max_seq_len {
+                results.push(Err(InferError::SequenceTooLong {
+                    max_seq_len: cfg.max_seq_len,
+                }));
+            } else if token.index() >= cfg.vocab_size {
+                results.push(Err(InferError::TokenOutOfVocab {
+                    token,
+                    vocab_size: cfg.vocab_size,
+                }));
+            } else {
+                // Placeholder, overwritten with logits below.
+                results.push(Ok(Vec::new()));
+                active.push((lane, token));
+            }
+        }
+        let a = active.len();
+        if a == 0 {
+            return results;
+        }
+
+        // Embeddings, one row per active lane.
+        let tok = tensor(self.idx.tok_emb).data();
+        let pos = tensor(self.idx.pos_emb).data();
+        for (row, &(lane, token)) in active.iter().enumerate() {
+            let xr = &mut self.x[row * d..row * d + d];
+            let tr = &tok[token.index() * d..token.index() * d + d];
+            let pr = &pos[self.t[lane] * d..self.t[lane] * d + d];
+            for j in 0..d {
+                xr[j] = tr[j] + pr[j];
+            }
+        }
+
+        let heads = cfg.n_heads;
+        let dh = cfg.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+        for (l, li) in self.idx.layers.iter().enumerate() {
+            // --- Attention.
+            let g1 = tensor(li.ln1_g).data();
+            let b1 = tensor(li.ln1_b).data();
+            for row in 0..a {
+                layer_norm_row_into(
+                    &self.x[row * d..row * d + d],
+                    g1,
+                    b1,
+                    &mut self.normed[row * d..row * d + d],
+                );
+            }
+            self.qb[..a * d].fill(0.0);
+            self.kb[..a * d].fill(0.0);
+            self.vb[..a * d].fill(0.0);
+            let nm = &self.normed[..a * d];
+            matmul_kouter_into(nm, tensor(li.wq).data(), &mut self.qb[..a * d], a, d, d);
+            matmul_kouter_into(nm, tensor(li.wk).data(), &mut self.kb[..a * d], a, d, d);
+            matmul_kouter_into(nm, tensor(li.wv).data(), &mut self.vb[..a * d], a, d, d);
+            // Scatter this step's keys/values into the arena.
+            for (row, &(lane, _)) in active.iter().enumerate() {
+                let slot = (lane * self.ctx + self.t[lane]) * d;
+                self.k_arena[l][slot..slot + d].copy_from_slice(&self.kb[row * d..row * d + d]);
+                self.v_arena[l][slot..slot + d].copy_from_slice(&self.vb[row * d..row * d + d]);
+            }
+            // Per-lane causal attention over the arena (O(t·d) per lane;
+            // the weight-streaming cost this module batches lives in the
+            // GEMMs, not here).
+            self.ctxb[..a * d].fill(0.0);
+            for (row, &(lane, _)) in active.iter().enumerate() {
+                let steps = self.t[lane] + 1;
+                let base = lane * self.ctx;
+                let q = &self.qb[row * d..row * d + d];
+                let ctxr = &mut self.ctxb[row * d..row * d + d];
+                for h in 0..heads {
+                    let off = h * dh;
+                    let mut scores = Vec::with_capacity(steps);
+                    let mut maxv = f32::NEG_INFINITY;
+                    for j in 0..steps {
+                        let krow =
+                            &self.k_arena[l][(base + j) * d + off..(base + j) * d + off + dh];
+                        let mut s = 0.0f32;
+                        for c in 0..dh {
+                            s += q[off + c] * krow[c];
+                        }
+                        s *= scale;
+                        maxv = maxv.max(s);
+                        scores.push(s);
+                    }
+                    let mut denom = 0.0f32;
+                    for s in &mut scores {
+                        *s = (*s - maxv).exp();
+                        denom += *s;
+                    }
+                    for j in 0..steps {
+                        let w = scores[j] / denom;
+                        let vrow =
+                            &self.v_arena[l][(base + j) * d + off..(base + j) * d + off + dh];
+                        for c in 0..dh {
+                            ctxr[off + c] += w * vrow[c];
+                        }
+                    }
+                }
+            }
+            self.attnb[..a * d].fill(0.0);
+            matmul_kouter_into(
+                &self.ctxb[..a * d],
+                tensor(li.wo).data(),
+                &mut self.attnb[..a * d],
+                a,
+                d,
+                d,
+            );
+            for i in 0..a * d {
+                self.x[i] += self.attnb[i];
+            }
+
+            // --- MLP.
+            let g2 = tensor(li.ln2_g).data();
+            let b2 = tensor(li.ln2_b).data();
+            for row in 0..a {
+                layer_norm_row_into(
+                    &self.x[row * d..row * d + d],
+                    g2,
+                    b2,
+                    &mut self.normed[row * d..row * d + d],
+                );
+            }
+            self.h1[..a * cfg.d_ff].fill(0.0);
+            matmul_kouter_into(
+                &self.normed[..a * d],
+                tensor(li.ff_w1).data(),
+                &mut self.h1[..a * cfg.d_ff],
+                a,
+                d,
+                cfg.d_ff,
+            );
+            let bias1 = tensor(li.ff_b1).data();
+            for row in 0..a {
+                let hr = &mut self.h1[row * cfg.d_ff..(row + 1) * cfg.d_ff];
+                for (val, &b) in hr.iter_mut().zip(bias1) {
+                    *val = crate::infer::gelu(*val + b);
+                }
+            }
+            self.h2[..a * d].fill(0.0);
+            matmul_kouter_into(
+                &self.h1[..a * cfg.d_ff],
+                tensor(li.ff_w2).data(),
+                &mut self.h2[..a * d],
+                a,
+                cfg.d_ff,
+                d,
+            );
+            let bias2 = tensor(li.ff_b2).data();
+            for row in 0..a {
+                let xr = &mut self.x[row * d..row * d + d];
+                let hr = &self.h2[row * d..row * d + d];
+                for j in 0..d {
+                    xr[j] += hr[j] + bias2[j];
+                }
+            }
+        }
+
+        // Final norm + logit head.
+        let gf = tensor(self.idx.lnf_g).data();
+        let bf = tensor(self.idx.lnf_b).data();
+        for row in 0..a {
+            layer_norm_row_into(
+                &self.x[row * d..row * d + d],
+                gf,
+                bf,
+                &mut self.normed[row * d..row * d + d],
+            );
+        }
+        let v = cfg.vocab_size;
+        self.logitsb[..a * v].fill(0.0);
+        matmul_kouter_into(
+            &self.normed[..a * d],
+            tensor(self.idx.head_w).data(),
+            &mut self.logitsb[..a * v],
+            a,
+            d,
+            v,
+        );
+
+        // Commit: advance fed lanes and hand out their logit rows.
+        let mut row = 0usize;
+        for res in results.iter_mut() {
+            if res.is_ok() {
+                let (lane, _) = active[row];
+                self.t[lane] += 1;
+                *res = Ok(self.logitsb[row * v..(row + 1) * v].to_vec());
+                row += 1;
+            }
+        }
+        results
+    }
+}
+
+/// One lane of work for [`decode_batch`]: its RNG (seed it per lane for
+/// deterministic, batch-independent output) and sampling parameters.
+#[derive(Debug)]
+pub struct LaneRequest<R> {
+    /// Per-lane RNG; one draw per sampled token, so a lane's stream never
+    /// depends on its neighbors.
+    pub rng: R,
+    /// Sampling temperature (> 0).
+    pub temperature: f32,
+    /// Top-k cutoff (`None` = full vocabulary).
+    pub top_k: Option<usize>,
+    /// Sequence length cap, counting the start token and prompt; clamped
+    /// to the model context. (`0` is honored literally — resolve "0 means
+    /// full context" conventions with [`SamplingPolicy::clamp_len`].)
+    pub max_len: usize,
+    /// Tokens fed after the implicit policy start token, before sampling.
+    pub prompt: Vec<TokenId>,
+}
+
+impl<R> LaneRequest<R> {
+    /// A lane with no prompt and the given cap, using policy-free
+    /// defaults the callers override as needed.
+    pub fn new(rng: R, temperature: f32, top_k: Option<usize>, max_len: usize) -> LaneRequest<R> {
+        LaneRequest {
+            rng,
+            temperature,
+            top_k,
+            max_len,
+            prompt: Vec::new(),
+        }
+    }
+}
+
+/// What one lane produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneOutput {
+    /// The decoded walk: the policy start token, the prompt, then sampled
+    /// tokens; the terminator is included iff the policy keeps it.
+    pub tokens: Vec<TokenId>,
+    /// Tokens actually sampled (excludes the start token and prompt).
+    pub sampled: usize,
+    /// The typed error that retired this lane early, if any. `tokens`
+    /// holds everything accumulated before the failure.
+    pub error: Option<InferError>,
+}
+
+impl LaneOutput {
+    /// Whether the lane finished without an inference error.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+struct LaneState {
+    tokens: Vec<TokenId>,
+    /// Tokens fed to the model so far (prefix of `tokens`).
+    fed: usize,
+    limit: usize,
+    sampled: usize,
+    error: Option<InferError>,
+    done: bool,
+}
+
+/// Decode every lane to completion in lockstep and return the outputs in
+/// lane order.
+///
+/// Each iteration feeds one pending token per unfinished lane through a
+/// single [`BatchGenerator::step`], then samples (or keeps prefilling the
+/// prompt) per lane. Lanes retire independently — on their terminator,
+/// their length cap, or a typed error — and stop costing compute the
+/// moment they do. Output is token-for-token identical to running each
+/// lane alone through [`crate::Generator`] with the same RNG.
+pub fn decode_batch<R: Rng>(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    lanes: Vec<LaneRequest<R>>,
+) -> Vec<LaneOutput> {
+    if lanes.is_empty() {
+        return Vec::new();
+    }
+    let ctx = model.config().max_seq_len;
+    let mut gen = BatchGenerator::new(model, lanes.len());
+    let mut rngs: Vec<R> = Vec::with_capacity(lanes.len());
+    let mut states: Vec<LaneState> = Vec::with_capacity(lanes.len());
+    let mut temps: Vec<(f32, Option<usize>)> = Vec::with_capacity(lanes.len());
+    for req in lanes {
+        let mut tokens = Vec::with_capacity(1 + req.prompt.len());
+        tokens.push(policy.start);
+        tokens.extend_from_slice(&req.prompt);
+        states.push(LaneState {
+            tokens,
+            fed: 0,
+            limit: req.max_len.min(ctx),
+            sampled: 0,
+            error: None,
+            done: false,
+        });
+        temps.push((req.temperature, req.top_k));
+        rngs.push(req.rng);
+    }
+
+    let mut feed: Vec<(usize, TokenId)> = Vec::with_capacity(states.len());
+    loop {
+        feed.clear();
+        for (lane, s) in states.iter().enumerate() {
+            if !s.done {
+                feed.push((lane, s.tokens[s.fed]));
+            }
+        }
+        if feed.is_empty() {
+            break;
+        }
+        let results = gen.step(&feed);
+        for (&(lane, _), result) in feed.iter().zip(results) {
+            let s = &mut states[lane];
+            let mut logits = match result {
+                Ok(logits) => logits,
+                Err(e) => {
+                    s.error = Some(e);
+                    s.done = true;
+                    continue;
+                }
+            };
+            s.fed += 1;
+            if s.fed < s.tokens.len() {
+                continue; // still prefilling the prompt
+            }
+            if s.tokens.len() >= s.limit {
+                s.done = true;
+                continue;
+            }
+            let last = *s.tokens.last().expect("lane starts non-empty");
+            policy.mask_logits(last, &mut logits);
+            let (temperature, top_k) = temps[lane];
+            let next = TokenId(sample_logits(&logits, temperature, top_k, &mut rngs[lane]) as u32);
+            if next == policy.end {
+                if policy.keep_end {
+                    s.tokens.push(next);
+                    s.sampled += 1;
+                }
+                s.done = true;
+                continue;
+            }
+            s.tokens.push(next);
+            s.sampled += 1;
+            if s.tokens.len() >= s.limit {
+                s.done = true;
+            }
+        }
+    }
+
+    states
+        .into_iter()
+        .map(|s| LaneOutput {
+            tokens: s.tokens,
+            sampled: s.sampled,
+            error: s.error,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::infer::Generator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_model() -> Transformer {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        Transformer::new(ModelConfig::tiny(13, 24), &mut rng)
+    }
+
+    #[test]
+    fn batched_logits_bit_identical_to_sequential() {
+        let model = tiny_model();
+        // Three lanes stepping different token streams of different
+        // lengths; every returned logit row must equal the sequential
+        // generator's bit for bit.
+        let streams: [&[u32]; 3] = [&[2, 5, 3, 8, 11], &[4, 4, 4], &[12, 0, 7, 1]];
+        let mut gen = BatchGenerator::new(&model, 3);
+        let mut refs: Vec<Generator<'_>> = (0..3).map(|_| Generator::new(&model)).collect();
+        for step in 0..5 {
+            let feed: Vec<(usize, TokenId)> = streams
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| step < s.len())
+                .map(|(lane, s)| (lane, TokenId(s[step])))
+                .collect();
+            if feed.is_empty() {
+                break;
+            }
+            let results = gen.step(&feed);
+            for (&(lane, token), res) in feed.iter().zip(results) {
+                let batched = res.expect("within vocab and context");
+                let sequential = refs[lane].step(token).expect("within vocab and context");
+                assert_eq!(batched.len(), sequential.len());
+                for (a, b) in batched.iter().zip(&sequential) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "lane {lane} step {step}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+        for (lane, s) in streams.iter().enumerate() {
+            assert_eq!(gen.len(lane), s.len());
+        }
+    }
+
+    #[test]
+    fn per_lane_errors_are_typed_and_isolated() {
+        let model = tiny_model(); // vocab 13, context 24
+        let mut gen = BatchGenerator::new(&model, 2);
+        let results = gen.step(&[(0, TokenId(99)), (1, TokenId(2))]);
+        assert_eq!(
+            results[0],
+            Err(InferError::TokenOutOfVocab {
+                token: TokenId(99),
+                vocab_size: 13
+            })
+        );
+        assert!(results[1].is_ok(), "healthy lane unaffected");
+        assert_eq!(gen.len(0), 0, "failed lane's cache untouched");
+        assert_eq!(gen.len(1), 1);
+        // Fill lane 1 to the context limit; lane 0 stays usable.
+        for _ in 1..24 {
+            let r = gen.step(&[(1, TokenId(2))]);
+            assert!(r[0].is_ok());
+        }
+        let results = gen.step(&[(0, TokenId(3)), (1, TokenId(2))]);
+        assert!(results[0].is_ok(), "lane 0 still decodes");
+        assert_eq!(
+            results[1],
+            Err(InferError::SequenceTooLong { max_seq_len: 24 })
+        );
+    }
+
+    #[test]
+    fn retired_lanes_cost_nothing_and_feed_panics_on_reuse() {
+        let model = tiny_model();
+        let mut gen = BatchGenerator::new(&model, 4);
+        // Only feed two of four lanes; the others must stay empty.
+        let results = gen.step(&[(1, TokenId(2)), (3, TokenId(5))]);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(gen.len(0), 0);
+        assert_eq!(gen.len(1), 1);
+        assert_eq!(gen.len(2), 0);
+        assert_eq!(gen.len(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fed twice")]
+    fn duplicate_lane_in_feed_panics() {
+        let model = tiny_model();
+        let mut gen = BatchGenerator::new(&model, 2);
+        let _ = gen.step(&[(0, TokenId(2)), (0, TokenId(3))]);
+    }
+
+    #[test]
+    fn sampling_policy_masks_as_documented() {
+        let policy = SamplingPolicy::constrained(TokenId(2), TokenId(1), TokenId(0));
+        let mut logits = vec![1.0f32; 5];
+        policy.mask_logits(TokenId(2), &mut logits);
+        assert_eq!(logits[0], f32::NEG_INFINITY, "pad always masked");
+        assert_eq!(logits[1], 1.0, "end admissible right after start");
+        let mut logits = vec![1.0f32; 5];
+        policy.mask_logits(TokenId(4), &mut logits);
+        assert_eq!(logits[1], f32::NEG_INFINITY, "end masked elsewhere");
+
+        let free = SamplingPolicy::unconstrained(TokenId(2), TokenId(1));
+        let mut logits = vec![1.0f32; 5];
+        free.mask_logits(TokenId(4), &mut logits);
+        assert!(logits.iter().all(|&v| v == 1.0), "unconstrained is a no-op");
+    }
+
+    #[test]
+    fn clamp_len_resolves_zero_to_context() {
+        assert_eq!(SamplingPolicy::clamp_len(0, 128), 128);
+        assert_eq!(SamplingPolicy::clamp_len(64, 128), 64);
+        assert_eq!(SamplingPolicy::clamp_len(999, 128), 128);
+    }
+
+    #[test]
+    fn decode_batch_prompt_prefill_and_caps() {
+        let model = tiny_model();
+        let policy = SamplingPolicy {
+            start: TokenId(2),
+            end: TokenId(1),
+            pad: Some(TokenId(0)),
+            end_only_after_start: true,
+            keep_end: false,
+        };
+        let lanes = vec![
+            LaneRequest {
+                rng: ChaCha8Rng::seed_from_u64(1),
+                temperature: 1.0,
+                top_k: Some(5),
+                max_len: 6,
+                prompt: vec![TokenId(5), TokenId(7)],
+            },
+            LaneRequest {
+                rng: ChaCha8Rng::seed_from_u64(2),
+                temperature: 1.0,
+                top_k: Some(5),
+                max_len: 12,
+                prompt: Vec::new(),
+            },
+        ];
+        let out = decode_batch(&model, &policy, lanes);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_ok() && out[1].is_ok());
+        assert_eq!(&out[0].tokens[..3], &[TokenId(2), TokenId(5), TokenId(7)]);
+        assert!(out[0].tokens.len() <= 6);
+        assert_eq!(out[0].sampled, out[0].tokens.len() - 3);
+        assert_eq!(out[1].tokens[0], TokenId(2));
+        assert!(out[1].tokens.len() <= 12);
+        for o in &out {
+            assert!(!o.tokens.contains(&TokenId(1)), "terminator dropped");
+            assert!(!o.tokens[1..].contains(&TokenId(0)), "pad never sampled");
+        }
+    }
+}

@@ -35,12 +35,26 @@ impl ModelConfig {
 
     /// A CPU-scale configuration for the reproduced experiments.
     pub fn repro(vocab_size: usize, max_seq_len: usize) -> ModelConfig {
-        ModelConfig { vocab_size, max_seq_len, n_layers: 4, n_heads: 4, d_model: 128, d_ff: 512 }
+        ModelConfig {
+            vocab_size,
+            max_seq_len,
+            n_layers: 4,
+            n_heads: 4,
+            d_model: 128,
+            d_ff: 512,
+        }
     }
 
     /// A tiny configuration for unit tests.
     pub fn tiny(vocab_size: usize, max_seq_len: usize) -> ModelConfig {
-        ModelConfig { vocab_size, max_seq_len, n_layers: 2, n_heads: 2, d_model: 32, d_ff: 64 }
+        ModelConfig {
+            vocab_size,
+            max_seq_len,
+            n_layers: 2,
+            n_heads: 2,
+            d_model: 32,
+            d_ff: 64,
+        }
     }
 
     /// Head width.
@@ -91,7 +105,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn bad_heads_panics() {
-        let c = ModelConfig { n_heads: 3, ..ModelConfig::tiny(10, 8) };
+        let c = ModelConfig {
+            n_heads: 3,
+            ..ModelConfig::tiny(10, 8)
+        };
         let _ = c.d_head();
     }
 }

@@ -92,10 +92,15 @@ impl<'m> Generator<'m> {
     pub fn step(&mut self, token: TokenId) -> Result<Vec<f32>, InferError> {
         let cfg = *self.model.config();
         if self.t >= cfg.max_seq_len {
-            return Err(InferError::SequenceTooLong { max_seq_len: cfg.max_seq_len });
+            return Err(InferError::SequenceTooLong {
+                max_seq_len: cfg.max_seq_len,
+            });
         }
         if token.index() >= cfg.vocab_size {
-            return Err(InferError::TokenOutOfVocab { token, vocab_size: cfg.vocab_size });
+            return Err(InferError::TokenOutOfVocab {
+                token,
+                vocab_size: cfg.vocab_size,
+            });
         }
         let d = cfg.d_model;
         let p = self.model.params();
@@ -186,7 +191,7 @@ impl<'m> Generator<'m> {
 }
 
 /// `y[n] = x[k] @ w[k, n]`.
-fn vecmat(x: &[f32], w: &[f32], k: usize, n: usize) -> Vec<f32> {
+pub(crate) fn vecmat(x: &[f32], w: &[f32], k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; n];
     for (kk, &xv) in x.iter().enumerate().take(k) {
         if xv == 0.0 {
@@ -201,15 +206,26 @@ fn vecmat(x: &[f32], w: &[f32], k: usize, n: usize) -> Vec<f32> {
 }
 
 fn layer_norm_row(x: &[f32], g: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    layer_norm_row_into(x, g, b, &mut out);
+    out
+}
+
+/// Allocation-free layer norm over one row; the exact arithmetic of
+/// [`layer_norm_row`], shared with the batched decoder so both paths stay
+/// bit-identical.
+pub(crate) fn layer_norm_row_into(x: &[f32], g: &[f32], b: &[f32], out: &mut [f32]) {
     const EPS: f32 = 1e-5;
     let d = x.len();
     let mean = x.iter().sum::<f32>() / d as f32;
     let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
     let inv = 1.0 / (var + EPS).sqrt();
-    (0..d).map(|j| (x[j] - mean) * inv * g[j] + b[j]).collect()
+    for j in 0..d {
+        out[j] = (x[j] - mean) * inv * g[j] + b[j];
+    }
 }
 
-fn gelu(x: f32) -> f32 {
+pub(crate) fn gelu(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
 }
@@ -267,22 +283,29 @@ pub fn generate<R: Rng + ?Sized>(
     top_k: Option<usize>,
     rng: &mut R,
 ) -> Vec<TokenId> {
-    let mut gen = Generator::new(model);
-    let limit = max_len.min(model.config().max_seq_len);
-    let mut out = vec![start];
-    let mut logits = gen.step(start).expect("start token within vocabulary and context");
-    while out.len() < limit {
-        let next = TokenId(sample_logits(&logits, temperature, top_k, rng) as u32);
-        if next == end {
-            break;
-        }
-        out.push(next);
-        if out.len() >= limit {
-            break;
-        }
-        logits = gen.step(next).expect("sampled token within clamped context");
+    // One lane of the batched runtime: unconstrained sampling, terminator
+    // dropped from the output — the decode loop this function used to
+    // hand-roll.
+    let policy = crate::batch::SamplingPolicy {
+        start,
+        end,
+        pad: None,
+        end_only_after_start: false,
+        keep_end: false,
+    };
+    let lane = crate::batch::LaneRequest {
+        rng,
+        temperature,
+        top_k,
+        max_len,
+        prompt: Vec::new(),
+    };
+    let mut outputs = crate::batch::decode_batch(model, &policy, vec![lane]);
+    let out = outputs.pop().expect("one lane in, one lane out");
+    if let Some(e) = out.error {
+        panic!("start token within vocabulary and context: {e}");
     }
-    out
+    out.tokens
 }
 
 #[cfg(test)]
@@ -332,7 +355,10 @@ mod tests {
         let mut gen = Generator::new(&model);
         assert_eq!(
             gen.step(TokenId(99)),
-            Err(InferError::TokenOutOfVocab { token: TokenId(99), vocab_size: 13 })
+            Err(InferError::TokenOutOfVocab {
+                token: TokenId(99),
+                vocab_size: 13
+            })
         );
         // A failed step leaves the generator usable.
         assert_eq!(gen.len(), 0);

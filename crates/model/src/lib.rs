@@ -2,8 +2,11 @@
 //!
 //! EVA's decoder-only transformer (Section III-B): a GPT-2-style pre-norm
 //! stack over the circuit-pin vocabulary, with a training-time tape forward
-//! ([`Transformer`]) and a KV-cached incremental generation path
-//! ([`infer::Generator`]) that tests hold to agreement.
+//! ([`Transformer`]), a KV-cached incremental generation path
+//! ([`infer::Generator`]) that tests hold to agreement, and a lockstep
+//! batched decoding runtime ([`batch::BatchGenerator`] /
+//! [`batch::decode_batch`]) that is bit-identical per lane to the
+//! sequential path and shared by the engine, RL rollouts, and serving.
 //!
 //! The paper-scale architecture (6 layers / 6 heads / 11.825 M params /
 //! vocab 1029 / context 1024) is [`ModelConfig::paper`]; experiments run at
@@ -26,10 +29,12 @@
 //! assert!(tape.value(loss).item() > 0.0);
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod infer;
 pub mod transformer;
 
+pub use batch::{decode_batch, BatchGenerator, LaneOutput, LaneRequest, SamplingPolicy};
 pub use config::ModelConfig;
 pub use infer::{generate, sample_logits, Generator, InferError};
 pub use transformer::{Bound, Transformer};

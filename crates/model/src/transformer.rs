@@ -45,25 +45,43 @@ impl Transformer {
         // Residual-output projections scaled down by depth.
         let out_std = std / (2.0 * config.n_layers as f32).sqrt();
         let mut p = ParamSet::new();
-        p.register("tok_emb", Tensor::randn(vec![config.vocab_size, d], std, rng));
-        p.register("pos_emb", Tensor::randn(vec![config.max_seq_len, d], std, rng));
+        p.register(
+            "tok_emb",
+            Tensor::randn(vec![config.vocab_size, d], std, rng),
+        );
+        p.register(
+            "pos_emb",
+            Tensor::randn(vec![config.max_seq_len, d], std, rng),
+        );
         for l in 0..config.n_layers {
             p.register(format!("l{l}.ln1.g"), Tensor::full(vec![d], 1.0));
             p.register(format!("l{l}.ln1.b"), Tensor::zeros(vec![d]));
             p.register(format!("l{l}.attn.wq"), Tensor::randn(vec![d, d], std, rng));
             p.register(format!("l{l}.attn.wk"), Tensor::randn(vec![d, d], std, rng));
             p.register(format!("l{l}.attn.wv"), Tensor::randn(vec![d, d], std, rng));
-            p.register(format!("l{l}.attn.wo"), Tensor::randn(vec![d, d], out_std, rng));
+            p.register(
+                format!("l{l}.attn.wo"),
+                Tensor::randn(vec![d, d], out_std, rng),
+            );
             p.register(format!("l{l}.ln2.g"), Tensor::full(vec![d], 1.0));
             p.register(format!("l{l}.ln2.b"), Tensor::zeros(vec![d]));
-            p.register(format!("l{l}.ff.w1"), Tensor::randn(vec![d, config.d_ff], std, rng));
+            p.register(
+                format!("l{l}.ff.w1"),
+                Tensor::randn(vec![d, config.d_ff], std, rng),
+            );
             p.register(format!("l{l}.ff.b1"), Tensor::zeros(vec![config.d_ff]));
-            p.register(format!("l{l}.ff.w2"), Tensor::randn(vec![config.d_ff, d], out_std, rng));
+            p.register(
+                format!("l{l}.ff.w2"),
+                Tensor::randn(vec![config.d_ff, d], out_std, rng),
+            );
             p.register(format!("l{l}.ff.b2"), Tensor::zeros(vec![d]));
         }
         p.register("lnf.g", Tensor::full(vec![d], 1.0));
         p.register("lnf.b", Tensor::zeros(vec![d]));
-        p.register("head.w", Tensor::randn(vec![d, config.vocab_size], std, rng));
+        p.register(
+            "head.w",
+            Tensor::randn(vec![d, config.vocab_size], std, rng),
+        );
         Transformer { config, params: p }
     }
 
@@ -91,7 +109,11 @@ impl Transformer {
     }
 
     fn pv(&self, bound: &Bound, name: &str) -> Value {
-        bound.value(self.params.index_of(name).unwrap_or_else(|| panic!("param {name}")))
+        bound.value(
+            self.params
+                .index_of(name)
+                .unwrap_or_else(|| panic!("param {name}")),
+        )
     }
 
     /// Forward to the final hidden states.

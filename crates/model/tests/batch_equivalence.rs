@@ -1,0 +1,299 @@
+//! The batched-decode determinism contract: a lane of
+//! [`eva_model::decode_batch`] produces **token-for-token** the same
+//! sequence as decoding it alone through the sequential
+//! [`eva_model::Generator`] with the same RNG — independent of batch
+//! size, lane order, neighbors' lengths, or early lane retirement.
+//!
+//! The engine, the PPO rollout loop, and the serving worker all rely on
+//! this: a served request's output depends only on its own seed and
+//! parameters, never on which requests happened to share its micro-batch.
+
+use eva_model::{
+    decode_batch, sample_logits, Generator, LaneOutput, LaneRequest, ModelConfig, SamplingPolicy,
+    Transformer,
+};
+use eva_tokenizer::TokenId;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(seed: u64) -> Transformer {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Transformer::new(ModelConfig::tiny(13, 24), &mut rng)
+}
+
+/// Reference implementation: one lane decoded alone with the sequential
+/// `Generator`, applying the exact state machine `decode_batch` documents
+/// (prefill `[start] + prompt`, mask, sample, retire on end/cap/error).
+fn decode_one_sequential<R: Rng>(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    mut lane: LaneRequest<R>,
+) -> LaneOutput {
+    let ctx = model.config().max_seq_len;
+    let limit = lane.max_len.min(ctx);
+    let mut gen = Generator::new(model);
+    let mut tokens = vec![policy.start];
+    tokens.append(&mut lane.prompt);
+    let mut fed = 0usize;
+    let mut sampled = 0usize;
+    loop {
+        let mut logits = match gen.step(tokens[fed]) {
+            Ok(logits) => logits,
+            Err(e) => {
+                return LaneOutput {
+                    tokens,
+                    sampled,
+                    error: Some(e),
+                }
+            }
+        };
+        fed += 1;
+        if fed < tokens.len() {
+            continue;
+        }
+        if tokens.len() >= limit {
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+        policy.mask_logits(*tokens.last().unwrap(), &mut logits);
+        let next =
+            TokenId(sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) as u32);
+        if next == policy.end {
+            if policy.keep_end {
+                tokens.push(next);
+                sampled += 1;
+            }
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+        tokens.push(next);
+        sampled += 1;
+        if tokens.len() >= limit {
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+    }
+}
+
+fn lanes_for(
+    seeds: &[u64],
+    max_lens: &[usize],
+    temperature: f32,
+    top_k: Option<usize>,
+) -> Vec<LaneRequest<ChaCha8Rng>> {
+    seeds
+        .iter()
+        .zip(max_lens)
+        .map(|(&seed, &max_len)| LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            temperature,
+            top_k,
+            max_len,
+            prompt: Vec::new(),
+        })
+        .collect()
+}
+
+fn assert_batch_matches_sequential(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    seeds: &[u64],
+    max_lens: &[usize],
+    temperature: f32,
+    top_k: Option<usize>,
+) {
+    let batched = decode_batch(
+        model,
+        policy,
+        lanes_for(seeds, max_lens, temperature, top_k),
+    );
+    for (lane, out) in batched.iter().enumerate() {
+        let alone = decode_one_sequential(
+            model,
+            policy,
+            LaneRequest {
+                rng: ChaCha8Rng::seed_from_u64(seeds[lane]),
+                temperature,
+                top_k,
+                max_len: max_lens[lane],
+                prompt: Vec::new(),
+            },
+        );
+        assert_eq!(
+            out, &alone,
+            "lane {lane} (seed {}) diverged from sequential decode",
+            seeds[lane]
+        );
+    }
+}
+
+/// The constrained policy the engine and the serve worker use: tokenizer
+/// layout PAD=0, END=1, VSS=2 (see `eva_tokenizer`).
+fn constrained() -> SamplingPolicy {
+    SamplingPolicy::constrained(TokenId(2), TokenId(1), TokenId(0))
+}
+
+#[test]
+fn batch_sizes_1_3_8_match_sequential() {
+    let model = tiny_model(7);
+    let policy = constrained();
+    assert_batch_matches_sequential(&model, &policy, &[11], &[24], 0.9, Some(8));
+    assert_batch_matches_sequential(&model, &policy, &[1, 2, 3], &[24, 24, 24], 0.9, Some(8));
+    assert_batch_matches_sequential(
+        &model,
+        &policy,
+        &[10, 20, 30, 40, 50, 60, 70, 80],
+        &[24; 8],
+        0.9,
+        Some(8),
+    );
+}
+
+#[test]
+fn mixed_lengths_and_early_retirement_match_sequential() {
+    let model = tiny_model(13);
+    let policy = constrained();
+    // Wildly different caps force lanes to retire at different rounds; the
+    // survivors must keep decoding exactly as if the batch never shrank.
+    assert_batch_matches_sequential(
+        &model,
+        &policy,
+        &[5, 6, 7, 8],
+        &[2, 24, 5, 11],
+        1.1,
+        Some(6),
+    );
+}
+
+#[test]
+fn unconstrained_ppo_style_policy_matches_sequential() {
+    let model = tiny_model(19);
+    // The PPO rollout shape: no grammar mask, terminator kept for scoring.
+    let policy = SamplingPolicy::unconstrained(TokenId(2), TokenId(1));
+    assert_batch_matches_sequential(
+        &model,
+        &policy,
+        &[100, 200, 300],
+        &[16, 24, 9],
+        1.0,
+        Some(10),
+    );
+}
+
+#[test]
+fn prompted_lanes_match_sequential() {
+    let model = tiny_model(23);
+    let policy = constrained();
+    let mk = |seed: u64, prompt: Vec<u32>| LaneRequest {
+        rng: ChaCha8Rng::seed_from_u64(seed),
+        temperature: 0.85,
+        top_k: Some(8),
+        max_len: 24,
+        prompt: prompt.into_iter().map(TokenId).collect(),
+    };
+    let batched = decode_batch(
+        &model,
+        &policy,
+        vec![mk(1, vec![5, 7, 9]), mk(2, vec![]), mk(3, vec![12])],
+    );
+    let prompts: [&[u32]; 3] = [&[5, 7, 9], &[], &[12]];
+    for (lane, out) in batched.iter().enumerate() {
+        let alone =
+            decode_one_sequential(&model, &policy, mk(lane as u64 + 1, prompts[lane].to_vec()));
+        assert_eq!(out, &alone, "prompted lane {lane} diverged");
+        // The prompt survives verbatim after the start token.
+        let expect: Vec<TokenId> = prompts[lane].iter().copied().map(TokenId).collect();
+        assert_eq!(&out.tokens[1..1 + expect.len()], expect.as_slice());
+    }
+}
+
+#[test]
+fn lane_error_is_isolated_and_typed() {
+    let model = tiny_model(29);
+    let policy = constrained();
+    // Lane 1's prompt overruns the 24-token context mid-prefill; lanes 0
+    // and 2 must finish untouched and identical to solo decodes.
+    let long_prompt: Vec<TokenId> = (0..30).map(|_| TokenId(5)).collect();
+    let mk = |seed: u64, prompt: Vec<TokenId>, max_len: usize| LaneRequest {
+        rng: ChaCha8Rng::seed_from_u64(seed),
+        temperature: 0.9,
+        top_k: Some(8),
+        max_len,
+        prompt,
+    };
+    let batched = decode_batch(
+        &model,
+        &policy,
+        vec![
+            mk(1, Vec::new(), 24),
+            // max_len 0 is honored literally, so the over-long prompt is
+            // fed regardless of the cap and trips SequenceTooLong.
+            mk(2, long_prompt.clone(), 0),
+            mk(3, Vec::new(), 10),
+        ],
+    );
+    assert!(batched[0].is_ok());
+    assert!(batched[2].is_ok());
+    let err = batched[1].error.expect("over-long prompt must error");
+    assert_eq!(format!("{err}"), "sequence exceeds max_seq_len (24)");
+    for &lane in &[0usize, 2] {
+        let alone = decode_one_sequential(
+            &model,
+            &policy,
+            mk(lane as u64 + 1, Vec::new(), if lane == 0 { 24 } else { 10 }),
+        );
+        assert_eq!(&batched[lane], &alone, "healthy lane {lane} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary batch composition never changes any lane's output.
+    #[test]
+    fn any_batch_reproduces_solo_decodes(
+        seeds in prop::collection::vec(0u64..1000, 1..8),
+        lens in prop::collection::vec(1usize..30, 8),
+        constrained_policy in any::<bool>(),
+        temp_decis in 5u32..15,
+        top_k in prop::option::of(1usize..13),
+    ) {
+        let model = tiny_model(31);
+        let policy = if constrained_policy {
+            constrained()
+        } else {
+            SamplingPolicy::unconstrained(TokenId(2), TokenId(1))
+        };
+        let max_lens = &lens[..seeds.len()];
+        let temperature = temp_decis as f32 / 10.0;
+        let batched = decode_batch(
+            &model,
+            &policy,
+            lanes_for(&seeds, max_lens, temperature, top_k),
+        );
+        for (lane, out) in batched.iter().enumerate() {
+            let alone = decode_one_sequential(
+                &model,
+                &policy,
+                LaneRequest {
+                    rng: ChaCha8Rng::seed_from_u64(seeds[lane]),
+                    temperature,
+                    top_k,
+                    max_len: max_lens[lane],
+                    prompt: Vec::new(),
+                },
+            );
+            prop_assert_eq!(out, &alone, "lane {} diverged", lane);
+        }
+    }
+}

@@ -5,7 +5,9 @@
 //! Built from scratch so the whole reproduction stays within the sanctioned
 //! dependency set (no candle/burn/torch).
 //!
-//! - [`tensor::Tensor`] — dense row-major `f32` values, `Arc`-backed.
+//! - [`tensor::Tensor`] — dense row-major `f32` values, `Arc`-backed, plus
+//!   the raw GEMM kernels ([`matmul_into`], [`matmul_kouter_into`]) the
+//!   batched decode path reuses against caller-owned scratch buffers.
 //! - [`tape::Tape`] — define-by-run graph with exactly the op set a GPT-
 //!   style model plus RLHF losses need (linear, embedding, batched matmul,
 //!   head splitting, causal softmax, layer norm, GELU, cross entropy,
@@ -46,4 +48,4 @@ pub mod tensor;
 pub use optim::{AdamW, CosineSchedule};
 pub use params::ParamSet;
 pub use tape::{Gradients, Tape, Value};
-pub use tensor::Tensor;
+pub use tensor::{matmul_into, matmul_kouter_into, Tensor};

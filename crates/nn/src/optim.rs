@@ -33,8 +33,14 @@ impl AdamW {
             eps: 1e-8,
             weight_decay: 0.01,
             clip_norm: Some(1.0),
-            m: params.iter().map(|p| Tensor::zeros(p.shape().to_vec())).collect(),
-            v: params.iter().map(|p| Tensor::zeros(p.shape().to_vec())).collect(),
+            m: params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().to_vec()))
+                .collect(),
+            v: params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().to_vec()))
+                .collect(),
             step: 0,
         }
     }
@@ -170,7 +176,12 @@ mod tests {
 
     #[test]
     fn schedule_shape() {
-        let s = CosineSchedule { base_lr: 1.0, warmup: 10, total: 110, min_factor: 0.1 };
+        let s = CosineSchedule {
+            base_lr: 1.0,
+            warmup: 10,
+            total: 110,
+            min_factor: 0.1,
+        };
         assert!(s.lr(0) < 0.2, "warmup starts low");
         assert!((s.lr(9) - 1.0).abs() < 1e-6, "peak after warmup");
         assert!(s.lr(60) < 1.0 && s.lr(60) > 0.1, "decaying");

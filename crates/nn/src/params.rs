@@ -84,7 +84,11 @@ impl ParamSet {
     ///
     /// Panics on shape mismatch.
     pub fn set(&mut self, index: usize, tensor: Tensor) {
-        assert_eq!(self.tensors[index].shape(), tensor.shape(), "shape mismatch");
+        assert_eq!(
+            self.tensors[index].shape(),
+            tensor.shape(),
+            "shape mismatch"
+        );
         self.tensors[index] = tensor;
     }
 
@@ -203,7 +207,10 @@ mod tests {
     #[test]
     fn save_load_round_trip() {
         let mut p = ParamSet::new();
-        p.register("alpha", Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.5, 0.25]));
+        p.register(
+            "alpha",
+            Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.5, 0.25]),
+        );
         p.register("beta", Tensor::from_vec(vec![3], vec![9.0, 8.0, 7.0]));
         let mut buf = Vec::new();
         p.save(&mut buf).unwrap();

@@ -25,33 +25,109 @@ impl Value {
 
 #[derive(Debug)]
 enum Op {
-    Leaf { requires_grad: bool },
-    Linear { x: Value, w: Value, b: Option<Value> },
-    Embedding { w: Value, ids: Vec<usize> },
-    Bmm { a: Value, b: Value },
-    Transpose12 { x: Value },
-    SplitHeads { x: Value, heads: usize },
-    MergeHeads { x: Value, heads: usize },
-    CausalSoftmax { x: Value, scale: f32 },
-    LayerNorm { x: Value, gamma: Value, beta: Value },
-    Gelu { x: Value },
-    Add { a: Value, b: Value },
-    Sub { a: Value, b: Value },
-    Mul { a: Value, b: Value },
-    Scale { x: Value, c: f32 },
-    AddScalar { x: Value },
-    Exp { x: Value },
-    LogSigmoid { x: Value },
-    Clamp { x: Value, lo: f32, hi: f32 },
-    Minimum { a: Value, b: Value },
-    MulConst { x: Value, c: Tensor },
-    CrossEntropy { logits: Value, targets: Vec<usize>, mask: Vec<bool> },
-    LogProb { logits: Value, targets: Vec<usize> },
-    SegmentSum { x: Value, segments: Vec<usize> },
-    SelectRows { x: Value, idx: Vec<usize> },
-    MeanAll { x: Value },
-    SumAll { x: Value },
-    Reshape { x: Value },
+    Leaf {
+        requires_grad: bool,
+    },
+    Linear {
+        x: Value,
+        w: Value,
+        b: Option<Value>,
+    },
+    Embedding {
+        w: Value,
+        ids: Vec<usize>,
+    },
+    Bmm {
+        a: Value,
+        b: Value,
+    },
+    Transpose12 {
+        x: Value,
+    },
+    SplitHeads {
+        x: Value,
+        heads: usize,
+    },
+    MergeHeads {
+        x: Value,
+        heads: usize,
+    },
+    CausalSoftmax {
+        x: Value,
+        scale: f32,
+    },
+    LayerNorm {
+        x: Value,
+        gamma: Value,
+        beta: Value,
+    },
+    Gelu {
+        x: Value,
+    },
+    Add {
+        a: Value,
+        b: Value,
+    },
+    Sub {
+        a: Value,
+        b: Value,
+    },
+    Mul {
+        a: Value,
+        b: Value,
+    },
+    Scale {
+        x: Value,
+        c: f32,
+    },
+    AddScalar {
+        x: Value,
+    },
+    Exp {
+        x: Value,
+    },
+    LogSigmoid {
+        x: Value,
+    },
+    Clamp {
+        x: Value,
+        lo: f32,
+        hi: f32,
+    },
+    Minimum {
+        a: Value,
+        b: Value,
+    },
+    MulConst {
+        x: Value,
+        c: Tensor,
+    },
+    CrossEntropy {
+        logits: Value,
+        targets: Vec<usize>,
+        mask: Vec<bool>,
+    },
+    LogProb {
+        logits: Value,
+        targets: Vec<usize>,
+    },
+    SegmentSum {
+        x: Value,
+        segments: Vec<usize>,
+    },
+    SelectRows {
+        x: Value,
+        idx: Vec<usize>,
+    },
+    MeanAll {
+        x: Value,
+    },
+    SumAll {
+        x: Value,
+    },
+    Reshape {
+        x: Value,
+    },
 }
 
 struct Node {
@@ -165,7 +241,10 @@ impl Tape {
         }
         self.push(
             Tensor::from_vec(vec![ids.len(), d], out),
-            Op::Embedding { w, ids: ids.to_vec() },
+            Op::Embedding {
+                w,
+                ids: ids.to_vec(),
+            },
         )
     }
 
@@ -232,7 +311,10 @@ impl Tape {
                 }
             }
         }
-        self.push(Tensor::from_vec(vec![b * heads, t, dh], out), Op::SplitHeads { x, heads })
+        self.push(
+            Tensor::from_vec(vec![b * heads, t, dh], out),
+            Op::SplitHeads { x, heads },
+        )
     }
 
     /// `[b*h, t, dh] -> [b, t, h*dh]`, inverse of [`Tape::split_heads`].
@@ -258,7 +340,10 @@ impl Tape {
                 }
             }
         }
-        self.push(Tensor::from_vec(vec![b, t, d], out), Op::MergeHeads { x, heads })
+        self.push(
+            Tensor::from_vec(vec![b, t, d], out),
+            Op::MergeHeads { x, heads },
+        )
     }
 
     /// Causal row softmax of attention scores `[n, t, t]`: position `i`
@@ -294,7 +379,10 @@ impl Tape {
                 }
             }
         }
-        self.push(Tensor::from_vec(vec![n, t, t], out), Op::CausalSoftmax { x, scale })
+        self.push(
+            Tensor::from_vec(vec![n, t, t], out),
+            Op::CausalSoftmax { x, scale },
+        )
     }
 
     /// Layer normalization over the last axis with affine parameters.
@@ -326,7 +414,11 @@ impl Tape {
             }
         }
         let shape = xt.shape().to_vec();
-        self.push_aux(Tensor::from_vec(shape, out), Op::LayerNorm { x, gamma, beta }, aux)
+        self.push_aux(
+            Tensor::from_vec(shape, out),
+            Op::LayerNorm { x, gamma, beta },
+            aux,
+        )
     }
 
     /// GELU activation (tanh approximation), elementwise.
@@ -341,8 +433,12 @@ impl Tape {
         let at = self.value(a);
         let bt = self.value(b);
         assert_eq!(at.shape(), bt.shape(), "elementwise shapes must match");
-        let out: Vec<f32> =
-            at.data().iter().zip(bt.data()).map(|(&x, &y)| f(x, y)).collect();
+        let out: Vec<f32> = at
+            .data()
+            .iter()
+            .zip(bt.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
         let shape = at.shape().to_vec();
         self.push(Tensor::from_vec(shape, out), op)
     }
@@ -428,10 +524,17 @@ impl Tape {
     pub fn mul_const(&mut self, x: Value, c: &Tensor) -> Value {
         let xt = self.value(x);
         assert_eq!(xt.shape(), c.shape(), "mul_const shape");
-        let out: Vec<f32> =
-            xt.data().iter().zip(c.data()).map(|(&a, &b)| a * b).collect();
+        let out: Vec<f32> = xt
+            .data()
+            .iter()
+            .zip(c.data())
+            .map(|(&a, &b)| a * b)
+            .collect();
         let shape = xt.shape().to_vec();
-        self.push(Tensor::from_vec(shape, out), Op::MulConst { x, c: c.clone() })
+        self.push(
+            Tensor::from_vec(shape, out),
+            Op::MulConst { x, c: c.clone() },
+        )
     }
 
     /// Mean token-level cross entropy over unmasked positions: `logits` is
@@ -448,7 +551,10 @@ impl Tape {
         assert_eq!(targets.len(), n, "targets length");
         assert_eq!(mask.len(), n, "mask length");
         let count = mask.iter().filter(|&&m| m).count();
-        assert!(count > 0, "cross entropy needs at least one active position");
+        assert!(
+            count > 0,
+            "cross entropy needs at least one active position"
+        );
         let ld = lt.data();
         let mut aux = vec![0.0f32; n * v]; // softmax probabilities
         let mut loss = 0.0f64;
@@ -471,7 +577,11 @@ impl Tape {
         let value = Tensor::scalar((loss / count as f64) as f32);
         self.push_aux(
             value,
-            Op::CrossEntropy { logits, targets: targets.to_vec(), mask: mask.to_vec() },
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                mask: mask.to_vec(),
+            },
             aux,
         )
     }
@@ -506,7 +616,10 @@ impl Tape {
         }
         self.push_aux(
             Tensor::from_vec(vec![n], out),
-            Op::LogProb { logits, targets: targets.to_vec() },
+            Op::LogProb {
+                logits,
+                targets: targets.to_vec(),
+            },
             aux,
         )
     }
@@ -527,7 +640,10 @@ impl Tape {
         }
         self.push(
             Tensor::from_vec(vec![k.max(1)], out),
-            Op::SegmentSum { x, segments: segments.to_vec() },
+            Op::SegmentSum {
+                x,
+                segments: segments.to_vec(),
+            },
         )
     }
 
@@ -548,7 +664,10 @@ impl Tape {
         }
         self.push(
             Tensor::from_vec(vec![idx.len(), d], out),
-            Op::SelectRows { x, idx: idx.to_vec() },
+            Op::SelectRows {
+                x,
+                idx: idx.to_vec(),
+            },
         )
     }
 
@@ -587,7 +706,9 @@ impl Tape {
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for idx in (0..self.nodes.len()).rev() {
-            let Some(gy) = grads[idx].take() else { continue };
+            let Some(gy) = grads[idx].take() else {
+                continue;
+            };
             let node = &self.nodes[idx];
             // Re-stash (callers may read any node's grad afterwards).
             let gy_ref = gy.clone();
@@ -752,8 +873,7 @@ impl Tape {
                         for j in 0..d {
                             let xhat = (row[j] - mean) * inv_std;
                             let gj = gyr[j] * gd[j];
-                            dx[r * d + j] =
-                                inv_std * (gj - inv_d * sum_g - xhat * inv_d * sum_gx);
+                            dx[r * d + j] = inv_std * (gj - inv_d * sum_g - xhat * inv_d * sum_gx);
                         }
                     }
                     accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
@@ -782,10 +902,18 @@ impl Tape {
                 Op::Mul { a, b } => {
                     let at = self.value(*a);
                     let bt = self.value(*b);
-                    let da: Vec<f32> =
-                        gy.data().iter().zip(bt.data()).map(|(&g, &v)| g * v).collect();
-                    let db: Vec<f32> =
-                        gy.data().iter().zip(at.data()).map(|(&g, &v)| g * v).collect();
+                    let da: Vec<f32> = gy
+                        .data()
+                        .iter()
+                        .zip(bt.data())
+                        .map(|(&g, &v)| g * v)
+                        .collect();
+                    let db: Vec<f32> = gy
+                        .data()
+                        .iter()
+                        .zip(at.data())
+                        .map(|(&g, &v)| g * v)
+                        .collect();
                     accumulate(&mut grads, *a, Tensor::from_vec(at.shape().to_vec(), da));
                     accumulate(&mut grads, *b, Tensor::from_vec(bt.shape().to_vec(), db));
                 }
@@ -813,8 +941,12 @@ impl Tape {
                 }
                 Op::Exp { x } => {
                     let y = &node.value;
-                    let dx: Vec<f32> =
-                        gy.data().iter().zip(y.data()).map(|(&g, &v)| g * v).collect();
+                    let dx: Vec<f32> = gy
+                        .data()
+                        .iter()
+                        .zip(y.data())
+                        .map(|(&g, &v)| g * v)
+                        .collect();
                     accumulate(&mut grads, *x, Tensor::from_vec(y.shape().to_vec(), dx));
                 }
                 Op::LogSigmoid { x } => {
@@ -839,11 +971,19 @@ impl Tape {
                     accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
                 }
                 Op::MulConst { x, c } => {
-                    let dx: Vec<f32> =
-                        gy.data().iter().zip(c.data()).map(|(&g, &v)| g * v).collect();
+                    let dx: Vec<f32> = gy
+                        .data()
+                        .iter()
+                        .zip(c.data())
+                        .map(|(&g, &v)| g * v)
+                        .collect();
                     accumulate(&mut grads, *x, Tensor::from_vec(c.shape().to_vec(), dx));
                 }
-                Op::CrossEntropy { logits, targets, mask } => {
+                Op::CrossEntropy {
+                    logits,
+                    targets,
+                    mask,
+                } => {
                     let lt = self.value(*logits);
                     let (n, v) = (lt.shape()[0], lt.shape()[1]);
                     let count = mask.iter().filter(|&&m| m).count() as f32;
@@ -911,7 +1051,10 @@ impl Tape {
         }
         // Honor `requires_grad`: constants report no gradient.
         for (idx, node) in self.nodes.iter().enumerate() {
-            if let Op::Leaf { requires_grad: false } = node.op {
+            if let Op::Leaf {
+                requires_grad: false,
+            } = node.op
+            {
                 grads[idx] = None;
             }
         }
@@ -1005,7 +1148,10 @@ mod tests {
     #[test]
     fn causal_softmax_rows_sum_to_one_in_visible_range() {
         let mut tape = Tape::new();
-        let x = tape.leaf(Tensor::from_vec(vec![1, 3, 3], (0..9).map(|i| i as f32).collect()), false);
+        let x = tape.leaf(
+            Tensor::from_vec(vec![1, 3, 3], (0..9).map(|i| i as f32).collect()),
+            false,
+        );
         let y = tape.causal_softmax(x, 1.0);
         let yd = tape.value(y).data().to_vec();
         // Row 0: only position 0 visible.
@@ -1061,7 +1207,10 @@ mod tests {
         let loss = tape.cross_entropy(l, &[1, 2], &[true, false]);
         let g = tape.backward(loss);
         let dl = g.of(l).unwrap();
-        assert!(dl.data()[4..].iter().all(|&v| v == 0.0), "masked row has no grad");
+        assert!(
+            dl.data()[4..].iter().all(|&v| v == 0.0),
+            "masked row has no grad"
+        );
     }
 
     #[test]

@@ -23,19 +23,28 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
         let numel: usize = shape.iter().product();
         assert_eq!(data.len(), numel, "shape {shape:?} wants {numel} elements");
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// All zeros.
     pub fn zeros(shape: Vec<usize>) -> Tensor {
         let numel: usize = shape.iter().product();
-        Tensor { shape, data: Arc::new(vec![0.0; numel]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![0.0; numel]),
+        }
     }
 
     /// All equal to `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Tensor {
         let numel: usize = shape.iter().product();
-        Tensor { shape, data: Arc::new(vec![value; numel]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![value; numel]),
+        }
     }
 
     /// A single scalar.
@@ -59,7 +68,10 @@ impl Tensor {
                 data.push(r * theta.sin() * std);
             }
         }
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// The shape.
@@ -101,7 +113,10 @@ impl Tensor {
     pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
         let numel: usize = shape.iter().product();
         assert_eq!(numel, self.numel(), "reshape element count");
-        Tensor { shape, data: Arc::clone(&self.data) }
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        }
     }
 
     /// Whether every element is finite.
@@ -139,8 +154,17 @@ impl Tensor {
 }
 
 /// `out[m,n] += a[m,k] @ b[k,n]` (out assumed zeroed by caller). ikj loop
-/// order keeps the inner loop contiguous for both `b` and `out`.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// order keeps the inner loop contiguous for both `b` and `out`; `b` is
+/// streamed once per *row* of `a`, which suits training shapes (`m` large,
+/// activations hot). For the decode hot path (`m` = a handful of lockstep
+/// lanes, `b` = model weights) prefer [`matmul_kouter_into`], which streams
+/// the weights once per *call*.
+///
+/// Zero entries of `a` skip their rank-1 contribution entirely, so each
+/// output element accumulates exactly the terms `a[i,kk] != 0` in ascending
+/// `kk` order — the same order a per-row vector-matrix product would use,
+/// which is what keeps batched and sequential decode bit-identical.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for kk in 0..k {
             let av = a[i * k + kk];
@@ -148,6 +172,38 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
                 continue;
             }
             let brow = &b[kk * n..kk * n + n];
+            let orow = &mut out[i * n..i * n + n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] @ b[k,n]` (out assumed zeroed by caller), k-outer
+/// loop order: each row of `b` is loaded once and applied to every row of
+/// `a`, so the full `b` matrix is streamed exactly once per call no matter
+/// how many rows `a` has.
+///
+/// This is the batched-decode GEMM: when `m` is a few lockstep lanes and
+/// `b` is a weight matrix far larger than cache, [`matmul_into`] (and the
+/// per-lane vector-matrix product it generalizes) re-streams the weights
+/// `m` times, which is exactly the memory traffic batching exists to
+/// amortize. Here `out` (`m×n`, small) stays cache-resident across the `k`
+/// sweep instead.
+///
+/// Per output element the accumulation visits the same non-zero `kk` terms
+/// in the same ascending order as [`matmul_into`], so results are
+/// bit-identical — the property the batched/sequential decode equivalence
+/// tests pin down.
+pub fn matmul_kouter_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for kk in 0..k {
+        let brow = &b[kk * n..kk * n + n];
+        for i in 0..m {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
             let orow = &mut out[i * n..i * n + n];
             for j in 0..n {
                 orow[j] += av * brow[j];
@@ -265,11 +321,36 @@ mod tests {
     }
 
     #[test]
+    fn matmul_kouter_is_bit_identical_to_ikj() {
+        // Irrational-ish values so any reassociation of the accumulation
+        // would show up in the low bits; zeros exercise the skip path.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (m, k, n) = (5, 17, 13);
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let mut a = a.data().to_vec();
+        a[3] = 0.0;
+        a[k + 1] = 0.0;
+        let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let mut ikj = vec![0.0f32; m * n];
+        let mut kouter = vec![0.0f32; m * n];
+        matmul_into(&a, b.data(), &mut ikj, m, k, n);
+        matmul_kouter_into(&a, b.data(), &mut kouter, m, k, n);
+        for (x, y) in ikj.iter().zip(&kouter) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
     fn randn_statistics() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let t = Tensor::randn(vec![10_000], 1.0, &mut rng);
         let mean = t.sum() / 10_000.0;
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

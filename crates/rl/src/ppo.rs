@@ -8,11 +8,12 @@
 //! clipped surrogate (Eq. 3) and the value loss the squared return error
 //! (Eq. 4), combined as `L = −L_policy + vc · L_value`.
 
-use eva_model::{sample_logits, Generator, Transformer};
+use eva_model::{decode_batch, InferError, LaneRequest, SamplingPolicy, Transformer};
 use eva_nn::{AdamW, Tape, Tensor};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use crate::heads::LinearHead;
 use crate::reward::RewardModel;
@@ -159,30 +160,36 @@ impl<'a> PpoTrainer<'a> {
         &self.config
     }
 
-    /// Sample one trajectory from the current policy.
-    fn sample_tokens<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TokenId> {
-        let mut gener = Generator::new(&self.policy);
-        let start = self.tokenizer.vss();
-        let mut tokens = vec![start];
-        let limit = self.config.max_len.min(self.policy.config().max_seq_len);
-        let mut logits = gener.step(start).expect("VSS within vocabulary and context");
-        while tokens.len() < limit {
-            let next = TokenId(sample_logits(
-                &logits,
-                self.config.temperature,
-                self.config.top_k,
-                rng,
-            ) as u32);
-            tokens.push(next);
-            if next == Tokenizer::END {
-                break;
-            }
-            if tokens.len() >= limit {
-                break;
-            }
-            logits = gener.step(next).expect("sampled token within clamped context");
-        }
-        tokens
+    /// Sample `n` trajectories from the current policy in one lockstep
+    /// batched decode (unconstrained — the policy must learn the grammar —
+    /// with the terminal `END` kept so the reward model can score it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-lane [`InferError`]; a malformed
+    /// policy/tokenizer pairing must not abort a whole experiment run.
+    fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<TokenId>>, InferError> {
+        let sampling = SamplingPolicy::unconstrained(self.tokenizer.vss(), Tokenizer::END);
+        let lanes: Vec<LaneRequest<ChaCha8Rng>> = (0..n)
+            .map(|_| LaneRequest {
+                rng: ChaCha8Rng::seed_from_u64(rng.gen()),
+                temperature: self.config.temperature,
+                top_k: self.config.top_k,
+                max_len: self.config.max_len,
+                prompt: Vec::new(),
+            })
+            .collect();
+        decode_batch(&self.policy, &sampling, lanes)
+            .into_iter()
+            .map(|lane| match lane.error {
+                Some(e) => Err(e),
+                None => Ok(lane.tokens),
+            })
+            .collect()
     }
 
     /// Per-action log-probs (and optionally state values) for a token
@@ -215,13 +222,18 @@ impl<'a> PpoTrainer<'a> {
         (logp, values)
     }
 
-    /// Generate a batch of rollouts, score them with the reward model, and
-    /// compute KL-shaped rewards (Eq. 2), GAE advantages and returns.
-    pub fn rollout_batch<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Rollout> {
+    /// Generate a batch of rollouts — one joint lockstep decode across all
+    /// `batch_size` lanes — score them with the reward model, and compute
+    /// KL-shaped rewards (Eq. 2), GAE advantages and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed [`InferError`] from decoding instead of
+    /// panicking (a malformed state must not abort table2/fig3 runs).
+    pub fn rollout_batch<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<Rollout>, InferError> {
         let cfg = &self.config;
         let mut rollouts = Vec::with_capacity(cfg.batch_size);
-        for _ in 0..cfg.batch_size {
-            let tokens = self.sample_tokens(rng);
+        for tokens in self.sample_batch(cfg.batch_size, rng)? {
             let (logp_old, values_old) =
                 Self::score_sequence(&self.policy, Some(&self.value_head), &tokens);
             let (ref_logp, _) = Self::score_sequence(&self.reference, None, &tokens);
@@ -246,8 +258,11 @@ impl<'a> PpoTrainer<'a> {
                 next_adv = delta + cfg.gamma * cfg.lambda * next_adv;
                 advantages[i] = next_adv;
             }
-            let returns: Vec<f32> =
-                advantages.iter().zip(&values_old).map(|(a, v)| a + v).collect();
+            let returns: Vec<f32> = advantages
+                .iter()
+                .zip(&values_old)
+                .map(|(a, v)| a + v)
+                .collect();
 
             rollouts.push(Rollout {
                 tokens,
@@ -261,7 +276,10 @@ impl<'a> PpoTrainer<'a> {
             });
         }
         // Batch-normalize advantages (standard PPO practice).
-        let all: Vec<f32> = rollouts.iter().flat_map(|r| r.advantages.iter().copied()).collect();
+        let all: Vec<f32> = rollouts
+            .iter()
+            .flat_map(|r| r.advantages.iter().copied())
+            .collect();
         let mean = all.iter().sum::<f32>() / all.len() as f32;
         let var = all.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / all.len() as f32;
         let std = var.sqrt().max(1e-6);
@@ -270,18 +288,23 @@ impl<'a> PpoTrainer<'a> {
                 *a = (*a - mean) / std;
             }
         }
-        rollouts
+        Ok(rollouts)
     }
 
     /// Run one PPO epoch: rollout, then `ppo_epochs × minibatch`
     /// optimization (Algorithm 1 lines 2–10).
-    pub fn train_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PpoEpochStats {
-        let rollouts = self.rollout_batch(rng);
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures from [`PpoTrainer::rollout_batch`].
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<PpoEpochStats, InferError> {
+        let rollouts = self.rollout_batch(rng)?;
         let cfg = self.config;
-        let mean_score =
-            rollouts.iter().map(|r| r.seq_reward).sum::<f64>() / rollouts.len() as f64;
-        let mean_kl =
-            rollouts.iter().map(|r| r.mean_kl).sum::<f32>() / rollouts.len() as f32;
+        let mean_score = rollouts.iter().map(|r| r.seq_reward).sum::<f64>() / rollouts.len() as f64;
+        let mean_kl = rollouts.iter().map(|r| r.mean_kl).sum::<f32>() / rollouts.len() as f32;
 
         let n_policy = self.policy.params().len();
         let n_head = self.value_head.params().len();
@@ -299,8 +322,7 @@ impl<'a> PpoTrainer<'a> {
                 let mut acc: Vec<Option<Tensor>> = vec![None; n_policy + n_head];
                 let mut mb_policy = 0.0f32;
                 let mut mb_value = 0.0f32;
-                let total_actions: usize =
-                    chunk.iter().map(|&i| rollouts[i].logp_old.len()).sum();
+                let total_actions: usize = chunk.iter().map(|&i| rollouts[i].logp_old.len()).sum();
                 for &ri in chunk {
                     let r = &rollouts[ri];
                     let t = r.tokens.len();
@@ -309,23 +331,18 @@ impl<'a> PpoTrainer<'a> {
                     let bound = self.policy.bind(&mut tape);
                     let hidden = self.policy.hidden(&mut tape, &bound, &r.tokens, 1, t);
                     let logits = self.policy.lm_logits(&mut tape, &bound, hidden);
-                    let targets: Vec<usize> =
-                        r.tokens[1..].iter().map(|t| t.index()).collect();
+                    let targets: Vec<usize> = r.tokens[1..].iter().map(|t| t.index()).collect();
                     let act_rows: Vec<usize> = (0..n).collect();
                     let act_logits = tape.select_rows(logits, &act_rows);
                     let lp_new = tape.log_prob(act_logits, &targets);
 
                     // Ratio and clipped surrogate (Eq. 3).
-                    let old = tape.leaf(
-                        Tensor::from_vec(vec![n], r.logp_old.clone()),
-                        false,
-                    );
+                    let old = tape.leaf(Tensor::from_vec(vec![n], r.logp_old.clone()), false);
                     let diff = tape.sub(lp_new, old);
                     let ratio = tape.exp(diff);
                     let adv = Tensor::from_vec(vec![n], r.advantages.clone());
                     let unclipped = tape.mul_const(ratio, &adv);
-                    let clipped_ratio =
-                        tape.clamp(ratio, 1.0 - cfg.clip_eps, 1.0 + cfg.clip_eps);
+                    let clipped_ratio = tape.clamp(ratio, 1.0 - cfg.clip_eps, 1.0 + cfg.clip_eps);
                     let clipped = tape.mul_const(clipped_ratio, &adv);
                     let surrogate = tape.minimum(unclipped, clipped);
                     let sur_sum = tape.sum_all(surrogate);
@@ -334,23 +351,16 @@ impl<'a> PpoTrainer<'a> {
                     let policy_term = tape.scale(sur_sum, -1.0 / total_actions as f32);
 
                     // Value loss (Eq. 4).
-                    let flat = tape.reshape(
-                        hidden,
-                        vec![t, self.policy.config().d_model],
-                    );
+                    let flat = tape.reshape(hidden, vec![t, self.policy.config().d_model]);
                     let states = tape.select_rows(flat, &act_rows);
                     let hb = self.value_head.bind(&mut tape);
                     let v_pred = self.value_head.apply(&mut tape, hb, states);
                     let v_flat = tape.reshape(v_pred, vec![n]);
-                    let g_t = tape.leaf(
-                        Tensor::from_vec(vec![n], r.returns.clone()),
-                        false,
-                    );
+                    let g_t = tape.leaf(Tensor::from_vec(vec![n], r.returns.clone()), false);
                     let verr = tape.sub(v_flat, g_t);
                     let vsq = tape.mul(verr, verr);
                     let v_sum = tape.sum_all(vsq);
-                    let value_term =
-                        tape.scale(v_sum, 0.5 * cfg.value_coef / total_actions as f32);
+                    let value_term = tape.scale(v_sum, 0.5 * cfg.value_coef / total_actions as f32);
 
                     let loss = tape.add(policy_term, value_term);
                     mb_policy += tape.value(policy_term).item();
@@ -391,18 +401,24 @@ impl<'a> PpoTrainer<'a> {
                 steps += 1;
             }
         }
-        PpoEpochStats {
+        Ok(PpoEpochStats {
             mean_score,
             policy_loss: policy_loss_acc / steps.max(1) as f32,
             value_loss: value_loss_acc / steps.max(1) as f32,
             total_loss: total_loss_acc / steps.max(1) as f32,
             mean_kl,
-        }
+        })
     }
 
     /// Run the full Algorithm 1 loop, returning per-epoch statistics.
-    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<PpoEpochStats> {
-        (0..self.config.epochs).map(|_| self.train_epoch(rng)).collect()
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures from [`PpoTrainer::rollout_batch`].
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Vec<PpoEpochStats>, InferError> {
+        (0..self.config.epochs)
+            .map(|_| self.train_epoch(rng))
+            .collect()
     }
 }
 
@@ -418,7 +434,13 @@ mod tests {
         // Vocabulary from a couple of simple walks.
         let seqs = vec![
             vec!["VSS".to_owned(), "NM1_S".to_owned(), "VSS".to_owned()],
-            vec!["VSS".to_owned(), "R1_N".to_owned(), "R1_P".to_owned(), "VDD".to_owned(), "VSS".to_owned()],
+            vec![
+                "VSS".to_owned(),
+                "R1_N".to_owned(),
+                "R1_P".to_owned(),
+                "VDD".to_owned(),
+                "VSS".to_owned(),
+            ],
         ];
         Tokenizer::fit(seqs.iter().map(|s| s.as_slice()))
     }
@@ -429,9 +451,13 @@ mod tests {
         let tok = tiny_tokenizer();
         let model = Transformer::new(ModelConfig::tiny(tok.vocab_size(), 24), &mut rng);
         let rm = RewardModel::new(model.clone(), &mut rng);
-        let cfg = PpoConfig { batch_size: 3, max_len: 12, ..PpoConfig::default() };
+        let cfg = PpoConfig {
+            batch_size: 3,
+            max_len: 12,
+            ..PpoConfig::default()
+        };
         let trainer = PpoTrainer::new(model, &rm, &tok, cfg, &mut rng);
-        let rollouts = trainer.rollout_batch(&mut rng);
+        let rollouts = trainer.rollout_batch(&mut rng).expect("rollout");
         assert_eq!(rollouts.len(), 3);
         for r in &rollouts {
             let n = r.tokens.len() - 1;
@@ -440,7 +466,10 @@ mod tests {
             assert_eq!(r.advantages.len(), n);
             assert_eq!(r.returns.len(), n);
             assert!(r.tokens[0] == tok.vss());
-            assert!(r.logp_old.iter().all(|l| *l <= 0.0), "log-probs non-positive");
+            assert!(
+                r.logp_old.iter().all(|l| *l <= 0.0),
+                "log-probs non-positive"
+            );
         }
     }
 
@@ -452,9 +481,13 @@ mod tests {
         let tok = tiny_tokenizer();
         let model = Transformer::new(ModelConfig::tiny(tok.vocab_size(), 24), &mut rng);
         let rm = RewardModel::new(model.clone(), &mut rng);
-        let cfg = PpoConfig { batch_size: 3, max_len: 12, ..PpoConfig::default() };
+        let cfg = PpoConfig {
+            batch_size: 3,
+            max_len: 12,
+            ..PpoConfig::default()
+        };
         let trainer = PpoTrainer::new(model, &rm, &tok, cfg, &mut rng);
-        for r in trainer.rollout_batch(&mut rng) {
+        for r in trainer.rollout_batch(&mut rng).expect("rollout") {
             let n = r.rewards.len();
             let total: f32 = r.rewards.iter().sum();
             let expect = r.seq_reward as f32 - cfg.kl_beta * r.mean_kl * n as f32;
@@ -474,11 +507,17 @@ mod tests {
         let tok = tiny_tokenizer();
         let model = Transformer::new(ModelConfig::tiny(tok.vocab_size(), 24), &mut rng);
         let rm = RewardModel::new(model.clone(), &mut rng);
-        let cfg = PpoConfig { batch_size: 4, max_len: 10, ..PpoConfig::default() };
+        let cfg = PpoConfig {
+            batch_size: 4,
+            max_len: 10,
+            ..PpoConfig::default()
+        };
         let trainer = PpoTrainer::new(model, &rm, &tok, cfg, &mut rng);
-        let rollouts = trainer.rollout_batch(&mut rng);
-        let all: Vec<f32> =
-            rollouts.iter().flat_map(|r| r.advantages.iter().copied()).collect();
+        let rollouts = trainer.rollout_batch(&mut rng).expect("rollout");
+        let all: Vec<f32> = rollouts
+            .iter()
+            .flat_map(|r| r.advantages.iter().copied())
+            .collect();
         let mean = all.iter().sum::<f32>() / all.len() as f32;
         assert!(mean.abs() < 1e-4, "normalized mean {mean}");
     }
@@ -499,7 +538,7 @@ mod tests {
             ..PpoConfig::default()
         };
         let mut trainer = PpoTrainer::new(model, &rm, &tok, cfg, &mut rng);
-        let stats = trainer.train_epoch(&mut rng);
+        let stats = trainer.train_epoch(&mut rng).expect("epoch");
         assert!(stats.total_loss.is_finite());
         assert!(stats.mean_score >= -1.0 && stats.mean_score <= 1.0);
         let after = trainer.policy().params().tensor(0).clone();
@@ -540,7 +579,7 @@ mod tests {
             ..PpoConfig::default()
         };
         let mut trainer = PpoTrainer::new(model, &rm, &tok, cfg, &mut rng);
-        let stats = trainer.run(&mut rng);
+        let stats = trainer.run(&mut rng).expect("run");
         let first = stats.first().unwrap().mean_score;
         let best_late = stats[stats.len() / 2..]
             .iter()

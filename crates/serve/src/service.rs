@@ -10,12 +10,16 @@
 //! 2. A worker wakes on the first queued job, then drains up to
 //!    `max_batch - 1` more until the batch deadline passes (micro-batching:
 //!    one wakeup amortizes queue traffic across a burst).
-//! 3. Each job runs KV-cached incremental decoding
-//!    ([`eva_model::Generator`]) with its own seed/temperature/top-k, the
-//!    same grammar constraint the evaluation harness uses, and an optional
-//!    `eva-spice` validity check. Inference errors come back as typed
-//!    [`Completion::Error`] values — a malformed request cannot kill a
-//!    worker.
+//! 3. The whole micro-batch decodes **jointly** through the lockstep
+//!    batched runtime ([`eva_model::decode_batch`]): one KV-cache arena,
+//!    one weight sweep per step for every lane, so batching amortizes
+//!    compute rather than just queue wakeups. Each request keeps its own
+//!    seeded RNG, temperature, top-k and length cap, and the shared
+//!    [`eva_model::SamplingPolicy`] grammar constraint the evaluation
+//!    harness uses — so a request's output is bit-identical however the
+//!    batch around it is composed. Inference errors come back as typed
+//!    per-lane [`Completion::Error`] values — a malformed request cannot
+//!    kill a worker or its batchmates.
 //! 4. The reply travels over a per-request channel;
 //!    [`PendingGeneration::wait`] never hangs — if a worker dies, the
 //!    dropped channel surfaces as an error completion.
@@ -30,7 +34,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eva_core::EvaArtifacts;
-use eva_model::{sample_logits, Generator, Transformer};
+use eva_model::{decode_batch, LaneRequest, SamplingPolicy, Transformer};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -122,7 +126,9 @@ pub struct Generation {
     pub valid: Option<bool>,
     /// Time queued before decoding (µs).
     pub queue_us: u64,
-    /// Decode time (µs).
+    /// Decode time (µs) — the wall time of the joint lockstep decode of
+    /// the micro-batch this request shared (batchmates decode together,
+    /// so their decode time is common).
     pub decode_us: u64,
     /// Validity-check time (µs, 0 when not requested).
     pub validate_us: u64,
@@ -365,77 +371,104 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
             .metrics
             .batched_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        for job in batch {
-            run_job(inner, job);
-        }
+        run_batch(inner, batch);
     }
 }
 
-fn run_job(inner: &ServiceInner, job: Job) {
-    let queue_wait = job.enqueued.elapsed();
-    inner.metrics.queue_wait.record(queue_wait);
+/// Decode one micro-batch jointly through the lockstep batched runtime and
+/// answer every job. Requests with invalid parameters are answered
+/// immediately and excluded from the decode; the rest share one
+/// [`decode_batch`] call (one KV arena, one weight sweep per step), each
+/// with its own seeded RNG so its output is independent of batchmates.
+fn run_batch(inner: &ServiceInner, batch: Vec<Job>) {
+    let mut lanes: Vec<LaneRequest<ChaCha8Rng>> = Vec::with_capacity(batch.len());
+    let mut admitted: Vec<(Job, std::time::Duration)> = Vec::with_capacity(batch.len());
+    for job in batch {
+        let queue_wait = job.enqueued.elapsed();
+        inner.metrics.queue_wait.record(queue_wait);
+        match prepare_lane(inner, &job.params) {
+            Ok(lane) => {
+                lanes.push(lane);
+                admitted.push((job, queue_wait));
+            }
+            Err(message) => reply_error(inner, &job, message),
+        }
+    }
+    if lanes.is_empty() {
+        return;
+    }
 
+    let grammar =
+        SamplingPolicy::constrained(inner.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
     let decode_start = Instant::now();
-    let outcome = decode_one(inner, &job.params);
+    let outputs = decode_batch(&inner.model, &grammar, lanes);
     let decode_elapsed = decode_start.elapsed();
-    inner.metrics.decode.record(decode_elapsed);
 
-    let completion = match outcome {
-        Ok((tokens, sampled)) => {
-            inner
-                .metrics
-                .tokens_generated
-                .fetch_add(sampled as u64, Ordering::Relaxed);
-            let validate_start = Instant::now();
-            let valid = if job.params.validate {
-                Some(check_validity(&inner.tokenizer, &tokens))
+    for ((job, queue_wait), out) in admitted.into_iter().zip(outputs) {
+        inner.metrics.decode.record(decode_elapsed);
+        if let Some(e) = out.error {
+            reply_error(inner, &job, e.to_string());
+            continue;
+        }
+        let (tokens, sampled) = (out.tokens, out.sampled);
+        inner
+            .metrics
+            .tokens_generated
+            .fetch_add(sampled as u64, Ordering::Relaxed);
+        let validate_start = Instant::now();
+        let valid = if job.params.validate {
+            Some(check_validity(&inner.tokenizer, &tokens))
+        } else {
+            None
+        };
+        let validate_elapsed = validate_start.elapsed();
+        if job.params.validate {
+            inner.metrics.validate.record(validate_elapsed);
+        }
+        let total = job.enqueued.elapsed();
+        inner.metrics.total.record(total);
+        inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        let completion = Completion::Ok(Generation {
+            id: job.id,
+            token_text: inner.tokenizer.decode(&tokens),
+            tokens,
+            sampled,
+            valid,
+            queue_us: micros(queue_wait),
+            decode_us: micros(decode_elapsed),
+            validate_us: if job.params.validate {
+                micros(validate_elapsed)
             } else {
-                None
-            };
-            let validate_elapsed = validate_start.elapsed();
-            if job.params.validate {
-                inner.metrics.validate.record(validate_elapsed);
-            }
-            let total = job.enqueued.elapsed();
-            inner.metrics.total.record(total);
-            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
-            Completion::Ok(Generation {
-                id: job.id,
-                token_text: inner.tokenizer.decode(&tokens),
-                tokens,
-                sampled,
-                valid,
-                queue_us: micros(queue_wait),
-                decode_us: micros(decode_elapsed),
-                validate_us: if job.params.validate {
-                    micros(validate_elapsed)
-                } else {
-                    0
-                },
-                total_us: micros(total),
-            })
-        }
-        Err(message) => {
-            inner.metrics.total.record(job.enqueued.elapsed());
-            inner.metrics.errored.fetch_add(1, Ordering::Relaxed);
-            Completion::Error {
-                id: job.id,
-                message,
-            }
-        }
-    };
-    // A vanished client is not a worker problem.
-    let _ = job.reply.send(completion);
+                0
+            },
+            total_us: micros(total),
+        });
+        // A vanished client is not a worker problem.
+        let _ = job.reply.send(completion);
+    }
+}
+
+fn reply_error(inner: &ServiceInner, job: &Job, message: String) {
+    inner.metrics.total.record(job.enqueued.elapsed());
+    inner.metrics.errored.fetch_add(1, Ordering::Relaxed);
+    let _ = job.reply.send(Completion::Error {
+        id: job.id,
+        message,
+    });
 }
 
 fn micros(elapsed: std::time::Duration) -> u64 {
     elapsed.as_micros().min(u128::from(u64::MAX)) as u64
 }
 
-/// KV-cached incremental decoding of one request. Mirrors the evaluation
-/// harness's grammar constraint: `PAD` is never sampled and the terminator
-/// is only admissible right after a `VSS` token.
-fn decode_one(inner: &ServiceInner, params: &GenParams) -> Result<(Vec<TokenId>, usize), String> {
+/// Validate one request's parameters and resolve it into a decode lane:
+/// seeded RNG, clamped length cap (`0` = full context), and the prompt
+/// encoded to token ids. Mirrors the evaluation harness's grammar
+/// constraint via the shared [`SamplingPolicy`] applied in [`run_batch`].
+fn prepare_lane(
+    inner: &ServiceInner,
+    params: &GenParams,
+) -> Result<LaneRequest<ChaCha8Rng>, String> {
     if params.temperature <= 0.0 || !params.temperature.is_finite() {
         return Err(format!(
             "temperature must be positive and finite, got {}",
@@ -446,57 +479,29 @@ fn decode_one(inner: &ServiceInner, params: &GenParams) -> Result<(Vec<TokenId>,
         return Err("top_k must be positive".to_owned());
     }
     let tokenizer = &*inner.tokenizer;
-    let model = &*inner.model;
-    let ctx = model.config().max_seq_len;
-    let limit = if params.max_len == 0 {
-        ctx
-    } else {
-        params.max_len.min(ctx)
-    };
-    let vss = tokenizer.vss();
+    let ctx = inner.model.config().max_seq_len;
+    let limit = SamplingPolicy::clamp_len(params.max_len, ctx);
 
-    let mut tokens = Vec::with_capacity(limit.min(256));
-    tokens.push(vss);
+    let mut prompt = Vec::with_capacity(params.prompt.len());
     for text in &params.prompt {
         let id = tokenizer
             .id(text)
             .ok_or_else(|| format!("prompt token {text:?} not in vocabulary"))?;
-        tokens.push(id);
+        prompt.push(id);
     }
-    if tokens.len() > limit {
+    if 1 + prompt.len() > limit {
         return Err(format!(
             "prompt length {} exceeds length limit {limit}",
-            tokens.len()
+            1 + prompt.len()
         ));
     }
-
-    let mut generator = Generator::new(model);
-    let mut logits = Vec::new();
-    for &token in &tokens {
-        logits = generator.step(token).map_err(|e| e.to_string())?;
-    }
-
-    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
-    let mut sampled = 0usize;
-    while tokens.len() < limit {
-        let last = *tokens.last().expect("sequence starts at VSS");
-        logits[Tokenizer::PAD.index()] = f32::NEG_INFINITY;
-        if last != vss {
-            logits[Tokenizer::END.index()] = f32::NEG_INFINITY;
-        }
-        let next =
-            TokenId(sample_logits(&logits, params.temperature, params.top_k, &mut rng) as u32);
-        if next == Tokenizer::END {
-            break;
-        }
-        tokens.push(next);
-        sampled += 1;
-        if tokens.len() >= limit {
-            break;
-        }
-        logits = generator.step(next).map_err(|e| e.to_string())?;
-    }
-    Ok((tokens, sampled))
+    Ok(LaneRequest {
+        rng: ChaCha8Rng::seed_from_u64(params.seed),
+        temperature: params.temperature,
+        top_k: params.top_k,
+        max_len: limit,
+        prompt,
+    })
 }
 
 /// Decode the walk and run the structural + DC-solve validity oracle.

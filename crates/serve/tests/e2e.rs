@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use eva_core::{Eva, EvaArtifacts, EvaOptions, PretrainConfig};
 use eva_serve::{
-    Completion, GenParams, GenerationService, Request, Response, ServeConfig, SubmitError,
+    Completion, GenParams, GenerationService, PendingGeneration, Request, Response, ServeConfig,
+    SubmitError,
 };
 use eva_tokenizer::Tokenizer;
 use rand::SeedableRng;
@@ -89,6 +90,99 @@ fn checkpoint_to_service_round_trip() {
     assert_eq!(snapshot.completed, 9);
     assert_eq!(snapshot.rejected, 0);
     assert!(snapshot.tokens_generated > 0);
+    service.shutdown();
+}
+
+#[test]
+fn micro_batch_decodes_jointly_and_matches_solo_decodes() {
+    let eva = tiny_pretrained(26);
+    // One worker, generous deadline: a burst lands in one lockstep batch.
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 8,
+            batch_deadline_us: 300_000,
+            ..ServeConfig::default()
+        },
+    );
+
+    const N: u64 = 6;
+    let pending: Vec<_> = (0..N)
+        .map(|i| {
+            service
+                .submit(
+                    i,
+                    GenParams {
+                        seed: 500 + i,
+                        max_len: 40,
+                        ..GenParams::default()
+                    },
+                )
+                .expect("queue has room")
+        })
+        .collect();
+    let batched: Vec<_> = pending
+        .into_iter()
+        .map(|p| match p.wait() {
+            Completion::Ok(generation) => generation,
+            Completion::Error { message, .. } => panic!("batched request failed: {message}"),
+        })
+        .collect();
+
+    // The burst shared lockstep batches rather than decoding one by one.
+    let snapshot = service.metrics();
+    assert!(
+        snapshot.batches < N,
+        "expected joint micro-batches, got {} batches for {N} requests",
+        snapshot.batches
+    );
+
+    // Batch composition must not leak into any request's output: the same
+    // seed decoded alone (a batch of one) yields identical tokens.
+    for generation in &batched {
+        let solo = service
+            .generate(GenParams {
+                seed: 500 + generation.id,
+                max_len: 40,
+                ..GenParams::default()
+            })
+            .expect("queue has room");
+        match solo {
+            Completion::Ok(alone) => assert_eq!(
+                alone.tokens,
+                generation.tokens,
+                "seed {} diverged between batched and solo decode",
+                500 + generation.id
+            ),
+            Completion::Error { message, .. } => panic!("solo decode failed: {message}"),
+        }
+    }
+
+    // A malformed batchmate errors alone; the rest of its batch completes.
+    let mixed: Vec<_> = (0..3u64)
+        .map(|i| {
+            let params = if i == 1 {
+                GenParams {
+                    temperature: -1.0,
+                    max_len: 24,
+                    ..GenParams::default()
+                }
+            } else {
+                GenParams {
+                    seed: 900 + i,
+                    max_len: 24,
+                    ..GenParams::default()
+                }
+            };
+            service.submit(100 + i, params).expect("queue has room")
+        })
+        .collect();
+    let outcomes: Vec<_> = mixed.into_iter().map(PendingGeneration::wait).collect();
+    assert!(matches!(outcomes[0], Completion::Ok(_)));
+    assert!(matches!(outcomes[1], Completion::Error { .. }));
+    assert!(matches!(outcomes[2], Completion::Ok(_)));
     service.shutdown();
 }
 
