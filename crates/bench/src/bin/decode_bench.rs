@@ -99,6 +99,8 @@ fn main() {
 
     let report = serde_json::json!({
         "bench": "eva-model/decode",
+        "git_rev": eva_bench::git_rev(),
+        "threads": eva_nn::pool::global().threads(),
         "seed": args.seed,
         "scale": "repro(512,128)",
         "max_len": max_len,

@@ -1,0 +1,169 @@
+//! GEMM kernel throughput benchmark → `BENCH_gemm.json`.
+//!
+//! Measures GFLOP/s of the four `eva_nn` kernels at the shapes the stack
+//! actually runs — training GEMMs (`m ∈ {256, 1024}`) and batched-decode
+//! GEMMs (`m ∈ {1, 4, 16}` lockstep lanes against a wide weight matrix) —
+//! at thread counts {1, 2, all cores}, each over its own explicit
+//! [`eva_nn::Pool`] so one process can sweep every configuration. Before
+//! timing, every (kernel, shape, pool) cell is checked bit-for-bit against
+//! the serial reference kernel, so the numbers can never come from a
+//! kernel that broke the determinism contract.
+//!
+//! ```text
+//! cargo run -p eva-bench --release --bin gemm_bench [-- --quick --seed N --samples REPS]
+//! ```
+//!
+//! The JSON artifact at the repo root records `threads` and `git_rev`, so
+//! kernel perf is comparable PR over PR; the headline ratio (threads=all
+//! vs threads=1 on training shapes) is the tentpole acceptance number.
+
+use std::time::Instant;
+
+use eva_bench::RunArgs;
+use eva_nn::{
+    matmul_at_into_serial, matmul_at_into_with, matmul_bt_into_serial, matmul_bt_into_with,
+    matmul_into_serial, matmul_into_with, matmul_kouter_into_serial, matmul_kouter_into_with, Pool,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One benchmarked kernel: its serial reference and its pooled variant.
+struct Kernel {
+    name: &'static str,
+    serial: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    with: fn(&Pool, &[f32], &[f32], &mut [f32], usize, usize, usize),
+    /// Buffer lengths `(lhs, rhs, out)` for a given `(m, k, n)`.
+    lens: fn(usize, usize, usize) -> (usize, usize, usize),
+}
+
+const KERNELS: [Kernel; 4] = [
+    Kernel {
+        name: "matmul_into",
+        serial: matmul_into_serial,
+        with: matmul_into_with,
+        lens: |m, k, n| (m * k, k * n, m * n),
+    },
+    Kernel {
+        name: "matmul_kouter_into",
+        serial: matmul_kouter_into_serial,
+        with: matmul_kouter_into_with,
+        lens: |m, k, n| (m * k, k * n, m * n),
+    },
+    Kernel {
+        name: "matmul_bt_into",
+        serial: matmul_bt_into_serial,
+        with: matmul_bt_into_with,
+        lens: |m, k, n| (m * k, n * k, m * n),
+    },
+    Kernel {
+        name: "matmul_at_into",
+        serial: matmul_at_into_serial,
+        with: matmul_at_into_with,
+        lens: |m, k, n| (m * k, m * n, k * n),
+    },
+];
+
+/// Training shapes (activations × weights at pretraining batch sizes) and
+/// decode shapes (a few lockstep lanes × a wide weight/logit matrix).
+const SHAPES: [(&str, usize, usize, usize); 5] = [
+    ("train", 256, 256, 256),
+    ("train", 1024, 256, 256),
+    ("decode", 1, 256, 1024),
+    ("decode", 4, 256, 1024),
+    ("decode", 16, 256, 1024),
+];
+
+fn main() {
+    let args = RunArgs::parse();
+    let reps = args.samples.unwrap_or(if args.quick { 3 } else { 10 });
+    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, all];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    eprintln!("[gemm_bench] threads {thread_counts:?}, {reps} reps per cell");
+    let pools: Vec<Pool> = thread_counts.iter().map(|&t| Pool::new(t)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let mut results = Vec::new();
+    // Tracks the tentpole headline: threaded-vs-serial on training shapes.
+    let mut train_speedups: Vec<f64> = Vec::new();
+
+    for kernel in &KERNELS {
+        for &(class, m, k, n) in &SHAPES {
+            let (al, bl, ol) = (kernel.lens)(m, k, n);
+            let a: Vec<f32> = (0..al).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let b: Vec<f32> = (0..bl).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let mut reference = vec![0.0f32; ol];
+            (kernel.serial)(&a, &b, &mut reference, m, k, n);
+
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            let mut cell = serde_json::Map::new();
+            let mut serial_gflops = 0.0f64;
+            for (&threads, pool) in thread_counts.iter().zip(&pools) {
+                let mut out = vec![0.0f32; ol];
+                (kernel.with)(pool, &a, &b, &mut out, m, k, n);
+                for (i, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{} {m}x{k}x{n} @ {threads} threads: out[{i}] = {got} != {want}",
+                        kernel.name
+                    );
+                }
+                // Timed loop: re-zero between reps (kernels accumulate).
+                let mut elapsed = 0.0f64;
+                for _ in 0..reps {
+                    out.fill(0.0);
+                    let start = Instant::now();
+                    (kernel.with)(pool, &a, &b, &mut out, m, k, n);
+                    elapsed += start.elapsed().as_secs_f64();
+                }
+                let gflops = flops * reps as f64 / elapsed.max(1e-12) / 1e9;
+                if threads == 1 {
+                    serial_gflops = gflops;
+                } else if class == "train" && threads == all && serial_gflops > 0.0 {
+                    train_speedups.push(gflops / serial_gflops);
+                }
+                cell.insert(format!("gflops_t{threads}"), serde_json::json!(gflops));
+            }
+            eprintln!(
+                "[gemm_bench] {:>20} {m:>5}x{k}x{n} ({class:>6}): {}",
+                kernel.name,
+                thread_counts
+                    .iter()
+                    .map(|t| format!(
+                        "t{}={:.2}",
+                        t,
+                        cell[&format!("gflops_t{t}")].as_f64().unwrap_or(0.0)
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            cell.insert("kernel".into(), serde_json::json!(kernel.name));
+            cell.insert("class".into(), serde_json::json!(class));
+            cell.insert("m".into(), serde_json::json!(m));
+            cell.insert("k".into(), serde_json::json!(k));
+            cell.insert("n".into(), serde_json::json!(n));
+            results.push(serde_json::Value::Object(cell));
+        }
+    }
+
+    let headline = train_speedups.iter().copied().fold(f64::NAN, f64::max);
+    if headline.is_finite() {
+        eprintln!("[gemm_bench] best training-shape speedup t{all}/t1: {headline:.2}x");
+    }
+    let report = serde_json::json!({
+        "bench": "eva-nn/gemm",
+        "git_rev": eva_bench::git_rev(),
+        "threads": all,
+        "thread_counts": thread_counts,
+        "seed": args.seed,
+        "reps": reps,
+        "best_train_speedup": headline,
+        "results": results,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{pretty}");
+    std::fs::write("BENCH_gemm.json", format!("{pretty}\n")).expect("write BENCH_gemm.json");
+    eprintln!("[gemm_bench] wrote BENCH_gemm.json");
+}

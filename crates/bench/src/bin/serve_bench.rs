@@ -115,6 +115,8 @@ fn main() {
 
     let report = serde_json::json!({
         "bench": "eva-serve/in-process",
+        "git_rev": eva_bench::git_rev(),
+        "threads": eva_nn::pool::global().threads(),
         "seed": args.seed,
         "scale": format!("test_scale+{pretrain_steps}steps"),
         "workers": workers,

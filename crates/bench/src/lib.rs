@@ -37,7 +37,11 @@ pub struct RunArgs {
 impl RunArgs {
     /// Parse from `std::env::args` (ignores unknown flags).
     pub fn parse() -> RunArgs {
-        let mut args = RunArgs { quick: false, seed: 7, samples: None };
+        let mut args = RunArgs {
+            quick: false,
+            seed: 7,
+            samples: None,
+        };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
             match a.as_str() {
@@ -74,20 +78,33 @@ pub fn experiment_options(quick: bool) -> EvaOptions {
             n_heads: 2,
             d_model: 64,
             max_seq_cap: Some(160),
-            pretrain: PretrainConfig { steps: 800, batch_size: 12, lr: 1e-3, warmup: 20 },
+            pretrain: PretrainConfig {
+                steps: 800,
+                batch_size: 12,
+                lr: 1e-3,
+                warmup: 20,
+            },
         }
     } else {
         EvaOptions {
             // A 1,000-topology stratified subset trains in CPU-minutes
             // while keeping all 11 families (the full 3,470 corpus is used
             // by `corpus_stats` and the dataset tests); see EXPERIMENTS.md.
-            corpus: CorpusOptions { target_size: 1000, ..CorpusOptions::default() },
+            corpus: CorpusOptions {
+                target_size: 1000,
+                ..CorpusOptions::default()
+            },
             sequences_per_topology: 5,
             n_layers: 3,
             n_heads: 4,
             d_model: 96,
             max_seq_cap: Some(192),
-            pretrain: PretrainConfig { steps: 1800, batch_size: 12, lr: 8e-4, warmup: 60 },
+            pretrain: PretrainConfig {
+                steps: 1800,
+                batch_size: 12,
+                lr: 8e-4,
+                warmup: 60,
+            },
         }
     }
 }
@@ -144,7 +161,12 @@ pub fn pretrained_eva(args: &RunArgs, rng: &mut ChaCha8Rng) -> Eva {
     );
     std::fs::create_dir_all("results").ok();
     if let Ok(file) = std::fs::File::create(&cache) {
-        if eva.model().params().save(std::io::BufWriter::new(file)).is_ok() {
+        if eva
+            .model()
+            .params()
+            .save(std::io::BufWriter::new(file))
+            .is_ok()
+        {
             eprintln!("[pretrain] cached weights at {}", cache.display());
         }
     }
@@ -160,6 +182,21 @@ pub fn label_budget(target: CircuitType) -> usize {
         CircuitType::PowerConverter => 362,
         _ => 850,
     }
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a git
+/// checkout — stamped into every `BENCH_*.json` so perf trajectories are
+/// comparable across PRs.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 /// Write a results artifact under `results/`, creating the directory.

@@ -27,7 +27,7 @@
 //! serve worker; [`decode_batch`] drives any mix of prompted/unprompted
 //! lanes with per-lane seed, temperature, top-k and length caps.
 
-use eva_nn::{matmul_kouter_into, Tensor};
+use eva_nn::{matmul_kouter_into, par_rows_mut, pool, Tensor};
 use eva_tokenizer::TokenId;
 use rand::Rng;
 
@@ -331,23 +331,44 @@ impl<'m> BatchGenerator<'m> {
             }
             // Per-lane causal attention over the arena (O(t·d) per lane;
             // the weight-streaming cost this module batches lives in the
-            // GEMMs, not here).
+            // GEMMs, not here). (row, head) slots are independent and the
+            // ctxb window of slot `row*heads + h` is exactly the dh-wide
+            // stripe `[row*d + h*dh, row*d + (h+1)*dh)` (d = heads·dh), so
+            // slot-parallel execution writes disjoint rows and keeps every
+            // per-slot accumulation order — bit-identical to the serial
+            // loop and to the sequential generator.
             self.ctxb[..a * d].fill(0.0);
-            for (row, &(lane, _)) in active.iter().enumerate() {
-                let steps = self.t[lane] + 1;
-                let base = lane * self.ctx;
-                let q = &self.qb[row * d..row * d + d];
-                let ctxr = &mut self.ctxb[row * d..row * d + d];
-                for h in 0..heads {
-                    let off = h * dh;
+            let tmax = active
+                .iter()
+                .map(|&(lane, _)| self.t[lane])
+                .max()
+                .unwrap_or(0);
+            let min_slots = (16 * 1024 / ((tmax + 1) * dh).max(1)).max(1);
+            let k_l: &[f32] = &self.k_arena[l];
+            let v_l: &[f32] = &self.v_arena[l];
+            let qb: &[f32] = &self.qb;
+            let t: &[usize] = &self.t;
+            let ctx = self.ctx;
+            let active_s: &[(usize, TokenId)] = &active;
+            par_rows_mut(
+                pool::global(),
+                &mut self.ctxb[..a * d],
+                dh,
+                min_slots,
+                |slot, ctxs| {
+                    let row = slot / heads;
+                    let off = slot % heads * dh;
+                    let (lane, _) = active_s[row];
+                    let steps = t[lane] + 1;
+                    let base = lane * ctx;
+                    let q = &qb[row * d + off..row * d + off + dh];
                     let mut scores = Vec::with_capacity(steps);
                     let mut maxv = f32::NEG_INFINITY;
                     for j in 0..steps {
-                        let krow =
-                            &self.k_arena[l][(base + j) * d + off..(base + j) * d + off + dh];
+                        let krow = &k_l[(base + j) * d + off..(base + j) * d + off + dh];
                         let mut s = 0.0f32;
                         for c in 0..dh {
-                            s += q[off + c] * krow[c];
+                            s += q[c] * krow[c];
                         }
                         s *= scale;
                         maxv = maxv.max(s);
@@ -360,14 +381,13 @@ impl<'m> BatchGenerator<'m> {
                     }
                     for j in 0..steps {
                         let w = scores[j] / denom;
-                        let vrow =
-                            &self.v_arena[l][(base + j) * d + off..(base + j) * d + off + dh];
+                        let vrow = &v_l[(base + j) * d + off..(base + j) * d + off + dh];
                         for c in 0..dh {
-                            ctxr[off + c] += w * vrow[c];
+                            ctxs[c] += w * vrow[c];
                         }
                     }
-                }
-            }
+                },
+            );
             self.attnb[..a * d].fill(0.0);
             matmul_kouter_into(
                 &self.ctxb[..a * d],

@@ -6,8 +6,14 @@
 //! dependency set (no candle/burn/torch).
 //!
 //! - [`tensor::Tensor`] — dense row-major `f32` values, `Arc`-backed, plus
-//!   the raw GEMM kernels ([`matmul_into`], [`matmul_kouter_into`]) the
-//!   batched decode path reuses against caller-owned scratch buffers.
+//!   the raw GEMM kernels ([`matmul_into`], [`matmul_kouter_into`],
+//!   [`matmul_bt_into`], [`matmul_at_into`]) the batched decode path reuses
+//!   against caller-owned scratch buffers. Each kernel comes in three
+//!   flavors — bare (process-global pool), `_with` (explicit [`Pool`]),
+//!   `_serial` (reference) — all bit-identical; see `tensor.rs`.
+//! - [`pool`] — the persistent fork-join worker [`Pool`] behind the
+//!   threaded kernels, sized by `EVA_NN_THREADS` (default: all cores,
+//!   `1` = zero-overhead serial bypass).
 //! - [`tape::Tape`] — define-by-run graph with exactly the op set a GPT-
 //!   style model plus RLHF losses need (linear, embedding, batched matmul,
 //!   head splitting, causal softmax, layer norm, GELU, cross entropy,
@@ -42,10 +48,16 @@
 
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod tape;
 pub mod tensor;
 
 pub use optim::{AdamW, CosineSchedule};
 pub use params::ParamSet;
+pub use pool::{par_rows_mut, Pool};
 pub use tape::{Gradients, Tape, Value};
-pub use tensor::{matmul_into, matmul_kouter_into, Tensor};
+pub use tensor::{
+    matmul_at_into, matmul_at_into_serial, matmul_at_into_with, matmul_bt_into,
+    matmul_bt_into_serial, matmul_bt_into_with, matmul_into, matmul_into_serial, matmul_into_with,
+    matmul_kouter_into, matmul_kouter_into_serial, matmul_kouter_into_with, Tensor,
+};

@@ -1,0 +1,450 @@
+//! Persistent worker pool with scoped fork-join execution — the threading
+//! substrate under every GEMM kernel and row-parallel tape op.
+//!
+//! One process-wide [`Pool`] (see [`global`]) is shared by training,
+//! batched decode, and every `eva-serve` worker, so concurrent callers
+//! never oversubscribe the machine: there is exactly one set of kernel
+//! threads no matter how many threads submit work. Size it with
+//! `EVA_NN_THREADS` (unset or `0` = `std::thread::available_parallelism()`,
+//! `1` = no workers at all — every parallel region runs inline on the
+//! caller, bypassing the pool with zero overhead).
+//!
+//! ## Execution model
+//!
+//! [`Pool::run_ranges`] is the only primitive: split `0..n` into at most
+//! `threads` contiguous ranges and run a `Fn(lo, hi)` over them, caller
+//! included, returning when every range has finished (fork-join). Ranges
+//! are claimed through an atomic cursor, so any worker — busy with another
+//! caller's region or not — helps with whatever region it receives next.
+//! Work submitted *from inside* a pool task runs inline (no nested
+//! dispatch), which both bounds stack depth and makes the pool
+//! deadlock-free: a blocked caller always has workers draining the queue.
+//!
+//! ## Determinism contract
+//!
+//! The pool never decides *what* is computed, only *where*: callers
+//! partition work so that each output element is written by exactly one
+//! range, with the same per-element arithmetic and accumulation order as
+//! the serial code. Every kernel built on this pool is therefore
+//! bit-identical at any thread count — pinned down by the proptest suite
+//! in `tests/kernels.rs` and PR 2's batched/sequential decode equivalence
+//! tests, which now run threaded in CI.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+thread_local! {
+    /// Set on pool worker threads so nested parallel regions run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One fork-join region, allocated on the submitting caller's stack. Raw
+/// pointers to it are handed to workers; the caller cannot return before
+/// `pending` reaches zero, which workers only signal after their last
+/// access, so the pointers never dangle.
+struct Region {
+    /// Type-erased `&dyn Fn(lo, hi)` living on the caller's stack.
+    task: *const (dyn Fn(usize, usize) + Sync),
+    n: usize,
+    ranges: usize,
+    /// Next unclaimed range index.
+    next: AtomicUsize,
+    /// Workers that received this region and have not finished with it.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// Whether any participant's task panicked (re-raised by the caller).
+    panicked: AtomicBool,
+}
+
+impl Region {
+    /// Claim and run ranges until the cursor is exhausted.
+    ///
+    /// # Safety
+    ///
+    /// `self.task` must still be alive — guaranteed while the submitting
+    /// caller is blocked in [`Pool::run_ranges`].
+    unsafe fn execute(&self) {
+        let task = &*self.task;
+        loop {
+            let r = self.next.fetch_add(1, Ordering::Relaxed);
+            if r >= self.ranges {
+                return;
+            }
+            let (lo, hi) = split_range(self.n, self.ranges, r);
+            if catch_unwind(AssertUnwindSafe(|| task(lo, hi))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Worker-side entry: run, then signal completion exactly once.
+    unsafe fn execute_and_signal(&self) {
+        self.execute();
+        let mut pending = self.pending.lock().expect("pool mutex");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_one();
+        }
+    }
+}
+
+/// The `r`-th of `ranges` balanced contiguous splits of `0..n`.
+fn split_range(n: usize, ranges: usize, r: usize) -> (usize, usize) {
+    let base = n / ranges;
+    let rem = n % ranges;
+    let lo = r * base + r.min(rem);
+    (lo, lo + base + usize::from(r < rem))
+}
+
+/// A message handing a region to one worker.
+struct JobMsg(*const Region);
+// SAFETY: the region outlives the message (see `Region` docs) and all of
+// its shared state is Sync.
+unsafe impl Send for JobMsg {}
+
+/// A persistent fork-join worker pool. See the module docs.
+pub struct Pool {
+    threads: usize,
+    tx: Option<Sender<JobMsg>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    regions: AtomicUsize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// A pool executing on `threads` threads total: the caller plus
+    /// `threads - 1` persistent workers. `threads <= 1` spawns nothing and
+    /// makes every [`Pool::run_ranges`] call run inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Pool {
+                threads,
+                tx: None,
+                workers: Vec::new(),
+                regions: AtomicUsize::new(0),
+            };
+        }
+        let (tx, rx) = unbounded::<JobMsg>();
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let rx: Receiver<JobMsg> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("eva-nn-pool-{i}"))
+                    .spawn(move || {
+                        IN_POOL.with(|f| f.set(true));
+                        while let Ok(JobMsg(region)) = rx.recv() {
+                            // SAFETY: the submitting caller blocks until we
+                            // signal, so `region` is alive.
+                            unsafe { (*region).execute_and_signal() }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            threads,
+            tx: Some(tx),
+            workers,
+            regions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total execution threads (caller included). `1` means the pool is a
+    /// pure pass-through.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel regions actually dispatched to workers (inline/bypassed
+    /// runs are not counted) — observability for the serial-path tests.
+    pub fn regions_run(&self) -> usize {
+        self.regions.load(Ordering::Relaxed)
+    }
+
+    /// Split `0..n` into at most `threads` contiguous ranges of at least
+    /// `min_per_range` items each and run `f(lo, hi)` over all of them,
+    /// returning when every range has completed. Runs inline (never
+    /// touching the workers) when the pool has one thread, the split
+    /// yields a single range, or the caller is itself a pool worker.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any invocation of `f` after the region has
+    /// fully quiesced (no range is left running).
+    pub fn run_ranges(&self, n: usize, min_per_range: usize, f: impl Fn(usize, usize) + Sync) {
+        if n == 0 {
+            return;
+        }
+        let ranges = (n / min_per_range.max(1)).clamp(1, self.threads);
+        if ranges == 1 || self.tx.is_none() || IN_POOL.with(Cell::get) {
+            f(0, n);
+            return;
+        }
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        let helpers = ranges - 1;
+        let task: &(dyn Fn(usize, usize) + Sync) = &f;
+        // SAFETY: lifetime erasure only; `region` (and thus every pointer
+        // handed out below) is dead before `f` is.
+        let task: *const (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let region = Region {
+            task,
+            n,
+            ranges,
+            next: AtomicUsize::new(0),
+            pending: Mutex::new(helpers),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        };
+        let tx = self.tx.as_ref().expect("checked above");
+        for _ in 0..helpers {
+            tx.send(JobMsg(&region)).expect("pool workers alive");
+        }
+        // The caller is a full participant, then waits for the helpers.
+        // SAFETY: `region` is on this stack frame and we don't leave it
+        // until `pending` hits zero.
+        unsafe { region.execute() };
+        let mut pending = region.pending.lock().expect("pool mutex");
+        while *pending != 0 {
+            pending = region.done.wait(pending).expect("pool mutex");
+        }
+        drop(pending);
+        if region.panicked.load(Ordering::Relaxed) {
+            resume_unwind(Box::new("eva-nn pool task panicked"));
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Thread count from an `EVA_NN_THREADS`-style value: unset, `0`, or
+/// unparseable falls back to [`std::thread::available_parallelism`];
+/// anything else is taken literally (floor 1).
+pub fn threads_from_env(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(t) => t,
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, created on first use from `EVA_NN_THREADS` (see
+/// [`threads_from_env`]). Every kernel entry point without an explicit
+/// `_with` pool argument runs here, so training, decode, and serving all
+/// share one set of threads.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        Pool::new(threads_from_env(
+            std::env::var("EVA_NN_THREADS").ok().as_deref(),
+        ))
+    })
+}
+
+/// A raw mutable base pointer that may cross threads. Used by kernels to
+/// hand each range its disjoint output window.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(*mut f32);
+// SAFETY: all users write through provably disjoint index ranges while the
+// owning `&mut [f32]` borrow is held by the kernel entry point.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    pub(crate) fn new(slice: &mut [f32]) -> SendPtr {
+        SendPtr(slice.as_mut_ptr())
+    }
+
+    /// The elements `[lo, hi)` of the underlying buffer.
+    ///
+    /// # Safety
+    ///
+    /// `[lo, hi)` must be in bounds of the original slice and disjoint
+    /// from every range accessed concurrently; the returned borrow must
+    /// not outlive the original `&mut [f32]`.
+    pub(crate) unsafe fn slice<'a>(self, lo: usize, hi: usize) -> &'a mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(lo), hi - lo)
+    }
+}
+
+/// Run `f(row_index, row)` over every `width`-sized row of `buf` in
+/// parallel, partitioning rows contiguously across the pool (at least
+/// `min_rows` per range). Rows are disjoint, so this is safe for any
+/// embarrassingly row-parallel kernel (softmax, layer norm, per-row
+/// gradients, per-head attention); per-row arithmetic is untouched, so
+/// results are bit-identical to the serial loop.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `buf.len()`.
+pub fn par_rows_mut<F>(pool: &Pool, buf: &mut [f32], width: usize, min_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(width > 0, "row width must be positive");
+    assert_eq!(buf.len() % width, 0, "buffer is a whole number of rows");
+    let rows = buf.len() / width;
+    let ptr = SendPtr::new(buf);
+    pool.run_ranges(rows, min_rows, |lo, hi| {
+        for r in lo..hi {
+            // SAFETY: row `r` is visited by exactly one range.
+            let row = unsafe { ptr.slice(r * width, (r + 1) * width) };
+            f(r, row);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for n in [1usize, 2, 7, 64, 100] {
+            for ranges in 1..=8usize.min(n) {
+                let mut next = 0;
+                for r in 0..ranges {
+                    let (lo, hi) = split_range(n, ranges, r);
+                    assert_eq!(lo, next, "contiguous");
+                    assert!(hi > lo, "non-empty");
+                    next = hi;
+                }
+                assert_eq!(next, n, "covers 0..{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_ranges_visits_every_index_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        pool.run_ranges(1000, 1, |lo, hi| {
+            for i in lo..hi {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(pool.regions_run(), 1);
+    }
+
+    #[test]
+    fn single_thread_pool_is_inline_bypass() {
+        let pool = Pool::new(1);
+        let count = AtomicU32::new(0);
+        pool.run_ranges(100, 1, |lo, hi| {
+            count.fetch_add((hi - lo) as u32, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.regions_run(), 0, "no region ever dispatched");
+    }
+
+    #[test]
+    fn min_per_range_collapses_small_work_inline() {
+        let pool = Pool::new(4);
+        pool.run_ranges(10, 16, |lo, hi| {
+            assert_eq!((lo, hi), (0, 10), "one range, run inline");
+        });
+        assert_eq!(pool.regions_run(), 0);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let pool = Pool::new(3);
+        let outer = AtomicU32::new(0);
+        pool.run_ranges(3, 1, |lo, hi| {
+            for _ in lo..hi {
+                // From a pool thread this must not re-dispatch.
+                pool.run_ranges(5, 1, |ilo, ihi| {
+                    outer.fetch_add((ihi - ilo) as u32, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let pool = std::sync::Arc::new(Pool::new(3));
+        let total = std::sync::Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run_ranges(64, 1, |lo, hi| {
+                            total.fetch_add((hi - lo) as u32, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("caller thread");
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 64);
+    }
+
+    #[test]
+    fn par_rows_mut_writes_disjoint_rows() {
+        let pool = Pool::new(4);
+        let mut buf = vec![0.0f32; 33 * 7];
+        par_rows_mut(&pool, &mut buf, 7, 1, |r, row| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (r * 7 + j) as f32;
+            }
+        });
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_after_quiesce() {
+        let pool = Pool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ranges(8, 1, |lo, _hi| {
+                if lo == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic surfaced to the caller");
+        // Pool still works afterwards.
+        let count = AtomicU32::new(0);
+        pool.run_ranges(8, 1, |lo, hi| {
+            count.fetch_add((hi - lo) as u32, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(threads_from_env(Some("1")), 1);
+        assert_eq!(threads_from_env(Some(" 7 ")), 7);
+        let auto = threads_from_env(None);
+        assert!(auto >= 1);
+        assert_eq!(threads_from_env(Some("0")), auto);
+        assert_eq!(threads_from_env(Some("not-a-number")), auto);
+    }
+}

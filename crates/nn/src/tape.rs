@@ -10,7 +10,15 @@
 //! losses need; each op's backward is verified against finite differences
 //! in `tests/gradcheck.rs`.
 
+use crate::pool::{self, par_rows_mut, SendPtr};
 use crate::tensor::{matmul_at_into, matmul_bt_into, matmul_into, Tensor};
+
+/// Minimum rows per parallel range for a row-parallel tape kernel of the
+/// given row width — keeps tiny ops (and most unit tests) on the caller's
+/// thread, where dispatch overhead would dominate.
+fn par_min_rows(width: usize) -> usize {
+    (16 * 1024 / width.max(1)).max(1)
+}
 
 /// Handle to a tape node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -359,26 +367,25 @@ impl Tape {
         assert_eq!(t, t2, "square attention");
         let xd = xt.data();
         let mut out = vec![0.0f32; n * t * t];
-        for b in 0..n {
-            for i in 0..t {
-                let row = &xd[b * t * t + i * t..b * t * t + i * t + t];
-                let lim = i + 1;
-                let mut maxv = f32::NEG_INFINITY;
-                for &v in &row[..lim] {
-                    maxv = maxv.max(v * scale);
-                }
-                let mut denom = 0.0f32;
-                let orow = &mut out[b * t * t + i * t..b * t * t + i * t + t];
-                for j in 0..lim {
-                    let e = (row[j] * scale - maxv).exp();
-                    orow[j] = e;
-                    denom += e;
-                }
-                for o in &mut orow[..lim] {
-                    *o /= denom;
-                }
+        // Rows (b, i) are independent; flat row r = b*t + i starts at r*t.
+        par_rows_mut(pool::global(), &mut out, t, par_min_rows(t), |r, orow| {
+            let i = r % t;
+            let row = &xd[r * t..r * t + t];
+            let lim = i + 1;
+            let mut maxv = f32::NEG_INFINITY;
+            for &v in &row[..lim] {
+                maxv = maxv.max(v * scale);
             }
-        }
+            let mut denom = 0.0f32;
+            for j in 0..lim {
+                let e = (row[j] * scale - maxv).exp();
+                orow[j] = e;
+                denom += e;
+            }
+            for o in &mut orow[..lim] {
+                *o /= denom;
+            }
+        });
         self.push(
             Tensor::from_vec(vec![n, t, t], out),
             Op::CausalSoftmax { x, scale },
@@ -402,17 +409,21 @@ impl Tape {
         let bd = self.value(beta).data().to_vec();
         let mut out = vec![0.0f32; xt.numel()];
         let mut aux = vec![0.0f32; rows * 2]; // mean, inv_std per row
-        for r in 0..rows {
+        let aux_ptr = SendPtr::new(&mut aux);
+        par_rows_mut(pool::global(), &mut out, d, par_min_rows(d), |r, orow| {
             let row = &xd[r * d..r * d + d];
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + EPS).sqrt();
-            aux[r * 2] = mean;
-            aux[r * 2 + 1] = inv_std;
+            // SAFETY: row `r` is visited by exactly one range, so the aux
+            // pair `[2r, 2r+2)` is written by exactly one thread.
+            let a = unsafe { aux_ptr.slice(r * 2, r * 2 + 2) };
+            a[0] = mean;
+            a[1] = inv_std;
             for j in 0..d {
-                out[r * d + j] = (row[j] - mean) * inv_std * gd[j] + bd[j];
+                orow[j] = (row[j] - mean) * inv_std * gd[j] + bd[j];
             }
-        }
+        });
         let shape = xt.shape().to_vec();
         self.push_aux(
             Tensor::from_vec(shape, out),
@@ -557,19 +568,23 @@ impl Tape {
         );
         let ld = lt.data();
         let mut aux = vec![0.0f32; n * v]; // softmax probabilities
-        let mut loss = 0.0f64;
-        for i in 0..n {
+        par_rows_mut(pool::global(), &mut aux, v, par_min_rows(v), |i, arow| {
             let row = &ld[i * v..i * v + v];
             let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut denom = 0.0f32;
             for j in 0..v {
                 let e = (row[j] - maxv).exp();
-                aux[i * v + j] = e;
+                arow[j] = e;
                 denom += e;
             }
-            for j in 0..v {
-                aux[i * v + j] /= denom;
+            for a in arow.iter_mut() {
+                *a /= denom;
             }
+        });
+        // The f64 loss reduction stays serial in ascending `i` so the sum
+        // is bit-identical at any thread count.
+        let mut loss = 0.0f64;
+        for i in 0..n {
             if mask[i] {
                 loss -= f64::from(aux[i * v + targets[i]].max(1e-30).ln());
             }
@@ -600,20 +615,24 @@ impl Tape {
         let ld = lt.data();
         let mut aux = vec![0.0f32; n * v];
         let mut out = vec![0.0f32; n];
-        for i in 0..n {
+        let out_ptr = SendPtr::new(&mut out);
+        par_rows_mut(pool::global(), &mut aux, v, par_min_rows(v), |i, arow| {
             let row = &ld[i * v..i * v + v];
             let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut denom = 0.0f32;
             for j in 0..v {
                 let e = (row[j] - maxv).exp();
-                aux[i * v + j] = e;
+                arow[j] = e;
                 denom += e;
             }
-            for j in 0..v {
-                aux[i * v + j] /= denom;
+            for a in arow.iter_mut() {
+                *a /= denom;
             }
-            out[i] = aux[i * v + targets[i]].max(1e-30).ln();
-        }
+            // SAFETY: `out[i]` belongs to exactly this row.
+            unsafe {
+                out_ptr.slice(i, i + 1)[0] = arow[targets[i]].max(1e-30).ln();
+            }
+        });
         self.push_aux(
             Tensor::from_vec(vec![n], out),
             Op::LogProb {
@@ -827,20 +846,19 @@ impl Tape {
                     let (n, t, _) = (y.shape()[0], y.shape()[1], y.shape()[2]);
                     let yd = y.data();
                     let gd = gy.data();
+                    let scale = *scale;
                     let mut dx = vec![0.0f32; n * t * t];
-                    for b in 0..n {
-                        for i in 0..t {
-                            let base = b * t * t + i * t;
-                            let lim = i + 1;
-                            let mut dot = 0.0f32;
-                            for j in 0..lim {
-                                dot += gd[base + j] * yd[base + j];
-                            }
-                            for j in 0..lim {
-                                dx[base + j] = scale * yd[base + j] * (gd[base + j] - dot);
-                            }
+                    par_rows_mut(pool::global(), &mut dx, t, par_min_rows(t), |r, dxr| {
+                        let base = r * t;
+                        let lim = r % t + 1;
+                        let mut dot = 0.0f32;
+                        for j in 0..lim {
+                            dot += gd[base + j] * yd[base + j];
                         }
-                    }
+                        for j in 0..lim {
+                            dxr[j] = scale * yd[base + j] * (gd[base + j] - dot);
+                        }
+                    });
                     accumulate(&mut grads, *x, Tensor::from_vec(vec![n, t, t], dx));
                 }
                 Op::LayerNorm { x, gamma, beta } => {
@@ -853,12 +871,14 @@ impl Tape {
                     let mut dx = vec![0.0f32; xt.numel()];
                     let mut dgamma = vec![0.0f32; d];
                     let mut dbeta = vec![0.0f32; d];
-                    for r in 0..rows {
-                        let mean = node.aux[r * 2];
-                        let inv_std = node.aux[r * 2 + 1];
+                    let aux = &node.aux;
+                    // dx rows are independent (each re-derives its own
+                    // reduction terms), so they parallelize freely.
+                    par_rows_mut(pool::global(), &mut dx, d, par_min_rows(d), |r, dxr| {
+                        let mean = aux[r * 2];
+                        let inv_std = aux[r * 2 + 1];
                         let row = &xd[r * d..r * d + d];
                         let gyr = &gyd[r * d..r * d + d];
-                        // xhat and the two reduction terms.
                         let mut sum_g = 0.0f32;
                         let mut sum_gx = 0.0f32;
                         for j in 0..d {
@@ -866,14 +886,26 @@ impl Tape {
                             let gj = gyr[j] * gd[j];
                             sum_g += gj;
                             sum_gx += gj * xhat;
-                            dgamma[j] += gyr[j] * xhat;
-                            dbeta[j] += gyr[j];
                         }
                         let inv_d = 1.0 / d as f32;
                         for j in 0..d {
                             let xhat = (row[j] - mean) * inv_std;
                             let gj = gyr[j] * gd[j];
-                            dx[r * d + j] = inv_std * (gj - inv_d * sum_g - xhat * inv_d * sum_gx);
+                            dxr[j] = inv_std * (gj - inv_d * sum_g - xhat * inv_d * sum_gx);
+                        }
+                    });
+                    // dgamma/dbeta reduce *across* rows — splitting that sum
+                    // over threads would reassociate it, so it stays serial
+                    // in ascending `r` (bit-identical at any thread count).
+                    for r in 0..rows {
+                        let mean = aux[r * 2];
+                        let inv_std = aux[r * 2 + 1];
+                        let row = &xd[r * d..r * d + d];
+                        let gyr = &gyd[r * d..r * d + d];
+                        for j in 0..d {
+                            let xhat = (row[j] - mean) * inv_std;
+                            dgamma[j] += gyr[j] * xhat;
+                            dbeta[j] += gyr[j];
                         }
                     }
                     accumulate(&mut grads, *x, Tensor::from_vec(xt.shape().to_vec(), dx));
@@ -989,33 +1021,36 @@ impl Tape {
                     let count = mask.iter().filter(|&&m| m).count() as f32;
                     let g = gy.item() / count;
                     let mut dl = vec![0.0f32; n * v];
-                    for i in 0..n {
+                    let aux = &node.aux;
+                    par_rows_mut(pool::global(), &mut dl, v, par_min_rows(v), |i, dli| {
                         if !mask[i] {
-                            continue;
+                            return;
                         }
                         for j in 0..v {
-                            let p = node.aux[i * v + j];
+                            let p = aux[i * v + j];
                             let onehot = if j == targets[i] { 1.0 } else { 0.0 };
-                            dl[i * v + j] = g * (p - onehot);
+                            dli[j] = g * (p - onehot);
                         }
-                    }
+                    });
                     accumulate(&mut grads, *logits, Tensor::from_vec(vec![n, v], dl));
                 }
                 Op::LogProb { logits, targets } => {
                     let lt = self.value(*logits);
                     let (n, v) = (lt.shape()[0], lt.shape()[1]);
                     let mut dl = vec![0.0f32; n * v];
-                    for i in 0..n {
-                        let gi = gy.data()[i];
+                    let aux = &node.aux;
+                    let gyd = gy.data();
+                    par_rows_mut(pool::global(), &mut dl, v, par_min_rows(v), |i, dli| {
+                        let gi = gyd[i];
                         if gi == 0.0 {
-                            continue;
+                            return;
                         }
                         for j in 0..v {
-                            let p = node.aux[i * v + j];
+                            let p = aux[i * v + j];
                             let onehot = if j == targets[i] { 1.0 } else { 0.0 };
-                            dl[i * v + j] = gi * (onehot - p);
+                            dli[j] = gi * (onehot - p);
                         }
-                    }
+                    });
                     accumulate(&mut grads, *logits, Tensor::from_vec(vec![n, v], dl));
                 }
                 Op::SegmentSum { x, segments } => {

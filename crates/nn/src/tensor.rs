@@ -1,11 +1,41 @@
-//! Dense row-major `f32` tensors.
+//! Dense row-major `f32` tensors and the GEMM kernel set.
 //!
 //! Values are immutable and cheaply clonable (`Arc`-backed); the optimizer
 //! mutates parameters through [`Tensor::make_mut`].
+//!
+//! ## Kernel naming scheme
+//!
+//! Every FLOP in the repo funnels through four accumulate-into GEMM
+//! kernels, named `matmul[_<variant>]_into[_<dispatch>]`:
+//!
+//! | variant   | computes            | loop order / use                                    |
+//! |-----------|---------------------|-----------------------------------------------------|
+//! | *(none)*  | `C += A·B`          | `ikj`, activations hot — training forward           |
+//! | `kouter`  | `C += A·B`          | `k`-outer, weights streamed once — batched decode   |
+//! | `bt`      | `C += A·Bᵀ`         | dot-product rows — backward `dx = gy·Wᵀ`            |
+//! | `at`      | `C += Aᵀ·B`         | rank-1 updates — backward `dw = xᵀ·gy`              |
+//!
+//! and dispatch suffix:
+//!
+//! - *(bare)* — threaded over the process-global [`crate::pool::global`]
+//!   pool with register/cache blocking; what all production code calls.
+//! - `_with` — same, over an explicit [`Pool`] (benches, thread-count
+//!   tests).
+//! - `_serial` — the reference single-threaded kernel, byte-for-byte the
+//!   pre-threading implementation. The determinism baseline.
+//!
+//! **Determinism contract:** work is partitioned by *output element* (row
+//! or column ranges), so each element is accumulated by exactly one thread
+//! in the same ascending-`kk` term order as the serial kernel. Results are
+//! bit-identical to `_serial` at every thread count and every blocking
+//! factor — property-tested in `tests/kernels.rs`, and what keeps batched
+//! and sequential decode bit-identical (see [`matmul_kouter_into`]).
 
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
+
+use crate::pool::{self, Pool, SendPtr};
 
 /// A dense row-major tensor of `f32`.
 #[derive(Clone, PartialEq)]
@@ -153,7 +183,12 @@ impl Tensor {
     }
 }
 
-/// `out[m,n] += a[m,k] @ b[k,n]` (out assumed zeroed by caller). ikj loop
+/// Multiply-accumulate count below which a GEMM always runs serially —
+/// region dispatch costs a few microseconds, so tiny products never leave
+/// the calling thread.
+const PAR_MACS: usize = 16 * 1024;
+
+/// `out[m,n] += a[m,k] @ b[k,n]` — serial reference kernel. ikj loop
 /// order keeps the inner loop contiguous for both `b` and `out`; `b` is
 /// streamed once per *row* of `a`, which suits training shapes (`m` large,
 /// activations hot). For the decode hot path (`m` = a handful of lockstep
@@ -164,7 +199,7 @@ impl Tensor {
 /// output element accumulates exactly the terms `a[i,kk] != 0` in ascending
 /// `kk` order — the same order a per-row vector-matrix product would use,
 /// which is what keeps batched and sequential decode bit-identical.
-pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub fn matmul_into_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for kk in 0..k {
             let av = a[i * k + kk];
@@ -180,10 +215,10 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     }
 }
 
-/// `out[m,n] += a[m,k] @ b[k,n]` (out assumed zeroed by caller), k-outer
-/// loop order: each row of `b` is loaded once and applied to every row of
-/// `a`, so the full `b` matrix is streamed exactly once per call no matter
-/// how many rows `a` has.
+/// `out[m,n] += a[m,k] @ b[k,n]` — serial reference kernel, k-outer loop
+/// order: each row of `b` is loaded once and applied to every row of `a`,
+/// so the full `b` matrix is streamed exactly once per call no matter how
+/// many rows `a` has.
 ///
 /// This is the batched-decode GEMM: when `m` is a few lockstep lanes and
 /// `b` is a weight matrix far larger than cache, [`matmul_into`] (and the
@@ -196,7 +231,14 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 /// in the same ascending order as [`matmul_into`], so results are
 /// bit-identical — the property the batched/sequential decode equivalence
 /// tests pin down.
-pub fn matmul_kouter_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub fn matmul_kouter_into_serial(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for kk in 0..k {
         let brow = &b[kk * n..kk * n + n];
         for i in 0..m {
@@ -212,8 +254,9 @@ pub fn matmul_kouter_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     }
 }
 
-/// `out[m,n] += a[m,k] @ b^T` where `b` is `[n,k]`.
-pub(crate) fn matmul_bt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out[m,n] += a[m,k] @ b^T` where `b` is `[n,k]` — serial reference
+/// kernel. One ascending-`kk` dot product per output element.
+pub fn matmul_bt_into_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..i * k + k];
         for j in 0..n {
@@ -227,8 +270,9 @@ pub(crate) fn matmul_bt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k:
     }
 }
 
-/// `out[k,n] += a^T @ c` where `a` is `[m,k]`, `c` is `[m,n]`.
-pub(crate) fn matmul_at_into(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out[k,n] += a^T @ c` where `a` is `[m,k]`, `c` is `[m,n]` — serial
+/// reference kernel. Per output element the terms run in ascending `i`.
+pub fn matmul_at_into_serial(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for kk in 0..k {
             let av = a[i * k + kk];
@@ -242,6 +286,384 @@ pub(crate) fn matmul_at_into(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k:
             }
         }
     }
+}
+
+// --- Blocked single-range bodies (bit-identical to the serial kernels;
+// --- the unrolled lanes are elementwise-independent, and every output
+// --- element keeps one ascending accumulation chain).
+
+/// `y[j] += av * x[j]`, unrolled ×8 so the compiler vectorizes the hot
+/// rank-1 update. Each `y[j]` gets exactly one fused-order mul-add, so
+/// bits match the naive loop.
+#[inline]
+fn axpy(av: f32, x: &[f32], y: &mut [f32]) {
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact_mut(8);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        ys[0] += av * xs[0];
+        ys[1] += av * xs[1];
+        ys[2] += av * xs[2];
+        ys[3] += av * xs[3];
+        ys[4] += av * xs[4];
+        ys[5] += av * xs[5];
+        ys[6] += av * xs[6];
+        ys[7] += av * xs[7];
+    }
+    for (xs, ys) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *ys += av * xs;
+    }
+}
+
+/// ikj block over full rows: `a_rows` is `[rows, k]`, `out_rows` the
+/// matching `[rows, n]` window.
+fn ikj_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        for kk in 0..k {
+            let av = a_rows[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            axpy(av, &b[kk * n..kk * n + n], &mut out_rows[i * n..i * n + n]);
+        }
+    }
+}
+
+/// ikj block over the column window `[jlo, jhi)` of every row.
+///
+/// # Safety
+///
+/// `out` must point at the full `[m, n]` buffer and no concurrent user may
+/// touch columns `[jlo, jhi)`.
+unsafe fn ikj_cols(
+    a: &[f32],
+    b: &[f32],
+    out: SendPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n + jlo..kk * n + jhi];
+            let orow = out.slice(i * n + jlo, i * n + jhi);
+            axpy(av, brow, orow);
+        }
+    }
+}
+
+/// k-outer block over full rows `[ilo, ihi)`: streams `b` once for the
+/// range.
+fn kouter_rows(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    ilo: usize,
+    ihi: usize,
+) {
+    for kk in 0..k {
+        let brow = &b[kk * n..kk * n + n];
+        for i in ilo..ihi {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            axpy(av, brow, &mut out_rows[(i - ilo) * n..(i - ilo) * n + n]);
+        }
+    }
+}
+
+/// k-outer block over the column window `[jlo, jhi)`: each range streams
+/// its disjoint slice of `b` exactly once, so the whole call still reads
+/// `b` once in total — the property batched decode relies on.
+///
+/// # Safety
+///
+/// `out` must point at the full `[m, n]` buffer and no concurrent user may
+/// touch columns `[jlo, jhi)`.
+unsafe fn kouter_cols(
+    a: &[f32],
+    b: &[f32],
+    out: SendPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    for kk in 0..k {
+        let brow = &b[kk * n + jlo..kk * n + jhi];
+        for i in 0..m {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.slice(i * n + jlo, i * n + jhi);
+            axpy(av, brow, orow);
+        }
+    }
+}
+
+/// `a @ bᵀ` over full output rows, with the dot products `kk`-tiled four
+/// columns at a time: one load of `arow[kk]` feeds four accumulators, each
+/// still a single ascending-`kk` chain (bit-identical to serial).
+fn bt_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize, ilo: usize, ihi: usize) {
+    for i in ilo..ihi {
+        let arow = &a[i * k..i * k + k];
+        let orow = &mut out_rows[(i - ilo) * n..(i - ilo) * n + n];
+        bt_row(arow, b, orow, k, 0, n);
+    }
+}
+
+/// `a @ bᵀ` over the column window `[jlo, jhi)` of every row.
+///
+/// # Safety
+///
+/// `out` must point at the full `[m, n]` buffer and no concurrent user may
+/// touch columns `[jlo, jhi)`.
+unsafe fn bt_cols(
+    a: &[f32],
+    b: &[f32],
+    out: SendPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        let orow = out.slice(i * n + jlo, i * n + jhi);
+        bt_row(arow, b, orow, k, jlo, jhi);
+    }
+}
+
+/// One output row of `a @ bᵀ` restricted to columns `[jlo, jhi)`;
+/// `orow[j - jlo]` receives column `j`.
+#[inline]
+fn bt_row(arow: &[f32], b: &[f32], orow: &mut [f32], k: usize, jlo: usize, jhi: usize) {
+    let mut j = jlo;
+    while j + 4 <= jhi {
+        let b0 = &b[j * k..j * k + k];
+        let b1 = &b[(j + 1) * k..(j + 1) * k + k];
+        let b2 = &b[(j + 2) * k..(j + 2) * k + k];
+        let b3 = &b[(j + 3) * k..(j + 3) * k + k];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for kk in 0..k {
+            let av = arow[kk];
+            a0 += av * b0[kk];
+            a1 += av * b1[kk];
+            a2 += av * b2[kk];
+            a3 += av * b3[kk];
+        }
+        orow[j - jlo] += a0;
+        orow[j + 1 - jlo] += a1;
+        orow[j + 2 - jlo] += a2;
+        orow[j + 3 - jlo] += a3;
+        j += 4;
+    }
+    while j < jhi {
+        let brow = &b[j * k..j * k + k];
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += arow[kk] * brow[kk];
+        }
+        orow[j - jlo] += acc;
+        j += 1;
+    }
+}
+
+/// `aᵀ @ c` over the output-row window `[klo, khi)` (rows of `out` are
+/// indexed by `kk`); every range streams `a` and `c` but owns its rows.
+fn at_rows(
+    a: &[f32],
+    c: &[f32],
+    out_rows: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    klo: usize,
+    khi: usize,
+) {
+    for i in 0..m {
+        let crow = &c[i * n..i * n + n];
+        for kk in klo..khi {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            axpy(av, crow, &mut out_rows[(kk - klo) * n..(kk - klo) * n + n]);
+        }
+    }
+}
+
+// --- Threaded entry points.
+
+fn check_gemm(a: &[f32], b: &[f32], out: &[f32], al: usize, bl: usize, ol: usize) {
+    assert_eq!(a.len(), al, "lhs length");
+    assert_eq!(b.len(), bl, "rhs length");
+    assert_eq!(out.len(), ol, "out length");
+}
+
+/// [`matmul_into_serial`] threaded over an explicit pool: output rows are
+/// partitioned when `m` is large (training shapes), columns otherwise.
+/// Bit-identical to the serial kernel at every thread count.
+pub fn matmul_into_with(
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_gemm(a, b, out, m * k, k * n, m * n);
+    let t = pool.threads();
+    if t == 1 || m * k * n < PAR_MACS {
+        return matmul_into_serial(a, b, out, m, k, n);
+    }
+    if m >= t {
+        let ptr = SendPtr::new(out);
+        pool.run_ranges(m, (PAR_MACS / (k * n).max(1)).max(1), |lo, hi| {
+            // SAFETY: row ranges are disjoint.
+            let out_rows = unsafe { ptr.slice(lo * n, hi * n) };
+            ikj_rows(&a[lo * k..hi * k], b, out_rows, hi - lo, k, n);
+        });
+    } else if n >= t {
+        let ptr = SendPtr::new(out);
+        pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
+            // SAFETY: column ranges are disjoint.
+            unsafe { ikj_cols(a, b, ptr, m, k, n, jlo, jhi) }
+        });
+    } else {
+        matmul_into_serial(a, b, out, m, k, n);
+    }
+}
+
+/// [`matmul_into_serial`] threaded over the process-global pool — the
+/// kernel all production call sites use.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_into_with(pool::global(), a, b, out, m, k, n);
+}
+
+/// [`matmul_kouter_into_serial`] threaded over an explicit pool: output
+/// *columns* are partitioned first, so each range streams a disjoint slice
+/// of the weight matrix exactly once — the whole call still reads `b` once
+/// no matter the thread count, and decode shapes (`m` as small as 1)
+/// parallelize fully. Bit-identical to the serial kernel.
+pub fn matmul_kouter_into_with(
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_gemm(a, b, out, m * k, k * n, m * n);
+    let t = pool.threads();
+    if t == 1 || m * k * n < PAR_MACS {
+        return matmul_kouter_into_serial(a, b, out, m, k, n);
+    }
+    if n >= t {
+        let ptr = SendPtr::new(out);
+        pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
+            // SAFETY: column ranges are disjoint.
+            unsafe { kouter_cols(a, b, ptr, m, k, n, jlo, jhi) }
+        });
+    } else if m >= t {
+        let ptr = SendPtr::new(out);
+        pool.run_ranges(m, (PAR_MACS / (k * n).max(1)).max(1), |ilo, ihi| {
+            // SAFETY: row ranges are disjoint.
+            let out_rows = unsafe { ptr.slice(ilo * n, ihi * n) };
+            kouter_rows(a, b, out_rows, k, n, ilo, ihi);
+        });
+    } else {
+        matmul_kouter_into_serial(a, b, out, m, k, n);
+    }
+}
+
+/// [`matmul_kouter_into_serial`] threaded over the process-global pool.
+pub fn matmul_kouter_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_kouter_into_with(pool::global(), a, b, out, m, k, n);
+}
+
+/// [`matmul_bt_into_serial`] threaded over an explicit pool, with
+/// `kk`-tiled four-wide dot products. Output rows are partitioned when `m`
+/// is large, columns otherwise. Bit-identical to the serial kernel.
+pub fn matmul_bt_into_with(
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_gemm(a, b, out, m * k, n * k, m * n);
+    let t = pool.threads();
+    if t == 1 || m * k * n < PAR_MACS {
+        return matmul_bt_into_serial(a, b, out, m, k, n);
+    }
+    if m >= t {
+        let ptr = SendPtr::new(out);
+        pool.run_ranges(m, (PAR_MACS / (k * n).max(1)).max(1), |ilo, ihi| {
+            // SAFETY: row ranges are disjoint.
+            let out_rows = unsafe { ptr.slice(ilo * n, ihi * n) };
+            bt_rows(a, b, out_rows, k, n, ilo, ihi);
+        });
+    } else if n >= t {
+        let ptr = SendPtr::new(out);
+        pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
+            // SAFETY: column ranges are disjoint.
+            unsafe { bt_cols(a, b, ptr, m, k, n, jlo, jhi) }
+        });
+    } else {
+        matmul_bt_into_serial(a, b, out, m, k, n);
+    }
+}
+
+/// [`matmul_bt_into_serial`] threaded over the process-global pool.
+pub fn matmul_bt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_bt_into_with(pool::global(), a, b, out, m, k, n);
+}
+
+/// [`matmul_at_into_serial`] threaded over an explicit pool: the output's
+/// `k` rows are partitioned (each range owns `out[klo..khi]` and streams
+/// `a`/`c` whole), preserving the ascending-`i` term order per element.
+/// Bit-identical to the serial kernel.
+pub fn matmul_at_into_with(
+    pool: &Pool,
+    a: &[f32],
+    c: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_gemm(a, c, out, m * k, m * n, k * n);
+    let t = pool.threads();
+    if t == 1 || m * k * n < PAR_MACS || k < t {
+        return matmul_at_into_serial(a, c, out, m, k, n);
+    }
+    let ptr = SendPtr::new(out);
+    pool.run_ranges(k, (PAR_MACS / (m * n).max(1)).max(1), |klo, khi| {
+        // SAFETY: output-row ranges are disjoint.
+        let out_rows = unsafe { ptr.slice(klo * n, khi * n) };
+        at_rows(a, c, out_rows, m, k, n, klo, khi);
+    });
+}
+
+/// [`matmul_at_into_serial`] threaded over the process-global pool.
+pub fn matmul_at_into(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_at_into_with(pool::global(), a, c, out, m, k, n);
 }
 
 impl fmt::Debug for Tensor {

@@ -1,0 +1,185 @@
+//! Bit-identity of the threaded GEMM kernels against their serial
+//! references — the contract that keeps batched/sequential decode (and
+//! every training step) deterministic at any thread count.
+//!
+//! Every kernel × thread count {1, 2, 7} × ragged shape (m/k/n drawn from
+//! {1, 3, 17, 64}) must produce bitwise-equal output, including on
+//! non-zeroed destinations (the kernels accumulate) and inputs containing
+//! exact zeros (the serial kernels skip them, so the threaded ones must
+//! partition work, never reorder or drop per-element terms).
+
+use eva_nn::{
+    matmul_at_into_serial, matmul_at_into_with, matmul_bt_into_serial, matmul_bt_into_with,
+    matmul_into_serial, matmul_into_with, matmul_kouter_into_serial, matmul_kouter_into_with,
+    pool::threads_from_env, Pool,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Thread counts under test: serial bypass, smallest real pool, and a
+/// deliberately odd count so ranges split unevenly.
+const THREADS: [usize; 3] = [1, 2, 7];
+
+/// Pools are expensive to spawn per proptest case; share one per count.
+fn pools() -> &'static [Pool; 3] {
+    static POOLS: OnceLock<[Pool; 3]> = OnceLock::new();
+    POOLS.get_or_init(|| THREADS.map(Pool::new))
+}
+
+/// A dimension from the ragged set: boundary sizes around the unroll
+/// widths (8-wide axpy, 4-wide bt tiles) and the range splitter.
+fn dim() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 3, 17, 64])
+}
+
+/// Matrix entries: ordinary values plus exact zeros, so the zero-skip
+/// paths in the serial kernels are exercised under partitioning.
+fn entries(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(prop_oneof![3 => -2.0..2.0f32, 1 => Just(0.0f32)], len)
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], label: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{label}: out[{i}] = {g} != {w}");
+    }
+}
+
+/// Shapes from the ragged set plus matching lhs/rhs/initial-out data.
+type Case = ((usize, usize, usize), Vec<f32>, Vec<f32>, Vec<f32>);
+
+fn cases(lens: fn(usize, usize, usize) -> (usize, usize, usize)) -> impl Strategy<Value = Case> {
+    (dim(), dim(), dim()).prop_flat_map(move |(m, k, n)| {
+        let (al, bl, ol) = lens(m, k, n);
+        (Just((m, k, n)), entries(al), entries(bl), entries(ol))
+    })
+}
+
+macro_rules! kernel_identity {
+    ($test:ident, $serial:ident, $with:ident, $lens:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn $test(((m, k, n), a, b, init) in cases($lens)) {
+                let mut reference = init.clone();
+                $serial(&a, &b, &mut reference, m, k, n);
+                for (&threads, pool) in THREADS.iter().zip(pools()) {
+                    let mut out = init.clone();
+                    $with(pool, &a, &b, &mut out, m, k, n);
+                    assert_bits_eq(
+                        &out,
+                        &reference,
+                        &format!("{} {m}x{k}x{n} @ {threads} threads", stringify!($with)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+kernel_identity!(
+    matmul_into_is_bit_identical_threaded,
+    matmul_into_serial,
+    matmul_into_with,
+    |m, k, n| (m * k, k * n, m * n)
+);
+kernel_identity!(
+    matmul_kouter_into_is_bit_identical_threaded,
+    matmul_kouter_into_serial,
+    matmul_kouter_into_with,
+    |m, k, n| (m * k, k * n, m * n)
+);
+kernel_identity!(
+    matmul_bt_into_is_bit_identical_threaded,
+    matmul_bt_into_serial,
+    matmul_bt_into_with,
+    |m, k, n| (m * k, n * k, m * n)
+);
+kernel_identity!(
+    matmul_at_into_is_bit_identical_threaded,
+    matmul_at_into_serial,
+    matmul_at_into_with,
+    |m, k, n| (m * k, m * n, k * n)
+);
+
+/// Shapes big enough to clear the serial-fallback work threshold, so the
+/// threaded partitioning paths (not just the small-shape bypass) are
+/// definitely exercised and still bit-identical.
+#[test]
+fn large_shapes_take_the_partitioned_path_and_match() {
+    let (m, k, n) = (65, 33, 70);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 37 % 97) as f32 - 48.0) / 16.0)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 53 % 89) as f32 - 44.0) / 16.0)
+        .collect();
+    let bt: Vec<f32> = (0..n * k)
+        .map(|i| ((i * 53 % 89) as f32 - 44.0) / 16.0)
+        .collect();
+    let c: Vec<f32> = (0..m * n)
+        .map(|i| ((i * 41 % 83) as f32 - 41.0) / 16.0)
+        .collect();
+
+    for pool in pools().iter() {
+        let threads = pool.threads();
+        let before = pool.regions_run();
+
+        let mut want = vec![0.0f32; m * n];
+        matmul_into_serial(&a, &b, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_into_with(pool, &a, &b, &mut got, m, k, n);
+        assert_bits_eq(&got, &want, &format!("matmul_into @ {threads}"));
+
+        let mut want = vec![0.0f32; m * n];
+        matmul_kouter_into_serial(&a, &b, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_kouter_into_with(pool, &a, &b, &mut got, m, k, n);
+        assert_bits_eq(&got, &want, &format!("matmul_kouter_into @ {threads}"));
+
+        let mut want = vec![0.0f32; m * n];
+        matmul_bt_into_serial(&a, &bt, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_bt_into_with(pool, &a, &bt, &mut got, m, k, n);
+        assert_bits_eq(&got, &want, &format!("matmul_bt_into @ {threads}"));
+
+        let mut want = vec![0.0f32; k * n];
+        matmul_at_into_serial(&a, &c, &mut want, m, k, n);
+        let mut got = vec![0.0f32; k * n];
+        matmul_at_into_with(pool, &a, &c, &mut got, m, k, n);
+        assert_bits_eq(&got, &want, &format!("matmul_at_into @ {threads}"));
+
+        if threads == 1 {
+            assert_eq!(
+                pool.regions_run(),
+                before,
+                "a 1-thread pool must never dispatch a region (serial bypass)"
+            );
+        } else {
+            assert!(
+                pool.regions_run() > before,
+                "{threads}-thread pool should have dispatched parallel regions"
+            );
+        }
+    }
+}
+
+/// `EVA_NN_THREADS=1` semantics: a 1-thread pool is the exact serial code
+/// path — no workers, no dispatched regions — and `threads_from_env`
+/// parses the variable the way README documents.
+#[test]
+fn eva_nn_threads_1_is_the_serial_path() {
+    assert_eq!(threads_from_env(Some("1")), 1);
+    let pool = Pool::new(threads_from_env(Some("1")));
+    assert_eq!(pool.threads(), 1);
+
+    let (m, k, n) = (64, 64, 64); // well above the work threshold
+    let a = vec![0.5f32; m * k];
+    let b = vec![0.25f32; k * n];
+    let mut out = vec![0.0f32; m * n];
+    matmul_into_with(&pool, &a, &b, &mut out, m, k, n);
+    assert_eq!(pool.regions_run(), 0, "serial path never dispatches");
+
+    let mut want = vec![0.0f32; m * n];
+    matmul_into_serial(&a, &b, &mut want, m, k, n);
+    assert_bits_eq(&out, &want, "serial bypass output");
+}

@@ -81,9 +81,15 @@ fn main() {
         std::process::exit(1);
     });
     println!("listening on {}", server.local_addr());
+    // All workers share the one process-wide kernel pool (EVA_NN_THREADS),
+    // so worker count never multiplies kernel threads.
     eprintln!(
-        "[serve] workers {} queue {} batch {} deadline {}us",
-        config.workers, config.queue_capacity, config.max_batch, config.batch_deadline_us
+        "[serve] workers {} queue {} batch {} deadline {}us kernel-threads {}",
+        config.workers,
+        config.queue_capacity,
+        config.max_batch,
+        config.batch_deadline_us,
+        eva_nn::pool::global().threads()
     );
 
     loop {
