@@ -36,8 +36,7 @@ pub fn drop_random_wire<R: Rng + ?Sized>(topology: &Topology, rng: &mut R) -> Op
         .iter()
         .enumerate()
         .filter(|(_, &(a, b))| {
-            (a.device().is_some() && degree[&a] == 1)
-                || (b.device().is_some() && degree[&b] == 1)
+            (a.device().is_some() && degree[&a] == 1) || (b.device().is_some() && degree[&b] == 1)
         })
         .map(|(i, _)| i)
         .collect();
@@ -75,8 +74,13 @@ mod tests {
     #[test]
     fn dropping_a_wire_changes_structure() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         let t = b.build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(0);

@@ -54,7 +54,10 @@ impl AnalogCoder {
                 library.push(e.topology.clone());
             }
         }
-        AnalogCoder { library, defect_rate: 0.34 }
+        AnalogCoder {
+            library,
+            defect_rate: 0.34,
+        }
     }
 
     /// The library size (≈ 20, per the paper's "synthesis library of just
@@ -110,7 +113,10 @@ impl Artisan {
         measured.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         let keep = (measured.len() / 10).max(3).min(measured.len());
         Artisan {
-            templates: measured[..keep].iter().map(|(e, _)| e.topology.clone()).collect(),
+            templates: measured[..keep]
+                .iter()
+                .map(|(e, _)| e.topology.clone())
+                .collect(),
             defect_rate: 0.18,
         }
     }
@@ -240,13 +246,16 @@ impl LaMagic {
         let cells: Vec<Topology> = corpus
             .iter()
             .filter(|e| {
-                e.circuit_type == CircuitType::PowerConverter
-                    && e.topology.device_count() <= 4
+                e.circuit_type == CircuitType::PowerConverter && e.topology.device_count() <= 4
             })
             .map(|e| e.topology.clone())
             .collect();
         assert!(!cells.is_empty(), "corpus has no small power converters");
-        LaMagic { cells, defect_rate: 0.25, perturb_rate: 0.04 }
+        LaMagic {
+            cells,
+            defect_rate: 0.25,
+            perturb_rate: 0.04,
+        }
     }
 }
 
@@ -300,7 +309,11 @@ mod tests {
     fn analogcoder_covers_seven_types_and_reuses() {
         let c = corpus();
         let mut ac = AnalogCoder::new(&c);
-        assert!((18..=21).contains(&ac.library_len()), "{}", ac.library_len());
+        assert!(
+            (18..=21).contains(&ac.library_len()),
+            "{}",
+            ac.library_len()
+        );
         let known: std::collections::BTreeSet<u64> =
             c.iter().map(|e| e.topology.canonical_hash()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(0);

@@ -21,7 +21,10 @@ fn main() {
     let model = eva.model().clone();
 
     let mut csv = String::from("mode,temperature,decode_pct,valid_pct\n");
-    println!("{:>13} {:>6} {:>9} {:>8}", "mode", "temp", "decode%", "valid%");
+    println!(
+        "{:>13} {:>6} {:>9} {:>8}",
+        "mode", "temp", "decode%", "valid%"
+    );
     for temp in [1.0f32, 0.85, 0.7] {
         // Constrained: the EvaGenerator path.
         let mut constrained = eva.generator("ablate", &model, 0);
@@ -37,8 +40,14 @@ fn main() {
                 }
             }
         }
-        let (dc, vc) = (100.0 * decode as f64 / n as f64, 100.0 * valid as f64 / n as f64);
-        println!("{:>13} {:>6.2} {:>8.1}% {:>7.1}%", "constrained", temp, dc, vc);
+        let (dc, vc) = (
+            100.0 * decode as f64 / n as f64,
+            100.0 * valid as f64 / n as f64,
+        );
+        println!(
+            "{:>13} {:>6.2} {:>8.1}% {:>7.1}%",
+            "constrained", temp, dc, vc
+        );
         csv.push_str(&format!("constrained,{temp},{dc:.2},{vc:.2}\n"));
 
         // Unconstrained: plain sampling, END admissible anywhere.
@@ -64,8 +73,14 @@ fn main() {
                 }
             }
         }
-        let (du, vu) = (100.0 * decode as f64 / n as f64, 100.0 * valid as f64 / n as f64);
-        println!("{:>13} {:>6.2} {:>8.1}% {:>7.1}%", "unconstrained", temp, du, vu);
+        let (du, vu) = (
+            100.0 * decode as f64 / n as f64,
+            100.0 * valid as f64 / n as f64,
+        );
+        println!(
+            "{:>13} {:>6.2} {:>8.1}% {:>7.1}%",
+            "unconstrained", temp, du, vu
+        );
         csv.push_str(&format!("unconstrained,{temp},{du:.2},{vu:.2}\n"));
     }
     write_results("ablation_decoding.csv", &csv);

@@ -24,16 +24,29 @@ fn main() {
         eva.model().config().max_seq_len
     );
 
-    let chunk = PretrainConfig { steps: 200, ..options.pretrain };
+    let chunk = PretrainConfig {
+        steps: 200,
+        ..options.pretrain
+    };
     let probes = args.samples.unwrap_or(50);
-    println!("{:>6} {:>8} {:>8} | temp: decode-ok% valid%", "steps", "loss", "val");
+    println!(
+        "{:>6} {:>8} {:>8} | temp: decode-ok% valid%",
+        "steps", "loss", "val"
+    );
     for round in 1..=10 {
         let t0 = std::time::Instant::now();
         let losses = eva.pretrain(&chunk, &mut rng);
-        let train_loss = losses[losses.len().saturating_sub(20)..].iter().sum::<f32>()
+        let train_loss = losses[losses.len().saturating_sub(20)..]
+            .iter()
+            .sum::<f32>()
             / losses.len().min(20) as f32;
         let val_loss = eva.validation_loss();
-        print!("{:>6} {:>8.3} {:>8.3} |", round * chunk.steps, train_loss, val_loss);
+        print!(
+            "{:>6} {:>8.3} {:>8.3} |",
+            round * chunk.steps,
+            train_loss,
+            val_loss
+        );
         for (temp, top_k) in [(1.0, Some(40)), (0.8, Some(20)), (0.7, Some(10))] {
             let model = eva.model().clone();
             let mut generator = eva.generator("probe", &model, 0);

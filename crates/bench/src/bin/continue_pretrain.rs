@@ -3,7 +3,12 @@
 //! CPU-scale model along the loss-vs-validity trajectory without redoing
 //! earlier steps.
 //!
-//! Usage: `cargo run -p eva-bench --release --bin continue_pretrain [-- --quick --seed N --samples ROUNDS]`
+//! Usage: `cargo run -p eva-bench --release --bin continue_pretrain [-- --quick --seed N --samples ROUNDS --resume DIR --checkpoint-every STEPS]`
+//!
+//! With `--resume DIR`, each extension round checkpoints its training
+//! state under `DIR/round<N>` and a restarted invocation picks up from
+//! the last snapshot (completed rounds replay their recorded loss curve
+//! without retraining).
 
 use eva_bench::{experiment_options, pretrained_eva, RunArgs};
 use eva_core::PretrainConfig;
@@ -25,9 +30,17 @@ fn main() {
     );
 
     for round in 1..=rounds {
-        let cfg = PretrainConfig { warmup: 0, ..options.pretrain };
+        let cfg = PretrainConfig {
+            warmup: 0,
+            ..options.pretrain
+        };
         let t0 = std::time::Instant::now();
-        let losses = eva.pretrain(&cfg, &mut rng);
+        let losses = match args.phase_dir(&format!("round{round}")) {
+            Some(dir) => eva
+                .pretrain_checkpointed(&cfg, &mut rng, &dir, args.cadence(cfg.steps, 25))
+                .unwrap_or_else(|e| panic!("round {round} checkpoint at {}: {e}", dir.display())),
+            None => eva.pretrain(&cfg, &mut rng),
+        };
         let tail = &losses[losses.len().saturating_sub(20)..];
         let loss = tail.iter().sum::<f32>() / tail.len() as f32;
         eva.save_model(&cache).expect("save checkpoint");

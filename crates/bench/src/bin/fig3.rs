@@ -8,12 +8,18 @@
 //! Right panel: DPO validation reward accuracy per step for the same
 //! regimes (Pretrain-only is the frozen model, whose margins are all zero).
 //!
-//! Usage: `cargo run -p eva-bench --release --bin fig3 [-- --quick --seed N]`
+//! Usage: `cargo run -p eva-bench --release --bin fig3 [-- --quick --seed N --resume DIR --checkpoint-every N]`
+//!
+//! With `--resume DIR`, pretraining and every PPO/DPO training regime
+//! checkpoint their state under per-phase subdirectories of `DIR`, and a
+//! restarted invocation resumes each phase from its last snapshot.
 
 use eva_bench::{experiment_options, label_budget, pretrained_eva, write_results, RunArgs};
 use eva_core::Eva;
 use eva_dataset::CircuitType;
-use eva_rl::{pairs_from_ranks, DpoConfig, DpoTrainer, PpoConfig, PpoTrainer, RewardModel};
+use eva_rl::{
+    pairs_from_ranks, DpoConfig, DpoTrainer, PpoConfig, PpoTrainer, RewardModel, TrainError,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -58,7 +64,11 @@ fn main() {
         ppo_cfg,
         &mut rng,
     );
-    let s1 = t1.run(&mut rng).unwrap_or_else(|e| {
+    let s1 = match args.phase_dir("ppo_pretrain_finetune") {
+        Some(dir) => t1.run_checkpointed(&mut rng, &dir, args.cadence(epochs, 1)),
+        None => t1.run(&mut rng).map_err(TrainError::from),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("[fig3] PPO pretrain+finetune failed: {e}");
         Vec::new()
     });
@@ -81,7 +91,11 @@ fn main() {
         ppo_cfg,
         &mut rng,
     );
-    let s2 = t2.run(&mut rng).unwrap_or_else(|e| {
+    let s2 = match args.phase_dir("ppo_finetune_only") {
+        Some(dir) => t2.run_checkpointed(&mut rng, &dir, args.cadence(epochs, 1)),
+        None => t2.run(&mut rng).map_err(TrainError::from),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("[fig3] PPO finetune-only failed: {e}");
         Vec::new()
     });
@@ -134,6 +148,7 @@ fn main() {
     let chunk = train_pairs.len() / evals;
 
     let run_dpo = |label: &str,
+                   phase: &str,
                    policy: eva_model::Transformer,
                    train: bool,
                    rng: &mut ChaCha8Rng|
@@ -144,7 +159,26 @@ fn main() {
             if train {
                 let lo = step * chunk;
                 let hi = ((step + 1) * chunk).min(train_pairs.len());
-                trainer.run(&train_pairs[lo..hi], rng);
+                // Each evaluation chunk gets its own checkpoint dir: a
+                // completed chunk restores its trained policy and stats
+                // without retraining, an interrupted one resumes mid-run.
+                match args.phase_dir(&format!("{phase}_chunk{step}")) {
+                    Some(dir) => {
+                        trainer
+                            .run_checkpointed(
+                                &train_pairs[lo..hi],
+                                rng,
+                                &dir,
+                                args.cadence(dpo_cfg.epochs, 1),
+                            )
+                            .unwrap_or_else(|e| {
+                                panic!("DPO {label} chunk {step} at {}: {e}", dir.display())
+                            });
+                    }
+                    None => {
+                        trainer.run(&train_pairs[lo..hi], rng);
+                    }
+                }
             }
             curve.push(trainer.reward_accuracy(&val_pairs));
         }
@@ -152,14 +186,27 @@ fn main() {
         curve
     };
 
-    let c1 = run_dpo("pretrain+finetune", eva.model().clone(), true, &mut rng);
+    let c1 = run_dpo(
+        "pretrain+finetune",
+        "dpo_pretrain_finetune",
+        eva.model().clone(),
+        true,
+        &mut rng,
+    );
     let c2 = run_dpo(
         "pretrain only (frozen)",
+        "dpo_pretrain_only",
         eva.model().clone(),
         false,
         &mut rng,
     );
-    let c3 = run_dpo("finetune only", fresh.model().clone(), true, &mut rng);
+    let c3 = run_dpo(
+        "finetune only",
+        "dpo_finetune_only",
+        fresh.model().clone(),
+        true,
+        &mut rng,
+    );
 
     let mut dpo_csv = String::from("eval,pretrain_finetune,pretrain_only,finetune_only\n");
     println!("\nFigure 3 (right) — DPO validation reward accuracy:");

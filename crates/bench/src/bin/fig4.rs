@@ -6,11 +6,14 @@
 //! log-likelihood traces that exhibit the paper's degeneration effect
 //! (both decline, the losing one faster, at low learning rates).
 //!
-//! Usage: `cargo run -p eva-bench --release --bin fig4 [-- --quick --seed N]`
+//! Usage: `cargo run -p eva-bench --release --bin fig4 [-- --quick --seed N --resume DIR --checkpoint-every N]`
+//!
+//! With `--resume DIR`, pretraining, the PPO run, and the DPO run each
+//! checkpoint under a subdirectory of `DIR` and resume on restart.
 
 use eva_bench::{label_budget, pretrained_eva, write_results, RunArgs};
 use eva_dataset::CircuitType;
-use eva_rl::{pairs_from_ranks, DpoConfig, DpoTrainer, PpoConfig, PpoTrainer};
+use eva_rl::{pairs_from_ranks, DpoConfig, DpoTrainer, PpoConfig, PpoTrainer, TrainError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -42,7 +45,11 @@ fn main() {
         &mut rng,
     );
     // A decode failure truncates the loss trace instead of aborting the run.
-    let stats = trainer.run(&mut rng).unwrap_or_else(|e| {
+    let stats = match args.phase_dir("ppo") {
+        Some(dir) => trainer.run_checkpointed(&mut rng, &dir, args.cadence(epochs, 1)),
+        None => trainer.run(&mut rng).map_err(TrainError::from),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("[fig4] PPO run failed: {e}");
         Vec::new()
     });
@@ -78,7 +85,12 @@ fn main() {
     };
     eprintln!("[fig4] DPO fine-tuning over {} pairs", pairs.len());
     let mut dpo = DpoTrainer::new(eva.model().clone(), dpo_cfg);
-    let steps = dpo.run(&pairs, &mut rng);
+    let steps = match args.phase_dir("dpo") {
+        Some(dir) => dpo
+            .run_checkpointed(&pairs, &mut rng, &dir, args.cadence(dpo_cfg.epochs, 1))
+            .unwrap_or_else(|e| panic!("DPO checkpoint at {}: {e}", dir.display())),
+        None => dpo.run(&pairs, &mut rng),
+    };
 
     let mut dpo_csv = String::from("step,loss,win_logp,lose_logp,accuracy\n");
     println!("\nFigure 4 (right) — DPO loss per step (win/lose log-likelihoods):");

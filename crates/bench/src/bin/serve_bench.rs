@@ -91,7 +91,7 @@ fn main() {
                             tokens += g.sampled as u64;
                             latencies_us.push(us);
                         }
-                        Completion::Error { .. } => errors += 1,
+                        Completion::Timeout { .. } | Completion::Error { .. } => errors += 1,
                     }
                 }
                 (latencies_us, completed, errors, tokens)

@@ -7,14 +7,18 @@
 //! power converters. EVA variants: Pretrain only, PPO-only / DPO-only
 //! (no pretraining), Pretrain+PPO and Pretrain+DPO.
 //!
-//! Usage: `cargo run -p eva-bench --release --bin table2 [-- --quick --seed N --samples N]`
+//! Usage: `cargo run -p eva-bench --release --bin table2 [-- --quick --seed N --samples N --resume DIR --checkpoint-every N]`
+//!
+//! With `--resume DIR`, pretraining and the four fine-tuning variants
+//! checkpoint under per-variant subdirectories of `DIR` and resume on
+//! restart instead of retraining from scratch.
 
 use eva_bench::{experiment_options, label_budget, pretrained_eva, write_results, RunArgs};
 use eva_core::{Eva, EvaGenerator};
 use eva_dataset::CircuitType;
 use eva_eval::{evaluate_generation, fom_at_k, GaConfig, GenerationReport, TypeClassifier};
 use eva_model::Transformer;
-use eva_rl::{DpoConfig, PpoConfig};
+use eva_rl::{DpoConfig, PpoConfig, TrainError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -143,7 +147,23 @@ fn main() {
     eprintln!("[finetune] PPO after pretraining");
     // A rollout decode failure downgrades the variant to the pretrained
     // policy instead of aborting the whole table.
-    let ppo_policy = match eva.finetune_ppo(&reward_model, ppo_cfg, &mut rng) {
+    let run_ppo = |eva: &Eva,
+                   rm: &eva_rl::RewardModel,
+                   phase: &str,
+                   rng: &mut ChaCha8Rng|
+     -> Result<(Transformer, Vec<eva_rl::PpoEpochStats>), TrainError> {
+        match args.phase_dir(phase) {
+            Some(dir) => eva.finetune_ppo_checkpointed(
+                rm,
+                ppo_cfg,
+                rng,
+                &dir,
+                args.cadence(ppo_cfg.epochs, 1),
+            ),
+            None => eva.finetune_ppo(rm, ppo_cfg, rng).map_err(TrainError::from),
+        }
+    };
+    let ppo_policy = match run_ppo(&eva, &reward_model, "ppo_pretrain", &mut rng) {
         Ok((policy, _)) => policy,
         Err(e) => {
             eprintln!("[finetune] PPO failed ({e}); falling back to pretrained policy");
@@ -153,7 +173,24 @@ fn main() {
     variants.push(("EVA (Pretrain+PPO)".into(), ppo_policy, budget));
 
     eprintln!("[finetune] DPO after pretraining");
-    let (dpo_policy, _) = eva.finetune_dpo(&data, pair_draws, dpo_cfg, &mut rng);
+    let run_dpo = |eva: &Eva, phase: &str, rng: &mut ChaCha8Rng| -> Transformer {
+        match args.phase_dir(phase) {
+            Some(dir) => {
+                eva.finetune_dpo_checkpointed(
+                    &data,
+                    pair_draws,
+                    dpo_cfg,
+                    rng,
+                    &dir,
+                    args.cadence(dpo_cfg.epochs, 1),
+                )
+                .unwrap_or_else(|e| panic!("DPO checkpoint at {}: {e}", dir.display()))
+                .0
+            }
+            None => eva.finetune_dpo(&data, pair_draws, dpo_cfg, rng).0,
+        }
+    };
+    let dpo_policy = run_dpo(&eva, "dpo_pretrain", &mut rng);
     variants.push(("EVA (Pretrain+DPO)".into(), dpo_policy, budget));
 
     eprintln!("[finetune] PPO only (no pretraining)");
@@ -162,7 +199,7 @@ fn main() {
         rm.train(&data.samples, rm_epochs, 1e-4, &mut rng);
         rm
     };
-    let ppo_only = match fresh.finetune_ppo(&rm_fresh, ppo_cfg, &mut rng) {
+    let ppo_only = match run_ppo(&fresh, &rm_fresh, "ppo_only", &mut rng) {
         Ok((policy, _)) => policy,
         Err(e) => {
             eprintln!("[finetune] PPO-only failed ({e}); falling back to fresh policy");
@@ -172,7 +209,7 @@ fn main() {
     variants.push(("EVA (PPO only)".into(), ppo_only, budget));
 
     eprintln!("[finetune] DPO only (no pretraining)");
-    let (dpo_only, _) = fresh.finetune_dpo(&data, pair_draws, dpo_cfg, &mut rng);
+    let dpo_only = run_dpo(&fresh, "dpo_only", &mut rng);
     variants.push(("EVA (DPO only)".into(), dpo_only, budget));
 
     // --- Evaluate all methods.

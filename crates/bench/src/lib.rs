@@ -16,11 +16,11 @@
 //! All binaries accept `--quick` (reduced scale for smoke runs), `--seed N`
 //! and write machine-readable results under `results/`.
 
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use eva_core::{Eva, EvaOptions, PretrainConfig};
 use eva_dataset::{CircuitType, CorpusOptions};
+use eva_nn::ckpt::atomic_write;
 use rand_chacha::ChaCha8Rng;
 
 /// Common command-line options for experiment binaries.
@@ -32,17 +32,33 @@ pub struct RunArgs {
     pub seed: u64,
     /// Override for the generation count (Table II uses 1000).
     pub samples: Option<usize>,
+    /// Checkpoint directory: training phases periodically snapshot their
+    /// full state under per-phase subdirectories of this directory and,
+    /// on restart with the same flag, resume from the last snapshot
+    /// instead of starting over.
+    pub resume: Option<PathBuf>,
+    /// Checkpoint cadence override (steps/epochs between snapshots).
+    pub checkpoint_every: Option<usize>,
 }
 
 impl RunArgs {
     /// Parse from `std::env::args` (ignores unknown flags).
     pub fn parse() -> RunArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (testable core of [`parse`]).
+    ///
+    /// [`parse`]: RunArgs::parse
+    pub fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> RunArgs {
         let mut args = RunArgs {
             quick: false,
             seed: 7,
             samples: None,
+            resume: None,
+            checkpoint_every: None,
         };
-        let mut iter = std::env::args().skip(1);
+        let mut iter = argv.into_iter();
         while let Some(a) = iter.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
@@ -55,10 +71,33 @@ impl RunArgs {
                 "--samples" => {
                     args.samples = iter.next().and_then(|v| v.parse().ok());
                 }
+                "--resume" => {
+                    args.resume = iter.next().map(PathBuf::from);
+                }
+                "--checkpoint-every" => {
+                    args.checkpoint_every = iter.next().and_then(|v| v.parse().ok());
+                }
                 _ => {}
             }
         }
         args
+    }
+
+    /// The checkpoint directory for one named training phase, or `None`
+    /// when `--resume` was not given. Binaries with several training
+    /// phases (e.g. fig3's pretrain+finetune vs finetune-only regimes)
+    /// give each phase its own subdirectory so their snapshots never
+    /// collide.
+    pub fn phase_dir(&self, phase: &str) -> Option<PathBuf> {
+        self.resume.as_ref().map(|root| root.join(phase))
+    }
+
+    /// Checkpoint cadence: the explicit `--checkpoint-every` value, or a
+    /// default of a tenth of the phase length (at least `floor`).
+    pub fn cadence(&self, phase_len: usize, floor: usize) -> usize {
+        self.checkpoint_every
+            .unwrap_or_else(|| (phase_len / 10).max(floor))
+            .max(1)
     }
 }
 
@@ -151,7 +190,18 @@ pub fn pretrained_eva(args: &RunArgs, rng: &mut ChaCha8Rng) -> Eva {
     }
 
     let t1 = std::time::Instant::now();
-    let losses = eva.pretrain(&options.pretrain, rng);
+    let losses = match args.phase_dir("pretrain") {
+        Some(dir) => {
+            let every = args.cadence(options.pretrain.steps, 25);
+            eprintln!(
+                "[pretrain] checkpointing every {every} steps under {}",
+                dir.display()
+            );
+            eva.pretrain_checkpointed(&options.pretrain, rng, &dir, every)
+                .unwrap_or_else(|e| panic!("pretrain checkpoint at {}: {e}", dir.display()))
+        }
+        None => eva.pretrain(&options.pretrain, rng),
+    };
     eprintln!(
         "[pretrain] {} steps, loss {:.3} -> {:.3} ({:?})",
         losses.len(),
@@ -160,15 +210,9 @@ pub fn pretrained_eva(args: &RunArgs, rng: &mut ChaCha8Rng) -> Eva {
         t1.elapsed()
     );
     std::fs::create_dir_all("results").ok();
-    if let Ok(file) = std::fs::File::create(&cache) {
-        if eva
-            .model()
-            .params()
-            .save(std::io::BufWriter::new(file))
-            .is_ok()
-        {
-            eprintln!("[pretrain] cached weights at {}", cache.display());
-        }
+    let mut bytes = Vec::new();
+    if eva.model().params().save(&mut bytes).is_ok() && atomic_write(&cache, &bytes).is_ok() {
+        eprintln!("[pretrain] cached weights at {}", cache.display());
     }
     eva
 }
@@ -200,6 +244,8 @@ pub fn git_rev() -> String {
 }
 
 /// Write a results artifact under `results/`, creating the directory.
+/// The write is atomic (temp + fsync + rename), so an interrupted run
+/// never leaves a half-written table behind a valid-looking filename.
 ///
 /// # Panics
 ///
@@ -208,8 +254,7 @@ pub fn write_results(name: &str, contents: &str) -> PathBuf {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(name);
-    let mut f = std::fs::File::create(&path).expect("create results file");
-    f.write_all(contents.as_bytes()).expect("write results");
+    atomic_write(&path, contents.as_bytes()).expect("write results");
     eprintln!("[results] wrote {}", path.display());
     path
 }
@@ -230,5 +275,43 @@ mod tests {
     fn budgets_match_paper() {
         assert_eq!(label_budget(CircuitType::OpAmp), 850);
         assert_eq!(label_budget(CircuitType::PowerConverter), 362);
+    }
+
+    #[test]
+    fn parse_from_reads_resume_flags() {
+        let argv = [
+            "--quick",
+            "--resume",
+            "ckpt/run1",
+            "--checkpoint-every",
+            "50",
+            "--seed",
+            "9",
+        ]
+        .iter()
+        .map(|s| s.to_string());
+        let args = RunArgs::parse_from(argv);
+        assert!(args.quick);
+        assert_eq!(args.seed, 9);
+        assert_eq!(
+            args.resume.as_deref(),
+            Some(std::path::Path::new("ckpt/run1"))
+        );
+        assert_eq!(args.checkpoint_every, Some(50));
+        assert_eq!(
+            args.phase_dir("ppo").unwrap(),
+            std::path::Path::new("ckpt/run1/ppo")
+        );
+        assert_eq!(args.cadence(1800, 25), 50);
+    }
+
+    #[test]
+    fn cadence_defaults_to_a_tenth_with_floor() {
+        let args = RunArgs::parse_from(std::iter::empty());
+        assert_eq!(args.resume, None);
+        assert_eq!(args.phase_dir("pretrain"), None);
+        assert_eq!(args.cadence(1800, 25), 180);
+        assert_eq!(args.cadence(40, 25), 25);
+        assert_eq!(args.cadence(0, 0), 1);
     }
 }

@@ -128,7 +128,9 @@ impl TopologyBuilder {
             }
             let known = self.kind_counts.get(&device.kind).copied().unwrap_or(0);
             if device.ordinal > known {
-                return Err(CircuitError::UnknownDevice { device: device.name() });
+                return Err(CircuitError::UnknownDevice {
+                    device: device.name(),
+                });
             }
         }
         Ok(())
@@ -191,7 +193,12 @@ impl TopologyBuilder {
     /// # Errors
     ///
     /// Propagates [`TopologyBuilder::wire`] errors.
-    pub fn npn<B, C, E>(&mut self, base: B, collector: C, emitter: E) -> Result<DeviceId, CircuitError>
+    pub fn npn<B, C, E>(
+        &mut self,
+        base: B,
+        collector: C,
+        emitter: E,
+    ) -> Result<DeviceId, CircuitError>
     where
         B: Into<Node>,
         C: Into<Node>,
@@ -205,7 +212,12 @@ impl TopologyBuilder {
     /// # Errors
     ///
     /// Propagates [`TopologyBuilder::wire`] errors.
-    pub fn pnp<B, C, E>(&mut self, base: B, collector: C, emitter: E) -> Result<DeviceId, CircuitError>
+    pub fn pnp<B, C, E>(
+        &mut self,
+        base: B,
+        collector: C,
+        emitter: E,
+    ) -> Result<DeviceId, CircuitError>
     where
         B: Into<Node>,
         C: Into<Node>,
@@ -233,12 +245,7 @@ impl TopologyBuilder {
         Ok(id)
     }
 
-    fn two_terminal<P, N>(
-        &mut self,
-        kind: DeviceKind,
-        p: P,
-        n: N,
-    ) -> Result<DeviceId, CircuitError>
+    fn two_terminal<P, N>(&mut self, kind: DeviceKind, p: P, n: N) -> Result<DeviceId, CircuitError>
     where
         P: Into<Node>,
         N: Into<Node>,
@@ -350,14 +357,22 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let ghost = Node::pin(Device::new(DeviceKind::Nmos, 5), PinRole::Gate);
         let err = b.wire(ghost, CircuitPin::Vdd).unwrap_err();
-        assert_eq!(err, CircuitError::UnknownDevice { device: "NM5".into() });
+        assert_eq!(
+            err,
+            CircuitError::UnknownDevice {
+                device: "NM5".into()
+            }
+        );
     }
 
     #[test]
     fn wire_rejects_bad_role() {
         let mut b = TopologyBuilder::new();
         let r = b.add(DeviceKind::Resistor);
-        let bogus = Node::DevicePin { device: b.device(r), role: PinRole::Gate };
+        let bogus = Node::DevicePin {
+            device: b.device(r),
+            role: PinRole::Gate,
+        };
         assert!(matches!(
             b.wire(bogus, CircuitPin::Vdd),
             Err(CircuitError::InvalidPinRole { .. })
@@ -384,16 +399,28 @@ mod tests {
     #[test]
     fn one_shot_helpers_wire_all_pins() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
+        b.pmos(
+            CircuitPin::Vbias(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vdd,
+            CircuitPin::Vdd,
+        )
+        .unwrap();
+        b.npn(CircuitPin::Vin(2), CircuitPin::Vdd, CircuitPin::Vss)
             .unwrap();
-        b.pmos(CircuitPin::Vbias(1), CircuitPin::Vout(1), CircuitPin::Vdd, CircuitPin::Vdd)
-            .unwrap();
-        b.npn(CircuitPin::Vin(2), CircuitPin::Vdd, CircuitPin::Vss).unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.capacitor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
         b.inductor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.diode(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
-        b.current_source(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
+        b.current_source(CircuitPin::Vdd, CircuitPin::Vout(1))
+            .unwrap();
         let t = b.build().unwrap();
         assert_eq!(t.device_count(), 8);
         // NMOS contributed 4 edges, PMOS 4, NPN 3, five two-terminals 2 each.
@@ -408,8 +435,12 @@ mod tests {
     #[test]
     fn pnp_and_npn_get_distinct_namespaces() {
         let mut b = TopologyBuilder::new();
-        let q1 = b.npn(CircuitPin::Vin(1), CircuitPin::Vdd, CircuitPin::Vss).unwrap();
-        let q2 = b.pnp(CircuitPin::Vin(1), CircuitPin::Vss, CircuitPin::Vdd).unwrap();
+        let q1 = b
+            .npn(CircuitPin::Vin(1), CircuitPin::Vdd, CircuitPin::Vss)
+            .unwrap();
+        let q2 = b
+            .pnp(CircuitPin::Vin(1), CircuitPin::Vss, CircuitPin::Vdd)
+            .unwrap();
         assert_eq!(b.device(q1).name(), "QN1");
         assert_eq!(b.device(q2).name(), "QP1");
     }

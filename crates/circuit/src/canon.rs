@@ -87,8 +87,7 @@ fn initial_color(node: Node) -> u64 {
 /// Compute the canonical hash of a topology (see module docs).
 pub fn canonical_hash(topology: &Topology) -> u64 {
     let pins: Vec<Node> = topology.nodes().into_iter().collect();
-    let pin_index: BTreeMap<Node, usize> =
-        pins.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let pin_index: BTreeMap<Node, usize> = pins.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let nets = topology.nets();
     // Vertex layout: [pins..., nets...].
     let n_pins = pins.len();
@@ -108,7 +107,10 @@ pub fn canonical_hash(topology: &Topology) -> u64 {
     let mut siblings: BTreeMap<(crate::device::DeviceKind, u32), Vec<usize>> = BTreeMap::new();
     for (i, node) in pins.iter().enumerate() {
         if let Node::DevicePin { device, .. } = node {
-            siblings.entry((device.kind, device.ordinal)).or_default().push(i);
+            siblings
+                .entry((device.kind, device.ordinal))
+                .or_default()
+                .push(i);
         }
     }
 
@@ -195,7 +197,10 @@ mod tests {
 
     #[test]
     fn renumbering_invariant() {
-        assert_eq!(mirror(false).canonical_hash(), mirror(true).canonical_hash());
+        assert_eq!(
+            mirror(false).canonical_hash(),
+            mirror(true).canonical_hash()
+        );
     }
 
     #[test]

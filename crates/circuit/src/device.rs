@@ -59,9 +59,12 @@ impl DeviceKind {
     /// which tokenizer vocabularies enumerate pins.
     pub fn pin_roles(self) -> &'static [PinRole] {
         match self {
-            DeviceKind::Nmos | DeviceKind::Pmos => {
-                &[PinRole::Gate, PinRole::Drain, PinRole::Source, PinRole::Bulk]
-            }
+            DeviceKind::Nmos | DeviceKind::Pmos => &[
+                PinRole::Gate,
+                PinRole::Drain,
+                PinRole::Source,
+                PinRole::Bulk,
+            ],
             DeviceKind::Npn | DeviceKind::Pnp => {
                 &[PinRole::Base, PinRole::Collector, PinRole::Emitter]
             }
@@ -186,7 +189,10 @@ impl PinRole {
 
     /// Inverse of [`PinRole::suffix`], given the kind to disambiguate.
     pub fn from_suffix(kind: DeviceKind, suffix: &str) -> Option<PinRole> {
-        kind.pin_roles().iter().copied().find(|r| r.suffix() == suffix)
+        kind.pin_roles()
+            .iter()
+            .copied()
+            .find(|r| r.suffix() == suffix)
     }
 
     /// Stable name used in error messages.
@@ -263,17 +269,22 @@ impl Device {
 
     /// Parse an instance name like `NM3` or `R12`.
     pub fn parse_name(text: &str) -> Result<Device, CircuitError> {
-        let split = text.find(|c: char| c.is_ascii_digit()).ok_or_else(|| {
-            CircuitError::ParseNode { text: text.to_owned() }
-        })?;
+        let split =
+            text.find(|c: char| c.is_ascii_digit())
+                .ok_or_else(|| CircuitError::ParseNode {
+                    text: text.to_owned(),
+                })?;
         let (prefix, digits) = text.split_at(split);
-        let kind = DeviceKind::from_prefix(prefix)
-            .ok_or_else(|| CircuitError::ParseNode { text: text.to_owned() })?;
-        let ordinal: u32 = digits
-            .parse()
-            .map_err(|_| CircuitError::ParseNode { text: text.to_owned() })?;
+        let kind = DeviceKind::from_prefix(prefix).ok_or_else(|| CircuitError::ParseNode {
+            text: text.to_owned(),
+        })?;
+        let ordinal: u32 = digits.parse().map_err(|_| CircuitError::ParseNode {
+            text: text.to_owned(),
+        })?;
         if ordinal == 0 {
-            return Err(CircuitError::ParseNode { text: text.to_owned() });
+            return Err(CircuitError::ParseNode {
+                text: text.to_owned(),
+            });
         }
         Ok(Device { kind, ordinal })
     }
@@ -330,7 +341,11 @@ mod tests {
             let mut suffixes: Vec<_> = kind.pin_roles().iter().map(|r| r.suffix()).collect();
             suffixes.sort_unstable();
             suffixes.dedup();
-            assert_eq!(suffixes.len(), kind.pin_count(), "duplicate suffix on {kind}");
+            assert_eq!(
+                suffixes.len(),
+                kind.pin_count(),
+                "duplicate suffix on {kind}"
+            );
         }
     }
 

@@ -106,14 +106,25 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let cases: Vec<CircuitError> = vec![
-            CircuitError::UnknownDevice { device: "NM9".into() },
-            CircuitError::InvalidPinRole { kind: "Resistor", role: "Gate" },
-            CircuitError::SelfLoop { node: Node::Circuit(CircuitPin::Vdd) },
+            CircuitError::UnknownDevice {
+                device: "NM9".into(),
+            },
+            CircuitError::InvalidPinRole {
+                kind: "Resistor",
+                role: "Gate",
+            },
+            CircuitError::SelfLoop {
+                node: Node::Circuit(CircuitPin::Vdd),
+            },
             CircuitError::Empty,
             CircuitError::Disconnected { components: 3 },
-            CircuitError::BadStart { found: Node::Circuit(CircuitPin::Vdd) },
+            CircuitError::BadStart {
+                found: Node::Circuit(CircuitPin::Vdd),
+            },
             CircuitError::WalkTooShort { len: 1 },
-            CircuitError::ParseNode { text: "XX_?".into() },
+            CircuitError::ParseNode {
+                text: "XX_?".into(),
+            },
             CircuitError::MissingVss,
         ];
         for e in cases {

@@ -235,20 +235,28 @@ mod tests {
         let mt = b.add(DeviceKind::Nmos);
         let r1 = b.add(DeviceKind::Resistor);
         let r2 = b.add(DeviceKind::Resistor);
-        b.wire(b.pin(m1, PinRole::Gate), CircuitPin::Vin(1)).unwrap();
-        b.wire(b.pin(m2, PinRole::Gate), CircuitPin::Vin(2)).unwrap();
-        b.wire(b.pin(m1, PinRole::Source), b.pin(mt, PinRole::Drain)).unwrap();
-        b.wire(b.pin(m2, PinRole::Source), b.pin(mt, PinRole::Drain)).unwrap();
-        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1)).unwrap();
+        b.wire(b.pin(m1, PinRole::Gate), CircuitPin::Vin(1))
+            .unwrap();
+        b.wire(b.pin(m2, PinRole::Gate), CircuitPin::Vin(2))
+            .unwrap();
+        b.wire(b.pin(m1, PinRole::Source), b.pin(mt, PinRole::Drain))
+            .unwrap();
+        b.wire(b.pin(m2, PinRole::Source), b.pin(mt, PinRole::Drain))
+            .unwrap();
+        b.wire(b.pin(mt, PinRole::Gate), CircuitPin::Vbias(1))
+            .unwrap();
         b.wire(b.pin(mt, PinRole::Source), CircuitPin::Vss).unwrap();
         b.wire(b.pin(mt, PinRole::Bulk), CircuitPin::Vss).unwrap();
         b.wire(b.pin(m1, PinRole::Bulk), CircuitPin::Vss).unwrap();
         b.wire(b.pin(m2, PinRole::Bulk), CircuitPin::Vss).unwrap();
         b.wire(b.pin(r1, PinRole::Plus), CircuitPin::Vdd).unwrap();
         b.wire(b.pin(r2, PinRole::Plus), CircuitPin::Vdd).unwrap();
-        b.wire(b.pin(r1, PinRole::Minus), b.pin(m1, PinRole::Drain)).unwrap();
-        b.wire(b.pin(r2, PinRole::Minus), b.pin(m2, PinRole::Drain)).unwrap();
-        b.wire(b.pin(m2, PinRole::Drain), CircuitPin::Vout(1)).unwrap();
+        b.wire(b.pin(r1, PinRole::Minus), b.pin(m1, PinRole::Drain))
+            .unwrap();
+        b.wire(b.pin(r2, PinRole::Minus), b.pin(m2, PinRole::Drain))
+            .unwrap();
+        b.wire(b.pin(m2, PinRole::Drain), CircuitPin::Vout(1))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -296,7 +304,13 @@ mod tests {
         let walked: std::collections::BTreeSet<(Node, Node)> = s
             .walk()
             .windows(2)
-            .map(|w| if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) })
+            .map(|w| {
+                if w[0] < w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                }
+            })
             .collect();
         for &e in t.edges() {
             assert!(walked.contains(&e), "edge {e:?} missing from walk");
@@ -324,7 +338,10 @@ mod tests {
         let m2 = Device::new(DeviceKind::Nmos, 2);
         let t = Topology::from_edges([
             (Node::pin(m1, PinRole::Source), Node::VSS),
-            (Node::pin(m2, PinRole::Gate), Node::Circuit(CircuitPin::Vin(1))),
+            (
+                Node::pin(m2, PinRole::Gate),
+                Node::Circuit(CircuitPin::Vin(1)),
+            ),
         ])
         .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(0);

@@ -219,8 +219,13 @@ mod tests {
 
     #[test]
     fn circuit_pin_rejects_garbage() {
-        for bad in ["", "VD", "VIN", "VIN0", "VINx", "VOUT-1", "vdd", "VB", "CLK01x"] {
-            assert!(bad.parse::<CircuitPin>().is_err(), "{bad:?} should not parse");
+        for bad in [
+            "", "VD", "VIN", "VIN0", "VINx", "VOUT-1", "vdd", "VB", "CLK01x",
+        ] {
+            assert!(
+                bad.parse::<CircuitPin>().is_err(),
+                "{bad:?} should not parse"
+            );
         }
     }
 
@@ -253,7 +258,10 @@ mod tests {
         // unambiguous across kinds.
         let q = Device::new(DeviceKind::Npn, 1);
         assert_eq!(Node::pin(q, PinRole::Base).to_string(), "QN1_BA");
-        assert_eq!("QN1_BA".parse::<Node>().unwrap(), Node::pin(q, PinRole::Base));
+        assert_eq!(
+            "QN1_BA".parse::<Node>().unwrap(),
+            Node::pin(q, PinRole::Base)
+        );
     }
 
     #[test]

@@ -67,8 +67,7 @@ impl GraphDescriptor {
         let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
         let mut edge_count = 0usize;
         for net in topology.nets() {
-            let members: BTreeSet<usize> =
-                net.iter().map(|&p| index[&element_of(p)]).collect();
+            let members: BTreeSet<usize> = net.iter().map(|&p| index[&element_of(p)]).collect();
             let members: Vec<usize> = members.into_iter().collect();
             for (i, &a) in members.iter().enumerate() {
                 for &b in &members[i + 1..] {
@@ -260,7 +259,10 @@ mod tests {
         b.resistor(CircuitPin::Vdd, CircuitPin::Vss).unwrap();
         let small = GraphDescriptor::from_topology(&b.build().unwrap());
         assert_eq!(a.feature_vector().len(), small.feature_vector().len());
-        assert_eq!(a.feature_vector().len(), GraphDescriptor::DEGREE_CAP + 5 + 3);
+        assert_eq!(
+            a.feature_vector().len(),
+            GraphDescriptor::DEGREE_CAP + 5 + 3
+        );
     }
 
     #[test]

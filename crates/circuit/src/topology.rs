@@ -88,7 +88,9 @@ impl Topology {
         if set.is_empty() {
             return Err(CircuitError::Empty);
         }
-        Ok(Topology { edges: set.into_iter().collect() })
+        Ok(Topology {
+            edges: set.into_iter().collect(),
+        })
     }
 
     /// The normalized, sorted wire edge list.
@@ -113,7 +115,10 @@ impl Topology {
 
     /// All distinct device instances mentioned by the wires, sorted.
     pub fn devices(&self) -> BTreeSet<Device> {
-        self.nodes().into_iter().filter_map(|n| n.device()).collect()
+        self.nodes()
+            .into_iter()
+            .filter_map(|n| n.device())
+            .collect()
     }
 
     /// Number of distinct devices.
@@ -132,7 +137,10 @@ impl Topology {
 
     /// All circuit-level pins (external ports) mentioned by the wires.
     pub fn ports(&self) -> BTreeSet<CircuitPin> {
-        self.nodes().into_iter().filter_map(|n| n.circuit_pin()).collect()
+        self.nodes()
+            .into_iter()
+            .filter_map(|n| n.circuit_pin())
+            .collect()
     }
 
     /// Whether the topology mentions the given node.
@@ -284,7 +292,9 @@ mod tests {
         let d = Node::pin(nmos(1), PinRole::Drain);
         assert_eq!(
             Topology::from_edges([(g, d)]),
-            Err(CircuitError::SameDeviceWire { device: "NM1".into() })
+            Err(CircuitError::SameDeviceWire {
+                device: "NM1".into()
+            })
         );
     }
 

@@ -5,18 +5,28 @@
 //! process must not rebuild a corpus to decode tokens, so an *artifact
 //! directory* bundles everything inference needs:
 //!
-//! - `manifest.json` — the [`ModelConfig`] and the fitted [`Tokenizer`];
+//! - `manifest.json` — the [`ModelConfig`], the fitted [`Tokenizer`], a
+//!   format version, and a CRC64 + byte length for every payload file;
 //! - `model.params` — the weight checkpoint (same format as
 //!   [`Eva::save_model`]).
+//!
+//! Writes are crash-safe: each file goes through
+//! [`eva_nn::ckpt::atomic_write`] (temp + fsync + rename) and the manifest
+//! is written **last**, so a crash mid-save never leaves a directory that
+//! both parses and lies about its payload. [`EvaArtifacts::load`] verifies
+//! the recorded checksums and rejects corruption with a typed
+//! [`CkptError`] instead of loading garbage weights.
 //!
 //! [`EvaArtifacts`] holds the loaded pieces behind [`Arc`] so a
 //! multi-worker service shares one in-memory copy of the policy.
 
-use std::io::{self, BufReader, BufWriter, Write as _};
+use std::collections::BTreeMap;
+use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
 use eva_model::{ModelConfig, Transformer};
+use eva_nn::ckpt::{atomic_write, crc64, read_verified, CkptError, FileIntegrity};
 use eva_nn::ParamSet;
 use eva_tokenizer::Tokenizer;
 use rand::SeedableRng;
@@ -26,14 +36,27 @@ use crate::engine::Eva;
 
 /// File name of the weight checkpoint inside an artifact directory.
 pub const PARAMS_FILE: &str = "model.params";
-/// File name of the JSON manifest (config + tokenizer) inside an artifact
-/// directory.
+/// File name of the JSON manifest (config + tokenizer + integrity records)
+/// inside an artifact directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
+/// Current artifact directory format. Version 1 predates integrity
+/// records; version 2 adds `format_version` and per-file CRC64s.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 2;
+
+fn legacy_version() -> u32 {
+    1
+}
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Manifest {
+    /// Missing in version-1 manifests, which carried no version field.
+    #[serde(default = "legacy_version")]
+    format_version: u32,
     config: ModelConfig,
     tokenizer: Tokenizer,
+    /// CRC64 + length per payload file; empty for version-1 manifests.
+    #[serde(default)]
+    files: BTreeMap<String, FileIntegrity>,
 }
 
 /// Shareable inference artifacts: the policy and its tokenizer behind
@@ -59,26 +82,53 @@ impl EvaArtifacts {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors; returns `InvalidData` if the manifest
-    /// does not parse or the checkpoint does not cover every tensor of the
-    /// manifest's architecture (config/vocabulary mismatch).
-    pub fn load<P: AsRef<Path>>(dir: P) -> io::Result<EvaArtifacts> {
+    /// Returns a typed [`CkptError`]: `Io` for filesystem failures,
+    /// `Corrupt`/`Integrity` when a payload is truncated or fails its
+    /// manifest CRC64, `Version` for manifests from a newer format, and
+    /// `Mismatch` when the checkpoint does not cover the manifest's
+    /// architecture (config/vocabulary drift). Version-1 directories
+    /// (no integrity records) still load, without checksum verification.
+    pub fn load<P: AsRef<Path>>(dir: P) -> Result<EvaArtifacts, CkptError> {
         let dir = dir.as_ref();
-        let manifest_file = std::fs::File::open(dir.join(MANIFEST_FILE))?;
-        let manifest: Manifest = serde_json::from_reader(BufReader::new(manifest_file))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let params_file = std::fs::File::open(dir.join(PARAMS_FILE))?;
-        let saved = ParamSet::load(BufReader::new(params_file))?;
+        let manifest_bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+        let manifest: Manifest =
+            serde_json::from_slice(&manifest_bytes).map_err(|e| CkptError::Corrupt {
+                file: MANIFEST_FILE.to_owned(),
+                detail: format!("parse: {e}"),
+            })?;
+        if manifest.format_version > ARTIFACT_FORMAT_VERSION {
+            return Err(CkptError::Version {
+                file: MANIFEST_FILE.to_owned(),
+                found: manifest.format_version,
+                supported: ARTIFACT_FORMAT_VERSION,
+            });
+        }
+        let params_bytes = match manifest.files.get(PARAMS_FILE) {
+            Some(entry) => read_verified(dir, PARAMS_FILE, entry)?,
+            None if manifest.format_version == 1 => std::fs::read(dir.join(PARAMS_FILE))?,
+            None => {
+                return Err(CkptError::Corrupt {
+                    file: MANIFEST_FILE.to_owned(),
+                    detail: format!("no integrity entry for {PARAMS_FILE:?}"),
+                })
+            }
+        };
+        let saved = ParamSet::load(params_bytes.as_slice()).map_err(|e| CkptError::Corrupt {
+            file: PARAMS_FILE.to_owned(),
+            detail: e.to_string(),
+        })?;
         // The RNG only seeds an initialization that is fully overwritten.
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
         let mut model = Transformer::new(manifest.config, &mut rng);
         let copied = model.params_mut().copy_matching(&saved);
         let expected = model.params().len();
         if copied != expected {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("checkpoint restored {copied} of {expected} tensors (architecture or vocabulary mismatch)"),
-            ));
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint restored {copied} of {expected} tensors \
+                     (architecture or vocabulary mismatch)"
+                ),
+            });
         }
         Ok(EvaArtifacts::new(model, manifest.tokenizer))
     }
@@ -91,7 +141,9 @@ impl Eva {
     }
 
     /// Write a self-contained serving artifact directory (see the module
-    /// docs for the layout), creating `dir` if needed.
+    /// docs for the layout), creating `dir` if needed. Payload files are
+    /// written atomically first; the manifest — carrying their CRC64s —
+    /// commits the directory last.
     ///
     /// # Errors
     ///
@@ -99,16 +151,26 @@ impl Eva {
     pub fn save_artifacts<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        let mut params_bytes = Vec::new();
+        self.model().params().save(&mut params_bytes)?;
+        let mut files = BTreeMap::new();
+        files.insert(
+            PARAMS_FILE.to_owned(),
+            FileIntegrity {
+                crc64: crc64(&params_bytes),
+                bytes: params_bytes.len() as u64,
+            },
+        );
+        atomic_write(&dir.join(PARAMS_FILE), &params_bytes)?;
         let manifest = Manifest {
+            format_version: ARTIFACT_FORMAT_VERSION,
             config: *self.model().config(),
             tokenizer: self.tokenizer().clone(),
+            files,
         };
-        let mut writer = BufWriter::new(std::fs::File::create(dir.join(MANIFEST_FILE))?);
-        serde_json::to_writer(&mut writer, &manifest)
+        let manifest_bytes = serde_json::to_vec(&manifest)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        writer.flush()?;
-        let params = BufWriter::new(std::fs::File::create(dir.join(PARAMS_FILE))?);
-        self.model().params().save(params)
+        atomic_write(&dir.join(MANIFEST_FILE), &manifest_bytes)
     }
 }
 
@@ -118,9 +180,8 @@ mod tests {
     use crate::engine::EvaOptions;
     use crate::pretrain::PretrainConfig;
 
-    #[test]
-    fn artifact_directory_round_trip() {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    fn pretrained_eva(seed: u64) -> Eva {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
         let cfg = PretrainConfig {
             steps: 8,
@@ -129,9 +190,20 @@ mod tests {
             warmup: 2,
         };
         eva.pretrain(&cfg, &mut rng);
+        eva
+    }
 
-        let dir = std::env::temp_dir().join(format!("eva_artifacts_{}", std::process::id()));
+    fn saved_dir(tag: &str, eva: &Eva) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eva_artifacts_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
         eva.save_artifacts(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn artifact_directory_round_trip() {
+        let eva = pretrained_eva(11);
+        let dir = saved_dir("roundtrip", &eva);
         let loaded = EvaArtifacts::load(&dir).unwrap();
         assert_eq!(loaded.model.config(), eva.model().config());
         assert_eq!(&*loaded.tokenizer, eva.tokenizer());
@@ -144,9 +216,110 @@ mod tests {
     }
 
     #[test]
+    fn manifest_is_versioned_and_checksummed() {
+        let eva = pretrained_eva(13);
+        let dir = saved_dir("versioned", &eva);
+        let manifest: Manifest =
+            serde_json::from_slice(&std::fs::read(dir.join(MANIFEST_FILE)).unwrap()).unwrap();
+        assert_eq!(manifest.format_version, ARTIFACT_FORMAT_VERSION);
+        let entry = manifest
+            .files
+            .get(PARAMS_FILE)
+            .expect("params integrity entry");
+        let params = std::fs::read(dir.join(PARAMS_FILE)).unwrap();
+        assert_eq!(entry.bytes, params.len() as u64);
+        assert_eq!(entry.crc64, crc64(&params));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn load_rejects_missing_directory() {
         let dir = std::env::temp_dir().join("eva_artifacts_does_not_exist");
-        assert!(EvaArtifacts::load(&dir).is_err());
+        assert!(matches!(EvaArtifacts::load(&dir), Err(CkptError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_params_rejected_with_typed_error() {
+        let eva = pretrained_eva(14);
+        let dir = saved_dir("truncated", &eva);
+        let path = dir.join(PARAMS_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        match EvaArtifacts::load(&dir) {
+            Err(CkptError::Corrupt { file, .. }) => assert_eq!(file, PARAMS_FILE),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_params_rejected_with_integrity_error() {
+        let eva = pretrained_eva(15);
+        let dir = saved_dir("bitflip", &eva);
+        let path = dir.join(PARAMS_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match EvaArtifacts::load(&dir) {
+            Err(CkptError::Integrity {
+                file,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(file, PARAMS_FILE);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Integrity error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn future_manifest_version_rejected() {
+        let eva = pretrained_eva(16);
+        let dir = saved_dir("future", &eva);
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen(
+            &format!("\"format_version\":{ARTIFACT_FORMAT_VERSION}"),
+            "\"format_version\":99",
+            1,
+        );
+        assert_ne!(text, bumped, "manifest carries the version field");
+        std::fs::write(&path, bumped).unwrap();
+        match EvaArtifacts::load(&dir) {
+            Err(CkptError::Version {
+                found, supported, ..
+            }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, ARTIFACT_FORMAT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unversioned_manifest_still_loads() {
+        let eva = pretrained_eva(17);
+        let dir = saved_dir("legacy", &eva);
+        // Rewrite the manifest the way version 1 wrote it: config +
+        // tokenizer only, no version field, no integrity records.
+        let manifest: Manifest =
+            serde_json::from_slice(&std::fs::read(dir.join(MANIFEST_FILE)).unwrap()).unwrap();
+        let legacy = serde_json::json!({
+            "config": manifest.config,
+            "tokenizer": manifest.tokenizer,
+        });
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            serde_json::to_vec(&legacy).unwrap(),
+        )
+        .unwrap();
+        let loaded = EvaArtifacts::load(&dir).expect("legacy manifest loads");
+        assert_eq!(loaded.model.config(), eva.model().config());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

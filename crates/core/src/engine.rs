@@ -1,17 +1,20 @@
 //! The high-level EVA engine: corpus → tokenizer → pretrain → fine-tune →
 //! generate.
 
+use std::path::Path;
+
 use eva_dataset::{expand, CircuitType, Corpus, CorpusOptions, DatasetEntry};
 use eva_model::{decode_batch, LaneRequest, ModelConfig, SamplingPolicy, Transformer};
+use eva_nn::ckpt::{atomic_write, CkptError, TrainCheckpoint};
 use eva_rl::{
     build_finetune_data, pairs_from_ranks, DpoConfig, DpoStepStats, DpoTrainer, FinetuneData,
-    PpoConfig, PpoEpochStats, PpoTrainer, RewardModel,
+    PpoConfig, PpoEpochStats, PpoTrainer, RewardModel, TrainError,
 };
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::pretrain::{pretrain, PretrainConfig};
+use crate::pretrain::{pretrain, PretrainConfig, PretrainRun};
 
 /// Scale knobs for a full EVA run.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +183,35 @@ impl Eva {
         losses
     }
 
+    /// Crash-safe pretraining: checkpoint to `dir` every `every` steps and
+    /// resume from `dir` if it already holds a committed checkpoint. A run
+    /// killed and re-invoked with the same arguments reproduces the
+    /// uninterrupted loss curve bit-exactly (the snapshot carries params,
+    /// optimizer moments, RNG state, and the in-flight epoch shuffle); a
+    /// completed checkpoint returns its recorded curve without retraining.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] if the checkpoint directory is
+    /// corrupt, from a newer format, or from a different run configuration.
+    pub fn pretrain_checkpointed(
+        &mut self,
+        config: &PretrainConfig,
+        rng: &mut ChaCha8Rng,
+        dir: &Path,
+        every: usize,
+    ) -> Result<Vec<f32>, CkptError> {
+        let mut run = if TrainCheckpoint::exists(dir) {
+            PretrainRun::resume(&mut self.model, &self.train_sequences, *config, dir, rng)?
+        } else {
+            PretrainRun::new(&mut self.model, &self.train_sequences, *config)
+        };
+        run.run_checkpointed(rng, dir, every)?;
+        let losses = run.into_losses();
+        self.pretrained = true;
+        Ok(losses)
+    }
+
     /// Held-out language-modeling loss.
     pub fn validation_loss(&self) -> f32 {
         crate::pretrain::validation_loss(&self.model, &self.val_sequences)
@@ -237,6 +269,38 @@ impl Eva {
         Ok((trainer.into_policy(), stats))
     }
 
+    /// Crash-safe [`Eva::finetune_ppo`]: checkpoint full trainer state
+    /// (policy, value head, optimizer moments, RNG) to `dir` every `every`
+    /// epochs and resume from `dir` when it holds a committed checkpoint.
+    ///
+    /// The frozen reference policy and the reward model are *not* part of
+    /// the snapshot: call this with the same pretrained engine, reward
+    /// model, and freshly-seeded `rng` as the original run, and the resumed
+    /// trajectory continues bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`]: a rollout [`eva_model::InferError`] or a
+    /// typed checkpoint failure.
+    pub fn finetune_ppo_checkpointed(
+        &self,
+        reward_model: &RewardModel,
+        config: PpoConfig,
+        rng: &mut ChaCha8Rng,
+        dir: &Path,
+        every: usize,
+    ) -> Result<(Transformer, Vec<PpoEpochStats>), TrainError> {
+        let mut trainer = PpoTrainer::new(
+            self.model.clone(),
+            reward_model,
+            &self.tokenizer,
+            config,
+            rng,
+        );
+        let stats = trainer.run_checkpointed(rng, dir, every)?;
+        Ok((trainer.into_policy(), stats))
+    }
+
     /// DPO fine-tuning (Eq. 5) from rank-labeled data; returns the tuned
     /// policy and per-step stats.
     pub fn finetune_dpo<R: Rng + ?Sized>(
@@ -250,6 +314,31 @@ impl Eva {
         let mut trainer = DpoTrainer::new(self.model.clone(), config);
         let stats = trainer.run(&pairs, rng);
         (trainer.into_policy(), stats)
+    }
+
+    /// Crash-safe [`Eva::finetune_dpo`]: checkpoint to `dir` every `every`
+    /// epochs and resume when `dir` holds a committed checkpoint. The
+    /// preference pairs are re-drawn from `rng` before the snapshot's RNG
+    /// state is restored, so calling with the same engine and seed as the
+    /// original run yields the identical pair set and a bit-exact resumed
+    /// trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on checkpoint corruption or mismatch.
+    pub fn finetune_dpo_checkpointed(
+        &self,
+        data: &FinetuneData,
+        pair_draws: usize,
+        config: DpoConfig,
+        rng: &mut ChaCha8Rng,
+        dir: &Path,
+        every: usize,
+    ) -> Result<(Transformer, Vec<DpoStepStats>), CkptError> {
+        let pairs = pairs_from_ranks(&data.samples, pair_draws, rng);
+        let mut trainer = DpoTrainer::new(self.model.clone(), config);
+        let stats = trainer.run_checkpointed(&pairs, rng, dir, every)?;
+        Ok((trainer.into_policy(), stats))
     }
 
     /// A generator view over any policy (the pretrained model or a
@@ -276,14 +365,17 @@ impl Eva {
         self.corpus.entries()
     }
 
-    /// Save the model weights to a binary checkpoint file.
+    /// Save the model weights to a binary checkpoint file. The write is
+    /// atomic (temp + fsync + rename), so a crash never leaves a truncated
+    /// checkpoint at `path`.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save_model<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
-        let file = std::fs::File::create(path)?;
-        self.model.params().save(std::io::BufWriter::new(file))
+        let mut bytes = Vec::new();
+        self.model.params().save(&mut bytes)?;
+        atomic_write(path.as_ref(), &bytes)
     }
 
     /// Load weights from a checkpoint produced by [`Eva::save_model`],

@@ -32,4 +32,5 @@ pub mod pretrain;
 
 pub use artifacts::EvaArtifacts;
 pub use engine::{Eva, EvaGenerator, EvaOptions};
-pub use pretrain::{pretrain, validation_loss, PretrainConfig};
+pub use eva_nn::ckpt::CkptError;
+pub use pretrain::{pretrain, validation_loss, PretrainConfig, PretrainRun};

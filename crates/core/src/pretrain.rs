@@ -1,14 +1,27 @@
 //! Pretraining (Section III-B): the standard language-modeling objective
 //! (Eq. 1) over unlabeled, permutation-augmented Eulerian sequences.
+//!
+//! [`pretrain`] is the one-shot entry point; [`PretrainRun`] is the
+//! step-wise driver underneath it, which adds crash-safe periodic
+//! checkpointing ([`PretrainRun::checkpoint`]) and bit-exact resume
+//! ([`PretrainRun::resume`]): a killed run restarted from its last
+//! checkpoint reproduces the uninterrupted loss trajectory exactly,
+//! because the snapshot carries the parameters, AdamW moments, RNG state,
+//! and the in-flight epoch shuffle.
+
+use std::path::Path;
 
 use eva_model::Transformer;
+use eva_nn::ckpt::{moments_as_paramsets, restore_moments, CkptError, RngState, TrainCheckpoint};
 use eva_nn::{AdamW, CosineSchedule, Tape};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Pretraining hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PretrainConfig {
     /// Optimizer steps.
     pub steps: usize,
@@ -22,7 +35,12 @@ pub struct PretrainConfig {
 
 impl Default for PretrainConfig {
     fn default() -> PretrainConfig {
-        PretrainConfig { steps: 300, batch_size: 8, lr: 3e-4, warmup: 20 }
+        PretrainConfig {
+            steps: 300,
+            batch_size: 8,
+            lr: 3e-4,
+            warmup: 20,
+        }
     }
 }
 
@@ -42,39 +60,226 @@ pub fn pretrain<R: Rng + ?Sized>(
     config: &PretrainConfig,
     rng: &mut R,
 ) -> Vec<f32> {
-    assert!(!sequences.is_empty(), "no pretraining sequences");
-    let max_ctx = model.config().max_seq_len;
-    for s in sequences {
-        assert!(s.len() <= max_ctx, "sequence of {} exceeds context {max_ctx}", s.len());
-    }
-    let mut opt = AdamW::new(config.lr, model.params().tensors());
-    let schedule = CosineSchedule {
-        base_lr: config.lr,
-        warmup: config.warmup as u64,
-        total: config.steps as u64,
-        min_factor: 0.1,
-    };
-    let mut losses = Vec::with_capacity(config.steps);
-    // Length-bucketed batching: batches are contiguous windows of the
-    // length-sorted order, so padding (and the O(T²) attention cost of the
-    // longest row) is not wasted on short sequences. Window starts are
-    // shuffled each epoch.
-    let mut by_len: Vec<usize> = (0..sequences.len()).collect();
-    by_len.sort_by_key(|&i| sequences[i].len());
-    let n_windows = sequences.len().div_ceil(config.batch_size);
-    let mut windows: Vec<usize> = (0..n_windows).collect();
-    let mut cursor = windows.len();
-    for step in 0..config.steps {
-        if cursor >= windows.len() {
-            windows.shuffle(rng);
-            cursor = 0;
+    let mut run = PretrainRun::new(model, sequences, *config);
+    while run.step(rng).is_some() {}
+    run.into_losses()
+}
+
+/// Trainer-specific resume state stored in the checkpoint's `extra` slot.
+/// Everything here is validated against the resuming run, so a checkpoint
+/// from a different corpus or config is rejected instead of silently
+/// diverging.
+#[derive(Serialize, Deserialize)]
+struct PretrainExtra {
+    kind: String,
+    config: PretrainConfig,
+    n_sequences: usize,
+    windows: Vec<usize>,
+    cursor: usize,
+    losses: Vec<f32>,
+}
+
+const PRETRAIN_KIND: &str = "pretrain";
+
+/// A step-wise pretraining driver over one model and sequence set.
+///
+/// The cosine schedule spans the *full* `config.steps`, so loss values
+/// depend only on the global step index — which is what makes
+/// checkpoint/kill/resume reproduce an uninterrupted run bit-exactly.
+pub struct PretrainRun<'a> {
+    model: &'a mut Transformer,
+    sequences: &'a [Vec<TokenId>],
+    config: PretrainConfig,
+    schedule: CosineSchedule,
+    opt: AdamW,
+    /// Sequence indices sorted by length (deterministic given `sequences`).
+    by_len: Vec<usize>,
+    /// Shuffled epoch order of length-bucketed batch windows.
+    windows: Vec<usize>,
+    cursor: usize,
+    losses: Vec<f32>,
+}
+
+impl<'a> PretrainRun<'a> {
+    /// Start a fresh run at step 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequences` is empty or a sequence exceeds the model
+    /// context (same contract as [`pretrain`]).
+    pub fn new(
+        model: &'a mut Transformer,
+        sequences: &'a [Vec<TokenId>],
+        config: PretrainConfig,
+    ) -> PretrainRun<'a> {
+        assert!(!sequences.is_empty(), "no pretraining sequences");
+        let max_ctx = model.config().max_seq_len;
+        for s in sequences {
+            assert!(
+                s.len() <= max_ctx,
+                "sequence of {} exceeds context {max_ctx}",
+                s.len()
+            );
         }
-        let w = windows[cursor];
-        cursor += 1;
-        let lo = w * config.batch_size;
-        let hi = (lo + config.batch_size).min(sequences.len());
-        let batch: Vec<&Vec<TokenId>> = by_len[lo..hi].iter().map(|&i| &sequences[i]).collect();
-        let time = batch.iter().map(|s| s.len()).max().expect("non-empty batch");
+        let opt = AdamW::new(config.lr, model.params().tensors());
+        let schedule = CosineSchedule {
+            base_lr: config.lr,
+            warmup: config.warmup as u64,
+            total: config.steps as u64,
+            min_factor: 0.1,
+        };
+        // Length-bucketed batching: batches are contiguous windows of the
+        // length-sorted order, so padding (and the O(T²) attention cost of
+        // the longest row) is not wasted on short sequences. Window starts
+        // are shuffled each epoch; `cursor == windows.len()` forces the
+        // first shuffle at step 0.
+        let mut by_len: Vec<usize> = (0..sequences.len()).collect();
+        by_len.sort_by_key(|&i| sequences[i].len());
+        let n_windows = sequences.len().div_ceil(config.batch_size);
+        let windows: Vec<usize> = (0..n_windows).collect();
+        let cursor = windows.len();
+        PretrainRun {
+            model,
+            sequences,
+            config,
+            schedule,
+            opt,
+            by_len,
+            windows,
+            cursor,
+            losses: Vec::with_capacity(config.steps),
+        }
+    }
+
+    /// Resume from the committed checkpoint in `dir`, overwriting `rng`
+    /// with the snapshot's RNG state. The model's weights are replaced by
+    /// the checkpointed ones, so the caller only needs an
+    /// identically-*shaped* model, not identical weights.
+    pub fn resume(
+        model: &'a mut Transformer,
+        sequences: &'a [Vec<TokenId>],
+        config: PretrainConfig,
+        dir: &Path,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<PretrainRun<'a>, CkptError> {
+        let ck = TrainCheckpoint::load(dir)?;
+        let extra: PretrainExtra =
+            serde_json::from_value(ck.extra.clone()).map_err(|e| CkptError::Corrupt {
+                file: eva_nn::ckpt::TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!("pretrain extra state: {e}"),
+            })?;
+        if extra.kind != PRETRAIN_KIND {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint kind {:?}, expected {PRETRAIN_KIND:?}",
+                    extra.kind
+                ),
+            });
+        }
+        if extra.config != config {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint config {:?} differs from requested {:?}",
+                    extra.config, config
+                ),
+            });
+        }
+        if extra.n_sequences != sequences.len() {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint trained on {} sequences, this corpus has {}",
+                    extra.n_sequences,
+                    sequences.len()
+                ),
+            });
+        }
+        let mut run = PretrainRun::new(model, sequences, config);
+        let n_windows = run.windows.len();
+        let valid_shuffle = extra.windows.len() == n_windows && extra.cursor <= n_windows && {
+            let mut seen = vec![false; n_windows];
+            extra
+                .windows
+                .iter()
+                .all(|&w| w < n_windows && !std::mem::replace(&mut seen[w], true))
+        };
+        if !valid_shuffle {
+            return Err(CkptError::Corrupt {
+                file: eva_nn::ckpt::TRAIN_MANIFEST_FILE.to_owned(),
+                detail: "window order is not a permutation of the batch windows".to_owned(),
+            });
+        }
+        if extra.losses.len() != ck.step as usize || extra.losses.len() > config.steps {
+            return Err(CkptError::Corrupt {
+                file: eva_nn::ckpt::TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!(
+                    "loss history length {} disagrees with step counter {} (of {})",
+                    extra.losses.len(),
+                    ck.step,
+                    config.steps
+                ),
+            });
+        }
+        let copied = run.model.params_mut().copy_matching(&ck.params);
+        if copied != run.model.params().len() {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint params cover {copied} of {} model tensors",
+                    run.model.params().len()
+                ),
+            });
+        }
+        let (m, v) = restore_moments(run.model.params(), &ck)?;
+        run.opt.restore_state(m, v, ck.opt_step);
+        run.windows = extra.windows;
+        run.cursor = extra.cursor;
+        run.losses = extra.losses;
+        *rng = ck.rng.restore();
+        Ok(run)
+    }
+
+    /// Steps completed so far.
+    pub fn completed_steps(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Whether all `config.steps` steps have run.
+    pub fn is_done(&self) -> bool {
+        self.losses.len() >= self.config.steps
+    }
+
+    /// Per-step training losses so far.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Consume the run, returning the loss curve.
+    pub fn into_losses(self) -> Vec<f32> {
+        self.losses
+    }
+
+    /// Run one optimizer step; `None` once the run is complete.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f32> {
+        if self.is_done() {
+            return None;
+        }
+        let step = self.losses.len();
+        if self.cursor >= self.windows.len() {
+            self.windows.shuffle(rng);
+            self.cursor = 0;
+        }
+        let w = self.windows[self.cursor];
+        self.cursor += 1;
+        let lo = w * self.config.batch_size;
+        let hi = (lo + self.config.batch_size).min(self.sequences.len());
+        let batch: Vec<&Vec<TokenId>> = self.by_len[lo..hi]
+            .iter()
+            .map(|&i| &self.sequences[i])
+            .collect();
+        let time = batch
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .expect("non-empty batch");
         let mut ids = Vec::with_capacity(batch.len() * time);
         let mut mask = Vec::with_capacity(batch.len() * time);
         for s in &batch {
@@ -83,15 +288,61 @@ pub fn pretrain<R: Rng + ?Sized>(
             ids.extend(std::iter::repeat(Tokenizer::PAD).take(time - s.len()));
             mask.extend(std::iter::repeat(false).take(time - s.len()));
         }
-        opt.lr = schedule.lr(step as u64);
+        self.opt.lr = self.schedule.lr(step as u64);
         let mut tape = Tape::new();
-        let (loss, bound) = model.lm_loss(&mut tape, &ids, batch.len(), time, &mask);
-        losses.push(tape.value(loss).item());
+        let (loss, bound) = self
+            .model
+            .lm_loss(&mut tape, &ids, batch.len(), time, &mask);
+        let loss_value = tape.value(loss).item();
+        self.losses.push(loss_value);
         let grads = tape.backward(loss);
         let g = bound.gradients(&grads);
-        opt.step(model.params_mut().tensors_mut(), &g);
+        self.opt.step(self.model.params_mut().tensors_mut(), &g);
+        Some(loss_value)
     }
-    losses
+
+    /// Atomically write a full training snapshot to `dir`. `rng` must be
+    /// the generator driving [`PretrainRun::step`].
+    pub fn checkpoint(&self, rng: &ChaCha8Rng, dir: &Path) -> Result<(), CkptError> {
+        let (opt_m, opt_v) = moments_as_paramsets(self.model.params(), &self.opt);
+        let extra = serde_json::to_value(PretrainExtra {
+            kind: PRETRAIN_KIND.to_owned(),
+            config: self.config,
+            n_sequences: self.sequences.len(),
+            windows: self.windows.clone(),
+            cursor: self.cursor,
+            losses: self.losses.clone(),
+        })
+        .expect("pretrain extra state is always serializable");
+        TrainCheckpoint {
+            step: self.losses.len() as u64,
+            params: self.model.params().clone(),
+            opt_m,
+            opt_v,
+            opt_step: self.opt.steps(),
+            rng: RngState::capture(rng),
+            extra,
+        }
+        .save(dir)
+    }
+
+    /// Drive the run to completion, checkpointing to `dir` every `every`
+    /// steps (floor 1) and once more at the final step.
+    pub fn run_checkpointed(
+        &mut self,
+        rng: &mut ChaCha8Rng,
+        dir: &Path,
+        every: usize,
+    ) -> Result<(), CkptError> {
+        let every = every.max(1);
+        while self.step(rng).is_some() {
+            let done = self.losses.len();
+            if done % every == 0 || done == self.config.steps {
+                self.checkpoint(rng, dir)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Mean validation loss over held-out sequences (no updates).
@@ -114,13 +365,26 @@ mod tests {
     use super::*;
     use eva_model::ModelConfig;
     use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn toy_sequences() -> Vec<Vec<TokenId>> {
         // Deterministic patterns the model can memorize.
         vec![
-            vec![TokenId(2), TokenId(3), TokenId(4), TokenId(3), TokenId(2), TokenId(1)],
-            vec![TokenId(2), TokenId(5), TokenId(6), TokenId(5), TokenId(2), TokenId(1)],
+            vec![
+                TokenId(2),
+                TokenId(3),
+                TokenId(4),
+                TokenId(3),
+                TokenId(2),
+                TokenId(1),
+            ],
+            vec![
+                TokenId(2),
+                TokenId(5),
+                TokenId(6),
+                TokenId(5),
+                TokenId(2),
+                TokenId(1),
+            ],
         ]
     }
 
@@ -128,7 +392,12 @@ mod tests {
     fn loss_decreases() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut model = Transformer::new(ModelConfig::tiny(8, 8), &mut rng);
-        let cfg = PretrainConfig { steps: 80, batch_size: 2, lr: 3e-3, warmup: 5 };
+        let cfg = PretrainConfig {
+            steps: 80,
+            batch_size: 2,
+            lr: 3e-3,
+            warmup: 5,
+        };
         let losses = pretrain(&mut model, &toy_sequences(), &cfg, &mut rng);
         assert_eq!(losses.len(), 80);
         let first: f32 = losses[..5].iter().sum::<f32>() / 5.0;
@@ -142,7 +411,12 @@ mod tests {
         let mut model = Transformer::new(ModelConfig::tiny(8, 8), &mut rng);
         let seqs = toy_sequences();
         let before = validation_loss(&model, &seqs);
-        let cfg = PretrainConfig { steps: 60, batch_size: 2, lr: 3e-3, warmup: 5 };
+        let cfg = PretrainConfig {
+            steps: 60,
+            batch_size: 2,
+            lr: 3e-3,
+            warmup: 5,
+        };
         pretrain(&mut model, &seqs, &cfg, &mut rng);
         let after = validation_loss(&model, &seqs);
         assert!(after < before, "{before} -> {after}");
@@ -154,5 +428,39 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut model = Transformer::new(ModelConfig::tiny(8, 8), &mut rng);
         pretrain(&mut model, &[], &PretrainConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn stepwise_driver_matches_one_shot_pretrain() {
+        let seqs = toy_sequences();
+        let cfg = PretrainConfig {
+            steps: 24,
+            batch_size: 2,
+            lr: 3e-3,
+            warmup: 4,
+        };
+        let mut model_a =
+            Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(3));
+        let mut rng_a = ChaCha8Rng::seed_from_u64(4);
+        let losses_a = pretrain(&mut model_a, &seqs, &cfg, &mut rng_a);
+
+        let mut model_b =
+            Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(3));
+        let mut rng_b = ChaCha8Rng::seed_from_u64(4);
+        let mut run = PretrainRun::new(&mut model_b, &seqs, cfg);
+        let mut losses_b = Vec::new();
+        while let Some(loss) = run.step(&mut rng_b) {
+            losses_b.push(loss);
+        }
+        assert!(run.is_done());
+        assert_eq!(losses_a, losses_b);
+        for i in 0..model_a.params().len() {
+            assert_eq!(
+                model_a.params().tensor(i).data(),
+                model_b.params().tensor(i).data(),
+                "param {} diverged",
+                model_a.params().name(i)
+            );
+        }
     }
 }

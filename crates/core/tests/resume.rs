@@ -1,0 +1,193 @@
+//! Kill-and-resume integration tests: a pretraining run checkpointed at
+//! step k, killed, and resumed from disk must reproduce the uninterrupted
+//! run's loss trajectory bit-exactly, and a corrupted checkpoint directory
+//! must be rejected with a typed error instead of loading garbage weights.
+
+use std::path::PathBuf;
+
+use eva_core::{CkptError, Eva, EvaOptions, PretrainConfig, PretrainRun};
+use eva_model::{ModelConfig, Transformer};
+use eva_tokenizer::TokenId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eva_resume_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn toy_sequences() -> Vec<Vec<TokenId>> {
+    vec![
+        vec![
+            TokenId(2),
+            TokenId(3),
+            TokenId(4),
+            TokenId(3),
+            TokenId(2),
+            TokenId(1),
+        ],
+        vec![
+            TokenId(2),
+            TokenId(5),
+            TokenId(6),
+            TokenId(5),
+            TokenId(2),
+            TokenId(1),
+        ],
+        vec![
+            TokenId(2),
+            TokenId(4),
+            TokenId(6),
+            TokenId(4),
+            TokenId(2),
+            TokenId(1),
+        ],
+    ]
+}
+
+const CFG: PretrainConfig = PretrainConfig {
+    steps: 30,
+    batch_size: 2,
+    lr: 3e-3,
+    warmup: 4,
+};
+
+#[test]
+fn killed_run_resumed_from_disk_rejoins_bit_exactly() {
+    let seqs = toy_sequences();
+
+    // Run A: the uninterrupted reference trajectory.
+    let mut model_a = Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(1));
+    let mut rng_a = ChaCha8Rng::seed_from_u64(2);
+    let mut run_a = PretrainRun::new(&mut model_a, &seqs, CFG);
+    while run_a.step(&mut rng_a).is_some() {}
+    let losses_a = run_a.into_losses();
+
+    // Run B: identical start, checkpoint at step 11, then "crash" — the
+    // run, its model, and its RNG are all dropped on the floor.
+    let dir = scratch_dir("kill");
+    {
+        let mut model_b =
+            Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(1));
+        let mut rng_b = ChaCha8Rng::seed_from_u64(2);
+        let mut run_b = PretrainRun::new(&mut model_b, &seqs, CFG);
+        for _ in 0..11 {
+            run_b.step(&mut rng_b).expect("mid-run step");
+        }
+        run_b.checkpoint(&rng_b, &dir).expect("checkpoint");
+    }
+
+    // Run C: a *differently initialized* model and RNG — everything that
+    // matters must come off the disk, not from process state.
+    let mut model_c = Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(77));
+    let mut rng_c = ChaCha8Rng::seed_from_u64(99);
+    let mut run_c =
+        PretrainRun::resume(&mut model_c, &seqs, CFG, &dir, &mut rng_c).expect("resume");
+    assert_eq!(run_c.completed_steps(), 11);
+    assert_eq!(run_c.losses(), &losses_a[..11], "restored loss history");
+    while run_c.step(&mut rng_c).is_some() {}
+    let losses_c = run_c.into_losses();
+    assert_eq!(
+        losses_a, losses_c,
+        "resumed trajectory must re-join the uninterrupted one bit-exactly"
+    );
+    for i in 0..model_a.params().len() {
+        assert_eq!(
+            model_a.params().tensor(i).data(),
+            model_c.params().tensor(i).data(),
+            "tensor {} diverged after resume",
+            model_a.params().name(i)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_checkpointed_pretraining_matches_and_short_circuits() {
+    let cfg = PretrainConfig {
+        steps: 16,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 2,
+    };
+
+    let mut rng_plain = ChaCha8Rng::seed_from_u64(5);
+    let mut eva_plain = Eva::prepare(&EvaOptions::test_scale(), &mut rng_plain);
+    let losses_plain = eva_plain.pretrain(&cfg, &mut rng_plain);
+
+    let dir = scratch_dir("engine");
+    let mut rng_ck = ChaCha8Rng::seed_from_u64(5);
+    let mut eva_ck = Eva::prepare(&EvaOptions::test_scale(), &mut rng_ck);
+    let losses_ck = eva_ck
+        .pretrain_checkpointed(&cfg, &mut rng_ck, &dir, 5)
+        .expect("checkpointed run");
+    assert!(eva_ck.is_pretrained());
+    assert_eq!(
+        losses_plain, losses_ck,
+        "periodic checkpointing must not perturb the trajectory"
+    );
+
+    // Re-invoking over a *completed* checkpoint returns the recorded curve
+    // without retraining — a fresh engine and RNG, the curve lives on disk.
+    let mut rng_again = ChaCha8Rng::seed_from_u64(5);
+    let mut eva_again = Eva::prepare(&EvaOptions::test_scale(), &mut rng_again);
+    let losses_again = eva_again
+        .pretrain_checkpointed(&cfg, &mut rng_again, &dir, 5)
+        .expect("completed checkpoint short-circuits");
+    assert_eq!(losses_plain, losses_again);
+    assert!(eva_again.is_pretrained());
+
+    // A different config against the same checkpoint dir is refused.
+    let other_cfg = PretrainConfig { steps: 20, ..cfg };
+    let mut rng_other = ChaCha8Rng::seed_from_u64(5);
+    let mut eva_other = Eva::prepare(&EvaOptions::test_scale(), &mut rng_other);
+    match eva_other.pretrain_checkpointed(&other_cfg, &mut rng_other, &dir, 5) {
+        Err(CkptError::Mismatch { .. }) => {}
+        other => panic!("expected a config mismatch, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_with_typed_errors() {
+    let seqs = toy_sequences();
+    let dir = scratch_dir("corrupt");
+    {
+        let mut model =
+            Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut run = PretrainRun::new(&mut model, &seqs, CFG);
+        for _ in 0..5 {
+            run.step(&mut rng).expect("mid-run step");
+        }
+        run.checkpoint(&rng, &dir).expect("checkpoint");
+    }
+
+    // Bit-flip the params payload: the CRC64 check reports it as a typed
+    // integrity error naming the file — never a panic or garbage weights.
+    let params_file = dir.join("params.bin");
+    let mut bytes = std::fs::read(&params_file).expect("read params payload");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&params_file, &bytes).expect("rewrite params payload");
+
+    let mut model2 = Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(3));
+    let mut rng2 = ChaCha8Rng::seed_from_u64(4);
+    match PretrainRun::resume(&mut model2, &seqs, CFG, &dir, &mut rng2) {
+        Err(CkptError::Integrity { file, .. }) => assert_eq!(file, "params.bin"),
+        Ok(_) => panic!("a corrupted checkpoint must not resume"),
+        Err(other) => panic!("expected an integrity error, got {other:?}"),
+    }
+
+    // Truncation is caught the same way.
+    std::fs::write(&params_file, &bytes[..mid]).expect("truncate params payload");
+    let mut model3 = Transformer::new(ModelConfig::tiny(8, 8), &mut ChaCha8Rng::seed_from_u64(3));
+    let mut rng3 = ChaCha8Rng::seed_from_u64(4);
+    match PretrainRun::resume(&mut model3, &seqs, CFG, &dir, &mut rng3) {
+        Err(CkptError::Integrity { .. } | CkptError::Corrupt { .. }) => {}
+        Ok(_) => panic!("a truncated checkpoint must not resume"),
+        Err(other) => panic!("expected a corruption error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

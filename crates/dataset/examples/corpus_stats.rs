@@ -3,11 +3,21 @@ use eva_dataset::{Corpus, CorpusOptions};
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let raw = Corpus::build(&CorpusOptions { target_size: usize::MAX, decorate: true, validate: false, families: None });
+    let raw = Corpus::build(&CorpusOptions {
+        target_size: usize::MAX,
+        decorate: true,
+        validate: false,
+        families: None,
+    });
     println!("raw unique: {}", raw.len());
     let t1 = std::time::Instant::now();
     let valid = Corpus::build(&CorpusOptions::default());
-    println!("valid corpus (target 3470): {} in {:?} (+raw {:?})", valid.len(), t1.elapsed(), t1 - t0);
+    println!(
+        "valid corpus (target 3470): {} in {:?} (+raw {:?})",
+        valid.len(),
+        t1.elapsed(),
+        t1 - t0
+    );
     for (ty, n) in valid.type_histogram() {
         println!("  {ty:>16}: {n}");
     }

@@ -251,9 +251,14 @@ mod tests {
     fn mirror_shares_gate_net() {
         let mut b = TopologyBuilder::new();
         let input = n(CircuitPin::Vbias(1));
-        let (diode, outs) =
-            mos_mirror(&mut b, DeviceKind::Nmos, Node::VSS, input, &[n(CircuitPin::Vout(1))])
-                .unwrap();
+        let (diode, outs) = mos_mirror(
+            &mut b,
+            DeviceKind::Nmos,
+            Node::VSS,
+            input,
+            &[n(CircuitPin::Vout(1))],
+        )
+        .unwrap();
         let t = b.build().unwrap();
         // Diode gate, diode drain, output gate and VB1 in one net.
         let net = t
@@ -270,7 +275,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         // Tail current source transistor.
         let tail_dev = b.add(DeviceKind::Nmos);
-        b.wire(b.pin(tail_dev, PinRole::Gate), n(CircuitPin::Vbias(1))).unwrap();
+        b.wire(b.pin(tail_dev, PinRole::Gate), n(CircuitPin::Vbias(1)))
+            .unwrap();
         b.wire(b.pin(tail_dev, PinRole::Source), Node::VSS).unwrap();
         b.wire(b.pin(tail_dev, PinRole::Bulk), Node::VSS).unwrap();
         let tail = b.pin(tail_dev, PinRole::Drain);
@@ -329,10 +335,22 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let bias = resistor_bias(&mut b, DeviceKind::Nmos, n(CircuitPin::Vdd), Node::VSS).unwrap();
         // Use the bias to gate another device so the circuit is closed.
-        common_source(&mut b, DeviceKind::Nmos, bias, n(CircuitPin::Vout(1)), Node::VSS).unwrap();
-        b.resistor(n(CircuitPin::Vdd), n(CircuitPin::Vout(1))).unwrap();
+        common_source(
+            &mut b,
+            DeviceKind::Nmos,
+            bias,
+            n(CircuitPin::Vout(1)),
+            Node::VSS,
+        )
+        .unwrap();
+        b.resistor(n(CircuitPin::Vdd), n(CircuitPin::Vout(1)))
+            .unwrap();
         let t = b.build().unwrap();
-        assert!(check_validity(&t).is_valid(), "{:?}", check_validity(&t).reasons());
+        assert!(
+            check_validity(&t).is_valid(),
+            "{:?}",
+            check_validity(&t).reasons()
+        );
     }
 
     #[test]
@@ -357,7 +375,8 @@ mod tests {
         )
         .unwrap();
         b.wire(out, n(CircuitPin::Vout(1))).unwrap();
-        b.resistor(n(CircuitPin::Vdd), n(CircuitPin::Vout(1))).unwrap();
+        b.resistor(n(CircuitPin::Vdd), n(CircuitPin::Vout(1)))
+            .unwrap();
         let t = b.build().unwrap();
         assert_eq!(t.device_count(), 3);
     }

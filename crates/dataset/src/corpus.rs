@@ -28,14 +28,22 @@ pub struct CorpusOptions {
 
 impl Default for CorpusOptions {
     fn default() -> CorpusOptions {
-        CorpusOptions { target_size: 3470, decorate: true, validate: true, families: None }
+        CorpusOptions {
+            target_size: 3470,
+            decorate: true,
+            validate: true,
+            families: None,
+        }
     }
 }
 
 impl CorpusOptions {
     /// A reduced corpus for fast tests and CPU-scale experiments.
     pub fn small(target_size: usize) -> CorpusOptions {
-        CorpusOptions { target_size, ..CorpusOptions::default() }
+        CorpusOptions {
+            target_size,
+            ..CorpusOptions::default()
+        }
     }
 }
 
@@ -65,7 +73,11 @@ impl Corpus {
                         });
                     }
                 }
-                raw.push(DatasetEntry { topology, circuit_type: ty, variant });
+                raw.push(DatasetEntry {
+                    topology,
+                    circuit_type: ty,
+                    variant,
+                });
             }
         }
 
@@ -124,7 +136,10 @@ impl Corpus {
 
     /// Entries of one family.
     pub fn of_type(&self, ty: CircuitType) -> Vec<&DatasetEntry> {
-        self.entries.iter().filter(|e| e.circuit_type == ty).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.circuit_type == ty)
+            .collect()
     }
 
     /// Count per family.
@@ -138,7 +153,10 @@ impl Corpus {
 
     /// The canonical hashes of all entries (for novelty checks).
     pub fn hashes(&self) -> std::collections::BTreeSet<u64> {
-        self.entries.iter().map(|e| e.topology.canonical_hash()).collect()
+        self.entries
+            .iter()
+            .map(|e| e.topology.canonical_hash())
+            .collect()
     }
 
     /// Random train/validation split: validation gets `1/ratio` of the
@@ -147,11 +165,17 @@ impl Corpus {
     /// # Panics
     ///
     /// Panics if `ratio < 2`.
-    pub fn split<R: Rng + ?Sized>(&self, ratio: usize, rng: &mut R) -> (Vec<DatasetEntry>, Vec<DatasetEntry>) {
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        ratio: usize,
+        rng: &mut R,
+    ) -> (Vec<DatasetEntry>, Vec<DatasetEntry>) {
         assert!(ratio >= 2, "ratio must leave something in both halves");
         let mut shuffled: Vec<DatasetEntry> = self.entries.clone();
         shuffled.shuffle(rng);
-        let n_val = (shuffled.len() / ratio).max(1).min(shuffled.len().saturating_sub(1));
+        let n_val = (shuffled.len() / ratio)
+            .max(1)
+            .min(shuffled.len().saturating_sub(1));
         let train = shuffled.split_off(n_val);
         (train, shuffled)
     }
@@ -216,7 +240,12 @@ mod tests {
             validate: false,
             families: Some(vec![CircuitType::Bandgap]),
         });
-        assert!(dec.len() > plain.len() * 3 / 2, "{} vs {}", dec.len(), plain.len());
+        assert!(
+            dec.len() > plain.len() * 3 / 2,
+            "{} vs {}",
+            dec.len(),
+            plain.len()
+        );
     }
 
     #[test]
@@ -228,7 +257,11 @@ mod tests {
             families: Some(vec![CircuitType::Ldo]),
         });
         for e in c.entries() {
-            assert!(eva_spice::check_validity(&e.topology).is_valid(), "{}", e.variant);
+            assert!(
+                eva_spice::check_validity(&e.topology).is_valid(),
+                "{}",
+                e.variant
+            );
         }
     }
 
@@ -262,7 +295,11 @@ mod tests {
             assert!(n >= 30, "{ty} has {n} < 30 members");
         }
         for e in c.entries() {
-            assert!(eva_spice::check_validity(&e.topology).is_valid(), "{}", e.variant);
+            assert!(
+                eva_spice::check_validity(&e.topology).is_valid(),
+                "{}",
+                e.variant
+            );
         }
     }
 

@@ -83,13 +83,14 @@ pub fn build(config: &BandgapConfig) -> Result<Topology, CircuitError> {
 
     // Diode-connected BJT helper: base and collector join `node`, emitter
     // goes to `emitter`.
-    let diode_bjt = |b: &mut TopologyBuilder, node: Node, emitter: Node| -> Result<(), CircuitError> {
-        let q = b.add(bjt_kind);
-        b.wire(b.pin(q, PinRole::Base), node)?;
-        b.wire(b.pin(q, PinRole::Collector), node)?;
-        b.wire(b.pin(q, PinRole::Emitter), emitter)?;
-        Ok(())
-    };
+    let diode_bjt =
+        |b: &mut TopologyBuilder, node: Node, emitter: Node| -> Result<(), CircuitError> {
+            let q = b.add(bjt_kind);
+            b.wire(b.pin(q, PinRole::Base), node)?;
+            b.wire(b.pin(q, PinRole::Collector), node)?;
+            b.wire(b.pin(q, PinRole::Emitter), emitter)?;
+            Ok(())
+        };
 
     // Branch 1: diode BJT(s) directly to the rail.
     // Anchor branch nets on the mirror transistors' drains.
@@ -198,8 +199,7 @@ mod tests {
         assert!(r.is_valid(), "{:?}", r.reasons());
         // The reference output should sit somewhere inside the rails.
         let sizing = eva_spice::Sizing::default_for(&t);
-        let netlist =
-            eva_spice::elaborate(&t, &sizing, &eva_spice::Stimulus::default()).unwrap();
+        let netlist = eva_spice::elaborate(&t, &sizing, &eva_spice::Stimulus::default()).unwrap();
         let op = eva_spice::dc_operating_point(&netlist, &eva_spice::Tech::default()).unwrap();
         let out = netlist.port_node(CircuitPin::Vout(1)).unwrap();
         let v = op.voltage(out);

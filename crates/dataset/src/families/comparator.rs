@@ -44,12 +44,20 @@ impl ComparatorConfig {
     pub fn tag(&self) -> String {
         format!(
             "comparator/{}-in/{:?}{}{}/inv{}/{}",
-            if self.input_kind == DeviceKind::Nmos { "n" } else { "p" },
+            if self.input_kind == DeviceKind::Nmos {
+                "n"
+            } else {
+                "p"
+            },
             self.load,
             if self.hysteresis { "+hyst" } else { "" },
             if self.input_cascode { "+casc" } else { "" },
             self.inverters,
-            if self.mos_tail { "mos-tail" } else { "ideal-tail" },
+            if self.mos_tail {
+                "mos-tail"
+            } else {
+                "ideal-tail"
+            },
         ) + if self.sf_output { "+sf" } else { "" }
     }
 }
@@ -99,7 +107,11 @@ pub fn build(config: &ComparatorConfig) -> Result<Topology, CircuitError> {
         DeviceKind::Nmos => (DeviceKind::Nmos, vss, vdd),
         _ => (DeviceKind::Pmos, vdd, vss),
     };
-    let load_kind = if pair_kind == DeviceKind::Nmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+    let load_kind = if pair_kind == DeviceKind::Nmos {
+        DeviceKind::Pmos
+    } else {
+        DeviceKind::Nmos
+    };
 
     // Tail.
     let tail_node = if config.mos_tail {
@@ -267,7 +279,10 @@ mod tests {
             input_cascode: false,
             sf_output: false,
         };
-        let more = ComparatorConfig { inverters: 2, ..base };
+        let more = ComparatorConfig {
+            inverters: 2,
+            ..base
+        };
         assert_eq!(
             build(&more).unwrap().device_count(),
             build(&base).unwrap().device_count() + 4

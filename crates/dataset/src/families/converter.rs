@@ -53,7 +53,14 @@ impl ConverterConfig {
     /// Human-readable variant tag.
     pub fn tag(&self) -> String {
         match self {
-            ConverterConfig::Inductive { kind, sync_rect, pmos_switch, lc2, buffered_gate, snubber } => {
+            ConverterConfig::Inductive {
+                kind,
+                sync_rect,
+                pmos_switch,
+                lc2,
+                buffered_gate,
+                snubber,
+            } => {
                 format!(
                     "converter/{:?}/{}{}{}{}{}",
                     kind,
@@ -68,10 +75,9 @@ impl ConverterConfig {
                 "converter/dickson{stages}{}",
                 if *mos_diode { "+mosdiode" } else { "+diode" }
             ),
-            ConverterConfig::CrossCoupled { filtered } => format!(
-                "converter/xcoupled{}",
-                if *filtered { "+filt" } else { "" }
-            ),
+            ConverterConfig::CrossCoupled { filtered } => {
+                format!("converter/xcoupled{}", if *filtered { "+filt" } else { "" })
+            }
         }
     }
 }
@@ -79,7 +85,11 @@ impl ConverterConfig {
 /// Enumerate the config space.
 pub fn configs() -> Vec<ConverterConfig> {
     let mut out = Vec::new();
-    for kind in [InductiveKind::Buck, InductiveKind::Boost, InductiveKind::BuckBoost] {
+    for kind in [
+        InductiveKind::Buck,
+        InductiveKind::Boost,
+        InductiveKind::BuckBoost,
+    ] {
         for sync_rect in [false, true] {
             for pmos_switch in [false, true] {
                 for lc2 in [false, true] {
@@ -118,8 +128,16 @@ fn switch(
     c: Node,
     gate: Node,
 ) -> Result<(), CircuitError> {
-    let kind = if pmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
-    let bulk: Node = if pmos { CircuitPin::Vdd.into() } else { Node::VSS };
+    let kind = if pmos {
+        DeviceKind::Pmos
+    } else {
+        DeviceKind::Nmos
+    };
+    let bulk: Node = if pmos {
+        CircuitPin::Vdd.into()
+    } else {
+        Node::VSS
+    };
     let m = b.add(kind);
     b.wire(b.pin(m, PinRole::Gate), gate)?;
     b.wire(b.pin(m, PinRole::Source), a)?;
@@ -142,7 +160,14 @@ pub fn build(config: &ConverterConfig) -> Result<Topology, CircuitError> {
     let clk2: Node = CircuitPin::Clk(2).into();
 
     match config {
-        ConverterConfig::Inductive { kind, sync_rect, pmos_switch, lc2, buffered_gate, snubber } => {
+        ConverterConfig::Inductive {
+            kind,
+            sync_rect,
+            pmos_switch,
+            lc2,
+            buffered_gate,
+            snubber,
+        } => {
             // Gate drive.
             let gate: Node = if *buffered_gate {
                 let mp = b.add(DeviceKind::Pmos);
@@ -322,7 +347,10 @@ mod tests {
 
     #[test]
     fn dickson_valid() {
-        let c = ConverterConfig::Dickson { stages: 2, mos_diode: false };
+        let c = ConverterConfig::Dickson {
+            stages: 2,
+            mos_diode: false,
+        };
         let t = build(&c).unwrap();
         let r = check_validity(&t);
         assert!(r.is_valid(), "{:?}", r.reasons());
@@ -331,7 +359,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
     }
 }

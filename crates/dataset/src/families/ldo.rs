@@ -53,12 +53,20 @@ impl LdoConfig {
     pub fn tag(&self) -> String {
         format!(
             "ldo/{}-amp-{}/{:?}/{}/{:?}/{}",
-            if self.amp_input == DeviceKind::Nmos { "n" } else { "p" },
+            if self.amp_input == DeviceKind::Nmos {
+                "n"
+            } else {
+                "p"
+            },
             if self.mirror_load { "mirror" } else { "res" },
             self.pass,
             if self.divider { "divider" } else { "direct" },
             self.comp,
-            if self.mos_tail { "mos-tail" } else { "ideal-tail" },
+            if self.mos_tail {
+                "mos-tail"
+            } else {
+                "ideal-tail"
+            },
         ) + if self.buffered { "+buf" } else { "" }
     }
 }
@@ -106,7 +114,11 @@ pub fn build(config: &LdoConfig) -> Result<Topology, CircuitError> {
         DeviceKind::Nmos => (DeviceKind::Nmos, vss, vdd),
         _ => (DeviceKind::Pmos, vdd, vss),
     };
-    let load_kind = if pair_kind == DeviceKind::Nmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+    let load_kind = if pair_kind == DeviceKind::Nmos {
+        DeviceKind::Pmos
+    } else {
+        DeviceKind::Nmos
+    };
 
     // Feedback node.
     let fb: Node = if config.divider {
@@ -249,8 +261,7 @@ mod tests {
         };
         let t = build(&c).unwrap();
         let sizing = eva_spice::Sizing::default_for(&t);
-        let netlist =
-            eva_spice::elaborate(&t, &sizing, &eva_spice::Stimulus::default()).unwrap();
+        let netlist = eva_spice::elaborate(&t, &sizing, &eva_spice::Stimulus::default()).unwrap();
         let op = eva_spice::dc_operating_point(&netlist, &eva_spice::Tech::default()).unwrap();
         let out = netlist.port_node(CircuitPin::Vout(1)).unwrap();
         let v = op.voltage(out);
@@ -268,7 +279,10 @@ mod tests {
             mos_tail: true,
             buffered: false,
         };
-        let div = LdoConfig { divider: true, ..base };
+        let div = LdoConfig {
+            divider: true,
+            ..base
+        };
         assert_eq!(
             build(&div).unwrap().device_count(),
             build(&base).unwrap().device_count() + 2

@@ -73,7 +73,11 @@ impl LnaConfig {
 /// Enumerate the config space.
 pub fn configs() -> Vec<LnaConfig> {
     let mut out = Vec::new();
-    for core in [LnaCore::CsInductiveDegen, LnaCore::CommonGate, LnaCore::CascodeCs] {
+    for core in [
+        LnaCore::CsInductiveDegen,
+        LnaCore::CommonGate,
+        LnaCore::CascodeCs,
+    ] {
         for load in [LnaLoad::Tank, LnaLoad::Resistor, LnaLoad::Inductor] {
             for input_match in [InputMatch::None, InputMatch::SeriesL, InputMatch::LSection] {
                 for output_coupled in [false, true] {
@@ -243,7 +247,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
     }
 

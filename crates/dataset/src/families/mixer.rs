@@ -41,9 +41,17 @@ impl MixerConfig {
     pub fn tag(&self) -> String {
         format!(
             "mixer/{}/{:?}{}{}{}",
-            if self.double_balanced { "gilbert" } else { "single" },
+            if self.double_balanced {
+                "gilbert"
+            } else {
+                "single"
+            },
             self.load,
-            if self.mos_tail { "/mos-tail" } else { "/ideal-tail" },
+            if self.mos_tail {
+                "/mos-tail"
+            } else {
+                "/ideal-tail"
+            },
             if self.degen { "+degen" } else { "" },
             if self.buffer { "+buf" } else { "" },
         ) + if self.output_filter { "+lpf" } else { "" }
@@ -239,7 +247,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
     }
 }

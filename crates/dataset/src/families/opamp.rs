@@ -82,7 +82,11 @@ impl OpampConfig {
     pub fn tag(&self) -> String {
         format!(
             "opamp/{}-in{}{}/{:?}-load/{:?}-tail/{:?}/{:?}{}",
-            if self.input_kind == DeviceKind::Nmos { "n" } else { "p" },
+            if self.input_kind == DeviceKind::Nmos {
+                "n"
+            } else {
+                "p"
+            },
             if self.input_cascode { "+casc" } else { "" },
             if self.internal_bias { "+selfbias" } else { "" },
             self.load,
@@ -99,7 +103,12 @@ pub fn configs() -> Vec<OpampConfig> {
     let mut out = Vec::new();
     for input_kind in [DeviceKind::Nmos, DeviceKind::Pmos] {
         for input_cascode in [false, true] {
-            for load in [Load::Mirror, Load::CascodeMirror, Load::Resistor, Load::Diode] {
+            for load in [
+                Load::Mirror,
+                Load::CascodeMirror,
+                Load::Resistor,
+                Load::Diode,
+            ] {
                 for tail in [Tail::Mos, Tail::Resistor, Tail::Ideal] {
                     for second_stage in [SecondStage::None, SecondStage::Cs, SecondStage::CsMiller]
                     {
@@ -146,13 +155,26 @@ pub fn build(config: &OpampConfig) -> Result<Topology, CircuitError> {
         DeviceKind::Nmos => (DeviceKind::Nmos, vss, vdd),
         _ => (DeviceKind::Pmos, vdd, vss),
     };
-    let load_kind = if pair_kind == DeviceKind::Nmos { DeviceKind::Pmos } else { DeviceKind::Nmos };
+    let load_kind = if pair_kind == DeviceKind::Nmos {
+        DeviceKind::Pmos
+    } else {
+        DeviceKind::Nmos
+    };
 
     // Tail.
     let tail_node = match config.tail {
         Tail::Mos => {
             let bias: Node = if config.internal_bias {
-                resistor_bias(&mut b, pair_kind, if pair_kind == DeviceKind::Nmos { vdd } else { vss }, low)?
+                resistor_bias(
+                    &mut b,
+                    pair_kind,
+                    if pair_kind == DeviceKind::Nmos {
+                        vdd
+                    } else {
+                        vss
+                    },
+                    low,
+                )?
             } else {
                 CircuitPin::Vbias(1).into()
             };
@@ -377,7 +399,10 @@ mod tests {
             internal_bias: false,
             degenerated: false,
         };
-        let two = OpampConfig { second_stage: SecondStage::CsMiller, ..base };
+        let two = OpampConfig {
+            second_stage: SecondStage::CsMiller,
+            ..base
+        };
         assert!(build(&two).unwrap().device_count() > build(&base).unwrap().device_count());
     }
 }

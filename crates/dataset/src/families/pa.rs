@@ -155,7 +155,13 @@ pub fn build(config: &PaConfig) -> Result<Topology, CircuitError> {
 
     // Optional driver stage with a choke load and coupling cap.
     let stage_input = if config.two_stage {
-        let d_out = gain_stage(&mut b, first_gate, CircuitPin::Vbias(2).into(), PaDegen::None, vss)?;
+        let d_out = gain_stage(
+            &mut b,
+            first_gate,
+            CircuitPin::Vbias(2).into(),
+            PaDegen::None,
+            vss,
+        )?;
         b.inductor(vdd, d_out)?;
         let c = b.add(DeviceKind::Capacitor);
         b.wire(b.pin(c, PinRole::Plus), d_out)?;
@@ -165,7 +171,13 @@ pub fn build(config: &PaConfig) -> Result<Topology, CircuitError> {
     };
 
     // Output stage.
-    let mut drain = gain_stage(&mut b, stage_input, CircuitPin::Vbias(1).into(), config.degen, vss)?;
+    let mut drain = gain_stage(
+        &mut b,
+        stage_input,
+        CircuitPin::Vbias(1).into(),
+        config.degen,
+        vss,
+    )?;
     if config.cascode {
         let c = b.add(DeviceKind::Nmos);
         b.wire(b.pin(c, PinRole::Source), drain)?;
@@ -234,7 +246,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
     }
 }

@@ -65,7 +65,14 @@ pub fn configs() -> Vec<PllConfig> {
                 for second_order in [false, true] {
                     for buffer in [false, true] {
                         for ctrl_decap in [false, true] {
-                            out.push(PllConfig { stages, pd, pump, second_order, buffer, ctrl_decap });
+                            out.push(PllConfig {
+                                stages,
+                                pd,
+                                pump,
+                                second_order,
+                                buffer,
+                                ctrl_decap,
+                            });
                         }
                     }
                 }
@@ -121,7 +128,10 @@ pub fn build(config: &PllConfig) -> Result<Topology, CircuitError> {
             vco_out = out;
         }
     }
-    b.wire(prev_out.expect("stages >= 1"), first_input.expect("stages >= 1"))?;
+    b.wire(
+        prev_out.expect("stages >= 1"),
+        first_input.expect("stages >= 1"),
+    )?;
     let ctrl = ctrl_anchor.expect("at least one stage");
 
     // Optional buffer on the VCO output.
@@ -266,7 +276,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 6, "{valid}/{}", all.len());
     }
 }

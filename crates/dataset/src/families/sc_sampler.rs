@@ -252,7 +252,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
     }
 }

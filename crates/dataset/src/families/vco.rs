@@ -52,14 +52,26 @@ impl VcoConfig {
     /// Human-readable variant tag.
     pub fn tag(&self) -> String {
         match self {
-            VcoConfig::Ring { stages, starved, cap_loaded, buffer, out_load } => format!(
+            VcoConfig::Ring {
+                stages,
+                starved,
+                cap_loaded,
+                buffer,
+                out_load,
+            } => format!(
                 "vco/ring{stages}{}{}{}{}",
                 if *starved { "+starved" } else { "" },
                 if *cap_loaded { "+caps" } else { "" },
                 if *buffer { "+buf" } else { "" },
                 if *out_load { "+load" } else { "" },
             ),
-            VcoConfig::Lc { pair, mos_tail, varactor, buffer, out_load } => format!(
+            VcoConfig::Lc {
+                pair,
+                mos_tail,
+                varactor,
+                buffer,
+                out_load,
+            } => format!(
                 "vco/lc-{:?}{}{}{}{}",
                 pair,
                 if *mos_tail { "+mostail" } else { "" },
@@ -79,7 +91,13 @@ pub fn configs() -> Vec<VcoConfig> {
             for cap_loaded in [false, true] {
                 for buffer in [false, true] {
                     for out_load in [false, true] {
-                        out.push(VcoConfig::Ring { stages, starved, cap_loaded, buffer, out_load });
+                        out.push(VcoConfig::Ring {
+                            stages,
+                            starved,
+                            cap_loaded,
+                            buffer,
+                            out_load,
+                        });
                     }
                 }
             }
@@ -90,7 +108,13 @@ pub fn configs() -> Vec<VcoConfig> {
             for varactor in [false, true] {
                 for buffer in [false, true] {
                     for out_load in [false, true] {
-                        out.push(VcoConfig::Lc { pair, mos_tail, varactor, buffer, out_load });
+                        out.push(VcoConfig::Lc {
+                            pair,
+                            mos_tail,
+                            varactor,
+                            buffer,
+                            out_load,
+                        });
                     }
                 }
             }
@@ -155,7 +179,10 @@ fn build_ring(
         stage_outputs.push(out);
     }
     // Close the ring.
-    b.wire(prev_out.expect("stages >= 1"), first_input.expect("stages >= 1"))?;
+    b.wire(
+        prev_out.expect("stages >= 1"),
+        first_input.expect("stages >= 1"),
+    )?;
 
     // Output tap (buffered or direct).
     let tap = stage_outputs[stages / 2];
@@ -215,7 +242,11 @@ fn build_lc(
     }
 
     // Cross-coupled pairs.
-    let cross = |b: &mut TopologyBuilder, kind: DeviceKind, rail: Node, common: Node| -> Result<(), CircuitError> {
+    let cross = |b: &mut TopologyBuilder,
+                 kind: DeviceKind,
+                 rail: Node,
+                 common: Node|
+     -> Result<(), CircuitError> {
         let m1 = b.add(kind);
         let m2 = b.add(kind);
         b.wire(b.pin(m1, PinRole::Gate), t2)?;
@@ -279,12 +310,20 @@ fn build_lc(
 /// Propagates [`CircuitError`] from wiring.
 pub fn build(config: &VcoConfig) -> Result<Topology, CircuitError> {
     match *config {
-        VcoConfig::Ring { stages, starved, cap_loaded, buffer, out_load } => {
-            build_ring(stages, starved, cap_loaded, buffer, out_load)
-        }
-        VcoConfig::Lc { pair, mos_tail, varactor, buffer, out_load } => {
-            build_lc(pair, mos_tail, varactor, buffer, out_load)
-        }
+        VcoConfig::Ring {
+            stages,
+            starved,
+            cap_loaded,
+            buffer,
+            out_load,
+        } => build_ring(stages, starved, cap_loaded, buffer, out_load),
+        VcoConfig::Lc {
+            pair,
+            mos_tail,
+            varactor,
+            buffer,
+            out_load,
+        } => build_lc(pair, mos_tail, varactor, buffer, out_load),
     }
 }
 
@@ -339,7 +378,10 @@ mod tests {
     #[test]
     fn majority_valid() {
         let all = generate();
-        let valid = all.iter().filter(|(t, _)| check_validity(t).is_valid()).count();
+        let valid = all
+            .iter()
+            .filter(|(t, _)| check_validity(t).is_valid())
+            .count();
         assert!(valid * 10 >= all.len() * 7, "{valid}/{}", all.len());
     }
 }

@@ -5,9 +5,7 @@
 //! these labels for the target family only.
 
 use eva_circuit::Topology;
-use eva_spice::{
-    measure_converter, measure_opamp, measure_oscillator, Sizing, Stimulus, Tech,
-};
+use eva_spice::{measure_converter, measure_opamp, measure_oscillator, Sizing, Stimulus, Tech};
 
 use crate::types::CircuitType;
 
@@ -40,12 +38,13 @@ pub fn measure_fom_sized(topology: &Topology, ty: CircuitType, sizing: &Sizing) 
         CircuitType::Vco | CircuitType::Pll => {
             // Oscillators: FoM = output frequency in MHz (0 when the
             // circuit never swings).
-            measure_oscillator(topology, &sizing, &Stimulus::default(), &tech, 50e6).ok()?
-                / 1e6
+            measure_oscillator(topology, &sizing, &Stimulus::default(), &tech, 50e6).ok()? / 1e6
         }
         _ => {
             // Amplifier-style measurement for all small-signal families.
-            measure_opamp(topology, &sizing, &Stimulus::default(), &tech).ok()?.fom
+            measure_opamp(topology, &sizing, &Stimulus::default(), &tech)
+                .ok()?
+                .fom
         }
     };
     fom.is_finite().then_some(fom)
@@ -79,7 +78,8 @@ mod tests {
     fn unmeasurable_returns_none() {
         // A circuit without VOUT1 cannot be measured.
         let mut b = eva_circuit::TopologyBuilder::new();
-        b.resistor(eva_circuit::CircuitPin::Vdd, eva_circuit::CircuitPin::Vss).unwrap();
+        b.resistor(eva_circuit::CircuitPin::Vdd, eva_circuit::CircuitPin::Vss)
+            .unwrap();
         let t = b.build().unwrap();
         assert_eq!(measure_fom(&t, CircuitType::OpAmp), None);
     }
@@ -98,7 +98,10 @@ mod tests {
             internal_bias: false,
             degenerated: false,
         };
-        let two = opamp::OpampConfig { second_stage: opamp::SecondStage::CsMiller, ..base };
+        let two = opamp::OpampConfig {
+            second_stage: opamp::SecondStage::CsMiller,
+            ..base
+        };
         let f1 = measure_fom(&opamp::build(&base).unwrap(), CircuitType::OpAmp).unwrap();
         let f2 = measure_fom(&opamp::build(&two).unwrap(), CircuitType::OpAmp).unwrap();
         assert_ne!(f1, f2);

@@ -68,7 +68,10 @@ impl CircuitType {
 
     /// Index into [`CircuitType::ALL`].
     pub fn index(self) -> usize {
-        CircuitType::ALL.iter().position(|&t| t == self).expect("member of ALL")
+        CircuitType::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("member of ALL")
     }
 }
 

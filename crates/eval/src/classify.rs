@@ -29,7 +29,7 @@ fn fingerprint(topology: &Topology) -> Vec<f64> {
     let count = |k: DeviceKind| -> f64 { *hist.get(&k).unwrap_or(&0) as f64 };
     let devs = topology.device_count().max(1) as f64;
     vec![
-        has(&|p| matches!(p, CircuitPin::Vin(_))) ,
+        has(&|p| matches!(p, CircuitPin::Vin(_))),
         has(&|p| matches!(p, CircuitPin::Clk(_))),
         has(&|p| matches!(p, CircuitPin::Vref(_))),
         has(&|p| matches!(p, CircuitPin::Ctrl(_))),
@@ -93,9 +93,20 @@ impl TypeClassifier {
         }
         let feats = feats
             .into_iter()
-            .map(|f| f.iter().zip(&mean).zip(&std).map(|((v, m), s)| (v - m) / s).collect())
+            .map(|f| {
+                f.iter()
+                    .zip(&mean)
+                    .zip(&std)
+                    .map(|((v, m), s)| (v - m) / s)
+                    .collect()
+            })
             .collect();
-        TypeClassifier { feats, labels, mean, std }
+        TypeClassifier {
+            feats,
+            labels,
+            mean,
+            std,
+        }
     }
 
     fn normalize(&self, f: &[f64]) -> Vec<f64> {
@@ -173,10 +184,8 @@ mod tests {
     fn holdout_generalization() {
         // Fit on even entries, test on odd ones.
         let c = corpus();
-        let train: Vec<DatasetEntry> =
-            c.entries().iter().step_by(2).cloned().collect();
-        let test: Vec<DatasetEntry> =
-            c.entries().iter().skip(1).step_by(2).cloned().collect();
+        let train: Vec<DatasetEntry> = c.entries().iter().step_by(2).cloned().collect();
+        let test: Vec<DatasetEntry> = c.entries().iter().skip(1).step_by(2).cloned().collect();
         let clf = TypeClassifier::fit(&train);
         let ok = test
             .iter()
@@ -190,8 +199,7 @@ mod tests {
     fn versatility_counts_distinct_types() {
         let c = corpus();
         let clf = TypeClassifier::fit(c.entries());
-        let all: Vec<Topology> =
-            c.entries().iter().map(|e| e.topology.clone()).collect();
+        let all: Vec<Topology> = c.entries().iter().map(|e| e.topology.clone()).collect();
         let v = clf.versatility(&all);
         assert_eq!(v, 4, "four families in this corpus");
         let one: Vec<Topology> = c

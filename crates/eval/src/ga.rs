@@ -10,8 +10,8 @@ use eva_dataset::CircuitType;
 use eva_spice::{DeviceParams, Sizing};
 use parking_lot::Mutex;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// GA hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,7 +80,11 @@ impl GeneMap {
             offsets.push(bounds.len());
             bounds.extend(gene_bounds(d.kind));
         }
-        GeneMap { devices, bounds, offsets }
+        GeneMap {
+            devices,
+            bounds,
+            offsets,
+        }
     }
 
     /// Number of genes.
@@ -95,7 +99,10 @@ impl GeneMap {
 
     /// Random genes within bounds.
     pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        self.bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect()
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| rng.gen_range(lo..hi))
+            .collect()
     }
 
     /// Genes for the default sizing (center of sensible ranges).
@@ -134,7 +141,10 @@ impl GeneMap {
             let p = |k: usize| 10f64.powf(genes[o + k]);
             let params = match d.kind {
                 DeviceKind::Nmos | DeviceKind::Pmos => DeviceParams::Mos { w: p(0), l: p(1) },
-                DeviceKind::Npn | DeviceKind::Pnp => DeviceParams::Bjt { is: p(0), beta: p(1) },
+                DeviceKind::Npn | DeviceKind::Pnp => DeviceParams::Bjt {
+                    is: p(0),
+                    beta: p(1),
+                },
                 DeviceKind::Resistor => DeviceParams::Resistor { ohms: p(0) },
                 DeviceKind::Capacitor => DeviceParams::Capacitor { farads: p(0) },
                 DeviceKind::Inductor => DeviceParams::Inductor { henries: p(0) },
@@ -261,7 +271,11 @@ pub fn ga_size(
     if !best_f.is_finite() {
         return None;
     }
-    Some(GaResult { sizing: map.decode(&pop[best_i]), fom: *best_f, history })
+    Some(GaResult {
+        sizing: map.decode(&pop[best_i]),
+        fom: *best_f,
+        history,
+    })
 }
 
 #[cfg(test)]
@@ -271,8 +285,13 @@ mod tests {
 
     fn cs_amp() -> Topology {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.build().unwrap()
     }
@@ -310,9 +329,13 @@ mod tests {
     #[test]
     fn ga_improves_over_default() {
         let t = cs_amp();
-        let default_fom =
-            eva_dataset::measure_fom(&t, CircuitType::OpAmp).expect("measurable");
-        let cfg = GaConfig { population: 12, generations: 6, threads: 2, ..GaConfig::default() };
+        let default_fom = eva_dataset::measure_fom(&t, CircuitType::OpAmp).expect("measurable");
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            threads: 2,
+            ..GaConfig::default()
+        };
         let result = ga_size(&t, CircuitType::OpAmp, &cfg, 42).expect("ga succeeds");
         assert!(
             result.fom >= default_fom,
@@ -322,7 +345,11 @@ mod tests {
         );
         // History is monotone non-decreasing thanks to elitism.
         for w in result.history.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "elitism keeps the best: {:?}", result.history);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "elitism keeps the best: {:?}",
+                result.history
+            );
         }
     }
 }

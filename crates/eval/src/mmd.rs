@@ -45,7 +45,10 @@ fn median_dist2(xs: &[Vec<f64>], ys: &[Vec<f64>]) -> f64 {
 ///
 /// Panics if either population is empty.
 pub fn mmd2(xs: &[Vec<f64>], ys: &[Vec<f64>]) -> f64 {
-    assert!(!xs.is_empty() && !ys.is_empty(), "mmd needs both populations");
+    assert!(
+        !xs.is_empty() && !ys.is_empty(),
+        "mmd needs both populations"
+    );
     let sigma2 = median_dist2(xs, ys);
     let k = |a: &[f64], b: &[f64]| (-dist2(a, b) / (2.0 * sigma2)).exp();
     let mean_kernel = |aa: &[Vec<f64>], bb: &[Vec<f64>]| -> f64 {
@@ -91,7 +94,12 @@ mod tests {
     fn cloud(center: f64, n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..n)
-            .map(|_| vec![center + rng.gen_range(-0.1..0.1), center * 0.5 + rng.gen_range(-0.1..0.1)])
+            .map(|_| {
+                vec![
+                    center + rng.gen_range(-0.1..0.1),
+                    center * 0.5 + rng.gen_range(-0.1..0.1),
+                ]
+            })
             .collect()
     }
 
@@ -140,8 +148,13 @@ mod tests {
             .map(|n| {
                 let mut b = TopologyBuilder::new();
                 for _ in 0..n {
-                    b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-                        .unwrap();
+                    b.nmos(
+                        CircuitPin::Vin(1),
+                        CircuitPin::Vout(1),
+                        CircuitPin::Vss,
+                        CircuitPin::Vss,
+                    )
+                    .unwrap();
                 }
                 b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
                 b.build().unwrap()

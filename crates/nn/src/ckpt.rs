@@ -1,0 +1,582 @@
+//! Crash-safe checkpoint primitives: atomic writes, CRC64 integrity,
+//! RNG state capture, and the [`TrainCheckpoint`] container shared by
+//! pretraining and RL fine-tuning.
+//!
+//! ## Durability protocol
+//!
+//! Every artifact file is written with [`atomic_write`]: the bytes go to a
+//! same-directory `*.tmp` file, are fsynced, and are renamed over the final
+//! path. A checkpoint directory is committed by writing its manifest
+//! (`train_state.json`) **last** — the manifest records a CRC64 and byte
+//! length for every payload file, so a crash at any point leaves either the
+//! previous complete checkpoint or a directory whose manifest still
+//! describes fully-written files. [`TrainCheckpoint::load`] re-hashes every
+//! payload and rejects mismatches with a typed [`CkptError`] instead of
+//! handing back garbage weights.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::optim::AdamW;
+use crate::params::ParamSet;
+use crate::tensor::Tensor;
+
+/// Manifest file name; its presence marks a checkpoint as committed.
+pub const TRAIN_MANIFEST_FILE: &str = "train_state.json";
+/// Current on-disk format version for [`TrainCheckpoint`].
+pub const TRAIN_FORMAT_VERSION: u32 = 1;
+
+const PARAMS_BIN: &str = "params.bin";
+const OPT_M_BIN: &str = "opt_m.bin";
+const OPT_V_BIN: &str = "opt_v.bin";
+
+/// Typed checkpoint/artifact failure. `load` paths return this instead of
+/// panicking or silently accepting corrupt bytes.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A file is unreadable as its expected format (bad JSON, truncated
+    /// tensor stream, missing manifest entry, wrong byte length).
+    Corrupt {
+        /// File the failure was detected in.
+        file: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A payload's CRC64 disagrees with the manifest.
+    Integrity {
+        /// File whose checksum failed.
+        file: String,
+        /// Checksum recorded in the manifest.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        actual: u64,
+    },
+    /// The manifest was written by a newer format than this build reads.
+    Version {
+        /// File carrying the version field.
+        file: String,
+        /// Version found on disk.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// The checkpoint is internally consistent but does not match the
+    /// run it is being restored into (shape/name/config mismatch).
+    Mismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::Corrupt { file, detail } => {
+                write!(f, "corrupt checkpoint file {file:?}: {detail}")
+            }
+            CkptError::Integrity {
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "integrity failure in {file:?}: manifest CRC64 {expected:#018x}, \
+                 on-disk bytes hash to {actual:#018x}"
+            ),
+            CkptError::Version {
+                file,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{file:?} has format version {found}, but this build supports <= {supported}"
+            ),
+            CkptError::Mismatch { detail } => {
+                write!(f, "checkpoint does not match this run: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> CkptError {
+        CkptError::Io(e)
+    }
+}
+
+/// CRC-64/XZ (reflected, polynomial `0xC96C5795D7870F42`, init/xorout all
+/// ones) of `bytes`. Table-driven; the table is built on first use.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        const POLY: u64 = 0xC96C_5795_D787_0F42;
+        let mut table = [0u64; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u64;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = table[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Write `bytes` to `path` atomically: same-directory temp file, fsync,
+/// rename. Readers never observe a partially-written file; a crash leaves
+/// either the old content or the new, never a mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic_write target has no file name: {}", path.display()),
+        )
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write = (|| -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write.and_then(|()| fs::rename(&tmp, path)) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Persist the rename itself. Directory fsync is not supported on every
+    // platform/filesystem, so failures here are non-fatal.
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Per-file integrity record stored in checkpoint/artifact manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileIntegrity {
+    /// CRC-64/XZ of the file contents.
+    pub crc64: u64,
+    /// Byte length of the file.
+    pub bytes: u64,
+}
+
+/// Read `dir/name`, checking its length and CRC64 against `entry`.
+pub fn read_verified(dir: &Path, name: &str, entry: &FileIntegrity) -> Result<Vec<u8>, CkptError> {
+    let data = fs::read(dir.join(name))?;
+    if data.len() as u64 != entry.bytes {
+        return Err(CkptError::Corrupt {
+            file: name.to_owned(),
+            detail: format!(
+                "manifest records {} bytes, file has {}",
+                entry.bytes,
+                data.len()
+            ),
+        });
+    }
+    let actual = crc64(&data);
+    if actual != entry.crc64 {
+        return Err(CkptError::Integrity {
+            file: name.to_owned(),
+            expected: entry.crc64,
+            actual,
+        });
+    }
+    Ok(data)
+}
+
+/// Serializable [`ChaCha8Rng`] state (seed, stream, and word position), so
+/// a resumed run continues the exact random stream of the original.
+/// `word_pos` is a `u128` split into two `u64` halves because the manifest
+/// is JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// The 256-bit ChaCha seed.
+    pub seed: [u8; 32],
+    /// Stream id.
+    pub stream: u64,
+    /// Low 64 bits of the word position.
+    pub word_pos_lo: u64,
+    /// High 64 bits of the word position.
+    pub word_pos_hi: u64,
+}
+
+impl RngState {
+    /// Capture the full state of `rng`.
+    pub fn capture(rng: &ChaCha8Rng) -> RngState {
+        let word_pos = rng.get_word_pos();
+        RngState {
+            seed: rng.get_seed(),
+            stream: rng.get_stream(),
+            word_pos_lo: word_pos as u64,
+            word_pos_hi: (word_pos >> 64) as u64,
+        }
+    }
+
+    /// Reconstruct a generator that continues this captured stream.
+    pub fn restore(&self) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::from_seed(self.seed);
+        rng.set_stream(self.stream);
+        rng.set_word_pos(u128::from(self.word_pos_lo) | (u128::from(self.word_pos_hi) << 64));
+        rng
+    }
+}
+
+/// Snapshot an optimizer's moments as [`ParamSet`]s named after the
+/// parameters they track (the optimizer stores them positionally, in the
+/// order of `names`).
+///
+/// # Panics
+///
+/// Panics if the optimizer does not track exactly `names.len()` params.
+pub fn moments_as_paramsets(names: &ParamSet, opt: &AdamW) -> (ParamSet, ParamSet) {
+    let (m, v) = opt.moments();
+    assert_eq!(m.len(), names.len(), "optimizer tracks the named params");
+    let mut set_m = ParamSet::new();
+    let mut set_v = ParamSet::new();
+    for i in 0..names.len() {
+        set_m.register(names.name(i).to_owned(), m[i].clone());
+        set_v.register(names.name(i).to_owned(), v[i].clone());
+    }
+    (set_m, set_v)
+}
+
+/// Rebuild positional moment vectors for `names` from a checkpoint's named
+/// moment sets, rejecting missing names or shape drift with a typed error.
+pub fn restore_moments(
+    names: &ParamSet,
+    ck: &TrainCheckpoint,
+) -> Result<(Vec<Tensor>, Vec<Tensor>), CkptError> {
+    let mut m = Vec::with_capacity(names.len());
+    let mut v = Vec::with_capacity(names.len());
+    for i in 0..names.len() {
+        let name = names.name(i);
+        let shape = names.tensor(i).shape();
+        for (set, out, which) in [(&ck.opt_m, &mut m, "first"), (&ck.opt_v, &mut v, "second")] {
+            let idx = set.index_of(name).ok_or_else(|| CkptError::Mismatch {
+                detail: format!("checkpoint has no {which}-moment for parameter {name:?}"),
+            })?;
+            let tensor = set.tensor(idx);
+            if tensor.shape() != shape {
+                return Err(CkptError::Mismatch {
+                    detail: format!(
+                        "{which}-moment shape {:?} for {name:?} differs from parameter shape {:?}",
+                        tensor.shape(),
+                        shape
+                    ),
+                });
+            }
+            out.push(tensor.clone());
+        }
+    }
+    Ok((m, v))
+}
+
+#[derive(Serialize, Deserialize)]
+struct TrainManifest {
+    format_version: u32,
+    step: u64,
+    opt_step: u64,
+    rng: RngState,
+    files: BTreeMap<String, FileIntegrity>,
+    extra: serde_json::Value,
+}
+
+/// A complete training snapshot: model parameters, AdamW moments and step
+/// counter, RNG state, a step counter, and trainer-specific `extra` state
+/// (e.g. the shuffled batch order). Saving is atomic (manifest-last), and
+/// loading verifies every payload's CRC64.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    /// Trainer-defined progress counter (pretrain steps, RL epochs, ...).
+    pub step: u64,
+    /// Model parameters (plus any auxiliary heads, merged by name).
+    pub params: ParamSet,
+    /// AdamW first moments, named identically to the optimized params.
+    pub opt_m: ParamSet,
+    /// AdamW second moments, named identically to the optimized params.
+    pub opt_v: ParamSet,
+    /// AdamW update counter (drives bias correction).
+    pub opt_step: u64,
+    /// Training RNG state at snapshot time.
+    pub rng: RngState,
+    /// Trainer-specific state, validated by the trainer on resume.
+    pub extra: serde_json::Value,
+}
+
+impl TrainCheckpoint {
+    /// Whether `dir` holds a committed checkpoint (its manifest exists).
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(TRAIN_MANIFEST_FILE).is_file()
+    }
+
+    /// Write the checkpoint to `dir` (created if missing). Payload files
+    /// are written atomically first; the manifest commits the checkpoint
+    /// last, so a crash mid-save leaves the previous checkpoint intact.
+    pub fn save(&self, dir: &Path) -> Result<(), CkptError> {
+        fs::create_dir_all(dir)?;
+        let mut files = BTreeMap::new();
+        for (name, set) in [
+            (PARAMS_BIN, &self.params),
+            (OPT_M_BIN, &self.opt_m),
+            (OPT_V_BIN, &self.opt_v),
+        ] {
+            let mut buf = Vec::new();
+            set.save(&mut buf)?;
+            files.insert(
+                name.to_owned(),
+                FileIntegrity {
+                    crc64: crc64(&buf),
+                    bytes: buf.len() as u64,
+                },
+            );
+            atomic_write(&dir.join(name), &buf)?;
+        }
+        let manifest = TrainManifest {
+            format_version: TRAIN_FORMAT_VERSION,
+            step: self.step,
+            opt_step: self.opt_step,
+            rng: self.rng.clone(),
+            files,
+            extra: self.extra.clone(),
+        };
+        let json = serde_json::to_vec_pretty(&manifest).map_err(|e| CkptError::Corrupt {
+            file: TRAIN_MANIFEST_FILE.to_owned(),
+            detail: format!("serialize: {e}"),
+        })?;
+        atomic_write(&dir.join(TRAIN_MANIFEST_FILE), &json)?;
+        Ok(())
+    }
+
+    /// Load and fully verify a checkpoint from `dir`.
+    pub fn load(dir: &Path) -> Result<TrainCheckpoint, CkptError> {
+        let bytes = fs::read(dir.join(TRAIN_MANIFEST_FILE))?;
+        let manifest: TrainManifest =
+            serde_json::from_slice(&bytes).map_err(|e| CkptError::Corrupt {
+                file: TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!("parse: {e}"),
+            })?;
+        if manifest.format_version > TRAIN_FORMAT_VERSION {
+            return Err(CkptError::Version {
+                file: TRAIN_MANIFEST_FILE.to_owned(),
+                found: manifest.format_version,
+                supported: TRAIN_FORMAT_VERSION,
+            });
+        }
+        let read_set = |name: &str| -> Result<ParamSet, CkptError> {
+            let entry = manifest.files.get(name).ok_or_else(|| CkptError::Corrupt {
+                file: TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!("no integrity entry for {name:?}"),
+            })?;
+            let data = read_verified(dir, name, entry)?;
+            ParamSet::load(data.as_slice()).map_err(|e| CkptError::Corrupt {
+                file: name.to_owned(),
+                detail: e.to_string(),
+            })
+        };
+        Ok(TrainCheckpoint {
+            step: manifest.step,
+            params: read_set(PARAMS_BIN)?,
+            opt_m: read_set(OPT_M_BIN)?,
+            opt_v: read_set(OPT_V_BIN)?,
+            opt_step: manifest.opt_step,
+            rng: manifest.rng,
+            extra: manifest.extra,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::RngCore;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eva_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        let mut params = ParamSet::default();
+        params.register(
+            "w".to_owned(),
+            Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 0.5, 4.0]),
+        );
+        params.register("b".to_owned(), Tensor::from_vec(vec![2], vec![0.25, -0.75]));
+        let mut opt_m = ParamSet::default();
+        opt_m.register("w".to_owned(), Tensor::zeros(vec![2, 2]));
+        opt_m.register("b".to_owned(), Tensor::from_vec(vec![2], vec![0.1, 0.2]));
+        let opt_v = opt_m.clone();
+        let rng = ChaCha8Rng::seed_from_u64(99);
+        TrainCheckpoint {
+            step: 17,
+            params,
+            opt_m,
+            opt_v,
+            opt_step: 17,
+            rng: RngState::capture(&rng),
+            extra: serde_json::json!({"kind": "test", "cursor": 3}),
+        }
+    }
+
+    #[test]
+    fn crc64_matches_reference_vector() {
+        // CRC-64/XZ check value from the canonical catalogue.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("file.bin");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rng_state_round_trip_continues_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        rng.set_stream(3);
+        for _ in 0..37 {
+            rng.next_u64();
+        }
+        let state = RngState::capture(&rng);
+        let mut restored = state.restore();
+        for _ in 0..16 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_exact() {
+        let dir = tmp_dir("roundtrip");
+        let ck = sample_checkpoint();
+        ck.save(&dir).unwrap();
+        assert!(TrainCheckpoint::exists(&dir));
+        let back = TrainCheckpoint::load(&dir).unwrap();
+        assert_eq!(back.step, ck.step);
+        assert_eq!(back.opt_step, ck.opt_step);
+        assert_eq!(back.rng, ck.rng);
+        assert_eq!(back.extra, ck.extra);
+        for (a, b) in [(&back.params, &ck.params), (&back.opt_m, &ck.opt_m)] {
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert_eq!(a.name(i), b.name(i));
+                assert_eq!(a.tensor(i).data(), b.tensor(i).data());
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_rejected_with_integrity_error() {
+        let dir = tmp_dir("bitflip");
+        sample_checkpoint().save(&dir).unwrap();
+        let path = dir.join(PARAMS_BIN);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        match TrainCheckpoint::load(&dir) {
+            Err(CkptError::Integrity { file, .. }) => assert_eq!(file, PARAMS_BIN),
+            other => panic!("expected Integrity error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_rejected_with_corrupt_error() {
+        let dir = tmp_dir("truncate");
+        sample_checkpoint().save(&dir).unwrap();
+        let path = dir.join(OPT_M_BIN);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match TrainCheckpoint::load(&dir) {
+            Err(CkptError::Corrupt { file, .. }) => assert_eq!(file, OPT_M_BIN),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let dir = tmp_dir("version");
+        sample_checkpoint().save(&dir).unwrap();
+        let path = dir.join(TRAIN_MANIFEST_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen(
+            &format!("\"format_version\": {TRAIN_FORMAT_VERSION}"),
+            "\"format_version\": 9001",
+            1,
+        );
+        assert_ne!(text, bumped, "manifest must carry the version field");
+        fs::write(&path, bumped).unwrap();
+        match TrainCheckpoint::load(&dir) {
+            Err(CkptError::Version { found, .. }) => assert_eq!(found, 9001),
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_reports_io_error() {
+        let dir = tmp_dir("missing");
+        match TrainCheckpoint::load(&dir) {
+            Err(CkptError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

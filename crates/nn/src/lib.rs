@@ -21,6 +21,9 @@
 //!   finite-difference checked in `tests/gradcheck.rs`.
 //! - [`optim::AdamW`] — with global-norm clipping and a cosine schedule.
 //! - [`params::ParamSet`] — named parameters with binary checkpoints.
+//! - [`ckpt`] — crash-safe persistence: atomic temp+fsync+rename writes,
+//!   CRC64-verified manifests, and [`ckpt::TrainCheckpoint`] snapshots
+//!   (params + optimizer moments + RNG state) for bit-exact resume.
 //!
 //! ## Example: fit a tiny regression
 //!
@@ -46,12 +49,14 @@
 //! assert!((w[0].data()[0] - 3.0).abs() < 1e-2);
 //! ```
 
+pub mod ckpt;
 pub mod optim;
 pub mod params;
 pub mod pool;
 pub mod tape;
 pub mod tensor;
 
+pub use ckpt::{atomic_write, crc64, CkptError, FileIntegrity, RngState, TrainCheckpoint};
 pub use optim::{AdamW, CosineSchedule};
 pub use params::ParamSet;
 pub use pool::{par_rows_mut, Pool};

@@ -50,6 +50,40 @@ impl AdamW {
         self.step
     }
 
+    /// The first- and second-moment estimates, in parameter order. Exposed
+    /// so checkpoints can snapshot full optimizer state.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Overwrite the optimizer state (moments and update counter) from a
+    /// checkpoint, so a resumed run continues bias correction and momentum
+    /// bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment counts or shapes mismatch the
+    /// construction-time params.
+    pub fn restore_state(&mut self, m: Vec<Tensor>, v: Vec<Tensor>, step: u64) {
+        assert_eq!(m.len(), self.m.len(), "first-moment count");
+        assert_eq!(v.len(), self.v.len(), "second-moment count");
+        for (i, (mm, vv)) in m.iter().zip(&v).enumerate() {
+            assert_eq!(
+                mm.shape(),
+                self.m[i].shape(),
+                "first-moment shape for param {i}"
+            );
+            assert_eq!(
+                vv.shape(),
+                self.v[i].shape(),
+                "second-moment shape for param {i}"
+            );
+        }
+        self.m = m;
+        self.v = v;
+        self.step = step;
+    }
+
     /// Apply one update. `grads[i]` may be `None` (parameter unused this
     /// step).
     ///

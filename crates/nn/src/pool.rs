@@ -236,14 +236,39 @@ impl Drop for Pool {
     }
 }
 
-/// Thread count from an `EVA_NN_THREADS`-style value: unset, `0`, or
-/// unparseable falls back to [`std::thread::available_parallelism`];
-/// anything else is taken literally (floor 1).
+/// Thread count from an `EVA_NN_THREADS`-style value: unset, empty, or `0`
+/// falls back to [`std::thread::available_parallelism`]; anything else is
+/// taken literally. An unparseable value also falls back, but logs a
+/// one-time stderr warning naming the bad value instead of failing
+/// silently.
 pub fn threads_from_env(value: Option<&str>) -> usize {
-    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        Some(t) => t,
+    let auto = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match value.map(str::trim) {
+        None => auto(),
+        Some("") => auto(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => auto(),
+            Ok(t) => t,
+            Err(_) => {
+                let fallback = auto();
+                warn_bad_thread_count(v, fallback);
+                fallback
+            }
+        },
     }
+}
+
+/// One-time warning for an unparseable `EVA_NN_THREADS` value; repeated
+/// probes (the pool is consulted from many entry points) stay quiet.
+fn warn_bad_thread_count(value: &str, fallback: usize) {
+    use std::sync::Once;
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "[eva-nn] warning: EVA_NN_THREADS={value:?} is not a valid thread count \
+             (expected a non-negative integer); falling back to all cores ({fallback})"
+        );
+    });
 }
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
@@ -446,5 +471,23 @@ mod tests {
         assert!(auto >= 1);
         assert_eq!(threads_from_env(Some("0")), auto);
         assert_eq!(threads_from_env(Some("not-a-number")), auto);
+    }
+
+    #[test]
+    fn env_parsing_falls_back_on_every_malformed_shape() {
+        let auto = threads_from_env(None);
+        // Unset-like values fall back silently.
+        assert_eq!(threads_from_env(Some("")), auto);
+        assert_eq!(threads_from_env(Some("   ")), auto);
+        assert_eq!(threads_from_env(Some(" 0 ")), auto);
+        // Malformed values fall back too (with a one-time stderr warning),
+        // never panic, and never yield a zero-thread pool.
+        for bad in ["-2", "3.5", "4x", "0x10", "NaN", "١٢"] {
+            let got = threads_from_env(Some(bad));
+            assert_eq!(got, auto, "fallback for {bad:?}");
+            assert!(got >= 1);
+        }
+        // A valid count still wins after warnings have fired.
+        assert_eq!(threads_from_env(Some("5")), 5);
     }
 }

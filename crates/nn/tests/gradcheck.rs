@@ -46,7 +46,10 @@ fn grad_check(x0: &Tensor, build: impl Fn(&mut Tape, Value) -> Value, tol: f32) 
 fn randt(shape: Vec<usize>, seed: u64) -> Tensor {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let numel: usize = shape.iter().product();
-    Tensor::from_vec(shape, (0..numel).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    Tensor::from_vec(
+        shape,
+        (0..numel).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 #[test]

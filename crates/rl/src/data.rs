@@ -35,7 +35,10 @@ impl FinetuneData {
     pub fn class_counts(&self) -> [usize; 4] {
         let mut counts = [0usize; 4];
         for s in &self.samples {
-            let i = RankClass::ALL.iter().position(|&c| c == s.class).expect("member");
+            let i = RankClass::ALL
+                .iter()
+                .position(|&c| c == s.class)
+                .expect("member");
             counts[i] += 1;
         }
         counts
@@ -70,7 +73,11 @@ pub fn build_finetune_data<R: Rng + ?Sized>(
         }
     }
     let foms: Vec<f64> = relevant.iter().map(|(_, f)| *f).collect();
-    let fom_threshold = if foms.is_empty() { 0.0 } else { otsu_threshold(&foms) };
+    let fom_threshold = if foms.is_empty() {
+        0.0
+    } else {
+        otsu_threshold(&foms)
+    };
 
     // Budget split: half relevant, quarter irrelevant, quarter invalid.
     let n_rel = (budget / 2).min(relevant.len());
@@ -102,7 +109,10 @@ pub fn build_finetune_data<R: Rng + ?Sized>(
     }
     for e in irrelevant.iter().take(n_irr) {
         if let Some(tokens) = encode(e, tokenizer, rng) {
-            samples.push(LabeledSequence { tokens, class: RankClass::Irrelevant });
+            samples.push(LabeledSequence {
+                tokens,
+                class: RankClass::Irrelevant,
+            });
         }
     }
     // Synthetic invalid samples: corrupt valid token streams until the
@@ -113,14 +123,23 @@ pub fn build_finetune_data<R: Rng + ?Sized>(
     while made < n_inv && attempts < n_inv * 10 && !pool.is_empty() {
         attempts += 1;
         let e = pool[rng.gen_range(0..pool.len())];
-        let Some(tokens) = encode(e, tokenizer, rng) else { continue };
+        let Some(tokens) = encode(e, tokenizer, rng) else {
+            continue;
+        };
         if let Some(bad) = corrupt(&tokens, tokenizer, rng) {
-            samples.push(LabeledSequence { tokens: bad, class: RankClass::Invalid });
+            samples.push(LabeledSequence {
+                tokens: bad,
+                class: RankClass::Invalid,
+            });
             made += 1;
         }
     }
     samples.shuffle(rng);
-    FinetuneData { samples, fom_threshold, target }
+    FinetuneData {
+        samples,
+        fom_threshold,
+        target,
+    }
 }
 
 /// Randomly substitute tokens until the sequence decodes to an invalid

@@ -9,11 +9,19 @@
 //! out pairs with positive margin — is the metric of Figure 3 (right);
 //! the win/lose log-likelihood traces feed Figure 4 (right).
 
+use std::path::Path;
+
 use eva_model::Transformer;
+use eva_nn::ckpt::{
+    moments_as_paramsets, restore_moments, CkptError, RngState, TrainCheckpoint,
+    TRAIN_MANIFEST_FILE,
+};
 use eva_nn::{AdamW, Tape, Tensor};
 use eva_tokenizer::TokenId;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::reward::{LabeledSequence, RankClass};
 
@@ -38,7 +46,10 @@ pub fn pairs_from_ranks<R: Rng + ?Sized>(
     // Bucket by class, Table-I order.
     let mut buckets: Vec<Vec<&LabeledSequence>> = vec![Vec::new(); RankClass::ALL.len()];
     for s in samples {
-        let i = RankClass::ALL.iter().position(|&c| c == s.class).expect("class");
+        let i = RankClass::ALL
+            .iter()
+            .position(|&c| c == s.class)
+            .expect("class");
         buckets[i].push(s);
     }
     let mut pairs = Vec::new();
@@ -64,7 +75,7 @@ pub fn pairs_from_ranks<R: Rng + ?Sized>(
 }
 
 /// DPO hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DpoConfig {
     /// Deviation-control strength `β` (the method's single hyperparameter).
     pub beta: f32,
@@ -78,12 +89,17 @@ pub struct DpoConfig {
 
 impl Default for DpoConfig {
     fn default() -> DpoConfig {
-        DpoConfig { beta: 0.1, lr: 1e-5, epochs: 3, minibatch_size: 4 }
+        DpoConfig {
+            beta: 0.1,
+            lr: 1e-5,
+            epochs: 3,
+            minibatch_size: 4,
+        }
     }
 }
 
 /// Per-step statistics (the curves of Figures 3 and 4).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DpoStepStats {
     /// The DPO loss of this step's minibatch.
     pub loss: f32,
@@ -108,7 +124,12 @@ impl DpoTrainer {
     pub fn new(policy: Transformer, config: DpoConfig) -> DpoTrainer {
         let mut optimizer = AdamW::new(config.lr, policy.params().tensors());
         optimizer.weight_decay = 0.0;
-        DpoTrainer { reference: policy.clone(), policy, config, optimizer }
+        DpoTrainer {
+            reference: policy.clone(),
+            policy,
+            config,
+            optimizer,
+        }
     }
 
     /// The (fine-tuned) policy.
@@ -160,65 +181,205 @@ impl DpoTrainer {
         pairs: &[PreferencePair],
         rng: &mut R,
     ) -> Vec<DpoStepStats> {
-        let cfg = self.config;
         let mut stats = Vec::new();
-        let mut order: Vec<usize> = (0..pairs.len()).collect();
-        for _ in 0..cfg.epochs {
-            order.shuffle(rng);
-            for chunk in order.chunks(cfg.minibatch_size) {
-                let mut acc: Vec<Option<Tensor>> = vec![None; self.policy.params().len()];
-                let mut loss_sum = 0.0f32;
-                let mut win_lp = 0.0f32;
-                let mut lose_lp = 0.0f32;
-                let mut correct = 0usize;
-                for &pi in chunk {
-                    let pair = &pairs[pi];
-                    // Frozen reference terms.
-                    let rw = Self::sequence_logp(&self.reference, &pair.win);
-                    let rl = Self::sequence_logp(&self.reference, &pair.lose);
+        for _ in 0..self.config.epochs {
+            self.train_epoch(pairs, rng, &mut stats);
+        }
+        stats
+    }
 
-                    let mut tape = Tape::new();
-                    let bound = self.policy.bind(&mut tape);
-                    let lp_w = Self::policy_logp(&self.policy, &mut tape, &bound, &pair.win);
-                    let lp_l = Self::policy_logp(&self.policy, &mut tape, &bound, &pair.lose);
-                    win_lp += tape.value(lp_w).item();
-                    lose_lp += tape.value(lp_l).item();
-                    // margin = (lp_w - rw) - (lp_l - rl)
-                    let d = tape.sub(lp_w, lp_l);
-                    let margin = tape.add_scalar(d, rl - rw);
-                    if tape.value(margin).item() > 0.0 {
-                        correct += 1;
-                    }
-                    let scaled = tape.scale(margin, cfg.beta);
-                    let ls = tape.log_sigmoid(scaled);
-                    let loss = tape.scale(ls, -1.0 / chunk.len() as f32);
-                    loss_sum += tape.value(loss).item();
-                    let grads = tape.backward(loss);
-                    for (slot, grad) in acc.iter_mut().zip(bound.gradients(&grads)) {
-                        if let Some(grad) = grad {
-                            match slot {
-                                Some(existing) => {
-                                    let e = existing.make_mut();
-                                    for (a, b) in e.iter_mut().zip(grad.data()) {
-                                        *a += b;
-                                    }
+    /// One epoch over the pair set (a fresh shuffle, then minibatch
+    /// steps), appending per-minibatch statistics to `stats`.
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        pairs: &[PreferencePair],
+        rng: &mut R,
+        stats: &mut Vec<DpoStepStats>,
+    ) {
+        let cfg = self.config;
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.shuffle(rng);
+        for chunk in order.chunks(cfg.minibatch_size) {
+            let mut acc: Vec<Option<Tensor>> = vec![None; self.policy.params().len()];
+            let mut loss_sum = 0.0f32;
+            let mut win_lp = 0.0f32;
+            let mut lose_lp = 0.0f32;
+            let mut correct = 0usize;
+            for &pi in chunk {
+                let pair = &pairs[pi];
+                // Frozen reference terms.
+                let rw = Self::sequence_logp(&self.reference, &pair.win);
+                let rl = Self::sequence_logp(&self.reference, &pair.lose);
+
+                let mut tape = Tape::new();
+                let bound = self.policy.bind(&mut tape);
+                let lp_w = Self::policy_logp(&self.policy, &mut tape, &bound, &pair.win);
+                let lp_l = Self::policy_logp(&self.policy, &mut tape, &bound, &pair.lose);
+                win_lp += tape.value(lp_w).item();
+                lose_lp += tape.value(lp_l).item();
+                // margin = (lp_w - rw) - (lp_l - rl)
+                let d = tape.sub(lp_w, lp_l);
+                let margin = tape.add_scalar(d, rl - rw);
+                if tape.value(margin).item() > 0.0 {
+                    correct += 1;
+                }
+                let scaled = tape.scale(margin, cfg.beta);
+                let ls = tape.log_sigmoid(scaled);
+                let loss = tape.scale(ls, -1.0 / chunk.len() as f32);
+                loss_sum += tape.value(loss).item();
+                let grads = tape.backward(loss);
+                for (slot, grad) in acc.iter_mut().zip(bound.gradients(&grads)) {
+                    if let Some(grad) = grad {
+                        match slot {
+                            Some(existing) => {
+                                let e = existing.make_mut();
+                                for (a, b) in e.iter_mut().zip(grad.data()) {
+                                    *a += b;
                                 }
-                                None => *slot = Some(grad.clone()),
                             }
+                            None => *slot = Some(grad.clone()),
                         }
                     }
                 }
-                let grefs: Vec<Option<&Tensor>> = acc.iter().map(Option::as_ref).collect();
-                self.optimizer.step(self.policy.params_mut().tensors_mut(), &grefs);
-                stats.push(DpoStepStats {
-                    loss: loss_sum,
-                    win_logp: win_lp / chunk.len() as f32,
-                    lose_logp: lose_lp / chunk.len() as f32,
-                    accuracy: correct as f32 / chunk.len() as f32,
-                });
+            }
+            let grefs: Vec<Option<&Tensor>> = acc.iter().map(Option::as_ref).collect();
+            self.optimizer
+                .step(self.policy.params_mut().tensors_mut(), &grefs);
+            stats.push(DpoStepStats {
+                loss: loss_sum,
+                win_logp: win_lp / chunk.len() as f32,
+                lose_logp: lose_lp / chunk.len() as f32,
+                accuracy: correct as f32 / chunk.len() as f32,
+            });
+        }
+    }
+
+    /// Atomically snapshot the trainer (policy params, AdamW moments, RNG
+    /// state, step stats) after `epochs_done` epochs. The frozen reference
+    /// is *not* stored; [`DpoTrainer::restore`] documents the resume
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint write failures.
+    pub fn checkpoint(
+        &self,
+        dir: &Path,
+        epochs_done: usize,
+        n_pairs: usize,
+        stats: &[DpoStepStats],
+        rng: &ChaCha8Rng,
+    ) -> Result<(), CkptError> {
+        let (opt_m, opt_v) = moments_as_paramsets(self.policy.params(), &self.optimizer);
+        let extra = serde_json::to_value(DpoExtra {
+            kind: DPO_KIND.to_owned(),
+            config: self.config,
+            n_pairs,
+            stats: stats.to_vec(),
+        })
+        .expect("dpo extra state is always serializable");
+        TrainCheckpoint {
+            step: epochs_done as u64,
+            params: self.policy.params().clone(),
+            opt_m,
+            opt_v,
+            opt_step: self.optimizer.steps(),
+            rng: RngState::capture(rng),
+            extra,
+        }
+        .save(dir)
+    }
+
+    /// Restore trainer state from a committed checkpoint, overwriting
+    /// `rng` with the snapshot's RNG state. Returns the number of
+    /// completed epochs and the per-minibatch stats so far.
+    ///
+    /// The frozen reference is reconstructed by the caller: build the
+    /// trainer from the same pretrained policy and resume over the same
+    /// pair set, and the trajectory continues bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on corruption, format drift, or a
+    /// checkpoint from a different architecture/config/pair set.
+    pub fn restore(
+        &mut self,
+        dir: &Path,
+        n_pairs: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(usize, Vec<DpoStepStats>), CkptError> {
+        let ck = TrainCheckpoint::load(dir)?;
+        let extra: DpoExtra =
+            serde_json::from_value(ck.extra.clone()).map_err(|e| CkptError::Corrupt {
+                file: TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!("dpo extra state: {e}"),
+            })?;
+        if extra.kind != DPO_KIND {
+            return Err(CkptError::Mismatch {
+                detail: format!("checkpoint kind {:?}, expected {DPO_KIND:?}", extra.kind),
+            });
+        }
+        if extra.config != self.config {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint config {:?} differs from trainer config {:?}",
+                    extra.config, self.config
+                ),
+            });
+        }
+        if extra.n_pairs != n_pairs {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint trained on {} pairs, this run has {n_pairs}",
+                    extra.n_pairs
+                ),
+            });
+        }
+        let copied = self.policy.params_mut().copy_matching(&ck.params);
+        if copied != self.policy.params().len() {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint covers {copied} of {} policy tensors",
+                    self.policy.params().len()
+                ),
+            });
+        }
+        let (m, v) = restore_moments(self.policy.params(), &ck)?;
+        self.optimizer.restore_state(m, v, ck.opt_step);
+        *rng = ck.rng.restore();
+        Ok((ck.step as usize, extra.stats))
+    }
+
+    /// Crash-safe [`DpoTrainer::run`]: checkpoint to `dir` every `every`
+    /// epochs (floor 1, plus once at the end) and resume from `dir` when
+    /// it already holds a committed checkpoint. A killed run re-invoked
+    /// with the same policy, pairs, and seed reproduces the uninterrupted
+    /// per-minibatch stats bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on checkpoint corruption or mismatch.
+    pub fn run_checkpointed(
+        &mut self,
+        pairs: &[PreferencePair],
+        rng: &mut ChaCha8Rng,
+        dir: &Path,
+        every: usize,
+    ) -> Result<Vec<DpoStepStats>, CkptError> {
+        let every = every.max(1);
+        let (mut done, mut stats) = if TrainCheckpoint::exists(dir) {
+            self.restore(dir, pairs.len(), rng)?
+        } else {
+            (0, Vec::new())
+        };
+        while done < self.config.epochs {
+            self.train_epoch(pairs, rng, &mut stats);
+            done += 1;
+            if done % every == 0 || done == self.config.epochs {
+                self.checkpoint(dir, done, pairs.len(), &stats, rng)?;
             }
         }
-        stats
+        Ok(stats)
     }
 
     /// Sequence log-probability as a differentiable scalar on the given
@@ -238,6 +399,17 @@ impl DpoTrainer {
         let lp = tape.log_prob(act, &targets);
         tape.sum_all(lp)
     }
+}
+
+const DPO_KIND: &str = "dpo";
+
+/// Trainer-specific resume state stored in the checkpoint's `extra` slot.
+#[derive(Serialize, Deserialize)]
+struct DpoExtra {
+    kind: String,
+    config: DpoConfig,
+    n_pairs: usize,
+    stats: Vec<DpoStepStats>,
 }
 
 #[cfg(test)]
@@ -291,7 +463,12 @@ mod tests {
             win: vec![TokenId(2), TokenId(3), TokenId(4), TokenId(1)],
             lose: vec![TokenId(2), TokenId(5), TokenId(6), TokenId(1)],
         };
-        let cfg = DpoConfig { beta: 0.5, lr: 1e-3, epochs: 20, minibatch_size: 1 };
+        let cfg = DpoConfig {
+            beta: 0.5,
+            lr: 1e-3,
+            epochs: 20,
+            minibatch_size: 1,
+        };
         let mut trainer = DpoTrainer::new(model, cfg);
         let before = trainer.margin(&pair);
         let stats = trainer.run(std::slice::from_ref(&pair), &mut rng);
@@ -325,5 +502,73 @@ mod tests {
         let model = Transformer::new(ModelConfig::tiny(12, 12), &mut rng);
         let lp = DpoTrainer::sequence_logp(&model, &[TokenId(2), TokenId(3), TokenId(4)]);
         assert!(lp < 0.0 && lp.is_finite());
+    }
+
+    #[test]
+    fn killed_dpo_run_resumes_bit_exactly() {
+        let pairs = vec![
+            PreferencePair {
+                win: vec![TokenId(2), TokenId(3), TokenId(4), TokenId(1)],
+                lose: vec![TokenId(2), TokenId(5), TokenId(6), TokenId(1)],
+            },
+            PreferencePair {
+                win: vec![TokenId(2), TokenId(4), TokenId(1)],
+                lose: vec![TokenId(2), TokenId(6), TokenId(1)],
+            },
+        ];
+        let cfg = DpoConfig {
+            beta: 0.5,
+            lr: 1e-3,
+            epochs: 6,
+            minibatch_size: 1,
+        };
+        let dir = std::env::temp_dir().join(format!("eva_dpo_resume_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Uninterrupted reference run.
+        let init = Transformer::new(ModelConfig::tiny(12, 12), &mut ChaCha8Rng::seed_from_u64(5));
+        let mut rng_a = ChaCha8Rng::seed_from_u64(6);
+        let mut trainer_a = DpoTrainer::new(init.clone(), cfg);
+        let stats_a = trainer_a.run(&pairs, &mut rng_a);
+
+        // Interrupted run: two epochs, checkpoint, then "crash".
+        {
+            let mut rng_b = ChaCha8Rng::seed_from_u64(6);
+            let mut trainer_b = DpoTrainer::new(init.clone(), cfg);
+            let mut stats_b = Vec::new();
+            for _ in 0..2 {
+                trainer_b.train_epoch(&pairs, &mut rng_b, &mut stats_b);
+            }
+            trainer_b
+                .checkpoint(&dir, 2, pairs.len(), &stats_b, &rng_b)
+                .expect("checkpoint");
+        }
+
+        // Resume into a fresh trainer built per the resume contract (same
+        // pretrained policy, same pairs); the RNG seed is deliberately
+        // wrong — it must be overwritten from the snapshot.
+        let mut rng_c = ChaCha8Rng::seed_from_u64(999);
+        let mut trainer_c = DpoTrainer::new(init.clone(), cfg);
+        let stats_c = trainer_c
+            .run_checkpointed(&pairs, &mut rng_c, &dir, 10)
+            .expect("resume");
+        assert_eq!(stats_a, stats_c, "resumed stats must match uninterrupted");
+        for i in 0..trainer_a.policy().params().len() {
+            assert_eq!(
+                trainer_a.policy().params().tensor(i).data(),
+                trainer_c.policy().params().tensor(i).data(),
+                "tensor {} diverged after resume",
+                trainer_a.policy().params().name(i)
+            );
+        }
+
+        // A checkpoint from a different pair set is refused.
+        let mut rng_d = ChaCha8Rng::seed_from_u64(7);
+        let mut trainer_d = DpoTrainer::new(init, cfg);
+        match trainer_d.restore(&dir, pairs.len() + 1, &mut rng_d) {
+            Err(CkptError::Mismatch { .. }) => {}
+            other => panic!("expected pair-count mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

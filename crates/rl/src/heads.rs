@@ -23,9 +23,16 @@ impl LinearHead {
     /// Create with small random weights.
     pub fn new<R: Rng + ?Sized>(name: &str, d_in: usize, d_out: usize, rng: &mut R) -> LinearHead {
         let mut params = ParamSet::new();
-        params.register(format!("{name}.w"), Tensor::randn(vec![d_in, d_out], 0.02, rng));
+        params.register(
+            format!("{name}.w"),
+            Tensor::randn(vec![d_in, d_out], 0.02, rng),
+        );
         params.register(format!("{name}.b"), Tensor::zeros(vec![d_out]));
-        LinearHead { params, d_in, d_out }
+        LinearHead {
+            params,
+            d_in,
+            d_out,
+        }
     }
 
     /// Input width.

@@ -11,8 +11,17 @@
 //! - [`dpo`] — Eq. 5: Bradley–Terry pairwise preference fine-tuning over
 //!   win/lose pairs derived from the rank classes.
 //!
+//! Both trainers support crash-safe periodic checkpointing
+//! ([`PpoTrainer::run_checkpointed`], [`DpoTrainer::run_checkpointed`])
+//! built on [`eva_nn::ckpt`]; resumed runs continue bit-exactly.
+//!
 //! See `tests/` for end-to-end fine-tuning on toy tasks; the full-scale
 //! experiments live in `eva-bench`.
+
+use std::fmt;
+
+use eva_model::InferError;
+use eva_nn::ckpt::CkptError;
 
 pub mod data;
 pub mod dpo;
@@ -25,3 +34,43 @@ pub use dpo::{pairs_from_ranks, DpoConfig, DpoStepStats, DpoTrainer, PreferenceP
 pub use heads::LinearHead;
 pub use ppo::{PpoConfig, PpoEpochStats, PpoTrainer, Rollout};
 pub use reward::{otsu_threshold, LabeledSequence, RankClass, RewardModel};
+
+/// A fine-tuning failure: either rollout decoding broke ([`InferError`])
+/// or a checkpoint could not be written/restored ([`CkptError`]).
+#[derive(Debug)]
+pub enum TrainError {
+    /// Decode failure during rollouts.
+    Infer(InferError),
+    /// Checkpoint write/restore failure.
+    Ckpt(CkptError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Infer(e) => write!(f, "rollout decode failed: {e}"),
+            TrainError::Ckpt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Infer(e) => Some(e),
+            TrainError::Ckpt(e) => Some(e),
+        }
+    }
+}
+
+impl From<InferError> for TrainError {
+    fn from(e: InferError) -> TrainError {
+        TrainError::Infer(e)
+    }
+}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> TrainError {
+        TrainError::Ckpt(e)
+    }
+}

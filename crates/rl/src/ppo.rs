@@ -8,18 +8,26 @@
 //! clipped surrogate (Eq. 3) and the value loss the squared return error
 //! (Eq. 4), combined as `L = −L_policy + vc · L_value`.
 
+use std::path::Path;
+
 use eva_model::{decode_batch, InferError, LaneRequest, SamplingPolicy, Transformer};
-use eva_nn::{AdamW, Tape, Tensor};
+use eva_nn::ckpt::{
+    moments_as_paramsets, restore_moments, CkptError, RngState, TrainCheckpoint,
+    TRAIN_MANIFEST_FILE,
+};
+use eva_nn::{AdamW, ParamSet, Tape, Tensor};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::heads::LinearHead;
 use crate::reward::RewardModel;
+use crate::TrainError;
 
 /// PPO hyperparameters (names follow Algorithm 1).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PpoConfig {
     /// Outer epochs (`N_epochs`).
     pub epochs: usize,
@@ -93,7 +101,7 @@ pub struct Rollout {
 }
 
 /// Per-epoch statistics (the curves of Figures 3 and 4).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PpoEpochStats {
     /// Mean sequence reward (the paper's "PPO score", Table-I scale).
     pub mean_score: f64,
@@ -420,6 +428,166 @@ impl<'a> PpoTrainer<'a> {
             .map(|_| self.train_epoch(rng))
             .collect()
     }
+
+    /// All optimized parameters (policy, then value head) as one named
+    /// set — the layout stored in checkpoints. The value head's `value.*`
+    /// names never collide with transformer tensor names.
+    fn optimized_params(&self) -> ParamSet {
+        let mut merged = self.policy.params().clone();
+        let head = self.value_head.params();
+        for i in 0..head.len() {
+            merged.register(head.name(i).to_owned(), head.tensor(i).clone());
+        }
+        merged
+    }
+
+    /// Atomically snapshot the trainer (policy + value head params, AdamW
+    /// moments, RNG state, completed-epoch stats) after `epochs_done`
+    /// epochs. The frozen reference and the reward model are *not* stored;
+    /// [`PpoTrainer::restore`] documents the resume contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint write failures.
+    pub fn checkpoint(
+        &self,
+        dir: &Path,
+        epochs_done: usize,
+        stats: &[PpoEpochStats],
+        rng: &ChaCha8Rng,
+    ) -> Result<(), CkptError> {
+        let merged = self.optimized_params();
+        let (opt_m, opt_v) = moments_as_paramsets(&merged, &self.optimizer);
+        let extra = serde_json::to_value(PpoExtra {
+            kind: PPO_KIND.to_owned(),
+            config: self.config,
+            stats: stats.to_vec(),
+        })
+        .expect("ppo extra state is always serializable");
+        TrainCheckpoint {
+            step: epochs_done as u64,
+            params: merged,
+            opt_m,
+            opt_v,
+            opt_step: self.optimizer.steps(),
+            rng: RngState::capture(rng),
+            extra,
+        }
+        .save(dir)
+    }
+
+    /// Restore trainer state from a committed checkpoint, overwriting
+    /// `rng` with the snapshot's RNG state. Returns the number of
+    /// completed epochs and their stats.
+    ///
+    /// The frozen reference `π_θref` and the reward model are
+    /// reconstructed by the caller, not the checkpoint: build the trainer
+    /// from the same pretrained policy and reward model as the original
+    /// run, and the resumed trajectory continues bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on corruption, format drift, or a
+    /// checkpoint from a different architecture/config.
+    pub fn restore(
+        &mut self,
+        dir: &Path,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(usize, Vec<PpoEpochStats>), CkptError> {
+        let ck = TrainCheckpoint::load(dir)?;
+        let extra: PpoExtra =
+            serde_json::from_value(ck.extra.clone()).map_err(|e| CkptError::Corrupt {
+                file: TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!("ppo extra state: {e}"),
+            })?;
+        if extra.kind != PPO_KIND {
+            return Err(CkptError::Mismatch {
+                detail: format!("checkpoint kind {:?}, expected {PPO_KIND:?}", extra.kind),
+            });
+        }
+        if extra.config != self.config {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint config {:?} differs from trainer config {:?}",
+                    extra.config, self.config
+                ),
+            });
+        }
+        if extra.stats.len() != ck.step as usize {
+            return Err(CkptError::Corrupt {
+                file: TRAIN_MANIFEST_FILE.to_owned(),
+                detail: format!(
+                    "stats history length {} disagrees with epoch counter {}",
+                    extra.stats.len(),
+                    ck.step
+                ),
+            });
+        }
+        let copied_policy = self.policy.params_mut().copy_matching(&ck.params);
+        if copied_policy != self.policy.params().len() {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint covers {copied_policy} of {} policy tensors",
+                    self.policy.params().len()
+                ),
+            });
+        }
+        let copied_head = self.value_head.params_mut().copy_matching(&ck.params);
+        if copied_head != self.value_head.params().len() {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "checkpoint covers {copied_head} of {} value-head tensors",
+                    self.value_head.params().len()
+                ),
+            });
+        }
+        let (m, v) = restore_moments(&self.optimized_params(), &ck)?;
+        self.optimizer.restore_state(m, v, ck.opt_step);
+        *rng = ck.rng.restore();
+        Ok((ck.step as usize, extra.stats))
+    }
+
+    /// Crash-safe [`PpoTrainer::run`]: checkpoint to `dir` every `every`
+    /// epochs (floor 1, plus once at the end) and resume from `dir` when
+    /// it already holds a committed checkpoint. A killed run re-invoked
+    /// with identically-constructed inputs reproduces the uninterrupted
+    /// per-epoch stats bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`]: rollout decode failures or typed
+    /// checkpoint failures.
+    pub fn run_checkpointed(
+        &mut self,
+        rng: &mut ChaCha8Rng,
+        dir: &Path,
+        every: usize,
+    ) -> Result<Vec<PpoEpochStats>, TrainError> {
+        let every = every.max(1);
+        let (mut done, mut stats) = if TrainCheckpoint::exists(dir) {
+            self.restore(dir, rng)?
+        } else {
+            (0, Vec::new())
+        };
+        while done < self.config.epochs {
+            stats.push(self.train_epoch(rng)?);
+            done += 1;
+            if done % every == 0 || done == self.config.epochs {
+                self.checkpoint(dir, done, &stats, rng)?;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+const PPO_KIND: &str = "ppo";
+
+/// Trainer-specific resume state stored in the checkpoint's `extra` slot.
+#[derive(Serialize, Deserialize)]
+struct PpoExtra {
+    kind: String,
+    config: PpoConfig,
+    stats: Vec<PpoEpochStats>,
 }
 
 #[cfg(test)]
@@ -589,5 +757,60 @@ mod tests {
             best_late >= first - 0.05,
             "score should not collapse: first {first}, late best {best_late}"
         );
+    }
+
+    #[test]
+    fn killed_ppo_run_resumes_bit_exactly() {
+        let tok = tiny_tokenizer();
+        let cfg = PpoConfig {
+            epochs: 3,
+            ppo_epochs: 1,
+            batch_size: 2,
+            minibatch_size: 2,
+            max_len: 8,
+            ..PpoConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("eva_ppo_resume_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // The resume contract: every run is built from identically-
+        // constructed inputs (pretrained policy, reward model, seeds);
+        // only the trainer state comes from the checkpoint.
+        let mut rng_init = ChaCha8Rng::seed_from_u64(10);
+        let model = Transformer::new(ModelConfig::tiny(tok.vocab_size(), 16), &mut rng_init);
+        let rm = RewardModel::new(model.clone(), &mut rng_init);
+
+        // Uninterrupted reference run.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+        let mut trainer_a = PpoTrainer::new(model.clone(), &rm, &tok, cfg, &mut rng_a);
+        let stats_a = trainer_a.run(&mut rng_a).expect("reference run");
+
+        // Interrupted run: one epoch, checkpoint, then "crash".
+        {
+            let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+            let mut trainer_b = PpoTrainer::new(model.clone(), &rm, &tok, cfg, &mut rng_b);
+            let stats_b = vec![trainer_b.train_epoch(&mut rng_b).expect("epoch")];
+            trainer_b
+                .checkpoint(&dir, 1, &stats_b, &rng_b)
+                .expect("checkpoint");
+        }
+
+        // Resume with a deliberately wrong RNG seed — the snapshot must
+        // overwrite it (and the freshly-initialized value head).
+        let mut rng_c = ChaCha8Rng::seed_from_u64(999);
+        let mut trainer_c = PpoTrainer::new(model, &rm, &tok, cfg, &mut rng_c);
+        let stats_c = trainer_c
+            .run_checkpointed(&mut rng_c, &dir, 10)
+            .expect("resume");
+        assert_eq!(stats_a, stats_c, "resumed stats must match uninterrupted");
+        for i in 0..trainer_a.policy().params().len() {
+            assert_eq!(
+                trainer_a.policy().params().tensor(i).data(),
+                trainer_c.policy().params().tensor(i).data(),
+                "tensor {} diverged after resume",
+                trainer_a.policy().params().name(i)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

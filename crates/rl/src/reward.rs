@@ -7,8 +7,8 @@
 //! class ordering, which for a single judgment per sequence reduces to the
 //! softmax/cross-entropy likelihood used here.
 
-use eva_nn::{AdamW, Tape};
 use eva_model::Transformer;
+use eva_nn::{AdamW, Tape};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -179,7 +179,10 @@ impl RewardModel {
         }
         let logits = self.class_logits(tokens);
         let maxv = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let exps: Vec<f64> = logits.iter().map(|&v| f64::from((v - maxv).exp())).collect();
+        let exps: Vec<f64> = logits
+            .iter()
+            .map(|&v| f64::from((v - maxv).exp()))
+            .collect();
         let denom: f64 = exps.iter().sum();
         let mut score = 0.0;
         for (i, e) in exps.iter().enumerate() {
@@ -198,8 +201,10 @@ impl RewardModel {
         lr: f32,
         rng: &mut R,
     ) -> Vec<f32> {
-        let usable: Vec<&LabeledSequence> =
-            samples.iter().filter(|s| s.class != RankClass::Invalid).collect();
+        let usable: Vec<&LabeledSequence> = samples
+            .iter()
+            .filter(|s| s.class != RankClass::Invalid)
+            .collect();
         let mut all_params: Vec<eva_nn::Tensor> = self.backbone.params().tensors().to_vec();
         all_params.extend_from_slice(self.head.params().tensors());
         let mut opt = AdamW::new(lr, &all_params);
@@ -215,20 +220,17 @@ impl RewardModel {
                 let bound = self.backbone.bind(&mut tape);
                 let t = s.tokens.len();
                 let hidden = self.backbone.hidden(&mut tape, &bound, &s.tokens, 1, t);
-                let flat =
-                    tape.reshape(hidden, vec![t, self.backbone.config().d_model]);
+                let flat = tape.reshape(hidden, vec![t, self.backbone.config().d_model]);
                 let last = tape.select_rows(flat, &[t - 1]);
                 let hb = self.head.bind(&mut tape);
                 let logits = self.head.apply(&mut tape, hb, last);
-                let loss =
-                    tape.cross_entropy(logits, &[s.class.class_index()], &[true]);
+                let loss = tape.cross_entropy(logits, &[s.class.class_index()], &[true]);
                 epoch_loss += tape.value(loss).item();
                 let grads = tape.backward(loss);
                 let mut g = bound.gradients(&grads);
                 g.extend(self.head.gradients(hb, &grads));
                 // Update backbone + head jointly.
-                let mut params: Vec<eva_nn::Tensor> =
-                    self.backbone.params().tensors().to_vec();
+                let mut params: Vec<eva_nn::Tensor> = self.backbone.params().tensors().to_vec();
                 params.extend_from_slice(self.head.params().tensors());
                 opt.step(&mut params, &g);
                 for (i, p) in params.into_iter().enumerate() {
@@ -246,8 +248,10 @@ impl RewardModel {
 
     /// Classification accuracy on labeled sequences (invalid skipped).
     pub fn accuracy(&self, samples: &[LabeledSequence]) -> f64 {
-        let usable: Vec<&LabeledSequence> =
-            samples.iter().filter(|s| s.class != RankClass::Invalid).collect();
+        let usable: Vec<&LabeledSequence> = samples
+            .iter()
+            .filter(|s| s.class != RankClass::Invalid)
+            .collect();
         if usable.is_empty() {
             return 0.0;
         }
@@ -283,7 +287,11 @@ mod tests {
 
     #[test]
     fn class_index_round_trip() {
-        for c in [RankClass::HighPerformance, RankClass::LowPerformance, RankClass::Irrelevant] {
+        for c in [
+            RankClass::HighPerformance,
+            RankClass::LowPerformance,
+            RankClass::Irrelevant,
+        ] {
             assert_eq!(RankClass::from_class_index(c.class_index()), c);
         }
     }
@@ -325,7 +333,11 @@ mod tests {
             mk(4, RankClass::Irrelevant),
         ];
         rm.train(&samples, 30, 3e-3, &mut rng);
-        assert!(rm.accuracy(&samples) >= 0.99, "acc {}", rm.accuracy(&samples));
+        assert!(
+            rm.accuracy(&samples) >= 0.99,
+            "acc {}",
+            rm.accuracy(&samples)
+        );
         assert_eq!(rm.classify(&samples[0].tokens), RankClass::HighPerformance);
     }
 }

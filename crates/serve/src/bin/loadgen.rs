@@ -84,6 +84,7 @@ fn main() {
                     max_len,
                     prompt: None,
                     validate: Some(validate),
+                    deadline_us: None,
                 });
                 let Ok(mut line) = serde_json::to_string(&request) else {
                     break;

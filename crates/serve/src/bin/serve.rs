@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p eva-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
-//!     [--batch N] [--deadline-us N] [--validate] [--seed N] [--demo-steps N]
+//!     [--batch N] [--deadline-us N] [--validate] [--seed N] [--demo-steps N] \
+//!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N]
 //! ```
 //!
 //! Without `--artifacts` it pretrains a small demo model in-process (a few
@@ -34,6 +35,9 @@ fn main() {
             "--batch" => parse_into(&mut config.max_batch, args.next()),
             "--deadline-us" => parse_into(&mut config.batch_deadline_us, args.next()),
             "--validate" => config.default_validate = true,
+            "--read-timeout-ms" => parse_into(&mut config.read_timeout_ms, args.next()),
+            "--write-timeout-ms" => parse_into(&mut config.write_timeout_ms, args.next()),
+            "--request-deadline-ms" => parse_into(&mut config.request_deadline_ms, args.next()),
             "--seed" => parse_into(&mut seed, args.next()),
             "--demo-steps" => parse_into(&mut demo_steps, args.next()),
             other => {
@@ -91,14 +95,19 @@ fn main() {
         config.batch_deadline_us,
         eva_nn::pool::global().threads()
     );
+    eprintln!(
+        "[serve] read-timeout {}ms write-timeout {}ms request-deadline {}ms (0 = disabled)",
+        config.read_timeout_ms, config.write_timeout_ms, config.request_deadline_ms
+    );
 
     loop {
         std::thread::sleep(Duration::from_secs(30));
         let snapshot = service.metrics();
         eprintln!(
-            "[metrics] accepted {} rejected {} completed {} errored {} tokens {} queue {}",
+            "[metrics] accepted {} rejected {} timeout {} completed {} errored {} tokens {} queue {}",
             snapshot.accepted,
             snapshot.rejected,
+            snapshot.rejected_timeout,
             snapshot.completed,
             snapshot.errored,
             snapshot.tokens_generated,

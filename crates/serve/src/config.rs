@@ -30,6 +30,31 @@ pub struct ServeConfig {
     pub default_validate: bool,
     /// Base seed mixed into per-request ids when a request carries no seed.
     pub base_seed: u64,
+    /// Per-connection socket read timeout in milliseconds: a client that
+    /// sends nothing for this long is disconnected instead of pinning its
+    /// connection thread forever. `0` disables the timeout.
+    #[serde(default = "default_read_timeout_ms")]
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout in milliseconds: a client that
+    /// stops draining its socket stalls a write at most this long before
+    /// the connection is dropped. `0` disables the timeout.
+    #[serde(default = "default_write_timeout_ms")]
+    pub write_timeout_ms: u64,
+    /// Per-request wall-clock deadline in milliseconds, measured from
+    /// admission: a request not answered in time yields a typed `Timeout`
+    /// response instead of a hung client. `0` disables the deadline;
+    /// requests may override it per call. See
+    /// [`crate::protocol::GenerateRequest::deadline_us`].
+    #[serde(default)]
+    pub request_deadline_ms: u64,
+}
+
+fn default_read_timeout_ms() -> u64 {
+    30_000
+}
+
+fn default_write_timeout_ms() -> u64 {
+    10_000
 }
 
 impl Default for ServeConfig {
@@ -44,6 +69,9 @@ impl Default for ServeConfig {
             default_max_len: 0,
             default_validate: false,
             base_seed: 7,
+            read_timeout_ms: default_read_timeout_ms(),
+            write_timeout_ms: default_write_timeout_ms(),
+            request_deadline_ms: 0,
         }
     }
 }
@@ -53,6 +81,25 @@ impl ServeConfig {
     pub fn batch_deadline(&self) -> Duration {
         Duration::from_micros(self.batch_deadline_us)
     }
+
+    /// The socket read timeout, or `None` when disabled (`0`).
+    pub fn read_timeout(&self) -> Option<Duration> {
+        millis_opt(self.read_timeout_ms)
+    }
+
+    /// The socket write timeout, or `None` when disabled (`0`).
+    pub fn write_timeout(&self) -> Option<Duration> {
+        millis_opt(self.write_timeout_ms)
+    }
+
+    /// The default per-request deadline, or `None` when disabled (`0`).
+    pub fn request_deadline(&self) -> Option<Duration> {
+        millis_opt(self.request_deadline_ms)
+    }
+}
+
+fn millis_opt(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
 }
 
 #[cfg(test)]
@@ -76,10 +123,46 @@ mod tests {
     fn serde_round_trip() {
         let c = ServeConfig {
             workers: 5,
+            request_deadline_ms: 250,
             ..ServeConfig::default()
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: ServeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn zero_disables_timeouts() {
+        let c = ServeConfig {
+            read_timeout_ms: 0,
+            write_timeout_ms: 0,
+            request_deadline_ms: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(c.read_timeout(), None);
+        assert_eq!(c.write_timeout(), None);
+        assert_eq!(c.request_deadline(), None);
+        let c = ServeConfig {
+            read_timeout_ms: 1_500,
+            request_deadline_ms: 40,
+            ..c
+        };
+        assert_eq!(c.read_timeout(), Some(Duration::from_millis(1_500)));
+        assert_eq!(c.request_deadline(), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn legacy_config_json_gets_timeout_defaults() {
+        // Configs serialized before the hardening fields existed still load.
+        let json = r#"{
+            "workers": 2, "queue_capacity": 64, "max_batch": 8,
+            "batch_deadline_us": 2000, "default_temperature": 0.85,
+            "default_top_k": 25, "default_max_len": 0,
+            "default_validate": false, "base_seed": 7
+        }"#;
+        let c: ServeConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.read_timeout_ms, default_read_timeout_ms());
+        assert_eq!(c.write_timeout_ms, default_write_timeout_ms());
+        assert_eq!(c.request_deadline_ms, 0);
     }
 }

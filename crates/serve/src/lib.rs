@@ -13,8 +13,13 @@
 //!   requests (flush at `max_batch` or a deadline tick) and runs KV-cached
 //!   incremental decoding with per-request seeds, temperature, top-k and
 //!   an optional `eva-spice` validity check. Overload yields typed
-//!   rejections ([`SubmitError::QueueFull`]), never a hang; shutdown
-//!   drains admitted work.
+//!   rejections ([`SubmitError::QueueFull`]), never a hang; per-request
+//!   wall-clock deadlines answer [`Completion::Timeout`] instead of
+//!   blocking a client on a slow decode; shutdown drains admitted work.
+//! - **Socket hardening** — connections carry configurable read/write
+//!   timeouts ([`ServeConfig::read_timeout_ms`] /
+//!   [`ServeConfig::write_timeout_ms`]), so a stalled client is
+//!   disconnected instead of pinning its thread.
 //! - **Over TCP** — [`serve`]: line-delimited JSON
 //!   (see [`protocol`]) on a `std::net::TcpListener`, with the `serve`
 //!   binary to host a checkpoint and the `loadgen` binary to drive N

@@ -50,7 +50,14 @@ impl Histogram {
         self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
-    /// A consistent-enough snapshot with percentile estimates.
+    /// A snapshot with percentile estimates.
+    ///
+    /// Internally consistent by construction: the buckets are loaded
+    /// *once* and `count` is derived from that same loaded vector (there
+    /// is no separate count atomic to tear against), so the percentile
+    /// ranks always agree with the bucket mass, even while recorders are
+    /// concurrently adding observations. `mean_us` reads a separate sum
+    /// atomic and may lag the buckets by in-flight observations.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> = self
             .buckets
@@ -70,6 +77,7 @@ impl Histogram {
             p50_us: percentile(&buckets, count, 0.50),
             p95_us: percentile(&buckets, count, 0.95),
             p99_us: percentile(&buckets, count, 0.99),
+            buckets,
         }
     }
 }
@@ -113,6 +121,10 @@ pub struct HistogramSnapshot {
     pub p95_us: u64,
     /// Estimated 99th percentile (µs).
     pub p99_us: u64,
+    /// The raw log2 bucket counts the statistics above were derived from;
+    /// `count` always equals their sum (the snapshot is never torn).
+    #[serde(default)]
+    pub buckets: Vec<u64>,
 }
 
 /// The service-wide metrics registry.
@@ -122,6 +134,8 @@ pub struct Metrics {
     pub accepted: AtomicU64,
     /// Requests refused because the queue was full.
     pub rejected: AtomicU64,
+    /// Admitted requests answered with a wall-clock deadline timeout.
+    pub rejected_timeout: AtomicU64,
     /// Requests decoded to completion.
     pub completed: AtomicU64,
     /// Requests that failed with a typed error.
@@ -159,6 +173,7 @@ impl Metrics {
         MetricsSnapshot {
             accepted,
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_timeout: self.rejected_timeout.load(Ordering::Relaxed),
             completed,
             errored,
             in_flight: accepted.saturating_sub(completed + errored),
@@ -185,6 +200,10 @@ pub struct MetricsSnapshot {
     pub accepted: u64,
     /// Requests refused because the queue was full.
     pub rejected: u64,
+    /// Admitted requests answered with a wall-clock deadline timeout
+    /// (absent in snapshots from servers predating request deadlines).
+    #[serde(default)]
+    pub rejected_timeout: u64,
     /// Requests decoded to completion.
     pub completed: u64,
     /// Requests that failed with a typed error.
@@ -261,17 +280,51 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_count_always_matches_bucket_mass_under_load() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let recorders: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record_us((t * 5_000 + i) % 10_000 + 1);
+                    }
+                })
+            })
+            .collect();
+        // Snapshot continuously while recorders hammer the buckets: the
+        // derived `count` must equal the summed buckets in every snapshot
+        // (never a torn view), and percentiles must stay ordered.
+        loop {
+            let s = h.snapshot();
+            assert_eq!(s.count, s.buckets.iter().sum::<u64>());
+            assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+            if s.count == 20_000 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for r in recorders {
+            r.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 20_000);
+    }
+
+    #[test]
     fn registry_snapshot_accounting() {
         let m = Metrics::new();
         m.accepted.fetch_add(5, Ordering::Relaxed);
         m.completed.fetch_add(3, Ordering::Relaxed);
         m.errored.fetch_add(1, Ordering::Relaxed);
         m.rejected.fetch_add(2, Ordering::Relaxed);
+        m.rejected_timeout.fetch_add(1, Ordering::Relaxed);
         m.tokens_generated.fetch_add(77, Ordering::Relaxed);
         m.batches.fetch_add(2, Ordering::Relaxed);
         m.batched_requests.fetch_add(4, Ordering::Relaxed);
         let s = m.snapshot(1);
         assert_eq!(s.accepted, 5);
+        assert_eq!(s.rejected_timeout, 1);
         assert_eq!(s.in_flight, 1);
         assert_eq!(s.queue_depth, 1);
         assert_eq!(s.mean_batch_size, 2.0);

@@ -4,6 +4,13 @@
 //! order (pipeline more load by opening more connections, as `loadgen`
 //! does). Overload never blocks the socket: a full service queue answers
 //! `{"status":"rejected",...}` immediately.
+//!
+//! Connections are hardened against stalled clients: the configured
+//! `read_timeout_ms`/`write_timeout_ms` bound every socket wait, so a
+//! client that goes silent (or stops draining its socket) is disconnected
+//! instead of pinning its thread forever. Requests additionally honor the
+//! per-request wall-clock deadline, answering `{"status":"timeout",...}`
+//! when it expires.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -87,6 +94,14 @@ pub fn serve<A: ToSocketAddrs>(
 }
 
 fn handle_connection(service: &GenerationService, stream: TcpStream) {
+    // An idle or stalled peer must not pin this thread forever; a `None`
+    // timeout (knob set to 0) keeps the socket fully blocking.
+    let config = service.config();
+    if stream.set_read_timeout(config.read_timeout()).is_err()
+        || stream.set_write_timeout(config.write_timeout()).is_err()
+    {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };

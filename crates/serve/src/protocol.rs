@@ -56,6 +56,12 @@ pub struct GenerateRequest {
     /// Whether to run the validity oracle on the generation.
     #[serde(default)]
     pub validate: Option<bool>,
+    /// Wall-clock deadline override in microseconds, measured from
+    /// admission; past it the request answers `{"status":"timeout"}`
+    /// instead of hanging. Omitted or `0`: the server's configured
+    /// `request_deadline_ms` applies.
+    #[serde(default)]
+    pub deadline_us: Option<u64>,
 }
 
 /// A server response, tagged by `status`.
@@ -70,6 +76,12 @@ pub enum Response {
         id: u64,
         /// Why the request was not admitted.
         reason: String,
+    },
+    /// The request was admitted but its wall-clock deadline expired
+    /// before a result was ready.
+    Timeout {
+        /// Echoed request id.
+        id: u64,
     },
     /// The request was admitted but failed.
     Error {
@@ -163,6 +175,24 @@ mod tests {
         let json = serde_json::to_string(&rejected).unwrap();
         assert!(json.contains(r#""status":"rejected""#), "{json}");
         assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), rejected);
+
+        let timeout = Response::Timeout { id: 5 };
+        let json = serde_json::to_string(&timeout).unwrap();
+        assert_eq!(json, r#"{"status":"timeout","id":5}"#);
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), timeout);
+    }
+
+    #[test]
+    fn deadline_override_parses_and_defaults_off() {
+        let line = r#"{"op":"generate","id":4,"deadline_us":2500}"#;
+        match serde_json::from_str::<Request>(line).unwrap() {
+            Request::Generate(g) => assert_eq!(g.deadline_us, Some(2_500)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match serde_json::from_str::<Request>(r#"{"op":"generate","id":4}"#).unwrap() {
+            Request::Generate(g) => assert_eq!(g.deadline_us, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //!    kill a worker or its batchmates.
 //! 4. The reply travels over a per-request channel;
 //!    [`PendingGeneration::wait`] never hangs — if a worker dies, the
-//!    dropped channel surfaces as an error completion.
+//!    dropped channel surfaces as an error completion, and a request
+//!    carrying a wall-clock deadline (per-request `deadline_us` or the
+//!    server-wide `request_deadline_ms`) that is not answered in time
+//!    yields a typed [`Completion::Timeout`] instead of blocking.
+//!    Workers likewise skip jobs whose deadline already expired in the
+//!    queue rather than spending decode time on an answer nobody is
+//!    waiting for. Both paths count in the `rejected_timeout` metric.
 //!
 //! Dropping (or [`GenerationService::shutdown`]) closes the queue; workers
 //! drain what was already accepted, answer it, and exit — a graceful drain.
@@ -30,7 +36,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eva_core::EvaArtifacts;
@@ -58,6 +64,11 @@ pub struct GenParams {
     pub validate: bool,
     /// Prefix token strings to condition on, after the implicit `VSS`.
     pub prompt: Vec<String>,
+    /// Wall-clock deadline in microseconds, measured from admission;
+    /// `0` means the server's configured default (which may itself be
+    /// disabled). Past the deadline the request answers
+    /// [`Completion::Timeout`].
+    pub deadline_us: u64,
 }
 
 impl Default for GenParams {
@@ -69,6 +80,7 @@ impl Default for GenParams {
             max_len: 0,
             validate: false,
             prompt: Vec::new(),
+            deadline_us: 0,
         }
     }
 }
@@ -87,6 +99,7 @@ impl GenParams {
             max_len: req.max_len.unwrap_or(config.default_max_len),
             validate: req.validate.unwrap_or(config.default_validate),
             prompt: req.prompt.clone().unwrap_or_default(),
+            deadline_us: req.deadline_us.unwrap_or(0),
         }
     }
 }
@@ -141,6 +154,12 @@ pub struct Generation {
 pub enum Completion {
     /// Decoding finished.
     Ok(Generation),
+    /// The request's wall-clock deadline expired before a result was
+    /// ready (either waiting in the queue or mid-decode).
+    Timeout {
+        /// Echoed request id.
+        id: u64,
+    },
     /// Decoding failed with a typed, non-fatal error.
     Error {
         /// Echoed request id.
@@ -165,6 +184,7 @@ impl Completion {
                 validate_us: g.validate_us,
                 total_us: g.total_us,
             }),
+            Completion::Timeout { id } => Response::Timeout { id },
             Completion::Error { id, message } => Response::Error { id, message },
         }
     }
@@ -175,6 +195,8 @@ impl Completion {
 pub struct PendingGeneration {
     id: u64,
     rx: mpsc::Receiver<Completion>,
+    deadline: Option<Instant>,
+    metrics: Arc<Metrics>,
 }
 
 impl PendingGeneration {
@@ -185,13 +207,35 @@ impl PendingGeneration {
 
     /// Block until the worker answers. Never hangs: if the worker side is
     /// gone (service torn down mid-request), this yields an error
-    /// completion rather than waiting forever.
+    /// completion rather than waiting forever, and a request deadline
+    /// caps the wait — a hung or slow decode answers
+    /// [`Completion::Timeout`] at the deadline (the worker still finishes
+    /// and accounts the decode; only the wait is cut short).
     pub fn wait(self) -> Completion {
         let id = self.id;
-        self.rx.recv().unwrap_or_else(|_| Completion::Error {
-            id,
-            message: "service dropped the request before answering".to_owned(),
-        })
+        let received = match self.deadline {
+            None => self.rx.recv().map_err(|_| false),
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.rx.recv_timeout(remaining).map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => true,
+                    mpsc::RecvTimeoutError::Disconnected => false,
+                })
+            }
+        };
+        match received {
+            Ok(completion) => completion,
+            Err(true) => {
+                self.metrics
+                    .rejected_timeout
+                    .fetch_add(1, Ordering::Relaxed);
+                Completion::Timeout { id }
+            }
+            Err(false) => Completion::Error {
+                id,
+                message: "service dropped the request before answering".to_owned(),
+            },
+        }
     }
 }
 
@@ -199,6 +243,7 @@ struct Job {
     id: u64,
     params: GenParams,
     enqueued: Instant,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Completion>,
 }
 
@@ -206,7 +251,9 @@ struct ServiceInner {
     model: Arc<Transformer>,
     tokenizer: Arc<Tokenizer>,
     config: ServeConfig,
-    metrics: Metrics,
+    // Shared with every `PendingGeneration` so waiter-side timeouts are
+    // counted even after the service itself is gone.
+    metrics: Arc<Metrics>,
 }
 
 /// A multi-worker, micro-batching topology-generation service.
@@ -242,7 +289,7 @@ impl GenerationService {
             model,
             tokenizer,
             config,
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -298,16 +345,30 @@ impl GenerationService {
     pub fn submit(&self, id: u64, params: GenParams) -> Result<PendingGeneration, SubmitError> {
         let tx = self.tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
         let (reply, rx) = mpsc::channel();
+        // Per-request override beats the server-wide default; both absent
+        // means the request may wait indefinitely (pre-deadline behavior).
+        let budget = if params.deadline_us > 0 {
+            Some(Duration::from_micros(params.deadline_us))
+        } else {
+            self.inner.config.request_deadline()
+        };
+        let deadline = budget.map(|b| Instant::now() + b);
         let job = Job {
             id,
             params,
             enqueued: Instant::now(),
+            deadline,
             reply,
         };
         match tx.try_send(job) {
             Ok(()) => {
                 self.inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-                Ok(PendingGeneration { id, rx })
+                Ok(PendingGeneration {
+                    id,
+                    rx,
+                    deadline,
+                    metrics: Arc::clone(&self.inner.metrics),
+                })
             }
             Err(TrySendError::Full(_)) => {
                 self.inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
@@ -386,6 +447,12 @@ fn run_batch(inner: &ServiceInner, batch: Vec<Job>) {
     for job in batch {
         let queue_wait = job.enqueued.elapsed();
         inner.metrics.queue_wait.record(queue_wait);
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            // The deadline expired while the job sat in the queue: no one
+            // is waiting for this decode, so don't spend a lane on it.
+            reply_timeout(inner, &job);
+            continue;
+        }
         match prepare_lane(inner, &job.params) {
             Ok(lane) => {
                 lanes.push(lane);
@@ -445,6 +512,22 @@ fn run_batch(inner: &ServiceInner, batch: Vec<Job>) {
         });
         // A vanished client is not a worker problem.
         let _ = job.reply.send(completion);
+    }
+}
+
+/// Answer a job whose wall-clock deadline expired before decoding
+/// started. `errored` keeps the in-flight gauge draining; the timeout
+/// counter increments only when the reply is actually delivered, so a
+/// waiter that already timed out (and counted itself) is not counted
+/// twice.
+fn reply_timeout(inner: &ServiceInner, job: &Job) {
+    inner.metrics.total.record(job.enqueued.elapsed());
+    inner.metrics.errored.fetch_add(1, Ordering::Relaxed);
+    if job.reply.send(Completion::Timeout { id: job.id }).is_ok() {
+        inner
+            .metrics
+            .rejected_timeout
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 

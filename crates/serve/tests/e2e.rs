@@ -4,6 +4,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use eva_core::{Eva, EvaArtifacts, EvaOptions, PretrainConfig};
 use eva_serve::{
@@ -68,7 +69,7 @@ fn checkpoint_to_service_round_trip() {
                 assert!(!generation.tokens.contains(&Tokenizer::PAD));
                 firsts.push(generation);
             }
-            Completion::Error { message, .. } => panic!("generation failed: {message}"),
+            other => panic!("generation failed: {other:?}"),
         }
     }
 
@@ -82,7 +83,7 @@ fn checkpoint_to_service_round_trip() {
         .expect("queue has room");
     match again {
         Completion::Ok(generation) => assert_eq!(generation.tokens, firsts[0].tokens),
-        Completion::Error { message, .. } => panic!("repeat generation failed: {message}"),
+        other => panic!("repeat generation failed: {other:?}"),
     }
 
     let snapshot = service.metrics();
@@ -127,7 +128,7 @@ fn micro_batch_decodes_jointly_and_matches_solo_decodes() {
         .into_iter()
         .map(|p| match p.wait() {
             Completion::Ok(generation) => generation,
-            Completion::Error { message, .. } => panic!("batched request failed: {message}"),
+            other => panic!("batched request failed: {other:?}"),
         })
         .collect();
 
@@ -156,7 +157,7 @@ fn micro_batch_decodes_jointly_and_matches_solo_decodes() {
                 "seed {} diverged between batched and solo decode",
                 500 + generation.id
             ),
-            Completion::Error { message, .. } => panic!("solo decode failed: {message}"),
+            other => panic!("solo decode failed: {other:?}"),
         }
     }
 
@@ -224,7 +225,7 @@ fn overload_rejects_instead_of_hanging() {
     for p in pending {
         match p.wait() {
             Completion::Ok(_) => {}
-            Completion::Error { message, .. } => panic!("admitted request failed: {message}"),
+            other => panic!("admitted request failed: {other:?}"),
         }
     }
     let snapshot = service.metrics();
@@ -311,6 +312,135 @@ fn malformed_requests_return_typed_errors_not_panics() {
     assert_eq!(snapshot.errored, 2);
     assert_eq!(snapshot.completed, 1);
     service.shutdown();
+}
+
+#[test]
+fn expired_deadline_yields_typed_timeout() {
+    let eva = tiny_pretrained(27);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 4,
+            batch_deadline_us: 100_000,
+            ..ServeConfig::default()
+        },
+    );
+
+    // A 1 µs deadline expires long before the worker's 100 ms batch
+    // window closes — whichever of the waiter or the worker notices
+    // first, the answer is a typed timeout, not a hang.
+    let pending = service
+        .submit(
+            7,
+            GenParams {
+                deadline_us: 1,
+                max_len: 24,
+                ..GenParams::default()
+            },
+        )
+        .expect("admitted");
+    match pending.wait() {
+        Completion::Timeout { id } => assert_eq!(id, 7),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+
+    // Let the worker drain the expired job so accounting is settled:
+    // exactly one timeout, counted once, and nothing left in flight.
+    let settle = Instant::now() + Duration::from_secs(10);
+    let snapshot = loop {
+        let s = service.metrics();
+        if s.in_flight == 0 || Instant::now() > settle {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(snapshot.rejected_timeout, 1);
+    assert_eq!(snapshot.errored, 1);
+    assert_eq!(snapshot.completed, 0);
+    assert_eq!(snapshot.in_flight, 0);
+
+    // The pool is still healthy: an undeadlined request completes.
+    match service
+        .generate(GenParams {
+            seed: 3,
+            max_len: 24,
+            ..GenParams::default()
+        })
+        .expect("admitted")
+    {
+        Completion::Ok(_) => {}
+        other => panic!("expected ok, got {other:?}"),
+    }
+    service.shutdown();
+}
+
+#[test]
+fn server_default_deadline_times_out_over_the_wire() {
+    let eva = tiny_pretrained(28);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            batch_deadline_us: 100_000,
+            request_deadline_ms: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    // No per-request deadline: the server-wide 1 ms default applies and
+    // expires inside the 100 ms batch window.
+    match eva_serve::handle_line(&service, r#"{"op":"generate","id":9,"max_len":24}"#) {
+        Response::Timeout { id } => assert_eq!(id, 9),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+
+    // A per-request override can extend past the server default.
+    match eva_serve::handle_line(
+        &service,
+        r#"{"op":"generate","id":10,"max_len":24,"deadline_us":30000000}"#,
+    ) {
+        Response::Ok(ok) => assert_eq!(ok.id, 10),
+        other => panic!("expected ok, got {other:?}"),
+    }
+    assert!(service.metrics().rejected_timeout >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn read_timeout_disconnects_idle_connection() {
+    let eva = tiny_pretrained(29);
+    let service = Arc::new(GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            read_timeout_ms: 200,
+            ..ServeConfig::default()
+        },
+    ));
+    let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // Requests inside the idle window are served normally.
+    writer.write_all(b"{\"op\":\"ping\"}\n").expect("write");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert_eq!(
+        serde_json::from_str::<Response>(&reply).unwrap(),
+        Response::Pong
+    );
+
+    // Then go silent: the server hangs up (EOF on our side) instead of
+    // pinning its connection thread forever.
+    reply.clear();
+    let n = reader
+        .read_line(&mut reply)
+        .expect("clean EOF, not an error");
+    assert_eq!(n, 0, "server should close the idle connection");
+    server.stop();
 }
 
 #[test]

@@ -55,7 +55,10 @@ impl AcSolution {
 ///
 /// Panics if frequencies are not positive or `points < 2`.
 pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "positive increasing range");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "positive increasing range"
+    );
     assert!(points >= 2, "at least two points");
     let l0 = f_start.log10();
     let l1 = f_stop.log10();
@@ -146,7 +149,11 @@ pub fn ac_sweep(
                         MosPolarity::Nmos => 1.0,
                         MosPolarity::Pmos => -1.0,
                     };
-                    let (d, s) = if sign * (v(d0) - v(s0)) >= 0.0 { (d0, s0) } else { (s0, d0) };
+                    let (d, s) = if sign * (v(d0) - v(s0)) >= 0.0 {
+                        (d0, s0)
+                    } else {
+                        (s0, d0)
+                    };
                     let vgs = sign * (v(g0) - v(s));
                     let vds = sign * (v(d) - v(s));
                     let (kp, vt) = match polarity {
@@ -204,7 +211,10 @@ pub fn ac_sweep(
         row.extend_from_slice(&rhs[..nv]);
         phasors.push(row);
     }
-    Ok(AcSolution { freqs: freqs.to_vec(), phasors })
+    Ok(AcSolution {
+        freqs: freqs.to_vec(),
+        phasors,
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +241,11 @@ mod tests {
         n.add_element(
             "V1",
             vec![a, 0],
-            Element::Vsource { dc: 0.0, ac_mag: 1.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 0.0,
+                ac_mag: 1.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element("R1", vec![a, b], Element::Resistor { ohms: 1e3 });
         n.add_element("C1", vec![b, 0], Element::Capacitor { farads: 1e-6 });
@@ -241,7 +255,11 @@ mod tests {
         let sol = ac_sweep(&n, &tech, &op, &[fc / 100.0, fc, fc * 100.0]).unwrap();
         let mags = sol.magnitude(b);
         assert!((mags[0] - 1.0).abs() < 1e-3, "passband ~1: {}", mags[0]);
-        assert!((mags[1] - 1.0 / 2f64.sqrt()).abs() < 1e-3, "-3dB point: {}", mags[1]);
+        assert!(
+            (mags[1] - 1.0 / 2f64.sqrt()).abs() < 1e-3,
+            "-3dB point: {}",
+            mags[1]
+        );
         assert!(mags[2] < 0.02, "stopband: {}", mags[2]);
     }
 
@@ -254,7 +272,11 @@ mod tests {
         n.add_element(
             "V1",
             vec![a, 0],
-            Element::Vsource { dc: 0.0, ac_mag: 1.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 0.0,
+                ac_mag: 1.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element("L1", vec![a, b], Element::Inductor { henries: 1e-3 });
         n.add_element("R1", vec![b, 0], Element::Resistor { ohms: 1e3 });
@@ -277,18 +299,30 @@ mod tests {
         n.add_element(
             "VD",
             vec![vdd, 0],
-            Element::Vsource { dc: 1.8, ac_mag: 0.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 1.8,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element(
             "VG",
             vec![g, 0],
-            Element::Vsource { dc: 0.7, ac_mag: 1.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 0.7,
+                ac_mag: 1.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element("RD", vec![vdd, d], Element::Resistor { ohms: 5e3 });
         n.add_element(
             "M1",
             vec![d, g, 0],
-            Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+            Element::Mos {
+                polarity: MosPolarity::Nmos,
+                w: 10e-6,
+                l: 1e-6,
+            },
         );
         let tech = Tech::default();
         let op = dc_operating_point(&n, &tech).unwrap();

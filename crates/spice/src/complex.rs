@@ -50,7 +50,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Multiplicative inverse.
@@ -58,7 +61,10 @@ impl Complex {
     /// Dividing by zero yields infinities, matching `f64` semantics.
     pub fn recip(self) -> Complex {
         let d = self.norm_sqr();
-        Complex { re: self.re / d, im: -self.im / d }
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Whether either component is NaN.

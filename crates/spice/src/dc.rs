@@ -95,7 +95,13 @@ fn newton_stage(
 ) -> Option<(Vec<f64>, usize)> {
     let mut x = x0.to_vec();
     for iter in 1..=MAX_ITER {
-        let (m, mut rhs) = asm.assemble(&x, StampMode::Dc { source_scale, gshunt });
+        let (m, mut rhs) = asm.assemble(
+            &x,
+            StampMode::Dc {
+                source_scale,
+                gshunt,
+            },
+        );
         if m.solve_into(&mut rhs).is_err() {
             return None;
         }
@@ -180,7 +186,10 @@ pub fn dc_operating_point(netlist: &Netlist, tech: &Tech) -> Result<DcSolution, 
         }
     }
 
-    Err(SpiceError::NoConvergence { analysis: "dc", iterations: total_iters })
+    Err(SpiceError::NoConvergence {
+        analysis: "dc",
+        iterations: total_iters,
+    })
 }
 
 fn split(netlist: &Netlist, x: Vec<f64>, iterations: usize, nv: usize) -> DcSolution {
@@ -188,7 +197,11 @@ fn split(netlist: &Netlist, x: Vec<f64>, iterations: usize, nv: usize) -> DcSolu
     voltages.push(0.0);
     voltages.extend_from_slice(&x[..nv]);
     let branch_currents = x[nv..].to_vec();
-    DcSolution { voltages, branch_currents, iterations }
+    DcSolution {
+        voltages,
+        branch_currents,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +210,11 @@ mod tests {
     use crate::netlist::{Element, MosPolarity, Waveform};
 
     fn vsrc(dc: f64) -> Element {
-        Element::Vsource { dc, ac_mag: 0.0, waveform: Waveform::Dc }
+        Element::Vsource {
+            dc,
+            ac_mag: 0.0,
+            waveform: Waveform::Dc,
+        }
     }
 
     #[test]
@@ -278,7 +295,11 @@ mod tests {
         n.add_element(
             "M1",
             vec![d, d, 0],
-            Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+            Element::Mos {
+                polarity: MosPolarity::Nmos,
+                w: 10e-6,
+                l: 1e-6,
+            },
         );
         let sol = dc_operating_point(&n, &Tech::default()).unwrap();
         let vgs = sol.voltage(d);
@@ -302,11 +323,19 @@ mod tests {
         n.add_element(
             "M1",
             vec![out, 0, vdd],
-            Element::Mos { polarity: MosPolarity::Pmos, w: 10e-6, l: 1e-6 },
+            Element::Mos {
+                polarity: MosPolarity::Pmos,
+                w: 10e-6,
+                l: 1e-6,
+            },
         );
         n.add_element("R1", vec![out, 0], Element::Resistor { ohms: 100e3 });
         let sol = dc_operating_point(&n, &Tech::default()).unwrap();
-        assert!(sol.voltage(out) > 1.5, "pmos pulls output high: {}", sol.voltage(out));
+        assert!(
+            sol.voltage(out) > 1.5,
+            "pmos pulls output high: {}",
+            sol.voltage(out)
+        );
     }
 
     #[test]
@@ -321,7 +350,11 @@ mod tests {
         n.add_element(
             "Q1",
             vec![vdd, b, e],
-            Element::Bjt { polarity: crate::netlist::BjtPolarity::Npn, is: 1e-16, beta: 100.0 },
+            Element::Bjt {
+                polarity: crate::netlist::BjtPolarity::Npn,
+                is: 1e-16,
+                beta: 100.0,
+            },
         );
         n.add_element("R1", vec![e, 0], Element::Resistor { ohms: 10e3 });
         let sol = dc_operating_point(&n, &Tech::default()).unwrap();
@@ -342,12 +375,20 @@ mod tests {
             n.add_element(
                 "MP",
                 vec![out, inp, vdd],
-                Element::Mos { polarity: MosPolarity::Pmos, w: 20e-6, l: 1e-6 },
+                Element::Mos {
+                    polarity: MosPolarity::Pmos,
+                    w: 20e-6,
+                    l: 1e-6,
+                },
             );
             n.add_element(
                 "MN",
                 vec![out, inp, 0],
-                Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+                Element::Mos {
+                    polarity: MosPolarity::Nmos,
+                    w: 10e-6,
+                    l: 1e-6,
+                },
             );
             let sol = dc_operating_point(&n, &Tech::default()).unwrap();
             sol.voltage(out)

@@ -60,7 +60,11 @@ impl Stimulus {
     /// Harness tuned for switching power-converter measurements: a real
     /// resistive load and a faster clock.
     pub fn converter() -> Stimulus {
-        Stimulus { load_res: Some(100.0), clk_freq: 5e6, ..Stimulus::default() }
+        Stimulus {
+            load_res: Some(100.0),
+            clk_freq: 5e6,
+            ..Stimulus::default()
+        }
     }
 }
 
@@ -127,7 +131,11 @@ pub fn elaborate(
                 let _ = pin(PinRole::Bulk)?;
                 netlist.add_element(
                     device.name(),
-                    vec![pin(PinRole::Drain)?, pin(PinRole::Gate)?, pin(PinRole::Source)?],
+                    vec![
+                        pin(PinRole::Drain)?,
+                        pin(PinRole::Gate)?,
+                        pin(PinRole::Source)?,
+                    ],
                     Element::Mos { polarity, w, l },
                 );
             }
@@ -140,7 +148,11 @@ pub fn elaborate(
                 };
                 netlist.add_element(
                     device.name(),
-                    vec![pin(PinRole::Collector)?, pin(PinRole::Base)?, pin(PinRole::Emitter)?],
+                    vec![
+                        pin(PinRole::Collector)?,
+                        pin(PinRole::Base)?,
+                        pin(PinRole::Emitter)?,
+                    ],
                     Element::Bjt { polarity, is, beta },
                 );
             }
@@ -189,7 +201,10 @@ pub fn elaborate(
 
     // Attach port stimulus.
     let ports: Vec<CircuitPin> = topology.ports().into_iter().collect();
-    let n_vin = ports.iter().filter(|p| matches!(p, CircuitPin::Vin(_))).count();
+    let n_vin = ports
+        .iter()
+        .filter(|p| matches!(p, CircuitPin::Vin(_)))
+        .count();
     let mut driven_nodes: BTreeMap<usize, CircuitPin> = BTreeMap::new();
     let mut check_driveable = |port: CircuitPin, node: usize| -> Result<(), SpiceError> {
         if node == Netlist::GROUND {
@@ -211,7 +226,11 @@ pub fn elaborate(
                 netlist.add_element(
                     "VDD",
                     vec![node, Netlist::GROUND],
-                    Element::Vsource { dc: stimulus.vdd, ac_mag: 0.0, waveform: Waveform::Dc },
+                    Element::Vsource {
+                        dc: stimulus.vdd,
+                        ac_mag: 0.0,
+                        waveform: Waveform::Dc,
+                    },
                 );
             }
             CircuitPin::Vin(k) => {
@@ -230,7 +249,11 @@ pub fn elaborate(
                 netlist.add_element(
                     port.to_string(),
                     vec![node, Netlist::GROUND],
-                    Element::Vsource { dc: stimulus.input_dc, ac_mag, waveform: Waveform::Dc },
+                    Element::Vsource {
+                        dc: stimulus.input_dc,
+                        ac_mag,
+                        waveform: Waveform::Dc,
+                    },
                 );
             }
             CircuitPin::Vbias(k) => {
@@ -239,7 +262,11 @@ pub fn elaborate(
                 netlist.add_element(
                     port.to_string(),
                     vec![node, Netlist::GROUND],
-                    Element::Vsource { dc, ac_mag: 0.0, waveform: Waveform::Dc },
+                    Element::Vsource {
+                        dc,
+                        ac_mag: 0.0,
+                        waveform: Waveform::Dc,
+                    },
                 );
             }
             CircuitPin::Vref(_) => {
@@ -247,7 +274,11 @@ pub fn elaborate(
                 netlist.add_element(
                     port.to_string(),
                     vec![node, Netlist::GROUND],
-                    Element::Vsource { dc: stimulus.vref, ac_mag: 0.0, waveform: Waveform::Dc },
+                    Element::Vsource {
+                        dc: stimulus.vref,
+                        ac_mag: 0.0,
+                        waveform: Waveform::Dc,
+                    },
                 );
             }
             CircuitPin::Ctrl(_) => {
@@ -255,13 +286,21 @@ pub fn elaborate(
                 netlist.add_element(
                     port.to_string(),
                     vec![node, Netlist::GROUND],
-                    Element::Vsource { dc: stimulus.ctrl, ac_mag: 0.0, waveform: Waveform::Dc },
+                    Element::Vsource {
+                        dc: stimulus.ctrl,
+                        ac_mag: 0.0,
+                        waveform: Waveform::Dc,
+                    },
                 );
             }
             CircuitPin::Clk(k) => {
                 check_driveable(port, node)?;
                 // Odd clocks: high-first phase; even clocks: complement.
-                let (low, high) = if k % 2 == 1 { (0.0, stimulus.vdd) } else { (stimulus.vdd, 0.0) };
+                let (low, high) = if k % 2 == 1 {
+                    (0.0, stimulus.vdd)
+                } else {
+                    (stimulus.vdd, 0.0)
+                };
                 netlist.add_element(
                     port.to_string(),
                     vec![node, Netlist::GROUND],
@@ -282,7 +321,9 @@ pub fn elaborate(
                     netlist.add_element(
                         format!("CL_{port}"),
                         vec![node, Netlist::GROUND],
-                        Element::Capacitor { farads: stimulus.load_cap },
+                        Element::Capacitor {
+                            farads: stimulus.load_cap,
+                        },
                     );
                     if let Some(r) = stimulus.load_res {
                         netlist.add_element(
@@ -307,8 +348,13 @@ mod tests {
     /// NMOS common-source amplifier with resistor load.
     fn cs_amp() -> Topology {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.build().unwrap()
     }
@@ -331,8 +377,14 @@ mod tests {
         use eva_circuit::{Device, DeviceKind};
         let m1 = Device::new(DeviceKind::Nmos, 1);
         let t = Topology::from_edges([
-            (Node::pin(m1, PinRole::Gate), Node::Circuit(CircuitPin::Vin(1))),
-            (Node::pin(m1, PinRole::Drain), Node::Circuit(CircuitPin::Vout(1))),
+            (
+                Node::pin(m1, PinRole::Gate),
+                Node::Circuit(CircuitPin::Vin(1)),
+            ),
+            (
+                Node::pin(m1, PinRole::Drain),
+                Node::Circuit(CircuitPin::Vout(1)),
+            ),
             (Node::pin(m1, PinRole::Source), Node::VSS),
         ])
         .unwrap();
@@ -374,10 +426,20 @@ mod tests {
     #[test]
     fn differential_drive_when_two_inputs() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
-        b.nmos(CircuitPin::Vin(2), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
+        b.nmos(
+            CircuitPin::Vin(2),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         let t = b.build().unwrap();
         let n = elaborate(&t, &Sizing::default_for(&t), &Stimulus::default()).unwrap();
@@ -403,16 +465,30 @@ mod tests {
     #[test]
     fn clock_phases_complementary() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Clk(1), CircuitPin::Vout(1), CircuitPin::Vin(1), CircuitPin::Vss)
-            .unwrap();
-        b.nmos(CircuitPin::Clk(2), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Clk(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vin(1),
+            CircuitPin::Vss,
+        )
+        .unwrap();
+        b.nmos(
+            CircuitPin::Clk(2),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         let t = b.build().unwrap();
         let n = elaborate(&t, &Sizing::default_for(&t), &Stimulus::default()).unwrap();
         let mut highs = Vec::new();
         for e in n.elements() {
-            if let Element::Vsource { waveform: Waveform::Pulse { low, high, .. }, .. } = e.element {
+            if let Element::Vsource {
+                waveform: Waveform::Pulse { low, high, .. },
+                ..
+            } = e.element
+            {
                 if e.name.starts_with("CLK") {
                     highs.push((low, high));
                 }

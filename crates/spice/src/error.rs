@@ -46,8 +46,14 @@ impl fmt::Display for SpiceError {
             SpiceError::SingularMatrix { row } => {
                 write!(f, "singular system matrix at elimination step {row}")
             }
-            SpiceError::NoConvergence { analysis, iterations } => {
-                write!(f, "{analysis} analysis did not converge after {iterations} iterations")
+            SpiceError::NoConvergence {
+                analysis,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{analysis} analysis did not converge after {iterations} iterations"
+                )
             }
             SpiceError::InvalidCircuit { reason } => {
                 write!(f, "circuit is not simulatable: {reason}")
@@ -72,9 +78,19 @@ mod tests {
     fn display_messages() {
         let cases = [
             SpiceError::SingularMatrix { row: 3 }.to_string(),
-            SpiceError::NoConvergence { analysis: "dc", iterations: 200 }.to_string(),
-            SpiceError::InvalidCircuit { reason: "no VDD".into() }.to_string(),
-            SpiceError::MissingPort { port: "VOUT1".into() }.to_string(),
+            SpiceError::NoConvergence {
+                analysis: "dc",
+                iterations: 200,
+            }
+            .to_string(),
+            SpiceError::InvalidCircuit {
+                reason: "no VDD".into(),
+            }
+            .to_string(),
+            SpiceError::MissingPort {
+                port: "VOUT1".into(),
+            }
+            .to_string(),
             SpiceError::NumericalBlowup { analysis: "tran" }.to_string(),
         ];
         for msg in cases {

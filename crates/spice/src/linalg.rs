@@ -61,7 +61,10 @@ pub struct Matrix<S> {
 impl<S: Scalar> Matrix<S> {
     /// An `n × n` zero matrix.
     pub fn zeros(n: usize) -> Matrix<S> {
-        Matrix { n, data: vec![S::zero(); n * n] }
+        Matrix {
+            n,
+            data: vec![S::zero(); n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -238,7 +241,9 @@ mod tests {
         let mut m = Matrix::<f64>::zeros(n);
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for i in 0..n {

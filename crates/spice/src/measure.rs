@@ -76,7 +76,9 @@ pub fn measure_opamp(
     let netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
-        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+        .ok_or_else(|| SpiceError::MissingPort {
+            port: "VOUT1".into(),
+        })?;
     let op = dc_operating_point(&netlist, tech)?;
 
     // Static power: the VDD source delivers -i_branch * vdd.
@@ -110,7 +112,13 @@ pub fn measure_opamp(
     } else {
         gain_db * (unity_gain_freq / 1e6).min(1e3) / (power / 1e-3).max(1.0)
     };
-    Ok(OpampMetrics { dc_gain, bw_3db, unity_gain_freq, power, fom })
+    Ok(OpampMetrics {
+        dc_gain,
+        bw_3db,
+        unity_gain_freq,
+        power,
+        fom,
+    })
 }
 
 /// First frequency at which the (decreasing) magnitude falls below
@@ -154,7 +162,9 @@ pub fn measure_psrr(
     let mut netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
-        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+        .ok_or_else(|| SpiceError::MissingPort {
+            port: "VOUT1".into(),
+        })?;
     let mut found = false;
     for inst in netlist.elements_mut() {
         if let crate::netlist::Element::Vsource { ac_mag, .. } = &mut inst.element {
@@ -195,7 +205,9 @@ pub fn measure_oscillator(
     let netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
-        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+        .ok_or_else(|| SpiceError::MissingPort {
+            port: "VOUT1".into(),
+        })?;
     let op = dc_operating_point(&netlist, tech)?.perturbed(1e-3);
     let t_stop = 30.0 / f_guess;
     let dt = 1.0 / (f_guess * 200.0);
@@ -205,7 +217,9 @@ pub fn measure_oscillator(
     let tail = &wave[wave.len() / 2..];
     let (lo, hi) = tail
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     if hi - lo < 1e-3 {
         return Ok(0.0); // flat-lined: no oscillation
     }
@@ -231,7 +245,9 @@ pub fn measure_converter(
     let netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
-        .ok_or_else(|| SpiceError::MissingPort { port: "VOUT1".into() })?;
+        .ok_or_else(|| SpiceError::MissingPort {
+            port: "VOUT1".into(),
+        })?;
     let op = dc_operating_point(&netlist, tech)?;
 
     let period = 1.0 / stimulus.clk_freq;
@@ -270,7 +286,12 @@ pub fn measure_converter(
     let efficiency = (p_out / p_in).clamp(0.0, 1.0);
     let ratio_accuracy = (1.0 - (ratio - target_ratio).abs()).max(0.0);
     let fom = 2.0 * (efficiency + ratio_accuracy);
-    Ok(ConverterMetrics { vout, ratio, efficiency, fom })
+    Ok(ConverterMetrics {
+        vout,
+        ratio,
+        efficiency,
+        fom,
+    })
 }
 
 #[cfg(test)]
@@ -284,8 +305,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         // Tail bias.
         let tail = CircuitPin::Ctrl(7); // internal node expressed via wires
-        // Use device pins as internal nodes instead of fake ports: build
-        // with explicit wires.
+                                        // Use device pins as internal nodes instead of fake ports: build
+                                        // with explicit wires.
         let m1 = b.add(eva_circuit::DeviceKind::Nmos); // input +
         let m2 = b.add(eva_circuit::DeviceKind::Nmos); // input -
         let m3 = b.add(eva_circuit::DeviceKind::Pmos); // mirror diode
@@ -322,8 +343,13 @@ mod tests {
     #[test]
     fn ota_has_differential_gain() {
         let t = five_transistor_ota();
-        let m = measure_opamp(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
-            .unwrap();
+        let m = measure_opamp(
+            &t,
+            &Sizing::default_for(&t),
+            &Stimulus::default(),
+            &Tech::default(),
+        )
+        .unwrap();
         assert!(m.dc_gain > 10.0, "OTA gain should be >> 1: {}", m.dc_gain);
         assert!(m.unity_gain_freq > m.bw_3db, "UGB beyond the dominant pole");
         assert!(m.power > 0.0 && m.power < 10e-3, "sane power: {}", m.power);
@@ -338,8 +364,13 @@ mod tests {
         b.resistor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         let t = b.build().unwrap();
-        let m = measure_opamp(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
-            .unwrap();
+        let m = measure_opamp(
+            &t,
+            &Sizing::default_for(&t),
+            &Stimulus::default(),
+            &Tech::default(),
+        )
+        .unwrap();
         assert!(m.dc_gain < 1.0);
         assert_eq!(m.fom, 0.0);
     }
@@ -360,8 +391,13 @@ mod tests {
         // A differential OTA should amplify its inputs far more than VDD
         // ripple: PSRR well above 0 dB.
         let t = five_transistor_ota();
-        let psrr = measure_psrr(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
-            .unwrap();
+        let psrr = measure_psrr(
+            &t,
+            &Sizing::default_for(&t),
+            &Stimulus::default(),
+            &Tech::default(),
+        )
+        .unwrap();
         assert!(psrr > 6.0, "PSRR {psrr} dB");
     }
 
@@ -372,8 +408,13 @@ mod tests {
         b.resistor(CircuitPin::Vin(1), CircuitPin::Vout(1)).unwrap();
         b.resistor(CircuitPin::Vout(1), CircuitPin::Vss).unwrap();
         let t = b.build().unwrap();
-        let err = measure_psrr(&t, &Sizing::default_for(&t), &Stimulus::default(), &Tech::default())
-            .unwrap_err();
+        let err = measure_psrr(
+            &t,
+            &Sizing::default_for(&t),
+            &Stimulus::default(),
+            &Tech::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SpiceError::MissingPort { .. }), "{err}");
     }
 
@@ -435,22 +476,22 @@ mod tests {
                     sizing.set(dev, crate::sizing::DeviceParams::Mos { w: 2e-3, l: 0.2e-6 });
                 }
                 eva_circuit::DeviceKind::Inductor => {
-                    sizing.set(dev, crate::sizing::DeviceParams::Inductor { henries: 4.7e-6 });
+                    sizing.set(
+                        dev,
+                        crate::sizing::DeviceParams::Inductor { henries: 4.7e-6 },
+                    );
                 }
                 eva_circuit::DeviceKind::Capacitor => {
-                    sizing.set(dev, crate::sizing::DeviceParams::Capacitor { farads: 10e-9 });
+                    sizing.set(
+                        dev,
+                        crate::sizing::DeviceParams::Capacitor { farads: 10e-9 },
+                    );
                 }
                 _ => {}
             }
         }
-        let m = measure_converter(
-            &t,
-            &sizing,
-            &Stimulus::converter(),
-            &Tech::default(),
-            0.5,
-        )
-        .unwrap();
+        let m =
+            measure_converter(&t, &sizing, &Stimulus::converter(), &Tech::default(), 0.5).unwrap();
         assert!(m.vout > 0.2, "converter produces output: {m:?}");
         assert!(m.efficiency > 0.05, "nontrivial efficiency: {m:?}");
         assert!(m.fom > 0.5, "fom: {m:?}");

@@ -53,7 +53,14 @@ impl Default for Tech {
 ///
 /// Returns `(id, gm, gds)` with `id ≥ 0` flowing effective-drain →
 /// effective-source.
-pub fn mos_eval(vgs: f64, vds: f64, kp: f64, w_over_l: f64, vt: f64, lambda: f64) -> (f64, f64, f64) {
+pub fn mos_eval(
+    vgs: f64,
+    vds: f64,
+    kp: f64,
+    w_over_l: f64,
+    vt: f64,
+    lambda: f64,
+) -> (f64, f64, f64) {
     debug_assert!(vds >= 0.0, "caller normalizes vds");
     let vov = vgs - vt;
     if vov <= 0.0 {

@@ -62,7 +62,12 @@ impl Waveform {
     pub fn value(&self, dc: f64, t: f64) -> f64 {
         match *self {
             Waveform::Dc => dc,
-            Waveform::Pulse { low, high, period, duty } => {
+            Waveform::Pulse {
+                low,
+                high,
+                period,
+                duty,
+            } => {
                 let phase = (t / period).rem_euclid(1.0);
                 if phase < duty {
                     high
@@ -70,9 +75,11 @@ impl Waveform {
                     low
                 }
             }
-            Waveform::Sine { offset, amplitude, freq } => {
-                offset + amplitude * (2.0 * std::f64::consts::PI * freq * t).sin()
-            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * freq * t).sin(),
         }
     }
 }
@@ -214,17 +221,16 @@ impl Netlist {
     ///
     /// Panics if the node list length does not match the element kind or
     /// references an unknown node.
-    pub fn add_element(
-        &mut self,
-        name: impl Into<String>,
-        nodes: Vec<usize>,
-        element: Element,
-    ) {
+    pub fn add_element(&mut self, name: impl Into<String>, nodes: Vec<usize>, element: Element) {
         assert_eq!(nodes.len(), element.node_count(), "wrong node count");
         for &n in &nodes {
             assert!(n < self.node_count(), "unknown node index {n}");
         }
-        self.elements.push(ElementInstance { name: name.into(), nodes, element });
+        self.elements.push(ElementInstance {
+            name: name.into(),
+            nodes,
+            element,
+        });
     }
 
     /// The elements, in insertion order.
@@ -257,7 +263,10 @@ impl Netlist {
 
     /// Number of branch-current unknowns (voltage sources).
     pub fn branch_count(&self) -> usize {
-        self.elements.iter().filter(|e| e.element.has_branch()).count()
+        self.elements
+            .iter()
+            .filter(|e| e.element.has_branch())
+            .count()
     }
 
     /// Total MNA unknowns: `node_count - 1` node voltages plus branches.
@@ -349,7 +358,11 @@ mod tests {
         n.add_element(
             "V1",
             vec![a, Netlist::GROUND],
-            Element::Vsource { dc: 1.0, ac_mag: 0.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 1.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
         );
         assert_eq!(n.node_count(), 3);
         assert_eq!(n.elements().len(), 2);
@@ -385,11 +398,20 @@ mod tests {
     #[test]
     fn waveform_values() {
         assert_eq!(Waveform::Dc.value(2.5, 123.0), 2.5);
-        let p = Waveform::Pulse { low: 0.0, high: 1.0, period: 1e-6, duty: 0.5 };
+        let p = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            period: 1e-6,
+            duty: 0.5,
+        };
         assert_eq!(p.value(0.0, 0.1e-6), 1.0);
         assert_eq!(p.value(0.0, 0.6e-6), 0.0);
         assert_eq!(p.value(0.0, 1.1e-6), 1.0);
-        let s = Waveform::Sine { offset: 1.0, amplitude: 2.0, freq: 1.0 };
+        let s = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            freq: 1.0,
+        };
         assert!((s.value(0.0, 0.25) - 3.0).abs() < 1e-9);
     }
 
@@ -401,7 +423,11 @@ mod tests {
         n.add_element(
             "M1",
             vec![a, 0, 0],
-            Element::Mos { polarity: MosPolarity::Nmos, w: 1e-6, l: 1e-6 },
+            Element::Mos {
+                polarity: MosPolarity::Nmos,
+                w: 1e-6,
+                l: 1e-6,
+            },
         );
         let text = n.to_spice();
         assert!(text.contains("R1 a 0"));

@@ -51,9 +51,9 @@ pub fn parse_value(text: &str) -> Result<f64, SpiceError> {
         .last()
         .unwrap_or(0);
     let (num, suffix) = t.split_at(num_end);
-    let base: f64 = num
-        .parse()
-        .map_err(|_| SpiceError::InvalidCircuit { reason: format!("bad number {text:?}") })?;
+    let base: f64 = num.parse().map_err(|_| SpiceError::InvalidCircuit {
+        reason: format!("bad number {text:?}"),
+    })?;
     if suffix.is_empty() {
         return Ok(base);
     }
@@ -90,17 +90,26 @@ pub fn from_spice(text: &str) -> Result<Netlist, SpiceError> {
         if let Some(rest) = l.strip_prefix(".model") {
             let mut it = rest.split_whitespace();
             let name = it.next().map(str::to_ascii_lowercase);
-            let kind = it
-                .next()
-                .map(|k| k.trim_matches(|c| c == '(' || c == ')').to_ascii_lowercase());
+            let kind = it.next().map(|k| {
+                k.trim_matches(|c| c == '(' || c == ')')
+                    .to_ascii_lowercase()
+            });
             if let (Some(name), Some(kind)) = (name, kind) {
                 models.insert(name, kind);
             }
         }
     }
     // Built-in model names from the emitter.
-    for (name, kind) in [("nmos0", "nmos"), ("pmos0", "pmos"), ("d0", "d"), ("qn0", "npn"), ("qp0", "pnp")] {
-        models.entry(name.to_owned()).or_insert_with(|| kind.to_owned());
+    for (name, kind) in [
+        ("nmos0", "nmos"),
+        ("pmos0", "pmos"),
+        ("d0", "d"),
+        ("qn0", "npn"),
+        ("qp0", "pnp"),
+    ] {
+        models
+            .entry(name.to_owned())
+            .or_insert_with(|| kind.to_owned());
     }
 
     let mut node = |netlist: &mut Netlist, name: &str| -> usize {
@@ -194,7 +203,11 @@ pub fn from_spice(text: &str) -> Result<Netlist, SpiceError> {
                 netlist.add_element(
                     name,
                     vec![c, b, e],
-                    Element::Bjt { polarity, is: 1e-16, beta: 100.0 },
+                    Element::Bjt {
+                        polarity,
+                        is: 1e-16,
+                        beta: 100.0,
+                    },
                 );
             }
             'V' => {
@@ -224,7 +237,11 @@ pub fn from_spice(text: &str) -> Result<Netlist, SpiceError> {
                 netlist.add_element(
                     name,
                     vec![p, n],
-                    Element::Vsource { dc, ac_mag, waveform: Waveform::Dc },
+                    Element::Vsource {
+                        dc,
+                        ac_mag,
+                        waveform: Waveform::Dc,
+                    },
                 );
             }
             'I' => {
@@ -283,7 +300,9 @@ mod tests {
         assert_eq!(n.elements().len(), 3);
         let sol = dc_operating_point(&n, &Tech::default()).unwrap();
         // Node "out" was allocated second.
-        let out = (0..n.node_count()).find(|&i| n.node_name(i) == "out").unwrap();
+        let out = (0..n.node_count())
+            .find(|&i| n.node_name(i) == "out")
+            .unwrap();
         assert!((sol.voltage(out) - 7.5).abs() < 1e-6);
     }
 
@@ -297,22 +316,38 @@ mod tests {
         n.add_element(
             "VD",
             vec![vdd, 0],
-            Element::Vsource { dc: 1.8, ac_mag: 0.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 1.8,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element(
             "VI",
             vec![inp, 0],
-            Element::Vsource { dc: 0.4, ac_mag: 0.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 0.4,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element(
             "MP",
             vec![out, inp, vdd],
-            Element::Mos { polarity: MosPolarity::Pmos, w: 20e-6, l: 1e-6 },
+            Element::Mos {
+                polarity: MosPolarity::Pmos,
+                w: 20e-6,
+                l: 1e-6,
+            },
         );
         n.add_element(
             "MN",
             vec![out, inp, 0],
-            Element::Mos { polarity: MosPolarity::Nmos, w: 10e-6, l: 1e-6 },
+            Element::Mos {
+                polarity: MosPolarity::Nmos,
+                w: 10e-6,
+                l: 1e-6,
+            },
         );
         n.add_element("RL", vec![out, 0], Element::Resistor { ohms: 1e6 });
 

@@ -61,7 +61,10 @@ impl DeviceParams {
     pub fn default_for(kind: DeviceKind) -> DeviceParams {
         match kind {
             DeviceKind::Nmos | DeviceKind::Pmos => DeviceParams::Mos { w: 10e-6, l: 1e-6 },
-            DeviceKind::Npn | DeviceKind::Pnp => DeviceParams::Bjt { is: 1e-16, beta: 100.0 },
+            DeviceKind::Npn | DeviceKind::Pnp => DeviceParams::Bjt {
+                is: 1e-16,
+                beta: 100.0,
+            },
             DeviceKind::Resistor => DeviceParams::Resistor { ohms: 10e3 },
             DeviceKind::Capacitor => DeviceParams::Capacitor { farads: 1e-12 },
             DeviceKind::Inductor => DeviceParams::Inductor { henries: 1e-6 },

@@ -69,7 +69,12 @@ impl<'a> Assembler<'a> {
                 branch_of.push(None);
             }
         }
-        Assembler { netlist, tech, branch_of, nvars: next }
+        Assembler {
+            netlist,
+            tech,
+            branch_of,
+            nvars: next,
+        }
     }
 
     /// Total unknowns.
@@ -176,7 +181,11 @@ impl<'a> Assembler<'a> {
                         MosPolarity::Pmos => -1.0,
                     };
                     // Normalize so the effective vds >= 0 (MOS is symmetric).
-                    let (d, s) = if sign * (v(d0) - v(s0)) >= 0.0 { (d0, s0) } else { (s0, d0) };
+                    let (d, s) = if sign * (v(d0) - v(s0)) >= 0.0 {
+                        (d0, s0)
+                    } else {
+                        (s0, d0)
+                    };
                     let vgs = sign * (v(g0) - v(s));
                     let vds = sign * (v(d) - v(s));
                     let (kp, vt) = match polarity {
@@ -304,12 +313,20 @@ mod tests {
         n.add_element(
             "V1",
             vec![a, 0],
-            Element::Vsource { dc: 1.0, ac_mag: 0.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 1.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
         );
         n.add_element(
             "V2",
             vec![b, 0],
-            Element::Vsource { dc: 2.0, ac_mag: 0.0, waveform: Waveform::Dc },
+            Element::Vsource {
+                dc: 2.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
         );
         let tech = Tech::default();
         let asm = Assembler::new(&n, &tech);
@@ -326,7 +343,13 @@ mod tests {
         n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 2.0 });
         let tech = Tech::default();
         let asm = Assembler::new(&n, &tech);
-        let (m, rhs) = asm.assemble(&[0.0], StampMode::Dc { source_scale: 1.0, gshunt: 0.0 });
+        let (m, rhs) = asm.assemble(
+            &[0.0],
+            StampMode::Dc {
+                source_scale: 1.0,
+                gshunt: 0.0,
+            },
+        );
         assert!((m.get(0, 0) - (0.5 + tech.gmin)).abs() < 1e-15);
         assert_eq!(rhs[0], 0.0);
     }

@@ -173,7 +173,11 @@ pub fn transient(
             break;
         }
         t += h;
-        let mode = StampMode::Tran { h, t, state: &state };
+        let mode = StampMode::Tran {
+            h,
+            t,
+            state: &state,
+        };
         let mut converged = false;
         for _ in 0..MAX_ITER {
             let (m, mut rhs) = asm.assemble(&x, mode);
@@ -193,14 +197,21 @@ pub fn transient(
             }
         }
         if !converged {
-            return Err(SpiceError::NoConvergence { analysis: "tran", iterations: MAX_ITER });
+            return Err(SpiceError::NoConvergence {
+                analysis: "tran",
+                iterations: MAX_ITER,
+            });
         }
         asm.update_state(&x, h, &mut state);
         times.push(t);
         samples.push(state.voltages.clone());
         branches.push(x[nv..].to_vec());
     }
-    Ok(TranSolution { times, samples, branches })
+    Ok(TranSolution {
+        times,
+        samples,
+        branches,
+    })
 }
 
 #[cfg(test)]
@@ -222,7 +233,12 @@ mod tests {
             Element::Vsource {
                 dc: 0.0,
                 ac_mag: 0.0,
-                waveform: Waveform::Pulse { low: 1.0, high: 1.0, period: 1.0, duty: 0.5 },
+                waveform: Waveform::Pulse {
+                    low: 1.0,
+                    high: 1.0,
+                    period: 1.0,
+                    duty: 0.5,
+                },
             },
         );
         n.add_element("R1", vec![a, b], Element::Resistor { ohms: 1e3 });
@@ -259,7 +275,12 @@ mod tests {
             Element::Vsource {
                 dc: 0.0,
                 ac_mag: 0.0,
-                waveform: Waveform::Pulse { low: 1.0, high: 1.0, period: 1.0, duty: 0.5 },
+                waveform: Waveform::Pulse {
+                    low: 1.0,
+                    high: 1.0,
+                    period: 1.0,
+                    duty: 0.5,
+                },
             },
         );
         n.add_element("R1", vec![drv, tank], Element::Resistor { ohms: 100e3 });
@@ -287,7 +308,12 @@ mod tests {
             Element::Vsource {
                 dc: 0.0,
                 ac_mag: 0.0,
-                waveform: Waveform::Pulse { low: 0.0, high: 2.0, period: 1e-6, duty: 0.5 },
+                waveform: Waveform::Pulse {
+                    low: 0.0,
+                    high: 2.0,
+                    period: 1e-6,
+                    duty: 0.5,
+                },
             },
         );
         n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 1e3 });
@@ -295,7 +321,10 @@ mod tests {
         let op = dc_operating_point(&n, &tech).unwrap();
         let sol = transient(&n, &tech, &op, 10e-6, 10e-9).unwrap();
         let mean = sol.settled_mean(a, 0.5);
-        assert!((mean - 1.0).abs() < 0.1, "50% duty of 2V averages ~1V: {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.1,
+            "50% duty of 2V averages ~1V: {mean}"
+        );
     }
 
     #[test]

@@ -110,8 +110,13 @@ mod tests {
 
     fn cs_amp() -> Topology {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.build().unwrap()
     }
@@ -125,8 +130,13 @@ mod tests {
     #[test]
     fn missing_vdd_invalid() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         let r = check_validity(&b.build().unwrap());
         assert!(!r.is_valid());
         assert!(r.reasons().iter().any(|s| s.contains("VDD")));
@@ -144,8 +154,13 @@ mod tests {
     #[test]
     fn supply_short_invalid() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.wire(CircuitPin::Vdd, CircuitPin::Vss).unwrap();
         let r = check_validity(&b.build().unwrap());
@@ -159,8 +174,14 @@ mod tests {
         let m1 = Device::new(DeviceKind::Nmos, 1);
         // Bulk left unwired.
         let t = Topology::from_edges([
-            (Node::pin(m1, PinRole::Gate), Node::Circuit(CircuitPin::Vin(1))),
-            (Node::pin(m1, PinRole::Drain), Node::Circuit(CircuitPin::Vdd)),
+            (
+                Node::pin(m1, PinRole::Gate),
+                Node::Circuit(CircuitPin::Vin(1)),
+            ),
+            (
+                Node::pin(m1, PinRole::Drain),
+                Node::Circuit(CircuitPin::Vdd),
+            ),
             (Node::pin(m1, PinRole::Source), Node::VSS),
         ])
         .unwrap();
@@ -195,12 +216,21 @@ mod tests {
     #[test]
     fn port_conflict_invalid() {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         b.wire(CircuitPin::Vin(1), CircuitPin::Vbias(1)).unwrap();
         let r = check_validity(&b.build().unwrap());
         assert!(!r.is_valid());
-        assert!(r.reasons().iter().any(|s| s.contains("share a net")), "{:?}", r.reasons());
+        assert!(
+            r.reasons().iter().any(|s| s.contains("share a net")),
+            "{:?}",
+            r.reasons()
+        );
     }
 }

@@ -6,7 +6,11 @@ use eva_spice::{ac_sweep, dc_operating_point, from_spice, log_sweep, transient, 
 use proptest::prelude::*;
 
 fn vsrc(dc: f64, ac: f64) -> Element {
-    Element::Vsource { dc, ac_mag: ac, waveform: Waveform::Dc }
+    Element::Vsource {
+        dc,
+        ac_mag: ac,
+        waveform: Waveform::Dc,
+    }
 }
 
 /// Build a resistor ladder: V source into `n` series resistors to ground.
@@ -22,7 +26,11 @@ fn ladder(resistors: &[f64], volts: f64, ac: f64) -> (Netlist, Vec<usize>) {
         } else {
             n.add_node(format!("n{i}"))
         };
-        n.add_element(format!("R{i}"), vec![prev, next], Element::Resistor { ohms: r });
+        n.add_element(
+            format!("R{i}"),
+            vec![prev, next],
+            Element::Resistor { ohms: r },
+        );
         if next != Netlist::GROUND {
             taps.push(next);
         }

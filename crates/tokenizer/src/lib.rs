@@ -165,8 +165,7 @@ impl Tokenizer {
     where
         I: IntoIterator<Item = &'a EulerianSequence>,
     {
-        let token_lists: Vec<Vec<String>> =
-            sequences.into_iter().map(|s| s.tokens()).collect();
+        let token_lists: Vec<Vec<String>> = sequences.into_iter().map(|s| s.tokens()).collect();
         Tokenizer::fit(token_lists.iter().map(|v| v.as_slice()))
     }
 
@@ -204,9 +203,10 @@ impl Tokenizer {
         tokens
             .iter()
             .map(|t| {
-                self.id(t.as_ref()).ok_or_else(|| TokenizeError::UnknownToken {
-                    text: t.as_ref().to_owned(),
-                })
+                self.id(t.as_ref())
+                    .ok_or_else(|| TokenizeError::UnknownToken {
+                        text: t.as_ref().to_owned(),
+                    })
             })
             .collect()
     }
@@ -290,8 +290,13 @@ mod tests {
 
     fn sample_sequence() -> EulerianSequence {
         let mut b = TopologyBuilder::new();
-        b.nmos(CircuitPin::Vin(1), CircuitPin::Vout(1), CircuitPin::Vss, CircuitPin::Vss)
-            .unwrap();
+        b.nmos(
+            CircuitPin::Vin(1),
+            CircuitPin::Vout(1),
+            CircuitPin::Vss,
+            CircuitPin::Vss,
+        )
+        .unwrap();
         b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1)).unwrap();
         let t = b.build().unwrap();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
@@ -311,7 +316,9 @@ mod tests {
         // Seeing NM2_G implies tokens for NM1 and NM2, all four pins each.
         let seqs = vec![vec!["VSS".to_owned(), "NM2_G".to_owned(), "VSS".to_owned()]];
         let tok = Tokenizer::fit(seqs.iter().map(|s| s.as_slice()));
-        for t in ["NM1_G", "NM1_D", "NM1_S", "NM1_B", "NM2_G", "NM2_D", "NM2_S", "NM2_B"] {
+        for t in [
+            "NM1_G", "NM1_D", "NM1_S", "NM1_B", "NM2_G", "NM2_D", "NM2_S", "NM2_B",
+        ] {
             assert!(tok.id(t).is_some(), "missing {t}");
         }
         // 2 specials + VSS + 8 NMOS pins.
@@ -363,7 +370,10 @@ mod tests {
         let tok = Tokenizer::fit_sequences([&seq]);
         // A single VDD token: does not start at VSS.
         let ids = vec![tok.id("VDD").unwrap(), Tokenizer::END];
-        assert!(matches!(tok.to_sequence(&ids), Err(TokenizeError::BadWalk(_))));
+        assert!(matches!(
+            tok.to_sequence(&ids),
+            Err(TokenizeError::BadWalk(_))
+        ));
     }
 
     #[test]

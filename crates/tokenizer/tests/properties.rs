@@ -8,14 +8,13 @@ use proptest::prelude::*;
 /// Strategy: a random "corpus" of token sequences over random devices and
 /// ports, always framed by VSS.
 fn arb_corpus() -> impl Strategy<Value = Vec<Vec<String>>> {
-    let token = (0usize..DeviceKind::ALL.len(), 1u32..6, 0usize..8).prop_map(
-        |(k, ordinal, role_pick)| {
+    let token =
+        (0usize..DeviceKind::ALL.len(), 1u32..6, 0usize..8).prop_map(|(k, ordinal, role_pick)| {
             let kind = DeviceKind::ALL[k];
             let roles = kind.pin_roles();
             let role = roles[role_pick % roles.len()];
             Node::pin(Device::new(kind, ordinal), role).to_string()
-        },
-    );
+        });
     let middle = prop::collection::vec(token, 1..12);
     prop::collection::vec(
         middle.prop_map(|mut m| {

@@ -14,16 +14,35 @@ fn main() {
     println!("Building the full 11-family corpus …");
     let t0 = std::time::Instant::now();
     let corpus = Corpus::build(&CorpusOptions::default());
-    println!("  {} unique valid topologies in {:?}\n", corpus.len(), t0.elapsed());
+    println!(
+        "  {} unique valid topologies in {:?}\n",
+        corpus.len(),
+        t0.elapsed()
+    );
 
-    println!("{:<18} {:>6} {:>10} {:>10}", "family", "count", "devices", "edges");
+    println!(
+        "{:<18} {:>6} {:>10} {:>10}",
+        "family", "count", "devices", "edges"
+    );
     for (ty, n) in corpus.type_histogram() {
         let members = corpus.of_type(ty);
-        let avg_dev: f64 = members.iter().map(|e| e.topology.device_count() as f64).sum::<f64>()
+        let avg_dev: f64 = members
+            .iter()
+            .map(|e| e.topology.device_count() as f64)
+            .sum::<f64>()
             / members.len() as f64;
-        let avg_edge: f64 = members.iter().map(|e| e.topology.edge_count() as f64).sum::<f64>()
+        let avg_edge: f64 = members
+            .iter()
+            .map(|e| e.topology.edge_count() as f64)
+            .sum::<f64>()
             / members.len() as f64;
-        println!("{:<18} {:>6} {:>10.1} {:>10.1}", ty.to_string(), n, avg_dev, avg_edge);
+        println!(
+            "{:<18} {:>6} {:>10.1} {:>10.1}",
+            ty.to_string(),
+            n,
+            avg_dev,
+            avg_edge
+        );
     }
 
     // Sequence expansion + tokenizer, exactly as pretraining sees it.

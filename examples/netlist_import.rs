@@ -34,7 +34,11 @@ fn main() {
     let op = dc_operating_point(&netlist, &tech).expect("bias point");
     println!("\nBias point:");
     for node in 1..netlist.node_count() {
-        println!("  v({:<4}) = {:+.4} V", netlist.node_name(node), op.voltage(node));
+        println!(
+            "  v({:<4}) = {:+.4} V",
+            netlist.node_name(node),
+            op.voltage(node)
+        );
     }
 
     let out = (0..netlist.node_count())

@@ -27,7 +27,12 @@ fn main() {
         n_heads: 2,
         d_model: 64,
         max_seq_cap: None,
-        pretrain: PretrainConfig { steps: 1500, batch_size: 8, lr: 1e-3, warmup: 30 },
+        pretrain: PretrainConfig {
+            steps: 1500,
+            batch_size: 8,
+            lr: 1e-3,
+            warmup: 30,
+        },
     };
 
     println!("Preparing + pretraining …");
@@ -54,7 +59,12 @@ fn main() {
         println!("  DPO loss {:.3} → {:.3}", first.loss, last.loss);
     }
 
-    let ga = GaConfig { population: 16, generations: 8, threads: 4, ..GaConfig::default() };
+    let ga = GaConfig {
+        population: 16,
+        generations: 8,
+        threads: 4,
+        ..GaConfig::default()
+    };
 
     println!("\nDiscovery efficiency (10 attempts each):");
     for (name, model, temp) in [

@@ -20,17 +20,19 @@ fn main() {
             target_size: 80,
             decorate: false,
             validate: true,
-            families: Some(vec![
-                CircuitType::PowerConverter,
-                CircuitType::ScSampler,
-            ]),
+            families: Some(vec![CircuitType::PowerConverter, CircuitType::ScSampler]),
         },
         sequences_per_topology: 2,
         n_layers: 2,
         n_heads: 2,
         d_model: 64,
         max_seq_cap: None,
-        pretrain: PretrainConfig { steps: 900, batch_size: 8, lr: 1e-3, warmup: 30 },
+        pretrain: PretrainConfig {
+            steps: 900,
+            batch_size: 8,
+            lr: 1e-3,
+            warmup: 30,
+        },
     };
 
     println!("Preparing + pretraining on converter-heavy corpus …");
@@ -58,7 +60,12 @@ fn main() {
         );
     }
 
-    let ga = GaConfig { population: 12, generations: 6, threads: 4, ..GaConfig::default() };
+    let ga = GaConfig {
+        population: 12,
+        generations: 6,
+        threads: 4,
+        ..GaConfig::default()
+    };
     println!("\nConverter FoM@10:");
     for (name, model) in [
         ("EVA (Pretrain)", eva.model().clone()),
@@ -68,7 +75,13 @@ fn main() {
         generator.temperature = 0.7;
         generator.top_k = Some(8);
         let mut grng = ChaCha8Rng::seed_from_u64(77);
-        match fom_at_k(&mut generator, 10, CircuitType::PowerConverter, &ga, &mut grng) {
+        match fom_at_k(
+            &mut generator,
+            10,
+            CircuitType::PowerConverter,
+            &ga,
+            &mut grng,
+        ) {
             Some(f) => println!("  {name:<22} FoM@10 = {f:.2}"),
             None => println!("  {name:<22} FoM@10 = (no valid converter in 10 attempts)"),
         }

@@ -29,7 +29,12 @@ fn main() {
         n_heads: 2,
         d_model: 64,
         max_seq_cap: None,
-        pretrain: PretrainConfig { steps: 900, batch_size: 8, lr: 1e-3, warmup: 20 },
+        pretrain: PretrainConfig {
+            steps: 900,
+            batch_size: 8,
+            lr: 1e-3,
+            warmup: 20,
+        },
     };
     println!("Preparing corpus + model …");
     let mut eva = Eva::prepare(&options, &mut rng);
@@ -66,7 +71,10 @@ fn main() {
 
     // 4. Inspect the first valid one as a SPICE netlist.
     if let Some(topology) = valid.first() {
-        println!("\nFirst valid circuit ({} devices):", topology.device_count());
+        println!(
+            "\nFirst valid circuit ({} devices):",
+            topology.device_count()
+        );
         println!("{topology}");
         let sizing = Sizing::default_for(topology);
         match elaborate(topology, &sizing, &Stimulus::default()) {

@@ -6,8 +6,8 @@
 
 use eva_circuit::{CircuitPin, DeviceKind, PinRole, TopologyBuilder};
 use eva_spice::{
-    ac_sweep, dc_operating_point, elaborate, log_sweep, measure_converter, measure_opamp,
-    Sizing, Stimulus, Tech,
+    ac_sweep, dc_operating_point, elaborate, log_sweep, measure_converter, measure_opamp, Sizing,
+    Stimulus, Tech,
 };
 
 fn main() {
@@ -45,9 +45,16 @@ fn main() {
     let sizing = Sizing::default_for(&ota);
     let netlist = elaborate(&ota, &sizing, &Stimulus::default()).unwrap();
     let op = dc_operating_point(&netlist, &tech).unwrap();
-    println!("DC operating point ({} Newton iterations):", op.iterations());
+    println!(
+        "DC operating point ({} Newton iterations):",
+        op.iterations()
+    );
     for node in 0..netlist.node_count() {
-        println!("  v({}) = {:+.4} V", netlist.node_name(node), op.voltage(node));
+        println!(
+            "  v({}) = {:+.4} V",
+            netlist.node_name(node),
+            op.voltage(node)
+        );
     }
 
     let out = netlist.port_node(CircuitPin::Vout(1)).unwrap();
@@ -102,8 +109,7 @@ fn main() {
             _ => {}
         }
     }
-    let metrics =
-        measure_converter(&buck, &sizing, &Stimulus::converter(), &tech, 0.5).unwrap();
+    let metrics = measure_converter(&buck, &sizing, &Stimulus::converter(), &tech, 0.5).unwrap();
     println!(
         "Vout {:.3} V (ratio {:.2}), efficiency {:.1}%, FoM {:.2}",
         metrics.vout,

@@ -23,7 +23,12 @@ fn tiny_options() -> EvaOptions {
         n_heads: 2,
         d_model: 32,
         max_seq_cap: None,
-        pretrain: PretrainConfig { steps: 60, batch_size: 4, lr: 1e-3, warmup: 5 },
+        pretrain: PretrainConfig {
+            steps: 60,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 5,
+        },
     }
 }
 
@@ -42,7 +47,9 @@ fn corpus_sequences_tokenizer_round_trip() {
     let token_lists: Vec<Vec<String>> = records.iter().map(|r| r.sequence.tokens()).collect();
     let tokenizer = Tokenizer::fit(token_lists.iter().map(|v| v.as_slice()));
     for record in &records {
-        let ids = tokenizer.encode_sequence(&record.sequence).expect("in-vocabulary");
+        let ids = tokenizer
+            .encode_sequence(&record.sequence)
+            .expect("in-vocabulary");
         let seq = tokenizer.to_sequence(&ids).expect("decodable");
         let topo = seq.to_topology().expect("valid walk");
         assert_eq!(topo.canonical_hash(), record.source_hash);
@@ -61,7 +68,11 @@ fn corpus_entries_are_simulatable_and_measurable() {
     });
     let mut measured = 0;
     for e in corpus.entries() {
-        assert!(eva_spice::check_validity(&e.topology).is_valid(), "{}", e.variant);
+        assert!(
+            eva_spice::check_validity(&e.topology).is_valid(),
+            "{}",
+            e.variant
+        );
         if eva_dataset::measure_fom(&e.topology, CircuitType::Ldo).is_some() {
             measured += 1;
         }
@@ -83,8 +94,13 @@ fn pretrain_then_generate_then_evaluate() {
     let model = eva.model().clone();
     let generator = eva.generator("EVA (tiny)", &model, 0);
     let mut grng = ChaCha8Rng::seed_from_u64(4);
-    let report =
-        evaluate_generation(generator, 12, eva.reference_entries(), &classifier, &mut grng);
+    let report = evaluate_generation(
+        generator,
+        12,
+        eva.reference_entries(),
+        &classifier,
+        &mut grng,
+    );
     assert_eq!(report.requested, 12);
     assert!(report.validity >= 0.0 && report.validity <= 1.0);
     // The report is structurally sound even if the tiny model is weak.
@@ -99,12 +115,20 @@ fn finetune_data_feeds_both_ppo_and_dpo() {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let mut eva = Eva::prepare(&tiny_options(), &mut rng);
     eva.pretrain(
-        &PretrainConfig { steps: 30, batch_size: 4, lr: 1e-3, warmup: 3 },
+        &PretrainConfig {
+            steps: 30,
+            batch_size: 4,
+            lr: 1e-3,
+            warmup: 3,
+        },
         &mut rng,
     );
     let data = eva.finetune_data(CircuitType::Ldo, 24, &mut rng);
     assert!(!data.samples.is_empty());
-    assert!(data.samples.iter().any(|s| s.class == RankClass::Irrelevant));
+    assert!(data
+        .samples
+        .iter()
+        .any(|s| s.class == RankClass::Irrelevant));
 
     // Reward model trains on the labels.
     let rm = eva.train_reward_model(&data, 1, &mut rng);
@@ -123,7 +147,11 @@ fn finetune_data_feeds_both_ppo_and_dpo() {
     assert!(stats[0].total_loss.is_finite());
 
     // DPO runs end-to-end on pairs from the same labels.
-    let dpo = DpoConfig { epochs: 1, minibatch_size: 2, ..DpoConfig::default() };
+    let dpo = DpoConfig {
+        epochs: 1,
+        minibatch_size: 2,
+        ..DpoConfig::default()
+    };
     let (_policy, steps) = eva.finetune_dpo(&data, 6, dpo, &mut rng);
     assert!(!steps.is_empty());
     assert!(steps.iter().all(|s| s.loss.is_finite()));
