@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use eva_bench::RunArgs;
 use eva_core::{Eva, EvaOptions, PretrainConfig};
-use eva_serve::{Completion, GenParams, GenerationService, ServeConfig};
+use eva_serve::{Completion, GenParams, GenerationService, RetryPolicy, ServeConfig, SubmitError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -51,7 +51,12 @@ fn main() {
         batch_deadline_us: 500,
         ..ServeConfig::default()
     };
-    let service = Arc::new(GenerationService::from_artifacts(&eva.artifacts(), config));
+    let service = Arc::new(
+        GenerationService::from_artifacts(&eva.artifacts(), config).unwrap_or_else(|e| {
+            eprintln!("error: failed to start service: {e}");
+            std::process::exit(1);
+        }),
+    );
     eprintln!("[serve_bench] {workers} workers, {requests} requests, {CLIENTS} clients");
 
     let counter = Arc::new(AtomicU64::new(0));
@@ -63,7 +68,7 @@ fn main() {
             let base_seed = args.seed;
             std::thread::spawn(move || {
                 let mut latencies_us = Vec::new();
-                let (mut completed, mut errors, mut tokens) = (0u64, 0u64, 0u64);
+                let (mut completed, mut errors, mut retries, mut tokens) = (0u64, 0u64, 0u64, 0u64);
                 loop {
                     let i = counter.fetch_add(1, Ordering::SeqCst);
                     if i >= requests {
@@ -76,36 +81,59 @@ fn main() {
                     };
                     let sent = Instant::now();
                     // The queue is sized for the client count, but retry on
-                    // momentary overload so the bench measures throughput,
-                    // not shed load.
+                    // momentary overload (with the same bounded, seeded
+                    // backoff loadgen uses) so the bench measures throughput,
+                    // not shed load. Safe because generation is idempotent
+                    // by per-request seed.
+                    let mut backoff = RetryPolicy::default().backoff(base_seed.wrapping_add(i));
                     let completion = loop {
                         match service.generate(params.clone()) {
-                            Ok(c) => break c,
-                            Err(_) => std::thread::yield_now(),
+                            Ok(c) => break Some(c),
+                            Err(err) => {
+                                let hint = match err {
+                                    SubmitError::Overloaded { retry_after_ms } => {
+                                        Some(retry_after_ms)
+                                    }
+                                    _ => None,
+                                };
+                                match backoff.next_delay(hint) {
+                                    Some(delay) => {
+                                        retries += 1;
+                                        std::thread::sleep(delay);
+                                    }
+                                    None => break None,
+                                }
+                            }
                         }
                     };
                     let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     match completion {
-                        Completion::Ok(g) => {
+                        Some(Completion::Ok(g)) => {
                             completed += 1;
                             tokens += g.sampled as u64;
                             latencies_us.push(us);
                         }
-                        Completion::Timeout { .. } | Completion::Error { .. } => errors += 1,
+                        Some(
+                            Completion::Timeout { .. }
+                            | Completion::Error { .. }
+                            | Completion::Internal { .. },
+                        )
+                        | None => errors += 1,
                     }
                 }
-                (latencies_us, completed, errors, tokens)
+                (latencies_us, completed, errors, retries, tokens)
             })
         })
         .collect();
 
     let mut latencies_us = Vec::new();
-    let (mut completed, mut errors, mut tokens) = (0u64, 0u64, 0u64);
+    let (mut completed, mut errors, mut retries, mut tokens) = (0u64, 0u64, 0u64, 0u64);
     for handle in handles {
-        if let Ok((lat, c, e, t)) = handle.join() {
+        if let Ok((lat, c, e, r, t)) = handle.join() {
             latencies_us.extend(lat);
             completed += c;
             errors += e;
+            retries += r;
             tokens += t;
         }
     }
@@ -124,6 +152,7 @@ fn main() {
         "requests": requests,
         "completed": completed,
         "errors": errors,
+        "retries": retries,
         "elapsed_s": elapsed,
         "requests_per_s": completed as f64 / elapsed,
         "tokens_per_s": tokens as f64 / elapsed,
@@ -133,6 +162,11 @@ fn main() {
         // pool ran, and how many requests each one carried on average.
         "batches": snapshot.batches,
         "mean_batch_size": snapshot.mean_batch_size,
+        // Robustness trajectory: restarts stay 0 on a healthy run; shed
+        // rate shows how much of the offered load was pushed back.
+        "worker_restarts": snapshot.worker_restarts,
+        "shed": snapshot.shed,
+        "shed_rate": snapshot.shed as f64 / (requests.max(1)) as f64,
         "metrics": snapshot,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");

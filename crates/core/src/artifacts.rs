@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use eva_model::{ModelConfig, Transformer};
 use eva_nn::ckpt::{atomic_write, crc64, read_verified, CkptError, FileIntegrity};
-use eva_nn::ParamSet;
+use eva_nn::{fault, ParamSet};
 use eva_tokenizer::Tokenizer;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -90,6 +90,11 @@ impl EvaArtifacts {
     /// (no integrity records) still load, without checksum verification.
     pub fn load<P: AsRef<Path>>(dir: P) -> Result<EvaArtifacts, CkptError> {
         let dir = dir.as_ref();
+        if let Some(e) =
+            fault::io_error(fault::FaultPoint::ArtifactLoad, &dir.display().to_string())
+        {
+            return Err(CkptError::Io(e));
+        }
         let manifest_bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
         let manifest: Manifest =
             serde_json::from_slice(&manifest_bytes).map_err(|e| CkptError::Corrupt {

@@ -33,4 +33,8 @@ pub mod pretrain;
 pub use artifacts::EvaArtifacts;
 pub use engine::{Eva, EvaGenerator, EvaOptions};
 pub use eva_nn::ckpt::CkptError;
+// The ISSUE-facing name is `eva_core::fault`; the implementation lives in
+// eva-nn (the workspace's lowest layer) so the checkpoint writer can inject
+// into itself without a dependency cycle.
+pub use eva_nn::fault;
 pub use pretrain::{pretrain, validation_loss, PretrainConfig, PretrainRun};

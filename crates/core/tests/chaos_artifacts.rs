@@ -1,0 +1,149 @@
+//! Chaos tests for the artifact store: injected I/O failures
+//! ([`eva_core::fault`], the `EVA_FAULT_PLAN` engine) must surface as
+//! typed errors and must never corrupt a previously committed artifact
+//! directory — the manifest-last, atomic-write discipline under proof.
+//!
+//! The fault injector is process-global, so these tests serialize on one
+//! lock and clear the plan on exit even when the test panics.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use eva_core::artifacts::{MANIFEST_FILE, PARAMS_FILE};
+use eva_core::fault::{self, Fault};
+use eva_core::{CkptError, Eva, EvaArtifacts, EvaOptions, PretrainConfig};
+use eva_nn::ckpt::crc64;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears any installed plan when a test exits, pass or fail.
+struct PlanGuard;
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+fn pretrained_eva(seed: u64) -> Eva {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let config = PretrainConfig {
+        steps: 8,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 2,
+    };
+    eva.pretrain(&config, &mut rng);
+    eva
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eva_chaos_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A v2 manifest whose payload file is gone entirely: the directory
+/// *parses* but lies about its contents — that is an integrity failure
+/// (the manifest is the commit record), not a bare "file not found".
+#[test]
+fn missing_payload_is_an_integrity_failure() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    fault::clear();
+    let eva = pretrained_eva(41);
+    let dir = fresh_dir("missing_payload");
+    eva.save_artifacts(&dir).expect("save artifacts");
+    std::fs::remove_file(dir.join(PARAMS_FILE)).expect("drop the payload");
+    match EvaArtifacts::load(&dir) {
+        Err(CkptError::Integrity {
+            file,
+            expected,
+            actual,
+        }) => {
+            assert_eq!(file, PARAMS_FILE);
+            assert_eq!(actual, crc64(&[]), "a missing file checks as empty");
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected Integrity error for missing payload, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A torn write — the injector kills `atomic_write` after the temp file
+/// is written but before the rename — must fail the save with a typed
+/// error and leave the previously committed artifacts fully readable.
+#[test]
+fn torn_write_preserves_previous_artifacts() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    fault::clear();
+    let first = pretrained_eva(42);
+    let dir = fresh_dir("torn_write");
+    first.save_artifacts(&dir).expect("initial save");
+    let committed = EvaArtifacts::load(&dir).expect("initial load");
+
+    // A different engine, so a torn overwrite would be detectable.
+    let second = pretrained_eva(43);
+    fault::install(Fault::parse("io_rename:nth=1").expect("plan parses"));
+    let err = second
+        .save_artifacts(&dir)
+        .expect_err("torn write reports failure");
+    assert!(
+        err.to_string().contains("injected fault io_rename"),
+        "typed, labelled failure: {err}"
+    );
+    fault::clear();
+
+    // The directory still holds the *first* save, bit-exactly: the torn
+    // rename never touched the committed files.
+    let reloaded = EvaArtifacts::load(&dir).expect("previous artifacts still load");
+    assert_eq!(reloaded.model.config(), committed.model.config());
+    assert_eq!(
+        reloaded.model.params().tensor(0).data(),
+        committed.model.params().tensor(0).data()
+    );
+    assert_eq!(&*reloaded.tokenizer, &*committed.tokenizer);
+    // No stray temp files survive the failed save.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dir listing")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name != PARAMS_FILE && name != MANIFEST_FILE)
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "stray files after torn save: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An injected write refusal fails the save with a typed, labelled error
+/// before any file is created.
+#[test]
+fn injected_write_failure_is_typed_and_leaves_nothing_behind() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    fault::clear();
+    let eva = pretrained_eva(44);
+    let dir = fresh_dir("io_write");
+    fault::install(Fault::parse("io_write:nth=1").expect("plan parses"));
+    let err = eva
+        .save_artifacts(&dir)
+        .expect_err("injected write failure reports");
+    assert!(
+        err.to_string().contains("injected fault io_write"),
+        "typed, labelled failure: {err}"
+    );
+    fault::clear();
+    assert!(
+        !dir.join(PARAMS_FILE).exists() && !dir.join(MANIFEST_FILE).exists(),
+        "refused write leaves no artifacts"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

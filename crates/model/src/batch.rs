@@ -27,7 +27,7 @@
 //! serve worker; [`decode_batch`] drives any mix of prompted/unprompted
 //! lanes with per-lane seed, temperature, top-k and length caps.
 
-use eva_nn::{matmul_kouter_into, par_rows_mut, pool, Tensor};
+use eva_nn::{fault, matmul_kouter_into, par_rows_mut, pool, Tensor};
 use eva_tokenizer::TokenId;
 use rand::Rng;
 
@@ -251,6 +251,9 @@ impl<'m> BatchGenerator<'m> {
     /// caller bugs, unlike the per-lane `InferError`s which model bad
     /// *sequences*.
     pub fn step(&mut self, feed: &[(usize, TokenId)]) -> Vec<Result<Vec<f32>, InferError>> {
+        // Chaos seam: stall (latency only — the computed values below are
+        // untouched) when a `decode_slow` fault plan is installed.
+        fault::sleep(fault::FaultPoint::DecodeSlow);
         let cfg = *self.model.config();
         let d = cfg.d_model;
         let p = self.model.params();

@@ -24,6 +24,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::fault;
 use crate::optim::AdamW;
 use crate::params::ParamSet;
 use crate::tensor::Tensor;
@@ -159,6 +160,9 @@ pub fn crc64(bytes: &[u8]) -> u64 {
 /// rename. Readers never observe a partially-written file; a crash leaves
 /// either the old content or the new, never a mix.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(e) = fault::io_error(fault::FaultPoint::IoWrite, &path.display().to_string()) {
+        return Err(e);
+    }
     let dir: PathBuf = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),
@@ -180,7 +184,15 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.sync_all()?;
         Ok(())
     })();
-    if let Err(e) = write.and_then(|()| fs::rename(&tmp, path)) {
+    // Torn-write injection: the temp file exists and is synced, but the
+    // commit-point rename never happens — exactly a crash at this line.
+    let renamed = write.and_then(|()| {
+        match fault::io_error(fault::FaultPoint::IoRename, &path.display().to_string()) {
+            Some(e) => Err(e),
+            None => fs::rename(&tmp, path),
+        }
+    });
+    if let Err(e) = renamed {
         let _ = fs::remove_file(&tmp);
         return Err(e);
     }
@@ -202,8 +214,23 @@ pub struct FileIntegrity {
 }
 
 /// Read `dir/name`, checking its length and CRC64 against `entry`.
+///
+/// A payload the manifest promises but the directory lacks is an integrity
+/// failure, not a generic I/O error: the manifest is the commit record, so
+/// a missing file means the artifact is torn (e.g. a payload was deleted
+/// after commit) and callers should treat it like a checksum mismatch.
 pub fn read_verified(dir: &Path, name: &str, entry: &FileIntegrity) -> Result<Vec<u8>, CkptError> {
-    let data = fs::read(dir.join(name))?;
+    let data = match fs::read(dir.join(name)) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(CkptError::Integrity {
+                file: name.to_owned(),
+                expected: entry.crc64,
+                actual: crc64(&[]),
+            });
+        }
+        Err(e) => return Err(e.into()),
+    };
     if data.len() as u64 != entry.bytes {
         return Err(CkptError::Corrupt {
             file: name.to_owned(),

@@ -24,6 +24,9 @@
 //! - [`ckpt`] — crash-safe persistence: atomic temp+fsync+rename writes,
 //!   CRC64-verified manifests, and [`ckpt::TrainCheckpoint`] snapshots
 //!   (params + optimizer moments + RNG state) for bit-exact resume.
+//! - [`fault`] — seeded, deterministic fault injection (`EVA_FAULT_PLAN`)
+//!   threaded through the write/decode/serve seams; zero-cost no-op when
+//!   no plan is set.
 //!
 //! ## Example: fit a tiny regression
 //!
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod ckpt;
+pub mod fault;
 pub mod optim;
 pub mod params;
 pub mod pool;

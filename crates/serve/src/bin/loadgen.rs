@@ -4,12 +4,17 @@
 //! ```text
 //! cargo run -p eva-serve --release --bin loadgen -- \
 //!     [--addr 127.0.0.1:7878] [--requests 200] [--connections 8] \
-//!     [--seed N] [--max-len N] [--temperature T] [--top-k K] [--validate]
+//!     [--seed N] [--max-len N] [--temperature T] [--top-k K] [--validate] \
+//!     [--retries 3] [--retry-base-ms 5] [--retry-cap-ms 500]
 //! ```
 //!
 //! Each connection keeps one request in flight; total concurrency equals
-//! `--connections`. The summary line is JSON so runs can be diffed and
-//! archived; the final server-side metrics snapshot follows it.
+//! `--connections`. Shed (`overloaded`) and `internal_error` replies are
+//! retried up to `--retries` times with decorrelated-jitter backoff
+//! (honoring the server's `retry_after_ms` hint) — safe because
+//! generation is idempotent by the per-request seed. `--retries 0`
+//! restores fire-once behavior. The summary line is JSON so runs can be
+//! diffed and archived; the final server-side metrics snapshot follows it.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -17,13 +22,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use eva_serve::{GenerateRequest, Request, Response};
+use eva_serve::{GenerateRequest, Request, Response, RetryPolicy};
 
 #[derive(Default)]
 struct WorkerStats {
     completed: u64,
     rejected: u64,
+    overloaded: u64,
+    internal: u64,
     errors: u64,
+    retries: u64,
     tokens: u64,
     latencies_us: Vec<u64>,
 }
@@ -37,6 +45,7 @@ fn main() {
     let mut temperature: Option<f32> = None;
     let mut top_k: Option<usize> = None;
     let mut validate = false;
+    let mut retry = RetryPolicy::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +58,9 @@ fn main() {
             "--temperature" => temperature = args.next().and_then(|v| v.parse().ok()),
             "--top-k" => top_k = args.next().and_then(|v| v.parse().ok()),
             "--validate" => validate = true,
+            "--retries" => parse_into(&mut retry.max_retries, args.next()),
+            "--retry-base-ms" => parse_into(&mut retry.base_ms, args.next()),
+            "--retry-cap-ms" => parse_into(&mut retry.cap_ms, args.next()),
             other => eprintln!("[loadgen] ignoring unknown flag {other:?}"),
         }
     }
@@ -90,28 +102,67 @@ fn main() {
                     break;
                 };
                 line.push('\n');
+                // Retries resend the identical line (same id, same seed):
+                // generation is deterministic by seed, so a retried request
+                // is idempotent. The backoff stream is seeded per request so
+                // a rerun of loadgen sleeps the same schedule.
+                let mut backoff = retry.backoff(seed.wrapping_add(i) ^ 0x5EED_4B0F);
                 let sent = Instant::now();
-                if writer.write_all(line.as_bytes()).is_err() {
-                    eprintln!("[loadgen] write failed; dropping connection");
-                    break;
-                }
-                let mut reply = String::new();
-                match reader.read_line(&mut reply) {
-                    Ok(0) | Err(_) => {
-                        eprintln!("[loadgen] connection closed by server");
+                let mut disconnected = false;
+                loop {
+                    if writer.write_all(line.as_bytes()).is_err() {
+                        eprintln!("[loadgen] write failed; dropping connection");
+                        disconnected = true;
                         break;
                     }
-                    Ok(_) => {}
-                }
-                let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                match serde_json::from_str::<Response>(&reply) {
-                    Ok(Response::Ok(ok)) => {
-                        stats.completed += 1;
-                        stats.tokens += ok.sampled as u64;
-                        stats.latencies_us.push(latency);
+                    let mut reply = String::new();
+                    match reader.read_line(&mut reply) {
+                        Ok(0) | Err(_) => {
+                            eprintln!("[loadgen] connection closed by server");
+                            disconnected = true;
+                            break;
+                        }
+                        Ok(_) => {}
                     }
-                    Ok(Response::Rejected { .. }) => stats.rejected += 1,
-                    Ok(_) | Err(_) => stats.errors += 1,
+                    let latency = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    // Shed and internal-error replies are retryable; anything
+                    // else is final for this request.
+                    let hint_ms = match serde_json::from_str::<Response>(&reply) {
+                        Ok(Response::Ok(ok)) => {
+                            stats.completed += 1;
+                            stats.tokens += ok.sampled as u64;
+                            stats.latencies_us.push(latency);
+                            break;
+                        }
+                        Ok(Response::Overloaded { retry_after_ms, .. }) => Some(retry_after_ms),
+                        Ok(Response::InternalError { .. }) => None,
+                        Ok(Response::Rejected { .. }) => {
+                            stats.rejected += 1;
+                            break;
+                        }
+                        Ok(_) | Err(_) => {
+                            stats.errors += 1;
+                            break;
+                        }
+                    };
+                    match backoff.next_delay(hint_ms) {
+                        Some(delay) => {
+                            stats.retries += 1;
+                            std::thread::sleep(delay);
+                        }
+                        None => {
+                            // Retry budget spent: record the terminal verdict.
+                            if hint_ms.is_some() {
+                                stats.overloaded += 1;
+                            } else {
+                                stats.internal += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+                if disconnected {
+                    break;
                 }
             }
             stats
@@ -123,20 +174,27 @@ fn main() {
         let stats = handle.join().unwrap_or_default();
         total.completed += stats.completed;
         total.rejected += stats.rejected;
+        total.overloaded += stats.overloaded;
+        total.internal += stats.internal;
         total.errors += stats.errors;
+        total.retries += stats.retries;
         total.tokens += stats.tokens;
         total.latencies_us.extend(stats.latencies_us);
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     total.latencies_us.sort_unstable();
 
-    let answered = total.completed + total.rejected + total.errors;
+    let answered =
+        total.completed + total.rejected + total.overloaded + total.internal + total.errors;
     let summary = serde_json::json!({
         "requests": requests,
         "answered": answered,
         "completed": total.completed,
         "rejected": total.rejected,
+        "overloaded": total.overloaded,
+        "internal_errors": total.internal,
         "errors": total.errors,
+        "retries": total.retries,
         "tokens": total.tokens,
         "elapsed_s": elapsed,
         "requests_per_s": answered as f64 / elapsed,

@@ -4,7 +4,8 @@
 //! cargo run -p eva-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
 //!     [--batch N] [--deadline-us N] [--validate] [--seed N] [--demo-steps N] \
-//!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N]
+//!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N] \
+//!     [--shed-watermark-pct N] [--restart-backoff-ms N]
 //! ```
 //!
 //! Without `--artifacts` it pretrains a small demo model in-process (a few
@@ -38,6 +39,8 @@ fn main() {
             "--read-timeout-ms" => parse_into(&mut config.read_timeout_ms, args.next()),
             "--write-timeout-ms" => parse_into(&mut config.write_timeout_ms, args.next()),
             "--request-deadline-ms" => parse_into(&mut config.request_deadline_ms, args.next()),
+            "--shed-watermark-pct" => parse_into(&mut config.shed_watermark_pct, args.next()),
+            "--restart-backoff-ms" => parse_into(&mut config.restart_backoff_ms, args.next()),
             "--seed" => parse_into(&mut seed, args.next()),
             "--demo-steps" => parse_into(&mut demo_steps, args.next()),
             other => {
@@ -76,10 +79,12 @@ fn main() {
         }
     };
 
-    let service = Arc::new(GenerationService::from_artifacts(
-        &artifacts,
-        config.clone(),
-    ));
+    let service = Arc::new(
+        GenerationService::from_artifacts(&artifacts, config.clone()).unwrap_or_else(|e| {
+            eprintln!("error: failed to start service: {e}");
+            std::process::exit(1);
+        }),
+    );
     let server = eva_serve::serve(Arc::clone(&service), addr.as_str()).unwrap_or_else(|e| {
         eprintln!("error: failed to bind {addr}: {e}");
         std::process::exit(1);
@@ -100,18 +105,28 @@ fn main() {
         config.read_timeout_ms, config.write_timeout_ms, config.request_deadline_ms
     );
 
+    if std::env::var("EVA_FAULT_PLAN").is_ok_and(|p| !p.trim().is_empty()) {
+        eprintln!("[serve] EVA_FAULT_PLAN is set: deterministic fault injection is ACTIVE");
+    }
+
     loop {
         std::thread::sleep(Duration::from_secs(30));
         let snapshot = service.metrics();
         eprintln!(
-            "[metrics] accepted {} rejected {} timeout {} completed {} errored {} tokens {} queue {}",
+            "[metrics] accepted {} rejected {} shed {} timeout {} completed {} errored {} \
+             internal {} tokens {} queue {} workers {} restarts {} conns {}",
             snapshot.accepted,
             snapshot.rejected,
+            snapshot.shed,
             snapshot.rejected_timeout,
             snapshot.completed,
             snapshot.errored,
+            snapshot.internal_errors,
             snapshot.tokens_generated,
-            snapshot.queue_depth
+            snapshot.queue_depth,
+            snapshot.live_workers,
+            snapshot.worker_restarts,
+            snapshot.active_connections
         );
     }
 }

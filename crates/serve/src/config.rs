@@ -47,6 +47,24 @@ pub struct ServeConfig {
     /// [`crate::protocol::GenerateRequest::deadline_us`].
     #[serde(default)]
     pub request_deadline_ms: u64,
+    /// Load-shedding watermark as a percentage of `queue_capacity`:
+    /// submissions arriving while the queue holds at least
+    /// `queue_capacity * shed_watermark_pct / 100` requests are refused
+    /// with a typed `overloaded` response carrying a retry hint, before
+    /// touching the queue. `100` (the default) sheds only at a full
+    /// queue; lower it to start shedding earlier under sustained
+    /// pressure.
+    #[serde(default = "default_shed_watermark_pct")]
+    pub shed_watermark_pct: u8,
+    /// Initial supervisor backoff in milliseconds before respawning a
+    /// panicked worker; doubles per consecutive panic of the same worker
+    /// slot up to [`ServeConfig::restart_backoff_max_ms`]. `0` respawns
+    /// immediately (used by chaos tests).
+    #[serde(default = "default_restart_backoff_ms")]
+    pub restart_backoff_ms: u64,
+    /// Cap on the supervisor's exponential restart backoff.
+    #[serde(default = "default_restart_backoff_max_ms")]
+    pub restart_backoff_max_ms: u64,
 }
 
 fn default_read_timeout_ms() -> u64 {
@@ -55,6 +73,18 @@ fn default_read_timeout_ms() -> u64 {
 
 fn default_write_timeout_ms() -> u64 {
     10_000
+}
+
+fn default_shed_watermark_pct() -> u8 {
+    100
+}
+
+fn default_restart_backoff_ms() -> u64 {
+    10
+}
+
+fn default_restart_backoff_max_ms() -> u64 {
+    1_000
 }
 
 impl Default for ServeConfig {
@@ -72,6 +102,9 @@ impl Default for ServeConfig {
             read_timeout_ms: default_read_timeout_ms(),
             write_timeout_ms: default_write_timeout_ms(),
             request_deadline_ms: 0,
+            shed_watermark_pct: default_shed_watermark_pct(),
+            restart_backoff_ms: default_restart_backoff_ms(),
+            restart_backoff_max_ms: default_restart_backoff_max_ms(),
         }
     }
 }
@@ -95,6 +128,15 @@ impl ServeConfig {
     /// The default per-request deadline, or `None` when disabled (`0`).
     pub fn request_deadline(&self) -> Option<Duration> {
         millis_opt(self.request_deadline_ms)
+    }
+
+    /// Queue depth at which submissions start shedding: a fraction of
+    /// `queue_capacity` per the watermark, but at least 1 so a nonzero
+    /// queue never sheds everything.
+    pub fn shed_capacity(&self) -> usize {
+        let cap = self.queue_capacity.max(1);
+        let pct = usize::from(self.shed_watermark_pct.min(100));
+        (cap * pct / 100).max(1)
     }
 }
 
@@ -164,5 +206,36 @@ mod tests {
         assert_eq!(c.read_timeout_ms, default_read_timeout_ms());
         assert_eq!(c.write_timeout_ms, default_write_timeout_ms());
         assert_eq!(c.request_deadline_ms, 0);
+        assert_eq!(c.shed_watermark_pct, 100);
+        assert_eq!(c.restart_backoff_ms, default_restart_backoff_ms());
+        assert_eq!(c.restart_backoff_max_ms, default_restart_backoff_max_ms());
+    }
+
+    #[test]
+    fn shed_capacity_scales_with_watermark() {
+        let c = ServeConfig {
+            queue_capacity: 64,
+            shed_watermark_pct: 100,
+            ..ServeConfig::default()
+        };
+        assert_eq!(c.shed_capacity(), 64);
+        let c = ServeConfig {
+            shed_watermark_pct: 50,
+            ..c
+        };
+        assert_eq!(c.shed_capacity(), 32);
+        // Tiny queues never shed to zero; out-of-range percentages clamp.
+        let c = ServeConfig {
+            queue_capacity: 1,
+            shed_watermark_pct: 10,
+            ..c
+        };
+        assert_eq!(c.shed_capacity(), 1);
+        let c = ServeConfig {
+            queue_capacity: 10,
+            shed_watermark_pct: 200,
+            ..c
+        };
+        assert_eq!(c.shed_capacity(), 10);
     }
 }

@@ -13,9 +13,20 @@
 //!   requests (flush at `max_batch` or a deadline tick) and runs KV-cached
 //!   incremental decoding with per-request seeds, temperature, top-k and
 //!   an optional `eva-spice` validity check. Overload yields typed
-//!   rejections ([`SubmitError::QueueFull`]), never a hang; per-request
-//!   wall-clock deadlines answer [`Completion::Timeout`] instead of
-//!   blocking a client on a slow decode; shutdown drains admitted work.
+//!   load shedding ([`SubmitError::Overloaded`] with a `Retry-After`-style
+//!   hint; [`SubmitError::QueueFull`] on the residual race), never a hang;
+//!   per-request wall-clock deadlines answer [`Completion::Timeout`]
+//!   instead of blocking a client on a slow decode; shutdown drains
+//!   admitted work.
+//! - **Self-healing** — workers run under `catch_unwind` with per-job
+//!   panic guards (orphaned requests answered
+//!   `{"status":"internal_error"}` exactly once) and a supervisor that
+//!   respawns dead workers with capped exponential backoff
+//!   (`worker_restarts` metric); the queue-less `health` request reports
+//!   liveness/readiness throughout. Clients ([`retry`], used by `loadgen`
+//!   and the bench) retry idempotent-by-seed requests with decorrelated
+//!   jitter. All of it is provable under the deterministic
+//!   [`fault`] injector (`EVA_FAULT_PLAN`).
 //! - **Socket hardening** — connections carry configurable read/write
 //!   timeouts ([`ServeConfig::read_timeout_ms`] /
 //!   [`ServeConfig::write_timeout_ms`]), so a stalled client is
@@ -39,7 +50,8 @@
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
 //! let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
 //! eva.pretrain(&PretrainConfig::default(), &mut rng);
-//! let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default());
+//! let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default())
+//!     .expect("service starts");
 //! let completion = service.generate(GenParams { seed: 42, ..GenParams::default() });
 //! println!("{completion:?}");
 //! ```
@@ -48,12 +60,18 @@ pub mod config;
 pub mod metrics;
 pub mod net;
 pub mod protocol;
+pub mod retry;
 pub mod service;
 
 pub use config::ServeConfig;
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+// The deterministic fault injector (`EVA_FAULT_PLAN`) chaos tests drive
+// this service with; lives in eva-nn, re-exported for serve callers.
+pub use eva_core::fault;
+pub use metrics::{HealthSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use net::{handle_line, serve, Server};
 pub use protocol::{GenerateRequest, OkResponse, Request, Response};
+pub use retry::{Backoff, RetryPolicy};
 pub use service::{
-    Completion, GenParams, Generation, GenerationService, PendingGeneration, SubmitError,
+    Completion, GenParams, Generation, GenerationService, PendingGeneration, ServeError,
+    SubmitError,
 };

@@ -134,12 +134,27 @@ pub struct Metrics {
     pub accepted: AtomicU64,
     /// Requests refused because the queue was full.
     pub rejected: AtomicU64,
+    /// Requests refused by queue-pressure load shedding (typed
+    /// `overloaded` with a retry hint, before ever touching the queue).
+    pub shed: AtomicU64,
     /// Admitted requests answered with a wall-clock deadline timeout.
     pub rejected_timeout: AtomicU64,
     /// Requests decoded to completion.
     pub completed: AtomicU64,
     /// Requests that failed with a typed error.
     pub errored: AtomicU64,
+    /// Subset of `errored`: requests whose worker panicked mid-batch and
+    /// were answered `internal_error` by the panic guard.
+    pub internal_errors: AtomicU64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: AtomicU64,
+    /// Worker panics caught (each one also produces a restart unless the
+    /// service is already shut down).
+    pub worker_panics: AtomicU64,
+    /// Gauge: workers currently alive and consuming the queue.
+    pub live_workers: AtomicU64,
+    /// Gauge: TCP connections currently being served.
+    pub active_connections: AtomicU64,
     /// Tokens sampled across all completed requests.
     pub tokens_generated: AtomicU64,
     /// Micro-batches flushed by workers.
@@ -173,9 +188,15 @@ impl Metrics {
         MetricsSnapshot {
             accepted,
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             rejected_timeout: self.rejected_timeout.load(Ordering::Relaxed),
             completed,
             errored,
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            live_workers: self.live_workers.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
             in_flight: accepted.saturating_sub(completed + errored),
             queue_depth: queue_depth as u64,
             tokens_generated: self.tokens_generated.load(Ordering::Relaxed),
@@ -200,6 +221,11 @@ pub struct MetricsSnapshot {
     pub accepted: u64,
     /// Requests refused because the queue was full.
     pub rejected: u64,
+    /// Requests refused by load shedding (absent in snapshots from
+    /// servers predating the robustness layer — as are the other
+    /// `serde(default)` fields below).
+    #[serde(default)]
+    pub shed: u64,
     /// Admitted requests answered with a wall-clock deadline timeout
     /// (absent in snapshots from servers predating request deadlines).
     #[serde(default)]
@@ -208,6 +234,21 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests that failed with a typed error.
     pub errored: u64,
+    /// Subset of `errored` answered `internal_error` after a worker panic.
+    #[serde(default)]
+    pub internal_errors: u64,
+    /// Workers respawned by the supervisor after a panic.
+    #[serde(default)]
+    pub worker_restarts: u64,
+    /// Worker panics caught.
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Workers currently alive.
+    #[serde(default)]
+    pub live_workers: u64,
+    /// TCP connections currently being served.
+    #[serde(default)]
+    pub active_connections: u64,
     /// Accepted requests not yet answered.
     pub in_flight: u64,
     /// Requests sitting in the queue right now.
@@ -237,6 +278,33 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
+}
+
+/// Readiness/liveness view answered by the `health` request — computed
+/// from the gauges alone, without entering the request queue, so probes
+/// get an answer even when every worker is dead or the queue is jammed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// At least one worker is alive (the service can make progress).
+    pub live: bool,
+    /// The service is at full capacity and accepting new work: every
+    /// configured worker is alive and the queue is below the shed
+    /// watermark.
+    pub ready: bool,
+    /// Workers currently alive.
+    pub live_workers: u64,
+    /// Workers the service is configured (and self-heals back) to.
+    pub configured_workers: u64,
+    /// Workers respawned after a panic since startup.
+    pub worker_restarts: u64,
+    /// Worker panics caught since startup.
+    pub worker_panics: u64,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: u64,
+    /// Bound of the request queue.
+    pub queue_capacity: u64,
+    /// TCP connections currently being served.
+    pub active_connections: u64,
 }
 
 #[cfg(test)]
@@ -322,14 +390,64 @@ mod tests {
         m.tokens_generated.fetch_add(77, Ordering::Relaxed);
         m.batches.fetch_add(2, Ordering::Relaxed);
         m.batched_requests.fetch_add(4, Ordering::Relaxed);
+        m.shed.fetch_add(3, Ordering::Relaxed);
+        m.internal_errors.fetch_add(1, Ordering::Relaxed);
+        m.worker_restarts.fetch_add(2, Ordering::Relaxed);
+        m.worker_panics.fetch_add(2, Ordering::Relaxed);
+        m.live_workers.fetch_add(4, Ordering::Relaxed);
+        m.active_connections.fetch_add(6, Ordering::Relaxed);
         let s = m.snapshot(1);
         assert_eq!(s.accepted, 5);
         assert_eq!(s.rejected_timeout, 1);
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.internal_errors, 1);
+        assert_eq!(s.worker_restarts, 2);
+        assert_eq!(s.worker_panics, 2);
+        assert_eq!(s.live_workers, 4);
+        assert_eq!(s.active_connections, 6);
         assert_eq!(s.in_flight, 1);
         assert_eq!(s.queue_depth, 1);
         assert_eq!(s.mean_batch_size, 2.0);
         // The snapshot is JSON-serializable and round-trips.
         let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn legacy_snapshot_json_defaults_robustness_fields() {
+        // Snapshots serialized before the robustness layer still parse.
+        let json = r#"{
+            "accepted": 3, "rejected": 0, "completed": 3, "errored": 0,
+            "in_flight": 0, "queue_depth": 0, "tokens_generated": 50,
+            "batches": 1, "mean_batch_size": 3.0,
+            "queue_wait": {"count":0,"mean_us":0.0,"max_us":0,"p50_us":0,"p95_us":0,"p99_us":0},
+            "decode": {"count":0,"mean_us":0.0,"max_us":0,"p50_us":0,"p95_us":0,"p99_us":0},
+            "validate": {"count":0,"mean_us":0.0,"max_us":0,"p50_us":0,"p95_us":0,"p99_us":0},
+            "total": {"count":0,"mean_us":0.0,"max_us":0,"p50_us":0,"p95_us":0,"p99_us":0}
+        }"#;
+        let s: MetricsSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.internal_errors, 0);
+        assert_eq!(s.worker_restarts, 0);
+        assert_eq!(s.live_workers, 0);
+        assert_eq!(s.active_connections, 0);
+    }
+
+    #[test]
+    fn health_snapshot_round_trips() {
+        let h = HealthSnapshot {
+            live: true,
+            ready: false,
+            live_workers: 1,
+            configured_workers: 2,
+            worker_restarts: 3,
+            worker_panics: 3,
+            queue_depth: 4,
+            queue_capacity: 64,
+            active_connections: 2,
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: HealthSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
     }
 }

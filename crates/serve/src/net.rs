@@ -14,20 +14,25 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::metrics::Metrics;
 use crate::protocol::{Request, Response};
-use crate::service::{GenParams, GenerationService};
+use crate::service::{GenParams, GenerationService, SubmitError};
 
 /// A listening server; dropping it (or calling [`Server::stop`]) stops the
 /// accept loop. In-flight connections finish their current request and die
-/// with the process.
+/// with the process; how many are still alive at any moment is tracked in
+/// [`Server::active_connections`] (and the `active_connections` metrics
+/// gauge), so a drain can report stragglers instead of leaking threads
+/// silently.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -37,18 +42,59 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept loop.
-    pub fn stop(mut self) {
-        self.stop_inner();
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
     }
 
-    fn stop_inner(&mut self) {
+    /// Stop accepting connections and join the accept loop. Returns the
+    /// number of connections still in flight (stragglers finish their
+    /// current request and die with the process).
+    pub fn stop(mut self) -> u64 {
+        self.stop_inner()
+    }
+
+    fn stop_inner(&mut self) -> u64 {
         if let Some(handle) = self.accept_thread.take() {
             self.stop.store(true, Ordering::SeqCst);
             // Wake the blocking accept with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
         }
+        let stragglers = self.active.load(Ordering::Relaxed);
+        if stragglers > 0 {
+            eprintln!(
+                "eva-serve: accept loop stopped with {stragglers} connection(s) still active; \
+                 they finish their current request and exit with the process"
+            );
+        }
+        stragglers
+    }
+}
+
+/// Scope guard keeping the connection count honest: increments the
+/// server-local counter and the service's `active_connections` gauge on
+/// accept, decrements both however the handler exits (return, error, or
+/// panic).
+struct ConnGuard {
+    active: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
+}
+
+impl ConnGuard {
+    fn new(active: Arc<AtomicU64>, metrics: Arc<Metrics>) -> ConnGuard {
+        active.fetch_add(1, Ordering::Relaxed);
+        metrics.active_connections.fetch_add(1, Ordering::Relaxed);
+        ConnGuard { active, metrics }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.metrics
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -72,6 +118,8 @@ pub fn serve<A: ToSocketAddrs>(
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let active = Arc::new(AtomicU64::new(0));
+    let active_accept = Arc::clone(&active);
     let accept_thread = std::thread::Builder::new()
         .name("eva-serve-accept".to_owned())
         .spawn(move || {
@@ -81,14 +129,25 @@ pub fn serve<A: ToSocketAddrs>(
                 }
                 let Ok(stream) = conn else { continue };
                 let service = Arc::clone(&service);
-                let _ = std::thread::Builder::new()
+                // The guard is created *before* the spawn and moves into
+                // the handler thread, so the count covers the spawn gap
+                // and a refused spawn rolls it straight back.
+                let guard = ConnGuard::new(Arc::clone(&active_accept), service.metrics_registry());
+                let spawned = std::thread::Builder::new()
                     .name("eva-serve-conn".to_owned())
-                    .spawn(move || handle_connection(&service, stream));
+                    .spawn(move || {
+                        let _guard = guard;
+                        handle_connection(&service, stream);
+                    });
+                if let Err(e) = spawned {
+                    eprintln!("eva-serve: failed to spawn connection handler: {e}");
+                }
             }
         })?;
     Ok(Server {
         addr: local,
         stop,
+        active,
         accept_thread: Some(accept_thread),
     })
 }
@@ -133,10 +192,15 @@ pub fn handle_line(service: &GenerationService, line: &str) -> Response {
     match serde_json::from_str::<Request>(line) {
         Ok(Request::Ping) => Response::Pong,
         Ok(Request::Metrics) => Response::Metrics(service.metrics()),
+        Ok(Request::Health) => Response::Health(service.health()),
         Ok(Request::Generate(req)) => {
             let params = GenParams::from_request(&req, service.config());
             match service.submit(req.id, params) {
                 Ok(pending) => pending.wait().into_response(),
+                Err(SubmitError::Overloaded { retry_after_ms }) => Response::Overloaded {
+                    id: req.id,
+                    retry_after_ms,
+                },
                 Err(err) => Response::Rejected {
                     id: req.id,
                     reason: err.to_string(),

@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{HealthSnapshot, MetricsSnapshot};
 
 /// A client request, tagged by `op`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,6 +25,10 @@ pub enum Request {
     Generate(GenerateRequest),
     /// Snapshot the service metrics registry.
     Metrics,
+    /// Readiness/liveness probe: answered from the gauges without
+    /// entering the request queue, so it stays responsive while the
+    /// service is overloaded or self-healing.
+    Health,
     /// Liveness probe.
     Ping,
 }
@@ -77,6 +81,16 @@ pub enum Response {
         /// Why the request was not admitted.
         reason: String,
     },
+    /// The request was refused by queue-pressure load shedding — distinct
+    /// from `rejected` (queue race) and `timeout` (admitted but late): the
+    /// server is healthy but saturated, and the client should back off.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// `Retry-After`-style hint: how long the server estimates the
+        /// queue needs to drain below the shed watermark, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request was admitted but its wall-clock deadline expired
     /// before a result was ready.
     Timeout {
@@ -90,8 +104,19 @@ pub enum Response {
         /// What went wrong.
         message: String,
     },
+    /// The worker decoding this request died (panicked) mid-batch; the
+    /// request was not decoded. Safe to retry — requests are idempotent
+    /// by seed.
+    InternalError {
+        /// Echoed request id.
+        id: u64,
+        /// What the worker died of.
+        message: String,
+    },
     /// A metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// Reply to [`Request::Health`].
+    Health(HealthSnapshot),
     /// Reply to [`Request::Ping`].
     Pong,
 }
@@ -128,7 +153,7 @@ mod tests {
     #[test]
     fn request_wire_shape() {
         let line = r#"{"op":"generate","id":3,"seed":9,"max_len":32}"#;
-        let req: Request = serde_json::from_str(line).unwrap();
+        let req: Request = serde_json::from_str(line).expect("generate line parses");
         match req {
             Request::Generate(g) => {
                 assert_eq!(g.id, 3);
@@ -140,12 +165,16 @@ mod tests {
             other => panic!("wrong variant: {other:?}"),
         }
         assert_eq!(
-            serde_json::from_str::<Request>(r#"{"op":"ping"}"#).unwrap(),
+            serde_json::from_str::<Request>(r#"{"op":"ping"}"#).expect("ping parses"),
             Request::Ping
         );
         assert_eq!(
-            serde_json::from_str::<Request>(r#"{"op":"metrics"}"#).unwrap(),
+            serde_json::from_str::<Request>(r#"{"op":"metrics"}"#).expect("metrics parses"),
             Request::Metrics
+        );
+        assert_eq!(
+            serde_json::from_str::<Request>(r#"{"op":"health"}"#).expect("health parses"),
+            Request::Health
         );
         assert!(serde_json::from_str::<Request>(r#"{"op":"nonsense"}"#).is_err());
     }
@@ -163,33 +192,87 @@ mod tests {
             validate_us: 30,
             total_us: 240,
         });
-        let json = serde_json::to_string(&ok).unwrap();
+        let json = serde_json::to_string(&ok).expect("ok serializes");
         assert!(json.contains(r#""status":"ok""#), "{json}");
-        let back: Response = serde_json::from_str(&json).unwrap();
+        let back: Response = serde_json::from_str(&json).expect("ok parses back");
         assert_eq!(back, ok);
 
         let rejected = Response::Rejected {
             id: 1,
             reason: "queue full".to_owned(),
         };
-        let json = serde_json::to_string(&rejected).unwrap();
+        let json = serde_json::to_string(&rejected).expect("rejected serializes");
         assert!(json.contains(r#""status":"rejected""#), "{json}");
-        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), rejected);
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("rejected parses back"),
+            rejected
+        );
 
         let timeout = Response::Timeout { id: 5 };
-        let json = serde_json::to_string(&timeout).unwrap();
+        let json = serde_json::to_string(&timeout).expect("timeout serializes");
         assert_eq!(json, r#"{"status":"timeout","id":5}"#);
-        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), timeout);
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("timeout parses back"),
+            timeout
+        );
+    }
+
+    #[test]
+    fn robustness_responses_round_trip() {
+        let overloaded = Response::Overloaded {
+            id: 9,
+            retry_after_ms: 40,
+        };
+        let json = serde_json::to_string(&overloaded).expect("overloaded serializes");
+        assert_eq!(
+            json,
+            r#"{"status":"overloaded","id":9,"retry_after_ms":40}"#
+        );
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("overloaded parses back"),
+            overloaded
+        );
+
+        let internal = Response::InternalError {
+            id: 2,
+            message: "worker panicked: injected fault worker_panic #1".to_owned(),
+        };
+        let json = serde_json::to_string(&internal).expect("internal_error serializes");
+        assert!(json.contains(r#""status":"internal_error""#), "{json}");
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("internal_error parses back"),
+            internal
+        );
+
+        let health = Response::Health(HealthSnapshot {
+            live: true,
+            ready: true,
+            live_workers: 2,
+            configured_workers: 2,
+            worker_restarts: 0,
+            worker_panics: 0,
+            queue_depth: 0,
+            queue_capacity: 64,
+            active_connections: 1,
+        });
+        let json = serde_json::to_string(&health).expect("health serializes");
+        assert!(json.contains(r#""status":"health""#), "{json}");
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("health parses back"),
+            health
+        );
     }
 
     #[test]
     fn deadline_override_parses_and_defaults_off() {
         let line = r#"{"op":"generate","id":4,"deadline_us":2500}"#;
-        match serde_json::from_str::<Request>(line).unwrap() {
+        match serde_json::from_str::<Request>(line).expect("deadline line parses") {
             Request::Generate(g) => assert_eq!(g.deadline_us, Some(2_500)),
             other => panic!("wrong variant: {other:?}"),
         }
-        match serde_json::from_str::<Request>(r#"{"op":"generate","id":4}"#).unwrap() {
+        match serde_json::from_str::<Request>(r#"{"op":"generate","id":4}"#)
+            .expect("bare generate parses")
+        {
             Request::Generate(g) => assert_eq!(g.deadline_us, None),
             other => panic!("wrong variant: {other:?}"),
         }
@@ -208,7 +291,7 @@ mod tests {
             validate_us: 0,
             total_us: 0,
         });
-        let json = serde_json::to_string(&ok).unwrap();
+        let json = serde_json::to_string(&ok).expect("ok serializes");
         assert!(!json.contains("valid"), "{json}");
     }
 }

@@ -1,0 +1,167 @@
+//! Client-side bounded retry with exponential backoff and decorrelated
+//! jitter, shared by `loadgen`, `serve_bench`, and the e2e/chaos test
+//! clients.
+//!
+//! Retrying a generation request is safe because requests are idempotent
+//! by construction: a request carries (or is deterministically assigned)
+//! a sampling seed, so a retried request decodes the identical walk — the
+//! only cost of a duplicate attempt is compute, never a different answer.
+//!
+//! The jitter is the "decorrelated" variant: each delay is drawn
+//! uniformly from `[base, prev * 3]` and capped, so a burst of clients
+//! rejected together does not re-arrive together (plain exponential
+//! backoff synchronizes the herd; full jitter forgets how long it has
+//! been waiting). Delays are drawn from a caller-seeded ChaCha8 stream so
+//! chaos tests replay the exact retry schedule.
+
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What to retry and how hard. The zero-retries policy ([`RetryPolicy::none`])
+/// reproduces pre-retry client behavior exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = never retry).
+    pub max_retries: u32,
+    /// Lower bound of every backoff delay, in milliseconds.
+    pub base_ms: u64,
+    /// Upper cap on any single delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_ms: 5,
+            cap_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry; the first answer (or rejection) is final.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_ms: 0,
+            cap_ms: 0,
+        }
+    }
+
+    /// A seeded backoff sequence for one request's attempts.
+    pub fn backoff(&self, seed: u64) -> Backoff {
+        Backoff {
+            policy: *self,
+            attempt: 0,
+            prev_ms: self.base_ms,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Iterator-style backoff state for one request: each [`Backoff::next_delay`]
+/// consumes one retry from the budget and yields how long to sleep, or
+/// `None` when the budget is spent.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    prev_ms: u64,
+    rng: ChaCha8Rng,
+}
+
+impl Backoff {
+    /// Retries consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next decorrelated-jitter delay: uniform in
+    /// `[base, max(prev * 3, base + 1))`, capped at `cap_ms`. `None` once
+    /// `max_retries` delays have been handed out.
+    ///
+    /// `hint_ms` — e.g. the server's `retry_after_ms` on an `overloaded`
+    /// response — raises the draw's lower bound for this delay: the
+    /// server knows its drain rate better than the client's schedule.
+    pub fn next_delay(&mut self, hint_ms: Option<u64>) -> Option<Duration> {
+        if self.attempt >= self.policy.max_retries {
+            return None;
+        }
+        self.attempt += 1;
+        let base = self.policy.base_ms.max(hint_ms.unwrap_or(0));
+        let hi = (self.prev_ms.saturating_mul(3)).max(base + 1);
+        let ms = self
+            .rng
+            .gen_range(base..hi)
+            .min(self.policy.cap_ms.max(base));
+        self.prev_ms = ms.max(1);
+        Some(Duration::from_millis(ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_ms: 1,
+            cap_ms: 50,
+        };
+        let mut backoff = policy.backoff(7);
+        let mut delays = Vec::new();
+        while let Some(d) = backoff.next_delay(None) {
+            delays.push(d);
+        }
+        assert_eq!(delays.len(), 3);
+        assert_eq!(backoff.attempts(), 3);
+        assert!(backoff.next_delay(None).is_none(), "budget stays spent");
+    }
+
+    #[test]
+    fn delays_respect_base_and_cap() {
+        let policy = RetryPolicy {
+            max_retries: 64,
+            base_ms: 5,
+            cap_ms: 40,
+        };
+        let mut backoff = policy.backoff(1);
+        while let Some(d) = backoff.next_delay(None) {
+            let ms = d.as_millis() as u64;
+            assert!((5..=40).contains(&ms), "delay {ms}ms out of [base, cap]");
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_same_schedule() {
+        let policy = RetryPolicy::default();
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = policy.backoff(seed);
+            std::iter::from_fn(|| b.next_delay(None)).collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn server_hint_raises_the_floor() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_ms: 1,
+            cap_ms: 10_000,
+        };
+        let mut backoff = policy.backoff(3);
+        let d = backoff.next_delay(Some(250)).expect("budget available");
+        assert!(d >= Duration::from_millis(250), "hint {d:?} below floor");
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        assert!(RetryPolicy::none().backoff(0).next_delay(None).is_none());
+    }
+}

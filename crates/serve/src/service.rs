@@ -4,9 +4,11 @@
 //! Life of a request:
 //!
 //! 1. [`GenerationService::submit`] resolves parameters and `try_send`s a
-//!    job into a bounded crossbeam channel. A full queue is an immediate
-//!    [`SubmitError::QueueFull`] — overload backpressure is a typed value,
-//!    never a blocked caller.
+//!    job into a bounded crossbeam channel. A queue at or above the shed
+//!    watermark is an immediate [`SubmitError::Overloaded`] carrying a
+//!    `Retry-After`-style drain estimate (a lost `try_send` race is
+//!    [`SubmitError::QueueFull`]) — overload backpressure is a typed
+//!    value, never a blocked caller.
 //! 2. A worker wakes on the first queued job, then drains up to
 //!    `max_batch - 1` more until the batch deadline passes (micro-batching:
 //!    one wakeup amortizes queue traffic across a burst).
@@ -32,21 +34,35 @@
 //!
 //! Dropping (or [`GenerationService::shutdown`]) closes the queue; workers
 //! drain what was already accepted, answer it, and exit — a graceful drain.
+//!
+//! ## Self-healing
+//!
+//! Every worker runs under `catch_unwind` with each in-flight job held by
+//! a [`JobSlot`] panic guard: if a worker dies mid-batch, every waiter it
+//! was serving is answered with a typed [`Completion::Internal`] (and
+//! accounted exactly once), and a supervisor thread joins the corpse and
+//! respawns the slot with capped exponential backoff, counting
+//! `worker_restarts`. [`GenerationService::health`] reports
+//! liveness/readiness (live vs configured workers, queue depth, restart
+//! count) straight from the gauges, without entering the queue. The
+//! `worker_panic` point of [`eva_core::fault`] injects panics here so
+//! chaos tests can prove all of the above deterministically.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
-use eva_core::EvaArtifacts;
+use eva_core::{fault, EvaArtifacts};
 use eva_model::{decode_batch, LaneRequest, SamplingPolicy, Transformer};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::config::ServeConfig;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{HealthSnapshot, Metrics, MetricsSnapshot};
 use crate::protocol::{GenerateRequest, OkResponse, Response};
 
 /// Fully-resolved sampling parameters for one request.
@@ -107,6 +123,16 @@ impl GenParams {
 /// Why a request was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
+    /// The queue sits at or above the shed watermark: the service is
+    /// saturated and refusing work *before* queueing it, with an estimate
+    /// of how long the backlog needs to drain. Distinct from `QueueFull`
+    /// (a lost `try_send` race) and from a timeout (which spends queue
+    /// residency first) — this is the back-pressure signal retrying
+    /// clients should sleep on.
+    Overloaded {
+        /// `Retry-After`-style drain estimate in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The bounded queue is full; retry later or shed load.
     QueueFull,
     /// The service is draining and accepts no new work.
@@ -116,6 +142,9 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SubmitError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after ~{retry_after_ms}ms")
+            }
             SubmitError::QueueFull => write!(f, "queue full"),
             SubmitError::ShuttingDown => write!(f, "shutting down"),
         }
@@ -123,6 +152,36 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// A service startup failure, reported instead of aborting the process.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The OS refused to spawn a service thread.
+    Spawn {
+        /// Which thread could not be spawned.
+        what: &'static str,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Spawn { what, source } => {
+                write!(f, "failed to spawn {what}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spawn { source, .. } => Some(source),
+        }
+    }
+}
 
 /// A finished generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,6 +226,16 @@ pub enum Completion {
         /// What went wrong.
         message: String,
     },
+    /// The worker decoding this request's batch died (panicked); the
+    /// request was never decoded. Emitted by the panic guard exactly
+    /// once per orphaned request. Retrying is safe: generation is
+    /// deterministic by seed.
+    Internal {
+        /// Echoed request id.
+        id: u64,
+        /// What the worker died of, as far as the guard knows.
+        message: String,
+    },
 }
 
 impl Completion {
@@ -186,6 +255,7 @@ impl Completion {
             }),
             Completion::Timeout { id } => Response::Timeout { id },
             Completion::Error { id, message } => Response::Error { id, message },
+            Completion::Internal { id, message } => Response::InternalError { id, message },
         }
     }
 }
@@ -231,10 +301,17 @@ impl PendingGeneration {
                     .fetch_add(1, Ordering::Relaxed);
                 Completion::Timeout { id }
             }
-            Err(false) => Completion::Error {
-                id,
-                message: "service dropped the request before answering".to_owned(),
-            },
+            Err(false) => {
+                // The reply channel died without a message: the job was
+                // dropped unanswered (e.g. the whole pool died with work
+                // still queued). Nothing else accounted this request, so
+                // the waiter keeps the in-flight gauge honest.
+                self.metrics.errored.fetch_add(1, Ordering::Relaxed);
+                Completion::Error {
+                    id,
+                    message: "service dropped the request before answering".to_owned(),
+                }
+            }
         }
     }
 }
@@ -247,16 +324,63 @@ struct Job {
     reply: mpsc::Sender<Completion>,
 }
 
+/// Panic guard around one in-flight job: every normal reply path `take`s
+/// the job out; if the slot instead unwinds off a panicking worker, its
+/// `Drop` answers the waiter with a typed [`Completion::Internal`] and
+/// accounts it — exactly once, because `take` and `Drop` are mutually
+/// exclusive by construction.
+struct JobSlot {
+    job: Option<Job>,
+    metrics: Arc<Metrics>,
+}
+
+impl JobSlot {
+    fn new(job: Job, metrics: Arc<Metrics>) -> JobSlot {
+        JobSlot {
+            job: Some(job),
+            metrics,
+        }
+    }
+
+    /// The wrapped job; valid until [`JobSlot::take`].
+    fn job(&self) -> &Job {
+        self.job.as_ref().expect("job slot already taken")
+    }
+
+    /// Move the job out for a normal reply path, disarming the guard.
+    fn take(mut self) -> Job {
+        self.job.take().expect("job slot already taken")
+    }
+}
+
+impl Drop for JobSlot {
+    fn drop(&mut self) {
+        let Some(job) = self.job.take() else { return };
+        self.metrics.total.record(job.enqueued.elapsed());
+        self.metrics.errored.fetch_add(1, Ordering::Relaxed);
+        self.metrics.internal_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Completion::Internal {
+            id: job.id,
+            message: "worker panicked while decoding this request's batch; \
+                      the request was not decoded (retry is safe: generation \
+                      is deterministic by seed)"
+                .to_owned(),
+        });
+    }
+}
+
 struct ServiceInner {
     model: Arc<Transformer>,
     tokenizer: Arc<Tokenizer>,
     config: ServeConfig,
+    configured_workers: usize,
     // Shared with every `PendingGeneration` so waiter-side timeouts are
     // counted even after the service itself is gone.
     metrics: Arc<Metrics>,
 }
 
-/// A multi-worker, micro-batching topology-generation service.
+/// A multi-worker, micro-batching, self-healing topology-generation
+/// service.
 ///
 /// See the module docs for the request lifecycle. Cheap to share behind an
 /// [`Arc`]; all methods take `&self`.
@@ -264,8 +388,15 @@ struct ServiceInner {
 pub struct GenerationService {
     inner: Arc<ServiceInner>,
     tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+}
+
+/// A worker thread's parting message to the supervisor, sent just before
+/// the thread returns (panicking or not).
+struct WorkerExit {
+    slot: usize,
+    panicked: bool,
 }
 
 impl std::fmt::Debug for ServiceInner {
@@ -277,41 +408,84 @@ impl std::fmt::Debug for ServiceInner {
 }
 
 impl GenerationService {
-    /// Spawn the worker pool over shared model/tokenizer handles.
+    /// Spawn the worker pool (and its supervisor) over shared
+    /// model/tokenizer handles.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] when the OS refuses a service thread; any
+    /// workers already spawned are drained and joined before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `EVA_FAULT_PLAN` — the plan is parsed
+    /// eagerly here, on the caller's thread, so a typo'd chaos plan
+    /// aborts startup instead of panicking (and endlessly restarting)
+    /// workers.
     pub fn start(
         model: Arc<Transformer>,
         tokenizer: Arc<Tokenizer>,
         config: ServeConfig,
-    ) -> GenerationService {
+    ) -> Result<GenerationService, ServeError> {
+        let _ = fault::active();
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
         let workers = config.workers.max(1);
         let inner = Arc::new(ServiceInner {
             model,
             tokenizer,
             config,
+            configured_workers: workers,
             metrics: Arc::new(Metrics::new()),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("eva-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, &rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        GenerationService {
+        let (exit_tx, exit_rx) = channel::unbounded::<WorkerExit>();
+        let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(workers);
+        for slot in 0..workers {
+            match spawn_worker(&inner, &rx, &exit_tx, slot) {
+                Ok(handle) => handles.push(Some(handle)),
+                Err(e) => {
+                    // Unwind the partial pool: close the queue so the
+                    // already-spawned workers drain (nothing was admitted
+                    // yet) and exit, then join them.
+                    drop(tx);
+                    for handle in handles.into_iter().flatten() {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name("eva-serve-supervisor".to_owned())
+                .spawn(move || supervisor_loop(&inner, &rx, &exit_rx, &exit_tx, handles))
+                .map_err(|e| ServeError::Spawn {
+                    what: "supervisor thread",
+                    source: e,
+                })?
+            // On Err the closure (and the worker handles inside it) is
+            // dropped and `tx` drops on return, so the workers drain and
+            // exit; they are simply not joined.
+        };
+        Ok(GenerationService {
             inner,
             tx: Some(tx),
-            workers: handles,
+            supervisor: Some(supervisor),
             next_id: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Spawn the worker pool from loaded artifacts (clones the `Arc`s, not
     /// the weights).
-    pub fn from_artifacts(artifacts: &EvaArtifacts, config: ServeConfig) -> GenerationService {
+    ///
+    /// # Errors
+    ///
+    /// See [`GenerationService::start`].
+    pub fn from_artifacts(
+        artifacts: &EvaArtifacts,
+        config: ServeConfig,
+    ) -> Result<GenerationService, ServeError> {
         GenerationService::start(
             Arc::clone(&artifacts.model),
             Arc::clone(&artifacts.tokenizer),
@@ -339,11 +513,64 @@ impl GenerationService {
         self.inner.metrics.snapshot(self.queue_depth())
     }
 
-    /// Admit a request. Returns immediately: on success the caller holds a
-    /// [`PendingGeneration`]; on overload the caller gets
-    /// [`SubmitError::QueueFull`] and the request was *not* queued.
+    /// The metrics registry itself — for transports that keep gauges
+    /// (e.g. `active_connections`) on it.
+    pub(crate) fn metrics_registry(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Readiness/liveness, computed from the gauges without touching the
+    /// request queue: `live` while at least one worker runs, `ready` only
+    /// at full worker strength with the queue below the shed watermark.
+    pub fn health(&self) -> HealthSnapshot {
+        let m = &self.inner.metrics;
+        let live_workers = m.live_workers.load(Ordering::Relaxed);
+        let queue_depth = self.queue_depth() as u64;
+        let accepting = self.tx.is_some();
+        HealthSnapshot {
+            live: live_workers > 0,
+            ready: accepting
+                && live_workers == self.inner.configured_workers as u64
+                && queue_depth < self.inner.config.shed_capacity() as u64,
+            live_workers,
+            configured_workers: self.inner.configured_workers as u64,
+            worker_restarts: m.worker_restarts.load(Ordering::Relaxed),
+            worker_panics: m.worker_panics.load(Ordering::Relaxed),
+            queue_depth,
+            queue_capacity: self.inner.config.queue_capacity.max(1) as u64,
+            active_connections: m.active_connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimate how long the queue needs to drain below the shed
+    /// watermark: `depth` requests across the pool at the observed mean
+    /// end-to-end latency, clamped to a sane `[1ms, 10s]` hint window
+    /// (with a ~25ms guess before any request has completed).
+    fn retry_hint_ms(&self, depth: usize) -> u64 {
+        let mean_us = self.inner.metrics.total.snapshot().mean_us;
+        let workers = self.inner.configured_workers.max(1);
+        if mean_us <= 0.0 {
+            return 25;
+        }
+        let drain_ms = (depth as f64 * mean_us) / (workers as f64 * 1_000.0);
+        (drain_ms.ceil() as u64).clamp(1, 10_000)
+    }
+
+    /// Admit a request. Returns immediately: on success the caller holds
+    /// a [`PendingGeneration`]; on queue pressure at or above the shed
+    /// watermark the caller gets [`SubmitError::Overloaded`] with a drain
+    /// estimate (and on the residual `try_send` race,
+    /// [`SubmitError::QueueFull`]) — either way the request was *not*
+    /// queued.
     pub fn submit(&self, id: u64, params: GenParams) -> Result<PendingGeneration, SubmitError> {
         let tx = self.tx.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let depth = tx.len();
+        if depth >= self.inner.config.shed_capacity() {
+            self.inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                retry_after_ms: self.retry_hint_ms(depth),
+            });
+        }
         let (reply, rx) = mpsc::channel();
         // Per-request override beats the server-wide default; both absent
         // means the request may wait indefinitely (pre-deadline behavior).
@@ -386,14 +613,15 @@ impl GenerationService {
     }
 
     /// Stop accepting work, let workers drain every admitted request, and
-    /// join them.
+    /// join them (via the supervisor, which exits once the last worker
+    /// does).
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
         self.tx.take();
-        for handle in self.workers.drain(..) {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
@@ -405,7 +633,122 @@ impl Drop for GenerationService {
     }
 }
 
+/// Spawn one supervised worker thread into `slot`. The thread maintains
+/// the `live_workers` gauge, traps panics with `catch_unwind` (in-flight
+/// jobs are answered by their [`JobSlot`] guards during the unwind), and
+/// always reports its exit to the supervisor before returning.
+fn spawn_worker(
+    inner: &Arc<ServiceInner>,
+    rx: &Receiver<Job>,
+    exit_tx: &Sender<WorkerExit>,
+    slot: usize,
+) -> Result<JoinHandle<()>, ServeError> {
+    let inner = Arc::clone(inner);
+    let rx = rx.clone();
+    let exit_tx = exit_tx.clone();
+    std::thread::Builder::new()
+        .name(format!("eva-serve-worker-{slot}"))
+        .spawn(move || {
+            inner.metrics.live_workers.fetch_add(1, Ordering::Relaxed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, &rx)));
+            inner.metrics.live_workers.fetch_sub(1, Ordering::Relaxed);
+            let panicked = outcome.is_err();
+            if panicked {
+                inner.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            // The supervisor may already be gone during final teardown;
+            // an unreceived exit report is then moot.
+            let _ = exit_tx.send(WorkerExit { slot, panicked });
+        })
+        .map_err(|e| ServeError::Spawn {
+            what: "worker thread",
+            source: e,
+        })
+}
+
+/// The supervisor: join every worker exit, respawn panicked workers with
+/// capped exponential backoff, and finish once the pool has wound down.
+///
+/// State machine per worker slot:
+///
+/// ```text
+///   running ──panic──▶ backoff(min(base << consecutive, cap)) ──▶ respawned
+///      │                                                             │
+///      └──normal exit (queue closed & drained)──▶ retired            │
+///                                                   ▲────────────────┘
+/// ```
+///
+/// Panicked workers are respawned even while the service drains: a
+/// respawned worker that finds the queue closed simply retires, which
+/// keeps the logic branch-free and guarantees queued work always has a
+/// consumer. The per-slot consecutive-panic count never decays within a
+/// service lifetime, so a slot that keeps dying backs off to the cap and
+/// stays there instead of hot-looping.
+fn supervisor_loop(
+    inner: &Arc<ServiceInner>,
+    rx: &Receiver<Job>,
+    exit_rx: &Receiver<WorkerExit>,
+    exit_tx: &Sender<WorkerExit>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    let mut live = handles.len();
+    let mut consecutive = vec![0u32; handles.len()];
+    while live > 0 {
+        let exit = match exit_rx.recv() {
+            Ok(exit) => exit,
+            Err(_) => break,
+        };
+        // The exiting thread has already sent its report, so this join is
+        // at worst a brief wait for its last instructions.
+        if let Some(handle) = handles[exit.slot].take() {
+            let _ = handle.join();
+        }
+        if !exit.panicked {
+            live -= 1;
+            continue;
+        }
+        let backoff = restart_backoff(&inner.config, consecutive[exit.slot]);
+        consecutive[exit.slot] = consecutive[exit.slot].saturating_add(1);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        match spawn_worker(inner, rx, exit_tx, exit.slot) {
+            Ok(handle) => {
+                handles[exit.slot] = Some(handle);
+                inner
+                    .metrics
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // Capacity is permanently reduced; say so instead of
+                // silently shrinking (`health` shows the deficit too).
+                eprintln!(
+                    "eva-serve supervisor: respawn of worker {} failed: {e}",
+                    exit.slot
+                );
+                live -= 1;
+            }
+        }
+    }
+}
+
+/// `min(base << consecutive, cap)` milliseconds, saturating; `base = 0`
+/// respawns immediately (chaos tests).
+fn restart_backoff(config: &ServeConfig, consecutive: u32) -> Duration {
+    let base = config.restart_backoff_ms;
+    if base == 0 {
+        return Duration::ZERO;
+    }
+    let ms = base
+        .saturating_mul(1u64 << consecutive.min(16))
+        .min(config.restart_backoff_max_ms.max(base));
+    Duration::from_millis(ms)
+}
+
 /// One worker: wake on a job, drain a micro-batch, decode it back to back.
+/// Every job is wrapped in a [`JobSlot`] panic guard the moment it leaves
+/// the queue, so no panic past this point can orphan a waiter.
 fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
     let max_batch = inner.config.max_batch.max(1);
     loop {
@@ -415,7 +758,7 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
             Err(_) => return,
         };
         let mut batch = Vec::with_capacity(max_batch);
-        batch.push(first);
+        batch.push(JobSlot::new(first, Arc::clone(&inner.metrics)));
         let deadline = Instant::now() + inner.config.batch_deadline();
         while batch.len() < max_batch {
             let now = Instant::now();
@@ -423,7 +766,7 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(job) => batch.push(job),
+                Ok(job) => batch.push(JobSlot::new(job, Arc::clone(&inner.metrics))),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -432,6 +775,9 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
             .metrics
             .batched_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Chaos seam: a `worker_panic` plan kills the worker here, with
+        // the whole micro-batch in flight behind its guards.
+        fault::panic_if_due(fault::FaultPoint::WorkerPanic);
         run_batch(inner, batch);
     }
 }
@@ -441,24 +787,27 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
 /// immediately and excluded from the decode; the rest share one
 /// [`decode_batch`] call (one KV arena, one weight sweep per step), each
 /// with its own seeded RNG so its output is independent of batchmates.
-fn run_batch(inner: &ServiceInner, batch: Vec<Job>) {
+fn run_batch(inner: &ServiceInner, batch: Vec<JobSlot>) {
     let mut lanes: Vec<LaneRequest<ChaCha8Rng>> = Vec::with_capacity(batch.len());
-    let mut admitted: Vec<(Job, std::time::Duration)> = Vec::with_capacity(batch.len());
-    for job in batch {
-        let queue_wait = job.enqueued.elapsed();
+    let mut admitted: Vec<(JobSlot, std::time::Duration)> = Vec::with_capacity(batch.len());
+    for slot in batch {
+        let queue_wait = slot.job().enqueued.elapsed();
         inner.metrics.queue_wait.record(queue_wait);
-        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        if slot.job().deadline.is_some_and(|d| Instant::now() >= d) {
             // The deadline expired while the job sat in the queue: no one
             // is waiting for this decode, so don't spend a lane on it.
-            reply_timeout(inner, &job);
+            reply_timeout(inner, slot.take());
             continue;
         }
-        match prepare_lane(inner, &job.params) {
+        match prepare_lane(inner, &slot.job().params) {
             Ok(lane) => {
                 lanes.push(lane);
-                admitted.push((job, queue_wait));
+                admitted.push((slot, queue_wait));
             }
-            Err(message) => reply_error(inner, &job, message),
+            Err(message) => {
+                let job = slot.take();
+                reply_error(inner, job, message);
+            }
         }
     }
     if lanes.is_empty() {
@@ -468,13 +817,16 @@ fn run_batch(inner: &ServiceInner, batch: Vec<Job>) {
     let grammar =
         SamplingPolicy::constrained(inner.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
     let decode_start = Instant::now();
+    // The admitted slots still hold their jobs across this call: a panic
+    // inside the decode unwinds through them and answers every waiter.
     let outputs = decode_batch(&inner.model, &grammar, lanes);
     let decode_elapsed = decode_start.elapsed();
 
-    for ((job, queue_wait), out) in admitted.into_iter().zip(outputs) {
+    for ((slot, queue_wait), out) in admitted.into_iter().zip(outputs) {
+        let job = slot.take();
         inner.metrics.decode.record(decode_elapsed);
         if let Some(e) = out.error {
-            reply_error(inner, &job, e.to_string());
+            reply_error(inner, job, e.to_string());
             continue;
         }
         let (tokens, sampled) = (out.tokens, out.sampled);
@@ -520,7 +872,7 @@ fn run_batch(inner: &ServiceInner, batch: Vec<Job>) {
 /// counter increments only when the reply is actually delivered, so a
 /// waiter that already timed out (and counted itself) is not counted
 /// twice.
-fn reply_timeout(inner: &ServiceInner, job: &Job) {
+fn reply_timeout(inner: &ServiceInner, job: Job) {
     inner.metrics.total.record(job.enqueued.elapsed());
     inner.metrics.errored.fetch_add(1, Ordering::Relaxed);
     if job.reply.send(Completion::Timeout { id: job.id }).is_ok() {
@@ -531,7 +883,7 @@ fn reply_timeout(inner: &ServiceInner, job: &Job) {
     }
 }
 
-fn reply_error(inner: &ServiceInner, job: &Job, message: String) {
+fn reply_error(inner: &ServiceInner, job: Job, message: String) {
     inner.metrics.total.record(job.enqueued.elapsed());
     inner.metrics.errored.fetch_add(1, Ordering::Relaxed);
     let _ = job.reply.send(Completion::Error {

@@ -1,0 +1,314 @@
+//! Chaos tests: drive the serving stack under deterministic fault
+//! injection ([`eva_serve::fault`], the `EVA_FAULT_PLAN` engine) and
+//! prove the self-healing claims — panic recovery to full capacity,
+//! exactly-once accounting, typed timeouts under injected latency, and
+//! bit-exact replay of the injection sequence itself.
+//!
+//! The fault injector is process-global by design (exactly like the real
+//! failures it simulates), so every test here serializes on one lock and
+//! clears the plan on exit, even when the test itself panics.
+
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+use std::time::{Duration, Instant};
+
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_serve::fault::{self, Fault, FaultPoint};
+use eva_serve::{Completion, GenParams, GenerationService, ServeConfig};
+use eva_tokenizer::TokenId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Serialize chaos tests: the injector is one per process.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears any installed plan when a test exits, pass or fail, so a
+/// failure cannot leak injected faults into later tests.
+struct PlanGuard;
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+/// Injected worker panics are *expected* here; keep their backtraces out
+/// of the test output while forwarding every genuine panic untouched.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Pretrain a tiny engine once per test (seconds at test scale).
+fn tiny_pretrained(seed: u64) -> Eva {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let config = PretrainConfig {
+        steps: 25,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 3,
+    };
+    eva.pretrain(&config, &mut rng);
+    eva
+}
+
+/// One worker, no batching, instant respawn: every submission is one
+/// batch pickup, so the `worker_panic` hit counter advances one per
+/// request and the injection schedule is exact.
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 1,
+        batch_deadline_us: 0,
+        restart_backoff_ms: 0,
+        ..ServeConfig::default()
+    }
+}
+
+/// Submit with the given seed and retry `Internal` answers (idempotent:
+/// generation is deterministic by seed) until the request completes.
+/// Returns the tokens and how many typed internal errors preceded them.
+fn generate_with_retry(service: &GenerationService, seed: u64) -> (Vec<TokenId>, u64) {
+    let mut internals = 0u64;
+    for _ in 0..100 {
+        let params = GenParams {
+            seed,
+            max_len: 24,
+            ..GenParams::default()
+        };
+        match service.generate(params).expect("queue has room") {
+            Completion::Ok(generation) => return (generation.tokens, internals),
+            Completion::Internal { message, .. } => {
+                assert!(
+                    message.contains("worker panicked"),
+                    "internal error names the panic: {message}"
+                );
+                internals += 1;
+            }
+            other => panic!("unexpected completion under worker_panic plan: {other:?}"),
+        }
+    }
+    panic!("request seed {seed} did not complete within 100 attempts");
+}
+
+/// The acceptance scenario: a plan that kills every worker (workers=1)
+/// three times over mid-traffic. The service must answer every request
+/// exactly once (typed `Internal` for the panicked ones), respawn back to
+/// full capacity, and count restarts == injected panics.
+#[test]
+fn worker_panics_recover_to_full_capacity_with_exact_accounting() {
+    let _lock = chaos_lock();
+    quiet_injected_panics();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(31);
+    let plan =
+        fault::install(Fault::parse("worker_panic:every=3:times=3;seed=1").expect("plan parses"));
+    let service = GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+        .expect("service starts");
+
+    const REQUESTS: u64 = 12;
+    let mut internals = 0u64;
+    for i in 0..REQUESTS {
+        let (tokens, retried) = generate_with_retry(&service, 500 + i);
+        assert!(!tokens.is_empty());
+        internals += retried;
+    }
+
+    // Injection schedule: every 3rd batch pickup, capped at 3 fires —
+    // hits 3, 6 and 9 of the 12 + 3 retried submissions.
+    assert_eq!(plan.fires(FaultPoint::WorkerPanic), 3);
+    assert_eq!(plan.fired_hits(FaultPoint::WorkerPanic), vec![3, 6, 9]);
+    assert_eq!(plan.hits(FaultPoint::WorkerPanic), REQUESTS + 3);
+    assert_eq!(
+        internals, 3,
+        "each injected panic answered exactly one request"
+    );
+
+    // The supervisor heals the pool back to full strength; respawn is
+    // asynchronous, so poll health (which never enters the queue).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let health = loop {
+        let health = service.health();
+        if health.live_workers == health.configured_workers && health.worker_restarts == 3 {
+            break health;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "service did not heal in time: {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(health.live);
+    assert!(health.ready);
+    assert_eq!(health.configured_workers, 1);
+    assert_eq!(health.worker_panics, 3);
+    assert_eq!(
+        health.worker_restarts, 3,
+        "restarts == injected panic count"
+    );
+
+    // Exactly-once: every accepted request is terminal in exactly one
+    // counter — no drops, no double counting.
+    let snapshot = service.metrics();
+    assert_eq!(snapshot.accepted, REQUESTS + 3);
+    assert_eq!(snapshot.completed, REQUESTS);
+    assert_eq!(snapshot.internal_errors, 3);
+    assert_eq!(snapshot.errored, 3);
+    assert_eq!(snapshot.completed + snapshot.errored, snapshot.accepted);
+    assert_eq!(snapshot.shed, 0);
+    assert_eq!(snapshot.rejected, 0);
+    service.shutdown();
+}
+
+/// Determinism contract: the k-th hit's verdict is a pure function of
+/// (plan, seed, k). Two service runs of the same probabilistic plan and
+/// workload must inject at identical hit indices and produce identical
+/// tokens — and both must match a pure in-memory simulation of the plan.
+#[test]
+fn same_plan_and_seed_replays_identical_injection_sequence() {
+    let _lock = chaos_lock();
+    quiet_injected_panics();
+    let _guard = PlanGuard;
+    const PLAN: &str = "worker_panic:p=0.5;seed=77";
+    const REQUESTS: u64 = 16;
+    let eva = tiny_pretrained(32);
+
+    // Simulate the exact client workload (retry each request until a
+    // non-firing hit) against a twin plan that injects nothing.
+    let twin = Fault::parse(PLAN).expect("plan parses");
+    for _ in 0..REQUESTS {
+        let mut attempts = 0;
+        while twin.should_fire(FaultPoint::WorkerPanic).is_some() {
+            attempts += 1;
+            assert!(attempts < 100, "pathological stream");
+        }
+    }
+    let expected = twin.fired_hits(FaultPoint::WorkerPanic);
+    assert!(!expected.is_empty(), "p=0.5 fires over {REQUESTS}+ hits");
+
+    let run = || {
+        let plan = fault::install(Fault::parse(PLAN).expect("plan parses"));
+        let service = GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+            .expect("service starts");
+        let mut tokens = Vec::new();
+        for i in 0..REQUESTS {
+            tokens.push(generate_with_retry(&service, 900 + i).0);
+        }
+        service.shutdown();
+        let log = plan.fired_hits(FaultPoint::WorkerPanic);
+        fault::clear();
+        (log, tokens)
+    };
+    let (log_a, tokens_a) = run();
+    let (log_b, tokens_b) = run();
+    assert_eq!(log_a, expected, "service run matches the pure simulation");
+    assert_eq!(log_a, log_b, "same plan + seed injects identically");
+    assert_eq!(tokens_a, tokens_b, "decodes are unaffected by replay");
+}
+
+/// With no plan — or a plan that never fires — decode outputs are
+/// bit-identical: injection points are latency/failure seams, never
+/// value seams.
+#[test]
+fn inactive_and_never_firing_plans_leave_outputs_bit_identical() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(33);
+    let collect = |eva: &Eva| -> Vec<Vec<TokenId>> {
+        let service = GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+            .expect("service starts");
+        let tokens = (0..4u64)
+            .map(|i| {
+                match service
+                    .generate(GenParams {
+                        seed: 700 + i,
+                        max_len: 24,
+                        ..GenParams::default()
+                    })
+                    .expect("queue has room")
+                {
+                    Completion::Ok(generation) => generation.tokens,
+                    other => panic!("generation failed: {other:?}"),
+                }
+            })
+            .collect();
+        service.shutdown();
+        tokens
+    };
+
+    fault::clear();
+    let baseline = collect(&eva);
+    // An *active* plan whose rules can never fire (p=0) or fire without
+    // effect (ms=0 delay): the injected-path code runs, values must not
+    // change.
+    let plan = fault::install(
+        Fault::parse("worker_panic:p=0;decode_slow:every=1:ms=0;seed=3").expect("plan parses"),
+    );
+    let with_plan = collect(&eva);
+    assert!(
+        plan.hits(FaultPoint::WorkerPanic) > 0,
+        "the seam was exercised"
+    );
+    assert!(
+        plan.hits(FaultPoint::DecodeSlow) > 0,
+        "decode steps hit the seam"
+    );
+    assert_eq!(plan.fires(FaultPoint::WorkerPanic), 0);
+    fault::clear();
+    assert_eq!(baseline, with_plan, "no-op plan must be bit-identical");
+}
+
+/// Injected decode latency + a request deadline: the waiter gets a typed
+/// `Timeout`, not a hang, and the timeout is counted.
+#[test]
+fn decode_slow_with_deadline_yields_typed_timeout() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(34);
+    fault::install(Fault::parse("decode_slow:every=1:ms=50").expect("plan parses"));
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            request_deadline_ms: 30,
+            ..chaos_config()
+        },
+    )
+    .expect("service starts");
+    let waited = Instant::now();
+    match service
+        .generate(GenParams {
+            seed: 3,
+            max_len: 8,
+            ..GenParams::default()
+        })
+        .expect("queue has room")
+    {
+        Completion::Timeout { .. } => {}
+        other => panic!("expected a typed timeout under injected latency, got {other:?}"),
+    }
+    // The waiter came back at the deadline, not after the full slowed
+    // decode (8 steps x 50ms).
+    assert!(waited.elapsed() < Duration::from_millis(250));
+    assert!(service.metrics().rejected_timeout >= 1);
+    service.shutdown();
+    fault::clear();
+}

@@ -44,7 +44,8 @@ fn checkpoint_to_service_round_trip() {
             queue_capacity: 32,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
 
     let mut firsts = Vec::new();
     for i in 0..8u64 {
@@ -107,7 +108,8 @@ fn micro_batch_decodes_jointly_and_matches_solo_decodes() {
             batch_deadline_us: 300_000,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
 
     const N: u64 = 6;
     let pending: Vec<_> = (0..N)
@@ -199,11 +201,13 @@ fn overload_rejects_instead_of_hanging() {
             batch_deadline_us: 1_000,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
 
     const SENT: usize = 50;
     let mut pending = Vec::new();
-    let mut rejected = 0u64;
+    let mut shed = 0u64;
+    let mut queue_full = 0u64;
     for i in 0..SENT as u64 {
         let params = GenParams {
             seed: i,
@@ -212,15 +216,20 @@ fn overload_rejects_instead_of_hanging() {
         };
         match service.submit(i, params) {
             Ok(p) => pending.push(p),
-            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(SubmitError::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms >= 1, "hint must be actionable");
+                shed += 1;
+            }
+            Err(SubmitError::QueueFull) => queue_full += 1,
             Err(SubmitError::ShuttingDown) => panic!("service is running"),
         }
     }
-    // A 1-worker pool behind a 2-deep queue cannot absorb a 50-burst.
-    assert!(rejected > 0, "burst should overflow the bounded queue");
+    // A 1-worker pool behind a 2-deep queue cannot absorb a 50-burst; at
+    // the default 100% watermark the pressure surfaces as typed shedding.
+    assert!(shed > 0, "burst should trip the shed watermark");
 
     // Every admitted request completes (drain, not drop) and accounting
-    // closes: accepted + rejected == sent.
+    // closes: accepted + shed + rejected == sent.
     let accepted = pending.len() as u64;
     for p in pending {
         match p.wait() {
@@ -230,8 +239,12 @@ fn overload_rejects_instead_of_hanging() {
     }
     let snapshot = service.metrics();
     assert_eq!(snapshot.accepted, accepted);
-    assert_eq!(snapshot.rejected, rejected);
-    assert_eq!(snapshot.accepted + snapshot.rejected, SENT as u64);
+    assert_eq!(snapshot.shed, shed);
+    assert_eq!(snapshot.rejected, queue_full);
+    assert_eq!(
+        snapshot.accepted + snapshot.shed + snapshot.rejected,
+        SENT as u64
+    );
     assert_eq!(snapshot.completed, accepted);
     assert_eq!(snapshot.errored, 0);
     service.shutdown();
@@ -247,7 +260,8 @@ fn shutdown_drains_admitted_work() {
             queue_capacity: 16,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     let pending: Vec<_> = (0..5u64)
         .map(|i| {
             service
@@ -274,7 +288,8 @@ fn shutdown_drains_admitted_work() {
 #[test]
 fn malformed_requests_return_typed_errors_not_panics() {
     let eva = tiny_pretrained(24);
-    let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default());
+    let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default())
+        .expect("service starts");
 
     // Out-of-vocabulary prompt token.
     let bad_prompt = GenParams {
@@ -326,7 +341,8 @@ fn expired_deadline_yields_typed_timeout() {
             batch_deadline_us: 100_000,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
 
     // A 1 µs deadline expires long before the worker's 100 ms batch
     // window closes — whichever of the waiter or the worker notices
@@ -388,7 +404,8 @@ fn server_default_deadline_times_out_over_the_wire() {
             request_deadline_ms: 1,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
 
     // No per-request deadline: the server-wide 1 ms default applies and
     // expires inside the 100 ms batch window.
@@ -412,13 +429,16 @@ fn server_default_deadline_times_out_over_the_wire() {
 #[test]
 fn read_timeout_disconnects_idle_connection() {
     let eva = tiny_pretrained(29);
-    let service = Arc::new(GenerationService::from_artifacts(
-        &eva.artifacts(),
-        ServeConfig {
-            read_timeout_ms: 200,
-            ..ServeConfig::default()
-        },
-    ));
+    let service = Arc::new(
+        GenerationService::from_artifacts(
+            &eva.artifacts(),
+            ServeConfig {
+                read_timeout_ms: 200,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("service starts"),
+    );
     let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
@@ -446,14 +466,17 @@ fn read_timeout_disconnects_idle_connection() {
 #[test]
 fn tcp_round_trip_on_ephemeral_port() {
     let eva = tiny_pretrained(25);
-    let service = Arc::new(GenerationService::from_artifacts(
-        &eva.artifacts(),
-        ServeConfig {
-            workers: 2,
-            queue_capacity: 16,
-            ..ServeConfig::default()
-        },
-    ));
+    let service = Arc::new(
+        GenerationService::from_artifacts(
+            &eva.artifacts(),
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 16,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("service starts"),
+    );
     let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
     let addr = server.local_addr();
 
@@ -497,15 +520,30 @@ fn tcp_round_trip_on_ephemeral_port() {
     }
     assert_eq!(ask(r#"{"op":"ping"}"#), Response::Pong);
 
-    // Metrics accounting over the wire.
+    // Metrics accounting over the wire, including the connection gauge.
     match ask(r#"{"op":"metrics"}"#) {
         Response::Metrics(snapshot) => {
             assert_eq!(snapshot.completed, 3);
             assert_eq!(snapshot.errored, 0);
             assert_eq!(snapshot.accepted, 3);
+            assert_eq!(snapshot.active_connections, 1);
         }
         other => panic!("expected metrics, got {other:?}"),
     }
+
+    // Health over the wire: idle two-worker service is live and ready.
+    match ask(r#"{"op":"health"}"#) {
+        Response::Health(health) => {
+            assert!(health.live);
+            assert!(health.ready);
+            assert_eq!(health.live_workers, 2);
+            assert_eq!(health.configured_workers, 2);
+            assert_eq!(health.worker_restarts, 0);
+            assert_eq!(health.active_connections, 1);
+        }
+        other => panic!("expected health, got {other:?}"),
+    }
+    assert_eq!(server.active_connections(), 1);
 
     server.stop();
 }
