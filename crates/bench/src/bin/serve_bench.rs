@@ -9,6 +9,11 @@
 //! ```text
 //! cargo run -p eva-bench --release --bin serve_bench [-- --quick --seed N --samples N]
 //! ```
+//!
+//! With `--discover` it benches the streaming discovery pipeline instead
+//! (generate → filter → GA-size → SPICE-rank) and writes
+//! `BENCH_discover.json`: candidates/s, FoM-at-k over the merged
+//! leaderboards, and the per-stage latency breakdown.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,7 +21,10 @@ use std::time::Instant;
 
 use eva_bench::RunArgs;
 use eva_core::{Eva, EvaOptions, PretrainConfig};
-use eva_serve::{Completion, GenParams, GenerationService, RetryPolicy, ServeConfig, SubmitError};
+use eva_serve::{
+    Completion, DiscoverRequest, DiscoverSpec, GenParams, GenerationService, JobEvent, RetryPolicy,
+    ServeConfig, SubmitError,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -24,6 +32,7 @@ const CLIENTS: usize = 8;
 
 fn main() {
     let args = RunArgs::parse();
+    let discover = std::env::args().any(|a| a == "--discover");
     let requests = args.samples.unwrap_or(200) as u64;
     let pretrain_steps = if args.quick { 25 } else { 60 };
 
@@ -40,6 +49,11 @@ fn main() {
         warmup: 3,
     };
     eva.pretrain(&pretrain, &mut rng);
+
+    if discover {
+        run_discover(&args, &eva, pretrain_steps);
+        return;
+    }
 
     let workers = std::thread::available_parallelism()
         .map_or(4, |n| n.get())
@@ -182,4 +196,132 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     }
     let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
     sorted_us[rank - 1]
+}
+
+/// Discovery mode: run a fixed batch of `discover` jobs through the
+/// in-process streaming API and report the pipeline's throughput and
+/// quality trajectory → `BENCH_discover.json`.
+fn run_discover(args: &RunArgs, eva: &Eva, pretrain_steps: usize) {
+    let jobs = if args.quick { 2 } else { 3 };
+    let n_candidates = args.samples.unwrap_or(16);
+    let generations = if args.quick { 4 } else { 8 };
+    let population = 8;
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
+    let config = ServeConfig {
+        workers,
+        queue_capacity: 256,
+        max_batch: 8,
+        batch_deadline_us: 500,
+        ..ServeConfig::default()
+    };
+    let service = GenerationService::from_artifacts(&eva.artifacts(), config).unwrap_or_else(|e| {
+        eprintln!("error: failed to start service: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[serve_bench] discovery: {jobs} jobs x {n_candidates} candidates x \
+         {generations} generations (population {population}, {workers} workers)"
+    );
+
+    let start = Instant::now();
+    let mut leaderboard: Vec<(u64, f64)> = Vec::new();
+    let mut job_summaries = Vec::new();
+    for job_idx in 0..jobs {
+        let request = DiscoverRequest {
+            id: job_idx,
+            seed: Some(args.seed.wrapping_add(job_idx)),
+            n_candidates: Some(n_candidates),
+            generations: Some(generations),
+            population: Some(population),
+            max_len: Some(64),
+            spec: Some(DiscoverSpec {
+                family: Some("Op-Amp".to_owned()),
+                prompt: None,
+            }),
+            checkpoint: None,
+        };
+        let job = service.discover(&request).unwrap_or_else(|e| {
+            eprintln!("error: discover job {job_idx} refused: {e}");
+            std::process::exit(1);
+        });
+        let job_started = Instant::now();
+        let summary = loop {
+            match job.next_event() {
+                Some(JobEvent::Done(summary)) => break summary,
+                Some(JobEvent::Failed { message }) => {
+                    eprintln!("error: discover job {job_idx} failed: {message}");
+                    std::process::exit(1);
+                }
+                Some(_) => {}
+                None => {
+                    eprintln!("error: discover job {job_idx} stream ended without a terminal");
+                    std::process::exit(1);
+                }
+            }
+        };
+        let job_s = job_started.elapsed().as_secs_f64();
+        eprintln!(
+            "[serve_bench] job {job_idx}: {}/{}/{} gen/valid/unique, best FoM {:?} ({job_s:.2}s)",
+            summary.candidates_generated,
+            summary.candidates_valid,
+            summary.candidates_unique,
+            summary.leaderboard.first().map(|e| e.fom),
+        );
+        leaderboard.extend(summary.leaderboard.iter().map(|e| (e.seed, e.fom)));
+        job_summaries.push(serde_json::json!({
+            "job": job_idx,
+            "elapsed_s": job_s,
+            "candidates_generated": summary.candidates_generated,
+            "candidates_valid": summary.candidates_valid,
+            "candidates_unique": summary.candidates_unique,
+            "ranked": summary.leaderboard.len(),
+            "best_fom": summary.leaderboard.first().map(|e| e.fom),
+        }));
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    // FoM-at-k over the merged leaderboards: how good the k-th best
+    // discovery is after the whole batch — the paper's "targeted
+    // discovery" quality axis, tracked PR over PR.
+    leaderboard.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite FoMs"));
+    let fom_at = |k: usize| leaderboard.get(k - 1).map(|(_, fom)| *fom);
+    let snapshot = service.metrics();
+
+    let report = serde_json::json!({
+        "bench": "eva-serve/discover",
+        "git_rev": eva_bench::git_rev(),
+        "threads": eva_nn::pool::global().threads(),
+        "seed": args.seed,
+        "scale": format!("test_scale+{pretrain_steps}steps"),
+        "workers": workers,
+        "jobs": jobs,
+        "n_candidates": n_candidates,
+        "generations": generations,
+        "population": population,
+        "elapsed_s": elapsed,
+        "candidates_per_s": snapshot.candidates_generated as f64 / elapsed,
+        "spice_evals_per_s": snapshot.spice_evals as f64 / elapsed,
+        "validity_rate": snapshot.candidates_valid as f64
+            / (snapshot.candidates_generated.max(1)) as f64,
+        "unique_rate": snapshot.candidates_unique as f64
+            / (snapshot.candidates_generated.max(1)) as f64,
+        "fom_at_1": fom_at(1),
+        "fom_at_3": fom_at(3),
+        "fom_at_5": fom_at(5),
+        // Per-stage latency breakdown: where a discovery job's wall time
+        // goes (decode vs filter vs GA+SPICE sizing).
+        "stage_generate": snapshot.stage_generate,
+        "stage_filter": snapshot.stage_filter,
+        "stage_generation": snapshot.stage_generation,
+        "job_total": snapshot.job_total,
+        "jobs_detail": job_summaries,
+        "metrics": snapshot,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{pretty}");
+    std::fs::write("BENCH_discover.json", format!("{pretty}\n"))
+        .expect("write BENCH_discover.json");
+    eprintln!("[serve_bench] wrote BENCH_discover.json");
+    service.shutdown();
 }

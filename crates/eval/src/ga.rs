@@ -3,22 +3,40 @@
 //! Table II's FoM@10 metric sizes each candidate topology "with a genetic
 //! algorithm and SPICE evaluation" before measuring. Genes are the device
 //! parameters on a log scale; fitness is the family FoM from `eva-spice`.
-//! Fitness evaluations fan out over threads with `crossbeam`.
+//!
+//! The algorithm is packaged as a **seedable, step-resumable library
+//! API** shared by the offline bench and `eva-serve` discovery jobs:
+//!
+//! - [`GaRun`] owns one sizing run and advances one generation per
+//!   [`GaRun::step`] call, so a caller can interleave runs, stream
+//!   per-generation progress, and checkpoint between steps.
+//! - Each generation draws from its own ChaCha8 stream derived from
+//!   `(seed, generation)`, so a run restored from a [`GaState`] snapshot
+//!   continues **bit-identically** to the uninterrupted run — the
+//!   kill-and-resume contract serve discovery checkpoints rely on.
+//! - Fitness evaluations fan out through [`eva_spice::par_evaluate`] on
+//!   the process-wide kernel pool (no private thread spawns, no
+//!   oversubscription, nested-safe from serve job threads).
+//! - No I/O, no `println!`, no process exits: every outcome is a value.
+//!
+//! [`ga_size`] remains the one-shot convenience wrapper over the same
+//! implementation.
 
 use eva_circuit::{Device, DeviceKind, Topology};
 use eva_dataset::CircuitType;
 use eva_spice::{DeviceParams, Sizing};
-use parking_lot::Mutex;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// GA hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaConfig {
     /// Individuals per generation.
     pub population: usize,
-    /// Generations to evolve.
+    /// Generations to evolve (used by [`ga_size`]; [`GaRun`] callers
+    /// drive stepping themselves).
     pub generations: usize,
     /// Tournament size for parent selection.
     pub tournament: usize,
@@ -28,7 +46,9 @@ pub struct GaConfig {
     pub mutation_step: f64,
     /// Elite individuals copied unchanged.
     pub elitism: usize,
-    /// Worker threads for fitness evaluation.
+    /// Ignored: fitness now fans out on the process-wide `eva_nn` pool
+    /// (`EVA_NN_THREADS`). Kept so existing configs keep deserializing
+    /// and constructing.
     pub threads: usize,
 }
 
@@ -175,7 +195,277 @@ pub struct GaResult {
     pub history: Vec<f64>,
 }
 
-/// Size a topology for a circuit family with a genetic algorithm.
+/// Serializable snapshot of a [`GaRun`] between generations.
+///
+/// Unmeasurable fitness (`-inf`) is stored as `None` so the snapshot
+/// survives JSON, which has no infinities. Restoring a snapshot with
+/// [`GaRun::restore`] continues the run bit-identically: the per
+/// generation RNG streams are derived from `(seed, generation)`, never
+/// from live RNG state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaState {
+    /// The run's seed.
+    pub seed: u64,
+    /// Generations completed (0 = initial population not yet evaluated).
+    pub generation: usize,
+    /// Current population, one gene vector per individual.
+    pub pop: Vec<Vec<f64>>,
+    /// Fitness of `pop` (`None` = unmeasurable); empty before the first
+    /// [`GaRun::step`].
+    pub fitness: Vec<Option<f64>>,
+    /// Best fitness per completed generation (`None` = nothing in that
+    /// generation was measurable).
+    pub history: Vec<Option<f64>>,
+}
+
+/// One in-progress GA sizing run: seedable, step-resumable, I/O-free.
+///
+/// ```text
+/// let mut run = GaRun::new(&topology, family, &config, seed)?;
+/// while run.generation() < config.generations {
+///     let best = run.step();            // one generation of SPICE evals
+///     save(run.state());                // checkpoint between steps
+/// }
+/// let result = run.into_result();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaRun {
+    topology: Topology,
+    family: CircuitType,
+    config: GaConfig,
+    map: GeneMap,
+    seed: u64,
+    generation: usize,
+    pop: Vec<Vec<f64>>,
+    fitness: Vec<f64>,
+    history: Vec<f64>,
+}
+
+/// The ChaCha8 stream for one generation of one run. Pure function of
+/// `(seed, generation)` — the resume contract.
+fn gen_rng(seed: u64, generation: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ (generation as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+impl GaRun {
+    /// Set up a run: the initial population (default sizing plus randoms)
+    /// is built but **not yet evaluated** — the first [`GaRun::step`]
+    /// runs the initial SPICE evaluations, so construction is cheap and a
+    /// checkpoint can be cut before any simulation happens.
+    ///
+    /// Returns `None` when the topology has no tunable genes.
+    pub fn new(
+        topology: &Topology,
+        family: CircuitType,
+        config: &GaConfig,
+        seed: u64,
+    ) -> Option<GaRun> {
+        let map = GeneMap::new(topology);
+        if map.is_empty() {
+            return None;
+        }
+        let mut rng = gen_rng(seed, 0);
+        let mut pop: Vec<Vec<f64>> = vec![map.defaults()];
+        while pop.len() < config.population.max(1) {
+            pop.push(map.random(&mut rng));
+        }
+        Some(GaRun {
+            topology: topology.clone(),
+            family,
+            config: *config,
+            map,
+            seed,
+            generation: 0,
+            pop,
+            fitness: Vec::new(),
+            history: Vec::new(),
+        })
+    }
+
+    /// Rebuild a run from a checkpointed [`GaState`].
+    ///
+    /// Returns `None` when the snapshot does not fit the topology (gene
+    /// count mismatch, empty population, or inconsistent lengths) — a
+    /// caller restoring from disk should treat that as a corrupt or
+    /// mismatched checkpoint.
+    pub fn restore(
+        topology: &Topology,
+        family: CircuitType,
+        config: &GaConfig,
+        state: GaState,
+    ) -> Option<GaRun> {
+        let map = GeneMap::new(topology);
+        if map.is_empty() || state.pop.is_empty() {
+            return None;
+        }
+        if state.pop.iter().any(|g| g.len() != map.len()) {
+            return None;
+        }
+        let evaluated = state.generation > 0;
+        if evaluated && state.fitness.len() != state.pop.len() {
+            return None;
+        }
+        if state.history.len() != state.generation {
+            return None;
+        }
+        Some(GaRun {
+            topology: topology.clone(),
+            family,
+            config: *config,
+            map,
+            seed: state.seed,
+            generation: state.generation,
+            pop: state.pop,
+            fitness: state
+                .fitness
+                .into_iter()
+                .map(|f| f.unwrap_or(f64::NEG_INFINITY))
+                .collect(),
+            history: state
+                .history
+                .into_iter()
+                .map(|f| f.unwrap_or(f64::NEG_INFINITY))
+                .collect(),
+        })
+    }
+
+    /// Snapshot the run between steps (see [`GaState`]).
+    pub fn state(&self) -> GaState {
+        let opt = |f: &f64| f.is_finite().then_some(*f);
+        GaState {
+            seed: self.seed,
+            generation: self.generation,
+            pop: self.pop.clone(),
+            fitness: self.fitness.iter().map(opt).collect(),
+            history: self.history.iter().map(opt).collect(),
+        }
+    }
+
+    /// Generations completed so far.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// SPICE evaluations performed by one [`GaRun::step`] call.
+    pub fn evals_per_step(&self) -> usize {
+        self.pop.len()
+    }
+
+    /// Best measurable FoM seen in the current population, or `None`
+    /// before the first step / when nothing is measurable.
+    pub fn best_fom(&self) -> Option<f64> {
+        self.fitness
+            .iter()
+            .copied()
+            .filter(|f| f.is_finite())
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+    }
+
+    /// Advance one generation: the first call evaluates the initial
+    /// population; later calls evolve (elitism, tournament selection,
+    /// uniform crossover, log-space mutation) and evaluate the offspring.
+    /// Fitness fans out over [`eva_spice::par_evaluate`]. Returns the
+    /// best measurable FoM after the step (`None` = nothing measurable).
+    pub fn step(&mut self) -> Option<f64> {
+        if self.generation > 0 {
+            self.evolve();
+        }
+        self.fitness = self.evaluate();
+        self.generation += 1;
+        let best = self.best_fom();
+        self.history.push(best.unwrap_or(f64::NEG_INFINITY));
+        best
+    }
+
+    /// Finish the run: the best sizing and its FoM, or `None` when no
+    /// individual was ever measurable (or the run was never stepped).
+    pub fn into_result(self) -> Option<GaResult> {
+        let (best_i, best_f) = self
+            .fitness
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))?;
+        if !best_f.is_finite() {
+            return None;
+        }
+        Some(GaResult {
+            sizing: self.map.decode(&self.pop[best_i]),
+            fom: *best_f,
+            history: self.history.clone(),
+        })
+    }
+
+    /// The best sizing in the current population, if any is measurable.
+    pub fn best_sizing(&self) -> Option<Sizing> {
+        let (best_i, best_f) = self
+            .fitness
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))?;
+        best_f
+            .is_finite()
+            .then(|| self.map.decode(&self.pop[best_i]))
+    }
+
+    fn evaluate(&self) -> Vec<f64> {
+        let map = &self.map;
+        let topology = &self.topology;
+        let family = self.family;
+        let pop = &self.pop;
+        eva_spice::par_evaluate(pop.len(), 1, |i| {
+            let sizing = map.decode(&pop[i]);
+            eva_dataset::labels::measure_fom_sized(topology, family, &sizing)
+                .unwrap_or(f64::NEG_INFINITY)
+        })
+    }
+
+    fn evolve(&mut self) {
+        let mut rng = gen_rng(self.seed, self.generation);
+        let mut order: Vec<usize> = (0..self.pop.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.fitness[b]
+                .partial_cmp(&self.fitness[a])
+                .expect("no NaN")
+        });
+
+        let mut next_pop: Vec<Vec<f64>> = Vec::with_capacity(self.pop.len());
+        for &i in order.iter().take(self.config.elitism.min(self.pop.len())) {
+            next_pop.push(self.pop[i].clone());
+        }
+        let tournament = |rng: &mut ChaCha8Rng| -> usize {
+            (0..self.config.tournament.max(1))
+                .map(|_| rng.gen_range(0..self.pop.len()))
+                .max_by(|&a, &b| {
+                    self.fitness[a]
+                        .partial_cmp(&self.fitness[b])
+                        .expect("no NaN")
+                })
+                .expect("tournament non-empty")
+        };
+        while next_pop.len() < self.pop.len() {
+            let pa = tournament(&mut rng);
+            let pb = tournament(&mut rng);
+            // Uniform crossover.
+            let mut child: Vec<f64> = self.pop[pa]
+                .iter()
+                .zip(&self.pop[pb])
+                .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+                .collect();
+            // Gaussian-ish log-space mutation.
+            for g in child.iter_mut() {
+                if rng.gen_bool(self.config.mutation_rate) {
+                    *g += rng.gen_range(-self.config.mutation_step..self.config.mutation_step);
+                }
+            }
+            self.map.clamp(&mut child);
+            next_pop.push(child);
+        }
+        self.pop = next_pop;
+    }
+}
+
+/// Size a topology for a circuit family with a genetic algorithm —
+/// the one-shot wrapper over [`GaRun`] (`config.generations` steps).
 ///
 /// Returns `None` when no individual (including the default sizing) could
 /// be measured at all.
@@ -185,97 +475,11 @@ pub fn ga_size(
     config: &GaConfig,
     seed: u64,
 ) -> Option<GaResult> {
-    let map = GeneMap::new(topology);
-    if map.is_empty() {
-        return None;
+    let mut run = GaRun::new(topology, family, config, seed)?;
+    for _ in 0..config.generations.max(1) {
+        run.step();
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-
-    // Initial population: default sizing plus randoms.
-    let mut pop: Vec<Vec<f64>> = vec![map.defaults()];
-    while pop.len() < config.population {
-        pop.push(map.random(&mut rng));
-    }
-
-    let evaluate = |individuals: &[Vec<f64>]| -> Vec<f64> {
-        let results = Mutex::new(vec![f64::NEG_INFINITY; individuals.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
-            for _ in 0..config.threads.max(1) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= individuals.len() {
-                        break;
-                    }
-                    let sizing = map.decode(&individuals[i]);
-                    let fom = eva_dataset::labels::measure_fom_sized(topology, family, &sizing)
-                        .unwrap_or(f64::NEG_INFINITY);
-                    results.lock()[i] = fom;
-                });
-            }
-        })
-        .expect("ga worker panicked");
-        results.into_inner()
-    };
-
-    let mut fitness = evaluate(&pop);
-    let mut history = Vec::with_capacity(config.generations);
-    for gen in 0..config.generations {
-        // Sort by fitness descending.
-        let mut order: Vec<usize> = (0..pop.len()).collect();
-        order.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).expect("no NaN"));
-        let best = fitness[order[0]];
-        history.push(best);
-        if gen + 1 == config.generations {
-            break;
-        }
-
-        let mut next_pop: Vec<Vec<f64>> = Vec::with_capacity(config.population);
-        for &i in order.iter().take(config.elitism) {
-            next_pop.push(pop[i].clone());
-        }
-        let tournament = |rng: &mut ChaCha8Rng| -> usize {
-            (0..config.tournament)
-                .map(|_| rng.gen_range(0..pop.len()))
-                .max_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("no NaN"))
-                .expect("tournament non-empty")
-        };
-        while next_pop.len() < config.population {
-            let pa = tournament(&mut rng);
-            let pb = tournament(&mut rng);
-            // Uniform crossover.
-            let mut child: Vec<f64> = pop[pa]
-                .iter()
-                .zip(&pop[pb])
-                .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
-                .collect();
-            // Gaussian-ish log-space mutation.
-            for g in child.iter_mut() {
-                if rng.gen_bool(config.mutation_rate) {
-                    *g += rng.gen_range(-config.mutation_step..config.mutation_step);
-                }
-            }
-            map.clamp(&mut child);
-            next_pop.push(child);
-        }
-        pop = next_pop;
-        fitness = evaluate(&pop);
-    }
-
-    // Final best.
-    let (best_i, best_f) = fitness
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-        .expect("population non-empty");
-    if !best_f.is_finite() {
-        return None;
-    }
-    Some(GaResult {
-        sizing: map.decode(&pop[best_i]),
-        fom: *best_f,
-        history,
-    })
+    run.into_result()
 }
 
 #[cfg(test)]
@@ -333,7 +537,6 @@ mod tests {
         let cfg = GaConfig {
             population: 12,
             generations: 6,
-            threads: 2,
             ..GaConfig::default()
         };
         let result = ga_size(&t, CircuitType::OpAmp, &cfg, 42).expect("ga succeeds");
@@ -351,5 +554,72 @@ mod tests {
                 result.history
             );
         }
+    }
+
+    #[test]
+    fn stepping_matches_one_shot() {
+        let t = cs_amp();
+        let cfg = GaConfig {
+            population: 8,
+            generations: 4,
+            ..GaConfig::default()
+        };
+        let one_shot = ga_size(&t, CircuitType::OpAmp, &cfg, 9).expect("ga succeeds");
+        let mut run = GaRun::new(&t, CircuitType::OpAmp, &cfg, 9).expect("genes");
+        for _ in 0..cfg.generations {
+            run.step();
+        }
+        let stepped = run.into_result().expect("ga succeeds");
+        assert_eq!(one_shot.fom, stepped.fom);
+        assert_eq!(one_shot.history, stepped.history);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let t = cs_amp();
+        let cfg = GaConfig {
+            population: 8,
+            generations: 5,
+            ..GaConfig::default()
+        };
+        // Uninterrupted run.
+        let mut a = GaRun::new(&t, CircuitType::OpAmp, &cfg, 123).expect("genes");
+        for _ in 0..cfg.generations {
+            a.step();
+        }
+        // Interrupted after 2 generations, round-tripped through JSON
+        // (the serve checkpoint format), then resumed.
+        let mut b = GaRun::new(&t, CircuitType::OpAmp, &cfg, 123).expect("genes");
+        b.step();
+        b.step();
+        let json = serde_json::to_string(&b.state()).expect("serialize");
+        let state: GaState = serde_json::from_str(&json).expect("deserialize");
+        let mut b = GaRun::restore(&t, CircuitType::OpAmp, &cfg, state).expect("restore");
+        for _ in 2..cfg.generations {
+            b.step();
+        }
+        let ra = a.into_result().expect("ga succeeds");
+        let rb = b.into_result().expect("ga succeeds");
+        assert_eq!(ra.fom, rb.fom, "resume must not fork the run");
+        assert_eq!(ra.history, rb.history);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let t = cs_amp();
+        let cfg = GaConfig {
+            population: 4,
+            ..GaConfig::default()
+        };
+        let mut run = GaRun::new(&t, CircuitType::OpAmp, &cfg, 5).expect("genes");
+        run.step();
+        let good = run.state();
+        let mut bad = good.clone();
+        bad.pop[0].pop(); // gene count mismatch
+        assert!(GaRun::restore(&t, CircuitType::OpAmp, &cfg, bad).is_none());
+        let mut bad = good.clone();
+        bad.fitness.clear(); // evaluated run missing fitness
+        assert!(GaRun::restore(&t, CircuitType::OpAmp, &cfg, bad).is_none());
+        assert!(GaRun::restore(&t, CircuitType::OpAmp, &cfg, good).is_some());
     }
 }

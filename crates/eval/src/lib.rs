@@ -16,7 +16,7 @@ pub mod metrics;
 pub mod mmd;
 
 pub use classify::TypeClassifier;
-pub use ga::{ga_size, GaConfig, GaResult, GeneMap};
+pub use ga::{ga_size, GaConfig, GaResult, GaRun, GaState, GeneMap};
 pub use generator::TopologyGenerator;
 pub use metrics::{evaluate_generation, fom_at_k, GenerationReport};
 pub use mmd::{mmd2, topology_mmd};

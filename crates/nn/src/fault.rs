@@ -70,16 +70,27 @@ pub enum FaultPoint {
     /// A serve worker panics right after picking up a micro-batch, with
     /// requests in flight.
     WorkerPanic,
+    /// A single SPICE fitness evaluation misbehaves: with `ms=N` it stalls
+    /// that long before computing; without a delay the evaluation is
+    /// reported unmeasurable (fitness `-inf`), like a sim that failed to
+    /// converge. Hit once per candidate evaluation.
+    SpiceEval,
+    /// A discovery job's sizing stage faults at a GA generation boundary:
+    /// with `ms=N` the generation stalls; without a delay the job thread
+    /// panics (the job must still terminate with a typed event).
+    SizeStep,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 5] = [
+    pub const ALL: [FaultPoint; 7] = [
         FaultPoint::IoWrite,
         FaultPoint::IoRename,
         FaultPoint::ArtifactLoad,
         FaultPoint::DecodeSlow,
         FaultPoint::WorkerPanic,
+        FaultPoint::SpiceEval,
+        FaultPoint::SizeStep,
     ];
 
     /// The plan-syntax name of this point.
@@ -90,6 +101,8 @@ impl FaultPoint {
             FaultPoint::ArtifactLoad => "artifact_load",
             FaultPoint::DecodeSlow => "decode_slow",
             FaultPoint::WorkerPanic => "worker_panic",
+            FaultPoint::SpiceEval => "spice_eval",
+            FaultPoint::SizeStep => "size_step",
         }
     }
 
@@ -523,6 +536,15 @@ mod tests {
         assert_eq!(rules[2].point, FaultPoint::DecodeSlow);
         assert_eq!(rules[2].trigger, Trigger::Every(3));
         assert_eq!(rules[2].delay_ms, 200);
+    }
+
+    #[test]
+    fn every_point_parses_by_its_name() {
+        for point in FaultPoint::ALL {
+            let plan = format!("{}:nth=1", point.as_str());
+            let fault = Fault::parse(&plan).unwrap();
+            assert_eq!(fault.rules()[0].point, point);
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
 //!     [--batch N] [--deadline-us N] [--validate] [--seed N] [--demo-steps N] \
 //!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N] \
-//!     [--shed-watermark-pct N] [--restart-backoff-ms N]
+//!     [--shed-watermark-pct N] [--restart-backoff-ms N] \
+//!     [--max-discover-jobs N] [--discover-candidates N] \
+//!     [--discover-generations N] [--discover-population N] [--job-dir DIR]
 //! ```
 //!
 //! Without `--artifacts` it pretrains a small demo model in-process (a few
@@ -41,6 +43,11 @@ fn main() {
             "--request-deadline-ms" => parse_into(&mut config.request_deadline_ms, args.next()),
             "--shed-watermark-pct" => parse_into(&mut config.shed_watermark_pct, args.next()),
             "--restart-backoff-ms" => parse_into(&mut config.restart_backoff_ms, args.next()),
+            "--max-discover-jobs" => parse_into(&mut config.max_discover_jobs, args.next()),
+            "--discover-candidates" => parse_into(&mut config.discover_candidates, args.next()),
+            "--discover-generations" => parse_into(&mut config.discover_generations, args.next()),
+            "--discover-population" => parse_into(&mut config.discover_population, args.next()),
+            "--job-dir" => config.job_dir = args.next().map(std::path::PathBuf::from),
             "--seed" => parse_into(&mut seed, args.next()),
             "--demo-steps" => parse_into(&mut demo_steps, args.next()),
             other => {
@@ -104,6 +111,18 @@ fn main() {
         "[serve] read-timeout {}ms write-timeout {}ms request-deadline {}ms (0 = disabled)",
         config.read_timeout_ms, config.write_timeout_ms, config.request_deadline_ms
     );
+    eprintln!(
+        "[serve] discovery: {} job slot(s), defaults {} candidates x {} generations \
+         (population {}), checkpoints {}",
+        config.max_discover_jobs,
+        config.discover_candidates,
+        config.discover_generations,
+        config.discover_population,
+        config
+            .job_dir
+            .as_deref()
+            .map_or_else(|| "disabled".to_owned(), |d| d.display().to_string())
+    );
 
     if std::env::var("EVA_FAULT_PLAN").is_ok_and(|p| !p.trim().is_empty()) {
         eprintln!("[serve] EVA_FAULT_PLAN is set: deterministic fault injection is ACTIVE");
@@ -128,6 +147,21 @@ fn main() {
             snapshot.worker_restarts,
             snapshot.active_connections
         );
+        if snapshot.discover_accepted > 0 || snapshot.active_jobs > 0 {
+            eprintln!(
+                "[metrics] jobs active {} accepted {} completed {} cancelled {} failed {} \
+                 candidates {}/{}/{} (gen/valid/unique) spice-evals {}",
+                snapshot.active_jobs,
+                snapshot.discover_accepted,
+                snapshot.discover_completed,
+                snapshot.discover_cancelled,
+                snapshot.discover_failed,
+                snapshot.candidates_generated,
+                snapshot.candidates_valid,
+                snapshot.candidates_unique,
+                snapshot.spice_evals
+            );
+        }
     }
 }
 

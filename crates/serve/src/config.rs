@@ -65,6 +65,38 @@ pub struct ServeConfig {
     /// Cap on the supervisor's exponential restart backoff.
     #[serde(default = "default_restart_backoff_max_ms")]
     pub restart_backoff_max_ms: u64,
+    /// Concurrent discovery jobs admitted before new `discover` requests
+    /// are refused with a typed rejection. Each job owns one pipeline
+    /// thread; its SPICE/GA work shares the process-wide kernel pool.
+    #[serde(default = "default_max_discover_jobs")]
+    pub max_discover_jobs: usize,
+    /// Candidates generated per discovery job when the request omits
+    /// `n_candidates`.
+    #[serde(default = "default_discover_candidates")]
+    pub discover_candidates: usize,
+    /// GA generations per discovery job when the request omits
+    /// `generations` (the paper's FoM@k protocol sizes over 10).
+    #[serde(default = "default_discover_generations")]
+    pub discover_generations: usize,
+    /// GA population per candidate when the request omits `population`.
+    #[serde(default = "default_discover_population")]
+    pub discover_population: usize,
+    /// Upper bound on requested `n_candidates`; larger asks are refused
+    /// typed (a discovery job is already the most expensive request the
+    /// service admits).
+    #[serde(default = "default_discover_max_candidates")]
+    pub discover_max_candidates: usize,
+    /// Upper bound on requested `generations`.
+    #[serde(default = "default_discover_max_generations")]
+    pub discover_max_generations: usize,
+    /// Upper bound on requested `population`.
+    #[serde(default = "default_discover_max_population")]
+    pub discover_max_population: usize,
+    /// Root directory for discovery job checkpoints. `None` (the default)
+    /// disables checkpointing: `discover` requests naming a `checkpoint`
+    /// are refused typed so a client cannot silently lose resumability.
+    #[serde(default)]
+    pub job_dir: Option<std::path::PathBuf>,
 }
 
 fn default_read_timeout_ms() -> u64 {
@@ -87,6 +119,34 @@ fn default_restart_backoff_max_ms() -> u64 {
     1_000
 }
 
+fn default_max_discover_jobs() -> usize {
+    2
+}
+
+fn default_discover_candidates() -> usize {
+    10
+}
+
+fn default_discover_generations() -> usize {
+    10
+}
+
+fn default_discover_population() -> usize {
+    12
+}
+
+fn default_discover_max_candidates() -> usize {
+    256
+}
+
+fn default_discover_max_generations() -> usize {
+    100
+}
+
+fn default_discover_max_population() -> usize {
+    128
+}
+
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
@@ -105,6 +165,14 @@ impl Default for ServeConfig {
             shed_watermark_pct: default_shed_watermark_pct(),
             restart_backoff_ms: default_restart_backoff_ms(),
             restart_backoff_max_ms: default_restart_backoff_max_ms(),
+            max_discover_jobs: default_max_discover_jobs(),
+            discover_candidates: default_discover_candidates(),
+            discover_generations: default_discover_generations(),
+            discover_population: default_discover_population(),
+            discover_max_candidates: default_discover_max_candidates(),
+            discover_max_generations: default_discover_max_generations(),
+            discover_max_population: default_discover_max_population(),
+            job_dir: None,
         }
     }
 }
@@ -209,6 +277,11 @@ mod tests {
         assert_eq!(c.shed_watermark_pct, 100);
         assert_eq!(c.restart_backoff_ms, default_restart_backoff_ms());
         assert_eq!(c.restart_backoff_max_ms, default_restart_backoff_max_ms());
+        assert_eq!(c.max_discover_jobs, default_max_discover_jobs());
+        assert_eq!(c.discover_candidates, default_discover_candidates());
+        assert_eq!(c.discover_generations, default_discover_generations());
+        assert_eq!(c.discover_population, default_discover_population());
+        assert_eq!(c.job_dir, None);
     }
 
     #[test]

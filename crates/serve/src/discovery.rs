@@ -1,0 +1,1314 @@
+//! Streaming discovery jobs: generate → filter → size → simulate → rank.
+//!
+//! A `discover` request runs the paper's targeted-discovery loop as a
+//! single server-side job: sample `n_candidates` topologies through the
+//! shared micro-batch decode path, keep the ones that decode to valid,
+//! canonically-unique circuits, then GA-size every survivor (one
+//! [`eva_eval::GaRun`] per candidate, SPICE fitness fanned out on the
+//! process-wide kernel pool) and stream progress back as it happens.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!   discover ──▶ generate (worker pool, micro-batched decode)
+//!                   │ stage_generate
+//!                   ▼
+//!               filter (Euler/canon decode + validity + dedupe)
+//!                   │ stage_filter
+//!                   ▼
+//!          ┌─▶ size+simulate one GA generation across the cohort
+//!          │        │ stage_generation, checkpoint, generation_done
+//!          └────────┘  × generations
+//!                   ▼
+//!               rank (candidate_ranked…, job_done with leaderboard)
+//! ```
+//!
+//! ## Determinism
+//!
+//! The whole job is a pure function of `(seed, request shape)`: candidate
+//! `i` decodes with `seed ^ (i+1)·φ64` (the service's golden-ratio mix),
+//! and its GA run derives per-generation ChaCha8 streams from its own
+//! seed — so two runs of the same request produce bit-identical
+//! leaderboards, and a job resumed from a checkpoint finishes exactly
+//! like the uninterrupted run.
+//!
+//! ## Checkpoints
+//!
+//! With a server `job_dir` configured, a request naming a `checkpoint`
+//! persists the job after every GA generation via `eva_nn::ckpt`:
+//! payload first (`job.g<N>.json`, atomic rename), `manifest.json` with
+//! a CRC64 [`eva_nn::ckpt::FileIntegrity`] entry last — a crash between
+//! the two leaves the previous manifest pointing at the previous payload,
+//! so resume always sees a consistent generation boundary. A checkpoint
+//! whose fingerprint (seed/shape/family/prompt) disagrees with the new
+//! request fails typed instead of silently forking the run.
+//!
+//! ## Cancellation and accounting
+//!
+//! [`JobCtl::cancel`] (wire `{"op":"cancel"}`, or the transport on
+//! disconnect) is checked between candidate decodes and between GA
+//! steps; the job answers `job_cancelled` and releases its slot. Every
+//! job ends in **exactly one** terminal event — `job_done`,
+//! `job_cancelled`, or `job_failed` (a panicking job thread is caught
+//! and converted) — and exactly one of the `discover_completed` /
+//! `discover_cancelled` / `discover_failed` counters, with the
+//! `active_jobs` gauge released on every path.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use eva_circuit::Topology;
+use eva_core::fault;
+use eva_dataset::CircuitType;
+use eva_eval::{GaConfig, GaRun, GaState};
+use eva_nn::ckpt::{self, FileIntegrity};
+use eva_tokenizer::TokenId;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ServeConfig;
+use crate::protocol::{DiscoverRequest, RankedCandidate, Response};
+use crate::service::{Completion, GenParams, Job, ServiceInner};
+
+/// Golden-ratio multiplier shared with the generate path's seed mixing.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Salt separating server-assigned discovery seeds from generate seeds.
+const DISCOVER_SEED_SALT: u64 = 0xD15C_0FE2_4A0B_51ED;
+/// Salt separating a candidate's GA stream from its decode stream.
+const GA_SEED_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// The decode seed for candidate `index` of a job.
+fn candidate_seed(job_seed: u64, index: usize) -> u64 {
+    job_seed ^ (index as u64 + 1).wrapping_mul(GOLDEN)
+}
+
+/// The GA seed for a candidate (distinct stream from its decode seed).
+fn ga_seed(candidate_seed: u64) -> u64 {
+    candidate_seed.rotate_left(17) ^ GA_SEED_SALT
+}
+
+/// Fully-resolved discovery job parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoverParams {
+    /// Echoed request id (tags every streamed event).
+    pub id: u64,
+    /// Job seed; the leaderboard is bit-reproducible given it.
+    pub seed: u64,
+    /// Candidates to generate.
+    pub n_candidates: usize,
+    /// GA generations to size survivors over.
+    pub generations: usize,
+    /// GA population per candidate.
+    pub population: usize,
+    /// Per-candidate token length cap (`0` = model context).
+    pub max_len: usize,
+    /// Target circuit family: selects the FoM the GA optimizes.
+    pub family: CircuitType,
+    /// Prompt tokens conditioning every candidate (after the implicit
+    /// `VSS`) — the "targeted" in targeted discovery.
+    pub prompt: Vec<String>,
+    /// Checkpoint directory (`job_dir/<name>`), when requested.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl DiscoverParams {
+    /// Resolve a wire request against server defaults, enforcing the
+    /// configured caps (oversized asks are refused typed, never clamped:
+    /// a silently-shrunk job would report a leaderboard the client did
+    /// not ask for).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason the request is invalid.
+    pub fn resolve(req: &DiscoverRequest, config: &ServeConfig) -> Result<DiscoverParams, String> {
+        let bounded = |what: &str, got: usize, cap: usize| -> Result<usize, String> {
+            if got == 0 {
+                return Err(format!("{what} must be at least 1"));
+            }
+            if got > cap {
+                return Err(format!("{what} {got} exceeds the server cap {cap}"));
+            }
+            Ok(got)
+        };
+        let n_candidates = bounded(
+            "n_candidates",
+            req.n_candidates.unwrap_or(config.discover_candidates),
+            config.discover_max_candidates,
+        )?;
+        let generations = bounded(
+            "generations",
+            req.generations.unwrap_or(config.discover_generations),
+            config.discover_max_generations,
+        )?;
+        let population = bounded(
+            "population",
+            req.population.unwrap_or(config.discover_population),
+            config.discover_max_population,
+        )?;
+        let spec = req.spec.clone().unwrap_or_default();
+        let family = match spec.family {
+            Some(name) => name.parse::<CircuitType>()?,
+            None => CircuitType::OpAmp,
+        };
+        let checkpoint_dir = match (&req.checkpoint, &config.job_dir) {
+            (None, _) => None,
+            (Some(_), None) => {
+                return Err(
+                    "checkpoint requested but the server has no job_dir configured".to_owned(),
+                );
+            }
+            (Some(name), Some(dir)) => {
+                if name.is_empty()
+                    || name.starts_with('.')
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+                {
+                    return Err(format!(
+                        "checkpoint name {name:?} must be non-empty, not start with '.', \
+                         and use only [A-Za-z0-9._-]"
+                    ));
+                }
+                Some(dir.join(name))
+            }
+        };
+        Ok(DiscoverParams {
+            id: req.id,
+            seed: req.seed.unwrap_or_else(|| {
+                config.base_seed ^ req.id.wrapping_mul(GOLDEN) ^ DISCOVER_SEED_SALT
+            }),
+            n_candidates,
+            generations,
+            population,
+            max_len: req.max_len.unwrap_or(config.default_max_len),
+            family,
+            prompt: spec.prompt.unwrap_or_default(),
+            checkpoint_dir,
+        })
+    }
+
+    fn ga_config(&self) -> GaConfig {
+        GaConfig {
+            population: self.population,
+            generations: self.generations,
+            ..GaConfig::default()
+        }
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            seed: self.seed,
+            n_candidates: self.n_candidates,
+            generations: self.generations,
+            population: self.population,
+            family: self.family.name().to_owned(),
+            prompt: self.prompt.clone(),
+            max_len: self.max_len,
+        }
+    }
+}
+
+/// Why a `discover` request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoverError {
+    /// The request is malformed (bad family, over-cap sizes, bad
+    /// checkpoint name, unknown prompt token, …).
+    Invalid(String),
+    /// All discovery job slots are occupied; retry after a job finishes.
+    Busy {
+        /// The configured concurrent-job cap.
+        max_jobs: usize,
+    },
+    /// The OS refused the job thread; the job was not started.
+    Spawn(String),
+    /// The service is draining and accepts no new jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoverError::Invalid(msg) => write!(f, "invalid discover request: {msg}"),
+            DiscoverError::Busy { max_jobs } => {
+                write!(f, "all {max_jobs} discovery job slots are busy")
+            }
+            DiscoverError::Spawn(msg) => write!(f, "failed to spawn job thread: {msg}"),
+            DiscoverError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoverError {}
+
+/// Shared cancel/finish flags for one job. Cheap to clone behind an
+/// [`Arc`]; the transport holds one per live job so `{"op":"cancel"}`
+/// and disconnects can signal the pipeline without owning it.
+#[derive(Debug, Default)]
+pub struct JobCtl {
+    cancelled: AtomicBool,
+    finished: AtomicBool,
+}
+
+impl JobCtl {
+    /// Request cancellation. Returns `false` when the job had already
+    /// reached a terminal event (nothing left to cancel).
+    pub fn cancel(&self) -> bool {
+        if self.finished.load(Ordering::Acquire) {
+            return false;
+        }
+        self.cancelled.store(true, Ordering::Release);
+        true
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the job has emitted its terminal event.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+}
+
+/// Terminal summary of a completed job (the `job_done` payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// GA generations completed over the job's lifetime (including
+    /// generations replayed from a checkpoint's history).
+    pub generations_run: usize,
+    /// Candidates that decoded to a token walk.
+    pub candidates_generated: usize,
+    /// Candidates that decoded to a valid topology.
+    pub candidates_valid: usize,
+    /// Valid candidates surviving canonical deduplication.
+    pub candidates_unique: usize,
+    /// The FoM leaderboard, best first.
+    pub leaderboard: Vec<RankedCandidate>,
+}
+
+/// One streamed progress event of a discovery job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job started (first event on every successfully-started job).
+    Accepted {
+        /// Candidates the job will generate.
+        n_candidates: usize,
+        /// GA generations the job will run.
+        generations: usize,
+        /// The resolved job seed.
+        seed: u64,
+        /// Generations restored from a checkpoint (`0` = fresh).
+        resumed_generation: usize,
+    },
+    /// One GA generation finished across the surviving cohort.
+    GenerationDone {
+        /// Generations completed so far (1-based).
+        generation: usize,
+        /// Total generations the job will run.
+        generations: usize,
+        /// Best measurable FoM over all survivors, if any.
+        best_fom: Option<f64>,
+        /// Candidates still being sized.
+        survivors: usize,
+        /// SPICE evaluations spent in this generation.
+        spice_evals: u64,
+    },
+    /// One leaderboard entry, streamed in rank order before
+    /// [`JobEvent::Done`].
+    Ranked(RankedCandidate),
+    /// Terminal: the job ran to completion.
+    Done(JobSummary),
+    /// Terminal: the job was cancelled.
+    Cancelled {
+        /// GA generations completed before the cancel took effect.
+        generations_run: usize,
+    },
+    /// Terminal: the job failed typed.
+    Failed {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl JobEvent {
+    /// Whether this event ends the job's stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobEvent::Done(_) | JobEvent::Cancelled { .. } | JobEvent::Failed { .. }
+        )
+    }
+
+    /// Render as a wire response tagged with the job's request id.
+    pub fn into_response(self, id: u64) -> Response {
+        match self {
+            JobEvent::Accepted {
+                n_candidates,
+                generations,
+                seed,
+                resumed_generation,
+            } => Response::JobAccepted {
+                id,
+                n_candidates,
+                generations,
+                seed,
+                resumed_generation,
+            },
+            JobEvent::GenerationDone {
+                generation,
+                generations,
+                best_fom,
+                survivors,
+                spice_evals,
+            } => Response::GenerationDone {
+                id,
+                generation,
+                generations,
+                best_fom,
+                survivors,
+                spice_evals,
+            },
+            JobEvent::Ranked(entry) => Response::CandidateRanked { id, entry },
+            JobEvent::Done(s) => Response::JobDone {
+                id,
+                generations_run: s.generations_run,
+                candidates_generated: s.candidates_generated,
+                candidates_valid: s.candidates_valid,
+                candidates_unique: s.candidates_unique,
+                leaderboard: s.leaderboard,
+            },
+            JobEvent::Cancelled { generations_run } => Response::JobCancelled {
+                id,
+                generations_run,
+            },
+            JobEvent::Failed { message } => Response::JobFailed { id, message },
+        }
+    }
+}
+
+/// Handle to a running discovery job: an event stream plus cancellation.
+/// Dropping the handle does **not** cancel the job (the transport cancels
+/// explicitly on disconnect); the job always drives itself to a terminal
+/// event.
+#[derive(Debug)]
+pub struct DiscoveryJob {
+    id: u64,
+    events: Receiver<JobEvent>,
+    ctl: Arc<JobCtl>,
+}
+
+impl DiscoveryJob {
+    /// The request id events are tagged with.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Request cancellation (`false` when already finished).
+    pub fn cancel(&self) -> bool {
+        self.ctl.cancel()
+    }
+
+    /// Whether the job has emitted its terminal event.
+    pub fn is_finished(&self) -> bool {
+        self.ctl.is_finished()
+    }
+
+    /// Block for the next event; `None` once the stream is exhausted
+    /// (the terminal event has been consumed and the job thread exited).
+    pub fn next_event(&self) -> Option<JobEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Like [`DiscoveryJob::next_event`] with a wait bound.
+    pub fn next_event_timeout(&self, timeout: Duration) -> Option<JobEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// The shared control block (for transports tracking jobs by id).
+    pub(crate) fn ctl(&self) -> Arc<JobCtl> {
+        Arc::clone(&self.ctl)
+    }
+}
+
+/// Admission control and lifecycle for discovery jobs: a bounded set of
+/// pipeline threads over the shared worker queue and kernel pool.
+#[derive(Debug)]
+pub(crate) struct JobManager {
+    inner: Arc<ServiceInner>,
+    tx: Sender<Job>,
+    jobs: Mutex<Vec<(Arc<JobCtl>, Option<JoinHandle<()>>)>>,
+    shutting_down: AtomicBool,
+}
+
+impl JobManager {
+    pub(crate) fn new(inner: Arc<ServiceInner>, tx: Sender<Job>) -> JobManager {
+        JobManager {
+            inner,
+            tx,
+            jobs: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// Admit and start a discovery job.
+    ///
+    /// # Errors
+    ///
+    /// See [`DiscoverError`]. Rejections count in `discover_rejected`;
+    /// nothing is spawned or retained on any error path.
+    pub(crate) fn submit(&self, req: &DiscoverRequest) -> Result<DiscoveryJob, DiscoverError> {
+        let metrics = &self.inner.metrics;
+        let reject = |e: DiscoverError| {
+            metrics.discover_rejected.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+        if self.shutting_down.load(Ordering::Acquire) {
+            return reject(DiscoverError::ShuttingDown);
+        }
+        let params = match DiscoverParams::resolve(req, &self.inner.config) {
+            Ok(p) => p,
+            Err(msg) => return reject(DiscoverError::Invalid(msg)),
+        };
+        // Validate the prompt up front: every candidate shares it, so a
+        // bad token would otherwise fail all of them later and slower.
+        for token in &params.prompt {
+            if self.inner.tokenizer.id(token).is_none() {
+                return reject(DiscoverError::Invalid(format!(
+                    "prompt token {token:?} not in vocabulary"
+                )));
+            }
+        }
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        jobs.retain_mut(|(ctl, handle)| {
+            let live = !ctl.is_finished();
+            if !live {
+                if let Some(h) = handle.take() {
+                    let _ = h.join();
+                }
+            }
+            live
+        });
+        let max_jobs = self.inner.config.max_discover_jobs.max(1);
+        if jobs.len() >= max_jobs {
+            drop(jobs);
+            return reject(DiscoverError::Busy { max_jobs });
+        }
+        let ctl = Arc::new(JobCtl::default());
+        let (events_tx, events_rx) = channel::unbounded::<JobEvent>();
+        let handle = {
+            let inner = Arc::clone(&self.inner);
+            let tx = self.tx.clone();
+            let ctl = Arc::clone(&ctl);
+            let params = params.clone();
+            std::thread::Builder::new()
+                .name(format!("eva-serve-discover-{}", params.id))
+                .spawn(move || job_thread(&inner, &tx, &params, &ctl, &events_tx))
+        };
+        let handle = match handle {
+            Ok(h) => h,
+            Err(e) => {
+                drop(jobs);
+                return reject(DiscoverError::Spawn(e.to_string()));
+            }
+        };
+        metrics.discover_accepted.fetch_add(1, Ordering::Relaxed);
+        metrics.active_jobs.fetch_add(1, Ordering::Relaxed);
+        jobs.push((Arc::clone(&ctl), Some(handle)));
+        Ok(DiscoveryJob {
+            id: req.id,
+            events: events_rx,
+            ctl,
+        })
+    }
+
+    /// Refuse new jobs, cancel live ones, and join every job thread.
+    pub(crate) fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            jobs.drain(..)
+                .filter_map(|(ctl, handle)| {
+                    ctl.cancel();
+                    handle
+                })
+                .collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Job-thread wrapper: runs the pipeline under `catch_unwind`, converts
+/// a panic into [`JobEvent::Failed`], accounts exactly one terminal
+/// counter, releases the `active_jobs` gauge, and sends the terminal
+/// event — in that order, so a client observing the terminal event also
+/// observes settled metrics.
+fn job_thread(
+    inner: &Arc<ServiceInner>,
+    tx: &Sender<Job>,
+    params: &DiscoverParams,
+    ctl: &Arc<JobCtl>,
+    events: &Sender<JobEvent>,
+) {
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_job(inner, tx, params, ctl, events)));
+    let terminal = match outcome {
+        Ok(event) => event,
+        Err(payload) => JobEvent::Failed {
+            message: panic_message(payload.as_ref()),
+        },
+    };
+    let m = &inner.metrics;
+    match &terminal {
+        JobEvent::Done(_) => m.discover_completed.fetch_add(1, Ordering::Relaxed),
+        JobEvent::Cancelled { .. } => m.discover_cancelled.fetch_add(1, Ordering::Relaxed),
+        _ => m.discover_failed.fetch_add(1, Ordering::Relaxed),
+    };
+    m.job_total.record(started.elapsed());
+    ctl.finished.store(true, Ordering::Release);
+    m.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    // A transport that disconnected mid-job has dropped the receiver;
+    // the terminal event is then moot.
+    let _ = events.send(terminal);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "discovery job thread panicked".to_owned())
+}
+
+/// One candidate moving through the pipeline.
+struct Candidate {
+    index: usize,
+    seed: u64,
+    /// Decoded token walk (`None` = decode failed or timed out).
+    tokens: Option<Vec<TokenId>>,
+    /// The walk as token strings (for the leaderboard).
+    text: Vec<String>,
+    valid: bool,
+    /// First candidate index with the same canonical hash, if a dup.
+    dup_of: Option<usize>,
+    /// The sizing run; present for unique valid candidates with genes.
+    ga: Option<GaRun>,
+}
+
+impl Candidate {
+    fn unique_valid(&self) -> bool {
+        self.valid && self.dup_of.is_none()
+    }
+}
+
+/// The pipeline proper. Always returns the job's terminal event; every
+/// early exit (cancel, typed failure) is a value, and panics are handled
+/// by [`job_thread`].
+fn run_job(
+    inner: &Arc<ServiceInner>,
+    tx: &Sender<Job>,
+    params: &DiscoverParams,
+    ctl: &JobCtl,
+    events: &Sender<JobEvent>,
+) -> JobEvent {
+    let loaded = match &params.checkpoint_dir {
+        Some(dir) => match load_ckpt(dir) {
+            Ok(loaded) => loaded,
+            Err(message) => return JobEvent::Failed { message },
+        },
+        None => None,
+    };
+    let (mut candidates, start_generation, done) = match loaded {
+        Some(ckpt) => {
+            if ckpt.fingerprint != params.fingerprint() {
+                return JobEvent::Failed {
+                    message: format!(
+                        "checkpoint {:?} belongs to a different job \
+                         (seed/shape/family/prompt fingerprint mismatch); \
+                         pick a new checkpoint name or repeat the original request",
+                        params
+                            .checkpoint_dir
+                            .as_deref()
+                            .unwrap_or_else(|| std::path::Path::new("?")),
+                    ),
+                };
+            }
+            let generation = ckpt.generation;
+            let done = ckpt.done;
+            match restore_candidates(inner, params, ckpt) {
+                Ok(candidates) => (candidates, generation, done),
+                Err(message) => return JobEvent::Failed { message },
+            }
+        }
+        None => (Vec::new(), 0, false),
+    };
+    let resumed = params.checkpoint_dir.is_some() && !candidates.is_empty();
+    let _ = events.send(JobEvent::Accepted {
+        n_candidates: params.n_candidates,
+        generations: params.generations,
+        seed: params.seed,
+        resumed_generation: start_generation,
+    });
+
+    if !resumed {
+        // Stage 1: generate through the shared micro-batch worker path.
+        let generate_started = Instant::now();
+        candidates = match generate_candidates(inner, tx, params, ctl) {
+            Ok(candidates) => candidates,
+            Err(terminal) => return terminal,
+        };
+        inner
+            .metrics
+            .stage_generate
+            .record(generate_started.elapsed());
+
+        // Stage 2: decode to topologies, validity-filter, dedupe.
+        let filter_started = Instant::now();
+        filter_candidates(inner, params, &mut candidates);
+        inner.metrics.stage_filter.record(filter_started.elapsed());
+
+        if let Some(dir) = &params.checkpoint_dir {
+            if let Err(message) = save_ckpt(dir, params, &candidates, 0, false) {
+                return JobEvent::Failed { message };
+            }
+        }
+    }
+
+    let generated = candidates.iter().filter(|c| c.tokens.is_some()).count();
+    let valid = candidates.iter().filter(|c| c.valid).count();
+    let unique = candidates.iter().filter(|c| c.unique_valid()).count();
+    if !resumed {
+        let m = &inner.metrics;
+        m.candidates_generated
+            .fetch_add(generated as u64, Ordering::Relaxed);
+        m.candidates_valid
+            .fetch_add(valid as u64, Ordering::Relaxed);
+        m.candidates_unique
+            .fetch_add(unique as u64, Ordering::Relaxed);
+    }
+
+    // Stage 3: size + simulate, one GA generation across the cohort per
+    // iteration, streaming progress and checkpointing at each boundary.
+    if !done {
+        for generation in start_generation..params.generations {
+            if let Some(shot) = fault::fires(fault::FaultPoint::SizeStep) {
+                if shot.delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(shot.delay_ms));
+                } else {
+                    panic!("injected fault size_step #{}", shot.seq);
+                }
+            }
+            let step_started = Instant::now();
+            let mut spice_evals = 0u64;
+            let mut survivors = 0usize;
+            for candidate in candidates.iter_mut() {
+                if ctl.is_cancelled() {
+                    return JobEvent::Cancelled {
+                        generations_run: generation,
+                    };
+                }
+                let Some(run) = candidate.ga.as_mut() else {
+                    continue;
+                };
+                spice_evals += run.evals_per_step() as u64;
+                survivors += 1;
+                run.step();
+            }
+            let m = &inner.metrics;
+            m.stage_generation.record(step_started.elapsed());
+            m.ga_generations.fetch_add(1, Ordering::Relaxed);
+            m.spice_evals.fetch_add(spice_evals, Ordering::Relaxed);
+            let completed = generation + 1;
+            if let Some(dir) = &params.checkpoint_dir {
+                let done = completed == params.generations;
+                if let Err(message) = save_ckpt(dir, params, &candidates, completed, done) {
+                    return JobEvent::Failed { message };
+                }
+            }
+            let _ = events.send(JobEvent::GenerationDone {
+                generation: completed,
+                generations: params.generations,
+                best_fom: best_fom_overall(&candidates),
+                survivors,
+                spice_evals,
+            });
+        }
+    }
+
+    // Stage 4: rank and stream the leaderboard.
+    let leaderboard = leaderboard(&candidates);
+    for entry in &leaderboard {
+        let _ = events.send(JobEvent::Ranked(entry.clone()));
+    }
+    JobEvent::Done(JobSummary {
+        generations_run: params.generations,
+        candidates_generated: generated,
+        candidates_valid: valid,
+        candidates_unique: unique,
+        leaderboard,
+    })
+}
+
+/// Submit every candidate decode into the shared worker queue (respecting
+/// its capacity: a full queue is waited out, not bypassed), then collect
+/// completions in candidate order. Individual decode failures mark that
+/// candidate failed and the job continues; cancellation and service
+/// shutdown are terminal.
+fn generate_candidates(
+    inner: &Arc<ServiceInner>,
+    tx: &Sender<Job>,
+    params: &DiscoverParams,
+    ctl: &JobCtl,
+) -> Result<Vec<Candidate>, JobEvent> {
+    let mut replies = Vec::with_capacity(params.n_candidates);
+    for index in 0..params.n_candidates {
+        let seed = candidate_seed(params.seed, index);
+        let (reply, rx) = std::sync::mpsc::channel();
+        let mut job = Job {
+            id: index as u64,
+            params: GenParams {
+                seed,
+                temperature: inner.config.default_temperature,
+                top_k: inner.config.default_top_k,
+                max_len: params.max_len,
+                validate: false,
+                prompt: params.prompt.clone(),
+                deadline_us: 0,
+            },
+            enqueued: Instant::now(),
+            deadline: None,
+            reply,
+        };
+        loop {
+            if ctl.is_cancelled() {
+                return Err(JobEvent::Cancelled { generations_run: 0 });
+            }
+            match tx.try_send(job) {
+                Ok(()) => {
+                    inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(TrySendError::Full(j)) => {
+                    job = j;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(JobEvent::Failed {
+                        message: "service shut down while generating candidates".to_owned(),
+                    });
+                }
+            }
+        }
+        replies.push((index, seed, rx));
+    }
+    let mut candidates = Vec::with_capacity(params.n_candidates);
+    for (index, seed, rx) in replies {
+        let completion = loop {
+            if ctl.is_cancelled() {
+                return Err(JobEvent::Cancelled { generations_run: 0 });
+            }
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(completion) => break Some(completion),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break None,
+            }
+        };
+        let tokens = match completion {
+            Some(Completion::Ok(generation)) => Some(generation.tokens),
+            // Typed per-candidate failures (decode error, pool death)
+            // cost that candidate, not the job.
+            _ => None,
+        };
+        let text = tokens
+            .as_deref()
+            .map(|t| inner.tokenizer.decode(t))
+            .unwrap_or_default();
+        candidates.push(Candidate {
+            index,
+            seed,
+            tokens,
+            text,
+            valid: false,
+            dup_of: None,
+            ga: None,
+        });
+    }
+    Ok(candidates)
+}
+
+/// Decode each candidate's walk to a topology, run the structural + DC
+/// validity oracle, dedupe by canonical hash, and seed a GA run for every
+/// unique valid candidate with tunable genes.
+fn filter_candidates(
+    inner: &Arc<ServiceInner>,
+    params: &DiscoverParams,
+    candidates: &mut [Candidate],
+) {
+    let ga_cfg = params.ga_config();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for candidate in candidates.iter_mut() {
+        let Some(topology) = candidate
+            .tokens
+            .as_deref()
+            .and_then(|t| decode_topology(inner, t))
+        else {
+            continue;
+        };
+        if !eva_spice::check_validity(&topology).is_valid() {
+            continue;
+        }
+        candidate.valid = true;
+        match seen.entry(topology.canonical_hash()) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                candidate.dup_of = Some(*first.get());
+                continue;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(candidate.index);
+            }
+        }
+        candidate.ga = GaRun::new(&topology, params.family, &ga_cfg, ga_seed(candidate.seed));
+    }
+}
+
+fn decode_topology(inner: &Arc<ServiceInner>, tokens: &[TokenId]) -> Option<Topology> {
+    let sequence = inner.tokenizer.to_sequence(tokens).ok()?;
+    sequence.to_topology().ok()
+}
+
+fn best_fom_overall(candidates: &[Candidate]) -> Option<f64> {
+    candidates
+        .iter()
+        .filter_map(|c| c.ga.as_ref().and_then(GaRun::best_fom))
+        .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+}
+
+/// Rank all measurable survivors by FoM, best first, ties broken by
+/// candidate index so the order is total and reproducible.
+fn leaderboard(candidates: &[Candidate]) -> Vec<RankedCandidate> {
+    let mut scored: Vec<(&Candidate, f64)> = candidates
+        .iter()
+        .filter_map(|c| c.ga.as_ref().and_then(GaRun::best_fom).map(|f| (c, f)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite FoMs")
+            .then(a.0.index.cmp(&b.0.index))
+    });
+    scored
+        .into_iter()
+        .enumerate()
+        .map(|(i, (c, fom))| RankedCandidate {
+            rank: i + 1,
+            candidate: c.index,
+            seed: c.seed,
+            fom,
+            tokens: c.text.clone(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+const CKPT_VERSION: u32 = 1;
+const MANIFEST_NAME: &str = "manifest.json";
+
+/// Request shape a checkpoint is only valid for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Fingerprint {
+    seed: u64,
+    n_candidates: usize,
+    generations: usize,
+    population: usize,
+    family: String,
+    prompt: Vec<String>,
+    max_len: usize,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CandidateCkpt {
+    seed: u64,
+    tokens: Option<Vec<u32>>,
+    valid: bool,
+    dup_of: Option<usize>,
+    ga: Option<GaState>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct JobCkpt {
+    version: u32,
+    fingerprint: Fingerprint,
+    /// GA generations completed at this checkpoint.
+    generation: usize,
+    /// Whether the sizing loop ran to completion.
+    done: bool,
+    candidates: Vec<CandidateCkpt>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    /// Payload file the integrity entry covers (`job.g<N>.json`).
+    payload: String,
+    integrity: FileIntegrity,
+}
+
+/// Persist the job at a generation boundary: payload first under a
+/// generation-versioned name, manifest (with CRC64) last, previous
+/// payload removed only after the manifest commit — so a crash at any
+/// point leaves a loadable checkpoint.
+fn save_ckpt(
+    dir: &PathBuf,
+    params: &DiscoverParams,
+    candidates: &[Candidate],
+    generation: usize,
+    done: bool,
+) -> Result<(), String> {
+    let ckpt = JobCkpt {
+        version: CKPT_VERSION,
+        fingerprint: params.fingerprint(),
+        generation,
+        done,
+        candidates: candidates
+            .iter()
+            .map(|c| CandidateCkpt {
+                seed: c.seed,
+                tokens: c.tokens.as_ref().map(|t| t.iter().map(|id| id.0).collect()),
+                valid: c.valid,
+                dup_of: c.dup_of,
+                ga: c.ga.as_ref().map(GaRun::state),
+            })
+            .collect(),
+    };
+    let bytes =
+        serde_json::to_vec(&ckpt).map_err(|e| format!("checkpoint serialization failed: {e}"))?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+    let previous = previous_payload(dir);
+    let payload = format!("job.g{generation}.json");
+    ckpt::atomic_write(&dir.join(&payload), &bytes)
+        .map_err(|e| format!("checkpoint write {payload}: {e}"))?;
+    let manifest = Manifest {
+        version: CKPT_VERSION,
+        payload: payload.clone(),
+        integrity: FileIntegrity {
+            crc64: ckpt::crc64(&bytes),
+            bytes: bytes.len() as u64,
+        },
+    };
+    let manifest_bytes =
+        serde_json::to_vec(&manifest).map_err(|e| format!("manifest serialization failed: {e}"))?;
+    ckpt::atomic_write(&dir.join(MANIFEST_NAME), &manifest_bytes)
+        .map_err(|e| format!("checkpoint write {MANIFEST_NAME}: {e}"))?;
+    if let Some(old) = previous {
+        if old != payload {
+            // Best-effort: a leftover stale payload is garbage, not a
+            // correctness problem (the manifest no longer points at it).
+            let _ = std::fs::remove_file(dir.join(old));
+        }
+    }
+    Ok(())
+}
+
+fn previous_payload(dir: &PathBuf) -> Option<String> {
+    let bytes = std::fs::read(dir.join(MANIFEST_NAME)).ok()?;
+    serde_json::from_slice::<Manifest>(&bytes)
+        .ok()
+        .map(|m| m.payload)
+}
+
+/// Load a checkpoint: `Ok(None)` when none exists (fresh job), a typed
+/// error when one exists but cannot be trusted.
+fn load_ckpt(dir: &PathBuf) -> Result<Option<JobCkpt>, String> {
+    let manifest_bytes = match std::fs::read(dir.join(MANIFEST_NAME)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("checkpoint read {MANIFEST_NAME}: {e}")),
+    };
+    let manifest: Manifest = serde_json::from_slice(&manifest_bytes)
+        .map_err(|e| format!("corrupt checkpoint manifest: {e}"))?;
+    if manifest.version != CKPT_VERSION {
+        return Err(format!(
+            "checkpoint version {} is not supported (expected {CKPT_VERSION})",
+            manifest.version
+        ));
+    }
+    let payload = ckpt::read_verified(dir, &manifest.payload, &manifest.integrity)
+        .map_err(|e| format!("checkpoint integrity: {e}"))?;
+    let ckpt: JobCkpt =
+        serde_json::from_slice(&payload).map_err(|e| format!("corrupt checkpoint payload: {e}"))?;
+    if ckpt.version != CKPT_VERSION {
+        return Err(format!(
+            "checkpoint version {} is not supported (expected {CKPT_VERSION})",
+            ckpt.version
+        ));
+    }
+    Ok(Some(ckpt))
+}
+
+/// Rebuild the candidate cohort from a fingerprint-matched checkpoint.
+fn restore_candidates(
+    inner: &Arc<ServiceInner>,
+    params: &DiscoverParams,
+    ckpt: JobCkpt,
+) -> Result<Vec<Candidate>, String> {
+    if ckpt.candidates.len() != params.n_candidates {
+        return Err(format!(
+            "corrupt checkpoint: {} candidates recorded, {} expected",
+            ckpt.candidates.len(),
+            params.n_candidates
+        ));
+    }
+    let ga_cfg = params.ga_config();
+    let mut candidates = Vec::with_capacity(ckpt.candidates.len());
+    for (index, c) in ckpt.candidates.into_iter().enumerate() {
+        let tokens: Option<Vec<TokenId>> =
+            c.tokens.map(|ids| ids.into_iter().map(TokenId).collect());
+        let text = tokens
+            .as_deref()
+            .map(|t| inner.tokenizer.decode(t))
+            .unwrap_or_default();
+        let ga = match c.ga {
+            Some(state) => {
+                let topology = tokens
+                    .as_deref()
+                    .and_then(|t| decode_topology(inner, t))
+                    .ok_or_else(|| {
+                        format!("corrupt checkpoint: candidate {index} tokens no longer decode")
+                    })?;
+                Some(
+                    GaRun::restore(&topology, params.family, &ga_cfg, state).ok_or_else(|| {
+                        format!("corrupt checkpoint: candidate {index} GA state does not fit")
+                    })?,
+                )
+            }
+            None => None,
+        };
+        candidates.push(Candidate {
+            index,
+            seed: c.seed,
+            tokens,
+            text,
+            valid: c.valid,
+            dup_of: c.dup_of,
+            ga,
+        });
+    }
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DiscoverSpec;
+
+    fn req(id: u64) -> DiscoverRequest {
+        DiscoverRequest {
+            id,
+            ..DiscoverRequest::default()
+        }
+    }
+
+    #[test]
+    fn resolve_applies_defaults_and_derives_seed() {
+        let config = ServeConfig::default();
+        let p = DiscoverParams::resolve(&req(7), &config).expect("valid");
+        assert_eq!(p.n_candidates, config.discover_candidates);
+        assert_eq!(p.generations, config.discover_generations);
+        assert_eq!(p.population, config.discover_population);
+        assert_eq!(p.family, CircuitType::OpAmp);
+        assert_eq!(p.checkpoint_dir, None);
+        // Server-assigned discovery seeds differ per id and from the
+        // generate path's seed for the same id.
+        let q = DiscoverParams::resolve(&req(8), &config).expect("valid");
+        assert_ne!(p.seed, q.seed);
+        assert_ne!(p.seed, config.base_seed ^ 7u64.wrapping_mul(GOLDEN));
+        // An explicit seed is taken verbatim.
+        let r = DiscoverParams::resolve(
+            &DiscoverRequest {
+                seed: Some(99),
+                ..req(7)
+            },
+            &config,
+        )
+        .expect("valid");
+        assert_eq!(r.seed, 99);
+    }
+
+    #[test]
+    fn resolve_rejects_zero_and_over_cap_sizes() {
+        let config = ServeConfig::default();
+        for (field, value) in [("n_candidates", 0), ("generations", 0), ("population", 0)] {
+            let mut r = req(1);
+            match field {
+                "n_candidates" => r.n_candidates = Some(value),
+                "generations" => r.generations = Some(value),
+                _ => r.population = Some(value),
+            }
+            let e = DiscoverParams::resolve(&r, &config).expect_err("zero rejected");
+            assert!(e.contains(field), "{e}");
+        }
+        let r = DiscoverRequest {
+            n_candidates: Some(config.discover_max_candidates + 1),
+            ..req(1)
+        };
+        let e = DiscoverParams::resolve(&r, &config).expect_err("over cap rejected");
+        assert!(e.contains("exceeds the server cap"), "{e}");
+    }
+
+    #[test]
+    fn resolve_parses_family_case_insensitively() {
+        let config = ServeConfig::default();
+        let r = DiscoverRequest {
+            spec: Some(DiscoverSpec {
+                family: Some("vco".to_owned()),
+                prompt: None,
+            }),
+            ..req(1)
+        };
+        let p = DiscoverParams::resolve(&r, &config).expect("valid");
+        assert_eq!(p.family, CircuitType::Vco);
+        let r = DiscoverRequest {
+            spec: Some(DiscoverSpec {
+                family: Some("not-a-family".to_owned()),
+                prompt: None,
+            }),
+            ..req(1)
+        };
+        assert!(DiscoverParams::resolve(&r, &config).is_err());
+    }
+
+    #[test]
+    fn resolve_guards_checkpoint_names() {
+        let no_dir = ServeConfig::default();
+        let r = DiscoverRequest {
+            checkpoint: Some("run-a".to_owned()),
+            ..req(1)
+        };
+        let e = DiscoverParams::resolve(&r, &no_dir).expect_err("no job_dir");
+        assert!(e.contains("job_dir"), "{e}");
+
+        let with_dir = ServeConfig {
+            job_dir: Some(PathBuf::from("/tmp/eva-jobs")),
+            ..ServeConfig::default()
+        };
+        let p = DiscoverParams::resolve(&r, &with_dir).expect("valid name");
+        assert_eq!(p.checkpoint_dir, Some(PathBuf::from("/tmp/eva-jobs/run-a")));
+        for bad in ["", "..", ".hidden", "a/b", "a b", "a\\b"] {
+            let r = DiscoverRequest {
+                checkpoint: Some(bad.to_owned()),
+                ..req(1)
+            };
+            assert!(
+                DiscoverParams::resolve(&r, &with_dir).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_seeds_are_distinct_streams() {
+        let a = candidate_seed(42, 0);
+        let b = candidate_seed(42, 1);
+        assert_ne!(a, b);
+        assert_ne!(ga_seed(a), a, "GA stream must not alias the decode stream");
+        assert_ne!(ga_seed(a), ga_seed(b));
+    }
+
+    #[test]
+    fn ctl_cancel_is_rejected_after_finish() {
+        let ctl = JobCtl::default();
+        assert!(ctl.cancel(), "live job cancels");
+        assert!(ctl.is_cancelled());
+        let ctl = JobCtl::default();
+        ctl.finished.store(true, Ordering::Release);
+        assert!(!ctl.cancel(), "finished job has nothing to cancel");
+        assert!(!ctl.is_cancelled());
+    }
+
+    #[test]
+    fn terminal_events_are_terminal() {
+        assert!(JobEvent::Done(JobSummary {
+            generations_run: 1,
+            candidates_generated: 1,
+            candidates_valid: 1,
+            candidates_unique: 1,
+            leaderboard: Vec::new(),
+        })
+        .is_terminal());
+        assert!(JobEvent::Cancelled { generations_run: 0 }.is_terminal());
+        assert!(JobEvent::Failed {
+            message: String::new()
+        }
+        .is_terminal());
+        assert!(!JobEvent::Accepted {
+            n_candidates: 1,
+            generations: 1,
+            seed: 0,
+            resumed_generation: 0
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_fingerprint_mismatch() {
+        let dir = std::env::temp_dir().join(format!("eva_discover_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig::default();
+        let params = DiscoverParams {
+            checkpoint_dir: Some(dir.clone()),
+            ..DiscoverParams::resolve(&req(3), &config).expect("valid")
+        };
+        assert!(load_ckpt(&dir).expect("missing = fresh").is_none());
+        let candidates = vec![Candidate {
+            index: 0,
+            seed: candidate_seed(params.seed, 0),
+            tokens: None,
+            text: Vec::new(),
+            valid: false,
+            dup_of: None,
+            ga: None,
+        }];
+        save_ckpt(&dir, &params, &candidates, 2, false).expect("save");
+        let back = load_ckpt(&dir).expect("load").expect("present");
+        assert_eq!(back.generation, 2);
+        assert!(!back.done);
+        assert_eq!(back.fingerprint, params.fingerprint());
+        assert_eq!(back.candidates.len(), 1);
+
+        // Overwriting at a later generation supersedes and prunes the
+        // earlier payload.
+        save_ckpt(&dir, &params, &candidates, 3, true).expect("save again");
+        let back = load_ckpt(&dir).expect("load").expect("present");
+        assert_eq!(back.generation, 3);
+        assert!(back.done);
+        assert!(!dir.join("job.g2.json").exists(), "stale payload pruned");
+
+        // A different request shape must not resume this checkpoint.
+        let other = DiscoverParams {
+            seed: params.seed ^ 1,
+            ..params.clone()
+        };
+        assert_ne!(back.fingerprint, other.fingerprint());
+
+        // Corruption is a typed failure, not a silent fresh start.
+        let payload = dir.join("job.g3.json");
+        std::fs::write(&payload, b"{}").expect("clobber");
+        assert!(load_ckpt(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

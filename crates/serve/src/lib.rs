@@ -35,6 +35,16 @@
 //!   (see [`protocol`]) on a `std::net::TcpListener`, with the `serve`
 //!   binary to host a checkpoint and the `loadgen` binary to drive N
 //!   concurrent connections and report throughput and latency percentiles.
+//! - **Discovery jobs** — [`discovery`]: `{"op":"discover"}` runs the
+//!   paper's targeted-discovery loop server-side as a streaming job —
+//!   generate candidates through the micro-batch decode path, filter to
+//!   valid canonically-unique topologies, GA-size + SPICE-evaluate the
+//!   survivors ([`eva_eval::GaRun`] fanned out on the shared kernel
+//!   pool), and stream `generation_done` / `candidate_ranked` /
+//!   `job_done` events back over the same connection. Jobs are bounded
+//!   ([`ServeConfig::max_discover_jobs`]), cancellable (`{"op":"cancel"}`
+//!   or disconnect), bit-reproducible by seed, and — with a `job_dir` —
+//!   checkpointed every generation for kill-and-resume.
 //!
 //! An atomics-based [`Metrics`] registry (accepted/rejected/completed,
 //! tokens generated, queue depth, per-stage latency histograms with
@@ -57,6 +67,7 @@
 //! ```
 
 pub mod config;
+pub mod discovery;
 pub mod metrics;
 pub mod net;
 pub mod protocol;
@@ -64,12 +75,15 @@ pub mod retry;
 pub mod service;
 
 pub use config::ServeConfig;
+pub use discovery::{DiscoverError, DiscoverParams, DiscoveryJob, JobEvent, JobSummary};
 // The deterministic fault injector (`EVA_FAULT_PLAN`) chaos tests drive
 // this service with; lives in eva-nn, re-exported for serve callers.
 pub use eva_core::fault;
 pub use metrics::{HealthSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use net::{handle_line, serve, Server};
-pub use protocol::{GenerateRequest, OkResponse, Request, Response};
+pub use protocol::{
+    DiscoverRequest, DiscoverSpec, GenerateRequest, OkResponse, RankedCandidate, Request, Response,
+};
 pub use retry::{Backoff, RetryPolicy};
 pub use service::{
     Completion, GenParams, Generation, GenerationService, PendingGeneration, ServeError,

@@ -127,6 +127,22 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// An all-zero snapshot — the serde default for histogram fields
+    /// added after a snapshot format was already in the wild.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            mean_us: 0.0,
+            max_us: 0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            buckets: Vec::new(),
+        }
+    }
+}
+
 /// The service-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -161,6 +177,29 @@ pub struct Metrics {
     pub batches: AtomicU64,
     /// Requests carried inside those batches.
     pub batched_requests: AtomicU64,
+    /// Discovery jobs admitted.
+    pub discover_accepted: AtomicU64,
+    /// Discovery jobs refused (at the concurrent-job bound).
+    pub discover_rejected: AtomicU64,
+    /// Discovery jobs that ran to a `job_done` leaderboard.
+    pub discover_completed: AtomicU64,
+    /// Discovery jobs cancelled (explicit `cancel` op or disconnect).
+    pub discover_cancelled: AtomicU64,
+    /// Discovery jobs that terminated with a typed `job_failed`.
+    pub discover_failed: AtomicU64,
+    /// Gauge: discovery jobs currently running.
+    pub active_jobs: AtomicU64,
+    /// Candidate generations requested by discovery jobs.
+    pub candidates_generated: AtomicU64,
+    /// Candidates that decoded to a structurally valid topology.
+    pub candidates_valid: AtomicU64,
+    /// Valid candidates that survived canonical deduplication.
+    pub candidates_unique: AtomicU64,
+    /// SPICE fitness evaluations performed by discovery GA sizing.
+    pub spice_evals: AtomicU64,
+    /// GA generations stepped across all discovery jobs (one count per
+    /// candidate per generation).
+    pub ga_generations: AtomicU64,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Histogram,
     /// Time spent in autoregressive decoding.
@@ -169,6 +208,15 @@ pub struct Metrics {
     pub validate: Histogram,
     /// End-to-end time from submit to reply.
     pub total: Histogram,
+    /// Discovery stage: wall time of the generate stage per job.
+    pub stage_generate: Histogram,
+    /// Discovery stage: wall time of the validity-filter stage per job.
+    pub stage_filter: Histogram,
+    /// Discovery stage: wall time of one GA generation across the job's
+    /// whole surviving cohort (size + simulate).
+    pub stage_generation: Histogram,
+    /// End-to-end discovery job wall time (admission to terminal event).
+    pub job_total: Histogram,
 }
 
 impl Metrics {
@@ -206,10 +254,25 @@ impl Metrics {
             } else {
                 batched as f64 / batches as f64
             },
+            discover_accepted: self.discover_accepted.load(Ordering::Relaxed),
+            discover_rejected: self.discover_rejected.load(Ordering::Relaxed),
+            discover_completed: self.discover_completed.load(Ordering::Relaxed),
+            discover_cancelled: self.discover_cancelled.load(Ordering::Relaxed),
+            discover_failed: self.discover_failed.load(Ordering::Relaxed),
+            active_jobs: self.active_jobs.load(Ordering::Relaxed),
+            candidates_generated: self.candidates_generated.load(Ordering::Relaxed),
+            candidates_valid: self.candidates_valid.load(Ordering::Relaxed),
+            candidates_unique: self.candidates_unique.load(Ordering::Relaxed),
+            spice_evals: self.spice_evals.load(Ordering::Relaxed),
+            ga_generations: self.ga_generations.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
             decode: self.decode.snapshot(),
             validate: self.validate.snapshot(),
             total: self.total.snapshot(),
+            stage_generate: self.stage_generate.snapshot(),
+            stage_filter: self.stage_filter.snapshot(),
+            stage_generation: self.stage_generation.snapshot(),
+            job_total: self.job_total.snapshot(),
         }
     }
 }
@@ -259,6 +322,41 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Mean requests per flushed micro-batch.
     pub mean_batch_size: f64,
+    /// Discovery jobs admitted (absent in snapshots from servers
+    /// predating the discovery subsystem — as are the other discovery
+    /// fields below).
+    #[serde(default)]
+    pub discover_accepted: u64,
+    /// Discovery jobs refused at the concurrent-job bound.
+    #[serde(default)]
+    pub discover_rejected: u64,
+    /// Discovery jobs that reached `job_done`.
+    #[serde(default)]
+    pub discover_completed: u64,
+    /// Discovery jobs cancelled (explicit or by disconnect).
+    #[serde(default)]
+    pub discover_cancelled: u64,
+    /// Discovery jobs that terminated `job_failed`.
+    #[serde(default)]
+    pub discover_failed: u64,
+    /// Discovery jobs currently running.
+    #[serde(default)]
+    pub active_jobs: u64,
+    /// Candidates generated for discovery jobs.
+    #[serde(default)]
+    pub candidates_generated: u64,
+    /// Candidates that decoded to a valid topology.
+    #[serde(default)]
+    pub candidates_valid: u64,
+    /// Valid candidates surviving canonical deduplication.
+    #[serde(default)]
+    pub candidates_unique: u64,
+    /// SPICE fitness evaluations by discovery GA sizing.
+    #[serde(default)]
+    pub spice_evals: u64,
+    /// GA generations stepped (candidate × generation).
+    #[serde(default)]
+    pub ga_generations: u64,
     /// Queue-wait latency.
     pub queue_wait: HistogramSnapshot,
     /// Decode latency.
@@ -267,6 +365,18 @@ pub struct MetricsSnapshot {
     pub validate: HistogramSnapshot,
     /// End-to-end latency.
     pub total: HistogramSnapshot,
+    /// Discovery generate-stage latency per job.
+    #[serde(default = "HistogramSnapshot::empty")]
+    pub stage_generate: HistogramSnapshot,
+    /// Discovery filter-stage latency per job.
+    #[serde(default = "HistogramSnapshot::empty")]
+    pub stage_filter: HistogramSnapshot,
+    /// Discovery per-GA-generation cohort latency.
+    #[serde(default = "HistogramSnapshot::empty")]
+    pub stage_generation: HistogramSnapshot,
+    /// End-to-end discovery job latency.
+    #[serde(default = "HistogramSnapshot::empty")]
+    pub job_total: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -305,6 +415,10 @@ pub struct HealthSnapshot {
     pub queue_capacity: u64,
     /// TCP connections currently being served.
     pub active_connections: u64,
+    /// Discovery jobs currently running (absent in snapshots from
+    /// servers predating the discovery subsystem).
+    #[serde(default)]
+    pub active_jobs: u64,
 }
 
 #[cfg(test)]
@@ -396,6 +510,15 @@ mod tests {
         m.worker_panics.fetch_add(2, Ordering::Relaxed);
         m.live_workers.fetch_add(4, Ordering::Relaxed);
         m.active_connections.fetch_add(6, Ordering::Relaxed);
+        m.discover_accepted.fetch_add(2, Ordering::Relaxed);
+        m.discover_completed.fetch_add(1, Ordering::Relaxed);
+        m.discover_cancelled.fetch_add(1, Ordering::Relaxed);
+        m.active_jobs.fetch_add(1, Ordering::Relaxed);
+        m.candidates_generated.fetch_add(20, Ordering::Relaxed);
+        m.candidates_valid.fetch_add(12, Ordering::Relaxed);
+        m.candidates_unique.fetch_add(9, Ordering::Relaxed);
+        m.spice_evals.fetch_add(360, Ordering::Relaxed);
+        m.ga_generations.fetch_add(30, Ordering::Relaxed);
         let s = m.snapshot(1);
         assert_eq!(s.accepted, 5);
         assert_eq!(s.rejected_timeout, 1);
@@ -408,6 +531,15 @@ mod tests {
         assert_eq!(s.in_flight, 1);
         assert_eq!(s.queue_depth, 1);
         assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.discover_accepted, 2);
+        assert_eq!(s.discover_completed, 1);
+        assert_eq!(s.discover_cancelled, 1);
+        assert_eq!(s.active_jobs, 1);
+        assert_eq!(s.candidates_generated, 20);
+        assert_eq!(s.candidates_valid, 12);
+        assert_eq!(s.candidates_unique, 9);
+        assert_eq!(s.spice_evals, 360);
+        assert_eq!(s.ga_generations, 30);
         // The snapshot is JSON-serializable and round-trips.
         let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
         assert_eq!(back, s);
@@ -431,6 +563,11 @@ mod tests {
         assert_eq!(s.worker_restarts, 0);
         assert_eq!(s.live_workers, 0);
         assert_eq!(s.active_connections, 0);
+        // Discovery fields likewise default for pre-discovery snapshots.
+        assert_eq!(s.discover_accepted, 0);
+        assert_eq!(s.active_jobs, 0);
+        assert_eq!(s.stage_generate, HistogramSnapshot::empty());
+        assert_eq!(s.job_total, HistogramSnapshot::empty());
     }
 
     #[test]
@@ -445,6 +582,7 @@ mod tests {
             queue_depth: 4,
             queue_capacity: 64,
             active_connections: 2,
+            active_jobs: 1,
         };
         let json = serde_json::to_string(&h).unwrap();
         let back: HealthSnapshot = serde_json::from_str(&json).unwrap();

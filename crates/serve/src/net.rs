@@ -1,23 +1,37 @@
 //! TCP transport: line-delimited JSON over `std::net`.
 //!
-//! One thread per connection; each connection processes its requests in
-//! order (pipeline more load by opening more connections, as `loadgen`
-//! does). Overload never blocks the socket: a full service queue answers
-//! `{"status":"rejected",...}` immediately.
+//! One thread per connection; simple requests are answered in order, and
+//! `discover` turns the connection full-duplex: the job's events stream
+//! back interleaved with later responses (every line carries the request
+//! `id`/job `status` needed to demultiplex). Overload never blocks the
+//! socket: a full service queue answers `{"status":"rejected",...}`
+//! immediately, and a saturated job pool rejects `discover` the same way.
 //!
 //! Connections are hardened against stalled clients: the configured
 //! `read_timeout_ms`/`write_timeout_ms` bound every socket wait, so a
 //! client that goes silent (or stops draining its socket) is disconnected
-//! instead of pinning its thread forever. Requests additionally honor the
-//! per-request wall-clock deadline, answering `{"status":"timeout",...}`
-//! when it expires.
+//! instead of pinning its thread forever. While a discovery job streams
+//! on the connection, read timeouts keep the connection alive (an
+//! observer legitimately sends nothing for minutes); once the last job
+//! finishes, idle timeouts disconnect as before. Requests additionally
+//! honor the per-request wall-clock deadline, answering
+//! `{"status":"timeout",...}` when it expires.
+//!
+//! ## Disconnect aborts
+//!
+//! Jobs are owned by the connection that started them: when the peer
+//! disconnects (EOF, error, idle timeout) or a streamed write fails, every
+//! job it owns is cancelled and its event forwarder joined before the
+//! handler exits — a vanished client cannot leak a running pipeline.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
+use crate::discovery::{DiscoverError, DiscoveryJob, JobCtl};
 use crate::metrics::Metrics;
 use crate::protocol::{Request, Response};
 use crate::service::{GenParams, GenerationService, SubmitError};
@@ -152,6 +166,44 @@ pub fn serve<A: ToSocketAddrs>(
     })
 }
 
+/// The write half of a connection, shared between the request loop and
+/// per-job event forwarders. The mutex makes each line atomic on the
+/// wire; within one job, events stay FIFO because a single forwarder
+/// writes them.
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// Serialize and send one response line. Returns whether the socket is
+/// still usable.
+fn write_response(writer: &SharedWriter, response: &Response) -> bool {
+    let mut out = serde_json::to_string(response).unwrap_or_else(|_| {
+        r#"{"status":"error","id":0,"message":"response serialization failed"}"#.to_owned()
+    });
+    out.push('\n');
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    w.write_all(out.as_bytes()).and_then(|()| w.flush()).is_ok()
+}
+
+/// A discovery job owned by this connection.
+struct ConnJob {
+    ctl: Arc<JobCtl>,
+    forwarder: Option<JoinHandle<()>>,
+}
+
+/// Drop finished jobs from the connection's table (joining their
+/// forwarders, which have already seen the terminal event or are one
+/// bounded write away from it).
+fn prune_finished(jobs: &mut HashMap<u64, ConnJob>) {
+    jobs.retain(|_, job| {
+        if !job.ctl.is_finished() {
+            return true;
+        }
+        if let Some(handle) = job.forwarder.take() {
+            let _ = handle.join();
+        }
+        false
+    });
+}
+
 fn handle_connection(service: &GenerationService, stream: TcpStream) {
     // An idle or stalled peer must not pin this thread forever; a `None`
     // timeout (knob set to 0) keeps the socket fully blocking.
@@ -164,36 +216,175 @@ fn handle_connection(service: &GenerationService, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let mut reader = BufReader::new(read_half);
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
+    let mut jobs: HashMap<u64, ConnJob> = HashMap::new();
+    let mut line = String::new();
+    loop {
+        // `read_line` appends, so bytes of a line cut short by a read
+        // timeout are kept in `line` and completed by the next pass.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let keep = {
+                    let trimmed = line.trim();
+                    trimmed.is_empty() || dispatch(service, &writer, &mut jobs, trimmed)
+                };
+                line.clear();
+                if !keep {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle with live jobs streaming = a healthy observer;
+                // idle with none = the original stalled-client teardown.
+                prune_finished(&mut jobs);
+                if jobs.is_empty() {
+                    break;
+                }
+            }
+            Err(_) => break,
         }
-        let response = handle_line(service, &line);
-        let mut out = serde_json::to_string(&response).unwrap_or_else(|_| {
-            r#"{"status":"error","id":0,"message":"response serialization failed"}"#.to_owned()
-        });
-        out.push('\n');
-        if writer
-            .write_all(out.as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
+    }
+    // Disconnect aborts: this connection owns its jobs.
+    for job in jobs.values() {
+        job.ctl.cancel();
+    }
+    for (_, mut job) in jobs.drain() {
+        if let Some(handle) = job.forwarder.take() {
+            let _ = handle.join();
         }
     }
 }
 
-/// Handle one protocol line, producing exactly one response. Public so
-/// in-process tests and alternative transports reuse the dispatch.
-pub fn handle_line(service: &GenerationService, line: &str) -> Response {
-    match serde_json::from_str::<Request>(line) {
-        Ok(Request::Ping) => Response::Pong,
-        Ok(Request::Metrics) => Response::Metrics(service.metrics()),
-        Ok(Request::Health) => Response::Health(service.health()),
-        Ok(Request::Generate(req)) => {
+/// Handle one parsed line on a live connection. Returns whether to keep
+/// the connection (a failed write tears it down).
+fn dispatch(
+    service: &GenerationService,
+    writer: &SharedWriter,
+    jobs: &mut HashMap<u64, ConnJob>,
+    line: &str,
+) -> bool {
+    let request = match serde_json::from_str::<Request>(line) {
+        Ok(request) => request,
+        Err(e) => {
+            return write_response(
+                writer,
+                &Response::Error {
+                    id: 0,
+                    message: format!("malformed request: {e}"),
+                },
+            );
+        }
+    };
+    match request {
+        Request::Discover(req) => {
+            prune_finished(jobs);
+            if jobs.contains_key(&req.id) {
+                return write_response(
+                    writer,
+                    &Response::Error {
+                        id: req.id,
+                        message: format!(
+                            "discover id {} is still streaming on this connection; \
+                             cancel it or pick a fresh id",
+                            req.id
+                        ),
+                    },
+                );
+            }
+            match service.discover(&req) {
+                Ok(job) => {
+                    let id = req.id;
+                    let ctl = job.ctl();
+                    let writer = Arc::clone(writer);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("eva-serve-events-{id}"))
+                        .spawn(move || forward_events(&job, &writer));
+                    match spawned {
+                        Ok(handle) => {
+                            jobs.insert(
+                                id,
+                                ConnJob {
+                                    ctl,
+                                    forwarder: Some(handle),
+                                },
+                            );
+                            true
+                        }
+                        Err(e) => {
+                            // No forwarder means nobody would drain the
+                            // stream: abort the job and report.
+                            ctl.cancel();
+                            write_response(
+                                writer,
+                                &Response::Rejected {
+                                    id,
+                                    reason: format!("failed to spawn event forwarder: {e}"),
+                                },
+                            )
+                        }
+                    }
+                }
+                Err(e) => write_response(writer, &discover_error_response(req.id, &e)),
+            }
+        }
+        Request::Cancel { id } => {
+            let cancelled = jobs.get(&id).is_some_and(|job| job.ctl.cancel());
+            write_response(writer, &Response::CancelResult { id, cancelled })
+        }
+        other => write_response(writer, &respond(service, other)),
+    }
+}
+
+/// Pump one job's events onto the shared writer, in order, until the
+/// terminal event. A failed write (client gone or stalled past the write
+/// timeout) cancels the job and drains the stream without writing, so the
+/// pipeline always observes its cancel and settles its accounting.
+fn forward_events(job: &DiscoveryJob, writer: &SharedWriter) {
+    let id = job.id();
+    while let Some(event) = job.next_event() {
+        let terminal = event.is_terminal();
+        if !write_response(writer, &event.into_response(id)) {
+            job.cancel();
+            while let Some(event) = job.next_event() {
+                if event.is_terminal() {
+                    break;
+                }
+            }
+            return;
+        }
+        if terminal {
+            return;
+        }
+    }
+}
+
+/// Map an admission error to its wire shape: invalid requests are client
+/// errors; capacity and shutdown are retryable rejections.
+fn discover_error_response(id: u64, e: &DiscoverError) -> Response {
+    match e {
+        DiscoverError::Invalid(_) => Response::Error {
+            id,
+            message: e.to_string(),
+        },
+        DiscoverError::Busy { .. } | DiscoverError::Spawn(_) | DiscoverError::ShuttingDown => {
+            Response::Rejected {
+                id,
+                reason: e.to_string(),
+            }
+        }
+    }
+}
+
+/// Answer one single-response request.
+fn respond(service: &GenerationService, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Metrics => Response::Metrics(service.metrics()),
+        Request::Health => Response::Health(service.health()),
+        Request::Generate(req) => {
             let params = GenParams::from_request(&req, service.config());
             match service.submit(req.id, params) {
                 Ok(pending) => pending.wait().into_response(),
@@ -207,6 +398,26 @@ pub fn handle_line(service: &GenerationService, line: &str) -> Response {
                 },
             }
         }
+        // The streaming ops need a connection to own the job; a
+        // single-response dispatcher has none.
+        Request::Discover(req) => Response::Error {
+            id: req.id,
+            message: "discover streams multiple responses; use the TCP transport".to_owned(),
+        },
+        Request::Cancel { id } => Response::Error {
+            id,
+            message: "cancel targets a job on a streaming TCP connection".to_owned(),
+        },
+    }
+}
+
+/// Handle one protocol line, producing exactly one response. Public so
+/// in-process tests and alternative transports reuse the dispatch; the
+/// streaming `discover`/`cancel` ops are answered with a typed error here
+/// (they need a connection to stream over — see [`serve`]).
+pub fn handle_line(service: &GenerationService, line: &str) -> Response {
+    match serde_json::from_str::<Request>(line) {
+        Ok(request) => respond(service, request),
         Err(e) => Response::Error {
             id: 0,
             message: format!("malformed request: {e}"),

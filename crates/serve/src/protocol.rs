@@ -12,6 +12,27 @@
 //!
 //! Unknown or malformed lines produce `{"status":"error",...}` — the
 //! connection stays open, the server never hangs up mid-protocol.
+//!
+//! ## Streaming discovery jobs
+//!
+//! `{"op":"discover",...}` is the one request that answers with *several*
+//! lines: the job streams progress events over the same connection while
+//! the connection keeps accepting further request lines (`cancel`,
+//! `metrics`, even more `discover`s). Events for one job arrive in order:
+//!
+//! ```text
+//! → {"op":"discover","id":5,"n_candidates":8,"generations":10,"seed":42}
+//! ← {"status":"job_accepted","id":5,"n_candidates":8,"generations":10,"seed":42,...}
+//! ← {"status":"generation_done","id":5,"generation":1,"generations":10,...}
+//! ← ...
+//! ← {"status":"candidate_ranked","id":5,"rank":1,"candidate":3,"fom":...}
+//! ← {"status":"job_done","id":5,"leaderboard":[...],...}
+//! → {"op":"cancel","id":5}
+//! ← {"status":"cancel_result","id":5,"cancelled":false}
+//! ```
+//!
+//! Every job terminates with exactly one of `job_done` / `job_failed` /
+//! `job_cancelled`; a dropped connection cancels its jobs server-side.
 
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +44,15 @@ use crate::metrics::{HealthSnapshot, MetricsSnapshot};
 pub enum Request {
     /// Sample one topology sequence.
     Generate(GenerateRequest),
+    /// Start a streaming discovery job: generate candidates, filter
+    /// valid topologies, GA-size and SPICE-evaluate survivors, and
+    /// stream ranked results back over this connection.
+    Discover(DiscoverRequest),
+    /// Cancel a discovery job started on this connection (by its `id`).
+    Cancel {
+        /// The `discover` request's correlation id.
+        id: u64,
+    },
     /// Snapshot the service metrics registry.
     Metrics,
     /// Readiness/liveness probe: answered from the gauges without
@@ -66,6 +96,75 @@ pub struct GenerateRequest {
     /// `request_deadline_ms` applies.
     #[serde(default)]
     pub deadline_us: Option<u64>,
+}
+
+/// Parameters of a discovery job; absent fields fall back to the
+/// server's [`crate::ServeConfig`] discovery defaults. Values above the
+/// server's configured caps are refused with a typed error rather than
+/// silently clamped.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiscoverRequest {
+    /// Client-chosen correlation id, echoed on every streamed event.
+    #[serde(default)]
+    pub id: u64,
+    /// Job seed; the whole pipeline (candidate sampling, GA sizing,
+    /// leaderboard) is bit-reproducible given it. Omitted means a
+    /// deterministic mix of the server's base seed and `id`.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Candidate topologies to generate.
+    #[serde(default)]
+    pub n_candidates: Option<usize>,
+    /// GA generations to size each surviving candidate over.
+    #[serde(default)]
+    pub generations: Option<usize>,
+    /// GA population per candidate.
+    #[serde(default)]
+    pub population: Option<usize>,
+    /// Length cap for candidate generation (`0` or omitted: server
+    /// default).
+    #[serde(default)]
+    pub max_len: Option<usize>,
+    /// Target spec: which circuit family to optimize for and an optional
+    /// conditioning prompt.
+    #[serde(default)]
+    pub spec: Option<DiscoverSpec>,
+    /// Name of a checkpoint under the server's `job_dir`: the job
+    /// checkpoints after every GA generation and a re-issued request
+    /// with the same name (and parameters) resumes instead of
+    /// recomputing. Requires the server to be started with a `job_dir`.
+    #[serde(default)]
+    pub checkpoint: Option<String>,
+}
+
+/// The target spec of a discovery job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiscoverSpec {
+    /// Circuit family whose figure of merit ranks candidates (a
+    /// `CircuitType` name, e.g. `"Op-Amp"`, case-insensitive; default
+    /// Op-Amp).
+    #[serde(default)]
+    pub family: Option<String>,
+    /// Prefix token strings to condition generation on (after the
+    /// implicit `VSS`).
+    #[serde(default)]
+    pub prompt: Option<Vec<String>>,
+}
+
+/// One leaderboard entry of a discovery job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedCandidate {
+    /// 1-based rank (1 = best FoM).
+    pub rank: usize,
+    /// 0-based index of the candidate within the job's generation order.
+    pub candidate: usize,
+    /// The candidate's sampling seed — regenerating with it reproduces
+    /// the topology bit-exactly.
+    pub seed: u64,
+    /// Figure of merit after GA sizing.
+    pub fom: f64,
+    /// The candidate's walk, decoded to token strings.
+    pub tokens: Vec<String>,
 }
 
 /// A server response, tagged by `status`.
@@ -119,6 +218,85 @@ pub enum Response {
     Health(HealthSnapshot),
     /// Reply to [`Request::Ping`].
     Pong,
+    /// A discovery job was admitted; its events follow on this
+    /// connection.
+    JobAccepted {
+        /// Echoed `discover` id.
+        id: u64,
+        /// Resolved candidate count.
+        n_candidates: usize,
+        /// Resolved GA generation count.
+        generations: usize,
+        /// Resolved job seed (echoed so an omitted-seed run is still
+        /// reproducible).
+        seed: u64,
+        /// GA generations already completed by a resumed checkpoint
+        /// (`0` for a fresh job).
+        resumed_generation: usize,
+    },
+    /// A discovery job finished one GA generation across its cohort.
+    GenerationDone {
+        /// Echoed `discover` id.
+        id: u64,
+        /// 1-based generation just completed.
+        generation: usize,
+        /// Total generations the job will run.
+        generations: usize,
+        /// Best FoM over all survivors so far (`null` while nothing is
+        /// measurable).
+        best_fom: Option<f64>,
+        /// Candidates still being sized.
+        survivors: usize,
+        /// SPICE evaluations spent in this generation.
+        spice_evals: u64,
+    },
+    /// One ranked candidate of a finished discovery job (streamed in
+    /// rank order, best first, before `job_done`).
+    CandidateRanked {
+        /// Echoed `discover` id.
+        id: u64,
+        /// The leaderboard entry.
+        #[serde(flatten)]
+        entry: RankedCandidate,
+    },
+    /// A discovery job ran to completion.
+    JobDone {
+        /// Echoed `discover` id.
+        id: u64,
+        /// GA generations actually run.
+        generations_run: usize,
+        /// Candidates generated.
+        candidates_generated: usize,
+        /// Candidates that decoded to a valid topology.
+        candidates_valid: usize,
+        /// Valid candidates surviving canonical deduplication.
+        candidates_unique: usize,
+        /// The full FoM leaderboard, best first.
+        leaderboard: Vec<RankedCandidate>,
+    },
+    /// A discovery job was cancelled (explicit `cancel` or disconnect).
+    JobCancelled {
+        /// Echoed `discover` id.
+        id: u64,
+        /// GA generations completed before the cancel took effect.
+        generations_run: usize,
+    },
+    /// A discovery job terminated with a typed failure.
+    JobFailed {
+        /// Echoed `discover` id.
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// Reply to [`Request::Cancel`]: whether a live job was signalled.
+    CancelResult {
+        /// Echoed `cancel` id.
+        id: u64,
+        /// `true` when a running job on this connection was told to
+        /// stop; `false` when no such job exists (unknown id or already
+        /// terminal).
+        cancelled: bool,
+    },
 }
 
 /// Payload of a successful generation.
@@ -254,6 +432,7 @@ mod tests {
             queue_depth: 0,
             queue_capacity: 64,
             active_connections: 1,
+            active_jobs: 0,
         });
         let json = serde_json::to_string(&health).expect("health serializes");
         assert!(json.contains(r#""status":"health""#), "{json}");
@@ -261,6 +440,104 @@ mod tests {
             serde_json::from_str::<Response>(&json).expect("health parses back"),
             health
         );
+    }
+
+    #[test]
+    fn discover_wire_shape() {
+        let line = r#"{"op":"discover","id":5,"n_candidates":8,"generations":10,"seed":42,
+                       "spec":{"family":"VCO","prompt":["NM1_D"]},"checkpoint":"run-a"}"#;
+        match serde_json::from_str::<Request>(line).expect("discover parses") {
+            Request::Discover(d) => {
+                assert_eq!(d.id, 5);
+                assert_eq!(d.n_candidates, Some(8));
+                assert_eq!(d.generations, Some(10));
+                assert_eq!(d.seed, Some(42));
+                assert_eq!(d.population, None);
+                let spec = d.spec.expect("spec present");
+                assert_eq!(spec.family.as_deref(), Some("VCO"));
+                assert_eq!(spec.prompt, Some(vec!["NM1_D".to_owned()]));
+                assert_eq!(d.checkpoint.as_deref(), Some("run-a"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A bare discover is valid: everything falls back to server
+        // defaults.
+        match serde_json::from_str::<Request>(r#"{"op":"discover"}"#).expect("bare parses") {
+            Request::Discover(d) => assert_eq!(d, DiscoverRequest::default()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(
+            serde_json::from_str::<Request>(r#"{"op":"cancel","id":5}"#).expect("cancel parses"),
+            Request::Cancel { id: 5 }
+        );
+    }
+
+    #[test]
+    fn discovery_events_round_trip() {
+        let entry = RankedCandidate {
+            rank: 1,
+            candidate: 3,
+            seed: 99,
+            fom: 12.5,
+            tokens: vec!["VSS".to_owned(), "NM1_S".to_owned()],
+        };
+        let ranked = Response::CandidateRanked {
+            id: 5,
+            entry: entry.clone(),
+        };
+        let json = serde_json::to_string(&ranked).expect("ranked serializes");
+        assert!(json.contains(r#""status":"candidate_ranked""#), "{json}");
+        // The entry is flattened: rank/fom sit at the top level.
+        assert!(json.contains(r#""rank":1"#), "{json}");
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("ranked parses back"),
+            ranked
+        );
+
+        for event in [
+            Response::JobAccepted {
+                id: 5,
+                n_candidates: 8,
+                generations: 10,
+                seed: 42,
+                resumed_generation: 0,
+            },
+            Response::GenerationDone {
+                id: 5,
+                generation: 1,
+                generations: 10,
+                best_fom: Some(3.25),
+                survivors: 6,
+                spice_evals: 72,
+            },
+            Response::JobDone {
+                id: 5,
+                generations_run: 10,
+                candidates_generated: 8,
+                candidates_valid: 6,
+                candidates_unique: 6,
+                leaderboard: vec![entry],
+            },
+            Response::JobCancelled {
+                id: 5,
+                generations_run: 3,
+            },
+            Response::JobFailed {
+                id: 5,
+                message: "injected fault size_step #1".to_owned(),
+            },
+            Response::CancelResult {
+                id: 5,
+                cancelled: true,
+            },
+        ] {
+            let json = serde_json::to_string(&event).expect("event serializes");
+            assert_eq!(
+                serde_json::from_str::<Response>(&json).expect("event parses back"),
+                event,
+                "{json}"
+            );
+        }
     }
 
     #[test]

@@ -62,8 +62,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::config::ServeConfig;
+use crate::discovery::{DiscoverError, DiscoveryJob, JobManager};
 use crate::metrics::{HealthSnapshot, Metrics, MetricsSnapshot};
-use crate::protocol::{GenerateRequest, OkResponse, Response};
+use crate::protocol::{DiscoverRequest, GenerateRequest, OkResponse, Response};
 
 /// Fully-resolved sampling parameters for one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,12 +317,12 @@ impl PendingGeneration {
     }
 }
 
-struct Job {
-    id: u64,
-    params: GenParams,
-    enqueued: Instant,
-    deadline: Option<Instant>,
-    reply: mpsc::Sender<Completion>,
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) params: GenParams,
+    pub(crate) enqueued: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: mpsc::Sender<Completion>,
 }
 
 /// Panic guard around one in-flight job: every normal reply path `take`s
@@ -369,14 +370,14 @@ impl Drop for JobSlot {
     }
 }
 
-struct ServiceInner {
-    model: Arc<Transformer>,
-    tokenizer: Arc<Tokenizer>,
-    config: ServeConfig,
-    configured_workers: usize,
+pub(crate) struct ServiceInner {
+    pub(crate) model: Arc<Transformer>,
+    pub(crate) tokenizer: Arc<Tokenizer>,
+    pub(crate) config: ServeConfig,
+    pub(crate) configured_workers: usize,
     // Shared with every `PendingGeneration` so waiter-side timeouts are
     // counted even after the service itself is gone.
-    metrics: Arc<Metrics>,
+    pub(crate) metrics: Arc<Metrics>,
 }
 
 /// A multi-worker, micro-batching, self-healing topology-generation
@@ -389,6 +390,7 @@ pub struct GenerationService {
     inner: Arc<ServiceInner>,
     tx: Option<Sender<Job>>,
     supervisor: Option<JoinHandle<()>>,
+    jobs: Option<JobManager>,
     next_id: AtomicU64,
 }
 
@@ -468,10 +470,12 @@ impl GenerationService {
             // dropped and `tx` drops on return, so the workers drain and
             // exit; they are simply not joined.
         };
+        let jobs = JobManager::new(Arc::clone(&inner), tx.clone());
         Ok(GenerationService {
             inner,
             tx: Some(tx),
             supervisor: Some(supervisor),
+            jobs: Some(jobs),
             next_id: AtomicU64::new(0),
         })
     }
@@ -539,6 +543,7 @@ impl GenerationService {
             queue_depth,
             queue_capacity: self.inner.config.queue_capacity.max(1) as u64,
             active_connections: m.active_connections.load(Ordering::Relaxed),
+            active_jobs: m.active_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -612,6 +617,24 @@ impl GenerationService {
         Ok(self.submit(id, params)?.wait())
     }
 
+    /// Start a streaming discovery job (generate → filter → size →
+    /// simulate → rank): resolves the request against the configured
+    /// defaults and caps, claims one of the bounded job slots, and
+    /// returns a handle streaming [`crate::discovery::JobEvent`]s. See
+    /// the [`crate::discovery`] module docs for pipeline, determinism,
+    /// checkpointing, and cancellation semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`DiscoverError`]: invalid requests, a saturated job pool, or a
+    /// draining service — nothing is left running on any error path.
+    pub fn discover(&self, req: &DiscoverRequest) -> Result<DiscoveryJob, DiscoverError> {
+        match &self.jobs {
+            Some(jobs) => jobs.submit(req),
+            None => Err(DiscoverError::ShuttingDown),
+        }
+    }
+
     /// Stop accepting work, let workers drain every admitted request, and
     /// join them (via the supervisor, which exits once the last worker
     /// does).
@@ -620,6 +643,12 @@ impl GenerationService {
     }
 
     fn shutdown_inner(&mut self) {
+        // Discovery jobs first: they hold a queue sender and feed the
+        // worker pool, so they must be cancelled and joined (dropping
+        // that sender) before the queue can close and the workers drain.
+        if let Some(jobs) = self.jobs.take() {
+            jobs.shutdown();
+        }
         self.tx.take();
         if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();

@@ -1,0 +1,447 @@
+//! End-to-end discovery-job tests: the streaming `discover` op over the
+//! in-process API and the TCP transport — event ordering, seed
+//! determinism, cancellation, disconnect aborts, and exactly-once job
+//! accounting.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_serve::{
+    DiscoverError, DiscoverRequest, DiscoverSpec, GenerationService, JobEvent, Response,
+    ServeConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Pretrain a tiny engine once per test (seconds at test scale).
+fn tiny_pretrained(seed: u64) -> Eva {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let config = PretrainConfig {
+        steps: 25,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 3,
+    };
+    eva.pretrain(&config, &mut rng);
+    eva
+}
+
+/// A small but non-trivial job: enough candidates for a plausible
+/// survivor, few enough generations to stay fast at test scale.
+fn small_request(id: u64) -> DiscoverRequest {
+    DiscoverRequest {
+        id,
+        seed: Some(4242),
+        n_candidates: Some(6),
+        generations: Some(3),
+        population: Some(6),
+        max_len: Some(32),
+        spec: Some(DiscoverSpec {
+            family: Some("Op-Amp".to_owned()),
+            prompt: None,
+        }),
+        checkpoint: None,
+    }
+}
+
+/// Drain a job to its terminal event, bounded, asserting stream shape
+/// along the way. Returns every event in order.
+fn drain(job: &eva_serve::DiscoveryJob) -> Vec<JobEvent> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut events = Vec::new();
+    loop {
+        let event = job
+            .next_event_timeout(deadline.saturating_duration_since(Instant::now()))
+            .expect("job must reach a terminal event before the deadline");
+        let terminal = event.is_terminal();
+        events.push(event);
+        if terminal {
+            return events;
+        }
+    }
+}
+
+/// The stream-ordering contract: `accepted` first, `generation_done`
+/// 1..=G in order, then ranked entries by ascending rank with
+/// non-increasing FoM, then exactly one terminal `done`.
+fn assert_stream_shape(events: &[JobEvent], generations: usize) {
+    assert!(
+        matches!(events.first(), Some(JobEvent::Accepted { .. })),
+        "first event must be accepted: {events:?}"
+    );
+    let gens: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::GenerationDone { generation, .. } => Some(*generation),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        gens,
+        (1..=generations).collect::<Vec<_>>(),
+        "generation_done events stream in order"
+    );
+    let ranked: Vec<(usize, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::Ranked(r) => Some((r.rank, r.fom)),
+            _ => None,
+        })
+        .collect();
+    for (i, (rank, fom)) in ranked.iter().enumerate() {
+        assert_eq!(*rank, i + 1, "ranks ascend from 1");
+        if i > 0 {
+            assert!(ranked[i - 1].1 >= *fom, "FoM is non-increasing by rank");
+        }
+    }
+    let done = match events.last() {
+        Some(JobEvent::Done(summary)) => summary,
+        other => panic!("last event must be job_done, got {other:?}"),
+    };
+    assert_eq!(done.generations_run, generations);
+    assert!(done.candidates_valid <= done.candidates_generated);
+    assert!(done.candidates_unique <= done.candidates_valid);
+    assert_eq!(done.leaderboard.len(), ranked.len());
+    // Terminal means terminal: nothing after it, exactly one of it.
+    assert_eq!(
+        events.iter().filter(|e| e.is_terminal()).count(),
+        1,
+        "exactly one terminal event"
+    );
+}
+
+#[test]
+fn discovery_streams_ordered_events_and_is_deterministic_by_seed() {
+    let eva = tiny_pretrained(41);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let run = |id: u64| {
+        let job = service.discover(&small_request(id)).expect("job admitted");
+        drain(&job)
+    };
+    let first = run(1);
+    assert_stream_shape(&first, 3);
+
+    // Same seed ⇒ the entire event stream is bit-identical (leaderboard
+    // included); a different seed is allowed to differ.
+    let again = run(2);
+    assert_eq!(first, again, "same-seed jobs must replay bit-identically");
+
+    // Every admitted job settled in exactly one terminal counter.
+    let m = service.metrics();
+    assert_eq!(m.discover_accepted, 2);
+    assert_eq!(m.discover_completed, 2);
+    assert_eq!(m.discover_cancelled + m.discover_failed, 0);
+    assert_eq!(m.active_jobs, 0);
+    assert!(m.candidates_generated >= m.candidates_valid);
+    assert!(m.stage_generate.count >= 2, "generate stage was timed");
+    service.shutdown();
+}
+
+#[test]
+fn invalid_requests_are_rejected_typed_without_claiming_a_slot() {
+    let eva = tiny_pretrained(42);
+    let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default())
+        .expect("service starts");
+
+    let bad_family = DiscoverRequest {
+        spec: Some(DiscoverSpec {
+            family: Some("perpetual-motion".to_owned()),
+            prompt: None,
+        }),
+        ..small_request(1)
+    };
+    assert!(matches!(
+        service.discover(&bad_family),
+        Err(DiscoverError::Invalid(_))
+    ));
+
+    let over_cap = DiscoverRequest {
+        n_candidates: Some(ServeConfig::default().discover_max_candidates + 1),
+        ..small_request(2)
+    };
+    assert!(matches!(
+        service.discover(&over_cap),
+        Err(DiscoverError::Invalid(_))
+    ));
+
+    let bad_prompt = DiscoverRequest {
+        spec: Some(DiscoverSpec {
+            family: None,
+            prompt: Some(vec!["NOT_A_TOKEN".to_owned()]),
+        }),
+        ..small_request(3)
+    };
+    assert!(matches!(
+        service.discover(&bad_prompt),
+        Err(DiscoverError::Invalid(_))
+    ));
+
+    // Checkpoints without a configured job_dir are refused up front, not
+    // silently skipped.
+    let no_dir = DiscoverRequest {
+        checkpoint: Some("run-a".to_owned()),
+        ..small_request(4)
+    };
+    assert!(matches!(
+        service.discover(&no_dir),
+        Err(DiscoverError::Invalid(_))
+    ));
+
+    let m = service.metrics();
+    assert_eq!(m.discover_rejected, 4);
+    assert_eq!(m.discover_accepted, 0);
+    assert_eq!(m.active_jobs, 0);
+    service.shutdown();
+}
+
+#[test]
+fn cancel_settles_accounting_exactly_once() {
+    let eva = tiny_pretrained(43);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // Cancel immediately after admission: the job observes the flag at
+    // its next seam (between candidate decodes / GA steps).
+    let job = service.discover(&small_request(9)).expect("job admitted");
+    assert!(job.cancel(), "a live job acknowledges cancellation");
+    let events = drain(&job);
+    let terminal = events.last().expect("terminal event");
+    assert!(
+        matches!(terminal, JobEvent::Cancelled { .. } | JobEvent::Done(_)),
+        "cancel races completion but never fails or hangs: {terminal:?}"
+    );
+    assert!(job.is_finished());
+    assert!(!job.cancel(), "a finished job has nothing left to cancel");
+
+    // Exactly-once: one accepted job, one terminal counter, slot freed.
+    let m = service.metrics();
+    assert_eq!(m.discover_accepted, 1);
+    assert_eq!(
+        m.discover_completed + m.discover_cancelled + m.discover_failed,
+        1
+    );
+    assert_eq!(m.discover_failed, 0);
+    assert_eq!(m.active_jobs, 0);
+
+    // The slot is reusable: a fresh job runs to completion.
+    let job = service.discover(&small_request(10)).expect("slot freed");
+    assert_stream_shape(&drain(&job), 3);
+    service.shutdown();
+}
+
+/// Helper: read one response line off the wire.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response line");
+    assert!(!line.is_empty(), "connection closed mid-stream");
+    serde_json::from_str(&line).expect("well-formed response JSON")
+}
+
+#[test]
+fn tcp_discover_streams_and_interleaves_with_simple_requests() {
+    let eva = tiny_pretrained(44);
+    let service = Arc::new(
+        GenerationService::from_artifacts(
+            &eva.artifacts(),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("service starts"),
+    );
+    let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    let request = serde_json::json!({
+        "op": "discover", "id": 5, "seed": 4242, "n_candidates": 6,
+        "generations": 3, "population": 6, "max_len": 32,
+        "spec": {"family": "Op-Amp"}
+    });
+    writer
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("write discover");
+    // The connection stays full-duplex while the job streams: a ping
+    // sent mid-job is answered on the same socket.
+    writer
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("write ping");
+
+    let mut saw_pong = false;
+    let mut statuses = Vec::new();
+    let mut last_generation = 0usize;
+    let mut last_rank = 0usize;
+    let done = loop {
+        match read_response(&mut reader) {
+            Response::Pong => saw_pong = true,
+            Response::JobAccepted {
+                id,
+                n_candidates,
+                generations,
+                seed,
+                resumed_generation,
+            } => {
+                assert_eq!((id, n_candidates, generations), (5, 6, 3));
+                assert_eq!(seed, 4242);
+                assert_eq!(resumed_generation, 0);
+                statuses.push("accepted");
+            }
+            Response::GenerationDone { id, generation, .. } => {
+                assert_eq!(id, 5);
+                assert_eq!(generation, last_generation + 1, "generations ascend");
+                last_generation = generation;
+                statuses.push("generation_done");
+            }
+            Response::CandidateRanked { id, entry } => {
+                assert_eq!(id, 5);
+                assert_eq!(entry.rank, last_rank + 1, "ranks ascend");
+                last_rank = entry.rank;
+                statuses.push("candidate_ranked");
+            }
+            Response::JobDone {
+                id,
+                generations_run,
+                leaderboard,
+                ..
+            } => {
+                assert_eq!(id, 5);
+                assert_eq!(generations_run, 3);
+                assert_eq!(leaderboard.len(), last_rank);
+                break leaderboard;
+            }
+            other => panic!("unexpected mid-stream response: {other:?}"),
+        }
+    };
+    assert!(saw_pong, "simple requests interleave with the stream");
+    assert_eq!(statuses.first(), Some(&"accepted"));
+    assert_eq!(last_generation, 3);
+
+    // Same request on a second run (fresh id) reproduces the leaderboard
+    // bit-for-bit over the wire.
+    let request = serde_json::json!({
+        "op": "discover", "id": 6, "seed": 4242, "n_candidates": 6,
+        "generations": 3, "population": 6, "max_len": 32,
+        "spec": {"family": "Op-Amp"}
+    });
+    writer
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("write discover");
+    let again = loop {
+        match read_response(&mut reader) {
+            Response::JobDone { leaderboard, .. } => break leaderboard,
+            Response::JobFailed { message, .. } => panic!("job failed: {message}"),
+            _ => {}
+        }
+    };
+    assert_eq!(done, again, "same-seed leaderboards match over TCP");
+
+    // Cancelling an already-finished id is a no-op, answered typed.
+    writer
+        .write_all(b"{\"op\":\"cancel\",\"id\":6}\n")
+        .expect("write cancel");
+    match read_response(&mut reader) {
+        Response::CancelResult { id, cancelled } => {
+            assert_eq!(id, 6);
+            assert!(!cancelled, "nothing live to cancel");
+        }
+        other => panic!("expected cancel_result, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn disconnect_aborts_owned_jobs_and_releases_slots() {
+    let eva = tiny_pretrained(45);
+    let service = Arc::new(
+        GenerationService::from_artifacts(
+            &eva.artifacts(),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("service starts"),
+    );
+    let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
+    {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        // A bigger job so the disconnect lands while it runs.
+        let request = serde_json::json!({
+            "op": "discover", "id": 1, "seed": 7, "n_candidates": 32,
+            "generations": 10, "population": 8, "max_len": 32
+        });
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("write discover");
+        match read_response(&mut reader) {
+            Response::JobAccepted { id, .. } => assert_eq!(id, 1),
+            other => panic!("expected job_accepted, got {other:?}"),
+        }
+        // Drop both halves: the connection handler must cancel the job.
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let settled = loop {
+        let m = service.metrics();
+        if m.active_jobs == 0
+            && m.discover_completed + m.discover_cancelled + m.discover_failed
+                == m.discover_accepted
+        {
+            break m;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect did not settle the job: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(settled.discover_accepted, 1);
+    assert_eq!(settled.discover_failed, 0, "disconnect is not a failure");
+    // The freed slot serves the next client.
+    let job = service
+        .discover(&small_request(2))
+        .expect("slot released after disconnect");
+    assert!(job.cancel());
+    let _ = drain(&job);
+    server.stop();
+}
+
+#[test]
+fn handle_line_answers_streaming_ops_typed() {
+    let eva = tiny_pretrained(46);
+    let service = GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default())
+        .expect("service starts");
+    match eva_serve::handle_line(&service, r#"{"op":"discover","id":3}"#) {
+        Response::Error { id, message } => {
+            assert_eq!(id, 3);
+            assert!(message.contains("stream"), "{message}");
+        }
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    match eva_serve::handle_line(&service, r#"{"op":"cancel","id":3}"#) {
+        Response::Error { id, .. } => assert_eq!(id, 3),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    service.shutdown();
+}

@@ -1,0 +1,437 @@
+//! Chaos tests for discovery jobs: drive the streaming pipeline under
+//! deterministic fault injection (`EVA_FAULT_PLAN` seams at the decode,
+//! SPICE and sizing stages) and prove the lifecycle claims — typed
+//! failure instead of hangs, bounded settling under worker panics,
+//! deterministic cancellation, and kill-and-resume reproducing the
+//! uninterrupted leaderboard bit-for-bit.
+//!
+//! The injector is process-global, so every test serializes on one lock
+//! and clears the plan on exit even when the test panics.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError};
+use std::time::{Duration, Instant};
+
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_serve::fault::{self, Fault, FaultPoint};
+use eva_serve::{
+    DiscoverRequest, DiscoverSpec, GenerationService, JobEvent, Response, ServeConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Serialize chaos tests: the injector is one per process.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears any installed plan when a test exits, pass or fail.
+struct PlanGuard;
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+/// Injected panics are *expected* here; keep their backtraces out of the
+/// test output while forwarding every genuine panic untouched.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Pretrain a tiny engine once per test (seconds at test scale).
+fn tiny_pretrained(seed: u64) -> Eva {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let config = PretrainConfig {
+        steps: 25,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 3,
+    };
+    eva.pretrain(&config, &mut rng);
+    eva
+}
+
+/// One worker, no batching, instant respawn, one job slot: every decode
+/// is one batch pickup so injection schedules are exact, and admission
+/// bounds are observable deterministically.
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 1,
+        batch_deadline_us: 0,
+        restart_backoff_ms: 0,
+        max_discover_jobs: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn small_request(id: u64, seed: u64) -> DiscoverRequest {
+    DiscoverRequest {
+        id,
+        seed: Some(seed),
+        n_candidates: Some(6),
+        generations: Some(4),
+        population: Some(6),
+        max_len: Some(32),
+        spec: Some(DiscoverSpec {
+            family: Some("Op-Amp".to_owned()),
+            prompt: None,
+        }),
+        checkpoint: None,
+    }
+}
+
+/// Drain a job to its terminal event with a hard wall-clock bound — the
+/// "never hangs" assertion every chaos scenario shares.
+fn drain_bounded(job: &eva_serve::DiscoveryJob, bound: Duration) -> Vec<JobEvent> {
+    let deadline = Instant::now() + bound;
+    let mut events = Vec::new();
+    loop {
+        let event = job
+            .next_event_timeout(deadline.saturating_duration_since(Instant::now()))
+            .expect("job must reach a terminal event within the chaos bound");
+        let terminal = event.is_terminal();
+        events.push(event);
+        if terminal {
+            return events;
+        }
+    }
+}
+
+/// Exactly-once settling: every admitted job landed in exactly one
+/// terminal counter and released its slot.
+fn assert_settled(service: &GenerationService) {
+    let m = service.metrics();
+    assert_eq!(
+        m.discover_completed + m.discover_cancelled + m.discover_failed,
+        m.discover_accepted,
+        "every job settles in exactly one terminal counter: {m:?}"
+    );
+    assert_eq!(m.active_jobs, 0, "all job slots released");
+}
+
+/// An injected sizing-stage panic terminates the job with a typed
+/// `job_failed` naming the fault — never a hang, never a poisoned slot.
+#[test]
+fn size_step_panic_fails_job_typed_and_releases_slot() {
+    let _lock = chaos_lock();
+    quiet_injected_panics();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(61);
+    let plan = fault::install(Fault::parse("size_step:nth=1").expect("plan parses"));
+    let service = GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+        .expect("service starts");
+
+    let job = service.discover(&small_request(1, 6161)).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    match events.last() {
+        Some(JobEvent::Failed { message }) => {
+            assert!(
+                message.contains("injected fault size_step"),
+                "failure names the injected fault: {message}"
+            );
+        }
+        other => panic!("expected job_failed under size_step panic, got {other:?}"),
+    }
+    assert_eq!(plan.fires(FaultPoint::SizeStep), 1);
+    let m = service.metrics();
+    assert_eq!(m.discover_failed, 1);
+    assert_settled(&service);
+
+    // The slot is not poisoned: with the plan spent (nth=1 already
+    // fired), the same request now runs to completion.
+    let job = service.discover(&small_request(2, 6161)).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    assert!(
+        matches!(events.last(), Some(JobEvent::Done(_))),
+        "job completes once the fault is spent: {:?}",
+        events.last()
+    );
+    assert_settled(&service);
+    service.shutdown();
+}
+
+/// Worker panics and injected decode latency *during* a job cost at most
+/// the affected candidates: the job still reaches a terminal event within
+/// a bounded wait, with exact accounting.
+#[test]
+fn worker_panic_and_decode_slow_mid_job_settle_bounded() {
+    let _lock = chaos_lock();
+    quiet_injected_panics();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(62);
+    let plan = fault::install(
+        Fault::parse("worker_panic:nth=2;decode_slow:every=3:ms=5;seed=9").expect("plan parses"),
+    );
+    let service = GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+        .expect("service starts");
+
+    let job = service.discover(&small_request(1, 6262)).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    let done = match events.last() {
+        Some(JobEvent::Done(summary)) => summary,
+        other => panic!("job must survive a worker panic, got {other:?}"),
+    };
+    // The panicked batch answered `internal_error` for exactly one
+    // candidate; that candidate is lost, not the job.
+    assert_eq!(plan.fires(FaultPoint::WorkerPanic), 1);
+    assert!(plan.fires(FaultPoint::DecodeSlow) > 0, "latency seam hit");
+    assert_eq!(done.candidates_generated, 5, "one decode lost to the panic");
+    let m = service.metrics();
+    assert_eq!(m.discover_completed, 1);
+    assert_eq!(m.internal_errors, 1);
+    assert!(
+        m.worker_restarts >= 1,
+        "supervisor replaced the dead worker"
+    );
+    assert_settled(&service);
+    service.shutdown();
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response line");
+    assert!(!line.is_empty(), "connection closed mid-stream");
+    serde_json::from_str(&line).expect("well-formed response JSON")
+}
+
+/// Injected sizing latency holds a job open deterministically: the
+/// single slot rejects a second `discover` typed, and `cancel` lands
+/// mid-job and terminates it `job_cancelled` with settled accounting.
+#[test]
+fn busy_rejection_and_cancel_land_while_sizing_is_slowed() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(63);
+    fault::install(Fault::parse("size_step:every=1:ms=150").expect("plan parses"));
+    let service = Arc::new(
+        GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+            .expect("service starts"),
+    );
+    let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    let slow = serde_json::json!({
+        "op": "discover", "id": 1, "seed": 7, "n_candidates": 4,
+        "generations": 50, "population": 4, "max_len": 24
+    });
+    writer
+        .write_all(format!("{slow}\n").as_bytes())
+        .expect("write discover");
+    match read_response(&mut reader) {
+        Response::JobAccepted { id, .. } => assert_eq!(id, 1),
+        other => panic!("expected job_accepted, got {other:?}"),
+    }
+
+    // The one slot is held (50 generations x 150ms injected latency):
+    // a second job is refused typed, not queued and not hung.
+    writer
+        .write_all(b"{\"op\":\"discover\",\"id\":2,\"n_candidates\":4}\n")
+        .expect("write second discover");
+    let rejected = loop {
+        match read_response(&mut reader) {
+            Response::Rejected { id, reason } => break (id, reason),
+            Response::GenerationDone { .. } => {}
+            other => panic!("expected rejection or job progress, got {other:?}"),
+        }
+    };
+    assert_eq!(rejected.0, 2);
+    assert!(rejected.1.contains("busy"), "{}", rejected.1);
+
+    // Cancel lands mid-job; the stream answers both the cancel op and
+    // the job's terminal event (order between them is demultiplexed by
+    // status, not assumed).
+    writer
+        .write_all(b"{\"op\":\"cancel\",\"id\":1}\n")
+        .expect("write cancel");
+    let mut cancel_ack = None;
+    let mut terminal = None;
+    while cancel_ack.is_none() || terminal.is_none() {
+        match read_response(&mut reader) {
+            Response::CancelResult { id, cancelled } => {
+                assert_eq!(id, 1);
+                cancel_ack = Some(cancelled);
+            }
+            Response::JobCancelled { id, .. } => {
+                assert_eq!(id, 1);
+                terminal = Some(());
+            }
+            Response::GenerationDone { .. } | Response::CandidateRanked { .. } => {}
+            other => panic!("unexpected response while cancelling: {other:?}"),
+        }
+    }
+    assert_eq!(cancel_ack, Some(true), "a live job acknowledges cancel");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = service.metrics();
+        if m.active_jobs == 0 && m.discover_cancelled == 1 {
+            assert_eq!(
+                m.discover_accepted, 1,
+                "the busy rejection never counted as accepted"
+            );
+            assert_eq!(m.discover_rejected, 1);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancel did not settle the job: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stop();
+}
+
+/// The acceptance scenario: kill a checkpointed job mid-flight with an
+/// injected sizing panic, re-issue the identical request, and the
+/// resumed job finishes with the *same* terminal summary — leaderboard
+/// included, bit for bit — as an uninterrupted run.
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_leaderboard() {
+    let _lock = chaos_lock();
+    quiet_injected_panics();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(64);
+    let job_dir = std::env::temp_dir().join(format!("eva_discover_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&job_dir);
+    let config = ServeConfig {
+        job_dir: Some(job_dir.clone()),
+        ..chaos_config()
+    };
+
+    // Baseline: the uninterrupted run (no checkpoint, no faults).
+    fault::clear();
+    let service = GenerationService::from_artifacts(&eva.artifacts(), config.clone())
+        .expect("service starts");
+    let job = service.discover(&small_request(1, 6464)).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    let baseline = match events.last() {
+        Some(JobEvent::Done(summary)) => summary.clone(),
+        other => panic!("baseline run must complete, got {other:?}"),
+    };
+    service.shutdown();
+
+    // Kill: the same request, checkpointed, dies on the 3rd sizing
+    // generation — two generations are already committed to disk.
+    fault::install(Fault::parse("size_step:nth=3").expect("plan parses"));
+    let checkpointed = DiscoverRequest {
+        checkpoint: Some("resume-run".to_owned()),
+        ..small_request(1, 6464)
+    };
+    let service = GenerationService::from_artifacts(&eva.artifacts(), config.clone())
+        .expect("service starts");
+    let job = service.discover(&checkpointed).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    match events.last() {
+        Some(JobEvent::Failed { message }) => {
+            assert!(message.contains("injected fault size_step"), "{message}");
+        }
+        other => panic!("expected the injected kill, got {other:?}"),
+    }
+    assert_eq!(service.metrics().discover_failed, 1);
+    service.shutdown();
+
+    // Resume: a fresh service (the "restarted server") re-issues the
+    // identical request and picks up at the checkpointed generation.
+    fault::clear();
+    let service =
+        GenerationService::from_artifacts(&eva.artifacts(), config).expect("service starts");
+    let job = service.discover(&checkpointed).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    match events.first() {
+        Some(JobEvent::Accepted {
+            resumed_generation, ..
+        }) => {
+            assert_eq!(
+                *resumed_generation, 2,
+                "resume starts after the last committed generation"
+            );
+        }
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    let resumed = match events.last() {
+        Some(JobEvent::Done(summary)) => summary.clone(),
+        other => panic!("resumed run must complete, got {other:?}"),
+    };
+    assert_eq!(
+        resumed, baseline,
+        "kill-and-resume reproduces the uninterrupted run bit-for-bit"
+    );
+    // Exactly-once across the resume: the replayed generations are not
+    // re-counted in the stage metrics.
+    let m = service.metrics();
+    assert_eq!(m.candidates_generated, 0, "generate stage not re-run");
+    assert_eq!(
+        m.ga_generations, 2,
+        "only the two remaining generations were stepped"
+    );
+    assert_settled(&service);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&job_dir);
+}
+
+/// A re-issued request whose shape disagrees with the checkpoint fails
+/// typed instead of silently forking the run.
+#[test]
+fn fingerprint_mismatch_fails_typed_instead_of_forking() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(65);
+    let job_dir = std::env::temp_dir().join(format!("eva_discover_fork_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&job_dir);
+    let config = ServeConfig {
+        job_dir: Some(job_dir.clone()),
+        ..chaos_config()
+    };
+    fault::clear();
+    let service =
+        GenerationService::from_artifacts(&eva.artifacts(), config).expect("service starts");
+    let request = DiscoverRequest {
+        checkpoint: Some("forked".to_owned()),
+        ..small_request(1, 6565)
+    };
+    let job = service.discover(&request).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(120));
+    assert!(matches!(events.last(), Some(JobEvent::Done(_))));
+
+    // Same checkpoint name, different seed: refuse, don't fork.
+    let forked = DiscoverRequest {
+        seed: Some(6566),
+        ..request
+    };
+    let job = service.discover(&forked).expect("admitted");
+    let events = drain_bounded(&job, Duration::from_secs(30));
+    match events.last() {
+        Some(JobEvent::Failed { message }) => {
+            assert!(message.contains("fingerprint"), "{message}");
+        }
+        other => panic!("expected a fingerprint failure, got {other:?}"),
+    }
+    assert_settled(&service);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&job_dir);
+}

@@ -1,0 +1,110 @@
+//! Re-entrant, pooled fitness evaluation — the entry point discovery jobs
+//! and the GA sizing loop use to fan SPICE work across the process-wide
+//! kernel pool.
+//!
+//! The simulator itself is re-entrant by construction: every solve
+//! ([`crate::dc`], [`crate::ac`], [`crate::tran`]) works on stack- and
+//! heap-local state threaded through plain `&`/`&mut` arguments, and the
+//! crate holds no `static mut`, no interior-mutable globals, and no
+//! caches. Concurrent per-candidate simulation from pool workers is
+//! therefore safe without any locking; `tests/reentrancy.rs` pins this
+//! down with compile-time `Send + Sync` assertions over the public model
+//! types plus a concurrent-vs-serial equivalence test.
+//!
+//! [`par_evaluate`] is the one pooled primitive: evaluate `n` independent
+//! fitness problems on [`eva_nn::pool::global`], each index written by
+//! exactly one contiguous range, so results are **bit-identical at any
+//! thread count** (the pool's determinism contract — partitioning decides
+//! where an index runs, never what it computes). Nested calls from inside
+//! a pool task run inline, so GA steps issued by concurrent serve jobs
+//! cannot deadlock the pool.
+//!
+//! ## Fault seam
+//!
+//! Each evaluation hits the `spice_eval` fault point once. A firing rule
+//! with `ms=N` stalls that evaluation (latency only); a rule without a
+//! delay marks the evaluation unmeasurable ([`f64::NEG_INFINITY`]), like
+//! a sim that failed to converge. Under `p=` triggers with more than one
+//! pool thread, *which* index a fire lands on depends on interleaving;
+//! use `nth=`/`every=` (or `EVA_NN_THREADS=1`) when a chaos test needs an
+//! exact replay.
+
+use eva_nn::fault::{self, FaultPoint};
+
+/// Fitness assigned to an evaluation the fault injector failed.
+pub const UNMEASURABLE: f64 = f64::NEG_INFINITY;
+
+/// A raw mutable base pointer that may cross threads; each pool range
+/// writes its own disjoint index window.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: all users write through provably disjoint index ranges while the
+// owning `&mut Vec<f64>` borrow is held by `par_evaluate`.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Evaluate `n` independent fitness problems on the shared kernel pool
+/// and return `out[i] = fitness(i)`.
+///
+/// `min_per_range` bounds how finely the pool splits the index space
+/// (SPICE evaluations are heavy; `1` is the right choice for GA
+/// populations). `fitness` must be a pure function of its index —
+/// it runs concurrently from pool workers and possibly inline on the
+/// caller. Index `i` is computed exactly once, by exactly one thread,
+/// with serial arithmetic, so the result vector is bit-identical at any
+/// `EVA_NN_THREADS`.
+///
+/// When a `spice_eval` fault fires for an index, that index stalls
+/// (`ms=N`) or becomes [`UNMEASURABLE`] (no delay) — see the module docs.
+pub fn par_evaluate<F>(n: usize, min_per_range: usize, fitness: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let mut out = vec![0.0f64; n];
+    let base = SendPtr(out.as_mut_ptr());
+    eva_nn::pool::global().run_ranges(n, min_per_range.max(1), |lo, hi| {
+        // SAFETY: `[lo, hi)` ranges from `run_ranges` are disjoint and in
+        // bounds; `out` outlives the region (the caller blocks in
+        // `run_ranges` until every range finishes).
+        let slot = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+        for (offset, cell) in slot.iter_mut().enumerate() {
+            let i = lo + offset;
+            *cell = match fault::fires(FaultPoint::SpiceEval) {
+                Some(shot) if shot.delay_ms > 0 => {
+                    std::thread::sleep(std::time::Duration::from_millis(shot.delay_ms));
+                    fitness(i)
+                }
+                Some(_) => UNMEASURABLE,
+                None => fitness(i),
+            };
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_every_index_exactly_once() {
+        let out = par_evaluate(17, 1, |i| (i * i) as f64);
+        assert_eq!(out.len(), 17);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_a_noop() {
+        assert!(par_evaluate(0, 1, |_| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        // A fitness function that itself fans out — the pool's
+        // nested-inline rule makes this legal from any context.
+        let out = par_evaluate(4, 1, |i| par_evaluate(3, 1, |j| (i * 3 + j) as f64)[2]);
+        assert_eq!(out, vec![2.0, 5.0, 8.0, 11.0]);
+    }
+}

@@ -20,6 +20,9 @@
 //! - [`measure`] — gain/bandwidth/power and converter metrics → FoM.
 //! - [`validity`] — the paper's rule-based checker ("simulatable with
 //!   default sizing").
+//! - [`eval`] — re-entrant pooled fitness evaluation on the shared
+//!   `eva_nn` kernel pool (the entry point GA sizing and serve discovery
+//!   jobs fan SPICE work through).
 //!
 //! ## Example: RC low-pass response
 //!
@@ -50,6 +53,7 @@ pub mod complex;
 pub mod dc;
 pub mod elaborate;
 pub mod error;
+pub mod eval;
 pub mod linalg;
 pub mod measure;
 pub mod models;
@@ -65,6 +69,7 @@ pub use complex::Complex;
 pub use dc::{dc_operating_point, DcSolution};
 pub use elaborate::{elaborate, Stimulus};
 pub use error::SpiceError;
+pub use eval::{par_evaluate, UNMEASURABLE};
 pub use measure::{
     measure_converter, measure_opamp, measure_oscillator, measure_psrr, ConverterMetrics,
     OpampMetrics,
