@@ -181,12 +181,137 @@ fn main() {
         "worker_restarts": snapshot.worker_restarts,
         "shed": snapshot.shed,
         "shed_rate": snapshot.shed as f64 / (requests.max(1)) as f64,
+        // Continuous-batching utilization on the throughput run.
+        "admitted_mid_flight": snapshot.admitted_mid_flight,
+        "mean_lane_occupancy": snapshot.mean_lane_occupancy,
+        "ttft_p50_us": snapshot.ttft.p50_us,
+        "ttft_p99_us": snapshot.ttft.p99_us,
+        "overload": run_overload(&args, &eva),
         "metrics": snapshot,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{pretty}");
     std::fs::write("BENCH_serve.json", format!("{pretty}\n")).expect("write BENCH_serve.json");
     eprintln!("[serve_bench] wrote BENCH_serve.json");
+}
+
+/// Sustained-overload scenario: far more concurrent clients than decode
+/// lanes, pointed at a deliberately small service, so the queue never
+/// drains and every lane freed by a retirement is refilled mid-flight.
+/// This is where continuous batching earns its keep, and the section
+/// tracks it PR over PR: time-to-first-token under load (iteration-level
+/// admission keeps it near one decode round instead of one full batch),
+/// p99 end-to-end latency, mean lane occupancy, and how many requests
+/// joined a running batch.
+fn run_overload(args: &RunArgs, eva: &Eva) -> serde_json::Value {
+    const OVERLOAD_CLIENTS: usize = 16;
+    let requests = if args.quick { 96u64 } else { 288 };
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_lanes: 4,
+        batch_deadline_us: 0,
+        ..ServeConfig::default()
+    };
+    let lanes = config.workers * config.lane_capacity();
+    let service = Arc::new(
+        GenerationService::from_artifacts(&eva.artifacts(), config).unwrap_or_else(|e| {
+            eprintln!("error: failed to start overload service: {e}");
+            std::process::exit(1);
+        }),
+    );
+    eprintln!(
+        "[serve_bench] overload: {OVERLOAD_CLIENTS} clients vs {lanes} lanes, \
+         {requests} requests"
+    );
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let counter = Arc::clone(&counter);
+            let base_seed = args.seed ^ 0x0E11_0AD5;
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::new();
+                let (mut completed, mut errors, mut tokens) = (0u64, 0u64, 0u64);
+                loop {
+                    let i = counter.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        break;
+                    }
+                    let params = GenParams {
+                        seed: base_seed.wrapping_add(i),
+                        max_len: 96,
+                        ..GenParams::default()
+                    };
+                    let sent = Instant::now();
+                    let mut backoff = RetryPolicy::default().backoff(base_seed.wrapping_add(i));
+                    let completion = loop {
+                        match service.generate(params.clone()) {
+                            Ok(c) => break Some(c),
+                            Err(err) => {
+                                let hint = match err {
+                                    SubmitError::Overloaded { retry_after_ms } => {
+                                        Some(retry_after_ms)
+                                    }
+                                    _ => None,
+                                };
+                                match backoff.next_delay(hint) {
+                                    Some(delay) => std::thread::sleep(delay),
+                                    None => break None,
+                                }
+                            }
+                        }
+                    };
+                    let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    match completion {
+                        Some(Completion::Ok(g)) => {
+                            completed += 1;
+                            tokens += g.sampled as u64;
+                            latencies_us.push(us);
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (latencies_us, completed, errors, tokens)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::new();
+    let (mut completed, mut errors, mut tokens) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        if let Ok((lat, c, e, t)) = handle.join() {
+            latencies_us.extend(lat);
+            completed += c;
+            errors += e;
+            tokens += t;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    latencies_us.sort_unstable();
+    let snapshot = service.metrics();
+    service.shutdown();
+
+    serde_json::json!({
+        "clients": OVERLOAD_CLIENTS,
+        "lanes": lanes,
+        "requests": requests,
+        "completed": completed,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "requests_per_s": completed as f64 / elapsed,
+        "tokens_per_s": tokens as f64 / elapsed,
+        "ttft_p50_us": snapshot.ttft.p50_us,
+        "ttft_p99_us": snapshot.ttft.p99_us,
+        "p50_us": percentile(&latencies_us, 0.50),
+        "p99_us": percentile(&latencies_us, 0.99),
+        "mean_lane_occupancy": snapshot.mean_lane_occupancy,
+        "admitted_mid_flight": snapshot.admitted_mid_flight,
+        "prefix_hits": snapshot.prefix_hits,
+        "prefix_tokens_reused": snapshot.prefix_tokens_reused,
+    })
 }
 
 /// Nearest-rank percentile over sorted latencies.

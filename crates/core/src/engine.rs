@@ -4,7 +4,9 @@
 use std::path::Path;
 
 use eva_dataset::{expand, CircuitType, Corpus, CorpusOptions, DatasetEntry};
-use eva_model::{decode_batch, LaneRequest, ModelConfig, SamplingPolicy, Transformer};
+use eva_model::{
+    decode_batch, decode_batch_bounded, LaneRequest, ModelConfig, SamplingPolicy, Transformer,
+};
 use eva_nn::ckpt::{atomic_write, CkptError, TrainCheckpoint};
 use eva_rl::{
     build_finetune_data, pairs_from_ranks, DpoConfig, DpoStepStats, DpoTrainer, FinetuneData,
@@ -412,9 +414,11 @@ pub struct EvaGenerator<'a> {
 }
 
 impl EvaGenerator<'_> {
-    /// Lanes decoded per lockstep chunk in [`EvaGenerator::generate_batch`]
-    /// implementations — bounds the KV arena while keeping the GEMMs fat.
-    const CHUNK: usize = 16;
+    /// Concurrent KV slots in [`EvaGenerator::generate_batch`]'s
+    /// continuous-batching pool — bounds the arena while keeping the
+    /// GEMMs fat; queued lanes join mid-flight as earlier ones retire
+    /// instead of waiting out a whole chunk's stragglers.
+    const POOL_LANES: usize = 16;
 
     /// The shared decode-time grammar constraint (see
     /// [`eva_model::SamplingPolicy`]): the terminator is only admissible
@@ -449,9 +453,10 @@ impl EvaGenerator<'_> {
         }
     }
 
-    /// Sample `n` token sequences jointly through the lockstep batched
-    /// decoder, one seeded RNG per lane (so each sequence is reproducible
-    /// from its lane seed alone).
+    /// Sample `n` token sequences through a bounded continuous-batching
+    /// pool of [`EvaGenerator::POOL_LANES`] KV slots, one seeded RNG per
+    /// lane (so each sequence is reproducible from its lane seed alone,
+    /// whatever the admission interleaving).
     fn sample_tokens_batch(
         &self,
         n: usize,
@@ -467,7 +472,7 @@ impl EvaGenerator<'_> {
                 prompt: Vec::new(),
             })
             .collect();
-        decode_batch(self.policy, &policy, lanes)
+        decode_batch_bounded(self.policy, &policy, lanes, Self::POOL_LANES)
             .into_iter()
             .map(|out| match out.error {
                 Some(e) => Err(e),
@@ -497,16 +502,13 @@ impl eva_eval::TopologyGenerator for EvaGenerator<'_> {
         n: usize,
         rng: &mut ChaCha8Rng,
     ) -> Vec<Option<eva_circuit::Topology>> {
-        // Chunked lockstep decode: every chunk streams the policy weights
-        // once per step for all its lanes instead of once per lane.
-        let mut out = Vec::with_capacity(n);
-        while out.len() < n {
-            let lanes = Self::CHUNK.min(n - out.len());
-            for result in self.sample_tokens_batch(lanes, rng) {
-                out.push(result.ok().and_then(|tokens| self.decode_topology(&tokens)));
-            }
-        }
-        out
+        // One continuous-batching pass: every decode step streams the
+        // policy weights once for all occupied slots, and a retiring lane
+        // hands its slot to the next queued sequence mid-flight.
+        self.sample_tokens_batch(n, rng)
+            .into_iter()
+            .map(|result| result.ok().and_then(|tokens| self.decode_topology(&tokens)))
+            .collect()
     }
 
     fn labeled_samples(&self) -> usize {

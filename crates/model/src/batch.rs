@@ -1,31 +1,48 @@
-//! Lockstep batched decoding — the shared runtime behind the engine's
+//! Continuous batched decoding — the shared runtime behind the engine's
 //! evaluation sampling, PPO rollouts, and the serving worker loop.
 //!
 //! [`crate::Generator`] decodes one sequence at a time: every token of
 //! every sequence re-streams all model weights through matrix-*vector*
 //! products, so the loop is memory-bandwidth-bound and N sequences cost N
-//! full weight sweeps per step. [`BatchGenerator`] decodes N lanes in
-//! lockstep instead: one batched GEMM per projection per layer per step
+//! full weight sweeps per step. [`BatchGenerator`] decodes N lanes
+//! jointly instead: one batched GEMM per projection per layer per step
 //! (via [`eva_nn::matmul_kouter_into`], which streams each weight matrix
 //! exactly once per step regardless of lane count), a single preallocated
-//! KV-cache arena laid out `[layer][lane][pos][d_model]`, per-lane typed
-//! [`InferError`]s, and lane retirement — finished sequences simply stop
-//! being fed, so they cost nothing.
+//! KV-cache arena laid out `[layer][lane][pos][d_model]`, per-lane
+//! position tracking, per-lane typed [`InferError`]s, and O(1) lane
+//! reclamation ([`BatchGenerator::reset_lane`]) — a retired lane's KV
+//! slot is immediately reusable by a new sequence.
+//!
+//! [`ContinuousBatch`] turns that arena into an iteration-level
+//! scheduler (continuous batching, vLLM-style): the lanes form a slot
+//! pool, [`ContinuousBatch::admit`] joins a new request mid-flight at
+//! any decode step — the moment a neighbor retires and frees its slot —
+//! and [`ContinuousBatch::step`] advances every occupied lane by one
+//! token. A bounded copy-on-admit prefix cache reuses the KV rows (and
+//! final next-token logits) of previously decoded prompt prefixes: at
+//! minimum the universal `VSS` start token every EVA walk begins with,
+//! generally the longest cached common prefix of the lane's prompt.
 //!
 //! **Determinism guarantee:** every per-row computation (embedding lookup,
 //! layer norm, attention, GELU, and the per-element accumulation order of
 //! the GEMMs) is bit-identical to the sequential [`crate::Generator`]
-//! path. With per-lane RNGs, a lane's output is therefore token-for-token
-//! identical to decoding that sequence alone — independent of batch
-//! composition, lane order, or when neighbors retire. The equivalence
-//! property tests in `tests/batch_equivalence.rs` pin this down.
+//! path, and cached prefix KV rows are bit-identical to the rows the lane
+//! would have recomputed (causal attention at position `j` reads only
+//! positions `0..=j`, which the prefix pins). With per-lane RNGs (one
+//! draw per sampled token — prefix reuse skips feeds, never draws), a
+//! lane's output is therefore token-for-token identical to decoding that
+//! sequence alone — independent of batch composition, admission order,
+//! mid-flight joins, or prefix-cache state. The equivalence property
+//! tests in `tests/batch_equivalence.rs` and the adversarial admission
+//! proptests in `tests/continuous.rs` pin this down.
 //!
 //! [`SamplingPolicy`] is the single source of truth for EVA's decode-time
 //! grammar constraint (walks start at `VSS`, the terminator is only
 //! admissible right after a `VSS` token, padding is never sampled),
 //! previously re-implemented by the engine, the RL rollout loop, and the
-//! serve worker; [`decode_batch`] drives any mix of prompted/unprompted
-//! lanes with per-lane seed, temperature, top-k and length caps.
+//! serve worker; [`decode_batch`] / [`decode_batch_bounded`] drive any
+//! mix of prompted/unprompted lanes with per-lane seed, temperature,
+//! top-k and length caps.
 
 use eva_nn::{fault, matmul_kouter_into, par_rows_mut, pool, Tensor};
 use eva_tokenizer::TokenId;
@@ -484,6 +501,61 @@ impl<'m> BatchGenerator<'m> {
         }
         results
     }
+
+    /// Reclaim `lane` for a new sequence: O(1), no arena clearing needed.
+    ///
+    /// Attention only ever reads positions `0..t[lane]` and a feed fully
+    /// overwrites its position's K/V rows, so stale rows from the previous
+    /// occupant are never observed. This is what lets a retired lane's KV
+    /// slot be handed to a queued request within the same decode
+    /// iteration instead of sitting occupied until the whole batch drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn reset_lane(&mut self, lane: usize) {
+        assert!(
+            lane < self.lanes,
+            "lane {lane} out of range ({})",
+            self.lanes
+        );
+        self.t[lane] = 0;
+    }
+
+    /// Copy `lane`'s first `len` cached K/V rows out of the arena, one
+    /// `len × d_model` block per layer — the raw material of a prefix
+    /// cache entry.
+    pub(crate) fn read_prefix(&self, lane: usize, len: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        debug_assert!(len <= self.t[lane], "prefix longer than lane contents");
+        let d = self.model.config().d_model;
+        let base = lane * self.ctx * d;
+        let grab = |arena: &[Vec<f32>]| -> Vec<Vec<f32>> {
+            arena
+                .iter()
+                .map(|layer| layer[base..base + len * d].to_vec())
+                .collect()
+        };
+        (grab(&self.k_arena), grab(&self.v_arena))
+    }
+
+    /// Copy-on-admit: install `len` cached K/V rows as `lane`'s first
+    /// `len` positions and mark them consumed, so decoding resumes at
+    /// position `len` without recomputing the prefix. The rows must have
+    /// been produced by [`BatchGenerator::read_prefix`] on the same model;
+    /// bit-identical per-row compute makes them interchangeable with the
+    /// rows this lane would have computed itself.
+    pub(crate) fn write_prefix(&mut self, lane: usize, k: &[Vec<f32>], v: &[Vec<f32>], len: usize) {
+        assert!(len <= self.ctx, "prefix exceeds model context");
+        let d = self.model.config().d_model;
+        let base = lane * self.ctx * d;
+        for (dst, src) in self.k_arena.iter_mut().zip(k) {
+            dst[base..base + len * d].copy_from_slice(&src[..len * d]);
+        }
+        for (dst, src) in self.v_arena.iter_mut().zip(v) {
+            dst[base..base + len * d].copy_from_slice(&src[..len * d]);
+        }
+        self.t[lane] = len;
+    }
 }
 
 /// One lane of work for [`decode_batch`]: its RNG (seed it per lane for
@@ -539,111 +611,480 @@ impl LaneOutput {
     }
 }
 
-struct LaneState {
+/// One cached prompt prefix: its tokens, the per-layer K/V rows those
+/// tokens produced, and the unmasked next-token logits after the last
+/// prefix token (so a full-prefix match skips the entire prefill,
+/// including the final forward pass).
+struct PrefixEntry {
     tokens: Vec<TokenId>,
-    /// Tokens fed to the model so far (prefix of `tokens`).
-    fed: usize,
-    limit: usize,
-    sampled: usize,
-    error: Option<InferError>,
-    done: bool,
+    /// Per layer: `tokens.len() × d_model` key rows.
+    k: Vec<Vec<f32>>,
+    /// Per layer: value rows, same layout.
+    v: Vec<Vec<f32>>,
+    /// Unmasked logits after feeding the full prefix (masking depends on
+    /// the reusing lane's own last token, so it is applied at use time).
+    logits: Vec<f32>,
 }
 
-/// Decode every lane to completion in lockstep and return the outputs in
-/// lane order.
+/// Bounded copy-on-admit prefix cache.
 ///
-/// Each iteration feeds one pending token per unfinished lane through a
-/// single [`BatchGenerator::step`], then samples (or keeps prefilling the
-/// prompt) per lane. Lanes retire independently — on their terminator,
-/// their length cap, or a typed error — and stop costing compute the
-/// moment they do. Output is token-for-token identical to running each
-/// lane alone through [`crate::Generator`] with the same RNG.
+/// Entries are keyed by exact token sequence but *matched* by longest
+/// common prefix: a cached `[VSS, A, B]` serves the first two positions
+/// of a lane prompting `[VSS, A, C]`, because causal K/V rows at position
+/// `j` depend only on tokens `0..=j`. Cache state never changes output
+/// values — only which positions are copied instead of recomputed — so
+/// the determinism contract survives any hit/miss/eviction pattern.
+struct PrefixCache {
+    entries: Vec<PrefixEntry>,
+    capacity: usize,
+    hits: u64,
+    tokens_reused: u64,
+}
+
+impl PrefixCache {
+    fn new(capacity: usize) -> PrefixCache {
+        PrefixCache {
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            tokens_reused: 0,
+        }
+    }
+
+    /// Whether `key` is worth inserting (cache enabled, not already held).
+    fn wants(&self, key: &[TokenId]) -> bool {
+        self.capacity > 0 && !self.entries.iter().any(|e| e.tokens == key)
+    }
+
+    /// The entry sharing the longest common prefix with `seq`, as
+    /// `(entry index, matched length)`; ties keep the oldest entry.
+    fn longest_match(&self, seq: &[TokenId]) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let m = e.tokens.iter().zip(seq).take_while(|(a, b)| a == b).count();
+            if m > 0 && best.is_none_or(|(_, bm)| m > bm) {
+                best = Some((i, m));
+            }
+        }
+        best
+    }
+
+    fn insert(
+        &mut self,
+        tokens: Vec<TokenId>,
+        k: Vec<Vec<f32>>,
+        v: Vec<Vec<f32>>,
+        logits: Vec<f32>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0); // FIFO: oldest prefix goes first
+        }
+        self.entries.push(PrefixEntry {
+            tokens,
+            k,
+            v,
+            logits,
+        });
+    }
+}
+
+/// One occupied slot of a [`ContinuousBatch`]: the request's sampling
+/// state plus the bookkeeping that lets it join and leave mid-flight.
+struct Slot<R> {
+    tokens: Vec<TokenId>,
+    /// Tokens consumed by the model so far (feeds + injected prefix rows).
+    fed: usize,
+    /// Length of the prefill (start token + prompt) — the cache-insert
+    /// point: the iteration `fed` first reaches this, the prefix's K/V
+    /// rows and logits are complete and cacheable.
+    prefill: usize,
+    limit: usize,
+    sampled: usize,
+    temperature: f32,
+    top_k: Option<usize>,
+    rng: R,
+    /// Logits carried over from a full-prefix cache hit: the slot's first
+    /// step samples from these instead of feeding anything.
+    pending_logits: Option<Vec<f32>>,
+    /// Whether this slot has drawn its first sampled token (TTFT edge).
+    first_drawn: bool,
+    /// Set at admit when the request is already at its length cap and
+    /// needs no compute at all; the next [`ContinuousBatch::step`]
+    /// retires it.
+    complete: bool,
+    error: Option<InferError>,
+}
+
+/// What one [`ContinuousBatch::step`] did.
+#[derive(Debug, Default)]
+pub struct StepOutcome {
+    /// Slots that retired this iteration, with their finished outputs.
+    /// The slot index is free for re-admission the moment this returns.
+    pub completed: Vec<(usize, LaneOutput)>,
+    /// Slots that drew their *first* sampled token this iteration
+    /// (time-to-first-token instrumentation point).
+    pub first_tokens: Vec<usize>,
+    /// Slots occupied while this iteration ran (lane-occupancy numerator;
+    /// capacity is the denominator).
+    pub active: usize,
+}
+
+/// Iteration-level scheduler over a [`BatchGenerator`] slot pool.
+///
+/// Unlike the run-to-completion [`decode_batch`] loop of old, the pool
+/// never restarts: [`ContinuousBatch::admit`] installs a request into any
+/// free slot — including one freed by a retirement in the immediately
+/// preceding [`ContinuousBatch::step`] — and each `step` advances every
+/// occupied slot by one token. Callers alternate `admit` (until full or
+/// out of work) with `step`, collecting completions as they surface.
+///
+/// Admission consults the prefix cache: the longest cached common prefix
+/// of the lane's prefill is copied into its KV slot instead of being
+/// recomputed, and a full-prefill match skips straight to sampling via
+/// the entry's stored logits. Outputs remain bit-identical to solo decode
+/// regardless (see the module docs for the argument).
+pub struct ContinuousBatch<'m, R> {
+    gen: BatchGenerator<'m>,
+    policy: SamplingPolicy,
+    ctx: usize,
+    slots: Vec<Option<Slot<R>>>,
+    /// Free slot indices, LIFO.
+    free: Vec<usize>,
+    cache: PrefixCache,
+}
+
+impl<'m, R: Rng> ContinuousBatch<'m, R> {
+    /// A pool of `max_lanes` KV slots decoding under `policy`, with a
+    /// prefix cache holding up to `prefix_cache_entries` cached prompt
+    /// prefixes (`0` disables prefix reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lanes` is zero.
+    pub fn new(
+        model: &'m Transformer,
+        max_lanes: usize,
+        policy: SamplingPolicy,
+        prefix_cache_entries: usize,
+    ) -> ContinuousBatch<'m, R> {
+        let gen = BatchGenerator::new(model, max_lanes);
+        ContinuousBatch {
+            ctx: model.config().max_seq_len,
+            gen,
+            policy,
+            slots: (0..max_lanes).map(|_| None).collect(),
+            // Reverse so the first admissions take slots 0, 1, 2, …
+            free: (0..max_lanes).rev().collect(),
+            cache: PrefixCache::new(prefix_cache_entries),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently decoding.
+    pub fn occupied(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Slots available for [`ContinuousBatch::admit`] right now.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Prefix-cache hits across this pool's lifetime.
+    pub fn prefix_hits(&self) -> u64 {
+        self.cache.hits
+    }
+
+    /// Total KV positions served from the prefix cache instead of being
+    /// recomputed.
+    pub fn prefix_tokens_reused(&self) -> u64 {
+        self.cache.tokens_reused
+    }
+
+    /// Join `req` into the running batch mid-flight. Returns the slot
+    /// index it occupies, or gives the request back when the pool is
+    /// full. The slot starts decoding on the next [`ContinuousBatch::step`].
+    pub fn admit(&mut self, req: LaneRequest<R>) -> Result<usize, LaneRequest<R>> {
+        let Some(lane) = self.free.pop() else {
+            return Err(req);
+        };
+        let LaneRequest {
+            rng,
+            temperature,
+            top_k,
+            max_len,
+            prompt,
+        } = req;
+        let mut tokens = Vec::with_capacity(1 + prompt.len());
+        tokens.push(self.policy.start);
+        tokens.extend_from_slice(&prompt);
+        let prefill = tokens.len();
+        let limit = max_len.min(self.ctx);
+        self.gen.reset_lane(lane);
+
+        // Copy-on-admit prefix reuse. A full-prefill match against a
+        // same-length entry restores the stored logits too and skips the
+        // prefill entirely; a partial match (or a longer entry, which has
+        // no logits for our cut point) injects all but the last prefill
+        // position and feeds the rest normally. Either way the injected
+        // rows are bit-identical to what this lane would have computed.
+        let mut fed = 0usize;
+        let mut pending_logits = None;
+        if let Some((idx, matched)) = self.cache.longest_match(&tokens) {
+            let full = matched == prefill && matched == self.cache.entries[idx].tokens.len();
+            let inject = if full {
+                prefill
+            } else {
+                matched.min(prefill.saturating_sub(1))
+            };
+            if inject > 0 {
+                let entry = &self.cache.entries[idx];
+                self.gen.write_prefix(lane, &entry.k, &entry.v, inject);
+                if full {
+                    pending_logits = Some(entry.logits.clone());
+                }
+                fed = inject;
+                self.cache.hits += 1;
+                self.cache.tokens_reused += inject as u64;
+            }
+        }
+
+        // A request already at its cap needs no compute; mirror
+        // decode_batch semantics (no samples, no RNG draws) but only when
+        // the model never has to see the sequence — otherwise the prefill
+        // still runs so errors surface identically to solo decode.
+        let complete = pending_logits.is_some() && prefill >= limit;
+
+        self.slots[lane] = Some(Slot {
+            tokens,
+            fed,
+            prefill,
+            limit,
+            sampled: 0,
+            temperature,
+            top_k,
+            rng,
+            pending_logits: if complete { None } else { pending_logits },
+            first_drawn: false,
+            complete,
+            error: None,
+        });
+        Ok(lane)
+    }
+
+    /// Advance every occupied slot by one token: retire slots admitted at
+    /// their cap, sample slots holding cached prefix logits, and feed one
+    /// pending token per remaining slot through a single batched
+    /// [`BatchGenerator::step`]. Retired slots are back on the free list
+    /// when this returns — the same iteration, not the end of the batch.
+    pub fn step(&mut self) -> StepOutcome {
+        let mut outcome = StepOutcome {
+            active: self.occupied(),
+            ..StepOutcome::default()
+        };
+
+        // Slots finished at admission (full prefix hit at the length cap).
+        for lane in 0..self.slots.len() {
+            if self.slots[lane].as_ref().is_some_and(|s| s.complete) {
+                Self::retire(&mut self.slots, &mut self.free, lane, &mut outcome);
+            }
+        }
+
+        // Slots whose full prefill came out of the prefix cache sample
+        // from the stored logits — no feed, no recompute.
+        let pending: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, s)| {
+                s.as_ref()
+                    .and_then(|s| s.pending_logits.is_some().then_some(lane))
+            })
+            .collect();
+        for lane in pending {
+            let logits = self.slots[lane]
+                .as_mut()
+                .expect("pending lane occupied")
+                .pending_logits
+                .take()
+                .expect("pending logits present");
+            self.advance(lane, logits, false, &mut outcome);
+        }
+
+        // Everyone else feeds one token in lockstep.
+        let feed: Vec<(usize, TokenId)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, s)| s.as_ref().map(|s| (lane, s.tokens[s.fed])))
+            .collect();
+        if feed.is_empty() {
+            return outcome;
+        }
+        let results = self.gen.step(&feed);
+        for ((lane, _), result) in feed.into_iter().zip(results) {
+            match result {
+                Err(e) => {
+                    self.slots[lane].as_mut().expect("fed lane occupied").error = Some(e);
+                    Self::retire(&mut self.slots, &mut self.free, lane, &mut outcome);
+                }
+                Ok(logits) => self.advance(lane, logits, true, &mut outcome),
+            }
+        }
+        outcome
+    }
+
+    /// Post-forward bookkeeping for one slot: prefill accounting (and the
+    /// cache-insert point), then the sampling step — byte-for-byte the
+    /// decision sequence of the old run-to-completion loop, so outputs
+    /// stay pinned to solo decode.
+    fn advance(
+        &mut self,
+        lane: usize,
+        mut logits: Vec<f32>,
+        fed_now: bool,
+        outcome: &mut StepOutcome,
+    ) {
+        let policy = self.policy;
+        if fed_now {
+            let key = {
+                let s = self.slots[lane].as_mut().expect("advancing occupied lane");
+                s.fed += 1;
+                if s.fed < s.tokens.len() {
+                    return; // still prefilling the prompt
+                }
+                (s.fed == s.prefill).then(|| s.tokens[..s.prefill].to_vec())
+            };
+            // Prefill just completed through the model: its K/V rows and
+            // these (unmasked) logits are exactly a cache entry.
+            if let Some(key) = key {
+                if self.cache.wants(&key) {
+                    let (k, v) = self.gen.read_prefix(lane, key.len());
+                    self.cache.insert(key, k, v, logits.clone());
+                }
+            }
+        }
+
+        let retire_now = {
+            let s = self.slots[lane].as_mut().expect("advancing occupied lane");
+            if s.tokens.len() >= s.limit {
+                true
+            } else {
+                let last = *s.tokens.last().expect("lane starts non-empty");
+                policy.mask_logits(last, &mut logits);
+                let next =
+                    TokenId(sample_logits(&logits, s.temperature, s.top_k, &mut s.rng) as u32);
+                if !s.first_drawn {
+                    s.first_drawn = true;
+                    outcome.first_tokens.push(lane);
+                }
+                if next == policy.end {
+                    if policy.keep_end {
+                        s.tokens.push(next);
+                        s.sampled += 1;
+                    }
+                    true
+                } else {
+                    s.tokens.push(next);
+                    s.sampled += 1;
+                    s.tokens.len() >= s.limit
+                }
+            }
+        };
+        if retire_now {
+            Self::retire(&mut self.slots, &mut self.free, lane, outcome);
+        }
+    }
+
+    fn retire(
+        slots: &mut [Option<Slot<R>>],
+        free: &mut Vec<usize>,
+        lane: usize,
+        outcome: &mut StepOutcome,
+    ) {
+        let s = slots[lane].take().expect("retiring an occupied lane");
+        free.push(lane);
+        outcome.completed.push((
+            lane,
+            LaneOutput {
+                tokens: s.tokens,
+                sampled: s.sampled,
+                error: s.error,
+            },
+        ));
+    }
+}
+
+/// Prefix-cache entries [`decode_batch_bounded`] gives its internal pool:
+/// enough for the universal start-token prefix plus a handful of hot
+/// prompts, cheap enough to be free for unprompted lanes.
+const DECODE_PREFIX_ENTRIES: usize = 8;
+
+/// Decode every lane to completion and return the outputs in lane order.
+///
+/// Equivalent to [`decode_batch_bounded`] with the pool sized to the lane
+/// count: all lanes are admitted up front and decode jointly. Lanes
+/// retire independently — on their terminator, their length cap, or a
+/// typed error — and their slots stop costing compute the moment they do.
+/// Output is token-for-token identical to running each lane alone through
+/// [`crate::Generator`] with the same RNG.
 pub fn decode_batch<R: Rng>(
     model: &Transformer,
     policy: &SamplingPolicy,
     lanes: Vec<LaneRequest<R>>,
 ) -> Vec<LaneOutput> {
-    if lanes.is_empty() {
+    decode_batch_bounded(model, policy, lanes, 0)
+}
+
+/// Decode every lane to completion through a bounded continuous-batching
+/// pool of at most `max_lanes` concurrent KV slots (`0` means one slot
+/// per lane), returning outputs in request order.
+///
+/// With fewer slots than lanes, queued requests join mid-flight as
+/// earlier lanes retire — the KV arena stays small and fully utilized
+/// while every weight sweep is still amortized over every occupied slot.
+/// Per-request outputs are bit-identical to [`decode_batch`] and to solo
+/// decode, whatever the admission interleaving.
+pub fn decode_batch_bounded<R: Rng>(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    lanes: Vec<LaneRequest<R>>,
+    max_lanes: usize,
+) -> Vec<LaneOutput> {
+    let n = lanes.len();
+    if n == 0 {
         return Vec::new();
     }
-    let ctx = model.config().max_seq_len;
-    let mut gen = BatchGenerator::new(model, lanes.len());
-    let mut rngs: Vec<R> = Vec::with_capacity(lanes.len());
-    let mut states: Vec<LaneState> = Vec::with_capacity(lanes.len());
-    let mut temps: Vec<(f32, Option<usize>)> = Vec::with_capacity(lanes.len());
-    for req in lanes {
-        let mut tokens = Vec::with_capacity(1 + req.prompt.len());
-        tokens.push(policy.start);
-        tokens.extend_from_slice(&req.prompt);
-        states.push(LaneState {
-            tokens,
-            fed: 0,
-            limit: req.max_len.min(ctx),
-            sampled: 0,
-            error: None,
-            done: false,
-        });
-        temps.push((req.temperature, req.top_k));
-        rngs.push(req.rng);
-    }
-
-    let mut feed: Vec<(usize, TokenId)> = Vec::with_capacity(states.len());
-    loop {
-        feed.clear();
-        for (lane, s) in states.iter().enumerate() {
-            if !s.done {
-                feed.push((lane, s.tokens[s.fed]));
-            }
-        }
-        if feed.is_empty() {
-            break;
-        }
-        let results = gen.step(&feed);
-        for (&(lane, _), result) in feed.iter().zip(results) {
-            let s = &mut states[lane];
-            let mut logits = match result {
-                Ok(logits) => logits,
-                Err(e) => {
-                    s.error = Some(e);
-                    s.done = true;
-                    continue;
-                }
+    let cap = if max_lanes == 0 { n } else { max_lanes.min(n) };
+    let mut pool: ContinuousBatch<'_, R> =
+        ContinuousBatch::new(model, cap, *policy, DECODE_PREFIX_ENTRIES);
+    let mut queue: std::collections::VecDeque<(usize, LaneRequest<R>)> =
+        lanes.into_iter().enumerate().collect();
+    let mut origin = vec![usize::MAX; cap];
+    let mut out: Vec<Option<LaneOutput>> = (0..n).map(|_| None).collect();
+    while pool.occupied() > 0 || !queue.is_empty() {
+        while pool.free_slots() > 0 {
+            let Some((i, req)) = queue.pop_front() else {
+                break;
             };
-            s.fed += 1;
-            if s.fed < s.tokens.len() {
-                continue; // still prefilling the prompt
-            }
-            if s.tokens.len() >= s.limit {
-                s.done = true;
-                continue;
-            }
-            let last = *s.tokens.last().expect("lane starts non-empty");
-            policy.mask_logits(last, &mut logits);
-            let (temperature, top_k) = temps[lane];
-            let next = TokenId(sample_logits(&logits, temperature, top_k, &mut rngs[lane]) as u32);
-            if next == policy.end {
-                if policy.keep_end {
-                    s.tokens.push(next);
-                    s.sampled += 1;
-                }
-                s.done = true;
-                continue;
-            }
-            s.tokens.push(next);
-            s.sampled += 1;
-            if s.tokens.len() >= s.limit {
-                s.done = true;
+            match pool.admit(req) {
+                Ok(slot) => origin[slot] = i,
+                Err(_) => unreachable!("free slot was checked"),
             }
         }
+        for (slot, output) in pool.step().completed {
+            out[origin[slot]] = Some(output);
+        }
     }
-
-    states
-        .into_iter()
-        .map(|s| LaneOutput {
-            tokens: s.tokens,
-            sampled: s.sampled,
-            error: s.error,
-        })
+    out.into_iter()
+        .map(|o| o.expect("every admitted lane completes"))
         .collect()
 }
 
@@ -769,6 +1210,206 @@ mod tests {
         assert_eq!(SamplingPolicy::clamp_len(0, 128), 128);
         assert_eq!(SamplingPolicy::clamp_len(64, 128), 64);
         assert_eq!(SamplingPolicy::clamp_len(999, 128), 128);
+    }
+
+    #[test]
+    fn reset_lane_reuses_slot_bit_identically() {
+        let model = tiny_model();
+        let mut gen = BatchGenerator::new(&model, 2);
+        // Occupy lane 0 with one stream, then reclaim it for another
+        // while lane 1 keeps decoding; the reused slot must produce the
+        // same bits as a fresh generator fed the second stream alone.
+        for &tok in &[2u32, 5, 3] {
+            let r = gen.step(&[(0, TokenId(tok)), (1, TokenId(4))]);
+            assert!(r.iter().all(Result::is_ok));
+        }
+        gen.reset_lane(0);
+        assert_eq!(gen.len(0), 0);
+        assert_eq!(gen.len(1), 3, "neighbor untouched by reclamation");
+
+        let mut fresh = BatchGenerator::new(&model, 1);
+        for &tok in &[7u32, 1, 9, 6] {
+            let reused = gen.step(&[(0, TokenId(tok)), (1, TokenId(4))]);
+            let solo = fresh.step(&[(0, TokenId(tok))]);
+            let a = reused[0].as_ref().expect("reused lane ok");
+            let b = solo[0].as_ref().expect("fresh lane ok");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "stale arena rows leaked");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_rows_round_trip_through_the_arena() {
+        let model = tiny_model();
+        let mut gen = BatchGenerator::new(&model, 2);
+        let stream = [2u32, 5, 3, 8];
+        for &tok in &stream {
+            assert!(gen.step(&[(0, TokenId(tok))])[0].is_ok());
+        }
+        // Copy lane 0's first three positions into lane 1; feeding the
+        // fourth token must match lane 0's fourth-step logits bit for bit.
+        let (k, v) = gen.read_prefix(0, 3);
+        gen.write_prefix(1, &k, &v, 3);
+        assert_eq!(gen.len(1), 3);
+        let mut replay = BatchGenerator::new(&model, 1);
+        for &tok in &stream {
+            let _ = replay.step(&[(0, TokenId(tok))]);
+        }
+        let via_prefix = gen.step(&[(1, TokenId(8))]);
+        // Note: lane 0 already consumed token 8, so compare against the
+        // dedicated replay generator.
+        let a = via_prefix[0].as_ref().expect("prefix lane ok");
+        let mut solo = BatchGenerator::new(&model, 1);
+        for &tok in &stream[..3] {
+            let _ = solo.step(&[(0, TokenId(tok))]);
+        }
+        let b_res = solo.step(&[(0, TokenId(8))]);
+        let b = b_res[0].as_ref().expect("solo lane ok");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "injected prefix drifted");
+        }
+    }
+
+    #[test]
+    fn retired_slot_is_reused_within_one_iteration() {
+        // Regression for the documented retired-lane waste: a two-slot
+        // pool serving three requests must hand the short request's slot
+        // to the queued one the same iteration it retires, while the long
+        // lane keeps decoding mid-flight.
+        let model = tiny_model();
+        let policy = SamplingPolicy {
+            start: TokenId(2),
+            end: TokenId(1),
+            pad: Some(TokenId(0)),
+            end_only_after_start: true,
+            keep_end: false,
+        };
+        let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new(&model, 2, policy, 0);
+        let req = |seed: u64, max_len: usize| LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            temperature: 1.0,
+            top_k: Some(5),
+            max_len,
+            prompt: Vec::new(),
+        };
+        let short = pool.admit(req(1, 3)).ok().expect("slot for short");
+        // A ten-token prompt keeps the long lane prefilling (it cannot
+        // retire) while the short lane runs out — no sampling luck
+        // involved in who frees first.
+        let long_req = LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(2),
+            temperature: 1.0,
+            top_k: Some(5),
+            max_len: 20,
+            prompt: (3u32..13).map(TokenId).collect(),
+        };
+        let long = pool.admit(long_req).ok().expect("slot for long");
+        assert_eq!(pool.free_slots(), 0);
+        assert!(pool.admit(req(3, 3)).is_err(), "pool full gives it back");
+
+        let mut freed_at = None;
+        for _ in 0..8 {
+            let outcome = pool.step();
+            if outcome.completed.iter().any(|(slot, _)| *slot == short) {
+                freed_at = Some(pool.free_slots());
+                break;
+            }
+        }
+        assert_eq!(
+            freed_at,
+            Some(1),
+            "short lane's slot back on the free list in its retiring iteration"
+        );
+        let reused = pool.admit(req(3, 3)).ok().expect("freed slot admits");
+        assert_eq!(reused, short, "the retired slot itself is handed out");
+        assert!(
+            pool.slots[long].is_some(),
+            "long lane still decoding mid-flight"
+        );
+        // Drain: everything completes, nothing deadlocks.
+        let mut left = 2;
+        while left > 0 {
+            left -= pool.step().completed.len();
+        }
+        assert_eq!(pool.occupied(), 0);
+    }
+
+    #[test]
+    fn full_prefix_hit_skips_prefill_and_matches_solo() {
+        let model = tiny_model();
+        let policy = SamplingPolicy {
+            start: TokenId(2),
+            end: TokenId(1),
+            pad: Some(TokenId(0)),
+            end_only_after_start: true,
+            keep_end: false,
+        };
+        let prompt = vec![TokenId(5), TokenId(7), TokenId(3)];
+        let req = |seed: u64| LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            temperature: 0.9,
+            top_k: Some(6),
+            max_len: 12,
+            prompt: prompt.clone(),
+        };
+        let solo = |seed: u64| {
+            decode_batch(&model, &policy, vec![req(seed)])
+                .pop()
+                .expect("one lane")
+        };
+
+        let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new(&model, 1, policy, 4);
+        let mut run = |seed: u64, pool: &mut ContinuousBatch<'_, ChaCha8Rng>| {
+            pool.admit(req(seed)).ok().expect("slot free");
+            loop {
+                let outcome = pool.step();
+                if let Some((_, out)) = outcome.completed.into_iter().next() {
+                    return out;
+                }
+            }
+        };
+        let first = run(11, &mut pool);
+        assert_eq!(pool.prefix_hits(), 0, "cold cache");
+        let second = run(12, &mut pool);
+        assert_eq!(pool.prefix_hits(), 1, "warm cache hit");
+        assert_eq!(
+            pool.prefix_tokens_reused(),
+            (1 + prompt.len()) as u64,
+            "full prefill served from cache"
+        );
+        assert_eq!(first, solo(11), "cold pass matches solo decode");
+        assert_eq!(second, solo(12), "cache-served pass matches solo decode");
+    }
+
+    #[test]
+    fn bounded_pool_matches_unbounded_decode() {
+        let model = tiny_model();
+        let policy = SamplingPolicy {
+            start: TokenId(2),
+            end: TokenId(1),
+            pad: Some(TokenId(0)),
+            end_only_after_start: true,
+            keep_end: false,
+        };
+        let make = || -> Vec<LaneRequest<ChaCha8Rng>> {
+            (0..5)
+                .map(|i| LaneRequest {
+                    rng: ChaCha8Rng::seed_from_u64(40 + i),
+                    temperature: 1.0,
+                    top_k: Some(5),
+                    max_len: 6 + i as usize * 3,
+                    prompt: if i % 2 == 0 {
+                        vec![TokenId(5)]
+                    } else {
+                        Vec::new()
+                    },
+                })
+                .collect()
+        };
+        let wide = decode_batch(&model, &policy, make());
+        let narrow = decode_batch_bounded(&model, &policy, make(), 2);
+        assert_eq!(wide, narrow, "slot starvation must not change outputs");
     }
 
     #[test]

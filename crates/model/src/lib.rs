@@ -34,7 +34,10 @@ pub mod config;
 pub mod infer;
 pub mod transformer;
 
-pub use batch::{decode_batch, BatchGenerator, LaneOutput, LaneRequest, SamplingPolicy};
+pub use batch::{
+    decode_batch, decode_batch_bounded, BatchGenerator, ContinuousBatch, LaneOutput, LaneRequest,
+    SamplingPolicy, StepOutcome,
+};
 pub use config::ModelConfig;
 pub use infer::{generate, sample_logits, Generator, InferError};
 pub use transformer::{Bound, Transformer};

@@ -1,0 +1,277 @@
+//! The continuous-batching determinism contract: a request admitted into
+//! a [`eva_model::ContinuousBatch`] slot pool produces **token-for-token**
+//! the same output as decoding it alone through the sequential
+//! [`eva_model::Generator`] — independent of admission order, mid-flight
+//! joins into a half-finished batch, slot reuse after retirements, pool
+//! capacity, and prefix-cache state.
+//!
+//! The serving worker relies on this: a request's output depends only on
+//! its own seed and parameters, never on which requests happened to share
+//! the pool or when the scheduler admitted it.
+
+use std::collections::VecDeque;
+
+use eva_model::{
+    sample_logits, ContinuousBatch, Generator, LaneOutput, LaneRequest, ModelConfig,
+    SamplingPolicy, Transformer,
+};
+use eva_tokenizer::TokenId;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(seed: u64) -> Transformer {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Transformer::new(ModelConfig::tiny(13, 24), &mut rng)
+}
+
+/// The constrained policy the engine and the serve worker use: tokenizer
+/// layout PAD=0, END=1, VSS=2 (see `eva_tokenizer`).
+fn constrained() -> SamplingPolicy {
+    SamplingPolicy::constrained(TokenId(2), TokenId(1), TokenId(0))
+}
+
+/// One request plus its adversarial admission delay: the request only
+/// becomes available to the scheduler at decode iteration `delay`.
+#[derive(Debug, Clone)]
+struct Arrival {
+    seed: u64,
+    max_len: usize,
+    prompt: Vec<TokenId>,
+    delay: usize,
+}
+
+fn lane(a: &Arrival) -> LaneRequest<ChaCha8Rng> {
+    LaneRequest {
+        rng: ChaCha8Rng::seed_from_u64(a.seed),
+        temperature: 0.9,
+        top_k: Some(8),
+        max_len: a.max_len,
+        prompt: a.prompt.clone(),
+    }
+}
+
+/// Reference implementation: one lane decoded alone with the sequential
+/// `Generator`, applying the exact state machine the batch layer
+/// documents (prefill `[start] + prompt`, mask, sample, retire on
+/// end/cap/error).
+fn decode_one_sequential<R: Rng>(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    mut lane: LaneRequest<R>,
+) -> LaneOutput {
+    let ctx = model.config().max_seq_len;
+    let limit = lane.max_len.min(ctx);
+    let mut gen = Generator::new(model);
+    let mut tokens = vec![policy.start];
+    tokens.append(&mut lane.prompt);
+    let mut fed = 0usize;
+    let mut sampled = 0usize;
+    loop {
+        let mut logits = match gen.step(tokens[fed]) {
+            Ok(logits) => logits,
+            Err(e) => {
+                return LaneOutput {
+                    tokens,
+                    sampled,
+                    error: Some(e),
+                }
+            }
+        };
+        fed += 1;
+        if fed < tokens.len() {
+            continue;
+        }
+        if tokens.len() >= limit {
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+        policy.mask_logits(*tokens.last().unwrap(), &mut logits);
+        let next =
+            TokenId(sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) as u32);
+        if next == policy.end {
+            if policy.keep_end {
+                tokens.push(next);
+                sampled += 1;
+            }
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+        tokens.push(next);
+        sampled += 1;
+        if tokens.len() >= limit {
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+    }
+}
+
+/// Drive a pool through an adversarial schedule: arrivals are admitted in
+/// order, each no earlier than its `delay` iteration and only when a slot
+/// is free — so requests routinely join a batch that is already
+/// mid-decode, and retired slots are reused while neighbors keep going.
+/// Returns each arrival's output, in arrival order.
+fn run_adversarial(
+    model: &Transformer,
+    policy: SamplingPolicy,
+    arrivals: &[Arrival],
+    capacity: usize,
+    prefix_cache_entries: usize,
+) -> Vec<LaneOutput> {
+    let mut pool: ContinuousBatch<'_, ChaCha8Rng> =
+        ContinuousBatch::new(model, capacity, policy, prefix_cache_entries);
+    let mut queue: VecDeque<(usize, &Arrival)> = arrivals.iter().enumerate().collect();
+    let mut origin = vec![usize::MAX; capacity];
+    let mut out: Vec<Option<LaneOutput>> = vec![None; arrivals.len()];
+    let mut iter = 0usize;
+    while out.iter().any(Option::is_none) {
+        while let Some(&(index, arrival)) = queue.front() {
+            if iter < arrival.delay || pool.free_slots() == 0 {
+                break;
+            }
+            let slot = pool.admit(lane(arrival)).expect("a slot was free");
+            origin[slot] = index;
+            queue.pop_front();
+        }
+        if pool.occupied() == 0 {
+            // Nothing decoding and the next arrival is in the future:
+            // fast-forward the clock instead of stepping an empty pool.
+            let next = queue.front().expect("undone work remains").1.delay;
+            iter = next.max(iter + 1);
+            continue;
+        }
+        let outcome = pool.step();
+        iter += 1;
+        for (slot, output) in outcome.completed {
+            out[origin[slot]] = Some(output);
+        }
+    }
+    out.into_iter().map(|o| o.expect("all completed")).collect()
+}
+
+fn assert_matches_solo(model: &Transformer, policy: &SamplingPolicy, arrivals: &[Arrival]) {
+    for (capacity, cache) in [(1, 0), (2, 4), (3, 0), (4, 8)] {
+        let outputs = run_adversarial(model, *policy, arrivals, capacity, cache);
+        for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
+            let alone = decode_one_sequential(model, policy, lane(arrival));
+            assert_eq!(
+                out, &alone,
+                "arrival {i} (seed {}) diverged under capacity {capacity} \
+                 prefix-cache {cache}",
+                arrival.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_flight_joins_match_solo_decode() {
+    let model = tiny_model(7);
+    let policy = constrained();
+    // Staggered arrivals into a 2-slot pool: every admission after the
+    // first two joins a batch that is already decoding.
+    let arrivals: Vec<Arrival> = (0..6)
+        .map(|i| Arrival {
+            seed: 100 + i as u64,
+            max_len: [24, 3, 11, 24, 5, 17][i],
+            prompt: if i % 2 == 0 {
+                vec![TokenId(5), TokenId(7)]
+            } else {
+                Vec::new()
+            },
+            delay: i * 2,
+        })
+        .collect();
+    assert_matches_solo(&model, &policy, &arrivals);
+}
+
+#[test]
+fn prefix_cache_hits_do_not_change_outputs() {
+    let model = tiny_model(11);
+    let policy = constrained();
+    // Same shared prompt over and over: after the first admission every
+    // later one is a full-prefill cache hit that skips prefill entirely.
+    let arrivals: Vec<Arrival> = (0..5)
+        .map(|i| Arrival {
+            seed: 40 + i,
+            max_len: 20,
+            prompt: vec![TokenId(5), TokenId(9)],
+            delay: 0,
+        })
+        .collect();
+    let cached = run_adversarial(&model, policy, &arrivals, 2, 8);
+    let uncached = run_adversarial(&model, policy, &arrivals, 2, 0);
+    assert_eq!(cached, uncached, "cache state must never leak into outputs");
+    for (arrival, out) in arrivals.iter().zip(&cached) {
+        assert_eq!(out, &decode_one_sequential(&model, &policy, lane(arrival)));
+    }
+}
+
+#[test]
+fn pool_reports_prefix_reuse() {
+    let model = tiny_model(13);
+    let mut pool: ContinuousBatch<'_, ChaCha8Rng> =
+        ContinuousBatch::new(&model, 1, constrained(), 4);
+    let arrival = Arrival {
+        seed: 3,
+        max_len: 8,
+        prompt: Vec::new(),
+        delay: 0,
+    };
+    for expected_hits in [0u64, 1, 2] {
+        assert_eq!(pool.prefix_hits(), expected_hits);
+        pool.admit(lane(&arrival)).expect("slot free");
+        while pool.occupied() > 0 {
+            pool.step();
+        }
+    }
+    // Every hit reused the 1-token universal `VSS` start prefix.
+    assert_eq!(pool.prefix_tokens_reused(), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary admission orders, delays, prompts, pool capacities, and
+    /// cache sizes never change any request's output.
+    #[test]
+    fn adversarial_admission_reproduces_solo_decodes(
+        specs in prop::collection::vec(
+            (0u64..1000, 2usize..28, prop::collection::vec(3u32..13, 0usize..4), 0usize..6),
+            1..8,
+        ),
+        capacity in 1usize..5,
+        prefix_cache_entries in 0usize..5,
+        constrained_policy in any::<bool>(),
+    ) {
+        let model = tiny_model(31);
+        let policy = if constrained_policy {
+            constrained()
+        } else {
+            SamplingPolicy::unconstrained(TokenId(2), TokenId(1))
+        };
+        let arrivals: Vec<Arrival> = specs
+            .into_iter()
+            .map(|(seed, max_len, prompt, delay)| Arrival {
+                seed,
+                max_len,
+                prompt: prompt.into_iter().map(TokenId).collect(),
+                delay,
+            })
+            .collect();
+        let outputs = run_adversarial(&model, policy, &arrivals, capacity, prefix_cache_entries);
+        for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
+            let alone = decode_one_sequential(&model, &policy, lane(arrival));
+            prop_assert_eq!(out, &alone, "arrival {} diverged", i);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 
 use std::path::Path;
 
-use eva_model::{decode_batch, InferError, LaneRequest, SamplingPolicy, Transformer};
+use eva_model::{decode_batch_bounded, InferError, LaneRequest, SamplingPolicy, Transformer};
 use eva_nn::ckpt::{
     moments_as_paramsets, restore_moments, CkptError, RngState, TrainCheckpoint,
     TRAIN_MANIFEST_FILE,
@@ -168,9 +168,16 @@ impl<'a> PpoTrainer<'a> {
         &self.config
     }
 
-    /// Sample `n` trajectories from the current policy in one lockstep
-    /// batched decode (unconstrained — the policy must learn the grammar —
-    /// with the terminal `END` kept so the reward model can score it).
+    /// KV slots for rollout decoding: bounds the arena while keeping the
+    /// batched GEMMs fat; queued trajectories join mid-flight as earlier
+    /// lanes terminate (per-lane seeds keep every trajectory independent
+    /// of the admission interleaving).
+    const ROLLOUT_LANES: usize = 16;
+
+    /// Sample `n` trajectories from the current policy through a bounded
+    /// continuous-batching pool (unconstrained — the policy must learn
+    /// the grammar — with the terminal `END` kept so the reward model can
+    /// score it).
     ///
     /// # Errors
     ///
@@ -191,7 +198,7 @@ impl<'a> PpoTrainer<'a> {
                 prompt: Vec::new(),
             })
             .collect();
-        decode_batch(&self.policy, &sampling, lanes)
+        decode_batch_bounded(&self.policy, &sampling, lanes, Self::ROLLOUT_LANES)
             .into_iter()
             .map(|lane| match lane.error {
                 Some(e) => Err(e),

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p eva-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
-//!     [--batch N] [--deadline-us N] [--validate] [--seed N] [--demo-steps N] \
+//!     [--batch N] [--deadline-us N] [--max-lanes N] [--prefix-cache-entries N] \
+//!     [--validate] [--seed N] [--demo-steps N] \
 //!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N] \
 //!     [--shed-watermark-pct N] [--restart-backoff-ms N] \
 //!     [--max-discover-jobs N] [--discover-candidates N] \
@@ -37,6 +38,8 @@ fn main() {
             "--queue" => parse_into(&mut config.queue_capacity, args.next()),
             "--batch" => parse_into(&mut config.max_batch, args.next()),
             "--deadline-us" => parse_into(&mut config.batch_deadline_us, args.next()),
+            "--max-lanes" => parse_into(&mut config.max_lanes, args.next()),
+            "--prefix-cache-entries" => parse_into(&mut config.prefix_cache_entries, args.next()),
             "--validate" => config.default_validate = true,
             "--read-timeout-ms" => parse_into(&mut config.read_timeout_ms, args.next()),
             "--write-timeout-ms" => parse_into(&mut config.write_timeout_ms, args.next()),
@@ -100,10 +103,13 @@ fn main() {
     // All workers share the one process-wide kernel pool (EVA_NN_THREADS),
     // so worker count never multiplies kernel threads.
     eprintln!(
-        "[serve] workers {} queue {} batch {} deadline {}us kernel-threads {}",
+        "[serve] workers {} queue {} batch {} lanes {} prefix-cache {} deadline {}us \
+         kernel-threads {}",
         config.workers,
         config.queue_capacity,
         config.max_batch,
+        config.lane_capacity(),
+        config.prefix_cache_entries,
         config.batch_deadline_us,
         eva_nn::pool::global().threads()
     );

@@ -12,12 +12,28 @@ pub struct ServeConfig {
     /// Bound of the request queue; a full queue rejects instead of blocking.
     pub queue_capacity: usize,
     /// Micro-batch flush threshold: a worker drains up to this many queued
-    /// requests per wakeup before decoding them back to back.
+    /// requests per wakeup before decoding them back to back. Also the
+    /// default lane-pool size when [`ServeConfig::max_lanes`] is `0`.
     pub max_batch: usize,
     /// Micro-batch flush deadline in microseconds: after the first request
     /// of a batch arrives, the worker waits at most this long for the batch
-    /// to fill before decoding.
+    /// to fill before decoding. With continuous batching this only bounds
+    /// the *initial* gather of a scheduling episode — later arrivals join
+    /// the running batch between decode iterations without waiting.
     pub batch_deadline_us: u64,
+    /// Concurrent KV lanes per worker (the continuous-batching slot
+    /// pool): a queued request is admitted the moment any lane frees,
+    /// mid-flight, and each decode iteration streams the weights once
+    /// for every occupied lane. `0` (the default) sizes the pool to
+    /// `max_batch`.
+    #[serde(default)]
+    pub max_lanes: usize,
+    /// Cached prompt prefixes per worker: a newly admitted lane whose
+    /// prefill matches a cached prefix (at minimum the universal `VSS`
+    /// start token) copies those KV rows instead of recomputing them.
+    /// Outputs are bit-identical either way; `0` disables the cache.
+    #[serde(default = "default_prefix_cache_entries")]
+    pub prefix_cache_entries: usize,
     /// Sampling temperature applied when a request does not specify one.
     pub default_temperature: f32,
     /// Top-k cutoff applied when a request does not specify one.
@@ -99,6 +115,10 @@ pub struct ServeConfig {
     pub job_dir: Option<std::path::PathBuf>,
 }
 
+fn default_prefix_cache_entries() -> usize {
+    16
+}
+
 fn default_read_timeout_ms() -> u64 {
     30_000
 }
@@ -154,6 +174,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch: 8,
             batch_deadline_us: 2_000,
+            max_lanes: 0,
+            prefix_cache_entries: default_prefix_cache_entries(),
             default_temperature: 0.85,
             default_top_k: Some(25),
             default_max_len: 0,
@@ -181,6 +203,16 @@ impl ServeConfig {
     /// The batch deadline as a [`Duration`].
     pub fn batch_deadline(&self) -> Duration {
         Duration::from_micros(self.batch_deadline_us)
+    }
+
+    /// Concurrent KV lanes per worker: `max_lanes`, falling back to
+    /// `max_batch` when unset, clamped to at least 1.
+    pub fn lane_capacity(&self) -> usize {
+        if self.max_lanes == 0 {
+            self.max_batch.max(1)
+        } else {
+            self.max_lanes
+        }
     }
 
     /// The socket read timeout, or `None` when disabled (`0`).
@@ -227,6 +259,24 @@ mod tests {
             c.batch_deadline(),
             Duration::from_micros(c.batch_deadline_us)
         );
+        assert_eq!(c.lane_capacity(), c.max_batch, "max_lanes 0 falls back");
+        assert!(c.prefix_cache_entries > 0, "prefix reuse on by default");
+    }
+
+    #[test]
+    fn lane_capacity_resolves_overrides() {
+        let c = ServeConfig {
+            max_batch: 8,
+            max_lanes: 3,
+            ..ServeConfig::default()
+        };
+        assert_eq!(c.lane_capacity(), 3);
+        let c = ServeConfig {
+            max_batch: 0,
+            max_lanes: 0,
+            ..c
+        };
+        assert_eq!(c.lane_capacity(), 1, "never a zero-lane pool");
     }
 
     #[test]
@@ -271,6 +321,9 @@ mod tests {
             "default_validate": false, "base_seed": 7
         }"#;
         let c: ServeConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.max_lanes, 0, "legacy configs pool at max_batch");
+        assert_eq!(c.lane_capacity(), c.max_batch);
+        assert_eq!(c.prefix_cache_entries, default_prefix_cache_entries());
         assert_eq!(c.read_timeout_ms, default_read_timeout_ms());
         assert_eq!(c.write_timeout_ms, default_write_timeout_ms());
         assert_eq!(c.request_deadline_ms, 0);

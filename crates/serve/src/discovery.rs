@@ -2,7 +2,9 @@
 //!
 //! A `discover` request runs the paper's targeted-discovery loop as a
 //! single server-side job: sample `n_candidates` topologies through the
-//! shared micro-batch decode path, keep the ones that decode to valid,
+//! shared continuous-batching decode path (a bounded in-flight window
+//! keeps queue room free, so interactive requests interleave with
+//! candidate decodes lane-by-lane), keep the ones that decode to valid,
 //! canonically-unique circuits, then GA-size every survivor (one
 //! [`eva_eval::GaRun`] per candidate, SPICE fitness fanned out on the
 //! process-wide kernel pool) and stream progress back as it happens.
@@ -762,18 +764,34 @@ fn run_job(
     })
 }
 
-/// Submit every candidate decode into the shared worker queue (respecting
-/// its capacity: a full queue is waited out, not bypassed), then collect
-/// completions in candidate order. Individual decode failures mark that
-/// candidate failed and the job continues; cancellation and service
-/// shutdown are terminal.
+/// How many candidate decodes a job keeps in flight at once: enough to
+/// saturate every worker's lane pool, but never more than half the queue,
+/// so interactive requests always find queue room and workers interleave
+/// them with the job's candidates lane-by-lane.
+fn submission_window(config: &ServeConfig) -> usize {
+    (config.workers.max(1) * config.lane_capacity())
+        .min((config.queue_capacity / 2).max(1))
+        .max(1)
+}
+
+/// Stream candidate decodes through the shared worker queue with a
+/// bounded in-flight window ([`submission_window`]): submit up to the
+/// window, then collect the oldest completion before submitting the next.
+/// Workers admit each candidate into their continuous-batch lane pool
+/// exactly like an interactive request, so the two traffic classes
+/// interleave instead of the job monopolizing a worker. Individual decode
+/// failures mark that candidate failed and the job continues; cancellation
+/// and service shutdown are terminal.
 fn generate_candidates(
     inner: &Arc<ServiceInner>,
     tx: &Sender<Job>,
     params: &DiscoverParams,
     ctl: &JobCtl,
 ) -> Result<Vec<Candidate>, JobEvent> {
-    let mut replies = Vec::with_capacity(params.n_candidates);
+    type Pending = (usize, u64, std::sync::mpsc::Receiver<Completion>);
+    let window = submission_window(&inner.config);
+    let mut pending: std::collections::VecDeque<Pending> = std::collections::VecDeque::new();
+    let mut candidates = Vec::with_capacity(params.n_candidates);
     for index in 0..params.n_candidates {
         let seed = candidate_seed(params.seed, index);
         let (reply, rx) = std::sync::mpsc::channel();
@@ -812,41 +830,54 @@ fn generate_candidates(
                 }
             }
         }
-        replies.push((index, seed, rx));
+        pending.push_back((index, seed, rx));
+        while pending.len() >= window {
+            let oldest = pending.pop_front().expect("pending is non-empty");
+            candidates.push(collect_candidate(inner, ctl, oldest)?);
+        }
     }
-    let mut candidates = Vec::with_capacity(params.n_candidates);
-    for (index, seed, rx) in replies {
-        let completion = loop {
-            if ctl.is_cancelled() {
-                return Err(JobEvent::Cancelled { generations_run: 0 });
-            }
-            match rx.recv_timeout(Duration::from_millis(25)) {
-                Ok(completion) => break Some(completion),
-                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break None,
-            }
-        };
-        let tokens = match completion {
-            Some(Completion::Ok(generation)) => Some(generation.tokens),
-            // Typed per-candidate failures (decode error, pool death)
-            // cost that candidate, not the job.
-            _ => None,
-        };
-        let text = tokens
-            .as_deref()
-            .map(|t| inner.tokenizer.decode(t))
-            .unwrap_or_default();
-        candidates.push(Candidate {
-            index,
-            seed,
-            tokens,
-            text,
-            valid: false,
-            dup_of: None,
-            ga: None,
-        });
+    while let Some(oldest) = pending.pop_front() {
+        candidates.push(collect_candidate(inner, ctl, oldest)?);
     }
     Ok(candidates)
+}
+
+/// Await one submitted candidate's completion, polling so cancellation
+/// stays responsive.
+fn collect_candidate(
+    inner: &Arc<ServiceInner>,
+    ctl: &JobCtl,
+    (index, seed, rx): (usize, u64, std::sync::mpsc::Receiver<Completion>),
+) -> Result<Candidate, JobEvent> {
+    let completion = loop {
+        if ctl.is_cancelled() {
+            return Err(JobEvent::Cancelled { generations_run: 0 });
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(completion) => break Some(completion),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break None,
+        }
+    };
+    let tokens = match completion {
+        Some(Completion::Ok(generation)) => Some(generation.tokens),
+        // Typed per-candidate failures (decode error, pool death)
+        // cost that candidate, not the job.
+        _ => None,
+    };
+    let text = tokens
+        .as_deref()
+        .map(|t| inner.tokenizer.decode(t))
+        .unwrap_or_default();
+    Ok(Candidate {
+        index,
+        seed,
+        tokens,
+        text,
+        valid: false,
+        dup_of: None,
+        ga: None,
+    })
 }
 
 /// Decode each candidate's walk to a topology, run the structural + DC
@@ -1218,6 +1249,31 @@ mod tests {
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn submission_window_saturates_lanes_but_spares_the_queue() {
+        let roomy = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        };
+        assert_eq!(submission_window(&roomy), 8, "workers × lanes");
+        let tight = ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        };
+        assert_eq!(submission_window(&tight), 2, "half the queue");
+        let degenerate = ServeConfig {
+            workers: 0,
+            max_batch: 0,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        };
+        assert_eq!(submission_window(&degenerate), 1, "never zero");
     }
 
     #[test]

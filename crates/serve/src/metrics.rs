@@ -173,10 +173,25 @@ pub struct Metrics {
     pub active_connections: AtomicU64,
     /// Tokens sampled across all completed requests.
     pub tokens_generated: AtomicU64,
-    /// Micro-batches flushed by workers.
+    /// Scheduling episodes: times a worker went from idle to decoding.
     pub batches: AtomicU64,
-    /// Requests carried inside those batches.
+    /// Requests pulled from the queue into a decode pool.
     pub batched_requests: AtomicU64,
+    /// Requests admitted into a pool that was already mid-decode (the
+    /// continuous-batching path: the lane joined a running batch instead
+    /// of waiting for it to drain).
+    pub admitted_mid_flight: AtomicU64,
+    /// Decode iterations stepped across all workers (one count per
+    /// `ContinuousBatch::step` with at least one occupied lane).
+    pub decode_iterations: AtomicU64,
+    /// Lane-iterations: occupied lanes summed over every decode
+    /// iteration. `lane_iterations / decode_iterations` is the mean lane
+    /// occupancy the scheduler sustained.
+    pub lane_iterations: AtomicU64,
+    /// Admissions that reused rows from the shared-prefix KV cache.
+    pub prefix_hits: AtomicU64,
+    /// KV positions injected from the prefix cache instead of recomputed.
+    pub prefix_tokens_reused: AtomicU64,
     /// Discovery jobs admitted.
     pub discover_accepted: AtomicU64,
     /// Discovery jobs refused (at the concurrent-job bound).
@@ -202,7 +217,9 @@ pub struct Metrics {
     pub ga_generations: AtomicU64,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Histogram,
-    /// Time spent in autoregressive decoding.
+    /// Time from enqueue to the request's first sampled token.
+    pub ttft: Histogram,
+    /// Per-request decode residency: lane admission to retirement.
     pub decode: Histogram,
     /// Time spent in the optional validity oracle.
     pub validate: Histogram,
@@ -233,6 +250,8 @@ impl Metrics {
         let errored = self.errored.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
+        let decode_iterations = self.decode_iterations.load(Ordering::Relaxed);
+        let lane_iterations = self.lane_iterations.load(Ordering::Relaxed);
         MetricsSnapshot {
             accepted,
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -254,6 +273,15 @@ impl Metrics {
             } else {
                 batched as f64 / batches as f64
             },
+            admitted_mid_flight: self.admitted_mid_flight.load(Ordering::Relaxed),
+            decode_iterations,
+            mean_lane_occupancy: if decode_iterations == 0 {
+                0.0
+            } else {
+                lane_iterations as f64 / decode_iterations as f64
+            },
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            prefix_tokens_reused: self.prefix_tokens_reused.load(Ordering::Relaxed),
             discover_accepted: self.discover_accepted.load(Ordering::Relaxed),
             discover_rejected: self.discover_rejected.load(Ordering::Relaxed),
             discover_completed: self.discover_completed.load(Ordering::Relaxed),
@@ -266,6 +294,7 @@ impl Metrics {
             spice_evals: self.spice_evals.load(Ordering::Relaxed),
             ga_generations: self.ga_generations.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
+            ttft: self.ttft.snapshot(),
             decode: self.decode.snapshot(),
             validate: self.validate.snapshot(),
             total: self.total.snapshot(),
@@ -318,10 +347,27 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Tokens sampled across all completed requests.
     pub tokens_generated: u64,
-    /// Micro-batches flushed by workers.
+    /// Scheduling episodes (idle-to-decoding transitions).
     pub batches: u64,
-    /// Mean requests per flushed micro-batch.
+    /// Mean requests pulled per scheduling episode.
     pub mean_batch_size: f64,
+    /// Requests that joined an already-running decode batch (absent in
+    /// snapshots from servers predating continuous batching — as are the
+    /// other scheduler fields below).
+    #[serde(default)]
+    pub admitted_mid_flight: u64,
+    /// Decode iterations stepped across all workers.
+    #[serde(default)]
+    pub decode_iterations: u64,
+    /// Mean occupied lanes per decode iteration.
+    #[serde(default)]
+    pub mean_lane_occupancy: f64,
+    /// Admissions served partly from the shared-prefix KV cache.
+    #[serde(default)]
+    pub prefix_hits: u64,
+    /// KV positions injected from the prefix cache.
+    #[serde(default)]
+    pub prefix_tokens_reused: u64,
     /// Discovery jobs admitted (absent in snapshots from servers
     /// predating the discovery subsystem — as are the other discovery
     /// fields below).
@@ -359,7 +405,10 @@ pub struct MetricsSnapshot {
     pub ga_generations: u64,
     /// Queue-wait latency.
     pub queue_wait: HistogramSnapshot,
-    /// Decode latency.
+    /// Time-to-first-token latency (enqueue to first sampled token).
+    #[serde(default = "HistogramSnapshot::empty")]
+    pub ttft: HistogramSnapshot,
+    /// Decode-residency latency (lane admission to retirement).
     pub decode: HistogramSnapshot,
     /// Validity-check latency.
     pub validate: HistogramSnapshot,
@@ -504,6 +553,12 @@ mod tests {
         m.tokens_generated.fetch_add(77, Ordering::Relaxed);
         m.batches.fetch_add(2, Ordering::Relaxed);
         m.batched_requests.fetch_add(4, Ordering::Relaxed);
+        m.admitted_mid_flight.fetch_add(3, Ordering::Relaxed);
+        m.decode_iterations.fetch_add(10, Ordering::Relaxed);
+        m.lane_iterations.fetch_add(25, Ordering::Relaxed);
+        m.prefix_hits.fetch_add(2, Ordering::Relaxed);
+        m.prefix_tokens_reused.fetch_add(14, Ordering::Relaxed);
+        m.ttft.record_us(500);
         m.shed.fetch_add(3, Ordering::Relaxed);
         m.internal_errors.fetch_add(1, Ordering::Relaxed);
         m.worker_restarts.fetch_add(2, Ordering::Relaxed);
@@ -531,6 +586,12 @@ mod tests {
         assert_eq!(s.in_flight, 1);
         assert_eq!(s.queue_depth, 1);
         assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.admitted_mid_flight, 3);
+        assert_eq!(s.decode_iterations, 10);
+        assert_eq!(s.mean_lane_occupancy, 2.5);
+        assert_eq!(s.prefix_hits, 2);
+        assert_eq!(s.prefix_tokens_reused, 14);
+        assert_eq!(s.ttft.count, 1);
         assert_eq!(s.discover_accepted, 2);
         assert_eq!(s.discover_completed, 1);
         assert_eq!(s.discover_cancelled, 1);
@@ -568,6 +629,12 @@ mod tests {
         assert_eq!(s.active_jobs, 0);
         assert_eq!(s.stage_generate, HistogramSnapshot::empty());
         assert_eq!(s.job_total, HistogramSnapshot::empty());
+        // Continuous-batching fields default for pre-scheduler snapshots.
+        assert_eq!(s.admitted_mid_flight, 0);
+        assert_eq!(s.decode_iterations, 0);
+        assert_eq!(s.mean_lane_occupancy, 0.0);
+        assert_eq!(s.prefix_hits, 0);
+        assert_eq!(s.ttft, HistogramSnapshot::empty());
     }
 
     #[test]

@@ -9,19 +9,28 @@
 //!    `Retry-After`-style drain estimate (a lost `try_send` race is
 //!    [`SubmitError::QueueFull`]) — overload backpressure is a typed
 //!    value, never a blocked caller.
-//! 2. A worker wakes on the first queued job, then drains up to
-//!    `max_batch - 1` more until the batch deadline passes (micro-batching:
-//!    one wakeup amortizes queue traffic across a burst).
-//! 3. The whole micro-batch decodes **jointly** through the lockstep
-//!    batched runtime ([`eva_model::decode_batch`]): one KV-cache arena,
-//!    one weight sweep per step for every lane, so batching amortizes
-//!    compute rather than just queue wakeups. Each request keeps its own
-//!    seeded RNG, temperature, top-k and length cap, and the shared
+//! 2. An idle worker wakes on the first queued job, gathers a seed batch
+//!    until the batch deadline passes, then becomes a persistent
+//!    **iteration-level scheduler**: between every decode iteration it
+//!    pulls more queued jobs into any free lane of its
+//!    [`eva_model::ContinuousBatch`] slot pool — a request admitted
+//!    mid-flight joins the running batch the same iteration a neighbor
+//!    retires, instead of waiting for the whole batch to drain
+//!    (`admitted_mid_flight` counts these; `ttft` records how fast each
+//!    request reached its first sampled token).
+//! 3. Every decode iteration streams the weights **once** for all
+//!    occupied lanes (one KV-cache arena, one weight sweep per step), and
+//!    a per-worker copy-on-admit prefix cache reuses the KV rows of
+//!    previously decoded prompt prefixes — at minimum the universal `VSS`
+//!    start token — so matching lanes skip recomputing those positions
+//!    (`prefix_hits` / `prefix_tokens_reused`). Each request keeps its
+//!    own seeded RNG, temperature, top-k and length cap, and the shared
 //!    [`eva_model::SamplingPolicy`] grammar constraint the evaluation
 //!    harness uses — so a request's output is bit-identical however the
-//!    batch around it is composed. Inference errors come back as typed
-//!    per-lane [`Completion::Error`] values — a malformed request cannot
-//!    kill a worker or its batchmates.
+//!    batch around it is composed, whenever it was admitted, and whatever
+//!    the cache held. Inference errors come back as typed per-lane
+//!    [`Completion::Error`] values — a malformed request cannot kill a
+//!    worker or its batchmates.
 //! 4. The reply travels over a per-request channel;
 //!    [`PendingGeneration::wait`] never hangs — if a worker dies, the
 //!    dropped channel surfaces as an error completion, and a request
@@ -56,7 +65,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eva_core::{fault, EvaArtifacts};
-use eva_model::{decode_batch, LaneRequest, SamplingPolicy, Transformer};
+use eva_model::{ContinuousBatch, LaneOutput, LaneRequest, SamplingPolicy, Transformer};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -199,9 +208,9 @@ pub struct Generation {
     pub valid: Option<bool>,
     /// Time queued before decoding (µs).
     pub queue_us: u64,
-    /// Decode time (µs) — the wall time of the joint lockstep decode of
-    /// the micro-batch this request shared (batchmates decode together,
-    /// so their decode time is common).
+    /// Decode time (µs) — this request's residency in the continuous
+    /// batch, from lane admission to retirement (lanes admitted together
+    /// can still retire at different times).
     pub decode_us: u64,
     /// Validity-check time (µs, 0 when not requested).
     pub validate_us: u64,
@@ -775,27 +784,58 @@ fn restart_backoff(config: &ServeConfig, consecutive: u32) -> Duration {
     Duration::from_millis(ms)
 }
 
-/// One worker: wake on a job, drain a micro-batch, decode it back to back.
-/// Every job is wrapped in a [`JobSlot`] panic guard the moment it leaves
-/// the queue, so no panic past this point can orphan a waiter.
+/// A request occupying one lane of a worker's continuous batch: its panic
+/// guard plus the timestamps its completion metrics need.
+struct InFlight {
+    /// The job behind its [`JobSlot`] guard — a worker panic mid-decode
+    /// unwinds through every occupied lane and answers every waiter.
+    slot: JobSlot,
+    queue_wait: Duration,
+    admitted_at: Instant,
+}
+
+/// One worker: a persistent iteration-level scheduler over a
+/// [`ContinuousBatch`] slot pool. Idle, it blocks on the queue; busy, it
+/// pulls new jobs into free lanes *between decode iterations*, so a
+/// queued request joins the running batch the moment a neighbor retires
+/// instead of waiting for the whole batch to drain. Every job is wrapped
+/// in a [`JobSlot`] panic guard the moment it leaves the queue, so no
+/// panic past this point can orphan a waiter.
 fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
-    let max_batch = inner.config.max_batch.max(1);
+    let max_lanes = inner.config.lane_capacity();
+    let grammar =
+        SamplingPolicy::constrained(inner.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
+    // The pool (KV arena + prefix cache) persists across scheduling
+    // episodes: prefixes cached while serving one burst keep paying off
+    // for the worker's whole lifetime.
+    let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new(
+        &inner.model,
+        max_lanes,
+        grammar,
+        inner.config.prefix_cache_entries,
+    );
+    let mut inflight: Vec<Option<InFlight>> = (0..max_lanes).map(|_| None).collect();
+    let (mut hits_seen, mut reused_seen) = (0u64, 0u64);
     loop {
-        // Block for the first job; a closed, drained queue ends the worker.
+        // Idle: block for the first job; a closed, drained queue ends the
+        // worker.
         let first = match rx.recv() {
             Ok(job) => job,
             Err(_) => return,
         };
-        let mut batch = Vec::with_capacity(max_batch);
-        batch.push(JobSlot::new(first, Arc::clone(&inner.metrics)));
+        // Gather a seed batch for this scheduling episode (one wakeup
+        // amortizes queue traffic across a burst); later arrivals join
+        // mid-flight below, so the deadline only bounds the initial wait.
+        let mut seed = Vec::with_capacity(max_lanes);
+        seed.push(JobSlot::new(first, Arc::clone(&inner.metrics)));
         let deadline = Instant::now() + inner.config.batch_deadline();
-        while batch.len() < max_batch {
+        while seed.len() < max_lanes {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(job) => batch.push(JobSlot::new(job, Arc::clone(&inner.metrics))),
+                Ok(job) => seed.push(JobSlot::new(job, Arc::clone(&inner.metrics))),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -803,97 +843,188 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
         inner
             .metrics
             .batched_requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(seed.len() as u64, Ordering::Relaxed);
         // Chaos seam: a `worker_panic` plan kills the worker here, with
-        // the whole micro-batch in flight behind its guards.
+        // the whole seed batch in flight behind its guards.
         fault::panic_if_due(fault::FaultPoint::WorkerPanic);
-        run_batch(inner, batch);
+        for slot in seed {
+            admit_job(inner, &mut pool, &mut inflight, slot);
+        }
+        sync_prefix_stats(inner, &pool, &mut hits_seen, &mut reused_seen);
+
+        // The scheduling episode: decode one iteration, answer whoever
+        // retired, refill the freed lanes from the queue, repeat until
+        // pool and queue are both dry.
+        while pool.occupied() > 0 {
+            let outcome = pool.step();
+            inner
+                .metrics
+                .decode_iterations
+                .fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .lane_iterations
+                .fetch_add(outcome.active as u64, Ordering::Relaxed);
+            for lane in outcome.first_tokens {
+                if let Some(f) = inflight[lane].as_ref() {
+                    inner.metrics.ttft.record(f.slot.job().enqueued.elapsed());
+                }
+            }
+            for (lane, out) in outcome.completed {
+                if let Some(f) = inflight[lane].take() {
+                    finalize(inner, f, out);
+                }
+            }
+            // Iteration-level admission: a slot freed by a retirement this
+            // very iteration goes straight back to work while the
+            // remaining lanes keep decoding mid-flight.
+            while pool.free_slots() > 0 {
+                match rx.try_recv() {
+                    Ok(job) => {
+                        if pool.occupied() > 0 {
+                            inner
+                                .metrics
+                                .admitted_mid_flight
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        inner
+                            .metrics
+                            .batched_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        admit_job(
+                            inner,
+                            &mut pool,
+                            &mut inflight,
+                            JobSlot::new(job, Arc::clone(&inner.metrics)),
+                        );
+                    }
+                    Err(_) => break,
+                }
+            }
+            sync_prefix_stats(inner, &pool, &mut hits_seen, &mut reused_seen);
+        }
     }
 }
 
-/// Decode one micro-batch jointly through the lockstep batched runtime and
-/// answer every job. Requests with invalid parameters are answered
-/// immediately and excluded from the decode; the rest share one
-/// [`decode_batch`] call (one KV arena, one weight sweep per step), each
-/// with its own seeded RNG so its output is independent of batchmates.
-fn run_batch(inner: &ServiceInner, batch: Vec<JobSlot>) {
-    let mut lanes: Vec<LaneRequest<ChaCha8Rng>> = Vec::with_capacity(batch.len());
-    let mut admitted: Vec<(JobSlot, std::time::Duration)> = Vec::with_capacity(batch.len());
-    for slot in batch {
-        let queue_wait = slot.job().enqueued.elapsed();
-        inner.metrics.queue_wait.record(queue_wait);
-        if slot.job().deadline.is_some_and(|d| Instant::now() >= d) {
-            // The deadline expired while the job sat in the queue: no one
-            // is waiting for this decode, so don't spend a lane on it.
-            reply_timeout(inner, slot.take());
-            continue;
-        }
-        match prepare_lane(inner, &slot.job().params) {
-            Ok(lane) => {
-                lanes.push(lane);
-                admitted.push((slot, queue_wait));
-            }
-            Err(message) => {
-                let job = slot.take();
-                reply_error(inner, job, message);
-            }
-        }
-    }
-    if lanes.is_empty() {
+/// Pull-side admission: answer queue-expired or invalid jobs immediately
+/// (spending no lane on them), otherwise install the request into a free
+/// slot of this worker's pool — mid-flight or not, the same path either
+/// way (discovery candidates and interactive requests interleave here).
+fn admit_job(
+    inner: &ServiceInner,
+    pool: &mut ContinuousBatch<'_, ChaCha8Rng>,
+    inflight: &mut [Option<InFlight>],
+    slot: JobSlot,
+) {
+    let queue_wait = slot.job().enqueued.elapsed();
+    inner.metrics.queue_wait.record(queue_wait);
+    if slot.job().deadline.is_some_and(|d| Instant::now() >= d) {
+        // The deadline expired while the job sat in the queue: no one is
+        // waiting for this decode, so don't spend a lane on it.
+        reply_timeout(inner, slot.take());
         return;
     }
-
-    let grammar =
-        SamplingPolicy::constrained(inner.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
-    let decode_start = Instant::now();
-    // The admitted slots still hold their jobs across this call: a panic
-    // inside the decode unwinds through them and answers every waiter.
-    let outputs = decode_batch(&inner.model, &grammar, lanes);
-    let decode_elapsed = decode_start.elapsed();
-
-    for ((slot, queue_wait), out) in admitted.into_iter().zip(outputs) {
-        let job = slot.take();
-        inner.metrics.decode.record(decode_elapsed);
-        if let Some(e) = out.error {
-            reply_error(inner, job, e.to_string());
-            continue;
+    match prepare_lane(inner, &slot.job().params) {
+        Ok(lane) => match pool.admit(lane) {
+            Ok(idx) => {
+                inflight[idx] = Some(InFlight {
+                    slot,
+                    queue_wait,
+                    admitted_at: Instant::now(),
+                });
+            }
+            Err(_) => {
+                // Callers only pull jobs with a free slot in hand, so this
+                // is unreachable; answer rather than orphan if it ever
+                // regresses.
+                debug_assert!(false, "admission past pool capacity");
+                reply_error(inner, slot.take(), "no free decode lane".to_owned());
+            }
+        },
+        Err(message) => {
+            let job = slot.take();
+            reply_error(inner, job, message);
         }
-        let (tokens, sampled) = (out.tokens, out.sampled);
+    }
+}
+
+/// Flush the pool's monotonically-growing prefix-cache counters into the
+/// shared registry as deltas (each worker owns a pool; the registry sums
+/// them).
+fn sync_prefix_stats(
+    inner: &ServiceInner,
+    pool: &ContinuousBatch<'_, ChaCha8Rng>,
+    hits_seen: &mut u64,
+    reused_seen: &mut u64,
+) {
+    let hits = pool.prefix_hits();
+    if hits > *hits_seen {
         inner
             .metrics
-            .tokens_generated
-            .fetch_add(sampled as u64, Ordering::Relaxed);
-        let validate_start = Instant::now();
-        let valid = if job.params.validate {
-            Some(check_validity(&inner.tokenizer, &tokens))
-        } else {
-            None
-        };
-        let validate_elapsed = validate_start.elapsed();
-        if job.params.validate {
-            inner.metrics.validate.record(validate_elapsed);
-        }
-        let total = job.enqueued.elapsed();
-        inner.metrics.total.record(total);
-        inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
-        let completion = Completion::Ok(Generation {
-            id: job.id,
-            token_text: inner.tokenizer.decode(&tokens),
-            tokens,
-            sampled,
-            valid,
-            queue_us: micros(queue_wait),
-            decode_us: micros(decode_elapsed),
-            validate_us: if job.params.validate {
-                micros(validate_elapsed)
-            } else {
-                0
-            },
-            total_us: micros(total),
-        });
-        // A vanished client is not a worker problem.
-        let _ = job.reply.send(completion);
+            .prefix_hits
+            .fetch_add(hits - *hits_seen, Ordering::Relaxed);
+        *hits_seen = hits;
     }
+    let reused = pool.prefix_tokens_reused();
+    if reused > *reused_seen {
+        inner
+            .metrics
+            .prefix_tokens_reused
+            .fetch_add(reused - *reused_seen, Ordering::Relaxed);
+        *reused_seen = reused;
+    }
+}
+
+/// Answer one retired lane: record its decode residency, run the validity
+/// oracle if asked, account the completion, and reply to the waiter.
+fn finalize(inner: &ServiceInner, flight: InFlight, out: LaneOutput) {
+    let InFlight {
+        slot,
+        queue_wait,
+        admitted_at,
+    } = flight;
+    let job = slot.take();
+    let decode_elapsed = admitted_at.elapsed();
+    inner.metrics.decode.record(decode_elapsed);
+    if let Some(e) = out.error {
+        reply_error(inner, job, e.to_string());
+        return;
+    }
+    let (tokens, sampled) = (out.tokens, out.sampled);
+    inner
+        .metrics
+        .tokens_generated
+        .fetch_add(sampled as u64, Ordering::Relaxed);
+    let validate_start = Instant::now();
+    let valid = if job.params.validate {
+        Some(check_validity(&inner.tokenizer, &tokens))
+    } else {
+        None
+    };
+    let validate_elapsed = validate_start.elapsed();
+    if job.params.validate {
+        inner.metrics.validate.record(validate_elapsed);
+    }
+    let total = job.enqueued.elapsed();
+    inner.metrics.total.record(total);
+    inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    let completion = Completion::Ok(Generation {
+        id: job.id,
+        token_text: inner.tokenizer.decode(&tokens),
+        tokens,
+        sampled,
+        valid,
+        queue_us: micros(queue_wait),
+        decode_us: micros(decode_elapsed),
+        validate_us: if job.params.validate {
+            micros(validate_elapsed)
+        } else {
+            0
+        },
+        total_us: micros(total),
+    });
+    // A vanished client is not a worker problem.
+    let _ = job.reply.send(completion);
 }
 
 /// Answer a job whose wall-clock deadline expired before decoding

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use eva_core::{Eva, EvaOptions, PretrainConfig};
 use eva_serve::fault::{self, Fault, FaultPoint};
-use eva_serve::{Completion, GenParams, GenerationService, ServeConfig};
+use eva_serve::{Completion, DiscoverRequest, GenParams, GenerationService, JobEvent, ServeConfig};
 use eva_tokenizer::TokenId;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -275,6 +275,140 @@ fn inactive_and_never_firing_plans_leave_outputs_bit_identical() {
     assert_eq!(plan.fires(FaultPoint::WorkerPanic), 0);
     fault::clear();
     assert_eq!(baseline, with_plan, "no-op plan must be bit-identical");
+}
+
+/// Continuous batching under injected decode latency: a discovery job's
+/// candidate decodes and interactive requests share one worker's lane
+/// pool lane-by-lane. The interactive traffic completes while the job is
+/// still running (it joins the running batch mid-flight instead of
+/// queueing behind the whole job), outputs stay bit-identical to solo
+/// decode, and accounting closes exactly once on both traffic classes.
+#[test]
+fn discovery_and_interactive_interleave_under_decode_slow() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(36);
+    // Stretch every decode iteration so the job's generate stage spans
+    // real wall time on the single worker.
+    fault::install(Fault::parse("decode_slow:every=1:ms=5").expect("plan parses"));
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_lanes: 4,
+            batch_deadline_us: 0,
+            restart_backoff_ms: 0,
+            max_discover_jobs: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let job = service
+        .discover(&DiscoverRequest {
+            id: 1,
+            seed: Some(7777),
+            n_candidates: Some(12),
+            generations: Some(2),
+            population: Some(6),
+            max_len: Some(32),
+            ..DiscoverRequest::default()
+        })
+        .expect("job admitted");
+    assert!(
+        matches!(
+            job.next_event_timeout(Duration::from_secs(30)),
+            Some(JobEvent::Accepted { .. })
+        ),
+        "job streams its acceptance first"
+    );
+
+    // Fire interactive traffic while the job's candidates occupy lanes.
+    const INTERACTIVE: u64 = 3;
+    let pending: Vec<_> = (0..INTERACTIVE)
+        .map(|i| {
+            service
+                .submit(
+                    i,
+                    GenParams {
+                        seed: 400 + i,
+                        max_len: 8,
+                        ..GenParams::default()
+                    },
+                )
+                .expect("queue has room")
+        })
+        .collect();
+    let mut interactive = Vec::new();
+    for (i, p) in pending.into_iter().enumerate() {
+        match p.wait() {
+            Completion::Ok(generation) => interactive.push(generation),
+            other => panic!("interactive request {i} failed: {other:?}"),
+        }
+        if i == 0 {
+            assert!(
+                !job.is_finished(),
+                "interactive traffic must not wait out the whole discovery job"
+            );
+        }
+    }
+
+    // Drain the job to its terminal event (bounded: never a hang).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let event = job
+            .next_event_timeout(deadline.saturating_duration_since(Instant::now()))
+            .expect("job reaches a terminal event in bounded time");
+        if event.is_terminal() {
+            assert!(
+                matches!(event, JobEvent::Done(_)),
+                "job completes under latency injection: {event:?}"
+            );
+            break;
+        }
+    }
+    fault::clear();
+
+    // Interleaving proof: interactive requests joined the running batch.
+    let snapshot = service.metrics();
+    assert!(
+        snapshot.admitted_mid_flight >= 1,
+        "interactive traffic must join the job's batch mid-flight: {}",
+        snapshot.admitted_mid_flight
+    );
+    // Exactly-once accounting across both traffic classes: every accepted
+    // request (interactive + candidate decodes) settled in exactly one
+    // terminal counter, and the job in exactly one of its own.
+    assert_eq!(snapshot.completed + snapshot.errored, snapshot.accepted);
+    assert_eq!(snapshot.errored, 0, "nothing failed under latency alone");
+    assert_eq!(
+        snapshot.discover_completed + snapshot.discover_cancelled + snapshot.discover_failed,
+        snapshot.discover_accepted
+    );
+    assert_eq!(snapshot.active_jobs, 0, "job slot released");
+
+    // Sharing lanes with the job never leaked into interactive outputs:
+    // the same seeds decoded on the now-idle pool are bit-identical.
+    for generation in &interactive {
+        match service
+            .generate(GenParams {
+                seed: 400 + generation.id,
+                max_len: 8,
+                ..GenParams::default()
+            })
+            .expect("queue has room")
+        {
+            Completion::Ok(alone) => assert_eq!(
+                alone.tokens,
+                generation.tokens,
+                "seed {} diverged after interleaving with the job",
+                400 + generation.id
+            ),
+            other => panic!("solo decode failed: {other:?}"),
+        }
+    }
+    service.shutdown();
 }
 
 /// Injected decode latency + a request deadline: the waiter gets a typed

@@ -190,6 +190,88 @@ fn micro_batch_decodes_jointly_and_matches_solo_decodes() {
 }
 
 #[test]
+fn mid_flight_admission_matches_solo_decode() {
+    let eva = tiny_pretrained(30);
+    // One worker, two lanes, zero batch deadline: the worker starts
+    // decoding the first request alone, and the rest of the burst can only
+    // get in by joining the already-running batch as lanes retire.
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_lanes: 2,
+            batch_deadline_us: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    const N: u64 = 6;
+    let max_lens = [40usize, 12, 28, 16, 36, 20];
+    let pending: Vec<_> = (0..N)
+        .map(|i| {
+            service
+                .submit(
+                    i,
+                    GenParams {
+                        seed: 700 + i,
+                        max_len: max_lens[i as usize],
+                        ..GenParams::default()
+                    },
+                )
+                .expect("queue has room")
+        })
+        .collect();
+    let streamed: Vec<_> = pending
+        .into_iter()
+        .map(|p| match p.wait() {
+            Completion::Ok(generation) => generation,
+            other => panic!("request failed: {other:?}"),
+        })
+        .collect();
+
+    let snapshot = service.metrics();
+    assert!(
+        snapshot.admitted_mid_flight >= 1,
+        "a 6-burst through a 2-lane pool must join mid-flight, got {}",
+        snapshot.admitted_mid_flight
+    );
+    assert!(snapshot.decode_iterations > 0);
+    assert!(
+        snapshot.mean_lane_occupancy > 0.0 && snapshot.mean_lane_occupancy <= 2.0,
+        "occupancy {} out of range for 2 lanes",
+        snapshot.mean_lane_occupancy
+    );
+    assert_eq!(
+        snapshot.ttft.count, N,
+        "every request records a time-to-first-token"
+    );
+
+    // Admission order must not leak into any request's output: the same
+    // seed decoded alone (an empty pool) yields identical tokens.
+    for generation in &streamed {
+        let solo = service
+            .generate(GenParams {
+                seed: 700 + generation.id,
+                max_len: max_lens[generation.id as usize],
+                ..GenParams::default()
+            })
+            .expect("queue has room");
+        match solo {
+            Completion::Ok(alone) => assert_eq!(
+                alone.tokens,
+                generation.tokens,
+                "seed {} diverged between mid-flight and solo decode",
+                700 + generation.id
+            ),
+            other => panic!("solo decode failed: {other:?}"),
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
 fn overload_rejects_instead_of_hanging() {
     let eva = tiny_pretrained(22);
     let service = GenerationService::from_artifacts(
