@@ -9,18 +9,25 @@
 //!
 //! Both paths decode the *same* sequences (per-lane seeded RNGs, bit-exact
 //! per-lane math — asserted every repetition), so the ratio isolates the
-//! runtime, not sampling luck. The JSON artifact at the repo root tracks
-//! the speedup PR over PR.
+//! runtime, not sampling luck. With `--quantize int8` a third measurement
+//! decodes the same request set through the int8 weight-quantized path
+//! (its own token stream — quantized decode is deterministic but not
+//! bit-identical to f32). The JSON artifact at the repo root records
+//! `simd` and `quantized` alongside the speedups so numbers stay
+//! comparable PR over PR.
 //!
 //! ```text
-//! cargo run -p eva-bench --release --bin decode_bench [-- --quick --seed N --samples REPS]
+//! cargo run -p eva-bench --release --bin decode_bench \
+//!     [-- --quick --seed N --samples REPS --quantize int8]
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use eva_bench::RunArgs;
 use eva_model::{
-    decode_batch, sample_logits, Generator, LaneRequest, ModelConfig, SamplingPolicy, Transformer,
+    decode_batch, decode_batch_quantized, sample_logits, Generator, LaneRequest, ModelConfig,
+    QuantizedDecodeWeights, SamplingPolicy, Transformer,
 };
 use eva_tokenizer::TokenId;
 use rand::SeedableRng;
@@ -32,25 +39,46 @@ fn main() {
     let args = RunArgs::parse();
     let reps = args.samples.unwrap_or(if args.quick { 3 } else { 10 });
     let max_len = if args.quick { 32 } else { 64 };
+    let quantize = parse_quantize();
 
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let config = ModelConfig::repro(512, 128);
     let model = Transformer::new(config, &mut rng);
+    let quant = quantize.then(|| Arc::new(QuantizedDecodeWeights::quantize(&model)));
     // The evaluation/serving grammar shape: PAD=0, END=1, start the walk at
     // token 2 (the tokenizer's VSS slot).
     let policy = SamplingPolicy::constrained(TokenId(2), TokenId(1), TokenId(0));
 
-    eprintln!("[decode_bench] repro(512,128), max_len {max_len}, {reps} reps per batch size");
+    eprintln!(
+        "[decode_bench] repro(512,128), max_len {max_len}, {reps} reps per batch size, \
+         simd {}, quantize {}",
+        eva_nn::simd::active_name(),
+        if quantize { "int8" } else { "off" }
+    );
     let mut results = Vec::new();
     for &batch in &BATCH_SIZES {
         let mut seq_tokens = 0u64;
         let mut seq_elapsed = 0.0f64;
         let mut batch_tokens = 0u64;
         let mut batch_elapsed = 0.0f64;
+        let mut int8_tokens = 0u64;
+        let mut int8_elapsed = 0.0f64;
         for rep in 0..reps {
             let seeds: Vec<u64> = (0..batch as u64)
                 .map(|lane| args.seed ^ (rep as u64 * 1000 + lane + 1))
                 .collect();
+            let make_lanes = || -> Vec<LaneRequest<ChaCha8Rng>> {
+                seeds
+                    .iter()
+                    .map(|&seed| LaneRequest {
+                        rng: ChaCha8Rng::seed_from_u64(seed),
+                        temperature: 1.0,
+                        top_k: Some(40),
+                        max_len,
+                        prompt: Vec::new(),
+                    })
+                    .collect()
+            };
 
             let start = Instant::now();
             let sequential: Vec<Vec<TokenId>> = seeds
@@ -60,16 +88,7 @@ fn main() {
             seq_elapsed += start.elapsed().as_secs_f64();
             seq_tokens += sequential.iter().map(|t| t.len() as u64).sum::<u64>();
 
-            let lanes: Vec<LaneRequest<ChaCha8Rng>> = seeds
-                .iter()
-                .map(|&seed| LaneRequest {
-                    rng: ChaCha8Rng::seed_from_u64(seed),
-                    temperature: 1.0,
-                    top_k: Some(40),
-                    max_len,
-                    prompt: Vec::new(),
-                })
-                .collect();
+            let lanes = make_lanes();
             let start = Instant::now();
             let batched = decode_batch(&model, &policy, lanes);
             batch_elapsed += start.elapsed().as_secs_f64();
@@ -81,6 +100,21 @@ fn main() {
                 );
                 batch_tokens += out.tokens.len() as u64;
             }
+
+            // The int8 path samples from quantized logits, so its token
+            // streams differ from f32 by design; it is still checked for
+            // per-lane success and counted on its own clock.
+            if let Some(quant) = &quant {
+                let lanes = make_lanes();
+                let start = Instant::now();
+                let quantized =
+                    decode_batch_quantized(&model, &policy, lanes, 0, Some(Arc::clone(quant)));
+                int8_elapsed += start.elapsed().as_secs_f64();
+                for (lane, out) in quantized.iter().enumerate() {
+                    assert!(out.is_ok(), "int8 lane {lane} errored");
+                    int8_tokens += out.tokens.len() as u64;
+                }
+            }
         }
         let per_sequence = seq_tokens as f64 / seq_elapsed.max(1e-9);
         let batched = batch_tokens as f64 / batch_elapsed.max(1e-9);
@@ -89,18 +123,35 @@ fn main() {
              batched {batched:>10.0} tok/s ({:.2}x)",
             batched / per_sequence
         );
-        results.push(serde_json::json!({
+        let mut row = serde_json::json!({
             "batch": batch,
             "per_sequence_tokens_per_s": per_sequence,
             "batched_tokens_per_s": batched,
             "speedup": batched / per_sequence,
-        }));
+        });
+        if quant.is_some() {
+            let int8 = int8_tokens as f64 / int8_elapsed.max(1e-9);
+            eprintln!(
+                "[decode_bench] batch {batch:>2}: int8 batched {int8:>10.0} tok/s \
+                 ({:.2}x vs f32 batched)",
+                int8 / batched
+            );
+            let obj = row.as_object_mut().expect("row is an object");
+            obj.insert("int8_batched_tokens_per_s".into(), serde_json::json!(int8));
+            obj.insert(
+                "int8_vs_f32_batched".into(),
+                serde_json::json!(int8 / batched),
+            );
+        }
+        results.push(row);
     }
 
     let report = serde_json::json!({
         "bench": "eva-model/decode",
         "git_rev": eva_bench::git_rev(),
         "threads": eva_nn::pool::global().threads(),
+        "simd": eva_nn::simd::active_name(),
+        "quantized": quantize,
         "seed": args.seed,
         "scale": "repro(512,128)",
         "max_len": max_len,
@@ -111,6 +162,25 @@ fn main() {
     println!("{pretty}");
     std::fs::write("BENCH_decode.json", format!("{pretty}\n")).expect("write BENCH_decode.json");
     eprintln!("[decode_bench] wrote BENCH_decode.json");
+}
+
+/// Scan argv for `--quantize off|int8` (the shared [`RunArgs`] parser
+/// ignores flags it does not know, so this composes with it).
+fn parse_quantize() -> bool {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--quantize" {
+            return match args.next().as_deref() {
+                Some("int8") => true,
+                Some("off") | Some("f32") => false,
+                other => {
+                    eprintln!("error: --quantize expects off|int8, got {other:?}");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    false
 }
 
 /// The pre-batched-runtime hot path: one sequential [`Generator`] driving

@@ -3,63 +3,78 @@
 //! Measures GFLOP/s of the four `eva_nn` kernels at the shapes the stack
 //! actually runs — training GEMMs (`m ∈ {256, 1024}`) and batched-decode
 //! GEMMs (`m ∈ {1, 4, 16}` lockstep lanes against a wide weight matrix) —
-//! at thread counts {1, 2, all cores}, each over its own explicit
-//! [`eva_nn::Pool`] so one process can sweep every configuration. Before
-//! timing, every (kernel, shape, pool) cell is checked bit-for-bit against
-//! the serial reference kernel, so the numbers can never come from a
-//! kernel that broke the determinism contract.
+//! across thread counts {1, 2, all cores} × SIMD modes {scalar, detected
+//! best}, each over its own explicit [`eva_nn::Pool`] so one process can
+//! sweep every configuration, plus an `int8` row for the quantized decode
+//! kernel. Before timing, every cell is checked against the serial scalar
+//! reference: bit-for-bit wherever the kernel preserves accumulation
+//! order (everything except the SIMD dot-product kernel), and within the
+//! documented `8·k·ε·Σ|aᵢ·bᵢ|` ULP envelope for `matmul_bt_into` under
+//! SIMD, so the numbers can never come from a kernel that broke the
+//! determinism contract.
 //!
 //! ```text
 //! cargo run -p eva-bench --release --bin gemm_bench [-- --quick --seed N --samples REPS]
 //! ```
 //!
-//! The JSON artifact at the repo root records `threads` and `git_rev`, so
-//! kernel perf is comparable PR over PR; the headline ratio (threads=all
-//! vs threads=1 on training shapes) is the tentpole acceptance number.
+//! The JSON artifact at the repo root records `threads`, `simd`, and
+//! `git_rev`, so kernel perf is comparable PR over PR; the headline ratio
+//! (threads=all vs threads=1 on training shapes, best SIMD mode) is the
+//! tentpole acceptance number.
 
 use std::time::Instant;
 
 use eva_bench::RunArgs;
 use eva_nn::{
-    matmul_at_into_serial, matmul_at_into_with, matmul_bt_into_serial, matmul_bt_into_with,
-    matmul_into_serial, matmul_into_with, matmul_kouter_into_serial, matmul_kouter_into_with, Pool,
+    matmul_at_into_serial, matmul_at_into_with_mode, matmul_bt_into_serial,
+    matmul_bt_into_with_mode, matmul_into_serial, matmul_into_with_mode, matmul_kouter_into_serial,
+    matmul_kouter_into_with_mode, matmul_q8_kouter_into_serial, matmul_q8_kouter_into_with_mode,
+    Pool, QuantizedMatrix, SimdMode,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-/// One benchmarked kernel: its serial reference and its pooled variant.
+/// One benchmarked kernel: its serial scalar reference and its pooled
+/// mode-explicit variant.
 struct Kernel {
     name: &'static str,
     serial: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
-    with: fn(&Pool, &[f32], &[f32], &mut [f32], usize, usize, usize),
+    with_mode: fn(SimdMode, &Pool, &[f32], &[f32], &mut [f32], usize, usize, usize),
     /// Buffer lengths `(lhs, rhs, out)` for a given `(m, k, n)`.
     lens: fn(usize, usize, usize) -> (usize, usize, usize),
+    /// Whether SIMD reorders this kernel's accumulation (packed dot
+    /// products): verified within the ULP envelope instead of bit-exact.
+    simd_reorders: bool,
 }
 
 const KERNELS: [Kernel; 4] = [
     Kernel {
         name: "matmul_into",
         serial: matmul_into_serial,
-        with: matmul_into_with,
+        with_mode: matmul_into_with_mode,
         lens: |m, k, n| (m * k, k * n, m * n),
+        simd_reorders: false,
     },
     Kernel {
         name: "matmul_kouter_into",
         serial: matmul_kouter_into_serial,
-        with: matmul_kouter_into_with,
+        with_mode: matmul_kouter_into_with_mode,
         lens: |m, k, n| (m * k, k * n, m * n),
+        simd_reorders: false,
     },
     Kernel {
         name: "matmul_bt_into",
         serial: matmul_bt_into_serial,
-        with: matmul_bt_into_with,
+        with_mode: matmul_bt_into_with_mode,
         lens: |m, k, n| (m * k, n * k, m * n),
+        simd_reorders: true,
     },
     Kernel {
         name: "matmul_at_into",
         serial: matmul_at_into_serial,
-        with: matmul_at_into_with,
+        with_mode: matmul_at_into_with_mode,
         lens: |m, k, n| (m * k, m * n, k * n),
+        simd_reorders: false,
     },
 ];
 
@@ -73,6 +88,17 @@ const SHAPES: [(&str, usize, usize, usize); 5] = [
     ("decode", 16, 256, 1024),
 ];
 
+/// The `matmul_bt_into` SIMD envelope for one output element: the packed
+/// accumulators and horizontal reduce reorder at most the k-term dot
+/// product, bounded by `8·k·ε·Σ|aᵢ·bᵢ|` (see `eva_nn::tensor` docs).
+fn bt_bound(a: &[f32], b: &[f32], i: usize, j: usize, k: usize) -> f32 {
+    let mut abs_dot = 0.0f32;
+    for c in 0..k {
+        abs_dot += (a[i * k + c] * b[j * k + c]).abs();
+    }
+    8.0 * k as f32 * f32::EPSILON * abs_dot + f32::MIN_POSITIVE
+}
+
 fn main() {
     let args = RunArgs::parse();
     let reps = args.samples.unwrap_or(if args.quick { 3 } else { 10 });
@@ -81,11 +107,20 @@ fn main() {
     thread_counts.sort_unstable();
     thread_counts.dedup();
 
-    eprintln!("[gemm_bench] threads {thread_counts:?}, {reps} reps per cell");
+    // Scalar always; the runtime-detected best table when it is not
+    // already scalar (non-x86 hosts sweep scalar only).
+    let best = eva_nn::simd::kernels_for(SimdMode::Auto).name();
+    let mut modes = vec![("scalar", SimdMode::Off)];
+    if best != "scalar" {
+        modes.push((best, SimdMode::Auto));
+    }
+
+    eprintln!("[gemm_bench] threads {thread_counts:?}, simd {best:?}, {reps} reps per cell");
     let pools: Vec<Pool> = thread_counts.iter().map(|&t| Pool::new(t)).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let mut results = Vec::new();
-    // Tracks the tentpole headline: threaded-vs-serial on training shapes.
+    // Tracks the tentpole headline: threaded-vs-serial on training shapes
+    // in the best SIMD mode.
     let mut train_speedups: Vec<f64> = Vec::new();
 
     for kernel in &KERNELS {
@@ -95,68 +130,136 @@ fn main() {
             let b: Vec<f32> = (0..bl).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
             let mut reference = vec![0.0f32; ol];
             (kernel.serial)(&a, &b, &mut reference, m, k, n);
-
             let flops = 2.0 * m as f64 * k as f64 * n as f64;
-            let mut cell = serde_json::Map::new();
-            let mut serial_gflops = 0.0f64;
-            for (&threads, pool) in thread_counts.iter().zip(&pools) {
-                let mut out = vec![0.0f32; ol];
-                (kernel.with)(pool, &a, &b, &mut out, m, k, n);
-                for (i, (&got, &want)) in out.iter().zip(&reference).enumerate() {
-                    assert_eq!(
-                        got.to_bits(),
-                        want.to_bits(),
-                        "{} {m}x{k}x{n} @ {threads} threads: out[{i}] = {got} != {want}",
-                        kernel.name
-                    );
+
+            for &(mode_name, mode) in &modes {
+                let bounded = kernel.simd_reorders && mode != SimdMode::Off;
+                let mut cell = serde_json::Map::new();
+                let mut serial_gflops = 0.0f64;
+                for (&threads, pool) in thread_counts.iter().zip(&pools) {
+                    let mut out = vec![0.0f32; ol];
+                    (kernel.with_mode)(mode, pool, &a, &b, &mut out, m, k, n);
+                    for (i, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                        if bounded {
+                            let bound = bt_bound(&a, &b, i / n, i % n, k);
+                            assert!(
+                                (got - want).abs() <= bound,
+                                "{} {m}x{k}x{n} {mode_name} @ {threads} threads: \
+                                 out[{i}] = {got} vs {want} exceeds ULP bound {bound}",
+                                kernel.name
+                            );
+                        } else {
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "{} {m}x{k}x{n} {mode_name} @ {threads} threads: \
+                                 out[{i}] = {got} != {want}",
+                                kernel.name
+                            );
+                        }
+                    }
+                    // Timed loop: re-zero between reps (kernels accumulate).
+                    let mut elapsed = 0.0f64;
+                    for _ in 0..reps {
+                        out.fill(0.0);
+                        let start = Instant::now();
+                        (kernel.with_mode)(mode, pool, &a, &b, &mut out, m, k, n);
+                        elapsed += start.elapsed().as_secs_f64();
+                    }
+                    let gflops = flops * reps as f64 / elapsed.max(1e-12) / 1e9;
+                    if threads == 1 {
+                        serial_gflops = gflops;
+                    } else if class == "train"
+                        && threads == all
+                        && serial_gflops > 0.0
+                        && mode_name == best
+                    {
+                        train_speedups.push(gflops / serial_gflops);
+                    }
+                    cell.insert(format!("gflops_t{threads}"), serde_json::json!(gflops));
                 }
-                // Timed loop: re-zero between reps (kernels accumulate).
-                let mut elapsed = 0.0f64;
-                for _ in 0..reps {
-                    out.fill(0.0);
-                    let start = Instant::now();
-                    (kernel.with)(pool, &a, &b, &mut out, m, k, n);
-                    elapsed += start.elapsed().as_secs_f64();
-                }
-                let gflops = flops * reps as f64 / elapsed.max(1e-12) / 1e9;
-                if threads == 1 {
-                    serial_gflops = gflops;
-                } else if class == "train" && threads == all && serial_gflops > 0.0 {
-                    train_speedups.push(gflops / serial_gflops);
-                }
-                cell.insert(format!("gflops_t{threads}"), serde_json::json!(gflops));
+                log_cell(
+                    kernel.name,
+                    mode_name,
+                    class,
+                    m,
+                    k,
+                    n,
+                    &thread_counts,
+                    &cell,
+                );
+                cell.insert("kernel".into(), serde_json::json!(kernel.name));
+                cell.insert("simd".into(), serde_json::json!(mode_name));
+                cell.insert("class".into(), serde_json::json!(class));
+                cell.insert("m".into(), serde_json::json!(m));
+                cell.insert("k".into(), serde_json::json!(k));
+                cell.insert("n".into(), serde_json::json!(n));
+                results.push(serde_json::Value::Object(cell));
             }
-            eprintln!(
-                "[gemm_bench] {:>20} {m:>5}x{k}x{n} ({class:>6}): {}",
-                kernel.name,
-                thread_counts
-                    .iter()
-                    .map(|t| format!(
-                        "t{}={:.2}",
-                        t,
-                        cell[&format!("gflops_t{t}")].as_f64().unwrap_or(0.0)
-                    ))
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            );
-            cell.insert("kernel".into(), serde_json::json!(kernel.name));
-            cell.insert("class".into(), serde_json::json!(class));
-            cell.insert("m".into(), serde_json::json!(m));
-            cell.insert("k".into(), serde_json::json!(k));
-            cell.insert("n".into(), serde_json::json!(n));
-            results.push(serde_json::Value::Object(cell));
+
+            // The int8 decode kernel rides the same shapes as its f32
+            // sibling: quantize `b` per output channel, verify against the
+            // serial q8 reference (bit-identical across modes and thread
+            // counts), and time under the best mode.
+            if kernel.name == "matmul_kouter_into" {
+                let qm = QuantizedMatrix::quantize(&b, k, n);
+                let mut q8_reference = vec![0.0f32; ol];
+                matmul_q8_kouter_into_serial(&a, &qm, &mut q8_reference, m);
+                let (_, q8_mode) = *modes.last().expect("scalar mode always present");
+                let mut cell = serde_json::Map::new();
+                for (&threads, pool) in thread_counts.iter().zip(&pools) {
+                    let mut out = vec![0.0f32; ol];
+                    matmul_q8_kouter_into_with_mode(q8_mode, pool, &a, &qm, &mut out, m);
+                    for (i, (&got, &want)) in out.iter().zip(&q8_reference).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "matmul_q8_kouter_into {m}x{k}x{n} @ {threads} threads: \
+                             out[{i}] = {got} != {want}",
+                        );
+                    }
+                    let mut elapsed = 0.0f64;
+                    for _ in 0..reps {
+                        out.fill(0.0);
+                        let start = Instant::now();
+                        matmul_q8_kouter_into_with_mode(q8_mode, pool, &a, &qm, &mut out, m);
+                        elapsed += start.elapsed().as_secs_f64();
+                    }
+                    let gflops = flops * reps as f64 / elapsed.max(1e-12) / 1e9;
+                    cell.insert(format!("gflops_t{threads}"), serde_json::json!(gflops));
+                }
+                log_cell(
+                    "matmul_q8_kouter_into",
+                    "int8",
+                    class,
+                    m,
+                    k,
+                    n,
+                    &thread_counts,
+                    &cell,
+                );
+                cell.insert("kernel".into(), serde_json::json!("matmul_q8_kouter_into"));
+                cell.insert("simd".into(), serde_json::json!("int8"));
+                cell.insert("class".into(), serde_json::json!(class));
+                cell.insert("m".into(), serde_json::json!(m));
+                cell.insert("k".into(), serde_json::json!(k));
+                cell.insert("n".into(), serde_json::json!(n));
+                results.push(serde_json::Value::Object(cell));
+            }
         }
     }
 
     let headline = train_speedups.iter().copied().fold(f64::NAN, f64::max);
     if headline.is_finite() {
-        eprintln!("[gemm_bench] best training-shape speedup t{all}/t1: {headline:.2}x");
+        eprintln!("[gemm_bench] best training-shape speedup t{all}/t1 ({best}): {headline:.2}x");
     }
     let report = serde_json::json!({
         "bench": "eva-nn/gemm",
         "git_rev": eva_bench::git_rev(),
         "threads": all,
         "thread_counts": thread_counts,
+        "simd": best,
+        "simd_modes": modes.iter().map(|(name, _)| *name).collect::<Vec<_>>(),
         "seed": args.seed,
         "reps": reps,
         "best_train_speedup": headline,
@@ -166,4 +269,29 @@ fn main() {
     println!("{pretty}");
     std::fs::write("BENCH_gemm.json", format!("{pretty}\n")).expect("write BENCH_gemm.json");
     eprintln!("[gemm_bench] wrote BENCH_gemm.json");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn log_cell(
+    kernel: &str,
+    mode: &str,
+    class: &str,
+    m: usize,
+    k: usize,
+    n: usize,
+    thread_counts: &[usize],
+    cell: &serde_json::Map<String, serde_json::Value>,
+) {
+    eprintln!(
+        "[gemm_bench] {kernel:>22} {mode:>6} {m:>5}x{k}x{n} ({class:>6}): {}",
+        thread_counts
+            .iter()
+            .map(|t| format!(
+                "t{}={:.2}",
+                t,
+                cell[&format!("gflops_t{t}")].as_f64().unwrap_or(0.0)
+            ))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 }

@@ -159,6 +159,8 @@ fn main() {
         "bench": "eva-serve/in-process",
         "git_rev": eva_bench::git_rev(),
         "threads": eva_nn::pool::global().threads(),
+        "simd": snapshot.simd.clone(),
+        "quantized": snapshot.quantized,
         "seed": args.seed,
         "scale": format!("test_scale+{pretrain_steps}steps"),
         "workers": workers,
@@ -417,6 +419,8 @@ fn run_discover(args: &RunArgs, eva: &Eva, pretrain_steps: usize) {
         "bench": "eva-serve/discover",
         "git_rev": eva_bench::git_rev(),
         "threads": eva_nn::pool::global().threads(),
+        "simd": snapshot.simd.clone(),
+        "quantized": snapshot.quantized,
         "seed": args.seed,
         "scale": format!("test_scale+{pretrain_steps}steps"),
         "workers": workers,

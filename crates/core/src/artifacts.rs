@@ -25,9 +25,9 @@ use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
-use eva_model::{ModelConfig, Transformer};
+use eva_model::{ModelConfig, QuantizedDecodeWeights, Transformer};
 use eva_nn::ckpt::{atomic_write, crc64, read_verified, CkptError, FileIntegrity};
-use eva_nn::{fault, ParamSet};
+use eva_nn::{fault, ParamSet, QuantizedParams};
 use eva_tokenizer::Tokenizer;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,11 @@ use crate::engine::Eva;
 
 /// File name of the weight checkpoint inside an artifact directory.
 pub const PARAMS_FILE: &str = "model.params";
+/// File name of the optional int8 decode-weight sidecar inside an artifact
+/// directory. Its byte format carries its own trailing CRC64 (see
+/// [`eva_nn::QuantizedParams`]), so it is self-verifying without a
+/// manifest entry and old directories simply lack it.
+pub const QUANT_FILE: &str = "model.quant";
 /// File name of the JSON manifest (config + tokenizer + integrity records)
 /// inside an artifact directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -67,15 +72,45 @@ pub struct EvaArtifacts {
     pub model: Arc<Transformer>,
     /// The vocabulary codec the policy was trained with.
     pub tokenizer: Arc<Tokenizer>,
+    /// Int8 decode weights, when the artifacts were prepared for (or
+    /// loaded with) quantized serving. `None` means f32-only.
+    pub quantized: Option<Arc<QuantizedDecodeWeights>>,
 }
 
 impl EvaArtifacts {
-    /// Wrap a policy and tokenizer into shareable handles.
+    /// Wrap a policy and tokenizer into shareable handles (f32-only).
     pub fn new(model: Transformer, tokenizer: Tokenizer) -> EvaArtifacts {
         EvaArtifacts {
             model: Arc::new(model),
             tokenizer: Arc::new(tokenizer),
+            quantized: None,
         }
+    }
+
+    /// Attach int8 decode weights, quantizing from the in-memory f32
+    /// model. Idempotent: existing quantized weights are kept.
+    pub fn with_quantized(mut self) -> EvaArtifacts {
+        if self.quantized.is_none() {
+            self.quantized = Some(Arc::new(QuantizedDecodeWeights::quantize(&self.model)));
+        }
+        self
+    }
+
+    /// Write the quantized sidecar ([`QUANT_FILE`]) next to an artifact
+    /// directory's payloads, quantizing first if needed. The file is
+    /// written atomically and self-verifies via its trailing CRC64.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_quantized<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        let quantized = match &self.quantized {
+            Some(q) => Arc::clone(q),
+            None => Arc::new(QuantizedDecodeWeights::quantize(&self.model)),
+        };
+        let mut bytes = Vec::new();
+        quantized.params().save(&mut bytes)?;
+        atomic_write(&dir.as_ref().join(QUANT_FILE), &bytes)
     }
 
     /// Load an artifact directory written by [`Eva::save_artifacts`].
@@ -136,6 +171,38 @@ impl EvaArtifacts {
             });
         }
         Ok(EvaArtifacts::new(model, manifest.tokenizer))
+    }
+
+    /// [`EvaArtifacts::load`], then attach int8 decode weights: from the
+    /// [`QUANT_FILE`] sidecar when present (CRC64-verified by its own
+    /// format; a corrupt or incomplete sidecar is a typed error, never a
+    /// silent fallback), otherwise quantized at load from the f32 weights.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`EvaArtifacts::load`] returns, plus `Corrupt` for a
+    /// sidecar that fails its CRC or does not cover the model.
+    pub fn load_quantized<P: AsRef<Path>>(dir: P) -> Result<EvaArtifacts, CkptError> {
+        let dir = dir.as_ref();
+        let mut artifacts = EvaArtifacts::load(dir)?;
+        let path = dir.join(QUANT_FILE);
+        if path.exists() {
+            let bytes = std::fs::read(&path)?;
+            let params =
+                QuantizedParams::load(bytes.as_slice()).map_err(|e| CkptError::Corrupt {
+                    file: QUANT_FILE.to_owned(),
+                    detail: e.to_string(),
+                })?;
+            let qw = QuantizedDecodeWeights::from_params(artifacts.model.config().n_layers, params)
+                .map_err(|detail| CkptError::Corrupt {
+                    file: QUANT_FILE.to_owned(),
+                    detail,
+                })?;
+            artifacts.quantized = Some(Arc::new(qw));
+            Ok(artifacts)
+        } else {
+            Ok(artifacts.with_quantized())
+        }
     }
 }
 
@@ -324,6 +391,33 @@ mod tests {
         .unwrap();
         let loaded = EvaArtifacts::load(&dir).expect("legacy manifest loads");
         assert_eq!(loaded.model.config(), eva.model().config());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_sidecar_round_trip_and_fallback() {
+        let eva = pretrained_eva(18);
+        let dir = saved_dir("quantized", &eva);
+        // No sidecar: quantize at load from the f32 weights.
+        let fresh = EvaArtifacts::load_quantized(&dir).unwrap();
+        let q_fresh = fresh.quantized.as_ref().expect("quantized at load");
+        // With sidecar: load it back bit-identically.
+        fresh.save_quantized(&dir).unwrap();
+        let reloaded = EvaArtifacts::load_quantized(&dir).unwrap();
+        let q_loaded = reloaded.quantized.as_ref().expect("sidecar loaded");
+        assert_eq!(q_fresh.params(), q_loaded.params());
+        // A flipped sidecar bit is a typed Corrupt error, not a fallback.
+        let path = dir.join(QUANT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match EvaArtifacts::load_quantized(&dir) {
+            Err(CkptError::Corrupt { file, .. }) => assert_eq!(file, QUANT_FILE),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        // Plain load ignores the sidecar entirely.
+        assert!(EvaArtifacts::load(&dir).unwrap().quantized.is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -34,7 +34,11 @@
 //! sequence alone — independent of batch composition, admission order,
 //! mid-flight joins, or prefix-cache state. The equivalence property
 //! tests in `tests/batch_equivalence.rs` and the adversarial admission
-//! proptests in `tests/continuous.rs` pin this down.
+//! proptests in `tests/continuous.rs` pin this down. An int8-quantized
+//! pool ([`BatchGenerator::new_quantized`], [`decode_batch_quantized`])
+//! keeps every clause of this guarantee *relative to quantized solo
+//! decode*; only the f32-vs-int8 delta — gated by the accuracy-budget
+//! test in `crates/serve/tests` — is new.
 //!
 //! [`SamplingPolicy`] is the single source of truth for EVA's decode-time
 //! grammar constraint (walks start at `VSS`, the terminator is only
@@ -44,12 +48,38 @@
 //! mix of prompted/unprompted lanes with per-lane seed, temperature,
 //! top-k and length caps.
 
-use eva_nn::{fault, matmul_kouter_into, par_rows_mut, pool, Tensor};
+use std::sync::Arc;
+
+use eva_nn::{
+    fault, matmul_kouter_into, matmul_q8_kouter_into, par_rows_mut, pool, QuantizedMatrix, Tensor,
+};
 use eva_tokenizer::TokenId;
 use rand::Rng;
 
 use crate::infer::{layer_norm_row_into, sample_logits, InferError};
+use crate::quant::QuantizedDecodeWeights;
 use crate::transformer::Transformer;
+
+/// One decode GEMM: the int8 k-outer kernel when quantized weights are
+/// installed, the f32 k-outer kernel otherwise. Both stream the weight
+/// matrix once per step regardless of lane count.
+fn decode_mm(
+    q: Option<&QuantizedMatrix>,
+    w: &[f32],
+    a_rows: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match q {
+        Some(qm) => {
+            debug_assert_eq!((qm.k(), qm.n()), (k, n), "quantized shape");
+            matmul_q8_kouter_into(a_rows, qm, out, m);
+        }
+        None => matmul_kouter_into(a_rows, w, out, m, k, n),
+    }
+}
 
 /// Decode-time sampling rules shared by every EVA call site.
 ///
@@ -188,6 +218,11 @@ impl ParamIdx {
 pub struct BatchGenerator<'m> {
     model: &'m Transformer,
     idx: ParamIdx,
+    /// Int8 decode weights; when set, every per-step GEMM uses the
+    /// quantized kernel instead of the f32 one. Logits then differ from
+    /// f32 decode (by the gated quantization budget) but remain
+    /// deterministic across thread counts, SIMD modes, and batch shapes.
+    quant: Option<Arc<QuantizedDecodeWeights>>,
     lanes: usize,
     ctx: usize,
     /// Per layer: key arena, `lanes × ctx × d_model`, lane-major.
@@ -218,6 +253,21 @@ impl<'m> BatchGenerator<'m> {
     ///
     /// Panics if `lanes` is zero.
     pub fn new(model: &'m Transformer, lanes: usize) -> BatchGenerator<'m> {
+        Self::new_quantized(model, lanes, None)
+    }
+
+    /// [`BatchGenerator::new`], optionally decoding through int8 weights.
+    /// The quantized set must cover the same model (checked lazily via the
+    /// per-GEMM shape asserts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new_quantized(
+        model: &'m Transformer,
+        lanes: usize,
+        quant: Option<Arc<QuantizedDecodeWeights>>,
+    ) -> BatchGenerator<'m> {
         assert!(lanes > 0, "at least one lane");
         let cfg = *model.config();
         let (d, ctx) = (cfg.d_model, cfg.max_seq_len);
@@ -225,6 +275,7 @@ impl<'m> BatchGenerator<'m> {
         BatchGenerator {
             idx: ParamIdx::resolve(model),
             model,
+            quant,
             lanes,
             ctx,
             k_arena: arena(),
@@ -246,6 +297,11 @@ impl<'m> BatchGenerator<'m> {
     /// Lane capacity.
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Whether decode runs through int8 weights.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Tokens consumed by `lane` so far.
@@ -275,6 +331,7 @@ impl<'m> BatchGenerator<'m> {
         let d = cfg.d_model;
         let p = self.model.params();
         let tensor = |i: usize| -> &Tensor { p.tensor(i) };
+        let qw = self.quant.as_deref();
 
         // Admission: typed per-lane errors now, so the compute below only
         // ever sees valid (lane, token) pairs.
@@ -340,9 +397,36 @@ impl<'m> BatchGenerator<'m> {
             self.kb[..a * d].fill(0.0);
             self.vb[..a * d].fill(0.0);
             let nm = &self.normed[..a * d];
-            matmul_kouter_into(nm, tensor(li.wq).data(), &mut self.qb[..a * d], a, d, d);
-            matmul_kouter_into(nm, tensor(li.wk).data(), &mut self.kb[..a * d], a, d, d);
-            matmul_kouter_into(nm, tensor(li.wv).data(), &mut self.vb[..a * d], a, d, d);
+            let q = |pick: fn(&QuantizedDecodeWeights, usize) -> &QuantizedMatrix| {
+                qw.map(|w| pick(w, l))
+            };
+            decode_mm(
+                q(QuantizedDecodeWeights::wq),
+                tensor(li.wq).data(),
+                nm,
+                &mut self.qb[..a * d],
+                a,
+                d,
+                d,
+            );
+            decode_mm(
+                q(QuantizedDecodeWeights::wk),
+                tensor(li.wk).data(),
+                nm,
+                &mut self.kb[..a * d],
+                a,
+                d,
+                d,
+            );
+            decode_mm(
+                q(QuantizedDecodeWeights::wv),
+                tensor(li.wv).data(),
+                nm,
+                &mut self.vb[..a * d],
+                a,
+                d,
+                d,
+            );
             // Scatter this step's keys/values into the arena.
             for (row, &(lane, _)) in active.iter().enumerate() {
                 let slot = (lane * self.ctx + self.t[lane]) * d;
@@ -409,9 +493,10 @@ impl<'m> BatchGenerator<'m> {
                 },
             );
             self.attnb[..a * d].fill(0.0);
-            matmul_kouter_into(
-                &self.ctxb[..a * d],
+            decode_mm(
+                q(QuantizedDecodeWeights::wo),
                 tensor(li.wo).data(),
+                &self.ctxb[..a * d],
                 &mut self.attnb[..a * d],
                 a,
                 d,
@@ -433,9 +518,10 @@ impl<'m> BatchGenerator<'m> {
                 );
             }
             self.h1[..a * cfg.d_ff].fill(0.0);
-            matmul_kouter_into(
-                &self.normed[..a * d],
+            decode_mm(
+                q(QuantizedDecodeWeights::ff_w1),
                 tensor(li.ff_w1).data(),
+                &self.normed[..a * d],
                 &mut self.h1[..a * cfg.d_ff],
                 a,
                 d,
@@ -449,9 +535,10 @@ impl<'m> BatchGenerator<'m> {
                 }
             }
             self.h2[..a * d].fill(0.0);
-            matmul_kouter_into(
-                &self.h1[..a * cfg.d_ff],
+            decode_mm(
+                q(QuantizedDecodeWeights::ff_w2),
                 tensor(li.ff_w2).data(),
+                &self.h1[..a * cfg.d_ff],
                 &mut self.h2[..a * d],
                 a,
                 cfg.d_ff,
@@ -480,9 +567,10 @@ impl<'m> BatchGenerator<'m> {
         }
         let v = cfg.vocab_size;
         self.logitsb[..a * v].fill(0.0);
-        matmul_kouter_into(
-            &self.normed[..a * d],
+        decode_mm(
+            qw.map(QuantizedDecodeWeights::head_w),
             tensor(self.idx.head_w).data(),
+            &self.normed[..a * d],
             &mut self.logitsb[..a * v],
             a,
             d,
@@ -770,7 +858,27 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
         policy: SamplingPolicy,
         prefix_cache_entries: usize,
     ) -> ContinuousBatch<'m, R> {
-        let gen = BatchGenerator::new(model, max_lanes);
+        Self::new_quantized(model, max_lanes, policy, prefix_cache_entries, None)
+    }
+
+    /// [`ContinuousBatch::new`], optionally decoding through int8 weights.
+    ///
+    /// Prefix-cache entries are computed and reused within one pool, so a
+    /// quantized pool's cached K/V rows are quantized-consistent — the
+    /// reuse argument in the module docs holds unchanged, just relative to
+    /// quantized solo decode instead of f32 solo decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lanes` is zero.
+    pub fn new_quantized(
+        model: &'m Transformer,
+        max_lanes: usize,
+        policy: SamplingPolicy,
+        prefix_cache_entries: usize,
+        quant: Option<Arc<QuantizedDecodeWeights>>,
+    ) -> ContinuousBatch<'m, R> {
+        let gen = BatchGenerator::new_quantized(model, max_lanes, quant);
         ContinuousBatch {
             ctx: model.config().max_seq_len,
             gen,
@@ -785,6 +893,11 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
     /// Total slot count.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Whether decode runs through int8 weights.
+    pub fn is_quantized(&self) -> bool {
+        self.gen.is_quantized()
     }
 
     /// Slots currently decoding.
@@ -1058,13 +1171,29 @@ pub fn decode_batch_bounded<R: Rng>(
     lanes: Vec<LaneRequest<R>>,
     max_lanes: usize,
 ) -> Vec<LaneOutput> {
+    decode_batch_quantized(model, policy, lanes, max_lanes, None)
+}
+
+/// [`decode_batch_bounded`], optionally decoding through int8 weights —
+/// the batch driver behind `--quantize int8` benches and the f32-vs-int8
+/// accuracy-budget test. With `quant: None` this *is*
+/// [`decode_batch_bounded`]; with a quantized set, outputs are
+/// deterministic but carry the quantization error budget instead of
+/// f32-bit-identity to solo decode.
+pub fn decode_batch_quantized<R: Rng>(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    lanes: Vec<LaneRequest<R>>,
+    max_lanes: usize,
+    quant: Option<Arc<QuantizedDecodeWeights>>,
+) -> Vec<LaneOutput> {
     let n = lanes.len();
     if n == 0 {
         return Vec::new();
     }
     let cap = if max_lanes == 0 { n } else { max_lanes.min(n) };
     let mut pool: ContinuousBatch<'_, R> =
-        ContinuousBatch::new(model, cap, *policy, DECODE_PREFIX_ENTRIES);
+        ContinuousBatch::new_quantized(model, cap, *policy, DECODE_PREFIX_ENTRIES, quant);
     let mut queue: std::collections::VecDeque<(usize, LaneRequest<R>)> =
         lanes.into_iter().enumerate().collect();
     let mut origin = vec![usize::MAX; cap];
@@ -1410,6 +1539,23 @@ mod tests {
         let wide = decode_batch(&model, &policy, make());
         let narrow = decode_batch_bounded(&model, &policy, make(), 2);
         assert_eq!(wide, narrow, "slot starvation must not change outputs");
+
+        // The quantized pool keeps the same batch-shape independence: wide
+        // vs starved vs one-at-a-time all agree token for token (with each
+        // other — not with the f32 outputs above, which carry no
+        // quantization error).
+        let quant = Arc::new(QuantizedDecodeWeights::quantize(&model));
+        let q_wide = decode_batch_quantized(&model, &policy, make(), 0, Some(quant.clone()));
+        let q_narrow = decode_batch_quantized(&model, &policy, make(), 2, Some(quant.clone()));
+        let q_solo = decode_batch_quantized(&model, &policy, make(), 1, Some(quant));
+        assert_eq!(q_wide, q_narrow, "quantized outputs are batch-independent");
+        assert_eq!(
+            q_wide, q_solo,
+            "quantized outputs match quantized solo decode"
+        );
+        for o in &q_wide {
+            assert!(o.is_ok(), "quantized decode stays well-formed");
+        }
     }
 
     #[test]

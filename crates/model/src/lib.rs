@@ -7,6 +7,9 @@
 //! batched decoding runtime ([`batch::BatchGenerator`] /
 //! [`batch::decode_batch`]) that is bit-identical per lane to the
 //! sequential path and shared by the engine, RL rollouts, and serving.
+//! [`quant::QuantizedDecodeWeights`] swaps the decode GEMMs to int8
+//! weights ([`batch::decode_batch_quantized`]) under a gated accuracy
+//! budget, without touching the f32 model.
 //!
 //! The paper-scale architecture (6 layers / 6 heads / 11.825 M params /
 //! vocab 1029 / context 1024) is [`ModelConfig::paper`]; experiments run at
@@ -32,12 +35,14 @@
 pub mod batch;
 pub mod config;
 pub mod infer;
+pub mod quant;
 pub mod transformer;
 
 pub use batch::{
-    decode_batch, decode_batch_bounded, BatchGenerator, ContinuousBatch, LaneOutput, LaneRequest,
-    SamplingPolicy, StepOutcome,
+    decode_batch, decode_batch_bounded, decode_batch_quantized, BatchGenerator, ContinuousBatch,
+    LaneOutput, LaneRequest, SamplingPolicy, StepOutcome,
 };
 pub use config::ModelConfig;
 pub use infer::{generate, sample_logits, Generator, InferError};
+pub use quant::QuantizedDecodeWeights;
 pub use transformer::{Bound, Transformer};

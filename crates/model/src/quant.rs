@@ -1,0 +1,176 @@
+//! Int8 decode weights for the batched runtime.
+//!
+//! [`QuantizedDecodeWeights`] quantizes exactly the matrices the decode
+//! hot path streams through [`eva_nn::matmul_kouter_into`] every step —
+//! per layer `wq`/`wk`/`wv`/`wo`/`ff.w1`/`ff.w2`, plus the logit head —
+//! to int8 with per-output-channel scales ([`eva_nn::QuantizedMatrix`]).
+//! Embeddings, layer norms, and biases stay f32: they are read per lane,
+//! not streamed per weight, and cost nothing at decode.
+//!
+//! Quantized decode is **not** bit-identical to f32 decode (that is the
+//! point — see the accuracy-budget test in `crates/serve/tests`), but it
+//! is fully deterministic: the int8 kernel is bit-identical across thread
+//! counts *and* SIMD modes, so a quantized request's output depends only
+//! on its seed and the quantized weights, never on batch composition,
+//! admission order, or the host's instruction set.
+
+use eva_nn::{QuantizedMatrix, QuantizedParams};
+
+use crate::transformer::Transformer;
+
+/// Per-layer indices into the backing [`QuantizedParams`].
+struct QuantLayerIdx {
+    wq: usize,
+    wk: usize,
+    wv: usize,
+    wo: usize,
+    ff_w1: usize,
+    ff_w2: usize,
+}
+
+/// The int8 form of every weight matrix [`crate::BatchGenerator`] streams
+/// per decode step, indexed for string-free hot-loop access.
+pub struct QuantizedDecodeWeights {
+    params: QuantizedParams,
+    layers: Vec<QuantLayerIdx>,
+    head_w: usize,
+}
+
+impl QuantizedDecodeWeights {
+    /// The parameter names quantized for an `n_layers` model, in storage
+    /// order.
+    pub fn decode_weight_names(n_layers: usize) -> Vec<String> {
+        let mut names = Vec::with_capacity(6 * n_layers + 1);
+        for l in 0..n_layers {
+            for suffix in ["attn.wq", "attn.wk", "attn.wv", "attn.wo", "ff.w1", "ff.w2"] {
+                names.push(format!("l{l}.{suffix}"));
+            }
+        }
+        names.push("head.w".to_string());
+        names
+    }
+
+    /// Quantize `model`'s decode weights (pure CPU pass over the f32
+    /// parameters; the model itself is untouched).
+    pub fn quantize(model: &Transformer) -> QuantizedDecodeWeights {
+        let names = Self::decode_weight_names(model.config().n_layers);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let params = QuantizedParams::quantize_matrices(model.params(), &refs)
+            .expect("decode weights exist and are 2-D");
+        Self::from_params(model.config().n_layers, params)
+            .expect("freshly quantized set is complete")
+    }
+
+    /// Wrap an already-loaded [`QuantizedParams`] set (e.g. read back from
+    /// a CRC-verified artifact), checking that every decode weight of an
+    /// `n_layers` model is present.
+    pub fn from_params(
+        n_layers: usize,
+        params: QuantizedParams,
+    ) -> Result<QuantizedDecodeWeights, String> {
+        let idx = |name: &str| {
+            params
+                .index_of(name)
+                .ok_or_else(|| format!("quantized set is missing {name:?}"))
+        };
+        let mut layers = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            layers.push(QuantLayerIdx {
+                wq: idx(&format!("l{l}.attn.wq"))?,
+                wk: idx(&format!("l{l}.attn.wk"))?,
+                wv: idx(&format!("l{l}.attn.wv"))?,
+                wo: idx(&format!("l{l}.attn.wo"))?,
+                ff_w1: idx(&format!("l{l}.ff.w1"))?,
+                ff_w2: idx(&format!("l{l}.ff.w2"))?,
+            });
+        }
+        let head_w = idx("head.w")?;
+        Ok(QuantizedDecodeWeights {
+            params,
+            layers,
+            head_w,
+        })
+    }
+
+    /// The backing named set (for CRC'd artifact storage via
+    /// [`QuantizedParams::save`]).
+    pub fn params(&self) -> &QuantizedParams {
+        &self.params
+    }
+
+    /// Layers covered.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub(crate) fn wq(&self, l: usize) -> &QuantizedMatrix {
+        self.params.mat(self.layers[l].wq)
+    }
+
+    pub(crate) fn wk(&self, l: usize) -> &QuantizedMatrix {
+        self.params.mat(self.layers[l].wk)
+    }
+
+    pub(crate) fn wv(&self, l: usize) -> &QuantizedMatrix {
+        self.params.mat(self.layers[l].wv)
+    }
+
+    pub(crate) fn wo(&self, l: usize) -> &QuantizedMatrix {
+        self.params.mat(self.layers[l].wo)
+    }
+
+    pub(crate) fn ff_w1(&self, l: usize) -> &QuantizedMatrix {
+        self.params.mat(self.layers[l].ff_w1)
+    }
+
+    pub(crate) fn ff_w2(&self, l: usize) -> &QuantizedMatrix {
+        self.params.mat(self.layers[l].ff_w2)
+    }
+
+    pub(crate) fn head_w(&self) -> &QuantizedMatrix {
+        self.params.mat(self.head_w)
+    }
+}
+
+impl std::fmt::Debug for QuantizedDecodeWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedDecodeWeights")
+            .field("n_layers", &self.layers.len())
+            .field("matrices", &self.params.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quantize_covers_every_decode_weight_and_round_trips_by_bytes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = Transformer::new(ModelConfig::tiny(13, 24), &mut rng);
+        let qw = QuantizedDecodeWeights::quantize(&model);
+        let cfg = model.config();
+        assert_eq!(qw.n_layers(), cfg.n_layers);
+        assert_eq!(qw.params().len(), 6 * cfg.n_layers + 1);
+        assert_eq!(qw.head_w().k(), cfg.d_model);
+        assert_eq!(qw.head_w().n(), cfg.vocab_size);
+        assert_eq!(qw.ff_w1(0).n(), cfg.d_ff);
+
+        let mut bytes = Vec::new();
+        qw.params().save(&mut bytes).expect("in-memory save");
+        let back = eva_nn::QuantizedParams::load(&bytes[..]).expect("load");
+        let rebuilt =
+            QuantizedDecodeWeights::from_params(cfg.n_layers, back).expect("complete set");
+        assert_eq!(rebuilt.params(), qw.params());
+    }
+
+    #[test]
+    fn from_params_rejects_an_incomplete_set() {
+        let err = QuantizedDecodeWeights::from_params(1, eva_nn::QuantizedParams::default());
+        assert!(err.is_err());
+    }
+}

@@ -8,9 +8,16 @@
 //! - [`tensor::Tensor`] — dense row-major `f32` values, `Arc`-backed, plus
 //!   the raw GEMM kernels ([`matmul_into`], [`matmul_kouter_into`],
 //!   [`matmul_bt_into`], [`matmul_at_into`]) the batched decode path reuses
-//!   against caller-owned scratch buffers. Each kernel comes in three
+//!   against caller-owned scratch buffers. Each kernel comes in four
 //!   flavors — bare (process-global pool), `_with` (explicit [`Pool`]),
-//!   `_serial` (reference) — all bit-identical; see `tensor.rs`.
+//!   `_with_mode` (explicit [`SimdMode`]), `_serial` (scalar reference) —
+//!   with the determinism contract spelled out in `tensor.rs`.
+//! - [`simd`] — runtime-detected AVX2/FMA and SSE2 inner kernels behind a
+//!   function-pointer table, selected by `EVA_NN_SIMD=auto|avx2|sse2|off`;
+//!   the scalar table stays the bit-identity reference.
+//! - [`quant`] — int8 per-output-channel symmetric weight quantization
+//!   ([`QuantizedMatrix`], [`QuantizedParams`]) and the int8×f32→f32
+//!   decode kernel [`matmul_q8_kouter_into`].
 //! - [`pool`] — the persistent fork-join worker [`Pool`] behind the
 //!   threaded kernels, sized by `EVA_NN_THREADS` (default: all cores,
 //!   `1` = zero-overhead serial bypass).
@@ -57,6 +64,8 @@ pub mod fault;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod quant;
+pub mod simd;
 pub mod tape;
 pub mod tensor;
 
@@ -64,9 +73,15 @@ pub use ckpt::{atomic_write, crc64, CkptError, FileIntegrity, RngState, TrainChe
 pub use optim::{AdamW, CosineSchedule};
 pub use params::ParamSet;
 pub use pool::{par_rows_mut, Pool};
+pub use quant::{
+    matmul_q8_kouter_into, matmul_q8_kouter_into_serial, matmul_q8_kouter_into_with,
+    matmul_q8_kouter_into_with_mode, QuantizedMatrix, QuantizedParams,
+};
+pub use simd::SimdMode;
 pub use tape::{Gradients, Tape, Value};
 pub use tensor::{
-    matmul_at_into, matmul_at_into_serial, matmul_at_into_with, matmul_bt_into,
-    matmul_bt_into_serial, matmul_bt_into_with, matmul_into, matmul_into_serial, matmul_into_with,
-    matmul_kouter_into, matmul_kouter_into_serial, matmul_kouter_into_with, Tensor,
+    matmul_at_into, matmul_at_into_serial, matmul_at_into_with, matmul_at_into_with_mode,
+    matmul_bt_into, matmul_bt_into_serial, matmul_bt_into_with, matmul_bt_into_with_mode,
+    matmul_into, matmul_into_serial, matmul_into_with, matmul_into_with_mode, matmul_kouter_into,
+    matmul_kouter_into_serial, matmul_kouter_into_with, matmul_kouter_into_with_mode, Tensor,
 };

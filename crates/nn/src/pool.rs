@@ -261,14 +261,22 @@ pub fn threads_from_env(value: Option<&str>) -> usize {
 /// One-time warning for an unparseable `EVA_NN_THREADS` value; repeated
 /// probes (the pool is consulted from many entry points) stay quiet.
 fn warn_bad_thread_count(value: &str, fallback: usize) {
-    use std::sync::Once;
-    static WARNED: Once = Once::new();
-    WARNED.call_once(|| {
-        eprintln!(
-            "[eva-nn] warning: EVA_NN_THREADS={value:?} is not a valid thread count \
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    warn_env_once(&WARNED, || {
+        format!(
+            "EVA_NN_THREADS={value:?} is not a valid thread count \
              (expected a non-negative integer); falling back to all cores ({fallback})"
-        );
+        )
     });
+}
+
+/// The one warned-once helper behind every `EVA_NN_*` env parser
+/// (`EVA_NN_THREADS` here, `EVA_NN_SIMD` in [`crate::simd`]): emit `msg`
+/// to stderr the first time `flag` trips, stay quiet forever after. Each
+/// variable owns its own `Once`, so one malformed variable never silences
+/// another's warning.
+pub(crate) fn warn_env_once(flag: &'static std::sync::Once, msg: impl FnOnce() -> String) {
+    flag.call_once(|| eprintln!("[eva-nn] warning: {}", msg()));
 }
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();

@@ -1,0 +1,457 @@
+//! Int8 per-output-channel symmetric weight quantization and its decode
+//! GEMM kernel.
+//!
+//! A weight matrix `w[k, n]` (row-major, output channel = column, matching
+//! every decode weight in the repo) quantizes to i8 with one f32 scale per
+//! column: `scale[j] = max|w[·, j]| / 127` (clamped away from zero so
+//! all-zero and denormal columns stay well-defined) and
+//! `q = round(w / scale)` clamped to `[-127, 127]`. Dequantization error
+//! is at most `scale[j] / 2` per element.
+//!
+//! The decode kernel [`matmul_q8_kouter_into`] mirrors
+//! [`crate::matmul_kouter_into`]'s k-outer weight streaming, but
+//! accumulates the *raw* integer-grid sums `Σ a[i,kk] · f32(q[kk,j])` in
+//! an f32 scratch first (ascending `kk`, zeros of `a` skipped — the same
+//! term order as the f32 kernel) and applies `scale[j]` exactly once per
+//! output element at the end. One multiply per element instead of one per
+//! term keeps the quantization error budget tight, and because the i8→f32
+//! widening is exact and every SIMD lane does a plain mul-then-add, the
+//! kernel is **bit-identical across scalar/SSE2/AVX2 and at every thread
+//! count** — only the quantization itself loses precision, never the
+//! execution strategy. The accuracy cost is gated end-to-end by the
+//! f32-vs-int8 decode budget test in `crates/serve/tests`.
+//!
+//! [`QuantizedParams`] carries a named set of quantized matrices and
+//! round-trips through a CRC64-tagged byte format (via [`crate::ckpt`]) so
+//! quantized artifacts get the same integrity checking as f32 ones.
+
+use std::io::{self, Read, Write};
+
+use crate::ckpt;
+use crate::params::ParamSet;
+use crate::pool::{self, Pool, SendPtr};
+use crate::simd::{self, Kernels, SimdMode};
+use crate::tensor::PAR_MACS;
+
+/// Magic prefix of the [`QuantizedParams`] byte format.
+const MAGIC: &[u8; 8] = b"EVAQNT1\0";
+
+/// An i8 weight matrix `[k, n]` with one symmetric scale per output
+/// channel (column). Layout matches the f32 original row-major, so the
+/// k-outer kernel streams rows of `q` contiguously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    k: usize,
+    n: usize,
+    q: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantize a row-major `[k, n]` f32 matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != k * n`.
+    pub fn quantize(w: &[f32], k: usize, n: usize) -> QuantizedMatrix {
+        assert_eq!(w.len(), k * n, "weight length");
+        let mut scales = vec![0.0f32; n];
+        for (j, scale) in scales.iter_mut().enumerate() {
+            let mut maxabs = 0.0f32;
+            for kk in 0..k {
+                maxabs = maxabs.max(w[kk * n + j].abs());
+            }
+            // The clamp keeps all-zero and denormal columns well-defined:
+            // they quantize to q = 0 (or ±1 for sub-MIN_POSITIVE values
+            // rounding away from zero) instead of dividing by zero.
+            *scale = (maxabs / 127.0).max(f32::MIN_POSITIVE);
+        }
+        let mut q = vec![0i8; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                let v = (w[kk * n + j] / scales[j]).round().clamp(-127.0, 127.0);
+                q[kk * n + j] = v as i8;
+            }
+        }
+        QuantizedMatrix { k, n, q, scales }
+    }
+
+    /// Rows (input dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns (output channels).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The i8 grid, row-major `[k, n]`.
+    pub fn q(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Per-column scales, length `n`.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstruct the f32 matrix `q[kk, j] * scale[j]`; each element is
+    /// within `scale[j] / 2` of the original (for in-range inputs).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.k * self.n];
+        for kk in 0..self.k {
+            for j in 0..self.n {
+                out[kk * self.n + j] = f32::from(self.q[kk * self.n + j]) * self.scales[j];
+            }
+        }
+        out
+    }
+}
+
+fn check_q8(a: &[f32], w: &QuantizedMatrix, out: &[f32], m: usize) {
+    assert_eq!(a.len(), m * w.k, "lhs length");
+    assert_eq!(out.len(), m * w.n, "out length");
+}
+
+/// Columns `[jlo, jhi)` of `out[m, n] += a @ dequant(w)`: raw grid sums
+/// into a local scratch, then one scale multiply per element.
+///
+/// # Safety
+///
+/// `out` must point at the full `[m, n]` buffer and no concurrent user may
+/// touch columns `[jlo, jhi)`.
+unsafe fn q8_cols(
+    kn: &Kernels,
+    a: &[f32],
+    w: &QuantizedMatrix,
+    out: SendPtr,
+    m: usize,
+    jlo: usize,
+    jhi: usize,
+) {
+    let (k, n) = (w.k, w.n);
+    let width = jhi - jlo;
+    let mut acc = vec![0.0f32; m * width];
+    for kk in 0..k {
+        let qrow = &w.q[kk * n + jlo..kk * n + jhi];
+        for i in 0..m {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            (kn.axpy_q8)(av, qrow, &mut acc[i * width..(i + 1) * width]);
+        }
+    }
+    for i in 0..m {
+        let orow = out.slice(i * n + jlo, i * n + jhi);
+        let arow = &acc[i * width..(i + 1) * width];
+        for c in 0..width {
+            orow[c] += arow[c] * w.scales[jlo + c];
+        }
+    }
+}
+
+fn q8_impl(kn: &Kernels, pool: &Pool, a: &[f32], w: &QuantizedMatrix, out: &mut [f32], m: usize) {
+    check_q8(a, w, out, m);
+    let (k, n) = (w.k, w.n);
+    let t = pool.threads();
+    let ptr = SendPtr::new(out);
+    if t == 1 || m * k * n < PAR_MACS || n < t {
+        // SAFETY: exclusive borrow, full column range.
+        return unsafe { q8_cols(kn, a, w, ptr, m, 0, n) };
+    }
+    pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
+        // SAFETY: column ranges are disjoint.
+        unsafe { q8_cols(kn, a, w, ptr, m, jlo, jhi) }
+    });
+}
+
+/// `out[m, n] += a[m, k] @ dequant(w)` — single-threaded scalar reference.
+/// Identical per-element term order to [`crate::matmul_kouter_into_serial`]
+/// on the dequantized matrix, with the scale applied once at the end.
+pub fn matmul_q8_kouter_into_serial(a: &[f32], w: &QuantizedMatrix, out: &mut [f32], m: usize) {
+    check_q8(a, w, out, m);
+    let ptr = SendPtr::new(out);
+    // SAFETY: exclusive borrow, full column range.
+    unsafe { q8_cols(simd::kernels_for(SimdMode::Off), a, w, ptr, m, 0, w.n) }
+}
+
+/// [`matmul_q8_kouter_into_serial`] threaded over an explicit pool with an
+/// explicit SIMD mode (bench/test sweeps). Bit-identical to the serial
+/// kernel at every thread count *and* every mode.
+pub fn matmul_q8_kouter_into_with_mode(
+    mode: SimdMode,
+    pool: &Pool,
+    a: &[f32],
+    w: &QuantizedMatrix,
+    out: &mut [f32],
+    m: usize,
+) {
+    q8_impl(simd::kernels_for(mode), pool, a, w, out, m);
+}
+
+/// [`matmul_q8_kouter_into_serial`] threaded over an explicit pool under
+/// the process-wide `EVA_NN_SIMD` mode.
+pub fn matmul_q8_kouter_into_with(
+    pool: &Pool,
+    a: &[f32],
+    w: &QuantizedMatrix,
+    out: &mut [f32],
+    m: usize,
+) {
+    q8_impl(simd::active(), pool, a, w, out, m);
+}
+
+/// [`matmul_q8_kouter_into_serial`] threaded over the process-global pool
+/// — the int8 decode hot path [`ContinuousBatch`](../model) calls.
+pub fn matmul_q8_kouter_into(a: &[f32], w: &QuantizedMatrix, out: &mut [f32], m: usize) {
+    q8_impl(simd::active(), pool::global(), a, w, out, m);
+}
+
+/// A named set of quantized matrices — the int8 sibling of [`ParamSet`],
+/// with a CRC64-tagged byte format for artifact storage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantizedParams {
+    names: Vec<String>,
+    mats: Vec<QuantizedMatrix>,
+}
+
+impl QuantizedParams {
+    /// Quantize the named 2-D tensors of `params`, in the given order.
+    /// Fails on a missing name or a non-2-D tensor.
+    pub fn quantize_matrices(params: &ParamSet, names: &[&str]) -> Result<QuantizedParams, String> {
+        let mut out = QuantizedParams::default();
+        for &name in names {
+            let idx = params
+                .index_of(name)
+                .ok_or_else(|| format!("no parameter named {name:?}"))?;
+            let t = params.tensor(idx);
+            let [k, n] = t.shape() else {
+                return Err(format!("{name:?} is not 2-D: shape {:?}", t.shape()));
+            };
+            out.names.push(name.to_string());
+            out.mats.push(QuantizedMatrix::quantize(t.data(), *k, *n));
+        }
+        Ok(out)
+    }
+
+    /// Number of matrices.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Index of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Name of entry `index`.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Matrix of entry `index`.
+    pub fn mat(&self, index: usize) -> &QuantizedMatrix {
+        &self.mats[index]
+    }
+
+    /// Serialize: magic, entry count, per-entry name/dims/grid/scales,
+    /// then a trailing CRC64 of everything before it.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&(self.mats.len() as u32).to_le_bytes());
+        for (name, mat) in self.names.iter().zip(&self.mats) {
+            body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            body.extend_from_slice(name.as_bytes());
+            body.extend_from_slice(&(mat.k as u64).to_le_bytes());
+            body.extend_from_slice(&(mat.n as u64).to_le_bytes());
+            body.extend_from_slice(unsafe {
+                // SAFETY: i8 and u8 have identical layout.
+                std::slice::from_raw_parts(mat.q.as_ptr() as *const u8, mat.q.len())
+            });
+            for s in &mat.scales {
+                body.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        body.extend_from_slice(&ckpt::crc64(&body).to_le_bytes());
+        w.write_all(&body)
+    }
+
+    /// Deserialize and verify the trailing CRC64; any mismatch (typo'd
+    /// magic, truncation, bit rot) is an `InvalidData` error.
+    pub fn load<R: Read>(mut r: R) -> io::Result<QuantizedParams> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if bytes.len() < MAGIC.len() + 12 {
+            return Err(bad("quantized params: truncated"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if ckpt::crc64(body) != stored {
+            return Err(bad("quantized params: CRC64 mismatch"));
+        }
+        if &body[..MAGIC.len()] != MAGIC {
+            return Err(bad("quantized params: bad magic"));
+        }
+        let mut at = MAGIC.len();
+        let mut take = |len: usize| -> io::Result<&[u8]> {
+            let chunk = body
+                .get(at..at + len)
+                .ok_or_else(|| bad("quantized params: truncated entry"))?;
+            at += len;
+            Ok(chunk)
+        };
+        let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let mut out = QuantizedParams::default();
+        for _ in 0..count {
+            let name_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+            let name = std::str::from_utf8(take(name_len)?)
+                .map_err(|_| bad("quantized params: non-UTF-8 name"))?
+                .to_string();
+            let k = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+            let n = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+            let q: Vec<i8> = take(k * n)?.iter().map(|&b| b as i8).collect();
+            let mut scales = Vec::with_capacity(n);
+            for chunk in take(n * 4)?.chunks_exact(4) {
+                scales.push(f32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+            }
+            out.names.push(name);
+            out.mats.push(QuantizedMatrix { k, n, q, scales });
+        }
+        if at != body.len() {
+            return Err(bad("quantized params: trailing bytes"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{matmul_kouter_into_serial, Tensor};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quantize_round_trip_error_is_within_half_a_scale_step() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (k, n) = (23, 17);
+        let w = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let qm = QuantizedMatrix::quantize(w.data(), k, n);
+        let deq = qm.dequantize();
+        for kk in 0..k {
+            for j in 0..n {
+                let err = (w.data()[kk * n + j] - deq[kk * n + j]).abs();
+                let budget = qm.scales()[j] * 0.5 + f32::EPSILON;
+                assert!(err <= budget, "({kk},{j}): err {err} > {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_denormal_columns_stay_finite() {
+        // Column 0 all zeros, column 1 denormal, column 2 ordinary.
+        let (k, n) = (3, 3);
+        let tiny = f32::MIN_POSITIVE / 4.0;
+        let w = vec![0.0, tiny, 1.0, 0.0, -tiny, -2.0, 0.0, tiny, 0.5];
+        let qm = QuantizedMatrix::quantize(&w, k, n);
+        assert!(qm.scales().iter().all(|s| s.is_finite() && *s > 0.0));
+        let deq = qm.dequantize();
+        assert!(deq.iter().all(|v| v.is_finite()));
+        // The all-zero column reconstructs exactly.
+        for kk in 0..k {
+            assert_eq!(deq[kk * n], 0.0);
+        }
+    }
+
+    #[test]
+    fn q8_kernel_matches_dequantized_f32_kernel_exactly_in_scalar_mode() {
+        // Same term order, one scale multiply at the end: running the f32
+        // kernel on dequant(w) differs (it rounds av*q*scale per term), so
+        // compare against an explicit raw-sum reference instead.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (m, k, n) = (3, 19, 11);
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let mut a = a.data().to_vec();
+        a[2] = 0.0; // exercise the zero-skip path
+        let w = Tensor::randn(vec![k, n], 0.3, &mut rng);
+        let qm = QuantizedMatrix::quantize(w.data(), k, n);
+        let mut got = vec![0.1f32; m * n]; // nonzero: the kernel accumulates
+        matmul_q8_kouter_into_serial(&a, &qm, &mut got, m);
+        let mut want = vec![0.1f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut raw = 0.0f32;
+                for kk in 0..k {
+                    let av = a[i * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    raw += av * f32::from(qm.q()[kk * n + j]);
+                }
+                want[i * n + j] += raw * qm.scales()[j];
+            }
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn q8_kernel_tracks_the_f32_kernel_within_quantization_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let (m, k, n) = (4, 64, 32);
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let w = Tensor::randn(vec![k, n], 0.2, &mut rng);
+        let qm = QuantizedMatrix::quantize(w.data(), k, n);
+        let mut f32_out = vec![0.0f32; m * n];
+        matmul_kouter_into_serial(a.data(), w.data(), &mut f32_out, m, k, n);
+        let mut q8_out = vec![0.0f32; m * n];
+        matmul_q8_kouter_into_serial(a.data(), &qm, &mut q8_out, m);
+        // Per element: |Σ a·(w - deq)| ≤ Σ|a| · scale/2, plus fp slack.
+        for i in 0..m {
+            let abs_a: f32 = a.data()[i * k..(i + 1) * k].iter().map(|v| v.abs()).sum();
+            for j in 0..n {
+                let budget = abs_a * qm.scales()[j] * 0.5 + 1e-4;
+                let err = (f32_out[i * n + j] - q8_out[i * n + j]).abs();
+                assert!(err <= budget, "({i},{j}): err {err} > {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_params_save_load_round_trip_and_crc_detection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut params = ParamSet::new();
+        params.register("w1", Tensor::randn(vec![8, 6], 1.0, &mut rng));
+        params.register("w2", Tensor::randn(vec![4, 10], 0.5, &mut rng));
+        let qp = QuantizedParams::quantize_matrices(&params, &["w1", "w2"]).expect("2-D params");
+        let mut bytes = Vec::new();
+        qp.save(&mut bytes).expect("in-memory save");
+        let back = QuantizedParams::load(&bytes[..]).expect("load");
+        assert_eq!(qp, back);
+        assert_eq!(back.index_of("w2"), Some(1));
+        // A flipped payload bit is caught by the CRC.
+        let mut corrupt = bytes.clone();
+        corrupt[MAGIC.len() + 7] ^= 1;
+        assert!(QuantizedParams::load(&corrupt[..]).is_err());
+        // Truncation too.
+        assert!(QuantizedParams::load(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn quantize_matrices_rejects_missing_and_non_2d() {
+        let mut params = ParamSet::new();
+        params.register("bias", Tensor::zeros(vec![7]));
+        assert!(QuantizedParams::quantize_matrices(&params, &["nope"]).is_err());
+        assert!(QuantizedParams::quantize_matrices(&params, &["bias"]).is_err());
+    }
+}

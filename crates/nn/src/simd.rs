@@ -1,0 +1,637 @@
+//! Runtime-dispatched SIMD inner kernels for the GEMM layer.
+//!
+//! The four GEMM kernels in [`crate::tensor`] funnel every hot inner loop
+//! through two primitive shapes: a rank-1 update (`y[j] += av * x[j]`,
+//! "axpy") and an ascending-`kk` dot product. This module provides those
+//! primitives at three instruction levels — portable scalar, SSE2, and
+//! AVX2(+FMA) — selected once per process by runtime CPU detection with an
+//! `EVA_NN_SIMD` override, and hands the blocked kernel bodies a
+//! [`Kernels`] table of function pointers.
+//!
+//! ## Accumulation-order contract
+//!
+//! - **axpy family** (`matmul`, `matmul_kouter`, `matmul_at`, and the int8
+//!   `axpy_q8`): every output element receives exactly one
+//!   `mul`-then-`add` per term, in the same ascending-`kk` order at every
+//!   width. A SIMD lane computes `y[j] + av * x[j]` with the same two
+//!   roundings as the scalar loop (no FMA contraction), so results are
+//!   **bit-identical across scalar/SSE2/AVX2** and at every thread count.
+//! - **dot family** (`matmul_bt`): the SIMD dot products keep one
+//!   accumulator *per lane* and reduce horizontally at the end (AVX2
+//!   additionally fuses each term with FMA). That reassociates the sum, so
+//!   `bt` under SSE2/AVX2 is **not** bit-identical to scalar — it is
+//!   gated by an error bound of `8 · k · ε · Σ|aᵢ·bᵢ|` per element in
+//!   `tests/kernels.rs` instead. Within one mode the per-column arithmetic
+//!   is fixed (the 4-wide tile is four copies of the single-column chain),
+//!   so any fixed mode is still bit-identical at every thread count and
+//!   across partitionings.
+//!
+//! The scalar table is byte-for-byte the pre-SIMD implementation and
+//! remains the bit-identity reference (`EVA_NN_SIMD=off`). Bit-exact
+//! reproducibility across *processes* (checkpoint resume, the batched ==
+//! sequential decode equivalence) therefore additionally requires the same
+//! effective SIMD mode on both sides.
+
+use std::sync::OnceLock;
+
+use crate::pool;
+
+/// Requested SIMD dispatch mode (`EVA_NN_SIMD`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdMode {
+    /// Best instruction set the CPU supports (the default).
+    #[default]
+    Auto,
+    /// AVX2 + FMA kernels; falls back to [`SimdMode::Auto`] (with a
+    /// one-time warning) if the CPU lacks them.
+    Avx2,
+    /// SSE2 kernels (x86_64 baseline).
+    Sse2,
+    /// Portable scalar kernels — the bit-identity reference.
+    Off,
+}
+
+impl SimdMode {
+    /// Parse an `EVA_NN_SIMD` value. `None`/empty means [`SimdMode::Auto`].
+    pub fn parse(value: &str) -> Option<SimdMode> {
+        match value.to_ascii_lowercase().as_str() {
+            "" | "auto" => Some(SimdMode::Auto),
+            "avx2" => Some(SimdMode::Avx2),
+            "sse2" => Some(SimdMode::Sse2),
+            "off" | "scalar" | "none" => Some(SimdMode::Off),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdMode::Auto => "auto",
+            SimdMode::Avx2 => "avx2",
+            SimdMode::Sse2 => "sse2",
+            SimdMode::Off => "off",
+        }
+    }
+}
+
+/// Interpret an `EVA_NN_SIMD` value, warning once (per process) on a
+/// malformed one and falling back to [`SimdMode::Auto`] — the same
+/// warn-once contract as `EVA_NN_THREADS` parsing in [`crate::pool`].
+pub fn mode_from_env(value: Option<&str>) -> SimdMode {
+    let Some(v) = value else {
+        return SimdMode::Auto;
+    };
+    match SimdMode::parse(v) {
+        Some(mode) => mode,
+        None => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            pool::warn_env_once(&WARNED, || {
+                format!("EVA_NN_SIMD={v:?} is not one of auto|avx2|sse2|off; using auto")
+            });
+            SimdMode::Auto
+        }
+    }
+}
+
+/// The inner-kernel function-pointer table the blocked GEMM bodies call.
+///
+/// A table is only ever constructed for instruction sets the running CPU
+/// supports (see [`kernels_for`]), which is what makes the
+/// `#[target_feature]` implementations sound to call through it.
+pub struct Kernels {
+    /// Resolved instruction set: `"scalar"`, `"sse2"`, or `"avx2"`.
+    pub(crate) name: &'static str,
+    /// `y[j] += av * x[j]` — exact (mul+add per element, no FMA).
+    pub(crate) axpy: fn(f32, &[f32], &mut [f32]),
+    /// `y[j] += av * (q[j] as f32)` — exact across modes (the i8→f32
+    /// conversion is lossless, then mul+add as above).
+    pub(crate) axpy_q8: fn(f32, &[i8], &mut [f32]),
+    /// Four independent dot products sharing one stream of `a` loads;
+    /// column `c`'s arithmetic is identical to `dot1(a, b_c)`.
+    pub(crate) dot4: fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f32; 4],
+    /// One ascending dot product.
+    pub(crate) dot1: fn(&[f32], &[f32]) -> f32,
+}
+
+impl Kernels {
+    /// Resolved instruction-set label (for benches and logs).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    axpy: axpy_scalar,
+    axpy_q8: axpy_q8_scalar,
+    dot4: dot4_scalar,
+    dot1: dot1_scalar,
+};
+
+/// Whether `mode` can run natively on this CPU (always true for `Auto`
+/// and `Off`). Used by tests and benches to skip unsupported sweeps.
+pub fn supported(mode: SimdMode) -> bool {
+    match mode {
+        SimdMode::Auto | SimdMode::Off => true,
+        #[cfg(target_arch = "x86_64")]
+        SimdMode::Avx2 => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdMode::Sse2 => true,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// The kernel table for `mode`. An explicitly requested mode the CPU
+/// cannot run warns once and falls back to the best supported set, so a
+/// stale `EVA_NN_SIMD=avx2` never aborts a deploy.
+pub fn kernels_for(mode: SimdMode) -> &'static Kernels {
+    match mode {
+        SimdMode::Off => &SCALAR,
+        SimdMode::Auto => detect_best(),
+        requested => {
+            if supported(requested) {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    return match requested {
+                        SimdMode::Avx2 => &x86::AVX2,
+                        SimdMode::Sse2 => &x86::SSE2,
+                        _ => unreachable!("Auto/Off handled above"),
+                    };
+                }
+            }
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            pool::warn_env_once(&WARNED, || {
+                format!(
+                    "EVA_NN_SIMD={} is not supported by this CPU; using {}",
+                    requested.name(),
+                    detect_best().name
+                )
+            });
+            detect_best()
+        }
+    }
+}
+
+/// Best instruction set the running CPU supports.
+fn detect_best() -> &'static Kernels {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if supported(SimdMode::Avx2) {
+            return &x86::AVX2;
+        }
+        return &x86::SSE2;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    &SCALAR
+}
+
+/// The process-wide active kernel table: `EVA_NN_SIMD` read once, then
+/// resolved against CPU detection. All bare/`_with` GEMM entry points
+/// dispatch through this.
+pub fn active() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let raw = std::env::var("EVA_NN_SIMD").ok();
+        kernels_for(mode_from_env(raw.as_deref()))
+    })
+}
+
+/// Resolved label of the active table (`"scalar"`, `"sse2"`, `"avx2"`) —
+/// what benches record next to their numbers.
+pub fn active_name() -> &'static str {
+    active().name()
+}
+
+// --- Portable scalar kernels (the reference implementations).
+
+/// `y[j] += av * x[j]`, unrolled ×8 so the compiler vectorizes the hot
+/// rank-1 update. Each `y[j]` gets exactly one fused-order mul-add, so
+/// bits match the naive loop.
+#[inline]
+fn axpy_scalar(av: f32, x: &[f32], y: &mut [f32]) {
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact_mut(8);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        ys[0] += av * xs[0];
+        ys[1] += av * xs[1];
+        ys[2] += av * xs[2];
+        ys[3] += av * xs[3];
+        ys[4] += av * xs[4];
+        ys[5] += av * xs[5];
+        ys[6] += av * xs[6];
+        ys[7] += av * xs[7];
+    }
+    for (xs, ys) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *ys += av * xs;
+    }
+}
+
+/// `y[j] += av * (q[j] as f32)` — the int8 rank-1 update. The widening
+/// conversion is exact, so this has the same rounding behavior (and the
+/// same cross-mode bit-identity) as [`axpy_scalar`].
+#[inline]
+fn axpy_q8_scalar(av: f32, q: &[i8], y: &mut [f32]) {
+    for (ys, qs) in y.iter_mut().zip(q) {
+        *ys += av * f32::from(*qs);
+    }
+}
+
+/// One ascending-`kk` dot product — byte-for-byte the serial `bt` chain.
+#[inline]
+fn dot1_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Four dot products sharing each `a` load; every accumulator is a single
+/// ascending chain, identical to [`dot1_scalar`] on its column.
+#[inline]
+fn dot4_scalar(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (kk, &av) in a.iter().enumerate() {
+        a0 += av * b0[kk];
+        a1 += av * b1[kk];
+        a2 += av * b2[kk];
+        a3 += av * b3[kk];
+    }
+    [a0, a1, a2, a3]
+}
+
+// --- x86_64 kernels. SSE2 is unconditionally available on x86_64; the
+// --- AVX2 table is only reachable after `is_x86_feature_detected!`
+// --- confirms both avx2 and fma (see `kernels_for`), which is what makes
+// --- the `#[target_feature]` functions sound behind plain fn pointers.
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{axpy_q8_scalar, Kernels};
+    use std::arch::x86_64::*;
+
+    pub(super) static SSE2: Kernels = Kernels {
+        name: "sse2",
+        axpy: axpy_sse2,
+        // SSE2 has no packed i8→i32 sign extension (that's SSE4.1); the
+        // scalar q8 update is already exact and cheap, so reuse it.
+        axpy_q8: axpy_q8_scalar,
+        dot4: dot4_sse2,
+        dot1: dot1_sse2,
+    };
+
+    pub(super) static AVX2: Kernels = Kernels {
+        name: "avx2",
+        axpy: axpy_avx2,
+        axpy_q8: axpy_q8_avx2,
+        dot4: dot4_avx2,
+        dot1: dot1_avx2,
+    };
+
+    /// 4-wide `y += av * x`. Explicit mul-then-add intrinsics: LLVM never
+    /// contracts separate intrinsic calls into FMA, so each element sees
+    /// the same two roundings as the scalar loop — bit-identical.
+    fn axpy_sse2(av: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len().min(y.len());
+        // SAFETY: SSE2 is baseline on x86_64; all loads/stores stay inside
+        // `x[..n]` / `y[..n]`.
+        unsafe {
+            let avv = _mm_set1_ps(av);
+            let mut j = 0;
+            while j + 4 <= n {
+                let xv = _mm_loadu_ps(x.as_ptr().add(j));
+                let yv = _mm_loadu_ps(y.as_ptr().add(j));
+                _mm_storeu_ps(y.as_mut_ptr().add(j), _mm_add_ps(yv, _mm_mul_ps(avv, xv)));
+                j += 4;
+            }
+            while j < n {
+                *y.get_unchecked_mut(j) += av * *x.get_unchecked(j);
+                j += 1;
+            }
+        }
+    }
+
+    /// 4-wide dot with one packed accumulator, reduced low-lane-first; the
+    /// scalar tail continues from the reduced sum. Reassociated relative
+    /// to scalar — covered by the documented `bt` error bound.
+    fn dot1_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len().min(b.len());
+        // SAFETY: SSE2 is baseline on x86_64; bounds as above.
+        unsafe {
+            let mut acc = _mm_setzero_ps();
+            let mut j = 0;
+            while j + 4 <= k {
+                let av = _mm_loadu_ps(a.as_ptr().add(j));
+                let bv = _mm_loadu_ps(b.as_ptr().add(j));
+                acc = _mm_add_ps(acc, _mm_mul_ps(av, bv));
+                j += 4;
+            }
+            let mut sum = hsum128(acc);
+            while j < k {
+                sum += *a.get_unchecked(j) * *b.get_unchecked(j);
+                j += 1;
+            }
+            sum
+        }
+    }
+
+    /// Four SSE2 dots sharing each `a` load. Per column the accumulator
+    /// sequence, reduction, and tail are exactly [`dot1_sse2`]'s, so tiled
+    /// and single-column evaluation agree bit-for-bit (what keeps `bt`
+    /// partition-invariant within this mode).
+    fn dot4_sse2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        let k = a.len();
+        // SAFETY: SSE2 is baseline on x86_64; the callers (tensor::bt_row)
+        // pass b-slices of length `k`.
+        unsafe {
+            let (mut c0, mut c1, mut c2, mut c3) = (
+                _mm_setzero_ps(),
+                _mm_setzero_ps(),
+                _mm_setzero_ps(),
+                _mm_setzero_ps(),
+            );
+            let mut j = 0;
+            while j + 4 <= k {
+                let av = _mm_loadu_ps(a.as_ptr().add(j));
+                c0 = _mm_add_ps(c0, _mm_mul_ps(av, _mm_loadu_ps(b0.as_ptr().add(j))));
+                c1 = _mm_add_ps(c1, _mm_mul_ps(av, _mm_loadu_ps(b1.as_ptr().add(j))));
+                c2 = _mm_add_ps(c2, _mm_mul_ps(av, _mm_loadu_ps(b2.as_ptr().add(j))));
+                c3 = _mm_add_ps(c3, _mm_mul_ps(av, _mm_loadu_ps(b3.as_ptr().add(j))));
+                j += 4;
+            }
+            let mut out = [hsum128(c0), hsum128(c1), hsum128(c2), hsum128(c3)];
+            while j < k {
+                let av = *a.get_unchecked(j);
+                out[0] += av * *b0.get_unchecked(j);
+                out[1] += av * *b1.get_unchecked(j);
+                out[2] += av * *b2.get_unchecked(j);
+                out[3] += av * *b3.get_unchecked(j);
+                j += 1;
+            }
+            out
+        }
+    }
+
+    /// Deterministic low-to-high reduction of a 4-lane register:
+    /// `(l0+l2) + (l1+l3)`.
+    #[inline]
+    unsafe fn hsum128(v: __m128) -> f32 {
+        let hi = _mm_movehl_ps(v, v); // lanes 2,3
+        let s = _mm_add_ps(v, hi); // l0+l2, l1+l3
+        let s1 = _mm_shuffle_ps(s, s, 0b01); // lane 1 of s
+        _mm_cvtss_f32(_mm_add_ss(s, s1))
+    }
+
+    fn axpy_avx2(av: f32, x: &[f32], y: &mut [f32]) {
+        // SAFETY: only installed in a table after avx2 detection.
+        unsafe { axpy_avx2_impl(av, x, y) }
+    }
+
+    /// 8-wide `y += av * x`, mul-then-add (deliberately *not* FMA) so each
+    /// element keeps the scalar rounding sequence — bit-identical.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_avx2_impl(av: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len().min(y.len());
+        let avv = _mm256_set1_ps(av);
+        let mut j = 0;
+        while j + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(j));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(j));
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(j),
+                _mm256_add_ps(yv, _mm256_mul_ps(avv, xv)),
+            );
+            j += 8;
+        }
+        while j < n {
+            *y.get_unchecked_mut(j) += av * *x.get_unchecked(j);
+            j += 1;
+        }
+    }
+
+    fn axpy_q8_avx2(av: f32, q: &[i8], y: &mut [f32]) {
+        // SAFETY: only installed in a table after avx2 detection.
+        unsafe { axpy_q8_avx2_impl(av, q, y) }
+    }
+
+    /// 8-wide int8 rank-1 update: sign-extend i8→i32, convert to f32
+    /// (both exact), then the same mul-then-add as [`axpy_avx2_impl`] —
+    /// bit-identical to the scalar q8 kernel.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_q8_avx2_impl(av: f32, q: &[i8], y: &mut [f32]) {
+        let n = q.len().min(y.len());
+        let avv = _mm256_set1_ps(av);
+        let mut j = 0;
+        while j + 8 <= n {
+            let q8 = _mm_loadl_epi64(q.as_ptr().add(j) as *const __m128i);
+            let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(j));
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(j),
+                _mm256_add_ps(yv, _mm256_mul_ps(avv, qf)),
+            );
+            j += 8;
+        }
+        while j < n {
+            *y.get_unchecked_mut(j) += av * f32::from(*q.get_unchecked(j));
+            j += 1;
+        }
+    }
+
+    fn dot1_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: only installed in a table after avx2+fma detection.
+        unsafe { dot1_avx2_impl(a, b) }
+    }
+
+    /// 8-wide FMA dot with one packed accumulator; reassociated relative
+    /// to scalar — covered by the documented `bt` error bound.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot1_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+        let k = a.len().min(b.len());
+        let mut acc = _mm256_setzero_ps();
+        let mut j = 0;
+        while j + 8 <= k {
+            let av = _mm256_loadu_ps(a.as_ptr().add(j));
+            let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+            acc = _mm256_fmadd_ps(av, bv, acc);
+            j += 8;
+        }
+        let mut sum = hsum256(acc);
+        while j < k {
+            sum += *a.get_unchecked(j) * *b.get_unchecked(j);
+            j += 1;
+        }
+        sum
+    }
+
+    fn dot4_avx2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+        // SAFETY: only installed in a table after avx2+fma detection.
+        unsafe { dot4_avx2_impl(a, b0, b1, b2, b3) }
+    }
+
+    /// Four AVX2 dots sharing each `a` load; per column identical to
+    /// [`dot1_avx2_impl`], keeping `bt` partition-invariant in-mode.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot4_avx2_impl(
+        a: &[f32],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+    ) -> [f32; 4] {
+        let k = a.len();
+        let (mut c0, mut c1, mut c2, mut c3) = (
+            _mm256_setzero_ps(),
+            _mm256_setzero_ps(),
+            _mm256_setzero_ps(),
+            _mm256_setzero_ps(),
+        );
+        let mut j = 0;
+        while j + 8 <= k {
+            let av = _mm256_loadu_ps(a.as_ptr().add(j));
+            c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0.as_ptr().add(j)), c0);
+            c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1.as_ptr().add(j)), c1);
+            c2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2.as_ptr().add(j)), c2);
+            c3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3.as_ptr().add(j)), c3);
+            j += 8;
+        }
+        let mut out = [hsum256(c0), hsum256(c1), hsum256(c2), hsum256(c3)];
+        while j < k {
+            let av = *a.get_unchecked(j);
+            out[0] += av * *b0.get_unchecked(j);
+            out[1] += av * *b1.get_unchecked(j);
+            out[2] += av * *b2.get_unchecked(j);
+            out[3] += av * *b3.get_unchecked(j);
+            j += 1;
+        }
+        out
+    }
+
+    /// Deterministic 8-lane reduction: halves first, then [`hsum128`].
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        hsum128(_mm_add_ps(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(SimdMode::parse("auto"), Some(SimdMode::Auto));
+        assert_eq!(SimdMode::parse(""), Some(SimdMode::Auto));
+        assert_eq!(SimdMode::parse("AVX2"), Some(SimdMode::Avx2));
+        assert_eq!(SimdMode::parse("sse2"), Some(SimdMode::Sse2));
+        assert_eq!(SimdMode::parse("off"), Some(SimdMode::Off));
+        assert_eq!(SimdMode::parse("scalar"), Some(SimdMode::Off));
+        assert_eq!(SimdMode::parse("avx512"), None);
+        assert_eq!(mode_from_env(None), SimdMode::Auto);
+        assert_eq!(mode_from_env(Some("off")), SimdMode::Off);
+        // Malformed values warn once and fall back rather than abort.
+        assert_eq!(mode_from_env(Some("fast")), SimdMode::Auto);
+    }
+
+    #[test]
+    fn off_resolves_to_scalar_and_auto_to_a_supported_set() {
+        assert_eq!(kernels_for(SimdMode::Off).name(), "scalar");
+        let auto = kernels_for(SimdMode::Auto).name();
+        assert!(["scalar", "sse2", "avx2"].contains(&auto), "{auto}");
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_across_every_supported_mode() {
+        // Ragged length exercises both the vector body and the tail.
+        let x: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let base: Vec<f32> = (0..37).map(|i| (i as f32 * 0.11).cos()).collect();
+        let av = 0.123_456_7f32;
+        let mut want = base.clone();
+        (SCALAR.axpy)(av, &x, &mut want);
+        for mode in [SimdMode::Sse2, SimdMode::Avx2, SimdMode::Auto] {
+            if !supported(mode) {
+                continue;
+            }
+            let kn = kernels_for(mode);
+            let mut got = base.clone();
+            (kn.axpy)(av, &x, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "{} axpy {w} vs {g}", kn.name());
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_q8_is_bit_identical_across_every_supported_mode() {
+        let q: Vec<i8> = (0..37).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+        let base: Vec<f32> = (0..37).map(|i| (i as f32 * 0.19).sin()).collect();
+        let av = -1.618f32;
+        let mut want = base.clone();
+        (SCALAR.axpy_q8)(av, &q, &mut want);
+        for mode in [SimdMode::Sse2, SimdMode::Avx2, SimdMode::Auto] {
+            if !supported(mode) {
+                continue;
+            }
+            let kn = kernels_for(mode);
+            let mut got = base.clone();
+            (kn.axpy_q8)(av, &q, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "{} q8 {w} vs {g}", kn.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dot4_matches_dot1_within_each_mode() {
+        // The bt partition-invariance hinge: a column must get the same
+        // bits whether it lands in a 4-wide tile or the singles tail.
+        let a: Vec<f32> = (0..29).map(|i| (i as f32 * 0.71).sin()).collect();
+        let cols: Vec<Vec<f32>> = (0..4)
+            .map(|c| (0..29).map(|i| ((i + c * 7) as f32 * 0.31).cos()).collect())
+            .collect();
+        for mode in [SimdMode::Off, SimdMode::Sse2, SimdMode::Avx2] {
+            if !supported(mode) {
+                continue;
+            }
+            let kn = kernels_for(mode);
+            let tiled = (kn.dot4)(&a, &cols[0], &cols[1], &cols[2], &cols[3]);
+            for (c, col) in cols.iter().enumerate() {
+                let single = (kn.dot1)(&a, col);
+                assert_eq!(
+                    tiled[c].to_bits(),
+                    single.to_bits(),
+                    "{} col {c}: {} vs {single}",
+                    kn.name(),
+                    tiled[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_dot_stays_within_the_documented_bound() {
+        let a: Vec<f32> = (0..333).map(|i| (i as f32 * 0.123).sin() * 2.0).collect();
+        let b: Vec<f32> = (0..333).map(|i| (i as f32 * 0.321).cos() * 2.0).collect();
+        let want = dot1_scalar(&a, &b);
+        let abs: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        let bound = 8.0 * a.len() as f32 * f32::EPSILON * abs + f32::MIN_POSITIVE;
+        for mode in [SimdMode::Sse2, SimdMode::Avx2] {
+            if !supported(mode) {
+                continue;
+            }
+            let got = (kernels_for(mode).dot1)(&a, &b);
+            assert!(
+                (got - want).abs() <= bound,
+                "{}: {got} vs {want}, bound {bound}",
+                mode.name()
+            );
+        }
+    }
+}

@@ -21,21 +21,37 @@
 //!   pool with register/cache blocking; what all production code calls.
 //! - `_with` — same, over an explicit [`Pool`] (benches, thread-count
 //!   tests).
+//! - `_with_mode` — same, with an explicit [`SimdMode`] instead of the
+//!   process-wide `EVA_NN_SIMD` choice (bench/test sweeps).
 //! - `_serial` — the reference single-threaded kernel, byte-for-byte the
-//!   pre-threading implementation. The determinism baseline.
+//!   pre-threading scalar implementation. The determinism baseline.
 //!
 //! **Determinism contract:** work is partitioned by *output element* (row
 //! or column ranges), so each element is accumulated by exactly one thread
-//! in the same ascending-`kk` term order as the serial kernel. Results are
-//! bit-identical to `_serial` at every thread count and every blocking
-//! factor — property-tested in `tests/kernels.rs`, and what keeps batched
-//! and sequential decode bit-identical (see [`matmul_kouter_into`]).
+//! in the same ascending-`kk` term order as the serial kernel, and the
+//! threaded entry points run their small-shape fallback through the same
+//! [`crate::simd::Kernels`] table as the partitioned path. At any fixed
+//! `EVA_NN_SIMD` mode, results are therefore bit-identical at every thread
+//! count and every blocking factor — property-tested in
+//! `tests/kernels.rs`, and what keeps batched and sequential decode
+//! bit-identical (see [`matmul_kouter_into`]).
+//!
+//! **Across modes** (`off`/`sse2`/`avx2`): `matmul`, `matmul_kouter`, and
+//! `matmul_at` are rank-1-update kernels whose SIMD lanes keep the scalar
+//! mul-then-add rounding per element — bit-identical to `_serial` in every
+//! mode. `matmul_bt` is a dot-product kernel whose SIMD form keeps one
+//! accumulator per lane (AVX2 adds FMA), which reassociates the sum: its
+//! SIMD results are gated by the documented error bound
+//! `8 · k · ε · Σ|aᵢ·bᵢ|` per element instead (see [`crate::simd`]).
+//! Bit-exact cross-process reproducibility (checkpoint resume) requires
+//! running both sides at the same effective mode.
 
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::pool::{self, Pool, SendPtr};
+use crate::simd::{self, Kernels, SimdMode};
 
 /// A dense row-major tensor of `f32`.
 #[derive(Clone, PartialEq)]
@@ -186,7 +202,7 @@ impl Tensor {
 /// Multiply-accumulate count below which a GEMM always runs serially —
 /// region dispatch costs a few microseconds, so tiny products never leave
 /// the calling thread.
-const PAR_MACS: usize = 16 * 1024;
+pub(crate) const PAR_MACS: usize = 16 * 1024;
 
 /// `out[m,n] += a[m,k] @ b[k,n]` — serial reference kernel. ikj loop
 /// order keeps the inner loop contiguous for both `b` and `out`; `b` is
@@ -288,42 +304,31 @@ pub fn matmul_at_into_serial(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k:
     }
 }
 
-// --- Blocked single-range bodies (bit-identical to the serial kernels;
-// --- the unrolled lanes are elementwise-independent, and every output
-// --- element keeps one ascending accumulation chain).
-
-/// `y[j] += av * x[j]`, unrolled ×8 so the compiler vectorizes the hot
-/// rank-1 update. Each `y[j]` gets exactly one fused-order mul-add, so
-/// bits match the naive loop.
-#[inline]
-fn axpy(av: f32, x: &[f32], y: &mut [f32]) {
-    let mut xc = x.chunks_exact(8);
-    let mut yc = y.chunks_exact_mut(8);
-    for (xs, ys) in (&mut xc).zip(&mut yc) {
-        ys[0] += av * xs[0];
-        ys[1] += av * xs[1];
-        ys[2] += av * xs[2];
-        ys[3] += av * xs[3];
-        ys[4] += av * xs[4];
-        ys[5] += av * xs[5];
-        ys[6] += av * xs[6];
-        ys[7] += av * xs[7];
-    }
-    for (xs, ys) in xc.remainder().iter().zip(yc.into_remainder()) {
-        *ys += av * xs;
-    }
-}
+// --- Blocked single-range bodies. The inner rank-1 updates and dot
+// --- products come from a `simd::Kernels` table; with the scalar table
+// --- these are bit-identical to the serial kernels (elementwise-
+// --- independent lanes, one ascending accumulation chain per element),
+// --- and the SIMD tables honor the per-kernel contract in the module
+// --- docs.
 
 /// ikj block over full rows: `a_rows` is `[rows, k]`, `out_rows` the
 /// matching `[rows, n]` window.
-fn ikj_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], rows: usize, k: usize, n: usize) {
+fn ikj_rows(
+    kn: &Kernels,
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..rows {
         for kk in 0..k {
             let av = a_rows[i * k + kk];
             if av == 0.0 {
                 continue;
             }
-            axpy(av, &b[kk * n..kk * n + n], &mut out_rows[i * n..i * n + n]);
+            (kn.axpy)(av, &b[kk * n..kk * n + n], &mut out_rows[i * n..i * n + n]);
         }
     }
 }
@@ -335,6 +340,7 @@ fn ikj_rows(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], rows: usize, k: usi
 /// `out` must point at the full `[m, n]` buffer and no concurrent user may
 /// touch columns `[jlo, jhi)`.
 unsafe fn ikj_cols(
+    kn: &Kernels,
     a: &[f32],
     b: &[f32],
     out: SendPtr,
@@ -352,7 +358,7 @@ unsafe fn ikj_cols(
             }
             let brow = &b[kk * n + jlo..kk * n + jhi];
             let orow = out.slice(i * n + jlo, i * n + jhi);
-            axpy(av, brow, orow);
+            (kn.axpy)(av, brow, orow);
         }
     }
 }
@@ -360,6 +366,7 @@ unsafe fn ikj_cols(
 /// k-outer block over full rows `[ilo, ihi)`: streams `b` once for the
 /// range.
 fn kouter_rows(
+    kn: &Kernels,
     a: &[f32],
     b: &[f32],
     out_rows: &mut [f32],
@@ -375,7 +382,7 @@ fn kouter_rows(
             if av == 0.0 {
                 continue;
             }
-            axpy(av, brow, &mut out_rows[(i - ilo) * n..(i - ilo) * n + n]);
+            (kn.axpy)(av, brow, &mut out_rows[(i - ilo) * n..(i - ilo) * n + n]);
         }
     }
 }
@@ -389,6 +396,7 @@ fn kouter_rows(
 /// `out` must point at the full `[m, n]` buffer and no concurrent user may
 /// touch columns `[jlo, jhi)`.
 unsafe fn kouter_cols(
+    kn: &Kernels,
     a: &[f32],
     b: &[f32],
     out: SendPtr,
@@ -406,19 +414,29 @@ unsafe fn kouter_cols(
                 continue;
             }
             let orow = out.slice(i * n + jlo, i * n + jhi);
-            axpy(av, brow, orow);
+            (kn.axpy)(av, brow, orow);
         }
     }
 }
 
 /// `a @ bᵀ` over full output rows, with the dot products `kk`-tiled four
 /// columns at a time: one load of `arow[kk]` feeds four accumulators, each
-/// still a single ascending-`kk` chain (bit-identical to serial).
-fn bt_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize, ilo: usize, ihi: usize) {
+/// still a single chain identical to the mode's single-column dot (scalar
+/// mode: bit-identical to serial).
+fn bt_rows(
+    kn: &Kernels,
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    ilo: usize,
+    ihi: usize,
+) {
     for i in ilo..ihi {
         let arow = &a[i * k..i * k + k];
         let orow = &mut out_rows[(i - ilo) * n..(i - ilo) * n + n];
-        bt_row(arow, b, orow, k, 0, n);
+        bt_row(kn, arow, b, orow, k, 0, n);
     }
 }
 
@@ -429,6 +447,7 @@ fn bt_rows(a: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize, ilo: 
 /// `out` must point at the full `[m, n]` buffer and no concurrent user may
 /// touch columns `[jlo, jhi)`.
 unsafe fn bt_cols(
+    kn: &Kernels,
     a: &[f32],
     b: &[f32],
     out: SendPtr,
@@ -441,28 +460,33 @@ unsafe fn bt_cols(
     for i in 0..m {
         let arow = &a[i * k..i * k + k];
         let orow = out.slice(i * n + jlo, i * n + jhi);
-        bt_row(arow, b, orow, k, jlo, jhi);
+        bt_row(kn, arow, b, orow, k, jlo, jhi);
     }
 }
 
 /// One output row of `a @ bᵀ` restricted to columns `[jlo, jhi)`;
-/// `orow[j - jlo]` receives column `j`.
+/// `orow[j - jlo]` receives column `j`. The mode's `dot4` computes each
+/// column exactly as its `dot1` would, so results do not depend on which
+/// columns share a tile — bt stays partition-invariant within a mode.
 #[inline]
-fn bt_row(arow: &[f32], b: &[f32], orow: &mut [f32], k: usize, jlo: usize, jhi: usize) {
+fn bt_row(
+    kn: &Kernels,
+    arow: &[f32],
+    b: &[f32],
+    orow: &mut [f32],
+    k: usize,
+    jlo: usize,
+    jhi: usize,
+) {
     let mut j = jlo;
     while j + 4 <= jhi {
-        let b0 = &b[j * k..j * k + k];
-        let b1 = &b[(j + 1) * k..(j + 1) * k + k];
-        let b2 = &b[(j + 2) * k..(j + 2) * k + k];
-        let b3 = &b[(j + 3) * k..(j + 3) * k + k];
-        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for kk in 0..k {
-            let av = arow[kk];
-            a0 += av * b0[kk];
-            a1 += av * b1[kk];
-            a2 += av * b2[kk];
-            a3 += av * b3[kk];
-        }
+        let [a0, a1, a2, a3] = (kn.dot4)(
+            arow,
+            &b[j * k..j * k + k],
+            &b[(j + 1) * k..(j + 1) * k + k],
+            &b[(j + 2) * k..(j + 2) * k + k],
+            &b[(j + 3) * k..(j + 3) * k + k],
+        );
         orow[j - jlo] += a0;
         orow[j + 1 - jlo] += a1;
         orow[j + 2 - jlo] += a2;
@@ -470,12 +494,7 @@ fn bt_row(arow: &[f32], b: &[f32], orow: &mut [f32], k: usize, jlo: usize, jhi: 
         j += 4;
     }
     while j < jhi {
-        let brow = &b[j * k..j * k + k];
-        let mut acc = 0.0f32;
-        for kk in 0..k {
-            acc += arow[kk] * brow[kk];
-        }
-        orow[j - jlo] += acc;
+        orow[j - jlo] += (kn.dot1)(arow, &b[j * k..j * k + k]);
         j += 1;
     }
 }
@@ -483,6 +502,7 @@ fn bt_row(arow: &[f32], b: &[f32], orow: &mut [f32], k: usize, jlo: usize, jhi: 
 /// `aᵀ @ c` over the output-row window `[klo, khi)` (rows of `out` are
 /// indexed by `kk`); every range streams `a` and `c` but owns its rows.
 fn at_rows(
+    kn: &Kernels,
     a: &[f32],
     c: &[f32],
     out_rows: &mut [f32],
@@ -499,7 +519,7 @@ fn at_rows(
             if av == 0.0 {
                 continue;
             }
-            axpy(av, crow, &mut out_rows[(kk - klo) * n..(kk - klo) * n + n]);
+            (kn.axpy)(av, crow, &mut out_rows[(kk - klo) * n..(kk - klo) * n + n]);
         }
     }
 }
@@ -512,10 +532,8 @@ fn check_gemm(a: &[f32], b: &[f32], out: &[f32], al: usize, bl: usize, ol: usize
     assert_eq!(out.len(), ol, "out length");
 }
 
-/// [`matmul_into_serial`] threaded over an explicit pool: output rows are
-/// partitioned when `m` is large (training shapes), columns otherwise.
-/// Bit-identical to the serial kernel at every thread count.
-pub fn matmul_into_with(
+fn matmul_into_impl(
+    kn: &Kernels,
     pool: &Pool,
     a: &[f32],
     b: &[f32],
@@ -527,30 +545,63 @@ pub fn matmul_into_with(
     check_gemm(a, b, out, m * k, k * n, m * n);
     let t = pool.threads();
     if t == 1 || m * k * n < PAR_MACS {
-        return matmul_into_serial(a, b, out, m, k, n);
+        // Same kernel table as the partitioned path, so a fixed mode is
+        // bit-identical at every thread count (serial included).
+        return ikj_rows(kn, a, b, out, m, k, n);
     }
     if m >= t {
         let ptr = SendPtr::new(out);
         pool.run_ranges(m, (PAR_MACS / (k * n).max(1)).max(1), |lo, hi| {
             // SAFETY: row ranges are disjoint.
             let out_rows = unsafe { ptr.slice(lo * n, hi * n) };
-            ikj_rows(&a[lo * k..hi * k], b, out_rows, hi - lo, k, n);
+            ikj_rows(kn, &a[lo * k..hi * k], b, out_rows, hi - lo, k, n);
         });
     } else if n >= t {
         let ptr = SendPtr::new(out);
         pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
             // SAFETY: column ranges are disjoint.
-            unsafe { ikj_cols(a, b, ptr, m, k, n, jlo, jhi) }
+            unsafe { ikj_cols(kn, a, b, ptr, m, k, n, jlo, jhi) }
         });
     } else {
-        matmul_into_serial(a, b, out, m, k, n);
+        ikj_rows(kn, a, b, out, m, k, n);
     }
+}
+
+/// [`matmul_into_with`] under an explicit [`SimdMode`] (bench/test
+/// sweeps).
+pub fn matmul_into_with_mode(
+    mode: SimdMode,
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_into_impl(simd::kernels_for(mode), pool, a, b, out, m, k, n);
+}
+
+/// [`matmul_into_serial`] threaded over an explicit pool: output rows are
+/// partitioned when `m` is large (training shapes), columns otherwise.
+/// Bit-identical to the serial kernel at every thread count (rank-1
+/// updates stay exact in every SIMD mode — see the module docs).
+pub fn matmul_into_with(
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_into_impl(simd::active(), pool, a, b, out, m, k, n);
 }
 
 /// [`matmul_into_serial`] threaded over the process-global pool — the
 /// kernel all production call sites use.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    matmul_into_with(pool::global(), a, b, out, m, k, n);
+    matmul_into_impl(simd::active(), pool::global(), a, b, out, m, k, n);
 }
 
 /// [`matmul_kouter_into_serial`] threaded over an explicit pool: output
@@ -567,38 +618,95 @@ pub fn matmul_kouter_into_with(
     k: usize,
     n: usize,
 ) {
+    matmul_kouter_into_impl(simd::active(), pool, a, b, out, m, k, n);
+}
+
+/// [`matmul_kouter_into_with`] under an explicit [`SimdMode`].
+pub fn matmul_kouter_into_with_mode(
+    mode: SimdMode,
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_kouter_into_impl(simd::kernels_for(mode), pool, a, b, out, m, k, n);
+}
+
+fn matmul_kouter_into_impl(
+    kn: &Kernels,
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     check_gemm(a, b, out, m * k, k * n, m * n);
     let t = pool.threads();
     if t == 1 || m * k * n < PAR_MACS {
-        return matmul_kouter_into_serial(a, b, out, m, k, n);
+        return kouter_rows(kn, a, b, out, k, n, 0, m);
     }
     if n >= t {
         let ptr = SendPtr::new(out);
         pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
             // SAFETY: column ranges are disjoint.
-            unsafe { kouter_cols(a, b, ptr, m, k, n, jlo, jhi) }
+            unsafe { kouter_cols(kn, a, b, ptr, m, k, n, jlo, jhi) }
         });
     } else if m >= t {
         let ptr = SendPtr::new(out);
         pool.run_ranges(m, (PAR_MACS / (k * n).max(1)).max(1), |ilo, ihi| {
             // SAFETY: row ranges are disjoint.
             let out_rows = unsafe { ptr.slice(ilo * n, ihi * n) };
-            kouter_rows(a, b, out_rows, k, n, ilo, ihi);
+            kouter_rows(kn, a, b, out_rows, k, n, ilo, ihi);
         });
     } else {
-        matmul_kouter_into_serial(a, b, out, m, k, n);
+        kouter_rows(kn, a, b, out, k, n, 0, m);
     }
 }
 
 /// [`matmul_kouter_into_serial`] threaded over the process-global pool.
 pub fn matmul_kouter_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    matmul_kouter_into_with(pool::global(), a, b, out, m, k, n);
+    matmul_kouter_into_impl(simd::active(), pool::global(), a, b, out, m, k, n);
 }
 
 /// [`matmul_bt_into_serial`] threaded over an explicit pool, with
 /// `kk`-tiled four-wide dot products. Output rows are partitioned when `m`
-/// is large, columns otherwise. Bit-identical to the serial kernel.
+/// is large, columns otherwise. Bit-identical to the serial kernel in
+/// scalar mode and at every thread count within any fixed mode; SIMD
+/// modes reassociate the dot sums within the documented error bound (see
+/// the module docs).
 pub fn matmul_bt_into_with(
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_bt_into_impl(simd::active(), pool, a, b, out, m, k, n);
+}
+
+/// [`matmul_bt_into_with`] under an explicit [`SimdMode`].
+pub fn matmul_bt_into_with_mode(
+    mode: SimdMode,
+    pool: &Pool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_bt_into_impl(simd::kernels_for(mode), pool, a, b, out, m, k, n);
+}
+
+fn matmul_bt_into_impl(
+    kn: &Kernels,
     pool: &Pool,
     a: &[f32],
     b: &[f32],
@@ -610,29 +718,29 @@ pub fn matmul_bt_into_with(
     check_gemm(a, b, out, m * k, n * k, m * n);
     let t = pool.threads();
     if t == 1 || m * k * n < PAR_MACS {
-        return matmul_bt_into_serial(a, b, out, m, k, n);
+        return bt_rows(kn, a, b, out, k, n, 0, m);
     }
     if m >= t {
         let ptr = SendPtr::new(out);
         pool.run_ranges(m, (PAR_MACS / (k * n).max(1)).max(1), |ilo, ihi| {
             // SAFETY: row ranges are disjoint.
             let out_rows = unsafe { ptr.slice(ilo * n, ihi * n) };
-            bt_rows(a, b, out_rows, k, n, ilo, ihi);
+            bt_rows(kn, a, b, out_rows, k, n, ilo, ihi);
         });
     } else if n >= t {
         let ptr = SendPtr::new(out);
         pool.run_ranges(n, (PAR_MACS / (m * k).max(1)).max(1), |jlo, jhi| {
             // SAFETY: column ranges are disjoint.
-            unsafe { bt_cols(a, b, ptr, m, k, n, jlo, jhi) }
+            unsafe { bt_cols(kn, a, b, ptr, m, k, n, jlo, jhi) }
         });
     } else {
-        matmul_bt_into_serial(a, b, out, m, k, n);
+        bt_rows(kn, a, b, out, k, n, 0, m);
     }
 }
 
 /// [`matmul_bt_into_serial`] threaded over the process-global pool.
 pub fn matmul_bt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    matmul_bt_into_with(pool::global(), a, b, out, m, k, n);
+    matmul_bt_into_impl(simd::active(), pool::global(), a, b, out, m, k, n);
 }
 
 /// [`matmul_at_into_serial`] threaded over an explicit pool: the output's
@@ -648,22 +756,49 @@ pub fn matmul_at_into_with(
     k: usize,
     n: usize,
 ) {
+    matmul_at_into_impl(simd::active(), pool, a, c, out, m, k, n);
+}
+
+/// [`matmul_at_into_with`] under an explicit [`SimdMode`].
+pub fn matmul_at_into_with_mode(
+    mode: SimdMode,
+    pool: &Pool,
+    a: &[f32],
+    c: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_at_into_impl(simd::kernels_for(mode), pool, a, c, out, m, k, n);
+}
+
+fn matmul_at_into_impl(
+    kn: &Kernels,
+    pool: &Pool,
+    a: &[f32],
+    c: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     check_gemm(a, c, out, m * k, m * n, k * n);
     let t = pool.threads();
     if t == 1 || m * k * n < PAR_MACS || k < t {
-        return matmul_at_into_serial(a, c, out, m, k, n);
+        return at_rows(kn, a, c, out, m, k, n, 0, k);
     }
     let ptr = SendPtr::new(out);
     pool.run_ranges(k, (PAR_MACS / (m * n).max(1)).max(1), |klo, khi| {
         // SAFETY: output-row ranges are disjoint.
         let out_rows = unsafe { ptr.slice(klo * n, khi * n) };
-        at_rows(a, c, out_rows, m, k, n, klo, khi);
+        at_rows(kn, a, c, out_rows, m, k, n, klo, khi);
     });
 }
 
 /// [`matmul_at_into_serial`] threaded over the process-global pool.
 pub fn matmul_at_into(a: &[f32], c: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    matmul_at_into_with(pool::global(), a, c, out, m, k, n);
+    matmul_at_into_impl(simd::active(), pool::global(), a, c, out, m, k, n);
 }
 
 impl fmt::Debug for Tensor {

@@ -7,11 +7,20 @@
 //! non-zeroed destinations (the kernels accumulate) and inputs containing
 //! exact zeros (the serial kernels skip them, so the threaded ones must
 //! partition work, never reorder or drop per-element terms).
+//!
+//! The SIMD sweeps below extend the same contract across every supported
+//! `EVA_NN_SIMD` mode: the axpy-family kernels and the int8 decode kernel
+//! stay bit-identical to scalar in *every* mode, while `matmul_bt_into`
+//! (whose SIMD dot products reorder accumulation) is exact under `off`
+//! and held to the documented `8·k·ε·Σ|aᵢ·bᵢ|` envelope otherwise — and
+//! is still bit-identical across thread counts at any one fixed mode.
 
 use eva_nn::{
-    matmul_at_into_serial, matmul_at_into_with, matmul_bt_into_serial, matmul_bt_into_with,
-    matmul_into_serial, matmul_into_with, matmul_kouter_into_serial, matmul_kouter_into_with,
-    pool::threads_from_env, Pool,
+    matmul_at_into_serial, matmul_at_into_with, matmul_at_into_with_mode, matmul_bt_into_serial,
+    matmul_bt_into_with, matmul_bt_into_with_mode, matmul_into_serial, matmul_into_with,
+    matmul_into_with_mode, matmul_kouter_into_serial, matmul_kouter_into_with,
+    matmul_kouter_into_with_mode, matmul_q8_kouter_into_serial, matmul_q8_kouter_into_with_mode,
+    pool::threads_from_env, Pool, QuantizedMatrix, SimdMode,
 };
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -161,6 +170,224 @@ fn large_shapes_take_the_partitioned_path_and_match() {
             );
         }
     }
+}
+
+/// Every `EVA_NN_SIMD` mode this host can execute, `Off` first (the
+/// scalar reference table). Unsupported instruction sets are skipped
+/// rather than exercised through the warn-and-fall-back path, so each
+/// swept mode genuinely runs its own kernel table.
+fn modes() -> Vec<SimdMode> {
+    [
+        SimdMode::Off,
+        SimdMode::Sse2,
+        SimdMode::Avx2,
+        SimdMode::Auto,
+    ]
+    .into_iter()
+    .filter(|&m| eva_nn::simd::supported(m))
+    .collect()
+}
+
+/// The axpy-family kernels (`matmul`/`kouter`/`at`) keep per-element
+/// accumulation order in every SIMD mode (vector mul + add over the same
+/// ascending index walk, no packed reductions), so they owe bit-identity
+/// to the scalar serial reference in *all* modes at *all* thread counts.
+macro_rules! simd_mode_identity {
+    ($test:ident, $serial:ident, $with_mode:ident, $lens:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn $test(((m, k, n), a, b, init) in cases($lens)) {
+                let mut reference = init.clone();
+                $serial(&a, &b, &mut reference, m, k, n);
+                for mode in modes() {
+                    for (&threads, pool) in THREADS.iter().zip(pools()) {
+                        let mut out = init.clone();
+                        $with_mode(mode, pool, &a, &b, &mut out, m, k, n);
+                        assert_bits_eq(
+                            &out,
+                            &reference,
+                            &format!(
+                                "{} {m}x{k}x{n} {mode:?} @ {threads} threads",
+                                stringify!($with_mode)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+simd_mode_identity!(
+    matmul_into_is_bit_identical_in_every_simd_mode,
+    matmul_into_serial,
+    matmul_into_with_mode,
+    |m, k, n| (m * k, k * n, m * n)
+);
+simd_mode_identity!(
+    matmul_kouter_into_is_bit_identical_in_every_simd_mode,
+    matmul_kouter_into_serial,
+    matmul_kouter_into_with_mode,
+    |m, k, n| (m * k, k * n, m * n)
+);
+simd_mode_identity!(
+    matmul_at_into_is_bit_identical_in_every_simd_mode,
+    matmul_at_into_serial,
+    matmul_at_into_with_mode,
+    |m, k, n| (m * k, m * n, k * n)
+);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// `matmul_bt_into` under SIMD uses packed accumulators + a
+    /// deterministic horizontal sum, which reorders the k-term dot
+    /// product: exact under `Off`, within the documented
+    /// `8·k·ε·Σ|aᵢ·bᵢ|` envelope otherwise, and bit-identical across
+    /// thread counts at any one fixed mode (the partitioning never
+    /// changes per-element order).
+    #[test]
+    fn matmul_bt_into_simd_modes_hold_the_ulp_envelope(
+        ((m, k, n), a, b, _) in cases(|m, k, n| (m * k, n * k, m * n))
+    ) {
+        let mut reference = vec![0.0f32; m * n];
+        matmul_bt_into_serial(&a, &b, &mut reference, m, k, n);
+        for mode in modes() {
+            let mut at_one_thread: Option<Vec<f32>> = None;
+            for (&threads, pool) in THREADS.iter().zip(pools()) {
+                let mut out = vec![0.0f32; m * n];
+                matmul_bt_into_with_mode(mode, pool, &a, &b, &mut out, m, k, n);
+                if mode == SimdMode::Off {
+                    assert_bits_eq(
+                        &out,
+                        &reference,
+                        &format!("matmul_bt_into {m}x{k}x{n} Off @ {threads} threads"),
+                    );
+                } else {
+                    for (idx, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                        let (i, j) = (idx / n, idx % n);
+                        let abs_dot: f32 =
+                            (0..k).map(|c| (a[i * k + c] * b[j * k + c]).abs()).sum();
+                        let bound =
+                            8.0 * k as f32 * f32::EPSILON * abs_dot + f32::MIN_POSITIVE;
+                        prop_assert!(
+                            (got - want).abs() <= bound,
+                            "matmul_bt_into {m}x{k}x{n} {mode:?} @ {threads} threads: \
+                             out[{idx}] = {got} vs {want} exceeds {bound}",
+                        );
+                    }
+                }
+                match &at_one_thread {
+                    None => at_one_thread = Some(out),
+                    Some(first) => assert_bits_eq(
+                        &out,
+                        first,
+                        &format!(
+                            "matmul_bt_into {m}x{k}x{n} {mode:?}: thread-count variance \
+                             @ {threads} threads"
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The int8 decode kernel accumulates raw integer-grid sums and
+    /// applies one scale multiply per element, so it is bit-identical
+    /// across every SIMD mode and thread count — the property batched
+    /// quantized decode relies on for admission-order independence.
+    #[test]
+    fn q8_kouter_is_bit_identical_across_modes_and_threads(
+        ((m, k, n), a, b, init) in cases(|m, k, n| (m * k, k * n, m * n))
+    ) {
+        let qm = QuantizedMatrix::quantize(&b, k, n);
+        let mut reference = init.clone();
+        matmul_q8_kouter_into_serial(&a, &qm, &mut reference, m);
+        for mode in modes() {
+            for (&threads, pool) in THREADS.iter().zip(pools()) {
+                let mut out = init.clone();
+                matmul_q8_kouter_into_with_mode(mode, pool, &a, &qm, &mut out, m);
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("matmul_q8_kouter_into {m}x{k}x{n} {mode:?} @ {threads} threads"),
+                );
+            }
+        }
+    }
+
+    /// Per-output-channel symmetric quantization round-trip: every
+    /// dequantized entry sits within half a quantization step of the
+    /// original (scale = max|column| / 127).
+    #[test]
+    fn quantize_round_trip_stays_within_half_a_step(
+        ((k, n), w) in (dim(), dim()).prop_flat_map(|(k, n)| {
+            (Just((k, n)), prop::collection::vec(-4.0..4.0f32, k * n))
+        })
+    ) {
+        let qm = QuantizedMatrix::quantize(&w, k, n);
+        let round_trip = qm.dequantize();
+        for j in 0..n {
+            let scale = qm.scales()[j];
+            prop_assert!(scale >= f32::MIN_POSITIVE, "column {j} scale clamps positive");
+            for i in 0..k {
+                let (orig, dq) = (w[i * n + j], round_trip[i * n + j]);
+                prop_assert!(
+                    (orig - dq).abs() <= 0.5 * scale + f32::EPSILON * orig.abs(),
+                    "column {j} row {i}: {orig} -> {dq} off by more than scale/2 ({scale})",
+                );
+            }
+        }
+    }
+}
+
+/// Per-channel scale edge cases: an all-zero column keeps a positive
+/// (clamped) scale and round-trips to exact zeros, and a column of
+/// denormals quantizes to the zero code instead of poisoning the scale.
+#[test]
+fn quantize_handles_zero_and_denormal_columns() {
+    let (k, n) = (4, 3);
+    // Column 0: ordinary values; column 1: exact zeros; column 2:
+    // denormals far below f32::MIN_POSITIVE.
+    let mut w = vec![0.0f32; k * n];
+    for i in 0..k {
+        w[i * n] = (i as f32 + 1.0) * 0.25;
+        w[i * n + 2] = 1.0e-40;
+    }
+    let qm = QuantizedMatrix::quantize(&w, k, n);
+    for (j, &scale) in qm.scales().iter().enumerate() {
+        assert!(
+            scale >= f32::MIN_POSITIVE && scale.is_finite(),
+            "column {j} scale {scale} must be a positive normal"
+        );
+    }
+    let round_trip = qm.dequantize();
+    for i in 0..k {
+        assert_eq!(
+            round_trip[i * n + 1].to_bits(),
+            0.0f32.to_bits(),
+            "zero column must round-trip to exact zero"
+        );
+        assert_eq!(
+            qm.q()[i * n + 2],
+            0,
+            "denormal inputs land on the zero code under the clamped scale"
+        );
+    }
+    // The kernel still runs cleanly over such a matrix.
+    let a = vec![1.0f32; 2 * k];
+    let mut out = vec![0.0f32; 2 * n];
+    matmul_q8_kouter_into_serial(&a, &qm, &mut out, 2);
+    assert_eq!(
+        out[1].to_bits(),
+        0.0f32.to_bits(),
+        "zero column contributes zero"
+    );
+    assert_eq!(
+        out[2].to_bits(),
+        0.0f32.to_bits(),
+        "denormal column quantized to zero"
+    );
 }
 
 /// `EVA_NN_THREADS=1` semantics: a 1-thread pool is the exact serial code

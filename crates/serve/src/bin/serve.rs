@@ -4,7 +4,7 @@
 //! cargo run -p eva-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
 //!     [--batch N] [--deadline-us N] [--max-lanes N] [--prefix-cache-entries N] \
-//!     [--validate] [--seed N] [--demo-steps N] \
+//!     [--quantize off|int8] [--validate] [--seed N] [--demo-steps N] \
 //!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N] \
 //!     [--shed-watermark-pct N] [--restart-backoff-ms N] \
 //!     [--max-discover-jobs N] [--discover-candidates N] \
@@ -40,6 +40,17 @@ fn main() {
             "--deadline-us" => parse_into(&mut config.batch_deadline_us, args.next()),
             "--max-lanes" => parse_into(&mut config.max_lanes, args.next()),
             "--prefix-cache-entries" => parse_into(&mut config.prefix_cache_entries, args.next()),
+            "--quantize" => match args.next().map(|v| v.parse::<eva_serve::QuantizeMode>()) {
+                Some(Ok(mode)) => config.quantize = mode,
+                Some(Err(e)) => {
+                    eprintln!("error: --quantize: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("error: --quantize needs a mode (off|int8)");
+                    std::process::exit(2);
+                }
+            },
             "--validate" => config.default_validate = true,
             "--read-timeout-ms" => parse_into(&mut config.read_timeout_ms, args.next()),
             "--write-timeout-ms" => parse_into(&mut config.write_timeout_ms, args.next()),
@@ -61,10 +72,22 @@ fn main() {
     config.base_seed = seed;
 
     let artifacts = match &artifacts_dir {
-        Some(dir) => EvaArtifacts::load(dir).unwrap_or_else(|e| {
-            eprintln!("error: failed to load artifacts from {dir}: {e}");
-            std::process::exit(1);
-        }),
+        // Under --quantize int8, pick up a pre-quantized `model.quant`
+        // sidecar when the directory has one (quantizing at load
+        // otherwise); the service itself would quantize too, but doing it
+        // here keeps sidecar CRC failures loud instead of silently
+        // re-quantizing.
+        Some(dir) => {
+            let loaded = if config.quantize == eva_serve::QuantizeMode::Int8 {
+                EvaArtifacts::load_quantized(dir)
+            } else {
+                EvaArtifacts::load(dir)
+            };
+            loaded.unwrap_or_else(|e| {
+                eprintln!("error: failed to load artifacts from {dir}: {e}");
+                std::process::exit(1);
+            })
+        }
         None => {
             eprintln!(
                 "[serve] no --artifacts; pretraining a demo model ({demo_steps} steps, seed {seed})"
@@ -104,14 +127,16 @@ fn main() {
     // so worker count never multiplies kernel threads.
     eprintln!(
         "[serve] workers {} queue {} batch {} lanes {} prefix-cache {} deadline {}us \
-         kernel-threads {}",
+         kernel-threads {} simd {} quantize {}",
         config.workers,
         config.queue_capacity,
         config.max_batch,
         config.lane_capacity(),
         config.prefix_cache_entries,
         config.batch_deadline_us,
-        eva_nn::pool::global().threads()
+        eva_nn::pool::global().threads(),
+        eva_nn::simd::active_name(),
+        config.quantize.name()
     );
     eprintln!(
         "[serve] read-timeout {}ms write-timeout {}ms request-deadline {}ms (0 = disabled)",

@@ -4,6 +4,41 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+/// Decode weight precision served by the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum QuantizeMode {
+    /// f32 decode — bit-identical to solo decode (the default).
+    #[default]
+    Off,
+    /// Int8 per-channel weight-quantized decode: ~4× smaller streamed
+    /// weights, deterministic output, accuracy gated by the f32-vs-int8
+    /// budget test in `tests/quant_accuracy.rs`.
+    Int8,
+}
+
+impl QuantizeMode {
+    /// Stable lowercase name (CLI/metrics spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantizeMode::Off => "off",
+            QuantizeMode::Int8 => "int8",
+        }
+    }
+}
+
+impl std::str::FromStr for QuantizeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<QuantizeMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "f32" => Ok(QuantizeMode::Off),
+            "int8" => Ok(QuantizeMode::Int8),
+            other => Err(format!("unknown quantize mode {other:?} (off|int8)")),
+        }
+    }
+}
+
 /// Configuration of a [`crate::GenerationService`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -113,6 +148,11 @@ pub struct ServeConfig {
     /// are refused typed so a client cannot silently lose resumability.
     #[serde(default)]
     pub job_dir: Option<std::path::PathBuf>,
+    /// Decode weight precision: `int8` quantizes the streamed decode
+    /// weights at startup (or reuses pre-quantized artifacts) and routes
+    /// every worker's GEMMs through the int8 kernel. Default `off`.
+    #[serde(default)]
+    pub quantize: QuantizeMode,
 }
 
 fn default_prefix_cache_entries() -> usize {
@@ -195,6 +235,7 @@ impl Default for ServeConfig {
             discover_max_generations: default_discover_max_generations(),
             discover_max_population: default_discover_max_population(),
             job_dir: None,
+            quantize: QuantizeMode::default(),
         }
     }
 }
@@ -335,6 +376,24 @@ mod tests {
         assert_eq!(c.discover_generations, default_discover_generations());
         assert_eq!(c.discover_population, default_discover_population());
         assert_eq!(c.job_dir, None);
+        assert_eq!(c.quantize, QuantizeMode::Off);
+    }
+
+    #[test]
+    fn quantize_mode_parses_and_serializes_lowercase() {
+        assert_eq!("int8".parse::<QuantizeMode>(), Ok(QuantizeMode::Int8));
+        assert_eq!("OFF".parse::<QuantizeMode>(), Ok(QuantizeMode::Off));
+        assert_eq!("f32".parse::<QuantizeMode>(), Ok(QuantizeMode::Off));
+        assert!("int4".parse::<QuantizeMode>().is_err());
+        assert_eq!(QuantizeMode::Int8.name(), "int8");
+        let json = serde_json::to_string(&QuantizeMode::Int8).unwrap();
+        assert_eq!(json, "\"int8\"");
+        let c = ServeConfig {
+            quantize: QuantizeMode::Int8,
+            ..ServeConfig::default()
+        };
+        let back: ServeConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back.quantize, QuantizeMode::Int8);
     }
 
     #[test]

@@ -293,6 +293,8 @@ impl Metrics {
             candidates_unique: self.candidates_unique.load(Ordering::Relaxed),
             spice_evals: self.spice_evals.load(Ordering::Relaxed),
             ga_generations: self.ga_generations.load(Ordering::Relaxed),
+            quantized: false,
+            simd: String::new(),
             queue_wait: self.queue_wait.snapshot(),
             ttft: self.ttft.snapshot(),
             decode: self.decode.snapshot(),
@@ -345,6 +347,14 @@ pub struct MetricsSnapshot {
     pub in_flight: u64,
     /// Requests sitting in the queue right now.
     pub queue_depth: u64,
+    /// Whether workers decode through int8-quantized weights (absent in
+    /// snapshots from servers predating quantized decode, as is `simd`).
+    #[serde(default)]
+    pub quantized: bool,
+    /// Active SIMD kernel table (`scalar`/`sse2`/`avx2`), resolved from
+    /// runtime detection and `EVA_NN_SIMD`; empty when unreported.
+    #[serde(default)]
+    pub simd: String,
     /// Tokens sampled across all completed requests.
     pub tokens_generated: u64,
     /// Scheduling episodes (idle-to-decoding transitions).

@@ -65,12 +65,14 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eva_core::{fault, EvaArtifacts};
-use eva_model::{ContinuousBatch, LaneOutput, LaneRequest, SamplingPolicy, Transformer};
+use eva_model::{
+    ContinuousBatch, LaneOutput, LaneRequest, QuantizedDecodeWeights, SamplingPolicy, Transformer,
+};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::config::ServeConfig;
+use crate::config::{QuantizeMode, ServeConfig};
 use crate::discovery::{DiscoverError, DiscoveryJob, JobManager};
 use crate::metrics::{HealthSnapshot, Metrics, MetricsSnapshot};
 use crate::protocol::{DiscoverRequest, GenerateRequest, OkResponse, Response};
@@ -382,6 +384,9 @@ impl Drop for JobSlot {
 pub(crate) struct ServiceInner {
     pub(crate) model: Arc<Transformer>,
     pub(crate) tokenizer: Arc<Tokenizer>,
+    /// Int8 decode weights every worker's pool decodes through; `Some`
+    /// exactly when [`ServeConfig::quantize`] is `int8`.
+    pub(crate) quant: Option<Arc<QuantizedDecodeWeights>>,
     pub(crate) config: ServeConfig,
     pub(crate) configured_workers: usize,
     // Shared with every `PendingGeneration` so waiter-side timeouts are
@@ -438,12 +443,32 @@ impl GenerationService {
         tokenizer: Arc<Tokenizer>,
         config: ServeConfig,
     ) -> Result<GenerationService, ServeError> {
+        Self::start_prepared(model, tokenizer, config, None)
+    }
+
+    /// [`GenerationService::start`] with optionally pre-quantized decode
+    /// weights. When `config.quantize` is `int8` and `prepared` is `None`,
+    /// the weights are quantized here, once, before any worker spawns;
+    /// with `quantize` off, `prepared` is ignored.
+    pub fn start_prepared(
+        model: Arc<Transformer>,
+        tokenizer: Arc<Tokenizer>,
+        config: ServeConfig,
+        prepared: Option<Arc<QuantizedDecodeWeights>>,
+    ) -> Result<GenerationService, ServeError> {
         let _ = fault::active();
+        let quant = match config.quantize {
+            QuantizeMode::Off => None,
+            QuantizeMode::Int8 => {
+                Some(prepared.unwrap_or_else(|| Arc::new(QuantizedDecodeWeights::quantize(&model))))
+            }
+        };
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
         let workers = config.workers.max(1);
         let inner = Arc::new(ServiceInner {
             model,
             tokenizer,
+            quant,
             config,
             configured_workers: workers,
             metrics: Arc::new(Metrics::new()),
@@ -499,11 +524,17 @@ impl GenerationService {
         artifacts: &EvaArtifacts,
         config: ServeConfig,
     ) -> Result<GenerationService, ServeError> {
-        GenerationService::start(
+        GenerationService::start_prepared(
             Arc::clone(&artifacts.model),
             Arc::clone(&artifacts.tokenizer),
             config,
+            artifacts.quantized.clone(),
         )
+    }
+
+    /// Whether workers decode through int8 weights.
+    pub fn is_quantized(&self) -> bool {
+        self.inner.quant.is_some()
     }
 
     /// The service configuration.
@@ -521,9 +552,13 @@ impl GenerationService {
         self.tx.as_ref().map_or(0, Sender::len)
     }
 
-    /// Snapshot the metrics registry.
+    /// Snapshot the metrics registry, stamped with the decode-path facts
+    /// (quantization, active SIMD table) operators correlate latency with.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot(self.queue_depth())
+        let mut snap = self.inner.metrics.snapshot(self.queue_depth());
+        snap.quantized = self.is_quantized();
+        snap.simd = eva_nn::simd::active_name().to_owned();
+        snap
     }
 
     /// The metrics registry itself — for transports that keep gauges
@@ -808,11 +843,12 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
     // The pool (KV arena + prefix cache) persists across scheduling
     // episodes: prefixes cached while serving one burst keep paying off
     // for the worker's whole lifetime.
-    let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new(
+    let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new_quantized(
         &inner.model,
         max_lanes,
         grammar,
         inner.config.prefix_cache_entries,
+        inner.quant.clone(),
     );
     let mut inflight: Vec<Option<InFlight>> = (0..max_lanes).map(|_| None).collect();
     let (mut hits_seen, mut reused_seen) = (0u64, 0u64);

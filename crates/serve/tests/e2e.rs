@@ -96,6 +96,54 @@ fn checkpoint_to_service_round_trip() {
 }
 
 #[test]
+fn quantized_service_round_trip_is_deterministic_and_reported() {
+    use eva_serve::QuantizeMode;
+
+    let eva = tiny_pretrained(23);
+    let dir = std::env::temp_dir().join(format!("eva_serve_e2e_q_{}", std::process::id()));
+    eva.save_artifacts(&dir).expect("save artifacts");
+    let artifacts = EvaArtifacts::load_quantized(&dir).expect("load + quantize artifacts");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(artifacts.quantized.is_some(), "quantized at load");
+
+    let service = GenerationService::from_artifacts(
+        &artifacts,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            quantize: QuantizeMode::Int8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("quantized service starts");
+    assert!(service.is_quantized());
+
+    let run = |seed: u64| match service
+        .generate(GenParams {
+            seed,
+            max_len: 48,
+            ..GenParams::default()
+        })
+        .expect("queue has room")
+    {
+        Completion::Ok(generation) => generation,
+        other => panic!("quantized generation failed: {other:?}"),
+    };
+    let first = run(300);
+    assert_eq!(first.token_text[0], "VSS");
+    assert!(!first.tokens.contains(&Tokenizer::END));
+    assert!(!first.tokens.contains(&Tokenizer::PAD));
+    // Same seed ⇒ same tokens under the quantized pool too.
+    assert_eq!(run(300).tokens, first.tokens);
+
+    let snapshot = service.metrics();
+    assert!(snapshot.quantized, "snapshot reports the quantized path");
+    assert!(!snapshot.simd.is_empty(), "snapshot reports the SIMD table");
+    assert_eq!(snapshot.completed, 2);
+    service.shutdown();
+}
+
+#[test]
 fn micro_batch_decodes_jointly_and_matches_solo_decodes() {
     let eva = tiny_pretrained(26);
     // One worker, generous deadline: a burst lands in one lockstep batch.

@@ -1,0 +1,146 @@
+//! Accuracy budget for the int8 weight-quantized decode path.
+//!
+//! Quantized decode is deliberately *not* bit-identical to f32 decode —
+//! the int8 grid loses precision by construction — so its gate is an
+//! end-to-end budget instead of an equality: decode the same seeded
+//! request set through both paths and assert the engine-level quality
+//! signals (structural validity rate, and GA-sized figure of merit on the
+//! valid survivors) stay within recorded thresholds. The thresholds are
+//! the contract `--quantize int8` ships under; tightening the quantizer
+//! may tighten them, but a regression that blows them is a real accuracy
+//! loss, not test flake — everything below is seeded and deterministic.
+
+use std::sync::Arc;
+
+use eva_core::{Eva, EvaOptions, PretrainConfig};
+use eva_dataset::CircuitType;
+use eva_eval::{GaConfig, GaRun};
+use eva_model::{
+    decode_batch_quantized, LaneOutput, LaneRequest, QuantizedDecodeWeights, SamplingPolicy,
+};
+use eva_tokenizer::Tokenizer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Seeded requests decoded through each path.
+const LANES: usize = 48;
+/// Length cap per request (clamped to the model context).
+const MAX_LEN: usize = 48;
+/// Recorded budget on |validity(f32) − validity(int8)|: int8 may shift
+/// which walks parse/validate, but not collapse the validity rate. Over
+/// 48 seeded lanes this allows at most 9 flipped verdicts.
+const VALIDITY_DELTA_BUDGET: f64 = 0.20;
+/// Recorded budget on |log10 FoM(f32) − log10 FoM(int8)| of the best
+/// GA-sized valid candidate per path: the quantized engine must find
+/// circuits in the same figure-of-merit decade ballpark.
+const FOM_LOG10_DELTA_BUDGET: f64 = 1.5;
+
+fn tiny_pretrained(seed: u64) -> Eva {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut eva = Eva::prepare(&EvaOptions::test_scale(), &mut rng);
+    let config = PretrainConfig {
+        steps: 25,
+        batch_size: 4,
+        lr: 1e-3,
+        warmup: 3,
+    };
+    eva.pretrain(&config, &mut rng);
+    eva
+}
+
+fn decode_set(eva: &Eva, quant: Option<Arc<QuantizedDecodeWeights>>) -> Vec<LaneOutput> {
+    let tokenizer = eva.tokenizer();
+    let policy = SamplingPolicy::constrained(tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
+    let max_len = SamplingPolicy::clamp_len(MAX_LEN, eva.model().config().max_seq_len);
+    let lanes: Vec<LaneRequest<ChaCha8Rng>> = (0..LANES as u64)
+        .map(|i| LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(9_000 + i),
+            temperature: 0.85,
+            top_k: Some(25),
+            max_len,
+            prompt: Vec::new(),
+        })
+        .collect();
+    decode_batch_quantized(eva.model(), &policy, lanes, 0, quant)
+}
+
+/// Valid topologies per path, in lane order, plus the validity rate.
+fn validity(eva: &Eva, outputs: &[LaneOutput]) -> (Vec<eva_circuit::Topology>, f64) {
+    let mut valid = Vec::new();
+    for out in outputs {
+        let Ok(sequence) = eva.tokenizer().to_sequence(&out.tokens) else {
+            continue;
+        };
+        let Ok(topology) = sequence.to_topology() else {
+            continue;
+        };
+        if eva_spice::check_validity(&topology).is_valid() {
+            valid.push(topology);
+        }
+    }
+    let rate = valid.len() as f64 / outputs.len() as f64;
+    (valid, rate)
+}
+
+/// Best GA-sized FoM across the first few valid topologies (tiny seeded
+/// runs — this gates relative f32-vs-int8 drift, not absolute quality).
+fn best_fom(topologies: &[eva_circuit::Topology]) -> Option<f64> {
+    let ga_cfg = GaConfig {
+        population: 8,
+        generations: 3,
+        ..GaConfig::default()
+    };
+    let mut best: Option<f64> = None;
+    for (i, topology) in topologies.iter().take(3).enumerate() {
+        let Some(mut run) = GaRun::new(topology, CircuitType::OpAmp, &ga_cfg, 77 + i as u64) else {
+            continue;
+        };
+        for _ in 0..ga_cfg.generations {
+            run.step();
+        }
+        if let Some(fom) = run.best_fom() {
+            if fom.is_finite() && fom > 0.0 {
+                best = Some(best.map_or(fom, |b: f64| b.max(fom)));
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn int8_decode_stays_within_the_recorded_accuracy_budget() {
+    let eva = tiny_pretrained(31);
+    let quant = Arc::new(QuantizedDecodeWeights::quantize(eva.model()));
+
+    let f32_out = decode_set(&eva, None);
+    let int8_out = decode_set(&eva, Some(Arc::clone(&quant)));
+    assert_eq!(f32_out.len(), LANES);
+    assert_eq!(int8_out.len(), LANES);
+    assert!(f32_out.iter().all(LaneOutput::is_ok));
+    assert!(int8_out.iter().all(LaneOutput::is_ok));
+
+    // Quantized decode is deterministic: the same seeds reproduce it.
+    let int8_again = decode_set(&eva, Some(Arc::clone(&quant)));
+    assert_eq!(int8_out, int8_again, "int8 decode must be deterministic");
+
+    let (f32_valid, f32_rate) = validity(&eva, &f32_out);
+    let (int8_valid, int8_rate) = validity(&eva, &int8_out);
+    let delta = (f32_rate - int8_rate).abs();
+    assert!(
+        delta <= VALIDITY_DELTA_BUDGET,
+        "validity rate drifted past budget: f32 {f32_rate:.3} vs int8 {int8_rate:.3} \
+         (|Δ| {delta:.3} > {VALIDITY_DELTA_BUDGET})"
+    );
+
+    // FoM budget, gated only when both paths produce a sizable candidate
+    // (at this tiny scale a path may legitimately find none; the validity
+    // budget above still holds then).
+    if let (Some(f32_fom), Some(int8_fom)) = (best_fom(&f32_valid), best_fom(&int8_valid)) {
+        let log_delta = (f32_fom.log10() - int8_fom.log10()).abs();
+        assert!(
+            log_delta <= FOM_LOG10_DELTA_BUDGET,
+            "FoM drifted past budget: f32 {f32_fom:.3e} vs int8 {int8_fom:.3e} \
+             (|Δlog10| {log_delta:.3} > {FOM_LOG10_DELTA_BUDGET})"
+        );
+    }
+}
