@@ -196,16 +196,27 @@ fn decode_sequential(
     let limit = max_len.min(model.config().max_seq_len);
     let mut generator = Generator::new(model);
     let mut tokens = vec![policy.start];
+    let mut grammar = policy.fresh_state();
     let mut logits = generator.step(policy.start).expect("start within context");
     loop {
         if tokens.len() >= limit {
             return tokens;
         }
-        policy.mask_logits(*tokens.last().expect("non-empty"), &mut logits);
-        let next = TokenId(sample_logits(&logits, 1.0, Some(40), &mut rng) as u32);
+        let budget = limit - tokens.len();
+        policy.mask_logits(
+            &grammar,
+            *tokens.last().expect("non-empty"),
+            &mut logits,
+            budget,
+        );
+        let next = TokenId(
+            sample_logits(&logits, 1.0, Some(40), &mut rng).expect("minimal grammar never dries up")
+                as u32,
+        );
         if next == policy.end {
             return tokens;
         }
+        policy.observe(&mut grammar, next);
         tokens.push(next);
         if tokens.len() >= limit {
             return tokens;

@@ -20,6 +20,8 @@ use crate::graph::PinGraph;
 use crate::node::Node;
 use crate::topology::{same_device, Topology};
 
+pub use crate::incremental::IncrementalValidity;
+
 /// The *through-device* edges of a device instance: a single edge for
 /// two-terminal devices, and a closed cycle over the pins (in canonical role
 /// order) for transistors. These edges let the Eulerian walk move between

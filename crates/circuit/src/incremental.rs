@@ -1,0 +1,881 @@
+//! Incremental Eulerian-walk validity automaton.
+//!
+//! [`IncrementalValidity`] tracks, token by token, whether a partial
+//! Eulerian walk (the decoder's output so far) can still be extended to a
+//! walk whose decoded topology passes every *structural* rule of the
+//! validity oracle (`eva_spice::check_validity` rules 1–5): supply pins
+//! present, no supply shorts or driven-port conflicts, no floating device
+//! pins, no self-loops, connected, and closable back at `VSS`.
+//!
+//! The automaton is the kernel behind grammar-masked decoding
+//! (`eva_model::SamplingPolicy`) and the PPO reward model's fast
+//! rule-checker: each appended node updates a union-find over wire nets
+//! (with *rail* tagging for `VSS` and the source-driven ports), a
+//! wire-degree ledger per pin, and the per-device unwired-pin count — all
+//! O(α) amortized — so masking a vocabulary is cheap enough to run every
+//! decode step on every lane, and the state is cloneable for
+//! copy-on-admit prefix-cache lanes.
+//!
+//! ## Certificate-carrying closing plans
+//!
+//! Masking must never paint a lane into a dead end: a token is only
+//! admissible if, *after* appending it, a concrete closing suffix — a
+//! **plan** — exists that returns the walk to `VSS`, wires `VDD`, and
+//! wires every touched device pin, within the lane's remaining token
+//! budget. The automaton carries its current plan as a certificate:
+//! following the plan's head leaves the tail as a valid certificate for
+//! the successor state (no re-planning, no reliance on planner
+//! monotonicity), and deviating to any other admissible token re-plans
+//! from the successor state — which the admissibility check already
+//! proved possible within budget. Decode therefore cannot dead-end, and
+//! a lane that hits its length cap mid-plan has, by construction, already
+//! been prevented: plans always fit the remaining budget.
+//!
+//! ## Structural, not electrical
+//!
+//! The automaton guarantees everything the oracle checks *before* the DC
+//! solve. DC convergence itself is electrical: with the conducting
+//! vocabulary (MOS/BJT/R/C/diode + ports) the gmin/source-stepping
+//! homotopy converges for every structurally valid topology we generate,
+//! but `Inductor` (a near-short at DC) and `CurrentSource` (forced
+//! current into a DC-open path) can still defeat it. See DESIGN.md
+//! "Grammar-masked decoding" for the boundary.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::device::Device;
+use crate::node::{CircuitPin, Node};
+
+/// The electrical "rail" a wire-net is pinned to, used to pre-empt the
+/// elaborator's port rules: merging two nets is illegal iff both carry a
+/// rail and the rails differ (supply short, port-to-ground short, or two
+/// driven ports sharing a net). `VOUT` carries no rail — the elaborator
+/// only hangs a load on it — and device pins are rail-free until merged
+/// with a circuit pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rail {
+    /// The ground net (`VSS`).
+    Ground,
+    /// A source-driven port: `VDD`, `VIN*`, `VB*`, `VREF*`, `CLK*`, `CTRL*`.
+    Driven(CircuitPin),
+}
+
+fn rail_of(pin: CircuitPin) -> Option<Rail> {
+    match pin {
+        CircuitPin::Vss => Some(Rail::Ground),
+        CircuitPin::Vout(_) => None,
+        CircuitPin::Vdd
+        | CircuitPin::Vin(_)
+        | CircuitPin::Vbias(_)
+        | CircuitPin::Vref(_)
+        | CircuitPin::Clk(_)
+        | CircuitPin::Ctrl(_) => Some(Rail::Driven(pin)),
+    }
+}
+
+/// One device of the node universe: its pin node-indices in canonical
+/// role order, and whether *every* role has a vocabulary node (a device
+/// with an unreachable pin can never satisfy the floating-pin rule, so
+/// its pins are never admissible).
+#[derive(Debug)]
+struct DeviceEntry {
+    pins: Vec<u32>,
+    complete: bool,
+}
+
+/// The immutable node universe shared (via `Arc`) by every clone of an
+/// automaton: the decoder's emittable nodes, indexed, with per-device
+/// pin groups. Built once per vocabulary.
+#[derive(Debug)]
+struct Universe {
+    nodes: Vec<Node>,
+    index: HashMap<Node, u32>,
+    devices: Vec<DeviceEntry>,
+    /// Node index → device slot (for device pins).
+    device_of: Vec<Option<u32>>,
+    vss: u32,
+    vdd: Option<u32>,
+}
+
+impl Universe {
+    fn build<I: IntoIterator<Item = Node>>(nodes: I) -> Universe {
+        let mut uni = Universe {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            devices: Vec::new(),
+            device_of: Vec::new(),
+            vss: 0,
+            vdd: None,
+        };
+        let mut slot_of: HashMap<Device, u32> = HashMap::new();
+        let mut insert = |uni: &mut Universe, node: Node| {
+            if uni.index.contains_key(&node) {
+                return;
+            }
+            let idx = uni.nodes.len() as u32;
+            uni.nodes.push(node);
+            uni.index.insert(node, idx);
+            let dev = node.device().map(|device| {
+                let slot = *slot_of.entry(device).or_insert_with(|| {
+                    uni.devices.push(DeviceEntry {
+                        pins: Vec::new(),
+                        complete: false,
+                    });
+                    (uni.devices.len() - 1) as u32
+                });
+                uni.devices[slot as usize].pins.push(idx);
+                slot
+            });
+            uni.device_of.push(dev);
+        };
+        // VSS is always part of the universe: it is the walk's anchor even
+        // if the vocabulary iterator omits it.
+        insert(&mut uni, Node::VSS);
+        for node in nodes {
+            insert(&mut uni, node);
+        }
+        uni.vss = uni.index[&Node::VSS];
+        uni.vdd = uni.index.get(&Node::Circuit(CircuitPin::Vdd)).copied();
+        // Re-sort each device's pins into canonical role order and record
+        // completeness, so plans and obligations are role-deterministic.
+        for (device, &slot) in &slot_of {
+            let entry = &mut uni.devices[slot as usize];
+            let mut ordered = Vec::with_capacity(device.kind.pin_roles().len());
+            for &role in device.kind.pin_roles() {
+                if let Some(&idx) = uni.index.get(&Node::pin(*device, role)) {
+                    ordered.push(idx);
+                }
+            }
+            entry.complete = ordered.len() == device.kind.pin_roles().len();
+            entry.pins = ordered;
+        }
+        uni
+    }
+}
+
+/// Per-lane incremental validity automaton over a fixed node universe.
+///
+/// Feed the walk one node at a time with [`append`](Self::append)
+/// (the leading `VSS` is implicit — the automaton starts there), query
+/// candidate extensions with [`admissible`](Self::admissible) and
+/// termination with [`can_terminate`](Self::can_terminate). Cloning is
+/// cheap (a handful of `Vec`s over the universe; the universe itself is
+/// shared) and clones evolve independently — the copy-on-admit contract
+/// the prefix cache needs.
+///
+/// Appending a structurally illegal or out-of-universe node **poisons**
+/// the automaton: it stops tracking and every query turns permissive
+/// (admissible/terminable always true), so callers degrade to their
+/// unmasked behavior instead of erroring — this is how arbitrary user
+/// prompts flow through a grammar-constrained lane.
+#[derive(Debug, Clone)]
+pub struct IncrementalValidity {
+    uni: Arc<Universe>,
+    /// Union-find parent per node (self-parent = root).
+    parent: Vec<u32>,
+    /// Union-by-size weights (valid at roots).
+    size: Vec<u32>,
+    /// Net rail (valid at roots).
+    rail: Vec<Option<Rail>>,
+    /// Wire edges incident to each node (internal hops excluded).
+    wire_deg: Vec<u32>,
+    /// Device slots that appear in at least one wire.
+    touched: Vec<bool>,
+    /// Current walk endpoint (node index).
+    cur: u32,
+    /// Appended nodes so far (= walk edges; the initial `VSS` is step 0).
+    steps: usize,
+    /// Total unwired pins across touched devices (the floating-pin debt).
+    unwired: usize,
+    vdd_wired: bool,
+    poisoned: bool,
+    /// Cached closing plan, stored reversed (`last()` is the next node).
+    /// `None` after poisoning or when the planner cannot close the state
+    /// (possible only for prompt-injected walks, never for decode-sampled
+    /// ones). `Some(vec![])` means the walk is terminable as-is.
+    plan: Option<Vec<u32>>,
+}
+
+impl IncrementalValidity {
+    /// Build the start-state automaton (walk = `[VSS]`) over the given
+    /// node universe — every node the decoder can emit. Without `VDD` in
+    /// the universe no walk can ever close, so the automaton starts
+    /// poisoned (permissive) rather than masking everything.
+    pub fn new<I: IntoIterator<Item = Node>>(universe: I) -> IncrementalValidity {
+        let uni = Arc::new(Universe::build(universe));
+        let n = uni.nodes.len();
+        let mut rail = vec![None; n];
+        for (i, node) in uni.nodes.iter().enumerate() {
+            if let Node::Circuit(pin) = node {
+                rail[i] = rail_of(*pin);
+            }
+        }
+        let poisoned = uni.vdd.is_none();
+        let mut auto = IncrementalValidity {
+            cur: uni.vss,
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            rail,
+            wire_deg: vec![0; n],
+            touched: vec![false; uni.devices.len()],
+            uni,
+            steps: 0,
+            unwired: 0,
+            vdd_wired: false,
+            poisoned,
+            plan: None,
+        };
+        auto.plan = auto.compute_plan();
+        auto
+    }
+
+    /// Whether the automaton has stopped tracking (illegal or
+    /// out-of-universe append). Poisoned automata answer every query
+    /// permissively.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Stop tracking explicitly. Used when a caller observes a symbol it
+    /// cannot map into the universe (e.g. an adversarial prompt token):
+    /// the automaton degrades to permissive answers rather than
+    /// guessing at a walk it can no longer follow.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+        self.plan = None;
+    }
+
+    /// Appended nodes so far (the implicit leading `VSS` is step 0).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The walk's current endpoint, `None` once poisoned.
+    pub fn current(&self) -> Option<Node> {
+        if self.poisoned {
+            None
+        } else {
+            Some(self.uni.nodes[self.cur as usize])
+        }
+    }
+
+    /// Outstanding floating-pin debt: pins of wire-touched devices that
+    /// no wire reaches yet.
+    pub fn unwired_pins(&self) -> usize {
+        self.unwired
+    }
+
+    /// Append the next walk node. Returns `false` — and poisons the
+    /// automaton — if the step is structurally illegal (self-loop, rail
+    /// conflict, unusable device) or the node is outside the universe.
+    pub fn append(&mut self, node: Node) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        let Some(&idx) = self.uni.index.get(&node) else {
+            self.poisoned = true;
+            self.plan = None;
+            return false;
+        };
+        if !self.step_legal_idx(idx) {
+            self.poisoned = true;
+            self.plan = None;
+            return false;
+        }
+        self.apply_idx(idx);
+        // Certificate maintenance: following the plan head leaves the tail
+        // as a valid plan for the successor state; any other step re-plans.
+        match &mut self.plan {
+            Some(plan) if plan.last() == Some(&idx) => {
+                plan.pop();
+            }
+            _ => self.plan = self.compute_plan(),
+        }
+        true
+    }
+
+    /// Whether appending `node` keeps the walk extendable to a closable
+    /// topology using at most `budget` further nodes *including* `node`
+    /// itself (terminating costs no node). Permissively true once
+    /// poisoned.
+    pub fn admissible(&self, node: Node, budget: usize) -> bool {
+        if self.poisoned {
+            return true;
+        }
+        let Some(&idx) = self.uni.index.get(&node) else {
+            return false;
+        };
+        if budget == 0 || !self.step_legal_idx(idx) {
+            return false;
+        }
+        // Fast path: the candidate is the cached plan's next step and the
+        // rest of the plan fits.
+        if let Some(plan) = &self.plan {
+            if plan.last() == Some(&idx) && plan.len() <= budget {
+                return true;
+            }
+        }
+        // Slow path: simulate the step and re-plan from the successor.
+        let mut sim = self.core_clone();
+        sim.apply_idx(idx);
+        match sim.compute_plan() {
+            Some(plan) => plan.len() + 1 <= budget,
+            None => false,
+        }
+    }
+
+    /// Whether the walk may terminate right now: back at `VSS` with at
+    /// least two edges (`from_walk`'s minimum), `VDD` wired, and no
+    /// floating-pin debt. Permissively true once poisoned.
+    pub fn can_terminate(&self) -> bool {
+        if self.poisoned {
+            return true;
+        }
+        self.cur == self.uni.vss && self.steps >= 2 && self.unwired == 0 && self.vdd_wired
+    }
+
+    /// The cached closing plan in play order (empty when terminable
+    /// as-is; `None` when poisoned or unclosable).
+    pub fn closing_plan(&self) -> Option<Vec<Node>> {
+        self.plan.as_ref().map(|plan| {
+            plan.iter()
+                .rev()
+                .map(|&idx| self.uni.nodes[idx as usize])
+                .collect()
+        })
+    }
+
+    /// Structural acceptance of a complete walk suffix: clones the
+    /// automaton, appends every node, and checks termination. A `false`
+    /// is *sound* with respect to the full oracle — the decoded topology
+    /// would fail a structural rule (or the walk would not even decode) —
+    /// which makes this the PPO reward model's fast pre-filter; a `true`
+    /// still needs the DC solve for full validity.
+    pub fn accepts<I: IntoIterator<Item = Node>>(&self, suffix: I) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        let mut sim = self.clone();
+        for node in suffix {
+            if !sim.append(node) {
+                return false;
+            }
+        }
+        sim.can_terminate()
+    }
+
+    // ------------------------------------------------------------------
+    // Core state transitions (index-typed, plan-free).
+
+    /// A clone without the cached plan — the planner's simulation body.
+    fn core_clone(&self) -> IncrementalValidity {
+        let mut c = self.clone();
+        c.plan = None;
+        c
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Can the nets of `a` and `b` legally become one wire-net?
+    fn merge_legal(&self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return true;
+        }
+        match (self.rail[ra as usize], self.rail[rb as usize]) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        }
+    }
+
+    fn device_slot(&self, idx: u32) -> Option<u32> {
+        self.uni.device_of[idx as usize]
+    }
+
+    /// Structural legality of appending node `idx` at the current
+    /// endpoint: no self-loop, no pins of devices with unreachable roles,
+    /// and — for wire steps — a legal net merge. Same-device steps are
+    /// through-device hops and always legal.
+    fn step_legal_idx(&self, idx: u32) -> bool {
+        if idx == self.cur {
+            return false;
+        }
+        if let Some(slot) = self.device_slot(idx) {
+            if !self.uni.devices[slot as usize].complete {
+                return false;
+            }
+        }
+        match (self.device_slot(self.cur), self.device_slot(idx)) {
+            (Some(a), Some(b)) if a == b => true,
+            _ => self.merge_legal(self.cur, idx),
+        }
+    }
+
+    /// Apply a legality-checked step (the caller owns the check).
+    fn apply_idx(&mut self, idx: u32) {
+        let same_device = matches!(
+            (self.device_slot(self.cur), self.device_slot(idx)),
+            (Some(a), Some(b)) if a == b
+        );
+        if !same_device {
+            self.wire_pin(self.cur);
+            self.wire_pin(idx);
+            self.union(self.cur, idx);
+        }
+        self.cur = idx;
+        self.steps += 1;
+    }
+
+    /// Record a wire endpoint: bump its degree, touch its device (taking
+    /// on the device's full floating-pin debt on first touch), and pay
+    /// off this pin's debt on its first wire.
+    fn wire_pin(&mut self, idx: u32) {
+        if let Some(slot) = self.device_slot(idx) {
+            let slot = slot as usize;
+            if !self.touched[slot] {
+                self.touched[slot] = true;
+                self.unwired += self.uni.devices[slot].pins.len();
+            }
+            if self.wire_deg[idx as usize] == 0 {
+                self.unwired -= 1;
+            }
+        } else if Some(idx) == self.uni.vdd {
+            self.vdd_wired = true;
+        }
+        self.wire_deg[idx as usize] += 1;
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        let merged = self.rail[ra as usize].or(self.rail[rb as usize]);
+        self.rail[ra as usize] = merged;
+    }
+
+    // ------------------------------------------------------------------
+    // The closing planner.
+
+    /// Push `idx` onto the simulated walk if legal, recording it in
+    /// `plan` (play order).
+    fn try_push(&mut self, idx: u32, plan: &mut Vec<u32>) -> bool {
+        if !self.step_legal_idx(idx) {
+            return false;
+        }
+        self.apply_idx(idx);
+        plan.push(idx);
+        true
+    }
+
+    /// First unwired pin of a touched device, in universe device order
+    /// and canonical role order — the deterministic star target.
+    fn first_unwired_pin(&self) -> Option<u32> {
+        for (slot, entry) in self.uni.devices.iter().enumerate() {
+            if !self.touched[slot] {
+                continue;
+            }
+            for &pin in &entry.pins {
+                if self.wire_deg[pin as usize] == 0 {
+                    return Some(pin);
+                }
+            }
+        }
+        None
+    }
+
+    /// Reach `VSS` when a direct wire and a sibling hop both fail: wire
+    /// into a fresh pin of another device, hop to a sibling, wire that to
+    /// `VSS` (cost 3). Commits into `self`/`plan` on success.
+    fn bridge_to_vss(&mut self, plan: &mut Vec<u32>) -> bool {
+        let vss = self.uni.vss;
+        let own = self.device_slot(self.cur);
+        for slot in 0..self.uni.devices.len() {
+            if own == Some(slot as u32) {
+                continue;
+            }
+            let pins = self.uni.devices[slot].pins.clone();
+            for &p in &pins {
+                for &q in &pins {
+                    if p == q {
+                        continue;
+                    }
+                    let mut sim = self.core_clone();
+                    let mut attempt = plan.clone();
+                    if sim.try_push(p, &mut attempt)
+                        && sim.try_push(q, &mut attempt)
+                        && sim.try_push(vss, &mut attempt)
+                    {
+                        *self = sim;
+                        *plan = attempt;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Compute a closing plan for the current state: a concrete node
+    /// suffix, validated step by step on a simulation, after which
+    /// [`can_terminate`](Self::can_terminate) holds. Deterministic in the
+    /// state. Phases:
+    ///
+    /// 1. **Reach `VSS`** — direct wire, else sibling hop, else bridge
+    ///    through another device (≤ 3 nodes).
+    /// 2. **Wire `VDD`** — a `VSS→a→b→VDD→b→a→VSS` device loop (6 nodes;
+    ///    duplicate wires are deduplicated by `to_topology`).
+    /// 3. **Stars** — `VSS→q→VSS` per remaining unwired pin `q` (2 nodes
+    ///    each; fresh pins carry no rail, so the ground merge is legal).
+    ///
+    /// Returns the plan *reversed* (storage order). `None` only when the
+    /// state is poisoned or genuinely unclosable.
+    fn compute_plan(&self) -> Option<Vec<u32>> {
+        if self.poisoned {
+            return None;
+        }
+        let vss = self.uni.vss;
+        let mut sim = self.core_clone();
+        let mut plan = Vec::new();
+
+        // Phase 1: return to VSS.
+        if sim.cur != vss && !sim.try_push(vss, &mut plan) {
+            let mut reached = false;
+            if let Some(slot) = sim.device_slot(sim.cur) {
+                let pins = sim.uni.devices[slot as usize].pins.clone();
+                for &q in &pins {
+                    if q == sim.cur {
+                        continue;
+                    }
+                    let mut s2 = sim.core_clone();
+                    let mut attempt = plan.clone();
+                    if s2.try_push(q, &mut attempt) && s2.try_push(vss, &mut attempt) {
+                        sim = s2;
+                        plan = attempt;
+                        reached = true;
+                        break;
+                    }
+                }
+            }
+            if !reached && !sim.bridge_to_vss(&mut plan) {
+                return None;
+            }
+        }
+
+        // Phase 2: wire VDD via a through-device loop.
+        if !sim.vdd_wired {
+            let vdd = sim.uni.vdd?;
+            let mut wired = false;
+            'devices: for slot in 0..sim.uni.devices.len() {
+                let pins = sim.uni.devices[slot].pins.clone();
+                for &a in &pins {
+                    for &b in &pins {
+                        if a == b {
+                            continue;
+                        }
+                        let mut s2 = sim.core_clone();
+                        let mut attempt = plan.clone();
+                        if s2.try_push(a, &mut attempt)
+                            && s2.try_push(b, &mut attempt)
+                            && s2.try_push(vdd, &mut attempt)
+                            && s2.try_push(b, &mut attempt)
+                            && s2.try_push(a, &mut attempt)
+                            && s2.try_push(vss, &mut attempt)
+                        {
+                            sim = s2;
+                            plan = attempt;
+                            wired = true;
+                            break 'devices;
+                        }
+                    }
+                }
+            }
+            if !wired {
+                return None;
+            }
+        }
+
+        // Phase 3: star out the floating-pin debt.
+        while sim.unwired > 0 {
+            let q = sim.first_unwired_pin()?;
+            if !(sim.try_push(q, &mut plan) && sim.try_push(vss, &mut plan)) {
+                return None;
+            }
+        }
+
+        debug_assert!(sim.can_terminate(), "plan must land on a terminable state");
+        plan.reverse();
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind, PinRole};
+    use crate::euler::EulerianSequence;
+
+    fn pin(kind: DeviceKind, ordinal: u32, role: PinRole) -> Node {
+        Node::pin(Device::new(kind, ordinal), role)
+    }
+
+    /// A small mixed universe: VSS, VDD, VIN1, VOUT1, one NMOS, two
+    /// resistors.
+    fn universe() -> Vec<Node> {
+        let mut nodes = vec![
+            Node::VSS,
+            Node::Circuit(CircuitPin::Vdd),
+            Node::Circuit(CircuitPin::Vin(1)),
+            Node::Circuit(CircuitPin::Vout(1)),
+        ];
+        for &role in DeviceKind::Nmos.pin_roles() {
+            nodes.push(pin(DeviceKind::Nmos, 1, role));
+        }
+        for ordinal in 1..=2 {
+            for &role in DeviceKind::Resistor.pin_roles() {
+                nodes.push(pin(DeviceKind::Resistor, ordinal, role));
+            }
+        }
+        nodes
+    }
+
+    fn fresh() -> IncrementalValidity {
+        IncrementalValidity::new(universe())
+    }
+
+    /// Follow the automaton's own closing plan to the end and return the
+    /// full walk: `walk` must hold everything already appended (including
+    /// the implicit leading VSS); the plan steps are pushed onto it.
+    fn follow_plan(mut auto: IncrementalValidity, mut walk: Vec<Node>) -> Vec<Node> {
+        while !auto.can_terminate() {
+            let plan = auto.closing_plan().expect("closable");
+            let next = *plan.first().expect("non-terminable state has a plan");
+            assert!(auto.append(next), "plan step must be legal");
+            walk.push(next);
+        }
+        walk
+    }
+
+    #[test]
+    fn start_state_cannot_terminate() {
+        let auto = fresh();
+        assert!(!auto.can_terminate(), "empty walk must not terminate");
+        assert_eq!(auto.steps(), 0);
+    }
+
+    #[test]
+    fn initial_plan_closes_into_a_valid_structure() {
+        let walk = follow_plan(fresh(), vec![Node::VSS]);
+        // The minimal closing plan is the 6-node VDD loop through the
+        // first 2-pin-satisfiable device.
+        let seq = EulerianSequence::from_walk(walk).expect("closable walk");
+        let topo = seq.to_topology().expect("decodes");
+        assert!(topo.nodes().contains(&Node::Circuit(CircuitPin::Vdd)));
+        assert!(topo.nodes().contains(&Node::VSS));
+    }
+
+    #[test]
+    fn self_loop_is_inadmissible_and_poisons_on_append() {
+        let mut auto = fresh();
+        let a = pin(DeviceKind::Resistor, 1, PinRole::Plus);
+        assert!(auto.append(a));
+        assert!(!auto.admissible(a, 64), "self-loop must be masked");
+        assert!(!auto.append(a), "self-loop append poisons");
+        assert!(auto.is_poisoned());
+        assert!(auto.admissible(a, 64), "poisoned automata are permissive");
+    }
+
+    #[test]
+    fn supply_short_is_inadmissible() {
+        let auto = fresh();
+        // VSS → VDD directly is a ground/VDD net merge.
+        assert!(!auto.admissible(Node::Circuit(CircuitPin::Vdd), 64));
+        // VSS → VOUT is legal: VOUT carries no rail.
+        assert!(auto.admissible(Node::Circuit(CircuitPin::Vout(1)), 64));
+    }
+
+    #[test]
+    fn driven_ports_cannot_share_a_net() {
+        let mut auto = fresh();
+        let (p, n) = (
+            pin(DeviceKind::Resistor, 1, PinRole::Plus),
+            pin(DeviceKind::Resistor, 1, PinRole::Minus),
+        );
+        // VSS → R1_P → R1_N → VDD: R1_N now sits on the VDD net.
+        for node in [p, n, Node::Circuit(CircuitPin::Vdd)] {
+            assert!(auto.append(node));
+        }
+        // VDD → VIN1 would put VIN1 in the VDD net: two driven ports.
+        assert!(!auto.admissible(Node::Circuit(CircuitPin::Vin(1)), 64));
+        // Walking back down to R1_N (duplicate wire) stays legal.
+        assert!(auto.admissible(n, 64));
+    }
+
+    #[test]
+    fn termination_waits_for_vdd_and_floating_pins() {
+        let mut auto = fresh();
+        let (p, n) = (
+            pin(DeviceKind::Resistor, 1, PinRole::Plus),
+            pin(DeviceKind::Resistor, 1, PinRole::Minus),
+        );
+        // VSS → R1_P → VSS: back at VSS but R1_N floats and VDD is unwired.
+        assert!(auto.append(p));
+        assert!(auto.append(Node::VSS));
+        assert_eq!(auto.unwired_pins(), 1);
+        assert!(!auto.can_terminate());
+        // Star out R1_N, still no VDD.
+        assert!(auto.append(n));
+        assert!(auto.append(Node::VSS));
+        assert_eq!(auto.unwired_pins(), 0);
+        assert!(!auto.can_terminate(), "VDD still unwired");
+        // VDD loop through the second resistor.
+        let (p2, n2) = (
+            pin(DeviceKind::Resistor, 2, PinRole::Plus),
+            pin(DeviceKind::Resistor, 2, PinRole::Minus),
+        );
+        for node in [p2, n2, Node::Circuit(CircuitPin::Vdd), n2, p2, Node::VSS] {
+            assert!(auto.append(node), "VDD loop step {node} must be legal");
+        }
+        assert_eq!(auto.unwired_pins(), 0);
+        assert!(auto.can_terminate(), "closed, wired, VDD present");
+    }
+
+    #[test]
+    fn budget_gates_admissibility() {
+        let auto = fresh();
+        let a = pin(DeviceKind::Resistor, 1, PinRole::Plus);
+        // From the start state, stepping onto a fresh resistor pin needs
+        // the full VDD loop after it: 6 nodes total.
+        assert!(auto.admissible(a, 64));
+        assert!(!auto.admissible(a, 2), "no closing plan fits 2 tokens");
+        // And END is never a way out before the loop exists.
+        assert!(!auto.can_terminate());
+    }
+
+    #[test]
+    fn plan_certificate_survives_deviation() {
+        let mut auto = fresh();
+        // Deviate from the plan at every step: pick the lexicographically
+        // last admissible node instead of the plan head. The automaton
+        // must re-plan and never dead-end.
+        let nodes = universe();
+        for _ in 0..24 {
+            if auto.can_terminate() {
+                break;
+            }
+            let budget = 32;
+            let pick = nodes
+                .iter()
+                .rev()
+                .find(|&&n| auto.admissible(n, budget))
+                .copied()
+                .expect("grammar guarantees an admissible token");
+            assert!(auto.append(pick));
+        }
+        // Whatever state we ended in is still closable.
+        assert!(auto.closing_plan().is_some());
+    }
+
+    #[test]
+    fn clones_evolve_independently() {
+        let mut a = fresh();
+        assert!(a.append(pin(DeviceKind::Resistor, 1, PinRole::Plus)));
+        let mut b = a.clone();
+        assert!(b.append(pin(DeviceKind::Resistor, 1, PinRole::Minus)));
+        assert!(b.append(Node::Circuit(CircuitPin::Vdd)));
+        // `a` still sits on R1_P with one wire; `b` moved on.
+        assert_eq!(
+            a.current(),
+            Some(pin(DeviceKind::Resistor, 1, PinRole::Plus))
+        );
+        assert_eq!(a.steps(), 1);
+        assert_eq!(b.steps(), 3);
+        assert!(!a.is_poisoned() && !b.is_poisoned());
+    }
+
+    #[test]
+    fn out_of_universe_append_poisons() {
+        let mut auto = fresh();
+        let foreign = pin(DeviceKind::Pmos, 7, PinRole::Gate);
+        assert!(!auto.append(foreign));
+        assert!(auto.is_poisoned());
+        assert!(auto.can_terminate(), "poisoned is permissive");
+    }
+
+    #[test]
+    fn vdd_less_universe_starts_poisoned() {
+        let auto = IncrementalValidity::new(vec![
+            Node::VSS,
+            pin(DeviceKind::Resistor, 1, PinRole::Plus),
+            pin(DeviceKind::Resistor, 1, PinRole::Minus),
+        ]);
+        assert!(auto.is_poisoned(), "no VDD → nothing can ever close");
+    }
+
+    #[test]
+    fn incomplete_device_pins_are_masked() {
+        // NM1 with its bulk missing from the vocabulary can never satisfy
+        // the floating-pin rule, so its pins are never admissible.
+        let auto = IncrementalValidity::new(vec![
+            Node::VSS,
+            Node::Circuit(CircuitPin::Vdd),
+            pin(DeviceKind::Nmos, 1, PinRole::Gate),
+            pin(DeviceKind::Nmos, 1, PinRole::Drain),
+            pin(DeviceKind::Nmos, 1, PinRole::Source),
+            pin(DeviceKind::Resistor, 1, PinRole::Plus),
+            pin(DeviceKind::Resistor, 1, PinRole::Minus),
+        ]);
+        assert!(!auto.admissible(pin(DeviceKind::Nmos, 1, PinRole::Gate), 64));
+        assert!(auto.admissible(pin(DeviceKind::Resistor, 1, PinRole::Plus), 64));
+    }
+
+    #[test]
+    fn accepts_matches_structural_oracle_shape() {
+        let auto = fresh();
+        let (p, n) = (
+            pin(DeviceKind::Resistor, 1, PinRole::Plus),
+            pin(DeviceKind::Resistor, 1, PinRole::Minus),
+        );
+        let vdd = Node::Circuit(CircuitPin::Vdd);
+        // The minimal valid walk: VSS R1_P R1_N VDD R1_N R1_P VSS.
+        assert!(auto.accepts([p, n, vdd, n, p, Node::VSS]));
+        // Missing VDD → floating debt paid but not closable.
+        assert!(!auto.accepts([p, Node::VSS, n, Node::VSS]));
+        // Ends off-VSS.
+        assert!(!auto.accepts([p, n, vdd]));
+        // Self-loop.
+        assert!(!auto.accepts([p, p]));
+    }
+
+    #[test]
+    fn follow_plan_from_mid_walk_closes_everything() {
+        // Drop the walk onto the NMOS gate, then let the planner finish:
+        // it must pay the 4-pin debt via stars and wire VDD.
+        let mut auto = fresh();
+        let gate = pin(DeviceKind::Nmos, 1, PinRole::Gate);
+        let drain = pin(DeviceKind::Nmos, 1, PinRole::Drain);
+        assert!(auto.append(gate));
+        assert!(auto.append(drain));
+        let walk = follow_plan(auto, vec![Node::VSS, gate, drain]);
+        let seq = EulerianSequence::from_walk(walk).expect("closable");
+        let topo = seq.to_topology().expect("decodes");
+        // Every NMOS pin is wired in the decoded topology.
+        for &role in DeviceKind::Nmos.pin_roles() {
+            assert!(
+                topo.nodes().contains(&pin(DeviceKind::Nmos, 1, role)),
+                "role {role:?} left floating"
+            );
+        }
+    }
+}

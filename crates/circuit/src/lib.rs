@@ -60,6 +60,7 @@ pub mod device;
 pub mod error;
 pub mod euler;
 pub mod graph;
+pub mod incremental;
 pub mod node;
 pub mod stats;
 pub mod topology;
@@ -69,5 +70,6 @@ pub use device::{Device, DeviceId, DeviceKind, PinRole};
 pub use error::CircuitError;
 pub use euler::EulerianSequence;
 pub use graph::PinGraph;
+pub use incremental::IncrementalValidity;
 pub use node::{CircuitPin, Node};
 pub use topology::Topology;

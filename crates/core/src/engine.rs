@@ -421,10 +421,13 @@ impl EvaGenerator<'_> {
     const POOL_LANES: usize = 16;
 
     /// The shared decode-time grammar constraint (see
-    /// [`eva_model::SamplingPolicy`]): the terminator is only admissible
-    /// right after a `VSS` token (every valid Eulerian circuit closes at
-    /// `VSS`), and `PAD` is never sampled. All other structural validity
-    /// is left to the model, as in the paper.
+    /// [`eva_model::SamplingPolicy`]): minimal grammar — the terminator
+    /// is only admissible once the walk has returned to `VSS` with at
+    /// least one edge consumed (every valid Eulerian circuit closes at
+    /// `VSS`, and an empty walk cannot parse), and `PAD` is never
+    /// sampled. Evaluation keeps structural validity with the model, as
+    /// in the paper; the serving path can opt into the full
+    /// incremental-validity grammar via `--grammar full`.
     fn sampling_policy(&self) -> SamplingPolicy {
         SamplingPolicy::constrained(self.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD)
     }

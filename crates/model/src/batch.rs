@@ -41,12 +41,19 @@
 //! test in `crates/serve/tests` — is new.
 //!
 //! [`SamplingPolicy`] is the single source of truth for EVA's decode-time
-//! grammar constraint (walks start at `VSS`, the terminator is only
-//! admissible right after a `VSS` token, padding is never sampled),
-//! previously re-implemented by the engine, the RL rollout loop, and the
-//! serve worker; [`decode_batch`] / [`decode_batch_bounded`] drive any
-//! mix of prompted/unprompted lanes with per-lane seed, temperature,
-//! top-k and length caps.
+//! grammar constraint. Padding is never sampled under any policy; the
+//! grammar level ([`crate::Grammar`]) then decides how much more is
+//! masked — nothing (`Off`, PPO rollouts), the terminator until the walk
+//! can close at all (`Minimal`), or every token the per-lane
+//! [`eva_circuit::euler::IncrementalValidity`] automaton proves cannot
+//! extend the walk to a legal, closable topology within the lane's
+//! remaining budget (`Full`, ~100% first-try validity). Grammar state is
+//! a pure function of the token sequence, so a prefix-cache hit restores
+//! the stored automaton instead of replaying tokens and the determinism
+//! guarantee above carries over unchanged: masks, draws, and outputs are
+//! identical to solo decode. [`decode_batch`] / [`decode_batch_bounded`]
+//! drive any mix of prompted/unprompted lanes with per-lane seed,
+//! temperature, top-k and length caps.
 
 use std::sync::Arc;
 
@@ -56,6 +63,7 @@ use eva_nn::{
 use eva_tokenizer::TokenId;
 use rand::Rng;
 
+use crate::grammar::{Grammar, GrammarState};
 use crate::infer::{layer_norm_row_into, sample_logits, InferError};
 use crate::quant::QuantizedDecodeWeights;
 use crate::transformer::Transformer;
@@ -83,12 +91,16 @@ fn decode_mm(
 
 /// Decode-time sampling rules shared by every EVA call site.
 ///
-/// The grammar constraint is deliberately minimal (the paper leaves
-/// structural validity to the model): a constrained policy only removes
-/// token choices that could never parse — padding, and a terminator
-/// anywhere but right after `VSS`, where every valid Eulerian circuit
-/// closes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Padding is a data artifact, not a grammar symbol: it is masked under
+/// every policy, including the RL rollout one (the Eulerian grammar
+/// stays learnable; PAD does not). Beyond that, [`Grammar`] sets the
+/// constraint level: `Off` for PPO rollouts, `Minimal` for the
+/// historical two-rule mask, `Full` for the incremental-validity
+/// automaton that makes constrained decode ~100% first-try valid.
+///
+/// A policy with `Grammar::Full` carries an [`Arc`]-shared vocabulary
+/// table, so the struct is `Clone` but no longer `Copy`.
+#[derive(Debug, Clone)]
 pub struct SamplingPolicy {
     /// Start-of-walk token (`VSS`); every decode begins here.
     pub start: TokenId,
@@ -96,48 +108,136 @@ pub struct SamplingPolicy {
     pub end: TokenId,
     /// Padding token masked out of every sampling step, when present.
     pub pad: Option<TokenId>,
-    /// Grammar constraint: the terminator is only admissible immediately
-    /// after a `start` token.
-    pub end_only_after_start: bool,
     /// Whether an emitted terminator is kept in the output tokens (RL
     /// rollouts score it; evaluation and serving drop it).
     pub keep_end: bool,
+    /// Grammar constraint level (see [`Grammar`]).
+    pub grammar: Grammar,
 }
 
 impl SamplingPolicy {
-    /// The evaluation/serving policy: terminator only after `start`,
-    /// padding never sampled, terminator excluded from the output.
+    /// The evaluation/serving policy: minimal grammar (terminator only
+    /// once the walk can close), padding never sampled, terminator
+    /// excluded from the output. Upgrade with [`SamplingPolicy::with_grammar`]
+    /// for full automaton masking.
     pub fn constrained(start: TokenId, end: TokenId, pad: TokenId) -> SamplingPolicy {
         SamplingPolicy {
             start,
             end,
             pad: Some(pad),
-            end_only_after_start: true,
             keep_end: false,
+            grammar: Grammar::Minimal,
         }
     }
 
-    /// The RL rollout policy: no masking (the policy must learn the
-    /// grammar), terminator kept in the trajectory so it can be scored.
-    pub fn unconstrained(start: TokenId, end: TokenId) -> SamplingPolicy {
+    /// The RL rollout policy: no grammar masking (the policy must learn
+    /// the grammar) — but PAD is still masked, because PAD is a data
+    /// artifact the reward can never see past — and the terminator is
+    /// kept in the trajectory so it can be scored.
+    pub fn unconstrained(start: TokenId, end: TokenId, pad: TokenId) -> SamplingPolicy {
         SamplingPolicy {
             start,
             end,
-            pad: None,
-            end_only_after_start: false,
+            pad: Some(pad),
             keep_end: true,
+            grammar: Grammar::Off,
         }
     }
 
-    /// Apply the grammar mask to one logit row, given the last token of
-    /// the sequence so far. A no-op for unconstrained policies.
-    pub fn mask_logits(&self, last: TokenId, logits: &mut [f32]) {
+    /// Replace the grammar level, keeping everything else.
+    pub fn with_grammar(mut self, grammar: Grammar) -> SamplingPolicy {
+        self.grammar = grammar;
+        self
+    }
+
+    /// A fresh per-lane grammar state positioned right after the start
+    /// token (the implicit leading `VSS`).
+    pub fn fresh_state(&self) -> GrammarState {
+        match &self.grammar {
+            Grammar::Off => GrammarState::Off,
+            Grammar::Minimal => GrammarState::Minimal { steps: 0 },
+            Grammar::Full(table) => GrammarState::Full {
+                auto: table.fresh_automaton(),
+                steps: 0,
+            },
+        }
+    }
+
+    /// Advance the grammar state past one token appended to the lane —
+    /// prompt tokens at admit time and sampled tokens alike. The
+    /// terminator itself is never observed (the lane retires instead).
+    pub fn observe(&self, state: &mut GrammarState, token: TokenId) {
+        match state {
+            GrammarState::Off => {}
+            GrammarState::Minimal { steps } => *steps += 1,
+            GrammarState::Full { auto, steps } => {
+                *steps += 1;
+                let node = match &self.grammar {
+                    Grammar::Full(table) => table.node(token),
+                    _ => None,
+                };
+                match node {
+                    // An illegal append poisons the automaton itself.
+                    Some(node) => {
+                        auto.append(node);
+                    }
+                    // Unmappable token (adversarial prompt): degrade to
+                    // permissive minimal-style masking for this lane.
+                    None => auto.poison(),
+                }
+            }
+        }
+    }
+
+    /// Apply the grammar mask to one logit row, given the lane's grammar
+    /// state, the last token of the sequence so far, and the number of
+    /// tokens the lane may still emit (terminator included — emitting
+    /// `end` consumes no budget beyond its own slot). Returns how many
+    /// logit entries this call newly set to `-inf`.
+    pub fn mask_logits(
+        &self,
+        state: &GrammarState,
+        last: TokenId,
+        logits: &mut [f32],
+        budget: usize,
+    ) -> usize {
+        let mut masked = 0;
         if let Some(pad) = self.pad {
-            logits[pad.index()] = f32::NEG_INFINITY;
+            masked += mask_index(logits, pad.index());
         }
-        if self.end_only_after_start && last != self.start {
-            logits[self.end.index()] = f32::NEG_INFINITY;
+        match (state, &self.grammar) {
+            (GrammarState::Off, _) => {}
+            (GrammarState::Full { auto, .. }, Grammar::Full(table)) if !auto.is_poisoned() => {
+                for i in 0..logits.len() {
+                    if Some(i) == self.pad.map(TokenId::index) {
+                        continue;
+                    }
+                    if i == self.end.index() {
+                        if !auto.can_terminate() {
+                            masked += mask_index(logits, i);
+                        }
+                    } else {
+                        let ok = table
+                            .node(TokenId(i as u32))
+                            .is_some_and(|node| auto.admissible(node, budget));
+                        if !ok {
+                            masked += mask_index(logits, i);
+                        }
+                    }
+                }
+            }
+            // Minimal grammar, and the permissive fallback for poisoned
+            // automata or a state/policy mismatch: the terminator is
+            // inadmissible until the walk has returned to `start` with
+            // at least one edge consumed (two walk nodes), so an empty
+            // walk can never terminate.
+            (GrammarState::Minimal { steps }, _) | (GrammarState::Full { steps, .. }, _) => {
+                if last != self.start || *steps < 2 {
+                    masked += mask_index(logits, self.end.index());
+                }
+            }
         }
+        masked
     }
 
     /// Resolve a requested length cap against the model context: `0`
@@ -148,6 +248,17 @@ impl SamplingPolicy {
         } else {
             requested.min(context)
         }
+    }
+}
+
+/// Set one logit to `-inf`, reporting 1 if it was not already masked
+/// (so the `masked_tokens` metric counts decisions, not re-masks).
+fn mask_index(logits: &mut [f32], i: usize) -> usize {
+    if i < logits.len() && logits[i] != f32::NEG_INFINITY {
+        logits[i] = f32::NEG_INFINITY;
+        1
+    } else {
+        0
     }
 }
 
@@ -712,6 +823,10 @@ struct PrefixEntry {
     /// Unmasked logits after feeding the full prefix (masking depends on
     /// the reusing lane's own last token, so it is applied at use time).
     logits: Vec<f32>,
+    /// Grammar state after observing the full prefix. A full-prefix hit
+    /// restores this instead of replaying the tokens; both routes agree
+    /// because the state is a pure function of the token sequence.
+    grammar: GrammarState,
 }
 
 /// Bounded copy-on-admit prefix cache.
@@ -763,6 +878,7 @@ impl PrefixCache {
         k: Vec<Vec<f32>>,
         v: Vec<Vec<f32>>,
         logits: Vec<f32>,
+        grammar: GrammarState,
     ) {
         if self.capacity == 0 {
             return;
@@ -775,6 +891,7 @@ impl PrefixCache {
             k,
             v,
             logits,
+            grammar,
         });
     }
 }
@@ -797,6 +914,9 @@ struct Slot<R> {
     /// Logits carried over from a full-prefix cache hit: the slot's first
     /// step samples from these instead of feeding anything.
     pending_logits: Option<Vec<f32>>,
+    /// Grammar state after observing every token in `tokens` (restored
+    /// from the cache on a full-prefix hit, replayed otherwise).
+    grammar: GrammarState,
     /// Whether this slot has drawn its first sampled token (TTFT edge).
     first_drawn: bool,
     /// Set at admit when the request is already at its length cap and
@@ -842,6 +962,9 @@ pub struct ContinuousBatch<'m, R> {
     /// Free slot indices, LIFO.
     free: Vec<usize>,
     cache: PrefixCache,
+    /// Logit entries newly masked by the grammar across this pool's
+    /// lifetime (the serve `masked_tokens` metric).
+    masked_tokens: u64,
 }
 
 impl<'m, R: Rng> ContinuousBatch<'m, R> {
@@ -887,6 +1010,7 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
             // Reverse so the first admissions take slots 0, 1, 2, …
             free: (0..max_lanes).rev().collect(),
             cache: PrefixCache::new(prefix_cache_entries),
+            masked_tokens: 0,
         }
     }
 
@@ -921,6 +1045,12 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
         self.cache.tokens_reused
     }
 
+    /// Logit entries the grammar newly masked across this pool's
+    /// lifetime (one count per token choice removed per sampling step).
+    pub fn masked_tokens(&self) -> u64 {
+        self.masked_tokens
+    }
+
     /// Join `req` into the running batch mid-flight. Returns the slot
     /// index it occupies, or gives the request back when the pool is
     /// full. The slot starts decoding on the next [`ContinuousBatch::step`].
@@ -950,6 +1080,7 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
         // rows are bit-identical to what this lane would have computed.
         let mut fed = 0usize;
         let mut pending_logits = None;
+        let mut grammar = None;
         if let Some((idx, matched)) = self.cache.longest_match(&tokens) {
             let full = matched == prefill && matched == self.cache.entries[idx].tokens.len();
             let inject = if full {
@@ -962,12 +1093,24 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
                 self.gen.write_prefix(lane, &entry.k, &entry.v, inject);
                 if full {
                     pending_logits = Some(entry.logits.clone());
+                    // Restore the stored automaton with the KV rows: same
+                    // token sequence, same state, no replay needed.
+                    grammar = Some(entry.grammar.clone());
                 }
                 fed = inject;
                 self.cache.hits += 1;
                 self.cache.tokens_reused += inject as u64;
             }
         }
+        // Cache miss (or partial hit): replay the prefill through the
+        // grammar. The start token is the automaton's implicit origin.
+        let grammar = grammar.unwrap_or_else(|| {
+            let mut state = self.policy.fresh_state();
+            for &t in &tokens[1..] {
+                self.policy.observe(&mut state, t);
+            }
+            state
+        });
 
         // A request already at its cap needs no compute; mirror
         // decode_batch semantics (no samples, no RNG draws) but only when
@@ -985,6 +1128,7 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
             top_k,
             rng,
             pending_logits: if complete { None } else { pending_logits },
+            grammar,
             first_drawn: false,
             complete,
             error: None,
@@ -1065,7 +1209,7 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
         fed_now: bool,
         outcome: &mut StepOutcome,
     ) {
-        let policy = self.policy;
+        let policy = self.policy.clone();
         if fed_now {
             let key = {
                 let s = self.slots[lane].as_mut().expect("advancing occupied lane");
@@ -1073,44 +1217,61 @@ impl<'m, R: Rng> ContinuousBatch<'m, R> {
                 if s.fed < s.tokens.len() {
                     return; // still prefilling the prompt
                 }
-                (s.fed == s.prefill).then(|| s.tokens[..s.prefill].to_vec())
+                (s.fed == s.prefill).then(|| (s.tokens[..s.prefill].to_vec(), s.grammar.clone()))
             };
-            // Prefill just completed through the model: its K/V rows and
-            // these (unmasked) logits are exactly a cache entry.
-            if let Some(key) = key {
+            // Prefill just completed through the model: its K/V rows,
+            // these (unmasked) logits, and the grammar state after the
+            // prefill are exactly a cache entry.
+            if let Some((key, grammar)) = key {
                 if self.cache.wants(&key) {
                     let (k, v) = self.gen.read_prefix(lane, key.len());
-                    self.cache.insert(key, k, v, logits.clone());
+                    self.cache.insert(key, k, v, logits.clone(), grammar);
                 }
             }
         }
 
+        let mut masked_now = 0u64;
         let retire_now = {
             let s = self.slots[lane].as_mut().expect("advancing occupied lane");
             if s.tokens.len() >= s.limit {
                 true
             } else {
                 let last = *s.tokens.last().expect("lane starts non-empty");
-                policy.mask_logits(last, &mut logits);
-                let next =
-                    TokenId(sample_logits(&logits, s.temperature, s.top_k, &mut s.rng) as u32);
-                if !s.first_drawn {
-                    s.first_drawn = true;
-                    outcome.first_tokens.push(lane);
-                }
-                if next == policy.end {
-                    if policy.keep_end {
-                        s.tokens.push(next);
-                        s.sampled += 1;
+                // Budget: slots left before the cap. The terminator only
+                // ever consumes the final slot, so a closing plan that
+                // exactly fills the budget still terminates legally.
+                let budget = s.limit - s.tokens.len();
+                masked_now = policy.mask_logits(&s.grammar, last, &mut logits, budget) as u64;
+                match sample_logits(&logits, s.temperature, s.top_k, &mut s.rng) {
+                    // Fully-masked row: retire with the typed error and
+                    // no RNG draw, exactly like solo decode.
+                    Err(e) => {
+                        s.error = Some(e);
+                        true
                     }
-                    true
-                } else {
-                    s.tokens.push(next);
-                    s.sampled += 1;
-                    s.tokens.len() >= s.limit
+                    Ok(next) => {
+                        let next = TokenId(next as u32);
+                        if !s.first_drawn {
+                            s.first_drawn = true;
+                            outcome.first_tokens.push(lane);
+                        }
+                        if next == policy.end {
+                            if policy.keep_end {
+                                s.tokens.push(next);
+                                s.sampled += 1;
+                            }
+                            true
+                        } else {
+                            policy.observe(&mut s.grammar, next);
+                            s.tokens.push(next);
+                            s.sampled += 1;
+                            s.tokens.len() >= s.limit
+                        }
+                    }
                 }
             }
         };
+        self.masked_tokens += masked_now;
         if retire_now {
             Self::retire(&mut self.slots, &mut self.free, lane, outcome);
         }
@@ -1193,7 +1354,7 @@ pub fn decode_batch_quantized<R: Rng>(
     }
     let cap = if max_lanes == 0 { n } else { max_lanes.min(n) };
     let mut pool: ContinuousBatch<'_, R> =
-        ContinuousBatch::new_quantized(model, cap, *policy, DECODE_PREFIX_ENTRIES, quant);
+        ContinuousBatch::new_quantized(model, cap, policy.clone(), DECODE_PREFIX_ENTRIES, quant);
     let mut queue: std::collections::VecDeque<(usize, LaneRequest<R>)> =
         lanes.into_iter().enumerate().collect();
     let mut origin = vec![usize::MAX; cap];
@@ -1320,18 +1481,38 @@ mod tests {
     #[test]
     fn sampling_policy_masks_as_documented() {
         let policy = SamplingPolicy::constrained(TokenId(2), TokenId(1), TokenId(0));
+        let mut state = policy.fresh_state();
         let mut logits = vec![1.0f32; 5];
-        policy.mask_logits(TokenId(2), &mut logits);
+        let masked = policy.mask_logits(&state, TokenId(2), &mut logits, 16);
         assert_eq!(logits[0], f32::NEG_INFINITY, "pad always masked");
-        assert_eq!(logits[1], 1.0, "end admissible right after start");
-        let mut logits = vec![1.0f32; 5];
-        policy.mask_logits(TokenId(4), &mut logits);
-        assert_eq!(logits[1], f32::NEG_INFINITY, "end masked elsewhere");
+        assert_eq!(
+            logits[1],
+            f32::NEG_INFINITY,
+            "end masked on the empty walk (regression: zero-device termination)"
+        );
+        assert_eq!(masked, 2, "two choices removed, both counted");
 
-        let free = SamplingPolicy::unconstrained(TokenId(2), TokenId(1));
+        // Walk start -> X -> start: back home with an edge consumed.
+        policy.observe(&mut state, TokenId(4));
+        policy.observe(&mut state, TokenId(2));
         let mut logits = vec![1.0f32; 5];
-        free.mask_logits(TokenId(4), &mut logits);
-        assert!(logits.iter().all(|&v| v == 1.0), "unconstrained is a no-op");
+        policy.mask_logits(&state, TokenId(2), &mut logits, 16);
+        assert_eq!(logits[1], 1.0, "end admissible once the walk can close");
+        let mut logits = vec![1.0f32; 5];
+        policy.mask_logits(&state, TokenId(4), &mut logits, 16);
+        assert_eq!(logits[1], f32::NEG_INFINITY, "end masked away from start");
+
+        let free = SamplingPolicy::unconstrained(TokenId(2), TokenId(1), TokenId(0));
+        let state = free.fresh_state();
+        let mut logits = vec![1.0f32; 5];
+        let masked = free.mask_logits(&state, TokenId(4), &mut logits, 16);
+        assert_eq!(
+            logits[0],
+            f32::NEG_INFINITY,
+            "pad masked even unconstrained (regression: PAD in PPO rollouts)"
+        );
+        assert_eq!(masked, 1);
+        assert!(logits[1..].iter().all(|&v| v == 1.0), "grammar untouched");
     }
 
     #[test]
@@ -1411,8 +1592,8 @@ mod tests {
             start: TokenId(2),
             end: TokenId(1),
             pad: Some(TokenId(0)),
-            end_only_after_start: true,
             keep_end: false,
+            grammar: Grammar::Minimal,
         };
         let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new(&model, 2, policy, 0);
         let req = |seed: u64, max_len: usize| LaneRequest {
@@ -1471,8 +1652,8 @@ mod tests {
             start: TokenId(2),
             end: TokenId(1),
             pad: Some(TokenId(0)),
-            end_only_after_start: true,
             keep_end: false,
+            grammar: Grammar::Minimal,
         };
         let prompt = vec![TokenId(5), TokenId(7), TokenId(3)];
         let req = |seed: u64| LaneRequest {
@@ -1488,7 +1669,8 @@ mod tests {
                 .expect("one lane")
         };
 
-        let mut pool: ContinuousBatch<'_, ChaCha8Rng> = ContinuousBatch::new(&model, 1, policy, 4);
+        let mut pool: ContinuousBatch<'_, ChaCha8Rng> =
+            ContinuousBatch::new(&model, 1, policy.clone(), 4);
         let mut run = |seed: u64, pool: &mut ContinuousBatch<'_, ChaCha8Rng>| {
             pool.admit(req(seed)).ok().expect("slot free");
             loop {
@@ -1518,8 +1700,8 @@ mod tests {
             start: TokenId(2),
             end: TokenId(1),
             pad: Some(TokenId(0)),
-            end_only_after_start: true,
             keep_end: false,
+            grammar: Grammar::Minimal,
         };
         let make = || -> Vec<LaneRequest<ChaCha8Rng>> {
             (0..5)
@@ -1565,8 +1747,8 @@ mod tests {
             start: TokenId(2),
             end: TokenId(1),
             pad: Some(TokenId(0)),
-            end_only_after_start: true,
             keep_end: false,
+            grammar: Grammar::Minimal,
         };
         let lanes = vec![
             LaneRequest {

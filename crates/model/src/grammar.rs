@@ -1,0 +1,123 @@
+//! Decode-time grammar levels and per-lane grammar state.
+//!
+//! The sampler supports three grammar levels:
+//!
+//! - [`Grammar::Off`] — only PAD is masked. Used by PPO rollouts, where
+//!   the Eulerian grammar itself is the thing being learned.
+//! - [`Grammar::Minimal`] — PAD always masked; the terminator masked
+//!   until the walk has returned to the start token with at least two
+//!   edges consumed (so an empty walk can never terminate).
+//! - [`Grammar::Full`] — everything Minimal does, plus a per-lane
+//!   [`IncrementalValidity`] automaton that masks every vocabulary token
+//!   which cannot extend the walk to a legal, closable topology within
+//!   the lane's remaining token budget.
+//!
+//! [`GrammarTable`] maps the tokenizer vocabulary onto circuit
+//! [`Node`]s once; [`GrammarState`] is the cheap per-lane companion the
+//! batch scheduler clones, replays, and stores alongside cached KV
+//! prefixes. The state is a pure function of the token sequence, which
+//! is what makes prefix-cache restore sound: restoring a stored state
+//! and replaying the tokens produce identical masks.
+
+use std::sync::Arc;
+
+use eva_circuit::euler::IncrementalValidity;
+use eva_circuit::Node;
+use eva_tokenizer::TokenId;
+
+/// Vocabulary → circuit-node table shared by every lane of a pool.
+///
+/// Built once per tokenizer; special tokens (PAD, END, anything that is
+/// not a parseable [`Node`]) map to `None`. Holds a prototype automaton
+/// so `fresh_automaton` is a clone, not a rebuild — the initial closing
+/// plan is computed exactly once.
+#[derive(Debug, Clone)]
+pub struct GrammarTable {
+    nodes: Vec<Option<Node>>,
+    proto: IncrementalValidity,
+}
+
+impl GrammarTable {
+    /// Build the table from `(id, text)` vocabulary pairs, e.g.
+    /// `Tokenizer::iter()`. Token texts that parse as circuit nodes
+    /// become the automaton's universe; the rest stay unmapped.
+    pub fn from_vocab<'a, I>(vocab: I) -> GrammarTable
+    where
+        I: IntoIterator<Item = (TokenId, &'a str)>,
+    {
+        let mut nodes: Vec<Option<Node>> = Vec::new();
+        for (id, text) in vocab {
+            let idx = id.index();
+            if nodes.len() <= idx {
+                nodes.resize(idx + 1, None);
+            }
+            nodes[idx] = text.parse::<Node>().ok();
+        }
+        let proto = IncrementalValidity::new(nodes.iter().flatten().copied());
+        GrammarTable { nodes, proto }
+    }
+
+    /// The circuit node a token stands for, if any.
+    pub fn node(&self, token: TokenId) -> Option<Node> {
+        self.nodes.get(token.index()).copied().flatten()
+    }
+
+    /// A fresh automaton positioned at the implicit leading `VSS`.
+    pub fn fresh_automaton(&self) -> IncrementalValidity {
+        self.proto.clone()
+    }
+
+    /// Number of vocabulary slots covered by the table.
+    pub fn vocab_size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Grammar level attached to a [`SamplingPolicy`](crate::SamplingPolicy).
+#[derive(Debug, Clone)]
+pub enum Grammar {
+    /// Mask PAD only.
+    Off,
+    /// Mask PAD; mask the terminator until the walk can close at all.
+    Minimal,
+    /// Full incremental-validity masking driven by the shared table.
+    Full(Arc<GrammarTable>),
+}
+
+impl Grammar {
+    /// Stable lowercase name, mirroring the serve `--grammar` values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Grammar::Off => "off",
+            Grammar::Minimal => "minimal",
+            Grammar::Full(_) => "full",
+        }
+    }
+}
+
+/// Per-lane grammar state: a deterministic function of the sampled
+/// token sequence. Cloned on prefix-cache insert and restored on a
+/// full-prefix hit instead of being replayed token by token.
+#[derive(Debug, Clone)]
+pub enum GrammarState {
+    /// No tracking.
+    Off,
+    /// Tokens observed since the start token.
+    Minimal { steps: usize },
+    /// Incremental automaton plus the observed-token count.
+    Full {
+        auto: IncrementalValidity,
+        steps: usize,
+    },
+}
+
+impl GrammarState {
+    /// Tokens observed since the start token (always 0 for `Off`).
+    pub fn steps(&self) -> usize {
+        match self {
+            GrammarState::Off => 0,
+            GrammarState::Minimal { steps } => *steps,
+            GrammarState::Full { steps, .. } => *steps,
+        }
+    }
+}

@@ -31,6 +31,10 @@ pub enum InferError {
         /// The model's vocabulary size.
         vocab_size: usize,
     },
+    /// Every logit in the row was masked to `-inf`: the grammar left no
+    /// admissible token (e.g. a full-grammar lane whose length cap is too
+    /// small to ever close a walk). The RNG is not consumed.
+    NoAdmissibleToken,
 }
 
 impl fmt::Display for InferError {
@@ -41,6 +45,9 @@ impl fmt::Display for InferError {
             }
             InferError::TokenOutOfVocab { token, vocab_size } => {
                 write!(f, "token {token} out of vocabulary (size {vocab_size})")
+            }
+            InferError::NoAdmissibleToken => {
+                write!(f, "grammar masked every token in the logit row")
             }
         }
     }
@@ -232,6 +239,11 @@ pub(crate) fn gelu(x: f32) -> f32 {
 
 /// Sample an index from logits with temperature and optional top-k.
 ///
+/// Returns [`InferError::NoAdmissibleToken`] — without consuming the
+/// RNG — when every logit is `-inf` (a fully-masked grammar row), since
+/// the softmax weights would otherwise all be zero and the draw
+/// undefined.
+///
 /// # Panics
 ///
 /// Panics if `logits` is empty, `temperature <= 0`, or `top_k == Some(0)`.
@@ -240,9 +252,12 @@ pub fn sample_logits<R: Rng + ?Sized>(
     temperature: f32,
     top_k: Option<usize>,
     rng: &mut R,
-) -> usize {
+) -> Result<usize, InferError> {
     assert!(!logits.is_empty(), "logits empty");
     assert!(temperature > 0.0, "temperature must be positive");
+    if logits.iter().all(|&v| v == f32::NEG_INFINITY) {
+        return Err(InferError::NoAdmissibleToken);
+    }
     let mut order: Vec<usize> = (0..logits.len()).collect();
     order.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite logits"));
     let k = top_k.unwrap_or(logits.len()).min(logits.len());
@@ -257,11 +272,14 @@ pub fn sample_logits<R: Rng + ?Sized>(
     let mut pick = rng.gen_range(0.0..total);
     for (w, &i) in weights.iter().zip(kept) {
         if pick < *w {
-            return i;
+            return Ok(i);
         }
         pick -= w;
     }
-    kept[k - 1]
+    // Floating-point fallthrough: land on the least-likely index that
+    // still carries probability mass, never a zero-weight (masked) one.
+    let last = weights.iter().rposition(|&w| w > 0.0).expect("total > 0");
+    Ok(kept[last])
 }
 
 /// Autoregressively generate a token sequence starting from `start`
@@ -290,8 +308,8 @@ pub fn generate<R: Rng + ?Sized>(
         start,
         end,
         pad: None,
-        end_only_after_start: false,
         keep_end: false,
+        grammar: crate::grammar::Grammar::Off,
     };
     let lane = crate::batch::LaneRequest {
         rng,
@@ -377,7 +395,7 @@ mod tests {
         let logits = vec![0.0, 5.0, 1.0];
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         for _ in 0..20 {
-            assert_eq!(sample_logits(&logits, 0.01, None, &mut rng), 1);
+            assert_eq!(sample_logits(&logits, 0.01, None, &mut rng), Ok(1));
         }
     }
 
@@ -386,9 +404,32 @@ mod tests {
         let logits = vec![1.0, 0.9, -10.0, -10.0];
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..50 {
-            let i = sample_logits(&logits, 5.0, Some(2), &mut rng);
+            let i = sample_logits(&logits, 5.0, Some(2), &mut rng).expect("finite row");
             assert!(i < 2, "picked outside top-2: {i}");
         }
+    }
+
+    #[test]
+    fn all_masked_row_is_a_typed_error_and_draws_nothing() {
+        let logits = vec![f32::NEG_INFINITY; 4];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let before = rng.clone();
+        assert_eq!(
+            sample_logits(&logits, 1.0, None, &mut rng),
+            Err(InferError::NoAdmissibleToken)
+        );
+        assert_eq!(
+            rng.gen::<u64>(),
+            before.clone().gen::<u64>(),
+            "the failed draw must not consume RNG state"
+        );
+        // A single surviving logit is still sampleable.
+        let mut one = vec![f32::NEG_INFINITY; 4];
+        one[2] = 0.0;
+        assert_eq!(
+            sample_logits(&one, 1.0, Some(3), &mut before.clone()),
+            Ok(2)
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod grammar;
 pub mod infer;
 pub mod quant;
 pub mod transformer;
@@ -43,6 +44,7 @@ pub use batch::{
     LaneOutput, LaneRequest, SamplingPolicy, StepOutcome,
 };
 pub use config::ModelConfig;
+pub use grammar::{Grammar, GrammarState, GrammarTable};
 pub use infer::{generate, sample_logits, Generator, InferError};
 pub use quant::QuantizedDecodeWeights;
 pub use transformer::{Bound, Transformer};

@@ -35,6 +35,10 @@ fn decode_one_sequential<R: Rng>(
     let mut gen = Generator::new(model);
     let mut tokens = vec![policy.start];
     tokens.append(&mut lane.prompt);
+    let mut grammar = policy.fresh_state();
+    for &t in &tokens[1..] {
+        policy.observe(&mut grammar, t);
+    }
     let mut fed = 0usize;
     let mut sampled = 0usize;
     loop {
@@ -59,9 +63,18 @@ fn decode_one_sequential<R: Rng>(
                 error: None,
             };
         }
-        policy.mask_logits(*tokens.last().unwrap(), &mut logits);
-        let next =
-            TokenId(sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) as u32);
+        let budget = limit - tokens.len();
+        policy.mask_logits(&grammar, *tokens.last().unwrap(), &mut logits, budget);
+        let next = match sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) {
+            Ok(i) => TokenId(i as u32),
+            Err(e) => {
+                return LaneOutput {
+                    tokens,
+                    sampled,
+                    error: Some(e),
+                }
+            }
+        };
         if next == policy.end {
             if policy.keep_end {
                 tokens.push(next);
@@ -73,6 +86,7 @@ fn decode_one_sequential<R: Rng>(
                 error: None,
             };
         }
+        policy.observe(&mut grammar, next);
         tokens.push(next);
         sampled += 1;
         if tokens.len() >= limit {
@@ -179,7 +193,7 @@ fn mixed_lengths_and_early_retirement_match_sequential() {
 fn unconstrained_ppo_style_policy_matches_sequential() {
     let model = tiny_model(19);
     // The PPO rollout shape: no grammar mask, terminator kept for scoring.
-    let policy = SamplingPolicy::unconstrained(TokenId(2), TokenId(1));
+    let policy = SamplingPolicy::unconstrained(TokenId(2), TokenId(1), TokenId(0));
     assert_batch_matches_sequential(
         &model,
         &policy,
@@ -272,7 +286,7 @@ proptest! {
         let policy = if constrained_policy {
             constrained()
         } else {
-            SamplingPolicy::unconstrained(TokenId(2), TokenId(1))
+            SamplingPolicy::unconstrained(TokenId(2), TokenId(1), TokenId(0))
         };
         let max_lens = &lens[..seeds.len()];
         let temperature = temp_decis as f32 / 10.0;

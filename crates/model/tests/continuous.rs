@@ -65,6 +65,10 @@ fn decode_one_sequential<R: Rng>(
     let mut gen = Generator::new(model);
     let mut tokens = vec![policy.start];
     tokens.append(&mut lane.prompt);
+    let mut grammar = policy.fresh_state();
+    for &t in &tokens[1..] {
+        policy.observe(&mut grammar, t);
+    }
     let mut fed = 0usize;
     let mut sampled = 0usize;
     loop {
@@ -89,9 +93,18 @@ fn decode_one_sequential<R: Rng>(
                 error: None,
             };
         }
-        policy.mask_logits(*tokens.last().unwrap(), &mut logits);
-        let next =
-            TokenId(sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) as u32);
+        let budget = limit - tokens.len();
+        policy.mask_logits(&grammar, *tokens.last().unwrap(), &mut logits, budget);
+        let next = match sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) {
+            Ok(i) => TokenId(i as u32),
+            Err(e) => {
+                return LaneOutput {
+                    tokens,
+                    sampled,
+                    error: Some(e),
+                }
+            }
+        };
         if next == policy.end {
             if policy.keep_end {
                 tokens.push(next);
@@ -103,6 +116,7 @@ fn decode_one_sequential<R: Rng>(
                 error: None,
             };
         }
+        policy.observe(&mut grammar, next);
         tokens.push(next);
         sampled += 1;
         if tokens.len() >= limit {
@@ -160,7 +174,7 @@ fn run_adversarial(
 
 fn assert_matches_solo(model: &Transformer, policy: &SamplingPolicy, arrivals: &[Arrival]) {
     for (capacity, cache) in [(1, 0), (2, 4), (3, 0), (4, 8)] {
-        let outputs = run_adversarial(model, *policy, arrivals, capacity, cache);
+        let outputs = run_adversarial(model, policy.clone(), arrivals, capacity, cache);
         for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
             let alone = decode_one_sequential(model, policy, lane(arrival));
             assert_eq!(
@@ -208,8 +222,8 @@ fn prefix_cache_hits_do_not_change_outputs() {
             delay: 0,
         })
         .collect();
-    let cached = run_adversarial(&model, policy, &arrivals, 2, 8);
-    let uncached = run_adversarial(&model, policy, &arrivals, 2, 0);
+    let cached = run_adversarial(&model, policy.clone(), &arrivals, 2, 8);
+    let uncached = run_adversarial(&model, policy.clone(), &arrivals, 2, 0);
     assert_eq!(cached, uncached, "cache state must never leak into outputs");
     for (arrival, out) in arrivals.iter().zip(&cached) {
         assert_eq!(out, &decode_one_sequential(&model, &policy, lane(arrival)));
@@ -257,7 +271,7 @@ proptest! {
         let policy = if constrained_policy {
             constrained()
         } else {
-            SamplingPolicy::unconstrained(TokenId(2), TokenId(1))
+            SamplingPolicy::unconstrained(TokenId(2), TokenId(1), TokenId(0))
         };
         let arrivals: Vec<Arrival> = specs
             .into_iter()
@@ -268,7 +282,8 @@ proptest! {
                 delay,
             })
             .collect();
-        let outputs = run_adversarial(&model, policy, &arrivals, capacity, prefix_cache_entries);
+        let outputs =
+            run_adversarial(&model, policy.clone(), &arrivals, capacity, prefix_cache_entries);
         for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
             let alone = decode_one_sequential(&model, &policy, lane(arrival));
             prop_assert_eq!(out, &alone, "arrival {} diverged", i);

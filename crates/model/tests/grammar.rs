@@ -1,0 +1,473 @@
+//! The grammar-masked decoding contract, end to end: with
+//! [`Grammar::Full`], every decode that completes — lockstep or
+//! continuous, prefix-cache hit or miss, whatever the admission order or
+//! pool composition — parses as an Eulerian walk whose topology passes
+//! the full `eva_spice::check_validity` oracle on the first try, and is
+//! bit-identical to the same request decoded alone through the
+//! sequential [`Generator`].
+//!
+//! Budget exhaustion is the one legal alternative: a prompt can open more
+//! floating-pin debt than the request's length cap can repay, in which
+//! case the very first sampled position has every token masked and the
+//! lane retires with the typed [`InferError::NoAdmissibleToken`] —
+//! never a truncated or invalid walk. The certificate-carrying planner
+//! guarantees this split: once one token samples successfully, a closing
+//! plan fits the remaining budget at every later step, so mid-decode
+//! dead ends cannot happen.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use eva_model::{
+    decode_batch, sample_logits, ContinuousBatch, Generator, Grammar, GrammarTable, InferError,
+    LaneOutput, LaneRequest, ModelConfig, SamplingPolicy, Transformer,
+};
+use eva_tokenizer::{TokenId, Tokenizer};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Tokenizer over a DC-safe device mix (one NMOS, one PMOS, a resistor,
+/// a capacitor, plus the VDD/VIN1/VOUT1 ports): every structurally valid
+/// topology over this vocabulary also converges at DC, so the structural
+/// automaton implies full oracle validity.
+fn fixture_tokenizer() -> Tokenizer {
+    let corpus: Vec<String> = [
+        "VSS", "VDD", "VIN1", "VOUT1", "NM1_G", "PM1_G", "R1_P", "C1_P",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    Tokenizer::fit([corpus.as_slice()])
+}
+
+fn fixture_model(tok: &Tokenizer, seed: u64) -> Transformer {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Transformer::new(ModelConfig::tiny(tok.vocab_size(), 32), &mut rng)
+}
+
+/// The serve-shaped policy with the full validity automaton switched on.
+fn full_policy(tok: &Tokenizer) -> SamplingPolicy {
+    let table = Arc::new(GrammarTable::from_vocab(tok.iter()));
+    SamplingPolicy::constrained(tok.vss(), Tokenizer::END, Tokenizer::PAD)
+        .with_grammar(Grammar::Full(table))
+}
+
+/// Ground truth: decode the walk and run the full validity oracle.
+fn oracle_valid(tok: &Tokenizer, tokens: &[TokenId]) -> bool {
+    let Ok(seq) = tok.to_sequence(tokens) else {
+        return false;
+    };
+    let Ok(topo) = seq.to_topology() else {
+        return false;
+    };
+    eva_spice::check_validity(&topo).is_valid()
+}
+
+/// The per-output contract under `Grammar::Full`: either the walk passes
+/// the oracle first try, or the lane died on the typed all-masked error
+/// before sampling anything (prompt debt exceeding the length budget).
+fn assert_output_contract(tok: &Tokenizer, out: &LaneOutput, context: &str) {
+    match out.error {
+        None => assert!(
+            oracle_valid(tok, &out.tokens),
+            "{context}: completed decode failed the validity oracle: {:?}",
+            tok.decode(&out.tokens)
+        ),
+        Some(InferError::NoAdmissibleToken) => assert_eq!(
+            out.sampled, 0,
+            "{context}: the grammar may only dry up at the first sampled \
+             position (prompt debt > budget), never mid-decode"
+        ),
+        Some(e) => panic!("{context}: unexpected decode error {e}"),
+    }
+}
+
+/// One request plus its adversarial admission delay (mirrors the
+/// continuous-batching equivalence suite).
+#[derive(Debug, Clone)]
+struct Arrival {
+    seed: u64,
+    temperature: f32,
+    top_k: Option<usize>,
+    max_len: usize,
+    prompt: Vec<TokenId>,
+    delay: usize,
+}
+
+fn lane(a: &Arrival) -> LaneRequest<ChaCha8Rng> {
+    LaneRequest {
+        rng: ChaCha8Rng::seed_from_u64(a.seed),
+        temperature: a.temperature,
+        top_k: a.top_k,
+        max_len: a.max_len,
+        prompt: a.prompt.clone(),
+    }
+}
+
+/// Reference implementation: one lane decoded alone with the sequential
+/// [`Generator`], applying the same stateful grammar masking the batch
+/// layer documents.
+fn decode_one_sequential<R: Rng>(
+    model: &Transformer,
+    policy: &SamplingPolicy,
+    mut lane: LaneRequest<R>,
+) -> LaneOutput {
+    let ctx = model.config().max_seq_len;
+    let limit = lane.max_len.min(ctx);
+    let mut gen = Generator::new(model);
+    let mut tokens = vec![policy.start];
+    tokens.append(&mut lane.prompt);
+    let mut grammar = policy.fresh_state();
+    for &t in &tokens[1..] {
+        policy.observe(&mut grammar, t);
+    }
+    let mut fed = 0usize;
+    let mut sampled = 0usize;
+    loop {
+        let mut logits = match gen.step(tokens[fed]) {
+            Ok(logits) => logits,
+            Err(e) => {
+                return LaneOutput {
+                    tokens,
+                    sampled,
+                    error: Some(e),
+                }
+            }
+        };
+        fed += 1;
+        if fed < tokens.len() {
+            continue;
+        }
+        if tokens.len() >= limit {
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+        let budget = limit - tokens.len();
+        policy.mask_logits(&grammar, *tokens.last().unwrap(), &mut logits, budget);
+        let next = match sample_logits(&logits, lane.temperature, lane.top_k, &mut lane.rng) {
+            Ok(i) => TokenId(i as u32),
+            Err(e) => {
+                return LaneOutput {
+                    tokens,
+                    sampled,
+                    error: Some(e),
+                }
+            }
+        };
+        if next == policy.end {
+            if policy.keep_end {
+                tokens.push(next);
+                sampled += 1;
+            }
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+        policy.observe(&mut grammar, next);
+        tokens.push(next);
+        sampled += 1;
+        if tokens.len() >= limit {
+            return LaneOutput {
+                tokens,
+                sampled,
+                error: None,
+            };
+        }
+    }
+}
+
+/// Drive a pool through an adversarial admission schedule (delays, slot
+/// reuse, mid-flight joins); returns outputs in arrival order.
+fn run_adversarial(
+    model: &Transformer,
+    policy: SamplingPolicy,
+    arrivals: &[Arrival],
+    capacity: usize,
+    prefix_cache_entries: usize,
+) -> Vec<LaneOutput> {
+    let mut pool: ContinuousBatch<'_, ChaCha8Rng> =
+        ContinuousBatch::new(model, capacity, policy, prefix_cache_entries);
+    let mut queue: VecDeque<(usize, &Arrival)> = arrivals.iter().enumerate().collect();
+    let mut origin = vec![usize::MAX; capacity];
+    let mut out: Vec<Option<LaneOutput>> = vec![None; arrivals.len()];
+    let mut iter = 0usize;
+    while out.iter().any(Option::is_none) {
+        while let Some(&(index, arrival)) = queue.front() {
+            if iter < arrival.delay || pool.free_slots() == 0 {
+                break;
+            }
+            let slot = pool.admit(lane(arrival)).expect("a slot was free");
+            origin[slot] = index;
+            queue.pop_front();
+        }
+        if pool.occupied() == 0 {
+            let next = queue.front().expect("undone work remains").1.delay;
+            iter = next.max(iter + 1);
+            continue;
+        }
+        let outcome = pool.step();
+        iter += 1;
+        for (slot, output) in outcome.completed {
+            out[origin[slot]] = Some(output);
+        }
+    }
+    out.into_iter().map(|o| o.expect("all completed")).collect()
+}
+
+/// Legal prompt continuations of the implicit `VSS` start, by index:
+/// nothing, a resistor pin, a through-resistor hop, the NMOS gate (which
+/// opens the full 4-pin floating debt).
+fn prompt_menu(tok: &Tokenizer, choice: usize) -> Vec<TokenId> {
+    let id = |t: &str| tok.id(t).expect("fixture vocab");
+    match choice % 4 {
+        0 => Vec::new(),
+        1 => vec![id("R1_P")],
+        2 => vec![id("R1_P"), id("R1_N")],
+        _ => vec![id("NM1_G")],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Lockstep batched decode under the full grammar: across seeds,
+    /// temperatures, top-k cutoffs, budgets, prompts, and batch
+    /// compositions, every completed output passes the oracle first try
+    /// and is bit-identical to the solo sequential decode.
+    #[test]
+    fn lockstep_full_grammar_is_first_try_valid_and_solo_identical(
+        specs in prop::collection::vec(
+            (0u64..1000, 0usize..3, 0usize..3, 7usize..32, 0usize..4),
+            1..6,
+        ),
+    ) {
+        let tok = fixture_tokenizer();
+        let model = fixture_model(&tok, 17);
+        let policy = full_policy(&tok);
+        let arrivals: Vec<Arrival> = specs
+            .into_iter()
+            .map(|(seed, t, k, max_len, p)| Arrival {
+                seed,
+                temperature: [0.7, 1.0, 1.4][t],
+                top_k: [None, Some(4), Some(12)][k],
+                max_len,
+                prompt: prompt_menu(&tok, p),
+                delay: 0,
+            })
+            .collect();
+        let outputs = decode_batch(&model, &policy, arrivals.iter().map(lane).collect());
+        for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
+            assert_output_contract(&tok, out, &format!("lockstep lane {i}"));
+            let alone = decode_one_sequential(&model, &policy, lane(arrival));
+            prop_assert_eq!(out, &alone, "lane {} diverged from solo decode", i);
+        }
+    }
+
+    /// Continuous batching under the full grammar: adversarial admission
+    /// orders, delays, capacities, and prefix-cache sizes never change an
+    /// output, and every completed output passes the oracle first try.
+    #[test]
+    fn continuous_full_grammar_is_first_try_valid_and_solo_identical(
+        specs in prop::collection::vec(
+            (0u64..1000, 0usize..3, 0usize..3, 7usize..32, 0usize..4, 0usize..5),
+            1..6,
+        ),
+        capacity in 1usize..4,
+        prefix_cache_entries in 0usize..5,
+    ) {
+        let tok = fixture_tokenizer();
+        let model = fixture_model(&tok, 19);
+        let policy = full_policy(&tok);
+        let arrivals: Vec<Arrival> = specs
+            .into_iter()
+            .map(|(seed, t, k, max_len, p, delay)| Arrival {
+                seed,
+                temperature: [0.7, 1.0, 1.4][t],
+                top_k: [None, Some(4), Some(12)][k],
+                max_len,
+                prompt: prompt_menu(&tok, p),
+                delay,
+            })
+            .collect();
+        let outputs =
+            run_adversarial(&model, policy.clone(), &arrivals, capacity, prefix_cache_entries);
+        for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
+            assert_output_contract(&tok, out, &format!("continuous arrival {i}"));
+            let alone = decode_one_sequential(&model, &policy, lane(arrival));
+            prop_assert_eq!(out, &alone, "arrival {} diverged from solo decode", i);
+        }
+    }
+}
+
+/// A full-prefill prefix-cache hit must restore the *grammar state*
+/// alongside the KV rows: the same shared prompt decoded with and without
+/// a cache produces identical, oracle-valid outputs.
+#[test]
+fn prefix_cache_hits_restore_grammar_state() {
+    let tok = fixture_tokenizer();
+    let model = fixture_model(&tok, 23);
+    let policy = full_policy(&tok);
+    let prompt = prompt_menu(&tok, 2);
+    let arrivals: Vec<Arrival> = (0..5)
+        .map(|i| Arrival {
+            seed: 500 + i,
+            temperature: 1.0,
+            top_k: Some(8),
+            max_len: 24,
+            prompt: prompt.clone(),
+            delay: 0,
+        })
+        .collect();
+    let cached = run_adversarial(&model, policy.clone(), &arrivals, 2, 8);
+    let uncached = run_adversarial(&model, policy.clone(), &arrivals, 2, 0);
+    assert_eq!(
+        cached, uncached,
+        "prefix-cache state must never leak into outputs"
+    );
+    for (i, (arrival, out)) in arrivals.iter().zip(&cached).enumerate() {
+        assert_output_contract(&tok, out, &format!("cached arrival {i}"));
+        assert_eq!(
+            out,
+            &decode_one_sequential(&model, &policy, lane(arrival)),
+            "cached arrival {i} diverged from solo decode"
+        );
+    }
+}
+
+/// The pool's `masked_tokens` counter (the serve metric's source) grows
+/// whenever the grammar actually masks: under the full automaton on a
+/// tiny vocabulary, that is every decode step.
+#[test]
+fn pool_counts_masked_tokens() {
+    let tok = fixture_tokenizer();
+    let model = fixture_model(&tok, 29);
+    let mut pool: ContinuousBatch<'_, ChaCha8Rng> =
+        ContinuousBatch::new(&model, 1, full_policy(&tok), 0);
+    assert_eq!(pool.masked_tokens(), 0);
+    pool.admit(lane(&Arrival {
+        seed: 3,
+        temperature: 1.0,
+        top_k: None,
+        max_len: 16,
+        prompt: Vec::new(),
+        delay: 0,
+    }))
+    .expect("slot free");
+    while pool.occupied() > 0 {
+        pool.step();
+    }
+    assert!(
+        pool.masked_tokens() > 0,
+        "full grammar on a tiny vocab must mask at least one logit"
+    );
+}
+
+/// A length budget below the minimal closing walk (7 tokens: `VSS` plus
+/// the 6-node VDD loop) leaves no admissible token at the first sampled
+/// position: the lane retires with the typed error, sampling nothing.
+#[test]
+fn budget_below_minimal_walk_is_a_typed_error() {
+    let tok = fixture_tokenizer();
+    let model = fixture_model(&tok, 31);
+    let policy = full_policy(&tok);
+    let request = Arrival {
+        seed: 11,
+        temperature: 1.0,
+        top_k: None,
+        max_len: 5,
+        prompt: Vec::new(),
+        delay: 0,
+    };
+    let out = &decode_batch(&model, &policy, vec![lane(&request)])[0];
+    assert_eq!(out.error, Some(InferError::NoAdmissibleToken));
+    assert_eq!(out.sampled, 0);
+    assert_eq!(out.tokens, vec![tok.vss()]);
+}
+
+/// A prompt token outside the circuit vocabulary (here: PAD itself)
+/// poisons the lane's automaton, degrading it to the minimal END rule —
+/// outputs stay deterministic and solo-identical, they just lose the
+/// validity guarantee.
+#[test]
+fn unmappable_prompt_degrades_to_minimal_and_stays_solo_identical() {
+    let tok = fixture_tokenizer();
+    let model = fixture_model(&tok, 37);
+    let policy = full_policy(&tok);
+    let arrivals: Vec<Arrival> = (0..4)
+        .map(|i| Arrival {
+            seed: 900 + i,
+            temperature: 1.0,
+            top_k: Some(6),
+            max_len: 20,
+            prompt: vec![Tokenizer::PAD],
+            delay: i as usize,
+        })
+        .collect();
+    let outputs = run_adversarial(&model, policy.clone(), &arrivals, 2, 4);
+    for (i, (arrival, out)) in arrivals.iter().zip(&outputs).enumerate() {
+        assert!(out.error.is_none(), "poisoned lane {i} must not error");
+        assert_eq!(
+            out,
+            &decode_one_sequential(&model, &policy, lane(arrival)),
+            "poisoned arrival {i} diverged from solo decode"
+        );
+    }
+}
+
+/// Satellite regression: the minimal grammar must forbid terminating the
+/// empty walk — no decode may emit the bare `[VSS]` via an immediate END.
+#[test]
+fn minimal_grammar_never_terminates_the_empty_walk() {
+    let tok = fixture_tokenizer();
+    let model = fixture_model(&tok, 41);
+    let policy = SamplingPolicy::constrained(tok.vss(), Tokenizer::END, Tokenizer::PAD);
+    let lanes: Vec<LaneRequest<ChaCha8Rng>> = (0..24u64)
+        .map(|seed| LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            temperature: 1.4,
+            top_k: None,
+            max_len: 16,
+            prompt: Vec::new(),
+        })
+        .collect();
+    for (i, out) in decode_batch(&model, &policy, lanes).iter().enumerate() {
+        assert!(out.is_ok(), "lane {i} errored");
+        assert!(
+            out.tokens.len() >= 2,
+            "lane {i} terminated the empty walk: {:?}",
+            out.tokens
+        );
+    }
+}
+
+/// Satellite regression: the unconstrained (PPO rollout) policy must mask
+/// PAD — no trajectory may contain it mid-sequence.
+#[test]
+fn unconstrained_decode_never_emits_pad() {
+    let tok = fixture_tokenizer();
+    let model = fixture_model(&tok, 43);
+    let policy = SamplingPolicy::unconstrained(tok.vss(), Tokenizer::END, Tokenizer::PAD);
+    let lanes: Vec<LaneRequest<ChaCha8Rng>> = (0..24u64)
+        .map(|seed| LaneRequest {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            temperature: 1.4,
+            top_k: None,
+            max_len: 16,
+            prompt: Vec::new(),
+        })
+        .collect();
+    for (i, out) in decode_batch(&model, &policy, lanes).iter().enumerate() {
+        assert!(out.is_ok(), "lane {i} errored");
+        assert!(
+            !out.tokens.contains(&Tokenizer::PAD),
+            "lane {i} sampled PAD mid-trajectory: {:?}",
+            out.tokens
+        );
+    }
+}

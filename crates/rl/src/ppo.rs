@@ -188,7 +188,8 @@ impl<'a> PpoTrainer<'a> {
         n: usize,
         rng: &mut R,
     ) -> Result<Vec<Vec<TokenId>>, InferError> {
-        let sampling = SamplingPolicy::unconstrained(self.tokenizer.vss(), Tokenizer::END);
+        let sampling =
+            SamplingPolicy::unconstrained(self.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
         let lanes: Vec<LaneRequest<ChaCha8Rng>> = (0..n)
             .map(|_| LaneRequest {
                 rng: ChaCha8Rng::seed_from_u64(rng.gen()),

@@ -7,7 +7,9 @@
 //! class ordering, which for a single judgment per sequence reduces to the
 //! softmax/cross-entropy likelihood used here.
 
-use eva_model::Transformer;
+use std::sync::{Arc, OnceLock};
+
+use eva_model::{GrammarTable, Transformer};
 use eva_nn::{AdamW, Tape};
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::seq::SliceRandom;
@@ -124,6 +126,11 @@ pub struct LabeledSequence {
 pub struct RewardModel {
     backbone: Transformer,
     head: LinearHead,
+    /// Lazily-built vocabulary table backing the structural prefilter:
+    /// the same incremental-validity automaton the grammar-masked
+    /// decoder uses, replayed once per scored sequence. Built from the
+    /// first tokenizer this model scores with.
+    prefilter: OnceLock<Arc<GrammarTable>>,
 }
 
 impl RewardModel {
@@ -131,7 +138,11 @@ impl RewardModel {
     pub fn new<R: Rng + ?Sized>(backbone: Transformer, rng: &mut R) -> RewardModel {
         let d = backbone.config().d_model;
         let head = LinearHead::new("rank", d, 3, rng);
-        RewardModel { backbone, head }
+        RewardModel {
+            backbone,
+            head,
+            prefilter: OnceLock::new(),
+        }
     }
 
     /// The backbone.
@@ -164,10 +175,41 @@ impl RewardModel {
         RankClass::from_class_index(argmax)
     }
 
+    /// Fast rule-based structural reject. `true` means the incremental
+    /// automaton proves the walk can never decode into a valid closed
+    /// topology (self-loop, supply short, floating pins, missing VDD,
+    /// not closing at VSS…), so the SPICE elaboration and DC solve can
+    /// be skipped outright. `false` is *not* a validity proof — the
+    /// electrical oracle still runs.
+    fn structural_reject(&self, tokens: &[TokenId], tokenizer: &Tokenizer) -> bool {
+        let table = self
+            .prefilter
+            .get_or_init(|| Arc::new(GrammarTable::from_vocab(tokenizer.iter())));
+        if tokens.first() != Some(&tokenizer.vss()) {
+            return false; // malformed start: let the parser report it
+        }
+        let mut nodes = Vec::with_capacity(tokens.len());
+        for &t in &tokens[1..] {
+            if t == Tokenizer::END || t == Tokenizer::PAD {
+                break;
+            }
+            match table.node(t) {
+                Some(n) => nodes.push(n),
+                None => return false, // unmappable token: defer to the oracle
+            }
+        }
+        !table.fresh_automaton().accepts(nodes)
+    }
+
     /// The sequence reward `R_φ(x, y)`: −1 if the rule-based checker
     /// rejects the decoded circuit, otherwise the classifier's expected
     /// rank score (probability-weighted over the three valid classes).
     pub fn reward(&self, tokens: &[TokenId], tokenizer: &Tokenizer) -> f64 {
+        // Structural prefilter: a rejected rollout costs one automaton
+        // replay instead of a full SPICE cycle.
+        if self.structural_reject(tokens, tokenizer) {
+            return RankClass::Invalid.score();
+        }
         let valid = tokenizer
             .to_sequence(tokens)
             .ok()
@@ -314,6 +356,34 @@ mod tests {
     fn otsu_single_value() {
         let thr = otsu_threshold(&[5.0]);
         assert!(thr.is_finite());
+    }
+
+    #[test]
+    fn structural_prefilter_agrees_with_the_oracle() {
+        let walk: Vec<String> = ["VSS", "R1_P", "R1_N", "VDD", "R1_N", "R1_P", "VSS"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let tok = Tokenizer::fit([walk.as_slice()]);
+        let id = |s: &str| tok.id(s).expect("in vocabulary");
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let backbone = Transformer::new(ModelConfig::tiny(tok.vocab_size(), 16), &mut rng);
+        let rm = RewardModel::new(backbone, &mut rng);
+
+        // A resistor between the rails: clears the prefilter, the SPICE
+        // oracle agrees, and the classifier's expected score applies.
+        let valid: Vec<TokenId> = walk.iter().map(|s| id(s)).chain([Tokenizer::END]).collect();
+        assert!(
+            rm.reward(&valid, &tok) > RankClass::Invalid.score(),
+            "valid walk must not be rejected by the prefilter"
+        );
+
+        // A walk ending away from VSS is structurally hopeless: the
+        // automaton rejects it without a SPICE cycle.
+        let dangling = vec![id("VSS"), id("R1_P"), Tokenizer::END];
+        assert_eq!(rm.reward(&dangling, &tok), RankClass::Invalid.score());
+        assert!(rm.structural_reject(&dangling, &tok));
+        assert!(!rm.structural_reject(&valid, &tok));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! cargo run -p eva-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7878] [--artifacts DIR] [--workers N] [--queue N] \
 //!     [--batch N] [--deadline-us N] [--max-lanes N] [--prefix-cache-entries N] \
-//!     [--quantize off|int8] [--validate] [--seed N] [--demo-steps N] \
+//!     [--quantize off|int8] [--grammar full|minimal|off] [--validate] \
+//!     [--seed N] [--demo-steps N] \
 //!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N] \
 //!     [--shed-watermark-pct N] [--restart-backoff-ms N] \
 //!     [--max-discover-jobs N] [--discover-candidates N] \
@@ -48,6 +49,17 @@ fn main() {
                 }
                 None => {
                     eprintln!("error: --quantize needs a mode (off|int8)");
+                    std::process::exit(2);
+                }
+            },
+            "--grammar" => match args.next().map(|v| v.parse::<eva_serve::GrammarMode>()) {
+                Some(Ok(mode)) => config.grammar = mode,
+                Some(Err(e)) => {
+                    eprintln!("error: --grammar: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("error: --grammar needs a mode (full|minimal|off)");
                     std::process::exit(2);
                 }
             },
@@ -127,7 +139,7 @@ fn main() {
     // so worker count never multiplies kernel threads.
     eprintln!(
         "[serve] workers {} queue {} batch {} lanes {} prefix-cache {} deadline {}us \
-         kernel-threads {} simd {} quantize {}",
+         kernel-threads {} simd {} quantize {} grammar {}",
         config.workers,
         config.queue_capacity,
         config.max_batch,
@@ -136,7 +148,8 @@ fn main() {
         config.batch_deadline_us,
         eva_nn::pool::global().threads(),
         eva_nn::simd::active_name(),
-        config.quantize.name()
+        config.quantize.name(),
+        config.grammar.name()
     );
     eprintln!(
         "[serve] read-timeout {}ms write-timeout {}ms request-deadline {}ms (0 = disabled)",

@@ -39,6 +39,47 @@ impl std::str::FromStr for QuantizeMode {
     }
 }
 
+/// Decode-time grammar level served by the worker pool (see
+/// [`eva_model::Grammar`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum GrammarMode {
+    /// Full incremental-validity masking: every sampled token provably
+    /// extends the walk to a legal, closable topology, so generations
+    /// are ~100% first-try valid (the default).
+    #[default]
+    Full,
+    /// The historical two-rule mask: PAD never sampled, terminator only
+    /// once the walk can close at all.
+    Minimal,
+    /// PAD-only masking; structural validity is left to the model.
+    Off,
+}
+
+impl GrammarMode {
+    /// Stable lowercase name (CLI/metrics spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            GrammarMode::Full => "full",
+            GrammarMode::Minimal => "minimal",
+            GrammarMode::Off => "off",
+        }
+    }
+}
+
+impl std::str::FromStr for GrammarMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<GrammarMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Ok(GrammarMode::Full),
+            "minimal" => Ok(GrammarMode::Minimal),
+            "off" => Ok(GrammarMode::Off),
+            other => Err(format!("unknown grammar mode {other:?} (full|minimal|off)")),
+        }
+    }
+}
+
 /// Configuration of a [`crate::GenerationService`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -153,6 +194,12 @@ pub struct ServeConfig {
     /// every worker's GEMMs through the int8 kernel. Default `off`.
     #[serde(default)]
     pub quantize: QuantizeMode,
+    /// Decode-time grammar level: `full` masks every token that cannot
+    /// extend the walk to a legal, closable topology (~100% first-try
+    /// validity); `minimal` keeps only the PAD/terminator rules; `off`
+    /// masks PAD alone. Default `full`.
+    #[serde(default)]
+    pub grammar: GrammarMode,
 }
 
 fn default_prefix_cache_entries() -> usize {
@@ -236,6 +283,7 @@ impl Default for ServeConfig {
             discover_max_population: default_discover_max_population(),
             job_dir: None,
             quantize: QuantizeMode::default(),
+            grammar: GrammarMode::default(),
         }
     }
 }
@@ -377,6 +425,28 @@ mod tests {
         assert_eq!(c.discover_population, default_discover_population());
         assert_eq!(c.job_dir, None);
         assert_eq!(c.quantize, QuantizeMode::Off);
+        assert_eq!(
+            c.grammar,
+            GrammarMode::Full,
+            "legacy configs get full grammar"
+        );
+    }
+
+    #[test]
+    fn grammar_mode_parses_and_serializes_lowercase() {
+        assert_eq!("full".parse::<GrammarMode>(), Ok(GrammarMode::Full));
+        assert_eq!("MINIMAL".parse::<GrammarMode>(), Ok(GrammarMode::Minimal));
+        assert_eq!("off".parse::<GrammarMode>(), Ok(GrammarMode::Off));
+        assert!("strict".parse::<GrammarMode>().is_err());
+        assert_eq!(GrammarMode::Full.name(), "full");
+        let json = serde_json::to_string(&GrammarMode::Minimal).unwrap();
+        assert_eq!(json, "\"minimal\"");
+        let c = ServeConfig {
+            grammar: GrammarMode::Minimal,
+            ..ServeConfig::default()
+        };
+        let back: ServeConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back.grammar, GrammarMode::Minimal);
     }
 
     #[test]

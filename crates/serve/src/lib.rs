@@ -74,7 +74,7 @@ pub mod protocol;
 pub mod retry;
 pub mod service;
 
-pub use config::{QuantizeMode, ServeConfig};
+pub use config::{GrammarMode, QuantizeMode, ServeConfig};
 pub use discovery::{DiscoverError, DiscoverParams, DiscoveryJob, JobEvent, JobSummary};
 // The deterministic fault injector (`EVA_FAULT_PLAN`) chaos tests drive
 // this service with; lives in eva-nn, re-exported for serve callers.

@@ -215,6 +215,13 @@ pub struct Metrics {
     /// GA generations stepped across all discovery jobs (one count per
     /// candidate per generation).
     pub ga_generations: AtomicU64,
+    /// Logit entries the decode-time grammar newly forced to `-inf`
+    /// (summed over every lane and decode step).
+    pub masked_tokens: AtomicU64,
+    /// Completed requests whose decoded walk passed the validity oracle
+    /// on the first try (no resample loop; see `candidates_valid` for the
+    /// discovery-path analogue).
+    pub first_try_valid: AtomicU64,
     /// Time spent queued before a worker picked the request up.
     pub queue_wait: Histogram,
     /// Time from enqueue to the request's first sampled token.
@@ -293,8 +300,11 @@ impl Metrics {
             candidates_unique: self.candidates_unique.load(Ordering::Relaxed),
             spice_evals: self.spice_evals.load(Ordering::Relaxed),
             ga_generations: self.ga_generations.load(Ordering::Relaxed),
+            masked_tokens: self.masked_tokens.load(Ordering::Relaxed),
+            first_try_valid: self.first_try_valid.load(Ordering::Relaxed),
             quantized: false,
             simd: String::new(),
+            grammar: String::new(),
             queue_wait: self.queue_wait.snapshot(),
             ttft: self.ttft.snapshot(),
             decode: self.decode.snapshot(),
@@ -355,6 +365,11 @@ pub struct MetricsSnapshot {
     /// runtime detection and `EVA_NN_SIMD`; empty when unreported.
     #[serde(default)]
     pub simd: String,
+    /// Decode-time grammar level (`full`/`minimal`/`off`); empty in
+    /// snapshots from servers predating grammar-masked decoding — as are
+    /// `masked_tokens` and `first_try_valid` below.
+    #[serde(default)]
+    pub grammar: String,
     /// Tokens sampled across all completed requests.
     pub tokens_generated: u64,
     /// Scheduling episodes (idle-to-decoding transitions).
@@ -413,6 +428,12 @@ pub struct MetricsSnapshot {
     /// GA generations stepped (candidate × generation).
     #[serde(default)]
     pub ga_generations: u64,
+    /// Logit entries newly masked to `-inf` by the decode grammar.
+    #[serde(default)]
+    pub masked_tokens: u64,
+    /// Completed requests whose walk passed the validity oracle first try.
+    #[serde(default)]
+    pub first_try_valid: u64,
     /// Queue-wait latency.
     pub queue_wait: HistogramSnapshot,
     /// Time-to-first-token latency (enqueue to first sampled token).
@@ -584,6 +605,8 @@ mod tests {
         m.candidates_unique.fetch_add(9, Ordering::Relaxed);
         m.spice_evals.fetch_add(360, Ordering::Relaxed);
         m.ga_generations.fetch_add(30, Ordering::Relaxed);
+        m.masked_tokens.fetch_add(480, Ordering::Relaxed);
+        m.first_try_valid.fetch_add(3, Ordering::Relaxed);
         let s = m.snapshot(1);
         assert_eq!(s.accepted, 5);
         assert_eq!(s.rejected_timeout, 1);
@@ -611,6 +634,8 @@ mod tests {
         assert_eq!(s.candidates_unique, 9);
         assert_eq!(s.spice_evals, 360);
         assert_eq!(s.ga_generations, 30);
+        assert_eq!(s.masked_tokens, 480);
+        assert_eq!(s.first_try_valid, 3);
         // The snapshot is JSON-serializable and round-trips.
         let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
         assert_eq!(back, s);
@@ -639,6 +664,10 @@ mod tests {
         assert_eq!(s.active_jobs, 0);
         assert_eq!(s.stage_generate, HistogramSnapshot::empty());
         assert_eq!(s.job_total, HistogramSnapshot::empty());
+        // Grammar fields default for pre-grammar snapshots.
+        assert_eq!(s.grammar, "");
+        assert_eq!(s.masked_tokens, 0);
+        assert_eq!(s.first_try_valid, 0);
         // Continuous-batching fields default for pre-scheduler snapshots.
         assert_eq!(s.admitted_mid_flight, 0);
         assert_eq!(s.decode_iterations, 0);

@@ -66,13 +66,14 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eva_core::{fault, EvaArtifacts};
 use eva_model::{
-    ContinuousBatch, LaneOutput, LaneRequest, QuantizedDecodeWeights, SamplingPolicy, Transformer,
+    ContinuousBatch, Grammar, GrammarTable, LaneOutput, LaneRequest, QuantizedDecodeWeights,
+    SamplingPolicy, Transformer,
 };
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::config::{QuantizeMode, ServeConfig};
+use crate::config::{GrammarMode, QuantizeMode, ServeConfig};
 use crate::discovery::{DiscoverError, DiscoveryJob, JobManager};
 use crate::metrics::{HealthSnapshot, Metrics, MetricsSnapshot};
 use crate::protocol::{DiscoverRequest, GenerateRequest, OkResponse, Response};
@@ -387,6 +388,10 @@ pub(crate) struct ServiceInner {
     /// Int8 decode weights every worker's pool decodes through; `Some`
     /// exactly when [`ServeConfig::quantize`] is `int8`.
     pub(crate) quant: Option<Arc<QuantizedDecodeWeights>>,
+    /// Vocab → circuit-node table for the full grammar automaton; `Some`
+    /// exactly when [`ServeConfig::grammar`] is `full`. Built once at
+    /// startup and shared by every worker's sampling policy.
+    pub(crate) grammar_table: Option<Arc<GrammarTable>>,
     pub(crate) config: ServeConfig,
     pub(crate) configured_workers: usize,
     // Shared with every `PendingGeneration` so waiter-side timeouts are
@@ -463,12 +468,15 @@ impl GenerationService {
                 Some(prepared.unwrap_or_else(|| Arc::new(QuantizedDecodeWeights::quantize(&model))))
             }
         };
+        let grammar_table = (config.grammar == GrammarMode::Full)
+            .then(|| Arc::new(GrammarTable::from_vocab(tokenizer.iter())));
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
         let workers = config.workers.max(1);
         let inner = Arc::new(ServiceInner {
             model,
             tokenizer,
             quant,
+            grammar_table,
             config,
             configured_workers: workers,
             metrics: Arc::new(Metrics::new()),
@@ -558,6 +566,7 @@ impl GenerationService {
         let mut snap = self.inner.metrics.snapshot(self.queue_depth());
         snap.quantized = self.is_quantized();
         snap.simd = eva_nn::simd::active_name().to_owned();
+        snap.grammar = self.inner.config.grammar.name().to_owned();
         snap
     }
 
@@ -836,10 +845,22 @@ struct InFlight {
 /// instead of waiting for the whole batch to drain. Every job is wrapped
 /// in a [`JobSlot`] panic guard the moment it leaves the queue, so no
 /// panic past this point can orphan a waiter.
+/// The sampling policy every worker decodes with, resolved from
+/// [`ServeConfig::grammar`]: the constrained Eulerian base policy, upgraded
+/// to the full validity automaton (`full`, the default), left at the
+/// minimal END rule (`minimal`), or stripped to PAD-only masking (`off`).
+fn decode_policy(inner: &ServiceInner) -> SamplingPolicy {
+    let base = SamplingPolicy::constrained(inner.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
+    match (&inner.grammar_table, inner.config.grammar) {
+        (Some(table), _) => base.with_grammar(Grammar::Full(Arc::clone(table))),
+        (None, GrammarMode::Off) => base.with_grammar(Grammar::Off),
+        (None, _) => base,
+    }
+}
+
 fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
     let max_lanes = inner.config.lane_capacity();
-    let grammar =
-        SamplingPolicy::constrained(inner.tokenizer.vss(), Tokenizer::END, Tokenizer::PAD);
+    let grammar = decode_policy(inner);
     // The pool (KV arena + prefix cache) persists across scheduling
     // episodes: prefixes cached while serving one burst keep paying off
     // for the worker's whole lifetime.
@@ -851,7 +872,7 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
         inner.quant.clone(),
     );
     let mut inflight: Vec<Option<InFlight>> = (0..max_lanes).map(|_| None).collect();
-    let (mut hits_seen, mut reused_seen) = (0u64, 0u64);
+    let (mut hits_seen, mut reused_seen, mut masked_seen) = (0u64, 0u64, 0u64);
     loop {
         // Idle: block for the first job; a closed, drained queue ends the
         // worker.
@@ -886,7 +907,13 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
         for slot in seed {
             admit_job(inner, &mut pool, &mut inflight, slot);
         }
-        sync_prefix_stats(inner, &pool, &mut hits_seen, &mut reused_seen);
+        sync_pool_stats(
+            inner,
+            &pool,
+            &mut hits_seen,
+            &mut reused_seen,
+            &mut masked_seen,
+        );
 
         // The scheduling episode: decode one iteration, answer whoever
         // retired, refill the freed lanes from the queue, repeat until
@@ -937,7 +964,13 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
                     Err(_) => break,
                 }
             }
-            sync_prefix_stats(inner, &pool, &mut hits_seen, &mut reused_seen);
+            sync_pool_stats(
+                inner,
+                &pool,
+                &mut hits_seen,
+                &mut reused_seen,
+                &mut masked_seen,
+            );
         }
     }
 }
@@ -984,14 +1017,15 @@ fn admit_job(
     }
 }
 
-/// Flush the pool's monotonically-growing prefix-cache counters into the
-/// shared registry as deltas (each worker owns a pool; the registry sums
-/// them).
-fn sync_prefix_stats(
+/// Flush the pool's monotonically-growing prefix-cache and grammar-mask
+/// counters into the shared registry as deltas (each worker owns a pool;
+/// the registry sums them).
+fn sync_pool_stats(
     inner: &ServiceInner,
     pool: &ContinuousBatch<'_, ChaCha8Rng>,
     hits_seen: &mut u64,
     reused_seen: &mut u64,
+    masked_seen: &mut u64,
 ) {
     let hits = pool.prefix_hits();
     if hits > *hits_seen {
@@ -1008,6 +1042,14 @@ fn sync_prefix_stats(
             .prefix_tokens_reused
             .fetch_add(reused - *reused_seen, Ordering::Relaxed);
         *reused_seen = reused;
+    }
+    let masked = pool.masked_tokens();
+    if masked > *masked_seen {
+        inner
+            .metrics
+            .masked_tokens
+            .fetch_add(masked - *masked_seen, Ordering::Relaxed);
+        *masked_seen = masked;
     }
 }
 
@@ -1040,6 +1082,14 @@ fn finalize(inner: &ServiceInner, flight: InFlight, out: LaneOutput) {
     let validate_elapsed = validate_start.elapsed();
     if job.params.validate {
         inner.metrics.validate.record(validate_elapsed);
+    }
+    if valid == Some(true) {
+        // The single decode pass produced an oracle-valid walk — the
+        // grammar's first-try-validity figure of merit.
+        inner
+            .metrics
+            .first_try_valid
+            .fetch_add(1, Ordering::Relaxed);
     }
     let total = job.enqueued.elapsed();
     inner.metrics.total.record(total);
