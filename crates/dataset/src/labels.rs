@@ -5,7 +5,10 @@
 //! these labels for the target family only.
 
 use eva_circuit::Topology;
-use eva_spice::{measure_converter, measure_opamp, measure_oscillator, Sizing, Stimulus, Tech};
+use eva_spice::{
+    measure_converter_metered, measure_opamp_metered, measure_oscillator_metered, SimMeter, Sizing,
+    SpiceError, Stimulus, Tech,
+};
 
 use crate::types::CircuitType;
 
@@ -20,34 +23,55 @@ pub fn measure_fom(topology: &Topology, ty: CircuitType) -> Option<f64> {
 /// Like [`measure_fom`] but with an explicit sizing — the GA's fitness
 /// function.
 pub fn measure_fom_sized(topology: &Topology, ty: CircuitType, sizing: &Sizing) -> Option<f64> {
+    measure_fom_outcome(topology, ty, sizing, &SimMeter::unlimited()).ok()
+}
+
+/// Like [`measure_fom_sized`] but metered and error-preserving: the
+/// simulation charges its work against `meter` (budget exhaustion and
+/// cooperative aborts surface as typed [`SpiceError`]s), and every
+/// failure keeps the error that caused it instead of collapsing to
+/// `None` — the classified evaluation path
+/// ([`eva_spice::par_evaluate_classified`]) buckets them per class.
+///
+/// A measurement that completes but produces a non-finite FoM is
+/// reported as a numerical blowup so it, too, carries a class.
+pub fn measure_fom_outcome(
+    topology: &Topology,
+    ty: CircuitType,
+    sizing: &Sizing,
+    meter: &SimMeter,
+) -> Result<f64, SpiceError> {
     let sizing = sizing.clone();
     let tech = Tech::default();
     let fom = match ty {
         CircuitType::PowerConverter => {
-            measure_converter(topology, &sizing, &Stimulus::converter(), &tech, 0.5)
-                .ok()?
+            measure_converter_metered(topology, &sizing, &Stimulus::converter(), &tech, 0.5, meter)?
                 .fom
         }
         CircuitType::ScSampler => {
             // Samplers are measured like converters (tracking accuracy):
             // settled ratio against a 0.5 target with the converter rig.
-            measure_converter(topology, &sizing, &Stimulus::converter(), &tech, 0.5)
-                .ok()?
+            measure_converter_metered(topology, &sizing, &Stimulus::converter(), &tech, 0.5, meter)?
                 .fom
         }
         CircuitType::Vco | CircuitType::Pll => {
             // Oscillators: FoM = output frequency in MHz (0 when the
             // circuit never swings).
-            measure_oscillator(topology, &sizing, &Stimulus::default(), &tech, 50e6).ok()? / 1e6
+            measure_oscillator_metered(topology, &sizing, &Stimulus::default(), &tech, 50e6, meter)?
+                / 1e6
         }
         _ => {
             // Amplifier-style measurement for all small-signal families.
-            measure_opamp(topology, &sizing, &Stimulus::default(), &tech)
-                .ok()?
-                .fom
+            measure_opamp_metered(topology, &sizing, &Stimulus::default(), &tech, meter)?.fom
         }
     };
-    fom.is_finite().then_some(fom)
+    if fom.is_finite() {
+        Ok(fom)
+    } else {
+        Err(SpiceError::NumericalBlowup {
+            analysis: "measure",
+        })
+    }
 }
 
 #[cfg(test)]

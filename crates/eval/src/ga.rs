@@ -24,7 +24,9 @@
 
 use eva_circuit::{Device, DeviceKind, Topology};
 use eva_dataset::CircuitType;
-use eva_spice::{DeviceParams, Sizing};
+use eva_spice::{
+    AbortHandle, DeviceParams, SimBudget, SimFailCounts, SimMeter, SimOutcome, Sizing,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -239,6 +241,17 @@ pub struct GaRun {
     pop: Vec<Vec<f64>>,
     fitness: Vec<f64>,
     history: Vec<f64>,
+    /// Per-evaluation work budget (unlimited by default). Metered in work
+    /// units, so results stay bit-identical at any thread count.
+    budget: SimBudget,
+    /// Cooperative cancel: when tripped, in-flight evaluations fail fast
+    /// with [`eva_spice::SimFailClass::Aborted`] instead of simulating.
+    abort: Option<AbortHandle>,
+    /// Failure classes tallied by the most recent [`GaRun::step`].
+    step_fails: SimFailCounts,
+    /// Failure classes tallied across every step of this run instance
+    /// (not checkpointed; resumed runs restart the tally).
+    total_fails: SimFailCounts,
 }
 
 /// The ChaCha8 stream for one generation of one run. Pure function of
@@ -279,7 +292,28 @@ impl GaRun {
             pop,
             fitness: Vec::new(),
             history: Vec::new(),
+            budget: SimBudget::unlimited(),
+            abort: None,
+            step_fails: SimFailCounts::default(),
+            total_fails: SimFailCounts::default(),
         })
+    }
+
+    /// Set the per-evaluation simulation work budget. Each candidate
+    /// sizing evaluation gets a fresh meter over this budget, so budget
+    /// exhaustion is deterministic per individual regardless of pool
+    /// partitioning.
+    pub fn with_budget(mut self, budget: SimBudget) -> GaRun {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a cooperative cancel handle. Once tripped, every further
+    /// evaluation fails fast as aborted; the step still settles (the
+    /// caller never has to drain a half-finished SPICE fan-out by hand).
+    pub fn with_abort(mut self, abort: AbortHandle) -> GaRun {
+        self.abort = Some(abort);
+        self
     }
 
     /// Rebuild a run from a checkpointed [`GaState`].
@@ -326,6 +360,10 @@ impl GaRun {
                 .into_iter()
                 .map(|f| f.unwrap_or(f64::NEG_INFINITY))
                 .collect(),
+            budget: SimBudget::unlimited(),
+            abort: None,
+            step_fails: SimFailCounts::default(),
+            total_fails: SimFailCounts::default(),
         })
     }
 
@@ -364,17 +402,32 @@ impl GaRun {
     /// Advance one generation: the first call evaluates the initial
     /// population; later calls evolve (elitism, tournament selection,
     /// uniform crossover, log-space mutation) and evaluate the offspring.
-    /// Fitness fans out over [`eva_spice::par_evaluate`]. Returns the
-    /// best measurable FoM after the step (`None` = nothing measurable).
+    /// Fitness fans out over [`eva_spice::par_evaluate_classified`].
+    /// Returns the best measurable FoM after the step (`None` = nothing
+    /// measurable); [`GaRun::step_fail_counts`] says why the rest failed.
     pub fn step(&mut self) -> Option<f64> {
         if self.generation > 0 {
             self.evolve();
         }
-        self.fitness = self.evaluate();
+        let outcomes = self.evaluate();
+        self.step_fails = SimFailCounts::tally(&outcomes);
+        self.total_fails.add(&self.step_fails);
+        self.fitness = outcomes.into_iter().map(SimOutcome::to_fitness).collect();
         self.generation += 1;
         let best = self.best_fom();
         self.history.push(best.unwrap_or(f64::NEG_INFINITY));
         best
+    }
+
+    /// Per-class failure tally of the most recent [`GaRun::step`].
+    pub fn step_fail_counts(&self) -> SimFailCounts {
+        self.step_fails
+    }
+
+    /// Per-class failure tally accumulated over every step of this run
+    /// instance.
+    pub fn fail_counts(&self) -> SimFailCounts {
+        self.total_fails
     }
 
     /// Finish the run: the best sizing and its FoM, or `None` when no
@@ -407,15 +460,24 @@ impl GaRun {
             .then(|| self.map.decode(&self.pop[best_i]))
     }
 
-    fn evaluate(&self) -> Vec<f64> {
+    fn evaluate(&self) -> Vec<SimOutcome> {
         let map = &self.map;
         let topology = &self.topology;
         let family = self.family;
         let pop = &self.pop;
-        eva_spice::par_evaluate(pop.len(), 1, |i| {
+        let budget = self.budget;
+        let abort = &self.abort;
+        eva_spice::par_evaluate_classified(pop.len(), 1, |i| {
+            // One meter per evaluation: `SimMeter` is deliberately
+            // single-threaded (Cell counters), and a private meter makes
+            // exhaustion a pure function of the individual, never of
+            // which worker ran it.
+            let mut meter = SimMeter::new(budget);
+            if let Some(a) = abort {
+                meter = meter.with_abort(a.clone());
+            }
             let sizing = map.decode(&pop[i]);
-            eva_dataset::labels::measure_fom_sized(topology, family, &sizing)
-                .unwrap_or(f64::NEG_INFINITY)
+            eva_dataset::labels::measure_fom_outcome(topology, family, &sizing, &meter)
         })
     }
 
@@ -602,6 +664,47 @@ mod tests {
         let rb = b.into_result().expect("ga succeeds");
         assert_eq!(ra.fom, rb.fom, "resume must not fork the run");
         assert_eq!(ra.history, rb.history);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_classified_per_individual() {
+        let t = cs_amp();
+        let cfg = GaConfig {
+            population: 4,
+            generations: 1,
+            ..GaConfig::default()
+        };
+        let mut run = GaRun::new(&t, CircuitType::OpAmp, &cfg, 7)
+            .expect("genes")
+            .with_budget(SimBudget {
+                newton_iters: 1,
+                ..SimBudget::unlimited()
+            });
+        // One Newton iteration is never enough for the homotopy ladder:
+        // every individual exhausts, nothing is measurable, and the step
+        // still settles as a value.
+        assert_eq!(run.step(), None);
+        let fails = run.step_fail_counts();
+        assert_eq!(fails.budget, cfg.population as u64);
+        assert_eq!(fails.total(), cfg.population as u64);
+        assert_eq!(run.fail_counts(), fails);
+    }
+
+    #[test]
+    fn tripped_abort_fails_every_evaluation_fast() {
+        let t = cs_amp();
+        let cfg = GaConfig {
+            population: 4,
+            generations: 1,
+            ..GaConfig::default()
+        };
+        let abort = AbortHandle::new();
+        abort.abort();
+        let mut run = GaRun::new(&t, CircuitType::OpAmp, &cfg, 7)
+            .expect("genes")
+            .with_abort(abort);
+        assert_eq!(run.step(), None);
+        assert_eq!(run.step_fail_counts().aborted, cfg.population as u64);
     }
 
     #[test]

@@ -79,11 +79,16 @@ pub enum FaultPoint {
     /// with `ms=N` the generation stalls; without a delay the job thread
     /// panics (the job must still terminate with a typed event).
     SizeStep,
+    /// A single SPICE fitness evaluation has its work budget exhausted
+    /// before running: the classified evaluation path reports it as a
+    /// deterministic budget failure (with `ms=N` the evaluation first
+    /// stalls that long). Hit once per classified candidate evaluation.
+    SimBudget,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 8] = [
         FaultPoint::IoWrite,
         FaultPoint::IoRename,
         FaultPoint::ArtifactLoad,
@@ -91,6 +96,7 @@ impl FaultPoint {
         FaultPoint::WorkerPanic,
         FaultPoint::SpiceEval,
         FaultPoint::SizeStep,
+        FaultPoint::SimBudget,
     ];
 
     /// The plan-syntax name of this point.
@@ -103,6 +109,7 @@ impl FaultPoint {
             FaultPoint::WorkerPanic => "worker_panic",
             FaultPoint::SpiceEval => "spice_eval",
             FaultPoint::SizeStep => "size_step",
+            FaultPoint::SimBudget => "sim_budget",
         }
     }
 

@@ -33,7 +33,9 @@ pub use data::{build_finetune_data, FinetuneData};
 pub use dpo::{pairs_from_ranks, DpoConfig, DpoStepStats, DpoTrainer, PreferencePair};
 pub use heads::LinearHead;
 pub use ppo::{PpoConfig, PpoEpochStats, PpoTrainer, Rollout};
-pub use reward::{otsu_threshold, LabeledSequence, RankClass, RewardModel};
+pub use reward::{
+    otsu_threshold, sanitize_seq_reward, sim_fail_penalty, LabeledSequence, RankClass, RewardModel,
+};
 
 /// A fine-tuning failure: either rollout decoding broke ([`InferError`])
 /// or a checkpoint could not be written/restored ([`CkptError`]).

@@ -253,7 +253,12 @@ impl<'a> PpoTrainer<'a> {
             let (logp_old, values_old) =
                 Self::score_sequence(&self.policy, Some(&self.value_head), &tokens);
             let (ref_logp, _) = Self::score_sequence(&self.reference, None, &tokens);
-            let seq_reward = self.reward_model.reward(&tokens, self.tokenizer);
+            // NaN/Inf guard: a non-finite sequence reward (diverged
+            // classifier head, legacy `-inf` unmeasurable marker) would
+            // poison the batch advantage normalization below.
+            let seq_reward = crate::reward::sanitize_seq_reward(
+                self.reward_model.reward(&tokens, self.tokenizer),
+            );
 
             let n = logp_old.len();
             let mut rewards = vec![0.0f32; n];
@@ -646,6 +651,12 @@ mod tests {
                 r.logp_old.iter().all(|l| *l <= 0.0),
                 "log-probs non-positive"
             );
+            // The sanitize guard keeps every reward/advantage finite, so
+            // batch advantage normalization can never emit NaN.
+            assert!(r.seq_reward.is_finite());
+            assert!(r.rewards.iter().all(|v| v.is_finite()));
+            assert!(r.advantages.iter().all(|v| v.is_finite()));
+            assert!(r.returns.iter().all(|v| v.is_finite()));
         }
     }
 

@@ -11,6 +11,7 @@ use std::sync::{Arc, OnceLock};
 
 use eva_model::{GrammarTable, Transformer};
 use eva_nn::{AdamW, Tape};
+use eva_spice::SimFailClass;
 use eva_tokenizer::{TokenId, Tokenizer};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -72,6 +73,39 @@ impl RankClass {
             1 => RankClass::LowPerformance,
             _ => RankClass::Irrelevant,
         }
+    }
+}
+
+/// Finite per-class penalty for a simulation that produced no figure of
+/// merit, on the Table-I reward scale.
+///
+/// Historically an unmeasurable circuit collapsed to `-inf` fitness; fed
+/// into PPO that would poison advantage normalization (the batch mean and
+/// variance become NaN), so every failure class maps to a **distinct
+/// finite** penalty instead. Classes the policy can actually fix
+/// (invalid, singular, blowup, divergence) are punished near the Table-I
+/// invalid score; classes caused by the harness (budget too small, an
+/// external cancel) are punished more mildly so they do not masquerade
+/// as bad circuits.
+pub fn sim_fail_penalty(class: SimFailClass) -> f64 {
+    match class {
+        SimFailClass::Invalid => RankClass::Invalid.score(), // -1.0
+        SimFailClass::Singular => -0.95,
+        SimFailClass::Blowup => -0.9,
+        SimFailClass::NoConvergence => -0.85,
+        SimFailClass::Budget => -0.7,
+        SimFailClass::Aborted => -0.6,
+    }
+}
+
+/// Clamp a sequence reward to something advantage normalization can
+/// digest: NaN and ±∞ (a diverged classifier head, a legacy `-inf`
+/// unmeasurable marker) become the Table-I invalid score.
+pub fn sanitize_seq_reward(raw: f64) -> f64 {
+    if raw.is_finite() {
+        raw
+    } else {
+        RankClass::Invalid.score()
     }
 }
 
@@ -342,6 +376,45 @@ mod tests {
     #[should_panic(expected = "rule-based")]
     fn invalid_has_no_class_index() {
         let _ = RankClass::Invalid.class_index();
+    }
+
+    #[test]
+    fn sim_fail_penalties_are_finite_and_distinct() {
+        let classes = [
+            SimFailClass::Invalid,
+            SimFailClass::Singular,
+            SimFailClass::NoConvergence,
+            SimFailClass::Blowup,
+            SimFailClass::Budget,
+            SimFailClass::Aborted,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in classes {
+            let p = sim_fail_penalty(c);
+            assert!(p.is_finite(), "{c:?} penalty must be finite");
+            assert!(p < 0.0, "{c:?} penalty must punish");
+            assert!(
+                p >= RankClass::Invalid.score(),
+                "{c:?} must not be punished harder than an invalid circuit"
+            );
+            assert!(seen.insert(p.to_bits()), "{c:?} penalty must be distinct");
+        }
+        // Harness-caused failures are punished more mildly than any
+        // circuit-caused failure.
+        assert!(
+            sim_fail_penalty(SimFailClass::Budget) > sim_fail_penalty(SimFailClass::NoConvergence)
+        );
+        assert!(sim_fail_penalty(SimFailClass::Aborted) > sim_fail_penalty(SimFailClass::Budget));
+    }
+
+    #[test]
+    fn sanitize_blocks_nan_and_infinities() {
+        assert_eq!(sanitize_seq_reward(0.75), 0.75);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = sanitize_seq_reward(bad);
+            assert!(s.is_finite());
+            assert_eq!(s, RankClass::Invalid.score());
+        }
     }
 
     #[test]

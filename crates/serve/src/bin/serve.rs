@@ -9,7 +9,10 @@
 //!     [--read-timeout-ms N] [--write-timeout-ms N] [--request-deadline-ms N] \
 //!     [--shed-watermark-pct N] [--restart-backoff-ms N] \
 //!     [--max-discover-jobs N] [--discover-candidates N] \
-//!     [--discover-generations N] [--discover-population N] [--job-dir DIR]
+//!     [--discover-generations N] [--discover-population N] [--job-dir DIR] \
+//!     [--sim-budget-newton N] [--sim-budget-tran-steps N] \
+//!     [--sim-budget-ac-points N] [--sim-budget-matrix-dim N] \
+//!     [--quarantine-threshold N]
 //! ```
 //!
 //! Without `--artifacts` it pretrains a small demo model in-process (a few
@@ -74,6 +77,11 @@ fn main() {
             "--discover-generations" => parse_into(&mut config.discover_generations, args.next()),
             "--discover-population" => parse_into(&mut config.discover_population, args.next()),
             "--job-dir" => config.job_dir = args.next().map(std::path::PathBuf::from),
+            "--sim-budget-newton" => parse_into(&mut config.sim_budget_newton, args.next()),
+            "--sim-budget-tran-steps" => parse_into(&mut config.sim_budget_tran_steps, args.next()),
+            "--sim-budget-ac-points" => parse_into(&mut config.sim_budget_ac_points, args.next()),
+            "--sim-budget-matrix-dim" => parse_into(&mut config.sim_budget_matrix_dim, args.next()),
+            "--quarantine-threshold" => parse_into(&mut config.quarantine_threshold, args.next()),
             "--seed" => parse_into(&mut seed, args.next()),
             "--demo-steps" => parse_into(&mut demo_steps, args.next()),
             other => {
@@ -167,6 +175,22 @@ fn main() {
             .as_deref()
             .map_or_else(|| "disabled".to_owned(), |d| d.display().to_string())
     );
+    let fmt_units = |v: u64| {
+        if v == 0 {
+            "unlimited".to_owned()
+        } else {
+            v.to_string()
+        }
+    };
+    eprintln!(
+        "[serve] sim budgets: newton {} tran-steps {} ac-points {} matrix-dim {} \
+         quarantine-threshold {} (0 = off)",
+        fmt_units(config.sim_budget_newton),
+        fmt_units(config.sim_budget_tran_steps),
+        fmt_units(config.sim_budget_ac_points),
+        fmt_units(config.sim_budget_matrix_dim as u64),
+        config.quarantine_threshold
+    );
 
     if std::env::var("EVA_FAULT_PLAN").is_ok_and(|p| !p.trim().is_empty()) {
         eprintln!("[serve] EVA_FAULT_PLAN is set: deterministic fault injection is ACTIVE");
@@ -205,6 +229,25 @@ fn main() {
                 snapshot.candidates_unique,
                 snapshot.spice_evals
             );
+            let failed = snapshot.sim_fail_invalid
+                + snapshot.sim_fail_singular
+                + snapshot.sim_fail_no_convergence
+                + snapshot.sim_fail_blowup
+                + snapshot.sim_fail_budget
+                + snapshot.sim_aborted;
+            if failed > 0 || snapshot.quarantine_hits > 0 {
+                eprintln!(
+                    "[metrics] sim fails: invalid {} singular {} no-convergence {} blowup {} \
+                     budget {} aborted {} quarantine-hits {}",
+                    snapshot.sim_fail_invalid,
+                    snapshot.sim_fail_singular,
+                    snapshot.sim_fail_no_convergence,
+                    snapshot.sim_fail_blowup,
+                    snapshot.sim_fail_budget,
+                    snapshot.sim_aborted,
+                    snapshot.quarantine_hits
+                );
+            }
         }
     }
 }

@@ -200,6 +200,31 @@ pub struct ServeConfig {
     /// masks PAD alone. Default `full`.
     #[serde(default)]
     pub grammar: GrammarMode,
+    /// Server-side cap on Newton iterations per SPICE evaluation
+    /// (`--sim-budget-newton`); `0` (the default) means unlimited. A
+    /// client-requested budget is clamped to the tighter value per
+    /// field. Budgets meter work units, never wall clock, so results
+    /// stay bit-identical at any thread count.
+    #[serde(default)]
+    pub sim_budget_newton: u64,
+    /// Server-side cap on transient timesteps per SPICE evaluation
+    /// (`--sim-budget-tran-steps`); `0` means unlimited.
+    #[serde(default)]
+    pub sim_budget_tran_steps: u64,
+    /// Server-side cap on AC sweep points per SPICE evaluation
+    /// (`--sim-budget-ac-points`); `0` means unlimited.
+    #[serde(default)]
+    pub sim_budget_ac_points: u64,
+    /// Server-side cap on the MNA matrix dimension per SPICE evaluation
+    /// (`--sim-budget-matrix-dim`); `0` means unlimited.
+    #[serde(default)]
+    pub sim_budget_matrix_dim: usize,
+    /// Consecutive wholly-failed GA generations after which a candidate
+    /// is quarantined — skipped (and counted as quarantine hits) instead
+    /// of re-simulated — for the rest of its job
+    /// (`--quarantine-threshold`); `0` disables quarantine.
+    #[serde(default = "default_quarantine_threshold")]
+    pub quarantine_threshold: u32,
 }
 
 fn default_prefix_cache_entries() -> usize {
@@ -254,6 +279,10 @@ fn default_discover_max_population() -> usize {
     128
 }
 
+fn default_quarantine_threshold() -> u32 {
+    2
+}
+
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
@@ -284,6 +313,11 @@ impl Default for ServeConfig {
             job_dir: None,
             quantize: QuantizeMode::default(),
             grammar: GrammarMode::default(),
+            sim_budget_newton: 0,
+            sim_budget_tran_steps: 0,
+            sim_budget_ac_points: 0,
+            sim_budget_matrix_dim: 0,
+            quarantine_threshold: default_quarantine_threshold(),
         }
     }
 }
@@ -326,6 +360,23 @@ impl ServeConfig {
         let cap = self.queue_capacity.max(1);
         let pct = usize::from(self.shed_watermark_pct.min(100));
         (cap * pct / 100).max(1)
+    }
+
+    /// The server's simulation-budget caps as a [`eva_spice::SimBudget`]
+    /// (`0` fields become unlimited). Client-requested budgets are
+    /// clamped to this, per field.
+    pub fn sim_budget_cap(&self) -> eva_spice::SimBudget {
+        let units = |v: u64| if v == 0 { u64::MAX } else { v };
+        eva_spice::SimBudget {
+            newton_iters: units(self.sim_budget_newton),
+            tran_steps: units(self.sim_budget_tran_steps),
+            ac_points: units(self.sim_budget_ac_points),
+            max_matrix_dim: if self.sim_budget_matrix_dim == 0 {
+                usize::MAX
+            } else {
+                self.sim_budget_matrix_dim
+            },
+        }
     }
 }
 
@@ -430,6 +481,38 @@ mod tests {
             GrammarMode::Full,
             "legacy configs get full grammar"
         );
+        assert_eq!(c.sim_budget_newton, 0, "legacy configs get no sim caps");
+        assert_eq!(c.sim_budget_tran_steps, 0);
+        assert_eq!(c.sim_budget_ac_points, 0);
+        assert_eq!(c.sim_budget_matrix_dim, 0);
+        assert_eq!(c.quarantine_threshold, default_quarantine_threshold());
+    }
+
+    #[test]
+    fn sim_budget_cap_resolves_zero_as_unlimited() {
+        let c = ServeConfig::default();
+        assert_eq!(c.sim_budget_cap(), eva_spice::SimBudget::unlimited());
+        let c = ServeConfig {
+            sim_budget_newton: 5_000,
+            sim_budget_matrix_dim: 64,
+            ..ServeConfig::default()
+        };
+        let cap = c.sim_budget_cap();
+        assert_eq!(cap.newton_iters, 5_000);
+        assert_eq!(cap.tran_steps, u64::MAX);
+        assert_eq!(cap.ac_points, u64::MAX);
+        assert_eq!(cap.max_matrix_dim, 64);
+        // A looser client budget clamps down to the server cap; a
+        // tighter one survives.
+        let client = eva_spice::SimBudget {
+            newton_iters: 10_000,
+            tran_steps: 100,
+            ..eva_spice::SimBudget::unlimited()
+        };
+        let clamped = client.clamp_to(cap);
+        assert_eq!(clamped.newton_iters, 5_000);
+        assert_eq!(clamped.tran_steps, 100);
+        assert_eq!(clamped.max_matrix_dim, 64);
     }
 
     #[test]

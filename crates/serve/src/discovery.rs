@@ -70,6 +70,7 @@ use eva_core::fault;
 use eva_dataset::CircuitType;
 use eva_eval::{GaConfig, GaRun, GaState};
 use eva_nn::ckpt::{self, FileIntegrity};
+use eva_spice::{AbortHandle, SimBudget, SimFailCounts};
 use eva_tokenizer::TokenId;
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +117,13 @@ pub struct DiscoverParams {
     pub prompt: Vec<String>,
     /// Checkpoint directory (`job_dir/<name>`), when requested.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Per-evaluation simulation work budget: the client's ask clamped
+    /// to the server caps (tighter of the two wins, silently — a budget
+    /// bounds work, it does not change what the job computes on success).
+    pub budget: SimBudget,
+    /// Consecutive wholly-failed GA generations before a candidate is
+    /// quarantined (`0` = never quarantine).
+    pub quarantine_threshold: u32,
 }
 
 impl DiscoverParams {
@@ -191,6 +199,11 @@ impl DiscoverParams {
             family,
             prompt: spec.prompt.unwrap_or_default(),
             checkpoint_dir,
+            budget: req
+                .budget
+                .unwrap_or_else(SimBudget::unlimited)
+                .clamp_to(config.sim_budget_cap()),
+            quarantine_threshold: config.quarantine_threshold,
         })
     }
 
@@ -254,6 +267,10 @@ impl std::error::Error for DiscoverError {}
 pub struct JobCtl {
     cancelled: AtomicBool,
     finished: AtomicBool,
+    /// Cooperative abort shared with every in-flight SPICE meter, so a
+    /// cancel stops mid-generation evaluations at their next iteration
+    /// boundary instead of draining the whole fan-out.
+    abort: AbortHandle,
 }
 
 impl JobCtl {
@@ -264,7 +281,13 @@ impl JobCtl {
             return false;
         }
         self.cancelled.store(true, Ordering::Release);
+        self.abort.abort();
         true
+    }
+
+    /// A clone of the job's abort handle (shares the underlying flag).
+    pub fn abort_handle(&self) -> AbortHandle {
+        self.abort.clone()
     }
 
     /// Whether cancellation was requested.
@@ -290,6 +313,17 @@ pub struct JobSummary {
     pub candidates_valid: usize,
     /// Valid candidates surviving canonical deduplication.
     pub candidates_unique: usize,
+    /// SPICE evaluation attempts over the job's sizing loop, including
+    /// quarantine-skipped attempts. Persisted across checkpoint resume,
+    /// so a resumed run reports the same totals as an uninterrupted one.
+    pub spice_evals: u64,
+    /// Attempts that produced a measurable FoM.
+    pub sim_ok: u64,
+    /// Attempts that failed, by failure class. Together with `sim_ok`
+    /// and `quarantine_hits` these sum exactly to `spice_evals`.
+    pub sim_fails: SimFailCounts,
+    /// Attempts skipped because their candidate was quarantined.
+    pub quarantine_hits: u64,
     /// The FoM leaderboard, best first.
     pub leaderboard: Vec<RankedCandidate>,
 }
@@ -316,10 +350,16 @@ pub enum JobEvent {
         generations: usize,
         /// Best measurable FoM over all survivors, if any.
         best_fom: Option<f64>,
-        /// Candidates still being sized.
+        /// Candidates still being sized (quarantined ones excluded).
         survivors: usize,
-        /// SPICE evaluations spent in this generation.
+        /// SPICE evaluation attempts spent in this generation.
         spice_evals: u64,
+        /// This generation's failed attempts, by class.
+        sim_fails: SimFailCounts,
+        /// Attempts skipped this generation via quarantine.
+        quarantine_hits: u64,
+        /// Candidates currently quarantined.
+        quarantined: usize,
     },
     /// One leaderboard entry, streamed in rank order before
     /// [`JobEvent::Done`].
@@ -368,6 +408,9 @@ impl JobEvent {
                 best_fom,
                 survivors,
                 spice_evals,
+                sim_fails,
+                quarantine_hits,
+                quarantined,
             } => Response::GenerationDone {
                 id,
                 generation,
@@ -375,6 +418,9 @@ impl JobEvent {
                 best_fom,
                 survivors,
                 spice_evals,
+                sim_fails,
+                quarantine_hits,
+                quarantined,
             },
             JobEvent::Ranked(entry) => Response::CandidateRanked { id, entry },
             JobEvent::Done(s) => Response::JobDone {
@@ -383,6 +429,10 @@ impl JobEvent {
                 candidates_generated: s.candidates_generated,
                 candidates_valid: s.candidates_valid,
                 candidates_unique: s.candidates_unique,
+                spice_evals: s.spice_evals,
+                sim_ok: s.sim_ok,
+                sim_fails: s.sim_fails,
+                quarantine_hits: s.quarantine_hits,
                 leaderboard: s.leaderboard,
             },
             JobEvent::Cancelled { generations_run } => Response::JobCancelled {
@@ -608,11 +658,31 @@ struct Candidate {
     dup_of: Option<usize>,
     /// The sizing run; present for unique valid candidates with genes.
     ga: Option<GaRun>,
+    /// Consecutive GA generations in which every evaluation failed.
+    failed_gens: u32,
+    /// Whether the quarantine threshold tripped: further generations
+    /// skip this candidate's fan-out and count `quarantine_hits`.
+    quarantined: bool,
 }
 
 impl Candidate {
     fn unique_valid(&self) -> bool {
         self.valid && self.dup_of.is_none()
+    }
+}
+
+/// Update a candidate's quarantine state after one GA generation:
+/// a wholly-failed generation counts a strike, `threshold` consecutive
+/// strikes (`0` = never) quarantine the candidate, and any measurable
+/// evaluation resets the count.
+fn note_generation(candidate: &mut Candidate, failed: u64, attempts: u64, threshold: u32) {
+    if attempts > 0 && failed >= attempts {
+        candidate.failed_gens = candidate.failed_gens.saturating_add(1);
+        if threshold > 0 && candidate.failed_gens >= threshold {
+            candidate.quarantined = true;
+        }
+    } else {
+        candidate.failed_gens = 0;
     }
 }
 
@@ -633,7 +703,7 @@ fn run_job(
         },
         None => None,
     };
-    let (mut candidates, start_generation, done) = match loaded {
+    let (mut candidates, start_generation, done, mut ledger) = match loaded {
         Some(ckpt) => {
             if ckpt.fingerprint != params.fingerprint() {
                 return JobEvent::Failed {
@@ -650,12 +720,13 @@ fn run_job(
             }
             let generation = ckpt.generation;
             let done = ckpt.done;
+            let ledger = ckpt.ledger;
             match restore_candidates(inner, params, ckpt) {
-                Ok(candidates) => (candidates, generation, done),
+                Ok(candidates) => (candidates, generation, done, ledger),
                 Err(message) => return JobEvent::Failed { message },
             }
         }
-        None => (Vec::new(), 0, false),
+        None => (Vec::new(), 0, false, EvalLedger::default()),
     };
     let resumed = params.checkpoint_dir.is_some() && !candidates.is_empty();
     let _ = events.send(JobEvent::Accepted {
@@ -683,7 +754,7 @@ fn run_job(
         inner.metrics.stage_filter.record(filter_started.elapsed());
 
         if let Some(dir) = &params.checkpoint_dir {
-            if let Err(message) = save_ckpt(dir, params, &candidates, 0, false) {
+            if let Err(message) = save_ckpt(dir, params, &candidates, 0, false, ledger) {
                 return JobEvent::Failed { message };
             }
         }
@@ -702,8 +773,22 @@ fn run_job(
             .fetch_add(unique as u64, Ordering::Relaxed);
     }
 
+    // Arm every sizing run with the job's work budget and abort flag:
+    // each evaluation gets a private meter (exhaustion is a pure
+    // function of the individual, never of thread scheduling), while
+    // the shared abort lets a cancel stop mid-fan-out.
+    let abort = ctl.abort_handle();
+    for candidate in candidates.iter_mut() {
+        if let Some(run) = candidate.ga.take() {
+            candidate.ga = Some(run.with_budget(params.budget).with_abort(abort.clone()));
+        }
+    }
+
     // Stage 3: size + simulate, one GA generation across the cohort per
     // iteration, streaming progress and checkpointing at each boundary.
+    // The ledger holds the accounting identity exactly, per generation
+    // and in total: `spice_evals = sim_ok + sim_fails.total() +
+    // quarantine_hits`.
     if !done {
         for generation in start_generation..params.generations {
             if let Some(shot) = fault::fires(fault::FaultPoint::SizeStep) {
@@ -716,6 +801,9 @@ fn run_job(
             let step_started = Instant::now();
             let mut spice_evals = 0u64;
             let mut survivors = 0usize;
+            let mut quarantined = 0usize;
+            let mut gen_fails = SimFailCounts::default();
+            let mut gen_quarantine_hits = 0u64;
             for candidate in candidates.iter_mut() {
                 if ctl.is_cancelled() {
                     return JobEvent::Cancelled {
@@ -725,18 +813,41 @@ fn run_job(
                 let Some(run) = candidate.ga.as_mut() else {
                     continue;
                 };
-                spice_evals += run.evals_per_step() as u64;
+                let attempts = run.evals_per_step() as u64;
+                spice_evals += attempts;
+                if candidate.quarantined {
+                    // The skip is still an attempt against the job's
+                    // evaluation ledger; it just costs no SPICE work.
+                    gen_quarantine_hits += attempts;
+                    quarantined += 1;
+                    continue;
+                }
                 survivors += 1;
                 run.step();
+                let step_fails = run.step_fail_counts();
+                gen_fails.add(&step_fails);
+                note_generation(
+                    candidate,
+                    step_fails.total(),
+                    attempts,
+                    params.quarantine_threshold,
+                );
             }
+            ledger.spice_evals += spice_evals;
+            ledger.sim_fails.add(&gen_fails);
+            ledger.quarantine_hits += gen_quarantine_hits;
+            ledger.sim_ok += spice_evals - gen_fails.total() - gen_quarantine_hits;
             let m = &inner.metrics;
             m.stage_generation.record(step_started.elapsed());
             m.ga_generations.fetch_add(1, Ordering::Relaxed);
             m.spice_evals.fetch_add(spice_evals, Ordering::Relaxed);
+            m.record_sim_fails(&gen_fails);
+            m.quarantine_hits
+                .fetch_add(gen_quarantine_hits, Ordering::Relaxed);
             let completed = generation + 1;
             if let Some(dir) = &params.checkpoint_dir {
                 let done = completed == params.generations;
-                if let Err(message) = save_ckpt(dir, params, &candidates, completed, done) {
+                if let Err(message) = save_ckpt(dir, params, &candidates, completed, done, ledger) {
                     return JobEvent::Failed { message };
                 }
             }
@@ -746,6 +857,9 @@ fn run_job(
                 best_fom: best_fom_overall(&candidates),
                 survivors,
                 spice_evals,
+                sim_fails: gen_fails,
+                quarantine_hits: gen_quarantine_hits,
+                quarantined,
             });
         }
     }
@@ -760,6 +874,10 @@ fn run_job(
         candidates_generated: generated,
         candidates_valid: valid,
         candidates_unique: unique,
+        spice_evals: ledger.spice_evals,
+        sim_ok: ledger.sim_ok,
+        sim_fails: ledger.sim_fails,
+        quarantine_hits: ledger.quarantine_hits,
         leaderboard,
     })
 }
@@ -877,6 +995,8 @@ fn collect_candidate(
         valid: false,
         dup_of: None,
         ga: None,
+        failed_gens: 0,
+        quarantined: false,
     })
 }
 
@@ -978,6 +1098,27 @@ struct CandidateCkpt {
     valid: bool,
     dup_of: Option<usize>,
     ga: Option<GaState>,
+    /// Consecutive wholly-failed generations at the checkpoint, so a
+    /// resumed run quarantines exactly where the original would have
+    /// (defaulted: pre-quarantine checkpoints restart the count).
+    #[serde(default)]
+    failed_gens: u32,
+}
+
+/// Running job-level evaluation accounting, persisted with the
+/// checkpoint so a resumed run's `job_done` totals match an
+/// uninterrupted run's exactly (the identity `spice_evals = sim_ok +
+/// sim_fails.total() + quarantine_hits` survives the restart).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct EvalLedger {
+    #[serde(default)]
+    spice_evals: u64,
+    #[serde(default)]
+    sim_ok: u64,
+    #[serde(default)]
+    sim_fails: SimFailCounts,
+    #[serde(default)]
+    quarantine_hits: u64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -988,6 +1129,10 @@ struct JobCkpt {
     generation: usize,
     /// Whether the sizing loop ran to completion.
     done: bool,
+    /// Evaluation totals so far (defaulted: pre-ledger checkpoints
+    /// resume with zeroed accounting).
+    #[serde(default)]
+    ledger: EvalLedger,
     candidates: Vec<CandidateCkpt>,
 }
 
@@ -1009,12 +1154,14 @@ fn save_ckpt(
     candidates: &[Candidate],
     generation: usize,
     done: bool,
+    ledger: EvalLedger,
 ) -> Result<(), String> {
     let ckpt = JobCkpt {
         version: CKPT_VERSION,
         fingerprint: params.fingerprint(),
         generation,
         done,
+        ledger,
         candidates: candidates
             .iter()
             .map(|c| CandidateCkpt {
@@ -1023,6 +1170,7 @@ fn save_ckpt(
                 valid: c.valid,
                 dup_of: c.dup_of,
                 ga: c.ga.as_ref().map(GaRun::state),
+                failed_gens: c.failed_gens,
             })
             .collect(),
     };
@@ -1129,6 +1277,7 @@ fn restore_candidates(
             }
             None => None,
         };
+        let threshold = params.quarantine_threshold;
         candidates.push(Candidate {
             index,
             seed: c.seed,
@@ -1137,6 +1286,8 @@ fn restore_candidates(
             valid: c.valid,
             dup_of: c.dup_of,
             ga,
+            failed_gens: c.failed_gens,
+            quarantined: threshold > 0 && c.failed_gens >= threshold,
         });
     }
     Ok(candidates)
@@ -1286,6 +1437,76 @@ mod tests {
     }
 
     #[test]
+    fn resolve_clamps_budget_to_server_caps() {
+        let config = ServeConfig {
+            sim_budget_newton: 100,
+            ..ServeConfig::default()
+        };
+        // No client budget: the server cap applies verbatim.
+        let p = DiscoverParams::resolve(&req(1), &config).expect("valid");
+        assert_eq!(p.budget.newton_iters, 100);
+        assert_eq!(p.budget.tran_steps, u64::MAX, "uncapped axis unlimited");
+        // A looser client ask is clamped down; a tighter one wins.
+        for (asked, resolved) in [(1_000, 100), (50, 50)] {
+            let r = DiscoverRequest {
+                budget: Some(SimBudget {
+                    newton_iters: asked,
+                    ..SimBudget::unlimited()
+                }),
+                ..req(1)
+            };
+            let p = DiscoverParams::resolve(&r, &config).expect("valid");
+            assert_eq!(p.budget.newton_iters, resolved);
+        }
+        assert_eq!(p.quarantine_threshold, config.quarantine_threshold);
+    }
+
+    #[test]
+    fn cancel_trips_the_shared_abort_handle() {
+        let ctl = JobCtl::default();
+        let abort = ctl.abort_handle();
+        assert!(!abort.is_aborted());
+        assert!(ctl.cancel());
+        assert!(abort.is_aborted(), "in-flight meters see the cancel");
+    }
+
+    #[test]
+    fn quarantine_needs_consecutive_wholly_failed_generations() {
+        let mut c = Candidate {
+            index: 0,
+            seed: 1,
+            tokens: None,
+            text: Vec::new(),
+            valid: true,
+            dup_of: None,
+            ga: None,
+            failed_gens: 0,
+            quarantined: false,
+        };
+        // One strike, then a measurable generation resets the count.
+        note_generation(&mut c, 8, 8, 2);
+        assert_eq!(c.failed_gens, 1);
+        assert!(!c.quarantined);
+        note_generation(&mut c, 7, 8, 2);
+        assert_eq!(c.failed_gens, 0, "any success resets strikes");
+        // Two consecutive strikes trip the threshold.
+        note_generation(&mut c, 8, 8, 2);
+        note_generation(&mut c, 8, 8, 2);
+        assert!(c.quarantined);
+        // Threshold 0 disables quarantine entirely.
+        let mut never = Candidate {
+            quarantined: false,
+            failed_gens: 0,
+            ..c
+        };
+        for _ in 0..10 {
+            note_generation(&mut never, 8, 8, 0);
+        }
+        assert!(!never.quarantined);
+        assert_eq!(never.failed_gens, 10);
+    }
+
+    #[test]
     fn ctl_cancel_is_rejected_after_finish() {
         let ctl = JobCtl::default();
         assert!(ctl.cancel(), "live job cancels");
@@ -1303,6 +1524,10 @@ mod tests {
             candidates_generated: 1,
             candidates_valid: 1,
             candidates_unique: 1,
+            spice_evals: 0,
+            sim_ok: 0,
+            sim_fails: SimFailCounts::default(),
+            quarantine_hits: 0,
             leaderboard: Vec::new(),
         })
         .is_terminal());
@@ -1338,17 +1563,30 @@ mod tests {
             valid: false,
             dup_of: None,
             ga: None,
+            failed_gens: 1,
+            quarantined: false,
         }];
-        save_ckpt(&dir, &params, &candidates, 2, false).expect("save");
+        let ledger = EvalLedger {
+            spice_evals: 12,
+            sim_ok: 7,
+            sim_fails: SimFailCounts {
+                budget: 3,
+                ..SimFailCounts::default()
+            },
+            quarantine_hits: 2,
+        };
+        save_ckpt(&dir, &params, &candidates, 2, false, ledger).expect("save");
         let back = load_ckpt(&dir).expect("load").expect("present");
         assert_eq!(back.generation, 2);
         assert!(!back.done);
         assert_eq!(back.fingerprint, params.fingerprint());
         assert_eq!(back.candidates.len(), 1);
+        assert_eq!(back.candidates[0].failed_gens, 1, "strike count persists");
+        assert_eq!(back.ledger, ledger, "evaluation ledger persists");
 
         // Overwriting at a later generation supersedes and prunes the
         // earlier payload.
-        save_ckpt(&dir, &params, &candidates, 3, true).expect("save again");
+        save_ckpt(&dir, &params, &candidates, 3, true, ledger).expect("save again");
         let back = load_ckpt(&dir).expect("load").expect("present");
         assert_eq!(back.generation, 3);
         assert!(back.done);

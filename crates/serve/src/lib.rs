@@ -43,8 +43,14 @@
 //!   pool), and stream `generation_done` / `candidate_ranked` /
 //!   `job_done` events back over the same connection. Jobs are bounded
 //!   ([`ServeConfig::max_discover_jobs`]), cancellable (`{"op":"cancel"}`
-//!   or disconnect), bit-reproducible by seed, and — with a `job_dir` —
-//!   checkpointed every generation for kill-and-resume.
+//!   or disconnect — a shared [`eva_spice::AbortHandle`] stops in-flight
+//!   SPICE work at the next iteration boundary), bit-reproducible by
+//!   seed, and — with a `job_dir` — checkpointed every generation for
+//!   kill-and-resume. Every SPICE evaluation runs under a work-metered
+//!   [`eva_spice::SimBudget`] (client ask clamped to the `--sim-budget-*`
+//!   caps), failures are classified per [`eva_spice::SimFailClass`] and
+//!   counted in events and metrics, and candidates whose whole population
+//!   keeps failing are quarantined instead of re-simulated.
 //!
 //! An atomics-based [`Metrics`] registry (accepted/rejected/completed,
 //! tokens generated, queue depth, per-stage latency histograms with
@@ -80,7 +86,7 @@ pub use discovery::{DiscoverError, DiscoverParams, DiscoveryJob, JobEvent, JobSu
 // this service with; lives in eva-nn, re-exported for serve callers.
 pub use eva_core::fault;
 pub use metrics::{HealthSnapshot, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
-pub use net::{handle_line, serve, Server};
+pub use net::{handle_line, serve, Server, MAX_FRAME_BYTES};
 pub use protocol::{
     DiscoverRequest, DiscoverSpec, GenerateRequest, OkResponse, RankedCandidate, Request, Response,
 };

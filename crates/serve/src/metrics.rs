@@ -212,6 +212,26 @@ pub struct Metrics {
     pub candidates_unique: AtomicU64,
     /// SPICE fitness evaluations performed by discovery GA sizing.
     pub spice_evals: AtomicU64,
+    /// SPICE evaluations classified invalid (bad topology, degenerate
+    /// analysis window).
+    pub sim_fail_invalid: AtomicU64,
+    /// SPICE evaluations that hit a singular system matrix.
+    pub sim_fail_singular: AtomicU64,
+    /// SPICE evaluations whose Newton iteration never converged.
+    pub sim_fail_no_convergence: AtomicU64,
+    /// SPICE evaluations that blew up to non-finite values.
+    pub sim_fail_blowup: AtomicU64,
+    /// SPICE evaluations that exhausted their work budget.
+    pub sim_fail_budget: AtomicU64,
+    /// SPICE evaluations cut short by a cooperative abort (cancel or
+    /// disconnect).
+    pub sim_aborted: AtomicU64,
+    /// SPICE evaluations skipped because their candidate was quarantined
+    /// after repeated wholly-failed generations.
+    pub quarantine_hits: AtomicU64,
+    /// Request lines dropped (and connections closed) because they
+    /// exceeded the per-line frame cap.
+    pub payload_too_large: AtomicU64,
     /// GA generations stepped across all discovery jobs (one count per
     /// candidate per generation).
     pub ga_generations: AtomicU64,
@@ -247,6 +267,23 @@ impl Metrics {
     /// A zeroed registry.
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    /// Fold one batch of per-class simulation failures into the
+    /// registry's `sim_*` counters.
+    pub fn record_sim_fails(&self, counts: &eva_spice::SimFailCounts) {
+        self.sim_fail_invalid
+            .fetch_add(counts.invalid, Ordering::Relaxed);
+        self.sim_fail_singular
+            .fetch_add(counts.singular, Ordering::Relaxed);
+        self.sim_fail_no_convergence
+            .fetch_add(counts.no_convergence, Ordering::Relaxed);
+        self.sim_fail_blowup
+            .fetch_add(counts.blowup, Ordering::Relaxed);
+        self.sim_fail_budget
+            .fetch_add(counts.budget, Ordering::Relaxed);
+        self.sim_aborted
+            .fetch_add(counts.aborted, Ordering::Relaxed);
     }
 
     /// Snapshot every counter and histogram; `queue_depth` is sampled by
@@ -299,6 +336,14 @@ impl Metrics {
             candidates_valid: self.candidates_valid.load(Ordering::Relaxed),
             candidates_unique: self.candidates_unique.load(Ordering::Relaxed),
             spice_evals: self.spice_evals.load(Ordering::Relaxed),
+            sim_fail_invalid: self.sim_fail_invalid.load(Ordering::Relaxed),
+            sim_fail_singular: self.sim_fail_singular.load(Ordering::Relaxed),
+            sim_fail_no_convergence: self.sim_fail_no_convergence.load(Ordering::Relaxed),
+            sim_fail_blowup: self.sim_fail_blowup.load(Ordering::Relaxed),
+            sim_fail_budget: self.sim_fail_budget.load(Ordering::Relaxed),
+            sim_aborted: self.sim_aborted.load(Ordering::Relaxed),
+            quarantine_hits: self.quarantine_hits.load(Ordering::Relaxed),
+            payload_too_large: self.payload_too_large.load(Ordering::Relaxed),
             ga_generations: self.ga_generations.load(Ordering::Relaxed),
             masked_tokens: self.masked_tokens.load(Ordering::Relaxed),
             first_try_valid: self.first_try_valid.load(Ordering::Relaxed),
@@ -425,6 +470,32 @@ pub struct MetricsSnapshot {
     /// SPICE fitness evaluations by discovery GA sizing.
     #[serde(default)]
     pub spice_evals: u64,
+    /// SPICE evaluations classified invalid (absent in snapshots from
+    /// servers predating the failure taxonomy — as are the other
+    /// `sim_*`/quarantine/frame-cap fields below).
+    #[serde(default)]
+    pub sim_fail_invalid: u64,
+    /// SPICE evaluations that hit a singular matrix.
+    #[serde(default)]
+    pub sim_fail_singular: u64,
+    /// SPICE evaluations that never converged.
+    #[serde(default)]
+    pub sim_fail_no_convergence: u64,
+    /// SPICE evaluations that produced non-finite values.
+    #[serde(default)]
+    pub sim_fail_blowup: u64,
+    /// SPICE evaluations that exhausted their work budget.
+    #[serde(default)]
+    pub sim_fail_budget: u64,
+    /// SPICE evaluations cut short by a cooperative abort.
+    #[serde(default)]
+    pub sim_aborted: u64,
+    /// SPICE evaluations skipped through candidate quarantine.
+    #[serde(default)]
+    pub quarantine_hits: u64,
+    /// Request lines dropped for exceeding the frame cap.
+    #[serde(default)]
+    pub payload_too_large: u64,
     /// GA generations stepped (candidate × generation).
     #[serde(default)]
     pub ga_generations: u64,
@@ -604,6 +675,16 @@ mod tests {
         m.candidates_valid.fetch_add(12, Ordering::Relaxed);
         m.candidates_unique.fetch_add(9, Ordering::Relaxed);
         m.spice_evals.fetch_add(360, Ordering::Relaxed);
+        m.record_sim_fails(&eva_spice::SimFailCounts {
+            invalid: 1,
+            singular: 2,
+            no_convergence: 3,
+            blowup: 4,
+            budget: 5,
+            aborted: 6,
+        });
+        m.quarantine_hits.fetch_add(24, Ordering::Relaxed);
+        m.payload_too_large.fetch_add(1, Ordering::Relaxed);
         m.ga_generations.fetch_add(30, Ordering::Relaxed);
         m.masked_tokens.fetch_add(480, Ordering::Relaxed);
         m.first_try_valid.fetch_add(3, Ordering::Relaxed);
@@ -633,6 +714,14 @@ mod tests {
         assert_eq!(s.candidates_valid, 12);
         assert_eq!(s.candidates_unique, 9);
         assert_eq!(s.spice_evals, 360);
+        assert_eq!(s.sim_fail_invalid, 1);
+        assert_eq!(s.sim_fail_singular, 2);
+        assert_eq!(s.sim_fail_no_convergence, 3);
+        assert_eq!(s.sim_fail_blowup, 4);
+        assert_eq!(s.sim_fail_budget, 5);
+        assert_eq!(s.sim_aborted, 6);
+        assert_eq!(s.quarantine_hits, 24);
+        assert_eq!(s.payload_too_large, 1);
         assert_eq!(s.ga_generations, 30);
         assert_eq!(s.masked_tokens, 480);
         assert_eq!(s.first_try_valid, 3);
@@ -674,6 +763,15 @@ mod tests {
         assert_eq!(s.mean_lane_occupancy, 0.0);
         assert_eq!(s.prefix_hits, 0);
         assert_eq!(s.ttft, HistogramSnapshot::empty());
+        // Failure-taxonomy fields default for pre-robustness snapshots.
+        assert_eq!(s.sim_fail_invalid, 0);
+        assert_eq!(s.sim_fail_singular, 0);
+        assert_eq!(s.sim_fail_no_convergence, 0);
+        assert_eq!(s.sim_fail_blowup, 0);
+        assert_eq!(s.sim_fail_budget, 0);
+        assert_eq!(s.sim_aborted, 0);
+        assert_eq!(s.quarantine_hits, 0);
+        assert_eq!(s.payload_too_large, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! handler exits — a vanished client cannot leak a running pipeline.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -35,6 +35,12 @@ use crate::discovery::{DiscoverError, DiscoveryJob, JobCtl};
 use crate::metrics::Metrics;
 use crate::protocol::{Request, Response};
 use crate::service::{GenParams, GenerationService, SubmitError};
+
+/// Largest request frame (one JSON line, newline included) a connection
+/// accepts. A client streaming an endless newline-less "line" would
+/// otherwise grow the read buffer without bound; at the cap the server
+/// answers `{"status":"payload_too_large"}` once and closes.
+pub const MAX_FRAME_BYTES: u64 = 1024 * 1024;
 
 /// A listening server; dropping it (or calling [`Server::stop`]) stops the
 /// accept loop. In-flight connections finish their current request and die
@@ -223,9 +229,29 @@ fn handle_connection(service: &GenerationService, stream: TcpStream) {
     loop {
         // `read_line` appends, so bytes of a line cut short by a read
         // timeout are kept in `line` and completed by the next pass.
-        match reader.read_line(&mut line) {
+        // The `take` caps the frame: one extra byte of headroom lets an
+        // overrun prove itself (no newline within `MAX_FRAME_BYTES`)
+        // without buffering unbounded garbage.
+        let frame_budget = (MAX_FRAME_BYTES + 1).saturating_sub(line.len() as u64);
+        match reader.by_ref().take(frame_budget).read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
+                if !line.ends_with('\n') && line.len() as u64 > MAX_FRAME_BYTES {
+                    // Counted exactly once: this arm is reached at most
+                    // once per connection (the handler closes right after).
+                    service
+                        .metrics_registry()
+                        .payload_too_large
+                        .fetch_add(1, Ordering::Relaxed);
+                    write_response(
+                        &writer,
+                        &Response::PayloadTooLarge {
+                            id: 0,
+                            limit_bytes: MAX_FRAME_BYTES,
+                        },
+                    );
+                    break;
+                }
                 let keep = {
                     let trimmed = line.trim();
                     trimmed.is_empty() || dispatch(service, &writer, &mut jobs, trimmed)

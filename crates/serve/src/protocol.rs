@@ -34,6 +34,7 @@
 //! Every job terminates with exactly one of `job_done` / `job_failed` /
 //! `job_cancelled`; a dropped connection cancels its jobs server-side.
 
+use eva_spice::{SimBudget, SimFailCounts};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{HealthSnapshot, MetricsSnapshot};
@@ -135,6 +136,12 @@ pub struct DiscoverRequest {
     /// recomputing. Requires the server to be started with a `job_dir`.
     #[serde(default)]
     pub checkpoint: Option<String>,
+    /// Per-evaluation simulation work budget for this job. Omitted
+    /// fields are unlimited; every field is clamped to the server's
+    /// `--sim-budget-*` caps (the tighter value wins, silently — a
+    /// budget is a resource request, not a correctness parameter).
+    #[serde(default)]
+    pub budget: Option<SimBudget>,
 }
 
 /// The target spec of a discovery job.
@@ -196,6 +203,16 @@ pub enum Response {
         /// Echoed request id.
         id: u64,
     },
+    /// The request line exceeded the server's frame cap and was dropped
+    /// without parsing; the connection closes after this response (the
+    /// stream position inside an oversized frame is unrecoverable).
+    PayloadTooLarge {
+        /// Always 0: an oversized frame is never parsed, so no client id
+        /// is known.
+        id: u64,
+        /// The server's per-line frame cap in bytes.
+        limit_bytes: u64,
+    },
     /// The request was admitted but failed.
     Error {
         /// Echoed request id (0 when the request line did not parse).
@@ -247,8 +264,21 @@ pub enum Response {
         best_fom: Option<f64>,
         /// Candidates still being sized.
         survivors: usize,
-        /// SPICE evaluations spent in this generation.
+        /// SPICE evaluations spent in this generation (quarantine skips
+        /// included — they are charged as hits, not simulated).
         spice_evals: u64,
+        /// Per-class simulation failures in this generation.
+        #[serde(default)]
+        sim_fails: SimFailCounts,
+        /// Evaluations skipped in this generation because their candidate
+        /// was quarantined (counted per skipped evaluation, so
+        /// `spice_evals = successes + sim_fails.total() + quarantine_hits`).
+        #[serde(default)]
+        quarantine_hits: u64,
+        /// Candidates currently quarantined (excluded from simulation
+        /// until the job ends).
+        #[serde(default)]
+        quarantined: usize,
     },
     /// One ranked candidate of a finished discovery job (streamed in
     /// rank order, best first, before `job_done`).
@@ -273,6 +303,21 @@ pub enum Response {
         candidates_unique: usize,
         /// The full FoM leaderboard, best first.
         leaderboard: Vec<RankedCandidate>,
+        /// Total SPICE evaluation attempts across the job (successes +
+        /// classified failures + quarantine skips).
+        #[serde(default)]
+        spice_evals: u64,
+        /// Evaluations that produced a figure of merit.
+        #[serde(default)]
+        sim_ok: u64,
+        /// Per-class simulation failures accumulated over the job.
+        #[serde(default)]
+        sim_fails: SimFailCounts,
+        /// Evaluations skipped through candidate quarantine. The terminal
+        /// accounting identity holds exactly:
+        /// `spice_evals = sim_ok + sim_fails.total() + quarantine_hits`.
+        #[serde(default)]
+        quarantine_hits: u64,
     },
     /// A discovery job was cancelled (explicit `cancel` or disconnect).
     JobCancelled {
@@ -509,6 +554,13 @@ mod tests {
                 best_fom: Some(3.25),
                 survivors: 6,
                 spice_evals: 72,
+                sim_fails: SimFailCounts {
+                    no_convergence: 3,
+                    budget: 1,
+                    ..SimFailCounts::default()
+                },
+                quarantine_hits: 12,
+                quarantined: 1,
             },
             Response::JobDone {
                 id: 5,
@@ -517,6 +569,13 @@ mod tests {
                 candidates_valid: 6,
                 candidates_unique: 6,
                 leaderboard: vec![entry],
+                spice_evals: 720,
+                sim_ok: 680,
+                sim_fails: SimFailCounts {
+                    no_convergence: 28,
+                    ..SimFailCounts::default()
+                },
+                quarantine_hits: 12,
             },
             Response::JobCancelled {
                 id: 5,
@@ -538,6 +597,76 @@ mod tests {
                 "{json}"
             );
         }
+    }
+
+    #[test]
+    fn discover_budget_parses_and_legacy_events_default() {
+        // A client budget with only some ceilings set: omitted fields
+        // stay unlimited.
+        let line = r#"{"op":"discover","id":6,"budget":{"newton_iters":500,"tran_steps":2000}}"#;
+        match serde_json::from_str::<Request>(line).expect("budget line parses") {
+            Request::Discover(d) => {
+                let b = d.budget.expect("budget present");
+                assert_eq!(b.newton_iters, 500);
+                assert_eq!(b.tran_steps, 2000);
+                assert_eq!(b.ac_points, SimBudget::unlimited().ac_points);
+                assert_eq!(b.max_matrix_dim, SimBudget::unlimited().max_matrix_dim);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // Pre-robustness event lines (no fail counts, no quarantine
+        // fields) still deserialize, with zeros.
+        let legacy = r#"{"status":"generation_done","id":5,"generation":1,"generations":10,
+                         "best_fom":null,"survivors":6,"spice_evals":72}"#;
+        match serde_json::from_str::<Response>(legacy).expect("legacy generation_done parses") {
+            Response::GenerationDone {
+                sim_fails,
+                quarantine_hits,
+                quarantined,
+                ..
+            } => {
+                assert_eq!(sim_fails, SimFailCounts::default());
+                assert_eq!(quarantine_hits, 0);
+                assert_eq!(quarantined, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let legacy = r#"{"status":"job_done","id":5,"generations_run":10,
+                         "candidates_generated":8,"candidates_valid":6,
+                         "candidates_unique":6,"leaderboard":[]}"#;
+        match serde_json::from_str::<Response>(legacy).expect("legacy job_done parses") {
+            Response::JobDone {
+                spice_evals,
+                sim_ok,
+                sim_fails,
+                quarantine_hits,
+                ..
+            } => {
+                assert_eq!(spice_evals, 0);
+                assert_eq!(sim_ok, 0);
+                assert_eq!(sim_fails, SimFailCounts::default());
+                assert_eq!(quarantine_hits, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_too_large_wire_shape() {
+        let resp = Response::PayloadTooLarge {
+            id: 0,
+            limit_bytes: 1 << 20,
+        };
+        let json = serde_json::to_string(&resp).expect("serializes");
+        assert_eq!(
+            json,
+            r#"{"status":"payload_too_large","id":0,"limit_bytes":1048576}"#
+        );
+        assert_eq!(
+            serde_json::from_str::<Response>(&json).expect("parses back"),
+            resp
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use eva_serve::{
     DiscoverError, DiscoverRequest, DiscoverSpec, GenerationService, JobEvent, Response,
     ServeConfig,
 };
+use eva_spice::{SimBudget, SimFailCounts};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -45,6 +46,7 @@ fn small_request(id: u64) -> DiscoverRequest {
             prompt: None,
         }),
         checkpoint: None,
+        budget: None,
     }
 }
 
@@ -244,6 +246,189 @@ fn cancel_settles_accounting_exactly_once() {
     // The slot is reusable: a fresh job runs to completion.
     let job = service.discover(&small_request(10)).expect("slot freed");
     assert_stream_shape(&drain(&job), 3);
+    service.shutdown();
+}
+
+/// The acceptance scenario: a candidate pool whose every SPICE attempt
+/// is a known budget-buster (one Newton iteration can never converge a
+/// supplied circuit) still completes with a ranked leaderboard and no
+/// job failure, the per-class failure counts plus quarantine hits sum
+/// exactly to attempts minus successes — per generation and in total —
+/// and the whole run replays bit-identically under the same seed.
+#[test]
+fn budget_starved_pool_completes_with_exact_classified_accounting() {
+    let eva = tiny_pretrained(47);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let starved = |id: u64| DiscoverRequest {
+        budget: Some(SimBudget {
+            newton_iters: 1,
+            ..SimBudget::unlimited()
+        }),
+        ..small_request(id)
+    };
+    let job = service.discover(&starved(1)).expect("job admitted");
+    let events = drain(&job);
+    let done = match events.last() {
+        Some(JobEvent::Done(summary)) => summary.clone(),
+        other => panic!("a failing pool must still complete, got {other:?}"),
+    };
+
+    // The job degraded gracefully instead of failing: the pool was
+    // simulated, nothing was measurable, the leaderboard is the (empty)
+    // ranking of the measurable survivors.
+    assert!(
+        done.candidates_unique > 0,
+        "the pool had candidates to size"
+    );
+    assert!(
+        done.spice_evals > 0,
+        "the sizing loop attempted evaluations"
+    );
+    assert_eq!(done.sim_ok, 0, "one Newton iteration never converges");
+    assert!(done.sim_fails.budget > 0, "failures carry the budget class");
+    assert!(
+        done.leaderboard.is_empty(),
+        "nothing measurable ranks under a 1-iteration budget"
+    );
+
+    // The accounting identity, exactly: failures + quarantine skips ==
+    // attempts - successes.
+    assert_eq!(
+        done.sim_fails.total() + done.quarantine_hits,
+        done.spice_evals - done.sim_ok,
+        "per-class counts + quarantine hits sum to attempts - successes: {done:?}"
+    );
+
+    // Wholly-failed generations strike candidates into quarantine (the
+    // default threshold is 2 consecutive strikes; the job runs 3
+    // generations), so the tail generations skip instead of re-failing.
+    assert!(
+        done.quarantine_hits > 0,
+        "quarantine engaged by generation 3"
+    );
+    let gens: Vec<(u64, SimFailCounts, u64, usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::GenerationDone {
+                spice_evals,
+                sim_fails,
+                quarantine_hits,
+                quarantined,
+                survivors,
+                ..
+            } => Some((
+                *spice_evals,
+                *sim_fails,
+                *quarantine_hits,
+                *quarantined,
+                *survivors,
+            )),
+            _ => None,
+        })
+        .collect();
+    let mut sum = SimFailCounts::default();
+    let (mut sum_evals, mut sum_hits) = (0u64, 0u64);
+    for (evals, fails, hits, _, _) in &gens {
+        sum_evals += evals;
+        sum.add(fails);
+        sum_hits += hits;
+    }
+    assert_eq!(
+        sum_evals, done.spice_evals,
+        "generation events sum to the job total"
+    );
+    assert_eq!(sum, done.sim_fails, "per-class counts stream consistently");
+    assert_eq!(sum_hits, done.quarantine_hits);
+    let last = gens.last().expect("at least one generation");
+    assert_eq!(
+        last.4, 0,
+        "every candidate is quarantined by the last generation"
+    );
+    assert!(
+        last.3 > 0,
+        "the last generation reports its quarantined cohort"
+    );
+    assert_eq!(last.2, last.0, "a fully-quarantined generation only skips");
+
+    // The metrics snapshot agrees with the job's ledger.
+    let m = service.metrics();
+    assert_eq!(m.spice_evals, done.spice_evals);
+    assert_eq!(m.sim_fail_budget, done.sim_fails.budget);
+    assert_eq!(m.quarantine_hits, done.quarantine_hits);
+    assert_eq!(m.sim_fail_no_convergence, done.sim_fails.no_convergence);
+
+    // Budget exhaustion is metered work, not wall clock: the same seed
+    // replays the entire event stream bit-identically.
+    let job = service.discover(&starved(2)).expect("job admitted");
+    assert_eq!(
+        drain(&job),
+        events,
+        "budget-starved jobs replay bit-identically by seed"
+    );
+    service.shutdown();
+}
+
+/// A cancel landing mid-generation (after the first `generation_done`,
+/// with many generations left) settles the job promptly via the shared
+/// abort handle instead of waiting for the remaining sizing fan-out.
+#[test]
+fn mid_generation_cancel_settles_without_draining_the_fanout() {
+    let eva = tiny_pretrained(48);
+    let service = GenerationService::from_artifacts(
+        &eva.artifacts(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // Enough generations that the job cannot plausibly finish between
+    // our observing generation 1 and the cancel landing.
+    let long = DiscoverRequest {
+        generations: Some(100),
+        ..small_request(11)
+    };
+    let job = service.discover(&long).expect("job admitted");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let event = job
+            .next_event_timeout(deadline.saturating_duration_since(Instant::now()))
+            .expect("job streams its first generation");
+        match event {
+            JobEvent::GenerationDone { generation, .. } if generation >= 1 => break,
+            e => assert!(
+                !e.is_terminal(),
+                "job ended before it could be cancelled: {e:?}"
+            ),
+        }
+    }
+    assert!(job.cancel(), "a live job acknowledges cancellation");
+    let events = drain(&job);
+    match events.last() {
+        Some(JobEvent::Cancelled { generations_run }) => {
+            assert!(
+                *generations_run < 100,
+                "cancel landed mid-job, not after completion"
+            );
+        }
+        other => panic!("expected job_cancelled, got {other:?}"),
+    }
+    assert!(job.is_finished());
+    let m = service.metrics();
+    assert_eq!(m.discover_cancelled, 1);
+    assert_eq!(
+        m.active_jobs, 0,
+        "the slot is released at cancel, not drained"
+    );
     service.shutdown();
 }
 

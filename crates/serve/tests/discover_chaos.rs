@@ -100,6 +100,7 @@ fn small_request(id: u64, seed: u64) -> DiscoverRequest {
             prompt: None,
         }),
         checkpoint: None,
+        budget: None,
     }
 }
 
@@ -392,6 +393,67 @@ fn kill_and_resume_reproduces_the_uninterrupted_leaderboard() {
     assert_settled(&service);
     service.shutdown();
     let _ = std::fs::remove_dir_all(&job_dir);
+}
+
+/// The `sim_budget` fault rule starves every classified SPICE evaluation
+/// deterministically: the job completes (no failure), every attempt is
+/// counted in the budget class until quarantine takes over, the ledger
+/// identity `spice_evals = sim_ok + fails + quarantine_hits` holds
+/// exactly, and the whole run replays bit-identically under the same
+/// seed and plan — the plan counts work units, never wall clock, so the
+/// stream is invariant to `EVA_NN_THREADS` (CI re-runs this suite at 2).
+#[test]
+fn sim_budget_chaos_starves_evals_deterministically() {
+    let _lock = chaos_lock();
+    let _guard = PlanGuard;
+    let eva = tiny_pretrained(67);
+    let plan = fault::install(Fault::parse("sim_budget:every=1").expect("plan parses"));
+    let service = GenerationService::from_artifacts(&eva.artifacts(), chaos_config())
+        .expect("service starts");
+
+    let run = |id: u64| {
+        let job = service
+            .discover(&small_request(id, 6767))
+            .expect("admitted");
+        drain_bounded(&job, Duration::from_secs(120))
+    };
+    let events = run(1);
+    let done = match events.last() {
+        Some(JobEvent::Done(summary)) => summary.clone(),
+        other => panic!("a starved pool must still complete, got {other:?}"),
+    };
+    assert!(
+        done.spice_evals > 0,
+        "the sizing loop attempted evaluations"
+    );
+    assert_eq!(done.sim_ok, 0, "every=1 starves every evaluation");
+    assert!(
+        done.sim_fails.budget > 0,
+        "starvation lands in the budget class"
+    );
+    assert_eq!(
+        done.sim_fails.total() + done.quarantine_hits,
+        done.spice_evals,
+        "ledger identity under injected starvation: {done:?}"
+    );
+    // Only non-quarantined evaluations reach the injection seam, so the
+    // plan's own fire count corroborates the ledger.
+    assert_eq!(
+        plan.fires(FaultPoint::SimBudget),
+        done.sim_fails.budget,
+        "one fault fire per counted budget failure"
+    );
+    assert!(
+        done.quarantine_hits > 0,
+        "two wholly-failed generations quarantine the cohort (4 generations run)"
+    );
+
+    // Deterministic replay: same seed, same plan, same stream — bit for
+    // bit, leaderboard and ledger included.
+    let again = run(2);
+    assert_eq!(events, again, "chaos starvation replays bit-identically");
+    assert_settled(&service);
+    service.shutdown();
 }
 
 /// A re-issued request whose shape disagrees with the checkpoint fails

@@ -594,6 +594,68 @@ fn read_timeout_disconnects_idle_connection() {
 }
 
 #[test]
+fn oversized_frame_is_refused_typed_and_closes_the_connection() {
+    use eva_serve::MAX_FRAME_BYTES;
+
+    let eva = tiny_pretrained(31);
+    let service = Arc::new(
+        GenerationService::from_artifacts(&eva.artifacts(), ServeConfig::default())
+            .expect("service starts"),
+    );
+    let server = eva_serve::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // Stream a newline-less "line" past the frame cap: the server must
+    // answer typed as soon as the cap is provably exceeded — it cannot
+    // wait for a terminator that never comes.
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut sent = 0u64;
+    while sent <= MAX_FRAME_BYTES + 1 {
+        writer.write_all(&chunk).expect("write oversized frame");
+        sent += chunk.len() as u64;
+    }
+    writer.flush().expect("flush oversized frame");
+
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read refusal");
+    assert_eq!(
+        serde_json::from_str::<Response>(&reply).expect("typed refusal"),
+        Response::PayloadTooLarge {
+            id: 0,
+            limit_bytes: MAX_FRAME_BYTES,
+        }
+    );
+
+    // The stream position inside an oversized frame is unrecoverable, so
+    // the refusal is followed by a clean close, and the drop is counted
+    // exactly once.
+    reply.clear();
+    let n = reader
+        .read_line(&mut reply)
+        .expect("clean EOF after refusal");
+    assert_eq!(n, 0, "connection closes after an oversized frame");
+    assert_eq!(service.metrics().payload_too_large, 1);
+
+    // A fresh connection with a frame under the cap is served normally.
+    let stream = TcpStream::connect(server.local_addr()).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writer
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("write ping");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read pong");
+    assert_eq!(
+        serde_json::from_str::<Response>(&reply).expect("pong parses"),
+        Response::Pong
+    );
+    assert_eq!(service.metrics().payload_too_large, 1, "counted once");
+    server.stop();
+}
+
+#[test]
 fn tcp_round_trip_on_ephemeral_port() {
     let eva = tiny_pretrained(25);
     let service = Arc::new(

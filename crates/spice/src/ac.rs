@@ -1,6 +1,7 @@
 //! Small-signal AC analysis: linearize at the DC operating point, then
 //! solve the complex MNA system across a frequency sweep.
 
+use crate::budget::SimMeter;
 use crate::complex::Complex;
 use crate::dc::DcSolution;
 use crate::error::SpiceError;
@@ -79,13 +80,31 @@ pub fn ac_sweep(
     op: &DcSolution,
     freqs: &[f64],
 ) -> Result<AcSolution, SpiceError> {
+    ac_sweep_metered(netlist, tech, op, freqs, &SimMeter::unlimited())
+}
+
+/// [`ac_sweep`] with a work budget: every frequency point charges `meter`.
+///
+/// # Errors
+///
+/// As [`ac_sweep`], plus [`SpiceError::BudgetExhausted`] /
+/// [`SpiceError::Aborted`] from the meter.
+pub fn ac_sweep_metered(
+    netlist: &Netlist,
+    tech: &Tech,
+    op: &DcSolution,
+    freqs: &[f64],
+    meter: &SimMeter,
+) -> Result<AcSolution, SpiceError> {
     let asm = Assembler::new(netlist, tech);
     let n = asm.nvars();
+    meter.check_dim(n, "ac")?;
     let nv = netlist.node_count() - 1;
     let v = |node: usize| op.voltage(node);
 
     let mut phasors = Vec::with_capacity(freqs.len());
     for &f in freqs {
+        meter.charge_ac_point("ac")?;
         let w = 2.0 * std::f64::consts::PI * f;
         let mut m = Matrix::<Complex>::zeros(n);
         let mut rhs = vec![Complex::ZERO; n];
@@ -187,7 +206,11 @@ pub fn ac_sweep(
                     stamp_g(&mut m, nd[0], nd[1], Complex::real(g + tech.gmin));
                 }
                 Element::Vsource { ac_mag, .. } => {
-                    let br = asm.branch_var(ei).expect("vsource branch");
+                    let br = asm
+                        .branch_var(ei)
+                        .ok_or_else(|| SpiceError::InvalidCircuit {
+                            reason: format!("voltage source {} has no branch variable", inst.name),
+                        })?;
                     let (p, q) = (nd[0], nd[1]);
                     if p != 0 {
                         m.add(p - 1, br, Complex::ONE);
@@ -286,6 +309,42 @@ mod tests {
         let mags = sol.magnitude(b);
         assert!(mags[0] > 0.99, "inductor passes low f: {}", mags[0]);
         assert!(mags[1] < 0.01, "inductor blocks high f: {}", mags[1]);
+    }
+
+    #[test]
+    fn ac_budget_meters_frequency_points() {
+        use crate::budget::{SimBudget, SimMeter};
+        let mut n = Netlist::new();
+        let a = n.add_node("in");
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource {
+                dc: 0.0,
+                ac_mag: 1.0,
+                waveform: Waveform::Dc,
+            },
+        );
+        n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 1e3 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let meter = SimMeter::new(SimBudget {
+            ac_points: 2,
+            ..SimBudget::unlimited()
+        });
+        let err = ac_sweep_metered(&n, &tech, &op, &[1.0, 10.0, 100.0], &meter).unwrap_err();
+        assert_eq!(
+            err,
+            SpiceError::BudgetExhausted {
+                analysis: "ac",
+                spent: 3
+            }
+        );
+        let roomy = SimMeter::new(SimBudget {
+            ac_points: 3,
+            ..SimBudget::unlimited()
+        });
+        assert!(ac_sweep_metered(&n, &tech, &op, &[1.0, 10.0, 100.0], &roomy).is_ok());
     }
 
     #[test]

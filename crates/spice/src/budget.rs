@@ -1,0 +1,349 @@
+//! Deterministic simulation work budgets and cooperative cancellation.
+//!
+//! A [`SimBudget`] bounds how much *work* one evaluation may spend —
+//! Newton iterations summed across every homotopy stage, transient
+//! timesteps, AC points, and the matrix dimension a netlist may elaborate
+//! to. Budgets never look at wall clock: the meter counts the same units
+//! in the same order on every run, so a budget-exhausted result is
+//! bit-identical at any `EVA_NN_THREADS` and replays exactly under
+//! `EVA_FAULT_PLAN`.
+//!
+//! A [`SimMeter`] carries one evaluation's spend (single-owner interior
+//! mutability — each pooled evaluation builds its own meter) plus an
+//! optional [`AbortHandle`]: an atomic flag the owner of a long-running
+//! job can trip from another thread. The solvers check it at iteration
+//! boundaries, so a cancel lands mid-solve as a typed
+//! [`SpiceError::Aborted`] instead of waiting for the analysis to drain.
+//!
+//! ## Determinism contract
+//!
+//! - Exhaustion is a pure function of `(circuit, budget)`: the meter
+//!   increments in solver-iteration order, which no thread count or
+//!   scheduler can reorder.
+//! - Abort is cooperative and therefore *not* deterministic — it reflects
+//!   when the flag was tripped. It is only ever surfaced as
+//!   [`SpiceError::Aborted`], which callers account separately from the
+//!   deterministic failure classes.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpiceError;
+
+const UNLIMITED: u64 = u64::MAX;
+
+fn unlimited_units() -> u64 {
+    UNLIMITED
+}
+
+fn unlimited_dim() -> usize {
+    usize::MAX
+}
+
+/// A per-evaluation work budget. Every field is a hard ceiling in work
+/// units; [`SimBudget::unlimited`] (also the serde default for omitted
+/// fields) disables that ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimBudget {
+    /// Total Newton iterations across all homotopy stages of a DC solve
+    /// plus every transient step's inner Newton loop.
+    #[serde(default = "unlimited_units")]
+    pub newton_iters: u64,
+    /// Transient timesteps.
+    #[serde(default = "unlimited_units")]
+    pub tran_steps: u64,
+    /// AC sweep frequency points.
+    #[serde(default = "unlimited_units")]
+    pub ac_points: u64,
+    /// Largest MNA matrix dimension (nodes + branch vars) accepted.
+    #[serde(default = "unlimited_dim")]
+    pub max_matrix_dim: usize,
+}
+
+impl SimBudget {
+    /// No ceilings: every analysis runs to its own convergence limits.
+    pub const fn unlimited() -> SimBudget {
+        SimBudget {
+            newton_iters: UNLIMITED,
+            tran_steps: UNLIMITED,
+            ac_points: UNLIMITED,
+            max_matrix_dim: usize::MAX,
+        }
+    }
+
+    /// The tighter of two budgets, per field — how a server clamps a
+    /// client-requested budget to its configured caps.
+    pub fn clamp_to(self, cap: SimBudget) -> SimBudget {
+        SimBudget {
+            newton_iters: self.newton_iters.min(cap.newton_iters),
+            tran_steps: self.tran_steps.min(cap.tran_steps),
+            ac_points: self.ac_points.min(cap.ac_points),
+            max_matrix_dim: self.max_matrix_dim.min(cap.max_matrix_dim),
+        }
+    }
+}
+
+impl Default for SimBudget {
+    fn default() -> SimBudget {
+        SimBudget::unlimited()
+    }
+}
+
+/// A shared cancel flag. Cloning shares the flag; tripping it makes every
+/// meter built from the handle fail its next charge with
+/// [`SpiceError::Aborted`].
+#[derive(Debug, Clone, Default)]
+pub struct AbortHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl AbortHandle {
+    /// A fresh, untripped handle.
+    pub fn new() -> AbortHandle {
+        AbortHandle::default()
+    }
+
+    /// Trip the flag: every in-flight solve checking this handle returns
+    /// [`SpiceError::Aborted`] at its next iteration boundary.
+    pub fn abort(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_aborted(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One evaluation's running spend against a [`SimBudget`]. Build one per
+/// evaluation (it is deliberately not `Sync` — a meter meters exactly one
+/// serial solve) and thread it through the analyses.
+#[derive(Debug, Clone, Default)]
+pub struct SimMeter {
+    budget: SimBudget,
+    abort: Option<AbortHandle>,
+    newton_iters: Cell<u64>,
+    tran_steps: Cell<u64>,
+    ac_points: Cell<u64>,
+}
+
+impl SimMeter {
+    /// A meter over `budget`, with no abort handle.
+    pub fn new(budget: SimBudget) -> SimMeter {
+        SimMeter {
+            budget,
+            ..SimMeter::default()
+        }
+    }
+
+    /// A meter that never exhausts and cannot be aborted — the behavior
+    /// of every pre-budget entry point.
+    pub fn unlimited() -> SimMeter {
+        SimMeter::new(SimBudget::unlimited())
+    }
+
+    /// Attach a cancel handle checked on every charge.
+    #[must_use]
+    pub fn with_abort(mut self, abort: AbortHandle) -> SimMeter {
+        self.abort = Some(abort);
+        self
+    }
+
+    /// The budget this meter enforces.
+    pub fn budget(&self) -> SimBudget {
+        self.budget
+    }
+
+    /// Newton iterations spent so far.
+    pub fn newton_spent(&self) -> u64 {
+        self.newton_iters.get()
+    }
+
+    /// Transient steps spent so far.
+    pub fn tran_spent(&self) -> u64 {
+        self.tran_steps.get()
+    }
+
+    /// AC points spent so far.
+    pub fn ac_spent(&self) -> u64 {
+        self.ac_points.get()
+    }
+
+    fn check_abort(&self) -> Result<(), SpiceError> {
+        match &self.abort {
+            Some(handle) if handle.is_aborted() => Err(SpiceError::Aborted),
+            _ => Ok(()),
+        }
+    }
+
+    fn charge(
+        &self,
+        cell: &Cell<u64>,
+        limit: u64,
+        analysis: &'static str,
+    ) -> Result<(), SpiceError> {
+        self.check_abort()?;
+        let spent = cell.get().saturating_add(1);
+        cell.set(spent);
+        if spent > limit {
+            return Err(SpiceError::BudgetExhausted { analysis, spent });
+        }
+        Ok(())
+    }
+
+    /// Charge one Newton iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Aborted`] when the handle is tripped,
+    /// [`SpiceError::BudgetExhausted`] when the iteration ceiling is hit.
+    pub fn charge_newton(&self, analysis: &'static str) -> Result<(), SpiceError> {
+        self.charge(&self.newton_iters, self.budget.newton_iters, analysis)
+    }
+
+    /// Charge one transient timestep.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimMeter::charge_newton`].
+    pub fn charge_tran_step(&self, analysis: &'static str) -> Result<(), SpiceError> {
+        self.charge(&self.tran_steps, self.budget.tran_steps, analysis)
+    }
+
+    /// Charge one AC frequency point.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimMeter::charge_newton`].
+    pub fn charge_ac_point(&self, analysis: &'static str) -> Result<(), SpiceError> {
+        self.charge(&self.ac_points, self.budget.ac_points, analysis)
+    }
+
+    /// Refuse matrices larger than the budget's dimension ceiling (checked
+    /// once per assembly, before any factorization work).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Aborted`] or [`SpiceError::BudgetExhausted`] (with
+    /// `spent` = the refused dimension).
+    pub fn check_dim(&self, dim: usize, analysis: &'static str) -> Result<(), SpiceError> {
+        self.check_abort()?;
+        if dim > self.budget.max_matrix_dim {
+            return Err(SpiceError::BudgetExhausted {
+                analysis,
+                spent: dim as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_never_exhausts() {
+        let m = SimMeter::unlimited();
+        for _ in 0..10_000 {
+            m.charge_newton("dc").expect("unlimited");
+            m.charge_tran_step("tran").expect("unlimited");
+            m.charge_ac_point("ac").expect("unlimited");
+        }
+        m.check_dim(1 << 20, "dc").expect("unlimited");
+        assert_eq!(m.newton_spent(), 10_000);
+    }
+
+    #[test]
+    fn exhaustion_is_exact_and_typed() {
+        let m = SimMeter::new(SimBudget {
+            newton_iters: 3,
+            ..SimBudget::unlimited()
+        });
+        for _ in 0..3 {
+            m.charge_newton("dc").expect("within budget");
+        }
+        match m.charge_newton("dc") {
+            Err(SpiceError::BudgetExhausted { analysis, spent }) => {
+                assert_eq!(analysis, "dc");
+                assert_eq!(spent, 4);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resources_are_metered_independently() {
+        let m = SimMeter::new(SimBudget {
+            newton_iters: 1,
+            tran_steps: 2,
+            ac_points: 1,
+            max_matrix_dim: 8,
+        });
+        m.charge_newton("dc").expect("first newton");
+        m.charge_tran_step("tran").expect("first step");
+        m.charge_tran_step("tran").expect("second step");
+        m.charge_ac_point("ac").expect("first point");
+        assert!(m.charge_newton("dc").is_err());
+        assert!(m.charge_tran_step("tran").is_err());
+        assert!(m.charge_ac_point("ac").is_err());
+        m.check_dim(8, "dc").expect("at the ceiling");
+        assert!(matches!(
+            m.check_dim(9, "dc"),
+            Err(SpiceError::BudgetExhausted { spent: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn abort_beats_budget_and_is_sticky() {
+        let abort = AbortHandle::new();
+        let m = SimMeter::unlimited().with_abort(abort.clone());
+        m.charge_newton("dc").expect("not yet aborted");
+        abort.abort();
+        assert!(abort.is_aborted());
+        assert_eq!(m.charge_newton("dc"), Err(SpiceError::Aborted));
+        assert_eq!(m.check_dim(1, "dc"), Err(SpiceError::Aborted));
+        // The spend recorded before the abort is preserved.
+        assert_eq!(m.newton_spent(), 1);
+    }
+
+    #[test]
+    fn clamp_takes_the_tighter_field() {
+        let client = SimBudget {
+            newton_iters: 1_000_000,
+            tran_steps: 10,
+            ac_points: UNLIMITED,
+            max_matrix_dim: 64,
+        };
+        let cap = SimBudget {
+            newton_iters: 500,
+            tran_steps: UNLIMITED,
+            ac_points: 100,
+            max_matrix_dim: 512,
+        };
+        let clamped = client.clamp_to(cap);
+        assert_eq!(clamped.newton_iters, 500);
+        assert_eq!(clamped.tran_steps, 10);
+        assert_eq!(clamped.ac_points, 100);
+        assert_eq!(clamped.max_matrix_dim, 64);
+    }
+
+    #[test]
+    fn serde_defaults_omitted_fields_to_unlimited() {
+        let b: SimBudget = serde_json::from_str("{}").expect("empty object");
+        assert_eq!(b, SimBudget::unlimited());
+        let b: SimBudget = serde_json::from_str(r#"{"newton_iters": 7}"#).expect("partial");
+        assert_eq!(b.newton_iters, 7);
+        assert_eq!(b.tran_steps, UNLIMITED);
+        let json = serde_json::to_string(&SimBudget {
+            newton_iters: 9,
+            ..SimBudget::unlimited()
+        })
+        .expect("serializes");
+        let back: SimBudget = serde_json::from_str(&json).expect("round trips");
+        assert_eq!(back.newton_iters, 9);
+    }
+}

@@ -1,6 +1,7 @@
 //! Newton–Raphson DC operating point with gmin- and source-stepping
 //! homotopy.
 
+use crate::budget::SimMeter;
 use crate::error::SpiceError;
 use crate::models::Tech;
 use crate::netlist::Netlist;
@@ -85,16 +86,19 @@ impl DcSolution {
 }
 
 /// Run one Newton loop at fixed homotopy parameters. Returns the iterate
-/// and iterations used, or `None` if it failed to converge (singular
-/// matrices and NaNs also count as failure).
-fn newton_stage(
+/// and iterations used, or `Ok(None)` if it failed to converge (singular
+/// matrices and NaNs also count as failure); budget exhaustion and abort
+/// propagate as hard errors.
+pub(crate) fn newton_stage(
     asm: &Assembler<'_>,
     x0: &[f64],
     source_scale: f64,
     gshunt: f64,
-) -> Option<(Vec<f64>, usize)> {
+    meter: &SimMeter,
+) -> Result<Option<(Vec<f64>, usize)>, SpiceError> {
     let mut x = x0.to_vec();
     for iter in 1..=MAX_ITER {
+        meter.charge_newton("dc")?;
         let (m, mut rhs) = asm.assemble(
             &x,
             StampMode::Dc {
@@ -103,13 +107,13 @@ fn newton_stage(
             },
         );
         if m.solve_into(&mut rhs).is_err() {
-            return None;
+            return Ok(None);
         }
         let damp = if iter > LATE_ITER { DAMP_LATE } else { DAMP };
         let mut worst = 0.0f64;
         for i in 0..x.len() {
             if !rhs[i].is_finite() {
-                return None;
+                return Ok(None);
             }
             let delta = (rhs[i] - x[i]).clamp(-damp, damp);
             let scaled = (delta).abs() / (1.0 + x[i].abs());
@@ -117,10 +121,10 @@ fn newton_stage(
             x[i] += delta;
         }
         if worst < 1e-9 {
-            return Some((x, iter));
+            return Ok(Some((x, iter)));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Solve the DC operating point of a netlist.
@@ -133,13 +137,31 @@ fn newton_stage(
 /// [`SpiceError::NoConvergence`] when every homotopy fails, which the
 /// validity checker treats as "not simulatable".
 pub fn dc_operating_point(netlist: &Netlist, tech: &Tech) -> Result<DcSolution, SpiceError> {
+    dc_operating_point_metered(netlist, tech, &SimMeter::unlimited())
+}
+
+/// [`dc_operating_point`] with a work budget: every Newton iteration of
+/// every homotopy stage charges `meter`, and the matrix dimension is
+/// checked before any solve.
+///
+/// # Errors
+///
+/// [`SpiceError::NoConvergence`] when every homotopy fails,
+/// [`SpiceError::BudgetExhausted`] when the meter runs dry mid-solve,
+/// [`SpiceError::Aborted`] when the meter's cancel handle trips.
+pub fn dc_operating_point_metered(
+    netlist: &Netlist,
+    tech: &Tech,
+    meter: &SimMeter,
+) -> Result<DcSolution, SpiceError> {
     let asm = Assembler::new(netlist, tech);
+    meter.check_dim(asm.nvars(), "dc")?;
     let nv = netlist.node_count() - 1;
     let zeros = vec![0.0; asm.nvars()];
     let mut total_iters = 0usize;
 
     // Stage 1: plain Newton from zero.
-    if let Some((x, it)) = newton_stage(&asm, &zeros, 1.0, 0.0) {
+    if let Some((x, it)) = newton_stage(&asm, &zeros, 1.0, 0.0, meter)? {
         return Ok(split(netlist, x, total_iters + it, nv));
     }
     total_iters += MAX_ITER;
@@ -148,7 +170,7 @@ pub fn dc_operating_point(netlist: &Netlist, tech: &Tech) -> Result<DcSolution, 
     let mut x = zeros.clone();
     let mut ok = true;
     for &gshunt in &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 0.0] {
-        match newton_stage(&asm, &x, 1.0, gshunt) {
+        match newton_stage(&asm, &x, 1.0, gshunt, meter)? {
             Some((next, it)) => {
                 x = next;
                 total_iters += it;
@@ -169,7 +191,7 @@ pub fn dc_operating_point(netlist: &Netlist, tech: &Tech) -> Result<DcSolution, 
     let mut stage_ok = true;
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
-        match newton_stage(&asm, &x, scale, 1e-9) {
+        match newton_stage(&asm, &x, scale, 1e-9, meter)? {
             Some((next, it)) => {
                 x = next;
                 total_iters += it;
@@ -181,7 +203,7 @@ pub fn dc_operating_point(netlist: &Netlist, tech: &Tech) -> Result<DcSolution, 
         }
     }
     if stage_ok {
-        if let Some((x, it)) = newton_stage(&asm, &x, 1.0, 0.0) {
+        if let Some((x, it)) = newton_stage(&asm, &x, 1.0, 0.0, meter)? {
             return Ok(split(netlist, x, total_iters + it, nv));
         }
     }
@@ -397,6 +419,56 @@ mod tests {
         assert!(run(1.8) < 0.1, "high in, low out: {}", run(1.8));
         let mid = run(0.9);
         assert!((0.2..1.6).contains(&mid), "transition region: {mid}");
+    }
+
+    #[test]
+    fn budget_exhaustion_and_abort_are_typed() {
+        use crate::budget::{AbortHandle, SimBudget, SimMeter};
+        let mut n = Netlist::new();
+        let top = n.add_node("top");
+        let mid = n.add_node("mid");
+        n.add_element("V1", vec![top, 0], vsrc(10.0));
+        n.add_element("R1", vec![top, mid], Element::Resistor { ohms: 1e3 });
+        n.add_element("R2", vec![mid, 0], Element::Resistor { ohms: 3e3 });
+        let tech = Tech::default();
+        // The damped Newton ramp needs many iterations; budget 1 exhausts.
+        let tight = SimMeter::new(SimBudget {
+            newton_iters: 1,
+            ..SimBudget::unlimited()
+        });
+        let err = dc_operating_point_metered(&n, &tech, &tight).unwrap_err();
+        assert_eq!(
+            err,
+            SpiceError::BudgetExhausted {
+                analysis: "dc",
+                spent: 2
+            }
+        );
+        // Exhaustion is deterministic: same circuit, same budget, same spend.
+        let again = SimMeter::new(tight.budget());
+        assert_eq!(
+            dc_operating_point_metered(&n, &tech, &again).unwrap_err(),
+            err
+        );
+        // A matrix-dimension ceiling refuses before any solve.
+        let slim = SimMeter::new(SimBudget {
+            max_matrix_dim: 1,
+            ..SimBudget::unlimited()
+        });
+        assert!(matches!(
+            dc_operating_point_metered(&n, &tech, &slim).unwrap_err(),
+            SpiceError::BudgetExhausted { analysis: "dc", .. }
+        ));
+        // A pre-tripped abort handle cancels before the first iteration.
+        let abort = AbortHandle::new();
+        abort.abort();
+        let cancelled = SimMeter::unlimited().with_abort(abort);
+        assert_eq!(
+            dc_operating_point_metered(&n, &tech, &cancelled).unwrap_err(),
+            SpiceError::Aborted
+        );
+        // The unmetered entry point still solves the same circuit.
+        assert!(dc_operating_point(&n, &tech).is_ok());
     }
 
     #[test]

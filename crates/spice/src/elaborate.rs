@@ -96,10 +96,14 @@ pub fn elaborate(
             node_of_net.push(Netlist::GROUND);
         } else {
             // Name the node after a representative member (a port if any).
-            let name = net
+            let name = match net
                 .iter()
                 .find_map(|n| n.circuit_pin().map(|p| p.to_string()))
-                .unwrap_or_else(|| net.iter().next().expect("non-empty").to_string());
+                .or_else(|| net.iter().next().map(|n| n.to_string()))
+            {
+                Some(name) => name,
+                None => return Err(invalid(format!("net {i} has no members"))),
+            };
             node_of_net.push(netlist.add_node(name));
         }
     }

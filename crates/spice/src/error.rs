@@ -38,6 +38,19 @@ pub enum SpiceError {
         /// Analysis that failed.
         analysis: &'static str,
     },
+    /// The simulation's work budget ran out before the analysis finished.
+    /// Budgets meter work units (Newton iterations, transient timesteps,
+    /// AC points — see [`crate::budget::SimBudget`]), never wall clock,
+    /// so the same circuit exhausts at the same point at any thread count.
+    BudgetExhausted {
+        /// Analysis in progress when the budget ran dry.
+        analysis: &'static str,
+        /// Work units spent on that resource when it exhausted.
+        spent: u64,
+    },
+    /// The simulation was cancelled through its cooperative
+    /// [`crate::budget::AbortHandle`] (checked at iteration boundaries).
+    Aborted,
 }
 
 impl fmt::Display for SpiceError {
@@ -64,6 +77,13 @@ impl fmt::Display for SpiceError {
             SpiceError::NumericalBlowup { analysis } => {
                 write!(f, "{analysis} analysis produced a non-finite result")
             }
+            SpiceError::BudgetExhausted { analysis, spent } => {
+                write!(
+                    f,
+                    "{analysis} analysis exhausted its work budget after {spent} units"
+                )
+            }
+            SpiceError::Aborted => write!(f, "simulation aborted by its cancel handle"),
         }
     }
 }
@@ -92,6 +112,12 @@ mod tests {
             }
             .to_string(),
             SpiceError::NumericalBlowup { analysis: "tran" }.to_string(),
+            SpiceError::BudgetExhausted {
+                analysis: "dc",
+                spent: 512,
+            }
+            .to_string(),
+            SpiceError::Aborted.to_string(),
         ];
         for msg in cases {
             assert!(!msg.is_empty());

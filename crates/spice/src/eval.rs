@@ -29,19 +29,174 @@
 //! use `nth=`/`every=` (or `EVA_NN_THREADS=1`) when a chaos test needs an
 //! exact replay.
 
+use crate::error::SpiceError;
 use eva_nn::fault::{self, FaultPoint};
 
 /// Fitness assigned to an evaluation the fault injector failed.
 pub const UNMEASURABLE: f64 = f64::NEG_INFINITY;
 
+/// Why one SPICE fitness evaluation produced no figure of merit.
+///
+/// Every [`SpiceError`] the simulator can raise maps onto exactly one
+/// class, so downstream accounting (serve metrics, per-job events, RL
+/// penalties) can bucket failures without string-matching error text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SimFailClass {
+    /// The circuit could not be elaborated or stimulated (bad topology,
+    /// missing ports, degenerate analysis window).
+    Invalid,
+    /// The linearized system was singular — no unique solution exists.
+    Singular,
+    /// Newton iteration ran out of iterations without converging.
+    NoConvergence,
+    /// The solve produced non-finite values mid-iteration.
+    Blowup,
+    /// The evaluation exhausted its [`crate::budget::SimBudget`].
+    Budget,
+    /// The evaluation observed its [`crate::budget::AbortHandle`] tripped.
+    Aborted,
+}
+
+impl SimFailClass {
+    /// Stable snake_case name (matches the serde wire form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimFailClass::Invalid => "invalid",
+            SimFailClass::Singular => "singular",
+            SimFailClass::NoConvergence => "no_convergence",
+            SimFailClass::Blowup => "blowup",
+            SimFailClass::Budget => "budget",
+            SimFailClass::Aborted => "aborted",
+        }
+    }
+}
+
+impl From<&SpiceError> for SimFailClass {
+    fn from(err: &SpiceError) -> Self {
+        match err {
+            SpiceError::InvalidCircuit { .. } | SpiceError::MissingPort { .. } => {
+                SimFailClass::Invalid
+            }
+            SpiceError::SingularMatrix { .. } => SimFailClass::Singular,
+            SpiceError::NoConvergence { .. } => SimFailClass::NoConvergence,
+            SpiceError::NumericalBlowup { .. } => SimFailClass::Blowup,
+            SpiceError::BudgetExhausted { .. } => SimFailClass::Budget,
+            SpiceError::Aborted => SimFailClass::Aborted,
+        }
+    }
+}
+
+/// The classified result of one fitness evaluation: a finite figure of
+/// merit, or the reason there is none.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimOutcome {
+    /// The simulation completed and measured this figure of merit.
+    Ok(f64),
+    /// The simulation failed; the class says why.
+    Failed(SimFailClass),
+}
+
+impl SimOutcome {
+    /// The figure of merit, or `None` on failure.
+    pub fn fom(self) -> Option<f64> {
+        match self {
+            SimOutcome::Ok(f) => Some(f),
+            SimOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure class, or `None` on success.
+    pub fn fail_class(self) -> Option<SimFailClass> {
+        match self {
+            SimOutcome::Ok(_) => None,
+            SimOutcome::Failed(c) => Some(c),
+        }
+    }
+
+    /// Collapse to the legacy fitness scalar: failures become
+    /// [`UNMEASURABLE`].
+    pub fn to_fitness(self) -> f64 {
+        self.fom().unwrap_or(UNMEASURABLE)
+    }
+}
+
+/// Per-class failure tally over a batch of classified evaluations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimFailCounts {
+    /// [`SimFailClass::Invalid`] evaluations.
+    #[serde(default)]
+    pub invalid: u64,
+    /// [`SimFailClass::Singular`] evaluations.
+    #[serde(default)]
+    pub singular: u64,
+    /// [`SimFailClass::NoConvergence`] evaluations.
+    #[serde(default)]
+    pub no_convergence: u64,
+    /// [`SimFailClass::Blowup`] evaluations.
+    #[serde(default)]
+    pub blowup: u64,
+    /// [`SimFailClass::Budget`] evaluations.
+    #[serde(default)]
+    pub budget: u64,
+    /// [`SimFailClass::Aborted`] evaluations.
+    #[serde(default)]
+    pub aborted: u64,
+}
+
+impl SimFailCounts {
+    /// Record one failure of the given class.
+    pub fn record(&mut self, class: SimFailClass) {
+        match class {
+            SimFailClass::Invalid => self.invalid += 1,
+            SimFailClass::Singular => self.singular += 1,
+            SimFailClass::NoConvergence => self.no_convergence += 1,
+            SimFailClass::Blowup => self.blowup += 1,
+            SimFailClass::Budget => self.budget += 1,
+            SimFailClass::Aborted => self.aborted += 1,
+        }
+    }
+
+    /// Tally a batch of classified outcomes.
+    pub fn tally(outcomes: &[SimOutcome]) -> Self {
+        let mut counts = SimFailCounts::default();
+        for o in outcomes {
+            if let SimOutcome::Failed(c) = o {
+                counts.record(*c);
+            }
+        }
+        counts
+    }
+
+    /// Total failures across every class.
+    pub fn total(&self) -> u64 {
+        self.invalid
+            + self.singular
+            + self.no_convergence
+            + self.blowup
+            + self.budget
+            + self.aborted
+    }
+
+    /// Field-wise sum.
+    pub fn add(&mut self, other: &SimFailCounts) {
+        self.invalid += other.invalid;
+        self.singular += other.singular;
+        self.no_convergence += other.no_convergence;
+        self.blowup += other.blowup;
+        self.budget += other.budget;
+        self.aborted += other.aborted;
+    }
+}
+
 /// A raw mutable base pointer that may cross threads; each pool range
 /// writes its own disjoint index window.
 #[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
+struct SendPtr<T>(*mut T);
 // SAFETY: all users write through provably disjoint index ranges while the
-// owning `&mut Vec<f64>` borrow is held by `par_evaluate`.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+// owning `&mut Vec<T>` borrow is held by the `par_evaluate*` caller.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Evaluate `n` independent fitness problems on the shared kernel pool
 /// and return `out[i] = fitness(i)`.
@@ -82,6 +237,63 @@ where
     out
 }
 
+/// Evaluate `n` independent fitness problems, preserving *why* any of
+/// them failed instead of collapsing failures to [`UNMEASURABLE`].
+///
+/// Same pooling and determinism contract as [`par_evaluate`]: index `i`
+/// is computed exactly once, by exactly one thread, so the outcome vector
+/// is bit-identical at any `EVA_NN_THREADS`. `fitness` returns
+/// `Err(SpiceError)` on failure; the error is classified into a
+/// [`SimFailClass`] per index.
+///
+/// Two fault seams fire per evaluation, in order:
+/// - `sim_budget`: with no delay the evaluation is charged as
+///   [`SimFailClass::Budget`] without running; with `ms=N` it stalls
+///   first and then runs normally.
+/// - `spice_eval`: with no delay the evaluation is recorded as
+///   [`SimFailClass::NoConvergence`] (the legacy unmeasurable-sim seam);
+///   with `ms=N` it stalls (latency only).
+pub fn par_evaluate_classified<F>(n: usize, min_per_range: usize, fitness: F) -> Vec<SimOutcome>
+where
+    F: Fn(usize) -> Result<f64, SpiceError> + Sync,
+{
+    let mut out = vec![SimOutcome::Failed(SimFailClass::Invalid); n];
+    let base = SendPtr(out.as_mut_ptr());
+    eva_nn::pool::global().run_ranges(n, min_per_range.max(1), |lo, hi| {
+        // SAFETY: `[lo, hi)` ranges from `run_ranges` are disjoint and in
+        // bounds; `out` outlives the region (the caller blocks in
+        // `run_ranges` until every range finishes).
+        let slot = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+        for (offset, cell) in slot.iter_mut().enumerate() {
+            let i = lo + offset;
+            if let Some(shot) = fault::fires(FaultPoint::SimBudget) {
+                if shot.delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(shot.delay_ms));
+                } else {
+                    *cell = SimOutcome::Failed(SimFailClass::Budget);
+                    continue;
+                }
+            }
+            *cell = match fault::fires(FaultPoint::SpiceEval) {
+                Some(shot) if shot.delay_ms > 0 => {
+                    std::thread::sleep(std::time::Duration::from_millis(shot.delay_ms));
+                    classify(fitness(i))
+                }
+                Some(_) => SimOutcome::Failed(SimFailClass::NoConvergence),
+                None => classify(fitness(i)),
+            };
+        }
+    });
+    out
+}
+
+fn classify(result: Result<f64, SpiceError>) -> SimOutcome {
+    match result {
+        Ok(fom) => SimOutcome::Ok(fom),
+        Err(err) => SimOutcome::Failed(SimFailClass::from(&err)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +318,89 @@ mod tests {
         // nested-inline rule makes this legal from any context.
         let out = par_evaluate(4, 1, |i| par_evaluate(3, 1, |j| (i * 3 + j) as f64)[2]);
         assert_eq!(out, vec![2.0, 5.0, 8.0, 11.0]);
+    }
+
+    #[test]
+    fn classified_outcomes_keep_the_failure_class() {
+        let out = par_evaluate_classified(6, 1, |i| match i {
+            0 => Ok(1.5),
+            1 => Err(SpiceError::SingularMatrix { row: 2 }),
+            2 => Err(SpiceError::NoConvergence {
+                analysis: "dc",
+                iterations: 200,
+            }),
+            3 => Err(SpiceError::NumericalBlowup { analysis: "tran" }),
+            4 => Err(SpiceError::BudgetExhausted {
+                analysis: "dc",
+                spent: 9,
+            }),
+            _ => Err(SpiceError::Aborted),
+        });
+        assert_eq!(out[0], SimOutcome::Ok(1.5));
+        assert_eq!(out[1].fail_class(), Some(SimFailClass::Singular));
+        assert_eq!(out[2].fail_class(), Some(SimFailClass::NoConvergence));
+        assert_eq!(out[3].fail_class(), Some(SimFailClass::Blowup));
+        assert_eq!(out[4].fail_class(), Some(SimFailClass::Budget));
+        assert_eq!(out[5].fail_class(), Some(SimFailClass::Aborted));
+
+        let counts = SimFailCounts::tally(&out);
+        assert_eq!(counts.total(), 5);
+        assert_eq!(counts.singular, 1);
+        assert_eq!(counts.no_convergence, 1);
+        assert_eq!(counts.blowup, 1);
+        assert_eq!(counts.budget, 1);
+        assert_eq!(counts.aborted, 1);
+        assert_eq!(counts.invalid, 0);
+
+        assert_eq!(out[0].to_fitness(), 1.5);
+        assert_eq!(out[1].to_fitness(), UNMEASURABLE);
+    }
+
+    #[test]
+    fn every_error_maps_to_a_distinct_or_documented_class() {
+        use std::collections::HashSet;
+        let errs = [
+            SpiceError::InvalidCircuit { reason: "x".into() },
+            SpiceError::MissingPort { port: "p".into() },
+            SpiceError::SingularMatrix { row: 0 },
+            SpiceError::NoConvergence {
+                analysis: "dc",
+                iterations: 1,
+            },
+            SpiceError::NumericalBlowup { analysis: "ac" },
+            SpiceError::BudgetExhausted {
+                analysis: "tran",
+                spent: 1,
+            },
+            SpiceError::Aborted,
+        ];
+        let classes: HashSet<&'static str> = errs
+            .iter()
+            .map(|e| SimFailClass::from(e).as_str())
+            .collect();
+        // InvalidCircuit and MissingPort share a class by design; every
+        // other error gets its own bucket.
+        assert_eq!(classes.len(), 6);
+    }
+
+    #[test]
+    fn fail_counts_sum_and_serde_default() {
+        let mut a = SimFailCounts {
+            invalid: 1,
+            budget: 2,
+            ..SimFailCounts::default()
+        };
+        let b = SimFailCounts {
+            budget: 3,
+            aborted: 1,
+            ..SimFailCounts::default()
+        };
+        a.add(&b);
+        assert_eq!(a.budget, 5);
+        assert_eq!(a.total(), 7);
+
+        // Older serialized forms (missing fields entirely) load as zeros.
+        let legacy: SimFailCounts = serde_json::from_str("{}").unwrap();
+        assert_eq!(legacy, SimFailCounts::default());
     }
 }

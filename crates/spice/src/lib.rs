@@ -49,6 +49,7 @@
 //! ```
 
 pub mod ac;
+pub mod budget;
 pub mod complex;
 pub mod dc;
 pub mod elaborate;
@@ -64,19 +65,23 @@ pub mod stamp;
 pub mod tran;
 pub mod validity;
 
-pub use ac::{ac_sweep, log_sweep, AcSolution};
+pub use ac::{ac_sweep, ac_sweep_metered, log_sweep, AcSolution};
+pub use budget::{AbortHandle, SimBudget, SimMeter};
 pub use complex::Complex;
-pub use dc::{dc_operating_point, DcSolution};
+pub use dc::{dc_operating_point, dc_operating_point_metered, DcSolution};
 pub use elaborate::{elaborate, Stimulus};
 pub use error::SpiceError;
-pub use eval::{par_evaluate, UNMEASURABLE};
+pub use eval::{
+    par_evaluate, par_evaluate_classified, SimFailClass, SimFailCounts, SimOutcome, UNMEASURABLE,
+};
 pub use measure::{
-    measure_converter, measure_opamp, measure_oscillator, measure_psrr, ConverterMetrics,
-    OpampMetrics,
+    measure_converter, measure_converter_metered, measure_opamp, measure_opamp_metered,
+    measure_oscillator, measure_oscillator_metered, measure_psrr, measure_psrr_metered,
+    ConverterMetrics, OpampMetrics,
 };
 pub use models::Tech;
 pub use netlist::{Element, Netlist, Waveform};
 pub use parse::{from_spice, parse_value};
 pub use sizing::{DeviceParams, Sizing};
-pub use tran::{transient, TranSolution};
+pub use tran::{transient, transient_metered, TranSolution};
 pub use validity::{check_validity, ValidityReport};

@@ -17,13 +17,14 @@
 
 use eva_circuit::{CircuitPin, Topology};
 
-use crate::ac::{ac_sweep, log_sweep};
-use crate::dc::dc_operating_point;
+use crate::ac::{ac_sweep_metered, log_sweep};
+use crate::budget::SimMeter;
+use crate::dc::dc_operating_point_metered;
 use crate::elaborate::{elaborate, Stimulus};
 use crate::error::SpiceError;
 use crate::models::Tech;
 use crate::sizing::Sizing;
-use crate::tran::transient;
+use crate::tran::transient_metered;
 
 /// Measured small-signal metrics of an amplifier-like circuit.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,20 +74,37 @@ pub fn measure_opamp(
     stimulus: &Stimulus,
     tech: &Tech,
 ) -> Result<OpampMetrics, SpiceError> {
+    measure_opamp_metered(topology, sizing, stimulus, tech, &SimMeter::unlimited())
+}
+
+/// [`measure_opamp`] with a work budget charged by every DC Newton
+/// iteration and AC point.
+///
+/// # Errors
+///
+/// As [`measure_opamp`], plus [`SpiceError::BudgetExhausted`] /
+/// [`SpiceError::Aborted`] from the meter.
+pub fn measure_opamp_metered(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+    meter: &SimMeter,
+) -> Result<OpampMetrics, SpiceError> {
     let netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
         .ok_or_else(|| SpiceError::MissingPort {
             port: "VOUT1".into(),
         })?;
-    let op = dc_operating_point(&netlist, tech)?;
+    let op = dc_operating_point_metered(&netlist, tech, meter)?;
 
     // Static power: the VDD source delivers -i_branch * vdd.
     let ivdd = op.source_current(&netlist, "VDD").unwrap_or(0.0);
     let power = (-ivdd * stimulus.vdd).max(1e-12);
 
     let freqs = log_sweep(F_START, F_STOP, F_POINTS);
-    let ac = ac_sweep(&netlist, tech, &op, &freqs)?;
+    let ac = ac_sweep_metered(&netlist, tech, &op, &freqs, meter)?;
     let mags = ac.magnitude(out);
     if mags.iter().any(|m| !m.is_finite()) {
         return Err(SpiceError::NumericalBlowup { analysis: "ac" });
@@ -155,8 +173,24 @@ pub fn measure_psrr(
     stimulus: &Stimulus,
     tech: &Tech,
 ) -> Result<f64, SpiceError> {
+    measure_psrr_metered(topology, sizing, stimulus, tech, &SimMeter::unlimited())
+}
+
+/// [`measure_psrr`] with a work budget shared by both measurement passes.
+///
+/// # Errors
+///
+/// As [`measure_psrr`], plus [`SpiceError::BudgetExhausted`] /
+/// [`SpiceError::Aborted`] from the meter.
+pub fn measure_psrr_metered(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+    meter: &SimMeter,
+) -> Result<f64, SpiceError> {
     // Signal-path gain.
-    let signal = measure_opamp(topology, sizing, stimulus, tech)?;
+    let signal = measure_opamp_metered(topology, sizing, stimulus, tech, meter)?;
 
     // Supply-path gain: AC on VDD, inputs quiet.
     let mut netlist = elaborate(topology, sizing, stimulus)?;
@@ -179,8 +213,8 @@ pub fn measure_psrr(
     if !found {
         return Err(SpiceError::MissingPort { port: "VDD".into() });
     }
-    let op = dc_operating_point(&netlist, tech)?;
-    let ac = ac_sweep(&netlist, tech, &op, &[F_START])?;
+    let op = dc_operating_point_metered(&netlist, tech, meter)?;
+    let ac = ac_sweep_metered(&netlist, tech, &op, &[F_START], meter)?;
     let supply_gain = ac.magnitude(out)[0].max(1e-12);
     Ok(20.0 * (signal.dc_gain.max(1e-12) / supply_gain).log10())
 }
@@ -202,16 +236,41 @@ pub fn measure_oscillator(
     tech: &Tech,
     f_guess: f64,
 ) -> Result<f64, SpiceError> {
+    measure_oscillator_metered(
+        topology,
+        sizing,
+        stimulus,
+        tech,
+        f_guess,
+        &SimMeter::unlimited(),
+    )
+}
+
+/// [`measure_oscillator`] with a work budget charged by the DC solve and
+/// every transient step.
+///
+/// # Errors
+///
+/// As [`measure_oscillator`], plus [`SpiceError::BudgetExhausted`] /
+/// [`SpiceError::Aborted`] from the meter.
+pub fn measure_oscillator_metered(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+    f_guess: f64,
+    meter: &SimMeter,
+) -> Result<f64, SpiceError> {
     let netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
         .ok_or_else(|| SpiceError::MissingPort {
             port: "VOUT1".into(),
         })?;
-    let op = dc_operating_point(&netlist, tech)?.perturbed(1e-3);
+    let op = dc_operating_point_metered(&netlist, tech, meter)?.perturbed(1e-3);
     let t_stop = 30.0 / f_guess;
     let dt = 1.0 / (f_guess * 200.0);
-    let tran = transient(&netlist, tech, &op, t_stop, dt)?;
+    let tran = transient_metered(&netlist, tech, &op, t_stop, dt, meter)?;
     // Midpoint of the settled waveform as the crossing level.
     let wave = tran.waveform(out);
     let tail = &wave[wave.len() / 2..];
@@ -242,16 +301,41 @@ pub fn measure_converter(
     tech: &Tech,
     target_ratio: f64,
 ) -> Result<ConverterMetrics, SpiceError> {
+    measure_converter_metered(
+        topology,
+        sizing,
+        stimulus,
+        tech,
+        target_ratio,
+        &SimMeter::unlimited(),
+    )
+}
+
+/// [`measure_converter`] with a work budget charged by the DC solve and
+/// every transient step.
+///
+/// # Errors
+///
+/// As [`measure_converter`], plus [`SpiceError::BudgetExhausted`] /
+/// [`SpiceError::Aborted`] from the meter.
+pub fn measure_converter_metered(
+    topology: &Topology,
+    sizing: &Sizing,
+    stimulus: &Stimulus,
+    tech: &Tech,
+    target_ratio: f64,
+    meter: &SimMeter,
+) -> Result<ConverterMetrics, SpiceError> {
     let netlist = elaborate(topology, sizing, stimulus)?;
     let out = netlist
         .port_node(CircuitPin::Vout(1))
         .ok_or_else(|| SpiceError::MissingPort {
             port: "VOUT1".into(),
         })?;
-    let op = dc_operating_point(&netlist, tech)?;
+    let op = dc_operating_point_metered(&netlist, tech, meter)?;
 
     let period = 1.0 / stimulus.clk_freq;
-    let tran = transient(&netlist, tech, &op, 20.0 * period, period / 100.0)?;
+    let tran = transient_metered(&netlist, tech, &op, 20.0 * period, period / 100.0, meter)?;
     let vout = tran.settled_mean(out, 0.5);
     let ratio = vout / stimulus.vdd;
 

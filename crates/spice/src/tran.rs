@@ -5,6 +5,7 @@
 //! (power converters, switched-capacitor samplers) and oscillators, where
 //! small-signal analysis cannot capture the behaviour of interest.
 
+use crate::budget::SimMeter;
 use crate::dc::DcSolution;
 use crate::error::SpiceError;
 use crate::models::Tech;
@@ -124,10 +125,8 @@ const DAMP: f64 = 0.5;
 /// - [`SpiceError::NoConvergence`] if a step's Newton loop fails even after
 ///   step halving.
 /// - [`SpiceError::NumericalBlowup`] on non-finite results.
-///
-/// # Panics
-///
-/// Panics if `tstop <= 0`, `dt <= 0`, or `dt > tstop`.
+/// - [`SpiceError::InvalidCircuit`] if `tstop <= 0`, `dt <= 0`,
+///   `dt > tstop`, or either is non-finite.
 pub fn transient(
     netlist: &Netlist,
     tech: &Tech,
@@ -135,8 +134,31 @@ pub fn transient(
     tstop: f64,
     dt: f64,
 ) -> Result<TranSolution, SpiceError> {
-    assert!(tstop > 0.0 && dt > 0.0 && dt <= tstop, "positive tstop/dt");
+    transient_metered(netlist, tech, op, tstop, dt, &SimMeter::unlimited())
+}
+
+/// [`transient`] with a work budget: every timestep and every inner
+/// Newton iteration charges `meter`.
+///
+/// # Errors
+///
+/// As [`transient`], plus [`SpiceError::BudgetExhausted`] /
+/// [`SpiceError::Aborted`] from the meter.
+pub fn transient_metered(
+    netlist: &Netlist,
+    tech: &Tech,
+    op: &DcSolution,
+    tstop: f64,
+    dt: f64,
+    meter: &SimMeter,
+) -> Result<TranSolution, SpiceError> {
+    if !(tstop > 0.0 && dt > 0.0 && dt <= tstop) || !tstop.is_finite() || !dt.is_finite() {
+        return Err(SpiceError::InvalidCircuit {
+            reason: format!("transient window needs 0 < dt <= tstop, got dt={dt}, tstop={tstop}"),
+        });
+    }
     let asm = Assembler::new(netlist, tech);
+    meter.check_dim(asm.nvars(), "tran")?;
     let nv = netlist.node_count() - 1;
 
     // Initial state from the operating point.
@@ -173,6 +195,7 @@ pub fn transient(
             break;
         }
         t += h;
+        meter.charge_tran_step("tran")?;
         let mode = StampMode::Tran {
             h,
             t,
@@ -180,6 +203,7 @@ pub fn transient(
         };
         let mut converged = false;
         for _ in 0..MAX_ITER {
+            meter.charge_newton("tran")?;
             let (m, mut rhs) = asm.assemble(&x, mode);
             m.solve_into(&mut rhs)?;
             let mut worst = 0.0f64;
@@ -328,11 +352,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive tstop")]
-    fn rejects_bad_dt() {
+    fn rejects_bad_windows_typed() {
         let n = Netlist::new();
         let tech = Tech::default();
         let op = dc_operating_point(&n, &tech).unwrap();
-        let _ = transient(&n, &tech, &op, 1.0, -1.0);
+        for (tstop, dt) in [
+            (1.0, -1.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (1.0, 2.0),
+            (f64::NAN, 1.0),
+            (1.0, f64::INFINITY),
+        ] {
+            assert!(
+                matches!(
+                    transient(&n, &tech, &op, tstop, dt),
+                    Err(SpiceError::InvalidCircuit { .. })
+                ),
+                "tstop={tstop} dt={dt} must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn tran_budget_exhaustion_is_typed_and_deterministic() {
+        use crate::budget::{SimBudget, SimMeter};
+        let mut n = Netlist::new();
+        let a = n.add_node("a");
+        n.add_element(
+            "V1",
+            vec![a, 0],
+            Element::Vsource {
+                dc: 1.0,
+                ac_mag: 0.0,
+                waveform: Waveform::Dc,
+            },
+        );
+        n.add_element("R1", vec![a, 0], Element::Resistor { ohms: 1e3 });
+        let tech = Tech::default();
+        let op = dc_operating_point(&n, &tech).unwrap();
+        let run = || {
+            let meter = SimMeter::new(SimBudget {
+                tran_steps: 3,
+                ..SimBudget::unlimited()
+            });
+            transient_metered(&n, &tech, &op, 1e-6, 1e-8, &meter).unwrap_err()
+        };
+        let err = run();
+        assert_eq!(
+            err,
+            SpiceError::BudgetExhausted {
+                analysis: "tran",
+                spent: 4
+            }
+        );
+        assert_eq!(run(), err, "work-metered exhaustion replays exactly");
     }
 }

@@ -1,0 +1,272 @@
+//! Robustness properties: the simulator must never panic on arbitrary
+//! structurally-valid topologies with arbitrary (even implausible)
+//! sizings — every failure is a typed [`SpiceError`] — and every
+//! [`SimFailClass`] named by the failure taxonomy is reachable through
+//! the real pipeline and counted correctly.
+
+use eva_circuit::{CircuitPin, DeviceKind, Topology, TopologyBuilder};
+use eva_spice::{
+    check_validity, dc_operating_point_metered, elaborate, measure_opamp_metered,
+    par_evaluate_classified, transient_metered, AbortHandle, DeviceParams, SimBudget, SimFailClass,
+    SimFailCounts, SimMeter, SimOutcome, Sizing, SpiceError, Stimulus, Tech,
+};
+use proptest::prelude::*;
+
+/// The pin pool random devices wire into: supplies, an input, an output,
+/// and a bias — the grammar's port alphabet at its smallest.
+const PINS: [CircuitPin; 5] = [
+    CircuitPin::Vdd,
+    CircuitPin::Vss,
+    CircuitPin::Vin(1),
+    CircuitPin::Vout(1),
+    CircuitPin::Vbias(1),
+];
+
+const KINDS: [DeviceKind; 7] = [
+    DeviceKind::Nmos,
+    DeviceKind::Pmos,
+    DeviceKind::Npn,
+    DeviceKind::Resistor,
+    DeviceKind::Capacitor,
+    DeviceKind::Diode,
+    DeviceKind::CurrentSource,
+];
+
+/// One randomly-specified device: a kind plus four pin-pool indices
+/// (two-terminal kinds use the first two).
+type DeviceSpec = (usize, [usize; 4]);
+
+/// Build a topology from device specs. Wires that the builder rejects
+/// (self-loops, same-device shorts) are skipped — the result may have
+/// floating pins or missing supplies, which is exactly the point: those
+/// must surface as typed errors downstream, never as panics.
+fn build_topology(specs: &[DeviceSpec]) -> Option<Topology> {
+    let mut b = TopologyBuilder::new();
+    for &(kind_idx, pin_idx) in specs {
+        let p = |i: usize| PINS[pin_idx[i] % PINS.len()];
+        let _ = match KINDS[kind_idx % KINDS.len()] {
+            DeviceKind::Nmos => b.nmos(p(0), p(1), p(2), p(3)).map(|_| ()),
+            DeviceKind::Pmos => b.pmos(p(0), p(1), p(2), p(3)).map(|_| ()),
+            DeviceKind::Npn => b.npn(p(0), p(1), p(2)).map(|_| ()),
+            DeviceKind::Resistor => b.resistor(p(0), p(1)).map(|_| ()),
+            DeviceKind::Capacitor => b.capacitor(p(0), p(1)).map(|_| ()),
+            DeviceKind::Diode => b.diode(p(0), p(1)).map(|_| ()),
+            DeviceKind::CurrentSource => b.current_source(p(0), p(1)).map(|_| ()),
+            _ => Ok(()),
+        };
+    }
+    b.build().ok()
+}
+
+/// Scale the principal parameter of a kind's default sizing — factors far
+/// outside the plausible range are deliberate.
+fn scaled_params(kind: DeviceKind, factor: f64) -> DeviceParams {
+    match DeviceParams::default_for(kind) {
+        DeviceParams::Mos { w, l } => DeviceParams::Mos { w: w * factor, l },
+        DeviceParams::Bjt { is, beta } => DeviceParams::Bjt {
+            is: is * factor,
+            beta,
+        },
+        DeviceParams::Resistor { ohms } => DeviceParams::Resistor {
+            ohms: ohms * factor,
+        },
+        DeviceParams::Capacitor { farads } => DeviceParams::Capacitor {
+            farads: farads * factor,
+        },
+        DeviceParams::Inductor { henries } => DeviceParams::Inductor {
+            henries: henries * factor,
+        },
+        DeviceParams::Diode { is } => DeviceParams::Diode { is: is * factor },
+        DeviceParams::CurrentSource { amps } => DeviceParams::CurrentSource {
+            amps: amps * factor,
+        },
+    }
+}
+
+fn random_sizing(topology: &Topology, factors: &[f64]) -> Sizing {
+    let mut sizing = Sizing::default_for(topology);
+    for (i, device) in topology.devices().into_iter().enumerate() {
+        let factor = factors[i % factors.len()];
+        sizing.set(device, scaled_params(device.kind, factor));
+    }
+    sizing
+}
+
+/// A work budget tight enough to bound each proptest case, loose enough
+/// to let well-posed circuits finish.
+fn case_budget() -> SimBudget {
+    SimBudget {
+        newton_iters: 20_000,
+        tran_steps: 50_000,
+        ac_points: 10_000,
+        max_matrix_dim: 256,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// validity / elaborate / dc / tran / measure return `Result` for
+    /// every input — a panic anywhere fails the property.
+    #[test]
+    fn pipeline_never_panics_on_random_topologies(
+        specs in prop::collection::vec(
+            ((0usize..KINDS.len()), prop::array::uniform4(0usize..PINS.len())),
+            1..8,
+        ),
+        factors in prop::collection::vec(1e-9f64..1e9, 1..6),
+    ) {
+        let Some(topology) = build_topology(&specs) else {
+            // Every wire was rejected; nothing to simulate.
+            return Ok(());
+        };
+        let _ = check_validity(&topology);
+        let sizing = random_sizing(&topology, &factors);
+        let stimulus = Stimulus::default();
+        let tech = Tech::default();
+        let meter = SimMeter::new(case_budget());
+        if let Ok(netlist) = elaborate(&topology, &sizing, &stimulus) {
+            if let Ok(op) = dc_operating_point_metered(&netlist, &tech, &meter) {
+                let _ = transient_metered(&netlist, &tech, &op, 1e-7, 1e-9, &meter);
+            }
+        }
+        let _ = measure_opamp_metered(
+            &topology,
+            &sizing,
+            &stimulus,
+            &tech,
+            &SimMeter::new(case_budget()),
+        );
+    }
+}
+
+/// A minimal well-formed circuit that needs real Newton work: a
+/// diode-connected NMOS pulled up through a resistor.
+fn diode_load() -> (Topology, Sizing) {
+    let mut b = TopologyBuilder::new();
+    b.nmos(
+        CircuitPin::Vout(1),
+        CircuitPin::Vout(1),
+        CircuitPin::Vss,
+        CircuitPin::Vss,
+    )
+    .expect("nmos wires");
+    b.resistor(CircuitPin::Vdd, CircuitPin::Vout(1))
+        .expect("resistor wires");
+    let topology = b.build().expect("builds");
+    let sizing = Sizing::default_for(&topology);
+    (topology, sizing)
+}
+
+#[test]
+fn budget_of_one_forces_budget_exhausted() {
+    let (topology, sizing) = diode_load();
+    let netlist = elaborate(&topology, &sizing, &Stimulus::default()).expect("elaborates");
+    let meter = SimMeter::new(SimBudget {
+        newton_iters: 1,
+        ..SimBudget::unlimited()
+    });
+    let err = dc_operating_point_metered(&netlist, &Tech::default(), &meter)
+        .expect_err("one Newton iteration cannot converge a diode load");
+    assert!(
+        matches!(err, SpiceError::BudgetExhausted { spent: 2, .. }),
+        "{err:?}"
+    );
+    assert_eq!(SimFailClass::from(&err), SimFailClass::Budget);
+}
+
+#[test]
+fn vdd_vss_short_is_invalid_circuit() {
+    let mut b = TopologyBuilder::new();
+    b.resistor(CircuitPin::Vin(1), CircuitPin::Vout(1))
+        .expect("resistor wires");
+    b.wire(CircuitPin::Vdd, CircuitPin::Vss).expect("short");
+    let topology = b.build().expect("builds");
+    let err = elaborate(
+        &topology,
+        &Sizing::default_for(&topology),
+        &Stimulus::default(),
+    )
+    .expect_err("VDD shorted to VSS cannot elaborate");
+    assert!(matches!(err, SpiceError::InvalidCircuit { .. }), "{err:?}");
+    assert_eq!(SimFailClass::from(&err), SimFailClass::Invalid);
+}
+
+#[test]
+fn tripped_abort_is_typed_and_classified() {
+    let (topology, sizing) = diode_load();
+    let netlist = elaborate(&topology, &sizing, &Stimulus::default()).expect("elaborates");
+    let abort = AbortHandle::new();
+    abort.abort();
+    let meter = SimMeter::unlimited().with_abort(abort);
+    let err = dc_operating_point_metered(&netlist, &Tech::default(), &meter)
+        .expect_err("a tripped abort stops at the first iteration boundary");
+    assert!(matches!(err, SpiceError::Aborted), "{err:?}");
+    assert_eq!(SimFailClass::from(&err), SimFailClass::Aborted);
+}
+
+#[test]
+fn transient_budget_exhausts_typed() {
+    let (topology, sizing) = diode_load();
+    let netlist = elaborate(&topology, &sizing, &Stimulus::default()).expect("elaborates");
+    let tech = Tech::default();
+    let op = dc_operating_point_metered(&netlist, &tech, &SimMeter::unlimited()).expect("dc");
+    let meter = SimMeter::new(SimBudget {
+        tran_steps: 1,
+        ..SimBudget::unlimited()
+    });
+    let err = transient_metered(&netlist, &tech, &op, 1e-6, 1e-9, &meter)
+        .expect_err("one timestep cannot cover the window");
+    assert!(matches!(err, SpiceError::BudgetExhausted { .. }), "{err:?}");
+    assert_eq!(SimFailClass::from(&err), SimFailClass::Budget);
+}
+
+/// Every failure class flows through the classified fan-out with exact
+/// per-class counts: fails + oks == attempts, class by class.
+#[test]
+fn classified_fanout_counts_real_failures_exactly() {
+    let (topology, sizing) = diode_load();
+    let stimulus = Stimulus::default();
+    let tech = Tech::default();
+    // Per-index scenario: 0 = unlimited (measurable), 1 = budget 1,
+    // 2 = tripped abort, 3 = VDD–VSS short (invalid).
+    let shorted = {
+        let mut b = TopologyBuilder::new();
+        b.resistor(CircuitPin::Vin(1), CircuitPin::Vout(1))
+            .expect("resistor wires");
+        b.wire(CircuitPin::Vdd, CircuitPin::Vss).expect("short");
+        b.build().expect("builds")
+    };
+    let outcomes = par_evaluate_classified(4, 1, |i| {
+        let meter = match i {
+            1 => SimMeter::new(SimBudget {
+                newton_iters: 1,
+                ..SimBudget::unlimited()
+            }),
+            2 => {
+                let abort = AbortHandle::new();
+                abort.abort();
+                SimMeter::unlimited().with_abort(abort)
+            }
+            _ => SimMeter::unlimited(),
+        };
+        let topo = if i == 3 { &shorted } else { &topology };
+        let sz = if i == 3 {
+            Sizing::default_for(&shorted)
+        } else {
+            sizing.clone()
+        };
+        let netlist = elaborate(topo, &sz, &stimulus)?;
+        let op = dc_operating_point_metered(&netlist, &tech, &meter)?;
+        Ok(op.voltage(1))
+    });
+    let counts = SimFailCounts::tally(&outcomes);
+    assert!(matches!(outcomes[0], SimOutcome::Ok(v) if v.is_finite()));
+    assert_eq!(outcomes[1], SimOutcome::Failed(SimFailClass::Budget));
+    assert_eq!(outcomes[2], SimOutcome::Failed(SimFailClass::Aborted));
+    assert_eq!(outcomes[3], SimOutcome::Failed(SimFailClass::Invalid));
+    assert_eq!(counts.budget, 1);
+    assert_eq!(counts.aborted, 1);
+    assert_eq!(counts.invalid, 1);
+    assert_eq!(counts.total(), 3, "attempts - successes");
+}
